@@ -1,0 +1,59 @@
+//! Figure 3 bench: regenerates the permission distribution and times the
+//! kernels behind it (invite-field decoding, distribution aggregation).
+
+use bench::prepare_world;
+use chatbot_audit::{figure3_distribution, render_figure3};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use discord_sim::Permissions;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_fig3(c: &mut Criterion) {
+    let world = prepare_world(2_000, 42);
+
+    // Print the regenerated figure once, so `cargo bench` output carries
+    // the reproduction artifact alongside the timings.
+    let rows = figure3_distribution(&world.bots, 20);
+    println!("\n{}", render_figure3(&rows));
+
+    c.bench_function("fig3/distribution_2000_bots", |b| {
+        b.iter(|| figure3_distribution(black_box(&world.bots), 20))
+    });
+
+    c.bench_function("fig3/invite_field_decode", |b| {
+        let mut rng = StdRng::seed_from_u64(7);
+        let fields: Vec<String> = (0..1024).map(|_| rng.gen::<u64>().to_string()).collect();
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % fields.len();
+            black_box(Permissions::from_invite_field(&fields[i]))
+        })
+    });
+
+    c.bench_function("fig3/permission_names", |b| {
+        let mut rng = StdRng::seed_from_u64(8);
+        let sets: Vec<Permissions> =
+            (0..1024).map(|_| Permissions(rng.gen::<u64>() & Permissions::ALL_KNOWN.0)).collect();
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % sets.len();
+            black_box(sets[i].names())
+        })
+    });
+
+    c.bench_function("fig3/full_crawl_400_bots", |b| {
+        b.iter_batched(
+            || (),
+            |_| black_box(prepare_world(400, 9).bots.len()),
+            BatchSize::PerIteration,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig3
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Honeypot bench: regenerates the §4.2 dynamic-analysis result (one
+//! detection among the most-voted sample) and times campaign throughput.
+
+use bench::{prepare_world, run_honeypot};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn bench_honeypot(c: &mut Criterion) {
+    let world = prepare_world(600, 46);
+    let report = run_honeypot(&world, 50);
+    println!(
+        "\nHoneypot: {} guilds, {} bots, {} tokens, {} messages → {} detection(s)",
+        report.guilds_created,
+        report.bots_tested,
+        report.tokens_planted,
+        report.messages_posted,
+        report.detections.len()
+    );
+    for det in &report.detections {
+        println!("  {} via {:?} tokens {:?}", det.bot_name, det.requesters, det.token_kinds);
+    }
+    assert_eq!(report.detections.len(), 1, "the planted Melonian must be caught");
+
+    c.bench_function("honeypot/campaign_10_bots", |b| {
+        b.iter_batched(
+            || prepare_world(120, 47),
+            |w| black_box(run_honeypot(&w, 10).bots_tested),
+            BatchSize::PerIteration,
+        )
+    });
+
+    c.bench_function("honeypot/feed_generation_25", |b| {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            black_box(honeypot::feed::generate_feed(&mut rng, 5, 25).len())
+        })
+    });
+
+    c.bench_function("honeypot/token_mint_guild_set", |b| {
+        b.iter(|| {
+            let mut mint = honeypot::TokenMint::new("sink.sim", "mail.sim");
+            black_box(mint.mint_guild_set("guild-bench").len())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_honeypot
+}
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Table 1 bench: regenerates the developer histogram and times the
+//! allocation + aggregation kernels.
+
+use bench::prepare_world;
+use chatbot_audit::{render_table1, table1_histogram};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use synth::developers::assign_developers;
+
+fn bench_table1(c: &mut Criterion) {
+    let world = prepare_world(2_000, 43);
+    let rows = table1_histogram(&world.bots);
+    println!("\n{}", render_table1(&rows));
+
+    c.bench_function("table1/histogram_2000_bots", |b| {
+        b.iter(|| table1_histogram(black_box(&world.bots)))
+    });
+
+    c.bench_function("table1/assign_developers_20915", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(2);
+            black_box(assign_developers(&mut rng, 20_915).len())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table1
+}
+criterion_main!(benches);

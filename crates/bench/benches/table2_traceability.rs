@@ -1,0 +1,62 @@
+//! Table 2 bench: regenerates the traceability results and times the
+//! keyword-based analyzer on realistic policy corpora.
+
+use bench::prepare_world;
+use chatbot_audit::{render_table2, table2_traceability};
+use criterion::{criterion_group, criterion_main, Criterion};
+use policy::{analyze, corpus, DataPractice, KeywordOntology, PrivacyPolicy};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn policy_corpus() -> Vec<PrivacyPolicy> {
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut out = Vec::new();
+    for i in 0..256 {
+        out.push(match i % 4 {
+            0 => corpus::complete_policy(&mut rng, "B", true),
+            1 => corpus::partial_policy(&mut rng, "B", &[DataPractice::Collect, DataPractice::Use], false),
+            2 => corpus::generic_boilerplate(),
+            _ => corpus::vacuous_policy(),
+        });
+    }
+    out
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let world = prepare_world(2_000, 44);
+    let t2 = table2_traceability(&world.bots);
+    println!("\n{}", render_table2(&t2));
+
+    let ontology = KeywordOntology::standard();
+    let policies = policy_corpus();
+    let perms: Vec<String> =
+        ["read message history", "kick members", "administrator", "manage roles"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+
+    c.bench_function("table2/analyze_one_policy", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % policies.len();
+            black_box(analyze(Some(&policies[i]), &perms, &ontology))
+        })
+    });
+
+    c.bench_function("table2/summary_2000_bots", |b| {
+        b.iter(|| table2_traceability(black_box(&world.bots)))
+    });
+
+    c.bench_function("table2/keyword_scan_long_text", |b| {
+        let long: String = policies.iter().map(|p| p.full_text()).collect::<Vec<_>>().join("\n");
+        b.iter(|| black_box(ontology.practices_in(&long)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table2
+}
+criterion_main!(benches);

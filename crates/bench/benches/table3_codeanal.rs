@@ -1,0 +1,73 @@
+//! Table 3 bench: regenerates the code-analysis summary and times the
+//! permission-check scanner on generated repositories.
+
+use bench::prepare_world;
+use chatbot_audit::{render_table3, table3_code_analysis};
+use codeanal::genrepo;
+use codeanal::scanner::{scan_repository, strip_noncode};
+use codeanal::{Language, Repository};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn repo_corpus() -> Vec<Repository> {
+    let mut rng = StdRng::seed_from_u64(6);
+    let mut out = Vec::new();
+    for i in 0..200 {
+        out.push(match i % 5 {
+            0 => genrepo::js_bot_repo(&mut rng, "d/a", true),
+            1 => genrepo::js_bot_repo(&mut rng, "d/b", false),
+            2 => genrepo::py_bot_repo(&mut rng, "d/c", true),
+            3 => genrepo::py_bot_repo(&mut rng, "d/d", false),
+            _ => genrepo::readme_only_repo("d/e"),
+        });
+    }
+    out
+}
+
+fn bench_table3(c: &mut Criterion) {
+    let world = prepare_world(2_000, 45);
+    let t3 = table3_code_analysis(&world.bots);
+    println!("\n{}", render_table3(&t3));
+
+    let repos = repo_corpus();
+    let total_bytes: usize = repos
+        .iter()
+        .flat_map(|r| r.files.iter())
+        .map(|f| f.content.len())
+        .sum();
+
+    let mut group = c.benchmark_group("table3");
+    group.throughput(Throughput::Bytes(total_bytes as u64));
+    group.bench_function("scan_200_repos", |b| {
+        b.iter(|| {
+            let mut checking = 0;
+            for repo in &repos {
+                if scan_repository(black_box(repo)).performs_checks() {
+                    checking += 1;
+                }
+            }
+            black_box(checking)
+        })
+    });
+    group.finish();
+
+    c.bench_function("table3/strip_noncode_js", |b| {
+        let mut rng = StdRng::seed_from_u64(11);
+        let repo = genrepo::js_bot_repo(&mut rng, "d/x", true);
+        let src = &repo.files[0].content;
+        b.iter(|| black_box(strip_noncode(src, &Language::JavaScript)))
+    });
+
+    c.bench_function("table3/summary_2000_bots", |b| {
+        b.iter(|| table3_code_analysis(black_box(&world.bots)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table3
+}
+criterion_main!(benches);

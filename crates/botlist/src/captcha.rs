@@ -1,0 +1,122 @@
+//! Captcha challenges.
+//!
+//! The listing site throws interstitial captchas at busy clients; the
+//! install flow requires one per bot install (§4.2). Challenges are simple
+//! arithmetic — what matters is the *protocol*: fetch challenge, obtain a
+//! solution out-of-band (the 2Captcha-like solver lives in `crawler`),
+//! redeem it for a pass token, attach the token to subsequent requests.
+
+use parking_lot::Mutex;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A challenge as presented to the client.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Challenge {
+    /// Opaque challenge ID.
+    pub id: String,
+    /// Human-solvable question, e.g. `17 + 25`.
+    pub question: String,
+}
+
+#[derive(Default)]
+struct BankInner {
+    /// Outstanding challenges: id → expected answer.
+    open: BTreeMap<String, i64>,
+    /// Redeemed pass tokens.
+    passes: BTreeMap<String, bool>,
+    counter: u64,
+}
+
+/// Issues and verifies challenges; shared between site endpoints.
+#[derive(Clone, Default)]
+pub struct CaptchaBank {
+    inner: Arc<Mutex<BankInner>>,
+}
+
+impl CaptchaBank {
+    /// An empty bank.
+    pub fn new() -> CaptchaBank {
+        CaptchaBank::default()
+    }
+
+    /// Issue a fresh challenge.
+    pub fn issue<R: Rng + ?Sized>(&self, rng: &mut R) -> Challenge {
+        let mut inner = self.inner.lock();
+        inner.counter += 1;
+        let a: i64 = rng.gen_range(10..100);
+        let b: i64 = rng.gen_range(10..100);
+        let id = format!("ch-{}", inner.counter);
+        inner.open.insert(id.clone(), a + b);
+        Challenge { id, question: format!("{a} + {b}") }
+    }
+
+    /// Redeem a solved challenge for a pass token. Wrong answers consume
+    /// the challenge (a fresh one must be requested).
+    pub fn redeem(&self, challenge_id: &str, answer: i64) -> Option<String> {
+        let mut inner = self.inner.lock();
+        let expected = inner.open.remove(challenge_id)?;
+        if expected == answer {
+            let token = format!("pass-{challenge_id}");
+            inner.passes.insert(token.clone(), true);
+            Some(token)
+        } else {
+            None
+        }
+    }
+
+    /// Is this pass token valid? Tokens are single-session, not consumed.
+    pub fn is_valid_pass(&self, token: &str) -> bool {
+        self.inner.lock().passes.contains_key(token)
+    }
+
+    /// Solve a question string (the "human" — or 2Captcha worker — side).
+    pub fn solve_question(question: &str) -> Option<i64> {
+        let (a, b) = question.split_once('+')?;
+        Some(a.trim().parse::<i64>().ok()? + b.trim().parse::<i64>().ok()?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn issue_solve_redeem_cycle() {
+        let bank = CaptchaBank::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let ch = bank.issue(&mut rng);
+        let answer = CaptchaBank::solve_question(&ch.question).unwrap();
+        let token = bank.redeem(&ch.id, answer).unwrap();
+        assert!(bank.is_valid_pass(&token));
+        assert!(!bank.is_valid_pass("pass-forged"));
+    }
+
+    #[test]
+    fn wrong_answer_consumes_challenge() {
+        let bank = CaptchaBank::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let ch = bank.issue(&mut rng);
+        assert!(bank.redeem(&ch.id, -1).is_none());
+        // Challenge is gone; even the right answer fails now.
+        let answer = CaptchaBank::solve_question(&ch.question).unwrap();
+        assert!(bank.redeem(&ch.id, answer).is_none());
+    }
+
+    #[test]
+    fn unknown_challenge_rejected() {
+        let bank = CaptchaBank::new();
+        assert!(bank.redeem("ch-999", 42).is_none());
+    }
+
+    #[test]
+    fn solver_handles_malformed_questions() {
+        assert_eq!(CaptchaBank::solve_question("17 + 25"), Some(42));
+        assert_eq!(CaptchaBank::solve_question("what"), None);
+        assert_eq!(CaptchaBank::solve_question("a + b"), None);
+    }
+}

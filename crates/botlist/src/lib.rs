@@ -1,0 +1,32 @@
+//! # botlist — the chatbot repository website ("top.gg" analogue)
+//!
+//! "Currently, there is no official marketplace for Discord chatbots, and
+//! they are primarily found at www.top.gg" (§4.1). This crate is that site:
+//! a paginated "top chatbot" list plus per-bot detail pages carrying exactly
+//! the attributes the paper's crawler extracts — ID, name, URL, tags,
+//! permissions (via the OAuth invite link), guild count, description, and
+//! GitHub link.
+//!
+//! It also implements the anti-scraping defenses the paper fought (§3):
+//!
+//! * request-rate throttling (HTTP 429 with `retry-after`);
+//! * captcha interstitials after a burst of requests ([`captcha`]);
+//! * an email-verification wall for deep list pages;
+//! * *varying page structures* — three deterministic page-layout variants,
+//!   so a scraper keyed to one selector misses elements on others.
+//!
+//! [`website`] additionally provides each bot's own homepage (where privacy
+//! policies live, when they exist at all).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod captcha;
+pub mod listing;
+pub mod site;
+pub mod website;
+
+pub use captcha::{CaptchaBank, Challenge};
+pub use listing::BotListing;
+pub use site::{BotListSite, SiteConfig, LIST_HOST};
+pub use website::BotWebsite;

@@ -1,0 +1,67 @@
+//! The listing data model.
+
+use serde::{Deserialize, Serialize};
+
+/// One chatbot's listing entry — the attributes §4.2 extracts: "the
+/// chatbot's ID, name, URL, tags, permissions, guild count, description and
+/// GitHub link".
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BotListing {
+    /// The application client ID.
+    pub id: u64,
+    /// Display name.
+    pub name: String,
+    /// Category tags (gaming, fun, social, music, meme, moderation, …).
+    pub tags: Vec<String>,
+    /// Short description shown on the card and detail page.
+    pub description: String,
+    /// The install link. May be a valid OAuth URL, malformed, or pointing
+    /// at a dead/slow host — the paper's 26% "invalid permissions" bucket.
+    pub invite_link: String,
+    /// Guild count badge.
+    pub guild_count: u64,
+    /// Vote count (the list is sorted by this).
+    pub vote_count: u64,
+    /// The developer's website, if listed.
+    pub website: Option<String>,
+    /// GitHub link, if listed.
+    pub github: Option<String>,
+    /// Developer handles (for the Table 1 developer statistics).
+    pub developers: Vec<String>,
+    /// Sample commands shown on the listing (`!play`, `!kick`, …) — one of
+    /// the attributes §3's data collection extracts.
+    pub commands: Vec<String>,
+}
+
+impl BotListing {
+    /// Minimal listing for tests.
+    pub fn minimal(id: u64, name: &str, invite_link: &str, vote_count: u64) -> BotListing {
+        BotListing {
+            id,
+            name: name.to_string(),
+            tags: Vec::new(),
+            description: String::new(),
+            invite_link: invite_link.to_string(),
+            guild_count: 0,
+            vote_count,
+            website: None,
+            github: None,
+            developers: vec![format!("dev-{id}")],
+            commands: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_builder() {
+        let l = BotListing::minimal(7, "FunBot", "https://discord.sim/oauth2/authorize?client_id=7&scope=bot", 42);
+        assert_eq!(l.id, 7);
+        assert_eq!(l.vote_count, 42);
+        assert_eq!(l.developers, vec!["dev-7"]);
+        assert!(l.website.is_none());
+    }
+}

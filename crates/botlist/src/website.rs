@@ -1,0 +1,144 @@
+//! Per-bot developer websites.
+//!
+//! "Discord chatbots tend to not have any visible privacy policies on
+//! top.gg. This necessitates visiting the chatbot's website (if present)
+//! for finding its privacy policy document" (§4.2). Each [`BotWebsite`] is
+//! a small homepage that may or may not link a `/privacy` page, and that
+//! page may itself be a valid document or a dead link.
+
+use htmlsim::build::el;
+use htmlsim::render::render_document;
+use htmlsim::Document;
+use netsim::http::{Request, Response, Status};
+use netsim::{Network, Service, ServiceCtx};
+use policy::PrivacyPolicy;
+
+/// How a bot's website exposes (or fails to expose) its policy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolicyHosting {
+    /// A `/privacy` link leading to the given document.
+    Linked(PrivacyPolicy),
+    /// A `/privacy` link that 404s (the 3 dead links of Table 2).
+    DeadLink,
+    /// No policy link anywhere on the site.
+    None,
+}
+
+/// One developer website, mountable at a host of the caller's choosing.
+#[derive(Debug, Clone)]
+pub struct BotWebsite {
+    /// The bot's name, for page copy.
+    pub bot_name: String,
+    /// Policy hosting behaviour.
+    pub hosting: PolicyHosting,
+}
+
+impl BotWebsite {
+    /// Build a website.
+    pub fn new(bot_name: &str, hosting: PolicyHosting) -> BotWebsite {
+        BotWebsite { bot_name: bot_name.to_string(), hosting }
+    }
+
+    /// Mount at `host`.
+    pub fn mount(self, net: &Network, host: &str) {
+        net.mount(host, self);
+    }
+
+    fn homepage(&self) -> String {
+        let mut body = el("body")
+            .child(el("h1").id("name").text(self.bot_name.clone()))
+            .child(el("p").class("pitch").text(format!("{} — the bot your server deserves.", self.bot_name)));
+        if !matches!(self.hosting, PolicyHosting::None) {
+            body = body.child(el("a").id("privacy-link").attr("href", "/privacy").text("Privacy Policy"));
+        }
+        let doc = Document::new(
+            el("html")
+                .child(el("head").child(el("title").text(self.bot_name.clone())))
+                .child(body)
+                .build(),
+        );
+        render_document(&doc)
+    }
+
+    fn privacy_page(policy: &PrivacyPolicy) -> String {
+        let doc = Document::new(
+            el("html")
+                .child(el("head").child(el("title").text(policy.title.clone())))
+                .child(
+                    el("body").child(
+                        el("div").id("policy").children(
+                            policy.sections.iter().map(|s| el("p").class("policy-text").text(s.clone())),
+                        ),
+                    ),
+                )
+                .build(),
+        );
+        render_document(&doc)
+    }
+}
+
+impl Service for BotWebsite {
+    fn handle(&mut self, req: &Request, _ctx: &mut ServiceCtx<'_>) -> Response {
+        match req.url.path.as_str() {
+            "/" => Response::ok(self.homepage()).with_header("content-type", "text/html"),
+            "/privacy" => match &self.hosting {
+                PolicyHosting::Linked(policy) => {
+                    Response::ok(Self::privacy_page(policy)).with_header("content-type", "text/html")
+                }
+                PolicyHosting::DeadLink => Response::status(Status::NotFound),
+                PolicyHosting::None => Response::status(Status::NotFound),
+            },
+            _ => Response::status(Status::NotFound),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htmlsim::{parse_document, Locator};
+    use netsim::client::{ClientConfig, HttpClient};
+    use netsim::http::Url;
+
+    fn fetch(client: &mut HttpClient, host: &str, path: &str) -> Response {
+        client.get(Url::https(host, path)).unwrap()
+    }
+
+    #[test]
+    fn homepage_links_policy_when_hosted() {
+        let net = Network::new(1);
+        let policy = policy::corpus::generic_boilerplate();
+        BotWebsite::new("FunBot", PolicyHosting::Linked(policy.clone())).mount(&net, "funbot.site");
+        let mut client = HttpClient::new(net, ClientConfig::impolite("t"));
+        let home = fetch(&mut client, "funbot.site", "/");
+        let doc = parse_document(&home.text()).unwrap();
+        let link = Locator::id("privacy-link").find(&doc).unwrap();
+        assert_eq!(link.attr("href"), Some("/privacy"));
+        let page = fetch(&mut client, "funbot.site", "/privacy");
+        assert!(page.status.is_success());
+        let pdoc = parse_document(&page.text()).unwrap();
+        let texts = Locator::class("policy-text").find_all(&pdoc).unwrap();
+        assert_eq!(texts.len(), policy.sections.len());
+    }
+
+    #[test]
+    fn dead_policy_link_still_advertised_but_404s() {
+        let net = Network::new(1);
+        BotWebsite::new("GhostBot", PolicyHosting::DeadLink).mount(&net, "ghost.site");
+        let mut client = HttpClient::new(net, ClientConfig::impolite("t"));
+        let home = fetch(&mut client, "ghost.site", "/");
+        let doc = parse_document(&home.text()).unwrap();
+        assert!(Locator::id("privacy-link").find(&doc).is_ok(), "link is shown");
+        assert_eq!(fetch(&mut client, "ghost.site", "/privacy").status, Status::NotFound);
+    }
+
+    #[test]
+    fn no_policy_site_has_no_link() {
+        let net = Network::new(1);
+        BotWebsite::new("BareBot", PolicyHosting::None).mount(&net, "bare.site");
+        let mut client = HttpClient::new(net, ClientConfig::impolite("t"));
+        let home = fetch(&mut client, "bare.site", "/");
+        let doc = parse_document(&home.text()).unwrap();
+        assert!(Locator::id("privacy-link").find(&doc).is_err());
+    }
+}

@@ -1,0 +1,91 @@
+//! Pagination properties of the listing site: every listing appears on
+//! exactly one page, in global vote order, across all three layout
+//! variants.
+
+use botlist::{BotListSite, BotListing, SiteConfig, LIST_HOST};
+use htmlsim::{parse_document, Locator};
+use netsim::client::{ClientConfig, HttpClient};
+use netsim::http::Url;
+use netsim::Network;
+use proptest::prelude::*;
+
+fn listing(id: u64, votes: u64) -> BotListing {
+    BotListing::minimal(id, &format!("B{id}"), "https://x.sim/", votes)
+}
+
+/// Extract bot hrefs from a page regardless of variant.
+fn hrefs(page: &str) -> Vec<String> {
+    let doc = parse_document(page).expect("site emits valid html");
+    for locator in [
+        Locator::css("div.bot-card a.bot-link"),
+        Locator::css("tr.bot-row a.details"),
+        Locator::css("li.entry a[data-kind=bot]"),
+    ] {
+        let hits = locator.find_all(&doc).expect("valid selectors");
+        if !hits.is_empty() {
+            return hits.iter().filter_map(|n| n.attr("href").map(str::to_string)).collect();
+        }
+    }
+    Vec::new()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn every_listing_on_exactly_one_page(
+        n in 1usize..120,
+        page_size in 1usize..40,
+        vote_seed in any::<u64>(),
+    ) {
+        let listings: Vec<BotListing> = (0..n as u64)
+            .map(|i| listing(i + 1, (vote_seed.wrapping_mul(i + 7)) % 10_000))
+            .collect();
+        let net = Network::new(13);
+        let site = BotListSite::new(
+            listings,
+            SiteConfig { page_size, ..SiteConfig::open() },
+        );
+        site.mount(&net);
+        let mut client = HttpClient::new(net, ClientConfig::impolite("prop"));
+
+        let mut seen: Vec<String> = Vec::new();
+        let mut votes_in_order: Vec<u64> = Vec::new();
+        for page in 0..site.total_pages() {
+            let resp = client
+                .get(Url::https(LIST_HOST, "/list").with_query("page", &page.to_string()))
+                .expect("open site");
+            let page_hrefs = hrefs(&resp.text());
+            prop_assert!(page_hrefs.len() <= page_size);
+            for href in &page_hrefs {
+                // Fetch the detail page to read its vote count, proving the
+                // href resolves.
+                let detail = client
+                    .get(Url::https(LIST_HOST, href))
+                    .expect("detail reachable");
+                prop_assert!(detail.status.is_success(), "{href}");
+                let doc = parse_document(&detail.text()).expect("valid");
+                let votes = Locator::id("vote-count")
+                    .find(&doc)
+                    .map(|e| e.text_content().parse::<u64>().expect("numeric"))
+                    .or_else(|_| {
+                        Locator::css("section.app-profile")
+                            .find(&doc)
+                            .map(|e| e.attr("data-votes").expect("alt layout").parse().expect("numeric"))
+                    })
+                    .expect("either layout");
+                votes_in_order.push(votes);
+            }
+            seen.extend(page_hrefs);
+        }
+        // Exactly one page per listing.
+        let mut dedup = seen.clone();
+        dedup.sort();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), seen.len(), "no duplicates across pages");
+        prop_assert_eq!(seen.len(), n, "every listing reachable");
+        // Global vote order is non-increasing.
+        for w in votes_in_order.windows(2) {
+            prop_assert!(w[0] >= w[1], "vote order violated: {:?}", w);
+        }
+    }
+}

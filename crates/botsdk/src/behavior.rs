@@ -1,0 +1,271 @@
+//! Bot behaviours and the API they program against.
+//!
+//! A [`Behavior`] is the developer-controlled backend code. It receives
+//! gateway events and acts through a [`BotApi`] — which couples the bot's
+//! *platform* account (mediated by the bot's granted permissions) with the
+//! backend's own *network* access (not mediated by anything, which is why an
+//! exfiltrating backend can ship channel content anywhere it likes).
+
+use crate::context::InvokerContext;
+use discord_sim::gateway::GatewayEvent;
+use discord_sim::message::Attachment;
+use discord_sim::{ChannelId, GuildId, MessageId, Permissions, Platform, PlatformResult, UserId};
+use netsim::client::{ClientConfig, HttpClient};
+use netsim::http::{Response, Url};
+use netsim::{NetError, Network};
+
+/// Everything a behaviour can do: platform actions as the bot account, and
+/// raw network access as the developer's server.
+pub struct BotApi {
+    platform: Platform,
+    bot: UserId,
+    http: HttpClient,
+}
+
+impl BotApi {
+    /// Construct the API for one bot backend.
+    ///
+    /// `label` names the backend in network traces — the honeypot
+    /// attributes canary triggers to it.
+    pub fn new(platform: Platform, net: Network, bot: UserId, label: &str) -> BotApi {
+        let http = HttpClient::new(
+            net,
+            ClientConfig { user_agent: format!("bot-backend/{label}"), ..ClientConfig::default() },
+        );
+        BotApi { platform, bot, http }
+    }
+
+    /// The bot's account ID.
+    pub fn bot_id(&self) -> UserId {
+        self.bot
+    }
+
+    /// Post a message as the bot.
+    pub fn send(&self, channel: ChannelId, content: &str) -> PlatformResult<MessageId> {
+        self.platform.send_message(self.bot, channel, content, vec![])
+    }
+
+    /// Post a message with attachments as the bot.
+    pub fn send_with_attachments(
+        &self,
+        channel: ChannelId,
+        content: &str,
+        attachments: Vec<Attachment>,
+    ) -> PlatformResult<MessageId> {
+        self.platform.send_message(self.bot, channel, content, attachments)
+    }
+
+    /// Read a channel's history as the bot (subject to the bot's perms).
+    pub fn read_history(&self, channel: ChannelId) -> PlatformResult<Vec<discord_sim::Message>> {
+        self.platform.read_history(self.bot, channel)
+    }
+
+    /// Kick a member as the bot.
+    pub fn kick(&self, guild: GuildId, subject: UserId) -> PlatformResult<()> {
+        self.platform.kick(self.bot, guild, subject)
+    }
+
+    /// Ban a member as the bot.
+    pub fn ban(&self, guild: GuildId, subject: UserId) -> PlatformResult<()> {
+        self.platform.ban(self.bot, guild, subject)
+    }
+
+    /// Delete a message as the bot.
+    pub fn delete_message(&self, channel: ChannelId, id: MessageId) -> PlatformResult<()> {
+        self.platform.delete_message(self.bot, channel, id)
+    }
+
+    /// The bot's own effective permissions in a channel.
+    pub fn my_permissions(&self, channel: ChannelId) -> Permissions {
+        self.platform.effective_permissions(self.bot, channel).unwrap_or(Permissions::NONE)
+    }
+
+    /// Build the invoker-check context for a command invocation.
+    pub fn invoker_context(&self, guild: GuildId, channel: ChannelId, invoker: UserId) -> InvokerContext {
+        InvokerContext::new(self.platform.clone(), guild, channel, invoker)
+    }
+
+    /// Fetch a URL from the developer's backend server. This is ordinary
+    /// internet access — the platform has no say in it.
+    pub fn fetch_url(&mut self, url: &str) -> Result<Response, NetError> {
+        let url = Url::parse(url)?;
+        self.http.get(url)
+    }
+
+    /// Direct platform access for advanced behaviours (the runtime uses it
+    /// for command dispatch plumbing).
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// Enumerate a channel's webhooks as the bot (requires the bot to hold
+    /// `MANAGE_WEBHOOKS` there).
+    pub fn list_webhooks(&self, channel: ChannelId) -> PlatformResult<Vec<discord_sim::Webhook>> {
+        self.platform.webhooks(self.bot, channel)
+    }
+}
+
+/// Developer-controlled backend logic.
+pub trait Behavior: Send {
+    /// Handle one gateway event.
+    fn on_event(&mut self, event: &GatewayEvent, api: &mut BotApi);
+
+    /// A short functional description, as it would appear in a listing.
+    fn description(&self) -> String {
+        "A chatbot.".to_string()
+    }
+}
+
+/// A well-behaved bot: answers its own prefix commands, ignores everything
+/// else, and never touches content that was not addressed to it.
+pub struct BenignBehavior {
+    /// Command prefix, e.g. `!`.
+    pub prefix: String,
+    /// Functional tag shown in listings (music, fun, moderation, …).
+    pub tag: String,
+}
+
+impl BenignBehavior {
+    /// A benign bot with the conventional `!` prefix.
+    pub fn new(tag: &str) -> BenignBehavior {
+        BenignBehavior { prefix: "!".into(), tag: tag.to_string() }
+    }
+}
+
+impl Behavior for BenignBehavior {
+    fn on_event(&mut self, event: &GatewayEvent, api: &mut BotApi) {
+        let GatewayEvent::MessageCreate { message, .. } = event else { return };
+        if message.author == api.bot_id() {
+            return;
+        }
+        let Some((cmd, _args)) = message.command(&self.prefix) else { return };
+        let reply = match cmd {
+            "ping" => "pong".to_string(),
+            "info" => format!("I am a {} bot. Try {}help.", self.tag, self.prefix),
+            "help" => format!("commands: {0}ping {0}info {0}help", self.prefix),
+            _ => return,
+        };
+        let _ = api.send(message.channel, &reply);
+    }
+
+    fn description(&self) -> String {
+        format!("A friendly {} bot.", self.tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use discord_sim::oauth::InviteUrl;
+    use discord_sim::GuildVisibility;
+    use netsim::clock::VirtualClock;
+
+    pub(crate) struct World {
+        pub platform: Platform,
+        pub net: Network,
+        pub owner: UserId,
+        pub alice: UserId,
+        pub guild: GuildId,
+        pub channel: ChannelId,
+    }
+
+    pub(crate) fn world() -> World {
+        let clock = VirtualClock::new();
+        let net = Network::with_clock(1, clock.clone());
+        let platform = Platform::new(clock);
+        let owner = platform.register_user("owner", "o@x.y");
+        let alice = platform.register_user("alice", "a@x.y");
+        let guild = platform.create_guild(owner, "g", GuildVisibility::Public).unwrap();
+        platform.join_guild(alice, guild, None).unwrap();
+        let channel = platform.default_channel(guild).unwrap();
+        World { platform, net, owner, alice, guild, channel }
+    }
+
+    fn install(w: &World, name: &str, perms: Permissions) -> UserId {
+        let app = w.platform.register_bot_application(w.owner, name).unwrap();
+        let invite = InviteUrl::bot(app.client_id, perms);
+        w.platform.install_bot(w.owner, w.guild, &invite, true).unwrap()
+    }
+
+    #[test]
+    fn benign_bot_replies_to_ping() {
+        let w = world();
+        let bot = install(&w, "Benign", Permissions::SEND_MESSAGES | Permissions::VIEW_CHANNEL);
+        let mut api = BotApi::new(w.platform.clone(), w.net.clone(), bot, "benign");
+        let mut behavior = BenignBehavior::new("fun");
+
+        let msg_id = w.platform.send_message(w.alice, w.channel, "!ping", vec![]).unwrap();
+        let history = w.platform.read_history(w.owner, w.channel).unwrap();
+        let message = history.iter().find(|m| m.id == msg_id).unwrap().clone();
+        behavior.on_event(&GatewayEvent::MessageCreate { guild: w.guild, message }, &mut api);
+
+        let history = w.platform.read_history(w.owner, w.channel).unwrap();
+        assert_eq!(history.last().unwrap().content, "pong");
+        assert_eq!(history.last().unwrap().author, bot);
+    }
+
+    #[test]
+    fn benign_bot_ignores_noncommands_and_self() {
+        let w = world();
+        let bot = install(&w, "Benign", Permissions::SEND_MESSAGES | Permissions::VIEW_CHANNEL);
+        let mut api = BotApi::new(w.platform.clone(), w.net.clone(), bot, "benign");
+        let mut behavior = BenignBehavior::new("fun");
+
+        w.platform.send_message(w.alice, w.channel, "hello friends", vec![]).unwrap();
+        let history = w.platform.read_history(w.owner, w.channel).unwrap();
+        let message = history.last().unwrap().clone();
+        behavior.on_event(&GatewayEvent::MessageCreate { guild: w.guild, message }, &mut api);
+        // Bot posting its own message must not trigger a loop.
+        let own = w.platform.send_message(bot, w.channel, "!ping", vec![]).unwrap();
+        let history = w.platform.read_history(w.owner, w.channel).unwrap();
+        let own_msg = history.iter().find(|m| m.id == own).unwrap().clone();
+        behavior.on_event(&GatewayEvent::MessageCreate { guild: w.guild, message: own_msg }, &mut api);
+
+        let history = w.platform.read_history(w.owner, w.channel).unwrap();
+        assert_eq!(history.len(), 2, "no bot replies were generated");
+    }
+
+    #[test]
+    fn api_respects_bot_permissions() {
+        let w = world();
+        // Bot with no useful permissions at all.
+        let bot = install(&w, "Powerless", Permissions::NONE);
+        let api = BotApi::new(w.platform.clone(), w.net.clone(), bot, "powerless");
+        // @everyone defaults still allow sending — the managed role adds
+        // nothing, but @everyone does. Verify reads of history though:
+        // default @everyone includes READ_MESSAGE_HISTORY, so take it away.
+        let everyone = w.platform.guild(w.guild).unwrap().everyone_role;
+        let stripped = Permissions::everyone_defaults()
+            .difference(Permissions::READ_MESSAGE_HISTORY)
+            .difference(Permissions::SEND_MESSAGES);
+        w.platform.edit_role(w.owner, w.guild, everyone, stripped).unwrap();
+        assert!(api.send(w.channel, "hi").is_err());
+        assert!(api.read_history(w.channel).is_err());
+        assert!(api.kick(w.guild, w.alice).is_err());
+    }
+
+    #[test]
+    fn backend_fetches_urls_off_platform() {
+        let w = world();
+        w.net.mount("backend.example", |_req: &netsim::http::Request, _ctx: &mut netsim::ServiceCtx<'_>| {
+            Response::ok("backend data")
+        });
+        let bot = install(&w, "Fetcher", Permissions::SEND_MESSAGES);
+        let mut api = BotApi::new(w.platform.clone(), w.net.clone(), bot, "fetcher");
+        let resp = api.fetch_url("https://backend.example/data").unwrap();
+        assert_eq!(resp.text(), "backend data");
+        // The fetch shows up in the network trace, attributed to the backend.
+        w.net.with_trace(|t| {
+            assert_eq!(t.matching_url("backend.example").len(), 1);
+            assert!(t.entries()[0].requester.contains("fetcher"));
+        });
+    }
+
+    #[test]
+    fn my_permissions_reports_managed_role() {
+        let w = world();
+        let bot = install(&w, "Admin", Permissions::ADMINISTRATOR);
+        let api = BotApi::new(w.platform.clone(), w.net.clone(), bot, "admin");
+        assert_eq!(api.my_permissions(w.channel), Permissions::ALL_KNOWN);
+    }
+}

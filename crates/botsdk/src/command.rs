@@ -1,0 +1,430 @@
+//! The prefix-command framework.
+//!
+//! `!kick @user`, `!purge 10`, `!play song` — the interaction model of §4.1.
+//! Each [`CommandSpec`] declares the permission the *invoking user* ought to
+//! hold and whether the bot actually verifies it (`checks_invoker`). A bot
+//! with privileged commands and `checks_invoker = false` is the
+//! permission-re-delegation case the paper's code analysis hunts for.
+
+use crate::behavior::{Behavior, BotApi};
+use discord_sim::gateway::GatewayEvent;
+use discord_sim::{Permissions, Snowflake, UserId};
+
+/// What a command does when it runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommandAction {
+    /// Reply with fixed text.
+    Reply(String),
+    /// Kick the user named in the first argument (`!kick <user-id>`).
+    KickArg,
+    /// Ban the user named in the first argument.
+    BanArg,
+    /// Delete the last N non-command messages (`!purge <n>`).
+    Purge,
+    /// Report the invoker's own effective permissions.
+    WhoAmI,
+}
+
+/// One command the bot understands.
+#[derive(Debug, Clone)]
+pub struct CommandSpec {
+    /// Command word (without prefix), e.g. `kick`.
+    pub name: String,
+    /// Permission the invoking user *should* hold for this command.
+    pub required_permission: Option<Permissions>,
+    /// Whether the handler actually checks the invoker (Table 3 APIs).
+    pub checks_invoker: bool,
+    /// The effect.
+    pub action: CommandAction,
+}
+
+impl CommandSpec {
+    /// A harmless reply command with no permission requirement.
+    pub fn reply(name: &str, text: &str) -> CommandSpec {
+        CommandSpec {
+            name: name.to_string(),
+            required_permission: None,
+            checks_invoker: false,
+            action: CommandAction::Reply(text.to_string()),
+        }
+    }
+
+    /// A moderation command; `checks_invoker` decides whether it is safe.
+    pub fn moderation(name: &str, required: Permissions, checks_invoker: bool, action: CommandAction) -> CommandSpec {
+        CommandSpec {
+            name: name.to_string(),
+            required_permission: Some(required),
+            checks_invoker,
+            action,
+        }
+    }
+}
+
+/// A command-driven chatbot behaviour.
+pub struct CommandBot {
+    /// Command prefix, e.g. `!`.
+    pub prefix: String,
+    /// The registered commands.
+    pub commands: Vec<CommandSpec>,
+    /// Count of invocations refused because the invoker lacked permission.
+    pub refusals: u64,
+    /// Count of privileged invocations executed *without* any invoker check
+    /// (each one is a potential re-delegation).
+    pub unchecked_privileged_runs: u64,
+    /// Count of slash-command interactions executed, where the *platform*
+    /// already verified the invoker (`default_member_permissions`).
+    pub platform_verified_runs: u64,
+}
+
+impl CommandBot {
+    /// A command bot with the conventional `!` prefix.
+    pub fn new(commands: Vec<CommandSpec>) -> CommandBot {
+        CommandBot {
+            prefix: "!".into(),
+            commands,
+            refusals: 0,
+            unchecked_privileged_runs: 0,
+            platform_verified_runs: 0,
+        }
+    }
+
+    fn parse_user_arg(args: &str) -> Option<UserId> {
+        let token = args.split_whitespace().next()?;
+        let raw = token.trim_start_matches('@');
+        raw.parse::<u64>().ok().map(|v| UserId(Snowflake(v)))
+    }
+}
+
+impl CommandBot {
+    /// Execute a command's action on behalf of `invoker`.
+    fn execute(
+        &mut self,
+        spec: &CommandSpec,
+        api: &mut BotApi,
+        guild: discord_sim::GuildId,
+        channel: discord_sim::ChannelId,
+        invoker: UserId,
+        args: &str,
+    ) {
+        self.execute_with_skip(spec, api, guild, channel, invoker, args, None);
+    }
+
+    #[allow(clippy::too_many_arguments)] // mirrors the interaction payload 1:1
+    fn execute_with_skip(
+        &mut self,
+        spec: &CommandSpec,
+        api: &mut BotApi,
+        guild: discord_sim::GuildId,
+        channel: discord_sim::ChannelId,
+        invoker: UserId,
+        args: &str,
+        skip_message: Option<discord_sim::MessageId>,
+    ) {
+        match &spec.action {
+            CommandAction::Reply(text) => {
+                let _ = api.send(channel, text);
+            }
+            CommandAction::KickArg => match Self::parse_user_arg(args) {
+                Some(target) => {
+                    let outcome = api.kick(guild, target);
+                    let _ = api.send(
+                        channel,
+                        &match outcome {
+                            Ok(()) => format!("kicked {target}"),
+                            Err(e) => format!("cannot kick: {e}"),
+                        },
+                    );
+                }
+                None => {
+                    let _ = api.send(channel, "usage: kick <user-id>");
+                }
+            },
+            CommandAction::BanArg => match Self::parse_user_arg(args) {
+                Some(target) => {
+                    let outcome = api.ban(guild, target);
+                    let _ = api.send(
+                        channel,
+                        &match outcome {
+                            Ok(()) => format!("banned {target}"),
+                            Err(e) => format!("cannot ban: {e}"),
+                        },
+                    );
+                }
+                None => {
+                    let _ = api.send(channel, "usage: ban <user-id>");
+                }
+            },
+            CommandAction::Purge => {
+                let n: usize =
+                    args.split_whitespace().next().and_then(|a| a.parse().ok()).unwrap_or(0);
+                if let Ok(history) = api.read_history(channel) {
+                    let victims: Vec<_> = history
+                        .iter()
+                        .rev()
+                        .filter(|m| Some(m.id) != skip_message)
+                        .take(n)
+                        .map(|m| m.id)
+                        .collect();
+                    let mut deleted = 0;
+                    for id in victims {
+                        if api.delete_message(channel, id).is_ok() {
+                            deleted += 1;
+                        }
+                    }
+                    let _ = api.send(channel, &format!("purged {deleted} messages"));
+                }
+            }
+            CommandAction::WhoAmI => {
+                let ctx = api.invoker_context(guild, channel, invoker);
+                let _ = api.send(channel, &format!("your permissions: {}", ctx.user_permissions()));
+            }
+        }
+    }
+}
+
+impl Behavior for CommandBot {
+    fn on_event(&mut self, event: &GatewayEvent, api: &mut BotApi) {
+        if let GatewayEvent::InteractionCreate { guild, channel, invoker, command, args } = event {
+            // The platform already checked the invoker against the
+            // command's default_member_permissions; the backend just acts.
+            let Some(spec) = self.commands.iter().find(|c| c.name == *command).cloned() else {
+                return;
+            };
+            self.platform_verified_runs += 1;
+            self.execute(&spec, api, *guild, *channel, *invoker, args);
+            return;
+        }
+        let GatewayEvent::MessageCreate { guild, message } = event else { return };
+        if message.author == api.bot_id() {
+            return;
+        }
+        let Some((cmd, args)) = message.command(&self.prefix) else { return };
+        let Some(spec) = self.commands.iter().find(|c| c.name == cmd).cloned() else { return };
+
+        // The developer-side check the paper measures: verify the invoker.
+        if let Some(required) = spec.required_permission {
+            if spec.checks_invoker {
+                let ctx = api.invoker_context(*guild, message.channel, message.author);
+                if !ctx.has_permission(required) {
+                    self.refusals += 1;
+                    let _ = api.send(message.channel, "You don't have permission to do that.");
+                    return;
+                }
+            } else {
+                // Executed purely on the *bot's* authority.
+                self.unchecked_privileged_runs += 1;
+            }
+        }
+
+        self.execute_with_skip(&spec, api, *guild, message.channel, message.author, args, Some(message.id));
+    }
+
+    fn description(&self) -> String {
+        let names: Vec<&str> = self.commands.iter().map(|c| c.name.as_str()).collect();
+        format!("Command bot ({}{})", self.prefix, names.join(&format!(" {}", self.prefix)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use discord_sim::oauth::InviteUrl;
+    use discord_sim::{GuildVisibility, Platform};
+    use netsim::clock::VirtualClock;
+    use netsim::Network;
+
+    struct World {
+        platform: Platform,
+        net: Network,
+        owner: UserId,
+        alice: UserId,
+        mallory: UserId,
+        guild: discord_sim::GuildId,
+        channel: discord_sim::ChannelId,
+        bot: UserId,
+    }
+
+    fn world(perms: Permissions) -> World {
+        let clock = VirtualClock::new();
+        let net = Network::with_clock(1, clock.clone());
+        let platform = Platform::new(clock);
+        let owner = platform.register_user("owner", "o@x.y");
+        let alice = platform.register_user("alice", "a@x.y");
+        let mallory = platform.register_user("mallory", "m@x.y");
+        let guild = platform.create_guild(owner, "g", GuildVisibility::Public).unwrap();
+        platform.join_guild(alice, guild, None).unwrap();
+        platform.join_guild(mallory, guild, None).unwrap();
+        let channel = platform.default_channel(guild).unwrap();
+        let app = platform.register_bot_application(owner, "ModBot").unwrap();
+        let bot = platform.install_bot(owner, guild, &InviteUrl::bot(app.client_id, perms), true).unwrap();
+        World { platform, net, owner, alice, mallory, guild, channel, bot }
+    }
+
+    fn invoke(w: &World, behavior: &mut CommandBot, author: UserId, content: &str) {
+        let id = w.platform.send_message(author, w.channel, content, vec![]).unwrap();
+        let history = w.platform.read_history(w.owner, w.channel).unwrap();
+        let message = history.iter().find(|m| m.id == id).unwrap().clone();
+        let mut api = BotApi::new(w.platform.clone(), w.net.clone(), w.bot, "modbot");
+        behavior.on_event(&GatewayEvent::MessageCreate { guild: w.guild, message }, &mut api);
+    }
+
+    fn modbot(checks_invoker: bool) -> CommandBot {
+        CommandBot::new(vec![
+            CommandSpec::reply("ping", "pong"),
+            CommandSpec::moderation("kick", Permissions::KICK_MEMBERS, checks_invoker, CommandAction::KickArg),
+        ])
+    }
+
+    #[test]
+    fn reply_command_works() {
+        let w = world(Permissions::SEND_MESSAGES | Permissions::KICK_MEMBERS);
+        let mut bot = modbot(true);
+        invoke(&w, &mut bot, w.alice, "!ping");
+        let last = w.platform.read_history(w.owner, w.channel).unwrap().pop().unwrap();
+        assert_eq!(last.content, "pong");
+    }
+
+    #[test]
+    fn redelegation_attack_succeeds_without_invoker_check() {
+        // The §5 "Improper Permission Checks" scenario: mallory has no kick
+        // permission, the bot does, and the bot does not check the invoker.
+        let w = world(Permissions::SEND_MESSAGES | Permissions::KICK_MEMBERS);
+        let mut bot = modbot(false);
+        let target = w.alice.0.raw();
+        invoke(&w, &mut bot, w.mallory, &format!("!kick {target}"));
+        // Alice was kicked even though mallory had no right to ask.
+        assert!(w.platform.guild(w.guild).unwrap().member(w.alice).is_err());
+        assert_eq!(bot.unchecked_privileged_runs, 1);
+        assert_eq!(bot.refusals, 0);
+    }
+
+    #[test]
+    fn invoker_check_blocks_redelegation() {
+        let w = world(Permissions::SEND_MESSAGES | Permissions::KICK_MEMBERS);
+        let mut bot = modbot(true);
+        let target = w.alice.0.raw();
+        invoke(&w, &mut bot, w.mallory, &format!("!kick {target}"));
+        // Alice is still a member; mallory was refused.
+        assert!(w.platform.guild(w.guild).unwrap().member(w.alice).is_ok());
+        assert_eq!(bot.refusals, 1);
+        let last = w.platform.read_history(w.owner, w.channel).unwrap().pop().unwrap();
+        assert!(last.content.contains("permission"));
+    }
+
+    #[test]
+    fn privileged_invoker_passes_check() {
+        let w = world(Permissions::SEND_MESSAGES | Permissions::KICK_MEMBERS);
+        let mut bot = modbot(true);
+        let target = w.alice.0.raw();
+        // The owner may kick.
+        invoke(&w, &mut bot, w.owner, &format!("!kick {target}"));
+        assert!(w.platform.guild(w.guild).unwrap().member(w.alice).is_err());
+        assert_eq!(bot.refusals, 0);
+    }
+
+    #[test]
+    fn bot_without_platform_permission_fails_gracefully() {
+        // Even an unchecked bot cannot kick if the *bot* lacks the permission:
+        // "a bot can not perform actions if it does not have the
+        // corresponding permission" (§5).
+        let w = world(Permissions::SEND_MESSAGES);
+        let mut bot = modbot(false);
+        let target = w.alice.0.raw();
+        invoke(&w, &mut bot, w.mallory, &format!("!kick {target}"));
+        assert!(w.platform.guild(w.guild).unwrap().member(w.alice).is_ok());
+        let last = w.platform.read_history(w.owner, w.channel).unwrap().pop().unwrap();
+        assert!(last.content.contains("cannot kick"));
+    }
+
+    #[test]
+    fn kick_requires_user_argument() {
+        let w = world(Permissions::SEND_MESSAGES | Permissions::KICK_MEMBERS);
+        let mut bot = modbot(false);
+        invoke(&w, &mut bot, w.owner, "!kick");
+        let last = w.platform.read_history(w.owner, w.channel).unwrap().pop().unwrap();
+        assert!(last.content.contains("usage"));
+    }
+
+    #[test]
+    fn purge_deletes_messages() {
+        let w = world(
+            Permissions::SEND_MESSAGES | Permissions::MANAGE_MESSAGES | Permissions::READ_MESSAGE_HISTORY | Permissions::VIEW_CHANNEL,
+        );
+        let mut bot = CommandBot::new(vec![CommandSpec::moderation(
+            "purge",
+            Permissions::MANAGE_MESSAGES,
+            true,
+            CommandAction::Purge,
+        )]);
+        for i in 0..5 {
+            w.platform.send_message(w.alice, w.channel, &format!("spam {i}"), vec![]).unwrap();
+        }
+        invoke(&w, &mut bot, w.owner, "!purge 3");
+        let history = w.platform.read_history(w.owner, w.channel).unwrap();
+        // 5 spam - 3 purged + 1 command + 1 bot confirmation = 4
+        assert_eq!(history.len(), 4);
+        let last = history.last().unwrap();
+        assert!(last.content.contains("purged 3"));
+    }
+
+    #[test]
+    fn whoami_reports_permissions() {
+        let w = world(Permissions::SEND_MESSAGES);
+        let mut bot = CommandBot::new(vec![CommandSpec {
+            name: "whoami".into(),
+            required_permission: None,
+            checks_invoker: false,
+            action: CommandAction::WhoAmI,
+        }]);
+        invoke(&w, &mut bot, w.alice, "!whoami");
+        let last = w.platform.read_history(w.owner, w.channel).unwrap().pop().unwrap();
+        assert!(last.content.contains("send messages"));
+    }
+
+    #[test]
+    fn slash_interaction_executes_without_developer_check() {
+        // The §5 fix end-to-end: even an UNCHECKED bot is safe behind slash
+        // commands, because the platform gates the invoker.
+        let w = world(Permissions::SEND_MESSAGES | Permissions::KICK_MEMBERS);
+        let mut bot = modbot(false); // developer never checks!
+        w.platform
+            .register_slash_commands(
+                w.owner,
+                w.bot.0.raw(),
+                vec![discord_sim::SlashCommand::gated(
+                    "kick",
+                    "remove a member",
+                    Permissions::KICK_MEMBERS,
+                )],
+            )
+            .unwrap();
+        // Mallory is rejected by the platform; no interaction reaches the bot.
+        let err = w
+            .platform
+            .invoke_slash(w.mallory, w.channel, w.bot.0.raw(), "kick", &w.alice.0.raw().to_string())
+            .unwrap_err();
+        assert!(matches!(err, discord_sim::PlatformError::MissingPermission { .. }));
+        assert!(w.platform.guild(w.guild).unwrap().member(w.alice).is_ok());
+        assert_eq!(bot.platform_verified_runs, 0);
+
+        // The owner's interaction arrives and executes.
+        let rx = w.platform.connect_gateway(w.bot).unwrap();
+        w.platform
+            .invoke_slash(w.owner, w.channel, w.bot.0.raw(), "kick", &w.alice.0.raw().to_string())
+            .unwrap();
+        let ev = rx.try_recv().unwrap();
+        let mut api = BotApi::new(w.platform.clone(), w.net.clone(), w.bot, "modbot");
+        bot.on_event(&ev, &mut api);
+        assert_eq!(bot.platform_verified_runs, 1);
+        assert!(w.platform.guild(w.guild).unwrap().member(w.alice).is_err(), "kicked via /kick");
+    }
+
+    #[test]
+    fn unknown_commands_are_ignored() {
+        let w = world(Permissions::SEND_MESSAGES);
+        let mut bot = modbot(true);
+        invoke(&w, &mut bot, w.alice, "!dance");
+        let history = w.platform.read_history(w.owner, w.channel).unwrap();
+        assert_eq!(history.len(), 1, "only the user's message");
+    }
+}

@@ -1,0 +1,153 @@
+//! Invoker-permission-check APIs.
+//!
+//! Table 3 of the paper lists the four call patterns that indicate a
+//! JavaScript/Python chatbot checks its invoking user's permissions:
+//!
+//! | # | Pattern              |
+//! |---|----------------------|
+//! | 1 | `.hasPermission(`    |
+//! | 2 | `.has(`              |
+//! | 3 | `member.roles.cache` |
+//! | 4 | `userPermissions`    |
+//!
+//! [`InvokerContext`] provides the same four entry points. A conscientious
+//! command handler calls one of them before acting on a user's behalf; the
+//! paper found 27.02% of JavaScript and 97.35% of Python bots never do.
+
+use discord_sim::{ChannelId, GuildId, Permissions, Platform, Role, UserId};
+
+/// The context a command handler gets about the user who invoked it.
+#[derive(Clone)]
+pub struct InvokerContext {
+    platform: Platform,
+    /// The guild the command was issued in.
+    pub guild: GuildId,
+    /// The channel the command was issued in.
+    pub channel: ChannelId,
+    /// The invoking user (the message author).
+    pub invoker: UserId,
+}
+
+impl InvokerContext {
+    /// Build a context for one invocation.
+    pub fn new(platform: Platform, guild: GuildId, channel: ChannelId, invoker: UserId) -> Self {
+        InvokerContext { platform, guild, channel, invoker }
+    }
+
+    /// Table 3 pattern 1 — `.hasPermission(perm)`: does the invoker hold
+    /// `perm` in this channel?
+    pub fn has_permission(&self, perm: Permissions) -> bool {
+        self.platform
+            .effective_permissions(self.invoker, self.channel)
+            .map(|p| p.contains(perm))
+            .unwrap_or(false)
+    }
+
+    /// Table 3 pattern 2 — `permissions.has(perm)` on an explicit user.
+    pub fn has(&self, user: UserId, perm: Permissions) -> bool {
+        self.platform
+            .effective_permissions(user, self.channel)
+            .map(|p| p.contains(perm))
+            .unwrap_or(false)
+    }
+
+    /// Table 3 pattern 3 — `member.roles.cache`: the invoker's role objects,
+    /// for handlers that gate on role names/positions instead of bits.
+    pub fn member_roles_cache(&self) -> Vec<Role> {
+        self.platform
+            .guild(self.guild)
+            .and_then(|g| g.member_roles(self.invoker).map(|rs| rs.into_iter().cloned().collect()))
+            .unwrap_or_default()
+    }
+
+    /// Table 3 pattern 4 — `userPermissions`: the invoker's full effective
+    /// permission set in the channel.
+    pub fn user_permissions(&self) -> Permissions {
+        self.platform
+            .effective_permissions(self.invoker, self.channel)
+            .unwrap_or(Permissions::NONE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use discord_sim::oauth::InviteUrl;
+    use discord_sim::GuildVisibility;
+    use netsim::clock::VirtualClock;
+
+    struct World {
+        platform: Platform,
+        owner: UserId,
+        alice: UserId,
+        guild: GuildId,
+        channel: ChannelId,
+    }
+
+    fn world() -> World {
+        let platform = Platform::new(VirtualClock::new());
+        let owner = platform.register_user("owner", "o@x.y");
+        let alice = platform.register_user("alice", "a@x.y");
+        let guild = platform.create_guild(owner, "g", GuildVisibility::Public).unwrap();
+        platform.join_guild(alice, guild, None).unwrap();
+        let channel = platform.default_channel(guild).unwrap();
+        World { platform, owner, alice, guild, channel }
+    }
+
+    #[test]
+    fn has_permission_reflects_effective_permissions() {
+        let w = world();
+        let ctx = InvokerContext::new(w.platform.clone(), w.guild, w.channel, w.alice);
+        assert!(ctx.has_permission(Permissions::SEND_MESSAGES));
+        assert!(!ctx.has_permission(Permissions::KICK_MEMBERS));
+        let owner_ctx = InvokerContext::new(w.platform, w.guild, w.channel, w.owner);
+        assert!(owner_ctx.has_permission(Permissions::KICK_MEMBERS));
+    }
+
+    #[test]
+    fn has_checks_arbitrary_users() {
+        let w = world();
+        let ctx = InvokerContext::new(w.platform, w.guild, w.channel, w.alice);
+        assert!(ctx.has(w.owner, Permissions::BAN_MEMBERS));
+        assert!(!ctx.has(w.alice, Permissions::BAN_MEMBERS));
+    }
+
+    #[test]
+    fn roles_cache_has_everyone() {
+        let w = world();
+        let ctx = InvokerContext::new(w.platform, w.guild, w.channel, w.alice);
+        let roles = ctx.member_roles_cache();
+        assert_eq!(roles.len(), 1);
+        assert!(roles[0].is_everyone());
+    }
+
+    #[test]
+    fn user_permissions_matches_platform() {
+        let w = world();
+        let ctx = InvokerContext::new(w.platform.clone(), w.guild, w.channel, w.alice);
+        assert_eq!(
+            ctx.user_permissions(),
+            w.platform.effective_permissions(w.alice, w.channel).unwrap()
+        );
+    }
+
+    #[test]
+    fn nonmember_invoker_has_nothing() {
+        let w = world();
+        let stranger = w.platform.register_user("s", "s@x.y");
+        let ctx = InvokerContext::new(w.platform, w.guild, w.channel, stranger);
+        assert_eq!(ctx.user_permissions(), Permissions::NONE);
+        assert!(!ctx.has_permission(Permissions::SEND_MESSAGES));
+        assert!(ctx.member_roles_cache().is_empty());
+    }
+
+    #[test]
+    fn admin_bot_invoker_sees_all_bits() {
+        let w = world();
+        let app = w.platform.register_bot_application(w.owner, "Admin").unwrap();
+        let invite = InviteUrl::bot(app.client_id, Permissions::ADMINISTRATOR);
+        let bot = w.platform.install_bot(w.owner, w.guild, &invite, true).unwrap();
+        let ctx = InvokerContext::new(w.platform, w.guild, w.channel, bot);
+        assert_eq!(ctx.user_permissions(), Permissions::ALL_KNOWN);
+    }
+}

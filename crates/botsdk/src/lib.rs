@@ -1,0 +1,39 @@
+//! # botsdk — the third-party chatbot runtime
+//!
+//! The analogue of `discord.js` / `discord.py` plus the developer-hosted
+//! backend. A [`Bot`] couples a bot account's gateway feed with
+//! a [`behavior::Behavior`] — the code the developer controls and can change
+//! at any time without the installing users noticing (the threat model of
+//! §2).
+//!
+//! Three things matter for the paper:
+//!
+//! * [`context`] exposes the *user*-permission-check APIs of Table 3
+//!   (`has_permission`, `member_roles_cache`, `user_permissions`). The
+//!   platform never performs these checks; a command bot that skips them is
+//!   vulnerable to permission re-delegation.
+//! * [`command`] is the prefix-command framework (`!kick @user`). Each
+//!   command declares whether it checks the invoker's permission — the
+//!   variable the paper's code analysis measures.
+//! * [`malicious`] implements the behaviours the honeypot experiment
+//!   detects: an exfiltrating backend that fetches URLs/documents posted in
+//!   channels, and a "Melonian"-style developer who logs in as the bot and
+//!   manually snoops.
+//!
+//! Bots run deterministically via [`runner::BotRunner::run_until_idle`]; a
+//! threaded driver is available for the concurrency tests.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod behavior;
+pub mod command;
+pub mod context;
+pub mod malicious;
+pub mod runner;
+
+pub use behavior::{Behavior, BenignBehavior, BotApi};
+pub use command::{CommandAction, CommandBot, CommandSpec};
+pub use context::InvokerContext;
+pub use malicious::{ExfiltratorBehavior, SnooperBehavior, WebhookThiefBehavior};
+pub use runner::{Bot, BotRunner};

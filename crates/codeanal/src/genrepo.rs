@@ -1,0 +1,204 @@
+//! Seeded generators for realistic chatbot repositories.
+//!
+//! The synthetic ecosystem plants repositories with known ground truth
+//! (language, whether they check invoker permissions) and the scanner must
+//! recover it through the same fuzz a real scan faces: comments that
+//! *mention* the APIs, strings that contain them, README-only repos, and
+//! license dumps.
+
+use crate::repo::{Repository, SourceFile};
+use rand::Rng;
+
+fn pick<'a, R: Rng + ?Sized>(rng: &mut R, options: &[&'a str]) -> &'a str {
+    options[rng.gen_range(0..options.len())]
+}
+
+/// A JavaScript (discord.js-style) bot repo.
+///
+/// When `with_checks` is true the privileged command verifies the invoker
+/// with one of the Table 3 APIs; otherwise it acts on the bot's authority
+/// alone (the re-delegation hazard).
+pub fn js_bot_repo<R: Rng + ?Sized>(rng: &mut R, slug: &str, with_checks: bool) -> Repository {
+    let prefix = pick(rng, &["!", "?", "$", "-"]);
+    let check = if with_checks {
+        match rng.gen_range(0..3) {
+            0 => "  if (!message.member.hasPermission('KICK_MEMBERS')) return message.reply('no');\n",
+            1 => "  if (!message.member.permissions.has(Permissions.FLAGS.KICK_MEMBERS)) return;\n",
+            _ => "  if (!message.member.roles.cache.some(r => r.name === 'Mod')) return;\n",
+        }
+    } else {
+        // A decoy comment mentioning the API — the scanner must not count it.
+        "  // TODO maybe check .hasPermission( someday\n"
+    };
+    let index = format!(
+        "const Discord = require('discord.js');\n\
+         const client = new Discord.Client();\n\
+         const PREFIX = '{prefix}';\n\
+         client.on('message', message => {{\n\
+           if (!message.content.startsWith(PREFIX)) return;\n\
+           const cmd = message.content.slice(PREFIX.length).split(' ')[0];\n\
+           if (cmd === 'kick') return require('./commands/kick')(message);\n\
+           if (cmd === 'ping') return message.reply('pong');\n\
+         }});\n\
+         client.login(process.env.TOKEN);\n"
+    );
+    let kick = format!(
+        "module.exports = (message) => {{\n\
+         {check}\
+           const target = message.mentions.members.first();\n\
+           if (target) target.kick('requested');\n\
+           message.channel.send('done, see https://example-docs.invalid/kick');\n\
+         }};\n"
+    );
+    let extra = if with_checks && rng.gen_bool(0.3) {
+        // Some conscientious repos also declare userPermissions metadata.
+        "module.exports.userPermissions = ['KICK_MEMBERS'];\n"
+    } else {
+        ""
+    };
+    Repository::new(
+        slug,
+        "A moderation bot built with discord.js",
+        vec![
+            SourceFile::new("index.js", &index),
+            SourceFile::new("commands/kick.js", &format!("{kick}{extra}")),
+            SourceFile::new("README.md", "# Bot\nInvite and enjoy."),
+            SourceFile::new("package.json", "{ \"dependencies\": { \"discord.js\": \"^13\" } }"),
+        ],
+    )
+}
+
+/// A Python (discord.py-style) bot repo.
+pub fn py_bot_repo<R: Rng + ?Sized>(rng: &mut R, slug: &str, with_checks: bool) -> Repository {
+    let check = if with_checks {
+        match rng.gen_range(0..2) {
+            0 => "    if not ctx.author.guild_permissions.has(kick_members=True):\n        return await ctx.send('no')\n",
+            _ => "    allowed = ctx.userPermissions\n    if 'kick_members' not in allowed:\n        return\n",
+        }
+    } else {
+        "    # permissive: anyone may invoke this\n"
+    };
+    let bot = format!(
+        "import discord\n\
+         from discord.ext import commands\n\n\
+         bot = commands.Bot(command_prefix='{}')\n\n\
+         @bot.command()\n\
+         async def kick(ctx, member: discord.Member):\n\
+         {check}\
+             await member.kick(reason='requested')\n\
+             await ctx.send('done')\n\n\
+         @bot.command()\n\
+         async def ping(ctx):\n\
+             \"\"\"docstring mentioning .has( for laughs\"\"\"\n\
+             await ctx.send('pong')\n\n\
+         bot.run('TOKEN')\n",
+        pick(rng, &["!", "?", "$"])
+    );
+    Repository::new(
+        slug,
+        "A moderation bot built with discord.py",
+        vec![
+            SourceFile::new("bot.py", &bot),
+            SourceFile::new("requirements.txt", "discord.py>=1.7"),
+            SourceFile::new("README.md", "# Bot\npip install -r requirements.txt"),
+        ],
+    )
+}
+
+/// A "valid repository" that contains no source at all — only a READ.ME
+/// with command descriptions (the population §4.2 describes).
+pub fn readme_only_repo(slug: &str) -> Repository {
+    Repository::new(
+        slug,
+        "Documentation for my bot",
+        vec![SourceFile::new(
+            "READ.ME",
+            "# MyBot\n\nCommands:\n- !help\n- !kick (requires .hasPermission( on your side)\n",
+        )],
+    )
+}
+
+/// A repo holding only licensing and changelog text.
+pub fn license_only_repo(slug: &str) -> Repository {
+    Repository::new(
+        slug,
+        "license and changelogs",
+        vec![
+            SourceFile::new("LICENSE", "MIT License\n\nPermission is hereby granted..."),
+            SourceFile::new("CHANGELOG.txt", "v2.0 rewrote everything\nv1.0 initial"),
+        ],
+    )
+}
+
+/// A bot in a language outside the analysis scope.
+pub fn other_language_repo<R: Rng + ?Sized>(rng: &mut R, slug: &str) -> Repository {
+    let (path, body, lang) = match rng.gen_range(0..3) {
+        0 => ("main.go", "package main\nfunc main() { startBot() }\n", "Go"),
+        1 => ("Bot.java", "public class Bot { public static void main(String[] a) {} }\n", "Java"),
+        _ => ("main.rs", "fn main() { run_bot(); }\n", "Rust"),
+    };
+    Repository::new(slug, &format!("A bot written in {lang}"), vec![SourceFile::new(path, body)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::repo::Language;
+    use crate::scanner::scan_repository;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn js_repo_ground_truth_recovered_by_scanner() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..30 {
+            let checked = js_bot_repo(&mut rng, "d/checked", true);
+            assert!(scan_repository(&checked).performs_checks());
+            assert_eq!(checked.main_language(), Some(Language::JavaScript));
+            let unchecked = js_bot_repo(&mut rng, "d/unchecked", false);
+            assert!(
+                !scan_repository(&unchecked).performs_checks(),
+                "decoy comment must not trip the scanner"
+            );
+        }
+    }
+
+    #[test]
+    fn py_repo_ground_truth_recovered_by_scanner() {
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..30 {
+            let checked = py_bot_repo(&mut rng, "d/c", true);
+            assert!(scan_repository(&checked).performs_checks());
+            assert_eq!(checked.main_language(), Some(Language::Python));
+            let unchecked = py_bot_repo(&mut rng, "d/u", false);
+            assert!(
+                !scan_repository(&unchecked).performs_checks(),
+                "docstring mention must not trip the scanner"
+            );
+        }
+    }
+
+    #[test]
+    fn readme_and_license_repos_have_no_source() {
+        assert!(!readme_only_repo("d/r").has_source_code());
+        assert!(!license_only_repo("d/l").has_source_code());
+        // The READ.ME even mentions a pattern — must not count.
+        assert!(!scan_repository(&readme_only_repo("d/r")).performs_checks());
+    }
+
+    #[test]
+    fn other_language_repo_is_out_of_scope() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let repo = other_language_repo(&mut rng, "d/o");
+        assert!(repo.has_source_code());
+        assert!(matches!(repo.main_language(), Some(Language::Other(_))));
+        assert_eq!(scan_repository(&repo).files_scanned, 0);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = js_bot_repo(&mut StdRng::seed_from_u64(5), "x/y", true);
+        let b = js_bot_repo(&mut StdRng::seed_from_u64(5), "x/y", true);
+        assert_eq!(a, b);
+    }
+}

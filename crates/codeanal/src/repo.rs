@@ -1,0 +1,159 @@
+//! Repository model and language detection.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Programming languages the analysis distinguishes.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Language {
+    /// `discord.js` territory.
+    JavaScript,
+    /// Counted with JavaScript in the paper's 41%.
+    TypeScript,
+    /// `discord.py` territory.
+    Python,
+    /// Other recognized languages (Go, Java, Rust, …).
+    Other(String),
+}
+
+impl fmt::Display for Language {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Language::JavaScript => f.write_str("JavaScript"),
+            Language::TypeScript => f.write_str("TypeScript"),
+            Language::Python => f.write_str("Python"),
+            Language::Other(name) => f.write_str(name),
+        }
+    }
+}
+
+/// One file in a repository.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SourceFile {
+    /// Path within the repo, e.g. `src/commands/kick.js`.
+    pub path: String,
+    /// File contents.
+    pub content: String,
+}
+
+impl SourceFile {
+    /// Build a file.
+    pub fn new(path: &str, content: &str) -> SourceFile {
+        SourceFile { path: path.to_string(), content: content.to_string() }
+    }
+
+    /// Language implied by the file extension, if it is a source file.
+    pub fn language(&self) -> Option<Language> {
+        let ext = self.path.rsplit('.').next()?;
+        Some(match ext {
+            "js" | "mjs" | "cjs" | "jsx" => Language::JavaScript,
+            "ts" | "tsx" => Language::TypeScript,
+            "py" => Language::Python,
+            "go" => Language::Other("Go".into()),
+            "java" => Language::Other("Java".into()),
+            "rs" => Language::Other("Rust".into()),
+            "rb" => Language::Other("Ruby".into()),
+            "cs" => Language::Other("C#".into()),
+            _ => return None,
+        })
+    }
+}
+
+/// A public source repository.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Repository {
+    /// `owner/name` slug.
+    pub slug: String,
+    /// Short description.
+    pub description: String,
+    /// Files.
+    pub files: Vec<SourceFile>,
+}
+
+impl Repository {
+    /// Build a repository.
+    pub fn new(slug: &str, description: &str, files: Vec<SourceFile>) -> Repository {
+        Repository { slug: slug.to_string(), description: description.to_string(), files }
+    }
+
+    /// Whether the repo contains any recognizable source code at all. The
+    /// paper found many "valid" repos holding only READ.ME/licence files.
+    pub fn has_source_code(&self) -> bool {
+        self.files.iter().any(|f| f.language().is_some())
+    }
+
+    /// The repo's main language: the language with the most bytes of
+    /// source (mirroring the "first (main) language" GitHub reports).
+    pub fn main_language(&self) -> Option<Language> {
+        let mut totals: std::collections::BTreeMap<Language, usize> = Default::default();
+        for f in &self.files {
+            if let Some(lang) = f.language() {
+                *totals.entry(lang).or_default() += f.content.len();
+            }
+        }
+        totals.into_iter().max_by_key(|(_, bytes)| *bytes).map(|(lang, _)| lang)
+    }
+
+    /// Files in a given language.
+    pub fn files_in(&self, lang: &Language) -> Vec<&SourceFile> {
+        self.files.iter().filter(|f| f.language().as_ref() == Some(lang)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extension_language_mapping() {
+        assert_eq!(SourceFile::new("a/b.js", "").language(), Some(Language::JavaScript));
+        assert_eq!(SourceFile::new("bot.py", "").language(), Some(Language::Python));
+        assert_eq!(SourceFile::new("x.ts", "").language(), Some(Language::TypeScript));
+        assert_eq!(SourceFile::new("m.go", "").language(), Some(Language::Other("Go".into())));
+        assert_eq!(SourceFile::new("README.md", "").language(), None);
+        assert_eq!(SourceFile::new("LICENSE", "").language(), None);
+    }
+
+    #[test]
+    fn main_language_by_bytes() {
+        let repo = Repository::new(
+            "dev/bot",
+            "a bot",
+            vec![
+                SourceFile::new("index.js", "short"),
+                SourceFile::new("bot.py", "a much longer python file with lots of content in it"),
+            ],
+        );
+        assert_eq!(repo.main_language(), Some(Language::Python));
+        assert!(repo.has_source_code());
+    }
+
+    #[test]
+    fn readme_only_repo_has_no_language() {
+        let repo = Repository::new(
+            "dev/docs",
+            "docs only",
+            vec![
+                SourceFile::new("READ.ME", "my bot does things, commands: !help"),
+                SourceFile::new("CHANGELOG.txt", "v1.0"),
+            ],
+        );
+        assert!(!repo.has_source_code());
+        assert_eq!(repo.main_language(), None);
+    }
+
+    #[test]
+    fn files_in_filters_by_language() {
+        let repo = Repository::new(
+            "dev/bot",
+            "",
+            vec![
+                SourceFile::new("a.js", "x"),
+                SourceFile::new("b.js", "y"),
+                SourceFile::new("c.py", "z"),
+            ],
+        );
+        assert_eq!(repo.files_in(&Language::JavaScript).len(), 2);
+        assert_eq!(repo.files_in(&Language::Python).len(), 1);
+    }
+}

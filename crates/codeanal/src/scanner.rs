@@ -1,0 +1,298 @@
+//! The Table 3 permission-check scanner.
+//!
+//! | # | Pattern              |
+//! |---|----------------------|
+//! | 1 | `.hasPermission(`    |
+//! | 2 | `.has(`              |
+//! | 3 | `member.roles.cache` |
+//! | 4 | `userPermissions`    |
+//!
+//! Matching is performed on *code*, not raw text: line comments and string
+//! literals are stripped first, so `// TODO call .hasPermission()` and
+//! `"say .has( to confuse scanners"` do not count. This is the automated
+//! analogue of the paper's "build an automated approach that looks for
+//! these APIs".
+
+use crate::repo::{Language, Repository};
+use serde::{Deserialize, Serialize};
+
+/// One of the four check patterns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum CheckPattern {
+    /// `.hasPermission(`
+    HasPermission,
+    /// `.has(`
+    Has,
+    /// `member.roles.cache`
+    MemberRolesCache,
+    /// `userPermissions`
+    UserPermissions,
+}
+
+impl CheckPattern {
+    /// All four patterns, in Table 3 order.
+    pub const ALL: [CheckPattern; 4] = [
+        CheckPattern::HasPermission,
+        CheckPattern::Has,
+        CheckPattern::MemberRolesCache,
+        CheckPattern::UserPermissions,
+    ];
+
+    /// The literal source text to look for.
+    pub fn needle(self) -> &'static str {
+        match self {
+            CheckPattern::HasPermission => ".hasPermission(",
+            CheckPattern::Has => ".has(",
+            CheckPattern::MemberRolesCache => "member.roles.cache",
+            CheckPattern::UserPermissions => "userPermissions",
+        }
+    }
+}
+
+/// Scan result for one repository.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScanReport {
+    /// Repo slug.
+    pub slug: String,
+    /// Main language scanned (only JS/TS/Python repos are scanned).
+    pub language: Option<Language>,
+    /// Patterns found, with occurrence counts.
+    pub hits: Vec<(CheckPattern, usize)>,
+    /// Total files scanned.
+    pub files_scanned: usize,
+}
+
+impl ScanReport {
+    /// Whether any check pattern appears — the paper's per-repo boolean.
+    pub fn performs_checks(&self) -> bool {
+        !self.hits.is_empty()
+    }
+}
+
+/// Strip line comments and string literals for the given language.
+///
+/// JS/TS: `//` comments, `/* */` blocks, `'`/`"`/`` ` `` strings.
+/// Python: `#` comments, `'`/`"` strings (including naive triple-quote
+/// handling). Escapes inside strings are honoured.
+pub fn strip_noncode(content: &str, lang: &Language) -> String {
+    // Operates on raw bytes: source files can contain arbitrary UTF-8 (or
+    // worse) in comments and strings, and byte-offset slicing of a &str
+    // would panic on multibyte characters.
+    let bytes = content.as_bytes();
+    let line_comment: &[u8] = match lang {
+        Language::Python => b"#",
+        _ => b"//",
+    };
+    let block_comments = !matches!(lang, Language::Python);
+    let mut out: Vec<u8> = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        // Line comments.
+        if bytes[i..].starts_with(line_comment) {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        // Block comments.
+        if block_comments && bytes[i..].starts_with(b"/*") {
+            match find_subslice(&bytes[i + 2..], b"*/") {
+                Some(end) => {
+                    i += 2 + end + 2;
+                }
+                None => break, // unterminated block comment swallows the rest
+            }
+            continue;
+        }
+        // Strings.
+        let c = bytes[i];
+        if c == b'"' || c == b'\'' || (c == b'`' && block_comments) {
+            // Triple quotes in Python.
+            let triple = matches!(lang, Language::Python)
+                && i + 2 < bytes.len()
+                && bytes[i + 1] == c
+                && bytes[i + 2] == c;
+            let delim_len = if triple { 3 } else { 1 };
+            let mut j = i + delim_len;
+            while j < bytes.len() {
+                if bytes[j] == b'\\' {
+                    j += 2;
+                    continue;
+                }
+                if triple {
+                    if bytes[j..].starts_with(&[c, c, c]) {
+                        j += 3;
+                        break;
+                    }
+                    j += 1;
+                } else if bytes[j] == c || bytes[j] == b'\n' {
+                    j += 1;
+                    break;
+                } else {
+                    j += 1;
+                }
+            }
+            out.push(b' '); // keep token separation
+            i = j;
+            continue;
+        }
+        out.push(c);
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+/// Scan one repository for the Table 3 patterns.
+///
+/// Only JavaScript/TypeScript and Python files are scanned — the languages
+/// the paper's analysis covers ("we only considered the bots developed
+/// using the JavaScript and Python libraries").
+pub fn scan_repository(repo: &Repository) -> ScanReport {
+    let language = repo.main_language();
+    let mut counts = [0usize; 4];
+    let mut files_scanned = 0;
+    for file in &repo.files {
+        let Some(lang) = file.language() else { continue };
+        let in_scope = matches!(lang, Language::JavaScript | Language::TypeScript | Language::Python);
+        if !in_scope {
+            continue;
+        }
+        files_scanned += 1;
+        let code = strip_noncode(&file.content, &lang);
+        for (idx, pattern) in CheckPattern::ALL.iter().enumerate() {
+            counts[idx] += code.matches(pattern.needle()).count();
+        }
+    }
+    let hits = CheckPattern::ALL
+        .iter()
+        .enumerate()
+        .filter(|(idx, _)| counts[*idx] > 0)
+        .map(|(idx, p)| (*p, counts[idx]))
+        .collect();
+    ScanReport { slug: repo.slug.clone(), language, hits, files_scanned }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::repo::SourceFile;
+
+    fn js_repo(code: &str) -> Repository {
+        Repository::new("dev/bot", "bot", vec![SourceFile::new("index.js", code)])
+    }
+
+    fn py_repo(code: &str) -> Repository {
+        Repository::new("dev/bot", "bot", vec![SourceFile::new("bot.py", code)])
+    }
+
+    #[test]
+    fn detects_has_permission() {
+        let r = js_repo("if (message.member.hasPermission('KICK_MEMBERS')) { kick(); }");
+        let report = scan_repository(&r);
+        assert!(report.performs_checks());
+        assert_eq!(report.hits, vec![(CheckPattern::HasPermission, 1)]);
+    }
+
+    #[test]
+    fn detects_all_four_patterns() {
+        let code = r#"
+const ok = msg.member.permissions.has(Permissions.FLAGS.BAN_MEMBERS);
+if (message.member.hasPermission('ADMINISTRATOR')) {}
+const r = message.member.roles.cache.some(role => role.name === 'Mod');
+module.exports = { userPermissions: ['MANAGE_MESSAGES'] };
+"#;
+        let report = scan_repository(&js_repo(code));
+        let found: Vec<CheckPattern> = report.hits.iter().map(|(p, _)| *p).collect();
+        assert_eq!(found, CheckPattern::ALL.to_vec());
+    }
+
+    #[test]
+    fn comments_do_not_count_js() {
+        let code = "// remember to call .hasPermission( here\n/* member.roles.cache */\nconst x = 1;";
+        assert!(!scan_repository(&js_repo(code)).performs_checks());
+    }
+
+    #[test]
+    fn strings_do_not_count_js() {
+        let code = "console.log('.has( is an API'); const s = `userPermissions`;";
+        assert!(!scan_repository(&js_repo(code)).performs_checks());
+    }
+
+    #[test]
+    fn comments_do_not_count_python() {
+        let code = "# ctx.author.guild_permissions.has( something\nx = 1\n";
+        assert!(!scan_repository(&py_repo(code)).performs_checks());
+    }
+
+    #[test]
+    fn python_docstrings_do_not_count() {
+        let code = "\"\"\"uses member.roles.cache internally\"\"\"\ndef f():\n    pass\n";
+        assert!(!scan_repository(&py_repo(code)).performs_checks());
+    }
+
+    #[test]
+    fn python_real_check_counts() {
+        let code = "async def kick(ctx):\n    if ctx.author.guild_permissions.has(kick_members=True):\n        await do_kick()\n";
+        let report = scan_repository(&py_repo(code));
+        assert_eq!(report.hits, vec![(CheckPattern::Has, 1)]);
+        assert_eq!(report.language, Some(Language::Python));
+    }
+
+    #[test]
+    fn out_of_scope_languages_not_scanned() {
+        let repo = Repository::new(
+            "dev/gobot",
+            "go bot",
+            vec![SourceFile::new("main.go", "m.member.hasPermission(x)")],
+        );
+        let report = scan_repository(&repo);
+        assert_eq!(report.files_scanned, 0);
+        assert!(!report.performs_checks());
+        assert_eq!(report.language, Some(Language::Other("Go".into())));
+    }
+
+    #[test]
+    fn counts_accumulate_across_files() {
+        let repo = Repository::new(
+            "dev/big",
+            "",
+            vec![
+                SourceFile::new("a.js", "x.has(1); y.has(2);"),
+                SourceFile::new("b.js", "z.has(3);"),
+            ],
+        );
+        let report = scan_repository(&repo);
+        assert_eq!(report.hits, vec![(CheckPattern::Has, 3)]);
+        assert_eq!(report.files_scanned, 2);
+    }
+
+    #[test]
+    fn escaped_quotes_inside_strings() {
+        let code = r#"const s = "escaped \" quote .has( inside"; real.has(x);"#;
+        let report = scan_repository(&js_repo(code));
+        assert_eq!(report.hits, vec![(CheckPattern::Has, 1)]);
+    }
+
+    #[test]
+    fn unterminated_string_swallows_to_line_end_only() {
+        let code = "const s = 'unterminated\nreal.has(x);";
+        let report = scan_repository(&js_repo(code));
+        assert_eq!(report.hits, vec![(CheckPattern::Has, 1)]);
+    }
+
+    #[test]
+    fn readme_only_repo_scans_clean() {
+        let repo = Repository::new(
+            "dev/readme",
+            "",
+            vec![SourceFile::new("READ.ME", "commands: !kick — requires .hasPermission(")],
+        );
+        let report = scan_repository(&repo);
+        assert_eq!(report.files_scanned, 0);
+        assert!(!report.performs_checks());
+    }
+}

@@ -1,0 +1,57 @@
+//! Property tests for the permission-check scanner.
+
+use codeanal::scanner::{scan_repository, strip_noncode, CheckPattern};
+use codeanal::{Language, Repository, SourceFile};
+use proptest::prelude::*;
+
+proptest! {
+    /// Stripping comments/strings never panics and never grows the code.
+    #[test]
+    fn strip_noncode_total_and_shrinking(src in "\\PC{0,400}") {
+        for lang in [Language::JavaScript, Language::Python] {
+            let stripped = strip_noncode(&src, &lang);
+            prop_assert!(stripped.len() <= src.len() + 64, "bounded output");
+        }
+    }
+
+    /// Pattern text inside string literals must never count, whatever
+    /// surrounds it.
+    #[test]
+    fn patterns_in_strings_never_count(prefix in "[a-z ]{0,20}", suffix in "[a-z ]{0,20}") {
+        for pattern in CheckPattern::ALL {
+            let code = format!("{prefix}const s = \"{}\"; {suffix}\n", pattern.needle());
+            let repo = Repository::new("p/p", "", vec![SourceFile::new("a.js", &code)]);
+            prop_assert!(
+                !scan_repository(&repo).performs_checks(),
+                "false positive for {pattern:?} in {code:?}"
+            );
+        }
+    }
+
+    /// Pattern text in real code always counts, whatever identifier carries
+    /// the call.
+    #[test]
+    fn patterns_in_code_always_count(ident in "[a-z][a-zA-Z0-9]{0,10}") {
+        let code = format!("if ({ident}.member.hasPermission('KICK_MEMBERS')) kick();\n");
+        let repo = Repository::new("p/p", "", vec![SourceFile::new("a.js", &code)]);
+        let report = scan_repository(&repo);
+        prop_assert!(report.performs_checks());
+        prop_assert_eq!(report.hits[0].0, CheckPattern::HasPermission);
+    }
+
+    /// Scan counts are additive over files.
+    #[test]
+    fn scan_counts_are_additive(n_files in 1usize..6, per_file in 1usize..4) {
+        let files: Vec<SourceFile> = (0..n_files)
+            .map(|i| {
+                let body = "x.permissions.has(F.KICK);\n".repeat(per_file);
+                SourceFile::new(&format!("f{i}.js"), &body)
+            })
+            .collect();
+        let repo = Repository::new("p/p", "", files);
+        let report = scan_repository(&repo);
+        let total: usize = report.hits.iter().map(|(_, n)| n).sum();
+        prop_assert_eq!(total, n_files * per_file);
+        prop_assert_eq!(report.files_scanned, n_files);
+    }
+}

@@ -1,0 +1,190 @@
+//! Least-privilege analysis.
+//!
+//! §5 closes with the need for developers to "build secure, privacy-aware
+//! bots with the minimal required permissions". This module operationalizes
+//! that: infer the permissions a bot's *advertised commands* actually need,
+//! compare with what its install page requests, and quantify the gap.
+
+use crate::pipeline::AuditedBot;
+use crawler::invite::InviteStatus;
+use discord_sim::Permissions;
+use serde::{Deserialize, Serialize};
+
+/// Baseline permissions any interactive bot legitimately needs.
+pub fn interaction_baseline() -> Permissions {
+    Permissions::VIEW_CHANNEL | Permissions::SEND_MESSAGES
+}
+
+/// Permissions implied by one advertised command (`!kick`, `?play`, …).
+///
+/// The mapping covers the command vocabulary of the ecosystem; unknown
+/// commands imply only the interaction baseline.
+pub fn permissions_for_command(command: &str) -> Permissions {
+    let verb = command.trim_start_matches(['!', '?', '$', '-']).to_ascii_lowercase();
+    match verb.as_str() {
+        "kick" => Permissions::KICK_MEMBERS,
+        "ban" | "unban" => Permissions::BAN_MEMBERS,
+        "mute" => Permissions::MUTE_MEMBERS,
+        "purge" | "clear" | "clean" => {
+            Permissions::MANAGE_MESSAGES | Permissions::READ_MESSAGE_HISTORY
+        }
+        "play" | "skip" | "queue" | "pause" => Permissions::CONNECT | Permissions::SPEAK,
+        "poll" | "vote" => Permissions::ADD_REACTIONS,
+        "rank" | "daily" | "meme" | "help" | "info" | "ping" => Permissions::NONE,
+        "role" | "autorole" => Permissions::MANAGE_ROLES,
+        "nick" => Permissions::MANAGE_NICKNAMES,
+        "invite" => Permissions::CREATE_INSTANT_INVITE,
+        "webhook" => Permissions::MANAGE_WEBHOOKS,
+        _ => Permissions::NONE,
+    }
+}
+
+/// The least-privilege verdict for one bot.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrivilegeGap {
+    /// Bot name.
+    pub name: String,
+    /// What the install page requests.
+    pub requested: Permissions,
+    /// What the advertised commands imply (plus the interaction baseline).
+    pub expected: Permissions,
+    /// Requested-but-unjustified bits.
+    pub excess: Permissions,
+}
+
+impl PrivilegeGap {
+    /// Whether the bot requests anything its advertised functionality does
+    /// not explain.
+    pub fn is_over_privileged(&self) -> bool {
+        !self.excess.is_empty()
+    }
+}
+
+/// Compute the gap for every valid bot.
+pub fn privilege_gaps(bots: &[AuditedBot]) -> Vec<PrivilegeGap> {
+    bots.iter()
+        .filter_map(|bot| {
+            let InviteStatus::Valid { permissions, .. } = &bot.crawled.invite_status else {
+                return None;
+            };
+            let mut expected = interaction_baseline();
+            for command in &bot.crawled.scraped.commands {
+                expected |= permissions_for_command(command);
+            }
+            Some(PrivilegeGap {
+                name: bot.crawled.scraped.name.clone(),
+                requested: *permissions,
+                expected,
+                excess: permissions.difference(expected),
+            })
+        })
+        .collect()
+}
+
+/// Aggregate least-privilege statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LeastPrivilegeSummary {
+    /// Valid bots analyzed.
+    pub analyzed: usize,
+    /// Bots requesting permissions their commands do not explain.
+    pub over_privileged: usize,
+    /// Mean count of excess permission bits per bot.
+    pub mean_excess_bits: f64,
+    /// Bots whose entire request would be covered by dropping to the
+    /// minimal set (i.e. a fix is purely configuration).
+    pub fixable_by_config: usize,
+}
+
+/// Summarize gaps.
+pub fn least_privilege_summary(gaps: &[PrivilegeGap]) -> LeastPrivilegeSummary {
+    let over: Vec<&PrivilegeGap> = gaps.iter().filter(|g| g.is_over_privileged()).collect();
+    let mean_excess_bits = if gaps.is_empty() {
+        0.0
+    } else {
+        gaps.iter().map(|g| g.excess.count() as f64).sum::<f64>() / gaps.len() as f64
+    };
+    LeastPrivilegeSummary {
+        analyzed: gaps.len(),
+        over_privileged: over.len(),
+        mean_excess_bits,
+        // All over-privilege in this model is config-fixable: the expected
+        // set always suffices for the advertised commands.
+        fixable_by_config: over.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{AuditConfig, AuditPipeline};
+    use synth::{build_ecosystem, EcosystemConfig};
+
+    #[test]
+    fn command_mapping_covers_moderation_and_music() {
+        assert_eq!(permissions_for_command("!kick"), Permissions::KICK_MEMBERS);
+        assert_eq!(permissions_for_command("?ban"), Permissions::BAN_MEMBERS);
+        assert!(permissions_for_command("$play").contains(Permissions::CONNECT));
+        assert_eq!(permissions_for_command("!help"), Permissions::NONE);
+        assert_eq!(permissions_for_command("!unknowncmd"), Permissions::NONE);
+    }
+
+    #[test]
+    fn gaps_detect_admin_over_privilege() {
+        let eco = build_ecosystem(&EcosystemConfig::test_scale(400, 31));
+        let pipeline = AuditPipeline::new(AuditConfig::default());
+        let (bots, _) = pipeline.run_static_stages(&eco.net);
+        let gaps = privilege_gaps(&bots);
+        assert_eq!(gaps.len(), eco.truth.valid_bots().count());
+        let summary = least_privilege_summary(&gaps);
+        // The calibrated population is massively over-privileged: ~55%
+        // request admin alone, which no command vocabulary explains.
+        assert!(
+            summary.over_privileged as f64 / summary.analyzed as f64 > 0.8,
+            "over-privileged fraction {}/{}",
+            summary.over_privileged,
+            summary.analyzed
+        );
+        assert!(summary.mean_excess_bits > 1.0);
+        // Every admin-requesting bot shows admin in its excess.
+        for gap in gaps.iter().filter(|g| g.requested.contains(Permissions::ADMINISTRATOR)) {
+            assert!(gap.excess.contains(Permissions::ADMINISTRATOR), "{}", gap.name);
+        }
+    }
+
+    #[test]
+    fn minimal_bot_has_no_gap() {
+        use crate::pipeline::AuditedBot;
+        use crawler::extract::ScrapedBot;
+        use policy::{analyze, KeywordOntology};
+        let scraped = ScrapedBot {
+            id: 1,
+            name: "Tidy".into(),
+            invite_link: String::new(),
+            tags: vec![],
+            description: String::new(),
+            guild_count: 0,
+            vote_count: 0,
+            website: None,
+            github: None,
+            developers: vec![],
+            commands: vec!["!ping".into(), "!help".into()],
+        };
+        let bot = AuditedBot {
+            crawled: crawler::crawl::CrawledBot {
+                scraped,
+                invite_status: crawler::invite::InviteStatus::Valid {
+                    permissions: interaction_baseline(),
+                    scopes: vec!["bot".into()],
+                },
+                website_reachable: false,
+                policy_link_present: false,
+                policy: None,
+            },
+            traceability: analyze(None, &[], &KeywordOntology::standard()),
+            code: None,
+        };
+        let gaps = privilege_gaps(&[bot]);
+        assert_eq!(gaps.len(), 1);
+        assert!(!gaps[0].is_over_privileged(), "excess: {}", gaps[0].excess);
+    }
+}

@@ -1,0 +1,40 @@
+//! # chatbot-audit — the paper's contribution: an automated security &
+//! privacy assessment pipeline for messaging-platform chatbots
+//!
+//! Figure 1 of the paper shows the pipeline this crate implements:
+//!
+//! ```text
+//!   listings ──► Data Collection ──► Traceability Analysis ─┐
+//!                     │                                      ├──► Risk Report
+//!                     ├────────────► Code Analysis ──────────┤
+//!                     └────────────► Dynamic Analysis ───────┘
+//!                                     (honeypot)
+//! ```
+//!
+//! * [`pipeline`] — stage orchestration over a mounted world (the `synth`
+//!   ecosystem or any compatible set of services);
+//! * [`stats`] — the aggregations behind every table and figure in §4.2;
+//! * [`report`] — per-bot risk findings and paper-style table rendering;
+//! * [`validate`] — something the paper could not do: score each analyzer
+//!   against the planted ground truth.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod leastpriv;
+pub mod pipeline;
+pub mod report;
+pub mod stats;
+pub mod validate;
+
+pub use leastpriv::{least_privilege_summary, privilege_gaps, LeastPrivilegeSummary, PrivilegeGap};
+pub use pipeline::{AuditConfig, AuditPipeline, AuditReport, AuditedBot, CodeFinding, LinkResolution};
+pub use report::{
+    exposure_by_flag, render_figure3, render_markdown_dossier, render_table1, render_table2,
+    render_table3, risk_report, RiskFlag, RiskReport,
+};
+pub use stats::{
+    figure3_distribution, permission_rate_by_tag, table1_histogram, table2_traceability,
+    table3_code_analysis, Figure3Row, Table1Row, Table2Summary, Table3Summary,
+};
+pub use validate::{validate_against_truth, AnalyzerScore, ValidationReport};

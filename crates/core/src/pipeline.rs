@@ -1,0 +1,281 @@
+//! Stage orchestration.
+
+use codeanal::github::{resolve_github_link, LinkOutcome};
+use codeanal::scanner::{scan_repository, ScanReport};
+use codeanal::Language;
+use crawler::crawl::{crawl_listing, CrawlConfig, CrawlStats, CrawledBot};
+use crawler::invite::InviteStatus;
+use honeypot::campaign::{BotUnderTest, Campaign, CampaignConfig, CampaignReport};
+use netsim::client::{ClientConfig, HttpClient};
+use netsim::Network;
+use policy::{analyze, KeywordOntology, TraceabilityReport};
+use serde::{Deserialize, Serialize};
+use synth::Ecosystem;
+
+/// How a scraped GitHub link resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LinkResolution {
+    /// A repository whose contents were downloaded.
+    ValidRepo,
+    /// A profile page with repositories.
+    UserProfile,
+    /// A profile with no public repos.
+    NoPublicRepos,
+    /// Dead or malformed.
+    Invalid,
+}
+
+/// Code-analysis output for one bot.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CodeFinding {
+    /// Link resolution class.
+    pub resolution: LinkResolution,
+    /// The repository's main language (valid repos only).
+    pub language: Option<Language>,
+    /// Whether the repo contains any recognizable source code.
+    pub has_source: bool,
+    /// The scanner's verdict (valid repos only).
+    pub performs_checks: Option<bool>,
+    /// Raw scan report.
+    pub scan: Option<ScanReport>,
+}
+
+/// One bot after the static stages.
+#[derive(Debug, Clone)]
+pub struct AuditedBot {
+    /// Crawl output (attributes + invite status + policy document).
+    pub crawled: CrawledBot,
+    /// Traceability analyzer output.
+    pub traceability: TraceabilityReport,
+    /// Code analysis output (None when no GitHub link was listed).
+    pub code: Option<CodeFinding>,
+}
+
+impl AuditedBot {
+    /// The permission names the install page requests (valid invites only).
+    pub fn requested_permission_names(&self) -> Vec<String> {
+        match &self.crawled.invite_status {
+            InviteStatus::Valid { permissions, .. } => {
+                permissions.names().iter().map(|s| s.to_string()).collect()
+            }
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct AuditConfig {
+    /// Data-collection parameters.
+    pub crawl: CrawlConfig,
+    /// Keyword ontology for the traceability stage.
+    pub ontology: KeywordOntology,
+    /// Honeypot parameters.
+    pub honeypot: CampaignConfig,
+    /// How many most-voted bots the honeypot samples (paper: 500).
+    pub honeypot_sample: usize,
+}
+
+impl Default for AuditConfig {
+    fn default() -> Self {
+        AuditConfig {
+            crawl: CrawlConfig::default(),
+            ontology: KeywordOntology::standard(),
+            honeypot: CampaignConfig::default(),
+            honeypot_sample: 50,
+        }
+    }
+}
+
+/// Full pipeline output.
+pub struct AuditReport {
+    /// Every bot that made it through data collection.
+    pub bots: Vec<AuditedBot>,
+    /// Crawl statistics.
+    pub crawl_stats: CrawlStats,
+    /// Honeypot campaign report (when the stage ran).
+    pub honeypot: Option<CampaignReport>,
+}
+
+/// The pipeline.
+pub struct AuditPipeline {
+    config: AuditConfig,
+}
+
+impl AuditPipeline {
+    /// A pipeline with the given configuration.
+    pub fn new(config: AuditConfig) -> AuditPipeline {
+        AuditPipeline { config }
+    }
+
+    /// Run data collection + traceability + code analysis against a
+    /// mounted world.
+    pub fn run_static_stages(&self, net: &Network) -> (Vec<AuditedBot>, CrawlStats) {
+        // Stage 1: data collection.
+        let (crawled, stats) = crawl_listing(net, &self.config.crawl);
+
+        // Stage 2 & 3 share a plain client (no listing-site defenses on
+        // GitHub in this world; politeness still applies).
+        let mut gh_client =
+            HttpClient::new(net.clone(), ClientConfig { politeness: None, ..ClientConfig::crawler("code-analysis/1.0") });
+
+        let mut bots = Vec::with_capacity(crawled.len());
+        for bot in crawled {
+            // Stage 2: traceability — compare the policy (if any) against
+            // the permissions the install page requests.
+            let requested: Vec<String> = match &bot.invite_status {
+                InviteStatus::Valid { permissions, .. } => {
+                    permissions.names().iter().map(|s| s.to_string()).collect()
+                }
+                _ => Vec::new(),
+            };
+            let traceability = analyze(bot.policy.as_ref(), &requested, &self.config.ontology);
+
+            // Stage 3: code analysis.
+            let code = bot.scraped.github.as_deref().map(|link| {
+                match resolve_github_link(&mut gh_client, link) {
+                    LinkOutcome::ValidRepo(repo) => {
+                        let scan = scan_repository(&repo);
+                        CodeFinding {
+                            resolution: LinkResolution::ValidRepo,
+                            language: repo.main_language(),
+                            has_source: repo.has_source_code(),
+                            performs_checks: Some(scan.performs_checks()),
+                            scan: Some(scan),
+                        }
+                    }
+                    LinkOutcome::UserProfile => CodeFinding {
+                        resolution: LinkResolution::UserProfile,
+                        language: None,
+                        has_source: false,
+                        performs_checks: None,
+                        scan: None,
+                    },
+                    LinkOutcome::NoPublicRepos => CodeFinding {
+                        resolution: LinkResolution::NoPublicRepos,
+                        language: None,
+                        has_source: false,
+                        performs_checks: None,
+                        scan: None,
+                    },
+                    LinkOutcome::Invalid => CodeFinding {
+                        resolution: LinkResolution::Invalid,
+                        language: None,
+                        has_source: false,
+                        performs_checks: None,
+                        scan: None,
+                    },
+                }
+            });
+
+            bots.push(AuditedBot { crawled: bot, traceability, code });
+        }
+        (bots, stats)
+    }
+
+    /// Run the dynamic stage against the ecosystem's most-voted testable
+    /// bots (§4.2 sampled the most-voted population because the rest were
+    /// "mainly offline or not being used").
+    pub fn run_honeypot(&self, eco: &Ecosystem) -> CampaignReport {
+        let mut campaign =
+            Campaign::new(eco.platform.clone(), eco.net.clone(), self.config.honeypot.clone());
+        let bots: Vec<BotUnderTest> = eco
+            .most_voted_testable(self.config.honeypot_sample)
+            .into_iter()
+            .map(|(truth, invite, bot_user, behavior)| BotUnderTest {
+                name: truth.name,
+                client_id: truth.client_id,
+                bot_user,
+                invite,
+                behavior,
+            })
+            .collect();
+        campaign.run(bots)
+    }
+
+    /// Run everything.
+    pub fn run_full(&self, eco: &Ecosystem) -> AuditReport {
+        let (bots, crawl_stats) = self.run_static_stages(&eco.net);
+        let honeypot = Some(self.run_honeypot(eco));
+        AuditReport { bots, crawl_stats, honeypot }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synth::{build_ecosystem, EcosystemConfig};
+
+    fn small_world() -> Ecosystem {
+        build_ecosystem(&EcosystemConfig::test_scale(120, 77))
+    }
+
+    #[test]
+    fn static_stages_cover_every_listing() {
+        let eco = small_world();
+        let pipeline = AuditPipeline::new(AuditConfig::default());
+        let (bots, stats) = pipeline.run_static_stages(&eco.net);
+        assert_eq!(bots.len(), 120);
+        assert_eq!(stats.bots, 120);
+        // Some bots have code findings, some don't — matching the planted
+        // github fraction.
+        let with_links = bots.iter().filter(|b| b.code.is_some()).count();
+        let planted =
+            eco.truth.bots.iter().filter(|b| b.github_class != synth::GithubClass::None).count();
+        assert_eq!(with_links, planted);
+    }
+
+    #[test]
+    fn valid_fraction_recovered_through_the_noise() {
+        let eco = small_world();
+        let pipeline = AuditPipeline::new(AuditConfig::default());
+        let (bots, _) = pipeline.run_static_stages(&eco.net);
+        let measured_valid =
+            bots.iter().filter(|b| b.crawled.invite_status.is_valid()).count();
+        let planted_valid = eco.truth.valid_bots().count();
+        assert_eq!(measured_valid, planted_valid);
+    }
+
+    #[test]
+    fn honeypot_stage_detects_planted_snooper() {
+        let eco = small_world();
+        let pipeline = AuditPipeline::new(AuditConfig {
+            honeypot_sample: 25,
+            ..AuditConfig::default()
+        });
+        let report = pipeline.run_honeypot(&eco);
+        assert_eq!(report.bots_tested, 25);
+        // Melonian ranks in the top 25 by construction (planted among the
+        // most-voted).
+        assert_eq!(report.detections.len(), 1);
+        assert_eq!(report.detections[0].bot_name, "Melonian");
+    }
+
+    #[test]
+    fn full_run_produces_complete_report() {
+        let eco = small_world();
+        let pipeline = AuditPipeline::new(AuditConfig {
+            honeypot_sample: 10,
+            ..AuditConfig::default()
+        });
+        let report = pipeline.run_full(&eco);
+        assert_eq!(report.bots.len(), 120);
+        assert!(report.honeypot.is_some());
+        assert!(report.crawl_stats.pages > 0);
+    }
+
+    #[test]
+    fn requested_permission_names_only_for_valid() {
+        let eco = small_world();
+        let pipeline = AuditPipeline::new(AuditConfig::default());
+        let (bots, _) = pipeline.run_static_stages(&eco.net);
+        for bot in &bots {
+            let names = bot.requested_permission_names();
+            if bot.crawled.invite_status.is_valid() {
+                assert!(!names.is_empty());
+            } else {
+                assert!(names.is_empty());
+            }
+        }
+    }
+}

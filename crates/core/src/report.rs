@@ -1,0 +1,352 @@
+//! Risk findings and paper-style table rendering.
+
+use crate::pipeline::{AuditedBot, LinkResolution};
+use crate::stats::{Figure3Row, Table1Row, Table2Summary, Table3Summary};
+use crawler::invite::InviteStatus;
+use discord_sim::Permissions;
+use policy::Traceability;
+use serde::{Deserialize, Serialize};
+
+/// A per-bot risk flag raised by the pipeline.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RiskFlag {
+    /// Requests the administrator permission (all permissions, bypasses
+    /// channel overwrites, §4.2).
+    RequestsAdministrator,
+    /// Requests admin *plus* other permissions — redundant, implying the
+    /// developer "does not completely understand the permission system"
+    /// (§5).
+    RedundantAdminRequest,
+    /// Requests moderation-grade permissions (kick/ban/manage) without any
+    /// privacy policy.
+    PrivilegedWithoutPolicy,
+    /// Broken traceability: no (valid) policy discloses its data practices.
+    BrokenTraceability,
+    /// Policy present but discloses only some practices.
+    PartialTraceability,
+    /// Source available and privileged commands never check the invoker —
+    /// the permission re-delegation hazard (§5).
+    NoInvokerChecks,
+    /// Caught red-handed by the honeypot.
+    HoneypotDetection,
+}
+
+/// Risk report for one bot.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RiskReport {
+    /// Bot name.
+    pub name: String,
+    /// Client ID.
+    pub id: u64,
+    /// Raised flags.
+    pub flags: Vec<RiskFlag>,
+}
+
+/// Moderation-grade permissions used for the `PrivilegedWithoutPolicy`
+/// heuristic.
+fn privileged() -> Permissions {
+    Permissions::ADMINISTRATOR
+        | Permissions::KICK_MEMBERS
+        | Permissions::BAN_MEMBERS
+        | Permissions::MANAGE_GUILD
+        | Permissions::MANAGE_ROLES
+        | Permissions::MANAGE_CHANNELS
+        | Permissions::MANAGE_MESSAGES
+}
+
+/// Derive risk flags for one audited bot (`honeypot_hit` supplied by the
+/// dynamic stage).
+pub fn risk_report(bot: &AuditedBot, honeypot_hit: bool) -> RiskReport {
+    let mut flags = Vec::new();
+    if let InviteStatus::Valid { permissions, .. } = &bot.crawled.invite_status {
+        if permissions.contains(Permissions::ADMINISTRATOR) {
+            flags.push(RiskFlag::RequestsAdministrator);
+            if permissions.count() > 1 {
+                flags.push(RiskFlag::RedundantAdminRequest);
+            }
+        }
+        if permissions.intersects(privileged()) && bot.crawled.policy.is_none() {
+            flags.push(RiskFlag::PrivilegedWithoutPolicy);
+        }
+    }
+    match bot.traceability.classification {
+        Traceability::Broken => flags.push(RiskFlag::BrokenTraceability),
+        Traceability::Partial => flags.push(RiskFlag::PartialTraceability),
+        Traceability::Complete => {}
+    }
+    if let Some(code) = &bot.code {
+        if code.resolution == LinkResolution::ValidRepo && code.performs_checks == Some(false) {
+            flags.push(RiskFlag::NoInvokerChecks);
+        }
+    }
+    if honeypot_hit {
+        flags.push(RiskFlag::HoneypotDetection);
+    }
+    RiskReport { name: bot.crawled.scraped.name.clone(), id: bot.crawled.scraped.id, flags }
+}
+
+/// Render Figure 3 as an ASCII horizontal bar chart, matching the paper's
+/// "percentage distribution of top 20 permissions" presentation.
+pub fn render_figure3(rows: &[Figure3Row]) -> String {
+    let mut out = String::from("Figure 3: % distribution of top permissions requested\n");
+    let width = rows.iter().map(|r| r.permission.len()).max().unwrap_or(10);
+    for row in rows {
+        let bar = "#".repeat((row.percent / 2.0).round() as usize);
+        out.push_str(&format!("{:>width$}  {:5.2}% |{bar}\n", row.permission, row.percent, width = width));
+    }
+    out
+}
+
+/// Render Table 1.
+pub fn render_table1(rows: &[Table1Row]) -> String {
+    let mut out = String::from("Table 1: Bots distribution by number of developers\n");
+    out.push_str("No of Bots | Developers (No. & %)\n");
+    for row in rows {
+        out.push_str(&format!(
+            "{:>10} | {:>7} {:6.2}%\n",
+            row.bots_per_developer, row.developers, row.percent
+        ));
+    }
+    out
+}
+
+/// Render Table 2.
+pub fn render_table2(t: &Table2Summary) -> String {
+    let mut out = String::from("Table 2: Discord Traceability Results\n");
+    out.push_str("Features               |  Count | Percent\n");
+    out.push_str(&format!("Unique active chatbots | {:>6} | 100%\n", t.active));
+    out.push_str(&format!("Website Link           | {:>6} | {:.2}%\n", t.website_link, t.pct(t.website_link)));
+    out.push_str(&format!("Privacy Policy Link    | {:>6} | {:.2}%\n", t.policy_link, t.pct(t.policy_link)));
+    out.push_str(&format!("Privacy Policy         | {:>6} | {:.2}%\n", t.valid_policy, t.pct(t.valid_policy)));
+    out.push_str(&format!(
+        "Traceability           | complete {} / partial {} / broken {} ({:.2}%)\n",
+        t.complete,
+        t.partial,
+        t.broken,
+        t.pct(t.broken)
+    ));
+    out
+}
+
+/// Render the Table 3 / code-analysis summary.
+pub fn render_table3(t: &Table3Summary) -> String {
+    let mut out = String::from("Table 3 / code analysis summary\n");
+    out.push_str(&format!("GitHub links on listings : {}\n", t.with_github_link));
+    out.push_str(&format!("Valid repositories       : {}\n", t.valid_repos));
+    out.push_str(&format!("Repos with source code   : {}\n", t.with_source));
+    out.push_str(&format!(
+        "JavaScript               : {} repos, {} checking ({:.2}%)\n",
+        t.js_repos,
+        t.js_checking,
+        t.js_checking_pct()
+    ));
+    out.push_str(&format!(
+        "Python                   : {} repos, {} checking ({:.2}%)\n",
+        t.py_repos,
+        t.py_checking,
+        t.py_checking_pct()
+    ));
+    out.push_str(&format!("Other languages          : {}\n", t.other_language));
+    out.push_str("Table 3: Discord role checks found (repos containing each API)\n");
+    for (idx, pattern) in codeanal::scanner::CheckPattern::ALL.iter().enumerate() {
+        out.push_str(&format!(
+            "  {}. {:22} {:>5} repos\n",
+            idx + 1,
+            pattern.needle(),
+            t.pattern_repos[idx]
+        ));
+    }
+    out
+}
+
+/// Exposure accounting: §4.2 motivates the honeypot with reach — "many of
+/// these chatbots were present in over 250,000 guilds, and if they were
+/// malicious, they would put many users at risk". This sums the guild
+/// counts behind each risk flag: a proxy for how many communities each
+/// class of finding touches.
+pub fn exposure_by_flag(bots: &[AuditedBot]) -> Vec<(RiskFlag, u64)> {
+    let flags = [
+        RiskFlag::RequestsAdministrator,
+        RiskFlag::RedundantAdminRequest,
+        RiskFlag::PrivilegedWithoutPolicy,
+        RiskFlag::BrokenTraceability,
+        RiskFlag::PartialTraceability,
+        RiskFlag::NoInvokerChecks,
+    ];
+    let reports: Vec<(RiskReport, u64)> = bots
+        .iter()
+        .map(|b| (risk_report(b, false), b.crawled.scraped.guild_count))
+        .collect();
+    flags
+        .into_iter()
+        .map(|flag| {
+            let guilds = reports
+                .iter()
+                .filter(|(r, _)| r.flags.contains(&flag))
+                .map(|(_, g)| g)
+                .sum();
+            (flag, guilds)
+        })
+        .collect()
+}
+
+/// Render a full markdown audit dossier: the summary tables plus a per-bot
+/// findings section for every bot with at least one risk flag.
+pub fn render_markdown_dossier(
+    bots: &[AuditedBot],
+    detections: &[honeypot::campaign::Detection],
+) -> String {
+    use crate::stats;
+    let detected: Vec<&str> = detections.iter().map(|d| d.bot_name.as_str()).collect();
+    let mut out = String::from("# Chatbot security & privacy audit\n\n");
+
+    out.push_str("## Summary\n\n```text\n");
+    out.push_str(&render_figure3(&stats::figure3_distribution(bots, 20)));
+    out.push('\n');
+    out.push_str(&render_table2(&stats::table2_traceability(bots)));
+    out.push('\n');
+    out.push_str(&render_table3(&stats::table3_code_analysis(bots)));
+    out.push_str("```\n\n## Flagged bots\n\n");
+
+    let mut flagged = 0usize;
+    for bot in bots {
+        let hit = detected.contains(&bot.crawled.scraped.name.as_str());
+        let report = risk_report(bot, hit);
+        if report.flags.is_empty() {
+            continue;
+        }
+        flagged += 1;
+        out.push_str(&format!("### {} (`{}`)\n\n", report.name, report.id));
+        for flag in &report.flags {
+            let line = match flag {
+                RiskFlag::RequestsAdministrator => "requests the **administrator** permission",
+                RiskFlag::RedundantAdminRequest => {
+                    "requests admin **plus** other permissions (redundant; §5 misunderstanding)"
+                }
+                RiskFlag::PrivilegedWithoutPolicy => {
+                    "holds moderation-grade permissions with **no privacy policy**"
+                }
+                RiskFlag::BrokenTraceability => "broken traceability: data practices undisclosed",
+                RiskFlag::PartialTraceability => "partial traceability: some practices undisclosed",
+                RiskFlag::NoInvokerChecks => {
+                    "public source never checks the invoking user (**re-delegation hazard**)"
+                }
+                RiskFlag::HoneypotDetection => "**caught by the honeypot** accessing canary tokens",
+            };
+            out.push_str(&format!("- {line}\n"));
+        }
+        if hit {
+            if let Some(det) = detections.iter().find(|d| d.bot_name == report.name) {
+                out.push_str(&format!(
+                    "- honeypot evidence: tokens {:?}, follow-ups {:?}\n",
+                    det.token_kinds, det.followup_messages
+                ));
+            }
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("_{flagged} of {} bots flagged._\n", bots.len()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{AuditConfig, AuditPipeline};
+    use crate::stats;
+    use synth::{build_ecosystem, EcosystemConfig};
+
+    fn audited() -> Vec<AuditedBot> {
+        let eco = build_ecosystem(&EcosystemConfig::test_scale(200, 5));
+        let pipeline = AuditPipeline::new(AuditConfig::default());
+        pipeline.run_static_stages(&eco.net).0
+    }
+
+    #[test]
+    fn risk_flags_raised_for_admin_bots() {
+        let bots = audited();
+        let admin_bots: Vec<RiskReport> = bots
+            .iter()
+            .map(|b| risk_report(b, false))
+            .filter(|r| r.flags.contains(&RiskFlag::RequestsAdministrator))
+            .collect();
+        assert!(!admin_bots.is_empty());
+        // Most admin requests are redundant (§5).
+        let redundant = admin_bots
+            .iter()
+            .filter(|r| r.flags.contains(&RiskFlag::RedundantAdminRequest))
+            .count();
+        assert!(redundant * 2 > admin_bots.len());
+    }
+
+    #[test]
+    fn honeypot_hit_flag() {
+        let bots = audited();
+        let r = risk_report(&bots[0], true);
+        assert!(r.flags.contains(&RiskFlag::HoneypotDetection));
+        let r = risk_report(&bots[0], false);
+        assert!(!r.flags.contains(&RiskFlag::HoneypotDetection));
+    }
+
+    #[test]
+    fn renderers_produce_paper_shaped_output() {
+        let bots = audited();
+        let fig3 = render_figure3(&stats::figure3_distribution(&bots, 20));
+        assert!(fig3.contains("administrator"));
+        assert!(fig3.contains('%'));
+        let t1 = render_table1(&stats::table1_histogram(&bots));
+        assert!(t1.contains("No of Bots"));
+        let t2 = render_table2(&stats::table2_traceability(&bots));
+        assert!(t2.contains("Unique active chatbots"));
+        assert!(t2.contains("Privacy Policy Link"));
+        let t3 = render_table3(&stats::table3_code_analysis(&bots));
+        assert!(t3.contains("JavaScript"));
+        assert!(t3.contains("Python"));
+    }
+
+    #[test]
+    fn markdown_dossier_renders() {
+        let bots = audited();
+        let md = render_markdown_dossier(&bots, &[]);
+        assert!(md.starts_with("# Chatbot security & privacy audit"));
+        assert!(md.contains("## Flagged bots"));
+        assert!(md.contains("administrator"));
+        assert!(md.contains("bots flagged."));
+    }
+
+    #[test]
+    fn exposure_counts_guilds_behind_flags() {
+        let bots = audited();
+        let exposure = exposure_by_flag(&bots);
+        let admin = exposure
+            .iter()
+            .find(|(f, _)| *f == RiskFlag::RequestsAdministrator)
+            .map(|(_, g)| *g)
+            .unwrap_or(0);
+        assert!(admin > 0, "admin-requesting bots sit in real guilds");
+        let redundant = exposure
+            .iter()
+            .find(|(f, _)| *f == RiskFlag::RedundantAdminRequest)
+            .map(|(_, g)| *g)
+            .unwrap_or(0);
+        assert!(redundant <= admin, "redundant ⊆ admin");
+    }
+
+    #[test]
+    fn broken_traceability_dominates() {
+        // The paper's headline: 95.67% of bots have broken traceability.
+        let bots = audited();
+        let reports: Vec<RiskReport> = bots
+            .iter()
+            .filter(|b| b.crawled.invite_status.is_valid())
+            .map(|b| risk_report(b, false))
+            .collect();
+        let broken =
+            reports.iter().filter(|r| r.flags.contains(&RiskFlag::BrokenTraceability)).count();
+        assert!(
+            broken as f64 / reports.len() as f64 > 0.85,
+            "broken rate {}",
+            broken as f64 / reports.len() as f64
+        );
+    }
+}

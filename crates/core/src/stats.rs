@@ -1,0 +1,380 @@
+//! The aggregations behind every table and figure of §4.2.
+
+use crate::pipeline::{AuditedBot, LinkResolution};
+use codeanal::scanner::CheckPattern;
+use codeanal::Language;
+use crawler::invite::InviteStatus;
+use discord_sim::Permissions;
+use policy::Traceability;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One bar of Figure 3.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Figure3Row {
+    /// Canonical permission name.
+    pub permission: String,
+    /// Bots requesting it.
+    pub count: usize,
+    /// Percentage of valid bots.
+    pub percent: f64,
+}
+
+/// Figure 3: percentage distribution of the top `n` permissions requested
+/// by bots with valid invite links, sorted by percentage descending.
+pub fn figure3_distribution(bots: &[AuditedBot], top_n: usize) -> Vec<Figure3Row> {
+    let valid: Vec<&Permissions> = bots
+        .iter()
+        .filter_map(|b| match &b.crawled.invite_status {
+            InviteStatus::Valid { permissions, .. } => Some(permissions),
+            _ => None,
+        })
+        .collect();
+    let total = valid.len().max(1);
+    let mut rows: Vec<Figure3Row> = Permissions::NAMES
+        .iter()
+        .map(|(bit, name)| {
+            let count = valid.iter().filter(|p| p.0 & bit != 0).count();
+            Figure3Row {
+                permission: name.to_string(),
+                count,
+                percent: count as f64 / total as f64 * 100.0,
+            }
+        })
+        .filter(|r| r.count > 0)
+        .collect();
+    rows.sort_by(|a, b| b.count.cmp(&a.count).then(a.permission.cmp(&b.permission)));
+    rows.truncate(top_n);
+    rows
+}
+
+/// One row of Table 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// Bots per developer.
+    pub bots_per_developer: u32,
+    /// Developers with that many bots.
+    pub developers: u32,
+    /// Percentage of all attributed developers.
+    pub percent: f64,
+}
+
+/// Table 1: bot distribution by number of developers (attributed handles
+/// only; third-party-platform pseudo-developers are excluded, as in the
+/// paper).
+pub fn table1_histogram(bots: &[AuditedBot]) -> Vec<Table1Row> {
+    let mut per_dev: BTreeMap<&str, u32> = BTreeMap::new();
+    for bot in bots {
+        for dev in &bot.crawled.scraped.developers {
+            if dev.contains('/') {
+                continue;
+            }
+            *per_dev.entry(dev.as_str()).or_default() += 1;
+        }
+    }
+    let total_devs = per_dev.len().max(1);
+    let mut histogram: BTreeMap<u32, u32> = BTreeMap::new();
+    for (_, n) in per_dev {
+        *histogram.entry(n).or_default() += 1;
+    }
+    histogram
+        .into_iter()
+        .map(|(bots_per_developer, developers)| Table1Row {
+            bots_per_developer,
+            developers,
+            percent: developers as f64 / total_devs as f64 * 100.0,
+        })
+        .collect()
+}
+
+/// Table 2: traceability results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table2Summary {
+    /// Unique active chatbots (valid invite links) — the 100% base.
+    pub active: usize,
+    /// Bots with a website link on their listing.
+    pub website_link: usize,
+    /// Bots whose website shows a privacy-policy link.
+    pub policy_link: usize,
+    /// Bots whose policy link leads to a valid (fetched, substantive) page.
+    pub valid_policy: usize,
+    /// Traceability classification over active bots.
+    pub complete: usize,
+    /// Partial classifications.
+    pub partial: usize,
+    /// Broken classifications.
+    pub broken: usize,
+}
+
+impl Table2Summary {
+    /// Percentage helper over the active base.
+    pub fn pct(&self, count: usize) -> f64 {
+        count as f64 / self.active.max(1) as f64 * 100.0
+    }
+}
+
+/// Compute Table 2 (and the classification counts quoted in the text).
+pub fn table2_traceability(bots: &[AuditedBot]) -> Table2Summary {
+    let active: Vec<&AuditedBot> =
+        bots.iter().filter(|b| b.crawled.invite_status.is_valid()).collect();
+    let website_link = active.iter().filter(|b| b.crawled.scraped.website.is_some()).count();
+    let policy_link = active.iter().filter(|b| b.crawled.policy_link_present).count();
+    let valid_policy = active
+        .iter()
+        .filter(|b| b.crawled.policy.as_ref().map(|p| p.is_substantive()).unwrap_or(false))
+        .count();
+    let mut complete = 0;
+    let mut partial = 0;
+    let mut broken = 0;
+    for b in &active {
+        match b.traceability.classification {
+            Traceability::Complete => complete += 1,
+            Traceability::Partial => partial += 1,
+            Traceability::Broken => broken += 1,
+        }
+    }
+    Table2Summary {
+        active: active.len(),
+        website_link,
+        policy_link,
+        valid_policy,
+        complete,
+        partial,
+        broken,
+    }
+}
+
+/// Table 3 / §4.2 code-analysis numbers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table3Summary {
+    /// Bots with a GitHub link on their listing.
+    pub with_github_link: usize,
+    /// Links leading to valid repositories.
+    pub valid_repos: usize,
+    /// Repos containing recognizable source code.
+    pub with_source: usize,
+    /// JavaScript/TypeScript repos analyzed.
+    pub js_repos: usize,
+    /// JS repos containing a Table 3 check pattern.
+    pub js_checking: usize,
+    /// Python repos analyzed.
+    pub py_repos: usize,
+    /// Python repos containing a check pattern.
+    pub py_checking: usize,
+    /// Valid repos in other languages (out of analysis scope).
+    pub other_language: usize,
+    /// Repos containing each Table 3 pattern, in Table 3 order
+    /// (`.hasPermission(`, `.has(`, `member.roles.cache`, `userPermissions`).
+    pub pattern_repos: [usize; 4],
+}
+
+impl Table3Summary {
+    /// % of JS repos performing checks.
+    pub fn js_checking_pct(&self) -> f64 {
+        self.js_checking as f64 / self.js_repos.max(1) as f64 * 100.0
+    }
+
+    /// % of Python repos performing checks.
+    pub fn py_checking_pct(&self) -> f64 {
+        self.py_checking as f64 / self.py_repos.max(1) as f64 * 100.0
+    }
+}
+
+/// Compute the code-analysis summary.
+///
+/// Restricted to bots with valid invite links — the paper's base ("Out of
+/// these \[15,525\] chatbots, 23.86% had GitHub links").
+pub fn table3_code_analysis(bots: &[AuditedBot]) -> Table3Summary {
+    let mut s = Table3Summary {
+        with_github_link: 0,
+        valid_repos: 0,
+        with_source: 0,
+        js_repos: 0,
+        js_checking: 0,
+        py_repos: 0,
+        py_checking: 0,
+        other_language: 0,
+        pattern_repos: [0; 4],
+    };
+    for bot in bots {
+        if !bot.crawled.invite_status.is_valid() {
+            continue;
+        }
+        let Some(code) = &bot.code else { continue };
+        s.with_github_link += 1;
+        if code.resolution != LinkResolution::ValidRepo {
+            continue;
+        }
+        s.valid_repos += 1;
+        if code.has_source {
+            s.with_source += 1;
+        }
+        if let Some(scan) = &code.scan {
+            for (pattern, _) in &scan.hits {
+                let idx = CheckPattern::ALL.iter().position(|p| p == pattern).expect("known pattern");
+                s.pattern_repos[idx] += 1;
+            }
+        }
+        match &code.language {
+            Some(Language::JavaScript) | Some(Language::TypeScript) => {
+                s.js_repos += 1;
+                if code.performs_checks == Some(true) {
+                    s.js_checking += 1;
+                }
+            }
+            Some(Language::Python) => {
+                s.py_repos += 1;
+                if code.performs_checks == Some(true) {
+                    s.py_checking += 1;
+                }
+            }
+            Some(Language::Other(_)) => s.other_language += 1,
+            None => {}
+        }
+    }
+    s
+}
+
+/// Permission-request rates per listing tag (gaming, music, moderation, …)
+/// — the per-purpose view behind §4.2's "chatbot purpose (such as gaming,
+/// fun, social, music, meme)" sampling note. Returns, per tag, the number
+/// of valid bots and the fraction requesting `perm`.
+pub fn permission_rate_by_tag(bots: &[AuditedBot], perm: Permissions) -> Vec<(String, usize, f64)> {
+    let mut per_tag: BTreeMap<&str, (usize, usize)> = BTreeMap::new();
+    for bot in bots {
+        let InviteStatus::Valid { permissions, .. } = &bot.crawled.invite_status else { continue };
+        for tag in &bot.crawled.scraped.tags {
+            let entry = per_tag.entry(tag.as_str()).or_default();
+            entry.0 += 1;
+            if permissions.contains(perm) {
+                entry.1 += 1;
+            }
+        }
+    }
+    per_tag
+        .into_iter()
+        .map(|(tag, (total, with))| (tag.to_string(), total, with as f64 / total.max(1) as f64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{AuditConfig, AuditPipeline};
+    use synth::{build_ecosystem, EcosystemConfig, GithubClass, PolicyClass};
+
+    fn audited() -> (Vec<AuditedBot>, synth::Ecosystem) {
+        let eco = build_ecosystem(&EcosystemConfig::test_scale(400, 99));
+        let pipeline = AuditPipeline::new(AuditConfig::default());
+        let (bots, _) = pipeline.run_static_stages(&eco.net);
+        (bots, eco)
+    }
+
+    #[test]
+    fn figure3_measured_matches_planted() {
+        let (bots, eco) = audited();
+        let rows = figure3_distribution(&bots, 25);
+        assert!(!rows.is_empty());
+        // The measured admin rate equals the planted one exactly — the
+        // crawler decodes the very bitfields synth planted.
+        let admin = rows.iter().find(|r| r.permission == "administrator").unwrap();
+        let planted = eco.truth.permission_rate(discord_sim::Permissions::ADMINISTRATOR) * 100.0;
+        assert!((admin.percent - planted).abs() < 1e-9, "{} vs {planted}", admin.percent);
+        // Rows are sorted by count descending.
+        for pair in rows.windows(2) {
+            assert!(pair[0].count >= pair[1].count);
+        }
+    }
+
+    #[test]
+    fn table1_matches_planted_histogram() {
+        let (bots, eco) = audited();
+        let rows = table1_histogram(&bots);
+        let planted = eco.truth.developer_histogram();
+        for row in &rows {
+            assert_eq!(planted.get(&row.bots_per_developer), Some(&row.developers));
+        }
+        let pct_sum: f64 = rows.iter().map(|r| r.percent).sum();
+        assert!((pct_sum - 100.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn permission_rate_by_tag_covers_all_tags() {
+        let (bots, _eco) = audited();
+        let rows = permission_rate_by_tag(&bots, discord_sim::Permissions::ADMINISTRATOR);
+        assert!(!rows.is_empty());
+        for (tag, total, rate) in &rows {
+            assert!(*total > 0, "{tag}");
+            assert!((0.0..=1.0).contains(rate), "{tag}: {rate}");
+        }
+        // The admin rate per tag hovers around the global calibration.
+        let global: f64 =
+            rows.iter().map(|(_, n, r)| *n as f64 * r).sum::<f64>() / rows.iter().map(|(_, n, _)| *n as f64).sum::<f64>();
+        assert!((global - 0.5486).abs() < 0.1, "weighted admin rate {global}");
+    }
+
+    #[test]
+    fn table3_pattern_breakdown_is_consistent() {
+        let (bots, _eco) = audited();
+        let t3 = table3_code_analysis(&bots);
+        // Every checking repo contains at least one pattern; pattern hits
+        // can exceed checking repos (a repo may contain several).
+        let total_pattern_repos: usize = t3.pattern_repos.iter().sum();
+        assert!(total_pattern_repos >= t3.js_checking + t3.py_checking);
+        // At least two distinct patterns appear across a big population.
+        let distinct = t3.pattern_repos.iter().filter(|&&n| n > 0).count();
+        assert!(distinct >= 2, "pattern breakdown {:?}", t3.pattern_repos);
+    }
+
+    #[test]
+    fn table2_counts_are_consistent() {
+        let (bots, eco) = audited();
+        let t2 = table2_traceability(&bots);
+        assert_eq!(t2.active, eco.truth.valid_bots().count());
+        assert!(t2.policy_link <= t2.website_link);
+        assert!(t2.valid_policy <= t2.policy_link);
+        assert_eq!(t2.complete + t2.partial + t2.broken, t2.active);
+        // The paper found zero complete traceability; the planted policies
+        // are generic/partial, so the analyzer must find the same.
+        assert_eq!(t2.complete, 0);
+        // Website fraction measured == planted (modulo nothing: both walk
+        // the same listings).
+        let planted_sites = eco
+            .truth
+            .valid_bots()
+            .filter(|b| b.policy_class != PolicyClass::NoWebsite)
+            .count();
+        assert_eq!(t2.website_link, planted_sites);
+    }
+
+    #[test]
+    fn table3_matches_planted_classes() {
+        let (bots, eco) = audited();
+        let t3 = table3_code_analysis(&bots);
+        let planted_links = eco
+            .truth
+            .valid_bots()
+            .filter(|b| b.github_class != GithubClass::None)
+            .count();
+        assert_eq!(t3.with_github_link, planted_links);
+        let planted_valid =
+            eco.truth.valid_bots().filter(|b| b.github_class.is_valid_repo()).count();
+        assert_eq!(t3.valid_repos, planted_valid);
+        let planted_js_checking = eco
+            .truth
+            .valid_bots()
+            .filter(|b| matches!(b.github_class, GithubClass::JsRepo { checks: true }))
+            .count();
+        assert_eq!(t3.js_checking, planted_js_checking);
+        let planted_py_checking = eco
+            .truth
+            .valid_bots()
+            .filter(|b| matches!(b.github_class, GithubClass::PyRepo { checks: true }))
+            .count();
+        assert_eq!(t3.py_checking, planted_py_checking);
+        // The qualitative Table 3 finding: JS checks far outnumber Python.
+        if t3.py_repos > 5 && t3.js_repos > 5 {
+            assert!(t3.js_checking_pct() > t3.py_checking_pct());
+        }
+    }
+}

@@ -1,0 +1,326 @@
+//! The end-to-end data-collection run.
+//!
+//! Traverses the "top chatbot" list page by page (the paper walked over 800
+//! pages), fetches every bot's detail page, validates its invite link,
+//! visits its website looking for a privacy policy, and returns the full
+//! measurement input set.
+
+use crate::extract::{extract_bot_detail, extract_bot_links, extract_privacy_policy, extract_total_pages, ScrapedBot};
+use crate::invite::{validate_invite, InviteStatus};
+use crate::session::ScrapeSession;
+use botlist::LIST_HOST;
+use htmlsim::Locator;
+use netsim::clock::SimDuration;
+use netsim::http::Url;
+use netsim::Network;
+use policy::PrivacyPolicy;
+
+/// Crawl parameters.
+#[derive(Debug, Clone)]
+pub struct CrawlConfig {
+    /// Stop after this many list pages (None = all advertised pages).
+    pub max_pages: Option<usize>,
+    /// Whether to validate invite links (network-heavy).
+    pub validate_invites: bool,
+    /// Whether to visit websites and fetch privacy policies.
+    pub fetch_policies: bool,
+    /// Seed for the session's human-behaviour jitter.
+    pub seed: u64,
+    /// Use the polite session (rate-limited, jittered). The ablation sets
+    /// this false.
+    pub polite: bool,
+}
+
+impl Default for CrawlConfig {
+    fn default() -> Self {
+        CrawlConfig { max_pages: None, validate_invites: true, fetch_policies: true, seed: 7, polite: true }
+    }
+}
+
+/// One fully-crawled bot.
+#[derive(Debug, Clone)]
+pub struct CrawledBot {
+    /// Attributes scraped from the detail page.
+    pub scraped: ScrapedBot,
+    /// Invite-link validation outcome.
+    pub invite_status: InviteStatus,
+    /// Whether the listed website answered at all.
+    pub website_reachable: bool,
+    /// Whether the website shows a privacy-policy link.
+    pub policy_link_present: bool,
+    /// The fetched policy document, when the link worked.
+    pub policy: Option<PrivacyPolicy>,
+}
+
+/// Aggregate statistics for a crawl.
+#[derive(Debug, Clone, Default)]
+pub struct CrawlStats {
+    /// List pages traversed.
+    pub pages: usize,
+    /// Bot detail pages successfully extracted.
+    pub bots: usize,
+    /// Detail pages that failed (dead listing entries).
+    pub failures: usize,
+    /// Captchas solved.
+    pub captchas_solved: u64,
+    /// 2Captcha spend in dollars.
+    pub captcha_spend_dollars: f64,
+    /// Email verifications performed.
+    pub email_verifications: u64,
+    /// Virtual wall-clock the crawl took.
+    pub duration: SimDuration,
+}
+
+/// Run the data-collection stage against the mounted listing site.
+pub fn crawl_listing(net: &Network, config: &CrawlConfig) -> (Vec<CrawledBot>, CrawlStats) {
+    let clock = net.clock();
+    let started = clock.now();
+    let mut session = if config.polite {
+        ScrapeSession::new(net.clone(), config.seed)
+    } else {
+        ScrapeSession::impolite(net.clone(), config.seed)
+    };
+
+    let mut bots = Vec::new();
+    let mut stats = CrawlStats::default();
+
+    // Discover page count from page 0.
+    let first = match session.fetch_document(Url::https(LIST_HOST, "/list").with_query("page", "0")) {
+        Ok(doc) => doc,
+        Err(_) => {
+            stats.duration = clock.now().duration_since(started);
+            return (bots, stats);
+        }
+    };
+    let total_pages = extract_total_pages(&first).unwrap_or(1);
+    let limit = config.max_pages.map_or(total_pages, |m| m.min(total_pages));
+
+    let mut hrefs: Vec<String> = Vec::new();
+    for page in 0..limit {
+        let doc = if page == 0 {
+            first.clone()
+        } else {
+            match session
+                .fetch_document(Url::https(LIST_HOST, "/list").with_query("page", &page.to_string()))
+            {
+                Ok(doc) => doc,
+                Err(_) => continue,
+            }
+        };
+        stats.pages += 1;
+        match extract_bot_links(&doc) {
+            Ok(links) if links.is_empty() => break, // past the end
+            Ok(links) => hrefs.extend(links),
+            Err(_) => continue,
+        }
+    }
+
+    for href in hrefs {
+        let url = if href.starts_with('/') {
+            Url::https(LIST_HOST, &href)
+        } else {
+            match Url::parse(&href) {
+                Ok(u) => u,
+                Err(_) => {
+                    stats.failures += 1;
+                    continue;
+                }
+            }
+        };
+        let doc = match session.fetch_document(url) {
+            Ok(doc) => doc,
+            Err(_) => {
+                stats.failures += 1;
+                continue;
+            }
+        };
+        let scraped = match extract_bot_detail(&doc) {
+            Ok(s) => s,
+            Err(_) => {
+                stats.failures += 1;
+                continue;
+            }
+        };
+
+        let invite_status = if config.validate_invites {
+            validate_invite(session.http(), &scraped.invite_link)
+        } else {
+            InviteStatus::MalformedLink
+        };
+
+        let (website_reachable, policy_link_present, policy) = if config.fetch_policies {
+            fetch_policy(&mut session, scraped.website.as_deref())
+        } else {
+            (false, false, None)
+        };
+
+        stats.bots += 1;
+        bots.push(CrawledBot { scraped, invite_status, website_reachable, policy_link_present, policy });
+    }
+
+    stats.captchas_solved = session.captchas_solved;
+    stats.captcha_spend_dollars = session.captcha_spend_dollars();
+    stats.email_verifications = session.email_verifications;
+    stats.duration = clock.now().duration_since(started);
+    (bots, stats)
+}
+
+/// Visit a bot's website and hunt for its privacy policy.
+fn fetch_policy(
+    session: &mut ScrapeSession,
+    website: Option<&str>,
+) -> (bool, bool, Option<PrivacyPolicy>) {
+    let Some(site) = website else { return (false, false, None) };
+    let Ok(home_url) = Url::parse(site) else { return (false, false, None) };
+    let Ok(resp) = session.http().get(home_url.clone()) else { return (false, false, None) };
+    if !resp.status.is_success() {
+        return (false, false, None);
+    }
+    let Ok(doc) = htmlsim::parse_document(&resp.text()) else { return (true, false, None) };
+    let Ok(link) = Locator::id("privacy-link").find(&doc) else { return (true, false, None) };
+    let Some(href) = link.attr("href") else { return (true, false, None) };
+    let Ok(policy_url) = home_url.join(href) else { return (true, true, None) };
+    let Ok(presp) = session.http().get(policy_url) else { return (true, true, None) };
+    if !presp.status.is_success() {
+        return (true, true, None);
+    }
+    let Ok(pdoc) = htmlsim::parse_document(&presp.text()) else { return (true, true, None) };
+    (true, true, extract_privacy_policy(&pdoc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::CaptchaSolverService;
+    use botlist::website::{BotWebsite, PolicyHosting};
+    use botlist::{BotListSite, BotListing, SiteConfig};
+    use discord_sim::oauth::InviteUrl;
+    use discord_sim::platform::Platform;
+    use discord_sim::webgate::OAuthWebGate;
+    use discord_sim::{GuildVisibility, Permissions};
+    use netsim::clock::VirtualClock;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A small end-to-end world: platform + webgate + listing site +
+    /// websites + solver.
+    fn build_world(n_bots: u64) -> Network {
+        let clock = VirtualClock::new();
+        let net = Network::with_clock(77, clock.clone());
+        let platform = Platform::new(clock);
+        CaptchaSolverService::mount(&net);
+        OAuthWebGate::new(platform.clone()).mount(&net);
+
+        let owner = platform.register_user("dev", "d@x.y");
+        platform.create_guild(owner, "seed", GuildVisibility::Public).unwrap();
+
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut listings = Vec::new();
+        for i in 0..n_bots {
+            let app = platform.register_bot_application(owner, &format!("Bot{i}")).unwrap();
+            // Mix of valid / removed / malformed invite links.
+            let invite_link = match i % 4 {
+                0 | 1 => InviteUrl::bot(app.client_id, Permissions::ADMINISTRATOR).to_url().to_string(),
+                2 => InviteUrl::bot(999_000 + i, Permissions::NONE).to_url().to_string(), // removed
+                _ => "totally-broken".to_string(),
+            };
+            // Half the bots have websites; half of those have policies.
+            let website = if i % 2 == 0 {
+                let host = format!("bot{i}.site.sim");
+                let hosting = if i % 4 == 0 {
+                    PolicyHosting::Linked(policy::corpus::complete_policy(&mut rng, &format!("Bot{i}"), true))
+                } else {
+                    PolicyHosting::None
+                };
+                BotWebsite::new(&format!("Bot{i}"), hosting).mount(&net, &host);
+                Some(format!("https://{host}/"))
+            } else {
+                None
+            };
+            listings.push(BotListing {
+                id: app.client_id,
+                name: format!("Bot{i}"),
+                tags: vec!["fun".into()],
+                description: format!("Bot number {i}"),
+                invite_link,
+                guild_count: 100 * i,
+                vote_count: 1000 - i,
+                website,
+                github: None,
+                developers: vec![format!("dev{}", i % 3)],
+                commands: vec![format!("!cmd{i}")],
+            });
+        }
+        BotListSite::new(listings, SiteConfig { page_size: 4, captcha_every: Some(10), rate_limit: None, email_wall_after_page: None })
+            .mount(&net);
+        net
+    }
+
+    #[test]
+    fn full_crawl_collects_everything() {
+        let net = build_world(12);
+        let (bots, stats) = crawl_listing(&net, &CrawlConfig::default());
+        assert_eq!(bots.len(), 12);
+        assert_eq!(stats.bots, 12);
+        assert_eq!(stats.pages, 3);
+        assert!(stats.duration > SimDuration::ZERO);
+
+        let valid = bots.iter().filter(|b| b.invite_status.is_valid()).count();
+        let removed = bots.iter().filter(|b| b.invite_status == InviteStatus::Removed).count();
+        let malformed = bots.iter().filter(|b| b.invite_status == InviteStatus::MalformedLink).count();
+        assert_eq!(valid, 6);
+        assert_eq!(removed, 3);
+        assert_eq!(malformed, 3);
+
+        let with_site = bots.iter().filter(|b| b.website_reachable).count();
+        assert_eq!(with_site, 6);
+        // Sample commands survive both detail-page layouts.
+        assert!(bots.iter().all(|b| b.scraped.commands.len() == 1));
+        assert!(bots.iter().any(|b| b.scraped.commands[0].starts_with("!cmd")));
+        let with_policy = bots.iter().filter(|b| b.policy.is_some()).count();
+        assert_eq!(with_policy, 3);
+        // Permissions decoded for valid links.
+        for b in bots.iter().filter(|b| b.invite_status.is_valid()) {
+            let InviteStatus::Valid { permissions, .. } = &b.invite_status else { unreachable!() };
+            assert!(permissions.contains(Permissions::ADMINISTRATOR));
+        }
+    }
+
+    #[test]
+    fn crawl_solves_captchas_on_the_way() {
+        let net = build_world(12);
+        let (_bots, stats) = crawl_listing(&net, &CrawlConfig::default());
+        assert!(stats.captchas_solved >= 1, "captcha wall hit during crawl");
+        assert!(stats.captcha_spend_dollars > 0.0);
+    }
+
+    #[test]
+    fn max_pages_bounds_the_crawl() {
+        let net = build_world(12);
+        let (bots, stats) =
+            crawl_listing(&net, &CrawlConfig { max_pages: Some(1), ..CrawlConfig::default() });
+        assert_eq!(stats.pages, 1);
+        assert_eq!(bots.len(), 4);
+    }
+
+    #[test]
+    fn crawl_without_policy_fetch_skips_websites() {
+        let net = build_world(8);
+        let (bots, _stats) =
+            crawl_listing(&net, &CrawlConfig { fetch_policies: false, ..CrawlConfig::default() });
+        assert!(bots.iter().all(|b| !b.website_reachable && b.policy.is_none()));
+    }
+
+    #[test]
+    fn deterministic_crawl() {
+        let run = || {
+            let net = build_world(8);
+            let (bots, stats) = crawl_listing(&net, &CrawlConfig::default());
+            (
+                bots.iter().map(|b| (b.scraped.id, b.invite_status.clone(), b.policy.is_some())).collect::<Vec<_>>(),
+                stats.pages,
+            )
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,357 @@
+//! Locator-based page extraction, robust to structure variants.
+//!
+//! The listing site serves three different page layouts; the extractor
+//! tries each known locator in turn and reacts to `NoSuchElement` exactly
+//! the way the paper's Selenium scraper does — by falling back rather than
+//! crashing.
+
+use htmlsim::{Document, LocateError, Locator};
+use serde::{Deserialize, Serialize};
+
+/// Everything extractable from one bot detail page.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScrapedBot {
+    /// Client/application ID.
+    pub id: u64,
+    /// Display name.
+    pub name: String,
+    /// Raw invite link (unvalidated).
+    pub invite_link: String,
+    /// Tags.
+    pub tags: Vec<String>,
+    /// Description.
+    pub description: String,
+    /// Guild count badge.
+    pub guild_count: u64,
+    /// Vote count.
+    pub vote_count: u64,
+    /// Website link, if present.
+    pub website: Option<String>,
+    /// GitHub link, if present.
+    pub github: Option<String>,
+    /// Developer handles.
+    pub developers: Vec<String>,
+    /// Sample commands advertised on the page.
+    pub commands: Vec<String>,
+}
+
+/// Extract `/bot/{id}` links from a list page, across all three layout
+/// variants. Returns the hrefs in page order.
+pub fn extract_bot_links(doc: &Document) -> Result<Vec<String>, LocateError> {
+    // Variant locators, tried in order (NoSuchElement → next variant).
+    let variants = [
+        Locator::css("div.bot-card a.bot-link"),
+        Locator::css("tr.bot-row a.details"),
+        Locator::css("li.entry a[data-kind=bot]"),
+    ];
+    for locator in variants {
+        let hits = locator.find_all(doc)?;
+        if !hits.is_empty() {
+            return Ok(hits.into_iter().filter_map(|n| n.attr("href").map(str::to_string)).collect());
+        }
+    }
+    // A page with no recognizable cards at all: the caller treats an empty
+    // list as "past the last page".
+    Ok(Vec::new())
+}
+
+/// Total page count advertised on a list page.
+pub fn extract_total_pages(doc: &Document) -> Option<usize> {
+    Locator::id("total-pages").find(doc).ok()?.text_content().parse().ok()
+}
+
+/// Extract a bot detail page, trying the primary layout first and falling
+/// back to the alternate "app-profile" layout on `NoSuchElement`.
+pub fn extract_bot_detail(doc: &Document) -> Result<ScrapedBot, LocateError> {
+    match extract_bot_detail_primary(doc) {
+        Ok(bot) => Ok(bot),
+        Err(LocateError::NoSuchElement { .. }) => extract_bot_detail_alt(doc),
+        Err(other) => Err(other),
+    }
+}
+
+fn extract_bot_detail_primary(doc: &Document) -> Result<ScrapedBot, LocateError> {
+    let bot = Locator::id("bot").find(doc)?;
+    let id = bot
+        .attr("data-bot-id")
+        .and_then(|v| v.parse::<u64>().ok())
+        .ok_or_else(|| LocateError::NoSuchElement { locator: "data-bot-id".into() })?;
+    let name = Locator::id("bot-name").find(doc)?.text_content();
+    let invite_link = Locator::id("invite")
+        .find(doc)?
+        .attr("href")
+        .unwrap_or_default()
+        .to_string();
+    let description = Locator::id("description")
+        .find(doc)
+        .map(|n| n.text_content())
+        .unwrap_or_default();
+    let guild_count = Locator::id("guild-count")
+        .find(doc)
+        .ok()
+        .and_then(|n| n.text_content().parse().ok())
+        .unwrap_or(0);
+    let vote_count = Locator::id("vote-count")
+        .find(doc)
+        .ok()
+        .and_then(|n| n.text_content().parse().ok())
+        .unwrap_or(0);
+    let tags = Locator::class("tag")
+        .find_all(doc)?
+        .into_iter()
+        .map(|n| n.text_content())
+        .collect();
+    let developers = Locator::class("dev")
+        .find_all(doc)?
+        .into_iter()
+        .map(|n| n.text_content())
+        .collect();
+    let commands = Locator::class("command")
+        .find_all(doc)?
+        .into_iter()
+        .map(|n| n.text_content())
+        .collect();
+    // Optional links: absence is normal, not an error.
+    let website = Locator::class("website")
+        .find(doc)
+        .ok()
+        .and_then(|n| n.attr("href").map(str::to_string));
+    let github = Locator::class("github")
+        .find(doc)
+        .ok()
+        .and_then(|n| n.attr("href").map(str::to_string));
+    Ok(ScrapedBot {
+        id,
+        name,
+        invite_link,
+        tags,
+        description,
+        guild_count,
+        vote_count,
+        website,
+        github,
+        developers,
+        commands,
+    })
+}
+
+/// Extractor for the alternate "app-profile" detail layout.
+fn extract_bot_detail_alt(doc: &Document) -> Result<ScrapedBot, LocateError> {
+    let card = Locator::css("section.app-profile").find(doc)?;
+    let id = card
+        .attr("data-app-id")
+        .and_then(|v| v.parse::<u64>().ok())
+        .ok_or_else(|| LocateError::NoSuchElement { locator: "data-app-id".into() })?;
+    let name = Locator::css("h2.app-title").find(doc)?.text_content();
+    let invite_link = Locator::css("a.install-button")
+        .find(doc)?
+        .attr("href")
+        .unwrap_or_default()
+        .to_string();
+    let description = Locator::css("div.about")
+        .find(doc)
+        .map(|n| n.text_content())
+        .unwrap_or_default();
+    let guild_count = card.attr("data-guilds").and_then(|v| v.parse().ok()).unwrap_or(0);
+    let vote_count = card.attr("data-votes").and_then(|v| v.parse().ok()).unwrap_or(0);
+    let tags = Locator::css("span.badge")
+        .find_all(doc)?
+        .into_iter()
+        .map(|n| n.text_content())
+        .collect();
+    let developers = Locator::css("span.maker")
+        .find_all(doc)?
+        .into_iter()
+        .map(|n| n.text_content())
+        .collect();
+    let commands = Locator::css("code.cmd")
+        .find_all(doc)?
+        .into_iter()
+        .map(|n| n.text_content())
+        .collect();
+    let website = Locator::css("a[rel=website]")
+        .find(doc)
+        .ok()
+        .and_then(|n| n.attr("href").map(str::to_string));
+    let github = Locator::css("a[rel=source]")
+        .find(doc)
+        .ok()
+        .and_then(|n| n.attr("href").map(str::to_string));
+    Ok(ScrapedBot {
+        id,
+        name,
+        invite_link,
+        tags,
+        description,
+        guild_count,
+        vote_count,
+        website,
+        github,
+        developers,
+        commands,
+    })
+}
+
+/// Extract a privacy-policy page served by a bot website into a
+/// [`policy::PrivacyPolicy`]. The `tailored` flag is ground truth the
+/// scraper cannot know; it is recorded as `false` (the analyzer never
+/// reads it).
+pub fn extract_privacy_policy(doc: &Document) -> Option<policy::PrivacyPolicy> {
+    let sections: Vec<String> = Locator::class("policy-text")
+        .find_all(doc)
+        .ok()?
+        .into_iter()
+        .map(|n| n.text_content())
+        .collect();
+    if sections.is_empty() {
+        return None;
+    }
+    let title = doc.title().unwrap_or_else(|| "Privacy Policy".into());
+    Some(policy::PrivacyPolicy::new(&title, sections, false))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htmlsim::build::el;
+    use htmlsim::parse_document;
+
+    #[test]
+    fn extracts_links_from_all_variants() {
+        let variant0 = r#"<div id="bot-list"><div class="bot-card"><a class="bot-link" href="/bot/1">A</a></div></div>"#;
+        let variant1 = r#"<table id="bot-table"><tbody><tr class="bot-row"><td><a class="details" href="/bot/2">B</a></td></tr></tbody></table>"#;
+        let variant2 = r#"<ul id="entries"><li class="entry"><a data-kind="bot" href="/bot/3">C</a></li></ul>"#;
+        for (html, expected) in [(variant0, "/bot/1"), (variant1, "/bot/2"), (variant2, "/bot/3")] {
+            let doc = parse_document(html).unwrap();
+            assert_eq!(extract_bot_links(&doc).unwrap(), vec![expected.to_string()]);
+        }
+    }
+
+    #[test]
+    fn empty_page_yields_no_links() {
+        let doc = parse_document("<html><body><p>nothing here</p></body></html>").unwrap();
+        assert!(extract_bot_links(&doc).unwrap().is_empty());
+    }
+
+    #[test]
+    fn detail_extraction_full() {
+        let doc = Document::new(
+            el("html").child(el("body").child(
+                el("div").id("bot").attr("data-bot-id", "77")
+                    .child(el("h1").id("bot-name").text("MegaBot"))
+                    .child(el("a").id("invite").attr("href", "https://discord.sim/oauth2/authorize?client_id=77&scope=bot&permissions=8"))
+                    .child(el("span").id("guild-count").text("250000"))
+                    .child(el("span").id("vote-count").text("876000"))
+                    .child(el("p").id("description").text("Does everything"))
+                    .child(el("ul").id("tags").child(el("li").class("tag").text("fun")).child(el("li").class("tag").text("music")))
+                    .child(el("ul").id("devs").child(el("li").class("dev").text("editid#6714")))
+                    .child(el("a").class("website").attr("href", "https://megabot.site/"))
+                    .child(el("a").class("github").attr("href", "https://github.sim/editid/megabot")),
+            )).build(),
+        );
+        let bot = extract_bot_detail(&doc).unwrap();
+        assert_eq!(bot.id, 77);
+        assert_eq!(bot.name, "MegaBot");
+        assert_eq!(bot.guild_count, 250_000);
+        assert_eq!(bot.tags, vec!["fun", "music"]);
+        assert_eq!(bot.developers, vec!["editid#6714"]);
+        assert_eq!(bot.website.as_deref(), Some("https://megabot.site/"));
+        assert_eq!(bot.github.as_deref(), Some("https://github.sim/editid/megabot"));
+    }
+
+    #[test]
+    fn detail_extraction_minimal_page() {
+        let doc = Document::new(
+            el("html").child(el("body").child(
+                el("div").id("bot").attr("data-bot-id", "5")
+                    .child(el("h1").id("bot-name").text("TinyBot"))
+                    .child(el("a").id("invite").attr("href", "nonsense-link")),
+            )).build(),
+        );
+        let bot = extract_bot_detail(&doc).unwrap();
+        assert_eq!(bot.id, 5);
+        assert_eq!(bot.invite_link, "nonsense-link");
+        assert!(bot.website.is_none());
+        assert!(bot.tags.is_empty());
+    }
+
+    #[test]
+    fn detail_extraction_fails_without_bot_div() {
+        let doc = parse_document("<html><body><h1>404</h1></body></html>").unwrap();
+        assert!(matches!(extract_bot_detail(&doc), Err(LocateError::NoSuchElement { .. })));
+    }
+
+    #[test]
+    fn alt_layout_extraction() {
+        let doc = Document::new(
+            el("html").child(el("body").child(
+                el("section").class("app-profile")
+                    .attr("data-app-id", "88")
+                    .attr("data-guilds", "1234")
+                    .attr("data-votes", "999")
+                    .child(el("h2").class("app-title").text("AltBot"))
+                    .child(el("div").class("actions").child(
+                        el("a").class("install-button").attr("href", "https://discord.sim/oauth2/authorize?client_id=88&scope=bot&permissions=8"),
+                    ))
+                    .child(el("div").class("about").text("Alternate layout bot"))
+                    .child(el("div").class("badges").child(el("span").class("badge").text("music")))
+                    .child(el("div").class("made-by").child(el("span").class("maker").text("dev-x")))
+                    .child(el("nav").class("external-links")
+                        .child(el("a").attr("rel", "website").attr("href", "https://altbot.site/"))
+                        .child(el("a").attr("rel", "source").attr("href", "https://github.sim/x/altbot"))),
+            )).build(),
+        );
+        let bot = extract_bot_detail(&doc).unwrap();
+        assert_eq!(bot.id, 88);
+        assert_eq!(bot.name, "AltBot");
+        assert_eq!(bot.guild_count, 1234);
+        assert_eq!(bot.vote_count, 999);
+        assert_eq!(bot.tags, vec!["music"]);
+        assert_eq!(bot.developers, vec!["dev-x"]);
+        assert_eq!(bot.website.as_deref(), Some("https://altbot.site/"));
+        assert_eq!(bot.github.as_deref(), Some("https://github.sim/x/altbot"));
+        assert!(bot.invite_link.contains("client_id=88"));
+    }
+
+    #[test]
+    fn alt_layout_without_links() {
+        let doc = Document::new(
+            el("html").child(el("body").child(
+                el("section").class("app-profile")
+                    .attr("data-app-id", "5")
+                    .child(el("h2").class("app-title").text("Tiny"))
+                    .child(el("div").class("actions").child(
+                        el("a").class("install-button").attr("href", "x"),
+                    )),
+            )).build(),
+        );
+        let bot = extract_bot_detail(&doc).unwrap();
+        assert_eq!(bot.id, 5);
+        assert!(bot.website.is_none());
+        assert!(bot.github.is_none());
+        assert_eq!(bot.guild_count, 0);
+    }
+
+    #[test]
+    fn total_pages_parses() {
+        let doc = parse_document(r#"<html><body><span id="total-pages">837</span></body></html>"#).unwrap();
+        assert_eq!(extract_total_pages(&doc), Some(837));
+        let doc = parse_document("<html><body></body></html>").unwrap();
+        assert_eq!(extract_total_pages(&doc), None);
+    }
+
+    #[test]
+    fn privacy_policy_extraction() {
+        let doc = parse_document(
+            r#"<html><head><title>FunBot Privacy Policy</title></head><body>
+            <div id="policy"><p class="policy-text">We collect data.</p><p class="policy-text">We store data.</p></div>
+            </body></html>"#,
+        )
+        .unwrap();
+        let p = extract_privacy_policy(&doc).unwrap();
+        assert_eq!(p.title, "FunBot Privacy Policy");
+        assert_eq!(p.sections.len(), 2);
+        let empty = parse_document("<html><body><p>no policy</p></body></html>").unwrap();
+        assert!(extract_privacy_policy(&empty).is_none());
+    }
+}

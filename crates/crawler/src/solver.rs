@@ -1,0 +1,141 @@
+//! The captcha-solving service ("2Captcha").
+//!
+//! §3: "We use '2Captcha', a Captcha solving service, to overcome the
+//! captchas restriction"; §4.2 chose it for "its affordability and quick
+//! solving time". The service is a human-worker farm behind an API: you
+//! POST the challenge, pay a fee, and the answer comes back after a
+//! solve-time delay.
+
+use botlist::captcha::CaptchaBank;
+use netsim::clock::SimDuration;
+use netsim::client::{ClientConfig, HttpClient};
+use netsim::http::{Request, Response, Status, Url};
+use netsim::{NetError, Network, Service, ServiceCtx};
+
+/// Host the solver is mounted at.
+pub const SOLVER_HOST: &str = "2captcha.sim";
+
+/// Price per solve, in hundredths of a cent (2Captcha charges ~$3 per 1000
+/// reCAPTCHAs → 0.3¢ each).
+pub const FEE_PER_SOLVE_CENTICENTS: u64 = 30;
+
+/// Simulated human solve time.
+pub const SOLVE_TIME: SimDuration = SimDuration::from_secs(12);
+
+/// The worker-farm service.
+#[derive(Default, Clone)]
+pub struct CaptchaSolverService;
+
+impl Service for CaptchaSolverService {
+    fn handle(&mut self, req: &Request, _ctx: &mut ServiceCtx<'_>) -> Response {
+        if req.url.path != "/solve" {
+            return Response::status(Status::NotFound);
+        }
+        let question = String::from_utf8_lossy(&req.body).to_string();
+        match CaptchaBank::solve_question(&question) {
+            Some(answer) => Response::ok(answer.to_string())
+                .with_header("x-fee-centicents", &FEE_PER_SOLVE_CENTICENTS.to_string())
+                .with_header("x-solve-ms", &SOLVE_TIME.as_millis().to_string()),
+            None => Response::status(Status::BadRequest),
+        }
+    }
+}
+
+impl CaptchaSolverService {
+    /// Mount at [`SOLVER_HOST`].
+    pub fn mount(net: &Network) {
+        net.mount(SOLVER_HOST, CaptchaSolverService);
+    }
+}
+
+/// Client-side handle: submits challenges, waits out the solve time,
+/// tracks spend.
+pub struct CaptchaSolverClient {
+    http: HttpClient,
+    net: Network,
+    /// Challenges solved so far.
+    pub solves: u64,
+    /// Total spend in centicents.
+    pub spend_centicents: u64,
+}
+
+impl CaptchaSolverClient {
+    /// A solver client on the given network.
+    pub fn new(net: Network) -> CaptchaSolverClient {
+        let http = HttpClient::new(
+            net.clone(),
+            ClientConfig { user_agent: "captcha-solver-client".into(), ..ClientConfig::default() },
+        );
+        CaptchaSolverClient { http, net, solves: 0, spend_centicents: 0 }
+    }
+
+    /// Solve one question (blocking in virtual time for the human worker).
+    pub fn solve(&mut self, question: &str) -> Result<i64, NetError> {
+        let resp = self.http.post(Url::https(SOLVER_HOST, "/solve"), question.as_bytes().to_vec())?;
+        if resp.status != Status::Ok {
+            return Err(NetError::Malformed { reason: format!("solver rejected question {question:?}") });
+        }
+        // The human takes their time.
+        let solve_ms = resp
+            .header("x-solve-ms")
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(SOLVE_TIME.as_millis());
+        self.net.clock().sleep(SimDuration::from_millis(solve_ms));
+        let fee = resp
+            .header("x-fee-centicents")
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(FEE_PER_SOLVE_CENTICENTS);
+        self.solves += 1;
+        self.spend_centicents += fee;
+        resp.text()
+            .parse::<i64>()
+            .map_err(|_| NetError::Malformed { reason: "solver returned a non-number".into() })
+    }
+
+    /// Spend in dollars.
+    pub fn spend_dollars(&self) -> f64 {
+        self.spend_centicents as f64 / 10_000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_and_charges() {
+        let net = Network::new(9);
+        CaptchaSolverService::mount(&net);
+        let mut solver = CaptchaSolverClient::new(net.clone());
+        let before = net.clock().now();
+        let answer = solver.solve("17 + 25").unwrap();
+        assert_eq!(answer, 42);
+        assert_eq!(solver.solves, 1);
+        assert_eq!(solver.spend_centicents, FEE_PER_SOLVE_CENTICENTS);
+        assert!(
+            net.clock().now().duration_since(before) >= SOLVE_TIME,
+            "human solve time elapsed"
+        );
+    }
+
+    #[test]
+    fn rejects_unsolvable() {
+        let net = Network::new(9);
+        CaptchaSolverService::mount(&net);
+        let mut solver = CaptchaSolverClient::new(net);
+        assert!(solver.solve("what is love").is_err());
+        assert_eq!(solver.solves, 0);
+    }
+
+    #[test]
+    fn spend_accumulates() {
+        let net = Network::new(9);
+        CaptchaSolverService::mount(&net);
+        let mut solver = CaptchaSolverClient::new(net);
+        for _ in 0..10 {
+            solver.solve("1 + 1").unwrap();
+        }
+        assert_eq!(solver.solves, 10);
+        assert!((solver.spend_dollars() - 0.03).abs() < 1e-9);
+    }
+}

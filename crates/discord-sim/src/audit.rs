@@ -1,0 +1,142 @@
+//! The guild audit log.
+//!
+//! Every privileged action is recorded. Reading the log requires the
+//! `VIEW_AUDIT_LOG` permission — itself one of the Figure 3 permissions.
+
+use crate::guild::GuildId;
+use crate::role::RoleId;
+use crate::user::UserId;
+use netsim::clock::SimInstant;
+
+/// What happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuditAction {
+    /// A chatbot was installed via OAuth.
+    BotInstalled {
+        /// The bot account added.
+        bot: UserId,
+    },
+    /// A member was kicked.
+    MemberKicked {
+        /// The removed member.
+        subject: UserId,
+    },
+    /// A member was banned.
+    MemberBanned {
+        /// The banned member.
+        subject: UserId,
+    },
+    /// A role was granted to a member.
+    RoleGranted {
+        /// Recipient.
+        subject: UserId,
+        /// Role granted.
+        role: RoleId,
+    },
+    /// A role's permissions were edited.
+    RoleEdited {
+        /// The role.
+        role: RoleId,
+    },
+    /// A role was repositioned.
+    RoleSorted {
+        /// The role.
+        role: RoleId,
+        /// New position.
+        position: u32,
+    },
+    /// A channel was created.
+    ChannelCreated {
+        /// Channel name.
+        name: String,
+    },
+    /// A message was deleted.
+    MessageDeleted,
+    /// A nickname was changed.
+    NicknameChanged {
+        /// Whose nickname.
+        subject: UserId,
+    },
+}
+
+/// One audit log entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditEntry {
+    /// When (virtual time).
+    pub at: SimInstant,
+    /// The guild.
+    pub guild: GuildId,
+    /// Who performed the action.
+    pub actor: UserId,
+    /// What they did.
+    pub action: AuditAction,
+}
+
+/// Append-only audit log across all guilds.
+#[derive(Debug, Default)]
+pub struct AuditLog {
+    entries: Vec<AuditEntry>,
+}
+
+impl AuditLog {
+    /// Empty log.
+    pub fn new() -> AuditLog {
+        AuditLog::default()
+    }
+
+    /// Record an entry.
+    pub fn record(&mut self, entry: AuditEntry) {
+        self.entries.push(entry);
+    }
+
+    /// Entries for one guild, in order.
+    pub fn for_guild(&self, guild: GuildId) -> Vec<&AuditEntry> {
+        self.entries.iter().filter(|e| e.guild == guild).collect()
+    }
+
+    /// Entries performed by one actor.
+    pub fn by_actor(&self, actor: UserId) -> Vec<&AuditEntry> {
+        self.entries.iter().filter(|e| e.actor == actor).collect()
+    }
+
+    /// Total entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snowflake::Snowflake;
+
+    #[test]
+    fn filtering() {
+        let mut log = AuditLog::new();
+        let g1 = GuildId(Snowflake(1));
+        let g2 = GuildId(Snowflake(2));
+        let actor = UserId(Snowflake(9));
+        log.record(AuditEntry {
+            at: SimInstant::EPOCH,
+            guild: g1,
+            actor,
+            action: AuditAction::BotInstalled { bot: UserId(Snowflake(3)) },
+        });
+        log.record(AuditEntry {
+            at: SimInstant::EPOCH,
+            guild: g2,
+            actor,
+            action: AuditAction::MessageDeleted,
+        });
+        assert_eq!(log.for_guild(g1).len(), 1);
+        assert_eq!(log.for_guild(g2).len(), 1);
+        assert_eq!(log.by_actor(actor).len(), 2);
+        assert_eq!(log.len(), 2);
+        assert!(!log.is_empty());
+    }
+}

@@ -1,0 +1,134 @@
+//! Channels and permission overwrites.
+//!
+//! Guilds contain voice and text channels (§4.1). Roles "can be assigned on
+//! both a guild-based level and a channel-based level" — the channel level
+//! is expressed through allow/deny *overwrites*, which the `administrator`
+//! permission bypasses entirely.
+
+use crate::permissions::Permissions;
+use crate::role::RoleId;
+use crate::snowflake::Snowflake;
+use crate::user::UserId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier newtype for channels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ChannelId(pub Snowflake);
+
+impl fmt::Display for ChannelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "channel:{}", self.0)
+    }
+}
+
+/// Text or voice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChannelKind {
+    /// Message exchange; the honeypot operates here.
+    Text,
+    /// Voice; modeled for permission purposes only.
+    Voice,
+}
+
+/// Who a permission overwrite targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OverwriteTarget {
+    /// Applies to every member holding the role.
+    Role(RoleId),
+    /// Applies to a single member.
+    Member(UserId),
+}
+
+/// A channel-level allow/deny pair.
+///
+/// Resolution order (matching Discord): role overwrites apply first
+/// (deny then allow, aggregated across the member's roles), then member
+/// overwrites (deny then allow).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Overwrite {
+    /// Target of the overwrite.
+    pub target: OverwriteTarget,
+    /// Bits explicitly granted in this channel.
+    pub allow: Permissions,
+    /// Bits explicitly removed in this channel.
+    pub deny: Permissions,
+}
+
+/// A guild channel.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Channel {
+    /// Stable identifier.
+    pub id: ChannelId,
+    /// Display name, e.g. `general`.
+    pub name: String,
+    /// Text or voice.
+    pub kind: ChannelKind,
+    /// Channel-level permission overwrites.
+    pub overwrites: Vec<Overwrite>,
+}
+
+impl Channel {
+    /// A plain text channel with no overwrites.
+    pub fn text(id: ChannelId, name: &str) -> Channel {
+        Channel { id, name: name.to_string(), kind: ChannelKind::Text, overwrites: Vec::new() }
+    }
+
+    /// A voice channel with no overwrites.
+    pub fn voice(id: ChannelId, name: &str) -> Channel {
+        Channel { id, name: name.to_string(), kind: ChannelKind::Voice, overwrites: Vec::new() }
+    }
+
+    /// Overwrites that target the given role.
+    pub fn role_overwrites(&self, role: RoleId) -> impl Iterator<Item = &Overwrite> {
+        self.overwrites
+            .iter()
+            .filter(move |o| o.target == OverwriteTarget::Role(role))
+    }
+
+    /// The overwrite (if any) that targets the given member directly.
+    pub fn member_overwrite(&self, user: UserId) -> Option<&Overwrite> {
+        self.overwrites
+            .iter()
+            .find(|o| o.target == OverwriteTarget::Member(user))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cid(n: u64) -> ChannelId {
+        ChannelId(Snowflake(n))
+    }
+
+    #[test]
+    fn constructors() {
+        let t = Channel::text(cid(1), "general");
+        assert_eq!(t.kind, ChannelKind::Text);
+        let v = Channel::voice(cid(2), "lounge");
+        assert_eq!(v.kind, ChannelKind::Voice);
+        assert!(t.overwrites.is_empty());
+    }
+
+    #[test]
+    fn overwrite_lookup() {
+        let role = RoleId(Snowflake(10));
+        let user = UserId(Snowflake(20));
+        let mut ch = Channel::text(cid(1), "secret");
+        ch.overwrites.push(Overwrite {
+            target: OverwriteTarget::Role(role),
+            allow: Permissions::NONE,
+            deny: Permissions::VIEW_CHANNEL,
+        });
+        ch.overwrites.push(Overwrite {
+            target: OverwriteTarget::Member(user),
+            allow: Permissions::VIEW_CHANNEL,
+            deny: Permissions::NONE,
+        });
+        assert_eq!(ch.role_overwrites(role).count(), 1);
+        assert_eq!(ch.role_overwrites(RoleId(Snowflake(99))).count(), 0);
+        assert!(ch.member_overwrite(user).is_some());
+        assert!(ch.member_overwrite(UserId(Snowflake(99))).is_none());
+    }
+}

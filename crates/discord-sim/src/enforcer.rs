@@ -1,0 +1,217 @@
+//! The runtime policy enforcer — the Slack/MS-Teams model.
+//!
+//! §2/§6: messaging platforms "use a two-level access control system
+//! consisting of the OAuth protocol and a runtime policy enforcer", but the
+//! paper shows "Discord does not implement a runtime enforcer\[,\] delegating
+//! trust on third party developers, which widens the attack surface". Chen
+//! et al. \[13\] analyze the enforcer-ful platforms.
+//!
+//! This module implements that *missing* second level as an optional mode,
+//! so the reproduction can quantify what the enforcer buys: with it on, a
+//! chatbot's backend only receives content explicitly addressed to it and
+//! cannot bulk-read history — the behaviours the honeypot catches become
+//! structurally impossible rather than merely detectable.
+
+use crate::message::Message;
+use serde::{Deserialize, Serialize};
+
+/// Enforcement policy applied to bot accounts at runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum RuntimePolicy {
+    /// Discord's model: no runtime mediation. Bots see every message in
+    /// channels they can view and may read history subject only to their
+    /// (self-requested) permissions.
+    #[default]
+    Unenforced,
+    /// The Slack/Teams-style enforcer: a bot receives a message event only
+    /// when the message *addresses* it (command prefix or @-mention), its
+    /// events are stripped of attachments, and bot-initiated history reads
+    /// are denied at the gateway boundary.
+    Enforced,
+}
+
+impl RuntimePolicy {
+    /// Should this message event be delivered to a bot under the policy?
+    ///
+    /// `bot_name_slug` is the lowercase bot account name used for mention
+    /// matching (`@modbot …`).
+    pub fn delivers_message(self, message: &Message, bot_name_slug: &str) -> bool {
+        match self {
+            RuntimePolicy::Unenforced => true,
+            RuntimePolicy::Enforced => {
+                addressed_by_prefix(&message.content) || mentions(&message.content, bot_name_slug)
+            }
+        }
+    }
+
+    /// Whether attachments travel with delivered events.
+    pub fn delivers_attachments(self) -> bool {
+        matches!(self, RuntimePolicy::Unenforced)
+    }
+
+    /// Whether a bot account may call the history API at all.
+    pub fn allows_bot_history_read(self) -> bool {
+        matches!(self, RuntimePolicy::Unenforced)
+    }
+
+    /// Sanitize an event message for delivery to a bot.
+    pub fn sanitize(self, mut message: Message) -> Message {
+        if !self.delivers_attachments() {
+            message.attachments.clear();
+        }
+        message
+    }
+
+    /// The enforcer never mediates *human* accounts — only apps.
+    pub fn applies_to(self, is_bot: bool) -> bool {
+        is_bot && self == RuntimePolicy::Enforced
+    }
+
+    /// Human-readable label for logs and reports.
+    pub fn describe(self) -> &'static str {
+        match self {
+            RuntimePolicy::Unenforced => "unenforced (Discord model)",
+            RuntimePolicy::Enforced => "runtime-enforced (Slack/Teams model)",
+        }
+    }
+}
+
+/// Conventional command prefixes in the ecosystem.
+const PREFIXES: &[char] = &['!', '?', '$', '-'];
+
+fn addressed_by_prefix(content: &str) -> bool {
+    let Some(first) = content.chars().next() else { return false };
+    if !PREFIXES.contains(&first) {
+        return false;
+    }
+    // `!info` yes, `! spaced` / bare `!` no — same rule as Message::command.
+    content[first.len_utf8()..]
+        .chars()
+        .next()
+        .map(|c| !c.is_whitespace())
+        .unwrap_or(false)
+}
+
+fn mentions(content: &str, bot_name_slug: &str) -> bool {
+    let lower = content.to_ascii_lowercase();
+    lower
+        .split_whitespace()
+        .any(|w| w.trim_start_matches('@').trim_end_matches(|c: char| !c.is_ascii_alphanumeric()) == bot_name_slug && w.starts_with('@'))
+}
+
+/// Platform presets, per the paper's comparative framing (§2, §6): all the
+/// major messaging platforms share the two-level OAuth + runtime-enforcer
+/// architecture; Discord is the outlier that ships without the second
+/// level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlatformProfile {
+    /// Discord: OAuth consent, no runtime enforcement, no official
+    /// marketplace (bots found on third-party listings).
+    Discord,
+    /// Slack: OAuth + runtime policy enforcer, curated app directory.
+    Slack,
+    /// Microsoft Teams: OAuth + runtime enforcer, admin-gated store.
+    MsTeams,
+    /// Telegram: bot API with server-side scoping of what bots receive
+    /// ("privacy mode" ≈ enforced delivery).
+    Telegram,
+}
+
+impl PlatformProfile {
+    /// The runtime policy this platform applies to third-party bots.
+    pub fn runtime_policy(self) -> RuntimePolicy {
+        match self {
+            PlatformProfile::Discord => RuntimePolicy::Unenforced,
+            PlatformProfile::Slack | PlatformProfile::MsTeams | PlatformProfile::Telegram => {
+                RuntimePolicy::Enforced
+            }
+        }
+    }
+
+    /// Whether an official, vetted marketplace exists (Discord's bots live
+    /// on third-party listings like top.gg — §4.1).
+    pub fn has_official_marketplace(self) -> bool {
+        !matches!(self, PlatformProfile::Discord)
+    }
+
+    /// All modeled platforms.
+    pub const ALL: [PlatformProfile; 4] = [
+        PlatformProfile::Discord,
+        PlatformProfile::Slack,
+        PlatformProfile::MsTeams,
+        PlatformProfile::Telegram,
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::ChannelId;
+    use crate::message::MessageId;
+    use crate::snowflake::Snowflake;
+    use crate::user::UserId;
+    use netsim::clock::SimInstant;
+
+    fn msg(content: &str, n_attachments: usize) -> Message {
+        Message {
+            id: MessageId(Snowflake(1)),
+            channel: ChannelId(Snowflake(2)),
+            author: UserId(Snowflake(3)),
+            content: content.into(),
+            attachments: (0..n_attachments)
+                .map(|i| crate::message::Attachment::new(&format!("f{i}"), "x", vec![0u8]))
+                .collect(),
+            at: SimInstant::EPOCH,
+        }
+    }
+
+    #[test]
+    fn unenforced_delivers_everything() {
+        let p = RuntimePolicy::Unenforced;
+        assert!(p.delivers_message(&msg("ordinary gossip", 0), "modbot"));
+        assert!(p.delivers_attachments());
+        assert!(p.allows_bot_history_read());
+        assert_eq!(p.sanitize(msg("x", 2)).attachments.len(), 2);
+    }
+
+    #[test]
+    fn enforced_delivers_only_addressed_messages() {
+        let p = RuntimePolicy::Enforced;
+        assert!(p.delivers_message(&msg("!kick @bob", 0), "modbot"));
+        assert!(p.delivers_message(&msg("?help", 0), "modbot"));
+        assert!(p.delivers_message(&msg("hey @modbot do the thing", 0), "modbot"));
+        assert!(p.delivers_message(&msg("@ModBot, ping", 0), "modbot"));
+        assert!(!p.delivers_message(&msg("ordinary gossip", 0), "modbot"));
+        assert!(!p.delivers_message(&msg("see https://secret.doc/x", 0), "modbot"));
+        assert!(!p.delivers_message(&msg("! spaced is not a command", 0), "modbot"));
+        assert!(!p.delivers_message(&msg("email modbot@example.com", 0), "modbot"), "plain word, no @-prefix");
+    }
+
+    #[test]
+    fn enforced_strips_attachments_and_blocks_history() {
+        let p = RuntimePolicy::Enforced;
+        assert!(!p.delivers_attachments());
+        assert!(!p.allows_bot_history_read());
+        assert!(p.sanitize(msg("!open", 3)).attachments.is_empty());
+    }
+
+    #[test]
+    fn platform_profiles_match_the_papers_framing() {
+        // "Discord does not implement user-permission checks—a task
+        // entrusted to third-party developers" (abstract); the rest enforce.
+        assert_eq!(PlatformProfile::Discord.runtime_policy(), RuntimePolicy::Unenforced);
+        for p in [PlatformProfile::Slack, PlatformProfile::MsTeams, PlatformProfile::Telegram] {
+            assert_eq!(p.runtime_policy(), RuntimePolicy::Enforced, "{p:?}");
+        }
+        assert!(!PlatformProfile::Discord.has_official_marketplace());
+        assert!(PlatformProfile::Slack.has_official_marketplace());
+        assert_eq!(PlatformProfile::ALL.len(), 4);
+    }
+
+    #[test]
+    fn enforcer_only_applies_to_bots() {
+        assert!(RuntimePolicy::Enforced.applies_to(true));
+        assert!(!RuntimePolicy::Enforced.applies_to(false));
+        assert!(!RuntimePolicy::Unenforced.applies_to(true));
+    }
+}

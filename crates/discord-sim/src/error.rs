@@ -1,0 +1,85 @@
+//! Platform error taxonomy.
+
+use crate::permissions::Permissions;
+use std::fmt;
+
+/// Why a platform API call was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlatformError {
+    /// The actor lacks a required permission in the relevant scope.
+    MissingPermission {
+        /// What was required.
+        required: Permissions,
+        /// Human-readable action description.
+        action: String,
+    },
+    /// The action violates the role hierarchy (rules i–iv of §4.1).
+    HierarchyViolation {
+        /// Which rule was violated, verbatim from the paper.
+        rule: &'static str,
+    },
+    /// Referenced entity does not exist.
+    NotFound {
+        /// What was looked up.
+        what: String,
+    },
+    /// The actor is not a member of the guild.
+    NotAMember,
+    /// Private guilds require an invite (§4.1).
+    InviteRequired,
+    /// A new account joined guilds too quickly and was flagged; mobile
+    /// verification required (§4.2).
+    VerificationRequired,
+    /// OAuth installation problem (bad scope, missing consent, …).
+    OAuth {
+        /// Reason text.
+        reason: String,
+    },
+    /// The install flow presented a captcha that was not solved.
+    CaptchaRequired,
+    /// Anything else.
+    Invalid {
+        /// Reason text.
+        reason: String,
+    },
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformError::MissingPermission { required, action } => {
+                write!(f, "missing permission [{required}] for {action}")
+            }
+            PlatformError::HierarchyViolation { rule } => {
+                write!(f, "role hierarchy violation: {rule}")
+            }
+            PlatformError::NotFound { what } => write!(f, "not found: {what}"),
+            PlatformError::NotAMember => f.write_str("actor is not a member of the guild"),
+            PlatformError::InviteRequired => f.write_str("private guild requires an invite"),
+            PlatformError::VerificationRequired => {
+                f.write_str("account flagged: mobile verification required")
+            }
+            PlatformError::OAuth { reason } => write!(f, "oauth error: {reason}"),
+            PlatformError::CaptchaRequired => f.write_str("captcha required"),
+            PlatformError::Invalid { reason } => write!(f, "invalid: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_permission_names() {
+        let e = PlatformError::MissingPermission {
+            required: Permissions::MANAGE_GUILD,
+            action: "install a chatbot".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("manage server"));
+        assert!(s.contains("install a chatbot"));
+    }
+}

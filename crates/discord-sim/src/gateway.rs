@@ -1,0 +1,98 @@
+//! Gateway events.
+//!
+//! Installed chatbots receive a feed of guild events — the mechanism that
+//! lets a bot backend observe every message in every channel it can see,
+//! which is exactly the surface the honeypot experiment probes.
+
+use crate::channel::ChannelId;
+use crate::guild::GuildId;
+use crate::message::Message;
+use crate::user::UserId;
+
+/// An event pushed to a bot's gateway connection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GatewayEvent {
+    /// The bot was added to a guild.
+    GuildCreate {
+        /// The guild joined.
+        guild: GuildId,
+        /// The guild's display name (bots key honeypot attribution off this).
+        guild_name: String,
+    },
+    /// A message was posted in a channel the bot can see.
+    MessageCreate {
+        /// Guild the channel belongs to.
+        guild: GuildId,
+        /// The message (content + attachments).
+        message: Message,
+    },
+    /// A member joined the guild.
+    GuildMemberAdd {
+        /// The guild.
+        guild: GuildId,
+        /// Who joined.
+        user: UserId,
+    },
+    /// A member left or was removed.
+    GuildMemberRemove {
+        /// The guild.
+        guild: GuildId,
+        /// Who left.
+        user: UserId,
+    },
+    /// A channel was created.
+    ChannelCreate {
+        /// The guild.
+        guild: GuildId,
+        /// The new channel.
+        channel: ChannelId,
+    },
+    /// A slash-command interaction, delivered only after the platform has
+    /// verified the invoker's `default_member_permissions`.
+    InteractionCreate {
+        /// The guild.
+        guild: GuildId,
+        /// Channel the interaction was issued from.
+        channel: ChannelId,
+        /// The verified invoking user.
+        invoker: UserId,
+        /// Command name (no slash).
+        command: String,
+        /// Raw argument string.
+        args: String,
+    },
+}
+
+impl GatewayEvent {
+    /// The guild this event concerns.
+    pub fn guild(&self) -> GuildId {
+        match self {
+            GatewayEvent::GuildCreate { guild, .. }
+            | GatewayEvent::MessageCreate { guild, .. }
+            | GatewayEvent::GuildMemberAdd { guild, .. }
+            | GatewayEvent::GuildMemberRemove { guild, .. }
+            | GatewayEvent::ChannelCreate { guild, .. }
+            | GatewayEvent::InteractionCreate { guild, .. } => *guild,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snowflake::Snowflake;
+
+    #[test]
+    fn guild_accessor_covers_all_variants() {
+        let gid = GuildId(Snowflake(5));
+        let events = [
+            GatewayEvent::GuildCreate { guild: gid, guild_name: "g".into() },
+            GatewayEvent::GuildMemberAdd { guild: gid, user: UserId(Snowflake(1)) },
+            GatewayEvent::GuildMemberRemove { guild: gid, user: UserId(Snowflake(1)) },
+            GatewayEvent::ChannelCreate { guild: gid, channel: ChannelId(Snowflake(2)) },
+        ];
+        for e in events {
+            assert_eq!(e.guild(), gid);
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Guilds (servers), members, and invites.
+
+use crate::channel::{Channel, ChannelId};
+use crate::error::PlatformError;
+use crate::permissions::Permissions;
+use crate::role::{Role, RoleId};
+use crate::snowflake::Snowflake;
+use crate::user::UserId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier newtype for guilds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct GuildId(pub Snowflake);
+
+impl fmt::Display for GuildId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "guild:{}", self.0)
+    }
+}
+
+/// Public guilds are open to anyone; private guilds need an invite (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GuildVisibility {
+    /// Anyone may join.
+    Public,
+    /// Joining requires an invite code.
+    Private,
+}
+
+/// A user's membership in one guild.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Member {
+    /// The account.
+    pub user: UserId,
+    /// Additional roles beyond the implicit `@everyone`.
+    pub roles: Vec<RoleId>,
+    /// Per-guild nickname.
+    pub nickname: Option<String>,
+}
+
+/// A guild: roles, members, channels.
+#[derive(Debug, Clone)]
+pub struct Guild {
+    /// Stable identifier.
+    pub id: GuildId,
+    /// Display name. The honeypot names guilds after the bot under test so
+    /// canary triggers can be attributed (§4.2).
+    pub name: String,
+    /// The owning user — always treated as having every permission.
+    pub owner: UserId,
+    /// Public or private.
+    pub visibility: GuildVisibility,
+    /// All roles, keyed by ID. Always contains the `@everyone` role.
+    pub roles: BTreeMap<RoleId, Role>,
+    /// The `@everyone` role's ID.
+    pub everyone_role: RoleId,
+    /// Members keyed by user.
+    pub members: BTreeMap<UserId, Member>,
+    /// Channels keyed by ID.
+    pub channels: BTreeMap<ChannelId, Channel>,
+    /// Outstanding invite codes.
+    pub invites: Vec<String>,
+}
+
+impl Guild {
+    /// Create a guild with the implicit `@everyone` role and the owner as
+    /// first member.
+    pub fn new(id: GuildId, name: &str, owner: UserId, everyone_role_id: RoleId, visibility: GuildVisibility) -> Guild {
+        let everyone = Role::everyone(everyone_role_id);
+        let mut roles = BTreeMap::new();
+        roles.insert(everyone_role_id, everyone);
+        let mut members = BTreeMap::new();
+        members.insert(owner, Member { user: owner, roles: Vec::new(), nickname: None });
+        Guild {
+            id,
+            name: name.to_string(),
+            owner,
+            visibility,
+            roles,
+            everyone_role: everyone_role_id,
+            members,
+            channels: BTreeMap::new(),
+            invites: Vec::new(),
+        }
+    }
+
+    /// Membership lookup.
+    pub fn member(&self, user: UserId) -> Result<&Member, PlatformError> {
+        self.members.get(&user).ok_or(PlatformError::NotAMember)
+    }
+
+    /// Mutable membership lookup.
+    pub fn member_mut(&mut self, user: UserId) -> Result<&mut Member, PlatformError> {
+        self.members.get_mut(&user).ok_or(PlatformError::NotAMember)
+    }
+
+    /// Role lookup.
+    pub fn role(&self, id: RoleId) -> Result<&Role, PlatformError> {
+        self.roles.get(&id).ok_or_else(|| PlatformError::NotFound { what: id.to_string() })
+    }
+
+    /// Channel lookup.
+    pub fn channel(&self, id: ChannelId) -> Result<&Channel, PlatformError> {
+        self.channels.get(&id).ok_or_else(|| PlatformError::NotFound { what: id.to_string() })
+    }
+
+    /// All roles a member holds, including `@everyone`.
+    pub fn member_roles(&self, user: UserId) -> Result<Vec<&Role>, PlatformError> {
+        let member = self.member(user)?;
+        let mut roles = vec![self.role(self.everyone_role)?];
+        for rid in &member.roles {
+            roles.push(self.role(*rid)?);
+        }
+        Ok(roles)
+    }
+
+    /// The *position* of the member's highest role (0 = only `@everyone`).
+    ///
+    /// The hierarchy rules in §4.1 are all phrased in terms of this value.
+    pub fn highest_role_position(&self, user: UserId) -> Result<u32, PlatformError> {
+        Ok(self.member_roles(user)?.iter().map(|r| r.position).max().unwrap_or(0))
+    }
+
+    /// Union of guild-level permissions across the member's roles
+    /// (without the admin short-circuit — see [`crate::resolve`]).
+    pub fn base_permissions(&self, user: UserId) -> Result<Permissions, PlatformError> {
+        Ok(self
+            .member_roles(user)?
+            .iter()
+            .fold(Permissions::NONE, |acc, r| acc | r.permissions))
+    }
+
+    /// Text channels in ID order.
+    pub fn text_channels(&self) -> impl Iterator<Item = &Channel> {
+        self.channels
+            .values()
+            .filter(|c| c.kind == crate::channel::ChannelKind::Text)
+    }
+
+    /// Whether an invite code is valid for this guild.
+    pub fn has_invite(&self, code: &str) -> bool {
+        self.invites.iter().any(|c| c == code)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids() -> (GuildId, UserId, RoleId) {
+        (GuildId(Snowflake(1)), UserId(Snowflake(2)), RoleId(Snowflake(3)))
+    }
+
+    #[test]
+    fn new_guild_has_everyone_and_owner() {
+        let (gid, owner, rid) = ids();
+        let g = Guild::new(gid, "test", owner, rid, GuildVisibility::Private);
+        assert!(g.roles[&rid].is_everyone());
+        assert!(g.member(owner).is_ok());
+        assert_eq!(g.members.len(), 1);
+    }
+
+    #[test]
+    fn member_roles_include_everyone() {
+        let (gid, owner, rid) = ids();
+        let mut g = Guild::new(gid, "test", owner, rid, GuildVisibility::Public);
+        let mod_role = RoleId(Snowflake(10));
+        g.roles.insert(
+            mod_role,
+            Role { id: mod_role, name: "Mod".into(), position: 3, permissions: Permissions::KICK_MEMBERS },
+        );
+        g.member_mut(owner).unwrap().roles.push(mod_role);
+        let roles = g.member_roles(owner).unwrap();
+        assert_eq!(roles.len(), 2);
+        assert_eq!(g.highest_role_position(owner).unwrap(), 3);
+        let base = g.base_permissions(owner).unwrap();
+        assert!(base.contains(Permissions::KICK_MEMBERS));
+        assert!(base.contains(Permissions::SEND_MESSAGES), "from @everyone");
+    }
+
+    #[test]
+    fn non_member_lookup_fails() {
+        let (gid, owner, rid) = ids();
+        let g = Guild::new(gid, "test", owner, rid, GuildVisibility::Public);
+        let stranger = UserId(Snowflake(99));
+        assert_eq!(g.member(stranger).unwrap_err(), PlatformError::NotAMember);
+        assert!(g.highest_role_position(stranger).is_err());
+    }
+
+    #[test]
+    fn invites() {
+        let (gid, owner, rid) = ids();
+        let mut g = Guild::new(gid, "test", owner, rid, GuildVisibility::Private);
+        assert!(!g.has_invite("abc"));
+        g.invites.push("abc".into());
+        assert!(g.has_invite("abc"));
+    }
+}

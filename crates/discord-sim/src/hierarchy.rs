@@ -1,0 +1,206 @@
+//! The five role-hierarchy rules, as enumerated in §4.1:
+//!
+//! 1. "A chatbot can grant roles to other users of a lower position than its
+//!    own highest role."
+//! 2. "A chatbot can edit roles of a lower position than its highest role,
+//!    but it can only grant permissions it has to those roles."
+//! 3. "A chatbot can only sort roles lower than its highest role."
+//! 4. "A chatbot can only kick, ban, and edit nicknames for users whose
+//!    highest role is lower than the chatbot's highest role."
+//! 5. "Otherwise, permissions do not obey the role hierarchy."
+//!
+//! The rules are stated for chatbots but apply to any actor; the platform
+//! applies them uniformly. The guild owner is exempt.
+
+use crate::error::PlatformError;
+use crate::guild::Guild;
+use crate::permissions::Permissions;
+use crate::role::RoleId;
+use crate::user::UserId;
+
+/// Rule 1: may `actor` grant `role` to someone?
+pub fn can_grant_role(guild: &Guild, actor: UserId, role: RoleId) -> Result<(), PlatformError> {
+    if actor == guild.owner {
+        return Ok(());
+    }
+    let actor_top = guild.highest_role_position(actor)?;
+    let target = guild.role(role)?;
+    if target.position < actor_top {
+        Ok(())
+    } else {
+        Err(PlatformError::HierarchyViolation {
+            rule: "can only grant roles of a lower position than own highest role",
+        })
+    }
+}
+
+/// Rule 2: may `actor` edit `role` to carry `new_permissions`?
+///
+/// Both halves are checked: the role must sit below the actor's highest
+/// role, and the actor can only put permissions *it has* onto the role.
+pub fn can_edit_role(
+    guild: &Guild,
+    actor: UserId,
+    role: RoleId,
+    new_permissions: Permissions,
+) -> Result<(), PlatformError> {
+    if actor == guild.owner {
+        return Ok(());
+    }
+    let actor_top = guild.highest_role_position(actor)?;
+    let target = guild.role(role)?;
+    if target.position >= actor_top {
+        return Err(PlatformError::HierarchyViolation {
+            rule: "can only edit roles of a lower position than own highest role",
+        });
+    }
+    let actor_perms = crate::resolve::guild_permissions(guild, actor)?;
+    let granting = new_permissions.difference(target.permissions);
+    if !actor_perms.contains(granting) {
+        return Err(PlatformError::HierarchyViolation {
+            rule: "can only grant permissions it has to edited roles",
+        });
+    }
+    Ok(())
+}
+
+/// Rule 3: may `actor` move `role` to `new_position`?
+pub fn can_sort_role(
+    guild: &Guild,
+    actor: UserId,
+    role: RoleId,
+    new_position: u32,
+) -> Result<(), PlatformError> {
+    if actor == guild.owner {
+        return Ok(());
+    }
+    let actor_top = guild.highest_role_position(actor)?;
+    let target = guild.role(role)?;
+    if target.position >= actor_top || new_position >= actor_top {
+        return Err(PlatformError::HierarchyViolation {
+            rule: "can only sort roles lower than own highest role",
+        });
+    }
+    Ok(())
+}
+
+/// Rule 4: may `actor` kick/ban/edit-nickname `subject`?
+pub fn can_moderate_member(
+    guild: &Guild,
+    actor: UserId,
+    subject: UserId,
+) -> Result<(), PlatformError> {
+    if actor == guild.owner {
+        return Ok(());
+    }
+    if subject == guild.owner {
+        return Err(PlatformError::HierarchyViolation {
+            rule: "cannot moderate the guild owner",
+        });
+    }
+    let actor_top = guild.highest_role_position(actor)?;
+    let subject_top = guild.highest_role_position(subject)?;
+    if subject_top < actor_top {
+        Ok(())
+    } else {
+        Err(PlatformError::HierarchyViolation {
+            rule: "can only moderate users whose highest role is lower than own highest role",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::guild::{GuildId, GuildVisibility, Member};
+    use crate::role::Role;
+    use crate::snowflake::Snowflake;
+
+    struct Fixture {
+        guild: Guild,
+        bot: UserId,
+        alice: UserId,
+        low: RoleId,
+        mid: RoleId,
+        high: RoleId,
+    }
+
+    /// bot holds `mid` (pos 5); alice holds nothing; roles low(2) < mid(5) < high(8).
+    fn fixture() -> Fixture {
+        let owner = UserId(Snowflake(1));
+        let bot = UserId(Snowflake(2));
+        let alice = UserId(Snowflake(3));
+        let everyone = RoleId(Snowflake(10));
+        let low = RoleId(Snowflake(11));
+        let mid = RoleId(Snowflake(12));
+        let high = RoleId(Snowflake(13));
+        let mut guild =
+            Guild::new(GuildId(Snowflake(100)), "h", owner, everyone, GuildVisibility::Private);
+        for (rid, name, pos, perms) in [
+            (low, "low", 2, Permissions::SEND_MESSAGES),
+            (mid, "mid", 5, Permissions::KICK_MEMBERS | Permissions::MANAGE_ROLES),
+            (high, "high", 8, Permissions::BAN_MEMBERS),
+        ] {
+            guild.roles.insert(rid, Role { id: rid, name: name.into(), position: pos, permissions: perms });
+        }
+        guild.members.insert(bot, Member { user: bot, roles: vec![mid], nickname: None });
+        guild.members.insert(alice, Member { user: alice, roles: vec![], nickname: None });
+        Fixture { guild, bot, alice, low, mid, high }
+    }
+
+    #[test]
+    fn rule1_grant_only_lower() {
+        let f = fixture();
+        assert!(can_grant_role(&f.guild, f.bot, f.low).is_ok());
+        assert!(can_grant_role(&f.guild, f.bot, f.mid).is_err(), "equal position denied");
+        assert!(can_grant_role(&f.guild, f.bot, f.high).is_err());
+    }
+
+    #[test]
+    fn rule2_edit_only_lower_and_only_own_permissions() {
+        let f = fixture();
+        // Editing `low` to add KICK_MEMBERS (bot has it): ok.
+        assert!(can_edit_role(&f.guild, f.bot, f.low, Permissions::SEND_MESSAGES | Permissions::KICK_MEMBERS).is_ok());
+        // Editing `low` to add BAN_MEMBERS (bot lacks it): hierarchy violation.
+        assert!(can_edit_role(&f.guild, f.bot, f.low, Permissions::BAN_MEMBERS).is_err());
+        // Editing `high` at all: violation.
+        assert!(can_edit_role(&f.guild, f.bot, f.high, Permissions::NONE).is_err());
+        // Keeping existing permissions the role already has is fine even if
+        // the bot lacks them (it is not *granting* anything new).
+        assert!(can_edit_role(&f.guild, f.bot, f.low, Permissions::SEND_MESSAGES).is_ok());
+    }
+
+    #[test]
+    fn rule3_sort_only_below_own_top() {
+        let f = fixture();
+        assert!(can_sort_role(&f.guild, f.bot, f.low, 3).is_ok());
+        assert!(can_sort_role(&f.guild, f.bot, f.low, 5).is_err(), "cannot sort to own level");
+        assert!(can_sort_role(&f.guild, f.bot, f.low, 7).is_err(), "cannot sort above own level");
+        assert!(can_sort_role(&f.guild, f.bot, f.high, 1).is_err(), "cannot touch higher role");
+    }
+
+    #[test]
+    fn rule4_moderate_only_lower_users() {
+        let mut f = fixture();
+        // alice (pos 0) < bot (pos 5): ok.
+        assert!(can_moderate_member(&f.guild, f.bot, f.alice).is_ok());
+        // Give alice `high` → she outranks the bot.
+        f.guild.member_mut(f.alice).unwrap().roles.push(f.high);
+        assert!(can_moderate_member(&f.guild, f.bot, f.alice).is_err());
+        // Equal rank is also denied.
+        f.guild.member_mut(f.alice).unwrap().roles = vec![f.mid];
+        assert!(can_moderate_member(&f.guild, f.bot, f.alice).is_err());
+    }
+
+    #[test]
+    fn owner_is_exempt_and_protected() {
+        let f = fixture();
+        let owner = f.guild.owner;
+        assert!(can_grant_role(&f.guild, owner, f.high).is_ok());
+        assert!(can_edit_role(&f.guild, owner, f.high, Permissions::ALL_KNOWN).is_ok());
+        assert!(can_sort_role(&f.guild, owner, f.high, 100).is_ok());
+        assert!(can_moderate_member(&f.guild, owner, f.bot).is_ok());
+        // Nobody moderates the owner.
+        assert!(can_moderate_member(&f.guild, f.bot, owner).is_err());
+    }
+}

@@ -1,0 +1,64 @@
+//! # discord-sim — a faithful model of the Discord platform surface
+//!
+//! The paper's findings hinge on specific semantics of Discord's permission
+//! system (§4.1): the 40+ permission bits, the `administrator` short-circuit,
+//! channel permission overwrites, the five role-hierarchy rules, OAuth-based
+//! chatbot installation gated on `MANAGE_GUILD`, and — crucially — the fact
+//! that the platform enforces a *bot's* permissions but leaves checking the
+//! *invoking user's* permissions entirely to third-party developers (the root
+//! of the permission re-delegation risk the paper measures).
+//!
+//! This crate implements that platform surface:
+//!
+//! * [`snowflake`] — time-ordered IDs, generated from the shared virtual clock;
+//! * [`permissions`] — the permission bitfield and its invite-link encoding;
+//! * [`role`], [`user`], [`channel`], [`message`] — the data model;
+//! * [`guild`] — guilds, members, roles, channels, invites;
+//! * [`resolve`] — effective-permission computation (base roles → admin
+//!   short-circuit → channel overwrites → owner override);
+//! * [`hierarchy`] — the five hierarchy rules quoted verbatim from §4.1;
+//! * [`oauth`] — invite URLs, scopes, and the consent screen (Figure 2);
+//! * [`gateway`] — event dispatch to installed bots;
+//! * [`audit`] — the audit log;
+//! * [`platform`] — the API surface tying it together, with Discord's
+//!   enforcement model: every call is checked against the *actor's* effective
+//!   permissions, and nothing else.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod audit;
+pub mod channel;
+pub mod enforcer;
+pub mod error;
+pub mod gateway;
+pub mod guild;
+pub mod hierarchy;
+pub mod message;
+pub mod oauth;
+pub mod permissions;
+pub mod platform;
+pub mod resolve;
+pub mod role;
+pub mod slash;
+pub mod snowflake;
+pub mod user;
+pub mod webgate;
+
+pub use channel::{Channel, ChannelId, ChannelKind, Overwrite, OverwriteTarget};
+pub use enforcer::{PlatformProfile, RuntimePolicy};
+pub use error::PlatformError;
+pub use gateway::GatewayEvent;
+pub use guild::{Guild, GuildId, GuildVisibility, Member};
+pub use message::{Attachment, Message, MessageId};
+pub use oauth::{InviteUrl, OAuthScope};
+pub use permissions::Permissions;
+pub use platform::{Emoji, Platform, Webhook};
+pub use role::{Role, RoleId};
+pub use slash::SlashCommand;
+pub use snowflake::{Snowflake, SnowflakeGen};
+pub use user::{User, UserId, UserKind};
+pub use webgate::{OAuthWebGate, PLATFORM_HOST};
+
+/// Result alias for platform operations.
+pub type PlatformResult<T> = Result<T, PlatformError>;

@@ -1,0 +1,143 @@
+//! Messages and attachments.
+
+use crate::channel::ChannelId;
+use crate::snowflake::Snowflake;
+use crate::user::UserId;
+use bytes::Bytes;
+use netsim::clock::SimInstant;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier newtype for messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MessageId(pub Snowflake);
+
+impl fmt::Display for MessageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "message:{}", self.0)
+    }
+}
+
+/// A file attached to a message. The honeypot posts canary Word/PDF
+/// documents as attachments; their `bytes` embed the token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attachment {
+    /// File name, e.g. `Q3-budget.docx`.
+    pub filename: String,
+    /// Declared media type, e.g. `application/pdf`.
+    pub content_type: String,
+    /// File contents.
+    pub bytes: Bytes,
+}
+
+impl Attachment {
+    /// Build an attachment from parts.
+    pub fn new(filename: &str, content_type: &str, bytes: impl Into<Bytes>) -> Attachment {
+        Attachment {
+            filename: filename.to_string(),
+            content_type: content_type.to_string(),
+            bytes: bytes.into(),
+        }
+    }
+}
+
+/// A message in a text channel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Stable identifier (timestamp-ordered).
+    pub id: MessageId,
+    /// Channel the message was posted in.
+    pub channel: ChannelId,
+    /// Author account (human or bot).
+    pub author: UserId,
+    /// Text content.
+    pub content: String,
+    /// Attached files.
+    pub attachments: Vec<Attachment>,
+    /// Virtual post time.
+    pub at: SimInstant,
+}
+
+impl Message {
+    /// Whether the content invokes a command with the given prefix, e.g.
+    /// `!info` for prefix `!`.
+    pub fn command<'a>(&'a self, prefix: &str) -> Option<(&'a str, &'a str)> {
+        let rest = self.content.strip_prefix(prefix)?;
+        if rest.is_empty() || rest.starts_with(char::is_whitespace) {
+            return None;
+        }
+        match rest.split_once(char::is_whitespace) {
+            Some((cmd, args)) => Some((cmd, args.trim())),
+            None => Some((rest, "")),
+        }
+    }
+
+    /// URLs mentioned in the message content (scheme `http`/`https`).
+    pub fn urls(&self) -> Vec<&str> {
+        self.content
+            .split_whitespace()
+            .filter(|w| w.starts_with("http://") || w.starts_with("https://"))
+            .collect()
+    }
+
+    /// Email addresses mentioned in the content (lightweight heuristic:
+    /// `local@domain.tld` tokens).
+    pub fn emails(&self) -> Vec<&str> {
+        self.content
+            .split_whitespace()
+            .map(|w| w.trim_matches(|c: char| !c.is_ascii_alphanumeric() && c != '@' && c != '.' && c != '-' && c != '_' && c != '+'))
+            .filter(|w| {
+                let Some((local, domain)) = w.split_once('@') else { return false };
+                !local.is_empty() && domain.contains('.') && !domain.starts_with('.') && !domain.ends_with('.')
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(content: &str) -> Message {
+        Message {
+            id: MessageId(Snowflake(1)),
+            channel: ChannelId(Snowflake(2)),
+            author: UserId(Snowflake(3)),
+            content: content.to_string(),
+            attachments: Vec::new(),
+            at: SimInstant::EPOCH,
+        }
+    }
+
+    #[test]
+    fn command_parsing() {
+        assert_eq!(msg("!info").command("!"), Some(("info", "")));
+        assert_eq!(msg("!kick @bob being rude").command("!"), Some(("kick", "@bob being rude")));
+        assert_eq!(msg("hello !info").command("!"), None);
+        assert_eq!(msg("! spaced").command("!"), None);
+        assert_eq!(msg("?info").command("!"), None);
+        assert_eq!(msg("$$play song").command("$$"), Some(("play", "song")));
+    }
+
+    #[test]
+    fn url_extraction() {
+        let m = msg("check https://docs.example/report and http://a.b/c now");
+        assert_eq!(m.urls(), vec!["https://docs.example/report", "http://a.b/c"]);
+        assert!(msg("no links here").urls().is_empty());
+    }
+
+    #[test]
+    fn email_extraction() {
+        let m = msg("reach me at finance-lead@corp.example, thanks");
+        assert_eq!(m.emails(), vec!["finance-lead@corp.example"]);
+        assert!(msg("not an @ email").emails().is_empty());
+        assert!(msg("bad@domain").emails().is_empty());
+    }
+
+    #[test]
+    fn attachments_carry_bytes() {
+        let a = Attachment::new("x.pdf", "application/pdf", vec![1, 2, 3]);
+        assert_eq!(a.bytes.len(), 3);
+        assert_eq!(a.filename, "x.pdf");
+    }
+}

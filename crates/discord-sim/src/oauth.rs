@@ -1,0 +1,308 @@
+//! OAuth2 installation: scopes, invite URLs, and the consent screen.
+//!
+//! Chatbots are installed through an OAuth link (§4.1). The link encodes the
+//! application ID, the requested scopes, and the permission bitfield; the
+//! platform then shows the user a consent screen (Figure 2) and requires the
+//! installer to hold `MANAGE_GUILD` in the target guild.
+
+use crate::error::PlatformError;
+use crate::permissions::Permissions;
+use netsim::http::Url;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// OAuth scopes a chatbot may request.
+///
+/// §4.1: extra scopes "can give them extra user data as well as other
+/// privileges"; some are whitelist-gated, some testing-only, and `bot` is
+/// required for all chatbots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum OAuthScope {
+    /// The chatbot scope itself — required for installation.
+    Bot,
+    /// Read the user's account identity.
+    Identify,
+    /// Read the user's email address.
+    Email,
+    /// List the user's guilds.
+    Guilds,
+    /// Join guilds on the user's behalf.
+    GuildsJoin,
+    /// Register slash commands.
+    ApplicationsCommands,
+    /// Read messages across channels — whitelist-gated.
+    MessagesRead,
+    /// Low-level RPC — testing only.
+    Rpc,
+    /// RPC notification feed — testing only.
+    RpcNotificationsRead,
+    /// Create an incoming webhook on install.
+    WebhookIncoming,
+}
+
+impl OAuthScope {
+    /// Wire name used in invite URLs.
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            OAuthScope::Bot => "bot",
+            OAuthScope::Identify => "identify",
+            OAuthScope::Email => "email",
+            OAuthScope::Guilds => "guilds",
+            OAuthScope::GuildsJoin => "guilds.join",
+            OAuthScope::ApplicationsCommands => "applications.commands",
+            OAuthScope::MessagesRead => "messages.read",
+            OAuthScope::Rpc => "rpc",
+            OAuthScope::RpcNotificationsRead => "rpc.notifications.read",
+            OAuthScope::WebhookIncoming => "webhook.incoming",
+        }
+    }
+
+    /// Parse a wire name.
+    pub fn from_wire(s: &str) -> Option<OAuthScope> {
+        Some(match s {
+            "bot" => OAuthScope::Bot,
+            "identify" => OAuthScope::Identify,
+            "email" => OAuthScope::Email,
+            "guilds" => OAuthScope::Guilds,
+            "guilds.join" => OAuthScope::GuildsJoin,
+            "applications.commands" => OAuthScope::ApplicationsCommands,
+            "messages.read" => OAuthScope::MessagesRead,
+            "rpc" => OAuthScope::Rpc,
+            "rpc.notifications.read" => OAuthScope::RpcNotificationsRead,
+            "webhook.incoming" => OAuthScope::WebhookIncoming,
+            _ => return None,
+        })
+    }
+
+    /// Scopes only granted to applications whitelisted by platform staff.
+    pub fn requires_whitelist(self) -> bool {
+        matches!(self, OAuthScope::MessagesRead)
+    }
+
+    /// Scopes only usable by the developer's own test accounts.
+    pub fn testing_only(self) -> bool {
+        matches!(self, OAuthScope::Rpc | OAuthScope::RpcNotificationsRead)
+    }
+
+    /// What the consent screen tells the user this scope exposes.
+    pub fn consent_line(self) -> &'static str {
+        match self {
+            OAuthScope::Bot => "Add a bot to a server you manage",
+            OAuthScope::Identify => "Access your username, avatar, and banner",
+            OAuthScope::Email => "Access your email address",
+            OAuthScope::Guilds => "Know what servers you're in",
+            OAuthScope::GuildsJoin => "Join servers for you",
+            OAuthScope::ApplicationsCommands => "Create commands in a server you manage",
+            OAuthScope::MessagesRead => "Read all messages you can see",
+            OAuthScope::Rpc => "Control your local Discord client (testing)",
+            OAuthScope::RpcNotificationsRead => "Read your notifications (testing)",
+            OAuthScope::WebhookIncoming => "Create a webhook to post in a channel",
+        }
+    }
+}
+
+impl fmt::Display for OAuthScope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.wire_name())
+    }
+}
+
+/// A parsed chatbot invite link.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InviteUrl {
+    /// Application (bot) client ID — raw snowflake value.
+    pub client_id: u64,
+    /// Requested scopes.
+    pub scopes: Vec<OAuthScope>,
+    /// Requested permission bitfield.
+    pub permissions: Permissions,
+}
+
+/// Host on which the platform's OAuth endpoint lives in the simulation.
+pub const OAUTH_HOST: &str = "discord.sim";
+/// Path of the OAuth authorize endpoint.
+pub const OAUTH_PATH: &str = "/oauth2/authorize";
+
+impl InviteUrl {
+    /// Standard invite for a bot with permissions.
+    pub fn bot(client_id: u64, permissions: Permissions) -> InviteUrl {
+        InviteUrl { client_id, scopes: vec![OAuthScope::Bot], permissions }
+    }
+
+    /// Add an extra scope.
+    pub fn with_scope(mut self, scope: OAuthScope) -> InviteUrl {
+        if !self.scopes.contains(&scope) {
+            self.scopes.push(scope);
+        }
+        self
+    }
+
+    /// Render the OAuth URL.
+    pub fn to_url(&self) -> Url {
+        let scope_str = self
+            .scopes
+            .iter()
+            .map(|s| s.wire_name())
+            .collect::<Vec<_>>()
+            .join(" ");
+        Url::https(OAUTH_HOST, OAUTH_PATH)
+            .with_query("client_id", &self.client_id.to_string())
+            .with_query("scope", &scope_str)
+            .with_query("permissions", &self.permissions.to_invite_field())
+    }
+
+    /// Parse an invite URL, validating shape. This mirrors what the paper's
+    /// crawler does with the install links it scrapes; malformed links are
+    /// the "invalid permissions" bucket of §4.2.
+    pub fn parse(url: &Url) -> Result<InviteUrl, PlatformError> {
+        if url.host != OAUTH_HOST || url.path != OAUTH_PATH {
+            return Err(PlatformError::OAuth {
+                reason: format!("not an oauth authorize url: {url}"),
+            });
+        }
+        let client_id = url
+            .query_param("client_id")
+            .and_then(|v| v.parse::<u64>().ok())
+            .ok_or_else(|| PlatformError::OAuth { reason: "missing/invalid client_id".into() })?;
+        let scopes_raw = url.query_param("scope").unwrap_or("");
+        let mut scopes = Vec::new();
+        for part in scopes_raw.split([' ', '+']).filter(|p| !p.is_empty()) {
+            let scope = OAuthScope::from_wire(part)
+                .ok_or_else(|| PlatformError::OAuth { reason: format!("unknown scope {part:?}") })?;
+            if !scopes.contains(&scope) {
+                scopes.push(scope);
+            }
+        }
+        if !scopes.contains(&OAuthScope::Bot) {
+            return Err(PlatformError::OAuth {
+                reason: "bot scope is required for all chatbots".into(),
+            });
+        }
+        let permissions = match url.query_param("permissions") {
+            Some(raw) => Permissions::from_invite_field(raw).ok_or_else(|| PlatformError::OAuth {
+                reason: format!("invalid permissions field {raw:?}"),
+            })?,
+            None => Permissions::NONE,
+        };
+        Ok(InviteUrl { client_id, scopes, permissions })
+    }
+
+    /// Render the consent screen text a user sees before authorizing —
+    /// the simulation's Figure 2.
+    pub fn consent_screen(&self, bot_name: &str) -> String {
+        let mut out = String::new();
+        out.push_str("┌─ An external application ─────────────\n");
+        out.push_str(&format!("│  {bot_name}\n"));
+        out.push_str("│  wants to access your Discord account\n");
+        out.push_str("│\n│  THIS WILL ALLOW THE DEVELOPER TO:\n");
+        for scope in &self.scopes {
+            out.push_str(&format!("│   • {}\n", scope.consent_line()));
+        }
+        if !self.permissions.is_empty() {
+            out.push_str("│\n│  GRANT THE FOLLOWING PERMISSIONS:\n");
+            for name in self.permissions.names() {
+                out.push_str(&format!("│   ✔ {name}\n"));
+            }
+            if self.permissions.has_unknown_bits() {
+                out.push_str("│   ⚠ (unrecognized permission bits)\n");
+            }
+        }
+        out.push_str("└────────────────────────────────────────\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn url_roundtrip() {
+        let invite = InviteUrl::bot(123456, Permissions::ADMINISTRATOR | Permissions::SPEAK)
+            .with_scope(OAuthScope::Email)
+            .with_scope(OAuthScope::ApplicationsCommands);
+        let url = invite.to_url();
+        let parsed = InviteUrl::parse(&url).unwrap();
+        assert_eq!(parsed, invite);
+    }
+
+    #[test]
+    fn parse_rejects_missing_bot_scope() {
+        let url = Url::https(OAUTH_HOST, OAUTH_PATH)
+            .with_query("client_id", "1")
+            .with_query("scope", "identify email");
+        let err = InviteUrl::parse(&url).unwrap_err();
+        assert!(matches!(err, PlatformError::OAuth { .. }));
+    }
+
+    #[test]
+    fn parse_rejects_bad_client_and_permissions() {
+        let base = Url::https(OAUTH_HOST, OAUTH_PATH).with_query("scope", "bot");
+        assert!(InviteUrl::parse(&base).is_err(), "no client_id");
+        let bad_perms = base
+            .clone()
+            .with_query("client_id", "1")
+            .with_query("permissions", "idk");
+        assert!(InviteUrl::parse(&bad_perms).is_err());
+        let wrong_host = Url::https("evil.example", OAUTH_PATH).with_query("client_id", "1");
+        assert!(InviteUrl::parse(&wrong_host).is_err());
+    }
+
+    #[test]
+    fn parse_accepts_plus_separated_scopes() {
+        let url = Url::https(OAUTH_HOST, OAUTH_PATH)
+            .with_query("client_id", "7")
+            .with_query("scope", "bot+identify")
+            .with_query("permissions", "8");
+        let invite = InviteUrl::parse(&url).unwrap();
+        assert_eq!(invite.scopes, vec![OAuthScope::Bot, OAuthScope::Identify]);
+        assert_eq!(invite.permissions, Permissions::ADMINISTRATOR);
+    }
+
+    #[test]
+    fn missing_permissions_field_means_none() {
+        let url = Url::https(OAUTH_HOST, OAUTH_PATH)
+            .with_query("client_id", "7")
+            .with_query("scope", "bot");
+        let invite = InviteUrl::parse(&url).unwrap();
+        assert_eq!(invite.permissions, Permissions::NONE);
+    }
+
+    #[test]
+    fn scope_gating_flags() {
+        assert!(OAuthScope::MessagesRead.requires_whitelist());
+        assert!(!OAuthScope::Bot.requires_whitelist());
+        assert!(OAuthScope::Rpc.testing_only());
+        assert!(OAuthScope::RpcNotificationsRead.testing_only());
+        assert!(!OAuthScope::Email.testing_only());
+    }
+
+    #[test]
+    fn wire_names_roundtrip() {
+        for scope in [
+            OAuthScope::Bot,
+            OAuthScope::Identify,
+            OAuthScope::Email,
+            OAuthScope::Guilds,
+            OAuthScope::GuildsJoin,
+            OAuthScope::ApplicationsCommands,
+            OAuthScope::MessagesRead,
+            OAuthScope::Rpc,
+            OAuthScope::RpcNotificationsRead,
+            OAuthScope::WebhookIncoming,
+        ] {
+            assert_eq!(OAuthScope::from_wire(scope.wire_name()), Some(scope));
+        }
+        assert_eq!(OAuthScope::from_wire("nonsense"), None);
+    }
+
+    #[test]
+    fn consent_screen_lists_scopes_and_permissions() {
+        let invite = InviteUrl::bot(1, Permissions::ADMINISTRATOR).with_scope(OAuthScope::Email);
+        let screen = invite.consent_screen("Melonian");
+        assert!(screen.contains("Melonian"));
+        assert!(screen.contains("Add a bot to a server you manage"));
+        assert!(screen.contains("Access your email address"));
+        assert!(screen.contains("administrator"));
+    }
+}

@@ -1,0 +1,324 @@
+//! The permission bitfield.
+//!
+//! Bit assignments follow the Discord developer documentation the paper
+//! cites (\[20\]). The 25 permissions enumerated in Figure 3 all appear here,
+//! along with the rest of the 41-bit field, because invite links encode the
+//! *whole* field as a decimal integer and the crawler must decode arbitrary
+//! values it scrapes.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A set of permissions, stored as the same bitfield Discord encodes in
+/// OAuth invite URLs (`&permissions=8` → `ADMINISTRATOR`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Permissions(pub u64);
+
+macro_rules! permissions {
+    ($(($const_name:ident, $bit:expr, $pretty:expr);)*) => {
+        impl Permissions {
+            $(
+                #[doc = concat!("`", $pretty, "` (bit ", stringify!($bit), ").")]
+                pub const $const_name: Permissions = Permissions(1 << $bit);
+            )*
+
+            /// All known permission bits.
+            pub const ALL_KNOWN: Permissions = Permissions($((1u64 << $bit))|*);
+
+            /// `(bit value, canonical lowercase name)` for every known bit,
+            /// in bit order.
+            pub const NAMES: &'static [(u64, &'static str)] = &[
+                $((1 << $bit, $pretty),)*
+            ];
+        }
+    };
+}
+
+permissions! {
+    (CREATE_INSTANT_INVITE, 0, "create invite");
+    (KICK_MEMBERS, 1, "kick members");
+    (BAN_MEMBERS, 2, "ban members");
+    (ADMINISTRATOR, 3, "administrator");
+    (MANAGE_CHANNELS, 4, "manage channels");
+    (MANAGE_GUILD, 5, "manage server");
+    (ADD_REACTIONS, 6, "add reactions");
+    (VIEW_AUDIT_LOG, 7, "view audit log");
+    (PRIORITY_SPEAKER, 8, "priority speaker");
+    (STREAM, 9, "video");
+    (VIEW_CHANNEL, 10, "read messages");
+    (SEND_MESSAGES, 11, "send messages");
+    (SEND_TTS_MESSAGES, 12, "send tts messages");
+    (MANAGE_MESSAGES, 13, "manage messages");
+    (EMBED_LINKS, 14, "embed links");
+    (ATTACH_FILES, 15, "attach files");
+    (READ_MESSAGE_HISTORY, 16, "read message history");
+    (MENTION_EVERYONE, 17, "mention @everyone");
+    (USE_EXTERNAL_EMOJIS, 18, "use external emojis");
+    (VIEW_GUILD_INSIGHTS, 19, "view guild insights");
+    (CONNECT, 20, "connect");
+    (SPEAK, 21, "speak");
+    (MUTE_MEMBERS, 22, "mute members");
+    (DEAFEN_MEMBERS, 23, "deafen members");
+    (MOVE_MEMBERS, 24, "move members");
+    (USE_VAD, 25, "use voice activity");
+    (CHANGE_NICKNAME, 26, "change nickname");
+    (MANAGE_NICKNAMES, 27, "manage nicknames");
+    (MANAGE_ROLES, 28, "manage roles");
+    (MANAGE_WEBHOOKS, 29, "manage webhooks");
+    (MANAGE_EMOJIS_AND_STICKERS, 30, "manage emojis and stickers");
+    (USE_APPLICATION_COMMANDS, 31, "use application commands");
+    (REQUEST_TO_SPEAK, 32, "request to speak");
+    (MANAGE_EVENTS, 33, "manage events");
+    (MANAGE_THREADS, 34, "manage threads");
+    (CREATE_PUBLIC_THREADS, 35, "create public threads");
+    (CREATE_PRIVATE_THREADS, 36, "create private threads");
+    (USE_EXTERNAL_STICKERS, 37, "use external stickers");
+    (SEND_MESSAGES_IN_THREADS, 38, "send messages in threads");
+    (USE_EMBEDDED_ACTIVITIES, 39, "use embedded activities");
+    (MODERATE_MEMBERS, 40, "moderate members");
+}
+
+impl Permissions {
+    /// No permissions.
+    pub const NONE: Permissions = Permissions(0);
+
+    /// Sensible defaults Discord grants `@everyone` in a fresh guild:
+    /// view/send/read-history/reactions/connect/speak and a few more.
+    pub fn everyone_defaults() -> Permissions {
+        Permissions::VIEW_CHANNEL
+            | Permissions::SEND_MESSAGES
+            | Permissions::READ_MESSAGE_HISTORY
+            | Permissions::ADD_REACTIONS
+            | Permissions::EMBED_LINKS
+            | Permissions::ATTACH_FILES
+            | Permissions::CONNECT
+            | Permissions::SPEAK
+            | Permissions::USE_VAD
+            | Permissions::CHANGE_NICKNAME
+            | Permissions::CREATE_INSTANT_INVITE
+    }
+
+    /// Does this set contain *all* bits of `other`?
+    ///
+    /// Note this is a raw bit test — it deliberately does **not** apply the
+    /// administrator short-circuit. Effective-permission logic (where admin
+    /// implies everything) lives in [`crate::resolve`]; keeping the bitfield
+    /// dumb lets the measurement code count what was *requested*, which is
+    /// exactly what Figure 3 reports.
+    pub fn contains(self, other: Permissions) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Intersection.
+    pub fn intersects(self, other: Permissions) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Set union.
+    pub fn union(self, other: Permissions) -> Permissions {
+        Permissions(self.0 | other.0)
+    }
+
+    /// Bits in `self` but not `other`.
+    pub fn difference(self, other: Permissions) -> Permissions {
+        Permissions(self.0 & !other.0)
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of set bits.
+    pub fn count(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Whether any bits fall outside the known field (invalid invite links
+    /// in the wild often carry garbage values).
+    pub fn has_unknown_bits(self) -> bool {
+        self.0 & !Self::ALL_KNOWN.0 != 0
+    }
+
+    /// Canonical names of the known bits that are set, in bit order.
+    pub fn names(self) -> Vec<&'static str> {
+        Self::NAMES
+            .iter()
+            .filter(|(bit, _)| self.0 & bit != 0)
+            .map(|(_, name)| *name)
+            .collect()
+    }
+
+    /// Look up a single permission by its canonical name.
+    pub fn by_name(name: &str) -> Option<Permissions> {
+        Self::NAMES
+            .iter()
+            .find(|(_, n)| *n == name)
+            .map(|(bit, _)| Permissions(*bit))
+    }
+
+    /// Decode the decimal bitfield used in invite URLs.
+    pub fn from_invite_field(s: &str) -> Option<Permissions> {
+        s.parse::<u64>().ok().map(Permissions)
+    }
+
+    /// Encode for an invite URL.
+    pub fn to_invite_field(self) -> String {
+        self.0.to_string()
+    }
+
+    /// Iterate over individual set bits as single-bit sets.
+    pub fn iter(self) -> impl Iterator<Item = Permissions> {
+        (0..64).filter_map(move |i| {
+            let bit = 1u64 << i;
+            (self.0 & bit != 0).then_some(Permissions(bit))
+        })
+    }
+}
+
+impl std::ops::BitOr for Permissions {
+    type Output = Permissions;
+    fn bitor(self, rhs: Permissions) -> Permissions {
+        Permissions(self.0 | rhs.0)
+    }
+}
+
+impl std::ops::BitOrAssign for Permissions {
+    fn bitor_assign(&mut self, rhs: Permissions) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl std::ops::BitAnd for Permissions {
+    type Output = Permissions;
+    fn bitand(self, rhs: Permissions) -> Permissions {
+        Permissions(self.0 & rhs.0)
+    }
+}
+
+impl std::ops::Not for Permissions {
+    type Output = Permissions;
+    fn not(self) -> Permissions {
+        Permissions(!self.0)
+    }
+}
+
+impl fmt::Display for Permissions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return f.write_str("(none)");
+        }
+        let names = self.names();
+        if names.is_empty() {
+            return write!(f, "(unknown bits: {:#x})", self.0);
+        }
+        write!(f, "{}", names.join(", "))?;
+        if self.has_unknown_bits() {
+            write!(f, " (+unknown bits)")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn administrator_is_bit_three() {
+        // The famous `permissions=8` invite link.
+        assert_eq!(Permissions::ADMINISTRATOR.0, 8);
+        assert_eq!(Permissions::from_invite_field("8"), Some(Permissions::ADMINISTRATOR));
+    }
+
+    #[test]
+    fn all_known_has_41_bits() {
+        assert_eq!(Permissions::ALL_KNOWN.count(), 41);
+        assert_eq!(Permissions::NAMES.len(), 41);
+    }
+
+    #[test]
+    fn set_operations() {
+        let a = Permissions::SEND_MESSAGES | Permissions::VIEW_CHANNEL;
+        assert!(a.contains(Permissions::SEND_MESSAGES));
+        assert!(!a.contains(Permissions::BAN_MEMBERS));
+        assert!(a.intersects(Permissions::VIEW_CHANNEL | Permissions::SPEAK));
+        assert_eq!(a.difference(Permissions::VIEW_CHANNEL), Permissions::SEND_MESSAGES);
+        assert_eq!(a.count(), 2);
+        assert!(!a.is_empty());
+        assert!(Permissions::NONE.is_empty());
+    }
+
+    #[test]
+    fn contains_is_raw_no_admin_shortcircuit() {
+        // Requested-permission accounting must not treat admin as implying
+        // other bits — Figure 3 counts admin and send-messages separately.
+        assert!(!Permissions::ADMINISTRATOR.contains(Permissions::SEND_MESSAGES));
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for (bit, name) in Permissions::NAMES {
+            let p = Permissions::by_name(name).unwrap();
+            assert_eq!(p.0, *bit, "{name}");
+        }
+        assert!(Permissions::by_name("fly the server").is_none());
+    }
+
+    #[test]
+    fn figure3_permissions_all_exist() {
+        // Every permission listed in Figure 3 must resolve by name.
+        for name in [
+            "add reactions", "administrator", "attach files", "ban members",
+            "change nickname", "connect", "create invite", "embed links",
+            "kick members", "manage channels", "manage emojis and stickers",
+            "manage messages", "manage nicknames", "manage roles", "manage server",
+            "manage webhooks", "mention @everyone", "read message history",
+            "read messages", "send messages", "send tts messages", "speak",
+            "use external emojis", "use voice activity", "view audit log",
+        ] {
+            assert!(Permissions::by_name(name).is_some(), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn invite_field_roundtrip() {
+        let p = Permissions::ADMINISTRATOR | Permissions::KICK_MEMBERS | Permissions::SPEAK;
+        let encoded = p.to_invite_field();
+        assert_eq!(Permissions::from_invite_field(&encoded), Some(p));
+        assert_eq!(Permissions::from_invite_field("not-a-number"), None);
+    }
+
+    #[test]
+    fn unknown_bits_detected() {
+        let garbage = Permissions(1 << 55);
+        assert!(garbage.has_unknown_bits());
+        assert!(!Permissions::ALL_KNOWN.has_unknown_bits());
+        assert!(garbage.names().is_empty());
+    }
+
+    #[test]
+    fn iter_yields_single_bits() {
+        let p = Permissions::SEND_MESSAGES | Permissions::ADMINISTRATOR;
+        let bits: Vec<Permissions> = p.iter().collect();
+        assert_eq!(bits, vec![Permissions::ADMINISTRATOR, Permissions::SEND_MESSAGES]);
+    }
+
+    #[test]
+    fn display_lists_names() {
+        let p = Permissions::ADMINISTRATOR | Permissions::SEND_MESSAGES;
+        let s = p.to_string();
+        assert!(s.contains("administrator"));
+        assert!(s.contains("send messages"));
+        assert_eq!(Permissions::NONE.to_string(), "(none)");
+    }
+
+    #[test]
+    fn everyone_defaults_are_benign() {
+        let d = Permissions::everyone_defaults();
+        assert!(d.contains(Permissions::SEND_MESSAGES));
+        assert!(!d.contains(Permissions::ADMINISTRATOR));
+        assert!(!d.contains(Permissions::KICK_MEMBERS));
+        assert!(!d.contains(Permissions::MANAGE_GUILD));
+    }
+}

@@ -1,0 +1,251 @@
+//! Effective permission resolution.
+//!
+//! Order of operations (matching Discord's documented algorithm):
+//!
+//! 1. guild owner → all permissions, unconditionally;
+//! 2. union of guild-level role permissions (`@everyone` + member roles);
+//! 3. if that union contains `ADMINISTRATOR` → all permissions, **bypassing
+//!    channel overwrites** (§4.2: the admin permission "allows all
+//!    permissions, bypasses channel permission overwrites");
+//! 4. otherwise apply channel overwrites: `@everyone` overwrite, then the
+//!    member's role overwrites (deny before allow, aggregated), then the
+//!    member-specific overwrite.
+
+use crate::channel::ChannelId;
+use crate::error::PlatformError;
+use crate::guild::Guild;
+use crate::permissions::Permissions;
+use crate::user::UserId;
+
+/// Effective guild-level permissions for a member (no channel context).
+pub fn guild_permissions(guild: &Guild, user: UserId) -> Result<Permissions, PlatformError> {
+    if user == guild.owner {
+        return Ok(Permissions::ALL_KNOWN);
+    }
+    let base = guild.base_permissions(user)?;
+    if base.contains(Permissions::ADMINISTRATOR) {
+        return Ok(Permissions::ALL_KNOWN);
+    }
+    Ok(base)
+}
+
+/// Effective permissions for a member within one channel.
+pub fn channel_permissions(
+    guild: &Guild,
+    channel: ChannelId,
+    user: UserId,
+) -> Result<Permissions, PlatformError> {
+    if user == guild.owner {
+        return Ok(Permissions::ALL_KNOWN);
+    }
+    let base = guild.base_permissions(user)?;
+    if base.contains(Permissions::ADMINISTRATOR) {
+        // Administrator bypasses overwrites entirely.
+        return Ok(Permissions::ALL_KNOWN);
+    }
+    let ch = guild.channel(channel)?;
+    let member = guild.member(user)?;
+
+    let mut perms = base;
+
+    // 1. @everyone overwrite.
+    for ow in ch.role_overwrites(guild.everyone_role) {
+        perms = perms.difference(ow.deny).union(ow.allow);
+    }
+
+    // 2. Aggregate role overwrites across the member's roles: all denies
+    //    apply, then all allows.
+    let mut role_deny = Permissions::NONE;
+    let mut role_allow = Permissions::NONE;
+    for rid in &member.roles {
+        for ow in ch.role_overwrites(*rid) {
+            role_deny |= ow.deny;
+            role_allow |= ow.allow;
+        }
+    }
+    perms = perms.difference(role_deny).union(role_allow);
+
+    // 3. Member-specific overwrite.
+    if let Some(ow) = ch.member_overwrite(user) {
+        perms = perms.difference(ow.deny).union(ow.allow);
+    }
+
+    // Role overwrites can only touch known bits; anything else would be a
+    // platform bug, not user data.
+    debug_assert!(!perms.has_unknown_bits() || base.has_unknown_bits());
+
+    Ok(perms)
+}
+
+/// Convenience: does `user` hold `required` in `channel`?
+pub fn has_channel_permission(
+    guild: &Guild,
+    channel: ChannelId,
+    user: UserId,
+    required: Permissions,
+) -> Result<bool, PlatformError> {
+    Ok(channel_permissions(guild, channel, user)?.contains(required))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::{Channel, Overwrite, OverwriteTarget};
+    use crate::guild::{GuildId, GuildVisibility, Member};
+    use crate::role::{Role, RoleId};
+    use crate::snowflake::Snowflake;
+
+    struct Fixture {
+        guild: Guild,
+        channel: ChannelId,
+        alice: UserId,
+        bot: UserId,
+        mod_role: RoleId,
+    }
+
+    fn fixture() -> Fixture {
+        let owner = UserId(Snowflake(1));
+        let alice = UserId(Snowflake(2));
+        let bot = UserId(Snowflake(3));
+        let everyone = RoleId(Snowflake(10));
+        let mod_role = RoleId(Snowflake(11));
+        let channel = ChannelId(Snowflake(20));
+
+        let mut guild =
+            Guild::new(GuildId(Snowflake(100)), "fixture", owner, everyone, GuildVisibility::Private);
+        guild.roles.insert(
+            mod_role,
+            Role {
+                id: mod_role,
+                name: "Mod".into(),
+                position: 5,
+                permissions: Permissions::KICK_MEMBERS | Permissions::MANAGE_MESSAGES,
+            },
+        );
+        guild.members.insert(alice, Member { user: alice, roles: Vec::new(), nickname: None });
+        guild.members.insert(bot, Member { user: bot, roles: Vec::new(), nickname: None });
+        guild.channels.insert(channel, Channel::text(channel, "general"));
+        Fixture { guild, channel, alice, bot, mod_role }
+    }
+
+    #[test]
+    fn owner_has_everything() {
+        let f = fixture();
+        let owner = f.guild.owner;
+        assert_eq!(guild_permissions(&f.guild, owner).unwrap(), Permissions::ALL_KNOWN);
+        assert_eq!(
+            channel_permissions(&f.guild, f.channel, owner).unwrap(),
+            Permissions::ALL_KNOWN
+        );
+    }
+
+    #[test]
+    fn plain_member_gets_everyone_defaults() {
+        let f = fixture();
+        let p = channel_permissions(&f.guild, f.channel, f.alice).unwrap();
+        assert!(p.contains(Permissions::SEND_MESSAGES));
+        assert!(!p.contains(Permissions::KICK_MEMBERS));
+    }
+
+    #[test]
+    fn role_grants_add_up() {
+        let mut f = fixture();
+        f.guild.member_mut(f.alice).unwrap().roles.push(f.mod_role);
+        let p = guild_permissions(&f.guild, f.alice).unwrap();
+        assert!(p.contains(Permissions::KICK_MEMBERS));
+        assert!(p.contains(Permissions::SEND_MESSAGES));
+    }
+
+    #[test]
+    fn administrator_bypasses_channel_deny() {
+        let mut f = fixture();
+        let admin_role = RoleId(Snowflake(12));
+        f.guild.roles.insert(
+            admin_role,
+            Role {
+                id: admin_role,
+                name: "Admin".into(),
+                position: 9,
+                permissions: Permissions::ADMINISTRATOR,
+            },
+        );
+        f.guild.member_mut(f.bot).unwrap().roles.push(admin_role);
+        // Deny VIEW_CHANNEL to everyone in the channel.
+        let everyone = f.guild.everyone_role;
+        f.guild.channels.get_mut(&f.channel).unwrap().overwrites.push(Overwrite {
+            target: OverwriteTarget::Role(everyone),
+            allow: Permissions::NONE,
+            deny: Permissions::VIEW_CHANNEL | Permissions::SEND_MESSAGES,
+        });
+        // Alice is locked out…
+        let alice_perms = channel_permissions(&f.guild, f.channel, f.alice).unwrap();
+        assert!(!alice_perms.contains(Permissions::VIEW_CHANNEL));
+        // …but the admin bot sails through, exactly the §4.2 risk.
+        let bot_perms = channel_permissions(&f.guild, f.channel, f.bot).unwrap();
+        assert!(bot_perms.contains(Permissions::VIEW_CHANNEL));
+        assert_eq!(bot_perms, Permissions::ALL_KNOWN);
+    }
+
+    #[test]
+    fn overwrite_order_everyone_then_roles_then_member() {
+        let mut f = fixture();
+        f.guild.member_mut(f.alice).unwrap().roles.push(f.mod_role);
+        let everyone = f.guild.everyone_role;
+        let ch = f.guild.channels.get_mut(&f.channel).unwrap();
+        // @everyone: deny send.
+        ch.overwrites.push(Overwrite {
+            target: OverwriteTarget::Role(everyone),
+            allow: Permissions::NONE,
+            deny: Permissions::SEND_MESSAGES,
+        });
+        // Mod role: allow send back.
+        ch.overwrites.push(Overwrite {
+            target: OverwriteTarget::Role(f.mod_role),
+            allow: Permissions::SEND_MESSAGES,
+            deny: Permissions::NONE,
+        });
+        // Member-specific: deny again — member overwrite wins.
+        ch.overwrites.push(Overwrite {
+            target: OverwriteTarget::Member(f.alice),
+            allow: Permissions::NONE,
+            deny: Permissions::SEND_MESSAGES,
+        });
+        let p = channel_permissions(&f.guild, f.channel, f.alice).unwrap();
+        assert!(!p.contains(Permissions::SEND_MESSAGES));
+    }
+
+    #[test]
+    fn role_deny_applies_before_role_allow_across_roles() {
+        let mut f = fixture();
+        let muted = RoleId(Snowflake(13));
+        f.guild.roles.insert(
+            muted,
+            Role { id: muted, name: "Muted".into(), position: 1, permissions: Permissions::NONE },
+        );
+        let member = f.guild.member_mut(f.alice).unwrap();
+        member.roles.push(f.mod_role);
+        member.roles.push(muted);
+        let ch = f.guild.channels.get_mut(&f.channel).unwrap();
+        ch.overwrites.push(Overwrite {
+            target: OverwriteTarget::Role(muted),
+            allow: Permissions::NONE,
+            deny: Permissions::SEND_MESSAGES,
+        });
+        ch.overwrites.push(Overwrite {
+            target: OverwriteTarget::Role(f.mod_role),
+            allow: Permissions::SEND_MESSAGES,
+            deny: Permissions::NONE,
+        });
+        // Aggregated role overwrites: deny ∪ then allow ∪ → allow wins.
+        let p = channel_permissions(&f.guild, f.channel, f.alice).unwrap();
+        assert!(p.contains(Permissions::SEND_MESSAGES));
+    }
+
+    #[test]
+    fn has_channel_permission_helper() {
+        let f = fixture();
+        assert!(has_channel_permission(&f.guild, f.channel, f.alice, Permissions::SEND_MESSAGES).unwrap());
+        assert!(!has_channel_permission(&f.guild, f.channel, f.alice, Permissions::BAN_MEMBERS).unwrap());
+        assert!(channel_permissions(&f.guild, f.channel, UserId(Snowflake(99))).is_err());
+    }
+}

@@ -1,0 +1,76 @@
+//! Roles.
+//!
+//! Access in a guild is role-based (§4.1): every member implicitly holds
+//! `@everyone`, and privileged users can create further roles. Roles have a
+//! *position* — the hierarchy the five rules in [`crate::hierarchy`] are
+//! defined over.
+
+use crate::permissions::Permissions;
+use crate::snowflake::Snowflake;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier newtype for roles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RoleId(pub Snowflake);
+
+impl fmt::Display for RoleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "role:{}", self.0)
+    }
+}
+
+/// A guild role.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Role {
+    /// Stable identifier.
+    pub id: RoleId,
+    /// Display name. The implicit base role is named `@everyone`.
+    pub name: String,
+    /// Hierarchy position. Higher = more senior. `@everyone` is always 0.
+    pub position: u32,
+    /// Guild-level permissions granted by this role.
+    pub permissions: Permissions,
+}
+
+impl Role {
+    /// The implicit base role every member holds.
+    pub fn everyone(id: RoleId) -> Role {
+        Role {
+            id,
+            name: "@everyone".into(),
+            position: 0,
+            permissions: Permissions::everyone_defaults(),
+        }
+    }
+
+    /// Is this the `@everyone` role?
+    pub fn is_everyone(&self) -> bool {
+        self.position == 0 && self.name == "@everyone"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn everyone_role_shape() {
+        let r = Role::everyone(RoleId(Snowflake(1)));
+        assert!(r.is_everyone());
+        assert_eq!(r.position, 0);
+        assert!(r.permissions.contains(Permissions::SEND_MESSAGES));
+        assert!(!r.permissions.contains(Permissions::ADMINISTRATOR));
+    }
+
+    #[test]
+    fn custom_role_is_not_everyone() {
+        let r = Role {
+            id: RoleId(Snowflake(2)),
+            name: "Moderator".into(),
+            position: 5,
+            permissions: Permissions::KICK_MEMBERS | Permissions::MANAGE_MESSAGES,
+        };
+        assert!(!r.is_everyone());
+    }
+}

@@ -1,0 +1,57 @@
+//! Application ("slash") commands with platform-enforced invoker checks.
+//!
+//! §5 diagnoses Discord's prefix-command model: "the current permission
+//! framework allows the developer to implement and perform the necessary
+//! permission check", and most developers don't. The platform's eventual
+//! answer — modeled here — is application commands carrying
+//! `default_member_permissions`: the *platform* verifies the invoking user
+//! before the bot ever sees the interaction, closing the re-delegation
+//! hole structurally instead of by developer diligence.
+
+use crate::permissions::Permissions;
+use serde::{Deserialize, Serialize};
+
+/// A registered application command (`/kick`, `/play`, …).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlashCommand {
+    /// Command name, without the slash.
+    pub name: String,
+    /// Listing description shown in the command picker.
+    pub description: String,
+    /// Permissions the *invoking user* must hold; enforced by the platform
+    /// at invocation time. `NONE` makes the command available to everyone.
+    pub default_member_permissions: Permissions,
+}
+
+impl SlashCommand {
+    /// A command anyone may invoke.
+    pub fn public(name: &str, description: &str) -> SlashCommand {
+        SlashCommand {
+            name: name.to_string(),
+            description: description.to_string(),
+            default_member_permissions: Permissions::NONE,
+        }
+    }
+
+    /// A command gated on the invoker holding `required`.
+    pub fn gated(name: &str, description: &str, required: Permissions) -> SlashCommand {
+        SlashCommand {
+            name: name.to_string(),
+            description: description.to_string(),
+            default_member_permissions: required,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let ping = SlashCommand::public("ping", "pong");
+        assert!(ping.default_member_permissions.is_empty());
+        let kick = SlashCommand::gated("kick", "remove a member", Permissions::KICK_MEMBERS);
+        assert!(kick.default_member_permissions.contains(Permissions::KICK_MEMBERS));
+    }
+}

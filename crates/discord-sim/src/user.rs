@@ -1,0 +1,110 @@
+//! Users: normal accounts and bot accounts.
+
+use crate::snowflake::Snowflake;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier newtype for users.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct UserId(pub Snowflake);
+
+impl fmt::Display for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "user:{}", self.0)
+    }
+}
+
+/// Whether an account is a human or an automated chatbot.
+///
+/// §4.1: "Users are classified as 'bot' (chatbot) or 'normal' users. …
+/// chatbots are automated users that are 'owned' by another normal user."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UserKind {
+    /// A human account. Subject to guild-count limits and join-rate
+    /// anti-abuse flagging (the paper hit mobile verification for this).
+    Normal,
+    /// A chatbot, owned by a normal user. No guild-count limit.
+    Bot {
+        /// The owning (normal) user.
+        owner: UserId,
+    },
+}
+
+/// A platform account.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct User {
+    /// Stable identifier.
+    pub id: UserId,
+    /// Display name with discriminator, e.g. `editid#6714`.
+    pub name: String,
+    /// Human or bot.
+    pub kind: UserKind,
+    /// Account email — part of the user data an extra OAuth `email` scope
+    /// exposes to applications.
+    pub email: String,
+    /// Whether the account passed mobile verification. New accounts that
+    /// join many guilds quickly get flagged and need this (§4.2).
+    pub mobile_verified: bool,
+    /// Number of guilds joined (for anti-abuse flagging of normal users).
+    pub guilds_joined: u32,
+}
+
+impl User {
+    /// True for chatbot accounts.
+    pub fn is_bot(&self) -> bool {
+        matches!(self.kind, UserKind::Bot { .. })
+    }
+
+    /// The bot's owner, if this is a bot.
+    pub fn owner(&self) -> Option<UserId> {
+        match self.kind {
+            UserKind::Bot { owner } => Some(owner),
+            UserKind::Normal => None,
+        }
+    }
+}
+
+/// How many guilds a normal user may join before the platform flags the
+/// account for verification. Discord's real threshold is undocumented; the
+/// paper reports being flagged "when a new account quickly joins many
+/// guilds". The exact value only matters in that it is small enough to be
+/// hit by a honeypot campaign.
+pub const UNVERIFIED_GUILD_LIMIT: u32 = 10;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uid(n: u64) -> UserId {
+        UserId(Snowflake(n))
+    }
+
+    #[test]
+    fn bot_ownership() {
+        let owner = uid(1);
+        let bot = User {
+            id: uid(2),
+            name: "Melonian#0001".into(),
+            kind: UserKind::Bot { owner },
+            email: "bot@backend.example".into(),
+            mobile_verified: true,
+            guilds_joined: 0,
+        };
+        assert!(bot.is_bot());
+        assert_eq!(bot.owner(), Some(owner));
+    }
+
+    #[test]
+    fn normal_user_has_no_owner() {
+        let u = User {
+            id: uid(3),
+            name: "alice#1234".into(),
+            kind: UserKind::Normal,
+            email: "alice@example.org".into(),
+            mobile_verified: false,
+            guilds_joined: 2,
+        };
+        assert!(!u.is_bot());
+        assert_eq!(u.owner(), None);
+    }
+}

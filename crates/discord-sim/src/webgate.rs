@@ -1,0 +1,114 @@
+//! The platform's public web endpoint.
+//!
+//! Serves `https://discord.sim/oauth2/authorize` — the page an invite link
+//! lands on. The paper's crawler classifies invite links by what this
+//! endpoint does: a consent page (valid), HTTP 410 (bot removed), or the
+//! link never resolving at all (handled by the network, not this service).
+
+use crate::oauth::{InviteUrl, OAUTH_PATH};
+use crate::platform::Platform;
+use netsim::http::{Request, Response, Status};
+use netsim::{Network, Service, ServiceCtx};
+
+/// Host the endpoint is mounted at.
+pub const PLATFORM_HOST: &str = "discord.sim";
+
+/// The authorize endpoint, wrapping a [`Platform`].
+#[derive(Clone)]
+pub struct OAuthWebGate {
+    platform: Platform,
+}
+
+impl OAuthWebGate {
+    /// Wrap a platform.
+    pub fn new(platform: Platform) -> OAuthWebGate {
+        OAuthWebGate { platform }
+    }
+
+    /// Mount at [`PLATFORM_HOST`].
+    pub fn mount(self, net: &Network) {
+        net.mount(PLATFORM_HOST, self);
+    }
+}
+
+impl Service for OAuthWebGate {
+    fn handle(&mut self, req: &Request, _ctx: &mut ServiceCtx<'_>) -> Response {
+        if req.url.path != OAUTH_PATH {
+            return Response::status(Status::NotFound);
+        }
+        let invite = match InviteUrl::parse(&req.url) {
+            Ok(invite) => invite,
+            Err(e) => {
+                return Response { status: Status::BadRequest, ..Response::ok(e.to_string()) };
+            }
+        };
+        match self.platform.application(invite.client_id) {
+            Ok(app) => Response::ok(invite.consent_screen(&app.name))
+                .with_header("x-bot-name", &app.name)
+                // Echo the canonical OAuth URL so clients that arrived via a
+                // redirector can still decode the requested parameters.
+                .with_header("x-oauth-echo", &req.url.to_string()),
+            // Unknown client → the bot was removed from the platform.
+            Err(_) => Response::status(Status::Gone),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::guild::GuildVisibility;
+    use crate::permissions::Permissions;
+    use netsim::client::{ClientConfig, HttpClient};
+    use netsim::clock::VirtualClock;
+    use netsim::http::Url;
+
+    fn setup() -> (Network, Platform, u64) {
+        let clock = VirtualClock::new();
+        let net = Network::with_clock(1, clock.clone());
+        let platform = Platform::new(clock);
+        let owner = platform.register_user("dev", "d@x.y");
+        let _guild = platform.create_guild(owner, "g", GuildVisibility::Public).unwrap();
+        let app = platform.register_bot_application(owner, "RealBot").unwrap();
+        OAuthWebGate::new(platform.clone()).mount(&net);
+        (net, platform, app.client_id)
+    }
+
+    #[test]
+    fn valid_invite_serves_consent_screen() {
+        let (net, _platform, client_id) = setup();
+        let mut client = HttpClient::new(net, ClientConfig::impolite("t"));
+        let url = InviteUrl::bot(client_id, Permissions::ADMINISTRATOR).to_url();
+        let resp = client.get(url).unwrap();
+        assert!(resp.status.is_success());
+        assert!(resp.text().contains("RealBot"));
+        assert!(resp.text().contains("administrator"));
+        assert_eq!(resp.header("x-bot-name"), Some("RealBot"));
+    }
+
+    #[test]
+    fn unknown_client_is_gone() {
+        let (net, _platform, _cid) = setup();
+        let mut client = HttpClient::new(net, ClientConfig::impolite("t"));
+        let url = InviteUrl::bot(999_999, Permissions::NONE).to_url();
+        let resp = client.get(url).unwrap();
+        assert_eq!(resp.status, Status::Gone);
+    }
+
+    #[test]
+    fn malformed_invite_is_bad_request() {
+        let (net, _platform, _cid) = setup();
+        let mut client = HttpClient::new(net, ClientConfig::impolite("t"));
+        let url = Url::https(PLATFORM_HOST, OAUTH_PATH).with_query("scope", "bot");
+        let resp = client.get(url).unwrap();
+        assert_eq!(resp.status, Status::BadRequest);
+    }
+
+    #[test]
+    fn other_paths_are_404() {
+        let (net, _platform, _cid) = setup();
+        let mut client = HttpClient::new(net, ClientConfig::impolite("t"));
+        let resp = client.get(Url::https(PLATFORM_HOST, "/api/users")).unwrap();
+        assert_eq!(resp.status, Status::NotFound);
+    }
+}

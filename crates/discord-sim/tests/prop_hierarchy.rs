@@ -1,0 +1,86 @@
+//! Property tests for the role hierarchy and permission resolution.
+
+use discord_sim::guild::{Guild, GuildId, GuildVisibility, Member};
+use discord_sim::hierarchy;
+use discord_sim::role::{Role, RoleId};
+use discord_sim::snowflake::Snowflake;
+use discord_sim::user::UserId;
+use discord_sim::Permissions;
+use proptest::prelude::*;
+
+fn fixture(actor_pos: u32, target_pos: u32, actor_perms: Permissions) -> (Guild, UserId, RoleId) {
+    let owner = UserId(Snowflake(1));
+    let actor = UserId(Snowflake(2));
+    let everyone = RoleId(Snowflake(10));
+    let actor_role = RoleId(Snowflake(11));
+    let target_role = RoleId(Snowflake(12));
+    let mut guild = Guild::new(GuildId(Snowflake(9)), "p", owner, everyone, GuildVisibility::Private);
+    guild.roles.insert(
+        actor_role,
+        Role { id: actor_role, name: "actor".into(), position: actor_pos, permissions: actor_perms },
+    );
+    guild.roles.insert(
+        target_role,
+        Role { id: target_role, name: "target".into(), position: target_pos, permissions: Permissions::NONE },
+    );
+    guild.members.insert(actor, Member { user: actor, roles: vec![actor_role], nickname: None });
+    (guild, actor, target_role)
+}
+
+fn perms() -> impl Strategy<Value = Permissions> {
+    any::<u64>().prop_map(|b| Permissions(b & Permissions::ALL_KNOWN.0))
+}
+
+proptest! {
+    /// Rule 1 is exactly "target position strictly below actor's highest".
+    #[test]
+    fn rule1_iff_strictly_below(actor_pos in 0u32..20, target_pos in 0u32..20) {
+        let (guild, actor, target_role) = fixture(actor_pos, target_pos, Permissions::MANAGE_ROLES);
+        let allowed = hierarchy::can_grant_role(&guild, actor, target_role).is_ok();
+        prop_assert_eq!(allowed, target_pos < actor_pos);
+    }
+
+    /// Rule 3: both the current and the new position must sit below.
+    #[test]
+    fn rule3_bounds_both_positions(actor_pos in 1u32..20, target_pos in 0u32..20, new_pos in 0u32..25) {
+        let (guild, actor, target_role) = fixture(actor_pos, target_pos, Permissions::MANAGE_ROLES);
+        let allowed = hierarchy::can_sort_role(&guild, actor, target_role, new_pos).is_ok();
+        prop_assert_eq!(allowed, target_pos < actor_pos && new_pos < actor_pos);
+    }
+
+    /// Rule 2 never lets an actor grant a permission it lacks.
+    #[test]
+    fn rule2_cannot_escalate(actor_perms in perms(), grant in perms()) {
+        let (guild, actor, target_role) = fixture(10, 5, actor_perms);
+        if hierarchy::can_edit_role(&guild, actor, target_role, grant).is_ok() {
+            // Everything newly granted must be held by the actor (or the
+            // actor is an administrator, which implies everything).
+            let effective = discord_sim::resolve::guild_permissions(&guild, actor).expect("member");
+            prop_assert!(effective.contains(grant));
+        }
+    }
+
+    /// The owner bypasses every hierarchy rule.
+    #[test]
+    fn owner_bypasses_everything(target_pos in 0u32..50, new_pos in 0u32..50, grant in perms()) {
+        let (guild, _actor, target_role) = fixture(1, target_pos, Permissions::NONE);
+        let owner = guild.owner;
+        prop_assert!(hierarchy::can_grant_role(&guild, owner, target_role).is_ok());
+        prop_assert!(hierarchy::can_sort_role(&guild, owner, target_role, new_pos).is_ok());
+        prop_assert!(hierarchy::can_edit_role(&guild, owner, target_role, grant).is_ok());
+    }
+
+    /// Guild-level resolution: effective permissions always contain the
+    /// @everyone baseline, and administrator always maxes out.
+    #[test]
+    fn resolution_contains_baseline(extra in perms()) {
+        let (guild, actor, _t) = fixture(5, 1, extra);
+        let effective = discord_sim::resolve::guild_permissions(&guild, actor).expect("member");
+        prop_assert!(effective.contains(Permissions::everyone_defaults()) || extra.contains(Permissions::ADMINISTRATOR));
+        if extra.contains(Permissions::ADMINISTRATOR) {
+            prop_assert_eq!(effective, Permissions::ALL_KNOWN);
+        } else {
+            prop_assert!(effective.contains(extra));
+        }
+    }
+}

@@ -1,0 +1,602 @@
+//! Campaign orchestration.
+//!
+//! §4.2, "Discord Chatbots Honeypots": for every bot under test, create an
+//! isolated private guild named after the bot, populate it with personas
+//! and a realistic feed, plant the four canary tokens, install the bot
+//! (solving the install captcha), let the fleet run, and attribute any
+//! sink signals back to bots via the guild tag in the token ID.
+
+use crate::feed::generate_feed;
+use crate::persona::PersonaPool;
+use crate::sink::{CanarySink, Trigger, MAIL_HOST, SINK_HOST};
+use crate::token::{CanaryToken, TokenKind, TokenMint};
+use botsdk::{Behavior, Bot, BotRunner};
+use crawler::solver::CaptchaSolverClient;
+use discord_sim::oauth::InviteUrl;
+use discord_sim::{GuildId, GuildVisibility, Platform, PlatformResult, UserId};
+use netsim::clock::SimDuration;
+use netsim::Network;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+
+/// Campaign parameters (defaults follow §4.2: 5 personas, 25 messages,
+/// 4 tokens per guild).
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Personas per guild.
+    pub personas_per_guild: usize,
+    /// Conversational messages per guild.
+    pub feed_messages: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Provision personas with automated verification instead of the
+    /// paper's manual mobile step (its stated future work).
+    pub auto_verify_personas: bool,
+    /// Also plant a webhook-credential canary per guild (extension; see
+    /// [`crate::token::TokenKind::WebhookToken`]).
+    pub plant_webhook_canaries: bool,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            personas_per_guild: 5,
+            feed_messages: 25,
+            seed: 1,
+            auto_verify_personas: false,
+            plant_webhook_canaries: true,
+        }
+    }
+}
+
+/// One bot to test: its platform identity plus its (unknown to the
+/// researcher) backend behaviour.
+pub struct BotUnderTest {
+    /// Listing name.
+    pub name: String,
+    /// OAuth client ID.
+    pub client_id: u64,
+    /// Bot account.
+    pub bot_user: UserId,
+    /// The invite to install with.
+    pub invite: InviteUrl,
+    /// The developer-controlled backend.
+    pub behavior: Box<dyn Behavior>,
+}
+
+/// One attributed detection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Detection {
+    /// The bot whose guild's tokens fired.
+    pub bot_name: String,
+    /// Which token kinds fired.
+    pub token_kinds: Vec<TokenKind>,
+    /// Requester labels observed at the sink.
+    pub requesters: Vec<String>,
+    /// Bot-authored messages posted after the first trigger (the
+    /// "wtf is this bro" tell).
+    pub followup_messages: Vec<String>,
+}
+
+/// Campaign outcome.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignReport {
+    /// Guilds created (one per bot).
+    pub guilds_created: usize,
+    /// Bots installed and tested.
+    pub bots_tested: usize,
+    /// Bots whose installation failed (dead invites etc.).
+    pub install_failures: usize,
+    /// Canary tokens planted.
+    pub tokens_planted: usize,
+    /// Conversational messages posted.
+    pub messages_posted: usize,
+    /// Install captchas solved.
+    pub captchas_solved: u64,
+    /// 2Captcha spend in dollars.
+    pub captcha_spend_dollars: f64,
+    /// Manual mobile verifications required for personas.
+    pub manual_verifications: u64,
+    /// Raw sink triggers.
+    pub triggers: Vec<Trigger>,
+    /// Attributed detections.
+    pub detections: Vec<Detection>,
+    /// Total bytes bot backends sent over the network during the campaign
+    /// (the tap's exfiltration-volume measure).
+    pub backend_bytes_sent: usize,
+    /// Virtual time the campaign took.
+    pub duration: SimDuration,
+}
+
+fn registry_insert_webhook(map: &mut BTreeMap<String, String>, token: &str, token_id: &str) {
+    map.insert(token.to_string(), token_id.to_string());
+}
+
+/// The orchestrator.
+pub struct Campaign {
+    platform: Platform,
+    net: Network,
+    config: CampaignConfig,
+    sink: CanarySink,
+    mint: TokenMint,
+    solver: CaptchaSolverClient,
+    researcher: UserId,
+    rng: StdRng,
+    /// webhook token string → canary token id (for the network-tap scan).
+    webhook_canaries: BTreeMap<String, String>,
+}
+
+impl Campaign {
+    /// Set up a campaign: mounts the sink, registers the researcher
+    /// account. The 2Captcha service must already be mounted.
+    pub fn new(platform: Platform, net: Network, config: CampaignConfig) -> Campaign {
+        let sink = CanarySink::new();
+        sink.mount(&net);
+        let researcher = platform.register_user("researcher#0001", "research@lab.example");
+        let rng = StdRng::seed_from_u64(config.seed);
+        Campaign {
+            platform,
+            net: net.clone(),
+            config,
+            sink,
+            mint: TokenMint::new(SINK_HOST, MAIL_HOST),
+            solver: CaptchaSolverClient::new(net),
+            researcher,
+            rng,
+            webhook_canaries: BTreeMap::new(),
+        }
+    }
+
+    /// The sink (for external inspection).
+    pub fn sink(&self) -> &CanarySink {
+        &self.sink
+    }
+
+    /// Sanitized guild tag for a bot name.
+    pub fn guild_tag(bot_name: &str) -> String {
+        let slug: String = bot_name
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '-' })
+            .collect();
+        format!("guild-{slug}")
+    }
+
+    /// Run the whole campaign over a fleet of bots.
+    pub fn run(&mut self, bots: Vec<BotUnderTest>) -> CampaignReport {
+        let clock = self.net.clock();
+        let started = clock.now();
+        let mut report = CampaignReport::default();
+        let mut pool = PersonaPool::with_mode(
+            self.platform.clone(),
+            self.config.personas_per_guild,
+            self.config.auto_verify_personas,
+        );
+        let mut runner = BotRunner::new();
+        // token id → (token, bot name)
+        let mut registry: BTreeMap<String, (CanaryToken, String)> = BTreeMap::new();
+        let mut guild_of_bot: BTreeMap<String, GuildId> = BTreeMap::new();
+
+        for but in bots {
+            match self.set_up_guild(&but, &mut pool, &mut registry, &mut report) {
+                Ok(guild) => {
+                    guild_of_bot.insert(but.name.clone(), guild);
+                    // Connect the backend (gateway first, then install has
+                    // already happened inside set_up_guild — the bot missed
+                    // GuildCreate but sees every later message, which is
+                    // what matters for the honeypot).
+                    match Bot::connect(
+                        self.platform.clone(),
+                        self.net.clone(),
+                        but.bot_user,
+                        &format!("backend-{}", Self::guild_tag(&but.name)),
+                        but.behavior,
+                    ) {
+                        Ok(bot) => {
+                            runner.add(bot);
+                            report.bots_tested += 1;
+                        }
+                        Err(_) => report.install_failures += 1,
+                    }
+                }
+                Err(_) => report.install_failures += 1,
+            }
+        }
+
+        // Populate every guild with feed + tokens, then let backends run.
+        let guilds: Vec<(String, GuildId)> =
+            guild_of_bot.iter().map(|(n, g)| (n.clone(), *g)).collect();
+        for (bot_name, guild) in &guilds {
+            if let Err(e) = self.populate_guild(*guild, bot_name, &pool, &mut registry, &mut report) {
+                // Population failures are campaign bugs, not measurements.
+                panic!("failed to populate {bot_name}: {e}");
+            }
+            // Drive the fleet after each guild so dormant triggers interleave
+            // realistically.
+            runner.run_until_idle();
+        }
+        runner.run_until_idle();
+
+        report.captchas_solved = self.solver.solves;
+        report.captcha_spend_dollars = self.solver.spend_dollars();
+        report.manual_verifications = pool.manual_verifications;
+        report.triggers = self.sink.triggers();
+        // Network-tap scan for stolen webhook credentials: any
+        // backend-originated request whose URL carries a planted token.
+        if !self.webhook_canaries.is_empty() {
+            let extra: Vec<Trigger> = self.net.with_trace(|trace| {
+                trace
+                    .entries()
+                    .iter()
+                    .filter(|e| e.requester.starts_with("bot-backend/"))
+                    .flat_map(|e| {
+                        self.webhook_canaries
+                            .iter()
+                            .filter(|(token, _)| e.url.contains(token.as_str()))
+                            .map(|(_, token_id)| Trigger {
+                                token_id: token_id.clone(),
+                                requester: e.requester.clone(),
+                                at: e.at,
+                                via_mail: false,
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                    .collect()
+            });
+            report.triggers.extend(extra);
+        }
+        report.detections = self.attribute_from(&report.triggers, &registry, &guild_of_bot);
+        report.backend_bytes_sent = self.net.with_trace(|t| t.bytes_sent_by("bot-backend/"));
+        report.duration = clock.now().duration_since(started);
+        report
+    }
+
+    fn set_up_guild(
+        &mut self,
+        but: &BotUnderTest,
+        pool: &mut PersonaPool,
+        _registry: &mut BTreeMap<String, (CanaryToken, String)>,
+        report: &mut CampaignReport,
+    ) -> PlatformResult<GuildId> {
+        // (registry parameter is used for the webhook canary below)
+        let tag = Self::guild_tag(&but.name);
+        // "we create new private guilds … We name each guild after the
+        // corresponding chatbots for easy identification."
+        let guild = self.platform.create_guild(self.researcher, &tag, GuildVisibility::Private)?;
+        report.guilds_created += 1;
+        let code = self.platform.create_invite(self.researcher, guild)?;
+        pool.join_all(guild, Some(&code))?;
+        // "To add a chatbot to the guild, we need to solve a Google
+        // reCAPTCHA … we used the captcha-solving service 2Captcha."
+        let captcha_solved = self.solver.solve("21 + 21").is_ok();
+        self.platform.install_bot(self.researcher, guild, &but.invite, captcha_solved)?;
+        if self.config.plant_webhook_canaries {
+            // Extension: a webhook whose secret doubles as a canary. Any
+            // backend request carrying the token betrays credential theft.
+            let channel = self.platform.default_channel(guild)?;
+            let hook = self.platform.create_webhook(self.researcher, channel, "ci-updates")?;
+            let token = self.mint.mint(TokenKind::WebhookToken, &tag);
+            registry_insert_webhook(&mut self.webhook_canaries, &hook.token, &token.id);
+            _registry.insert(token.id.clone(), (token, but.name.clone()));
+        }
+        Ok(guild)
+    }
+
+    fn populate_guild(
+        &mut self,
+        guild: GuildId,
+        bot_name: &str,
+        pool: &PersonaPool,
+        registry: &mut BTreeMap<String, (CanaryToken, String)>,
+        report: &mut CampaignReport,
+    ) -> PlatformResult<()> {
+        let tag = Self::guild_tag(bot_name);
+        let channel = self.platform.default_channel(guild)?;
+        let clock = self.net.clock();
+
+        let tokens = self.mint.mint_guild_set(&tag);
+        let feed = generate_feed(&mut self.rng, pool.len(), self.config.feed_messages);
+
+        // Interleave: tokens dropped at ¼, ½, ¾ and end of the feed.
+        let drop_points: Vec<usize> = (1..=tokens.len())
+            .map(|i| i * feed.len().max(4) / (tokens.len() + 1))
+            .collect();
+        let mut token_iter = tokens.into_iter();
+        for (i, line) in feed.iter().enumerate() {
+            let author = pool.by_index(line.persona);
+            self.platform.send_message(author, channel, &line.text, vec![])?;
+            report.messages_posted += 1;
+            clock.sleep(SimDuration::from_secs(30)); // believable pacing
+            if drop_points.contains(&i) {
+                if let Some(token) = token_iter.next() {
+                    self.plant_token(&token, channel, pool, i, registry, bot_name)?;
+                    report.tokens_planted += 1;
+                }
+            }
+        }
+        // Any tokens not yet dropped (tiny feeds): post them at the end.
+        for token in token_iter {
+            self.plant_token(&token, channel, pool, 0, registry, bot_name)?;
+            report.tokens_planted += 1;
+        }
+        Ok(())
+    }
+
+    fn plant_token(
+        &mut self,
+        token: &CanaryToken,
+        channel: discord_sim::ChannelId,
+        pool: &PersonaPool,
+        idx: usize,
+        registry: &mut BTreeMap<String, (CanaryToken, String)>,
+        bot_name: &str,
+    ) -> PlatformResult<()> {
+        let author = pool.by_index(idx + 1);
+        match token.kind {
+            TokenKind::Url => {
+                self.platform.send_message(
+                    author,
+                    channel,
+                    &format!("shared the doc here {}", token.beacon_url(SINK_HOST)),
+                    vec![],
+                )?;
+            }
+            TokenKind::Email => {
+                self.platform.send_message(
+                    author,
+                    channel,
+                    &format!("email me the files at {}", token.email_address(MAIL_HOST)),
+                    vec![],
+                )?;
+            }
+            TokenKind::WordDoc | TokenKind::Pdf => {
+                let att = token.as_attachment(SINK_HOST).expect("doc kinds have attachments");
+                self.platform.send_message(author, channel, "notes from the meeting attached", vec![att])?;
+            }
+            TokenKind::WebhookToken => {
+                // Planted by [`Campaign::plant_webhook_canary`], not posted
+                // as a message.
+            }
+        }
+        registry.insert(token.id.clone(), (token.clone(), bot_name.to_string()));
+        Ok(())
+    }
+
+    /// Attribute triggers back to bots by guild tag; collect follow-up
+    /// bot messages posted after the first trigger in each guild.
+    fn attribute_from(
+        &self,
+        triggers: &[Trigger],
+        registry: &BTreeMap<String, (CanaryToken, String)>,
+        guild_of_bot: &BTreeMap<String, GuildId>,
+    ) -> Vec<Detection> {
+        let mut per_bot: BTreeMap<String, (Vec<TokenKind>, Vec<String>, netsim::SimInstant)> =
+            BTreeMap::new();
+        for trigger in triggers.iter().cloned() {
+            let Some((token, bot_name)) = registry.get(&trigger.token_id) else { continue };
+            let entry = per_bot
+                .entry(bot_name.clone())
+                .or_insert_with(|| (Vec::new(), Vec::new(), trigger.at));
+            if !entry.0.contains(&token.kind) {
+                entry.0.push(token.kind);
+            }
+            if !entry.1.contains(&trigger.requester) {
+                entry.1.push(trigger.requester.clone());
+            }
+            entry.2 = entry.2.min(trigger.at);
+        }
+        per_bot
+            .into_iter()
+            .map(|(bot_name, (mut kinds, requesters, first_at))| {
+                kinds.sort();
+                let followup_messages = guild_of_bot
+                    .get(&bot_name)
+                    .and_then(|g| self.platform.default_channel(*g).ok())
+                    .and_then(|ch| self.platform.read_history(self.researcher, ch).ok())
+                    .map(|history| {
+                        history
+                            .iter()
+                            .filter(|m| {
+                                m.at >= first_at
+                                    && self.platform.user(m.author).map(|u| u.is_bot()).unwrap_or(false)
+                            })
+                            .map(|m| m.content.clone())
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                Detection { bot_name, token_kinds: kinds, requesters, followup_messages }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use botsdk::{BenignBehavior, ExfiltratorBehavior, SnooperBehavior};
+    use crawler::solver::CaptchaSolverService;
+    use discord_sim::Permissions;
+    use netsim::clock::VirtualClock;
+
+    fn world() -> (Platform, Network, UserId) {
+        let clock = VirtualClock::new();
+        let net = Network::with_clock(31, clock.clone());
+        CaptchaSolverService::mount(&net);
+        let platform = Platform::new(clock);
+        let dev = platform.register_user("dev#1", "dev@x.y");
+        (platform, net, dev)
+    }
+
+    fn make_bot(
+        platform: &Platform,
+        dev: UserId,
+        name: &str,
+        perms: Permissions,
+        behavior: Box<dyn Behavior>,
+    ) -> BotUnderTest {
+        let app = platform.register_bot_application(dev, name).unwrap();
+        BotUnderTest {
+            name: name.to_string(),
+            client_id: app.client_id,
+            bot_user: app.bot_user,
+            invite: InviteUrl::bot(app.client_id, perms),
+            behavior,
+        }
+    }
+
+    fn full_perms() -> Permissions {
+        Permissions::SEND_MESSAGES
+            | Permissions::VIEW_CHANNEL
+            | Permissions::READ_MESSAGE_HISTORY
+            | Permissions::ATTACH_FILES
+    }
+
+    #[test]
+    fn benign_fleet_produces_zero_triggers() {
+        let (platform, net, dev) = world();
+        let mut campaign = Campaign::new(platform.clone(), net, CampaignConfig::default());
+        let bots = vec![
+            make_bot(&platform, dev, "CleanBot", full_perms(), Box::new(BenignBehavior::new("fun"))),
+            make_bot(&platform, dev, "NiceBot", full_perms(), Box::new(BenignBehavior::new("music"))),
+        ];
+        let report = campaign.run(bots);
+        assert_eq!(report.bots_tested, 2);
+        assert_eq!(report.guilds_created, 2);
+        assert_eq!(report.tokens_planted, 8);
+        assert_eq!(report.messages_posted, 50);
+        assert!(report.triggers.is_empty());
+        assert!(report.detections.is_empty());
+        assert_eq!(report.captchas_solved, 2, "one install captcha per bot");
+        assert_eq!(report.backend_bytes_sent, 0, "benign backends send nothing out");
+    }
+
+    #[test]
+    fn snooper_is_caught_and_attributed() {
+        let (platform, net, dev) = world();
+        let mut campaign = Campaign::new(platform.clone(), net, CampaignConfig::default());
+        let bots = vec![
+            make_bot(&platform, dev, "CleanBot", full_perms(), Box::new(BenignBehavior::new("fun"))),
+            make_bot(&platform, dev, "Melonian", full_perms(), Box::new(SnooperBehavior::new(10))),
+        ];
+        let report = campaign.run(bots);
+        assert_eq!(report.detections.len(), 1, "exactly one bot detected");
+        let det = &report.detections[0];
+        assert_eq!(det.bot_name, "Melonian");
+        // The snooper opened the word doc, the pdf, and fetched the URL.
+        assert!(det.token_kinds.contains(&TokenKind::Url));
+        assert!(det.token_kinds.contains(&TokenKind::WordDoc));
+        assert!(det.token_kinds.contains(&TokenKind::Pdf));
+        // Requester attribution points at Melonian's backend.
+        assert!(det.requesters.iter().all(|r| r.contains("melonian")));
+        // The human aside was captured as a follow-up message.
+        assert!(det.followup_messages.iter().any(|m| m == "wtf is this bro"));
+    }
+
+    #[test]
+    fn exfiltrator_trips_email_token_too() {
+        let (platform, net, dev) = world();
+        let mut campaign = Campaign::new(platform.clone(), net, CampaignConfig::default());
+        let bots = vec![make_bot(
+            &platform,
+            dev,
+            "Harvester",
+            full_perms(),
+            Box::new(ExfiltratorBehavior::new(None).spamming()),
+        )];
+        let report = campaign.run(bots);
+        assert_eq!(report.detections.len(), 1);
+        let det = &report.detections[0];
+        assert_eq!(det.token_kinds, vec![TokenKind::Email, TokenKind::Url, TokenKind::WordDoc, TokenKind::Pdf]);
+        assert!(report.backend_bytes_sent > 0, "the harvester's traffic is measurable");
+    }
+
+    #[test]
+    fn guild_isolation_no_cross_guild_attribution() {
+        let (platform, net, dev) = world();
+        let mut campaign = Campaign::new(platform.clone(), net, CampaignConfig::default());
+        let bots = vec![
+            make_bot(&platform, dev, "Spy", full_perms(), Box::new(SnooperBehavior::new(5))),
+            make_bot(&platform, dev, "Saint", full_perms(), Box::new(BenignBehavior::new("fun"))),
+        ];
+        let report = campaign.run(bots);
+        assert_eq!(report.detections.len(), 1);
+        assert_eq!(report.detections[0].bot_name, "Spy");
+        // Every trigger's token carries the Spy guild tag.
+        for t in &report.triggers {
+            assert!(t.token_id.contains("guild-spy"), "{}", t.token_id);
+        }
+    }
+
+    #[test]
+    fn webhook_thief_caught_via_network_tap() {
+        use botsdk::WebhookThiefBehavior;
+        let (platform, net, dev) = world();
+        let mut campaign = Campaign::new(platform.clone(), net, CampaignConfig::default());
+        let bots = vec![
+            make_bot(&platform, dev, "CleanBot", full_perms(), Box::new(BenignBehavior::new("fun"))),
+            make_bot(
+                &platform,
+                dev,
+                "HookSnatcher",
+                full_perms() | Permissions::MANAGE_WEBHOOKS,
+                Box::new(WebhookThiefBehavior::new("drop.zone.sim")),
+            ),
+        ];
+        let report = campaign.run(bots);
+        assert_eq!(report.detections.len(), 1);
+        let det = &report.detections[0];
+        assert_eq!(det.bot_name, "HookSnatcher");
+        assert_eq!(det.token_kinds, vec![TokenKind::WebhookToken]);
+        assert!(det.requesters.iter().all(|r| r.contains("hooksnatcher")));
+    }
+
+    #[test]
+    fn webhook_canaries_can_be_disabled() {
+        use botsdk::WebhookThiefBehavior;
+        let (platform, net, dev) = world();
+        let mut campaign = Campaign::new(
+            platform.clone(),
+            net,
+            CampaignConfig { plant_webhook_canaries: false, ..CampaignConfig::default() },
+        );
+        let bots = vec![make_bot(
+            &platform,
+            dev,
+            "HookSnatcher",
+            full_perms() | Permissions::MANAGE_WEBHOOKS,
+            Box::new(WebhookThiefBehavior::new("drop.zone.sim")),
+        )];
+        let report = campaign.run(bots);
+        // No canary webhook exists → nothing to steal → no detection; the
+        // paper's four-token design alone misses this behaviour class.
+        assert!(report.detections.is_empty());
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let run = || {
+            let (platform, net, dev) = world();
+            let mut campaign = Campaign::new(platform.clone(), net, CampaignConfig::default());
+            let bots = vec![make_bot(
+                &platform,
+                dev,
+                "Melonian",
+                full_perms(),
+                Box::new(SnooperBehavior::new(8)),
+            )];
+            let report = campaign.run(bots);
+            (
+                report.detections.iter().map(|d| (d.bot_name.clone(), d.token_kinds.clone())).collect::<Vec<_>>(),
+                report.messages_posted,
+                report.tokens_planted,
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn guild_tag_sanitizes_names() {
+        assert_eq!(Campaign::guild_tag("Melonian"), "guild-melonian");
+        assert_eq!(Campaign::guild_tag("Fun Bot 3000!"), "guild-fun-bot-3000-");
+    }
+}

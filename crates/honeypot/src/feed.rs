@@ -1,0 +1,208 @@
+//! The realistic conversation feed.
+//!
+//! "For the honeypot environment to appear active and in use, we provide a
+//! feed of frequent exchange of messages from multiple (automated) users.
+//! … our implementation leverages publicly available messages from social
+//! networks (OSN) like Reddit. Our rationale is that the style of the
+//! communication used in an instant messaging environment is shorter and
+//! less formal than email" (§3).
+//!
+//! We cannot ship Reddit data, so the generator assembles short, informal
+//! chat lines from a seed corpus of templates and slot fillers — same
+//! register, same purpose: make the guild look alive to a snooping
+//! developer.
+
+use rand::Rng;
+
+/// Slot fillers harvested from the sort of chatter the paper describes.
+const TOPICS: &[&str] = &[
+    "the new season", "that boss fight", "the patch notes", "the meetup on friday",
+    "the project deadline", "the playlist", "yesterday's match", "the group buy",
+    "the new keyboard", "that meme", "the stream last night", "the assignment",
+];
+
+const OPENERS: &[&str] = &[
+    "lol did you see {t}", "ok but {t} was wild", "anyone else think {t} is overrated",
+    "can't stop thinking about {t}", "hot take: {t} is actually fine", "yo {t} tho",
+    "who's ready for {t}", "real talk, {t} saved my week", "ngl {t} kinda slaps",
+];
+
+const REPLIES: &[&str] = &[
+    "fr fr", "lmaooo", "no way", "this ^", "brooo", "so true", "idk about that",
+    "wait what", "hard agree", "nah you're wrong lol", "ok that's fair",
+    "someone clip that", "brb gotta see this", "same tbh", "💀",
+];
+
+const FOLLOWUPS: &[&str] = &[
+    "also we still on for tonight?", "did anyone save the link from before?",
+    "who has the notes from last time", "ping me when you're online",
+    "gonna grab food, back in 10", "my wifi is dying again", "ok actually gotta go",
+];
+
+/// A tiny order-1 Markov chain over words, trained on the seed corpus.
+///
+/// The template generator above covers the *shape* of chat; the Markov
+/// layer adds novel-but-plausible run-on lines so long feeds do not repeat
+/// verbatim. Both stay in the short, informal OSN register.
+pub struct MarkovChat {
+    transitions: std::collections::BTreeMap<String, Vec<String>>,
+    starts: Vec<String>,
+}
+
+impl MarkovChat {
+    /// Train on the built-in seed corpus plus any extra lines.
+    pub fn seeded(extra: &[&str]) -> MarkovChat {
+        let mut corpus: Vec<String> = Vec::new();
+        for opener in OPENERS {
+            for topic in TOPICS.iter().take(4) {
+                corpus.push(opener.replace("{t}", topic));
+            }
+        }
+        corpus.extend(FOLLOWUPS.iter().map(|s| s.to_string()));
+        corpus.extend(extra.iter().map(|s| s.to_string()));
+
+        let mut transitions: std::collections::BTreeMap<String, Vec<String>> = Default::default();
+        let mut starts = Vec::new();
+        for line in &corpus {
+            let words: Vec<&str> = line.split_whitespace().collect();
+            if words.is_empty() {
+                continue;
+            }
+            starts.push(words[0].to_string());
+            for pair in words.windows(2) {
+                transitions.entry(pair[0].to_string()).or_default().push(pair[1].to_string());
+            }
+        }
+        MarkovChat { transitions, starts }
+    }
+
+    /// Generate one line of at most `max_words` words.
+    pub fn line<R: Rng + ?Sized>(&self, rng: &mut R, max_words: usize) -> String {
+        if self.starts.is_empty() {
+            return "hm".to_string();
+        }
+        let mut word = self.starts[rng.gen_range(0..self.starts.len())].clone();
+        let mut out = vec![word.clone()];
+        for _ in 1..max_words.max(1) {
+            let Some(nexts) = self.transitions.get(&word) else { break };
+            word = nexts[rng.gen_range(0..nexts.len())].clone();
+            out.push(word.clone());
+        }
+        out.join(" ")
+    }
+}
+
+/// One generated feed line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FeedLine {
+    /// Index of the persona (0..n_personas) who should post it.
+    pub persona: usize,
+    /// The message text.
+    pub text: String,
+}
+
+/// Generate `count` alternating messages for `personas` participants.
+///
+/// "our system ensures that the virtual accounts post alternating messages
+/// so that interactions resemble legitimate conversations between actual
+/// users" (§4.2): consecutive lines never come from the same persona.
+pub fn generate_feed<R: Rng + ?Sized>(rng: &mut R, personas: usize, count: usize) -> Vec<FeedLine> {
+    assert!(personas >= 2, "a conversation needs at least two participants");
+    let markov = MarkovChat::seeded(&[]);
+    let mut out = Vec::with_capacity(count);
+    let mut last_persona = usize::MAX;
+    for i in 0..count {
+        let mut persona = rng.gen_range(0..personas);
+        if persona == last_persona {
+            persona = (persona + 1) % personas;
+        }
+        last_persona = persona;
+        let text = match i % 5 {
+            0 => {
+                let opener = OPENERS[rng.gen_range(0..OPENERS.len())];
+                let topic = TOPICS[rng.gen_range(0..TOPICS.len())];
+                opener.replace("{t}", topic)
+            }
+            3 => FOLLOWUPS[rng.gen_range(0..FOLLOWUPS.len())].to_string(),
+            4 => {
+                let len = 2 + rng.gen_range(0..8);
+                markov.line(rng, len)
+            }
+            _ => REPLIES[rng.gen_range(0..REPLIES.len())].to_string(),
+        };
+        out.push(FeedLine { persona, text });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn alternation_no_consecutive_same_persona() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let feed = generate_feed(&mut rng, 5, 200);
+        for pair in feed.windows(2) {
+            assert_ne!(pair[0].persona, pair[1].persona);
+        }
+    }
+
+    #[test]
+    fn personas_stay_in_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let feed = generate_feed(&mut rng, 3, 100);
+        assert!(feed.iter().all(|l| l.persona < 3));
+        // All personas participate in a long enough feed.
+        for p in 0..3 {
+            assert!(feed.iter().any(|l| l.persona == p), "persona {p} never spoke");
+        }
+    }
+
+    #[test]
+    fn register_is_short_and_informal() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let feed = generate_feed(&mut rng, 2, 100);
+        let avg_words: f64 = feed.iter().map(|l| l.text.split_whitespace().count() as f64).sum::<f64>()
+            / feed.len() as f64;
+        assert!(avg_words < 10.0, "OSN register, not email: avg {avg_words} words");
+        assert!(feed.iter().all(|l| !l.text.is_empty()));
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate_feed(&mut StdRng::seed_from_u64(9), 4, 50);
+        let b = generate_feed(&mut StdRng::seed_from_u64(9), 4, 50);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn markov_lines_are_short_and_nonempty() {
+        let chain = MarkovChat::seeded(&["extra seed line for flavor"]);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..200 {
+            let line = chain.line(&mut rng, 9);
+            assert!(!line.is_empty());
+            assert!(line.split_whitespace().count() <= 9);
+        }
+    }
+
+    #[test]
+    fn markov_is_deterministic_per_seed() {
+        let chain = MarkovChat::seeded(&[]);
+        let a: Vec<String> =
+            (0..20).map(|_| chain.line(&mut StdRng::seed_from_u64(1), 8)).collect();
+        let b: Vec<String> =
+            (0..20).map(|_| chain.line(&mut StdRng::seed_from_u64(1), 8)).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn one_persona_is_rejected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        generate_feed(&mut rng, 1, 10);
+    }
+}

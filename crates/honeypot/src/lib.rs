@@ -1,0 +1,37 @@
+//! # honeypot — the dynamic-analysis stage (§3, §4.2)
+//!
+//! "In the absence of a direct access to the software of a chatbot, we
+//! develop a dynamic analysis approach to study remote programs in their
+//! environment. For this, we use a honeypot instrumented with canary
+//! tokens."
+//!
+//! The moving parts, mirroring the paper's design:
+//!
+//! * [`token`] — canary tokens of the four kinds used in the measurement:
+//!   **email**, **URL**, **Word document**, **PDF**. Document tokens embed
+//!   their beacon URL in metadata so that *opening* the file phones home.
+//! * [`sink`] — the canarytokens-style signal server: any request for a
+//!   token URL (or mail to a canary address) is recorded with requester and
+//!   virtual timestamp.
+//! * [`feed`] — the realistic conversation feed: short, informal OSN-style
+//!   messages (the paper used Reddit rather than Enron for exactly this
+//!   register) posted by alternating personas.
+//! * [`persona`] — virtual-user management, including the mobile
+//!   verification dance Discord forces on fresh accounts that join many
+//!   guilds.
+//! * [`campaign`] — orchestration: one isolated private guild per bot under
+//!   test, named after the bot for attribution; personas, feed, tokens; run
+//!   the fleet; attribute triggers.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod campaign;
+pub mod feed;
+pub mod persona;
+pub mod sink;
+pub mod token;
+
+pub use campaign::{Campaign, CampaignConfig, CampaignReport, Detection};
+pub use sink::{CanarySink, Trigger, SINK_HOST};
+pub use token::{CanaryToken, TokenKind, TokenMint};

@@ -1,0 +1,146 @@
+//! Virtual-user (persona) management.
+//!
+//! "to post a seemingly real conversation we create fake personas by
+//! registering virtual users into Discord. In practice, we found that when
+//! a new account quickly joins many guilds, it is flagged by Discord, and
+//! mobile verification is required. As such, we completed this step
+//! manually" (§4.2). The pool tracks how many of those manual
+//! verifications the campaign needed — one of the costs the paper calls
+//! out as future work to automate.
+
+use discord_sim::{GuildId, Platform, PlatformError, PlatformResult, UserId};
+
+/// A pool of virtual users shared across honeypot guilds.
+pub struct PersonaPool {
+    platform: Platform,
+    personas: Vec<UserId>,
+    /// Pre-verify accounts at registration time — the paper's future-work
+    /// item ("an automated way of creating virtual users eliminating the
+    /// manual mobile verification step"), modeled as provisioning each
+    /// persona with a virtual number up front.
+    pub auto_verify: bool,
+    /// Manual mobile verifications that were required.
+    pub manual_verifications: u64,
+}
+
+impl PersonaPool {
+    /// Register `count` personas (manual-verification mode, as the paper
+    /// operated).
+    pub fn new(platform: Platform, count: usize) -> PersonaPool {
+        Self::with_mode(platform, count, false)
+    }
+
+    /// Register `count` personas with explicit verification mode.
+    pub fn with_mode(platform: Platform, count: usize, auto_verify: bool) -> PersonaPool {
+        let personas: Vec<UserId> = (0..count)
+            .map(|i| {
+                platform.register_user(
+                    &format!("persona-{i:03}#{:04}", 1000 + i),
+                    &format!("persona{i}@lab.example"),
+                )
+            })
+            .collect();
+        if auto_verify {
+            for &p in &personas {
+                platform.verify_mobile(p).expect("freshly registered");
+            }
+        }
+        PersonaPool { platform, personas, auto_verify, manual_verifications: 0 }
+    }
+
+    /// The persona accounts.
+    pub fn members(&self) -> &[UserId] {
+        &self.personas
+    }
+
+    /// Number of personas.
+    pub fn len(&self) -> usize {
+        self.personas.len()
+    }
+
+    /// True when the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.personas.is_empty()
+    }
+
+    /// Join all personas into a guild, performing the "manual" mobile
+    /// verification whenever the platform flags an account.
+    pub fn join_all(&mut self, guild: GuildId, invite: Option<&str>) -> PlatformResult<()> {
+        for &p in &self.personas {
+            match self.platform.join_guild(p, guild, invite) {
+                Ok(()) => {}
+                Err(PlatformError::VerificationRequired) => {
+                    // The researcher picks up the phone…
+                    self.manual_verifications += 1;
+                    self.platform.verify_mobile(p)?;
+                    self.platform.join_guild(p, guild, invite)?;
+                }
+                Err(other) => return Err(other),
+            }
+        }
+        Ok(())
+    }
+
+    /// Persona for a feed line index.
+    pub fn by_index(&self, idx: usize) -> UserId {
+        self.personas[idx % self.personas.len()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use discord_sim::GuildVisibility;
+    use netsim::clock::VirtualClock;
+
+    #[test]
+    fn pool_joins_and_verifies_when_flagged() {
+        let platform = Platform::new(VirtualClock::new());
+        let owner = platform.register_user("owner", "o@x.y");
+        let mut pool = PersonaPool::new(platform.clone(), 5);
+        assert_eq!(pool.len(), 5);
+        // Join across more guilds than the unverified limit to force flags.
+        let mut guilds = Vec::new();
+        for i in 0..15 {
+            let g = platform
+                .create_guild(owner, &format!("hp-{i}"), GuildVisibility::Private)
+                .unwrap();
+            let code = platform.create_invite(owner, g).unwrap();
+            guilds.push((g, code));
+        }
+        for (g, code) in &guilds {
+            pool.join_all(*g, Some(code)).unwrap();
+        }
+        assert!(pool.manual_verifications >= 5, "each persona was flagged once");
+        // All personas ended up in every guild.
+        for (g, _) in &guilds {
+            let guild = platform.guild(*g).unwrap();
+            for &p in pool.members() {
+                assert!(guild.member(p).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn auto_verified_pool_never_needs_manual_step() {
+        let platform = Platform::new(VirtualClock::new());
+        let owner = platform.register_user("owner", "o@x.y");
+        let mut pool = PersonaPool::with_mode(platform.clone(), 5, true);
+        assert!(pool.auto_verify);
+        for i in 0..15 {
+            let g = platform
+                .create_guild(owner, &format!("g{i}"), GuildVisibility::Public)
+                .unwrap();
+            pool.join_all(g, None).unwrap();
+        }
+        assert_eq!(pool.manual_verifications, 0, "automation removed the manual step");
+    }
+
+    #[test]
+    fn by_index_wraps() {
+        let platform = Platform::new(VirtualClock::new());
+        let pool = PersonaPool::new(platform, 3);
+        assert_eq!(pool.by_index(0), pool.by_index(3));
+        assert_ne!(pool.by_index(0), pool.by_index(1));
+    }
+}

@@ -1,0 +1,165 @@
+//! The canary signal sink.
+//!
+//! Two hosts, one service: the beacon host answers `GET /t/{token-id}` (URL
+//! and document tokens) and the mail host accepts deliveries at
+//! `/mail/{local-part}` (email tokens). Every hit is recorded with the
+//! requester's trace label and the virtual timestamp — the "signal tied to
+//! the token" of §3.
+
+use netsim::clock::SimInstant;
+use netsim::http::{Request, Response, Status};
+use netsim::{Network, Service, ServiceCtx};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Beacon host for URL/document tokens.
+pub const SINK_HOST: &str = "canary-sink.sim";
+/// Mail host for email tokens.
+pub const MAIL_HOST: &str = "canary-mail.sim";
+
+/// One recorded signal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trigger {
+    /// Token ID (or email local part) that fired.
+    pub token_id: String,
+    /// The requester label the fabric observed (bot backend tag).
+    pub requester: String,
+    /// Virtual time of the hit.
+    pub at: SimInstant,
+    /// Whether this was a mail delivery (email token) or a URL fetch.
+    pub via_mail: bool,
+}
+
+#[derive(Default)]
+struct SinkInner {
+    triggers: Vec<Trigger>,
+}
+
+/// The sink. Clone and mount on both hosts.
+#[derive(Clone, Default)]
+pub struct CanarySink {
+    inner: Arc<Mutex<SinkInner>>,
+}
+
+impl CanarySink {
+    /// A fresh sink.
+    pub fn new() -> CanarySink {
+        CanarySink::default()
+    }
+
+    /// Mount on [`SINK_HOST`] and [`MAIL_HOST`].
+    pub fn mount(&self, net: &Network) {
+        net.mount(SINK_HOST, self.clone());
+        net.mount(MAIL_HOST, self.clone());
+    }
+
+    /// All recorded triggers, in order.
+    pub fn triggers(&self) -> Vec<Trigger> {
+        self.inner.lock().triggers.clone()
+    }
+
+    /// Triggers whose token ID contains `tag` (guild-name attribution).
+    pub fn triggers_for_tag(&self, tag: &str) -> Vec<Trigger> {
+        self.inner
+            .lock()
+            .triggers
+            .iter()
+            .filter(|t| t.token_id.contains(tag))
+            .cloned()
+            .collect()
+    }
+
+    /// Total trigger count.
+    pub fn trigger_count(&self) -> usize {
+        self.inner.lock().triggers.len()
+    }
+}
+
+impl Service for CanarySink {
+    fn handle(&mut self, req: &Request, ctx: &mut ServiceCtx<'_>) -> Response {
+        let segments = req.url.segments();
+        match segments.as_slice() {
+            ["t", token_id] => {
+                self.inner.lock().triggers.push(Trigger {
+                    token_id: token_id.to_string(),
+                    requester: ctx.requester.to_string(),
+                    at: ctx.now,
+                    via_mail: false,
+                });
+                // Serve something innocuous so the fetcher suspects nothing.
+                Response::ok("<html><body>shared document</body></html>")
+            }
+            ["mail", local] => {
+                self.inner.lock().triggers.push(Trigger {
+                    token_id: local.to_string(),
+                    requester: ctx.requester.to_string(),
+                    at: ctx.now,
+                    via_mail: true,
+                });
+                Response::ok("250 OK")
+            }
+            _ => Response::status(Status::NotFound),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::client::{ClientConfig, HttpClient};
+    use netsim::http::Url;
+
+    #[test]
+    fn url_hits_are_recorded_with_requester() {
+        let net = Network::new(2);
+        let sink = CanarySink::new();
+        sink.mount(&net);
+        let mut client = HttpClient::new(
+            net.clone(),
+            ClientConfig { user_agent: "bot-backend/shady".into(), ..ClientConfig::default() },
+        );
+        client.get(Url::https(SINK_HOST, "/t/guild-x-url-000001")).unwrap();
+        let triggers = sink.triggers();
+        assert_eq!(triggers.len(), 1);
+        assert_eq!(triggers[0].token_id, "guild-x-url-000001");
+        assert_eq!(triggers[0].requester, "bot-backend/shady");
+        assert!(!triggers[0].via_mail);
+    }
+
+    #[test]
+    fn mail_deliveries_are_recorded() {
+        let net = Network::new(2);
+        let sink = CanarySink::new();
+        sink.mount(&net);
+        let mut client = HttpClient::new(net, ClientConfig::impolite("spammer"));
+        client.get(Url::https(MAIL_HOST, "/mail/guild-y-email-000002")).unwrap();
+        let t = sink.triggers();
+        assert_eq!(t.len(), 1);
+        assert!(t[0].via_mail);
+    }
+
+    #[test]
+    fn tag_attribution() {
+        let net = Network::new(2);
+        let sink = CanarySink::new();
+        sink.mount(&net);
+        let mut client = HttpClient::new(net, ClientConfig::impolite("x"));
+        client.get(Url::https(SINK_HOST, "/t/guild-melonian-url-1")).unwrap();
+        client.get(Url::https(SINK_HOST, "/t/guild-other-url-2")).unwrap();
+        assert_eq!(sink.triggers_for_tag("guild-melonian").len(), 1);
+        assert_eq!(sink.triggers_for_tag("guild-other").len(), 1);
+        assert_eq!(sink.triggers_for_tag("guild-nobody").len(), 0);
+        assert_eq!(sink.trigger_count(), 2);
+    }
+
+    #[test]
+    fn unknown_paths_do_not_record() {
+        let net = Network::new(2);
+        let sink = CanarySink::new();
+        sink.mount(&net);
+        let mut client = HttpClient::new(net, ClientConfig::impolite("x"));
+        let resp = client.get(Url::https(SINK_HOST, "/favicon.ico")).unwrap();
+        assert_eq!(resp.status, Status::NotFound);
+        assert_eq!(sink.trigger_count(), 0);
+    }
+}

@@ -1,0 +1,204 @@
+//! Canary tokens.
+//!
+//! "Canary tokens consist of unique identifiers embedded in URLs or placed
+//! in a document meta-data. Requesting the URL or opening the document
+//! allows us to receive a signal tied to the token" (§3). Four kinds are
+//! used (§4.2): email address, URL, Word document, and PDF.
+
+use bytes::Bytes;
+use discord_sim::message::Attachment;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The four token kinds of the measurement, plus the webhook-token canary
+/// this reproduction adds (detected on the network tap rather than at the
+/// sink).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum TokenKind {
+    /// A unique email address; *using* it (mail delivery) triggers.
+    Email,
+    /// A unique URL; requesting it triggers.
+    Url,
+    /// A Word document whose metadata references the beacon URL.
+    WordDoc,
+    /// A PDF whose annotation dictionary references the beacon URL.
+    Pdf,
+    /// A planted webhook credential; its token string appearing in *any*
+    /// backend-originated network request is the signal (extension — the
+    /// Spidey-Bot theft pattern the paper cites as \[54\]).
+    WebhookToken,
+}
+
+impl TokenKind {
+    /// The paper's four kinds (what [`TokenMint::mint_guild_set`] plants).
+    pub const ALL: [TokenKind; 4] = [TokenKind::Email, TokenKind::Url, TokenKind::WordDoc, TokenKind::Pdf];
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TokenKind::Email => "email",
+            TokenKind::Url => "url",
+            TokenKind::WordDoc => "word-doc",
+            TokenKind::Pdf => "pdf",
+            TokenKind::WebhookToken => "webhook-token",
+        })
+    }
+}
+
+/// One minted token.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CanaryToken {
+    /// Unique identifier (ties a trigger back to this token).
+    pub id: String,
+    /// Kind.
+    pub kind: TokenKind,
+    /// The guild tag encoded in the token — "We use the guild name as our
+    /// identifier to detect triggered tokens" (§4.2).
+    pub guild_tag: String,
+}
+
+impl CanaryToken {
+    /// The beacon URL for URL/doc tokens.
+    pub fn beacon_url(&self, sink_host: &str) -> String {
+        format!("https://{sink_host}/t/{}", self.id)
+    }
+
+    /// The canary email address for email tokens.
+    pub fn email_address(&self, mail_host: &str) -> String {
+        format!("{}@{mail_host}", self.id)
+    }
+
+    /// Fake-but-plausible Word document bytes with the beacon URL embedded
+    /// in `docProps` metadata (remote-template style).
+    pub fn word_doc_bytes(&self, sink_host: &str) -> Bytes {
+        let beacon = self.beacon_url(sink_host);
+        let body = format!(
+            "PK\x03\x04 [Content_Types].xml word/document.xml\n\
+             <w:document><w:body><w:p>Q3 budget figures — internal only</w:p></w:body></w:document>\n\
+             docProps/core.xml <dc:title>Budget</dc:title>\n\
+             word/_rels/settings.xml.rels <Relationship Type=\"attachedTemplate\" Target=\"{beacon}\"/>\n"
+        );
+        Bytes::from(body)
+    }
+
+    /// Fake-but-plausible PDF bytes with the beacon URL in a URI action.
+    pub fn pdf_bytes(&self, sink_host: &str) -> Bytes {
+        let beacon = self.beacon_url(sink_host);
+        let body = format!(
+            "%PDF-1.7\n1 0 obj << /Type /Catalog /OpenAction << /S /URI /URI ({beacon}) >> >> endobj\n\
+             2 0 obj << /Type /Page /Contents 3 0 R >> endobj\ntrailer << /Root 1 0 R >>\n%%EOF\n"
+        );
+        Bytes::from(body)
+    }
+
+    /// Render this token as a message attachment (doc kinds only).
+    pub fn as_attachment(&self, sink_host: &str) -> Option<Attachment> {
+        match self.kind {
+            TokenKind::WordDoc => Some(Attachment::new(
+                &format!("{}-notes.docx", self.guild_tag),
+                "application/vnd.openxmlformats-officedocument.wordprocessingml.document",
+                self.word_doc_bytes(sink_host),
+            )),
+            TokenKind::Pdf => Some(Attachment::new(
+                &format!("{}-report.pdf", self.guild_tag),
+                "application/pdf",
+                self.pdf_bytes(sink_host),
+            )),
+            _ => None,
+        }
+    }
+}
+
+/// Mints unique tokens bound to a sink/mail host pair.
+#[derive(Debug, Clone)]
+pub struct TokenMint {
+    /// Host the beacon URLs point at.
+    pub sink_host: String,
+    /// Host canary email addresses live on.
+    pub mail_host: String,
+    counter: u64,
+}
+
+impl TokenMint {
+    /// A mint for the given hosts.
+    pub fn new(sink_host: &str, mail_host: &str) -> TokenMint {
+        TokenMint { sink_host: sink_host.to_string(), mail_host: mail_host.to_string(), counter: 0 }
+    }
+
+    /// Mint one token for a guild.
+    pub fn mint(&mut self, kind: TokenKind, guild_tag: &str) -> CanaryToken {
+        self.counter += 1;
+        CanaryToken {
+            id: format!("{guild_tag}-{kind}-{:06}", self.counter),
+            kind,
+            guild_tag: guild_tag.to_string(),
+        }
+    }
+
+    /// Mint the full four-token set for a guild (§4.2: "Each guild was
+    /// populated with a canary URL, email address, pdf and word document
+    /// tokens").
+    pub fn mint_guild_set(&mut self, guild_tag: &str) -> Vec<CanaryToken> {
+        TokenKind::ALL.iter().map(|k| self.mint(*k, guild_tag)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use botsdk::malicious::urls_in_bytes;
+
+    #[test]
+    fn ids_are_unique_and_carry_guild_tag() {
+        let mut mint = TokenMint::new("sink.sim", "mail.sim");
+        let a = mint.mint(TokenKind::Url, "guild-melonian");
+        let b = mint.mint(TokenKind::Url, "guild-melonian");
+        assert_ne!(a.id, b.id);
+        assert!(a.id.contains("guild-melonian"));
+        assert_eq!(a.guild_tag, "guild-melonian");
+    }
+
+    #[test]
+    fn guild_set_has_all_four_kinds() {
+        let mut mint = TokenMint::new("sink.sim", "mail.sim");
+        let set = mint.mint_guild_set("g1");
+        let kinds: Vec<TokenKind> = set.iter().map(|t| t.kind).collect();
+        assert_eq!(kinds, TokenKind::ALL.to_vec());
+    }
+
+    #[test]
+    fn word_doc_embeds_beacon_where_openers_find_it() {
+        let mut mint = TokenMint::new("sink.sim", "mail.sim");
+        let t = mint.mint(TokenKind::WordDoc, "g1");
+        let bytes = t.word_doc_bytes("sink.sim");
+        let urls = urls_in_bytes(&bytes);
+        assert_eq!(urls, vec![t.beacon_url("sink.sim")]);
+    }
+
+    #[test]
+    fn pdf_embeds_beacon_where_openers_find_it() {
+        let mut mint = TokenMint::new("sink.sim", "mail.sim");
+        let t = mint.mint(TokenKind::Pdf, "g1");
+        let urls = urls_in_bytes(&t.pdf_bytes("sink.sim"));
+        assert_eq!(urls, vec![t.beacon_url("sink.sim")]);
+    }
+
+    #[test]
+    fn attachments_only_for_doc_kinds() {
+        let mut mint = TokenMint::new("sink.sim", "mail.sim");
+        assert!(mint.mint(TokenKind::WordDoc, "g").as_attachment("sink.sim").is_some());
+        assert!(mint.mint(TokenKind::Pdf, "g").as_attachment("sink.sim").is_some());
+        assert!(mint.mint(TokenKind::Url, "g").as_attachment("sink.sim").is_none());
+        assert!(mint.mint(TokenKind::Email, "g").as_attachment("sink.sim").is_none());
+    }
+
+    #[test]
+    fn email_address_shape() {
+        let mut mint = TokenMint::new("sink.sim", "canary-mail.sim");
+        let t = mint.mint(TokenKind::Email, "g2");
+        let addr = t.email_address("canary-mail.sim");
+        assert!(addr.ends_with("@canary-mail.sim"));
+        assert!(addr.starts_with("g2-email-"));
+    }
+}

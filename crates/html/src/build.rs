@@ -1,0 +1,116 @@
+//! Builder API the simulated sites use to emit pages.
+//!
+//! ```
+//! use htmlsim::build::el;
+//!
+//! let card = el("div")
+//!     .class("bot-card")
+//!     .attr("data-bot-id", "1234")
+//!     .child(el("a").attr("href", "/bot/1234").text("FunBot"))
+//!     .build();
+//! assert!(card.has_class("bot-card"));
+//! ```
+
+use crate::node::Node;
+use std::collections::BTreeMap;
+
+/// Fluent element builder; see [`el`].
+#[derive(Debug, Clone)]
+pub struct ElementBuilder {
+    tag: String,
+    attrs: BTreeMap<String, String>,
+    children: Vec<Node>,
+}
+
+/// Start building an element with the given tag.
+pub fn el(tag: &str) -> ElementBuilder {
+    ElementBuilder { tag: tag.to_ascii_lowercase(), attrs: BTreeMap::new(), children: Vec::new() }
+}
+
+impl ElementBuilder {
+    /// Set an attribute (last write wins).
+    pub fn attr(mut self, key: &str, value: &str) -> Self {
+        self.attrs.insert(key.to_ascii_lowercase(), value.to_string());
+        self
+    }
+
+    /// Set the `id` attribute.
+    pub fn id(self, id: &str) -> Self {
+        self.attr("id", id)
+    }
+
+    /// Append a class to the `class` attribute.
+    pub fn class(mut self, name: &str) -> Self {
+        let entry = self.attrs.entry("class".into()).or_default();
+        if entry.is_empty() {
+            *entry = name.to_string();
+        } else {
+            entry.push(' ');
+            entry.push_str(name);
+        }
+        self
+    }
+
+    /// Append an element child.
+    pub fn child(mut self, child: ElementBuilder) -> Self {
+        self.children.push(child.build());
+        self
+    }
+
+    /// Append an already-built node.
+    pub fn node(mut self, node: Node) -> Self {
+        self.children.push(node);
+        self
+    }
+
+    /// Append a text child.
+    pub fn text(mut self, t: impl Into<String>) -> Self {
+        self.children.push(Node::text(t));
+        self
+    }
+
+    /// Append children from an iterator of builders.
+    pub fn children(mut self, iter: impl IntoIterator<Item = ElementBuilder>) -> Self {
+        self.children.extend(iter.into_iter().map(ElementBuilder::build));
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> Node {
+        Node::Element { tag: self.tag, attrs: self.attrs, children: self.children }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_nested_structure() {
+        let n = el("ul")
+            .id("list")
+            .children((0..3).map(|i| el("li").text(format!("item {i}"))))
+            .build();
+        assert_eq!(n.id(), Some("list"));
+        assert_eq!(n.children().len(), 3);
+        assert_eq!(n.children()[2].text_content(), "item 2");
+    }
+
+    #[test]
+    fn class_accumulates() {
+        let n = el("div").class("a").class("b").build();
+        assert_eq!(n.classes(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn attr_last_write_wins() {
+        let n = el("a").attr("href", "/x").attr("HREF", "/y").build();
+        assert_eq!(n.attr("href"), Some("/y"));
+    }
+
+    #[test]
+    fn node_appends_prebuilt() {
+        let n = el("div").node(Node::text("raw")).build();
+        assert_eq!(n.text_content(), "raw");
+    }
+}

@@ -1,0 +1,127 @@
+//! Serialization: the tree → HTML text that travels over the fabric.
+
+use crate::node::{Document, Node};
+
+/// Tags serialized without a closing tag (HTML "void elements").
+const VOID_TAGS: &[&str] = &["br", "hr", "img", "input", "link", "meta"];
+
+/// Render a document to an HTML string with a doctype line.
+pub fn render_document(doc: &Document) -> String {
+    let mut out = String::from("<!DOCTYPE html>");
+    render_node(&doc.root, &mut out);
+    out
+}
+
+/// Render a single node (and subtree) to HTML.
+pub fn render_node(node: &Node, out: &mut String) {
+    match node {
+        Node::Text(t) => out.push_str(&escape_text(t)),
+        Node::Element { tag, attrs, children } => {
+            out.push('<');
+            out.push_str(tag);
+            for (k, v) in attrs {
+                out.push(' ');
+                out.push_str(k);
+                out.push_str("=\"");
+                out.push_str(&escape_attr(v));
+                out.push('"');
+            }
+            out.push('>');
+            if VOID_TAGS.contains(&tag.as_str()) {
+                return;
+            }
+            for c in children {
+                render_node(c, out);
+            }
+            out.push_str("</");
+            out.push_str(tag);
+            out.push('>');
+        }
+    }
+}
+
+/// Render a node to a fresh string.
+pub fn render_to_string(node: &Node) -> String {
+    let mut s = String::new();
+    render_node(node, &mut s);
+    s
+}
+
+/// Escape text content.
+pub fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
+/// Escape attribute values (quotes too).
+pub fn escape_attr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
+/// Unescape the entities this crate emits (used by the parser).
+pub fn unescape(s: &str) -> String {
+    s.replace("&quot;", "\"")
+        .replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&amp;", "&")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::el;
+
+    #[test]
+    fn renders_simple_page() {
+        let doc = Document::new(
+            el("html").child(el("body").child(el("p").id("x").text("hi"))).build(),
+        );
+        assert_eq!(
+            render_document(&doc),
+            "<!DOCTYPE html><html><body><p id=\"x\">hi</p></body></html>"
+        );
+    }
+
+    #[test]
+    fn escapes_text_and_attrs() {
+        let n = el("a").attr("title", "a \"b\" <c>").text("x < y & z").build();
+        let html = render_to_string(&n);
+        assert!(html.contains("a &quot;b&quot; &lt;c&gt;"));
+        assert!(html.contains("x &lt; y &amp; z"));
+    }
+
+    #[test]
+    fn void_tags_have_no_close() {
+        let n = el("div").child(el("br")).child(el("img").attr("src", "/x.png")).build();
+        let html = render_to_string(&n);
+        assert!(html.contains("<br>"));
+        assert!(!html.contains("</br>"));
+        assert!(!html.contains("</img>"));
+    }
+
+    #[test]
+    fn unescape_inverts_escape() {
+        let original = "a<b>&\"quoted\" & more";
+        assert_eq!(unescape(&escape_attr(original)), original);
+        let text_only = "1 < 2 && 3 > 2";
+        assert_eq!(unescape(&escape_text(text_only)), text_only);
+    }
+}

@@ -1,0 +1,45 @@
+//! Property tests for the HTML parser and locators.
+
+use htmlsim::{parse_document, Locator};
+use proptest::prelude::*;
+
+proptest! {
+    /// The tolerant parser must accept anything without panicking, and any
+    /// successfully parsed document must re-parse to the same tree after
+    /// rendering (idempotent normalization).
+    #[test]
+    fn parse_render_parse_is_stable(input in "\\PC{0,300}") {
+        if let Ok(doc) = parse_document(&input) {
+            let rendered = htmlsim::render::render_document(&doc);
+            let reparsed = parse_document(&rendered).expect("rendered html parses");
+            prop_assert_eq!(doc, reparsed);
+        }
+    }
+
+    /// Locators never panic, whatever the selector garbage.
+    #[test]
+    fn locators_never_panic(selector in "\\PC{0,40}", html in "<div id=\"x\" class=\"a b\"><p>t</p></div>") {
+        let doc = parse_document(&html).expect("fixture parses");
+        let _ = Locator::css(&selector).find_all(&doc);
+        let _ = Locator::id(&selector).find(&doc);
+        let _ = Locator::class(&selector).find_all(&doc);
+        let _ = Locator::tag(&selector).find_all(&doc);
+    }
+
+    /// find() returns exactly the first element of find_all().
+    #[test]
+    fn find_is_first_of_find_all(n in 1usize..6) {
+        use htmlsim::build::el;
+        use htmlsim::Document;
+        let doc = Document::new(
+            el("div")
+                .children((0..n).map(|i| el("span").class("hit").attr("data-i", &i.to_string())))
+                .build(),
+        );
+        let all = Locator::class("hit").find_all(&doc).expect("ok");
+        let first = Locator::class("hit").find(&doc).expect("nonempty");
+        prop_assert_eq!(all.len(), n);
+        prop_assert!(std::ptr::eq(all[0], first));
+        prop_assert_eq!(first.attr("data-i"), Some("0"));
+    }
+}

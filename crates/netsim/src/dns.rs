@@ -1,0 +1,83 @@
+//! Name resolution for the fabric.
+//!
+//! Real measurement pipelines classify a large fraction of scraped links as
+//! dead because the *name* no longer resolves. The fabric keeps an explicit
+//! resolver so the synthetic ecosystem can mint links to hosts that were
+//! never mounted (NXDOMAIN), hosts that moved (CNAME-style alias), and hosts
+//! that exist.
+
+use std::collections::BTreeMap;
+
+/// Result of resolving a host name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Resolution {
+    /// The name maps to a mounted service under this canonical name.
+    Canonical(String),
+    /// The name does not exist.
+    NxDomain,
+}
+
+/// A flat alias table in front of the service registry.
+#[derive(Debug, Default, Clone)]
+pub struct Resolver {
+    aliases: BTreeMap<String, String>,
+}
+
+impl Resolver {
+    /// Empty resolver: every mounted host resolves to itself.
+    pub fn new() -> Resolver {
+        Resolver::default()
+    }
+
+    /// Register `alias` → `canonical`. Chains are followed at resolve time
+    /// (up to a small bound to defuse accidental cycles).
+    pub fn alias(&mut self, alias: &str, canonical: &str) {
+        self.aliases.insert(alias.to_ascii_lowercase(), canonical.to_ascii_lowercase());
+    }
+
+    /// Resolve a name against the set of mounted hosts.
+    pub fn resolve(&self, name: &str, is_mounted: impl Fn(&str) -> bool) -> Resolution {
+        let mut current = name.to_ascii_lowercase();
+        for _ in 0..8 {
+            if is_mounted(&current) {
+                return Resolution::Canonical(current);
+            }
+            match self.aliases.get(&current) {
+                Some(next) => current = next.clone(),
+                None => return Resolution::NxDomain,
+            }
+        }
+        Resolution::NxDomain
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_resolution() {
+        let r = Resolver::new();
+        let mounted = |h: &str| h == "top.gg";
+        assert_eq!(r.resolve("TOP.GG", mounted), Resolution::Canonical("top.gg".into()));
+        assert_eq!(r.resolve("gone.example", mounted), Resolution::NxDomain);
+    }
+
+    #[test]
+    fn alias_chain() {
+        let mut r = Resolver::new();
+        r.alias("old.example", "mid.example");
+        r.alias("mid.example", "new.example");
+        let mounted = |h: &str| h == "new.example";
+        assert_eq!(r.resolve("old.example", mounted), Resolution::Canonical("new.example".into()));
+    }
+
+    #[test]
+    fn alias_cycle_terminates() {
+        let mut r = Resolver::new();
+        r.alias("a.example", "b.example");
+        r.alias("b.example", "a.example");
+        let mounted = |_: &str| false;
+        assert_eq!(r.resolve("a.example", mounted), Resolution::NxDomain);
+    }
+}

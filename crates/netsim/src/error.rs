@@ -1,0 +1,110 @@
+//! Error taxonomy for the virtual network.
+//!
+//! The variants mirror the failure modes the paper's crawler had to handle
+//! (§3 Data Collection): timeouts on slow redirects, vanished elements,
+//! rate-limit pushback, and plain broken links.
+
+use crate::clock::SimDuration;
+use std::fmt;
+
+/// Everything that can go wrong between a client and a simulated host.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// The request exceeded the client's wait budget.
+    Timeout {
+        /// How long the client waited before giving up.
+        waited: SimDuration,
+    },
+    /// No host is mounted at (or resolvable for) this name.
+    DnsFailure {
+        /// The name that failed to resolve.
+        host: String,
+    },
+    /// The host exists but refused the connection (service taken down,
+    /// simulated outage, ...).
+    ConnectionRefused {
+        /// The refusing host.
+        host: String,
+    },
+    /// The server told the client to slow down (HTTP 429 semantics).
+    RateLimited {
+        /// Server-suggested wait before retrying.
+        retry_after: SimDuration,
+    },
+    /// A redirect chain exceeded the client's hop budget.
+    TooManyRedirects {
+        /// Number of hops followed before giving up.
+        hops: usize,
+    },
+    /// The response or URL could not be parsed.
+    Malformed {
+        /// Human-readable description of what was wrong.
+        reason: String,
+    },
+    /// The client exhausted its retry budget; wraps the final error.
+    RetriesExhausted {
+        /// Attempts made (including the first).
+        attempts: u32,
+        /// Stringified final error (kept flat to avoid boxed recursion).
+        last: String,
+    },
+}
+
+impl NetError {
+    /// Whether a well-behaved client may retry after this error.
+    ///
+    /// Rate limiting and timeouts are transient; DNS failures and malformed
+    /// URLs are not — the paper's scraper classified those links as invalid
+    /// rather than hammering them.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            NetError::Timeout { .. } | NetError::RateLimited { .. } | NetError::ConnectionRefused { .. }
+        )
+    }
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Timeout { waited } => write!(f, "timed out after {waited}"),
+            NetError::DnsFailure { host } => write!(f, "cannot resolve host {host:?}"),
+            NetError::ConnectionRefused { host } => write!(f, "connection refused by {host:?}"),
+            NetError::RateLimited { retry_after } => {
+                write!(f, "rate limited; retry after {retry_after}")
+            }
+            NetError::TooManyRedirects { hops } => {
+                write!(f, "redirect chain exceeded {hops} hops")
+            }
+            NetError::Malformed { reason } => write!(f, "malformed: {reason}"),
+            NetError::RetriesExhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts; last error: {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transience_classification() {
+        assert!(NetError::Timeout { waited: SimDuration::from_secs(5) }.is_transient());
+        assert!(NetError::RateLimited { retry_after: SimDuration::from_secs(1) }.is_transient());
+        assert!(NetError::ConnectionRefused { host: "x".into() }.is_transient());
+        assert!(!NetError::DnsFailure { host: "x".into() }.is_transient());
+        assert!(!NetError::Malformed { reason: "bad".into() }.is_transient());
+        assert!(!NetError::TooManyRedirects { hops: 10 }.is_transient());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = NetError::DnsFailure { host: "top.gg.invalid".into() };
+        assert!(e.to_string().contains("top.gg.invalid"));
+        let e = NetError::RetriesExhausted { attempts: 3, last: "timeout".into() };
+        assert!(e.to_string().contains('3'));
+    }
+}

@@ -1,0 +1,146 @@
+//! Fault injection.
+//!
+//! A [`FaultPlan`] perturbs a host's responses before they reach the client:
+//! hard timeouts, 404s, 5xx errors, and gratuitous redirect hops. The paper's
+//! 26% "invalid permissions" bucket is composed of exactly these failure
+//! modes (invalid invite links, removed bots, slow-redirect timeouts), so the
+//! synthetic ecosystem assigns fault plans to hosts to recreate that mix.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// What the fabric decided to do to a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOutcome {
+    /// Deliver the service's real response.
+    Deliver,
+    /// Never answer; the client will burn its timeout budget.
+    BlackHole,
+    /// Replace the response with a 404.
+    NotFound,
+    /// Replace the response with a 500.
+    ServerError,
+    /// Prepend one extra redirect hop through the same host.
+    ExtraRedirect,
+    /// Refuse the connection outright.
+    Refuse,
+}
+
+/// Per-host fault probabilities. All fields are probabilities in `[0, 1]`
+/// and are evaluated in the declared order; the first hit wins.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct FaultPlan {
+    /// Probability the host never answers.
+    pub black_hole: f64,
+    /// Probability of a spurious 404.
+    pub not_found: f64,
+    /// Probability of a 500.
+    pub server_error: f64,
+    /// Probability of inserting an extra redirect hop.
+    pub extra_redirect: f64,
+    /// Probability the connection is refused.
+    pub refuse: f64,
+}
+
+impl FaultPlan {
+    /// A host that never misbehaves.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// A host with light background noise (sub-percent errors) — what a
+    /// healthy production site looks like from outside.
+    pub fn background_noise() -> FaultPlan {
+        FaultPlan { black_hole: 0.002, not_found: 0.0, server_error: 0.005, extra_redirect: 0.0, refuse: 0.001 }
+    }
+
+    /// A decaying host typical of abandoned bot websites: frequent dead
+    /// responses and redirect loops.
+    pub fn decaying() -> FaultPlan {
+        FaultPlan { black_hole: 0.25, not_found: 0.30, server_error: 0.10, extra_redirect: 0.20, refuse: 0.05 }
+    }
+
+    /// Roll the dice for one request.
+    pub fn roll<R: Rng + ?Sized>(&self, rng: &mut R) -> FaultOutcome {
+        // Evaluate sequentially so the plan reads as "first matching fault".
+        let p: f64 = rng.gen();
+        let mut acc = 0.0;
+        for (prob, outcome) in [
+            (self.black_hole, FaultOutcome::BlackHole),
+            (self.not_found, FaultOutcome::NotFound),
+            (self.server_error, FaultOutcome::ServerError),
+            (self.extra_redirect, FaultOutcome::ExtraRedirect),
+            (self.refuse, FaultOutcome::Refuse),
+        ] {
+            acc += prob.clamp(0.0, 1.0);
+            if p < acc {
+                return outcome;
+            }
+        }
+        FaultOutcome::Deliver
+    }
+
+    /// True when all probabilities are zero (fast path for the fabric).
+    pub fn is_none(&self) -> bool {
+        self.black_hole == 0.0
+            && self.not_found == 0.0
+            && self.server_error == 0.0
+            && self.extra_redirect == 0.0
+            && self.refuse == 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn none_always_delivers() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let plan = FaultPlan::none();
+        assert!(plan.is_none());
+        for _ in 0..100 {
+            assert_eq!(plan.roll(&mut rng), FaultOutcome::Deliver);
+        }
+    }
+
+    #[test]
+    fn certain_fault_always_fires() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let plan = FaultPlan { not_found: 1.0, ..FaultPlan::default() };
+        for _ in 0..50 {
+            assert_eq!(plan.roll(&mut rng), FaultOutcome::NotFound);
+        }
+    }
+
+    #[test]
+    fn mixture_roughly_matches_probabilities() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let plan = FaultPlan { black_hole: 0.2, not_found: 0.3, ..FaultPlan::default() };
+        let mut holes = 0;
+        let mut nf = 0;
+        let mut ok = 0;
+        const N: usize = 10_000;
+        for _ in 0..N {
+            match plan.roll(&mut rng) {
+                FaultOutcome::BlackHole => holes += 1,
+                FaultOutcome::NotFound => nf += 1,
+                FaultOutcome::Deliver => ok += 1,
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        }
+        let frac = |n: usize| n as f64 / N as f64;
+        assert!((frac(holes) - 0.2).abs() < 0.02, "black holes {}", frac(holes));
+        assert!((frac(nf) - 0.3).abs() < 0.02, "not found {}", frac(nf));
+        assert!((frac(ok) - 0.5).abs() < 0.02, "ok {}", frac(ok));
+    }
+
+    #[test]
+    fn presets_are_sane() {
+        assert!(FaultPlan::background_noise().black_hole < 0.01);
+        let d = FaultPlan::decaying();
+        assert!(d.black_hole + d.not_found + d.server_error + d.extra_redirect + d.refuse < 1.0);
+    }
+}

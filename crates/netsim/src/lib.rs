@@ -1,0 +1,47 @@
+//! # netsim — deterministic virtual network fabric
+//!
+//! Everything in this reproduction that would have touched the real Internet
+//! (the top.gg crawler, GitHub link resolution, canary-token callbacks, bot
+//! backends phoning home) runs over this crate instead.
+//!
+//! Design goals, in the spirit of the event-driven stacks this project is
+//! modeled after:
+//!
+//! * **Deterministic.** There is no wall clock anywhere. All time is a
+//!   [`clock::VirtualClock`] that only advances when the simulation says so,
+//!   and all randomness flows from a caller-supplied seed. Two runs with the
+//!   same seed produce byte-identical traces.
+//! * **Event-driven.** Hosts are [`fabric::Service`] implementations mounted
+//!   on a [`fabric::Network`]; a request is an event that advances the clock
+//!   by a latency sample and may be perturbed by a [`fault::FaultPlan`].
+//! * **Honest failure modes.** The paper's crawler had to survive timeouts,
+//!   slow redirects, captchas, and rate limits; this fabric produces all of
+//!   them on demand so the pipeline above is exercised the way the real one
+//!   was.
+//!
+//! The entry points are [`fabric::Network`] for mounting services and
+//! [`client::HttpClient`] for well-behaved (politeness-rate-limited,
+//! redirect-following, retrying) access to them.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod clock;
+pub mod client;
+pub mod dns;
+pub mod error;
+pub mod fabric;
+pub mod fault;
+pub mod http;
+pub mod latency;
+pub mod ratelimit;
+pub mod trace;
+
+pub use clock::{SimDuration, SimInstant, VirtualClock};
+pub use client::{ClientConfig, HttpClient};
+pub use error::NetError;
+pub use fabric::{Network, Service, ServiceCtx};
+pub use http::{Method, Request, Response, Status, Url};
+
+/// Convenience result alias used throughout the fabric.
+pub type NetResult<T> = Result<T, NetError>;

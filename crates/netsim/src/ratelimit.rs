@@ -1,0 +1,125 @@
+//! Token-bucket rate limiting over virtual time.
+//!
+//! Used on both sides of the fence: servers (the botlist's anti-scraping
+//! throttle answers 429 when a bucket empties) and clients (the crawler's
+//! politeness limiter, §3: "We limit the rate at which we generate our
+//! requests").
+
+use crate::clock::{SimDuration, SimInstant};
+use serde::{Deserialize, Serialize};
+
+/// A classic token bucket, parameterized over virtual time.
+///
+/// The bucket holds up to `capacity` tokens and refills at `refill_per_sec`
+/// tokens per virtual second. Each admitted request consumes one token.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TokenBucket {
+    capacity: f64,
+    refill_per_sec: f64,
+    tokens: f64,
+    last_refill: SimInstant,
+}
+
+impl TokenBucket {
+    /// A bucket that starts full.
+    ///
+    /// `capacity` is the burst size; `refill_per_sec` the sustained rate.
+    /// Both are clamped to be at least a small positive value so a
+    /// misconfigured bucket degrades to "very strict" instead of dividing by
+    /// zero.
+    pub fn new(capacity: u32, refill_per_sec: f64, now: SimInstant) -> TokenBucket {
+        let capacity = f64::from(capacity.max(1));
+        TokenBucket {
+            capacity,
+            refill_per_sec: refill_per_sec.max(1e-6),
+            tokens: capacity,
+            last_refill: now,
+        }
+    }
+
+    fn refill(&mut self, now: SimInstant) {
+        let elapsed = now.duration_since(self.last_refill);
+        if elapsed > SimDuration::ZERO {
+            self.tokens = (self.tokens
+                + elapsed.as_millis() as f64 / 1000.0 * self.refill_per_sec)
+                .min(self.capacity);
+            self.last_refill = now;
+        }
+    }
+
+    /// Try to admit one request at virtual time `now`.
+    ///
+    /// Returns `Ok(())` when admitted, or `Err(wait)` with the duration until
+    /// a token will be available.
+    pub fn try_acquire(&mut self, now: SimInstant) -> Result<(), SimDuration> {
+        self.refill(now);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            Ok(())
+        } else {
+            let deficit = 1.0 - self.tokens;
+            let wait_ms = (deficit / self.refill_per_sec * 1000.0).ceil() as u64;
+            Err(SimDuration::from_millis(wait_ms.max(1)))
+        }
+    }
+
+    /// Tokens currently available (after refilling to `now`).
+    pub fn available(&mut self, now: SimInstant) -> f64 {
+        self.refill(now);
+        self.tokens
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(ms: u64) -> SimInstant {
+        SimInstant::from_millis(ms)
+    }
+
+    #[test]
+    fn burst_up_to_capacity_then_throttle() {
+        let mut b = TokenBucket::new(3, 1.0, at(0));
+        assert!(b.try_acquire(at(0)).is_ok());
+        assert!(b.try_acquire(at(0)).is_ok());
+        assert!(b.try_acquire(at(0)).is_ok());
+        let wait = b.try_acquire(at(0)).unwrap_err();
+        assert_eq!(wait.as_millis(), 1000);
+    }
+
+    #[test]
+    fn refills_over_time() {
+        let mut b = TokenBucket::new(1, 2.0, at(0));
+        assert!(b.try_acquire(at(0)).is_ok());
+        assert!(b.try_acquire(at(0)).is_err());
+        // 2 tokens/sec → a token arrives after 500ms
+        assert!(b.try_acquire(at(500)).is_ok());
+    }
+
+    #[test]
+    fn refill_caps_at_capacity() {
+        let mut b = TokenBucket::new(2, 100.0, at(0));
+        // long idle period must not bank more than `capacity` tokens
+        assert!((b.available(at(60_000)) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn suggested_wait_is_honoured() {
+        let mut b = TokenBucket::new(1, 0.5, at(0));
+        assert!(b.try_acquire(at(0)).is_ok());
+        let wait = b.try_acquire(at(0)).unwrap_err();
+        assert_eq!(wait.as_millis(), 2000);
+        // acquiring exactly at the suggested time succeeds
+        assert!(b.try_acquire(at(wait.as_millis())).is_ok());
+    }
+
+    #[test]
+    fn zero_rate_is_clamped_not_divided() {
+        let mut b = TokenBucket::new(1, 0.0, at(0));
+        assert!(b.try_acquire(at(0)).is_ok());
+        // wait is finite (huge, but finite)
+        let wait = b.try_acquire(at(0)).unwrap_err();
+        assert!(wait.as_millis() > 0);
+    }
+}

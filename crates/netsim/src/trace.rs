@@ -1,0 +1,132 @@
+//! Request tracing.
+//!
+//! The fabric appends one [`TraceEntry`] per dispatched request. Tests and
+//! the honeypot's attribution logic read the trace to answer questions like
+//! "who fetched this canary URL, and when?" — the simulated analogue of the
+//! canarytokens server's signal log.
+
+use crate::clock::{SimDuration, SimInstant};
+use crate::http::{Method, Status};
+
+/// One dispatched request, as observed by the fabric.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Virtual time the request was dispatched.
+    pub at: SimInstant,
+    /// Logical requester identity (client label, e.g. `"crawler"` or a bot
+    /// backend tag). The fabric does not interpret it.
+    pub requester: String,
+    /// Request method.
+    pub method: Method,
+    /// Full URL as a string (kept flat for cheap matching).
+    pub url: String,
+    /// Final status delivered to the client, if any (None = black hole).
+    pub status: Option<Status>,
+    /// Sampled round-trip latency.
+    pub latency: SimDuration,
+    /// Bytes the requester sent (URL + body) — the exfiltration-volume
+    /// measure a network tap would report.
+    pub request_bytes: usize,
+}
+
+/// Append-only trace log.
+#[derive(Debug, Default)]
+pub struct TraceLog {
+    entries: Vec<TraceEntry>,
+}
+
+impl TraceLog {
+    /// Empty log.
+    pub fn new() -> TraceLog {
+        TraceLog::default()
+    }
+
+    /// Append an entry.
+    pub fn record(&mut self, entry: TraceEntry) {
+        self.entries.push(entry);
+    }
+
+    /// All entries, in dispatch order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Entries whose URL contains `needle`.
+    pub fn matching_url(&self, needle: &str) -> Vec<&TraceEntry> {
+        self.entries.iter().filter(|e| e.url.contains(needle)).collect()
+    }
+
+    /// Entries made by a given requester.
+    pub fn by_requester(&self, requester: &str) -> Vec<&TraceEntry> {
+        self.entries.iter().filter(|e| e.requester == requester).collect()
+    }
+
+    /// Number of recorded requests.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total bytes sent by requesters whose label contains `needle`.
+    pub fn bytes_sent_by(&self, needle: &str) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.requester.contains(needle))
+            .map(|e| e.request_bytes)
+            .sum()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(requester: &str, url: &str, at_ms: u64) -> TraceEntry {
+        TraceEntry {
+            at: SimInstant::from_millis(at_ms),
+            requester: requester.into(),
+            method: Method::Get,
+            url: url.into(),
+            status: Some(Status::Ok),
+            latency: SimDuration::from_millis(50),
+            request_bytes: url.len(),
+        }
+    }
+
+    #[test]
+    fn filters_work() {
+        let mut log = TraceLog::new();
+        log.record(entry("crawler", "https://top.gg/list?page=1", 0));
+        log.record(entry("bot-42", "https://canary.sink/t/abc123", 10));
+        log.record(entry("crawler", "https://top.gg/bot/7", 20));
+
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.matching_url("canary.sink").len(), 1);
+        assert_eq!(log.by_requester("crawler").len(), 2);
+        assert_eq!(log.by_requester("nobody").len(), 0);
+        assert!(!log.is_empty());
+    }
+
+    #[test]
+    fn preserves_order() {
+        let mut log = TraceLog::new();
+        for i in 0..5 {
+            log.record(entry("c", "u", i * 10));
+        }
+        let times: Vec<u64> = log.entries().iter().map(|e| e.at.as_millis()).collect();
+        assert_eq!(times, vec![0, 10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn bytes_accounting() {
+        let mut log = TraceLog::new();
+        log.record(entry("backend-x", "https://drop.zone/abcd", 0));
+        log.record(entry("crawler", "https://top.gg/p", 5));
+        assert_eq!(log.bytes_sent_by("backend"), "https://drop.zone/abcd".len());
+        assert_eq!(log.bytes_sent_by("nobody"), 0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property tests for the network fabric.
+
+use netsim::clock::{SimDuration, VirtualClock};
+use netsim::fault::{FaultOutcome, FaultPlan};
+use netsim::http::{Request, Response, Url};
+use netsim::latency::LatencyModel;
+use netsim::{Network, ServiceCtx};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// Latency samples always respect the model's documented bounds.
+    #[test]
+    fn latency_samples_in_bounds(lo in 0u64..1000, span in 0u64..1000, seed in any::<u64>()) {
+        let hi = lo + span;
+        let model = LatencyModel::Uniform { lo_ms: lo, hi_ms: hi };
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let s = model.sample(&mut rng).as_millis();
+            prop_assert!((lo..=hi).contains(&s));
+        }
+    }
+
+    /// Heavy-tail samples are never faster than the base.
+    #[test]
+    fn heavy_tail_never_below_base(base in 1u64..500, prob in 0.0f64..1.0, factor in 1u64..100, seed in any::<u64>()) {
+        let model = LatencyModel::HeavyTail { base_ms: base, tail_prob: prob, tail_factor: factor };
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            prop_assert!(model.sample(&mut rng).as_millis() >= base);
+        }
+    }
+
+    /// A fault plan with zero probabilities is a guaranteed Deliver; a
+    /// certain fault is a guaranteed non-Deliver.
+    #[test]
+    fn fault_plan_extremes(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        prop_assert_eq!(FaultPlan::none().roll(&mut rng), FaultOutcome::Deliver);
+        let certain = FaultPlan { refuse: 1.0, ..FaultPlan::default() };
+        prop_assert_eq!(certain.roll(&mut rng), FaultOutcome::Refuse);
+    }
+
+    /// The clock never moves backwards regardless of interleaving.
+    #[test]
+    fn clock_is_monotone(steps in prop::collection::vec((0u64..1000, any::<bool>()), 1..40)) {
+        let clock = VirtualClock::new();
+        let mut last = clock.now();
+        for (amount, use_advance_to) in steps {
+            if use_advance_to {
+                clock.advance_to(netsim::SimInstant::from_millis(amount));
+            } else {
+                clock.advance(SimDuration::from_millis(amount));
+            }
+            let now = clock.now();
+            prop_assert!(now >= last);
+            last = now;
+        }
+    }
+
+    /// Dispatch through the fabric is deterministic per seed regardless of
+    /// the URL mix.
+    #[test]
+    fn fabric_is_deterministic(paths in prop::collection::vec("[a-z]{1,8}", 1..10), seed in any::<u64>()) {
+        let run = || {
+            let net = Network::new(seed);
+            net.mount_with(
+                "h.sim",
+                |req: &Request, _ctx: &mut ServiceCtx<'_>| Response::ok(req.url.path.clone()),
+                LatencyModel::healthy(),
+                FaultPlan { not_found: 0.3, ..FaultPlan::default() },
+            );
+            let mut outcomes = Vec::new();
+            for p in &paths {
+                let r = net.dispatch(
+                    "prop",
+                    &Request::get(Url::https("h.sim", &format!("/{p}"))),
+                    SimDuration::from_secs(5),
+                );
+                outcomes.push(r.map(|r| r.status.code()).map_err(|e| e.to_string()));
+            }
+            (outcomes, net.clock().now())
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,162 @@
+//! Seeded privacy-policy text generators.
+//!
+//! The synthetic ecosystem needs a realistic policy population: a few
+//! tailored documents, many *generic* templates "reused verbatim across
+//! different domains" (§4.2), partial disclosures, and junk pages. All
+//! wording is assembled deterministically from a caller RNG.
+
+use crate::document::PrivacyPolicy;
+use crate::ontology::DataPractice;
+use rand::Rng;
+
+fn pick<'a, R: Rng + ?Sized>(rng: &mut R, options: &[&'a str]) -> &'a str {
+    options[rng.gen_range(0..options.len())]
+}
+
+fn practice_sentence<R: Rng + ?Sized>(rng: &mut R, practice: DataPractice, tailored: bool) -> String {
+    let subject = if tailored {
+        pick(rng, &["messages you send in your guild", "your server membership and channel activity", "commands you invoke"])
+    } else {
+        pick(rng, &["personal information", "usage data", "information you provide"])
+    };
+    match practice {
+        DataPractice::Collect => format!(
+            "We {} {subject} when you interact with the service.",
+            pick(rng, &["collect", "gather", "receive", "record"])
+        ),
+        DataPractice::Use => format!(
+            "We {} this information to {}.",
+            pick(rng, &["use", "process", "analyze"]),
+            pick(rng, &["provide functionality", "improve our service", "moderate content"])
+        ),
+        DataPractice::Retain => format!(
+            "Data is {} {}.",
+            pick(rng, &["stored", "retained", "kept", "saved"]),
+            pick(rng, &["for up to 90 days", "only as long as necessary", "in our database"])
+        ),
+        DataPractice::Disclose => format!(
+            "We {} information {} third parties{}.",
+            pick(rng, &["do not share", "never sell", "may disclose"]),
+            pick(rng, &["with", "to"]),
+            pick(rng, &[" except as required by law", "", " without your consent"])
+        ),
+    }
+}
+
+/// A policy covering all four practices.
+pub fn complete_policy<R: Rng + ?Sized>(rng: &mut R, bot_name: &str, tailored: bool) -> PrivacyPolicy {
+    let sections = DataPractice::ALL
+        .iter()
+        .map(|p| practice_sentence(rng, *p, tailored))
+        .collect();
+    PrivacyPolicy::new(&format!("{bot_name} Privacy Policy"), sections, tailored)
+}
+
+/// A policy covering only the given practices (partial disclosure).
+pub fn partial_policy<R: Rng + ?Sized>(
+    rng: &mut R,
+    bot_name: &str,
+    practices: &[DataPractice],
+    tailored: bool,
+) -> PrivacyPolicy {
+    let mut sections: Vec<String> =
+        practices.iter().map(|p| practice_sentence(rng, *p, tailored)).collect();
+    sections.push(
+        "If you have questions about this policy please contact the developer."
+            .to_string(),
+    );
+    PrivacyPolicy::new(&format!("{bot_name} Privacy Policy"), sections, tailored)
+}
+
+/// The generic boilerplate template the paper saw reused verbatim: covers
+/// some practices, never tailored, identical for every bot that uses it.
+pub fn generic_boilerplate() -> PrivacyPolicy {
+    PrivacyPolicy::new(
+        "Privacy Policy",
+        vec![
+            "This application respects your privacy.".to_string(),
+            "We may gather usage data to operate the app and keep it in our systems.".to_string(),
+            "By using the app you consent to this policy.".to_string(),
+        ],
+        false,
+    )
+}
+
+/// A policy page that mentions nothing actionable at all (broken
+/// traceability despite a policy existing).
+pub fn vacuous_policy() -> PrivacyPolicy {
+    PrivacyPolicy::new(
+        "Privacy Policy",
+        vec![
+            "Your privacy is very important to this project and its community members overall."
+                .to_string(),
+            "Please be kind to each other and follow the server rules at all times everyone."
+                .to_string(),
+        ],
+        false,
+    )
+}
+
+/// A junk page: calls itself a policy but is not substantive.
+pub fn junk_page() -> PrivacyPolicy {
+    PrivacyPolicy::new("Privacy Policy", vec!["coming soon".to_string()], false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ontology::KeywordOntology;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn complete_policy_covers_all_practices() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let o = KeywordOntology::standard();
+        for _ in 0..20 {
+            let p = complete_policy(&mut rng, "TestBot", true);
+            assert_eq!(o.practices_in(&p.full_text()).len(), 4, "{}", p.full_text());
+            assert!(p.is_substantive());
+        }
+    }
+
+    #[test]
+    fn partial_policy_covers_exactly_requested() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let o = KeywordOntology::standard();
+        let p = partial_policy(&mut rng, "B", &[DataPractice::Collect], true);
+        let found = o.practices_in(&p.full_text());
+        assert!(found.contains(&DataPractice::Collect));
+        assert!(!found.contains(&DataPractice::Disclose));
+    }
+
+    #[test]
+    fn boilerplate_is_partial_not_complete() {
+        let o = KeywordOntology::standard();
+        let p = generic_boilerplate();
+        let found = o.practices_in(&p.full_text());
+        assert!(!found.is_empty(), "boilerplate mentions something");
+        assert!(found.len() < 4, "but never everything");
+        assert!(!p.tailored);
+    }
+
+    #[test]
+    fn vacuous_policy_mentions_nothing() {
+        let o = KeywordOntology::standard();
+        let p = vacuous_policy();
+        assert!(o.practices_in(&p.full_text()).is_empty(), "{:?}", o.practices_in(&p.full_text()));
+        assert!(p.is_substantive(), "long enough to be a page, says nothing");
+    }
+
+    #[test]
+    fn junk_is_not_substantive() {
+        assert!(!junk_page().is_substantive());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = complete_policy(&mut StdRng::seed_from_u64(7), "X", false);
+        let b = complete_policy(&mut StdRng::seed_from_u64(7), "X", false);
+        assert_eq!(a, b);
+    }
+}

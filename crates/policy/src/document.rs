@@ -1,0 +1,69 @@
+//! The privacy-policy document model.
+
+use serde::{Deserialize, Serialize};
+
+/// A privacy policy as found on a chatbot's website.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrivacyPolicy {
+    /// Document title.
+    pub title: String,
+    /// Section texts, in order.
+    pub sections: Vec<String>,
+    /// Whether the text is recognisably tailored to the chatbot ecosystem
+    /// (mentions guilds/channels/commands) rather than generic boilerplate.
+    /// Ground-truth metadata used to validate the analyzer, not read by it.
+    pub tailored: bool,
+}
+
+impl PrivacyPolicy {
+    /// Build a policy from sections.
+    pub fn new(title: &str, sections: Vec<String>, tailored: bool) -> PrivacyPolicy {
+        PrivacyPolicy { title: title.to_string(), sections, tailored }
+    }
+
+    /// The full text (sections joined), what the analyzer scans.
+    pub fn full_text(&self) -> String {
+        self.sections.join("\n\n")
+    }
+
+    /// Rough word count — used to filter out junk "policies".
+    pub fn word_count(&self) -> usize {
+        self.full_text().split_whitespace().count()
+    }
+
+    /// Heuristic used by the crawler: a page that calls itself a policy but
+    /// has almost no text is not a valid policy document (the paper found 3
+    /// of 676 policy links led to invalid pages).
+    pub fn is_substantive(&self) -> bool {
+        self.word_count() >= 10
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_text_joins_sections() {
+        let p = PrivacyPolicy::new(
+            "Privacy",
+            vec!["We collect data.".into(), "We store data.".into()],
+            true,
+        );
+        assert!(p.full_text().contains("collect"));
+        assert!(p.full_text().contains("store"));
+        assert_eq!(p.word_count(), 6);
+    }
+
+    #[test]
+    fn substantive_threshold() {
+        let junk = PrivacyPolicy::new("Privacy", vec!["coming soon".into()], false);
+        assert!(!junk.is_substantive());
+        let real = PrivacyPolicy::new(
+            "Privacy",
+            vec!["We collect the messages you send in order to provide bot functionality to you.".into()],
+            true,
+        );
+        assert!(real.is_substantive());
+    }
+}

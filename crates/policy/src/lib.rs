@@ -1,0 +1,33 @@
+//! # policy — privacy policies and keyword-based traceability analysis
+//!
+//! §3 "Traceability Analysis": the analyzer collects the data practices a
+//! chatbot's privacy policy describes and compares them against the
+//! permissions the chatbot requests, classifying disclosure as **complete**
+//! (all four practice categories — Collect, Use, Retain, Disclose — are
+//! described), **partial** (some are), or **broken** (none are, or there is
+//! no policy at all).
+//!
+//! * [`ontology`] — the four data practices and their keyword sets
+//!   (synonyms plus chatbot-ecosystem vocabulary, per the paper's method);
+//! * [`document`] — the policy document model;
+//! * [`corpus`] — seeded generators for realistic policy texts: tailored,
+//!   generic boilerplate reused verbatim across bots (a phenomenon the
+//!   paper observed), partial, and junk;
+//! * [`traceability`] — the analyzer and its classification output,
+//!   including the per-permission disclosure comparison;
+//! * [`ml`] — the paper's future-work ML classifier (naive Bayes over
+//!   bag-of-words), trainable because the synthetic corpus is annotated.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod corpus;
+pub mod ml;
+pub mod document;
+pub mod ontology;
+pub mod traceability;
+
+pub use document::PrivacyPolicy;
+pub use ml::{train_and_score, NaiveBayesTraceability};
+pub use ontology::{DataPractice, KeywordOntology};
+pub use traceability::{analyze, PermissionDisclosure, Traceability, TraceabilityReport};

@@ -1,0 +1,200 @@
+//! The data-practice ontology.
+//!
+//! §3: "we identify words that are often used in privacy policies to
+//! identify data practices in other domains: Collect, Use, Retain, and
+//! Disclose … We then identified the synonyms of these words and keywords
+//! akin to the chatbot ecosystem obtained from existing chatbot permissions
+//! and privacy policies."
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The four data-practice categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum DataPractice {
+    /// Gathering/acquiring user data.
+    Collect,
+    /// Using/processing the data.
+    Use,
+    /// Storing/remembering the data.
+    Retain,
+    /// Sharing/transferring the data to another party.
+    Disclose,
+}
+
+impl DataPractice {
+    /// All four practices.
+    pub const ALL: [DataPractice; 4] =
+        [DataPractice::Collect, DataPractice::Use, DataPractice::Retain, DataPractice::Disclose];
+}
+
+impl fmt::Display for DataPractice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DataPractice::Collect => "collect",
+            DataPractice::Use => "use",
+            DataPractice::Retain => "retain",
+            DataPractice::Disclose => "disclose",
+        })
+    }
+}
+
+/// Keyword sets per practice, lowercased. Matching is whole-word-ish
+/// (keyword must appear bounded by non-alphanumeric characters) so "user"
+/// does not match "misuse" but "collects"/"collected" are covered via
+/// stemmed keyword entries.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KeywordOntology {
+    sets: BTreeMap<DataPractice, Vec<String>>,
+}
+
+impl KeywordOntology {
+    /// The ontology used in the measurement: base verbs, synonyms, and
+    /// chatbot-ecosystem vocabulary.
+    pub fn standard() -> KeywordOntology {
+        let mut sets = BTreeMap::new();
+        sets.insert(
+            DataPractice::Collect,
+            words(&[
+                "collect", "gather", "acquire", "obtain", "receive", "record",
+                "log", "capture", "harvest", "request your", "we ask for",
+            ]),
+        );
+        sets.insert(
+            DataPractice::Use,
+            words(&[
+                "use", "process", "analyze", "analyse", "utilize", "utilise",
+                "improve our", "personalize", "moderate", "provide functionality",
+            ]),
+        );
+        sets.insert(
+            DataPractice::Retain,
+            words(&[
+                "retain", "store", "keep", "kept", "save", "remember", "persist",
+                "database", "archiv", "retention",
+            ]),
+        );
+        sets.insert(
+            DataPractice::Disclose,
+            words(&[
+                "disclose", "share", "transfer", "sell", "third party",
+                "third-party", "third parties", "provide to", "partners",
+            ]),
+        );
+        KeywordOntology { sets }
+    }
+
+    /// An ontology with only the four base verbs — the ablation baseline
+    /// (no synonyms, no ecosystem vocabulary).
+    pub fn base_verbs_only() -> KeywordOntology {
+        let mut sets = BTreeMap::new();
+        sets.insert(DataPractice::Collect, words(&["collect"]));
+        sets.insert(DataPractice::Use, words(&["use"]));
+        sets.insert(DataPractice::Retain, words(&["retain"]));
+        sets.insert(DataPractice::Disclose, words(&["disclose"]));
+        KeywordOntology { sets }
+    }
+
+    /// Keywords for one practice.
+    pub fn keywords(&self, practice: DataPractice) -> &[String] {
+        self.sets.get(&practice).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Add a keyword to a practice set (lowercased).
+    pub fn add_keyword(&mut self, practice: DataPractice, keyword: &str) {
+        self.sets.entry(practice).or_default().push(keyword.to_ascii_lowercase());
+    }
+
+    /// Does `text` describe `practice`? Case-insensitive keyword scan with
+    /// left-word-boundary matching (so "collects"/"collected" hit "collect",
+    /// but "misuse" does not hit "use").
+    pub fn mentions(&self, practice: DataPractice, text: &str) -> bool {
+        let haystack = text.to_ascii_lowercase();
+        self.keywords(practice).iter().any(|kw| contains_word_prefix(&haystack, kw))
+    }
+
+    /// Every practice the text describes.
+    pub fn practices_in(&self, text: &str) -> Vec<DataPractice> {
+        DataPractice::ALL
+            .iter()
+            .copied()
+            .filter(|p| self.mentions(*p, text))
+            .collect()
+    }
+}
+
+/// `needle` must appear with a non-alphanumeric character (or string start)
+/// immediately before it — a cheap stemming-friendly word boundary.
+fn contains_word_prefix(haystack: &str, needle: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = haystack[from..].find(needle) {
+        let abs = from + pos;
+        let boundary_ok = abs == 0
+            || !haystack.as_bytes()[abs - 1].is_ascii_alphanumeric();
+        if boundary_ok {
+            return true;
+        }
+        from = abs + 1;
+    }
+    false
+}
+
+fn words(ws: &[&str]) -> Vec<String> {
+    ws.iter().map(|w| w.to_ascii_lowercase()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_verbs_match_with_inflection() {
+        let o = KeywordOntology::standard();
+        assert!(o.mentions(DataPractice::Collect, "We collect your username."));
+        assert!(o.mentions(DataPractice::Collect, "Data is collected when you chat."));
+        assert!(o.mentions(DataPractice::Retain, "Messages are stored for 30 days."));
+        assert!(o.mentions(DataPractice::Disclose, "We never share data with third parties."));
+    }
+
+    #[test]
+    fn word_boundary_prevents_substring_hits() {
+        let o = KeywordOntology::standard();
+        // "misuse" must not count as describing Use.
+        assert!(!o.mentions(DataPractice::Use, "We prohibit misuse."));
+        assert!(o.mentions(DataPractice::Use, "We use your data."));
+    }
+
+    #[test]
+    fn practices_in_lists_everything() {
+        let o = KeywordOntology::standard();
+        let text = "We collect messages, use them to moderate, store them securely, \
+                    and share aggregates with partners.";
+        assert_eq!(o.practices_in(text), DataPractice::ALL.to_vec());
+        assert!(o.practices_in("Nothing relevant here.").is_empty());
+    }
+
+    #[test]
+    fn synonyms_extend_coverage_over_base() {
+        let full = KeywordOntology::standard();
+        let base = KeywordOntology::base_verbs_only();
+        let text = "Your data is gathered and kept in our database.";
+        assert!(full.mentions(DataPractice::Collect, text), "synonym 'gather'");
+        assert!(full.mentions(DataPractice::Retain, text), "synonym 'kept'/'database'");
+        assert!(!base.mentions(DataPractice::Collect, text));
+        assert!(!base.mentions(DataPractice::Retain, text));
+    }
+
+    #[test]
+    fn custom_keywords() {
+        let mut o = KeywordOntology::base_verbs_only();
+        o.add_keyword(DataPractice::Collect, "scrape");
+        assert!(o.mentions(DataPractice::Collect, "we scrape your guilds"));
+    }
+
+    #[test]
+    fn case_insensitive() {
+        let o = KeywordOntology::standard();
+        assert!(o.mentions(DataPractice::Collect, "WE COLLECT EVERYTHING"));
+    }
+}

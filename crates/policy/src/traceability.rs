@@ -1,0 +1,254 @@
+//! The traceability analyzer.
+//!
+//! §3: "When a privacy policy explains how data is collected, used, retained
+//! and disclosed we say that the policy is complete. When any of the
+//! keyword-set is described, we say that the policy is partial, and broken
+//! when none." A missing policy is broken traceability by definition
+//! (§4.2: "If the website link is not available and a privacy policy is not
+//! found, we assume broken traceability").
+
+use crate::document::PrivacyPolicy;
+use crate::ontology::{DataPractice, KeywordOntology};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The three-way classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Traceability {
+    /// All four data practices are described.
+    Complete,
+    /// At least one practice is described, but not all.
+    Partial,
+    /// Nothing is described, or there is no (valid) policy.
+    Broken,
+}
+
+impl fmt::Display for Traceability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Traceability::Complete => "complete",
+            Traceability::Partial => "partial",
+            Traceability::Broken => "broken",
+        })
+    }
+}
+
+/// Whether the policy text accounts for one requested permission.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PermissionDisclosure {
+    /// Canonical permission name (e.g. `read message history`).
+    pub permission: String,
+    /// The data noun the analyzer looked for (e.g. `message`).
+    pub matched_noun: String,
+    /// Whether the policy mentions the noun at all.
+    pub disclosed: bool,
+}
+
+/// Full analyzer output for one chatbot.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceabilityReport {
+    /// The headline classification.
+    pub classification: Traceability,
+    /// Which practices the policy describes.
+    pub practices_found: Vec<DataPractice>,
+    /// Per-permission disclosure comparison (empty when no policy).
+    pub permission_disclosures: Vec<PermissionDisclosure>,
+    /// True when a policy existed but was not substantive (junk page).
+    pub junk_policy: bool,
+}
+
+impl TraceabilityReport {
+    /// Fraction of requested permissions whose data the policy mentions.
+    pub fn disclosure_ratio(&self) -> f64 {
+        if self.permission_disclosures.is_empty() {
+            return 0.0;
+        }
+        let disclosed = self.permission_disclosures.iter().filter(|d| d.disclosed).count();
+        disclosed as f64 / self.permission_disclosures.len() as f64
+    }
+}
+
+/// The data noun a permission's disclosure should mention. The ontology the
+/// paper wanted did not exist ("their ontologies do not cover all the data
+/// types in this new ecosystem"), so this is the chatbot-ecosystem mapping
+/// we built: permission → what user data it touches.
+pub fn permission_data_noun(permission: &str) -> &'static str {
+    let p = permission.to_ascii_lowercase();
+    if p.contains("administrator") {
+        "all data"
+    } else if p.contains("message") || p.contains("history") {
+        "message"
+    } else if p.contains("member") || p.contains("nickname") {
+        "member"
+    } else if p.contains("role") {
+        "role"
+    } else if p.contains("channel") {
+        "channel"
+    } else if p.contains("webhook") {
+        "webhook"
+    } else if p.contains("audit") {
+        "audit log"
+    } else if p.contains("speak") || p.contains("voice") || p.contains("connect") || p.contains("video") {
+        "voice"
+    } else if p.contains("emoji") || p.contains("sticker") || p.contains("reaction") {
+        "emoji"
+    } else if p.contains("invite") {
+        "invite"
+    } else if p.contains("server") || p.contains("guild") || p.contains("insight") {
+        "server"
+    } else {
+        "data"
+    }
+}
+
+/// Analyze one chatbot's disclosure.
+///
+/// `policy` is `None` when no policy was found (no website, dead link, or
+/// the site simply has none). `requested_permissions` are canonical
+/// permission names from the install page.
+pub fn analyze(
+    policy: Option<&PrivacyPolicy>,
+    requested_permissions: &[String],
+    ontology: &KeywordOntology,
+) -> TraceabilityReport {
+    let Some(policy) = policy else {
+        return TraceabilityReport {
+            classification: Traceability::Broken,
+            practices_found: Vec::new(),
+            permission_disclosures: Vec::new(),
+            junk_policy: false,
+        };
+    };
+    if !policy.is_substantive() {
+        return TraceabilityReport {
+            classification: Traceability::Broken,
+            practices_found: Vec::new(),
+            permission_disclosures: Vec::new(),
+            junk_policy: true,
+        };
+    }
+    let text = policy.full_text();
+    let practices_found = ontology.practices_in(&text);
+    let classification = match practices_found.len() {
+        4 => Traceability::Complete,
+        0 => Traceability::Broken,
+        _ => Traceability::Partial,
+    };
+    let haystack = text.to_ascii_lowercase();
+    let permission_disclosures = requested_permissions
+        .iter()
+        .map(|perm| {
+            let noun = permission_data_noun(perm);
+            PermissionDisclosure {
+                permission: perm.clone(),
+                matched_noun: noun.to_string(),
+                disclosed: haystack.contains(noun),
+            }
+        })
+        .collect();
+    TraceabilityReport { classification, practices_found, permission_disclosures, junk_policy: false }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ontology() -> KeywordOntology {
+        KeywordOntology::standard()
+    }
+
+    #[test]
+    fn missing_policy_is_broken() {
+        let r = analyze(None, &["send messages".into()], &ontology());
+        assert_eq!(r.classification, Traceability::Broken);
+        assert!(!r.junk_policy);
+        assert_eq!(r.disclosure_ratio(), 0.0);
+    }
+
+    #[test]
+    fn junk_policy_is_broken_and_flagged() {
+        let junk = corpus::junk_page();
+        let r = analyze(Some(&junk), &[], &ontology());
+        assert_eq!(r.classification, Traceability::Broken);
+        assert!(r.junk_policy);
+    }
+
+    #[test]
+    fn complete_policy_classifies_complete() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = corpus::complete_policy(&mut rng, "B", true);
+        let r = analyze(Some(&p), &[], &ontology());
+        assert_eq!(r.classification, Traceability::Complete);
+        assert_eq!(r.practices_found.len(), 4);
+    }
+
+    #[test]
+    fn partial_policy_classifies_partial() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let p = corpus::partial_policy(&mut rng, "B", &[DataPractice::Collect, DataPractice::Use], true);
+        let r = analyze(Some(&p), &[], &ontology());
+        assert_eq!(r.classification, Traceability::Partial);
+    }
+
+    #[test]
+    fn vacuous_policy_classifies_broken() {
+        let p = corpus::vacuous_policy();
+        let r = analyze(Some(&p), &[], &ontology());
+        assert_eq!(r.classification, Traceability::Broken);
+        assert!(!r.junk_policy, "substantive page, just says nothing");
+    }
+
+    #[test]
+    fn permission_disclosure_comparison() {
+        let p = PrivacyPolicy::new(
+            "P",
+            vec!["We collect and store the message content you post to provide moderation.".into()],
+            true,
+        );
+        let perms = vec!["read message history".to_string(), "kick members".to_string()];
+        let r = analyze(Some(&p), &perms, &ontology());
+        let msg = r.permission_disclosures.iter().find(|d| d.permission.contains("message")).unwrap();
+        assert!(msg.disclosed);
+        let kick = r.permission_disclosures.iter().find(|d| d.permission.contains("kick")).unwrap();
+        assert!(!kick.disclosed, "policy never mentions members");
+        assert!((r.disclosure_ratio() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noun_mapping_covers_figure3_permissions() {
+        for (perm, noun) in [
+            ("administrator", "all data"),
+            ("read message history", "message"),
+            ("ban members", "member"),
+            ("manage roles", "role"),
+            ("manage channels", "channel"),
+            ("view audit log", "audit log"),
+            ("use voice activity", "voice"),
+            ("manage emojis and stickers", "emoji"),
+            ("create invite", "invite"),
+            ("manage server", "server"),
+            ("add reactions", "emoji"),
+            ("manage webhooks", "webhook"),
+        ] {
+            assert_eq!(permission_data_noun(perm), noun, "{perm}");
+        }
+    }
+
+    #[test]
+    fn ablation_base_verbs_misses_synonym_policies() {
+        // A policy written entirely with synonyms is correctly classified by
+        // the full ontology but falls to Broken under the base-verbs one.
+        let p = PrivacyPolicy::new(
+            "P",
+            vec!["Usage data is gathered, analyzed for quality, kept safe in our database, and never sold to anyone at all.".into()],
+            false,
+        );
+        let full = analyze(Some(&p), &[], &KeywordOntology::standard());
+        let base = analyze(Some(&p), &[], &KeywordOntology::base_verbs_only());
+        assert_ne!(full.classification, Traceability::Broken);
+        assert_eq!(base.classification, Traceability::Broken);
+    }
+}

@@ -1,0 +1,206 @@
+//! Calibration constants — every number here is traceable to §4.2 of the
+//! paper (exact where the paper is exact, estimated from Figure 3's bars
+//! where only the chart is given; estimates are flagged).
+
+use serde::{Deserialize, Serialize};
+
+/// Figure 3 calibration: `(canonical permission name, % of valid bots
+/// requesting it)`. SEND_MESSAGES (59.18%) and ADMINISTRATOR (54.86%) are
+/// exact from the text; the remaining bars are read off the figure and are
+/// estimates of its shape.
+pub const FIGURE3_PERMISSION_RATES: &[(&str, f64)] = &[
+    ("send messages", 59.18),
+    ("administrator", 54.86),
+    ("read messages", 45.0),
+    ("embed links", 38.0),
+    ("read message history", 33.0),
+    ("attach files", 30.0),
+    ("add reactions", 28.0),
+    ("manage messages", 26.0),
+    ("connect", 22.0),
+    ("manage roles", 21.0),
+    ("speak", 20.0),
+    ("kick members", 19.0),
+    ("ban members", 18.0),
+    ("use external emojis", 16.0),
+    ("manage channels", 15.0),
+    ("use voice activity", 14.0),
+    ("manage server", 12.0),
+    ("mention @everyone", 11.0),
+    ("create invite", 10.0),
+    ("manage nicknames", 9.0),
+    ("change nickname", 8.0),
+    ("manage emojis and stickers", 7.0),
+    ("manage webhooks", 6.0),
+    ("view audit log", 6.0),
+    ("send tts messages", 5.0),
+];
+
+/// Table 1, exact: `(bots per developer, number of developers)`.
+pub const TABLE1_DEVELOPER_DISTRIBUTION: &[(u32, u32)] = &[
+    (1, 11_070),
+    (2, 1_089),
+    (3, 185),
+    (4, 50),
+    (5, 19),
+    (6, 6),
+    (7, 4),
+    (8, 2),
+    (11, 1),
+    (12, 1),
+];
+
+/// Ecosystem shape parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EcosystemConfig {
+    /// Master seed.
+    pub seed: u64,
+    /// Total listings to generate (the paper crawled 20,915).
+    pub num_bots: usize,
+
+    // ---- §4.2 "Permissions Measurement" -------------------------------
+    /// Fraction of listings with *valid* invite links (paper: 0.74).
+    pub valid_invite_fraction: f64,
+    /// Split of the invalid 26% across its causes (must sum to 1):
+    /// removed bots, malformed links, dead redirectors, slow redirectors.
+    pub invalid_split: [f64; 4],
+
+    // ---- §4.2 "Data Traceability" (Table 2) ----------------------------
+    /// Fraction of valid bots with a website link (paper: 0.3727).
+    pub website_fraction: f64,
+    /// Fraction of valid bots whose site links a privacy policy
+    /// (paper: 676/15,525 = 0.0435).
+    pub policy_link_fraction: f64,
+    /// Of policy links, fraction leading to a live page
+    /// (paper: 673/676 ≈ 0.9956).
+    pub policy_link_valid_fraction: f64,
+    /// Of live policies: fraction that are generic boilerplate reused
+    /// verbatim (the paper found this widespread; remainder are partial
+    /// tailored documents; none are complete).
+    pub generic_policy_fraction: f64,
+
+    // ---- §4.2 "Code Analysis" -----------------------------------------
+    /// Fraction of valid bots with a GitHub link (paper: 0.2386).
+    pub github_link_fraction: f64,
+    /// Of links: fraction leading to a valid repository (paper: 0.6046).
+    pub github_valid_repo_fraction: f64,
+    /// Of valid repos: language split `[JS, Python, other-language,
+    /// readme-only, license-only]` (paper: 925/2240, 718/2240, rest split;
+    /// must sum to 1).
+    pub repo_class_split: [f64; 5],
+    /// Fraction of JS repos performing permission checks (paper: 0.7297).
+    pub js_checks_fraction: f64,
+    /// Fraction of Python repos performing checks (paper: 0.0265).
+    pub py_checks_fraction: f64,
+
+    // ---- §4.2 "Honeypots" ----------------------------------------------
+    /// Number of developer-snooper bots planted among the most-voted
+    /// (paper detected exactly one: "Melonian").
+    pub num_snoopers: usize,
+    /// Number of automated exfiltrators planted (paper found none, but the
+    /// methodology must detect them; default 0 to match the paper).
+    pub num_exfiltrators: usize,
+    /// Number of webhook-credential thieves planted (extension; detected
+    /// via the webhook-token canary).
+    pub num_webhook_thieves: usize,
+
+    // ---- listing site defense knobs -------------------------------------
+    /// Bots per list page (the paper traversed >800 pages for 20,915 bots
+    /// → 25/page).
+    pub page_size: usize,
+    /// Captcha interstitial period (None disables).
+    pub captcha_every: Option<u64>,
+    /// Site rate limit (burst, per-second).
+    pub rate_limit: Option<(u32, f64)>,
+    /// Email wall beyond this page.
+    pub email_wall_after_page: Option<usize>,
+}
+
+impl Default for EcosystemConfig {
+    fn default() -> Self {
+        EcosystemConfig {
+            seed: 2022,
+            num_bots: 500,
+            valid_invite_fraction: 0.74,
+            invalid_split: [0.40, 0.25, 0.20, 0.15],
+            website_fraction: 0.3727,
+            policy_link_fraction: 0.0435,
+            policy_link_valid_fraction: 673.0 / 676.0,
+            generic_policy_fraction: 0.7,
+            github_link_fraction: 0.2386,
+            github_valid_repo_fraction: 0.6046,
+            repo_class_split: [0.413, 0.3205, 0.1800, 0.0600, 0.0265],
+            js_checks_fraction: 0.7297,
+            py_checks_fraction: 0.0265,
+            num_snoopers: 1,
+            num_exfiltrators: 0,
+            num_webhook_thieves: 0,
+            page_size: 25,
+            captcha_every: Some(200),
+            rate_limit: Some((20, 10.0)),
+            email_wall_after_page: Some(400),
+        }
+    }
+}
+
+impl EcosystemConfig {
+    /// The full paper-scale population.
+    pub fn paper_scale() -> EcosystemConfig {
+        EcosystemConfig { num_bots: 20_915, ..EcosystemConfig::default() }
+    }
+
+    /// A small, defense-free configuration for fast unit tests.
+    pub fn test_scale(num_bots: usize, seed: u64) -> EcosystemConfig {
+        EcosystemConfig {
+            seed,
+            num_bots,
+            captcha_every: None,
+            rate_limit: None,
+            email_wall_after_page: None,
+            ..EcosystemConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure3_covers_25_permissions_with_exact_anchors() {
+        assert_eq!(FIGURE3_PERMISSION_RATES.len(), 25);
+        let send = FIGURE3_PERMISSION_RATES.iter().find(|(n, _)| *n == "send messages").unwrap();
+        assert!((send.1 - 59.18).abs() < 1e-9);
+        let admin = FIGURE3_PERMISSION_RATES.iter().find(|(n, _)| *n == "administrator").unwrap();
+        assert!((admin.1 - 54.86).abs() < 1e-9);
+        // Every name resolves to a real permission bit.
+        for (name, rate) in FIGURE3_PERMISSION_RATES {
+            assert!(discord_sim::Permissions::by_name(name).is_some(), "{name}");
+            assert!(*rate > 0.0 && *rate < 100.0);
+        }
+    }
+
+    #[test]
+    fn table1_totals_match_the_paper() {
+        let developers: u32 = TABLE1_DEVELOPER_DISTRIBUTION.iter().map(|(_, d)| d).sum();
+        assert_eq!(developers, 12_427, "paper: 12,427 developers");
+        let attributed_bots: u32 =
+            TABLE1_DEVELOPER_DISTRIBUTION.iter().map(|(k, d)| k * d).sum();
+        // Bots with attributed developers; the remainder of the 20,915 are
+        // built on third-party platforms (botghost etc.) per §4.2.
+        assert_eq!(attributed_bots, 14_201);
+        assert!(attributed_bots < 20_915);
+    }
+
+    #[test]
+    fn splits_sum_to_one() {
+        let c = EcosystemConfig::default();
+        assert!((c.invalid_split.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!((c.repo_class_split.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_scale_is_full_population() {
+        assert_eq!(EcosystemConfig::paper_scale().num_bots, 20_915);
+    }
+}

@@ -1,0 +1,129 @@
+//! Developer allocation (Table 1).
+//!
+//! Table 1 attributes 14,201 bots to 12,427 developers (11,070 developers
+//! with a single bot, down to one developer — `editid#6714` — with 12).
+//! The remaining listings in the 20,915 crawl have no attributed developer;
+//! §4.2 observes many are produced on third-party platforms like
+//! botghost.com, so those get platform handles instead.
+
+use crate::config::TABLE1_DEVELOPER_DISTRIBUTION;
+use rand::Rng;
+
+/// The development platforms §4.2 names.
+pub const THIRD_PARTY_PLATFORMS: &[&str] = &["botghost.com", "autocode.com", "discordbotstudio.org"];
+
+/// Assign a developer handle to each of `num_bots` bots.
+///
+/// The Table 1 histogram is reproduced proportionally: at full paper scale
+/// (20,915 bots) it is exact. Bots beyond the attributed pool get a
+/// third-party-platform pseudo-developer.
+pub fn assign_developers<R: Rng + ?Sized>(rng: &mut R, num_bots: usize) -> Vec<Vec<String>> {
+    const PAPER_TOTAL: f64 = 20_915.0;
+    let scale = num_bots as f64 / PAPER_TOTAL;
+
+    // Build the developer pool: for each (bots-per-dev, count) row, scale
+    // the developer count, keeping at least one for the rare rows so small
+    // ecosystems still exhibit the long tail.
+    let mut assignments: Vec<Vec<String>> = Vec::with_capacity(num_bots);
+    let mut dev_counter = 0u32;
+    'outer: for (bots_per_dev, dev_count) in TABLE1_DEVELOPER_DISTRIBUTION {
+        let scaled = ((*dev_count as f64) * scale).round().max(1.0) as u32;
+        for _ in 0..scaled {
+            dev_counter += 1;
+            let handle = if *bots_per_dev == 12 {
+                // The paper names the most prolific developer.
+                "editid#6714".to_string()
+            } else {
+                format!("dev-{dev_counter:05}#{:04}", 1000 + (dev_counter % 9000))
+            };
+            for _ in 0..*bots_per_dev {
+                if assignments.len() >= num_bots {
+                    break 'outer;
+                }
+                assignments.push(vec![handle.clone()]);
+            }
+        }
+    }
+
+    // Remaining bots: third-party development platforms.
+    while assignments.len() < num_bots {
+        let platform = THIRD_PARTY_PLATFORMS[rng.gen_range(0..THIRD_PARTY_PLATFORMS.len())];
+        let n = assignments.len();
+        assignments.push(vec![format!("{platform}/user-{n:05}")]);
+    }
+
+    // Shuffle so developer runs don't correlate with vote rank.
+    for i in (1..assignments.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        assignments.swap(i, j);
+    }
+    assignments
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::BTreeMap;
+
+    fn histogram(assignments: &[Vec<String>]) -> BTreeMap<u32, u32> {
+        let mut per_dev: BTreeMap<&str, u32> = BTreeMap::new();
+        for devs in assignments {
+            for d in devs.iter().filter(|d| !d.contains('/')) {
+                *per_dev.entry(d).or_default() += 1;
+            }
+        }
+        let mut hist: BTreeMap<u32, u32> = BTreeMap::new();
+        for (_, n) in per_dev {
+            *hist.entry(n).or_default() += 1;
+        }
+        hist
+    }
+
+    #[test]
+    fn every_bot_gets_a_developer() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = assign_developers(&mut rng, 300);
+        assert_eq!(a.len(), 300);
+        assert!(a.iter().all(|devs| !devs.is_empty()));
+    }
+
+    #[test]
+    fn full_scale_reproduces_table1_exactly() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = assign_developers(&mut rng, 20_915);
+        let hist = histogram(&a);
+        for (bots_per_dev, dev_count) in TABLE1_DEVELOPER_DISTRIBUTION {
+            let got = hist.get(bots_per_dev).copied().unwrap_or(0);
+            // Allow the last allocation bucket to be clipped by the total.
+            let tolerance = (*dev_count as f64 * 0.01).max(2.0) as u32;
+            assert!(
+                got.abs_diff(*dev_count) <= tolerance,
+                "bots/dev={bots_per_dev}: got {got}, want {dev_count}"
+            );
+        }
+        // editid#6714 exists with 12 bots.
+        let editid: u32 = a.iter().filter(|d| d[0] == "editid#6714").count() as u32;
+        assert_eq!(editid, 12);
+        // And third-party platforms fill the unattributed remainder.
+        let platform_bots = a.iter().filter(|d| d[0].contains(".com/") || d[0].contains(".org/")).count();
+        assert_eq!(platform_bots, 20_915 - 14_201);
+    }
+
+    #[test]
+    fn small_scale_keeps_the_long_tail() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = assign_developers(&mut rng, 500);
+        let hist = histogram(&a);
+        // Even a small ecosystem has at least one prolific developer.
+        assert!(hist.keys().any(|&k| k >= 11), "histogram: {hist:?}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = assign_developers(&mut StdRng::seed_from_u64(7), 200);
+        let b = assign_developers(&mut StdRng::seed_from_u64(7), 200);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,31 @@
+//! # synth — the calibrated synthetic chatbot ecosystem
+//!
+//! The paper measured a live population (20,915 top.gg listings). Offline,
+//! we *plant* that population instead: every distribution the paper reports
+//! becomes a generation parameter, and the measurement pipeline must
+//! recover it through the same noisy channels the authors faced (invalid
+//! invite links, dead websites, profile-only GitHub links, captchas).
+//!
+//! Because the ecosystem carries **ground truth** ([`truth`]), this
+//! reproduction can do something the paper could not: score each analyzer's
+//! precision/recall against what was actually planted.
+//!
+//! * [`config`] — calibration constants, all traceable to §4.2 numbers;
+//! * [`developers`] — the Table 1 developer→bot allocation;
+//! * [`permissions`] — Figure 3 permission sampling;
+//! * [`build`] — assembly: platform, listing site, websites, GitHub,
+//!   redirectors, the lot;
+//! * [`truth`] — per-bot ground-truth labels.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod build;
+pub mod config;
+pub mod developers;
+pub mod permissions;
+pub mod truth;
+
+pub use build::{build_ecosystem, Ecosystem};
+pub use config::EcosystemConfig;
+pub use truth::{BotTruth, GithubClass, GroundTruth, InviteClass, PolicyClass};

@@ -1,0 +1,85 @@
+//! Figure 3 permission sampling.
+//!
+//! Each valid bot's requested permission set is sampled with the Figure 3
+//! marginals: every permission is included independently with its plotted
+//! rate. Independence automatically reproduces the §5 "misunderstanding"
+//! phenomenon — most admin-requesting bots also request other (redundant)
+//! permissions.
+
+use crate::config::FIGURE3_PERMISSION_RATES;
+use discord_sim::Permissions;
+use rand::Rng;
+
+/// Sample one bot's requested permission set.
+pub fn sample_permissions<R: Rng + ?Sized>(rng: &mut R) -> Permissions {
+    let mut set = Permissions::NONE;
+    for (name, rate) in FIGURE3_PERMISSION_RATES {
+        if rng.gen_bool(rate / 100.0) {
+            set |= Permissions::by_name(name).expect("calibration names are canonical");
+        }
+    }
+    // A bot that rolled nothing still needs a plausible invite: the
+    // conventional minimal pair.
+    if set.is_empty() {
+        set = Permissions::VIEW_CHANNEL | Permissions::SEND_MESSAGES;
+    }
+    set
+}
+
+/// Is the set "over-privileged by redundancy": administrator plus anything
+/// else (asking for more than admin "is redundant and may imply that the
+/// developer does not completely understand the permission system", §5).
+pub fn is_redundant_admin_request(set: Permissions) -> bool {
+    set.contains(Permissions::ADMINISTRATOR) && set.count() > 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn marginals_match_calibration() {
+        let mut rng = StdRng::seed_from_u64(42);
+        const N: usize = 20_000;
+        let samples: Vec<Permissions> = (0..N).map(|_| sample_permissions(&mut rng)).collect();
+        for (name, rate) in [("send messages", 59.18), ("administrator", 54.86), ("send tts messages", 5.0)] {
+            let perm = Permissions::by_name(name).unwrap();
+            let got = samples.iter().filter(|s| s.contains(perm)).count() as f64 / N as f64 * 100.0;
+            assert!(
+                (got - rate).abs() < 2.0,
+                "{name}: sampled {got:.2}%, calibrated {rate}%"
+            );
+        }
+    }
+
+    #[test]
+    fn no_empty_sets() {
+        let mut rng = StdRng::seed_from_u64(43);
+        for _ in 0..5000 {
+            assert!(!sample_permissions(&mut rng).is_empty());
+        }
+    }
+
+    #[test]
+    fn redundant_admin_is_common() {
+        // §5: "the majority of bots request the admin permission … in
+        // addition to other permissions".
+        let mut rng = StdRng::seed_from_u64(44);
+        const N: usize = 10_000;
+        let redundant = (0..N)
+            .map(|_| sample_permissions(&mut rng))
+            .filter(|s| is_redundant_admin_request(*s))
+            .count() as f64
+            / N as f64;
+        assert!(redundant > 0.45, "redundant-admin rate {redundant}");
+    }
+
+    #[test]
+    fn redundancy_predicate() {
+        assert!(!is_redundant_admin_request(Permissions::ADMINISTRATOR));
+        assert!(is_redundant_admin_request(Permissions::ADMINISTRATOR | Permissions::SPEAK));
+        assert!(!is_redundant_admin_request(Permissions::SPEAK | Permissions::CONNECT));
+    }
+}

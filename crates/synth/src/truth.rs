@@ -1,0 +1,236 @@
+//! Ground-truth labels for the planted population.
+
+use discord_sim::Permissions;
+use serde::{Deserialize, Serialize};
+
+/// What kind of invite link a listing was planted with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InviteClass {
+    /// A live OAuth link with a decodable permission field.
+    Valid,
+    /// The app was removed from the platform (410 on the install page).
+    Removed,
+    /// Garbage that does not parse as an OAuth URL.
+    Malformed,
+    /// A redirector host that no longer resolves.
+    DeadRedirect,
+    /// A redirector so slow clients time out.
+    SlowRedirect,
+}
+
+/// How the bot hosts (or fails to host) a privacy policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PolicyClass {
+    /// No website at all.
+    NoWebsite,
+    /// Website, but no policy link.
+    NoPolicy,
+    /// Policy link that 404s.
+    DeadPolicyLink,
+    /// Generic boilerplate (partial traceability, not tailored).
+    GenericPolicy,
+    /// A tailored but incomplete policy (partial traceability).
+    PartialPolicy,
+}
+
+/// What the listing's GitHub link leads to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GithubClass {
+    /// No GitHub link listed.
+    None,
+    /// A JS repo; the flag records whether it performs invoker checks.
+    JsRepo {
+        /// Ground truth: does the source contain a Table 3 check?
+        checks: bool,
+    },
+    /// A Python repo.
+    PyRepo {
+        /// Ground truth: does the source contain a Table 3 check?
+        checks: bool,
+    },
+    /// A repo in a language outside the analysis scope.
+    OtherLanguageRepo,
+    /// A "valid repository" holding only a READ.ME.
+    ReadmeOnly,
+    /// A repo holding only license/changelog text.
+    LicenseOnly,
+    /// A link to a user profile (repos exist, none named).
+    Profile,
+    /// A profile with no public repositories.
+    EmptyProfile,
+    /// A dead link.
+    DeadLink,
+}
+
+impl GithubClass {
+    /// Does the link lead to a *valid repository* (the paper's 60.46%)?
+    pub fn is_valid_repo(self) -> bool {
+        matches!(
+            self,
+            GithubClass::JsRepo { .. }
+                | GithubClass::PyRepo { .. }
+                | GithubClass::OtherLanguageRepo
+                | GithubClass::ReadmeOnly
+                | GithubClass::LicenseOnly
+        )
+    }
+
+    /// Does the repo contain real source code (the paper's 14.39% base)?
+    pub fn has_source(self) -> bool {
+        matches!(
+            self,
+            GithubClass::JsRepo { .. } | GithubClass::PyRepo { .. } | GithubClass::OtherLanguageRepo
+        )
+    }
+}
+
+/// The backend behaviour planted for a bot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BehaviorClass {
+    /// Well-behaved command bot.
+    Benign,
+    /// Developer-snooper ("Melonian").
+    Snooper,
+    /// Automated harvester.
+    Exfiltrator,
+    /// Webhook-credential thief (the Spidey-Bot pattern, paper cite \[54\]).
+    WebhookThief,
+}
+
+/// Everything planted about one bot.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BotTruth {
+    /// Client/application ID (0 for removed bots that were never
+    /// registered on the platform).
+    pub client_id: u64,
+    /// Listing name.
+    pub name: String,
+    /// Developer handles.
+    pub developers: Vec<String>,
+    /// Invite-link class.
+    pub invite_class: InviteClass,
+    /// The permissions encoded in the invite (None when not decodable).
+    pub permissions: Option<Permissions>,
+    /// Policy hosting class.
+    pub policy_class: PolicyClass,
+    /// GitHub link class.
+    pub github_class: GithubClass,
+    /// Planted backend behaviour.
+    pub behavior: BehaviorClass,
+    /// Listing guild count.
+    pub guild_count: u64,
+    /// Listing vote count.
+    pub vote_count: u64,
+}
+
+/// The full planted population.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct GroundTruth {
+    /// Per-bot labels, in listing order.
+    pub bots: Vec<BotTruth>,
+}
+
+impl GroundTruth {
+    /// Bots with valid invite links.
+    pub fn valid_bots(&self) -> impl Iterator<Item = &BotTruth> {
+        self.bots.iter().filter(|b| b.invite_class == InviteClass::Valid)
+    }
+
+    /// Fraction of valid bots whose planted permissions include `perm`.
+    pub fn permission_rate(&self, perm: Permissions) -> f64 {
+        let valid: Vec<&BotTruth> = self.valid_bots().collect();
+        if valid.is_empty() {
+            return 0.0;
+        }
+        let with = valid
+            .iter()
+            .filter(|b| b.permissions.map(|p| p.contains(perm)).unwrap_or(false))
+            .count();
+        with as f64 / valid.len() as f64
+    }
+
+    /// Developer → bot-count histogram (the Table 1 shape), considering
+    /// only attributed developers.
+    pub fn developer_histogram(&self) -> std::collections::BTreeMap<u32, u32> {
+        let mut per_dev: std::collections::BTreeMap<&str, u32> = Default::default();
+        for bot in &self.bots {
+            for dev in &bot.developers {
+                // Handles containing '/' are third-party-platform pseudo
+                // developers (botghost.com/user-123): unattributed in the
+                // paper's Table 1 and excluded here too.
+                if dev.contains('/') {
+                    continue;
+                }
+                *per_dev.entry(dev.as_str()).or_default() += 1;
+            }
+        }
+        let mut histogram: std::collections::BTreeMap<u32, u32> = Default::default();
+        for (_, count) in per_dev {
+            *histogram.entry(count).or_default() += 1;
+        }
+        histogram
+    }
+
+    /// Look up a bot by name.
+    pub fn by_name(&self, name: &str) -> Option<&BotTruth> {
+        self.bots.iter().find(|b| b.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truth_with(bots: Vec<BotTruth>) -> GroundTruth {
+        GroundTruth { bots }
+    }
+
+    fn bot(name: &str, class: InviteClass, perms: Option<Permissions>, devs: &[&str]) -> BotTruth {
+        BotTruth {
+            client_id: 1,
+            name: name.into(),
+            developers: devs.iter().map(|d| d.to_string()).collect(),
+            invite_class: class,
+            permissions: perms,
+            policy_class: PolicyClass::NoWebsite,
+            github_class: GithubClass::None,
+            behavior: BehaviorClass::Benign,
+            guild_count: 0,
+            vote_count: 0,
+        }
+    }
+
+    #[test]
+    fn permission_rate_over_valid_only() {
+        let t = truth_with(vec![
+            bot("a", InviteClass::Valid, Some(Permissions::ADMINISTRATOR), &["d1"]),
+            bot("b", InviteClass::Valid, Some(Permissions::SEND_MESSAGES), &["d1"]),
+            bot("c", InviteClass::Malformed, None, &["d2"]),
+        ]);
+        assert!((t.permission_rate(Permissions::ADMINISTRATOR) - 0.5).abs() < 1e-9);
+        assert_eq!(t.valid_bots().count(), 2);
+    }
+
+    #[test]
+    fn developer_histogram_shape() {
+        let t = truth_with(vec![
+            bot("a", InviteClass::Valid, None, &["solo1"]),
+            bot("b", InviteClass::Valid, None, &["solo2"]),
+            bot("c", InviteClass::Valid, None, &["prolific"]),
+            bot("d", InviteClass::Valid, None, &["prolific"]),
+        ]);
+        let h = t.developer_histogram();
+        assert_eq!(h.get(&1), Some(&2));
+        assert_eq!(h.get(&2), Some(&1));
+    }
+
+    #[test]
+    fn github_class_predicates() {
+        assert!(GithubClass::JsRepo { checks: true }.is_valid_repo());
+        assert!(GithubClass::ReadmeOnly.is_valid_repo());
+        assert!(!GithubClass::Profile.is_valid_repo());
+        assert!(!GithubClass::DeadLink.is_valid_repo());
+        assert!(GithubClass::PyRepo { checks: false }.has_source());
+        assert!(!GithubClass::ReadmeOnly.has_source());
+    }
+}

@@ -1,0 +1,89 @@
+//! A hands-on honeypot sting, built from the primitives rather than the
+//! pipeline: four bots (a benign one, a Melonian-style developer-snooper,
+//! an automated exfiltrator, and a webhook-credential thief) walk into
+//! canary-instrumented guilds.
+//!
+//! ```sh
+//! cargo run --example honeypot_sting
+//! ```
+
+use botsdk::{BenignBehavior, ExfiltratorBehavior, SnooperBehavior, WebhookThiefBehavior};
+use crawler::solver::CaptchaSolverService;
+use discord_sim::oauth::InviteUrl;
+use discord_sim::{Permissions, Platform};
+use honeypot::campaign::{BotUnderTest, Campaign, CampaignConfig};
+use netsim::clock::VirtualClock;
+use netsim::Network;
+
+fn main() {
+    // The world: one clock, one network, one platform.
+    let clock = VirtualClock::new();
+    let net = Network::with_clock(1234, clock.clone());
+    CaptchaSolverService::mount(&net);
+    let platform = Platform::new(clock);
+    let dev = platform.register_user("somedev#0001", "dev@backend.example");
+
+    // The permissions all three request — ordinary for a "fun" bot.
+    let perms = Permissions::SEND_MESSAGES
+        | Permissions::VIEW_CHANNEL
+        | Permissions::READ_MESSAGE_HISTORY
+        | Permissions::ATTACH_FILES;
+
+    let mut bots = Vec::new();
+    for (name, extra_perms, behavior) in [
+        ("GoodBot", Permissions::NONE, Box::new(BenignBehavior::new("fun")) as Box<dyn botsdk::Behavior>),
+        ("Melonian", Permissions::NONE, Box::new(SnooperBehavior::new(12))),
+        ("Harvester", Permissions::NONE, Box::new(ExfiltratorBehavior::new(Some("drop.zone.sim")).spamming())),
+        ("HookSnatcher", Permissions::MANAGE_WEBHOOKS, Box::new(WebhookThiefBehavior::new("drop.zone.sim"))),
+    ] {
+        let app = platform.register_bot_application(dev, name).expect("dev exists");
+        bots.push(BotUnderTest {
+            name: name.to_string(),
+            client_id: app.client_id,
+            bot_user: app.bot_user,
+            invite: InviteUrl::bot(app.client_id, perms | extra_perms),
+            behavior,
+        });
+    }
+
+    println!("=== Honeypot sting: 4 bots, isolated guilds, 4+1 canary tokens each ===\n");
+    let mut campaign = Campaign::new(platform.clone(), net.clone(), CampaignConfig::default());
+    let report = campaign.run(bots);
+
+    println!(
+        "guilds {} | personas verified manually {} | tokens {} | feed messages {} | captchas {} (${:.2})\n",
+        report.guilds_created,
+        report.manual_verifications,
+        report.tokens_planted,
+        report.messages_posted,
+        report.captchas_solved,
+        report.captcha_spend_dollars
+    );
+
+    println!("--- trigger timeline (virtual time) ---");
+    for t in &report.triggers {
+        println!(
+            "  {}  token {:38} via {}  {}",
+            t.at,
+            t.token_id,
+            t.requester,
+            if t.via_mail { "(mail delivery)" } else { "(url fetch)" }
+        );
+    }
+
+    println!("\n--- attributed detections ---");
+    for det in &report.detections {
+        println!("  bot: {}", det.bot_name);
+        println!("    token kinds : {:?}", det.token_kinds);
+        println!("    requesters  : {:?}", det.requesters);
+        println!("    follow-ups  : {:?}", det.followup_messages);
+    }
+    println!("\n(GoodBot triggered nothing: its backend only ever answers commands.)");
+    println!("(HookSnatcher was caught by the webhook-token canary — its stolen credential");
+    println!(" appeared in a request to its drop server, visible on the network tap.)");
+
+    // The drop-zone traffic is visible in the network trace even though
+    // drop.zone.sim is not mounted — the attempt itself is the signal.
+    let attempts = net.with_trace(|t| t.matching_url("drop.zone.sim").len());
+    println!("exfiltration attempts to drop.zone.sim observed on the wire: {attempts}");
+}

@@ -1,0 +1,58 @@
+//! # chatbot-audit-repro
+//!
+//! A full, offline reproduction of **"Exploring the Security and Privacy
+//! Risks of Chatbots in Messaging Services"** (Edu et al., IMC 2022).
+//!
+//! The paper proposes an automated assessment pipeline for messaging-
+//! platform chatbots — crawling listings, tracing privacy-policy
+//! disclosures against requested permissions, scanning public source for
+//! permission checks, and catching data-snooping backends with
+//! canary-token honeypots — and applies it to Discord.
+//!
+//! This workspace rebuilds the entire stack as a deterministic simulation:
+//!
+//! | layer | crate |
+//! |---|---|
+//! | virtual network fabric | [`netsim`] |
+//! | HTML + Selenium-style locators | [`htmlsim`] |
+//! | the Discord-like platform | [`discord_sim`] |
+//! | the chatbot SDK & backends | [`botsdk`] |
+//! | the top.gg-like listing site | [`botlist`] |
+//! | the data-collection crawler | [`crawler`] |
+//! | privacy policies & traceability | [`policy`] |
+//! | source-code analysis | [`codeanal`] |
+//! | canary-token honeypots | [`honeypot`] |
+//! | the calibrated synthetic population | [`synth`] |
+//! | the assessment pipeline itself | [`chatbot_audit`] |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use chatbot_audit::{AuditConfig, AuditPipeline, table2_traceability};
+//! use synth::{build_ecosystem, EcosystemConfig};
+//!
+//! // A small world with the paper's distributions planted.
+//! let eco = build_ecosystem(&EcosystemConfig::test_scale(150, 7));
+//! // Run data collection + traceability + code analysis.
+//! let pipeline = AuditPipeline::new(AuditConfig::default());
+//! let (bots, _stats) = pipeline.run_static_stages(&eco.net);
+//! let t2 = table2_traceability(&bots);
+//! assert_eq!(t2.complete, 0); // the paper found no complete traceability
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `crates/bench` for the
+//! harness that regenerates every table and figure of the paper.
+
+#![forbid(unsafe_code)]
+
+pub use botlist;
+pub use botsdk;
+pub use chatbot_audit;
+pub use codeanal;
+pub use crawler;
+pub use discord_sim;
+pub use honeypot;
+pub use htmlsim;
+pub use netsim;
+pub use policy;
+pub use synth;

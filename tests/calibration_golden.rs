@@ -1,0 +1,55 @@
+//! Calibration golden values.
+//!
+//! EXPERIMENTS.md publishes measured numbers for the default seed. This
+//! test pins a small-scale fingerprint of the same generation stream: if it
+//! fails, the calibrated world changed (an RNG-order or distribution
+//! change) and **EXPERIMENTS.md must be regenerated** with
+//! `cargo run -p bench --bin experiments --release`.
+
+use chatbot_audit::{table2_traceability, table3_code_analysis, AuditConfig, AuditPipeline};
+use crawler::invite::InviteStatus;
+use synth::{build_ecosystem, EcosystemConfig, InviteClass};
+
+#[test]
+fn seed_2022_world_fingerprint() {
+    let eco = build_ecosystem(&EcosystemConfig {
+        num_bots: 2_000,
+        seed: 2022,
+        ..EcosystemConfig::default()
+    });
+    let pipeline = AuditPipeline::new(AuditConfig::default());
+    let (bots, _) = pipeline.run_static_stages(&eco.net);
+
+    let valid = bots.iter().filter(|b| b.crawled.invite_status.is_valid()).count();
+    let t2 = table2_traceability(&bots);
+    let t3 = table3_code_analysis(&bots);
+
+    // Golden fingerprint for (seed=2022, n=2000). If any of these change,
+    // regenerate EXPERIMENTS.md — the published numbers have drifted.
+    assert_eq!(valid, 1_436, "valid invites");
+    assert_eq!(t2.website_link, 573, "website links");
+    assert_eq!(t2.policy_link, 71, "policy links");
+    assert_eq!(t2.complete, 0, "complete traceability stays zero");
+    assert_eq!(t3.with_github_link, 337, "github links");
+    assert_eq!(t3.valid_repos, 203, "valid repos");
+}
+
+#[test]
+fn invite_breakdown_matches_planted_classes_exactly() {
+    let eco = build_ecosystem(&EcosystemConfig::test_scale(1_200, 2022));
+    let pipeline = AuditPipeline::new(AuditConfig::default());
+    let (bots, _) = pipeline.run_static_stages(&eco.net);
+
+    let planted = |class: InviteClass| eco.truth.bots.iter().filter(|b| b.invite_class == class).count();
+    let measured = |f: &dyn Fn(&InviteStatus) -> bool| {
+        bots.iter().filter(|b| f(&b.crawled.invite_status)).count()
+    };
+
+    // Every planted failure mode is recovered as the matching measurement
+    // class — the full confusion matrix is diagonal.
+    assert_eq!(measured(&|s| matches!(s, InviteStatus::Valid { .. })), planted(InviteClass::Valid));
+    assert_eq!(measured(&|s| *s == InviteStatus::Removed), planted(InviteClass::Removed));
+    assert_eq!(measured(&|s| *s == InviteStatus::MalformedLink), planted(InviteClass::Malformed));
+    assert_eq!(measured(&|s| *s == InviteStatus::DeadLink), planted(InviteClass::DeadRedirect));
+    assert_eq!(measured(&|s| *s == InviteStatus::TimedOut), planted(InviteClass::SlowRedirect));
+}

@@ -1,0 +1,120 @@
+//! End-to-end integration: the full pipeline over a calibrated world must
+//! reproduce the paper's qualitative findings.
+
+use chatbot_audit::{
+    figure3_distribution, table1_histogram, table2_traceability, table3_code_analysis,
+    validate_against_truth, AuditConfig, AuditPipeline,
+};
+use synth::{build_ecosystem, EcosystemConfig};
+
+fn world(n: usize, seed: u64) -> (synth::Ecosystem, Vec<chatbot_audit::AuditedBot>) {
+    let eco = build_ecosystem(&EcosystemConfig { num_bots: n, seed, ..EcosystemConfig::default() });
+    let pipeline = AuditPipeline::new(AuditConfig::default());
+    let (bots, _) = pipeline.run_static_stages(&eco.net);
+    (eco, bots)
+}
+
+#[test]
+fn paper_headline_findings_hold() {
+    let (_eco, bots) = world(2_500, 1);
+
+    // ~74% valid invites.
+    let valid = bots.iter().filter(|b| b.crawled.invite_status.is_valid()).count();
+    let valid_pct = valid as f64 / bots.len() as f64 * 100.0;
+    assert!((valid_pct - 74.0).abs() < 4.0, "valid invite rate {valid_pct:.1}%");
+
+    // "55% of chatbots … request the administrator permission".
+    let rows = figure3_distribution(&bots, 25);
+    let admin = rows.iter().find(|r| r.permission == "administrator").expect("admin bar present");
+    assert!((admin.percent - 54.86).abs() < 4.0, "admin {:.1}%", admin.percent);
+
+    // send messages is the most-requested permission.
+    assert_eq!(rows[0].permission, "send messages");
+
+    // "only 4.35% of chatbots with permissions actually provide a privacy
+    // policy" and none are complete.
+    let t2 = table2_traceability(&bots);
+    let policy_pct = t2.pct(t2.policy_link);
+    assert!((policy_pct - 4.35).abs() < 1.5, "policy link rate {policy_pct:.2}%");
+    assert_eq!(t2.complete, 0, "no complete traceability, as in the paper");
+    assert!(t2.pct(t2.broken) > 90.0, "broken dominates");
+
+    // Code analysis shape: JS bots check, Python bots almost never do.
+    let t3 = table3_code_analysis(&bots);
+    assert!(t3.js_checking_pct() > 60.0, "JS checking {:.1}%", t3.js_checking_pct());
+    assert!(t3.py_checking_pct() < 12.0, "Py checking {:.1}%", t3.py_checking_pct());
+    assert!(t3.js_checking_pct() > t3.py_checking_pct() * 4.0, "who wins must hold");
+}
+
+#[test]
+fn table1_long_tail_present() {
+    let (_eco, bots) = world(2_500, 2);
+    let rows = table1_histogram(&bots);
+    let one = rows.iter().find(|r| r.bots_per_developer == 1).expect("1-bot devs exist");
+    assert!(one.percent > 80.0, "single-bot developers dominate: {:.1}%", one.percent);
+    assert!(
+        rows.iter().any(|r| r.bots_per_developer >= 11),
+        "a prolific developer exists (editid analogue)"
+    );
+}
+
+#[test]
+fn honeypot_catches_exactly_the_planted_misbehavers() {
+    let eco = build_ecosystem(&EcosystemConfig {
+        num_bots: 400,
+        seed: 3,
+        num_snoopers: 2,
+        num_exfiltrators: 1,
+        num_webhook_thieves: 1,
+        captcha_every: None,
+        rate_limit: None,
+        email_wall_after_page: None,
+        ..EcosystemConfig::default()
+    });
+    let pipeline = AuditPipeline::new(AuditConfig { honeypot_sample: 60, ..AuditConfig::default() });
+    let (bots, _) = pipeline.run_static_stages(&eco.net);
+    let campaign = pipeline.run_honeypot(&eco);
+
+    // All four planted misbehavers (2 snoopers, 1 exfiltrator, 1 webhook
+    // thief) sit among the most-voted 60 and every one is caught.
+    assert_eq!(campaign.detections.len(), 4, "detections: {:?}", campaign.detections);
+    assert!(campaign
+        .detections
+        .iter()
+        .any(|d| d.token_kinds == vec![honeypot::TokenKind::WebhookToken]));
+
+    let v = validate_against_truth(&bots, &eco.truth, Some(&campaign));
+    assert_eq!(v.honeypot_detection.fp, 0, "no benign bot accused");
+    assert_eq!(v.honeypot_detection.fn_, 0, "no misbehaver missed");
+}
+
+#[test]
+fn crawl_stats_account_for_defenses() {
+    let eco = build_ecosystem(&EcosystemConfig {
+        num_bots: 600,
+        seed: 4,
+        captcha_every: Some(100),
+        email_wall_after_page: Some(5),
+        ..EcosystemConfig::default()
+    });
+    let pipeline = AuditPipeline::new(AuditConfig::default());
+    let (bots, stats) = pipeline.run_static_stages(&eco.net);
+    assert_eq!(bots.len(), 600);
+    assert!(stats.captchas_solved > 0, "captcha wall was hit and solved");
+    assert!(stats.captcha_spend_dollars > 0.0);
+    assert_eq!(stats.email_verifications, 1, "email wall passed once");
+    assert!(stats.duration.as_secs() > 0, "politeness cost virtual time");
+}
+
+#[test]
+fn scaling_preserves_shape() {
+    // The same qualitative results at two different scales.
+    for (n, seed) in [(800usize, 5u64), (1_600, 6)] {
+        let (_eco, bots) = world(n, seed);
+        let t2 = table2_traceability(&bots);
+        assert_eq!(t2.complete, 0, "n={n}");
+        let rows = figure3_distribution(&bots, 5);
+        assert_eq!(rows[0].permission, "send messages", "n={n}");
+        assert!(rows.iter().any(|r| r.permission == "administrator"), "n={n}");
+    }
+}

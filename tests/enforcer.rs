@@ -1,0 +1,120 @@
+//! The runtime-enforcer experiment (extension of §6): rerun the honeypot
+//! under the Slack/Teams-style runtime policy enforcer and show the
+//! paper's Discord findings disappear — the snooper and exfiltrator lose
+//! the access they abused, while legitimate command bots keep working.
+
+use botsdk::{Bot, BotRunner, CommandAction, CommandBot, CommandSpec};
+use discord_sim::oauth::InviteUrl;
+use discord_sim::{GuildVisibility, PlatformProfile, Permissions, RuntimePolicy};
+use chatbot_audit::{AuditConfig, AuditPipeline};
+use synth::{build_ecosystem, EcosystemConfig};
+
+fn eco_with_misbehavers(seed: u64) -> synth::Ecosystem {
+    build_ecosystem(&EcosystemConfig {
+        num_bots: 200,
+        seed,
+        num_snoopers: 1,
+        num_exfiltrators: 1,
+        captcha_every: None,
+        rate_limit: None,
+        email_wall_after_page: None,
+        ..EcosystemConfig::default()
+    })
+}
+
+#[test]
+fn discord_model_detects_misbehavers() {
+    let eco = eco_with_misbehavers(61);
+    assert_eq!(eco.platform.runtime_policy(), RuntimePolicy::Unenforced);
+    let pipeline = AuditPipeline::new(AuditConfig { honeypot_sample: 30, ..AuditConfig::default() });
+    let report = pipeline.run_honeypot(&eco);
+    assert_eq!(report.detections.len(), 2, "snooper + exfiltrator caught: {:?}", report.detections);
+}
+
+#[test]
+fn enforced_model_starves_the_same_misbehavers() {
+    let eco = eco_with_misbehavers(61);
+    eco.platform.set_runtime_policy(RuntimePolicy::Enforced);
+    let pipeline = AuditPipeline::new(AuditConfig { honeypot_sample: 30, ..AuditConfig::default() });
+    let report = pipeline.run_honeypot(&eco);
+    // Identical world, identical bots, identical campaign — zero triggers:
+    // the backends never *see* the canaries.
+    assert!(report.triggers.is_empty(), "triggers: {:?}", report.triggers);
+    assert!(report.detections.is_empty());
+    // The campaign itself still ran at full size.
+    assert_eq!(report.bots_tested, 30);
+    assert_eq!(report.tokens_planted, 120);
+}
+
+#[test]
+fn cross_platform_comparison() {
+    // The paper's future work: apply the methodology to Slack, MS Teams,
+    // and Telegram. The load-bearing difference is the runtime enforcer,
+    // so the comparison reduces to profiles over the same world.
+    let mut results = Vec::new();
+    for profile in PlatformProfile::ALL {
+        let eco = eco_with_misbehavers(63);
+        eco.platform.set_runtime_policy(profile.runtime_policy());
+        let pipeline =
+            AuditPipeline::new(AuditConfig { honeypot_sample: 30, ..AuditConfig::default() });
+        let report = pipeline.run_honeypot(&eco);
+        results.push((profile, report.detections.len(), report.backend_bytes_sent));
+    }
+    for (profile, detections, bytes) in &results {
+        match profile {
+            PlatformProfile::Discord => {
+                assert_eq!(*detections, 2, "{profile:?}");
+                assert!(*bytes > 0, "{profile:?}: misbehaving backends moved data");
+            }
+            _ => {
+                assert_eq!(*detections, 0, "{profile:?}: enforcer starves misbehaviour");
+            }
+        }
+    }
+}
+
+#[test]
+fn enforcement_preserves_legitimate_command_flow() {
+    // The enforcer must not break the product: a moderation bot still
+    // receives and executes addressed commands.
+    let clock = netsim::clock::VirtualClock::new();
+    let net = netsim::Network::with_clock(62, clock.clone());
+    let platform = discord_sim::Platform::new(clock);
+    platform.set_runtime_policy(RuntimePolicy::Enforced);
+
+    let owner = platform.register_user("owner#1", "o@x.y");
+    let alice = platform.register_user("alice#2", "a@x.y");
+    let guild = platform.create_guild(owner, "g", GuildVisibility::Public).expect("owner");
+    platform.join_guild(alice, guild, None).expect("public");
+    let channel = platform.default_channel(guild).expect("channel");
+
+    let app = platform.register_bot_application(owner, "ModBot").expect("owner");
+    let behavior = CommandBot::new(vec![CommandSpec::moderation(
+        "kick",
+        Permissions::KICK_MEMBERS,
+        true,
+        CommandAction::KickArg,
+    )]);
+    let bot = Bot::connect(platform.clone(), net, app.bot_user, "modbot", Box::new(behavior)).expect("gateway");
+    let mut runner = BotRunner::new();
+    runner.add(bot);
+    platform
+        .install_bot(
+            owner,
+            guild,
+            &InviteUrl::bot(app.client_id, Permissions::KICK_MEMBERS | Permissions::SEND_MESSAGES),
+            true,
+        )
+        .expect("install");
+
+    // Unaddressed chatter: nothing happens.
+    platform.send_message(alice, channel, "nobody is talking to you, bot", vec![]).expect("chat");
+    assert_eq!(runner.run_until_idle(), 1, "only the install-time member event");
+
+    // The owner issues a kick; the bot acts.
+    platform
+        .send_message(owner, channel, &format!("!kick {}", alice.0.raw()), vec![])
+        .expect("chat");
+    runner.run_until_idle();
+    assert!(platform.guild(guild).expect("g").member(alice).is_err(), "alice kicked via command");
+}

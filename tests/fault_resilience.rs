@@ -1,0 +1,56 @@
+//! Crawl resilience under a flaky listing site.
+//!
+//! The real top.gg occasionally 500s and times out; the paper's scraper
+//! "handle[s] and react[s] to exceptions" (§3). This test remounts the
+//! listing site behind a noisy fault plan and verifies the polite crawler
+//! still achieves near-complete coverage — while the single-attempt
+//! impolite crawler visibly loses listings.
+
+use botlist::LIST_HOST;
+use crawler::crawl::{crawl_listing, CrawlConfig};
+use netsim::fault::FaultPlan;
+use netsim::latency::LatencyModel;
+use synth::{build_ecosystem, EcosystemConfig};
+
+fn flaky_world(seed: u64) -> synth::Ecosystem {
+    let eco = build_ecosystem(&EcosystemConfig::test_scale(300, seed));
+    // Remount the same site behind background faults: ~2% of requests fail
+    // one way or another.
+    let site = eco.site.clone();
+    eco.net.mount_with(
+        LIST_HOST,
+        site,
+        LatencyModel::healthy(),
+        FaultPlan { black_hole: 0.005, server_error: 0.01, refuse: 0.005, ..FaultPlan::default() },
+    );
+    eco
+}
+
+#[test]
+fn polite_crawler_survives_a_flaky_site() {
+    let eco = flaky_world(71);
+    let (bots, stats) = crawl_listing(&eco.net, &CrawlConfig::default());
+    // Retries absorb the background noise: coverage stays near-complete.
+    let coverage = bots.len() as f64 / 300.0;
+    assert!(coverage > 0.97, "coverage {coverage} (failures {})", stats.failures);
+}
+
+#[test]
+fn single_attempt_crawler_loses_listings_on_the_same_site() {
+    let eco = flaky_world(71);
+    let (bots_polite, _) = crawl_listing(&eco.net, &CrawlConfig::default());
+
+    let eco2 = flaky_world(71);
+    let (bots_rude, stats_rude) =
+        crawl_listing(&eco2.net, &CrawlConfig { polite: false, ..CrawlConfig::default() });
+
+    // The impolite config makes single attempts; faults translate directly
+    // into lost detail pages (or lost list pages → lost listings).
+    assert!(
+        bots_rude.len() < bots_polite.len() || stats_rude.failures > 0,
+        "polite {} vs rude {} (rude failures {})",
+        bots_polite.len(),
+        bots_rude.len(),
+        stats_rude.failures
+    );
+}

@@ -1,0 +1,303 @@
+//! Property-based tests over the core data structures and invariants,
+//! spanning crates.
+
+use discord_sim::channel::{Channel, ChannelId, Overwrite, OverwriteTarget};
+use discord_sim::guild::{Guild, GuildId, GuildVisibility, Member};
+use discord_sim::role::{Role, RoleId};
+use discord_sim::snowflake::Snowflake;
+use discord_sim::user::UserId;
+use discord_sim::Permissions;
+use htmlsim::build::el;
+use htmlsim::render::{render_document, render_to_string};
+use htmlsim::{parse_document, Document, Node};
+use netsim::clock::SimInstant;
+use netsim::http::Url;
+use netsim::ratelimit::TokenBucket;
+use proptest::prelude::*;
+
+// ---------- netsim: URL grammar ---------------------------------------
+
+fn url_host() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9-]{0,10}(\\.[a-z]{2,5}){1,2}"
+}
+
+fn url_path() -> impl Strategy<Value = String> {
+    prop::collection::vec("[a-zA-Z0-9_.-]{1,8}", 0..4).prop_map(|segs| {
+        if segs.is_empty() { "/".to_string() } else { format!("/{}", segs.join("/")) }
+    })
+}
+
+fn query_pairs() -> impl Strategy<Value = Vec<(String, String)>> {
+    prop::collection::vec(("[a-z_]{1,8}", "[ -~&&[^#&=%+]]{0,12}"), 0..4)
+}
+
+proptest! {
+    #[test]
+    fn url_roundtrips_through_display_and_parse(
+        host in url_host(),
+        path in url_path(),
+        pairs in query_pairs(),
+    ) {
+        let mut url = Url::https(&host, &path);
+        for (k, v) in &pairs {
+            url = url.with_query(k, v);
+        }
+        let reparsed = Url::parse(&url.to_string()).expect("display emits parseable urls");
+        prop_assert_eq!(url, reparsed);
+    }
+
+    #[test]
+    fn url_parse_never_panics(s in "\\PC{0,60}") {
+        let _ = Url::parse(&s);
+    }
+}
+
+// ---------- discord-sim: permission algebra -----------------------------
+
+fn permission_sets() -> impl Strategy<Value = Permissions> {
+    any::<u64>().prop_map(|bits| Permissions(bits & Permissions::ALL_KNOWN.0))
+}
+
+proptest! {
+    #[test]
+    fn permission_set_algebra(a in permission_sets(), b in permission_sets()) {
+        // Union is commutative and contains both operands.
+        prop_assert_eq!(a.union(b), b.union(a));
+        prop_assert!(a.union(b).contains(a));
+        prop_assert!(a.union(b).contains(b));
+        // Difference removes exactly b.
+        prop_assert!(!a.difference(b).intersects(b) || b.is_empty());
+        prop_assert_eq!(a.difference(b).union(a & b), a);
+        // names() round-trips through by_name.
+        for name in a.names() {
+            let bit = Permissions::by_name(name).expect("canonical name");
+            prop_assert!(a.contains(bit));
+        }
+        // Invite-field encoding is lossless.
+        prop_assert_eq!(Permissions::from_invite_field(&a.to_invite_field()), Some(a));
+    }
+
+    #[test]
+    fn snowflakes_order_by_time(ms_a in 0u64..1_000_000, ms_b in 0u64..1_000_000) {
+        let a = Snowflake((ms_a << 22) | 5);
+        let b = Snowflake((ms_b << 22) | 5);
+        prop_assert_eq!(a < b, ms_a < ms_b);
+        prop_assert_eq!(a.timestamp().as_millis(), ms_a);
+    }
+}
+
+// ---------- discord-sim: resolution invariants ---------------------------
+
+fn overwrites() -> impl Strategy<Value = Vec<(bool, Permissions, Permissions)>> {
+    // (targets_everyone_role, allow, deny)
+    prop::collection::vec((any::<bool>(), permission_sets(), permission_sets()), 0..6)
+}
+
+proptest! {
+    #[test]
+    fn admin_always_resolves_to_all(ows in overwrites()) {
+        let owner = UserId(Snowflake(1));
+        let admin_user = UserId(Snowflake(2));
+        let everyone = RoleId(Snowflake(10));
+        let admin_role = RoleId(Snowflake(11));
+        let channel = ChannelId(Snowflake(20));
+        let mut guild = Guild::new(GuildId(Snowflake(9)), "p", owner, everyone, GuildVisibility::Private);
+        guild.roles.insert(admin_role, Role {
+            id: admin_role,
+            name: "Admin".into(),
+            position: 5,
+            permissions: Permissions::ADMINISTRATOR,
+        });
+        guild.members.insert(admin_user, Member { user: admin_user, roles: vec![admin_role], nickname: None });
+        let mut ch = Channel::text(channel, "locked");
+        for (on_everyone, allow, deny) in ows {
+            let target = if on_everyone {
+                OverwriteTarget::Role(everyone)
+            } else {
+                OverwriteTarget::Member(admin_user)
+            };
+            ch.overwrites.push(Overwrite { target, allow, deny });
+        }
+        guild.channels.insert(channel, ch);
+        // No combination of overwrites dents an administrator.
+        let perms = discord_sim::resolve::channel_permissions(&guild, channel, admin_user).expect("member");
+        prop_assert_eq!(perms, Permissions::ALL_KNOWN);
+    }
+
+    #[test]
+    fn member_overwrite_is_final(base_allow in permission_sets(), deny in permission_sets()) {
+        let owner = UserId(Snowflake(1));
+        let user = UserId(Snowflake(2));
+        let everyone = RoleId(Snowflake(10));
+        let channel = ChannelId(Snowflake(20));
+        let mut guild = Guild::new(GuildId(Snowflake(9)), "p", owner, everyone, GuildVisibility::Private);
+        guild.members.insert(user, Member { user, roles: vec![], nickname: None });
+        let mut ch = Channel::text(channel, "c");
+        ch.overwrites.push(Overwrite {
+            target: OverwriteTarget::Member(user),
+            allow: base_allow,
+            deny,
+        });
+        guild.channels.insert(channel, ch);
+        let perms = discord_sim::resolve::channel_permissions(&guild, channel, user).expect("member");
+        // Everything denied by the member overwrite is gone unless also in
+        // its own allow half (allow wins within one overwrite because allow
+        // is applied after deny).
+        let lost = deny.difference(base_allow);
+        prop_assert!(!perms.intersects(lost));
+        // Everything allowed is present.
+        prop_assert!(perms.contains(base_allow));
+    }
+}
+
+// ---------- htmlsim: build → render → parse round-trip --------------------
+
+fn text_content() -> impl Strategy<Value = String> {
+    // Visible ASCII without raw angle brackets or ampersands handled by
+    // escaping anyway — include them to prove escaping works.
+    "[ -~]{0,20}"
+}
+
+fn arb_tree() -> impl Strategy<Value = Node> {
+    let leaf = prop_oneof![
+        text_content().prop_map(Node::text),
+        "[a-z]{1,8}".prop_map(|t| el(&t).build()),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        ("[a-z]{1,8}", prop::collection::vec(inner, 0..4), prop::collection::vec(("[a-z]{1,6}", "[ -~&&[^\"]]{0,10}"), 0..3))
+            .prop_map(|(tag, children, attrs)| {
+                let mut b = el(&tag);
+                for (k, v) in attrs {
+                    b = b.attr(&k, &v);
+                }
+                for c in children {
+                    b = b.node(c);
+                }
+                b.build()
+            })
+    })
+}
+
+/// Normalize a tree the way parsing normalizes it: drop empty text nodes,
+/// merge adjacent text runs (our parser produces one text node per run).
+fn normalize(node: &Node) -> Node {
+    match node {
+        Node::Text(t) => Node::text(t.clone()),
+        Node::Element { tag, attrs, children } => {
+            let mut out: Vec<Node> = Vec::new();
+            for c in children {
+                let c = normalize(c);
+                match (&c, out.last_mut()) {
+                    (Node::Text(t), _) if t.is_empty() => {}
+                    (Node::Text(t), Some(Node::Text(prev))) => prev.push_str(t),
+                    _ => out.push(c),
+                }
+            }
+            Node::Element { tag: tag.clone(), attrs: attrs.clone(), children: out }
+        }
+    }
+}
+
+/// Tags the renderer treats as void cannot carry children through a
+/// round-trip; skip trees containing them.
+fn contains_void(node: &Node) -> bool {
+    const VOID: &[&str] = &["br", "hr", "img", "input", "link", "meta"];
+    match node {
+        Node::Text(_) => false,
+        Node::Element { tag, children, .. } => {
+            (VOID.contains(&tag.as_str()) && !children.is_empty()) || children.iter().any(contains_void)
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+    #[test]
+    fn html_roundtrip(tree in arb_tree()) {
+        prop_assume!(tree.tag().is_some());
+        prop_assume!(!contains_void(&tree));
+        let doc = Document::new(tree.clone());
+        let html = render_document(&doc);
+        let parsed = parse_document(&html).expect("rendered html parses");
+        prop_assert_eq!(normalize(&parsed.root), normalize(&tree), "html: {}", html);
+    }
+
+    #[test]
+    fn parser_never_panics_on_garbage(s in "\\PC{0,200}") {
+        let _ = parse_document(&s);
+    }
+
+    #[test]
+    fn escaping_defeats_injection(payload in "[ -~]{0,30}") {
+        // Text content with markup characters must not create elements.
+        let n = el("p").text(format!("<script>{payload}</script>")).build();
+        let html = render_to_string(&n);
+        if let Ok(doc) = parse_document(&html) {
+            prop_assert_eq!(doc.root.element_count(), 1, "only the <p> itself: {}", html);
+        }
+    }
+}
+
+// ---------- netsim: token bucket invariants ------------------------------
+
+proptest! {
+    #[test]
+    fn token_bucket_never_exceeds_rate(
+        capacity in 1u32..20,
+        rate in 0.1f64..50.0,
+        requests in prop::collection::vec(0u64..2_000, 1..100),
+    ) {
+        let mut bucket = TokenBucket::new(capacity, rate, SimInstant::EPOCH);
+        let mut t = 0u64;
+        let mut admitted = 0u32;
+        for gap in &requests {
+            t += gap;
+            if bucket.try_acquire(SimInstant::from_millis(t)).is_ok() {
+                admitted += 1;
+            }
+        }
+        // Admissions ≤ initial burst + refill over the elapsed window.
+        let max = capacity as f64 + rate * t as f64 / 1000.0;
+        prop_assert!(f64::from(admitted) <= max + 1.0, "admitted {admitted}, max {max}");
+    }
+
+    #[test]
+    fn token_bucket_wait_suggestion_is_sufficient(
+        capacity in 1u32..5,
+        rate in 0.1f64..10.0,
+    ) {
+        let mut bucket = TokenBucket::new(capacity, rate, SimInstant::EPOCH);
+        // Drain the burst.
+        for _ in 0..capacity {
+            prop_assert!(bucket.try_acquire(SimInstant::EPOCH).is_ok());
+        }
+        // The suggested wait always suffices.
+        if let Err(wait) = bucket.try_acquire(SimInstant::EPOCH) {
+            let later = SimInstant::from_millis(wait.as_millis());
+            prop_assert!(bucket.try_acquire(later).is_ok());
+        }
+    }
+}
+
+// ---------- policy: classification invariants ----------------------------
+
+proptest! {
+    #[test]
+    fn traceability_classification_is_monotone(body in "[ -~]{0,200}") {
+        use policy::{analyze, KeywordOntology, PrivacyPolicy, Traceability};
+        // Force substantiveness so we compare keyword coverage, not length.
+        let text = format!("{body} placeholder words to make this document long enough to be substantive overall");
+        let p = PrivacyPolicy::new("P", vec![text], false);
+        let full = analyze(Some(&p), &[], &KeywordOntology::standard());
+        let base = analyze(Some(&p), &[], &KeywordOntology::base_verbs_only());
+        // The base ontology can never find MORE practices than the full one.
+        prop_assert!(base.practices_found.len() <= full.practices_found.len());
+        // And classification can only degrade toward Broken.
+        let rank = |c: Traceability| match c {
+            Traceability::Complete => 2,
+            Traceability::Partial => 1,
+            Traceability::Broken => 0,
+        };
+        prop_assert!(rank(base.classification) <= rank(full.classification));
+    }
+}
