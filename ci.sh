@@ -1,0 +1,7 @@
+#!/bin/sh
+# Tier-1 gate: build, tests, lints. Run before every push.
+set -eux
+
+cargo build --release
+cargo test -q
+cargo clippy --all-targets -- -D warnings

@@ -3,7 +3,7 @@
 //! over weeks of wall-clock; the reproduction covers the same population in
 //! seconds because all waiting is virtual — this bench quantifies that.
 
-use bench::prepare_world;
+use bench::{prepare_world, prepare_world_workers};
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 use synth::{build_ecosystem, EcosystemConfig};
@@ -26,6 +26,22 @@ fn bench_scaling(c: &mut Criterion) {
             b.iter_batched(
                 || (),
                 |_| black_box(prepare_world(n, 8).bots.len()),
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    group.finish();
+
+    // Worker-count sweep: the same static pipeline (sharded crawl +
+    // work-stealing analysis) over a fixed 1,000-bot world.
+    let mut group = c.benchmark_group("scaling/static_pipeline_workers");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4, 8] {
+        group.throughput(Throughput::Elements(1_000));
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &workers| {
+            b.iter_batched(
+                || (),
+                |_| black_box(prepare_world_workers(1_000, 8, workers).bots.len()),
                 BatchSize::PerIteration,
             )
         });

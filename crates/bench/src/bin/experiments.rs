@@ -3,7 +3,7 @@
 //! ```text
 //! experiments [--scale N] [--seed S] [--honeypot-sample K] [--json PATH]
 //!             [--markdown PATH] [--only fig3|table1|table2|table3|honeypot]
-//!             [--enforced]
+//!             [--enforced] [--workers N] [--bench-json PATH]
 //! ```
 //!
 //! Defaults run the full paper-scale population (20,915 listings, 500
@@ -25,6 +25,8 @@ struct Args {
     markdown: Option<String>,
     only: Option<String>,
     enforced: bool,
+    workers: usize,
+    bench_json: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -36,6 +38,8 @@ fn parse_args() -> Args {
         markdown: None,
         only: None,
         enforced: false,
+        workers: 1,
+        bench_json: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -70,6 +74,14 @@ fn parse_args() -> Args {
                 args.enforced = true;
                 i += 1;
             }
+            "--workers" => {
+                args.workers = argv.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or(args.workers);
+                i += 2;
+            }
+            "--bench-json" => {
+                args.bench_json = argv.get(i + 1).cloned();
+                i += 2;
+            }
             other => {
                 eprintln!("unknown argument {other:?}");
                 std::process::exit(2);
@@ -81,6 +93,80 @@ fn parse_args() -> Args {
 
 fn want(args: &Args, what: &str) -> bool {
     args.only.as_deref().map(|o| o == what).unwrap_or(true)
+}
+
+/// An [`AuditConfig`] with every `workers` knob (crawl shards, analysis
+/// pool, honeypot campaigns) set to `workers`.
+fn audit_config(honeypot_sample: usize, workers: usize) -> AuditConfig {
+    let mut config = AuditConfig { honeypot_sample, ..AuditConfig::default() };
+    config.workers = workers;
+    config.crawl.workers = workers;
+    config.honeypot.workers = workers;
+    config
+}
+
+/// Run the full pipeline (crawl + static analysis + honeypot) at each
+/// worker count, recording wall time and speedup over the serial run.
+/// World construction happens outside the timer — the engine under test
+/// is the audit pipeline, not the synthesizer.
+fn parallel_bench(args: &Args, path: &str) {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    eprintln!(
+        "parallel scaling sweep: {} listings, workers 1/2/4/8 on {cores} core{} …",
+        args.scale,
+        if cores == 1 { "" } else { "s" }
+    );
+    let mut runs = Vec::new();
+    let mut serial_ms = 0.0_f64;
+    for workers in [1usize, 2, 4, 8] {
+        let eco = build_ecosystem(&EcosystemConfig {
+            num_bots: args.scale,
+            seed: args.seed,
+            ..EcosystemConfig::default()
+        });
+        let pipeline = AuditPipeline::new(audit_config(args.honeypot_sample, workers));
+        let t0 = std::time::Instant::now();
+        let (bots, _, caches) = pipeline.run_static_stages_detailed(&eco.net);
+        let campaign = pipeline.run_honeypot(&eco);
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        if workers == 1 {
+            serial_ms = wall_ms;
+        }
+        let speedup = serial_ms / wall_ms;
+        println!(
+            "workers {workers}: {wall_ms:7.1} ms wall | speedup {speedup:.2}x | \
+             link cache {}/{} hit/miss | policy memo {}/{} hit/miss | {} bots | {} detections",
+            caches.link_cache_hits,
+            caches.link_cache_misses,
+            caches.policy_memo_hits,
+            caches.policy_memo_misses,
+            bots.len(),
+            campaign.detections.len(),
+        );
+        let mut run = serde_json::Map::new();
+        run.insert("workers".into(), serde_json::to_value(workers).expect("serializable"));
+        run.insert("wall_ms".into(), serde_json::to_value(wall_ms).expect("serializable"));
+        run.insert("speedup_vs_serial".into(), serde_json::to_value(speedup).expect("serializable"));
+        run.insert("bots".into(), serde_json::to_value(bots.len()).expect("serializable"));
+        run.insert(
+            "detections".into(),
+            serde_json::to_value(campaign.detections.len()).expect("serializable"),
+        );
+        run.insert("caches".into(), serde_json::to_value(caches).expect("serializable"));
+        runs.push(run.into());
+    }
+    let mut out = serde_json::Map::new();
+    out.insert("available_cores".into(), serde_json::to_value(cores).expect("serializable"));
+    out.insert("scale".into(), serde_json::to_value(args.scale).expect("serializable"));
+    out.insert("seed".into(), serde_json::to_value(args.seed).expect("serializable"));
+    out.insert(
+        "honeypot_sample".into(),
+        serde_json::to_value(args.honeypot_sample).expect("serializable"),
+    );
+    out.insert("runs".into(), serde_json::Value::Array(runs));
+    std::fs::write(path, serde_json::to_string_pretty(&out).expect("serializable"))
+        .expect("write bench json");
+    eprintln!("wrote {path}");
 }
 
 fn main() {
@@ -98,12 +184,13 @@ fn main() {
         eprintln!("runtime policy: ENFORCED (Slack/Teams model — §6 extension)");
         eco.platform.set_runtime_policy(discord_sim::RuntimePolicy::Enforced);
     }
-    eprintln!("running data collection + traceability + code analysis …");
-    let pipeline = AuditPipeline::new(AuditConfig {
-        honeypot_sample: args.honeypot_sample,
-        ..AuditConfig::default()
-    });
-    let (bots, stats) = pipeline.run_static_stages(&eco.net);
+    eprintln!(
+        "running data collection + traceability + code analysis ({} worker{}) …",
+        args.workers,
+        if args.workers == 1 { "" } else { "s" }
+    );
+    let pipeline = AuditPipeline::new(audit_config(args.honeypot_sample, args.workers));
+    let (bots, stats, caches) = pipeline.run_static_stages_detailed(&eco.net);
 
     let mut json = serde_json::Map::new();
     json.insert("scale".into(), args.scale.into());
@@ -119,6 +206,14 @@ fn main() {
         stats.email_verifications,
         stats.duration
     );
+    println!(
+        "caches: link cache {} hits / {} misses | policy memo {} hits / {} misses",
+        caches.link_cache_hits,
+        caches.link_cache_misses,
+        caches.policy_memo_hits,
+        caches.policy_memo_misses,
+    );
+    json.insert("stage_caches".into(), serde_json::to_value(caches).expect("serializable"));
 
     // ---- Figure 3 + in-text permission numbers -------------------------
     if want(&args, "fig3") {
@@ -285,5 +380,9 @@ fn main() {
         std::fs::write(path, serde_json::to_string_pretty(&json).expect("serializable"))
             .expect("write json output");
         eprintln!("wrote {path}");
+    }
+
+    if let Some(path) = &args.bench_json {
+        parallel_bench(&args, path);
     }
 }

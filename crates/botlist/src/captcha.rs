@@ -46,8 +46,8 @@ impl CaptchaBank {
     pub fn issue<R: Rng + ?Sized>(&self, rng: &mut R) -> Challenge {
         let mut inner = self.inner.lock();
         inner.counter += 1;
-        let a: i64 = rng.gen_range(10..100);
-        let b: i64 = rng.gen_range(10..100);
+        let a: i64 = rng.gen_range(10i64..100);
+        let b: i64 = rng.gen_range(10i64..100);
         let id = format!("ch-{}", inner.counter);
         inner.open.insert(id.clone(), a + b);
         Challenge { id, question: format!("{a} + {b}") }

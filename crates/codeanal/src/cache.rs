@@ -1,0 +1,164 @@
+//! Cross-bot memoization for GitHub link resolution.
+//!
+//! Many listings point at the same repository or profile (shared developer
+//! accounts, template bots republished under several names). Resolving a
+//! link is the most network-heavy part of stage 3 — page fetch plus one
+//! round trip per source file — so the parallel audit engine shares one
+//! [`LinkCache`] across all analysis workers and resolves each normalized
+//! URL exactly once.
+
+use crate::github::{resolve_github_link, LinkOutcome};
+use netsim::http::Url;
+use netsim::HttpClient;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A thread-safe memo table from normalized GitHub URL to resolution
+/// outcome. Shared (`&LinkCache`) between analysis workers.
+#[derive(Default)]
+pub struct LinkCache {
+    map: Mutex<BTreeMap<String, LinkOutcome>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl LinkCache {
+    /// An empty cache.
+    pub fn new() -> LinkCache {
+        LinkCache::default()
+    }
+
+    /// Canonical cache key for a raw link: lowercased host plus path with
+    /// any trailing slash trimmed, so `https://github.sim/Dev/Bot/` and
+    /// `https://github.sim/dev/bot` memoize together the way the live site
+    /// serves them. Unparseable links key on their raw text (they all
+    /// resolve to [`LinkOutcome::Invalid`] anyway).
+    pub fn normalize(raw_link: &str) -> String {
+        match Url::parse(raw_link) {
+            Ok(url) => {
+                format!("{}{}", url.host, url.path.to_lowercase().trim_end_matches('/'))
+            }
+            Err(_) => raw_link.to_string(),
+        }
+    }
+
+    /// Resolve `raw_link`, consulting the memo table first. A miss performs
+    /// the real [`resolve_github_link`] scrape over `client` and stores the
+    /// outcome; a hit returns the stored outcome without touching the
+    /// network.
+    pub fn resolve(&self, client: &mut HttpClient, raw_link: &str) -> LinkOutcome {
+        let key = Self::normalize(raw_link);
+        if let Some(cached) = self.map.lock().get(&key).cloned() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return cached;
+        }
+        // Resolve outside the map lock so other workers' lookups (and
+        // their cold resolutions) proceed concurrently. Two workers racing
+        // on the same cold key both scrape, deterministically producing the
+        // same outcome; the second insert is a no-op overwrite.
+        let outcome = resolve_github_link(client, raw_link);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.map.lock().insert(key, outcome.clone());
+        outcome
+    }
+
+    /// Lookups served from the memo table.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that performed a real resolution.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Distinct normalized URLs resolved so far.
+    pub fn len(&self) -> usize {
+        self.map.lock().len()
+    }
+
+    /// Whether the cache is still empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genrepo;
+    use crate::github::GitHubSite;
+    use netsim::client::ClientConfig;
+    use netsim::Network;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn world() -> (Network, GitHubSite) {
+        let net = Network::new(9);
+        let site = GitHubSite::new();
+        site.mount(&net);
+        (net, site)
+    }
+
+    fn client(net: &Network) -> HttpClient {
+        HttpClient::new(net.clone(), ClientConfig::impolite("cache-test"))
+    }
+
+    #[test]
+    fn hit_equals_cold_resolution() {
+        let (net, site) = world();
+        let mut rng = StdRng::seed_from_u64(31);
+        site.publish(genrepo::js_bot_repo(&mut rng, "alice/modbot", true));
+
+        let cache = LinkCache::new();
+        let mut c = client(&net);
+        let cold = cache.resolve(&mut c, "https://github.sim/alice/modbot");
+        let hit = cache.resolve(&mut c, "https://github.sim/alice/modbot");
+        let direct = resolve_github_link(&mut c, "https://github.sim/alice/modbot");
+        assert_eq!(cold, direct);
+        assert_eq!(hit, direct);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn normalization_collapses_variants() {
+        let (net, site) = world();
+        let mut rng = StdRng::seed_from_u64(32);
+        site.publish(genrepo::py_bot_repo(&mut rng, "bob/funbot", false));
+
+        let cache = LinkCache::new();
+        let mut c = client(&net);
+        cache.resolve(&mut c, "https://github.sim/bob/funbot");
+        cache.resolve(&mut c, "https://github.sim/bob/funbot/");
+        assert_eq!((cache.hits(), cache.misses(), cache.len()), (1, 1, 1));
+    }
+
+    #[test]
+    fn invalid_links_memoize_too() {
+        let (net, _site) = world();
+        let cache = LinkCache::new();
+        let mut c = client(&net);
+        assert_eq!(cache.resolve(&mut c, "not a url"), LinkOutcome::Invalid);
+        assert_eq!(cache.resolve(&mut c, "not a url"), LinkOutcome::Invalid);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn hit_skips_the_network() {
+        let (net, site) = world();
+        let mut rng = StdRng::seed_from_u64(33);
+        site.publish(genrepo::js_bot_repo(&mut rng, "carol/bigbot", true));
+
+        let cache = LinkCache::new();
+        let mut cold_client = client(&net);
+        cache.resolve(&mut cold_client, "https://github.sim/carol/bigbot");
+        let cold_requests = cold_client.stats().dispatches;
+
+        let mut warm_client = client(&net);
+        cache.resolve(&mut warm_client, "https://github.sim/carol/bigbot");
+        assert!(cold_requests > 0);
+        assert_eq!(warm_client.stats().dispatches, 0, "hit must not fetch");
+    }
+}

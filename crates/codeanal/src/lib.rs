@@ -12,15 +12,19 @@
 //! * [`genrepo`] — seeded generators for realistic bot repositories
 //!   (discord.js / discord.py idioms, README-only repos, license dumps);
 //! * [`github`] — a GitHub-like site mounted on `netsim`, plus the
-//!   link-resolution scraper that classifies scraped GitHub URLs.
+//!   link-resolution scraper that classifies scraped GitHub URLs;
+//! * [`cache`] — the cross-bot memo table that lets parallel analysis
+//!   workers resolve each distinct GitHub URL exactly once.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod cache;
 pub mod genrepo;
 pub mod github;
 pub mod repo;
 pub mod scanner;
 
+pub use cache::LinkCache;
 pub use repo::{Language, Repository, SourceFile};
 pub use scanner::{scan_repository, CheckPattern, ScanReport};

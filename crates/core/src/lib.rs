@@ -31,7 +31,8 @@ pub use leastpriv::{least_privilege_summary, privilege_gaps, LeastPrivilegeSumma
 pub use pipeline::{AuditConfig, AuditPipeline, AuditReport, AuditedBot, CodeFinding, LinkResolution};
 pub use report::{
     exposure_by_flag, render_figure3, render_markdown_dossier, render_table1, render_table2,
-    render_table3, risk_report, RiskFlag, RiskReport,
+    render_table3, risk_report, CanonicalBot, CanonicalCampaign, CanonicalDetection,
+    CanonicalReport, RiskFlag, RiskReport,
 };
 pub use stats::{
     figure3_distribution, permission_rate_by_tag, table1_histogram, table2_traceability,

@@ -1,15 +1,25 @@
 //! Stage orchestration.
+//!
+//! Stage 1 (data collection) shards inside [`crawl_listing`]. Stages 2 and
+//! 3 (traceability + code analysis) run here on a claim-counter worker
+//! pool: each worker owns its HTTP client, repeatedly claims the next
+//! unprocessed bot, and writes the audited result into that bot's slot, so
+//! output order — and therefore the serialized report — is independent of
+//! scheduling. Workers share a [`LinkCache`] and an [`AnalysisMemo`], so
+//! repeated GitHub links and boilerplate policies are resolved/scanned once
+//! across the whole population.
 
-use codeanal::github::{resolve_github_link, LinkOutcome};
+use codeanal::github::LinkOutcome;
 use codeanal::scanner::{scan_repository, ScanReport};
-use codeanal::Language;
-use crawler::crawl::{crawl_listing, CrawlConfig, CrawlStats, CrawledBot};
-use crawler::invite::InviteStatus;
+use codeanal::{Language, LinkCache};
+use crawler::crawl::{crawl_listing, resolve_workers, CrawlConfig, CrawlStats, CrawledBot};
 use honeypot::campaign::{BotUnderTest, Campaign, CampaignConfig, CampaignReport};
 use netsim::client::{ClientConfig, HttpClient};
 use netsim::Network;
-use policy::{analyze, KeywordOntology, TraceabilityReport};
+use parking_lot::Mutex;
+use policy::{AnalysisMemo, KeywordOntology, TraceabilityReport};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use synth::Ecosystem;
 
 /// How a scraped GitHub link resolved.
@@ -26,7 +36,7 @@ pub enum LinkResolution {
 }
 
 /// Code-analysis output for one bot.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CodeFinding {
     /// Link resolution class.
     pub resolution: LinkResolution,
@@ -53,13 +63,8 @@ pub struct AuditedBot {
 
 impl AuditedBot {
     /// The permission names the install page requests (valid invites only).
-    pub fn requested_permission_names(&self) -> Vec<String> {
-        match &self.crawled.invite_status {
-            InviteStatus::Valid { permissions, .. } => {
-                permissions.names().iter().map(|s| s.to_string()).collect()
-            }
-            _ => Vec::new(),
-        }
+    pub fn requested_permission_names(&self) -> Vec<&'static str> {
+        self.crawled.invite_status.permission_names()
     }
 }
 
@@ -74,6 +79,10 @@ pub struct AuditConfig {
     pub honeypot: CampaignConfig,
     /// How many most-voted bots the honeypot samples (paper: 500).
     pub honeypot_sample: usize,
+    /// Analysis workers for stages 2/3: 1 = serial, N = a claim-counter
+    /// pool of N, 0 = one per available core. Output is identical to the
+    /// serial pipeline regardless of the setting.
+    pub workers: usize,
 }
 
 impl Default for AuditConfig {
@@ -83,8 +92,22 @@ impl Default for AuditConfig {
             ontology: KeywordOntology::standard(),
             honeypot: CampaignConfig::default(),
             honeypot_sample: 50,
+            workers: 1,
         }
     }
+}
+
+/// Memoization counters from one static-stage run.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct StageStats {
+    /// GitHub link resolutions served from the shared [`LinkCache`].
+    pub link_cache_hits: u64,
+    /// GitHub link resolutions that scraped the simulated site.
+    pub link_cache_misses: u64,
+    /// Policy analyses served from the shared [`AnalysisMemo`].
+    pub policy_memo_hits: u64,
+    /// Policy analyses that ran the keyword scan.
+    pub policy_memo_misses: u64,
 }
 
 /// Full pipeline output.
@@ -108,69 +131,136 @@ impl AuditPipeline {
         AuditPipeline { config }
     }
 
+    /// Stage 2 + 3 for one bot: traceability against the requested
+    /// permissions, then code analysis through the shared caches.
+    fn audit_one(
+        &self,
+        bot: CrawledBot,
+        gh_client: &mut HttpClient,
+        links: &LinkCache,
+        memo: &AnalysisMemo,
+    ) -> AuditedBot {
+        // Stage 2: traceability — compare the policy (if any) against
+        // the permissions the install page requests.
+        let requested = bot.invite_status.permission_names();
+        let traceability = memo.analyze(bot.policy.as_ref(), &requested, &self.config.ontology);
+
+        // Stage 3: code analysis.
+        let code = bot.scraped.github.as_deref().map(|link| {
+            match links.resolve(gh_client, link) {
+                LinkOutcome::ValidRepo(repo) => {
+                    let scan = scan_repository(&repo);
+                    CodeFinding {
+                        resolution: LinkResolution::ValidRepo,
+                        language: repo.main_language(),
+                        has_source: repo.has_source_code(),
+                        performs_checks: Some(scan.performs_checks()),
+                        scan: Some(scan),
+                    }
+                }
+                LinkOutcome::UserProfile => CodeFinding {
+                    resolution: LinkResolution::UserProfile,
+                    language: None,
+                    has_source: false,
+                    performs_checks: None,
+                    scan: None,
+                },
+                LinkOutcome::NoPublicRepos => CodeFinding {
+                    resolution: LinkResolution::NoPublicRepos,
+                    language: None,
+                    has_source: false,
+                    performs_checks: None,
+                    scan: None,
+                },
+                LinkOutcome::Invalid => CodeFinding {
+                    resolution: LinkResolution::Invalid,
+                    language: None,
+                    has_source: false,
+                    performs_checks: None,
+                    scan: None,
+                },
+            }
+        });
+
+        AuditedBot { crawled: bot, traceability, code }
+    }
+
+    fn analysis_client(&self, net: &Network) -> HttpClient {
+        // Stages 2 & 3 use a plain client (no listing-site defenses on
+        // GitHub in this world; politeness still applies).
+        HttpClient::new(
+            net.clone(),
+            ClientConfig { politeness: None, ..ClientConfig::crawler("code-analysis/1.0") },
+        )
+    }
+
     /// Run data collection + traceability + code analysis against a
     /// mounted world.
     pub fn run_static_stages(&self, net: &Network) -> (Vec<AuditedBot>, CrawlStats) {
+        let (bots, stats, _) = self.run_static_stages_detailed(net);
+        (bots, stats)
+    }
+
+    /// [`Self::run_static_stages`], also reporting memoization counters.
+    pub fn run_static_stages_detailed(
+        &self,
+        net: &Network,
+    ) -> (Vec<AuditedBot>, CrawlStats, StageStats) {
         // Stage 1: data collection.
         let (crawled, stats) = crawl_listing(net, &self.config.crawl);
 
-        // Stage 2 & 3 share a plain client (no listing-site defenses on
-        // GitHub in this world; politeness still applies).
-        let mut gh_client =
-            HttpClient::new(net.clone(), ClientConfig { politeness: None, ..ClientConfig::crawler("code-analysis/1.0") });
+        let links = LinkCache::new();
+        let memo = AnalysisMemo::new();
+        let workers = resolve_workers(self.config.workers);
 
-        let mut bots = Vec::with_capacity(crawled.len());
-        for bot in crawled {
-            // Stage 2: traceability — compare the policy (if any) against
-            // the permissions the install page requests.
-            let requested: Vec<String> = match &bot.invite_status {
-                InviteStatus::Valid { permissions, .. } => {
-                    permissions.names().iter().map(|s| s.to_string()).collect()
-                }
-                _ => Vec::new(),
-            };
-            let traceability = analyze(bot.policy.as_ref(), &requested, &self.config.ontology);
-
-            // Stage 3: code analysis.
-            let code = bot.scraped.github.as_deref().map(|link| {
-                match resolve_github_link(&mut gh_client, link) {
-                    LinkOutcome::ValidRepo(repo) => {
-                        let scan = scan_repository(&repo);
-                        CodeFinding {
-                            resolution: LinkResolution::ValidRepo,
-                            language: repo.main_language(),
-                            has_source: repo.has_source_code(),
-                            performs_checks: Some(scan.performs_checks()),
-                            scan: Some(scan),
+        let bots = if workers <= 1 || crawled.len() <= 1 {
+            let mut gh_client = self.analysis_client(net);
+            crawled
+                .into_iter()
+                .map(|bot| self.audit_one(bot, &mut gh_client, &links, &memo))
+                .collect()
+        } else {
+            // Claim-counter pool: each worker owns a client and repeatedly
+            // claims the next unclaimed bot, so fast bots (no GitHub link,
+            // no policy) don't leave a statically-assigned worker idle
+            // while another grinds through repo downloads.
+            let jobs: Vec<Mutex<Option<CrawledBot>>> =
+                crawled.into_iter().map(|b| Mutex::new(Some(b))).collect();
+            let slots: Vec<Mutex<Option<AuditedBot>>> =
+                (0..jobs.len()).map(|_| Mutex::new(None)).collect();
+            let next = AtomicUsize::new(0);
+            crossbeam::thread::scope(|s| {
+                for _ in 0..workers.min(jobs.len()) {
+                    let (jobs, slots, next) = (&jobs, &slots, &next);
+                    let (links, memo) = (&links, &memo);
+                    s.spawn(move |_| {
+                        let mut gh_client = self.analysis_client(net);
+                        loop {
+                            let idx = next.fetch_add(1, Ordering::Relaxed);
+                            if idx >= jobs.len() {
+                                break;
+                            }
+                            let bot = jobs[idx].lock().take().expect("job claimed once");
+                            let audited = self.audit_one(bot, &mut gh_client, links, memo);
+                            *slots[idx].lock() = Some(audited);
                         }
-                    }
-                    LinkOutcome::UserProfile => CodeFinding {
-                        resolution: LinkResolution::UserProfile,
-                        language: None,
-                        has_source: false,
-                        performs_checks: None,
-                        scan: None,
-                    },
-                    LinkOutcome::NoPublicRepos => CodeFinding {
-                        resolution: LinkResolution::NoPublicRepos,
-                        language: None,
-                        has_source: false,
-                        performs_checks: None,
-                        scan: None,
-                    },
-                    LinkOutcome::Invalid => CodeFinding {
-                        resolution: LinkResolution::Invalid,
-                        language: None,
-                        has_source: false,
-                        performs_checks: None,
-                        scan: None,
-                    },
+                    });
                 }
-            });
+            })
+            .expect("analysis scope");
+            slots
+                .into_iter()
+                .map(|slot| slot.into_inner().expect("every slot filled"))
+                .collect()
+        };
 
-            bots.push(AuditedBot { crawled: bot, traceability, code });
-        }
-        (bots, stats)
+        let stage_stats = StageStats {
+            link_cache_hits: links.hits(),
+            link_cache_misses: links.misses(),
+            policy_memo_hits: memo.hits(),
+            policy_memo_misses: memo.misses(),
+        };
+        (bots, stats, stage_stats)
     }
 
     /// Run the dynamic stage against the ecosystem's most-voted testable
@@ -262,6 +352,47 @@ mod tests {
         assert_eq!(report.bots.len(), 120);
         assert!(report.honeypot.is_some());
         assert!(report.crawl_stats.pages > 0);
+    }
+
+    #[test]
+    fn parallel_static_stages_match_serial() {
+        let shape = |workers: usize| {
+            let eco = small_world();
+            let pipeline =
+                AuditPipeline::new(AuditConfig { workers, ..AuditConfig::default() });
+            let (bots, _, stages) = pipeline.run_static_stages_detailed(&eco.net);
+            let rows: Vec<_> = bots
+                .iter()
+                .map(|b| {
+                    (
+                        b.crawled.scraped.id,
+                        b.crawled.invite_status.clone(),
+                        b.traceability.clone(),
+                        b.code.as_ref().map(|c| (c.resolution, c.language.clone(), c.performs_checks)),
+                    )
+                })
+                .collect();
+            (rows, stages)
+        };
+        let (serial_rows, serial_stages) = shape(1);
+        for workers in [2, 4] {
+            let (rows, stages) = shape(workers);
+            assert_eq!(rows, serial_rows, "workers={workers}");
+            // Racing workers may both miss the same cold key, so parallel
+            // runs can trade a few hits for misses — never lose lookups.
+            assert_eq!(
+                stages.link_cache_hits + stages.link_cache_misses,
+                serial_stages.link_cache_hits + serial_stages.link_cache_misses,
+                "workers={workers}"
+            );
+            assert_eq!(
+                stages.policy_memo_hits + stages.policy_memo_misses,
+                serial_stages.policy_memo_hits + serial_stages.policy_memo_misses,
+                "workers={workers}"
+            );
+        }
+        assert!(serial_stages.link_cache_misses > 0);
+        assert!(serial_stages.policy_memo_misses > 0);
     }
 
     #[test]

@@ -1,10 +1,11 @@
 //! Risk findings and paper-style table rendering.
 
-use crate::pipeline::{AuditedBot, LinkResolution};
+use crate::pipeline::{AuditReport, AuditedBot, CodeFinding, LinkResolution};
 use crate::stats::{Figure3Row, Table1Row, Table2Summary, Table3Summary};
 use crawler::invite::InviteStatus;
 use discord_sim::Permissions;
-use policy::Traceability;
+use honeypot::TokenKind;
+use policy::{PrivacyPolicy, Traceability, TraceabilityReport};
 use serde::{Deserialize, Serialize};
 
 /// A per-bot risk flag raised by the pipeline.
@@ -40,6 +41,133 @@ pub struct RiskReport {
     pub id: u64,
     /// Raised flags.
     pub flags: Vec<RiskFlag>,
+}
+
+/// The scheduling-independent projection of a full audit run: every
+/// measurement a report consumer reads, minus virtual-time durations and
+/// the crawl/campaign spend counters whose exact values depend on worker
+/// interleaving. Serializing this is byte-identical across worker counts
+/// for the same seed — the property `tests/determinism.rs` pins.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CanonicalReport {
+    /// Per-bot static findings, in listing order.
+    pub bots: Vec<CanonicalBot>,
+    /// List pages traversed.
+    pub pages: usize,
+    /// Detail pages successfully extracted.
+    pub crawled: usize,
+    /// Detail pages that failed.
+    pub failures: usize,
+    /// Honeypot outcome (when the dynamic stage ran).
+    pub honeypot: Option<CanonicalCampaign>,
+}
+
+/// One bot's static findings, stripped to scheduling-independent fields.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CanonicalBot {
+    /// Client ID.
+    pub id: u64,
+    /// Display name.
+    pub name: String,
+    /// Invite-link validation outcome.
+    pub invite_status: InviteStatus,
+    /// Whether the listed website answered.
+    pub website_reachable: bool,
+    /// Whether the website shows a privacy-policy link.
+    pub policy_link_present: bool,
+    /// The fetched policy document.
+    pub policy: Option<PrivacyPolicy>,
+    /// Traceability analysis.
+    pub traceability: TraceabilityReport,
+    /// Code analysis.
+    pub code: Option<CodeFinding>,
+}
+
+/// Honeypot campaign outcome, minus timestamps and captcha spend.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CanonicalCampaign {
+    /// Guilds created.
+    pub guilds_created: usize,
+    /// Bots that connected.
+    pub bots_tested: usize,
+    /// Install attempts that failed.
+    pub install_failures: usize,
+    /// Canary tokens planted.
+    pub tokens_planted: usize,
+    /// Decoy messages posted.
+    pub messages_posted: usize,
+    /// Canary hits as (token id, requester, via-mail) tuples — the `at`
+    /// timestamp is interleaving-dependent and excluded.
+    pub triggers: Vec<(String, String, bool)>,
+    /// Attributed detections.
+    pub detections: Vec<CanonicalDetection>,
+}
+
+/// One attributed detection.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CanonicalDetection {
+    /// Offending bot.
+    pub bot_name: String,
+    /// Token kinds it touched.
+    pub token_kinds: Vec<TokenKind>,
+    /// Requester labels observed.
+    pub requesters: Vec<String>,
+    /// Post-trigger chatter.
+    pub followup_messages: Vec<String>,
+}
+
+impl AuditReport {
+    /// Project this report onto its canonical, worker-count-independent
+    /// form.
+    pub fn canonical(&self) -> CanonicalReport {
+        CanonicalReport {
+            bots: self
+                .bots
+                .iter()
+                .map(|b| CanonicalBot {
+                    id: b.crawled.scraped.id,
+                    name: b.crawled.scraped.name.clone(),
+                    invite_status: b.crawled.invite_status.clone(),
+                    website_reachable: b.crawled.website_reachable,
+                    policy_link_present: b.crawled.policy_link_present,
+                    policy: b.crawled.policy.clone(),
+                    traceability: b.traceability.clone(),
+                    code: b.code.clone(),
+                })
+                .collect(),
+            pages: self.crawl_stats.pages,
+            crawled: self.crawl_stats.bots,
+            failures: self.crawl_stats.failures,
+            honeypot: self.honeypot.as_ref().map(|c| CanonicalCampaign {
+                guilds_created: c.guilds_created,
+                bots_tested: c.bots_tested,
+                install_failures: c.install_failures,
+                tokens_planted: c.tokens_planted,
+                messages_posted: c.messages_posted,
+                triggers: c
+                    .triggers
+                    .iter()
+                    .map(|t| (t.token_id.clone(), t.requester.clone(), t.via_mail))
+                    .collect(),
+                detections: c
+                    .detections
+                    .iter()
+                    .map(|d| CanonicalDetection {
+                        bot_name: d.bot_name.clone(),
+                        token_kinds: d.token_kinds.clone(),
+                        requesters: d.requesters.clone(),
+                        followup_messages: d.followup_messages.clone(),
+                    })
+                    .collect(),
+            }),
+        }
+    }
+
+    /// Serialize the canonical projection as JSON. Byte-identical for the
+    /// same seed regardless of the `workers` settings.
+    pub fn canonical_json(&self) -> String {
+        serde_json::to_string_pretty(&self.canonical()).expect("canonical report serializes")
+    }
 }
 
 /// Moderation-grade permissions used for the `PrivilegedWithoutPolicy`

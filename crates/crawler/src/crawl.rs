@@ -29,11 +29,31 @@ pub struct CrawlConfig {
     /// Use the polite session (rate-limited, jittered). The ablation sets
     /// this false.
     pub polite: bool,
+    /// Crawl shards: 1 = serial, N = fan page ranges and detail pages out
+    /// to N sessions, 0 = one per available core. Output is byte-identical
+    /// to the serial crawl regardless of the setting.
+    pub workers: usize,
 }
 
 impl Default for CrawlConfig {
     fn default() -> Self {
-        CrawlConfig { max_pages: None, validate_invites: true, fetch_policies: true, seed: 7, polite: true }
+        CrawlConfig {
+            max_pages: None,
+            validate_invites: true,
+            fetch_policies: true,
+            seed: 7,
+            polite: true,
+            workers: 1,
+        }
+    }
+}
+
+/// Resolve a `workers` knob: 0 means one worker per available core.
+pub fn resolve_workers(workers: usize) -> usize {
+    if workers == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        workers
     }
 }
 
@@ -71,20 +91,98 @@ pub struct CrawlStats {
     pub duration: SimDuration,
 }
 
+/// The per-page outcome of the listing traversal, merged in page order so
+/// a sharded crawl reproduces the serial traversal exactly.
+enum PageOutcome {
+    /// The page never fetched (network failure after retries).
+    FetchErr,
+    /// The page fetched but its structure defeated extraction.
+    ExtractErr,
+    /// Bot detail links, in on-page order.
+    Links(Vec<String>),
+}
+
+fn fetch_page(session: &mut ScrapeSession, page: usize) -> PageOutcome {
+    match session.fetch_document(Url::https(LIST_HOST, "/list").with_query("page", &page.to_string()))
+    {
+        Err(_) => PageOutcome::FetchErr,
+        Ok(doc) => match extract_bot_links(&doc) {
+            Err(_) => PageOutcome::ExtractErr,
+            Ok(links) => PageOutcome::Links(links),
+        },
+    }
+}
+
+fn classify_page(doc: &htmlsim::Document) -> PageOutcome {
+    match extract_bot_links(doc) {
+        Err(_) => PageOutcome::ExtractErr,
+        Ok(links) => PageOutcome::Links(links),
+    }
+}
+
+/// Crawl one bot detail page: scrape, validate the invite, hunt the policy.
+fn crawl_detail(
+    session: &mut ScrapeSession,
+    href: &str,
+    config: &CrawlConfig,
+) -> Result<CrawledBot, ()> {
+    let url = if href.starts_with('/') {
+        Url::https(LIST_HOST, href)
+    } else {
+        Url::parse(href).map_err(|_| ())?
+    };
+    let doc = session.fetch_document(url).map_err(|_| ())?;
+    let scraped = extract_bot_detail(&doc).map_err(|_| ())?;
+
+    let invite_status = if config.validate_invites {
+        validate_invite(session.http(), &scraped.invite_link)
+    } else {
+        InviteStatus::MalformedLink
+    };
+
+    let (website_reachable, policy_link_present, policy) = if config.fetch_policies {
+        fetch_policy(session, scraped.website.as_deref())
+    } else {
+        (false, false, None)
+    };
+
+    Ok(CrawledBot { scraped, invite_status, website_reachable, policy_link_present, policy })
+}
+
+/// Fold one worker session's overhead counters into the crawl statistics.
+fn absorb_session(stats: &mut CrawlStats, session: &ScrapeSession) {
+    stats.captchas_solved += session.captchas_solved;
+    stats.captcha_spend_dollars += session.captcha_spend_dollars();
+    stats.email_verifications += session.email_verifications;
+}
+
+/// Contiguous shard `w` of `0..len` split across `workers` workers.
+fn shard_range(len: usize, workers: usize, w: usize) -> std::ops::Range<usize> {
+    let chunk = len.div_ceil(workers.max(1));
+    let start = (w * chunk).min(len);
+    let end = ((w + 1) * chunk).min(len);
+    start..end
+}
+
 /// Run the data-collection stage against the mounted listing site.
+///
+/// With `config.workers > 1` the traversal is sharded: page ranges and
+/// detail pages fan out to per-worker [`ScrapeSession`]s whose jitter RNGs
+/// are seeded `splitmix(config.seed, worker)`, and results merge back in
+/// page/listing order — the returned bots are byte-identical to a serial
+/// crawl of the same world. Per-session overhead (captchas, email
+/// verifications, virtual duration) legitimately varies with sharding and
+/// is reported as the sum over sessions.
 pub fn crawl_listing(net: &Network, config: &CrawlConfig) -> (Vec<CrawledBot>, CrawlStats) {
     let clock = net.clock();
     let started = clock.now();
-    let mut session = if config.polite {
-        ScrapeSession::new(net.clone(), config.seed)
-    } else {
-        ScrapeSession::impolite(net.clone(), config.seed)
-    };
+    let workers = resolve_workers(config.workers);
+    let mut session = ScrapeSession::for_worker(net.clone(), config.seed, 0, config.polite);
 
     let mut bots = Vec::new();
     let mut stats = CrawlStats::default();
 
-    // Discover page count from page 0.
+    // Discover page count from page 0 (always the primary session).
     let first = match session.fetch_document(Url::https(LIST_HOST, "/list").with_query("page", "0")) {
         Ok(doc) => doc,
         Err(_) => {
@@ -95,72 +193,126 @@ pub fn crawl_listing(net: &Network, config: &CrawlConfig) -> (Vec<CrawledBot>, C
     let total_pages = extract_total_pages(&first).unwrap_or(1);
     let limit = config.max_pages.map_or(total_pages, |m| m.min(total_pages));
 
-    let mut hrefs: Vec<String> = Vec::new();
-    for page in 0..limit {
-        let doc = if page == 0 {
-            first.clone()
-        } else {
-            match session
-                .fetch_document(Url::https(LIST_HOST, "/list").with_query("page", &page.to_string()))
-            {
-                Ok(doc) => doc,
-                Err(_) => continue,
-            }
-        };
-        stats.pages += 1;
-        match extract_bot_links(&doc) {
-            Ok(links) if links.is_empty() => break, // past the end
-            Ok(links) => hrefs.extend(links),
-            Err(_) => continue,
+    // Phase A: traverse list pages, collecting per-page outcomes.
+    let mut outcomes: Vec<PageOutcome> = Vec::with_capacity(limit);
+    if limit > 0 {
+        outcomes.push(classify_page(&first));
+    }
+    if workers <= 1 || limit <= 2 {
+        for page in 1..limit {
+            outcomes.push(fetch_page(&mut session, page));
+        }
+    } else {
+        let rest = limit - 1; // pages 1..limit
+        let shards = workers.min(rest);
+        let mut sharded: Vec<Vec<PageOutcome>> = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = (0..shards)
+                .map(|w| {
+                    let net = net.clone();
+                    s.spawn(move |_| {
+                        let mut sess = ScrapeSession::for_worker(
+                            net,
+                            netsim::splitmix(config.seed, 1 + w as u64),
+                            1 + w,
+                            config.polite,
+                        );
+                        let range = shard_range(rest, shards, w);
+                        let out: Vec<PageOutcome> =
+                            range.map(|i| fetch_page(&mut sess, 1 + i)).collect();
+                        (out, sess.captchas_solved, sess.captcha_spend_dollars(), sess.email_verifications)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    let (out, captchas, spend, emails) = h.join().expect("page shard panicked");
+                    stats.captchas_solved += captchas;
+                    stats.captcha_spend_dollars += spend;
+                    stats.email_verifications += emails;
+                    out
+                })
+                .collect()
+        })
+        .expect("page scope");
+        for shard in &mut sharded {
+            outcomes.append(shard);
         }
     }
 
-    for href in hrefs {
-        let url = if href.starts_with('/') {
-            Url::https(LIST_HOST, &href)
-        } else {
-            match Url::parse(&href) {
-                Ok(u) => u,
-                Err(_) => {
-                    stats.failures += 1;
-                    continue;
+    // Merge in page order with the serial traversal's semantics: fetch
+    // failures skip the page, an empty page ends the listing.
+    let mut hrefs: Vec<String> = Vec::new();
+    for outcome in outcomes {
+        match outcome {
+            PageOutcome::FetchErr => continue,
+            PageOutcome::ExtractErr => stats.pages += 1,
+            PageOutcome::Links(links) => {
+                stats.pages += 1;
+                if links.is_empty() {
+                    break; // past the end
                 }
+                hrefs.extend(links);
             }
-        };
-        let doc = match session.fetch_document(url) {
-            Ok(doc) => doc,
-            Err(_) => {
-                stats.failures += 1;
-                continue;
-            }
-        };
-        let scraped = match extract_bot_detail(&doc) {
-            Ok(s) => s,
-            Err(_) => {
-                stats.failures += 1;
-                continue;
-            }
-        };
-
-        let invite_status = if config.validate_invites {
-            validate_invite(session.http(), &scraped.invite_link)
-        } else {
-            InviteStatus::MalformedLink
-        };
-
-        let (website_reachable, policy_link_present, policy) = if config.fetch_policies {
-            fetch_policy(&mut session, scraped.website.as_deref())
-        } else {
-            (false, false, None)
-        };
-
-        stats.bots += 1;
-        bots.push(CrawledBot { scraped, invite_status, website_reachable, policy_link_present, policy });
+        }
     }
 
-    stats.captchas_solved = session.captchas_solved;
-    stats.captcha_spend_dollars = session.captcha_spend_dollars();
-    stats.email_verifications = session.email_verifications;
+    // Phase B: detail pages, sharded in listing order.
+    if workers <= 1 || hrefs.len() <= 1 {
+        for href in &hrefs {
+            match crawl_detail(&mut session, href, config) {
+                Ok(bot) => {
+                    stats.bots += 1;
+                    bots.push(bot);
+                }
+                Err(()) => stats.failures += 1,
+            }
+        }
+    } else {
+        let shards = workers.min(hrefs.len());
+        let hrefs_ref = &hrefs;
+        let results: Vec<Vec<Result<CrawledBot, ()>>> = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = (0..shards)
+                .map(|w| {
+                    let net = net.clone();
+                    s.spawn(move |_| {
+                        let mut sess = ScrapeSession::for_worker(
+                            net,
+                            netsim::splitmix(config.seed, 0x100 + w as u64),
+                            1 + w,
+                            config.polite,
+                        );
+                        let out: Vec<Result<CrawledBot, ()>> = shard_range(hrefs_ref.len(), shards, w)
+                            .map(|i| crawl_detail(&mut sess, &hrefs_ref[i], config))
+                            .collect();
+                        (out, sess.captchas_solved, sess.captcha_spend_dollars(), sess.email_verifications)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    let (out, captchas, spend, emails) = h.join().expect("detail shard panicked");
+                    stats.captchas_solved += captchas;
+                    stats.captcha_spend_dollars += spend;
+                    stats.email_verifications += emails;
+                    out
+                })
+                .collect()
+        })
+        .expect("detail scope");
+        for result in results.into_iter().flatten() {
+            match result {
+                Ok(bot) => {
+                    stats.bots += 1;
+                    bots.push(bot);
+                }
+                Err(()) => stats.failures += 1,
+            }
+        }
+    }
+
+    absorb_session(&mut stats, &session);
     stats.duration = clock.now().duration_since(started);
     (bots, stats)
 }
@@ -309,6 +461,33 @@ mod tests {
         let (bots, _stats) =
             crawl_listing(&net, &CrawlConfig { fetch_policies: false, ..CrawlConfig::default() });
         assert!(bots.iter().all(|b| !b.website_reachable && b.policy.is_none()));
+    }
+
+    #[test]
+    fn sharded_crawl_matches_serial() {
+        let collect = |workers: usize| {
+            let net = build_world(12);
+            let (bots, stats) =
+                crawl_listing(&net, &CrawlConfig { workers, ..CrawlConfig::default() });
+            let shape: Vec<_> = bots
+                .iter()
+                .map(|b| {
+                    (
+                        b.scraped.id,
+                        b.scraped.name.clone(),
+                        b.invite_status.clone(),
+                        b.website_reachable,
+                        b.policy_link_present,
+                        b.policy.clone(),
+                    )
+                })
+                .collect();
+            (shape, stats.pages, stats.bots, stats.failures)
+        };
+        let serial = collect(1);
+        for workers in [2, 4, 7] {
+            assert_eq!(collect(workers), serial, "workers={workers}");
+        }
     }
 
     #[test]

@@ -39,6 +39,15 @@ impl InviteStatus {
     pub fn is_valid(&self) -> bool {
         matches!(self, InviteStatus::Valid { .. })
     }
+
+    /// Canonical names of the permissions requested on the install page;
+    /// empty for every non-valid outcome.
+    pub fn permission_names(&self) -> Vec<&'static str> {
+        match self {
+            InviteStatus::Valid { permissions, .. } => permissions.names(),
+            _ => Vec::new(),
+        }
+    }
 }
 
 /// Validate one scraped invite link.

@@ -35,29 +35,44 @@ pub struct ScrapeSession {
 impl ScrapeSession {
     /// A polite session with the paper's etiquette.
     pub fn new(net: Network, seed: u64) -> ScrapeSession {
-        let http = HttpClient::new(net.clone(), ClientConfig::crawler("measurement-crawler/1.0"));
-        ScrapeSession {
-            solver: CaptchaSolverClient::new(net.clone()),
-            http,
-            net,
-            rng: StdRng::seed_from_u64(seed),
-            think_time_ms: (400, 2500),
-            captchas_solved: 0,
-            email_verifications: 0,
-            pages_fetched: 0,
-        }
+        Self::with_agent(net, seed, "measurement-crawler/1.0".to_string(), (400, 2500), false)
     }
 
     /// An impolite session: no think time, no client rate limiting, single
     /// attempts. The crawler-politeness ablation uses this.
     pub fn impolite(net: Network, seed: u64) -> ScrapeSession {
-        let http = HttpClient::new(net.clone(), ClientConfig::impolite("impolite-crawler/1.0"));
+        Self::with_agent(net, seed, "impolite-crawler/1.0".to_string(), (0, 0), true)
+    }
+
+    /// The session for shard `worker` of a parallel crawl. Worker 0 keeps
+    /// the canonical user-agent; the rest identify themselves as distinct
+    /// crawl machines so server-side per-requester defenses (rate buckets,
+    /// captcha counters, email verification) apply per shard, exactly as
+    /// they would to a distributed crawl fleet.
+    pub fn for_worker(net: Network, seed: u64, worker: usize, polite: bool) -> ScrapeSession {
+        let (base, think) =
+            if polite { ("measurement-crawler/1.0", (400, 2500)) } else { ("impolite-crawler/1.0", (0, 0)) };
+        let agent =
+            if worker == 0 { base.to_string() } else { format!("{base} (shard {worker})") };
+        Self::with_agent(net, seed, agent, think, !polite)
+    }
+
+    fn with_agent(
+        net: Network,
+        seed: u64,
+        agent: String,
+        think_time_ms: (u64, u64),
+        impolite: bool,
+    ) -> ScrapeSession {
+        let config =
+            if impolite { ClientConfig::impolite(&agent) } else { ClientConfig::crawler(&agent) };
+        let http = HttpClient::new(net.clone(), config);
         ScrapeSession {
             solver: CaptchaSolverClient::new(net.clone()),
             http,
             net,
             rng: StdRng::seed_from_u64(seed),
-            think_time_ms: (0, 0),
+            think_time_ms,
             captchas_solved: 0,
             email_verifications: 0,
             pages_fetched: 0,

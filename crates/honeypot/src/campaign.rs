@@ -11,14 +11,17 @@ use crate::persona::PersonaPool;
 use crate::sink::{CanarySink, Trigger, MAIL_HOST, SINK_HOST};
 use crate::token::{CanaryToken, TokenKind, TokenMint};
 use botsdk::{Behavior, Bot, BotRunner};
+use crawler::crawl::resolve_workers;
 use crawler::solver::CaptchaSolverClient;
 use discord_sim::oauth::InviteUrl;
 use discord_sim::{GuildId, GuildVisibility, Platform, PlatformResult, UserId};
 use netsim::clock::SimDuration;
 use netsim::Network;
+use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Campaign parameters (defaults follow §4.2: 5 personas, 25 messages,
 /// 4 tokens per guild).
@@ -36,6 +39,10 @@ pub struct CampaignConfig {
     /// Also plant a webhook-credential canary per guild (extension; see
     /// [`crate::token::TokenKind::WebhookToken`]).
     pub plant_webhook_canaries: bool,
+    /// Guild-population workers: 1 = serial, N = a bounded pool of N
+    /// concurrent campaigns, 0 = one per available core. Detections merge
+    /// in deterministic bot order either way.
+    pub workers: usize,
 }
 
 impl Default for CampaignConfig {
@@ -46,6 +53,7 @@ impl Default for CampaignConfig {
             seed: 1,
             auto_verify_personas: false,
             plant_webhook_canaries: true,
+            workers: 1,
         }
     }
 }
@@ -113,6 +121,24 @@ fn registry_insert_webhook(map: &mut BTreeMap<String, String>, token: &str, toke
     map.insert(token.to_string(), token_id.to_string());
 }
 
+/// One guild through set-up and ready for population.
+struct GuildJob {
+    bot_name: String,
+    guild: GuildId,
+    /// The connected backend; `None` when the gateway connect failed (the
+    /// guild is still populated, matching a real campaign where the
+    /// researcher can't see that a backend is down).
+    bot: Option<Bot>,
+}
+
+/// What one guild's population produced; merged into the report and token
+/// registry in deterministic bot order.
+struct GuildOutcome {
+    registry_entries: Vec<(CanaryToken, String)>,
+    messages_posted: usize,
+    tokens_planted: usize,
+}
+
 /// The orchestrator.
 pub struct Campaign {
     platform: Platform,
@@ -122,7 +148,6 @@ pub struct Campaign {
     mint: TokenMint,
     solver: CaptchaSolverClient,
     researcher: UserId,
-    rng: StdRng,
     /// webhook token string → canary token id (for the network-tap scan).
     webhook_canaries: BTreeMap<String, String>,
 }
@@ -134,7 +159,6 @@ impl Campaign {
         let sink = CanarySink::new();
         sink.mount(&net);
         let researcher = platform.register_user("researcher#0001", "research@lab.example");
-        let rng = StdRng::seed_from_u64(config.seed);
         Campaign {
             platform,
             net: net.clone(),
@@ -143,7 +167,6 @@ impl Campaign {
             mint: TokenMint::new(SINK_HOST, MAIL_HOST),
             solver: CaptchaSolverClient::new(net),
             researcher,
-            rng,
             webhook_canaries: BTreeMap::new(),
         }
     }
@@ -172,11 +195,14 @@ impl Campaign {
             self.config.personas_per_guild,
             self.config.auto_verify_personas,
         );
-        let mut runner = BotRunner::new();
         // token id → (token, bot name)
         let mut registry: BTreeMap<String, (CanaryToken, String)> = BTreeMap::new();
         let mut guild_of_bot: BTreeMap<String, GuildId> = BTreeMap::new();
 
+        // Phase 1 (serial): guilds, persona joins, installs, backend
+        // connects. Platform mutation stays in caller order here so guild
+        // and user IDs don't depend on the worker count.
+        let mut jobs: Vec<GuildJob> = Vec::new();
         for but in bots {
             match self.set_up_guild(&but, &mut pool, &mut registry, &mut report) {
                 Ok(guild) => {
@@ -185,7 +211,7 @@ impl Campaign {
                     // already happened inside set_up_guild — the bot missed
                     // GuildCreate but sees every later message, which is
                     // what matters for the honeypot).
-                    match Bot::connect(
+                    let bot = match Bot::connect(
                         self.platform.clone(),
                         self.net.clone(),
                         but.bot_user,
@@ -193,29 +219,63 @@ impl Campaign {
                         but.behavior,
                     ) {
                         Ok(bot) => {
-                            runner.add(bot);
                             report.bots_tested += 1;
+                            Some(bot)
                         }
-                        Err(_) => report.install_failures += 1,
-                    }
+                        Err(_) => {
+                            report.install_failures += 1;
+                            None
+                        }
+                    };
+                    jobs.push(GuildJob { bot_name: but.name, guild, bot });
                 }
                 Err(_) => report.install_failures += 1,
             }
         }
+        // Per-guild RNG streams index off bot-name order (the order the
+        // serial campaign populated in), not caller order.
+        jobs.sort_by(|a, b| a.bot_name.cmp(&b.bot_name));
 
-        // Populate every guild with feed + tokens, then let backends run.
-        let guilds: Vec<(String, GuildId)> =
-            guild_of_bot.iter().map(|(n, g)| (n.clone(), *g)).collect();
-        for (bot_name, guild) in &guilds {
-            if let Err(e) = self.populate_guild(*guild, bot_name, &pool, &mut registry, &mut report) {
-                // Population failures are campaign bugs, not measurements.
-                panic!("failed to populate {bot_name}: {e}");
+        // Phase 2: populate every guild with feed + tokens and drive its
+        // backend. Each guild owns its RNG stream, token mint, and runner,
+        // so any schedule produces the same per-guild transcript; outcomes
+        // merge in the (sorted) job order.
+        let workers = resolve_workers(self.config.workers);
+        let outcomes: Vec<GuildOutcome> = if workers <= 1 || jobs.len() <= 1 {
+            jobs.into_iter()
+                .enumerate()
+                .map(|(idx, job)| self.run_guild(idx, job, &pool))
+                .collect()
+        } else {
+            let jobs: Vec<Mutex<Option<(usize, GuildJob)>>> =
+                jobs.into_iter().enumerate().map(|j| Mutex::new(Some(j))).collect();
+            let slots: Vec<Mutex<Option<GuildOutcome>>> =
+                (0..jobs.len()).map(|_| Mutex::new(None)).collect();
+            let next = AtomicUsize::new(0);
+            crossbeam::thread::scope(|s| {
+                for _ in 0..workers.min(jobs.len()) {
+                    let (jobs, slots, next, pool) = (&jobs, &slots, &next, &pool);
+                    let this = &*self;
+                    s.spawn(move |_| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= jobs.len() {
+                            break;
+                        }
+                        let (idx, job) = jobs[i].lock().take().expect("guild claimed once");
+                        *slots[i].lock() = Some(this.run_guild(idx, job, pool));
+                    });
+                }
+            })
+            .expect("campaign scope");
+            slots.into_iter().map(|s| s.into_inner().expect("every guild populated")).collect()
+        };
+        for outcome in outcomes {
+            report.messages_posted += outcome.messages_posted;
+            report.tokens_planted += outcome.tokens_planted;
+            for (token, bot_name) in outcome.registry_entries {
+                registry.insert(token.id.clone(), (token, bot_name));
             }
-            // Drive the fleet after each guild so dormant triggers interleave
-            // realistically.
-            runner.run_until_idle();
         }
-        runner.run_until_idle();
 
         report.captchas_solved = self.solver.solves;
         report.captcha_spend_dollars = self.solver.spend_dollars();
@@ -245,6 +305,13 @@ impl Campaign {
             });
             report.triggers.extend(extra);
         }
+        // Trigger arrival order is a scheduling artifact under parallel
+        // population; sort into canonical (token, requester) order so the
+        // report is identical at any worker count. `at` survives for the
+        // follow-up window, which uses the per-guild minimum only.
+        report.triggers.sort_by(|a, b| {
+            (&a.token_id, &a.requester, a.via_mail).cmp(&(&b.token_id, &b.requester, b.via_mail))
+        });
         report.detections = self.attribute_from(&report.triggers, &registry, &guild_of_bot);
         report.backend_bytes_sent = self.net.with_trace(|t| t.bytes_sent_by("bot-backend/"));
         report.duration = clock.now().duration_since(started);
@@ -282,20 +349,42 @@ impl Campaign {
         Ok(guild)
     }
 
+    /// Phase-2 unit of work: populate one guild and drive its backend to
+    /// quiescence. `index` is the guild's position in bot-name order and
+    /// selects its RNG stream.
+    fn run_guild(&self, index: usize, job: GuildJob, pool: &PersonaPool) -> GuildOutcome {
+        let mut rng = StdRng::seed_from_u64(netsim::splitmix(self.config.seed, index as u64));
+        let mut mint = TokenMint::new(SINK_HOST, MAIL_HOST);
+        let mut runner = BotRunner::new();
+        if let Some(bot) = job.bot {
+            runner.add(bot);
+        }
+        let outcome = match self.populate_guild(job.guild, &job.bot_name, pool, &mut rng, &mut mint)
+        {
+            Ok(outcome) => outcome,
+            // Population failures are campaign bugs, not measurements.
+            Err(e) => panic!("failed to populate {}: {e}", job.bot_name),
+        };
+        runner.run_until_idle();
+        outcome
+    }
+
     fn populate_guild(
-        &mut self,
+        &self,
         guild: GuildId,
         bot_name: &str,
         pool: &PersonaPool,
-        registry: &mut BTreeMap<String, (CanaryToken, String)>,
-        report: &mut CampaignReport,
-    ) -> PlatformResult<()> {
+        rng: &mut StdRng,
+        mint: &mut TokenMint,
+    ) -> PlatformResult<GuildOutcome> {
         let tag = Self::guild_tag(bot_name);
         let channel = self.platform.default_channel(guild)?;
         let clock = self.net.clock();
+        let mut outcome =
+            GuildOutcome { registry_entries: Vec::new(), messages_posted: 0, tokens_planted: 0 };
 
-        let tokens = self.mint.mint_guild_set(&tag);
-        let feed = generate_feed(&mut self.rng, pool.len(), self.config.feed_messages);
+        let tokens = mint.mint_guild_set(&tag);
+        let feed = generate_feed(rng, pool.len(), self.config.feed_messages);
 
         // Interleave: tokens dropped at ¼, ½, ¾ and end of the feed.
         let drop_points: Vec<usize> = (1..=tokens.len())
@@ -305,31 +394,31 @@ impl Campaign {
         for (i, line) in feed.iter().enumerate() {
             let author = pool.by_index(line.persona);
             self.platform.send_message(author, channel, &line.text, vec![])?;
-            report.messages_posted += 1;
+            outcome.messages_posted += 1;
             clock.sleep(SimDuration::from_secs(30)); // believable pacing
             if drop_points.contains(&i) {
                 if let Some(token) = token_iter.next() {
-                    self.plant_token(&token, channel, pool, i, registry, bot_name)?;
-                    report.tokens_planted += 1;
+                    self.plant_token(&token, channel, pool, i)?;
+                    outcome.registry_entries.push((token, bot_name.to_string()));
+                    outcome.tokens_planted += 1;
                 }
             }
         }
         // Any tokens not yet dropped (tiny feeds): post them at the end.
         for token in token_iter {
-            self.plant_token(&token, channel, pool, 0, registry, bot_name)?;
-            report.tokens_planted += 1;
+            self.plant_token(&token, channel, pool, 0)?;
+            outcome.registry_entries.push((token, bot_name.to_string()));
+            outcome.tokens_planted += 1;
         }
-        Ok(())
+        Ok(outcome)
     }
 
     fn plant_token(
-        &mut self,
+        &self,
         token: &CanaryToken,
         channel: discord_sim::ChannelId,
         pool: &PersonaPool,
         idx: usize,
-        registry: &mut BTreeMap<String, (CanaryToken, String)>,
-        bot_name: &str,
     ) -> PlatformResult<()> {
         let author = pool.by_index(idx + 1);
         match token.kind {
@@ -354,11 +443,9 @@ impl Campaign {
                 self.platform.send_message(author, channel, "notes from the meeting attached", vec![att])?;
             }
             TokenKind::WebhookToken => {
-                // Planted by [`Campaign::plant_webhook_canary`], not posted
-                // as a message.
+                // Planted during guild set-up, not posted as a message.
             }
         }
-        registry.insert(token.id.clone(), (token.clone(), bot_name.to_string()));
         Ok(())
     }
 
@@ -387,8 +474,9 @@ impl Campaign {
         }
         per_bot
             .into_iter()
-            .map(|(bot_name, (mut kinds, requesters, first_at))| {
+            .map(|(bot_name, (mut kinds, mut requesters, first_at))| {
                 kinds.sort();
+                requesters.sort();
                 let followup_messages = guild_of_bot
                     .get(&bot_name)
                     .and_then(|g| self.platform.default_channel(*g).ok())
@@ -570,6 +658,54 @@ mod tests {
         // No canary webhook exists → nothing to steal → no detection; the
         // paper's four-token design alone misses this behaviour class.
         assert!(report.detections.is_empty());
+    }
+
+    #[test]
+    fn parallel_campaign_matches_serial() {
+        use botsdk::WebhookThiefBehavior;
+        let run = |workers: usize| {
+            let (platform, net, dev) = world();
+            let mut campaign = Campaign::new(
+                platform.clone(),
+                net,
+                CampaignConfig { workers, ..CampaignConfig::default() },
+            );
+            let bots = vec![
+                make_bot(&platform, dev, "CleanBot", full_perms(), Box::new(BenignBehavior::new("fun"))),
+                make_bot(&platform, dev, "Melonian", full_perms(), Box::new(SnooperBehavior::new(10))),
+                make_bot(
+                    &platform,
+                    dev,
+                    "Harvester",
+                    full_perms(),
+                    Box::new(ExfiltratorBehavior::new(None).spamming()),
+                ),
+                make_bot(
+                    &platform,
+                    dev,
+                    "HookSnatcher",
+                    full_perms() | Permissions::MANAGE_WEBHOOKS,
+                    Box::new(WebhookThiefBehavior::new("drop.zone.sim")),
+                ),
+            ];
+            let report = campaign.run(bots);
+            (
+                report.detections.clone(),
+                report
+                    .triggers
+                    .iter()
+                    .map(|t| (t.token_id.clone(), t.requester.clone(), t.via_mail))
+                    .collect::<Vec<_>>(),
+                report.messages_posted,
+                report.tokens_planted,
+                report.bots_tested,
+            )
+        };
+        let serial = run(1);
+        assert_eq!(serial.0.len(), 3, "three of four bots are malicious");
+        for workers in [2, 4] {
+            assert_eq!(run(workers), serial, "workers={workers}");
+        }
     }
 
     #[test]

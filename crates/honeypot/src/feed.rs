@@ -125,7 +125,7 @@ pub fn generate_feed<R: Rng + ?Sized>(rng: &mut R, personas: usize, count: usize
             }
             3 => FOLLOWUPS[rng.gen_range(0..FOLLOWUPS.len())].to_string(),
             4 => {
-                let len = 2 + rng.gen_range(0..8);
+                let len = 2 + rng.gen_range(0usize..8);
                 markov.line(rng, len)
             }
             _ => REPLIES[rng.gen_range(0..REPLIES.len())].to_string(),

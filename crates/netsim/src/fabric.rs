@@ -54,10 +54,13 @@ struct HostEntry {
     faults: FaultPlan,
 }
 
+/// Hosts are individually locked so concurrent requests to *different*
+/// hosts run their handlers in parallel; the global lock is only held for
+/// DNS, per-request seed derivation, and trace recording.
 struct NetworkInner {
     clock: VirtualClock,
     rng: StdRng,
-    hosts: BTreeMap<String, HostEntry>,
+    hosts: BTreeMap<String, Arc<Mutex<HostEntry>>>,
     resolver: Resolver,
     trace: TraceLog,
     dns_latency: SimDuration,
@@ -106,7 +109,7 @@ impl Network {
     ) {
         self.inner.lock().hosts.insert(
             host.to_ascii_lowercase(),
-            HostEntry { service: Box::new(service), latency, faults },
+            Arc::new(Mutex::new(HostEntry { service: Box::new(service), latency, faults })),
         );
     }
 
@@ -137,105 +140,116 @@ impl Network {
     /// This is one network round-trip: DNS resolution, fault roll, latency
     /// sample, service invocation, trace record. Redirects are *not*
     /// followed here — that is client policy (see [`crate::client`]).
+    ///
+    /// Locking: the global lock is taken twice, briefly — once for DNS plus
+    /// per-request seed derivation, once to record the trace entry. The
+    /// service handler itself runs under its host's own lock, so requests
+    /// to different hosts proceed concurrently. The two global sections and
+    /// the host section never nest, which rules out lock-order inversions.
     pub fn dispatch(
         &self,
         requester: &str,
         req: &Request,
         timeout: SimDuration,
     ) -> Result<Response, NetError> {
-        let mut inner = self.inner.lock();
-        let inner = &mut *inner;
-
-        // DNS.
-        let hosts = &inner.hosts;
-        let resolution = inner.resolver.resolve(&req.url.host, |h| hosts.contains_key(h));
-        let canonical = match resolution {
-            Resolution::Canonical(c) => c,
-            Resolution::NxDomain => {
-                inner.clock.advance(inner.dns_latency);
-                inner.trace.record(TraceEntry {
-                    at: inner.clock.now(),
-                    requester: requester.to_string(),
-                    method: req.method,
-                    url: req.url.to_string(),
-                    status: None,
-                    latency: inner.dns_latency,
-                    request_bytes: req.url.to_string().len() + req.body.len(),
-                });
-                return Err(NetError::DnsFailure { host: req.url.host.clone() });
-            }
-        };
-
-        let entry = inner.hosts.get_mut(&canonical).expect("resolved host is mounted");
-
-        // Fault roll decides whether the real handler ever runs.
-        let outcome =
-            if entry.faults.is_none() { FaultOutcome::Deliver } else { entry.faults.roll(&mut inner.rng) };
-
         let request_bytes = req.url.to_string().len() + req.body.len();
-        let record = |clock: &VirtualClock,
-                          trace: &mut TraceLog,
-                          status: Option<Status>,
-                          latency: SimDuration| {
-            trace.record(TraceEntry {
-                at: clock.now(),
-                requester: requester.to_string(),
-                method: req.method,
-                url: req.url.to_string(),
-                status,
-                latency,
-                request_bytes,
-            });
+
+        // Phase 1 (global lock): DNS + one RNG draw that seeds this
+        // request's private stream. Exactly one draw per dispatch keeps the
+        // global stream a function of dispatch count alone.
+        let (entry, clock, canonical, mut rng) = {
+            let mut inner = self.inner.lock();
+            let inner = &mut *inner;
+            let hosts = &inner.hosts;
+            let resolution = inner.resolver.resolve(&req.url.host, |h| hosts.contains_key(h));
+            let canonical = match resolution {
+                Resolution::Canonical(c) => c,
+                Resolution::NxDomain => {
+                    inner.clock.advance(inner.dns_latency);
+                    inner.trace.record(TraceEntry {
+                        at: inner.clock.now(),
+                        requester: requester.to_string(),
+                        method: req.method,
+                        url: req.url.to_string(),
+                        status: None,
+                        latency: inner.dns_latency,
+                        request_bytes,
+                    });
+                    return Err(NetError::DnsFailure { host: req.url.host.clone() });
+                }
+            };
+            let entry = Arc::clone(inner.hosts.get(&canonical).expect("resolved host is mounted"));
+            let seed = inner.rng.next_u64();
+            (entry, inner.clock.clone(), canonical, StdRng::seed_from_u64(seed))
         };
 
-        match outcome {
-            FaultOutcome::Refuse => {
-                let lat = SimDuration::from_millis(5);
-                inner.clock.advance(lat);
-                record(&inner.clock, &mut inner.trace, None, lat);
-                Err(NetError::ConnectionRefused { host: canonical })
-            }
-            FaultOutcome::BlackHole => {
-                inner.clock.advance(timeout);
-                record(&inner.clock, &mut inner.trace, None, timeout);
-                Err(NetError::Timeout { waited: timeout })
-            }
-            FaultOutcome::NotFound | FaultOutcome::ServerError | FaultOutcome::ExtraRedirect => {
-                let latency = entry.latency.sample(&mut inner.rng);
-                if latency > timeout {
-                    inner.clock.advance(timeout);
-                    record(&inner.clock, &mut inner.trace, None, timeout);
-                    return Err(NetError::Timeout { waited: timeout });
+        // Phase 2 (host lock): fault roll, latency, service invocation.
+        let (result, status, latency) = {
+            let mut entry = entry.lock();
+
+            // Fault roll decides whether the real handler ever runs.
+            let outcome =
+                if entry.faults.is_none() { FaultOutcome::Deliver } else { entry.faults.roll(&mut rng) };
+
+            match outcome {
+                FaultOutcome::Refuse => {
+                    let lat = SimDuration::from_millis(5);
+                    clock.advance(lat);
+                    (Err(NetError::ConnectionRefused { host: canonical }), None, lat)
                 }
-                inner.clock.advance(latency);
-                let resp = match outcome {
-                    FaultOutcome::NotFound => Response::status(Status::NotFound),
-                    FaultOutcome::ServerError => Response::status(Status::InternalError),
-                    _ => {
-                        // Bounce the client through the same URL once more;
-                        // combined with heavy-tail latency this reproduces
-                        // the paper's "slow redirect links".
-                        Response::redirect(&req.url.to_string())
+                FaultOutcome::BlackHole => {
+                    clock.advance(timeout);
+                    (Err(NetError::Timeout { waited: timeout }), None, timeout)
+                }
+                FaultOutcome::NotFound | FaultOutcome::ServerError | FaultOutcome::ExtraRedirect => {
+                    let latency = entry.latency.sample(&mut rng);
+                    if latency > timeout {
+                        clock.advance(timeout);
+                        (Err(NetError::Timeout { waited: timeout }), None, timeout)
+                    } else {
+                        clock.advance(latency);
+                        let resp = match outcome {
+                            FaultOutcome::NotFound => Response::status(Status::NotFound),
+                            FaultOutcome::ServerError => Response::status(Status::InternalError),
+                            _ => {
+                                // Bounce the client through the same URL once
+                                // more; combined with heavy-tail latency this
+                                // reproduces the paper's "slow redirect links".
+                                Response::redirect(&req.url.to_string())
+                            }
+                        };
+                        let status = resp.status;
+                        (Ok(resp), Some(status), latency)
                     }
-                };
-                record(&inner.clock, &mut inner.trace, Some(resp.status), latency);
-                Ok(resp)
-            }
-            FaultOutcome::Deliver => {
-                let latency = entry.latency.sample(&mut inner.rng);
-                if latency > timeout {
-                    inner.clock.advance(timeout);
-                    record(&inner.clock, &mut inner.trace, None, timeout);
-                    return Err(NetError::Timeout { waited: timeout });
                 }
-                inner.clock.advance(latency);
-                let now = inner.clock.now();
-                let mut ctx = ServiceCtx { now, rng: &mut inner.rng, requester };
-                let resp = entry.service.handle(req, &mut ctx);
-                record(&inner.clock, &mut inner.trace, Some(resp.status), latency);
-                Ok(resp)
+                FaultOutcome::Deliver => {
+                    let latency = entry.latency.sample(&mut rng);
+                    if latency > timeout {
+                        clock.advance(timeout);
+                        (Err(NetError::Timeout { waited: timeout }), None, timeout)
+                    } else {
+                        clock.advance(latency);
+                        let now = clock.now();
+                        let mut ctx = ServiceCtx { now, rng: &mut rng, requester };
+                        let resp = entry.service.handle(req, &mut ctx);
+                        let status = resp.status;
+                        (Ok(resp), Some(status), latency)
+                    }
+                }
             }
-        }
+        };
+
+        // Phase 3 (global lock): record the round-trip.
+        self.inner.lock().trace.record(TraceEntry {
+            at: clock.now(),
+            requester: requester.to_string(),
+            method: req.method,
+            url: req.url.to_string(),
+            status,
+            latency,
+            request_bytes,
+        });
+        result
     }
 
     /// Run `f` over the trace log (read-only access without cloning).

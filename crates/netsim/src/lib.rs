@@ -35,6 +35,7 @@ pub mod fault;
 pub mod http;
 pub mod latency;
 pub mod ratelimit;
+pub mod seed;
 pub mod trace;
 
 pub use clock::{SimDuration, SimInstant, VirtualClock};
@@ -42,6 +43,7 @@ pub use client::{ClientConfig, HttpClient};
 pub use error::NetError;
 pub use fabric::{Network, Service, ServiceCtx};
 pub use http::{Method, Request, Response, Status, Url};
+pub use seed::{splitmix, splitmix64};
 
 /// Convenience result alias used throughout the fabric.
 pub type NetResult<T> = Result<T, NetError>;

@@ -1,0 +1,51 @@
+//! Seed derivation for parallel workers.
+//!
+//! Sharded components (crawl workers, honeypot guild runners, per-request
+//! service RNGs) each need their own deterministic RNG stream derived from
+//! one configured seed. SplitMix64 is the standard finalizer for that: it
+//! is a bijection on `u64` with full avalanche, so distinct stream ids map
+//! to uncorrelated seeds and no two streams collide.
+
+/// One SplitMix64 scramble step (a bijective finalizer on `u64`).
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Derive the seed for stream `stream` of a generator seeded with `seed`.
+///
+/// `splitmix(seed, 0)`, `splitmix(seed, 1)`, … are independent,
+/// deterministic sub-seeds; worker `i` of a sharded stage seeds its private
+/// RNG with `splitmix(config.seed, i)`.
+pub fn splitmix(seed: u64, stream: u64) -> u64 {
+    splitmix64(seed ^ splitmix64(stream))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(splitmix(7, 3), splitmix(7, 3));
+        assert_eq!(splitmix64(42), splitmix64(42));
+    }
+
+    #[test]
+    fn streams_do_not_collide() {
+        let mut seen = std::collections::BTreeSet::new();
+        for seed in [0u64, 1, 7, 2022, u64::MAX] {
+            for stream in 0..64u64 {
+                assert!(seen.insert(splitmix(seed, stream)), "collision at {seed}/{stream}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_is_scrambled() {
+        assert_ne!(splitmix(0, 0), 0);
+        assert_ne!(splitmix(0, 0), splitmix(0, 1));
+    }
+}

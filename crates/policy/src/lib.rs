@@ -16,18 +16,22 @@
 //! * [`traceability`] — the analyzer and its classification output,
 //!   including the per-permission disclosure comparison;
 //! * [`ml`] — the paper's future-work ML classifier (naive Bayes over
-//!   bag-of-words), trainable because the synthetic corpus is annotated.
+//!   bag-of-words), trainable because the synthetic corpus is annotated;
+//! * [`memo`] — the content-hash memo table that lets parallel analysis
+//!   workers scan each distinct policy text exactly once.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod corpus;
+pub mod memo;
 pub mod ml;
 pub mod document;
 pub mod ontology;
 pub mod traceability;
 
 pub use document::PrivacyPolicy;
+pub use memo::AnalysisMemo;
 pub use ml::{train_and_score, NaiveBayesTraceability};
 pub use ontology::{DataPractice, KeywordOntology};
 pub use traceability::{analyze, PermissionDisclosure, Traceability, TraceabilityReport};

@@ -1,0 +1,135 @@
+//! Content-hash memoization for traceability analysis.
+//!
+//! Template bots reuse boilerplate policies verbatim, so the parallel audit
+//! engine's analysis workers share one [`AnalysisMemo`]: each distinct
+//! (policy text, requested permissions) pair is scanned against the keyword
+//! ontology exactly once, and every later bot with the same pair gets the
+//! stored [`TraceabilityReport`].
+
+use crate::document::PrivacyPolicy;
+use crate::ontology::KeywordOntology;
+use crate::traceability::{analyze, TraceabilityReport};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// FNV-1a over a byte stream: cheap, deterministic, stable across runs.
+fn fnv1a(parts: impl IntoIterator<Item = u8>) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in parts {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// A thread-safe memo table from content hash to analyzer output. Shared
+/// (`&AnalysisMemo`) between analysis workers.
+#[derive(Default)]
+pub struct AnalysisMemo {
+    map: Mutex<BTreeMap<u64, TraceabilityReport>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl AnalysisMemo {
+    /// An empty memo.
+    pub fn new() -> AnalysisMemo {
+        AnalysisMemo::default()
+    }
+
+    /// Hash the analyzer's full input: policy text (including the
+    /// substance-check word count via the text itself) and the requested
+    /// permission names, with `0xff` separators no permission name or
+    /// section text contains.
+    fn key(policy: &PrivacyPolicy, requested_permissions: &[&str]) -> u64 {
+        let bytes = policy
+            .full_text()
+            .into_bytes()
+            .into_iter()
+            .chain(requested_permissions.iter().flat_map(|p| {
+                std::iter::once(0xffu8).chain(p.bytes())
+            }));
+        fnv1a(bytes)
+    }
+
+    /// Memoized [`analyze`]. Bots without a policy skip the table — the
+    /// no-policy report is constant and cheaper than a lookup.
+    pub fn analyze(
+        &self,
+        policy: Option<&PrivacyPolicy>,
+        requested_permissions: &[&str],
+        ontology: &KeywordOntology,
+    ) -> TraceabilityReport {
+        let Some(policy) = policy else {
+            return analyze(None, requested_permissions, ontology);
+        };
+        let key = Self::key(policy, requested_permissions);
+        if let Some(cached) = self.map.lock().get(&key).cloned() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return cached;
+        }
+        // Scan outside the lock; racing workers on the same cold key both
+        // compute the same report and the second insert is a no-op.
+        let report = analyze(Some(policy), requested_permissions, ontology);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.map.lock().insert(key, report.clone());
+        report
+    }
+
+    /// Analyses served from the memo table.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Analyses that ran the real keyword scan.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn memo_matches_direct_analysis() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = corpus::complete_policy(&mut rng, "B", true);
+        let ontology = KeywordOntology::standard();
+        let perms = ["read message history", "administrator"];
+
+        let memo = AnalysisMemo::new();
+        let cold = memo.analyze(Some(&p), &perms, &ontology);
+        let hit = memo.analyze(Some(&p), &perms, &ontology);
+        let direct = analyze(Some(&p), &perms, &ontology);
+        assert_eq!(cold, direct);
+        assert_eq!(hit, direct);
+        assert_eq!((memo.hits(), memo.misses()), (1, 1));
+    }
+
+    #[test]
+    fn distinct_permissions_do_not_share_entries() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let p = corpus::complete_policy(&mut rng, "B", true);
+        let ontology = KeywordOntology::standard();
+
+        let memo = AnalysisMemo::new();
+        let a = memo.analyze(Some(&p), &["kick members"], &ontology);
+        let b = memo.analyze(Some(&p), &["manage roles"], &ontology);
+        assert_eq!(memo.misses(), 2, "different inputs, different entries");
+        assert_ne!(a.permission_disclosures, b.permission_disclosures);
+    }
+
+    #[test]
+    fn no_policy_bypasses_the_table() {
+        let memo = AnalysisMemo::new();
+        let ontology = KeywordOntology::standard();
+        let r = memo.analyze(None, &["send messages"], &ontology);
+        assert_eq!(r, analyze(None, &["send messages"], &ontology));
+        assert_eq!((memo.hits(), memo.misses()), (0, 0));
+    }
+}

@@ -29,6 +29,12 @@ impl DataPractice {
         [DataPractice::Collect, DataPractice::Use, DataPractice::Retain, DataPractice::Disclose];
 }
 
+impl serde::SerializeMapKey for DataPractice {
+    fn as_key(&self) -> String {
+        self.to_string()
+    }
+}
+
 impl fmt::Display for DataPractice {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(match self {

@@ -108,7 +108,7 @@ pub fn permission_data_noun(permission: &str) -> &'static str {
 /// permission names from the install page.
 pub fn analyze(
     policy: Option<&PrivacyPolicy>,
-    requested_permissions: &[String],
+    requested_permissions: &[&str],
     ontology: &KeywordOntology,
 ) -> TraceabilityReport {
     let Some(policy) = policy else {
@@ -140,7 +140,7 @@ pub fn analyze(
         .map(|perm| {
             let noun = permission_data_noun(perm);
             PermissionDisclosure {
-                permission: perm.clone(),
+                permission: perm.to_string(),
                 matched_noun: noun.to_string(),
                 disclosed: haystack.contains(noun),
             }
@@ -162,7 +162,7 @@ mod tests {
 
     #[test]
     fn missing_policy_is_broken() {
-        let r = analyze(None, &["send messages".into()], &ontology());
+        let r = analyze(None, &["send messages"], &ontology());
         assert_eq!(r.classification, Traceability::Broken);
         assert!(!r.junk_policy);
         assert_eq!(r.disclosure_ratio(), 0.0);
@@ -208,8 +208,7 @@ mod tests {
             vec!["We collect and store the message content you post to provide moderation.".into()],
             true,
         );
-        let perms = vec!["read message history".to_string(), "kick members".to_string()];
-        let r = analyze(Some(&p), &perms, &ontology());
+        let r = analyze(Some(&p), &["read message history", "kick members"], &ontology());
         let msg = r.permission_disclosures.iter().find(|d| d.permission.contains("message")).unwrap();
         assert!(msg.disclosed);
         let kick = r.permission_disclosures.iter().find(|d| d.permission.contains("kick")).unwrap();

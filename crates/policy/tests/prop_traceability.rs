@@ -10,7 +10,7 @@ proptest! {
     #[test]
     fn analyzer_is_total(text in "\\PC{0,400}", perm in "[a-z @]{0,30}") {
         let p = PrivacyPolicy::new("P", vec![text], false);
-        let report = analyze(Some(&p), &[perm], &KeywordOntology::standard());
+        let report = analyze(Some(&p), &[perm.as_str()], &KeywordOntology::standard());
         // Classification is always one of the three, and disclosures cover
         // exactly the requested permissions (when the page is substantive).
         if p.is_substantive() {

@@ -92,6 +92,9 @@ pub fn build_ecosystem(config: &EcosystemConfig) -> Ecosystem {
 
     let mut rng = StdRng::seed_from_u64(config.seed);
     let developers = assign_developers(&mut rng, config.num_bots);
+    // (primary developer, github class) → the link their first bot of that
+    // class published; later bots of the same developer reuse it.
+    let mut shared_links: std::collections::BTreeMap<String, String> = std::collections::BTreeMap::new();
 
     // Decide which listing indices carry planted malicious backends: the
     // snoopers/exfiltrators hide among the most-voted (= lowest indices),
@@ -221,7 +224,7 @@ pub fn build_ecosystem(config: &EcosystemConfig) -> Ecosystem {
                             policy::DataPractice::Use,
                             policy::DataPractice::Retain,
                         ];
-                        let n = rng.gen_range(1..=3);
+                        let n = rng.gen_range(1usize..=3);
                         PolicyHosting::Linked(policy::corpus::partial_policy(
                             &mut rng,
                             &name,
@@ -254,43 +257,56 @@ pub fn build_ecosystem(config: &EcosystemConfig) -> Ecosystem {
                 _ => GithubClass::DeadLink,
             }
         };
+        // A developer who already published a repo/profile of this exact
+        // class links the same URL from all their bots (template bots
+        // republished under several listings — the paper's boilerplate-reuse
+        // observation, and what makes cross-bot link memoization pay off).
+        let share_key = format!("{}|{github_class:?}", developers[idx].first().map(String::as_str).unwrap_or(""));
         let github_link = match github_class {
             GithubClass::None => None,
             GithubClass::DeadLink => Some(format!("https://{GITHUB_HOST}/ghost-{idx}/missing")),
-            GithubClass::Profile => {
-                let owner = format!("prof-{idx}");
-                github.publish(genrepo::readme_only_repo(&format!("{owner}/misc")));
-                Some(format!("https://{GITHUB_HOST}/{owner}"))
-            }
-            GithubClass::EmptyProfile => {
-                let owner = format!("empty-{idx}");
-                github.publish_empty_profile(&owner);
-                Some(format!("https://{GITHUB_HOST}/{owner}"))
-            }
-            GithubClass::JsRepo { checks } => {
-                let slug = format!("dev{idx}/{}", name.to_lowercase());
-                github.publish(genrepo::js_bot_repo(&mut rng, &slug, checks));
-                Some(format!("https://{GITHUB_HOST}/{slug}"))
-            }
-            GithubClass::PyRepo { checks } => {
-                let slug = format!("dev{idx}/{}", name.to_lowercase());
-                github.publish(genrepo::py_bot_repo(&mut rng, &slug, checks));
-                Some(format!("https://{GITHUB_HOST}/{slug}"))
-            }
-            GithubClass::OtherLanguageRepo => {
-                let slug = format!("dev{idx}/{}", name.to_lowercase());
-                github.publish(genrepo::other_language_repo(&mut rng, &slug));
-                Some(format!("https://{GITHUB_HOST}/{slug}"))
-            }
-            GithubClass::ReadmeOnly => {
-                let slug = format!("dev{idx}/{}-docs", name.to_lowercase());
-                github.publish(genrepo::readme_only_repo(&slug));
-                Some(format!("https://{GITHUB_HOST}/{slug}"))
-            }
-            GithubClass::LicenseOnly => {
-                let slug = format!("dev{idx}/{}-meta", name.to_lowercase());
-                github.publish(genrepo::license_only_repo(&slug));
-                Some(format!("https://{GITHUB_HOST}/{slug}"))
+            _ if shared_links.contains_key(&share_key) => shared_links.get(&share_key).cloned(),
+            _ => {
+                let link = match github_class {
+                    GithubClass::Profile => {
+                        let owner = format!("prof-{idx}");
+                        github.publish(genrepo::readme_only_repo(&format!("{owner}/misc")));
+                        format!("https://{GITHUB_HOST}/{owner}")
+                    }
+                    GithubClass::EmptyProfile => {
+                        let owner = format!("empty-{idx}");
+                        github.publish_empty_profile(&owner);
+                        format!("https://{GITHUB_HOST}/{owner}")
+                    }
+                    GithubClass::JsRepo { checks } => {
+                        let slug = format!("dev{idx}/{}", name.to_lowercase());
+                        github.publish(genrepo::js_bot_repo(&mut rng, &slug, checks));
+                        format!("https://{GITHUB_HOST}/{slug}")
+                    }
+                    GithubClass::PyRepo { checks } => {
+                        let slug = format!("dev{idx}/{}", name.to_lowercase());
+                        github.publish(genrepo::py_bot_repo(&mut rng, &slug, checks));
+                        format!("https://{GITHUB_HOST}/{slug}")
+                    }
+                    GithubClass::OtherLanguageRepo => {
+                        let slug = format!("dev{idx}/{}", name.to_lowercase());
+                        github.publish(genrepo::other_language_repo(&mut rng, &slug));
+                        format!("https://{GITHUB_HOST}/{slug}")
+                    }
+                    GithubClass::ReadmeOnly => {
+                        let slug = format!("dev{idx}/{}-docs", name.to_lowercase());
+                        github.publish(genrepo::readme_only_repo(&slug));
+                        format!("https://{GITHUB_HOST}/{slug}")
+                    }
+                    GithubClass::LicenseOnly => {
+                        let slug = format!("dev{idx}/{}-meta", name.to_lowercase());
+                        github.publish(genrepo::license_only_repo(&slug));
+                        format!("https://{GITHUB_HOST}/{slug}")
+                    }
+                    GithubClass::None | GithubClass::DeadLink => unreachable!(),
+                };
+                shared_links.insert(share_key, link.clone());
+                Some(link)
             }
         };
 
@@ -300,7 +316,7 @@ pub fn build_ecosystem(config: &EcosystemConfig) -> Ecosystem {
 
         // Sample commands advertised on the listing: prefix + a few verbs
         // matching the bot's tags.
-        let prefix = ["!", "?", "$"][rng.gen_range(0..3)];
+        let prefix = ["!", "?", "$"][rng.gen_range(0usize..3)];
         let verbs = ["help", "info", "play", "skip", "kick", "ban", "rank", "meme", "poll", "daily"];
         let n_cmds = rng.gen_range(2..=5);
         let mut commands: Vec<String> =

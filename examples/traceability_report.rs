@@ -10,7 +10,7 @@ use policy::{analyze, corpus, DataPractice, KeywordOntology, PrivacyPolicy};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn show(name: &str, policy: Option<&PrivacyPolicy>, permissions: &[String], ontology: &KeywordOntology) {
+fn show(name: &str, policy: Option<&PrivacyPolicy>, permissions: &[&str], ontology: &KeywordOntology) {
     let report = analyze(policy, permissions, ontology);
     println!("--- {name} ---");
     if let Some(p) = policy {
@@ -38,10 +38,7 @@ fn show(name: &str, policy: Option<&PrivacyPolicy>, permissions: &[String], onto
 fn main() {
     let ontology = KeywordOntology::standard();
     let mut rng = StdRng::seed_from_u64(2022);
-    let perms: Vec<String> = ["read message history", "kick members", "administrator"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+    let perms = ["read message history", "kick members", "administrator"];
 
     println!("=== Keyword-based traceability analysis (§3) ===\n");
     println!(

@@ -6,6 +6,19 @@ use chatbot_audit::{
 };
 use synth::{build_ecosystem, EcosystemConfig};
 
+/// Run the whole pipeline (crawl + static stages + honeypot) with every
+/// `workers` knob set to `workers`, against a fresh world, and return the
+/// canonical JSON report.
+fn canonical_run(seed: u64, workers: usize) -> String {
+    let eco = build_ecosystem(&EcosystemConfig::test_scale(300, seed));
+    let mut config = AuditConfig { honeypot_sample: 15, ..AuditConfig::default() };
+    config.workers = workers;
+    config.crawl.workers = workers;
+    config.honeypot.workers = workers;
+    let pipeline = AuditPipeline::new(config);
+    pipeline.run_full(&eco).canonical_json()
+}
+
 fn full_run(seed: u64) -> (String, usize, usize) {
     let eco = build_ecosystem(&EcosystemConfig::test_scale(300, seed));
     let pipeline = AuditPipeline::new(AuditConfig { honeypot_sample: 15, ..AuditConfig::default() });
@@ -38,6 +51,18 @@ fn different_seeds_differ() {
     let (a, _, _) = full_run(1);
     let (b, _, _) = full_run(2);
     assert_ne!(a, b, "different seeds produce different worlds");
+}
+
+#[test]
+fn parallel_workers_match_serial_byte_for_byte() {
+    // The parallel engine's contract: sharded crawl, the work-stealing
+    // analysis pool, and concurrent honeypot campaigns must all produce
+    // the same canonical JSON report as the serial pipeline.
+    for seed in [2022u64, 424242] {
+        let serial = canonical_run(seed, 1);
+        let parallel = canonical_run(seed, 4);
+        assert_eq!(serial, parallel, "seed {seed}: workers=4 diverged from workers=1");
+    }
 }
 
 #[test]

@@ -113,8 +113,12 @@ fn scaling_preserves_shape() {
         let (_eco, bots) = world(n, seed);
         let t2 = table2_traceability(&bots);
         assert_eq!(t2.complete, 0, "n={n}");
+        // The two paper-dominant permissions lead the distribution; their
+        // relative order is sampling noise (59.18% vs 54.86% planted rates),
+        // so assert the top-2 set rather than the exact ranking.
         let rows = figure3_distribution(&bots, 5);
-        assert_eq!(rows[0].permission, "send messages", "n={n}");
-        assert!(rows.iter().any(|r| r.permission == "administrator"), "n={n}");
+        let top2: Vec<&str> = rows.iter().take(2).map(|r| r.permission.as_str()).collect();
+        assert!(top2.contains(&"send messages"), "n={n}: top2 = {top2:?}");
+        assert!(top2.contains(&"administrator"), "n={n}: top2 = {top2:?}");
     }
 }

@@ -1,0 +1,257 @@
+//! Offline-compatible subset of the `criterion` API.
+//!
+//! Benchmarks run as plain wall-clock sampling: each benchmark executes
+//! `sample_size` timed iterations (after one warm-up) and prints the mean,
+//! min and max per-iteration time. Under `cargo test` (no `--bench` in
+//! argv) every benchmark runs a single iteration so bench targets stay
+//! cheap smoke tests; `cargo bench` triggers full sampling.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A benchmark identifier (criterion renders these as `group/param`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iterations: usize,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up round, untimed.
+        black_box(routine());
+        for _ in 0..self.iterations {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    pub fn iter_batched<S, O, Setup, Routine>(
+        &mut self,
+        mut setup: Setup,
+        mut routine: Routine,
+        _size: BatchSize,
+    ) where
+        Setup: FnMut() -> S,
+        Routine: FnMut(S) -> O,
+    {
+        black_box(routine(setup()));
+        for _ in 0..self.iterations {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+fn run_one(id: &str, iterations: usize, throughput: Option<Throughput>, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher { samples: Vec::new(), iterations };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{id:<50} (no samples)");
+        return;
+    }
+    let total: Duration = bencher.samples.iter().sum();
+    let mean = total / bencher.samples.len() as u32;
+    let min = bencher.samples.iter().min().copied().unwrap_or_default();
+    let max = bencher.samples.iter().max().copied().unwrap_or_default();
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if mean.as_nanos() > 0 => {
+            format!("  {:.0} elem/s", n as f64 / mean.as_secs_f64())
+        }
+        Some(Throughput::Bytes(n)) if mean.as_nanos() > 0 => {
+            format!("  {:.0} B/s", n as f64 / mean.as_secs_f64())
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{id:<50} mean {} (min {}, max {}, n={}){rate}",
+        format_duration(mean),
+        format_duration(min),
+        format_duration(max),
+        bencher.samples.len(),
+    );
+}
+
+pub struct Criterion {
+    sample_size: usize,
+    full_run: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` invokes bench binaries with `--bench`; anything
+        // else (notably `cargo test`) gets single-iteration smoke runs.
+        let full_run = std::env::args().any(|a| a == "--bench");
+        Criterion { sample_size: 20, full_run }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    fn iterations(&self) -> usize {
+        if self.full_run {
+            self.sample_size
+        } else {
+            1
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, self.iterations(), None, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = Some(n);
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    fn iterations(&self) -> usize {
+        if self.parent.full_run {
+            self.sample_size.unwrap_or(self.parent.sample_size)
+        } else {
+            1
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self {
+        let full_id = format!("{}/{}", self.name, id.id);
+        run_one(&full_id, self.iterations(), self.throughput, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full_id = format!("{}/{}", self.name, id.id);
+        run_one(&full_id, self.iterations(), self.throughput, &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs() {
+        let mut c = Criterion { sample_size: 3, full_run: true };
+        let mut count = 0;
+        c.bench_function("t", |b| b.iter(|| count += 1));
+        // warm-up + 3 samples
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn group_runs_with_input() {
+        let mut c = Criterion { sample_size: 2, full_run: true };
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(10));
+        group.bench_with_input(BenchmarkId::from_parameter(5), &5, |b, &n| {
+            b.iter(|| n * 2);
+        });
+        group.finish();
+    }
+}

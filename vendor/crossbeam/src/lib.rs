@@ -1,0 +1,137 @@
+//! Offline-compatible subset of the `crossbeam` API.
+//!
+//! - `crossbeam::channel`: unbounded MPSC channel over `std::sync::mpsc`.
+//! - `crossbeam::thread::scope`: scoped threads over `std::thread::scope`,
+//!   with crossbeam's `Result`-returning signature and the `&Scope`
+//!   argument passed to spawned closures.
+
+#![forbid(unsafe_code)]
+
+pub mod channel {
+    use std::sync::mpsc;
+
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    pub struct Sender<T> {
+        inner: mpsc::Sender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender { inner: self.inner.clone() }
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value)
+        }
+    }
+
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner.try_recv()
+        }
+
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv()
+        }
+
+        pub fn try_iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.inner.try_iter()
+        }
+    }
+
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_and_drain() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            tx.clone().send(2).unwrap();
+            assert_eq!(rx.try_recv().unwrap(), 1);
+            assert_eq!(rx.try_recv().unwrap(), 2);
+            assert!(rx.try_recv().is_err());
+        }
+    }
+}
+
+pub mod thread {
+    use std::any::Any;
+
+    /// Scope handle passed to `scope` closures and to spawned closures.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || {
+                    let scope = Scope { inner };
+                    f(&scope)
+                }),
+            }
+        }
+    }
+
+    /// Run `f` with a scope in which spawned threads may borrow from the
+    /// environment; all threads are joined before this returns. Panics in
+    /// spawned threads that were joined are surfaced by `join()`;
+    /// unjoined-thread panics propagate, so this never returns `Err` —
+    /// the `Result` exists for crossbeam signature compatibility.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| {
+            let scope = Scope { inner: s };
+            f(&scope)
+        }))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn scoped_threads_borrow_and_join() {
+            let data = vec![1, 2, 3];
+            let total = scope(|s| {
+                let mut handles = Vec::new();
+                for chunk in data.chunks(1) {
+                    handles.push(s.spawn(move |_| chunk.iter().sum::<i32>()));
+                }
+                handles.into_iter().map(|h| h.join().unwrap()).sum::<i32>()
+            })
+            .unwrap();
+            assert_eq!(total, 6);
+        }
+    }
+}

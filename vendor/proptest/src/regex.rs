@@ -1,0 +1,391 @@
+//! Generation of strings matching a regex pattern — the subset of regex
+//! syntax used by this workspace's string strategies: literals, `\`
+//! escapes, `\PC` (any non-control char), character classes with ranges,
+//! leading `^` negation and `&&` intersection (including a nested
+//! `[^...]` class), groups, `|` alternation, and `{m}` / `{m,n}` / `?` /
+//! `*` / `+` repetition.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+#[derive(Debug, Clone)]
+struct ClassSegment {
+    negated: bool,
+    ranges: Vec<(char, char)>,
+}
+
+impl ClassSegment {
+    fn contains(&self, c: char) -> bool {
+        let inside = self.ranges.iter().any(|&(lo, hi)| (lo..=hi).contains(&c));
+        inside != self.negated
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Literal(char),
+    /// `\PC`: any char that is not a control character.
+    AnyNonControl,
+    Class(Vec<ClassSegment>),
+    Group(Vec<Vec<Piece>>),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: u32,
+    max: u32,
+}
+
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    pattern: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn new(pattern: &'a str) -> Self {
+        Parser { chars: pattern.chars().peekable(), pattern }
+    }
+
+    fn fail(&self, what: &str) -> ! {
+        panic!("proptest regex stub: {what} in pattern {:?}", self.pattern)
+    }
+
+    fn next_or(&mut self, what: &str) -> char {
+        match self.chars.next() {
+            Some(c) => c,
+            None => self.fail(what),
+        }
+    }
+
+    /// Parse alternation until `end` (None = end of input).
+    fn parse_alternation(&mut self, end: Option<char>) -> Vec<Vec<Piece>> {
+        let mut branches = Vec::new();
+        let mut current = Vec::new();
+        loop {
+            match self.chars.peek().copied() {
+                None => {
+                    if end.is_some() {
+                        self.fail("unterminated group");
+                    }
+                    branches.push(current);
+                    return branches;
+                }
+                Some(c) if Some(c) == end => {
+                    self.chars.next();
+                    branches.push(current);
+                    return branches;
+                }
+                Some('|') => {
+                    self.chars.next();
+                    branches.push(std::mem::take(&mut current));
+                }
+                Some(_) => {
+                    let atom = self.parse_atom();
+                    let (min, max) = self.parse_quantifier();
+                    current.push(Piece { atom, min, max });
+                }
+            }
+        }
+    }
+
+    fn parse_atom(&mut self) -> Atom {
+        match self.next_or("expected atom") {
+            '\\' => match self.next_or("dangling escape") {
+                'P' => {
+                    // Only the `\PC` (non-control) category is supported.
+                    match self.next_or("dangling \\P") {
+                        'C' => Atom::AnyNonControl,
+                        other => self.fail(&format!("unsupported category \\P{other}")),
+                    }
+                }
+                c => Atom::Literal(c),
+            },
+            '(' => Atom::Group(self.parse_alternation(Some(')'))),
+            '[' => Atom::Class(self.parse_class()),
+            '.' => Atom::AnyNonControl,
+            c => Atom::Literal(c),
+        }
+    }
+
+    /// Parse the inside of `[...]` (the `[` is already consumed).
+    fn parse_class(&mut self) -> Vec<ClassSegment> {
+        let mut segments = vec![self.parse_class_segment(false)];
+        loop {
+            match self.chars.peek().copied() {
+                Some(']') => {
+                    self.chars.next();
+                    return segments;
+                }
+                Some('&') => {
+                    self.chars.next();
+                    match self.chars.next() {
+                        Some('&') => {}
+                        _ => self.fail("single & in class"),
+                    }
+                    if self.chars.peek() == Some(&'[') {
+                        self.chars.next();
+                        let nested = self.parse_class();
+                        if nested.len() != 1 {
+                            self.fail("nested intersection too deep");
+                        }
+                        segments.extend(nested);
+                    } else {
+                        segments.push(self.parse_class_segment(true));
+                    }
+                }
+                _ => self.fail("unterminated class"),
+            }
+        }
+    }
+
+    /// Parse one class segment: ranges and literals until `]` or `&&`.
+    /// When `stop_before_bracket` the terminating `]`/`&&` is left for the
+    /// caller; otherwise the same.
+    fn parse_class_segment(&mut self, _inner: bool) -> ClassSegment {
+        let negated = if self.chars.peek() == Some(&'^') {
+            self.chars.next();
+            true
+        } else {
+            false
+        };
+        let mut ranges: Vec<(char, char)> = Vec::new();
+        loop {
+            let c = match self.chars.peek().copied() {
+                None => self.fail("unterminated class"),
+                Some(']') => break,
+                Some('&') => {
+                    // Lookahead for `&&` (intersection); a single `&` is a
+                    // literal member.
+                    let mut ahead = self.chars.clone();
+                    ahead.next();
+                    if ahead.peek() == Some(&'&') {
+                        break;
+                    }
+                    self.chars.next();
+                    '&'
+                }
+                Some('\\') => {
+                    self.chars.next();
+                    self.next_or("dangling escape in class")
+                }
+                Some(other) => {
+                    self.chars.next();
+                    other
+                }
+            };
+            // Range `a-z` if a `-` follows and is itself followed by a
+            // non-`]` char; trailing `-` is a literal.
+            if self.chars.peek() == Some(&'-') {
+                let mut ahead = self.chars.clone();
+                ahead.next();
+                match ahead.peek() {
+                    Some(&']') | None => {
+                        ranges.push((c, c));
+                    }
+                    Some(_) => {
+                        self.chars.next();
+                        let hi = match self.chars.next() {
+                            Some('\\') => self.next_or("dangling escape in class"),
+                            Some(h) => h,
+                            None => self.fail("unterminated range"),
+                        };
+                        ranges.push((c, hi));
+                    }
+                }
+            } else {
+                ranges.push((c, c));
+            }
+        }
+        ClassSegment { negated, ranges }
+    }
+
+    fn parse_quantifier(&mut self) -> (u32, u32) {
+        match self.chars.peek().copied() {
+            Some('{') => {
+                self.chars.next();
+                let mut min_digits = String::new();
+                while matches!(self.chars.peek(), Some(c) if c.is_ascii_digit()) {
+                    min_digits.push(self.chars.next().unwrap());
+                }
+                let min: u32 = min_digits.parse().unwrap_or_else(|_| self.fail("bad {m}"));
+                let max = match self.chars.next() {
+                    Some('}') => min,
+                    Some(',') => {
+                        let mut max_digits = String::new();
+                        while matches!(self.chars.peek(), Some(c) if c.is_ascii_digit()) {
+                            max_digits.push(self.chars.next().unwrap());
+                        }
+                        match self.chars.next() {
+                            Some('}') => {}
+                            _ => self.fail("unterminated {m,n}"),
+                        }
+                        if max_digits.is_empty() {
+                            min + 8
+                        } else {
+                            max_digits.parse().unwrap_or_else(|_| self.fail("bad {m,n}"))
+                        }
+                    }
+                    _ => self.fail("unterminated quantifier"),
+                };
+                (min, max)
+            }
+            Some('?') => {
+                self.chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                self.chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                self.chars.next();
+                (1, 8)
+            }
+            _ => (1, 1),
+        }
+    }
+}
+
+/// Pool for `\PC`: printable ASCII plus a few multi-byte chars, so
+/// parser fuzz tests see non-ASCII input without control characters.
+const UNICODE_EXTRAS: &[char] = &['\u{a9}', 'é', 'ß', 'λ', '中', '\u{2014}', '🦀'];
+
+fn gen_non_control(rng: &mut StdRng) -> char {
+    if rng.gen_range(0u32..12) == 0 {
+        UNICODE_EXTRAS[rng.gen_range(0..UNICODE_EXTRAS.len())]
+    } else {
+        char::from_u32(rng.gen_range(0x20u32..0x7f)).expect("printable ascii")
+    }
+}
+
+fn gen_class(segments: &[ClassSegment], rng: &mut StdRng, pattern: &str) -> char {
+    let candidates: Vec<char> = if !segments[0].negated {
+        segments[0]
+            .ranges
+            .iter()
+            .flat_map(|&(lo, hi)| lo..=hi)
+            .filter(|&c| segments[1..].iter().all(|s| s.contains(c)))
+            .collect()
+    } else {
+        // Negated leading segment: draw from printable ASCII.
+        (0x20u32..0x7f)
+            .filter_map(char::from_u32)
+            .filter(|&c| segments.iter().all(|s| s.contains(c)))
+            .collect()
+    };
+    assert!(!candidates.is_empty(), "proptest regex stub: empty class in {pattern:?}");
+    candidates[rng.gen_range(0..candidates.len())]
+}
+
+fn gen_seq(seq: &[Piece], rng: &mut StdRng, out: &mut String, pattern: &str) {
+    for piece in seq {
+        let count = if piece.min == piece.max {
+            piece.min
+        } else {
+            rng.gen_range(piece.min..=piece.max)
+        };
+        for _ in 0..count {
+            match &piece.atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::AnyNonControl => out.push(gen_non_control(rng)),
+                Atom::Class(segments) => out.push(gen_class(segments, rng, pattern)),
+                Atom::Group(branches) => {
+                    let branch = &branches[rng.gen_range(0..branches.len())];
+                    gen_seq(branch, rng, out, pattern);
+                }
+            }
+        }
+    }
+}
+
+/// Generate a string matching `pattern`.
+pub fn generate_matching(pattern: &str, rng: &mut StdRng) -> String {
+    let mut parser = Parser::new(pattern);
+    let branches = parser.parse_alternation(None);
+    let branch = &branches[rng.gen_range(0..branches.len())];
+    let mut out = String::new();
+    gen_seq(branch, rng, &mut out, pattern);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn sample(pattern: &str, seed: u64) -> String {
+        let mut rng = StdRng::seed_from_u64(seed);
+        generate_matching(pattern, &mut rng)
+    }
+
+    #[test]
+    fn literals_pass_through() {
+        assert_eq!(
+            sample("<div id=\"x\" class=\"a b\"><p>t</p></div>", 1),
+            "<div id=\"x\" class=\"a b\"><p>t</p></div>"
+        );
+    }
+
+    #[test]
+    fn classes_and_ranges() {
+        for seed in 0..200 {
+            let s = sample("[a-z][a-z0-9-]{0,10}(\\.[a-z]{2,5}){1,2}", seed);
+            let first = s.chars().next().unwrap();
+            assert!(first.is_ascii_lowercase(), "{s}");
+            assert!(s.contains('.'), "{s}");
+        }
+    }
+
+    #[test]
+    fn intersection_excludes() {
+        for seed in 0..300 {
+            let s = sample("[ -~&&[^#&=%+]]{0,12}", seed);
+            assert!(
+                s.chars().all(|c| (' '..='~').contains(&c) && !"#&=%+".contains(c)),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn non_control_category() {
+        for seed in 0..100 {
+            let s = sample("\\PC{0,60}", seed);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+            assert!(s.chars().count() <= 60);
+        }
+    }
+
+    #[test]
+    fn quantifier_bounds() {
+        for seed in 0..100 {
+            let s = sample("[a-z]{2,5}", seed);
+            assert!((2..=5).contains(&s.len()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn trailing_dash_is_literal() {
+        for seed in 0..100 {
+            let s = sample("[a-zA-Z0-9_.-]{1,8}", seed);
+            assert!(
+                s.chars().all(|c| c.is_ascii_alphanumeric() || "_.-".contains(c)),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn alternation_and_escaped_quote() {
+        let mut seen = std::collections::BTreeSet::new();
+        for seed in 0..50 {
+            seen.insert(sample("a|b", seed));
+        }
+        assert_eq!(seen.len(), 2);
+        for seed in 0..100 {
+            let s = sample("[ -~&&[^\"]]{0,10}", seed);
+            assert!(!s.contains('"'), "{s:?}");
+        }
+    }
+}

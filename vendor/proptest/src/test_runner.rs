@@ -1,0 +1,47 @@
+//! Test-runner configuration and per-case RNG derivation.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 128 }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed — the case does not count.
+    Reject(String),
+    /// `prop_assert!`-style failure — the test fails.
+    Fail(String),
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Deterministic RNG for case `case` of the named test. Failures
+/// therefore reproduce exactly on re-run.
+pub fn case_rng(test_name: &str, case: u64) -> StdRng {
+    StdRng::seed_from_u64(fnv1a(test_name) ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}

@@ -1,0 +1,242 @@
+//! Offline-compatible subset of `serde`.
+//!
+//! Instead of serde's visitor-based serializer architecture, this stub
+//! serializes straight to an owned JSON value tree ([`value::Value`]),
+//! which is all the workspace uses (`serde_json::to_value` /
+//! `to_string_pretty`). The derive macros generate impls of these
+//! simplified traits with serde_json's standard data conventions:
+//! structs → objects, newtype structs → their inner value, tuple structs →
+//! arrays, unit enum variants → strings, data-carrying variants →
+//! single-key objects.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod value;
+
+use value::{Number, Value};
+
+/// A type serializable to a JSON value tree.
+pub trait Serialize {
+    fn to_json_value(&self) -> Value;
+}
+
+/// Marker for types the real serde could deserialize. The workspace never
+/// deserializes (no `from_str`/`from_value` call sites), so this carries
+/// no behavior; the derive emits an empty impl to keep
+/// `#[derive(Deserialize)]` lines compiling.
+pub trait Deserialize {}
+
+// ---- primitive impls ----------------------------------------------------
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Number(Number::U(*self as u64))
+            }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Number(Number::I(*self as i64))
+            }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+
+ser_uint!(u8, u16, u32, u64, usize);
+ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_json_value(&self) -> Value {
+        Value::Number(Number::F(*self))
+    }
+}
+impl Deserialize for f64 {}
+
+impl Serialize for f32 {
+    fn to_json_value(&self) -> Value {
+        Value::Number(Number::F(*self as f64))
+    }
+}
+impl Deserialize for f32 {}
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+impl Deserialize for String {}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+impl Deserialize for char {}
+
+// ---- composite impls ----------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {}
+
+macro_rules! ser_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_json_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_json_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {}
+    )*};
+}
+
+ser_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// Maps serialize as objects; keys must render as plain strings.
+pub trait SerializeMapKey {
+    fn as_key(&self) -> String;
+}
+
+impl SerializeMapKey for String {
+    fn as_key(&self) -> String {
+        self.clone()
+    }
+}
+
+impl SerializeMapKey for &str {
+    fn as_key(&self) -> String {
+        (*self).to_string()
+    }
+}
+
+macro_rules! key_display {
+    ($($t:ty),*) => {$(
+        impl SerializeMapKey for $t {
+            fn as_key(&self) -> String {
+                self.to_string()
+            }
+        }
+    )*};
+}
+
+key_display!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, char);
+
+impl<K: SerializeMapKey, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_json_value(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.as_key(), v.to_json_value())).collect())
+    }
+}
+impl<K, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {}
+
+impl<K: SerializeMapKey, V: Serialize> Serialize for std::collections::HashMap<K, V> {
+    fn to_json_value(&self) -> Value {
+        // Deterministic output: sort keys.
+        let mut entries: Vec<(String, Value)> =
+            self.iter().map(|(k, v)| (k.as_key(), v.to_json_value())).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries)
+    }
+}
+impl<K, V: Deserialize> Deserialize for std::collections::HashMap<K, V> {}
+
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+impl<T> Deserialize for std::collections::BTreeSet<T> {}
+
+impl Serialize for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives() {
+        assert_eq!(1u64.to_json_value().render_compact(), "1");
+        assert_eq!((-3i64).to_json_value().render_compact(), "-3");
+        assert_eq!(true.to_json_value().render_compact(), "true");
+        assert_eq!("x\"y".to_json_value().render_compact(), "\"x\\\"y\"");
+        assert_eq!(1.5f64.to_json_value().render_compact(), "1.5");
+    }
+
+    #[test]
+    fn composites() {
+        assert_eq!(vec![1u64, 2].to_json_value().render_compact(), "[1,2]");
+        assert_eq!(None::<u64>.to_json_value().render_compact(), "null");
+        assert_eq!(Some(5u64).to_json_value().render_compact(), "5");
+        assert_eq!((1u64, "a").to_json_value().render_compact(), "[1,\"a\"]");
+    }
+}

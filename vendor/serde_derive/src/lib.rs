@@ -1,0 +1,253 @@
+//! Offline-compatible `#[derive(Serialize)]` / `#[derive(Deserialize)]`.
+//!
+//! The real serde_derive depends on syn/quote, which are unavailable in
+//! this build environment, so this crate parses the derive input token
+//! stream by hand. It supports exactly the shapes this workspace uses:
+//! non-generic structs (named, tuple, unit) and enums (unit, named-field
+//! and tuple variants), with no `#[serde(...)]` attributes.
+//!
+//! Generated impls follow serde_json's data conventions:
+//! named struct → object; newtype struct → inner value; tuple struct →
+//! array; unit variant → `"Variant"`; data variant → `{"Variant": ...}`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Input {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let keyword = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected struct/enum, found {other}"),
+    };
+    i += 1;
+
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other}"),
+    };
+    i += 1;
+
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive stub: generic type `{name}` is not supported");
+    }
+
+    match keyword.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("serde_derive: unexpected struct body {other:?}"),
+            };
+            Input { name, kind: Kind::Struct(fields) }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde_derive: expected enum body, found {other:?}"),
+            };
+            Input { name, kind: Kind::Enum(parse_variants(body)) }
+        }
+        other => panic!("serde_derive: expected struct or enum, found `{other}`"),
+    }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            // `#[...]` attribute (doc comments included).
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2;
+            }
+            // `pub` / `pub(crate)` visibility.
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Split a field-list stream at commas that sit outside nested groups AND
+/// outside `<...>` generic argument lists (angle brackets are bare puncts
+/// in a token stream).
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    for tok in stream {
+        match &tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                out.push(std::mem::take(&mut current));
+                continue;
+            }
+            _ => {}
+        }
+        current.push(tok);
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    split_top_level(stream)
+        .into_iter()
+        .filter(|seg| !seg.is_empty())
+        .map(|seg| {
+            let mut i = 0;
+            skip_attrs_and_vis(&seg, &mut i);
+            match &seg[i] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => panic!("serde_derive: expected field name, found {other}"),
+            }
+        })
+        .collect()
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_top_level(stream).into_iter().filter(|seg| !seg.is_empty()).count()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, Fields)> {
+    split_top_level(stream)
+        .into_iter()
+        .filter(|seg| !seg.is_empty())
+        .map(|seg| {
+            let mut i = 0;
+            skip_attrs_and_vis(&seg, &mut i);
+            let name = match &seg[i] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => panic!("serde_derive: expected variant name, found {other}"),
+            };
+            i += 1;
+            let fields = match seg.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                _ => Fields::Unit,
+            };
+            (name, fields)
+        })
+        .collect()
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let name = &parsed.name;
+    let body = match &parsed.kind {
+        Kind::Struct(Fields::Named(fields)) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{f}\".to_string(), ::serde::Serialize::to_json_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::value::Value::Object(vec![{}])", entries.join(", "))
+        }
+        Kind::Struct(Fields::Tuple(1)) => {
+            "::serde::Serialize::to_json_value(&self.0)".to_string()
+        }
+        Kind::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_json_value(&self.{i})"))
+                .collect();
+            format!("::serde::value::Value::Array(vec![{}])", items.join(", "))
+        }
+        Kind::Struct(Fields::Unit) => "::serde::value::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, fields)| match fields {
+                    Fields::Unit => format!(
+                        "{name}::{v} => ::serde::value::Value::String(\"{v}\".to_string())"
+                    ),
+                    Fields::Named(fs) => {
+                        let binds = fs.join(", ");
+                        let entries: Vec<String> = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{f}\".to_string(), ::serde::Serialize::to_json_value({f}))"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::value::Value::Object(vec![\
+                             (\"{v}\".to_string(), ::serde::value::Value::Object(vec![{}]))])",
+                            entries.join(", ")
+                        )
+                    }
+                    Fields::Tuple(1) => format!(
+                        "{name}::{v}(__f0) => ::serde::value::Value::Object(vec![\
+                         (\"{v}\".to_string(), ::serde::Serialize::to_json_value(__f0))])"
+                    ),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_json_value({b})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({}) => ::serde::value::Value::Object(vec![\
+                             (\"{v}\".to_string(), ::serde::value::Value::Array(vec![{}]))])",
+                            binds.join(", "),
+                            items.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_json_value(&self) -> ::serde::value::Value {{ {body} }}\n\
+         }}"
+    );
+    out.parse().expect("serde_derive: generated impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    format!("impl ::serde::Deserialize for {} {{}}", parsed.name)
+        .parse()
+        .expect("serde_derive: generated impl parses")
+}

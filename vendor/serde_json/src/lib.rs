@@ -1,0 +1,111 @@
+//! Offline-compatible subset of `serde_json`: `Value`, `Map`,
+//! `to_value`, `to_string`, `to_string_pretty`. Serialization only — the
+//! workspace has no deserialization call sites.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+pub use serde::value::{Number, Value};
+use serde::Serialize;
+
+/// Serialization error. The value-tree serializer is total, so this is
+/// never actually produced; it exists for API compatibility.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Insertion-ordered string-keyed map (serde_json `Map` with the
+/// `preserve_order` feature's observable behavior).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    pub fn new() -> Map {
+        Map::default()
+    }
+
+    /// Insert, replacing (in place) any existing entry with the same key.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        for (k, v) in &mut self.entries {
+            if *k == key {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+}
+
+impl Serialize for Map {
+    fn to_json_value(&self) -> Value {
+        Value::Object(self.entries.clone())
+    }
+}
+
+impl From<Map> for Value {
+    fn from(m: Map) -> Value {
+        Value::Object(m.entries)
+    }
+}
+
+pub fn to_value<T: Serialize>(value: T) -> Result<Value> {
+    Ok(value.to_json_value())
+}
+
+pub fn to_string<T: Serialize>(value: &T) -> Result<String> {
+    Ok(value.to_json_value().render_compact())
+}
+
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String> {
+    Ok(value.to_json_value().render_pretty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_insertion_order() {
+        let mut m = Map::new();
+        m.insert("z".into(), Value::from(1u64));
+        m.insert("a".into(), Value::from(2u64));
+        assert_eq!(to_string(&m).unwrap(), "{\"z\":1,\"a\":2}");
+        m.insert("z".into(), Value::from(3u64));
+        assert_eq!(to_string(&m).unwrap(), "{\"z\":3,\"a\":2}");
+    }
+
+    #[test]
+    fn pretty_rendering() {
+        let mut m = Map::new();
+        m.insert("k".into(), Value::from("v"));
+        assert_eq!(to_string_pretty(&m).unwrap(), "{\n  \"k\": \"v\"\n}");
+    }
+}
