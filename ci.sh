@@ -5,3 +5,5 @@ set -eux
 cargo build --release
 cargo test -q
 cargo clippy --all-targets -- -D warnings
+cargo bench --no-run
+cargo doc --no-deps -q

@@ -30,11 +30,8 @@ fn bench_table2(c: &mut Criterion) {
 
     let ontology = KeywordOntology::standard();
     let policies = policy_corpus();
-    let perms: Vec<String> =
-        ["read message history", "kick members", "administrator", "manage roles"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+    let perms: Vec<&str> =
+        vec!["read message history", "kick members", "administrator", "manage roles"];
 
     c.bench_function("table2/analyze_one_policy", |b| {
         let mut i = 0;

@@ -6,7 +6,7 @@ use chatbot_audit::{render_table3, table3_code_analysis};
 use codeanal::genrepo;
 use codeanal::scanner::{scan_repository, strip_noncode};
 use codeanal::{Language, Repository};
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -40,7 +40,7 @@ fn bench_table3(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("table3");
     group.throughput(Throughput::Bytes(total_bytes as u64));
-    group.bench_function("scan_200_repos", |b| {
+    group.bench_function(BenchmarkId::from_parameter("scan_200_repos"), |b| {
         b.iter(|| {
             let mut checking = 0;
             for repo in &repos {

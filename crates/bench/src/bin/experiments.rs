@@ -135,11 +135,17 @@ fn parallel_bench(args: &Args, path: &str) {
         let speedup = serial_ms / wall_ms;
         println!(
             "workers {workers}: {wall_ms:7.1} ms wall | speedup {speedup:.2}x | \
-             link cache {}/{} hit/miss | policy memo {}/{} hit/miss | {} bots | {} detections",
+             link cache {}/{} hit/miss | policy memo {}/{} hit/miss | \
+             policy kernel {} passes/{} bytes | code kernel {} passes/{} bytes | \
+             {} bots | {} detections",
             caches.link_cache_hits,
             caches.link_cache_misses,
             caches.policy_memo_hits,
             caches.policy_memo_misses,
+            caches.policy_scan_passes,
+            caches.policy_bytes_scanned,
+            caches.code_scan_passes,
+            caches.code_bytes_scanned,
             bots.len(),
             campaign.detections.len(),
         );
@@ -207,11 +213,19 @@ fn main() {
         stats.duration
     );
     println!(
-        "caches: link cache {} hits / {} misses | policy memo {} hits / {} misses",
+        "caches: link cache {} hits / {} misses | policy memo {} hits / {} misses | \
+         kernels: policy automaton {} states, {} passes, {} bytes | \
+         code automaton {} states, {} passes, {} bytes",
         caches.link_cache_hits,
         caches.link_cache_misses,
         caches.policy_memo_hits,
         caches.policy_memo_misses,
+        caches.policy_automaton_states,
+        caches.policy_scan_passes,
+        caches.policy_bytes_scanned,
+        caches.code_automaton_states,
+        caches.code_scan_passes,
+        caches.code_bytes_scanned,
     );
     json.insert("stage_caches".into(), serde_json::to_value(caches).expect("serializable"));
 

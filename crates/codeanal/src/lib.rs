@@ -27,4 +27,6 @@ pub mod scanner;
 
 pub use cache::LinkCache;
 pub use repo::{Language, Repository, SourceFile};
-pub use scanner::{scan_repository, CheckPattern, ScanReport};
+pub use scanner::{
+    scan_repository, scanner_kernel_stats, CheckPattern, ScanReport, ScannerKernelStats,
+};

@@ -14,7 +14,9 @@
 //! these APIs".
 
 use crate::repo::{Language, Repository};
+use matchkit::{AhoCorasick, ScanStats};
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 
 /// One of the four check patterns.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -69,12 +71,16 @@ impl ScanReport {
     }
 }
 
-/// Strip line comments and string literals for the given language.
+/// Walk `content` and feed every *code* byte (comments removed, each string
+/// literal collapsed to one space) to `emit`, in order. This is the single
+/// tokenizer behind both [`strip_noncode`] (which materializes the bytes)
+/// and the fused scan in [`scan_repository`] (which pipes them straight
+/// into the pattern automaton and never allocates the stripped copy).
 ///
 /// JS/TS: `//` comments, `/* */` blocks, `'`/`"`/`` ` `` strings.
 /// Python: `#` comments, `'`/`"` strings (including naive triple-quote
 /// handling). Escapes inside strings are honoured.
-pub fn strip_noncode(content: &str, lang: &Language) -> String {
+fn emit_code_bytes(content: &str, lang: &Language, mut emit: impl FnMut(u8)) {
     // Operates on raw bytes: source files can contain arbitrary UTF-8 (or
     // worse) in comments and strings, and byte-offset slicing of a &str
     // would panic on multibyte characters.
@@ -84,7 +90,6 @@ pub fn strip_noncode(content: &str, lang: &Language) -> String {
         _ => b"//",
     };
     let block_comments = !matches!(lang, Language::Python);
-    let mut out: Vec<u8> = Vec::with_capacity(bytes.len());
     let mut i = 0;
     while i < bytes.len() {
         // Line comments.
@@ -132,14 +137,69 @@ pub fn strip_noncode(content: &str, lang: &Language) -> String {
                     j += 1;
                 }
             }
-            out.push(b' '); // keep token separation
+            emit(b' '); // keep token separation
             i = j;
             continue;
         }
-        out.push(c);
+        emit(c);
         i += 1;
     }
+}
+
+/// Strip line comments and string literals for the given language,
+/// materialized as a string. The scan hot path no longer calls this (it
+/// streams [`emit_code_bytes`] straight into the automaton); it remains the
+/// reference implementation the differential property tests and benches
+/// compare the fused scan against.
+pub fn strip_noncode(content: &str, lang: &Language) -> String {
+    let mut out: Vec<u8> = Vec::with_capacity(content.len());
+    emit_code_bytes(content, lang, |b| out.push(b));
     String::from_utf8_lossy(&out).into_owned()
+}
+
+/// The process-wide automaton over the four Table 3 needles, in
+/// [`CheckPattern::ALL`] order. Case-sensitive, plain substring matching —
+/// exactly what `code.matches(needle)` did, and since none of the needles
+/// has a self-overlap (no proper border), the overlapping occurrence count
+/// the automaton reports equals the non-overlapping `matches` count.
+fn table3_automaton() -> &'static AhoCorasick {
+    static AUTOMATON: OnceLock<AhoCorasick> = OnceLock::new();
+    AUTOMATON.get_or_init(|| AhoCorasick::new(CheckPattern::ALL.iter().map(|p| p.needle())))
+}
+
+/// Kernel counters for the Table 3 scanner (process-wide, since the needle
+/// automaton is shared).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScannerKernelStats {
+    /// DFA states in the needle automaton.
+    pub automaton_states: u64,
+    /// Completed scan passes (one per scanned source file).
+    pub scans: u64,
+    /// Total stripped-code bytes fed through the automaton.
+    pub bytes_scanned: u64,
+}
+
+/// Snapshot the scanner's kernel counters.
+pub fn scanner_kernel_stats() -> ScannerKernelStats {
+    let automaton = table3_automaton();
+    let ScanStats { scans, bytes_scanned } = automaton.stats();
+    ScannerKernelStats {
+        automaton_states: automaton.state_count() as u64,
+        scans,
+        bytes_scanned,
+    }
+}
+
+/// Count Table 3 pattern occurrences in one source file without
+/// materializing the stripped code: the tokenizer's output bytes stream
+/// straight into the shared needle automaton.
+fn scan_file_fused(content: &str, lang: &Language, counts: &mut [usize; 4]) {
+    let mut matcher = table3_automaton().stream_matcher();
+    emit_code_bytes(content, lang, |b| {
+        for hit in matcher.push(b) {
+            counts[hit.pattern as usize] += 1;
+        }
+    });
 }
 
 fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
@@ -162,10 +222,7 @@ pub fn scan_repository(repo: &Repository) -> ScanReport {
             continue;
         }
         files_scanned += 1;
-        let code = strip_noncode(&file.content, &lang);
-        for (idx, pattern) in CheckPattern::ALL.iter().enumerate() {
-            counts[idx] += code.matches(pattern.needle()).count();
-        }
+        scan_file_fused(&file.content, &lang, &mut counts);
     }
     let hits = CheckPattern::ALL
         .iter()

@@ -1,8 +1,33 @@
 //! Property tests for the permission-check scanner.
 
 use codeanal::scanner::{scan_repository, strip_noncode, CheckPattern};
-use codeanal::{Language, Repository, SourceFile};
+use codeanal::{genrepo, Language, Repository, SourceFile};
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Reference scan: materialize the stripped code, then count each needle
+/// with `str::matches` — the pre-fusion implementation the streaming scan
+/// must agree with byte-for-byte.
+fn naive_counts(content: &str, lang: &Language) -> [usize; 4] {
+    let code = strip_noncode(content, lang);
+    let mut counts = [0usize; 4];
+    for (idx, pattern) in CheckPattern::ALL.iter().enumerate() {
+        counts[idx] = code.matches(pattern.needle()).count();
+    }
+    counts
+}
+
+fn fused_counts(content: &str, ext: &str) -> [usize; 4] {
+    let repo =
+        Repository::new("p/p", "", vec![SourceFile::new(&format!("f.{ext}"), content)]);
+    let report = scan_repository(&repo);
+    let mut counts = [0usize; 4];
+    for (pattern, n) in &report.hits {
+        counts[CheckPattern::ALL.iter().position(|p| p == pattern).unwrap()] = *n;
+    }
+    counts
+}
 
 proptest! {
     /// Stripping comments/strings never panics and never grows the code.
@@ -37,6 +62,65 @@ proptest! {
         let report = scan_repository(&repo);
         prop_assert!(report.performs_checks());
         prop_assert_eq!(report.hits[0].0, CheckPattern::HasPermission);
+    }
+
+    /// The fused streaming scan agrees with strip-then-match on adversarial
+    /// text: needles, quotes, comment openers, escapes, and newlines mixed
+    /// arbitrarily.
+    #[test]
+    fn fused_scan_matches_strip_then_count(
+        token_indices in proptest::collection::vec(0usize..14, 0..24),
+        filler in "[a-z (){};.]{0,8}",
+    ) {
+        // Adversarial vocabulary: the four needles, every quote/comment
+        // delimiter, escapes, newlines, and a random filler word.
+        const TOKENS: [&str; 13] = [
+            ".hasPermission(", ".has(", "member.roles.cache", "userPermissions",
+            "\"", "'", "`", "//", "/*", "*/", "#", "\\", "\n",
+        ];
+        let src: String = token_indices
+            .iter()
+            .map(|&i| if i < TOKENS.len() { TOKENS[i] } else { filler.as_str() })
+            .collect();
+        for (lang, ext) in [(Language::JavaScript, "js"), (Language::Python, "py")] {
+            prop_assert_eq!(
+                fused_counts(&src, ext),
+                naive_counts(&src, &lang),
+                "language {:?}, source {:?}",
+                lang,
+                src
+            );
+        }
+    }
+
+    /// Same agreement on realistic generated bot repositories (the corpus
+    /// the actual measurement scans).
+    #[test]
+    fn fused_scan_matches_reference_on_generated_repos(seed in any::<u64>(), with_checks in any::<bool>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let repos = [
+            genrepo::js_bot_repo(&mut rng, "d/js", with_checks),
+            genrepo::py_bot_repo(&mut rng, "d/py", with_checks),
+        ];
+        for repo in &repos {
+            let report = scan_repository(repo);
+            let mut expected = [0usize; 4];
+            for file in &repo.files {
+                let Some(lang) = file.language() else { continue };
+                if !matches!(lang, Language::JavaScript | Language::TypeScript | Language::Python) {
+                    continue;
+                }
+                let per_file = naive_counts(&file.content, &lang);
+                for (total, n) in expected.iter_mut().zip(per_file) {
+                    *total += n;
+                }
+            }
+            let mut got = [0usize; 4];
+            for (pattern, n) in &report.hits {
+                got[CheckPattern::ALL.iter().position(|p| p == pattern).unwrap()] = *n;
+            }
+            prop_assert_eq!(got, expected, "repo {}", repo.slug);
+        }
     }
 
     /// Scan counts are additive over files.

@@ -97,7 +97,7 @@ impl Default for AuditConfig {
     }
 }
 
-/// Memoization counters from one static-stage run.
+/// Memoization and kernel counters from one static-stage run.
 #[derive(Debug, Clone, Copy, Default, Serialize)]
 pub struct StageStats {
     /// GitHub link resolutions served from the shared [`LinkCache`].
@@ -108,6 +108,18 @@ pub struct StageStats {
     pub policy_memo_hits: u64,
     /// Policy analyses that ran the keyword scan.
     pub policy_memo_misses: u64,
+    /// DFA states in the compiled keyword-ontology automaton.
+    pub policy_automaton_states: u64,
+    /// Keyword-automaton passes over policy text during this run.
+    pub policy_scan_passes: u64,
+    /// Policy-text bytes the keyword automaton consumed during this run.
+    pub policy_bytes_scanned: u64,
+    /// DFA states in the Table 3 needle automaton.
+    pub code_automaton_states: u64,
+    /// Fused strip+match passes (one per scanned source file) this run.
+    pub code_scan_passes: u64,
+    /// Stripped-code bytes fed through the needle automaton this run.
+    pub code_bytes_scanned: u64,
 }
 
 /// Full pipeline output.
@@ -209,6 +221,11 @@ impl AuditPipeline {
         // Stage 1: data collection.
         let (crawled, stats) = crawl_listing(net, &self.config.crawl);
 
+        // Kernel counters are cumulative (per ontology instance / process-
+        // wide for the scanner), so snapshot before and report deltas.
+        let policy_before = self.config.ontology.kernel_stats();
+        let code_before = codeanal::scanner_kernel_stats();
+
         let links = LinkCache::new();
         let memo = AnalysisMemo::new();
         let workers = resolve_workers(self.config.workers);
@@ -254,11 +271,19 @@ impl AuditPipeline {
                 .collect()
         };
 
+        let policy_after = self.config.ontology.kernel_stats();
+        let code_after = codeanal::scanner_kernel_stats();
         let stage_stats = StageStats {
             link_cache_hits: links.hits(),
             link_cache_misses: links.misses(),
             policy_memo_hits: memo.hits(),
             policy_memo_misses: memo.misses(),
+            policy_automaton_states: policy_after.automaton_states,
+            policy_scan_passes: policy_after.scans - policy_before.scans,
+            policy_bytes_scanned: policy_after.bytes_scanned - policy_before.bytes_scanned,
+            code_automaton_states: code_after.automaton_states,
+            code_scan_passes: code_after.scans - code_before.scans,
+            code_bytes_scanned: code_after.bytes_scanned - code_before.bytes_scanned,
         };
         (bots, stats, stage_stats)
     }
@@ -393,6 +418,15 @@ mod tests {
         }
         assert!(serial_stages.link_cache_misses > 0);
         assert!(serial_stages.policy_memo_misses > 0);
+        // Kernel counters: the keyword automaton ran, the fused scanner fed
+        // stripped bytes through the needle automaton, and both automata
+        // were actually compiled.
+        assert!(serial_stages.policy_automaton_states > 0);
+        assert!(serial_stages.policy_scan_passes > 0);
+        assert!(serial_stages.policy_bytes_scanned > 0);
+        assert!(serial_stages.code_automaton_states > 0);
+        assert!(serial_stages.code_scan_passes > 0);
+        assert!(serial_stages.code_bytes_scanned > 0);
     }
 
     #[test]

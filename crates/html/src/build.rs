@@ -11,26 +11,27 @@
 //! assert!(card.has_class("bot-card"));
 //! ```
 
+use crate::atom::Atom;
 use crate::node::Node;
 use std::collections::BTreeMap;
 
 /// Fluent element builder; see [`el`].
 #[derive(Debug, Clone)]
 pub struct ElementBuilder {
-    tag: String,
-    attrs: BTreeMap<String, String>,
+    tag: Atom,
+    attrs: BTreeMap<Atom, String>,
     children: Vec<Node>,
 }
 
 /// Start building an element with the given tag.
 pub fn el(tag: &str) -> ElementBuilder {
-    ElementBuilder { tag: tag.to_ascii_lowercase(), attrs: BTreeMap::new(), children: Vec::new() }
+    ElementBuilder { tag: Atom::new(tag), attrs: BTreeMap::new(), children: Vec::new() }
 }
 
 impl ElementBuilder {
     /// Set an attribute (last write wins).
     pub fn attr(mut self, key: &str, value: &str) -> Self {
-        self.attrs.insert(key.to_ascii_lowercase(), value.to_string());
+        self.attrs.insert(Atom::new(key), value.to_string());
         self
     }
 
@@ -41,7 +42,7 @@ impl ElementBuilder {
 
     /// Append a class to the `class` attribute.
     pub fn class(mut self, name: &str) -> Self {
-        let entry = self.attrs.entry("class".into()).or_default();
+        let entry = self.attrs.entry(Atom::new("class")).or_default();
         if entry.is_empty() {
             *entry = name.to_string();
         } else {

@@ -22,12 +22,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod atom;
 pub mod build;
 pub mod locate;
 pub mod node;
 pub mod parse;
 pub mod render;
 
+pub use atom::{Atom, AtomInterner};
 pub use build::el;
 pub use locate::{LocateError, Locator};
 pub use node::{Document, Node};

@@ -229,8 +229,11 @@ impl Locator {
             Locator::Id(id) => Ok(filter_elements(doc, |n| n.id() == Some(id.as_str()))),
             Locator::ClassName(c) => Ok(filter_elements(doc, |n| n.has_class(c))),
             Locator::TagName(t) => {
-                let t = t.to_ascii_lowercase();
-                Ok(filter_elements(doc, |n| n.tag() == Some(t.as_str())))
+                // Stored tags are lowercase; a case-insensitive compare
+                // avoids lowercasing the query per call.
+                Ok(filter_elements(doc, |n| {
+                    n.tag().is_some_and(|tag| tag.eq_ignore_ascii_case(t))
+                }))
             }
             Locator::Attr { name, value } => {
                 Ok(filter_elements(doc, |n| n.attr(name) == Some(value.as_str())))

@@ -1,5 +1,6 @@
 //! The element tree.
 
+use crate::atom::Atom;
 use std::collections::BTreeMap;
 
 /// A node in the document tree: an element or a text run.
@@ -7,11 +8,11 @@ use std::collections::BTreeMap;
 pub enum Node {
     /// An element like `<a href="...">...</a>`.
     Element {
-        /// Lowercased tag name.
-        tag: String,
-        /// Attributes with lowercased keys. `class` is stored here too;
-        /// [`Node::classes`] splits it on whitespace.
-        attrs: BTreeMap<String, String>,
+        /// Interned lowercase tag name.
+        tag: Atom,
+        /// Attributes with interned lowercase keys. `class` is stored here
+        /// too; [`Node::classes`] splits it on whitespace.
+        attrs: BTreeMap<Atom, String>,
         /// Child nodes in document order.
         children: Vec<Node>,
     },
@@ -22,7 +23,7 @@ pub enum Node {
 impl Node {
     /// Create a bare element.
     pub fn element(tag: &str) -> Node {
-        Node::Element { tag: tag.to_ascii_lowercase(), attrs: BTreeMap::new(), children: Vec::new() }
+        Node::Element { tag: Atom::new(tag), attrs: BTreeMap::new(), children: Vec::new() }
     }
 
     /// Create a text node.
@@ -33,16 +34,20 @@ impl Node {
     /// Tag name, or `None` for text nodes.
     pub fn tag(&self) -> Option<&str> {
         match self {
-            Node::Element { tag, .. } => Some(tag),
+            Node::Element { tag, .. } => Some(tag.as_str()),
             Node::Text(_) => None,
         }
     }
 
     /// Attribute lookup (element nodes only; key is case-insensitive).
+    /// Zero-allocation for already-lowercase keys — the common case — via
+    /// the atom map's `Borrow<str>` lookup.
     pub fn attr(&self, key: &str) -> Option<&str> {
-        match self {
-            Node::Element { attrs, .. } => attrs.get(&key.to_ascii_lowercase()).map(String::as_str),
-            Node::Text(_) => None,
+        let Node::Element { attrs, .. } = self else { return None };
+        if key.bytes().any(|b| b.is_ascii_uppercase()) {
+            attrs.get(key.to_ascii_lowercase().as_str()).map(String::as_str)
+        } else {
+            attrs.get(key).map(String::as_str)
         }
     }
 

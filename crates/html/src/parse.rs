@@ -6,6 +6,7 @@
 //! at end-of-input, and stray `<` characters are treated as text. It only
 //! *errors* on input that cannot be a page at all.
 
+use crate::atom::{Atom, AtomInterner};
 use crate::node::{Document, Node};
 use crate::render::unescape;
 use std::collections::BTreeMap;
@@ -42,7 +43,7 @@ pub fn parse_document(input: &str) -> Result<Document, ParseError> {
         elements.remove(0)
     } else {
         Node::Element {
-            tag: "html".into(),
+            tag: Atom::new("html"),
             attrs: BTreeMap::new(),
             children: elements,
         }
@@ -54,13 +55,18 @@ fn is_blank_text(n: &Node) -> bool {
     matches!(n, Node::Text(t) if t.trim().is_empty())
 }
 
+/// An open element under construction: tag, attributes, children so far.
+type Frame = (Atom, BTreeMap<Atom, String>, Vec<Node>);
+
 /// Parse a fragment into a list of top-level nodes.
 pub fn parse_fragment(input: &str) -> Result<Vec<Node>, ParseError> {
     let bytes = input.as_bytes();
     let mut pos = 0usize;
+    // One name interner per parse: repeated tag/attribute names resolve to
+    // shared atoms instead of fresh lowercased strings per node.
+    let mut names = AtomInterner::new();
     // Stack of open elements; a sentinel frame collects top-level nodes.
-    let mut stack: Vec<(String, BTreeMap<String, String>, Vec<Node>)> =
-        vec![(String::new(), BTreeMap::new(), Vec::new())];
+    let mut stack: Vec<Frame> = vec![(Atom::empty(), BTreeMap::new(), Vec::new())];
 
     while pos < bytes.len() {
         if bytes[pos] == b'<' {
@@ -90,7 +96,7 @@ pub fn parse_fragment(input: &str) -> Result<Vec<Node>, ParseError> {
                 if let Some(name) = inner.strip_prefix('/') {
                     close_tag(&mut stack, name.trim());
                 } else {
-                    open_tag(&mut stack, inner);
+                    open_tag(&mut stack, &mut names, inner);
                 }
                 continue;
             }
@@ -112,7 +118,7 @@ pub fn parse_fragment(input: &str) -> Result<Vec<Node>, ParseError> {
     Ok(stack.pop().expect("sentinel").2)
 }
 
-fn push_text(stack: &mut [(String, BTreeMap<String, String>, Vec<Node>)], raw: &str) {
+fn push_text(stack: &mut [Frame], raw: &str) {
     if raw.is_empty() {
         return;
     }
@@ -127,7 +133,7 @@ fn push_text(stack: &mut [(String, BTreeMap<String, String>, Vec<Node>)], raw: &
     }
 }
 
-fn open_tag(stack: &mut Vec<(String, BTreeMap<String, String>, Vec<Node>)>, inner: &str) {
+fn open_tag(stack: &mut Vec<Frame>, names: &mut AtomInterner, inner: &str) {
     let inner = inner.trim();
     let self_closing = inner.ends_with('/');
     let inner = inner.trim_end_matches('/').trim();
@@ -138,8 +144,8 @@ fn open_tag(stack: &mut Vec<(String, BTreeMap<String, String>, Vec<Node>)>, inne
     if name.is_empty() {
         return; // "<>" — drop it
     }
-    let tag = name.to_ascii_lowercase();
-    let attrs = parse_attrs(rest);
+    let tag = names.atom(name);
+    let attrs = parse_attrs(names, rest);
     if self_closing || VOID_TAGS.contains(&tag.as_str()) {
         let node = Node::Element { tag, attrs, children: Vec::new() };
         stack.last_mut().expect("stack non-empty").2.push(node);
@@ -148,10 +154,11 @@ fn open_tag(stack: &mut Vec<(String, BTreeMap<String, String>, Vec<Node>)>, inne
     }
 }
 
-fn close_tag(stack: &mut Vec<(String, BTreeMap<String, String>, Vec<Node>)>, name: &str) {
-    let name = name.to_ascii_lowercase();
-    // Find the matching open frame (skip the sentinel at index 0).
-    let Some(open_idx) = stack.iter().rposition(|(tag, _, _)| *tag == name) else {
+fn close_tag(stack: &mut Vec<Frame>, name: &str) {
+    // Stored tags are lowercase, so a case-insensitive compare against the
+    // raw close name avoids allocating a lowercased copy.
+    let Some(open_idx) = stack.iter().rposition(|(tag, _, _)| tag.eq_ignore_ascii_case(name))
+    else {
         return; // unmatched close: ignore
     };
     if open_idx == 0 {
@@ -165,7 +172,7 @@ fn close_tag(stack: &mut Vec<(String, BTreeMap<String, String>, Vec<Node>)>, nam
     }
 }
 
-fn parse_attrs(rest: &str) -> BTreeMap<String, String> {
+fn parse_attrs(names: &mut AtomInterner, rest: &str) -> BTreeMap<Atom, String> {
     let mut attrs = BTreeMap::new();
     let bytes = rest.as_bytes();
     let mut i = 0;
@@ -182,7 +189,7 @@ fn parse_attrs(rest: &str) -> BTreeMap<String, String> {
         while i < bytes.len() && !bytes[i].is_ascii_whitespace() && bytes[i] != b'=' {
             i += 1;
         }
-        let name = rest[name_start..i].to_ascii_lowercase();
+        let name = names.atom(&rest[name_start..i]);
         if name.is_empty() {
             i += 1;
             continue;

@@ -1,0 +1,113 @@
+//! A small string interner for hot identifier sets.
+//!
+//! The HTML layer resolves the same handful of tag and attribute names
+//! millions of times per crawl; interning maps each distinct name to a
+//! dense [`Symbol`] once, after which equality is an integer compare and
+//! the name's storage is shared.
+
+use std::collections::HashMap;
+
+/// A handle to an interned string; `Copy`, order- and hash-stable within
+/// one [`Interner`]. Symbols are dense: the first distinct string gets 0,
+/// the next 1, and so on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// The dense index backing this symbol.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Maps strings to dense [`Symbol`]s and back.
+#[derive(Debug, Default)]
+pub struct Interner {
+    map: HashMap<Box<str>, Symbol>,
+    strings: Vec<Box<str>>,
+}
+
+impl Interner {
+    /// An empty interner.
+    pub fn new() -> Interner {
+        Interner::default()
+    }
+
+    /// Intern `s`, allocating only the first time each distinct string is
+    /// seen.
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        if let Some(&sym) = self.map.get(s) {
+            return sym;
+        }
+        let sym = Symbol(self.strings.len() as u32);
+        let boxed: Box<str> = s.into();
+        self.strings.push(boxed.clone());
+        self.map.insert(boxed, sym);
+        sym
+    }
+
+    /// Look up a string without interning it.
+    pub fn get(&self, s: &str) -> Option<Symbol> {
+        self.map.get(s).copied()
+    }
+
+    /// The string behind `sym`.
+    ///
+    /// # Panics
+    /// If `sym` came from a different interner and is out of range.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.strings[sym.index()]
+    }
+
+    /// Number of distinct strings interned so far.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_and_dedup() {
+        let mut interner = Interner::new();
+        let a = interner.intern("div");
+        let b = interner.intern("span");
+        let a2 = interner.intern("div");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(interner.resolve(a), "div");
+        assert_eq!(interner.resolve(b), "span");
+        assert_eq!(interner.len(), 2);
+    }
+
+    #[test]
+    fn symbols_are_dense() {
+        let mut interner = Interner::new();
+        for (i, name) in ["a", "b", "c"].iter().enumerate() {
+            assert_eq!(interner.intern(name).index(), i);
+        }
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut interner = Interner::new();
+        assert!(interner.get("href").is_none());
+        let sym = interner.intern("href");
+        assert_eq!(interner.get("href"), Some(sym));
+        assert_eq!(interner.len(), 1);
+    }
+
+    #[test]
+    fn empty_interner() {
+        let interner = Interner::new();
+        assert!(interner.is_empty());
+        assert_eq!(interner.len(), 0);
+    }
+}

@@ -1,0 +1,62 @@
+//! Single-pass text kernels: multi-pattern matching and string interning.
+//!
+//! The measurement pipeline's hot loops are all "look for a fixed set of
+//! little strings inside a lot of text": the keyword ontology scans every
+//! privacy policy for ~40 practice keywords, the Table 3 scanner walks every
+//! source file for four API patterns, and the HTML layer normalizes the same
+//! tag/attribute names millions of times. Naively each needle costs one pass
+//! over the haystack (plus a lowercased copy); this crate makes every such
+//! check one pass total, with zero per-call allocation.
+//!
+//! # Automaton construction sketch
+//!
+//! [`AhoCorasick`] is a classic Aho–Corasick automaton built in three steps:
+//!
+//! 1. **Trie (goto function).** Every pattern is inserted byte-by-byte into
+//!    a trie; patterns are case-folded first when the builder asks for
+//!    case-insensitive matching. Each trie node is a state; the node a
+//!    pattern ends on records `(pattern index, pattern length)` in its
+//!    output set.
+//! 2. **Failure links (NFA).** A breadth-first walk computes, for every
+//!    state `s`, the longest proper suffix of `s`'s path that is also a
+//!    path in the trie. Output sets are merged along failure links, so a
+//!    state "knows" every pattern that ends anywhere in its suffix chain
+//!    (this is what makes overlapping needles like `"has("` inside
+//!    `".has("` come out right).
+//! 3. **DFA conversion.** During the same walk the sparse goto function is
+//!    completed into a dense `states × 256` transition table:
+//!    `δ(s, b) = goto(s, b)` if the trie edge exists, else
+//!    `δ(fail(s), b)`, which the BFS order has already resolved. For
+//!    case-insensitive automatons the `A..=Z` columns are then aliased to
+//!    the `a..=z` ones, so the scan loop is a single indexed load per input
+//!    byte — no folding, no branching, no backtracking.
+//!
+//! Matching modes ([`MatchMode`]): plain [`Substring`](MatchMode::Substring)
+//! matching, or [`WordPrefix`](MatchMode::WordPrefix) which accepts a match
+//! only when it starts at the beginning of the text or right after a
+//! non-alphanumeric byte — the cheap stemming-friendly boundary the policy
+//! ontology uses (`"collects"` hits `collect`, `"misuse"` does not hit
+//! `use`).
+//!
+//! Every automaton keeps per-instance [`ScanStats`] (scan passes + bytes
+//! consumed), which is how the regression tests pin the one-pass property
+//! and how the experiments binary reports kernel counters.
+//!
+//! [`Interner`] is the companion kernel for hot *identifier* sets: it maps
+//! each distinct string to a dense [`Symbol`] so repeated names (HTML tag
+//! and attribute names, mostly) are deduplicated once per parse instead of
+//! re-allocated per node.
+//!
+//! This crate is deliberately dependency-free (std only) so it can sit
+//! under every other crate in the workspace.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod automaton;
+mod intern;
+
+pub use automaton::{
+    AhoCorasick, AhoCorasickBuilder, FindIter, Hit, Match, MatchMode, ScanStats, StreamMatcher,
+};
+pub use intern::{Interner, Symbol};

@@ -1,0 +1,164 @@
+//! Property tests for the automaton, differential against naive scans.
+//!
+//! matchkit must stay dependency-free (no dev-deps either), so instead of
+//! proptest these use a small deterministic xorshift generator; each case
+//! count is high enough to exercise overlapping/self-overlapping patterns,
+//! case folding, and word boundaries at both ends of the text.
+
+use matchkit::{AhoCorasick, AhoCorasickBuilder, MatchMode};
+
+/// xorshift64* — deterministic, seedable, good enough for fuzz inputs.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+
+    /// A string over a small alphabet (so patterns actually occur), with
+    /// occasional uppercase, digits, punctuation, and multi-byte chars.
+    fn text(&mut self, max_len: usize) -> String {
+        const ALPHABET: &[&str] = &[
+            "a", "b", "c", "A", "B", "use", "data", " ", "-", "3", "é", "日",
+        ];
+        let len = self.below(max_len + 1);
+        let mut s = String::new();
+        for _ in 0..len {
+            s.push_str(ALPHABET[self.below(ALPHABET.len())]);
+        }
+        s
+    }
+
+    fn pattern(&mut self) -> String {
+        const ALPHABET: &[&str] = &["a", "b", "c", "use", "data", "é"];
+        let len = 1 + self.below(3);
+        let mut s = String::new();
+        for _ in 0..len {
+            s.push_str(ALPHABET[self.below(ALPHABET.len())]);
+        }
+        s
+    }
+}
+
+/// Naive reference: every (start, pattern) occurrence, ordered by end then
+/// pattern index — the same order `find_iter` promises.
+fn naive_matches(patterns: &[String], text: &str, ci: bool, mode: MatchMode) -> Vec<(usize, usize, usize)> {
+    let hay = if ci { text.to_ascii_lowercase() } else { text.to_string() };
+    let mut out = Vec::new();
+    for end in 1..=hay.len() {
+        for (idx, p) in patterns.iter().enumerate() {
+            let needle = if ci { p.to_ascii_lowercase() } else { p.clone() };
+            if needle.is_empty() || needle.len() > end {
+                continue;
+            }
+            let start = end - needle.len();
+            if hay.as_bytes()[start..end] != *needle.as_bytes() {
+                continue;
+            }
+            if mode == MatchMode::WordPrefix
+                && start > 0
+                && hay.as_bytes()[start - 1].is_ascii_alphanumeric()
+            {
+                continue;
+            }
+            out.push((idx, start, end));
+        }
+    }
+    out
+}
+
+#[test]
+fn automaton_agrees_with_naive_scan() {
+    let mut rng = Rng::new(0x2022);
+    for case in 0..600 {
+        let ci = case % 2 == 0;
+        let mode = if case % 4 < 2 { MatchMode::Substring } else { MatchMode::WordPrefix };
+        let n_patterns = 1 + rng.below(5);
+        let patterns: Vec<String> = (0..n_patterns).map(|_| rng.pattern()).collect();
+        let text = rng.text(40);
+        let aut = AhoCorasickBuilder::new()
+            .ascii_case_insensitive(ci)
+            .match_mode(mode)
+            .build(&patterns);
+        let got: Vec<(usize, usize, usize)> =
+            aut.find_iter(&text).map(|m| (m.pattern, m.start, m.end)).collect();
+        let want = naive_matches(&patterns, &text, ci, mode);
+        assert_eq!(
+            got, want,
+            "case {case}: patterns={patterns:?} text={text:?} ci={ci} mode={mode:?}"
+        );
+    }
+}
+
+#[test]
+fn counts_agree_with_naive_counts() {
+    let mut rng = Rng::new(0xbeef);
+    for _ in 0..300 {
+        let patterns: Vec<String> = (0..1 + rng.below(4)).map(|_| rng.pattern()).collect();
+        let text = rng.text(60);
+        let aut = AhoCorasick::new(&patterns);
+        let counts = aut.per_pattern_counts(&text);
+        for (idx, p) in patterns.iter().enumerate() {
+            let naive = naive_matches(&patterns, &text, false, MatchMode::Substring)
+                .iter()
+                .filter(|(i, _, _)| *i == idx)
+                .count();
+            assert_eq!(counts[idx], naive, "pattern {p:?} in {text:?}");
+        }
+    }
+}
+
+#[test]
+fn contains_any_agrees_with_find_iter() {
+    let mut rng = Rng::new(0xc0de);
+    for _ in 0..300 {
+        let patterns: Vec<String> = (0..1 + rng.below(4)).map(|_| rng.pattern()).collect();
+        let text = rng.text(30);
+        let aut = AhoCorasickBuilder::new().ascii_case_insensitive(true).build(&patterns);
+        assert_eq!(aut.contains_any(&text), aut.find_iter(&text).next().is_some());
+    }
+}
+
+#[test]
+fn stream_matcher_agrees_with_batch() {
+    let mut rng = Rng::new(0xfeed);
+    for _ in 0..300 {
+        let patterns: Vec<String> = (0..1 + rng.below(4)).map(|_| rng.pattern()).collect();
+        let text = rng.text(50);
+        let aut = AhoCorasick::new(&patterns);
+        let mut streamed = vec![0usize; aut.pattern_count()];
+        let mut matcher = aut.stream_matcher();
+        for &b in text.as_bytes() {
+            for hit in matcher.push(b) {
+                streamed[hit.pattern as usize] += 1;
+            }
+        }
+        drop(matcher);
+        assert_eq!(streamed, aut.per_pattern_counts(&text), "text={text:?}");
+    }
+}
+
+#[test]
+fn word_prefix_boundaries_at_text_edges() {
+    // Directed edge cases on top of the fuzzing: boundary exactly at
+    // offset 0 and a match ending exactly at text end.
+    let aut = AhoCorasickBuilder::new().match_mode(MatchMode::WordPrefix).build(["ab"]);
+    assert_eq!(aut.find_iter("ab").count(), 1, "whole text is the match");
+    assert_eq!(aut.find_iter("ab cab").count(), 1, "cab has no left boundary");
+    assert_eq!(aut.find_iter("c ab").count(), 1, "match flush at text end");
+    assert_eq!(aut.find_iter("cab").count(), 0);
+    assert_eq!(aut.find_iter("").count(), 0, "empty text");
+}

@@ -33,5 +33,8 @@ pub mod traceability;
 pub use document::PrivacyPolicy;
 pub use memo::AnalysisMemo;
 pub use ml::{train_and_score, NaiveBayesTraceability};
-pub use ontology::{DataPractice, KeywordOntology};
-pub use traceability::{analyze, PermissionDisclosure, Traceability, TraceabilityReport};
+pub use ontology::{contains_word_prefix, DataPractice, KeywordOntology, OntologyKernelStats};
+pub use traceability::{
+    analyze, permission_data_noun, permission_data_noun_explicit, PermissionDisclosure,
+    Traceability, TraceabilityReport,
+};

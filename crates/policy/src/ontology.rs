@@ -5,10 +5,19 @@
 //! Disclose … We then identified the synonyms of these words and keywords
 //! akin to the chatbot ecosystem obtained from existing chatbot permissions
 //! and privacy policies."
+//!
+//! Matching runs on a lazily compiled [`matchkit::AhoCorasick`] automaton
+//! over the whole keyword set: `practices_in` is a single pass over the raw
+//! policy text with zero per-call allocation, where the naive scan
+//! lowercased the full document once per practice and then walked it once
+//! per keyword.
 
+use matchkit::{AhoCorasick, AhoCorasickBuilder, MatchMode, ScanStats};
 use serde::{Deserialize, Serialize};
+use serde::value::Value;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::OnceLock;
 
 /// The four data-practice categories.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -46,16 +55,42 @@ impl fmt::Display for DataPractice {
     }
 }
 
+/// The compiled form of the keyword sets: one automaton over every keyword
+/// of every practice, plus the pattern-index → practice mapping.
+struct Compiled {
+    automaton: AhoCorasick,
+    pattern_practice: Vec<DataPractice>,
+}
+
+/// Kernel counters for one ontology instance, reported by the experiments
+/// binary alongside the PR 1 cache counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OntologyKernelStats {
+    /// DFA states in the compiled keyword automaton.
+    pub automaton_states: u64,
+    /// Completed scan passes over policy text.
+    pub scans: u64,
+    /// Total policy-text bytes consumed across all passes.
+    pub bytes_scanned: u64,
+}
+
 /// Keyword sets per practice, lowercased. Matching is whole-word-ish
 /// (keyword must appear bounded by non-alphanumeric characters) so "user"
 /// does not match "misuse" but "collects"/"collected" are covered via
 /// stemmed keyword entries.
-#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct KeywordOntology {
     sets: BTreeMap<DataPractice, Vec<String>>,
+    /// Lazily compiled automaton; reset (invalidated) by [`add_keyword`].
+    ///
+    /// [`add_keyword`]: KeywordOntology::add_keyword
+    compiled: OnceLock<Compiled>,
 }
 
 impl KeywordOntology {
+    fn from_sets(sets: BTreeMap<DataPractice, Vec<String>>) -> KeywordOntology {
+        KeywordOntology { sets, compiled: OnceLock::new() }
+    }
+
     /// The ontology used in the measurement: base verbs, synonyms, and
     /// chatbot-ecosystem vocabulary.
     pub fn standard() -> KeywordOntology {
@@ -88,7 +123,7 @@ impl KeywordOntology {
                 "third-party", "third parties", "provide to", "partners",
             ]),
         );
-        KeywordOntology { sets }
+        KeywordOntology::from_sets(sets)
     }
 
     /// An ontology with only the four base verbs — the ablation baseline
@@ -99,7 +134,7 @@ impl KeywordOntology {
         sets.insert(DataPractice::Use, words(&["use"]));
         sets.insert(DataPractice::Retain, words(&["retain"]));
         sets.insert(DataPractice::Disclose, words(&["disclose"]));
-        KeywordOntology { sets }
+        KeywordOntology::from_sets(sets)
     }
 
     /// Keywords for one practice.
@@ -107,32 +142,106 @@ impl KeywordOntology {
         self.sets.get(&practice).map(Vec::as_slice).unwrap_or(&[])
     }
 
-    /// Add a keyword to a practice set (lowercased).
+    /// Add a keyword to a practice set (lowercased). Invalidates the
+    /// compiled automaton; it is rebuilt on the next query.
     pub fn add_keyword(&mut self, practice: DataPractice, keyword: &str) {
         self.sets.entry(practice).or_default().push(keyword.to_ascii_lowercase());
+        self.compiled = OnceLock::new();
+    }
+
+    fn compiled(&self) -> &Compiled {
+        self.compiled.get_or_init(|| {
+            let mut patterns: Vec<&str> = Vec::new();
+            let mut pattern_practice = Vec::new();
+            for (&practice, kws) in &self.sets {
+                for kw in kws {
+                    patterns.push(kw);
+                    pattern_practice.push(practice);
+                }
+            }
+            let automaton = AhoCorasickBuilder::new()
+                .ascii_case_insensitive(true)
+                .match_mode(MatchMode::WordPrefix)
+                .build(patterns);
+            Compiled { automaton, pattern_practice }
+        })
     }
 
     /// Does `text` describe `practice`? Case-insensitive keyword scan with
     /// left-word-boundary matching (so "collects"/"collected" hit "collect",
-    /// but "misuse" does not hit "use").
+    /// but "misuse" does not hit "use"). Single automaton pass, early exit
+    /// on the first keyword of the practice.
     pub fn mentions(&self, practice: DataPractice, text: &str) -> bool {
-        let haystack = text.to_ascii_lowercase();
-        self.keywords(practice).iter().any(|kw| contains_word_prefix(&haystack, kw))
+        let c = self.compiled();
+        c.automaton.find_iter(text).any(|m| c.pattern_practice[m.pattern] == practice)
     }
 
-    /// Every practice the text describes.
+    /// Every practice the text describes, in [`DataPractice::ALL`] order.
+    /// One pass over `text` regardless of how many practices/keywords the
+    /// ontology holds; exits early once all four are found.
     pub fn practices_in(&self, text: &str) -> Vec<DataPractice> {
-        DataPractice::ALL
-            .iter()
-            .copied()
-            .filter(|p| self.mentions(*p, text))
-            .collect()
+        let c = self.compiled();
+        let mut seen = [false; 4];
+        for m in c.automaton.find_iter(text) {
+            seen[c.pattern_practice[m.pattern] as usize] = true;
+            if seen == [true; 4] {
+                break;
+            }
+        }
+        DataPractice::ALL.iter().copied().filter(|p| seen[*p as usize]).collect()
+    }
+
+    /// Kernel counters for this instance (compiles the automaton if no
+    /// query has run yet).
+    pub fn kernel_stats(&self) -> OntologyKernelStats {
+        let c = self.compiled();
+        let ScanStats { scans, bytes_scanned } = c.automaton.stats();
+        OntologyKernelStats {
+            automaton_states: c.automaton.state_count() as u64,
+            scans,
+            bytes_scanned,
+        }
     }
 }
 
+// The compiled automaton rides along as a cache, so the derives are spelled
+// out by hand: semantically the ontology *is* its `sets` map, and the
+// serialized form must stay byte-compatible with the old
+// `#[derive(Serialize)]` on the sets-only struct.
+
+impl Clone for KeywordOntology {
+    fn clone(&self) -> KeywordOntology {
+        KeywordOntology::from_sets(self.sets.clone())
+    }
+}
+
+impl fmt::Debug for KeywordOntology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("KeywordOntology").field("sets", &self.sets).finish()
+    }
+}
+
+impl PartialEq for KeywordOntology {
+    fn eq(&self, other: &KeywordOntology) -> bool {
+        self.sets == other.sets
+    }
+}
+impl Eq for KeywordOntology {}
+
+impl Serialize for KeywordOntology {
+    fn to_json_value(&self) -> Value {
+        Value::Object(vec![("sets".to_string(), self.sets.to_json_value())])
+    }
+}
+
+impl Deserialize for KeywordOntology {}
+
 /// `needle` must appear with a non-alphanumeric character (or string start)
-/// immediately before it — a cheap stemming-friendly word boundary.
-fn contains_word_prefix(haystack: &str, needle: &str) -> bool {
+/// immediately before it — a cheap stemming-friendly word boundary. This is
+/// the naive reference implementation of [`matchkit::MatchMode::WordPrefix`]
+/// matching; the differential property tests pin the two against each other
+/// and the benches use it as the baseline.
+pub fn contains_word_prefix(haystack: &str, needle: &str) -> bool {
     let mut from = 0;
     while let Some(pos) = haystack[from..].find(needle) {
         let abs = from + pos;
@@ -199,8 +308,32 @@ mod tests {
     }
 
     #[test]
+    fn add_keyword_invalidates_compiled_automaton() {
+        let mut o = KeywordOntology::base_verbs_only();
+        // Force compilation, then extend the set; the rebuilt automaton
+        // must know the new keyword.
+        assert!(!o.mentions(DataPractice::Collect, "we scrape your guilds"));
+        let states_before = o.kernel_stats().automaton_states;
+        o.add_keyword(DataPractice::Collect, "scrape");
+        assert!(o.mentions(DataPractice::Collect, "we scrape your guilds"));
+        assert!(o.kernel_stats().automaton_states > states_before);
+    }
+
+    #[test]
     fn case_insensitive() {
         let o = KeywordOntology::standard();
         assert!(o.mentions(DataPractice::Collect, "WE COLLECT EVERYTHING"));
+    }
+
+    #[test]
+    fn clone_and_serialize_reflect_sets_only() {
+        let o = KeywordOntology::standard();
+        let _ = o.kernel_stats(); // compile the original's automaton
+        let clone = o.clone();
+        assert_eq!(o, clone);
+        assert_eq!(
+            o.to_json_value().render_compact(),
+            clone.to_json_value().render_compact()
+        );
     }
 }

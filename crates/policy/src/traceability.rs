@@ -9,8 +9,10 @@
 
 use crate::document::PrivacyPolicy;
 use crate::ontology::{DataPractice, KeywordOntology};
+use matchkit::{AhoCorasick, AhoCorasickBuilder};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::OnceLock;
 
 /// The three-way classification.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -68,37 +70,96 @@ impl TraceabilityReport {
     }
 }
 
+/// The distinct data nouns [`permission_data_noun`] can return, in trigger
+/// priority order. The last entry is the generic fallback.
+const NOUNS: [&str; 12] = [
+    "all data", "message", "member", "role", "channel", "webhook", "audit log",
+    "voice", "emoji", "invite", "server", "data",
+];
+
+/// Trigger word → index into [`NOUNS`]. Order is priority: when a
+/// permission name contains several triggers, the earliest entry wins —
+/// the same tie-breaking the original `contains` if-chain had ("send
+/// messages in threads" is `message` data, not generic `thread` data).
+///
+/// The trailing generic-data triggers name the permissions whose data noun
+/// is the catch-all "data" (embed links, attach files, …). They map to the
+/// same noun the fallback arm would produce — classification is unchanged
+/// for every input — but matching them explicitly lets
+/// [`permission_data_noun_explicit`] prove that no *real* permission name
+/// is classified by accident of the fallback.
+const NOUN_TRIGGERS: &[(&str, usize)] = &[
+    ("administrator", 0),
+    ("message", 1),
+    ("history", 1),
+    ("member", 2),
+    ("nickname", 2),
+    ("role", 3),
+    ("channel", 4),
+    ("webhook", 5),
+    ("audit", 6),
+    ("speak", 7),
+    ("voice", 7),
+    ("connect", 7),
+    ("video", 7),
+    ("emoji", 8),
+    ("sticker", 8),
+    ("reaction", 8),
+    ("invite", 9),
+    ("server", 10),
+    ("guild", 10),
+    ("insight", 10),
+    // generic-data permissions (noun 11 == the fallback noun)
+    ("link", 11),
+    ("file", 11),
+    ("everyone", 11),
+    ("command", 11),
+    ("event", 11),
+    ("thread", 11),
+    ("activit", 11),
+];
+
+/// Automaton over the trigger words: classifying a permission name is one
+/// pass over the name instead of one `to_ascii_lowercase` allocation plus
+/// up to 20 `contains` walks.
+fn trigger_automaton() -> &'static AhoCorasick {
+    static AUTOMATON: OnceLock<AhoCorasick> = OnceLock::new();
+    AUTOMATON.get_or_init(|| {
+        AhoCorasickBuilder::new()
+            .ascii_case_insensitive(true)
+            .build(NOUN_TRIGGERS.iter().map(|(trigger, _)| *trigger))
+    })
+}
+
+/// Automaton over the data nouns themselves, for the disclosure check in
+/// [`analyze`]: one pass over the policy text finds every noun any
+/// permission could ask about.
+fn noun_automaton() -> &'static AhoCorasick {
+    static AUTOMATON: OnceLock<AhoCorasick> = OnceLock::new();
+    AUTOMATON.get_or_init(|| {
+        AhoCorasickBuilder::new().ascii_case_insensitive(true).build(NOUNS)
+    })
+}
+
 /// The data noun a permission's disclosure should mention. The ontology the
 /// paper wanted did not exist ("their ontologies do not cover all the data
 /// types in this new ecosystem"), so this is the chatbot-ecosystem mapping
 /// we built: permission → what user data it touches.
 pub fn permission_data_noun(permission: &str) -> &'static str {
-    let p = permission.to_ascii_lowercase();
-    if p.contains("administrator") {
-        "all data"
-    } else if p.contains("message") || p.contains("history") {
-        "message"
-    } else if p.contains("member") || p.contains("nickname") {
-        "member"
-    } else if p.contains("role") {
-        "role"
-    } else if p.contains("channel") {
-        "channel"
-    } else if p.contains("webhook") {
-        "webhook"
-    } else if p.contains("audit") {
-        "audit log"
-    } else if p.contains("speak") || p.contains("voice") || p.contains("connect") || p.contains("video") {
-        "voice"
-    } else if p.contains("emoji") || p.contains("sticker") || p.contains("reaction") {
-        "emoji"
-    } else if p.contains("invite") {
-        "invite"
-    } else if p.contains("server") || p.contains("guild") || p.contains("insight") {
-        "server"
-    } else {
-        "data"
-    }
+    permission_data_noun_explicit(permission).unwrap_or("data")
+}
+
+/// Like [`permission_data_noun`], but `None` when no trigger word matched
+/// and the classification fell through to the generic `"data"` arm. Every
+/// real permission name has an explicit trigger — the
+/// `every_permission_name_classifies_explicitly` tests pin that — so `None`
+/// only ever shows up for vocabulary outside the platform's permission set.
+pub fn permission_data_noun_explicit(permission: &str) -> Option<&'static str> {
+    explicit_noun_index(permission).map(|noun_idx| NOUNS[noun_idx])
+}
+
+fn explicit_noun_index(permission: &str) -> Option<usize> {
+    trigger_automaton().find_iter(permission).map(|m| NOUN_TRIGGERS[m.pattern].1).min()
 }
 
 /// Analyze one chatbot's disclosure.
@@ -134,15 +195,18 @@ pub fn analyze(
         0 => Traceability::Broken,
         _ => Traceability::Partial,
     };
-    let haystack = text.to_ascii_lowercase();
+    // One pass over the raw policy text decides disclosure for every noun
+    // any permission could map to (the old code lowercased the full text
+    // and re-walked it once per permission).
+    let noun_present = noun_automaton().matched_patterns(&text);
     let permission_disclosures = requested_permissions
         .iter()
         .map(|perm| {
-            let noun = permission_data_noun(perm);
+            let noun_idx = explicit_noun_index(perm).unwrap_or(NOUNS.len() - 1);
             PermissionDisclosure {
                 permission: perm.to_string(),
-                matched_noun: noun.to_string(),
-                disclosed: haystack.contains(noun),
+                matched_noun: NOUNS[noun_idx].to_string(),
+                disclosed: noun_present[noun_idx],
             }
         })
         .collect();
@@ -234,6 +298,40 @@ mod tests {
         ] {
             assert_eq!(permission_data_noun(perm), noun, "{perm}");
         }
+    }
+
+    #[test]
+    fn generic_data_permissions_classify_explicitly() {
+        // These permissions map to the catch-all "data" noun, but via an
+        // explicit trigger — not by falling off the end of the chain. The
+        // exhaustive sweep over `InviteStatus::permission_names()` lives in
+        // the workspace-level `tests/kernel_invariants.rs`.
+        for perm in [
+            "embed links",
+            "attach files",
+            "mention @everyone",
+            "use application commands",
+            "manage events",
+            "manage threads",
+            "create public threads",
+            "create private threads",
+            "use embedded activities",
+        ] {
+            assert_eq!(permission_data_noun_explicit(perm), Some("data"), "{perm}");
+            assert_eq!(permission_data_noun(perm), "data", "{perm}");
+        }
+        // Genuinely unknown vocabulary still falls through.
+        assert_eq!(permission_data_noun_explicit("teleport"), None);
+        assert_eq!(permission_data_noun("teleport"), "data");
+    }
+
+    #[test]
+    fn explicit_noun_respects_chain_priority() {
+        // "send messages in threads" holds both a "message" trigger and a
+        // generic "thread" trigger; the earlier chain arm wins.
+        assert_eq!(permission_data_noun("send messages in threads"), "message");
+        // "use voice activity" holds "voice" (priority 7) and "activit" (11).
+        assert_eq!(permission_data_noun("use voice activity"), "voice");
     }
 
     #[test]

@@ -1,0 +1,96 @@
+//! Regression tests for the single-pass keyword kernel.
+//!
+//! PR 2 replaced the naive ontology scan (lowercase the whole document once
+//! per practice, then walk it once per keyword) with one Aho–Corasick pass.
+//! These tests pin the one-pass property via the automaton's own scan
+//! counters, and pin the automaton's word-prefix semantics against the
+//! naive reference implementation differentially.
+
+use matchkit::{AhoCorasickBuilder, MatchMode};
+use policy::{analyze, contains_word_prefix, KeywordOntology, PrivacyPolicy};
+use proptest::prelude::*;
+
+#[test]
+fn practices_in_scans_the_text_exactly_once() {
+    let ontology = KeywordOntology::standard();
+    // Keyword-free text: no match means no early exit, so the pass must
+    // consume every byte — and exactly once.
+    let text = "zzz qqq xxx ".repeat(2_000);
+    let before = ontology.kernel_stats();
+    assert!(ontology.practices_in(&text).is_empty());
+    let after = ontology.kernel_stats();
+    assert_eq!(after.scans - before.scans, 1, "one scan pass, not one per practice");
+    assert_eq!(
+        after.bytes_scanned - before.bytes_scanned,
+        text.len() as u64,
+        "every byte consumed exactly once"
+    );
+}
+
+#[test]
+fn practices_in_exits_early_once_all_practices_are_found() {
+    let ontology = KeywordOntology::standard();
+    let head = "we collect, use, store, and share your data. ";
+    let tail = "filler ".repeat(5_000);
+    let text = format!("{head}{tail}");
+    let before = ontology.kernel_stats();
+    assert_eq!(ontology.practices_in(&text).len(), 4);
+    let after = ontology.kernel_stats();
+    assert_eq!(after.scans - before.scans, 1);
+    assert!(
+        after.bytes_scanned - before.bytes_scanned <= head.len() as u64,
+        "all four practices sit in the head; the tail is never read"
+    );
+}
+
+#[test]
+fn mentions_is_still_per_practice_but_analyze_uses_the_single_pass() {
+    // `analyze` on a substantive keyword-free policy does one practices_in
+    // pass plus nothing else on the ontology automaton.
+    let ontology = KeywordOntology::standard();
+    let policy = PrivacyPolicy::new(
+        "P",
+        vec!["nothing relevant in this wordy sufficiently long paragraph of text".into()],
+        false,
+    );
+    let before = ontology.kernel_stats();
+    let report = analyze(Some(&policy), &["send messages", "kick members"], &ontology);
+    let after = ontology.kernel_stats();
+    assert!(report.practices_found.is_empty());
+    assert_eq!(
+        after.scans - before.scans,
+        1,
+        "permission disclosures must not rescan via the ontology"
+    );
+}
+
+proptest! {
+    /// The automaton's word-prefix acceptance is the same predicate as the
+    /// naive `contains_word_prefix` reference, including ASCII case
+    /// folding, on arbitrary text.
+    #[test]
+    fn word_prefix_matches_reference(hay in "\\PC{0,200}", needle in "[a-zA-Z@é -]{1,10}") {
+        let needle_lower = needle.to_ascii_lowercase();
+        let naive = contains_word_prefix(&hay.to_ascii_lowercase(), &needle_lower);
+        let automaton = AhoCorasickBuilder::new()
+            .ascii_case_insensitive(true)
+            .match_mode(MatchMode::WordPrefix)
+            .build([needle_lower.as_str()]);
+        prop_assert_eq!(automaton.contains_any(&hay), naive);
+    }
+
+    /// Full-ontology differential: `mentions` (automaton) agrees with the
+    /// naive lowercase-then-scan loop for every practice.
+    #[test]
+    fn mentions_matches_naive_keyword_loop(text in "\\PC{0,300}") {
+        let ontology = KeywordOntology::standard();
+        let haystack = text.to_ascii_lowercase();
+        for practice in policy::DataPractice::ALL {
+            let naive = ontology
+                .keywords(practice)
+                .iter()
+                .any(|kw| contains_word_prefix(&haystack, kw));
+            prop_assert_eq!(ontology.mentions(practice, &text), naive, "{}", practice);
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Helper: dump the canonical report for fixed seeds so two builds can be
+//! diffed byte-for-byte. Ignored by default; run with
+//! `CANON_OUT=<dir> cargo test --test canonical_dump -- --ignored`.
+
+use chatbot_audit::{AuditConfig, AuditPipeline};
+use synth::{build_ecosystem, EcosystemConfig};
+
+#[test]
+#[ignore = "manual baseline-diff helper; needs CANON_OUT"]
+fn dump_canonical_reports() {
+    let dir = std::env::var("CANON_OUT").expect("set CANON_OUT to an output directory");
+    for seed in [2022u64, 7] {
+        let eco = build_ecosystem(&EcosystemConfig::test_scale(300, seed));
+        let pipeline =
+            AuditPipeline::new(AuditConfig { honeypot_sample: 15, ..AuditConfig::default() });
+        let json = pipeline.run_full(&eco).canonical_json();
+        std::fs::write(format!("{dir}/canon_{seed}.json"), json).expect("write canonical dump");
+    }
+}

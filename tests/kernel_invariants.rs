@@ -1,0 +1,65 @@
+//! Cross-crate invariants of the matchkit-backed analysis kernels.
+//!
+//! The traceability analyzer classifies every requested permission into a
+//! data-noun via a precompiled trigger automaton; a permission that only
+//! matched the generic fallback would silently weaken the disclosure check.
+//! These tests pin the property at the boundary the pipeline actually
+//! crosses: the names that [`InviteStatus::permission_names`] hands to
+//! stage 2.
+
+use crawler::invite::InviteStatus;
+use discord_sim::Permissions;
+use policy::{permission_data_noun, permission_data_noun_explicit};
+
+/// An install page requesting the full 41-bit field.
+fn all_permissions_invite() -> InviteStatus {
+    InviteStatus::Valid { permissions: Permissions::ALL_KNOWN, scopes: vec!["bot".into()] }
+}
+
+#[test]
+fn every_install_page_permission_classifies_explicitly() {
+    let invite = all_permissions_invite();
+    let names = invite.permission_names();
+    assert_eq!(names.len(), 41, "ALL_KNOWN should request every named bit");
+    for name in names {
+        assert!(
+            permission_data_noun_explicit(name).is_some(),
+            "permission {name:?} fell through to the generic fallback arm"
+        );
+    }
+}
+
+#[test]
+fn explicit_classification_agrees_with_the_public_noun() {
+    for (_, name) in Permissions::NAMES {
+        let explicit = permission_data_noun_explicit(name)
+            .unwrap_or_else(|| panic!("{name:?} has no explicit trigger"));
+        assert_eq!(
+            explicit,
+            permission_data_noun(name),
+            "explicit trigger and public classifier disagree for {name:?}"
+        );
+    }
+}
+
+#[test]
+fn non_valid_invites_request_nothing() {
+    for status in [
+        InviteStatus::MalformedLink,
+        InviteStatus::Removed,
+        InviteStatus::DeadLink,
+        InviteStatus::TimedOut,
+    ] {
+        assert!(status.permission_names().is_empty());
+    }
+}
+
+#[test]
+fn unknown_permission_text_still_gets_the_data_fallback() {
+    // Names outside the Discord field (future bits, scraping noise) must
+    // keep the pre-automaton behaviour: no explicit class, generic noun.
+    for name in ["teleport", "frobnicate", ""] {
+        assert_eq!(permission_data_noun_explicit(name), None);
+        assert_eq!(permission_data_noun(name), "data");
+    }
+}
