@@ -2,8 +2,10 @@
 # Tier-1 gate: build, tests, lints. Run before every push.
 set -eux
 
+cargo fmt --all --check
 cargo build --release
-cargo test -q
+cargo test -q --workspace
+cargo test -q --test resume_determinism
 cargo clippy --all-targets -- -D warnings
 cargo bench --no-run
 cargo doc --no-deps -q

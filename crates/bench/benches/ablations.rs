@@ -56,7 +56,9 @@ fn ablate_politeness() {
         let mut failed = 0;
         for page in 0..5 {
             for _ in 0..10 {
-                match session.fetch(Url::https(LIST_HOST, "/list").with_query("page", &page.to_string())) {
+                match session
+                    .fetch(Url::https(LIST_HOST, "/list").with_query("page", &page.to_string()))
+                {
                     Ok(resp) if resp.status.is_success() => ok += 1,
                     _ => failed += 1,
                 }
@@ -79,7 +81,10 @@ fn ablate_feed_realism() {
     let run = |feed_messages: usize| {
         let eco = build_ecosystem(&EcosystemConfig::test_scale(80, 52));
         let pipeline = AuditPipeline::new(AuditConfig {
-            honeypot: CampaignConfig { feed_messages, ..CampaignConfig::default() },
+            honeypot: CampaignConfig {
+                feed_messages,
+                ..CampaignConfig::default()
+            },
             honeypot_sample: 10,
             ..AuditConfig::default()
         });
@@ -89,7 +94,10 @@ fn ablate_feed_realism() {
     let silent = run(0);
     println!("[ablation:feed] detections with feed={with_feed} silent-guild={silent}");
     assert_eq!(with_feed, 1);
-    assert_eq!(silent, 0, "a silent honeypot misses dormancy-triggered snoopers");
+    assert_eq!(
+        silent, 0,
+        "a silent honeypot misses dormancy-triggered snoopers"
+    );
 }
 
 fn ablate_scanner_patterns() {
@@ -110,13 +118,21 @@ fn ablate_scanner_patterns() {
             any += 1;
         }
         for (pattern, _) in &report.hits {
-            let idx = CheckPattern::ALL.iter().position(|p| p == pattern).expect("known");
+            let idx = CheckPattern::ALL
+                .iter()
+                .position(|p| p == pattern)
+                .expect("known");
             per_pattern[idx] += 1;
         }
     }
     println!("[ablation:scanner] repos with any check: {any}/200");
     for (i, pattern) in CheckPattern::ALL.iter().enumerate() {
-        println!("  {:?} ({}) hit in {} repos", pattern, pattern.needle(), per_pattern[i]);
+        println!(
+            "  {:?} ({}) hit in {} repos",
+            pattern,
+            pattern.needle(),
+            per_pattern[i]
+        );
     }
     assert_eq!(any, 200, "all generated check-repos are detected");
     // No single pattern explains everything — removing one from Table 3
@@ -140,9 +156,13 @@ fn ablate_runtime_enforcer() {
             ..EcosystemConfig::default()
         });
         if enforced {
-            eco.platform.set_runtime_policy(discord_sim::RuntimePolicy::Enforced);
+            eco.platform
+                .set_runtime_policy(discord_sim::RuntimePolicy::Enforced);
         }
-        let pipeline = AuditPipeline::new(AuditConfig { honeypot_sample: 20, ..AuditConfig::default() });
+        let pipeline = AuditPipeline::new(AuditConfig {
+            honeypot_sample: 20,
+            ..AuditConfig::default()
+        });
         let report = pipeline.run_honeypot(&eco);
         (report.detections.len(), report.triggers.len())
     };
@@ -164,7 +184,10 @@ fn ablate_ml_vs_keywords() {
     let mut corpus: Vec<(PrivacyPolicy, Traceability)> = Vec::new();
     for i in 0..600 {
         corpus.push(match i % 4 {
-            0 => (policy::corpus::complete_policy(&mut rng, "B", i % 8 == 0), Traceability::Complete),
+            0 => (
+                policy::corpus::complete_policy(&mut rng, "B", i % 8 == 0),
+                Traceability::Complete,
+            ),
             1 => (
                 policy::corpus::partial_policy(&mut rng, "B", &[DataPractice::Collect], true),
                 Traceability::Partial,
@@ -181,7 +204,9 @@ fn ablate_ml_vs_keywords() {
         .filter(|(doc, label)| analyze(Some(doc), &[], &ontology).classification == *label)
         .count() as f64
         / test.len() as f64;
-    println!("[ablation:ml] held-out accuracy: naive-bayes={ml_accuracy:.3} keyword={kw_accuracy:.3}");
+    println!(
+        "[ablation:ml] held-out accuracy: naive-bayes={ml_accuracy:.3} keyword={kw_accuracy:.3}"
+    );
     assert!(ml_accuracy > 0.9);
     assert!(kw_accuracy > 0.9);
 }
@@ -196,8 +221,9 @@ fn bench_ablations(c: &mut Criterion) {
 
     // Timed comparison: full vs base ontology on a fixed corpus.
     let mut rng = StdRng::seed_from_u64(54);
-    let policies: Vec<policy::PrivacyPolicy> =
-        (0..128).map(|_| policy::corpus::complete_policy(&mut rng, "B", true)).collect();
+    let policies: Vec<policy::PrivacyPolicy> = (0..128)
+        .map(|_| policy::corpus::complete_policy(&mut rng, "B", true))
+        .collect();
     for (name, ontology) in [
         ("full", KeywordOntology::standard()),
         ("base_verbs", KeywordOntology::base_verbs_only()),

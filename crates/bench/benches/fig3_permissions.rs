@@ -33,8 +33,9 @@ fn bench_fig3(c: &mut Criterion) {
 
     c.bench_function("fig3/permission_names", |b| {
         let mut rng = StdRng::seed_from_u64(8);
-        let sets: Vec<Permissions> =
-            (0..1024).map(|_| Permissions(rng.gen::<u64>() & Permissions::ALL_KNOWN.0)).collect();
+        let sets: Vec<Permissions> = (0..1024)
+            .map(|_| Permissions(rng.gen::<u64>() & Permissions::ALL_KNOWN.0))
+            .collect();
         let mut i = 0;
         b.iter(|| {
             i = (i + 1) % sets.len();

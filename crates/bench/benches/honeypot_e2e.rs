@@ -17,9 +17,16 @@ fn bench_honeypot(c: &mut Criterion) {
         report.detections.len()
     );
     for det in &report.detections {
-        println!("  {} via {:?} tokens {:?}", det.bot_name, det.requesters, det.token_kinds);
+        println!(
+            "  {} via {:?} tokens {:?}",
+            det.bot_name, det.requesters, det.token_kinds
+        );
     }
-    assert_eq!(report.detections.len(), 1, "the planted Melonian must be caught");
+    assert_eq!(
+        report.detections.len(),
+        1,
+        "the planted Melonian must be caught"
+    );
 
     c.bench_function("honeypot/campaign_10_bots", |b| {
         b.iter_batched(

@@ -51,7 +51,10 @@ fn naive_practices_in(ontology: &KeywordOntology, text: &str) -> Vec<DataPractic
         .iter()
         .copied()
         .filter(|p| {
-            ontology.keywords(*p).iter().any(|k| contains_word_prefix(&lowered, k))
+            ontology
+                .keywords(*p)
+                .iter()
+                .any(|k| contains_word_prefix(&lowered, k))
         })
         .collect()
 }
@@ -75,8 +78,13 @@ fn repo_corpus() -> Vec<Repository> {
 fn naive_repo_hits(repo: &Repository) -> usize {
     let mut hits = 0;
     for file in &repo.files {
-        let Some(lang) = file.language() else { continue };
-        if !matches!(lang, Language::JavaScript | Language::TypeScript | Language::Python) {
+        let Some(lang) = file.language() else {
+            continue;
+        };
+        if !matches!(
+            lang,
+            Language::JavaScript | Language::TypeScript | Language::Python
+        ) {
             continue;
         }
         let code = strip_noncode(&file.content, &lang);
@@ -122,14 +130,20 @@ fn bench_policy_kernel(c: &mut Criterion) {
     // The two implementations must agree on the corpus before either
     // timing is worth trusting.
     for text in &texts {
-        assert_eq!(naive_practices_in(&ontology, text), ontology.practices_in(text));
+        assert_eq!(
+            naive_practices_in(&ontology, text),
+            ontology.practices_in(text)
+        );
     }
 }
 
 fn bench_scanner_kernel(c: &mut Criterion) {
     let repos = repo_corpus();
-    let total_bytes: usize =
-        repos.iter().flat_map(|r| r.files.iter()).map(|f| f.content.len()).sum();
+    let total_bytes: usize = repos
+        .iter()
+        .flat_map(|r| r.files.iter())
+        .map(|f| f.content.len())
+        .sum();
 
     let mut group = c.benchmark_group("kernels/table3_needles");
     group.throughput(Throughput::Bytes(total_bytes as u64));

@@ -13,7 +13,14 @@ fn bench_scaling(c: &mut Criterion) {
     for n in [250usize, 1_000, 4_000] {
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| black_box(build_ecosystem(&EcosystemConfig::test_scale(n, 8)).truth.bots.len()))
+            b.iter(|| {
+                black_box(
+                    build_ecosystem(&EcosystemConfig::test_scale(n, 8))
+                        .truth
+                        .bots
+                        .len(),
+                )
+            })
         });
     }
     group.finish();
@@ -38,13 +45,17 @@ fn bench_scaling(c: &mut Criterion) {
     group.sample_size(10);
     for workers in [1usize, 2, 4, 8] {
         group.throughput(Throughput::Elements(1_000));
-        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &workers| {
-            b.iter_batched(
-                || (),
-                |_| black_box(prepare_world_workers(1_000, 8, workers).bots.len()),
-                BatchSize::PerIteration,
-            )
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &workers,
+            |b, &workers| {
+                b.iter_batched(
+                    || (),
+                    |_| black_box(prepare_world_workers(1_000, 8, workers).bots.len()),
+                    BatchSize::PerIteration,
+                )
+            },
+        );
     }
     group.finish();
 }

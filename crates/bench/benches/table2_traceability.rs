@@ -15,7 +15,12 @@ fn policy_corpus() -> Vec<PrivacyPolicy> {
     for i in 0..256 {
         out.push(match i % 4 {
             0 => corpus::complete_policy(&mut rng, "B", true),
-            1 => corpus::partial_policy(&mut rng, "B", &[DataPractice::Collect, DataPractice::Use], false),
+            1 => corpus::partial_policy(
+                &mut rng,
+                "B",
+                &[DataPractice::Collect, DataPractice::Use],
+                false,
+            ),
             2 => corpus::generic_boilerplate(),
             _ => corpus::vacuous_policy(),
         });
@@ -30,8 +35,12 @@ fn bench_table2(c: &mut Criterion) {
 
     let ontology = KeywordOntology::standard();
     let policies = policy_corpus();
-    let perms: Vec<&str> =
-        vec!["read message history", "kick members", "administrator", "manage roles"];
+    let perms: Vec<&str> = vec![
+        "read message history",
+        "kick members",
+        "administrator",
+        "manage roles",
+    ];
 
     c.bench_function("table2/analyze_one_policy", |b| {
         let mut i = 0;
@@ -46,7 +55,11 @@ fn bench_table2(c: &mut Criterion) {
     });
 
     c.bench_function("table2/keyword_scan_long_text", |b| {
-        let long: String = policies.iter().map(|p| p.full_text()).collect::<Vec<_>>().join("\n");
+        let long: String = policies
+            .iter()
+            .map(|p| p.full_text())
+            .collect::<Vec<_>>()
+            .join("\n");
         b.iter(|| black_box(ontology.practices_in(&long)))
     });
 }

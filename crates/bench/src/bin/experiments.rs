@@ -4,16 +4,25 @@
 //! experiments [--scale N] [--seed S] [--honeypot-sample K] [--json PATH]
 //!             [--markdown PATH] [--only fig3|table1|table2|table3|honeypot]
 //!             [--enforced] [--workers N] [--bench-json PATH]
+//!             [--store-dir DIR] [--resume] [--kill-after-frames N]
+//!             [--store-bench-json PATH]
 //! ```
 //!
 //! Defaults run the full paper-scale population (20,915 listings, 500
 //! honeypot bots). Output is paper-vs-measured for every reported number.
+//!
+//! With `--store-dir` the pipeline runs through the crash-safe audit store:
+//! completed work is journaled to `DIR` and analysis outputs land in a
+//! content-addressed pack, so `--resume` continues a killed run and a warm
+//! pack skips every unchanged analysis. `--kill-after-frames N` arms the
+//! deterministic kill switch (for crash drills); `--store-bench-json`
+//! measures cold vs warm vs resumed wall time.
 
 use bench::{render_comparisons, Comparison};
 use chatbot_audit::{
     figure3_distribution, render_figure3, render_table1, render_table2, render_table3,
     table1_histogram, table2_traceability, table3_code_analysis, validate_against_truth,
-    AuditConfig, AuditPipeline,
+    AuditConfig, AuditPipeline, ResumableOutcome, ResumeError, StoreConfig,
 };
 use synth::{build_ecosystem, EcosystemConfig};
 
@@ -27,6 +36,10 @@ struct Args {
     enforced: bool,
     workers: usize,
     bench_json: Option<String>,
+    store_dir: Option<String>,
+    resume: bool,
+    kill_after_frames: Option<u64>,
+    store_bench_json: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -40,22 +53,34 @@ fn parse_args() -> Args {
         enforced: false,
         workers: 1,
         bench_json: None,
+        store_dir: None,
+        resume: false,
+        kill_after_frames: None,
+        store_bench_json: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
             "--scale" => {
-                args.scale = argv.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or(args.scale);
+                args.scale = argv
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(args.scale);
                 i += 2;
             }
             "--seed" => {
-                args.seed = argv.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or(args.seed);
+                args.seed = argv
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(args.seed);
                 i += 2;
             }
             "--honeypot-sample" => {
-                args.honeypot_sample =
-                    argv.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or(args.honeypot_sample);
+                args.honeypot_sample = argv
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(args.honeypot_sample);
                 i += 2;
             }
             "--json" => {
@@ -75,11 +100,30 @@ fn parse_args() -> Args {
                 i += 1;
             }
             "--workers" => {
-                args.workers = argv.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or(args.workers);
+                args.workers = argv
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(args.workers);
                 i += 2;
             }
             "--bench-json" => {
                 args.bench_json = argv.get(i + 1).cloned();
+                i += 2;
+            }
+            "--store-dir" => {
+                args.store_dir = argv.get(i + 1).cloned();
+                i += 2;
+            }
+            "--resume" => {
+                args.resume = true;
+                i += 1;
+            }
+            "--kill-after-frames" => {
+                args.kill_after_frames = argv.get(i + 1).and_then(|v| v.parse().ok());
+                i += 2;
+            }
+            "--store-bench-json" => {
+                args.store_bench_json = argv.get(i + 1).cloned();
                 i += 2;
             }
             other => {
@@ -98,7 +142,10 @@ fn want(args: &Args, what: &str) -> bool {
 /// An [`AuditConfig`] with every `workers` knob (crawl shards, analysis
 /// pool, honeypot campaigns) set to `workers`.
 fn audit_config(honeypot_sample: usize, workers: usize) -> AuditConfig {
-    let mut config = AuditConfig { honeypot_sample, ..AuditConfig::default() };
+    let mut config = AuditConfig {
+        honeypot_sample,
+        ..AuditConfig::default()
+    };
     config.workers = workers;
     config.crawl.workers = workers;
     config.honeypot.workers = workers;
@@ -110,7 +157,9 @@ fn audit_config(honeypot_sample: usize, workers: usize) -> AuditConfig {
 /// World construction happens outside the timer — the engine under test
 /// is the audit pipeline, not the synthesizer.
 fn parallel_bench(args: &Args, path: &str) {
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     eprintln!(
         "parallel scaling sweep: {} listings, workers 1/2/4/8 on {cores} core{} …",
         args.scale,
@@ -150,36 +199,203 @@ fn parallel_bench(args: &Args, path: &str) {
             campaign.detections.len(),
         );
         let mut run = serde_json::Map::new();
-        run.insert("workers".into(), serde_json::to_value(workers).expect("serializable"));
-        run.insert("wall_ms".into(), serde_json::to_value(wall_ms).expect("serializable"));
-        run.insert("speedup_vs_serial".into(), serde_json::to_value(speedup).expect("serializable"));
-        run.insert("bots".into(), serde_json::to_value(bots.len()).expect("serializable"));
+        run.insert(
+            "workers".into(),
+            serde_json::to_value(workers).expect("serializable"),
+        );
+        run.insert(
+            "wall_ms".into(),
+            serde_json::to_value(wall_ms).expect("serializable"),
+        );
+        run.insert(
+            "speedup_vs_serial".into(),
+            serde_json::to_value(speedup).expect("serializable"),
+        );
+        run.insert(
+            "bots".into(),
+            serde_json::to_value(bots.len()).expect("serializable"),
+        );
         run.insert(
             "detections".into(),
             serde_json::to_value(campaign.detections.len()).expect("serializable"),
         );
-        run.insert("caches".into(), serde_json::to_value(caches).expect("serializable"));
+        run.insert(
+            "caches".into(),
+            serde_json::to_value(caches).expect("serializable"),
+        );
         runs.push(run.into());
     }
     let mut out = serde_json::Map::new();
-    out.insert("available_cores".into(), serde_json::to_value(cores).expect("serializable"));
-    out.insert("scale".into(), serde_json::to_value(args.scale).expect("serializable"));
-    out.insert("seed".into(), serde_json::to_value(args.seed).expect("serializable"));
+    out.insert(
+        "available_cores".into(),
+        serde_json::to_value(cores).expect("serializable"),
+    );
+    out.insert(
+        "scale".into(),
+        serde_json::to_value(args.scale).expect("serializable"),
+    );
+    out.insert(
+        "seed".into(),
+        serde_json::to_value(args.seed).expect("serializable"),
+    );
     out.insert(
         "honeypot_sample".into(),
         serde_json::to_value(args.honeypot_sample).expect("serializable"),
     );
     out.insert("runs".into(), serde_json::Value::Array(runs));
-    std::fs::write(path, serde_json::to_string_pretty(&out).expect("serializable"))
-        .expect("write bench json");
+    std::fs::write(
+        path,
+        serde_json::to_string_pretty(&out).expect("serializable"),
+    )
+    .expect("write bench json");
     eprintln!("wrote {path}");
+}
+
+/// Measure what the audit store buys: a cold run (empty store), a warm run
+/// (fresh journal over a warm artifact pack — re-crawl but zero
+/// re-analysis), a pure replay (resuming an already-complete journal), and
+/// a crash-at-half-frames resume. All five runs must agree byte-for-byte.
+fn store_bench(args: &Args, path: &str) {
+    let dir = std::env::temp_dir().join(format!("audit-store-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create bench store dir");
+    let dir_str = dir.to_string_lossy().to_string();
+    eprintln!(
+        "incremental-store bench: {} listings, store at {dir_str} …",
+        args.scale
+    );
+
+    let run = |resume: bool, kill: Option<u64>| -> (f64, Result<ResumableOutcome, u64>) {
+        let eco = build_ecosystem(&EcosystemConfig {
+            num_bots: args.scale,
+            seed: args.seed,
+            ..EcosystemConfig::default()
+        });
+        let pipeline = AuditPipeline::new(audit_config(args.honeypot_sample, args.workers));
+        let mut store = StoreConfig::on_disk(&dir_str).expect("open bench store");
+        store.resume = resume;
+        store.kill_after_frames = kill;
+        let t0 = std::time::Instant::now();
+        let outcome = pipeline.run_resumable(&eco, &store, args.seed);
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        match outcome {
+            Ok(o) => (wall_ms, Ok(o)),
+            Err(ResumeError::Interrupted { frames_written }) => (wall_ms, Err(frames_written)),
+            Err(other) => panic!("store bench run failed: {other}"),
+        }
+    };
+    let run_json =
+        |wall_ms: f64, o: &ResumableOutcome, speedup: Option<f64>| -> serde_json::Value {
+            let mut m = serde_json::Map::new();
+            m.insert(
+                "wall_ms".into(),
+                serde_json::to_value(wall_ms).expect("serializable"),
+            );
+            if let Some(s) = speedup {
+                m.insert(
+                    "speedup_vs_cold".into(),
+                    serde_json::to_value(s).expect("serializable"),
+                );
+            }
+            m.insert(
+                "frames_written".into(),
+                o.stages.journal_frames_written.into(),
+            );
+            m.insert(
+                "frames_replayed".into(),
+                o.stages.journal_frames_replayed.into(),
+            );
+            m.insert("artifact_hits".into(), o.stages.artifact_cache_hits.into());
+            m.insert(
+                "artifact_misses".into(),
+                o.stages.artifact_cache_misses.into(),
+            );
+            m.into()
+        };
+
+    // Cold: empty store, every analysis computed and packed.
+    let (cold_ms, cold) = run(false, None);
+    let cold = cold.expect("cold run completes");
+    let reference = cold.report.canonical_json();
+
+    // Warm: fresh journal over the warm pack. Re-crawls, re-analyzes nothing.
+    let (warm_ms, warm) = run(false, None);
+    let warm = warm.expect("warm run completes");
+    assert_eq!(
+        warm.stages.artifact_cache_misses, 0,
+        "warm pack must serve every analysis"
+    );
+    assert_eq!(warm.report.canonical_json(), reference);
+
+    // Replay: resume the complete journal — everything is already durable.
+    let (replay_ms, replay) = run(true, None);
+    let replay = replay.expect("replay run completes");
+    assert_eq!(replay.report.canonical_json(), reference);
+
+    // Crash drill: fresh journal killed half-way, then resumed to the end.
+    let kill_at = cold.stages.journal_frames_written / 2;
+    let (killed_ms, killed) = run(false, Some(kill_at));
+    let durable = killed.expect_err("kill switch fires mid-run");
+    let (resume_ms, resumed) = run(true, None);
+    let resumed = resumed.expect("resumed run completes");
+    assert_eq!(
+        resumed.report.canonical_json(),
+        reference,
+        "resume must be byte-identical"
+    );
+
+    println!(
+        "store bench: cold {cold_ms:.1} ms | warm pack {warm_ms:.1} ms ({:.2}x) | \
+         replay {replay_ms:.1} ms ({:.2}x) | crash at frame {kill_at} ({durable} durable, \
+         {killed_ms:.1} ms) + resume {resume_ms:.1} ms",
+        cold_ms / warm_ms,
+        cold_ms / replay_ms,
+    );
+
+    let mut out = serde_json::Map::new();
+    out.insert("scale".into(), args.scale.into());
+    out.insert("seed".into(), args.seed.into());
+    out.insert("honeypot_sample".into(), args.honeypot_sample.into());
+    out.insert("workers".into(), args.workers.into());
+    out.insert("byte_identical".into(), true.into());
+    out.insert("cold".into(), run_json(cold_ms, &cold, None));
+    out.insert(
+        "warm_pack".into(),
+        run_json(warm_ms, &warm, Some(cold_ms / warm_ms)),
+    );
+    out.insert(
+        "replay_complete_journal".into(),
+        run_json(replay_ms, &replay, Some(cold_ms / replay_ms)),
+    );
+    let mut crash = serde_json::Map::new();
+    crash.insert("kill_after_frames".into(), kill_at.into());
+    crash.insert("durable_frames".into(), durable.into());
+    crash.insert(
+        "killed_wall_ms".into(),
+        serde_json::to_value(killed_ms).expect("serializable"),
+    );
+    crash.insert(
+        "resume".into(),
+        run_json(resume_ms, &resumed, Some(cold_ms / resume_ms)),
+    );
+    out.insert("crash_and_resume".into(), crash.into());
+    std::fs::write(
+        path,
+        serde_json::to_string_pretty(&out).expect("serializable"),
+    )
+    .expect("write store bench json");
+    eprintln!("wrote {path}");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 fn main() {
     let args = parse_args();
     let scale_factor = args.scale as f64 / 20_915.0;
 
-    eprintln!("building ecosystem: {} listings (seed {}) …", args.scale, args.seed);
+    eprintln!(
+        "building ecosystem: {} listings (seed {}) …",
+        args.scale, args.seed
+    );
     let eco = build_ecosystem(&EcosystemConfig {
         num_bots: args.scale,
         seed: args.seed,
@@ -188,7 +404,8 @@ fn main() {
 
     if args.enforced {
         eprintln!("runtime policy: ENFORCED (Slack/Teams model — §6 extension)");
-        eco.platform.set_runtime_policy(discord_sim::RuntimePolicy::Enforced);
+        eco.platform
+            .set_runtime_policy(discord_sim::RuntimePolicy::Enforced);
     }
     eprintln!(
         "running data collection + traceability + code analysis ({} worker{}) …",
@@ -196,7 +413,51 @@ fn main() {
         if args.workers == 1 { "" } else { "s" }
     );
     let pipeline = AuditPipeline::new(audit_config(args.honeypot_sample, args.workers));
-    let (bots, stats, caches) = pipeline.run_static_stages_detailed(&eco.net);
+    let (bots, stats, caches, stored_campaign) = if let Some(dir) = &args.store_dir {
+        if args.enforced {
+            eprintln!(
+                "note: --enforced is not part of the store fingerprint; \
+                 use a dedicated --store-dir for enforced runs"
+            );
+        }
+        let mut store = StoreConfig::on_disk(dir).expect("open --store-dir");
+        store.resume = args.resume;
+        store.kill_after_frames = args.kill_after_frames;
+        match pipeline.run_resumable(&eco, &store, args.seed) {
+            Ok(ResumableOutcome {
+                report,
+                stages,
+                store_stats,
+            }) => {
+                eprintln!(
+                    "store: {} frames replayed, {} written; pack {} hits / {} misses",
+                    store_stats.frames_replayed,
+                    store_stats.frames_written,
+                    store_stats.artifact_hits,
+                    store_stats.artifact_misses,
+                );
+                (report.bots, report.crawl_stats, stages, report.honeypot)
+            }
+            Err(ResumeError::Interrupted { frames_written }) => {
+                eprintln!(
+                    "interrupted after {frames_written} durable journal frames — \
+                     rerun with --resume to continue from here"
+                );
+                std::process::exit(0);
+            }
+            Err(other) => {
+                eprintln!("audit store failure: {other}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        if args.resume || args.kill_after_frames.is_some() {
+            eprintln!("--resume / --kill-after-frames require --store-dir");
+            std::process::exit(2);
+        }
+        let (bots, stats, caches) = pipeline.run_static_stages_detailed(&eco.net);
+        (bots, stats, caches, None)
+    };
 
     let mut json = serde_json::Map::new();
     json.insert("scale".into(), args.scale.into());
@@ -215,7 +476,8 @@ fn main() {
     println!(
         "caches: link cache {} hits / {} misses | policy memo {} hits / {} misses | \
          kernels: policy automaton {} states, {} passes, {} bytes | \
-         code automaton {} states, {} passes, {} bytes",
+         code automaton {} states, {} passes, {} bytes | \
+         journal {} written / {} replayed | artifact pack {} hits / {} misses",
         caches.link_cache_hits,
         caches.link_cache_misses,
         caches.policy_memo_hits,
@@ -226,25 +488,48 @@ fn main() {
         caches.code_automaton_states,
         caches.code_scan_passes,
         caches.code_bytes_scanned,
+        caches.journal_frames_written,
+        caches.journal_frames_replayed,
+        caches.artifact_cache_hits,
+        caches.artifact_cache_misses,
     );
-    json.insert("stage_caches".into(), serde_json::to_value(caches).expect("serializable"));
+    json.insert(
+        "stage_caches".into(),
+        serde_json::to_value(caches).expect("serializable"),
+    );
 
     // ---- Figure 3 + in-text permission numbers -------------------------
     if want(&args, "fig3") {
         let rows = figure3_distribution(&bots, 25);
         println!("\n{}", render_figure3(&rows));
-        let valid = bots.iter().filter(|b| b.crawled.invite_status.is_valid()).count();
+        let valid = bots
+            .iter()
+            .filter(|b| b.crawled.invite_status.is_valid())
+            .count();
         let pct = |name: &str| {
-            rows.iter().find(|r| r.permission == name).map(|r| r.percent).unwrap_or(0.0)
+            rows.iter()
+                .find(|r| r.permission == name)
+                .map(|r| r.percent)
+                .unwrap_or(0.0)
         };
         let comparisons = vec![
             Comparison::new("bots crawled", 20_915.0 * scale_factor, bots.len() as f64),
-            Comparison::new("valid invites %", 74.0, valid as f64 / bots.len().max(1) as f64 * 100.0),
+            Comparison::new(
+                "valid invites %",
+                74.0,
+                valid as f64 / bots.len().max(1) as f64 * 100.0,
+            ),
             Comparison::new("send messages %", 59.18, pct("send messages")),
             Comparison::new("administrator %", 54.86, pct("administrator")),
         ];
-        println!("{}", render_comparisons("Figure 3 / §4.2 anchors (paper vs measured)", &comparisons));
-        json.insert("figure3".into(), serde_json::to_value(&rows).expect("serializable"));
+        println!(
+            "{}",
+            render_comparisons("Figure 3 / §4.2 anchors (paper vs measured)", &comparisons)
+        );
+        json.insert(
+            "figure3".into(),
+            serde_json::to_value(&rows).expect("serializable"),
+        );
 
         // Least-privilege extension (§5: "minimal required permissions").
         let gaps = chatbot_audit::privilege_gaps(&bots);
@@ -254,7 +539,10 @@ fn main() {
              (mean {:.1} excess permission bits; all fixable by configuration)\n",
             lp.over_privileged, lp.analyzed, lp.mean_excess_bits
         );
-        json.insert("least_privilege".into(), serde_json::to_value(&lp).expect("serializable"));
+        json.insert(
+            "least_privilege".into(),
+            serde_json::to_value(&lp).expect("serializable"),
+        );
 
         // Exposure: guild counts behind each risk flag (§4.2's reach framing).
         println!("Guild exposure by risk flag:");
@@ -268,11 +556,20 @@ fn main() {
     if want(&args, "table1") {
         let rows = table1_histogram(&bots);
         println!("\n{}", render_table1(&rows));
-        let one_bot_pct =
-            rows.iter().find(|r| r.bots_per_developer == 1).map(|r| r.percent).unwrap_or(0.0);
+        let one_bot_pct = rows
+            .iter()
+            .find(|r| r.bots_per_developer == 1)
+            .map(|r| r.percent)
+            .unwrap_or(0.0);
         let comparisons = vec![Comparison::new("devs with 1 bot %", 89.08, one_bot_pct)];
-        println!("{}", render_comparisons("Table 1 anchors (paper vs measured)", &comparisons));
-        json.insert("table1".into(), serde_json::to_value(&rows).expect("serializable"));
+        println!(
+            "{}",
+            render_comparisons("Table 1 anchors (paper vs measured)", &comparisons)
+        );
+        json.insert(
+            "table1".into(),
+            serde_json::to_value(&rows).expect("serializable"),
+        );
     }
 
     // ---- Table 2 ---------------------------------------------------------
@@ -286,15 +583,25 @@ fn main() {
             Comparison::new("broken traceability %", 95.67, t2.pct(t2.broken)),
             Comparison::new("complete traceability %", 0.0, t2.pct(t2.complete)),
         ];
-        println!("{}", render_comparisons("Table 2 (paper vs measured)", &comparisons));
-        json.insert("table2".into(), serde_json::to_value(&t2).expect("serializable"));
+        println!(
+            "{}",
+            render_comparisons("Table 2 (paper vs measured)", &comparisons)
+        );
+        json.insert(
+            "table2".into(),
+            serde_json::to_value(&t2).expect("serializable"),
+        );
     }
 
     // ---- Table 3 / code analysis ----------------------------------------
     if want(&args, "table3") {
         let t3 = table3_code_analysis(&bots);
         println!("\n{}", render_table3(&t3));
-        let active = bots.iter().filter(|b| b.crawled.invite_status.is_valid()).count().max(1);
+        let active = bots
+            .iter()
+            .filter(|b| b.crawled.invite_status.is_valid())
+            .count()
+            .max(1);
         let comparisons = vec![
             Comparison::new(
                 "github links % of active",
@@ -314,15 +621,24 @@ fn main() {
             Comparison::new("JS repos checking %", 72.97, t3.js_checking_pct()),
             Comparison::new("Python repos checking %", 2.65, t3.py_checking_pct()),
         ];
-        println!("{}", render_comparisons("Table 3 / code analysis (paper vs measured)", &comparisons));
-        json.insert("table3".into(), serde_json::to_value(&t3).expect("serializable"));
+        println!(
+            "{}",
+            render_comparisons("Table 3 / code analysis (paper vs measured)", &comparisons)
+        );
+        json.insert(
+            "table3".into(),
+            serde_json::to_value(&t3).expect("serializable"),
+        );
     }
 
     // ---- Honeypot ---------------------------------------------------------
     let mut campaign_result = None;
     if want(&args, "honeypot") {
-        eprintln!("running honeypot campaign over the {} most-voted bots …", args.honeypot_sample);
-        let campaign = pipeline.run_honeypot(&eco);
+        eprintln!(
+            "running honeypot campaign over the {} most-voted bots …",
+            args.honeypot_sample
+        );
+        let campaign = stored_campaign.unwrap_or_else(|| pipeline.run_honeypot(&eco));
         println!("\n== Honeypot (§4.2) ==");
         println!(
             "guilds {} | bots tested {} | tokens planted {} | messages {} | captchas {} (${:.2}) | manual verifications {}",
@@ -341,10 +657,17 @@ fn main() {
             );
         }
         let comparisons = vec![
-            Comparison::new("bots tested", 500.0 * (args.honeypot_sample as f64 / 500.0), campaign.bots_tested as f64),
+            Comparison::new(
+                "bots tested",
+                500.0 * (args.honeypot_sample as f64 / 500.0),
+                campaign.bots_tested as f64,
+            ),
             Comparison::new("bots detected", 1.0, campaign.detections.len() as f64),
         ];
-        println!("{}", render_comparisons("Honeypot (paper vs measured)", &comparisons));
+        println!(
+            "{}",
+            render_comparisons("Honeypot (paper vs measured)", &comparisons)
+        );
 
         // Validation against ground truth — beyond the paper.
         let validation = validate_against_truth(&bots, &eco.truth, Some(&campaign));
@@ -360,7 +683,10 @@ fn main() {
             validation.policy_discovery.precision(),
             validation.policy_discovery.recall()
         );
-        println!("traceability agree  : {:.3}", validation.traceability_agreement);
+        println!(
+            "traceability agree  : {:.3}",
+            validation.traceability_agreement
+        );
         println!(
             "repo resolution     : precision {:.3} recall {:.3}",
             validation.repo_resolution.precision(),
@@ -376,7 +702,10 @@ fn main() {
             validation.honeypot_detection.precision(),
             validation.honeypot_detection.recall()
         );
-        json.insert("validation".into(), serde_json::to_value(&validation).expect("serializable"));
+        json.insert(
+            "validation".into(),
+            serde_json::to_value(&validation).expect("serializable"),
+        );
         campaign_result = Some(campaign);
     }
 
@@ -391,12 +720,19 @@ fn main() {
     }
 
     if let Some(path) = &args.json {
-        std::fs::write(path, serde_json::to_string_pretty(&json).expect("serializable"))
-            .expect("write json output");
+        std::fs::write(
+            path,
+            serde_json::to_string_pretty(&json).expect("serializable"),
+        )
+        .expect("write json output");
         eprintln!("wrote {path}");
     }
 
     if let Some(path) = &args.bench_json {
         parallel_bench(&args, path);
+    }
+
+    if let Some(path) = &args.store_bench_json {
+        store_bench(&args, path);
     }
 }

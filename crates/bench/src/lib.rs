@@ -39,12 +39,20 @@ pub fn prepare_world_workers(num_bots: usize, seed: u64, workers: usize) -> Prep
     config.honeypot.workers = workers;
     let pipeline = AuditPipeline::new(config);
     let (bots, stats) = pipeline.run_static_stages(&eco.net);
-    PreparedWorld { eco, pipeline, bots, stats }
+    PreparedWorld {
+        eco,
+        pipeline,
+        bots,
+        stats,
+    }
 }
 
 /// Run the honeypot stage over the top `sample` bots of a prepared world.
 pub fn run_honeypot(world: &PreparedWorld, sample: usize) -> CampaignReport {
-    let pipeline = AuditPipeline::new(AuditConfig { honeypot_sample: sample, ..AuditConfig::default() });
+    let pipeline = AuditPipeline::new(AuditConfig {
+        honeypot_sample: sample,
+        ..AuditConfig::default()
+    });
     pipeline.run_honeypot(&world.eco)
 }
 
@@ -62,7 +70,11 @@ pub struct Comparison {
 impl Comparison {
     /// Build a row.
     pub fn new(metric: &str, paper: f64, measured: f64) -> Comparison {
-        Comparison { metric: metric.to_string(), paper, measured }
+        Comparison {
+            metric: metric.to_string(),
+            paper,
+            measured,
+        }
     }
 
     /// Absolute deviation.
@@ -74,8 +86,20 @@ impl Comparison {
 /// Render comparison rows as an aligned text table.
 pub fn render_comparisons(title: &str, rows: &[Comparison]) -> String {
     let mut out = format!("{title}\n");
-    let width = rows.iter().map(|r| r.metric.len()).max().unwrap_or(8).max(8);
-    out.push_str(&format!("{:width$} | {:>8} | {:>8} | {:>6}\n", "metric", "paper", "measured", "|Δ|", width = width));
+    let width = rows
+        .iter()
+        .map(|r| r.metric.len())
+        .max()
+        .unwrap_or(8)
+        .max(8);
+    out.push_str(&format!(
+        "{:width$} | {:>8} | {:>8} | {:>6}\n",
+        "metric",
+        "paper",
+        "measured",
+        "|Δ|",
+        width = width
+    ));
     for r in rows {
         out.push_str(&format!(
             "{:width$} | {:8.2} | {:8.2} | {:6.2}\n",

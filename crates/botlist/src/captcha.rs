@@ -50,7 +50,10 @@ impl CaptchaBank {
         let b: i64 = rng.gen_range(10i64..100);
         let id = format!("ch-{}", inner.counter);
         inner.open.insert(id.clone(), a + b);
-        Challenge { id, question: format!("{a} + {b}") }
+        Challenge {
+            id,
+            question: format!("{a} + {b}"),
+        }
     }
 
     /// Redeem a solved challenge for a pass token. Wrong answers consume

@@ -58,7 +58,12 @@ mod tests {
 
     #[test]
     fn minimal_builder() {
-        let l = BotListing::minimal(7, "FunBot", "https://discord.sim/oauth2/authorize?client_id=7&scope=bot", 42);
+        let l = BotListing::minimal(
+            7,
+            "FunBot",
+            "https://discord.sim/oauth2/authorize?client_id=7&scope=bot",
+            42,
+        );
         assert_eq!(l.id, 7);
         assert_eq!(l.vote_count, 42);
         assert_eq!(l.developers, vec!["dev-7"]);

@@ -47,7 +47,12 @@ impl Default for SiteConfig {
 impl SiteConfig {
     /// A defenseless configuration (unit tests, ablations).
     pub fn open() -> SiteConfig {
-        SiteConfig { page_size: 25, captcha_every: None, rate_limit: None, email_wall_after_page: None }
+        SiteConfig {
+            page_size: 25,
+            captcha_every: None,
+            rate_limit: None,
+            email_wall_after_page: None,
+        }
     }
 }
 
@@ -78,7 +83,11 @@ impl BotListSite {
     /// the "top chatbot" order).
     pub fn new(mut listings: Vec<BotListing>, config: SiteConfig) -> BotListSite {
         listings.sort_by(|a, b| b.vote_count.cmp(&a.vote_count).then(a.id.cmp(&b.id)));
-        let by_id = listings.iter().enumerate().map(|(i, l)| (l.id, i)).collect();
+        let by_id = listings
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (l.id, i))
+            .collect();
         BotListSite {
             inner: Arc::new(Mutex::new(SiteInner {
                 listings,
@@ -109,8 +118,12 @@ impl BotListSite {
 
     fn render_list_page(inner: &SiteInner, page: usize) -> String {
         let start = page.saturating_mul(inner.config.page_size);
-        let slice: Vec<&BotListing> =
-            inner.listings.iter().skip(start).take(inner.config.page_size).collect();
+        let slice: Vec<&BotListing> = inner
+            .listings
+            .iter()
+            .skip(start)
+            .take(inner.config.page_size)
+            .collect();
         let total_pages = inner.listings.len().div_ceil(inner.config.page_size).max(1);
         // Three page-structure variants — "some of the repositories have
         // varying page structures" (§3).
@@ -120,17 +133,29 @@ impl BotListSite {
                 el("div")
                     .class("bot-card")
                     .attr("data-bot-id", &l.id.to_string())
-                    .child(el("a").class("bot-link").attr("href", &format!("/bot/{}", l.id)).text(l.name.clone()))
+                    .child(
+                        el("a")
+                            .class("bot-link")
+                            .attr("href", &format!("/bot/{}", l.id))
+                            .text(l.name.clone()),
+                    )
                     .child(el("span").class("votes").text(l.vote_count.to_string()))
             })),
-            1 => el("table").id("bot-table").child(el("tbody").children(slice.iter().map(|l| {
-                el("tr")
-                    .class("bot-row")
-                    .child(el("td").child(
-                        el("a").class("details").attr("href", &format!("/bot/{}", l.id)).text(l.name.clone()),
-                    ))
-                    .child(el("td").class("votes").text(l.vote_count.to_string()))
-            }))),
+            1 => el("table")
+                .id("bot-table")
+                .child(el("tbody").children(slice.iter().map(|l| {
+                    el("tr")
+                        .class("bot-row")
+                        .child(
+                            el("td").child(
+                                el("a")
+                                    .class("details")
+                                    .attr("href", &format!("/bot/{}", l.id))
+                                    .text(l.name.clone()),
+                            ),
+                        )
+                        .child(el("td").class("votes").text(l.vote_count.to_string()))
+                }))),
             _ => el("ul").id("entries").children(slice.iter().map(|l| {
                 el("li").class("entry").child(
                     el("a")
@@ -164,20 +189,46 @@ impl BotListSite {
             .id("bot")
             .attr("data-bot-id", &listing.id.to_string())
             .child(el("h1").id("bot-name").text(listing.name.clone()))
-            .child(el("a").id("invite").attr("href", &listing.invite_link).text("Invite"))
-            .child(el("span").id("guild-count").text(listing.guild_count.to_string()))
-            .child(el("span").id("vote-count").text(listing.vote_count.to_string()))
-            .child(el("p").id("description").text(listing.description.clone()))
-            .child(el("ul").id("tags").children(listing.tags.iter().map(|t| el("li").class("tag").text(t.clone()))))
             .child(
-                el("ul")
-                    .id("devs")
-                    .children(listing.developers.iter().map(|d| el("li").class("dev").text(d.clone()))),
+                el("a")
+                    .id("invite")
+                    .attr("href", &listing.invite_link)
+                    .text("Invite"),
             )
             .child(
-                el("ul")
-                    .id("commands")
-                    .children(listing.commands.iter().map(|c| el("li").class("command").text(c.clone()))),
+                el("span")
+                    .id("guild-count")
+                    .text(listing.guild_count.to_string()),
+            )
+            .child(
+                el("span")
+                    .id("vote-count")
+                    .text(listing.vote_count.to_string()),
+            )
+            .child(el("p").id("description").text(listing.description.clone()))
+            .child(
+                el("ul").id("tags").children(
+                    listing
+                        .tags
+                        .iter()
+                        .map(|t| el("li").class("tag").text(t.clone())),
+                ),
+            )
+            .child(
+                el("ul").id("devs").children(
+                    listing
+                        .developers
+                        .iter()
+                        .map(|d| el("li").class("dev").text(d.clone())),
+                ),
+            )
+            .child(
+                el("ul").id("commands").children(
+                    listing
+                        .commands
+                        .iter()
+                        .map(|c| el("li").class("command").text(c.clone())),
+                ),
             );
         if let Some(site) = &listing.website {
             bot = bot.child(el("a").class("website").attr("href", site).text("Website"));
@@ -206,31 +257,53 @@ impl BotListSite {
             .child(el("h2").class("app-title").text(listing.name.clone()))
             .child(
                 el("div").class("actions").child(
-                    el("a").class("install-button").attr("href", &listing.invite_link).text("Add to server"),
+                    el("a")
+                        .class("install-button")
+                        .attr("href", &listing.invite_link)
+                        .text("Add to server"),
                 ),
             )
             .child(el("div").class("about").text(listing.description.clone()))
             .child(
-                el("div")
-                    .class("badges")
-                    .children(listing.tags.iter().map(|t| el("span").class("badge").text(t.clone()))),
+                el("div").class("badges").children(
+                    listing
+                        .tags
+                        .iter()
+                        .map(|t| el("span").class("badge").text(t.clone())),
+                ),
             )
             .child(
-                el("div")
-                    .class("made-by")
-                    .children(listing.developers.iter().map(|d| el("span").class("maker").text(d.clone()))),
+                el("div").class("made-by").children(
+                    listing
+                        .developers
+                        .iter()
+                        .map(|d| el("span").class("maker").text(d.clone())),
+                ),
             )
             .child(
-                el("div")
-                    .class("command-list")
-                    .children(listing.commands.iter().map(|c| el("code").class("cmd").text(c.clone()))),
+                el("div").class("command-list").children(
+                    listing
+                        .commands
+                        .iter()
+                        .map(|c| el("code").class("cmd").text(c.clone())),
+                ),
             );
         let mut links = el("nav").class("external-links");
         if let Some(site) = &listing.website {
-            links = links.child(el("a").attr("rel", "website").attr("href", site).text("Website"));
+            links = links.child(
+                el("a")
+                    .attr("rel", "website")
+                    .attr("href", site)
+                    .text("Website"),
+            );
         }
         if let Some(gh) = &listing.github {
-            links = links.child(el("a").attr("rel", "source").attr("href", gh).text("Source"));
+            links = links.child(
+                el("a")
+                    .attr("rel", "source")
+                    .attr("href", gh)
+                    .text("Source"),
+            );
         }
         card = card.child(links);
         let doc = Document::new(
@@ -267,13 +340,16 @@ impl Service for BotListSite {
         let requester = ctx.requester.to_string();
         let config = inner.config.clone();
 
-        let state = inner.clients.entry(requester.clone()).or_insert_with(|| ClientState {
-            bucket: config
-                .rate_limit
-                .map(|(burst, rate)| TokenBucket::new(burst, rate, SimInstant::EPOCH)),
-            credit: config.captcha_every.unwrap_or(u64::MAX),
-            email_verified: false,
-        });
+        let state = inner
+            .clients
+            .entry(requester.clone())
+            .or_insert_with(|| ClientState {
+                bucket: config
+                    .rate_limit
+                    .map(|(burst, rate)| TokenBucket::new(burst, rate, SimInstant::EPOCH)),
+                credit: config.captcha_every.unwrap_or(u64::MAX),
+                email_verified: false,
+            });
 
         // 1. Rate limiting.
         if let Some(bucket) = &mut state.bucket {
@@ -286,7 +362,8 @@ impl Service for BotListSite {
         match (req.method, req.url.path.as_str()) {
             (Method::Get, "/captcha/challenge") => {
                 let ch = inner.captcha.issue(ctx.rng);
-                return Response::ok(Self::render_captcha_page(&ch)).with_header("content-type", "text/html");
+                return Response::ok(Self::render_captcha_page(&ch))
+                    .with_header("content-type", "text/html");
             }
             (Method::Post, "/captcha/redeem") => {
                 let body = String::from_utf8_lossy(&req.body).to_string();
@@ -325,7 +402,10 @@ impl Service for BotListSite {
         }
         if state.credit == 0 {
             let ch = inner.captcha.issue(ctx.rng);
-            return Response { status: Status::Forbidden, ..Response::ok(Self::render_captcha_page(&ch)) };
+            return Response {
+                status: Status::Forbidden,
+                ..Response::ok(Self::render_captcha_page(&ch))
+            };
         }
         state.credit = state.credit.saturating_sub(1);
         let email_verified = state.email_verified;
@@ -334,14 +414,18 @@ impl Service for BotListSite {
         let segments = req.url.segments();
         match segments.as_slice() {
             ["list"] | [] => {
-                let page: usize =
-                    req.url.query_param("page").and_then(|p| p.parse().ok()).unwrap_or(0);
+                let page: usize = req
+                    .url
+                    .query_param("page")
+                    .and_then(|p| p.parse().ok())
+                    .unwrap_or(0);
                 if let Some(wall) = config.email_wall_after_page {
                     if page > wall && !email_verified {
                         return Response::status(Status::Unauthorized);
                     }
                 }
-                Response::ok(Self::render_list_page(inner, page)).with_header("content-type", "text/html")
+                Response::ok(Self::render_list_page(inner, page))
+                    .with_header("content-type", "text/html")
             }
             ["bot", id] => match id.parse::<u64>().ok().and_then(|id| inner.by_id.get(&id)) {
                 Some(&idx) => Response::ok(Self::render_detail_page(&inner.listings[idx]))
@@ -367,7 +451,10 @@ mod tests {
                 BotListing::minimal(
                     i + 1,
                     &format!("Bot{}", i + 1),
-                    &format!("https://discord.sim/oauth2/authorize?client_id={}&scope=bot&permissions=8", i + 1),
+                    &format!(
+                        "https://discord.sim/oauth2/authorize?client_id={}&scope=bot&permissions=8",
+                        i + 1
+                    ),
                     1000 - i,
                 )
             })
@@ -386,7 +473,9 @@ mod tests {
     fn list_page_serves_cards_sorted_by_votes() {
         let (_net, site, mut client) = setup(SiteConfig::open(), 60);
         assert_eq!(site.total_pages(), 3);
-        let resp = client.get(Url::https(LIST_HOST, "/list").with_query("page", "0")).unwrap();
+        let resp = client
+            .get(Url::https(LIST_HOST, "/list").with_query("page", "0"))
+            .unwrap();
         let doc = parse_document(&resp.text()).unwrap();
         let cards = Locator::class("bot-card").find_all(&doc).unwrap();
         assert_eq!(cards.len(), 25);
@@ -409,7 +498,10 @@ mod tests {
         let p0 = page(&mut client, 0);
         assert!(Locator::id("bot-list").find(&p0).is_ok());
         let p1 = page(&mut client, 1);
-        assert!(Locator::id("bot-list").find(&p1).is_err(), "variant 1 has no #bot-list");
+        assert!(
+            Locator::id("bot-list").find(&p1).is_err(),
+            "variant 1 has no #bot-list"
+        );
         assert!(Locator::id("bot-table").find(&p1).is_ok());
         let p2 = page(&mut client, 2);
         assert!(Locator::id("entries").find(&p2).is_ok());
@@ -420,11 +512,20 @@ mod tests {
         let (_net, _site, mut client) = setup(SiteConfig::open(), 5);
         let resp = client.get(Url::https(LIST_HOST, "/bot/3")).unwrap();
         let doc = parse_document(&resp.text()).unwrap();
-        assert_eq!(Locator::id("bot-name").find(&doc).unwrap().text_content(), "Bot3");
+        assert_eq!(
+            Locator::id("bot-name").find(&doc).unwrap().text_content(),
+            "Bot3"
+        );
         let invite = Locator::id("invite").find(&doc).unwrap();
         assert!(invite.attr("href").unwrap().contains("client_id=3"));
-        assert_eq!(Locator::id("vote-count").find(&doc).unwrap().text_content(), "998");
-        assert_eq!(Locator::class("dev").find(&doc).unwrap().text_content(), "dev-3");
+        assert_eq!(
+            Locator::id("vote-count").find(&doc).unwrap().text_content(),
+            "998"
+        );
+        assert_eq!(
+            Locator::class("dev").find(&doc).unwrap().text_content(),
+            "dev-3"
+        );
         // No website/github on minimal listings.
         assert!(Locator::class("website").find(&doc).is_err());
     }
@@ -438,7 +539,11 @@ mod tests {
 
     #[test]
     fn rate_limit_fires_and_recovers() {
-        let config = SiteConfig { rate_limit: Some((2, 1.0)), captcha_every: None, ..SiteConfig::open() };
+        let config = SiteConfig {
+            rate_limit: Some((2, 1.0)),
+            captcha_every: None,
+            ..SiteConfig::open()
+        };
         let (net, _site, mut client) = setup(config, 5);
         // Burst of 2 succeeds; third is throttled (impolite client, 1 attempt).
         client.get(Url::https(LIST_HOST, "/list")).unwrap();
@@ -452,10 +557,18 @@ mod tests {
 
     #[test]
     fn captcha_wall_and_redeem_cycle() {
-        let config = SiteConfig { captcha_every: Some(3), rate_limit: None, ..SiteConfig::open() };
+        let config = SiteConfig {
+            captcha_every: Some(3),
+            rate_limit: None,
+            ..SiteConfig::open()
+        };
         let (_net, _site, mut client) = setup(config, 5);
         for _ in 0..3 {
-            assert!(client.get(Url::https(LIST_HOST, "/list")).unwrap().status.is_success());
+            assert!(client
+                .get(Url::https(LIST_HOST, "/list"))
+                .unwrap()
+                .status
+                .is_success());
         }
         // Credit exhausted → captcha page.
         let walled = client.get(Url::https(LIST_HOST, "/list")).unwrap();
@@ -463,11 +576,17 @@ mod tests {
         let doc = parse_document(&walled.text()).unwrap();
         let captcha = Locator::id("captcha").find(&doc).unwrap();
         let id = captcha.attr("data-challenge-id").unwrap().to_string();
-        let question = Locator::class("question").find(&doc).unwrap().text_content();
+        let question = Locator::class("question")
+            .find(&doc)
+            .unwrap()
+            .text_content();
         let answer = CaptchaBank::solve_question(&question).unwrap();
         // Redeem and retry with the pass.
         let token = client
-            .post(Url::https(LIST_HOST, "/captcha/redeem"), format!("id={id}&answer={answer}"))
+            .post(
+                Url::https(LIST_HOST, "/captcha/redeem"),
+                format!("id={id}&answer={answer}"),
+            )
             .unwrap()
             .text();
         let resp = client
@@ -486,16 +605,28 @@ mod tests {
 
     #[test]
     fn email_wall_blocks_deep_pages_until_verified() {
-        let config = SiteConfig { email_wall_after_page: Some(1), captcha_every: None, rate_limit: None, ..SiteConfig::open() };
+        let config = SiteConfig {
+            email_wall_after_page: Some(1),
+            captcha_every: None,
+            rate_limit: None,
+            ..SiteConfig::open()
+        };
         let (_net, _site, mut client) = setup(config, 200);
         assert!(client
             .get(Url::https(LIST_HOST, "/list").with_query("page", "1"))
             .unwrap()
             .status
             .is_success());
-        let deep = client.get(Url::https(LIST_HOST, "/list").with_query("page", "2")).unwrap();
+        let deep = client
+            .get(Url::https(LIST_HOST, "/list").with_query("page", "2"))
+            .unwrap();
         assert_eq!(deep.status, Status::Unauthorized);
-        client.post(Url::https(LIST_HOST, "/verify-email"), "email=crawler@lab.example").unwrap();
+        client
+            .post(
+                Url::https(LIST_HOST, "/verify-email"),
+                "email=crawler@lab.example",
+            )
+            .unwrap();
         assert!(client
             .get(Url::https(LIST_HOST, "/list").with_query("page", "2"))
             .unwrap()
@@ -505,14 +636,26 @@ mod tests {
 
     #[test]
     fn wrong_captcha_answer_rejected() {
-        let config = SiteConfig { captcha_every: Some(1), rate_limit: None, ..SiteConfig::open() };
+        let config = SiteConfig {
+            captcha_every: Some(1),
+            rate_limit: None,
+            ..SiteConfig::open()
+        };
         let (_net, _site, mut client) = setup(config, 5);
         client.get(Url::https(LIST_HOST, "/list")).unwrap();
         let walled = client.get(Url::https(LIST_HOST, "/list")).unwrap();
         let doc = parse_document(&walled.text()).unwrap();
-        let id = Locator::id("captcha").find(&doc).unwrap().attr("data-challenge-id").unwrap().to_string();
+        let id = Locator::id("captcha")
+            .find(&doc)
+            .unwrap()
+            .attr("data-challenge-id")
+            .unwrap()
+            .to_string();
         let resp = client
-            .post(Url::https(LIST_HOST, "/captcha/redeem"), format!("id={id}&answer=0"))
+            .post(
+                Url::https(LIST_HOST, "/captcha/redeem"),
+                format!("id={id}&answer=0"),
+            )
             .unwrap();
         assert_eq!(resp.status, Status::Forbidden);
     }

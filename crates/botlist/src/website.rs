@@ -36,7 +36,10 @@ pub struct BotWebsite {
 impl BotWebsite {
     /// Build a website.
     pub fn new(bot_name: &str, hosting: PolicyHosting) -> BotWebsite {
-        BotWebsite { bot_name: bot_name.to_string(), hosting }
+        BotWebsite {
+            bot_name: bot_name.to_string(),
+            hosting,
+        }
     }
 
     /// Mount at `host`.
@@ -47,9 +50,18 @@ impl BotWebsite {
     fn homepage(&self) -> String {
         let mut body = el("body")
             .child(el("h1").id("name").text(self.bot_name.clone()))
-            .child(el("p").class("pitch").text(format!("{} — the bot your server deserves.", self.bot_name)));
+            .child(
+                el("p")
+                    .class("pitch")
+                    .text(format!("{} — the bot your server deserves.", self.bot_name)),
+            );
         if !matches!(self.hosting, PolicyHosting::None) {
-            body = body.child(el("a").id("privacy-link").attr("href", "/privacy").text("Privacy Policy"));
+            body = body.child(
+                el("a")
+                    .id("privacy-link")
+                    .attr("href", "/privacy")
+                    .text("Privacy Policy"),
+            );
         }
         let doc = Document::new(
             el("html")
@@ -67,7 +79,10 @@ impl BotWebsite {
                 .child(
                     el("body").child(
                         el("div").id("policy").children(
-                            policy.sections.iter().map(|s| el("p").class("policy-text").text(s.clone())),
+                            policy
+                                .sections
+                                .iter()
+                                .map(|s| el("p").class("policy-text").text(s.clone())),
                         ),
                     ),
                 )
@@ -82,9 +97,8 @@ impl Service for BotWebsite {
         match req.url.path.as_str() {
             "/" => Response::ok(self.homepage()).with_header("content-type", "text/html"),
             "/privacy" => match &self.hosting {
-                PolicyHosting::Linked(policy) => {
-                    Response::ok(Self::privacy_page(policy)).with_header("content-type", "text/html")
-                }
+                PolicyHosting::Linked(policy) => Response::ok(Self::privacy_page(policy))
+                    .with_header("content-type", "text/html"),
                 PolicyHosting::DeadLink => Response::status(Status::NotFound),
                 PolicyHosting::None => Response::status(Status::NotFound),
             },
@@ -128,8 +142,14 @@ mod tests {
         let mut client = HttpClient::new(net, ClientConfig::impolite("t"));
         let home = fetch(&mut client, "ghost.site", "/");
         let doc = parse_document(&home.text()).unwrap();
-        assert!(Locator::id("privacy-link").find(&doc).is_ok(), "link is shown");
-        assert_eq!(fetch(&mut client, "ghost.site", "/privacy").status, Status::NotFound);
+        assert!(
+            Locator::id("privacy-link").find(&doc).is_ok(),
+            "link is shown"
+        );
+        assert_eq!(
+            fetch(&mut client, "ghost.site", "/privacy").status,
+            Status::NotFound
+        );
     }
 
     #[test]

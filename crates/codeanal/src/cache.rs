@@ -37,7 +37,11 @@ impl LinkCache {
     pub fn normalize(raw_link: &str) -> String {
         match Url::parse(raw_link) {
             Ok(url) => {
-                format!("{}{}", url.host, url.path.to_lowercase().trim_end_matches('/'))
+                format!(
+                    "{}{}",
+                    url.host,
+                    url.path.to_lowercase().trim_end_matches('/')
+                )
             }
             Err(_) => raw_link.to_string(),
         }

@@ -22,7 +22,9 @@ pub fn js_bot_repo<R: Rng + ?Sized>(rng: &mut R, slug: &str, with_checks: bool) 
     let prefix = pick(rng, &["!", "?", "$", "-"]);
     let check = if with_checks {
         match rng.gen_range(0..3) {
-            0 => "  if (!message.member.hasPermission('KICK_MEMBERS')) return message.reply('no');\n",
+            0 => {
+                "  if (!message.member.hasPermission('KICK_MEMBERS')) return message.reply('no');\n"
+            }
             1 => "  if (!message.member.permissions.has(Permissions.FLAGS.KICK_MEMBERS)) return;\n",
             _ => "  if (!message.member.roles.cache.some(r => r.name === 'Mod')) return;\n",
         }
@@ -63,7 +65,10 @@ pub fn js_bot_repo<R: Rng + ?Sized>(rng: &mut R, slug: &str, with_checks: bool) 
             SourceFile::new("index.js", &index),
             SourceFile::new("commands/kick.js", &format!("{kick}{extra}")),
             SourceFile::new("README.md", "# Bot\nInvite and enjoy."),
-            SourceFile::new("package.json", "{ \"dependencies\": { \"discord.js\": \"^13\" } }"),
+            SourceFile::new(
+                "package.json",
+                "{ \"dependencies\": { \"discord.js\": \"^13\" } }",
+            ),
         ],
     )
 }
@@ -133,11 +138,23 @@ pub fn license_only_repo(slug: &str) -> Repository {
 /// A bot in a language outside the analysis scope.
 pub fn other_language_repo<R: Rng + ?Sized>(rng: &mut R, slug: &str) -> Repository {
     let (path, body, lang) = match rng.gen_range(0..3) {
-        0 => ("main.go", "package main\nfunc main() { startBot() }\n", "Go"),
-        1 => ("Bot.java", "public class Bot { public static void main(String[] a) {} }\n", "Java"),
+        0 => (
+            "main.go",
+            "package main\nfunc main() { startBot() }\n",
+            "Go",
+        ),
+        1 => (
+            "Bot.java",
+            "public class Bot { public static void main(String[] a) {} }\n",
+            "Java",
+        ),
         _ => ("main.rs", "fn main() { run_bot(); }\n", "Rust"),
     };
-    Repository::new(slug, &format!("A bot written in {lang}"), vec![SourceFile::new(path, body)])
+    Repository::new(
+        slug,
+        &format!("A bot written in {lang}"),
+        vec![SourceFile::new(path, body)],
+    )
 }
 
 #[cfg(test)]

@@ -54,13 +54,21 @@ impl GitHubSite {
     pub fn publish(&self, repo: Repository) {
         let mut inner = self.inner.lock();
         let owner = repo.slug.split('/').next().unwrap_or("").to_string();
-        inner.profiles.entry(owner).or_default().push(repo.slug.clone());
+        inner
+            .profiles
+            .entry(owner)
+            .or_default()
+            .push(repo.slug.clone());
         inner.repos.insert(repo.slug.clone(), repo);
     }
 
     /// Register a profile with no public repositories.
     pub fn publish_empty_profile(&self, owner: &str) {
-        self.inner.lock().profiles.entry(owner.to_string()).or_default();
+        self.inner
+            .lock()
+            .profiles
+            .entry(owner.to_string())
+            .or_default();
     }
 
     /// Mount the site on the network at [`GITHUB_HOST`].
@@ -95,15 +103,14 @@ impl GitHubSite {
             el("html")
                 .child(el("head").child(el("title").text(repo.slug.clone())))
                 .child(
-                    el("body")
-                        .child(
-                            el("div")
-                                .id("repo")
-                                .attr("data-slug", &repo.slug)
-                                .child(el("p").class("description").text(repo.description.clone()))
-                                .child(el("span").class("main-language").text(lang_badge))
-                                .child(files),
-                        ),
+                    el("body").child(
+                        el("div")
+                            .id("repo")
+                            .attr("data-slug", &repo.slug)
+                            .child(el("p").class("description").text(repo.description.clone()))
+                            .child(el("span").class("main-language").text(lang_badge))
+                            .child(files),
+                    ),
                 )
                 .build(),
         );
@@ -111,15 +118,25 @@ impl GitHubSite {
     }
 
     fn render_profile(owner: &str, slugs: &[String]) -> String {
-        let repo_list = el("ul").id("repo-list").children(
-            slugs
-                .iter()
-                .map(|s| el("li").child(el("a").class("repo-link").attr("href", &format!("/{s}")).text(s.clone()))),
-        );
+        let repo_list = el("ul").id("repo-list").children(slugs.iter().map(|s| {
+            el("li").child(
+                el("a")
+                    .class("repo-link")
+                    .attr("href", &format!("/{s}"))
+                    .text(s.clone()),
+            )
+        }));
         let doc = Document::new(
             el("html")
                 .child(el("head").child(el("title").text(format!("{owner} — profile"))))
-                .child(el("body").child(el("div").id("profile").attr("data-owner", owner).child(repo_list)))
+                .child(
+                    el("body").child(
+                        el("div")
+                            .id("profile")
+                            .attr("data-owner", owner)
+                            .child(repo_list),
+                    ),
+                )
                 .build(),
         );
         render_document(&doc)
@@ -139,16 +156,19 @@ impl Service for GitHubSite {
             [owner, name] => {
                 let slug = format!("{owner}/{name}");
                 match inner.repos.get(&slug) {
-                    Some(repo) => {
-                        Response::ok(Self::render_repo(repo)).with_header("content-type", "text/html")
-                    }
+                    Some(repo) => Response::ok(Self::render_repo(repo))
+                        .with_header("content-type", "text/html"),
                     None => Response::status(Status::NotFound),
                 }
             }
             [owner, name, "raw", rest @ ..] => {
                 let slug = format!("{owner}/{name}");
                 let path = rest.join("/");
-                match inner.repos.get(&slug).and_then(|r| r.files.iter().find(|f| f.path == path)) {
+                match inner
+                    .repos
+                    .get(&slug)
+                    .and_then(|r| r.files.iter().find(|f| f.path == path))
+                {
                     Some(file) => Response::ok(file.content.clone()),
                     None => Response::status(Status::NotFound),
                 }
@@ -161,7 +181,9 @@ impl Service for GitHubSite {
 /// Resolve one scraped GitHub link, downloading repository contents when
 /// the link leads to a real repo.
 pub fn resolve_github_link(client: &mut HttpClient, raw_link: &str) -> LinkOutcome {
-    let Ok(url) = Url::parse(raw_link) else { return LinkOutcome::Invalid };
+    let Ok(url) = Url::parse(raw_link) else {
+        return LinkOutcome::Invalid;
+    };
     if url.host != GITHUB_HOST {
         return LinkOutcome::Invalid;
     }
@@ -169,7 +191,9 @@ pub fn resolve_github_link(client: &mut HttpClient, raw_link: &str) -> LinkOutco
         Ok(resp) if resp.status.is_success() => resp.text(),
         _ => return LinkOutcome::Invalid,
     };
-    let Ok(doc) = parse_document(&page) else { return LinkOutcome::Invalid };
+    let Ok(doc) = parse_document(&page) else {
+        return LinkOutcome::Invalid;
+    };
 
     if let Ok(repo_div) = Locator::id("repo").find(&doc) {
         let slug = repo_div.attr("data-slug").unwrap_or_default().to_string();
@@ -180,8 +204,12 @@ pub fn resolve_github_link(client: &mut HttpClient, raw_link: &str) -> LinkOutco
         let mut files = Vec::new();
         if let Ok(links) = Locator::class("file-link").find_all(&doc) {
             for link in links {
-                let Some(href) = link.attr("href") else { continue };
-                let Ok(raw_url) = url.join(href) else { continue };
+                let Some(href) = link.attr("href") else {
+                    continue;
+                };
+                let Ok(raw_url) = url.join(href) else {
+                    continue;
+                };
                 if let Ok(resp) = client.get(raw_url) {
                     if resp.status.is_success() {
                         let path = link.text_content();
@@ -194,8 +222,15 @@ pub fn resolve_github_link(client: &mut HttpClient, raw_link: &str) -> LinkOutco
     }
 
     if Locator::id("profile").find(&doc).is_ok() {
-        let count = Locator::class("repo-link").find_all(&doc).map(|v| v.len()).unwrap_or(0);
-        return if count == 0 { LinkOutcome::NoPublicRepos } else { LinkOutcome::UserProfile };
+        let count = Locator::class("repo-link")
+            .find_all(&doc)
+            .map(|v| v.len())
+            .unwrap_or(0);
+        return if count == 0 {
+            LinkOutcome::NoPublicRepos
+        } else {
+            LinkOutcome::UserProfile
+        };
     }
 
     LinkOutcome::Invalid
@@ -205,7 +240,9 @@ pub fn resolve_github_link(client: &mut HttpClient, raw_link: &str) -> LinkOutco
 pub fn fetch_repository(client: &mut HttpClient, raw_link: &str) -> Result<Repository, NetError> {
     match resolve_github_link(client, raw_link) {
         LinkOutcome::ValidRepo(repo) => Ok(repo),
-        other => Err(NetError::Malformed { reason: format!("not a repo link: {other:?}") }),
+        other => Err(NetError::Malformed {
+            reason: format!("not a repo link: {other:?}"),
+        }),
     }
 }
 
@@ -233,7 +270,9 @@ mod tests {
         site.publish(original.clone());
 
         let outcome = resolve_github_link(&mut client, "https://github.sim/alice/modbot");
-        let LinkOutcome::ValidRepo(fetched) = outcome else { panic!("expected repo, got {outcome:?}") };
+        let LinkOutcome::ValidRepo(fetched) = outcome else {
+            panic!("expected repo, got {outcome:?}")
+        };
         assert_eq!(fetched.slug, original.slug);
         assert_eq!(fetched.files.len(), original.files.len());
         // Content integrity: the scanner sees the same verdict.
@@ -272,7 +311,10 @@ mod tests {
             resolve_github_link(&mut client, "https://github.sim/missing/repo"),
             LinkOutcome::Invalid
         );
-        assert_eq!(resolve_github_link(&mut client, "not a url"), LinkOutcome::Invalid);
+        assert_eq!(
+            resolve_github_link(&mut client, "not a url"),
+            LinkOutcome::Invalid
+        );
         assert_eq!(
             resolve_github_link(&mut client, "https://elsewhere.example/x"),
             LinkOutcome::Invalid

@@ -39,7 +39,10 @@ pub struct SourceFile {
 impl SourceFile {
     /// Build a file.
     pub fn new(path: &str, content: &str) -> SourceFile {
-        SourceFile { path: path.to_string(), content: content.to_string() }
+        SourceFile {
+            path: path.to_string(),
+            content: content.to_string(),
+        }
     }
 
     /// Language implied by the file extension, if it is a source file.
@@ -73,7 +76,11 @@ pub struct Repository {
 impl Repository {
     /// Build a repository.
     pub fn new(slug: &str, description: &str, files: Vec<SourceFile>) -> Repository {
-        Repository { slug: slug.to_string(), description: description.to_string(), files }
+        Repository {
+            slug: slug.to_string(),
+            description: description.to_string(),
+            files,
+        }
     }
 
     /// Whether the repo contains any recognizable source code at all. The
@@ -91,12 +98,18 @@ impl Repository {
                 *totals.entry(lang).or_default() += f.content.len();
             }
         }
-        totals.into_iter().max_by_key(|(_, bytes)| *bytes).map(|(lang, _)| lang)
+        totals
+            .into_iter()
+            .max_by_key(|(_, bytes)| *bytes)
+            .map(|(lang, _)| lang)
     }
 
     /// Files in a given language.
     pub fn files_in(&self, lang: &Language) -> Vec<&SourceFile> {
-        self.files.iter().filter(|f| f.language().as_ref() == Some(lang)).collect()
+        self.files
+            .iter()
+            .filter(|f| f.language().as_ref() == Some(lang))
+            .collect()
     }
 }
 
@@ -106,10 +119,22 @@ mod tests {
 
     #[test]
     fn extension_language_mapping() {
-        assert_eq!(SourceFile::new("a/b.js", "").language(), Some(Language::JavaScript));
-        assert_eq!(SourceFile::new("bot.py", "").language(), Some(Language::Python));
-        assert_eq!(SourceFile::new("x.ts", "").language(), Some(Language::TypeScript));
-        assert_eq!(SourceFile::new("m.go", "").language(), Some(Language::Other("Go".into())));
+        assert_eq!(
+            SourceFile::new("a/b.js", "").language(),
+            Some(Language::JavaScript)
+        );
+        assert_eq!(
+            SourceFile::new("bot.py", "").language(),
+            Some(Language::Python)
+        );
+        assert_eq!(
+            SourceFile::new("x.ts", "").language(),
+            Some(Language::TypeScript)
+        );
+        assert_eq!(
+            SourceFile::new("m.go", "").language(),
+            Some(Language::Other("Go".into()))
+        );
         assert_eq!(SourceFile::new("README.md", "").language(), None);
         assert_eq!(SourceFile::new("LICENSE", "").language(), None);
     }
@@ -121,7 +146,10 @@ mod tests {
             "a bot",
             vec![
                 SourceFile::new("index.js", "short"),
-                SourceFile::new("bot.py", "a much longer python file with lots of content in it"),
+                SourceFile::new(
+                    "bot.py",
+                    "a much longer python file with lots of content in it",
+                ),
             ],
         );
         assert_eq!(repo.main_language(), Some(Language::Python));

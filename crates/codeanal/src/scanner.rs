@@ -182,7 +182,10 @@ pub struct ScannerKernelStats {
 /// Snapshot the scanner's kernel counters.
 pub fn scanner_kernel_stats() -> ScannerKernelStats {
     let automaton = table3_automaton();
-    let ScanStats { scans, bytes_scanned } = automaton.stats();
+    let ScanStats {
+        scans,
+        bytes_scanned,
+    } = automaton.stats();
     ScannerKernelStats {
         automaton_states: automaton.state_count() as u64,
         scans,
@@ -216,8 +219,13 @@ pub fn scan_repository(repo: &Repository) -> ScanReport {
     let mut counts = [0usize; 4];
     let mut files_scanned = 0;
     for file in &repo.files {
-        let Some(lang) = file.language() else { continue };
-        let in_scope = matches!(lang, Language::JavaScript | Language::TypeScript | Language::Python);
+        let Some(lang) = file.language() else {
+            continue;
+        };
+        let in_scope = matches!(
+            lang,
+            Language::JavaScript | Language::TypeScript | Language::Python
+        );
         if !in_scope {
             continue;
         }
@@ -230,7 +238,12 @@ pub fn scan_repository(repo: &Repository) -> ScanReport {
         .filter(|(idx, _)| counts[*idx] > 0)
         .map(|(idx, p)| (*p, counts[idx]))
         .collect();
-    ScanReport { slug: repo.slug.clone(), language, hits, files_scanned }
+    ScanReport {
+        slug: repo.slug.clone(),
+        language,
+        hits,
+        files_scanned,
+    }
 }
 
 #[cfg(test)]
@@ -269,7 +282,8 @@ module.exports = { userPermissions: ['MANAGE_MESSAGES'] };
 
     #[test]
     fn comments_do_not_count_js() {
-        let code = "// remember to call .hasPermission( here\n/* member.roles.cache */\nconst x = 1;";
+        let code =
+            "// remember to call .hasPermission( here\n/* member.roles.cache */\nconst x = 1;";
         assert!(!scan_repository(&js_repo(code)).performs_checks());
     }
 
@@ -346,7 +360,10 @@ module.exports = { userPermissions: ['MANAGE_MESSAGES'] };
         let repo = Repository::new(
             "dev/readme",
             "",
-            vec![SourceFile::new("READ.ME", "commands: !kick — requires .hasPermission(")],
+            vec![SourceFile::new(
+                "READ.ME",
+                "commands: !kick — requires .hasPermission(",
+            )],
         );
         let report = scan_repository(&repo);
         assert_eq!(report.files_scanned, 0);

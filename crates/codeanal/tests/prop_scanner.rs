@@ -19,8 +19,11 @@ fn naive_counts(content: &str, lang: &Language) -> [usize; 4] {
 }
 
 fn fused_counts(content: &str, ext: &str) -> [usize; 4] {
-    let repo =
-        Repository::new("p/p", "", vec![SourceFile::new(&format!("f.{ext}"), content)]);
+    let repo = Repository::new(
+        "p/p",
+        "",
+        vec![SourceFile::new(&format!("f.{ext}"), content)],
+    );
     let report = scan_repository(&repo);
     let mut counts = [0usize; 4];
     for (pattern, n) in &report.hits {

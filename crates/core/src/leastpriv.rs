@@ -20,7 +20,9 @@ pub fn interaction_baseline() -> Permissions {
 /// The mapping covers the command vocabulary of the ecosystem; unknown
 /// commands imply only the interaction baseline.
 pub fn permissions_for_command(command: &str) -> Permissions {
-    let verb = command.trim_start_matches(['!', '?', '$', '-']).to_ascii_lowercase();
+    let verb = command
+        .trim_start_matches(['!', '?', '$', '-'])
+        .to_ascii_lowercase();
     match verb.as_str() {
         "kick" => Permissions::KICK_MEMBERS,
         "ban" | "unban" => Permissions::BAN_MEMBERS,
@@ -146,8 +148,15 @@ mod tests {
         );
         assert!(summary.mean_excess_bits > 1.0);
         // Every admin-requesting bot shows admin in its excess.
-        for gap in gaps.iter().filter(|g| g.requested.contains(Permissions::ADMINISTRATOR)) {
-            assert!(gap.excess.contains(Permissions::ADMINISTRATOR), "{}", gap.name);
+        for gap in gaps
+            .iter()
+            .filter(|g| g.requested.contains(Permissions::ADMINISTRATOR))
+        {
+            assert!(
+                gap.excess.contains(Permissions::ADMINISTRATOR),
+                "{}",
+                gap.name
+            );
         }
     }
 

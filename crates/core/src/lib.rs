@@ -24,15 +24,22 @@
 pub mod leastpriv;
 pub mod pipeline;
 pub mod report;
+pub mod resume;
 pub mod stats;
 pub mod validate;
 
 pub use leastpriv::{least_privilege_summary, privilege_gaps, LeastPrivilegeSummary, PrivilegeGap};
-pub use pipeline::{AuditConfig, AuditPipeline, AuditReport, AuditedBot, CodeFinding, LinkResolution};
+pub use pipeline::{
+    AuditConfig, AuditPipeline, AuditReport, AuditedBot, CodeFinding, LinkResolution,
+};
 pub use report::{
     exposure_by_flag, render_figure3, render_markdown_dossier, render_table1, render_table2,
     render_table3, risk_report, CanonicalBot, CanonicalCampaign, CanonicalDetection,
     CanonicalReport, RiskFlag, RiskReport,
+};
+pub use resume::{
+    run_fingerprint, ResumableOutcome, ResumeError, StoreConfig, CRAWL_UNIT_SIZE, K_ANALYSIS,
+    K_COMPLETE, K_CRAWL_UNIT, K_HONEYPOT, K_LISTING,
 };
 pub use stats::{
     figure3_distribution, permission_rate_by_tag, table1_histogram, table2_traceability,

@@ -120,9 +120,18 @@ pub struct StageStats {
     pub code_scan_passes: u64,
     /// Stripped-code bytes fed through the needle automaton this run.
     pub code_bytes_scanned: u64,
+    /// Journal frames durably written by this run (resumable runs only).
+    pub journal_frames_written: u64,
+    /// Journal frames replayed from a previous run (resumable runs only).
+    pub journal_frames_replayed: u64,
+    /// Analysis artifacts served from the content-addressed cache.
+    pub artifact_cache_hits: u64,
+    /// Analysis artifacts computed and stored (cache misses).
+    pub artifact_cache_misses: u64,
 }
 
 /// Full pipeline output.
+#[derive(Debug)]
 pub struct AuditReport {
     /// Every bot that made it through data collection.
     pub bots: Vec<AuditedBot>,
@@ -134,7 +143,7 @@ pub struct AuditReport {
 
 /// The pipeline.
 pub struct AuditPipeline {
-    config: AuditConfig,
+    pub(crate) config: AuditConfig,
 }
 
 impl AuditPipeline {
@@ -145,7 +154,7 @@ impl AuditPipeline {
 
     /// Stage 2 + 3 for one bot: traceability against the requested
     /// permissions, then code analysis through the shared caches.
-    fn audit_one(
+    pub(crate) fn audit_one(
         &self,
         bot: CrawledBot,
         gh_client: &mut HttpClient,
@@ -158,8 +167,11 @@ impl AuditPipeline {
         let traceability = memo.analyze(bot.policy.as_ref(), &requested, &self.config.ontology);
 
         // Stage 3: code analysis.
-        let code = bot.scraped.github.as_deref().map(|link| {
-            match links.resolve(gh_client, link) {
+        let code = bot
+            .scraped
+            .github
+            .as_deref()
+            .map(|link| match links.resolve(gh_client, link) {
                 LinkOutcome::ValidRepo(repo) => {
                     let scan = scan_repository(&repo);
                     CodeFinding {
@@ -191,18 +203,24 @@ impl AuditPipeline {
                     performs_checks: None,
                     scan: None,
                 },
-            }
-        });
+            });
 
-        AuditedBot { crawled: bot, traceability, code }
+        AuditedBot {
+            crawled: bot,
+            traceability,
+            code,
+        }
     }
 
-    fn analysis_client(&self, net: &Network) -> HttpClient {
+    pub(crate) fn analysis_client(&self, net: &Network) -> HttpClient {
         // Stages 2 & 3 use a plain client (no listing-site defenses on
         // GitHub in this world; politeness still applies).
         HttpClient::new(
             net.clone(),
-            ClientConfig { politeness: None, ..ClientConfig::crawler("code-analysis/1.0") },
+            ClientConfig {
+                politeness: None,
+                ..ClientConfig::crawler("code-analysis/1.0")
+            },
         )
     }
 
@@ -284,6 +302,7 @@ impl AuditPipeline {
             code_automaton_states: code_after.automaton_states,
             code_scan_passes: code_after.scans - code_before.scans,
             code_bytes_scanned: code_after.bytes_scanned - code_before.bytes_scanned,
+            ..StageStats::default()
         };
         (bots, stats, stage_stats)
     }
@@ -292,8 +311,11 @@ impl AuditPipeline {
     /// bots (§4.2 sampled the most-voted population because the rest were
     /// "mainly offline or not being used").
     pub fn run_honeypot(&self, eco: &Ecosystem) -> CampaignReport {
-        let mut campaign =
-            Campaign::new(eco.platform.clone(), eco.net.clone(), self.config.honeypot.clone());
+        let mut campaign = Campaign::new(
+            eco.platform.clone(),
+            eco.net.clone(),
+            self.config.honeypot.clone(),
+        );
         let bots: Vec<BotUnderTest> = eco
             .most_voted_testable(self.config.honeypot_sample)
             .into_iter()
@@ -312,7 +334,11 @@ impl AuditPipeline {
     pub fn run_full(&self, eco: &Ecosystem) -> AuditReport {
         let (bots, crawl_stats) = self.run_static_stages(&eco.net);
         let honeypot = Some(self.run_honeypot(eco));
-        AuditReport { bots, crawl_stats, honeypot }
+        AuditReport {
+            bots,
+            crawl_stats,
+            honeypot,
+        }
     }
 }
 
@@ -335,8 +361,12 @@ mod tests {
         // Some bots have code findings, some don't — matching the planted
         // github fraction.
         let with_links = bots.iter().filter(|b| b.code.is_some()).count();
-        let planted =
-            eco.truth.bots.iter().filter(|b| b.github_class != synth::GithubClass::None).count();
+        let planted = eco
+            .truth
+            .bots
+            .iter()
+            .filter(|b| b.github_class != synth::GithubClass::None)
+            .count();
         assert_eq!(with_links, planted);
     }
 
@@ -345,8 +375,10 @@ mod tests {
         let eco = small_world();
         let pipeline = AuditPipeline::new(AuditConfig::default());
         let (bots, _) = pipeline.run_static_stages(&eco.net);
-        let measured_valid =
-            bots.iter().filter(|b| b.crawled.invite_status.is_valid()).count();
+        let measured_valid = bots
+            .iter()
+            .filter(|b| b.crawled.invite_status.is_valid())
+            .count();
         let planted_valid = eco.truth.valid_bots().count();
         assert_eq!(measured_valid, planted_valid);
     }
@@ -383,8 +415,10 @@ mod tests {
     fn parallel_static_stages_match_serial() {
         let shape = |workers: usize| {
             let eco = small_world();
-            let pipeline =
-                AuditPipeline::new(AuditConfig { workers, ..AuditConfig::default() });
+            let pipeline = AuditPipeline::new(AuditConfig {
+                workers,
+                ..AuditConfig::default()
+            });
             let (bots, _, stages) = pipeline.run_static_stages_detailed(&eco.net);
             let rows: Vec<_> = bots
                 .iter()
@@ -393,7 +427,9 @@ mod tests {
                         b.crawled.scraped.id,
                         b.crawled.invite_status.clone(),
                         b.traceability.clone(),
-                        b.code.as_ref().map(|c| (c.resolution, c.language.clone(), c.performs_checks)),
+                        b.code
+                            .as_ref()
+                            .map(|c| (c.resolution, c.language.clone(), c.performs_checks)),
                     )
                 })
                 .collect();

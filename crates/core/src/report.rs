@@ -210,7 +210,11 @@ pub fn risk_report(bot: &AuditedBot, honeypot_hit: bool) -> RiskReport {
     if honeypot_hit {
         flags.push(RiskFlag::HoneypotDetection);
     }
-    RiskReport { name: bot.crawled.scraped.name.clone(), id: bot.crawled.scraped.id, flags }
+    RiskReport {
+        name: bot.crawled.scraped.name.clone(),
+        id: bot.crawled.scraped.id,
+        flags,
+    }
 }
 
 /// Render Figure 3 as an ASCII horizontal bar chart, matching the paper's
@@ -220,7 +224,12 @@ pub fn render_figure3(rows: &[Figure3Row]) -> String {
     let width = rows.iter().map(|r| r.permission.len()).max().unwrap_or(10);
     for row in rows {
         let bar = "#".repeat((row.percent / 2.0).round() as usize);
-        out.push_str(&format!("{:>width$}  {:5.2}% |{bar}\n", row.permission, row.percent, width = width));
+        out.push_str(&format!(
+            "{:>width$}  {:5.2}% |{bar}\n",
+            row.permission,
+            row.percent,
+            width = width
+        ));
     }
     out
 }
@@ -242,10 +251,25 @@ pub fn render_table1(rows: &[Table1Row]) -> String {
 pub fn render_table2(t: &Table2Summary) -> String {
     let mut out = String::from("Table 2: Discord Traceability Results\n");
     out.push_str("Features               |  Count | Percent\n");
-    out.push_str(&format!("Unique active chatbots | {:>6} | 100%\n", t.active));
-    out.push_str(&format!("Website Link           | {:>6} | {:.2}%\n", t.website_link, t.pct(t.website_link)));
-    out.push_str(&format!("Privacy Policy Link    | {:>6} | {:.2}%\n", t.policy_link, t.pct(t.policy_link)));
-    out.push_str(&format!("Privacy Policy         | {:>6} | {:.2}%\n", t.valid_policy, t.pct(t.valid_policy)));
+    out.push_str(&format!(
+        "Unique active chatbots | {:>6} | 100%\n",
+        t.active
+    ));
+    out.push_str(&format!(
+        "Website Link           | {:>6} | {:.2}%\n",
+        t.website_link,
+        t.pct(t.website_link)
+    ));
+    out.push_str(&format!(
+        "Privacy Policy Link    | {:>6} | {:.2}%\n",
+        t.policy_link,
+        t.pct(t.policy_link)
+    ));
+    out.push_str(&format!(
+        "Privacy Policy         | {:>6} | {:.2}%\n",
+        t.valid_policy,
+        t.pct(t.valid_policy)
+    ));
     out.push_str(&format!(
         "Traceability           | complete {} / partial {} / broken {} ({:.2}%)\n",
         t.complete,
@@ -259,7 +283,10 @@ pub fn render_table2(t: &Table2Summary) -> String {
 /// Render the Table 3 / code-analysis summary.
 pub fn render_table3(t: &Table3Summary) -> String {
     let mut out = String::from("Table 3 / code analysis summary\n");
-    out.push_str(&format!("GitHub links on listings : {}\n", t.with_github_link));
+    out.push_str(&format!(
+        "GitHub links on listings : {}\n",
+        t.with_github_link
+    ));
     out.push_str(&format!("Valid repositories       : {}\n", t.valid_repos));
     out.push_str(&format!("Repos with source code   : {}\n", t.with_source));
     out.push_str(&format!(
@@ -274,7 +301,10 @@ pub fn render_table3(t: &Table3Summary) -> String {
         t.py_checking,
         t.py_checking_pct()
     ));
-    out.push_str(&format!("Other languages          : {}\n", t.other_language));
+    out.push_str(&format!(
+        "Other languages          : {}\n",
+        t.other_language
+    ));
     out.push_str("Table 3: Discord role checks found (repos containing each API)\n");
     for (idx, pattern) in codeanal::scanner::CheckPattern::ALL.iter().enumerate() {
         out.push_str(&format!(
@@ -469,8 +499,10 @@ mod tests {
             .filter(|b| b.crawled.invite_status.is_valid())
             .map(|b| risk_report(b, false))
             .collect();
-        let broken =
-            reports.iter().filter(|r| r.flags.contains(&RiskFlag::BrokenTraceability)).count();
+        let broken = reports
+            .iter()
+            .filter(|r| r.flags.contains(&RiskFlag::BrokenTraceability))
+            .count();
         assert!(
             broken as f64 / reports.len() as f64 > 0.85,
             "broken rate {}",

@@ -115,13 +115,27 @@ impl Table2Summary {
 
 /// Compute Table 2 (and the classification counts quoted in the text).
 pub fn table2_traceability(bots: &[AuditedBot]) -> Table2Summary {
-    let active: Vec<&AuditedBot> =
-        bots.iter().filter(|b| b.crawled.invite_status.is_valid()).collect();
-    let website_link = active.iter().filter(|b| b.crawled.scraped.website.is_some()).count();
-    let policy_link = active.iter().filter(|b| b.crawled.policy_link_present).count();
+    let active: Vec<&AuditedBot> = bots
+        .iter()
+        .filter(|b| b.crawled.invite_status.is_valid())
+        .collect();
+    let website_link = active
+        .iter()
+        .filter(|b| b.crawled.scraped.website.is_some())
+        .count();
+    let policy_link = active
+        .iter()
+        .filter(|b| b.crawled.policy_link_present)
+        .count();
     let valid_policy = active
         .iter()
-        .filter(|b| b.crawled.policy.as_ref().map(|p| p.is_substantive()).unwrap_or(false))
+        .filter(|b| {
+            b.crawled
+                .policy
+                .as_ref()
+                .map(|p| p.is_substantive())
+                .unwrap_or(false)
+        })
         .count();
     let mut complete = 0;
     let mut partial = 0;
@@ -211,7 +225,10 @@ pub fn table3_code_analysis(bots: &[AuditedBot]) -> Table3Summary {
         }
         if let Some(scan) = &code.scan {
             for (pattern, _) in &scan.hits {
-                let idx = CheckPattern::ALL.iter().position(|p| p == pattern).expect("known pattern");
+                let idx = CheckPattern::ALL
+                    .iter()
+                    .position(|p| p == pattern)
+                    .expect("known pattern");
                 s.pattern_repos[idx] += 1;
             }
         }
@@ -242,7 +259,9 @@ pub fn table3_code_analysis(bots: &[AuditedBot]) -> Table3Summary {
 pub fn permission_rate_by_tag(bots: &[AuditedBot], perm: Permissions) -> Vec<(String, usize, f64)> {
     let mut per_tag: BTreeMap<&str, (usize, usize)> = BTreeMap::new();
     for bot in bots {
-        let InviteStatus::Valid { permissions, .. } = &bot.crawled.invite_status else { continue };
+        let InviteStatus::Valid { permissions, .. } = &bot.crawled.invite_status else {
+            continue;
+        };
         for tag in &bot.crawled.scraped.tags {
             let entry = per_tag.entry(tag.as_str()).or_default();
             entry.0 += 1;
@@ -277,9 +296,19 @@ mod tests {
         assert!(!rows.is_empty());
         // The measured admin rate equals the planted one exactly — the
         // crawler decodes the very bitfields synth planted.
-        let admin = rows.iter().find(|r| r.permission == "administrator").unwrap();
-        let planted = eco.truth.permission_rate(discord_sim::Permissions::ADMINISTRATOR) * 100.0;
-        assert!((admin.percent - planted).abs() < 1e-9, "{} vs {planted}", admin.percent);
+        let admin = rows
+            .iter()
+            .find(|r| r.permission == "administrator")
+            .unwrap();
+        let planted = eco
+            .truth
+            .permission_rate(discord_sim::Permissions::ADMINISTRATOR)
+            * 100.0;
+        assert!(
+            (admin.percent - planted).abs() < 1e-9,
+            "{} vs {planted}",
+            admin.percent
+        );
         // Rows are sorted by count descending.
         for pair in rows.windows(2) {
             assert!(pair[0].count >= pair[1].count);
@@ -308,9 +337,12 @@ mod tests {
             assert!((0.0..=1.0).contains(rate), "{tag}: {rate}");
         }
         // The admin rate per tag hovers around the global calibration.
-        let global: f64 =
-            rows.iter().map(|(_, n, r)| *n as f64 * r).sum::<f64>() / rows.iter().map(|(_, n, _)| *n as f64).sum::<f64>();
-        assert!((global - 0.5486).abs() < 0.1, "weighted admin rate {global}");
+        let global: f64 = rows.iter().map(|(_, n, r)| *n as f64 * r).sum::<f64>()
+            / rows.iter().map(|(_, n, _)| *n as f64).sum::<f64>();
+        assert!(
+            (global - 0.5486).abs() < 0.1,
+            "weighted admin rate {global}"
+        );
     }
 
     #[test]
@@ -357,8 +389,11 @@ mod tests {
             .filter(|b| b.github_class != GithubClass::None)
             .count();
         assert_eq!(t3.with_github_link, planted_links);
-        let planted_valid =
-            eco.truth.valid_bots().filter(|b| b.github_class.is_valid_repo()).count();
+        let planted_valid = eco
+            .truth
+            .valid_bots()
+            .filter(|b| b.github_class.is_valid_repo())
+            .count();
         assert_eq!(t3.valid_repos, planted_valid);
         let planted_js_checking = eco
             .truth

@@ -79,7 +79,10 @@ pub struct ValidationReport {
 }
 
 fn truth_has_valid_policy(t: &BotTruth) -> bool {
-    matches!(t.policy_class, PolicyClass::GenericPolicy | PolicyClass::PartialPolicy)
+    matches!(
+        t.policy_class,
+        PolicyClass::GenericPolicy | PolicyClass::PartialPolicy
+    )
 }
 
 fn truth_traceability(t: &BotTruth) -> Traceability {
@@ -103,7 +106,9 @@ pub fn validate_against_truth(
     let mut traceability_total = 0usize;
 
     for bot in bots {
-        let Some(t) = truth.by_name(&bot.crawled.scraped.name) else { continue };
+        let Some(t) = truth.by_name(&bot.crawled.scraped.name) else {
+            continue;
+        };
 
         report.invite_validity.record(
             t.invite_class == InviteClass::Valid,
@@ -112,7 +117,11 @@ pub fn validate_against_truth(
 
         report.policy_discovery.record(
             truth_has_valid_policy(t),
-            bot.crawled.policy.as_ref().map(|p| p.is_substantive()).unwrap_or(false),
+            bot.crawled
+                .policy
+                .as_ref()
+                .map(|p| p.is_substantive())
+                .unwrap_or(false),
         );
 
         traceability_total += 1;
@@ -126,9 +135,12 @@ pub fn validate_against_truth(
                 .as_ref()
                 .map(|c| c.resolution == LinkResolution::ValidRepo)
                 .unwrap_or(false);
-            report.repo_resolution.record(t.github_class.is_valid_repo(), predicted_valid);
+            report
+                .repo_resolution
+                .record(t.github_class.is_valid_repo(), predicted_valid);
 
-            if let GithubClass::JsRepo { checks } | GithubClass::PyRepo { checks } = t.github_class {
+            if let GithubClass::JsRepo { checks } | GithubClass::PyRepo { checks } = t.github_class
+            {
                 if let Some(code) = &bot.code {
                     if let Some(predicted) = code.performs_checks {
                         report.check_detection.record(checks, predicted);
@@ -147,8 +159,11 @@ pub fn validate_against_truth(
         // Truth is "planted malicious", prediction is "appears in the
         // campaign's detections". Scored over bots the honeypot could have
         // tested (valid invites — §4.2's sampling base).
-        let detected: Vec<&str> =
-            campaign.detections.iter().map(|d| d.bot_name.as_str()).collect();
+        let detected: Vec<&str> = campaign
+            .detections
+            .iter()
+            .map(|d| d.bot_name.as_str())
+            .collect();
         for t in &truth.bots {
             if t.invite_class != InviteClass::Valid {
                 continue;
@@ -188,19 +203,46 @@ mod tests {
         // With no adversarial noise beyond what synth plants, every static
         // analyzer should recover the truth exactly.
         let eco = build_ecosystem(&EcosystemConfig::test_scale(250, 123));
-        let pipeline = AuditPipeline::new(AuditConfig { honeypot_sample: 20, ..AuditConfig::default() });
+        let pipeline = AuditPipeline::new(AuditConfig {
+            honeypot_sample: 20,
+            ..AuditConfig::default()
+        });
         let (bots, _) = pipeline.run_static_stages(&eco.net);
         let campaign = pipeline.run_honeypot(&eco);
         let v = validate_against_truth(&bots, &eco.truth, Some(&campaign));
 
-        assert_eq!(v.invite_validity.precision(), 1.0, "{:?}", v.invite_validity);
+        assert_eq!(
+            v.invite_validity.precision(),
+            1.0,
+            "{:?}",
+            v.invite_validity
+        );
         assert_eq!(v.invite_validity.recall(), 1.0);
-        assert_eq!(v.policy_discovery.precision(), 1.0, "{:?}", v.policy_discovery);
+        assert_eq!(
+            v.policy_discovery.precision(),
+            1.0,
+            "{:?}",
+            v.policy_discovery
+        );
         assert_eq!(v.policy_discovery.recall(), 1.0);
-        assert!(v.traceability_agreement > 0.99, "{}", v.traceability_agreement);
-        assert_eq!(v.repo_resolution.precision(), 1.0, "{:?}", v.repo_resolution);
+        assert!(
+            v.traceability_agreement > 0.99,
+            "{}",
+            v.traceability_agreement
+        );
+        assert_eq!(
+            v.repo_resolution.precision(),
+            1.0,
+            "{:?}",
+            v.repo_resolution
+        );
         assert_eq!(v.repo_resolution.recall(), 1.0);
-        assert_eq!(v.check_detection.precision(), 1.0, "{:?}", v.check_detection);
+        assert_eq!(
+            v.check_detection.precision(),
+            1.0,
+            "{:?}",
+            v.check_detection
+        );
         assert_eq!(v.check_detection.recall(), 1.0);
         // Honeypot: the planted snooper sits in the tested top-20 and is
         // found; no benign bot is accused.

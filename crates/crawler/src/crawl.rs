@@ -5,7 +5,9 @@
 //! visits its website looking for a privacy policy, and returns the full
 //! measurement input set.
 
-use crate::extract::{extract_bot_detail, extract_bot_links, extract_privacy_policy, extract_total_pages, ScrapedBot};
+use crate::extract::{
+    extract_bot_detail, extract_bot_links, extract_privacy_policy, extract_total_pages, ScrapedBot,
+};
 use crate::invite::{validate_invite, InviteStatus};
 use crate::session::ScrapeSession;
 use botlist::LIST_HOST;
@@ -14,6 +16,7 @@ use netsim::clock::SimDuration;
 use netsim::http::Url;
 use netsim::Network;
 use policy::PrivacyPolicy;
+use serde::{Deserialize, Serialize};
 
 /// Crawl parameters.
 #[derive(Debug, Clone)]
@@ -51,14 +54,16 @@ impl Default for CrawlConfig {
 /// Resolve a `workers` knob: 0 means one worker per available core.
 pub fn resolve_workers(workers: usize) -> usize {
     if workers == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     } else {
         workers
     }
 }
 
 /// One fully-crawled bot.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CrawledBot {
     /// Attributes scraped from the detail page.
     pub scraped: ScrapedBot,
@@ -103,7 +108,8 @@ enum PageOutcome {
 }
 
 fn fetch_page(session: &mut ScrapeSession, page: usize) -> PageOutcome {
-    match session.fetch_document(Url::https(LIST_HOST, "/list").with_query("page", &page.to_string()))
+    match session
+        .fetch_document(Url::https(LIST_HOST, "/list").with_query("page", &page.to_string()))
     {
         Err(_) => PageOutcome::FetchErr,
         Ok(doc) => match extract_bot_links(&doc) {
@@ -146,7 +152,13 @@ fn crawl_detail(
         (false, false, None)
     };
 
-    Ok(CrawledBot { scraped, invite_status, website_reachable, policy_link_present, policy })
+    Ok(CrawledBot {
+        scraped,
+        invite_status,
+        website_reachable,
+        policy_link_present,
+        policy,
+    })
 }
 
 /// Fold one worker session's overhead counters into the crawl statistics.
@@ -183,7 +195,8 @@ pub fn crawl_listing(net: &Network, config: &CrawlConfig) -> (Vec<CrawledBot>, C
     let mut stats = CrawlStats::default();
 
     // Discover page count from page 0 (always the primary session).
-    let first = match session.fetch_document(Url::https(LIST_HOST, "/list").with_query("page", "0")) {
+    let first = match session.fetch_document(Url::https(LIST_HOST, "/list").with_query("page", "0"))
+    {
         Ok(doc) => doc,
         Err(_) => {
             stats.duration = clock.now().duration_since(started);
@@ -219,7 +232,12 @@ pub fn crawl_listing(net: &Network, config: &CrawlConfig) -> (Vec<CrawledBot>, C
                         let range = shard_range(rest, shards, w);
                         let out: Vec<PageOutcome> =
                             range.map(|i| fetch_page(&mut sess, 1 + i)).collect();
-                        (out, sess.captchas_solved, sess.captcha_spend_dollars(), sess.email_verifications)
+                        (
+                            out,
+                            sess.captchas_solved,
+                            sess.captcha_spend_dollars(),
+                            sess.email_verifications,
+                        )
                     })
                 })
                 .collect();
@@ -282,10 +300,16 @@ pub fn crawl_listing(net: &Network, config: &CrawlConfig) -> (Vec<CrawledBot>, C
                             1 + w,
                             config.polite,
                         );
-                        let out: Vec<Result<CrawledBot, ()>> = shard_range(hrefs_ref.len(), shards, w)
-                            .map(|i| crawl_detail(&mut sess, &hrefs_ref[i], config))
-                            .collect();
-                        (out, sess.captchas_solved, sess.captcha_spend_dollars(), sess.email_verifications)
+                        let out: Vec<Result<CrawledBot, ()>> =
+                            shard_range(hrefs_ref.len(), shards, w)
+                                .map(|i| crawl_detail(&mut sess, &hrefs_ref[i], config))
+                                .collect();
+                        (
+                            out,
+                            sess.captchas_solved,
+                            sess.captcha_spend_dollars(),
+                            sess.email_verifications,
+                        )
                     })
                 })
                 .collect();
@@ -317,26 +341,177 @@ pub fn crawl_listing(net: &Network, config: &CrawlConfig) -> (Vec<CrawledBot>, C
     (bots, stats)
 }
 
+/// Session overhead counters carried inside journaled crawl units, so a
+/// resumed run reports the spend of the work it actually performed (replayed
+/// units contribute the spend recorded when they first ran).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SessionOverhead {
+    /// Captchas solved during the unit.
+    pub captchas_solved: u64,
+    /// 2Captcha spend in dollars during the unit.
+    pub captcha_spend_dollars: f64,
+    /// Email verifications performed during the unit.
+    pub email_verifications: u64,
+}
+
+impl SessionOverhead {
+    fn of(session: &ScrapeSession) -> SessionOverhead {
+        SessionOverhead {
+            captchas_solved: session.captchas_solved,
+            captcha_spend_dollars: session.captcha_spend_dollars(),
+            email_verifications: session.email_verifications,
+        }
+    }
+
+    /// Fold another unit's overhead into this one.
+    pub fn absorb(&mut self, other: &SessionOverhead) {
+        self.captchas_solved += other.captchas_solved;
+        self.captcha_spend_dollars += other.captcha_spend_dollars;
+        self.email_verifications += other.email_verifications;
+    }
+}
+
+/// Phase A of the crawl as a journalable unit: the merged listing-page
+/// traversal. Serializable so the resumable pipeline can record it once and
+/// replay it across process restarts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ListingIndex {
+    /// Bot detail hrefs, in listing order.
+    pub hrefs: Vec<String>,
+    /// List pages traversed (the serial traversal's page-count semantics).
+    pub pages: usize,
+    /// Session spend for the traversal.
+    pub overhead: SessionOverhead,
+}
+
+/// One journalable chunk of phase B: the detail-page outcomes for a
+/// contiguous slice of the listing, in listing order. `None` marks a dead
+/// listing entry (a crawl failure), preserved so replay reproduces the
+/// failure count exactly.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DetailUnit {
+    /// Per-href outcome, aligned with the input slice.
+    pub results: Vec<Option<CrawledBot>>,
+    /// Session spend for the unit.
+    pub overhead: SessionOverhead,
+}
+
+/// Phase A only: traverse the listing serially and return the merged
+/// detail-href index. Content-identical to the traversal inside
+/// [`crawl_listing`]; the resumable pipeline journals the result so a
+/// restarted run never re-walks the listing.
+pub fn discover_listing(net: &Network, config: &CrawlConfig) -> ListingIndex {
+    let mut session = ScrapeSession::for_worker(net.clone(), config.seed, 0, config.polite);
+    let mut index = ListingIndex {
+        hrefs: Vec::new(),
+        pages: 0,
+        overhead: SessionOverhead::default(),
+    };
+
+    let first = match session.fetch_document(Url::https(LIST_HOST, "/list").with_query("page", "0"))
+    {
+        Ok(doc) => doc,
+        Err(_) => {
+            index.overhead = SessionOverhead::of(&session);
+            return index;
+        }
+    };
+    let total_pages = extract_total_pages(&first).unwrap_or(1);
+    let limit = config.max_pages.map_or(total_pages, |m| m.min(total_pages));
+
+    let mut outcomes: Vec<PageOutcome> = Vec::with_capacity(limit);
+    if limit > 0 {
+        outcomes.push(classify_page(&first));
+    }
+    for page in 1..limit {
+        outcomes.push(fetch_page(&mut session, page));
+    }
+
+    for outcome in outcomes {
+        match outcome {
+            PageOutcome::FetchErr => continue,
+            PageOutcome::ExtractErr => index.pages += 1,
+            PageOutcome::Links(links) => {
+                index.pages += 1;
+                if links.is_empty() {
+                    break; // past the end
+                }
+                index.hrefs.extend(links);
+            }
+        }
+    }
+
+    index.overhead = SessionOverhead::of(&session);
+    index
+}
+
+/// Crawl one contiguous chunk of detail hrefs with a dedicated session.
+///
+/// The session seed depends only on `config.seed` and the unit index — not
+/// on any worker count — so the journal a resumable run writes is identical
+/// whatever parallelism produced it. Content is session-independent (the
+/// property the sharded-vs-serial tests pin down), so replaying a unit is
+/// byte-equivalent to re-crawling it.
+pub fn crawl_detail_unit(
+    net: &Network,
+    config: &CrawlConfig,
+    hrefs: &[String],
+    unit: u64,
+) -> DetailUnit {
+    let mut session = ScrapeSession::for_worker(
+        net.clone(),
+        netsim::splitmix(config.seed, 0x1000 + unit),
+        1 + unit as usize,
+        config.polite,
+    );
+    let results = hrefs
+        .iter()
+        .map(|href| crawl_detail(&mut session, href, config).ok())
+        .collect();
+    DetailUnit {
+        results,
+        overhead: SessionOverhead::of(&session),
+    }
+}
+
 /// Visit a bot's website and hunt for its privacy policy.
 fn fetch_policy(
     session: &mut ScrapeSession,
     website: Option<&str>,
 ) -> (bool, bool, Option<PrivacyPolicy>) {
-    let Some(site) = website else { return (false, false, None) };
-    let Ok(home_url) = Url::parse(site) else { return (false, false, None) };
-    let Ok(resp) = session.http().get(home_url.clone()) else { return (false, false, None) };
+    let Some(site) = website else {
+        return (false, false, None);
+    };
+    let Ok(home_url) = Url::parse(site) else {
+        return (false, false, None);
+    };
+    let Ok(resp) = session.http().get(home_url.clone()) else {
+        return (false, false, None);
+    };
     if !resp.status.is_success() {
         return (false, false, None);
     }
-    let Ok(doc) = htmlsim::parse_document(&resp.text()) else { return (true, false, None) };
-    let Ok(link) = Locator::id("privacy-link").find(&doc) else { return (true, false, None) };
-    let Some(href) = link.attr("href") else { return (true, false, None) };
-    let Ok(policy_url) = home_url.join(href) else { return (true, true, None) };
-    let Ok(presp) = session.http().get(policy_url) else { return (true, true, None) };
+    let Ok(doc) = htmlsim::parse_document(&resp.text()) else {
+        return (true, false, None);
+    };
+    let Ok(link) = Locator::id("privacy-link").find(&doc) else {
+        return (true, false, None);
+    };
+    let Some(href) = link.attr("href") else {
+        return (true, false, None);
+    };
+    let Ok(policy_url) = home_url.join(href) else {
+        return (true, true, None);
+    };
+    let Ok(presp) = session.http().get(policy_url) else {
+        return (true, true, None);
+    };
     if !presp.status.is_success() {
         return (true, true, None);
     }
-    let Ok(pdoc) = htmlsim::parse_document(&presp.text()) else { return (true, true, None) };
+    let Ok(pdoc) = htmlsim::parse_document(&presp.text()) else {
+        return (true, true, None);
+    };
     (true, true, extract_privacy_policy(&pdoc))
 }
 
@@ -364,23 +539,35 @@ mod tests {
         OAuthWebGate::new(platform.clone()).mount(&net);
 
         let owner = platform.register_user("dev", "d@x.y");
-        platform.create_guild(owner, "seed", GuildVisibility::Public).unwrap();
+        platform
+            .create_guild(owner, "seed", GuildVisibility::Public)
+            .unwrap();
 
         let mut rng = StdRng::seed_from_u64(4);
         let mut listings = Vec::new();
         for i in 0..n_bots {
-            let app = platform.register_bot_application(owner, &format!("Bot{i}")).unwrap();
+            let app = platform
+                .register_bot_application(owner, &format!("Bot{i}"))
+                .unwrap();
             // Mix of valid / removed / malformed invite links.
             let invite_link = match i % 4 {
-                0 | 1 => InviteUrl::bot(app.client_id, Permissions::ADMINISTRATOR).to_url().to_string(),
-                2 => InviteUrl::bot(999_000 + i, Permissions::NONE).to_url().to_string(), // removed
+                0 | 1 => InviteUrl::bot(app.client_id, Permissions::ADMINISTRATOR)
+                    .to_url()
+                    .to_string(),
+                2 => InviteUrl::bot(999_000 + i, Permissions::NONE)
+                    .to_url()
+                    .to_string(), // removed
                 _ => "totally-broken".to_string(),
             };
             // Half the bots have websites; half of those have policies.
             let website = if i % 2 == 0 {
                 let host = format!("bot{i}.site.sim");
                 let hosting = if i % 4 == 0 {
-                    PolicyHosting::Linked(policy::corpus::complete_policy(&mut rng, &format!("Bot{i}"), true))
+                    PolicyHosting::Linked(policy::corpus::complete_policy(
+                        &mut rng,
+                        &format!("Bot{i}"),
+                        true,
+                    ))
                 } else {
                     PolicyHosting::None
                 };
@@ -403,8 +590,16 @@ mod tests {
                 commands: vec![format!("!cmd{i}")],
             });
         }
-        BotListSite::new(listings, SiteConfig { page_size: 4, captcha_every: Some(10), rate_limit: None, email_wall_after_page: None })
-            .mount(&net);
+        BotListSite::new(
+            listings,
+            SiteConfig {
+                page_size: 4,
+                captcha_every: Some(10),
+                rate_limit: None,
+                email_wall_after_page: None,
+            },
+        )
+        .mount(&net);
         net
     }
 
@@ -418,8 +613,14 @@ mod tests {
         assert!(stats.duration > SimDuration::ZERO);
 
         let valid = bots.iter().filter(|b| b.invite_status.is_valid()).count();
-        let removed = bots.iter().filter(|b| b.invite_status == InviteStatus::Removed).count();
-        let malformed = bots.iter().filter(|b| b.invite_status == InviteStatus::MalformedLink).count();
+        let removed = bots
+            .iter()
+            .filter(|b| b.invite_status == InviteStatus::Removed)
+            .count();
+        let malformed = bots
+            .iter()
+            .filter(|b| b.invite_status == InviteStatus::MalformedLink)
+            .count();
         assert_eq!(valid, 6);
         assert_eq!(removed, 3);
         assert_eq!(malformed, 3);
@@ -428,12 +629,16 @@ mod tests {
         assert_eq!(with_site, 6);
         // Sample commands survive both detail-page layouts.
         assert!(bots.iter().all(|b| b.scraped.commands.len() == 1));
-        assert!(bots.iter().any(|b| b.scraped.commands[0].starts_with("!cmd")));
+        assert!(bots
+            .iter()
+            .any(|b| b.scraped.commands[0].starts_with("!cmd")));
         let with_policy = bots.iter().filter(|b| b.policy.is_some()).count();
         assert_eq!(with_policy, 3);
         // Permissions decoded for valid links.
         for b in bots.iter().filter(|b| b.invite_status.is_valid()) {
-            let InviteStatus::Valid { permissions, .. } = &b.invite_status else { unreachable!() };
+            let InviteStatus::Valid { permissions, .. } = &b.invite_status else {
+                unreachable!()
+            };
             assert!(permissions.contains(Permissions::ADMINISTRATOR));
         }
     }
@@ -449,8 +654,13 @@ mod tests {
     #[test]
     fn max_pages_bounds_the_crawl() {
         let net = build_world(12);
-        let (bots, stats) =
-            crawl_listing(&net, &CrawlConfig { max_pages: Some(1), ..CrawlConfig::default() });
+        let (bots, stats) = crawl_listing(
+            &net,
+            &CrawlConfig {
+                max_pages: Some(1),
+                ..CrawlConfig::default()
+            },
+        );
         assert_eq!(stats.pages, 1);
         assert_eq!(bots.len(), 4);
     }
@@ -458,17 +668,29 @@ mod tests {
     #[test]
     fn crawl_without_policy_fetch_skips_websites() {
         let net = build_world(8);
-        let (bots, _stats) =
-            crawl_listing(&net, &CrawlConfig { fetch_policies: false, ..CrawlConfig::default() });
-        assert!(bots.iter().all(|b| !b.website_reachable && b.policy.is_none()));
+        let (bots, _stats) = crawl_listing(
+            &net,
+            &CrawlConfig {
+                fetch_policies: false,
+                ..CrawlConfig::default()
+            },
+        );
+        assert!(bots
+            .iter()
+            .all(|b| !b.website_reachable && b.policy.is_none()));
     }
 
     #[test]
     fn sharded_crawl_matches_serial() {
         let collect = |workers: usize| {
             let net = build_world(12);
-            let (bots, stats) =
-                crawl_listing(&net, &CrawlConfig { workers, ..CrawlConfig::default() });
+            let (bots, stats) = crawl_listing(
+                &net,
+                &CrawlConfig {
+                    workers,
+                    ..CrawlConfig::default()
+                },
+            );
             let shape: Vec<_> = bots
                 .iter()
                 .map(|b| {
@@ -496,7 +718,9 @@ mod tests {
             let net = build_world(8);
             let (bots, stats) = crawl_listing(&net, &CrawlConfig::default());
             (
-                bots.iter().map(|b| (b.scraped.id, b.invite_status.clone(), b.policy.is_some())).collect::<Vec<_>>(),
+                bots.iter()
+                    .map(|b| (b.scraped.id, b.invite_status.clone(), b.policy.is_some()))
+                    .collect::<Vec<_>>(),
                 stats.pages,
             )
         };

@@ -47,7 +47,10 @@ pub fn extract_bot_links(doc: &Document) -> Result<Vec<String>, LocateError> {
     for locator in variants {
         let hits = locator.find_all(doc)?;
         if !hits.is_empty() {
-            return Ok(hits.into_iter().filter_map(|n| n.attr("href").map(str::to_string)).collect());
+            return Ok(hits
+                .into_iter()
+                .filter_map(|n| n.attr("href").map(str::to_string))
+                .collect());
         }
     }
     // A page with no recognizable cards at all: the caller treats an empty
@@ -57,7 +60,12 @@ pub fn extract_bot_links(doc: &Document) -> Result<Vec<String>, LocateError> {
 
 /// Total page count advertised on a list page.
 pub fn extract_total_pages(doc: &Document) -> Option<usize> {
-    Locator::id("total-pages").find(doc).ok()?.text_content().parse().ok()
+    Locator::id("total-pages")
+        .find(doc)
+        .ok()?
+        .text_content()
+        .parse()
+        .ok()
 }
 
 /// Extract a bot detail page, trying the primary layout first and falling
@@ -75,7 +83,9 @@ fn extract_bot_detail_primary(doc: &Document) -> Result<ScrapedBot, LocateError>
     let id = bot
         .attr("data-bot-id")
         .and_then(|v| v.parse::<u64>().ok())
-        .ok_or_else(|| LocateError::NoSuchElement { locator: "data-bot-id".into() })?;
+        .ok_or_else(|| LocateError::NoSuchElement {
+            locator: "data-bot-id".into(),
+        })?;
     let name = Locator::id("bot-name").find(doc)?.text_content();
     let invite_link = Locator::id("invite")
         .find(doc)?
@@ -141,7 +151,9 @@ fn extract_bot_detail_alt(doc: &Document) -> Result<ScrapedBot, LocateError> {
     let id = card
         .attr("data-app-id")
         .and_then(|v| v.parse::<u64>().ok())
-        .ok_or_else(|| LocateError::NoSuchElement { locator: "data-app-id".into() })?;
+        .ok_or_else(|| LocateError::NoSuchElement {
+            locator: "data-app-id".into(),
+        })?;
     let name = Locator::css("h2.app-title").find(doc)?.text_content();
     let invite_link = Locator::css("a.install-button")
         .find(doc)?
@@ -152,8 +164,14 @@ fn extract_bot_detail_alt(doc: &Document) -> Result<ScrapedBot, LocateError> {
         .find(doc)
         .map(|n| n.text_content())
         .unwrap_or_default();
-    let guild_count = card.attr("data-guilds").and_then(|v| v.parse().ok()).unwrap_or(0);
-    let vote_count = card.attr("data-votes").and_then(|v| v.parse().ok()).unwrap_or(0);
+    let guild_count = card
+        .attr("data-guilds")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let vote_count = card
+        .attr("data-votes")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
     let tags = Locator::css("span.badge")
         .find_all(doc)?
         .into_iter()
@@ -221,7 +239,11 @@ mod tests {
         let variant0 = r#"<div id="bot-list"><div class="bot-card"><a class="bot-link" href="/bot/1">A</a></div></div>"#;
         let variant1 = r#"<table id="bot-table"><tbody><tr class="bot-row"><td><a class="details" href="/bot/2">B</a></td></tr></tbody></table>"#;
         let variant2 = r#"<ul id="entries"><li class="entry"><a data-kind="bot" href="/bot/3">C</a></li></ul>"#;
-        for (html, expected) in [(variant0, "/bot/1"), (variant1, "/bot/2"), (variant2, "/bot/3")] {
+        for (html, expected) in [
+            (variant0, "/bot/1"),
+            (variant1, "/bot/2"),
+            (variant2, "/bot/3"),
+        ] {
             let doc = parse_document(html).unwrap();
             assert_eq!(extract_bot_links(&doc).unwrap(), vec![expected.to_string()]);
         }
@@ -256,17 +278,26 @@ mod tests {
         assert_eq!(bot.tags, vec!["fun", "music"]);
         assert_eq!(bot.developers, vec!["editid#6714"]);
         assert_eq!(bot.website.as_deref(), Some("https://megabot.site/"));
-        assert_eq!(bot.github.as_deref(), Some("https://github.sim/editid/megabot"));
+        assert_eq!(
+            bot.github.as_deref(),
+            Some("https://github.sim/editid/megabot")
+        );
     }
 
     #[test]
     fn detail_extraction_minimal_page() {
         let doc = Document::new(
-            el("html").child(el("body").child(
-                el("div").id("bot").attr("data-bot-id", "5")
-                    .child(el("h1").id("bot-name").text("TinyBot"))
-                    .child(el("a").id("invite").attr("href", "nonsense-link")),
-            )).build(),
+            el("html")
+                .child(
+                    el("body").child(
+                        el("div")
+                            .id("bot")
+                            .attr("data-bot-id", "5")
+                            .child(el("h1").id("bot-name").text("TinyBot"))
+                            .child(el("a").id("invite").attr("href", "nonsense-link")),
+                    ),
+                )
+                .build(),
         );
         let bot = extract_bot_detail(&doc).unwrap();
         assert_eq!(bot.id, 5);
@@ -278,7 +309,10 @@ mod tests {
     #[test]
     fn detail_extraction_fails_without_bot_div() {
         let doc = parse_document("<html><body><h1>404</h1></body></html>").unwrap();
-        assert!(matches!(extract_bot_detail(&doc), Err(LocateError::NoSuchElement { .. })));
+        assert!(matches!(
+            extract_bot_detail(&doc),
+            Err(LocateError::NoSuchElement { .. })
+        ));
     }
 
     #[test]
@@ -316,14 +350,21 @@ mod tests {
     #[test]
     fn alt_layout_without_links() {
         let doc = Document::new(
-            el("html").child(el("body").child(
-                el("section").class("app-profile")
-                    .attr("data-app-id", "5")
-                    .child(el("h2").class("app-title").text("Tiny"))
-                    .child(el("div").class("actions").child(
-                        el("a").class("install-button").attr("href", "x"),
-                    )),
-            )).build(),
+            el("html")
+                .child(
+                    el("body").child(
+                        el("section")
+                            .class("app-profile")
+                            .attr("data-app-id", "5")
+                            .child(el("h2").class("app-title").text("Tiny"))
+                            .child(
+                                el("div")
+                                    .class("actions")
+                                    .child(el("a").class("install-button").attr("href", "x")),
+                            ),
+                    ),
+                )
+                .build(),
         );
         let bot = extract_bot_detail(&doc).unwrap();
         assert_eq!(bot.id, 5);
@@ -334,7 +375,8 @@ mod tests {
 
     #[test]
     fn total_pages_parses() {
-        let doc = parse_document(r#"<html><body><span id="total-pages">837</span></body></html>"#).unwrap();
+        let doc = parse_document(r#"<html><body><span id="total-pages">837</span></body></html>"#)
+            .unwrap();
         assert_eq!(extract_total_pages(&doc), Some(837));
         let doc = parse_document("<html><body></body></html>").unwrap();
         assert_eq!(extract_total_pages(&doc), None);

@@ -52,7 +52,9 @@ impl InviteStatus {
 
 /// Validate one scraped invite link.
 pub fn validate_invite(client: &mut HttpClient, raw_link: &str) -> InviteStatus {
-    let Ok(url) = Url::parse(raw_link) else { return InviteStatus::MalformedLink };
+    let Ok(url) = Url::parse(raw_link) else {
+        return InviteStatus::MalformedLink;
+    };
 
     // Follow the link (redirectors included) to wherever it lands.
     match client.get(url) {
@@ -68,7 +70,11 @@ pub fn validate_invite(client: &mut HttpClient, raw_link: &str) -> InviteStatus 
                 match oauth_url.and_then(|u| InviteUrl::parse(&u).ok()) {
                     Some(invite) => InviteStatus::Valid {
                         permissions: invite.permissions,
-                        scopes: invite.scopes.iter().map(|s| s.wire_name().to_string()).collect(),
+                        scopes: invite
+                            .scopes
+                            .iter()
+                            .map(|s| s.wire_name().to_string())
+                            .collect(),
                     },
                     None => InviteStatus::MalformedLink,
                 }
@@ -104,14 +110,22 @@ mod tests {
         let net = Network::with_clock(11, clock.clone());
         let platform = Platform::new(clock);
         let owner = platform.register_user("dev", "d@x.y");
-        platform.create_guild(owner, "g", GuildVisibility::Public).unwrap();
+        platform
+            .create_guild(owner, "g", GuildVisibility::Public)
+            .unwrap();
         let app = platform.register_bot_application(owner, "LiveBot").unwrap();
         OAuthWebGate::new(platform.clone()).mount(&net);
         (net, platform, app.client_id)
     }
 
     fn client(net: &Network) -> HttpClient {
-        HttpClient::new(net.clone(), ClientConfig { timeout: netsim::SimDuration::from_secs(5), ..ClientConfig::impolite("validator") })
+        HttpClient::new(
+            net.clone(),
+            ClientConfig {
+                timeout: netsim::SimDuration::from_secs(5),
+                ..ClientConfig::impolite("validator")
+            },
+        )
     }
 
     #[test]
@@ -123,7 +137,10 @@ mod tests {
             .to_string();
         let status = validate_invite(&mut c, &link);
         match status {
-            InviteStatus::Valid { permissions, scopes } => {
+            InviteStatus::Valid {
+                permissions,
+                scopes,
+            } => {
                 assert!(permissions.contains(Permissions::ADMINISTRATOR));
                 assert!(permissions.contains(Permissions::SPEAK));
                 assert_eq!(scopes, vec!["bot"]);
@@ -136,7 +153,9 @@ mod tests {
     fn removed_bot_detected() {
         let (net, _p, _cid) = setup();
         let mut c = client(&net);
-        let link = InviteUrl::bot(424242, Permissions::NONE).to_url().to_string();
+        let link = InviteUrl::bot(424242, Permissions::NONE)
+            .to_url()
+            .to_string();
         assert_eq!(validate_invite(&mut c, &link), InviteStatus::Removed);
     }
 
@@ -144,12 +163,17 @@ mod tests {
     fn malformed_links_detected() {
         let (net, _p, cid) = setup();
         let mut c = client(&net);
-        assert_eq!(validate_invite(&mut c, "not a url at all"), InviteStatus::MalformedLink);
+        assert_eq!(
+            validate_invite(&mut c, "not a url at all"),
+            InviteStatus::MalformedLink
+        );
         // Parseable URL but missing the bot scope.
         let link = format!("https://discord.sim/oauth2/authorize?client_id={cid}&scope=identify");
         assert_eq!(validate_invite(&mut c, &link), InviteStatus::MalformedLink);
         // Garbage permissions field.
-        let link = format!("https://discord.sim/oauth2/authorize?client_id={cid}&scope=bot&permissions=lots");
+        let link = format!(
+            "https://discord.sim/oauth2/authorize?client_id={cid}&scope=bot&permissions=lots"
+        );
         assert_eq!(validate_invite(&mut c, &link), InviteStatus::MalformedLink);
     }
 
@@ -187,25 +211,33 @@ mod tests {
     #[test]
     fn healthy_redirector_resolves_valid() {
         let (net, _p, cid) = setup();
-        net.mount("fast.redirector.sim", move |_req: &Request, _ctx: &mut ServiceCtx<'_>| {
-            Response::redirect(&format!(
+        net.mount(
+            "fast.redirector.sim",
+            move |_req: &Request, _ctx: &mut ServiceCtx<'_>| {
+                Response::redirect(&format!(
                 "https://discord.sim/oauth2/authorize?client_id={cid}&scope=bot&permissions=2048"
             ))
-        });
+            },
+        );
         let mut c = client(&net);
         // The redirect chain lands on the consent page; the final URL is the
         // OAuth URL, which the client followed. For parameter decoding the
         // validator needs the final URL — exercise via the direct link shape.
         let status = validate_invite(
             &mut c,
-            &format!("https://discord.sim/oauth2/authorize?client_id={cid}&scope=bot&permissions=2048"),
+            &format!(
+                "https://discord.sim/oauth2/authorize?client_id={cid}&scope=bot&permissions=2048"
+            ),
         );
         assert!(status.is_valid());
         // And the redirector link at minimum classifies as reachable-valid
         // or malformed-decode; it must NOT be Dead/TimedOut.
         let via_redirect = validate_invite(&mut c, "https://fast.redirector.sim/inv/1");
         assert!(
-            !matches!(via_redirect, InviteStatus::DeadLink | InviteStatus::TimedOut),
+            !matches!(
+                via_redirect,
+                InviteStatus::DeadLink | InviteStatus::TimedOut
+            ),
             "got {via_redirect:?}"
         );
     }

@@ -30,7 +30,10 @@ pub mod invite;
 pub mod session;
 pub mod solver;
 
-pub use crawl::{crawl_listing, CrawlConfig, CrawlStats, CrawledBot};
+pub use crawl::{
+    crawl_detail_unit, crawl_listing, discover_listing, CrawlConfig, CrawlStats, CrawledBot,
+    DetailUnit, ListingIndex, SessionOverhead,
+};
 pub use extract::{extract_bot_detail, extract_bot_links, ScrapedBot};
 pub use invite::{validate_invite, InviteStatus};
 pub use session::ScrapeSession;

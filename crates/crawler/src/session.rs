@@ -8,8 +8,8 @@
 
 use crate::solver::CaptchaSolverClient;
 use htmlsim::{parse_document, Document, Locator};
-use netsim::clock::SimDuration;
 use netsim::client::{ClientConfig, HttpClient};
+use netsim::clock::SimDuration;
 use netsim::http::{Response, Status, Url};
 use netsim::{NetError, Network};
 use rand::rngs::StdRng;
@@ -35,7 +35,13 @@ pub struct ScrapeSession {
 impl ScrapeSession {
     /// A polite session with the paper's etiquette.
     pub fn new(net: Network, seed: u64) -> ScrapeSession {
-        Self::with_agent(net, seed, "measurement-crawler/1.0".to_string(), (400, 2500), false)
+        Self::with_agent(
+            net,
+            seed,
+            "measurement-crawler/1.0".to_string(),
+            (400, 2500),
+            false,
+        )
     }
 
     /// An impolite session: no think time, no client rate limiting, single
@@ -50,10 +56,16 @@ impl ScrapeSession {
     /// captcha counters, email verification) apply per shard, exactly as
     /// they would to a distributed crawl fleet.
     pub fn for_worker(net: Network, seed: u64, worker: usize, polite: bool) -> ScrapeSession {
-        let (base, think) =
-            if polite { ("measurement-crawler/1.0", (400, 2500)) } else { ("impolite-crawler/1.0", (0, 0)) };
-        let agent =
-            if worker == 0 { base.to_string() } else { format!("{base} (shard {worker})") };
+        let (base, think) = if polite {
+            ("measurement-crawler/1.0", (400, 2500))
+        } else {
+            ("impolite-crawler/1.0", (0, 0))
+        };
+        let agent = if worker == 0 {
+            base.to_string()
+        } else {
+            format!("{base} (shard {worker})")
+        };
         Self::with_agent(net, seed, agent, think, !polite)
     }
 
@@ -64,8 +76,11 @@ impl ScrapeSession {
         think_time_ms: (u64, u64),
         impolite: bool,
     ) -> ScrapeSession {
-        let config =
-            if impolite { ClientConfig::impolite(&agent) } else { ClientConfig::crawler(&agent) };
+        let config = if impolite {
+            ClientConfig::impolite(&agent)
+        } else {
+            ClientConfig::crawler(&agent)
+        };
         let http = HttpClient::new(net.clone(), config);
         ScrapeSession {
             solver: CaptchaSolverClient::new(net.clone()),
@@ -94,7 +109,11 @@ impl ScrapeSession {
         if hi == 0 {
             return;
         }
-        let ms = if lo >= hi { lo } else { self.rng.gen_range(lo..=hi) };
+        let ms = if lo >= hi {
+            lo
+        } else {
+            self.rng.gen_range(lo..=hi)
+        };
         self.net.clock().sleep(SimDuration::from_millis(ms));
     }
 
@@ -118,15 +137,19 @@ impl ScrapeSession {
                         format!("id={id}&answer={answer}"),
                     )?;
                     if redeem.status != Status::Ok {
-                        return Err(NetError::Malformed { reason: "captcha redeem rejected".into() });
+                        return Err(NetError::Malformed {
+                            reason: "captcha redeem rejected".into(),
+                        });
                     }
                     self.captchas_solved += 1;
                     current = url.clone().with_query("captcha_pass", &redeem.text());
                 }
                 Status::Unauthorized => {
                     // Email wall: verify once, then retry.
-                    self.http
-                        .post(Url::https(&current.host, "/verify-email"), "email=crawler@lab.example")?;
+                    self.http.post(
+                        Url::https(&current.host, "/verify-email"),
+                        "email=crawler@lab.example",
+                    )?;
                     self.email_verifications += 1;
                 }
                 _ => {
@@ -135,17 +158,22 @@ impl ScrapeSession {
                 }
             }
         }
-        Err(NetError::Malformed { reason: format!("defense loop did not converge for {url}") })
+        Err(NetError::Malformed {
+            reason: format!("defense loop did not converge for {url}"),
+        })
     }
 
     /// Fetch and parse a page.
     pub fn fetch_document(&mut self, url: Url) -> Result<Document, NetError> {
         let resp = self.fetch(url)?;
         if !resp.status.is_success() {
-            return Err(NetError::Malformed { reason: format!("status {}", resp.status) });
+            return Err(NetError::Malformed {
+                reason: format!("status {}", resp.status),
+            });
         }
-        parse_document(&resp.text())
-            .map_err(|e| NetError::Malformed { reason: e.to_string() })
+        parse_document(&resp.text()).map_err(|e| NetError::Malformed {
+            reason: e.to_string(),
+        })
     }
 
     fn parse_captcha(resp: &Response) -> Option<(String, String)> {
@@ -170,7 +198,9 @@ mod tests {
     use botlist::{BotListSite, BotListing, SiteConfig, LIST_HOST};
 
     fn listings(n: u64) -> Vec<BotListing> {
-        (0..n).map(|i| BotListing::minimal(i + 1, &format!("B{i}"), "https://x.sim/", 100 - i)).collect()
+        (0..n)
+            .map(|i| BotListing::minimal(i + 1, &format!("B{i}"), "https://x.sim/", 100 - i))
+            .collect()
     }
 
     #[test]
@@ -179,7 +209,12 @@ mod tests {
         CaptchaSolverService::mount(&net);
         let site = BotListSite::new(
             listings(10),
-            SiteConfig { captcha_every: Some(2), rate_limit: None, email_wall_after_page: None, page_size: 5 },
+            SiteConfig {
+                captcha_every: Some(2),
+                rate_limit: None,
+                email_wall_after_page: None,
+                page_size: 5,
+            },
         );
         site.mount(&net);
         let mut session = ScrapeSession::new(net, 1);
@@ -187,7 +222,11 @@ mod tests {
             let resp = session.fetch(Url::https(LIST_HOST, "/list")).unwrap();
             assert!(resp.status.is_success());
         }
-        assert!(session.captchas_solved >= 2, "solved {}", session.captchas_solved);
+        assert!(
+            session.captchas_solved >= 2,
+            "solved {}",
+            session.captchas_solved
+        );
         assert!(session.captcha_spend_dollars() > 0.0);
     }
 
@@ -197,7 +236,12 @@ mod tests {
         CaptchaSolverService::mount(&net);
         let site = BotListSite::new(
             listings(100),
-            SiteConfig { captcha_every: None, rate_limit: None, email_wall_after_page: Some(0), page_size: 10 },
+            SiteConfig {
+                captcha_every: None,
+                rate_limit: None,
+                email_wall_after_page: Some(0),
+                page_size: 10,
+            },
         );
         site.mount(&net);
         let mut session = ScrapeSession::new(net, 1);
@@ -228,7 +272,12 @@ mod tests {
         let net = Network::new(17);
         let site = BotListSite::new(
             listings(5),
-            SiteConfig { rate_limit: Some((2, 0.5)), captcha_every: None, email_wall_after_page: None, page_size: 5 },
+            SiteConfig {
+                rate_limit: Some((2, 0.5)),
+                captcha_every: None,
+                email_wall_after_page: None,
+                page_size: 5,
+            },
         );
         site.mount(&net);
         let mut session = ScrapeSession::impolite(net, 1);
@@ -247,7 +296,9 @@ mod tests {
         let site = BotListSite::new(listings(5), SiteConfig::open());
         site.mount(&net);
         let mut session = ScrapeSession::new(net, 1);
-        let doc = session.fetch_document(Url::https(LIST_HOST, "/list")).unwrap();
+        let doc = session
+            .fetch_document(Url::https(LIST_HOST, "/list"))
+            .unwrap();
         assert!(doc.title().unwrap().contains("Top chatbots"));
     }
 }

@@ -7,8 +7,8 @@
 //! solve-time delay.
 
 use botlist::captcha::CaptchaBank;
-use netsim::clock::SimDuration;
 use netsim::client::{ClientConfig, HttpClient};
+use netsim::clock::SimDuration;
 use netsim::http::{Request, Response, Status, Url};
 use netsim::{NetError, Network, Service, ServiceCtx};
 
@@ -64,16 +64,29 @@ impl CaptchaSolverClient {
     pub fn new(net: Network) -> CaptchaSolverClient {
         let http = HttpClient::new(
             net.clone(),
-            ClientConfig { user_agent: "captcha-solver-client".into(), ..ClientConfig::default() },
+            ClientConfig {
+                user_agent: "captcha-solver-client".into(),
+                ..ClientConfig::default()
+            },
         );
-        CaptchaSolverClient { http, net, solves: 0, spend_centicents: 0 }
+        CaptchaSolverClient {
+            http,
+            net,
+            solves: 0,
+            spend_centicents: 0,
+        }
     }
 
     /// Solve one question (blocking in virtual time for the human worker).
     pub fn solve(&mut self, question: &str) -> Result<i64, NetError> {
-        let resp = self.http.post(Url::https(SOLVER_HOST, "/solve"), question.as_bytes().to_vec())?;
+        let resp = self.http.post(
+            Url::https(SOLVER_HOST, "/solve"),
+            question.as_bytes().to_vec(),
+        )?;
         if resp.status != Status::Ok {
-            return Err(NetError::Malformed { reason: format!("solver rejected question {question:?}") });
+            return Err(NetError::Malformed {
+                reason: format!("solver rejected question {question:?}"),
+            });
         }
         // The human takes their time.
         let solve_ms = resp
@@ -87,9 +100,9 @@ impl CaptchaSolverClient {
             .unwrap_or(FEE_PER_SOLVE_CENTICENTS);
         self.solves += 1;
         self.spend_centicents += fee;
-        resp.text()
-            .parse::<i64>()
-            .map_err(|_| NetError::Malformed { reason: "solver returned a non-number".into() })
+        resp.text().parse::<i64>().map_err(|_| NetError::Malformed {
+            reason: "solver returned a non-number".into(),
+        })
     }
 
     /// Spend in dollars.

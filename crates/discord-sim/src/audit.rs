@@ -125,7 +125,9 @@ mod tests {
             at: SimInstant::EPOCH,
             guild: g1,
             actor,
-            action: AuditAction::BotInstalled { bot: UserId(Snowflake(3)) },
+            action: AuditAction::BotInstalled {
+                bot: UserId(Snowflake(3)),
+            },
         });
         log.record(AuditEntry {
             at: SimInstant::EPOCH,

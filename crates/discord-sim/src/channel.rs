@@ -71,12 +71,22 @@ pub struct Channel {
 impl Channel {
     /// A plain text channel with no overwrites.
     pub fn text(id: ChannelId, name: &str) -> Channel {
-        Channel { id, name: name.to_string(), kind: ChannelKind::Text, overwrites: Vec::new() }
+        Channel {
+            id,
+            name: name.to_string(),
+            kind: ChannelKind::Text,
+            overwrites: Vec::new(),
+        }
     }
 
     /// A voice channel with no overwrites.
     pub fn voice(id: ChannelId, name: &str) -> Channel {
-        Channel { id, name: name.to_string(), kind: ChannelKind::Voice, overwrites: Vec::new() }
+        Channel {
+            id,
+            name: name.to_string(),
+            kind: ChannelKind::Voice,
+            overwrites: Vec::new(),
+        }
     }
 
     /// Overwrites that target the given role.

@@ -80,7 +80,9 @@ impl RuntimePolicy {
 const PREFIXES: &[char] = &['!', '?', '$', '-'];
 
 fn addressed_by_prefix(content: &str) -> bool {
-    let Some(first) = content.chars().next() else { return false };
+    let Some(first) = content.chars().next() else {
+        return false;
+    };
     if !PREFIXES.contains(&first) {
         return false;
     }
@@ -94,9 +96,12 @@ fn addressed_by_prefix(content: &str) -> bool {
 
 fn mentions(content: &str, bot_name_slug: &str) -> bool {
     let lower = content.to_ascii_lowercase();
-    lower
-        .split_whitespace()
-        .any(|w| w.trim_start_matches('@').trim_end_matches(|c: char| !c.is_ascii_alphanumeric()) == bot_name_slug && w.starts_with('@'))
+    lower.split_whitespace().any(|w| {
+        w.trim_start_matches('@')
+            .trim_end_matches(|c: char| !c.is_ascii_alphanumeric())
+            == bot_name_slug
+            && w.starts_with('@')
+    })
 }
 
 /// Platform presets, per the paper's comparative framing (§2, §6): all the
@@ -184,7 +189,10 @@ mod tests {
         assert!(!p.delivers_message(&msg("ordinary gossip", 0), "modbot"));
         assert!(!p.delivers_message(&msg("see https://secret.doc/x", 0), "modbot"));
         assert!(!p.delivers_message(&msg("! spaced is not a command", 0), "modbot"));
-        assert!(!p.delivers_message(&msg("email modbot@example.com", 0), "modbot"), "plain word, no @-prefix");
+        assert!(
+            !p.delivers_message(&msg("email modbot@example.com", 0), "modbot"),
+            "plain word, no @-prefix"
+        );
     }
 
     #[test]
@@ -199,8 +207,15 @@ mod tests {
     fn platform_profiles_match_the_papers_framing() {
         // "Discord does not implement user-permission checks—a task
         // entrusted to third-party developers" (abstract); the rest enforce.
-        assert_eq!(PlatformProfile::Discord.runtime_policy(), RuntimePolicy::Unenforced);
-        for p in [PlatformProfile::Slack, PlatformProfile::MsTeams, PlatformProfile::Telegram] {
+        assert_eq!(
+            PlatformProfile::Discord.runtime_policy(),
+            RuntimePolicy::Unenforced
+        );
+        for p in [
+            PlatformProfile::Slack,
+            PlatformProfile::MsTeams,
+            PlatformProfile::Telegram,
+        ] {
             assert_eq!(p.runtime_policy(), RuntimePolicy::Enforced, "{p:?}");
         }
         assert!(!PlatformProfile::Discord.has_official_marketplace());

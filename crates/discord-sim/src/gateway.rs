@@ -86,10 +86,22 @@ mod tests {
     fn guild_accessor_covers_all_variants() {
         let gid = GuildId(Snowflake(5));
         let events = [
-            GatewayEvent::GuildCreate { guild: gid, guild_name: "g".into() },
-            GatewayEvent::GuildMemberAdd { guild: gid, user: UserId(Snowflake(1)) },
-            GatewayEvent::GuildMemberRemove { guild: gid, user: UserId(Snowflake(1)) },
-            GatewayEvent::ChannelCreate { guild: gid, channel: ChannelId(Snowflake(2)) },
+            GatewayEvent::GuildCreate {
+                guild: gid,
+                guild_name: "g".into(),
+            },
+            GatewayEvent::GuildMemberAdd {
+                guild: gid,
+                user: UserId(Snowflake(1)),
+            },
+            GatewayEvent::GuildMemberRemove {
+                guild: gid,
+                user: UserId(Snowflake(1)),
+            },
+            GatewayEvent::ChannelCreate {
+                guild: gid,
+                channel: ChannelId(Snowflake(2)),
+            },
         ];
         for e in events {
             assert_eq!(e.guild(), gid);

@@ -67,12 +67,25 @@ pub struct Guild {
 impl Guild {
     /// Create a guild with the implicit `@everyone` role and the owner as
     /// first member.
-    pub fn new(id: GuildId, name: &str, owner: UserId, everyone_role_id: RoleId, visibility: GuildVisibility) -> Guild {
+    pub fn new(
+        id: GuildId,
+        name: &str,
+        owner: UserId,
+        everyone_role_id: RoleId,
+        visibility: GuildVisibility,
+    ) -> Guild {
         let everyone = Role::everyone(everyone_role_id);
         let mut roles = BTreeMap::new();
         roles.insert(everyone_role_id, everyone);
         let mut members = BTreeMap::new();
-        members.insert(owner, Member { user: owner, roles: Vec::new(), nickname: None });
+        members.insert(
+            owner,
+            Member {
+                user: owner,
+                roles: Vec::new(),
+                nickname: None,
+            },
+        );
         Guild {
             id,
             name: name.to_string(),
@@ -98,12 +111,18 @@ impl Guild {
 
     /// Role lookup.
     pub fn role(&self, id: RoleId) -> Result<&Role, PlatformError> {
-        self.roles.get(&id).ok_or_else(|| PlatformError::NotFound { what: id.to_string() })
+        self.roles.get(&id).ok_or_else(|| PlatformError::NotFound {
+            what: id.to_string(),
+        })
     }
 
     /// Channel lookup.
     pub fn channel(&self, id: ChannelId) -> Result<&Channel, PlatformError> {
-        self.channels.get(&id).ok_or_else(|| PlatformError::NotFound { what: id.to_string() })
+        self.channels
+            .get(&id)
+            .ok_or_else(|| PlatformError::NotFound {
+                what: id.to_string(),
+            })
     }
 
     /// All roles a member holds, including `@everyone`.
@@ -120,7 +139,12 @@ impl Guild {
     ///
     /// The hierarchy rules in §4.1 are all phrased in terms of this value.
     pub fn highest_role_position(&self, user: UserId) -> Result<u32, PlatformError> {
-        Ok(self.member_roles(user)?.iter().map(|r| r.position).max().unwrap_or(0))
+        Ok(self
+            .member_roles(user)?
+            .iter()
+            .map(|r| r.position)
+            .max()
+            .unwrap_or(0))
     }
 
     /// Union of guild-level permissions across the member's roles
@@ -150,7 +174,11 @@ mod tests {
     use super::*;
 
     fn ids() -> (GuildId, UserId, RoleId) {
-        (GuildId(Snowflake(1)), UserId(Snowflake(2)), RoleId(Snowflake(3)))
+        (
+            GuildId(Snowflake(1)),
+            UserId(Snowflake(2)),
+            RoleId(Snowflake(3)),
+        )
     }
 
     #[test]
@@ -169,7 +197,12 @@ mod tests {
         let mod_role = RoleId(Snowflake(10));
         g.roles.insert(
             mod_role,
-            Role { id: mod_role, name: "Mod".into(), position: 3, permissions: Permissions::KICK_MEMBERS },
+            Role {
+                id: mod_role,
+                name: "Mod".into(),
+                position: 3,
+                permissions: Permissions::KICK_MEMBERS,
+            },
         );
         g.member_mut(owner).unwrap().roles.push(mod_role);
         let roles = g.member_roles(owner).unwrap();

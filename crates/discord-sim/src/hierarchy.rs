@@ -134,25 +134,67 @@ mod tests {
         let low = RoleId(Snowflake(11));
         let mid = RoleId(Snowflake(12));
         let high = RoleId(Snowflake(13));
-        let mut guild =
-            Guild::new(GuildId(Snowflake(100)), "h", owner, everyone, GuildVisibility::Private);
+        let mut guild = Guild::new(
+            GuildId(Snowflake(100)),
+            "h",
+            owner,
+            everyone,
+            GuildVisibility::Private,
+        );
         for (rid, name, pos, perms) in [
             (low, "low", 2, Permissions::SEND_MESSAGES),
-            (mid, "mid", 5, Permissions::KICK_MEMBERS | Permissions::MANAGE_ROLES),
+            (
+                mid,
+                "mid",
+                5,
+                Permissions::KICK_MEMBERS | Permissions::MANAGE_ROLES,
+            ),
             (high, "high", 8, Permissions::BAN_MEMBERS),
         ] {
-            guild.roles.insert(rid, Role { id: rid, name: name.into(), position: pos, permissions: perms });
+            guild.roles.insert(
+                rid,
+                Role {
+                    id: rid,
+                    name: name.into(),
+                    position: pos,
+                    permissions: perms,
+                },
+            );
         }
-        guild.members.insert(bot, Member { user: bot, roles: vec![mid], nickname: None });
-        guild.members.insert(alice, Member { user: alice, roles: vec![], nickname: None });
-        Fixture { guild, bot, alice, low, mid, high }
+        guild.members.insert(
+            bot,
+            Member {
+                user: bot,
+                roles: vec![mid],
+                nickname: None,
+            },
+        );
+        guild.members.insert(
+            alice,
+            Member {
+                user: alice,
+                roles: vec![],
+                nickname: None,
+            },
+        );
+        Fixture {
+            guild,
+            bot,
+            alice,
+            low,
+            mid,
+            high,
+        }
     }
 
     #[test]
     fn rule1_grant_only_lower() {
         let f = fixture();
         assert!(can_grant_role(&f.guild, f.bot, f.low).is_ok());
-        assert!(can_grant_role(&f.guild, f.bot, f.mid).is_err(), "equal position denied");
+        assert!(
+            can_grant_role(&f.guild, f.bot, f.mid).is_err(),
+            "equal position denied"
+        );
         assert!(can_grant_role(&f.guild, f.bot, f.high).is_err());
     }
 
@@ -160,7 +202,13 @@ mod tests {
     fn rule2_edit_only_lower_and_only_own_permissions() {
         let f = fixture();
         // Editing `low` to add KICK_MEMBERS (bot has it): ok.
-        assert!(can_edit_role(&f.guild, f.bot, f.low, Permissions::SEND_MESSAGES | Permissions::KICK_MEMBERS).is_ok());
+        assert!(can_edit_role(
+            &f.guild,
+            f.bot,
+            f.low,
+            Permissions::SEND_MESSAGES | Permissions::KICK_MEMBERS
+        )
+        .is_ok());
         // Editing `low` to add BAN_MEMBERS (bot lacks it): hierarchy violation.
         assert!(can_edit_role(&f.guild, f.bot, f.low, Permissions::BAN_MEMBERS).is_err());
         // Editing `high` at all: violation.
@@ -174,9 +222,18 @@ mod tests {
     fn rule3_sort_only_below_own_top() {
         let f = fixture();
         assert!(can_sort_role(&f.guild, f.bot, f.low, 3).is_ok());
-        assert!(can_sort_role(&f.guild, f.bot, f.low, 5).is_err(), "cannot sort to own level");
-        assert!(can_sort_role(&f.guild, f.bot, f.low, 7).is_err(), "cannot sort above own level");
-        assert!(can_sort_role(&f.guild, f.bot, f.high, 1).is_err(), "cannot touch higher role");
+        assert!(
+            can_sort_role(&f.guild, f.bot, f.low, 5).is_err(),
+            "cannot sort to own level"
+        );
+        assert!(
+            can_sort_role(&f.guild, f.bot, f.low, 7).is_err(),
+            "cannot sort above own level"
+        );
+        assert!(
+            can_sort_role(&f.guild, f.bot, f.high, 1).is_err(),
+            "cannot touch higher role"
+        );
     }
 
     #[test]

@@ -85,10 +85,24 @@ impl Message {
     pub fn emails(&self) -> Vec<&str> {
         self.content
             .split_whitespace()
-            .map(|w| w.trim_matches(|c: char| !c.is_ascii_alphanumeric() && c != '@' && c != '.' && c != '-' && c != '_' && c != '+'))
+            .map(|w| {
+                w.trim_matches(|c: char| {
+                    !c.is_ascii_alphanumeric()
+                        && c != '@'
+                        && c != '.'
+                        && c != '-'
+                        && c != '_'
+                        && c != '+'
+                })
+            })
             .filter(|w| {
-                let Some((local, domain)) = w.split_once('@') else { return false };
-                !local.is_empty() && domain.contains('.') && !domain.starts_with('.') && !domain.ends_with('.')
+                let Some((local, domain)) = w.split_once('@') else {
+                    return false;
+                };
+                !local.is_empty()
+                    && domain.contains('.')
+                    && !domain.starts_with('.')
+                    && !domain.ends_with('.')
             })
             .collect()
     }
@@ -112,7 +126,10 @@ mod tests {
     #[test]
     fn command_parsing() {
         assert_eq!(msg("!info").command("!"), Some(("info", "")));
-        assert_eq!(msg("!kick @bob being rude").command("!"), Some(("kick", "@bob being rude")));
+        assert_eq!(
+            msg("!kick @bob being rude").command("!"),
+            Some(("kick", "@bob being rude"))
+        );
         assert_eq!(msg("hello !info").command("!"), None);
         assert_eq!(msg("! spaced").command("!"), None);
         assert_eq!(msg("?info").command("!"), None);
@@ -122,7 +139,10 @@ mod tests {
     #[test]
     fn url_extraction() {
         let m = msg("check https://docs.example/report and http://a.b/c now");
-        assert_eq!(m.urls(), vec!["https://docs.example/report", "http://a.b/c"]);
+        assert_eq!(
+            m.urls(),
+            vec!["https://docs.example/report", "http://a.b/c"]
+        );
         assert!(msg("no links here").urls().is_empty());
     }
 

@@ -126,7 +126,11 @@ pub const OAUTH_PATH: &str = "/oauth2/authorize";
 impl InviteUrl {
     /// Standard invite for a bot with permissions.
     pub fn bot(client_id: u64, permissions: Permissions) -> InviteUrl {
-        InviteUrl { client_id, scopes: vec![OAuthScope::Bot], permissions }
+        InviteUrl {
+            client_id,
+            scopes: vec![OAuthScope::Bot],
+            permissions,
+        }
     }
 
     /// Add an extra scope.
@@ -163,12 +167,15 @@ impl InviteUrl {
         let client_id = url
             .query_param("client_id")
             .and_then(|v| v.parse::<u64>().ok())
-            .ok_or_else(|| PlatformError::OAuth { reason: "missing/invalid client_id".into() })?;
+            .ok_or_else(|| PlatformError::OAuth {
+                reason: "missing/invalid client_id".into(),
+            })?;
         let scopes_raw = url.query_param("scope").unwrap_or("");
         let mut scopes = Vec::new();
         for part in scopes_raw.split([' ', '+']).filter(|p| !p.is_empty()) {
-            let scope = OAuthScope::from_wire(part)
-                .ok_or_else(|| PlatformError::OAuth { reason: format!("unknown scope {part:?}") })?;
+            let scope = OAuthScope::from_wire(part).ok_or_else(|| PlatformError::OAuth {
+                reason: format!("unknown scope {part:?}"),
+            })?;
             if !scopes.contains(&scope) {
                 scopes.push(scope);
             }
@@ -179,12 +186,18 @@ impl InviteUrl {
             });
         }
         let permissions = match url.query_param("permissions") {
-            Some(raw) => Permissions::from_invite_field(raw).ok_or_else(|| PlatformError::OAuth {
-                reason: format!("invalid permissions field {raw:?}"),
-            })?,
+            Some(raw) => {
+                Permissions::from_invite_field(raw).ok_or_else(|| PlatformError::OAuth {
+                    reason: format!("invalid permissions field {raw:?}"),
+                })?
+            }
             None => Permissions::NONE,
         };
-        Ok(InviteUrl { client_id, scopes, permissions })
+        Ok(InviteUrl {
+            client_id,
+            scopes,
+            permissions,
+        })
     }
 
     /// Render the consent screen text a user sees before authorizing —

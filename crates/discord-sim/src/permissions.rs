@@ -228,7 +228,10 @@ mod tests {
     fn administrator_is_bit_three() {
         // The famous `permissions=8` invite link.
         assert_eq!(Permissions::ADMINISTRATOR.0, 8);
-        assert_eq!(Permissions::from_invite_field("8"), Some(Permissions::ADMINISTRATOR));
+        assert_eq!(
+            Permissions::from_invite_field("8"),
+            Some(Permissions::ADMINISTRATOR)
+        );
     }
 
     #[test]
@@ -243,7 +246,10 @@ mod tests {
         assert!(a.contains(Permissions::SEND_MESSAGES));
         assert!(!a.contains(Permissions::BAN_MEMBERS));
         assert!(a.intersects(Permissions::VIEW_CHANNEL | Permissions::SPEAK));
-        assert_eq!(a.difference(Permissions::VIEW_CHANNEL), Permissions::SEND_MESSAGES);
+        assert_eq!(
+            a.difference(Permissions::VIEW_CHANNEL),
+            Permissions::SEND_MESSAGES
+        );
         assert_eq!(a.count(), 2);
         assert!(!a.is_empty());
         assert!(Permissions::NONE.is_empty());
@@ -269,13 +275,31 @@ mod tests {
     fn figure3_permissions_all_exist() {
         // Every permission listed in Figure 3 must resolve by name.
         for name in [
-            "add reactions", "administrator", "attach files", "ban members",
-            "change nickname", "connect", "create invite", "embed links",
-            "kick members", "manage channels", "manage emojis and stickers",
-            "manage messages", "manage nicknames", "manage roles", "manage server",
-            "manage webhooks", "mention @everyone", "read message history",
-            "read messages", "send messages", "send tts messages", "speak",
-            "use external emojis", "use voice activity", "view audit log",
+            "add reactions",
+            "administrator",
+            "attach files",
+            "ban members",
+            "change nickname",
+            "connect",
+            "create invite",
+            "embed links",
+            "kick members",
+            "manage channels",
+            "manage emojis and stickers",
+            "manage messages",
+            "manage nicknames",
+            "manage roles",
+            "manage server",
+            "manage webhooks",
+            "mention @everyone",
+            "read message history",
+            "read messages",
+            "send messages",
+            "send tts messages",
+            "speak",
+            "use external emojis",
+            "use voice activity",
+            "view audit log",
         ] {
             assert!(Permissions::by_name(name).is_some(), "missing {name}");
         }
@@ -301,7 +325,10 @@ mod tests {
     fn iter_yields_single_bits() {
         let p = Permissions::SEND_MESSAGES | Permissions::ADMINISTRATOR;
         let bits: Vec<Permissions> = p.iter().collect();
-        assert_eq!(bits, vec![Permissions::ADMINISTRATOR, Permissions::SEND_MESSAGES]);
+        assert_eq!(
+            bits,
+            vec![Permissions::ADMINISTRATOR, Permissions::SEND_MESSAGES]
+        );
     }
 
     #[test]

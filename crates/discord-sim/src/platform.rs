@@ -153,16 +153,24 @@ impl Platform {
         let u = inner
             .users
             .get_mut(&user)
-            .ok_or_else(|| PlatformError::NotFound { what: user.to_string() })?;
+            .ok_or_else(|| PlatformError::NotFound {
+                what: user.to_string(),
+            })?;
         u.mobile_verified = true;
         Ok(())
     }
 
     /// Register a chatbot application owned by `owner`. Returns the app.
-    pub fn register_bot_application(&self, owner: UserId, name: &str) -> PlatformResult<BotApplication> {
+    pub fn register_bot_application(
+        &self,
+        owner: UserId,
+        name: &str,
+    ) -> PlatformResult<BotApplication> {
         let mut inner = self.inner.lock();
         if !inner.users.contains_key(&owner) {
-            return Err(PlatformError::NotFound { what: owner.to_string() });
+            return Err(PlatformError::NotFound {
+                what: owner.to_string(),
+            });
         }
         let bot_id = UserId(inner.ids.next());
         inner.users.insert(
@@ -177,7 +185,12 @@ impl Platform {
             },
         );
         let client_id = bot_id.0.raw();
-        let app = BotApplication { client_id, bot_user: bot_id, name: name.to_string(), whitelisted: false };
+        let app = BotApplication {
+            client_id,
+            bot_user: bot_id,
+            name: name.to_string(),
+            whitelisted: false,
+        };
         inner.apps.insert(client_id, app.clone());
         Ok(app)
     }
@@ -188,7 +201,9 @@ impl Platform {
         let app = inner
             .apps
             .get_mut(&client_id)
-            .ok_or_else(|| PlatformError::NotFound { what: format!("app {client_id}") })?;
+            .ok_or_else(|| PlatformError::NotFound {
+                what: format!("app {client_id}"),
+            })?;
         app.whitelisted = true;
         Ok(())
     }
@@ -200,7 +215,9 @@ impl Platform {
             .users
             .get(&id)
             .cloned()
-            .ok_or_else(|| PlatformError::NotFound { what: id.to_string() })
+            .ok_or_else(|| PlatformError::NotFound {
+                what: id.to_string(),
+            })
     }
 
     /// Application lookup by client ID.
@@ -210,17 +227,26 @@ impl Platform {
             .apps
             .get(&client_id)
             .cloned()
-            .ok_or_else(|| PlatformError::NotFound { what: format!("app {client_id}") })
+            .ok_or_else(|| PlatformError::NotFound {
+                what: format!("app {client_id}"),
+            })
     }
 
     // ---- guilds --------------------------------------------------------
 
     /// Create a guild; the creator becomes owner and a `#general` text
     /// channel is provisioned.
-    pub fn create_guild(&self, owner: UserId, name: &str, visibility: GuildVisibility) -> PlatformResult<GuildId> {
+    pub fn create_guild(
+        &self,
+        owner: UserId,
+        name: &str,
+        visibility: GuildVisibility,
+    ) -> PlatformResult<GuildId> {
         let mut inner = self.inner.lock();
         if !inner.users.contains_key(&owner) {
-            return Err(PlatformError::NotFound { what: owner.to_string() });
+            return Err(PlatformError::NotFound {
+                what: owner.to_string(),
+            });
         }
         let gid = GuildId(inner.ids.next());
         let everyone = RoleId(inner.ids.next());
@@ -242,7 +268,9 @@ impl Platform {
             .guilds
             .get(&id)
             .cloned()
-            .ok_or_else(|| PlatformError::NotFound { what: id.to_string() })
+            .ok_or_else(|| PlatformError::NotFound {
+                what: id.to_string(),
+            })
     }
 
     /// The guild that owns a channel.
@@ -252,7 +280,9 @@ impl Platform {
             .channel_guild
             .get(&channel)
             .copied()
-            .ok_or_else(|| PlatformError::NotFound { what: channel.to_string() })
+            .ok_or_else(|| PlatformError::NotFound {
+                what: channel.to_string(),
+            })
     }
 
     /// The first text channel of a guild (convenience; every guild has one).
@@ -261,9 +291,13 @@ impl Platform {
         let g = inner
             .guilds
             .get(&guild)
-            .ok_or_else(|| PlatformError::NotFound { what: guild.to_string() })?;
+            .ok_or_else(|| PlatformError::NotFound {
+                what: guild.to_string(),
+            })?;
         let first = g.text_channels().next().map(|c| c.id);
-        first.ok_or_else(|| PlatformError::NotFound { what: "text channel".into() })
+        first.ok_or_else(|| PlatformError::NotFound {
+            what: "text channel".into(),
+        })
     }
 
     /// Create a channel. Requires `MANAGE_CHANNELS`.
@@ -279,7 +313,9 @@ impl Platform {
         let g = inner
             .guilds
             .get_mut(&guild)
-            .ok_or_else(|| PlatformError::NotFound { what: guild.to_string() })?;
+            .ok_or_else(|| PlatformError::NotFound {
+                what: guild.to_string(),
+            })?;
         require(g, actor, Permissions::MANAGE_CHANNELS, "create a channel")?;
         let cid = ChannelId(inner.ids.next());
         let channel = match kind {
@@ -292,9 +328,18 @@ impl Platform {
             at: inner.clock.now(),
             guild,
             actor,
-            action: AuditAction::ChannelCreated { name: name.to_string() },
+            action: AuditAction::ChannelCreated {
+                name: name.to_string(),
+            },
         });
-        dispatch(inner, guild, GatewayEvent::ChannelCreate { guild, channel: cid });
+        dispatch(
+            inner,
+            guild,
+            GatewayEvent::ChannelCreate {
+                guild,
+                channel: cid,
+            },
+        );
         Ok(cid)
     }
 
@@ -305,8 +350,15 @@ impl Platform {
         let g = inner
             .guilds
             .get_mut(&guild)
-            .ok_or_else(|| PlatformError::NotFound { what: guild.to_string() })?;
-        require(g, actor, Permissions::CREATE_INSTANT_INVITE, "create an invite")?;
+            .ok_or_else(|| PlatformError::NotFound {
+                what: guild.to_string(),
+            })?;
+        require(
+            g,
+            actor,
+            Permissions::CREATE_INSTANT_INVITE,
+            "create an invite",
+        )?;
         let code = format!("inv-{}", inner.ids.next());
         g.invites.push(code.clone());
         Ok(code)
@@ -316,13 +368,20 @@ impl Platform {
     ///
     /// Private guilds require a valid invite code. New accounts that join
     /// too many guilds without mobile verification get flagged (§4.2).
-    pub fn join_guild(&self, user: UserId, guild: GuildId, invite: Option<&str>) -> PlatformResult<()> {
+    pub fn join_guild(
+        &self,
+        user: UserId,
+        guild: GuildId,
+        invite: Option<&str>,
+    ) -> PlatformResult<()> {
         let mut inner = self.inner.lock();
         let inner = &mut *inner;
         let u = inner
             .users
             .get_mut(&user)
-            .ok_or_else(|| PlatformError::NotFound { what: user.to_string() })?;
+            .ok_or_else(|| PlatformError::NotFound {
+                what: user.to_string(),
+            })?;
         if u.is_bot() {
             return Err(PlatformError::Invalid {
                 reason: "bot accounts are added through the OAuth install flow".into(),
@@ -334,7 +393,9 @@ impl Platform {
         let g = inner
             .guilds
             .get_mut(&guild)
-            .ok_or_else(|| PlatformError::NotFound { what: guild.to_string() })?;
+            .ok_or_else(|| PlatformError::NotFound {
+                what: guild.to_string(),
+            })?;
         if g.visibility == GuildVisibility::Private {
             match invite {
                 Some(code) if g.has_invite(code) => {}
@@ -344,7 +405,14 @@ impl Platform {
         if g.members.contains_key(&user) {
             return Ok(());
         }
-        g.members.insert(user, Member { user, roles: Vec::new(), nickname: None });
+        g.members.insert(
+            user,
+            Member {
+                user,
+                roles: Vec::new(),
+                nickname: None,
+            },
+        );
         u.guilds_joined += 1;
         dispatch(inner, guild, GatewayEvent::GuildMemberAdd { guild, user });
         Ok(())
@@ -371,11 +439,14 @@ impl Platform {
         if !captcha_solved {
             return Err(PlatformError::CaptchaRequired);
         }
-        let app = inner
-            .apps
-            .get(&invite.client_id)
-            .cloned()
-            .ok_or_else(|| PlatformError::OAuth { reason: format!("unknown client_id {}", invite.client_id) })?;
+        let app =
+            inner
+                .apps
+                .get(&invite.client_id)
+                .cloned()
+                .ok_or_else(|| PlatformError::OAuth {
+                    reason: format!("unknown client_id {}", invite.client_id),
+                })?;
         for scope in &invite.scopes {
             if scope.requires_whitelist() && !app.whitelisted {
                 return Err(PlatformError::OAuth {
@@ -391,7 +462,9 @@ impl Platform {
         let g = inner
             .guilds
             .get_mut(&guild)
-            .ok_or_else(|| PlatformError::NotFound { what: guild.to_string() })?;
+            .ok_or_else(|| PlatformError::NotFound {
+                what: guild.to_string(),
+            })?;
         require(g, installer, Permissions::MANAGE_GUILD, "install a chatbot")?;
         if g.members.contains_key(&app.bot_user) {
             return Ok(app.bot_user);
@@ -411,7 +484,11 @@ impl Platform {
         );
         g.members.insert(
             app.bot_user,
-            Member { user: app.bot_user, roles: vec![role_id], nickname: None },
+            Member {
+                user: app.bot_user,
+                roles: vec![role_id],
+                nickname: None,
+            },
         );
         let guild_name = g.name.clone();
         if let Some(bot_account) = inner.users.get_mut(&app.bot_user) {
@@ -429,7 +506,15 @@ impl Platform {
             let _ = tx.send(GatewayEvent::GuildCreate { guild, guild_name });
         }
         // Other bots see the member-add; the new bot already got GuildCreate.
-        dispatch_except(inner, guild, GatewayEvent::GuildMemberAdd { guild, user: app.bot_user }, Some(app.bot_user));
+        dispatch_except(
+            inner,
+            guild,
+            GatewayEvent::GuildMemberAdd {
+                guild,
+                user: app.bot_user,
+            },
+            Some(app.bot_user),
+        );
         Ok(app.bot_user)
     }
 
@@ -442,9 +527,13 @@ impl Platform {
         let account = inner
             .users
             .get(&bot)
-            .ok_or_else(|| PlatformError::NotFound { what: bot.to_string() })?;
+            .ok_or_else(|| PlatformError::NotFound {
+                what: bot.to_string(),
+            })?;
         if !account.is_bot() {
-            return Err(PlatformError::Invalid { reason: "only bot accounts use the gateway".into() });
+            return Err(PlatformError::Invalid {
+                reason: "only bot accounts use the gateway".into(),
+            });
         }
         let (tx, rx) = unbounded();
         inner.gateways.insert(bot, tx);
@@ -464,11 +553,17 @@ impl Platform {
     ) -> PlatformResult<MessageId> {
         let mut inner = self.inner.lock();
         let inner = &mut *inner;
-        let guild_id = *inner
-            .channel_guild
-            .get(&channel)
-            .ok_or_else(|| PlatformError::NotFound { what: channel.to_string() })?;
-        let g = inner.guilds.get(&guild_id).expect("channel_guild consistent");
+        let guild_id =
+            *inner
+                .channel_guild
+                .get(&channel)
+                .ok_or_else(|| PlatformError::NotFound {
+                    what: channel.to_string(),
+                })?;
+        let g = inner
+            .guilds
+            .get(&guild_id)
+            .expect("channel_guild consistent");
         let perms = resolve::channel_permissions(g, channel, actor)?;
         if !perms.contains(Permissions::SEND_MESSAGES) {
             return Err(PlatformError::MissingPermission {
@@ -491,8 +586,19 @@ impl Platform {
             attachments,
             at: inner.clock.now(),
         };
-        inner.messages.entry(channel).or_default().push(message.clone());
-        dispatch(inner, guild_id, GatewayEvent::MessageCreate { guild: guild_id, message });
+        inner
+            .messages
+            .entry(channel)
+            .or_default()
+            .push(message.clone());
+        dispatch(
+            inner,
+            guild_id,
+            GatewayEvent::MessageCreate {
+                guild: guild_id,
+                message,
+            },
+        );
         Ok(id)
     }
 
@@ -500,11 +606,17 @@ impl Platform {
     /// `READ_MESSAGE_HISTORY`.
     pub fn read_history(&self, actor: UserId, channel: ChannelId) -> PlatformResult<Vec<Message>> {
         let inner = self.inner.lock();
-        let guild_id = *inner
-            .channel_guild
-            .get(&channel)
-            .ok_or_else(|| PlatformError::NotFound { what: channel.to_string() })?;
-        let g = inner.guilds.get(&guild_id).expect("channel_guild consistent");
+        let guild_id =
+            *inner
+                .channel_guild
+                .get(&channel)
+                .ok_or_else(|| PlatformError::NotFound {
+                    what: channel.to_string(),
+                })?;
+        let g = inner
+            .guilds
+            .get(&guild_id)
+            .expect("channel_guild consistent");
         let actor_is_bot = inner.users.get(&actor).map(|u| u.is_bot()).unwrap_or(false);
         if inner.policy.applies_to(actor_is_bot) && !inner.policy.allows_bot_history_read() {
             return Err(PlatformError::MissingPermission {
@@ -525,21 +637,33 @@ impl Platform {
 
     /// Delete a message. Own messages are always deletable; others require
     /// `MANAGE_MESSAGES`.
-    pub fn delete_message(&self, actor: UserId, channel: ChannelId, id: MessageId) -> PlatformResult<()> {
+    pub fn delete_message(
+        &self,
+        actor: UserId,
+        channel: ChannelId,
+        id: MessageId,
+    ) -> PlatformResult<()> {
         let mut inner = self.inner.lock();
         let inner = &mut *inner;
-        let guild_id = *inner
-            .channel_guild
-            .get(&channel)
-            .ok_or_else(|| PlatformError::NotFound { what: channel.to_string() })?;
+        let guild_id =
+            *inner
+                .channel_guild
+                .get(&channel)
+                .ok_or_else(|| PlatformError::NotFound {
+                    what: channel.to_string(),
+                })?;
         let msgs = inner
             .messages
             .get_mut(&channel)
-            .ok_or_else(|| PlatformError::NotFound { what: id.to_string() })?;
+            .ok_or_else(|| PlatformError::NotFound {
+                what: id.to_string(),
+            })?;
         let idx = msgs
             .iter()
             .position(|m| m.id == id)
-            .ok_or_else(|| PlatformError::NotFound { what: id.to_string() })?;
+            .ok_or_else(|| PlatformError::NotFound {
+                what: id.to_string(),
+            })?;
         if msgs[idx].author != actor {
             let g = inner.guilds.get(&guild_id).expect("consistent");
             let perms = resolve::channel_permissions(g, channel, actor)?;
@@ -564,26 +688,40 @@ impl Platform {
 
     /// Kick a member. Requires `KICK_MEMBERS` and hierarchy rule 4.
     pub fn kick(&self, actor: UserId, guild: GuildId, subject: UserId) -> PlatformResult<()> {
-        self.moderate(actor, guild, subject, Permissions::KICK_MEMBERS, "kick a member", |inner, g, s| {
-            inner.audit.record(AuditEntry {
-                at: inner.clock.now(),
-                guild: g,
-                actor,
-                action: AuditAction::MemberKicked { subject: s },
-            });
-        })
+        self.moderate(
+            actor,
+            guild,
+            subject,
+            Permissions::KICK_MEMBERS,
+            "kick a member",
+            |inner, g, s| {
+                inner.audit.record(AuditEntry {
+                    at: inner.clock.now(),
+                    guild: g,
+                    actor,
+                    action: AuditAction::MemberKicked { subject: s },
+                });
+            },
+        )
     }
 
     /// Ban a member. Requires `BAN_MEMBERS` and hierarchy rule 4.
     pub fn ban(&self, actor: UserId, guild: GuildId, subject: UserId) -> PlatformResult<()> {
-        self.moderate(actor, guild, subject, Permissions::BAN_MEMBERS, "ban a member", |inner, g, s| {
-            inner.audit.record(AuditEntry {
-                at: inner.clock.now(),
-                guild: g,
-                actor,
-                action: AuditAction::MemberBanned { subject: s },
-            });
-        })
+        self.moderate(
+            actor,
+            guild,
+            subject,
+            Permissions::BAN_MEMBERS,
+            "ban a member",
+            |inner, g, s| {
+                inner.audit.record(AuditEntry {
+                    at: inner.clock.now(),
+                    guild: g,
+                    actor,
+                    action: AuditAction::MemberBanned { subject: s },
+                });
+            },
+        )
     }
 
     fn moderate(
@@ -600,14 +738,25 @@ impl Platform {
         let g = inner
             .guilds
             .get_mut(&guild)
-            .ok_or_else(|| PlatformError::NotFound { what: guild.to_string() })?;
+            .ok_or_else(|| PlatformError::NotFound {
+                what: guild.to_string(),
+            })?;
         require(g, actor, required, action)?;
         hierarchy::can_moderate_member(g, actor, subject)?;
         if g.members.remove(&subject).is_none() {
-            return Err(PlatformError::NotFound { what: subject.to_string() });
+            return Err(PlatformError::NotFound {
+                what: subject.to_string(),
+            });
         }
         record(inner, guild, subject);
-        dispatch(inner, guild, GatewayEvent::GuildMemberRemove { guild, user: subject });
+        dispatch(
+            inner,
+            guild,
+            GatewayEvent::GuildMemberRemove {
+                guild,
+                user: subject,
+            },
+        );
         Ok(())
     }
 
@@ -624,7 +773,9 @@ impl Platform {
         let g = inner
             .guilds
             .get_mut(&guild)
-            .ok_or_else(|| PlatformError::NotFound { what: guild.to_string() })?;
+            .ok_or_else(|| PlatformError::NotFound {
+                what: guild.to_string(),
+            })?;
         require(g, actor, Permissions::MANAGE_ROLES, "grant a role")?;
         hierarchy::can_grant_role(g, actor, role)?;
         let member = g.member_mut(subject)?;
@@ -655,7 +806,9 @@ impl Platform {
         let g = inner
             .guilds
             .get_mut(&guild)
-            .ok_or_else(|| PlatformError::NotFound { what: guild.to_string() })?;
+            .ok_or_else(|| PlatformError::NotFound {
+                what: guild.to_string(),
+            })?;
         require(g, actor, Permissions::MANAGE_ROLES, "create a role")?;
         if actor != g.owner {
             let top = g.highest_role_position(actor)?;
@@ -672,7 +825,15 @@ impl Platform {
             }
         }
         let rid = RoleId(inner.ids.next());
-        g.roles.insert(rid, Role { id: rid, name: name.to_string(), position, permissions });
+        g.roles.insert(
+            rid,
+            Role {
+                id: rid,
+                name: name.to_string(),
+                position,
+                permissions,
+            },
+        );
         Ok(rid)
     }
 
@@ -689,10 +850,15 @@ impl Platform {
         let g = inner
             .guilds
             .get_mut(&guild)
-            .ok_or_else(|| PlatformError::NotFound { what: guild.to_string() })?;
+            .ok_or_else(|| PlatformError::NotFound {
+                what: guild.to_string(),
+            })?;
         require(g, actor, Permissions::MANAGE_ROLES, "edit a role")?;
         hierarchy::can_edit_role(g, actor, role, permissions)?;
-        g.roles.get_mut(&role).expect("checked by can_edit_role").permissions = permissions;
+        g.roles
+            .get_mut(&role)
+            .expect("checked by can_edit_role")
+            .permissions = permissions;
         inner.audit.record(AuditEntry {
             at: inner.clock.now(),
             guild,
@@ -715,10 +881,15 @@ impl Platform {
         let g = inner
             .guilds
             .get_mut(&guild)
-            .ok_or_else(|| PlatformError::NotFound { what: guild.to_string() })?;
+            .ok_or_else(|| PlatformError::NotFound {
+                what: guild.to_string(),
+            })?;
         require(g, actor, Permissions::MANAGE_ROLES, "sort roles")?;
         hierarchy::can_sort_role(g, actor, role, position)?;
-        g.roles.get_mut(&role).expect("checked by can_sort_role").position = position;
+        g.roles
+            .get_mut(&role)
+            .expect("checked by can_sort_role")
+            .position = position;
         inner.audit.record(AuditEntry {
             at: inner.clock.now(),
             guild,
@@ -742,9 +913,16 @@ impl Platform {
         let g = inner
             .guilds
             .get_mut(&guild)
-            .ok_or_else(|| PlatformError::NotFound { what: guild.to_string() })?;
+            .ok_or_else(|| PlatformError::NotFound {
+                what: guild.to_string(),
+            })?;
         if actor == subject {
-            require(g, actor, Permissions::CHANGE_NICKNAME, "change own nickname")?;
+            require(
+                g,
+                actor,
+                Permissions::CHANGE_NICKNAME,
+                "change own nickname",
+            )?;
         } else {
             require(g, actor, Permissions::MANAGE_NICKNAMES, "manage nicknames")?;
             hierarchy::can_moderate_member(g, actor, subject)?;
@@ -772,10 +950,13 @@ impl Platform {
     ) -> PlatformResult<()> {
         let mut inner = self.inner.lock();
         let inner = &mut *inner;
-        let guild_id = *inner
-            .channel_guild
-            .get(&channel)
-            .ok_or_else(|| PlatformError::NotFound { what: channel.to_string() })?;
+        let guild_id =
+            *inner
+                .channel_guild
+                .get(&channel)
+                .ok_or_else(|| PlatformError::NotFound {
+                    what: channel.to_string(),
+                })?;
         let g = inner.guilds.get(&guild_id).expect("consistent");
         let perms = resolve::channel_permissions(g, channel, actor)?;
         if !perms.contains(Permissions::ADD_REACTIONS) {
@@ -784,7 +965,8 @@ impl Platform {
                 action: "add a reaction".into(),
             });
         }
-        if matches!(emoji, Emoji::External(_)) && !perms.contains(Permissions::USE_EXTERNAL_EMOJIS) {
+        if matches!(emoji, Emoji::External(_)) && !perms.contains(Permissions::USE_EXTERNAL_EMOJIS)
+        {
             return Err(PlatformError::MissingPermission {
                 required: Permissions::USE_EXTERNAL_EMOJIS,
                 action: "react with an external emoji".into(),
@@ -796,7 +978,9 @@ impl Platform {
             .map(|msgs| msgs.iter().any(|m| m.id == message))
             .unwrap_or(false);
         if !exists {
-            return Err(PlatformError::NotFound { what: message.to_string() });
+            return Err(PlatformError::NotFound {
+                what: message.to_string(),
+            });
         }
         let entry = inner.reactions.entry(message).or_default();
         if !entry.iter().any(|(u, e)| *u == actor && *e == emoji) {
@@ -813,10 +997,13 @@ impl Platform {
         message: MessageId,
     ) -> PlatformResult<Vec<(UserId, Emoji)>> {
         let inner = self.inner.lock();
-        let guild_id = *inner
-            .channel_guild
-            .get(&channel)
-            .ok_or_else(|| PlatformError::NotFound { what: channel.to_string() })?;
+        let guild_id =
+            *inner
+                .channel_guild
+                .get(&channel)
+                .ok_or_else(|| PlatformError::NotFound {
+                    what: channel.to_string(),
+                })?;
         let g = inner.guilds.get(&guild_id).expect("consistent");
         let perms = resolve::channel_permissions(g, channel, actor)?;
         if !perms.contains(Permissions::VIEW_CHANNEL) {
@@ -829,13 +1016,21 @@ impl Platform {
     }
 
     /// Pin a message. Requires `MANAGE_MESSAGES`.
-    pub fn pin_message(&self, actor: UserId, channel: ChannelId, message: MessageId) -> PlatformResult<()> {
+    pub fn pin_message(
+        &self,
+        actor: UserId,
+        channel: ChannelId,
+        message: MessageId,
+    ) -> PlatformResult<()> {
         let mut inner = self.inner.lock();
         let inner = &mut *inner;
-        let guild_id = *inner
-            .channel_guild
-            .get(&channel)
-            .ok_or_else(|| PlatformError::NotFound { what: channel.to_string() })?;
+        let guild_id =
+            *inner
+                .channel_guild
+                .get(&channel)
+                .ok_or_else(|| PlatformError::NotFound {
+                    what: channel.to_string(),
+                })?;
         let g = inner.guilds.get(&guild_id).expect("consistent");
         let perms = resolve::channel_permissions(g, channel, actor)?;
         if !perms.contains(Permissions::MANAGE_MESSAGES) {
@@ -850,7 +1045,9 @@ impl Platform {
             .map(|msgs| msgs.iter().any(|m| m.id == message))
             .unwrap_or(false);
         if !exists {
-            return Err(PlatformError::NotFound { what: message.to_string() });
+            return Err(PlatformError::NotFound {
+                what: message.to_string(),
+            });
         }
         let pins = inner.pins.entry(channel).or_default();
         if !pins.contains(&message) {
@@ -862,10 +1059,13 @@ impl Platform {
     /// Pinned messages of a channel. Requires `VIEW_CHANNEL`.
     pub fn pins(&self, actor: UserId, channel: ChannelId) -> PlatformResult<Vec<MessageId>> {
         let inner = self.inner.lock();
-        let guild_id = *inner
-            .channel_guild
-            .get(&channel)
-            .ok_or_else(|| PlatformError::NotFound { what: channel.to_string() })?;
+        let guild_id =
+            *inner
+                .channel_guild
+                .get(&channel)
+                .ok_or_else(|| PlatformError::NotFound {
+                    what: channel.to_string(),
+                })?;
         let g = inner.guilds.get(&guild_id).expect("consistent");
         let perms = resolve::channel_permissions(g, channel, actor)?;
         if !perms.contains(Permissions::VIEW_CHANNEL) {
@@ -892,12 +1092,16 @@ impl Platform {
         let app = inner
             .apps
             .get(&client_id)
-            .ok_or_else(|| PlatformError::NotFound { what: format!("app {client_id}") })?;
+            .ok_or_else(|| PlatformError::NotFound {
+                what: format!("app {client_id}"),
+            })?;
         let owner = inner
             .users
             .get(&app.bot_user)
             .and_then(|u| u.owner())
-            .ok_or_else(|| PlatformError::Invalid { reason: "app has no owner".into() })?;
+            .ok_or_else(|| PlatformError::Invalid {
+                reason: "app has no owner".into(),
+            })?;
         if actor != owner {
             return Err(PlatformError::Invalid {
                 reason: "only the application owner may register commands".into(),
@@ -909,7 +1113,12 @@ impl Platform {
 
     /// The commands an application has registered.
     pub fn slash_commands(&self, client_id: u64) -> Vec<SlashCommand> {
-        self.inner.lock().slash_commands.get(&client_id).cloned().unwrap_or_default()
+        self.inner
+            .lock()
+            .slash_commands
+            .get(&client_id)
+            .cloned()
+            .unwrap_or_default()
     }
 
     /// Invoke a slash command.
@@ -929,28 +1138,39 @@ impl Platform {
     ) -> PlatformResult<()> {
         let mut inner = self.inner.lock();
         let inner = &mut *inner;
-        let guild_id = *inner
-            .channel_guild
-            .get(&channel)
-            .ok_or_else(|| PlatformError::NotFound { what: channel.to_string() })?;
+        let guild_id =
+            *inner
+                .channel_guild
+                .get(&channel)
+                .ok_or_else(|| PlatformError::NotFound {
+                    what: channel.to_string(),
+                })?;
         let app = inner
             .apps
             .get(&client_id)
             .cloned()
-            .ok_or_else(|| PlatformError::NotFound { what: format!("app {client_id}") })?;
+            .ok_or_else(|| PlatformError::NotFound {
+                what: format!("app {client_id}"),
+            })?;
         let g = inner
             .guilds
             .get(&guild_id)
-            .ok_or_else(|| PlatformError::NotFound { what: guild_id.to_string() })?;
+            .ok_or_else(|| PlatformError::NotFound {
+                what: guild_id.to_string(),
+            })?;
         if g.member(app.bot_user).is_err() {
-            return Err(PlatformError::NotFound { what: "bot not installed in this guild".into() });
+            return Err(PlatformError::NotFound {
+                what: "bot not installed in this guild".into(),
+            });
         }
         let spec = inner
             .slash_commands
             .get(&client_id)
             .and_then(|cmds| cmds.iter().find(|c| c.name == command))
             .cloned()
-            .ok_or_else(|| PlatformError::NotFound { what: format!("command /{command}") })?;
+            .ok_or_else(|| PlatformError::NotFound {
+                what: format!("command /{command}"),
+            })?;
 
         // Platform-enforced invoker check.
         let invoker_perms = resolve::channel_permissions(g, channel, invoker)?;
@@ -976,13 +1196,21 @@ impl Platform {
     // ---- webhooks ---------------------------------------------------------
 
     /// Create an incoming webhook on a channel. Requires `MANAGE_WEBHOOKS`.
-    pub fn create_webhook(&self, actor: UserId, channel: ChannelId, name: &str) -> PlatformResult<Webhook> {
+    pub fn create_webhook(
+        &self,
+        actor: UserId,
+        channel: ChannelId,
+        name: &str,
+    ) -> PlatformResult<Webhook> {
         let mut inner = self.inner.lock();
         let inner = &mut *inner;
-        let guild_id = *inner
-            .channel_guild
-            .get(&channel)
-            .ok_or_else(|| PlatformError::NotFound { what: channel.to_string() })?;
+        let guild_id =
+            *inner
+                .channel_guild
+                .get(&channel)
+                .ok_or_else(|| PlatformError::NotFound {
+                    what: channel.to_string(),
+                })?;
         let g = inner.guilds.get(&guild_id).expect("consistent");
         let perms = resolve::channel_permissions(g, channel, actor)?;
         if !perms.contains(Permissions::MANAGE_WEBHOOKS) {
@@ -1017,21 +1245,33 @@ impl Platform {
 
     /// Post through a webhook. **Token possession is the only check** —
     /// this is the documented behaviour the malware ecosystem abuses.
-    pub fn execute_webhook(&self, id: Snowflake, token: &str, content: &str) -> PlatformResult<MessageId> {
+    pub fn execute_webhook(
+        &self,
+        id: Snowflake,
+        token: &str,
+        content: &str,
+    ) -> PlatformResult<MessageId> {
         let mut inner = self.inner.lock();
         let inner = &mut *inner;
         let hook = inner
             .webhooks
             .get(&id)
-            .ok_or_else(|| PlatformError::NotFound { what: format!("webhook {id}") })?
+            .ok_or_else(|| PlatformError::NotFound {
+                what: format!("webhook {id}"),
+            })?
             .clone();
         if hook.token != token {
-            return Err(PlatformError::Invalid { reason: "bad webhook token".into() });
+            return Err(PlatformError::Invalid {
+                reason: "bad webhook token".into(),
+            });
         }
-        let guild_id = *inner
-            .channel_guild
-            .get(&hook.channel)
-            .ok_or_else(|| PlatformError::NotFound { what: hook.channel.to_string() })?;
+        let guild_id =
+            *inner
+                .channel_guild
+                .get(&hook.channel)
+                .ok_or_else(|| PlatformError::NotFound {
+                    what: hook.channel.to_string(),
+                })?;
         let msg_id = MessageId(inner.ids.next());
         let message = Message {
             id: msg_id,
@@ -1041,8 +1281,19 @@ impl Platform {
             attachments: Vec::new(),
             at: inner.clock.now(),
         };
-        inner.messages.entry(hook.channel).or_default().push(message.clone());
-        dispatch(inner, guild_id, GatewayEvent::MessageCreate { guild: guild_id, message });
+        inner
+            .messages
+            .entry(hook.channel)
+            .or_default()
+            .push(message.clone());
+        dispatch(
+            inner,
+            guild_id,
+            GatewayEvent::MessageCreate {
+                guild: guild_id,
+                message,
+            },
+        );
         Ok(msg_id)
     }
 
@@ -1050,10 +1301,13 @@ impl Platform {
     /// `MANAGE_WEBHOOKS` is a sensitive permission). Requires it.
     pub fn webhooks(&self, actor: UserId, channel: ChannelId) -> PlatformResult<Vec<Webhook>> {
         let inner = self.inner.lock();
-        let guild_id = *inner
-            .channel_guild
-            .get(&channel)
-            .ok_or_else(|| PlatformError::NotFound { what: channel.to_string() })?;
+        let guild_id =
+            *inner
+                .channel_guild
+                .get(&channel)
+                .ok_or_else(|| PlatformError::NotFound {
+                    what: channel.to_string(),
+                })?;
         let g = inner.guilds.get(&guild_id).expect("consistent");
         let perms = resolve::channel_permissions(g, channel, actor)?;
         if !perms.contains(Permissions::MANAGE_WEBHOOKS) {
@@ -1062,7 +1316,12 @@ impl Platform {
                 action: "list webhooks".into(),
             });
         }
-        Ok(inner.webhooks.values().filter(|w| w.channel == channel).cloned().collect())
+        Ok(inner
+            .webhooks
+            .values()
+            .filter(|w| w.channel == channel)
+            .cloned()
+            .collect())
     }
 
     /// Delete a webhook. Requires `MANAGE_WEBHOOKS` on its channel.
@@ -1072,12 +1331,17 @@ impl Platform {
         let hook = inner
             .webhooks
             .get(&id)
-            .ok_or_else(|| PlatformError::NotFound { what: format!("webhook {id}") })?
+            .ok_or_else(|| PlatformError::NotFound {
+                what: format!("webhook {id}"),
+            })?
             .clone();
-        let guild_id = *inner
-            .channel_guild
-            .get(&hook.channel)
-            .ok_or_else(|| PlatformError::NotFound { what: hook.channel.to_string() })?;
+        let guild_id =
+            *inner
+                .channel_guild
+                .get(&hook.channel)
+                .ok_or_else(|| PlatformError::NotFound {
+                    what: hook.channel.to_string(),
+                })?;
         let g = inner.guilds.get(&guild_id).expect("consistent");
         let perms = resolve::channel_permissions(g, hook.channel, actor)?;
         if !perms.contains(Permissions::MANAGE_WEBHOOKS) {
@@ -1096,13 +1360,18 @@ impl Platform {
     pub fn join_voice(&self, actor: UserId, channel: ChannelId) -> PlatformResult<()> {
         let mut inner = self.inner.lock();
         let inner = &mut *inner;
-        let guild_id = *inner
-            .channel_guild
-            .get(&channel)
-            .ok_or_else(|| PlatformError::NotFound { what: channel.to_string() })?;
+        let guild_id =
+            *inner
+                .channel_guild
+                .get(&channel)
+                .ok_or_else(|| PlatformError::NotFound {
+                    what: channel.to_string(),
+                })?;
         let g = inner.guilds.get(&guild_id).expect("consistent");
         if g.channel(channel)?.kind != ChannelKind::Voice {
-            return Err(PlatformError::Invalid { reason: "not a voice channel".into() });
+            return Err(PlatformError::Invalid {
+                reason: "not a voice channel".into(),
+            });
         }
         let perms = resolve::channel_permissions(g, channel, actor)?;
         if !perms.contains(Permissions::CONNECT) {
@@ -1130,16 +1399,33 @@ impl Platform {
     /// in the channel, and not being server-muted.
     pub fn speak(&self, actor: UserId, channel: ChannelId) -> PlatformResult<()> {
         let inner = self.inner.lock();
-        let guild_id = *inner
-            .channel_guild
-            .get(&channel)
-            .ok_or_else(|| PlatformError::NotFound { what: channel.to_string() })?;
+        let guild_id =
+            *inner
+                .channel_guild
+                .get(&channel)
+                .ok_or_else(|| PlatformError::NotFound {
+                    what: channel.to_string(),
+                })?;
         let g = inner.guilds.get(&guild_id).expect("consistent");
-        if !inner.voice_states.get(&channel).map(|m| m.contains(&actor)).unwrap_or(false) {
-            return Err(PlatformError::Invalid { reason: "not connected to this voice channel".into() });
+        if !inner
+            .voice_states
+            .get(&channel)
+            .map(|m| m.contains(&actor))
+            .unwrap_or(false)
+        {
+            return Err(PlatformError::Invalid {
+                reason: "not connected to this voice channel".into(),
+            });
         }
-        if inner.voice_muted.get(&guild_id).map(|m| m.contains(&actor)).unwrap_or(false) {
-            return Err(PlatformError::Invalid { reason: "server-muted".into() });
+        if inner
+            .voice_muted
+            .get(&guild_id)
+            .map(|m| m.contains(&actor))
+            .unwrap_or(false)
+        {
+            return Err(PlatformError::Invalid {
+                reason: "server-muted".into(),
+            });
         }
         let perms = resolve::channel_permissions(g, channel, actor)?;
         if !perms.contains(Permissions::SPEAK) {
@@ -1152,13 +1438,20 @@ impl Platform {
     }
 
     /// Server-mute a member. Requires `MUTE_MEMBERS`.
-    pub fn mute_member(&self, actor: UserId, guild: GuildId, subject: UserId) -> PlatformResult<()> {
+    pub fn mute_member(
+        &self,
+        actor: UserId,
+        guild: GuildId,
+        subject: UserId,
+    ) -> PlatformResult<()> {
         let mut inner = self.inner.lock();
         let inner = &mut *inner;
         let g = inner
             .guilds
             .get_mut(&guild)
-            .ok_or_else(|| PlatformError::NotFound { what: guild.to_string() })?;
+            .ok_or_else(|| PlatformError::NotFound {
+                what: guild.to_string(),
+            })?;
         require(g, actor, Permissions::MUTE_MEMBERS, "server-mute a member")?;
         g.member(subject)?;
         let muted = inner.voice_muted.entry(guild).or_default();
@@ -1170,7 +1463,12 @@ impl Platform {
 
     /// Members currently in a voice channel.
     pub fn voice_members(&self, channel: ChannelId) -> Vec<UserId> {
-        self.inner.lock().voice_states.get(&channel).cloned().unwrap_or_default()
+        self.inner
+            .lock()
+            .voice_states
+            .get(&channel)
+            .cloned()
+            .unwrap_or_default()
     }
 
     // ---- introspection ---------------------------------------------------
@@ -1181,7 +1479,9 @@ impl Platform {
         let g = inner
             .guilds
             .get(&guild)
-            .ok_or_else(|| PlatformError::NotFound { what: guild.to_string() })?;
+            .ok_or_else(|| PlatformError::NotFound {
+                what: guild.to_string(),
+            })?;
         require(g, actor, Permissions::VIEW_AUDIT_LOG, "view the audit log")?;
         Ok(inner.audit.for_guild(guild).into_iter().cloned().collect())
     }
@@ -1190,17 +1490,28 @@ impl Platform {
     /// site displays.
     pub fn bot_guild_count(&self, bot: UserId) -> usize {
         let inner = self.inner.lock();
-        inner.guilds.values().filter(|g| g.members.contains_key(&bot)).count()
+        inner
+            .guilds
+            .values()
+            .filter(|g| g.members.contains_key(&bot))
+            .count()
     }
 
     /// Effective permissions of `user` in `channel` (public wrapper over
     /// [`resolve::channel_permissions`] for bot SDKs and tests).
-    pub fn effective_permissions(&self, user: UserId, channel: ChannelId) -> PlatformResult<Permissions> {
+    pub fn effective_permissions(
+        &self,
+        user: UserId,
+        channel: ChannelId,
+    ) -> PlatformResult<Permissions> {
         let inner = self.inner.lock();
-        let guild_id = *inner
-            .channel_guild
-            .get(&channel)
-            .ok_or_else(|| PlatformError::NotFound { what: channel.to_string() })?;
+        let guild_id =
+            *inner
+                .channel_guild
+                .get(&channel)
+                .ok_or_else(|| PlatformError::NotFound {
+                    what: channel.to_string(),
+                })?;
         let g = inner.guilds.get(&guild_id).expect("consistent");
         resolve::channel_permissions(g, channel, user)
     }
@@ -1226,12 +1537,20 @@ impl Platform {
 }
 
 /// Check a guild-level permission for `actor`, honouring admin/owner.
-fn require(guild: &Guild, actor: UserId, required: Permissions, action: &str) -> PlatformResult<()> {
+fn require(
+    guild: &Guild,
+    actor: UserId,
+    required: Permissions,
+    action: &str,
+) -> PlatformResult<()> {
     let perms = resolve::guild_permissions(guild, actor)?;
     if perms.contains(required) {
         Ok(())
     } else {
-        Err(PlatformError::MissingPermission { required, action: action.to_string() })
+        Err(PlatformError::MissingPermission {
+            required,
+            action: action.to_string(),
+        })
     }
 }
 
@@ -1246,7 +1565,9 @@ fn dispatch(inner: &mut Inner, guild: GuildId, event: GatewayEvent) {
 /// [`RuntimePolicy::Enforced`] a bot only sees messages that address it,
 /// and attachments are stripped from what it does see.
 fn dispatch_except(inner: &mut Inner, guild: GuildId, event: GatewayEvent, except: Option<UserId>) {
-    let Some(g) = inner.guilds.get(&guild) else { return };
+    let Some(g) = inner.guilds.get(&guild) else {
+        return;
+    };
     let policy = inner.policy;
     for uid in g.members.keys() {
         if Some(*uid) == except {
@@ -1256,7 +1577,11 @@ fn dispatch_except(inner: &mut Inner, guild: GuildId, event: GatewayEvent, excep
             if user.is_bot() {
                 if let Some(tx) = inner.gateways.get(uid) {
                     if policy.applies_to(true) {
-                        if let GatewayEvent::MessageCreate { guild: g_id, message } = &event {
+                        if let GatewayEvent::MessageCreate {
+                            guild: g_id,
+                            message,
+                        } = &event
+                        {
                             let slug = user
                                 .name
                                 .split('#')
@@ -1297,24 +1622,41 @@ mod tests {
         let platform = Platform::new(VirtualClock::new());
         let owner = platform.register_user("owner#1", "o@example.org");
         let alice = platform.register_user("alice#2", "a@example.org");
-        let guild = platform.create_guild(owner, "w", GuildVisibility::Public).unwrap();
+        let guild = platform
+            .create_guild(owner, "w", GuildVisibility::Public)
+            .unwrap();
         platform.join_guild(alice, guild, None).unwrap();
         let channel = platform.default_channel(guild).unwrap();
-        World { platform, owner, alice, guild, channel }
+        World {
+            platform,
+            owner,
+            alice,
+            guild,
+            channel,
+        }
     }
 
     fn install_test_bot(w: &World, perms: Permissions) -> (UserId, Receiver<GatewayEvent>) {
-        let app = w.platform.register_bot_application(w.owner, "TestBot").unwrap();
+        let app = w
+            .platform
+            .register_bot_application(w.owner, "TestBot")
+            .unwrap();
         let rx = w.platform.connect_gateway(app.bot_user).unwrap();
         let invite = InviteUrl::bot(app.client_id, perms);
-        let bot = w.platform.install_bot(w.owner, w.guild, &invite, true).unwrap();
+        let bot = w
+            .platform
+            .install_bot(w.owner, w.guild, &invite, true)
+            .unwrap();
         (bot, rx)
     }
 
     #[test]
     fn messaging_flow_and_history() {
         let w = world();
-        let id = w.platform.send_message(w.alice, w.channel, "hello", vec![]).unwrap();
+        let id = w
+            .platform
+            .send_message(w.alice, w.channel, "hello", vec![])
+            .unwrap();
         let history = w.platform.read_history(w.alice, w.channel).unwrap();
         assert_eq!(history.len(), 1);
         assert_eq!(history[0].id, id);
@@ -1327,11 +1669,19 @@ mod tests {
         // Take SEND_MESSAGES away from @everyone.
         let everyone = w.platform.guild(w.guild).unwrap().everyone_role;
         let base = Permissions::everyone_defaults().difference(Permissions::SEND_MESSAGES);
-        w.platform.edit_role(w.owner, w.guild, everyone, base).unwrap();
-        let err = w.platform.send_message(w.alice, w.channel, "hi", vec![]).unwrap_err();
+        w.platform
+            .edit_role(w.owner, w.guild, everyone, base)
+            .unwrap();
+        let err = w
+            .platform
+            .send_message(w.alice, w.channel, "hi", vec![])
+            .unwrap_err();
         assert!(matches!(err, PlatformError::MissingPermission { .. }));
         // Owner still can (owner override).
-        assert!(w.platform.send_message(w.owner, w.channel, "hi", vec![]).is_ok());
+        assert!(w
+            .platform
+            .send_message(w.owner, w.channel, "hi", vec![])
+            .is_ok());
     }
 
     #[test]
@@ -1339,9 +1689,14 @@ mod tests {
         let w = world();
         let everyone = w.platform.guild(w.guild).unwrap().everyone_role;
         let base = Permissions::everyone_defaults().difference(Permissions::ATTACH_FILES);
-        w.platform.edit_role(w.owner, w.guild, everyone, base).unwrap();
+        w.platform
+            .edit_role(w.owner, w.guild, everyone, base)
+            .unwrap();
         let att = Attachment::new("x.pdf", "application/pdf", vec![0u8]);
-        let err = w.platform.send_message(w.alice, w.channel, "doc", vec![att]).unwrap_err();
+        let err = w
+            .platform
+            .send_message(w.alice, w.channel, "doc", vec![att])
+            .unwrap_err();
         assert!(matches!(err, PlatformError::MissingPermission { .. }));
     }
 
@@ -1351,20 +1706,30 @@ mod tests {
         let app = w.platform.register_bot_application(w.owner, "B").unwrap();
         let invite = InviteUrl::bot(app.client_id, Permissions::SEND_MESSAGES);
         // Alice lacks MANAGE_GUILD.
-        let err = w.platform.install_bot(w.alice, w.guild, &invite, true).unwrap_err();
+        let err = w
+            .platform
+            .install_bot(w.alice, w.guild, &invite, true)
+            .unwrap_err();
         assert!(matches!(err, PlatformError::MissingPermission { .. }));
         // Captcha unsolved.
-        let err = w.platform.install_bot(w.owner, w.guild, &invite, false).unwrap_err();
+        let err = w
+            .platform
+            .install_bot(w.owner, w.guild, &invite, false)
+            .unwrap_err();
         assert_eq!(err, PlatformError::CaptchaRequired);
         // Owner with captcha: ok.
-        let bot = w.platform.install_bot(w.owner, w.guild, &invite, true).unwrap();
+        let bot = w
+            .platform
+            .install_bot(w.owner, w.guild, &invite, true)
+            .unwrap();
         assert_eq!(w.platform.bot_guild_count(bot), 1);
     }
 
     #[test]
     fn install_creates_managed_role_with_requested_permissions() {
         let w = world();
-        let (bot, _rx) = install_test_bot(&w, Permissions::KICK_MEMBERS | Permissions::SEND_MESSAGES);
+        let (bot, _rx) =
+            install_test_bot(&w, Permissions::KICK_MEMBERS | Permissions::SEND_MESSAGES);
         let g = w.platform.guild(w.guild).unwrap();
         let member = g.member(bot).unwrap();
         assert_eq!(member.roles.len(), 1);
@@ -1377,20 +1742,32 @@ mod tests {
     fn whitelist_gated_scopes() {
         let w = world();
         let app = w.platform.register_bot_application(w.owner, "Spy").unwrap();
-        let invite = InviteUrl::bot(app.client_id, Permissions::NONE)
-            .with_scope(OAuthScope::MessagesRead);
-        let err = w.platform.install_bot(w.owner, w.guild, &invite, true).unwrap_err();
+        let invite =
+            InviteUrl::bot(app.client_id, Permissions::NONE).with_scope(OAuthScope::MessagesRead);
+        let err = w
+            .platform
+            .install_bot(w.owner, w.guild, &invite, true)
+            .unwrap_err();
         assert!(matches!(err, PlatformError::OAuth { .. }));
         w.platform.whitelist_application(app.client_id).unwrap();
-        assert!(w.platform.install_bot(w.owner, w.guild, &invite, true).is_ok());
+        assert!(w
+            .platform
+            .install_bot(w.owner, w.guild, &invite, true)
+            .is_ok());
     }
 
     #[test]
     fn testing_scopes_rejected_outright() {
         let w = world();
-        let app = w.platform.register_bot_application(w.owner, "RpcBot").unwrap();
+        let app = w
+            .platform
+            .register_bot_application(w.owner, "RpcBot")
+            .unwrap();
         let invite = InviteUrl::bot(app.client_id, Permissions::NONE).with_scope(OAuthScope::Rpc);
-        let err = w.platform.install_bot(w.owner, w.guild, &invite, true).unwrap_err();
+        let err = w
+            .platform
+            .install_bot(w.owner, w.guild, &invite, true)
+            .unwrap_err();
         assert!(matches!(err, PlatformError::OAuth { .. }));
     }
 
@@ -1401,7 +1778,9 @@ mod tests {
         // GuildCreate arrives on install.
         let ev = rx.try_recv().unwrap();
         assert!(matches!(ev, GatewayEvent::GuildCreate { .. }));
-        w.platform.send_message(w.alice, w.channel, "hello bot", vec![]).unwrap();
+        w.platform
+            .send_message(w.alice, w.channel, "hello bot", vec![])
+            .unwrap();
         let ev = rx.try_recv().unwrap();
         match ev {
             GatewayEvent::MessageCreate { message, .. } => assert_eq!(message.content, "hello bot"),
@@ -1429,10 +1808,17 @@ mod tests {
         let platform = Platform::new(VirtualClock::new());
         let owner = platform.register_user("o", "o@x.y");
         let alice = platform.register_user("a", "a@x.y");
-        let guild = platform.create_guild(owner, "secret", GuildVisibility::Private).unwrap();
-        assert_eq!(platform.join_guild(alice, guild, None).unwrap_err(), PlatformError::InviteRequired);
+        let guild = platform
+            .create_guild(owner, "secret", GuildVisibility::Private)
+            .unwrap();
         assert_eq!(
-            platform.join_guild(alice, guild, Some("bogus")).unwrap_err(),
+            platform.join_guild(alice, guild, None).unwrap_err(),
+            PlatformError::InviteRequired
+        );
+        assert_eq!(
+            platform
+                .join_guild(alice, guild, Some("bogus"))
+                .unwrap_err(),
             PlatformError::InviteRequired
         );
         let code = platform.create_invite(owner, guild).unwrap();
@@ -1468,16 +1854,23 @@ mod tests {
     fn bots_cannot_join_directly() {
         let w = world();
         let app = w.platform.register_bot_application(w.owner, "B").unwrap();
-        let err = w.platform.join_guild(app.bot_user, w.guild, None).unwrap_err();
+        let err = w
+            .platform
+            .join_guild(app.bot_user, w.guild, None)
+            .unwrap_err();
         assert!(matches!(err, PlatformError::Invalid { .. }));
     }
 
     #[test]
     fn role_lifecycle_with_checks() {
         let w = world();
-        let role =
-            w.platform.create_role(w.owner, w.guild, "Mod", 5, Permissions::KICK_MEMBERS).unwrap();
-        w.platform.grant_role(w.owner, w.guild, w.alice, role).unwrap();
+        let role = w
+            .platform
+            .create_role(w.owner, w.guild, "Mod", 5, Permissions::KICK_MEMBERS)
+            .unwrap();
+        w.platform
+            .grant_role(w.owner, w.guild, w.alice, role)
+            .unwrap();
         let g = w.platform.guild(w.guild).unwrap();
         assert!(g.member(w.alice).unwrap().roles.contains(&role));
         // Alice (Mod, pos 5) cannot edit her own role upward (rule 2).
@@ -1485,22 +1878,40 @@ mod tests {
             .platform
             .edit_role(w.alice, w.guild, role, Permissions::ADMINISTRATOR)
             .unwrap_err();
-        assert!(matches!(err, PlatformError::MissingPermission { .. } | PlatformError::HierarchyViolation { .. }));
+        assert!(matches!(
+            err,
+            PlatformError::MissingPermission { .. } | PlatformError::HierarchyViolation { .. }
+        ));
     }
 
     #[test]
     fn delete_message_rules() {
         let w = world();
-        let mine = w.platform.send_message(w.alice, w.channel, "mine", vec![]).unwrap();
-        let theirs = w.platform.send_message(w.owner, w.channel, "theirs", vec![]).unwrap();
+        let mine = w
+            .platform
+            .send_message(w.alice, w.channel, "mine", vec![])
+            .unwrap();
+        let theirs = w
+            .platform
+            .send_message(w.owner, w.channel, "theirs", vec![])
+            .unwrap();
         // Own message: fine.
         w.platform.delete_message(w.alice, w.channel, mine).unwrap();
         // Someone else's without MANAGE_MESSAGES: denied.
-        let err = w.platform.delete_message(w.alice, w.channel, theirs).unwrap_err();
+        let err = w
+            .platform
+            .delete_message(w.alice, w.channel, theirs)
+            .unwrap_err();
         assert!(matches!(err, PlatformError::MissingPermission { .. }));
         // Owner can delete anything.
-        w.platform.delete_message(w.owner, w.channel, theirs).unwrap();
-        assert!(w.platform.read_history(w.owner, w.channel).unwrap().is_empty());
+        w.platform
+            .delete_message(w.owner, w.channel, theirs)
+            .unwrap();
+        assert!(w
+            .platform
+            .read_history(w.owner, w.channel)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -1509,17 +1920,26 @@ mod tests {
         let (bot, _rx) = install_test_bot(&w, Permissions::ADMINISTRATOR);
         w.platform.kick(bot, w.guild, w.alice).unwrap();
         let err = w.platform.audit_log(w.alice, w.guild).unwrap_err();
-        assert!(matches!(err, PlatformError::NotAMember | PlatformError::MissingPermission { .. }));
+        assert!(matches!(
+            err,
+            PlatformError::NotAMember | PlatformError::MissingPermission { .. }
+        ));
         let log = w.platform.audit_log(w.owner, w.guild).unwrap();
-        assert!(log.iter().any(|e| matches!(e.action, AuditAction::BotInstalled { .. })));
-        assert!(log.iter().any(|e| matches!(e.action, AuditAction::MemberKicked { .. })));
+        assert!(log
+            .iter()
+            .any(|e| matches!(e.action, AuditAction::BotInstalled { .. })));
+        assert!(log
+            .iter()
+            .any(|e| matches!(e.action, AuditAction::MemberKicked { .. })));
     }
 
     #[test]
     fn nickname_rules() {
         let w = world();
         // Self-change allowed by default.
-        w.platform.change_nickname(w.alice, w.guild, w.alice, Some("Ally".into())).unwrap();
+        w.platform
+            .change_nickname(w.alice, w.guild, w.alice, Some("Ally".into()))
+            .unwrap();
         // Changing someone else's needs MANAGE_NICKNAMES.
         let err = w
             .platform
@@ -1527,7 +1947,9 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, PlatformError::MissingPermission { .. }));
         // Owner can rename alice.
-        w.platform.change_nickname(w.owner, w.guild, w.alice, Some("A2".into())).unwrap();
+        w.platform
+            .change_nickname(w.owner, w.guild, w.alice, Some("A2".into()))
+            .unwrap();
         let g = w.platform.guild(w.guild).unwrap();
         assert_eq!(g.member(w.alice).unwrap().nickname.as_deref(), Some("A2"));
     }
@@ -1537,8 +1959,14 @@ mod tests {
         let w = world();
         let app = w.platform.register_bot_application(w.owner, "B").unwrap();
         let invite = InviteUrl::bot(app.client_id, Permissions::SEND_MESSAGES);
-        let a = w.platform.install_bot(w.owner, w.guild, &invite, true).unwrap();
-        let b = w.platform.install_bot(w.owner, w.guild, &invite, true).unwrap();
+        let a = w
+            .platform
+            .install_bot(w.owner, w.guild, &invite, true)
+            .unwrap();
+        let b = w
+            .platform
+            .install_bot(w.owner, w.guild, &invite, true)
+            .unwrap();
         assert_eq!(a, b);
         let g = w.platform.guild(w.guild).unwrap();
         // Only one managed role was created.
@@ -1549,10 +1977,18 @@ mod tests {
     fn slash_commands_platform_checks_the_invoker() {
         use crate::slash::SlashCommand;
         let w = world();
-        let app = w.platform.register_bot_application(w.owner, "SlashMod").unwrap();
+        let app = w
+            .platform
+            .register_bot_application(w.owner, "SlashMod")
+            .unwrap();
         let rx = w.platform.connect_gateway(app.bot_user).unwrap();
         w.platform
-            .install_bot(w.owner, w.guild, &InviteUrl::bot(app.client_id, Permissions::KICK_MEMBERS), true)
+            .install_bot(
+                w.owner,
+                w.guild,
+                &InviteUrl::bot(app.client_id, Permissions::KICK_MEMBERS),
+                true,
+            )
             .unwrap();
         let _ = rx.try_recv(); // GuildCreate
         w.platform
@@ -1569,18 +2005,25 @@ mod tests {
 
         // Alice may /ping but not /kick — the PLATFORM rejects her, the
         // backend never receives the interaction.
-        w.platform.invoke_slash(w.alice, w.channel, app.client_id, "ping", "").unwrap();
+        w.platform
+            .invoke_slash(w.alice, w.channel, app.client_id, "ping", "")
+            .unwrap();
         let err = w
             .platform
             .invoke_slash(w.alice, w.channel, app.client_id, "kick", "123")
             .unwrap_err();
         assert!(matches!(err, PlatformError::MissingPermission { .. }));
         // The owner passes the gate.
-        w.platform.invoke_slash(w.owner, w.channel, app.client_id, "kick", "123").unwrap();
+        w.platform
+            .invoke_slash(w.owner, w.channel, app.client_id, "kick", "123")
+            .unwrap();
 
         let mut delivered = Vec::new();
         while let Ok(ev) = rx.try_recv() {
-            if let GatewayEvent::InteractionCreate { command, invoker, .. } = ev {
+            if let GatewayEvent::InteractionCreate {
+                command, invoker, ..
+            } = ev
+            {
                 delivered.push((command, invoker));
             }
         }
@@ -1609,35 +2052,64 @@ mod tests {
         let w = world();
         let app = w.platform.register_bot_application(w.owner, "S").unwrap();
         w.platform
-            .register_slash_commands(w.owner, app.client_id, vec![SlashCommand::public("ping", "p")])
+            .register_slash_commands(
+                w.owner,
+                app.client_id,
+                vec![SlashCommand::public("ping", "p")],
+            )
             .unwrap();
         // Not installed yet.
-        let err = w.platform.invoke_slash(w.alice, w.channel, app.client_id, "ping", "").unwrap_err();
+        let err = w
+            .platform
+            .invoke_slash(w.alice, w.channel, app.client_id, "ping", "")
+            .unwrap_err();
         assert!(matches!(err, PlatformError::NotFound { .. }));
         w.platform
-            .install_bot(w.owner, w.guild, &InviteUrl::bot(app.client_id, Permissions::NONE), true)
+            .install_bot(
+                w.owner,
+                w.guild,
+                &InviteUrl::bot(app.client_id, Permissions::NONE),
+                true,
+            )
             .unwrap();
         // Unknown command.
-        let err = w.platform.invoke_slash(w.alice, w.channel, app.client_id, "dance", "").unwrap_err();
+        let err = w
+            .platform
+            .invoke_slash(w.alice, w.channel, app.client_id, "dance", "")
+            .unwrap_err();
         assert!(matches!(err, PlatformError::NotFound { .. }));
         // Known command now works.
-        w.platform.invoke_slash(w.alice, w.channel, app.client_id, "ping", "").unwrap();
+        w.platform
+            .invoke_slash(w.alice, w.channel, app.client_id, "ping", "")
+            .unwrap();
     }
 
     #[test]
     fn webhook_lifecycle_and_token_only_auth() {
         let w = world();
         // Alice lacks MANAGE_WEBHOOKS.
-        let err = w.platform.create_webhook(w.alice, w.channel, "ci-hook").unwrap_err();
+        let err = w
+            .platform
+            .create_webhook(w.alice, w.channel, "ci-hook")
+            .unwrap_err();
         assert!(matches!(err, PlatformError::MissingPermission { .. }));
-        let hook = w.platform.create_webhook(w.owner, w.channel, "ci-hook").unwrap();
+        let hook = w
+            .platform
+            .create_webhook(w.owner, w.channel, "ci-hook")
+            .unwrap();
         // Execution needs no account, only the token — the abuse surface.
-        let id = w.platform.execute_webhook(hook.id, &hook.token, "build passed").unwrap();
+        let id = w
+            .platform
+            .execute_webhook(hook.id, &hook.token, "build passed")
+            .unwrap();
         let history = w.platform.read_history(w.owner, w.channel).unwrap();
         assert_eq!(history.last().unwrap().id, id);
         assert_eq!(history.last().unwrap().author, hook.user);
         // A stolen-but-wrong token is rejected.
-        let err = w.platform.execute_webhook(hook.id, "whsec-guess", "spam").unwrap_err();
+        let err = w
+            .platform
+            .execute_webhook(hook.id, "whsec-guess", "spam")
+            .unwrap_err();
         assert!(matches!(err, PlatformError::Invalid { .. }));
         // Listing requires MANAGE_WEBHOOKS (tokens are included).
         assert!(w.platform.webhooks(w.alice, w.channel).is_err());
@@ -1645,7 +2117,10 @@ mod tests {
         // Deletion is permission-gated and effective.
         assert!(w.platform.delete_webhook(w.alice, hook.id).is_err());
         w.platform.delete_webhook(w.owner, hook.id).unwrap();
-        assert!(w.platform.execute_webhook(hook.id, &hook.token, "late").is_err());
+        assert!(w
+            .platform
+            .execute_webhook(hook.id, &hook.token, "late")
+            .is_err());
     }
 
     #[test]
@@ -1653,8 +2128,13 @@ mod tests {
         let w = world();
         let (_bot, rx) = install_test_bot(&w, Permissions::SEND_MESSAGES);
         let _ = rx.try_recv(); // GuildCreate
-        let hook = w.platform.create_webhook(w.owner, w.channel, "feed").unwrap();
-        w.platform.execute_webhook(hook.id, &hook.token, "webhook says hi").unwrap();
+        let hook = w
+            .platform
+            .create_webhook(w.owner, w.channel, "feed")
+            .unwrap();
+        w.platform
+            .execute_webhook(hook.id, &hook.token, "webhook says hi")
+            .unwrap();
         match rx.try_recv().unwrap() {
             GatewayEvent::MessageCreate { message, .. } => {
                 assert_eq!(message.content, "webhook says hi");
@@ -1679,7 +2159,10 @@ mod tests {
         // Speaking without joining fails.
         assert!(w.platform.speak(w.owner, voice).is_err());
         // Server-mute silences alice but leaves her connected.
-        assert!(w.platform.mute_member(w.alice, w.guild, w.alice).is_err(), "no MUTE_MEMBERS");
+        assert!(
+            w.platform.mute_member(w.alice, w.guild, w.alice).is_err(),
+            "no MUTE_MEMBERS"
+        );
         w.platform.mute_member(w.owner, w.guild, w.alice).unwrap();
         assert!(w.platform.speak(w.alice, voice).is_err());
         assert_eq!(w.platform.voice_members(voice), vec![w.alice]);
@@ -1698,7 +2181,9 @@ mod tests {
             .unwrap();
         let everyone = w.platform.guild(w.guild).unwrap().everyone_role;
         let stripped = Permissions::everyone_defaults().difference(Permissions::CONNECT);
-        w.platform.edit_role(w.owner, w.guild, everyone, stripped).unwrap();
+        w.platform
+            .edit_role(w.owner, w.guild, everyone, stripped)
+            .unwrap();
         let err = w.platform.join_voice(w.alice, voice).unwrap_err();
         assert!(matches!(err, PlatformError::MissingPermission { .. }));
     }
@@ -1706,7 +2191,10 @@ mod tests {
     #[test]
     fn reactions_respect_permissions() {
         let w = world();
-        let id = w.platform.send_message(w.owner, w.channel, "react to me", vec![]).unwrap();
+        let id = w
+            .platform
+            .send_message(w.owner, w.channel, "react to me", vec![])
+            .unwrap();
         // Default @everyone includes ADD_REACTIONS.
         w.platform
             .add_reaction(w.alice, w.channel, id, Emoji::Unicode("👍".into()))
@@ -1724,20 +2212,33 @@ mod tests {
         let reactions = w.platform.reactions(w.alice, w.channel, id).unwrap();
         assert_eq!(reactions.len(), 2);
         // Duplicate reactions are idempotent.
-        w.platform.add_reaction(w.alice, w.channel, id, Emoji::Unicode("👍".into())).unwrap();
-        assert_eq!(w.platform.reactions(w.alice, w.channel, id).unwrap().len(), 2);
+        w.platform
+            .add_reaction(w.alice, w.channel, id, Emoji::Unicode("👍".into()))
+            .unwrap();
+        assert_eq!(
+            w.platform.reactions(w.alice, w.channel, id).unwrap().len(),
+            2
+        );
         // Reacting to a ghost message fails.
         let ghost = MessageId(crate::snowflake::Snowflake(999_999));
-        assert!(w.platform.add_reaction(w.alice, w.channel, ghost, Emoji::Unicode("x".into())).is_err());
+        assert!(w
+            .platform
+            .add_reaction(w.alice, w.channel, ghost, Emoji::Unicode("x".into()))
+            .is_err());
     }
 
     #[test]
     fn reactions_denied_without_add_reactions() {
         let w = world();
-        let id = w.platform.send_message(w.owner, w.channel, "m", vec![]).unwrap();
+        let id = w
+            .platform
+            .send_message(w.owner, w.channel, "m", vec![])
+            .unwrap();
         let everyone = w.platform.guild(w.guild).unwrap().everyone_role;
         let stripped = Permissions::everyone_defaults().difference(Permissions::ADD_REACTIONS);
-        w.platform.edit_role(w.owner, w.guild, everyone, stripped).unwrap();
+        w.platform
+            .edit_role(w.owner, w.guild, everyone, stripped)
+            .unwrap();
         let err = w
             .platform
             .add_reaction(w.alice, w.channel, id, Emoji::Unicode("👍".into()))
@@ -1748,7 +2249,10 @@ mod tests {
     #[test]
     fn pins_require_manage_messages() {
         let w = world();
-        let id = w.platform.send_message(w.alice, w.channel, "important", vec![]).unwrap();
+        let id = w
+            .platform
+            .send_message(w.alice, w.channel, "important", vec![])
+            .unwrap();
         let err = w.platform.pin_message(w.alice, w.channel, id).unwrap_err();
         assert!(matches!(err, PlatformError::MissingPermission { .. }));
         w.platform.pin_message(w.owner, w.channel, id).unwrap();
@@ -1762,14 +2266,25 @@ mod tests {
         let w = world();
         let (bot, rx) = install_test_bot(&w, Permissions::SEND_MESSAGES);
         let _ = rx.try_recv(); // GuildCreate
-        w.platform.set_runtime_policy(crate::enforcer::RuntimePolicy::Enforced);
-        assert_eq!(w.platform.runtime_policy(), crate::enforcer::RuntimePolicy::Enforced);
+        w.platform
+            .set_runtime_policy(crate::enforcer::RuntimePolicy::Enforced);
+        assert_eq!(
+            w.platform.runtime_policy(),
+            crate::enforcer::RuntimePolicy::Enforced
+        );
 
         // Ordinary chatter is withheld from the bot…
-        w.platform.send_message(w.alice, w.channel, "gossip about the weekend", vec![]).unwrap();
-        assert!(rx.try_recv().is_err(), "unaddressed message must not reach the bot");
+        w.platform
+            .send_message(w.alice, w.channel, "gossip about the weekend", vec![])
+            .unwrap();
+        assert!(
+            rx.try_recv().is_err(),
+            "unaddressed message must not reach the bot"
+        );
         // …but commands still arrive.
-        w.platform.send_message(w.alice, w.channel, "!ping", vec![]).unwrap();
+        w.platform
+            .send_message(w.alice, w.channel, "!ping", vec![])
+            .unwrap();
         match rx.try_recv().unwrap() {
             GatewayEvent::MessageCreate { message, .. } => assert_eq!(message.content, "!ping"),
             other => panic!("unexpected {other:?}"),
@@ -1782,12 +2297,18 @@ mod tests {
         let w = world();
         let (_bot, rx) = install_test_bot(&w, Permissions::SEND_MESSAGES);
         let _ = rx.try_recv();
-        w.platform.set_runtime_policy(crate::enforcer::RuntimePolicy::Enforced);
+        w.platform
+            .set_runtime_policy(crate::enforcer::RuntimePolicy::Enforced);
         let att = Attachment::new("secret.pdf", "application/pdf", vec![1u8, 2, 3]);
-        w.platform.send_message(w.alice, w.channel, "!scan this", vec![att]).unwrap();
+        w.platform
+            .send_message(w.alice, w.channel, "!scan this", vec![att])
+            .unwrap();
         match rx.try_recv().unwrap() {
             GatewayEvent::MessageCreate { message, .. } => {
-                assert!(message.attachments.is_empty(), "attachments must be stripped");
+                assert!(
+                    message.attachments.is_empty(),
+                    "attachments must be stripped"
+                );
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -1797,10 +2318,13 @@ mod tests {
     fn enforcer_blocks_bot_history_reads_but_not_humans() {
         let w = world();
         let (bot, _rx) = install_test_bot(&w, Permissions::ADMINISTRATOR);
-        w.platform.send_message(w.alice, w.channel, "history entry", vec![]).unwrap();
+        w.platform
+            .send_message(w.alice, w.channel, "history entry", vec![])
+            .unwrap();
         // Unenforced: even a non-admin human and the admin bot may read.
         assert!(w.platform.read_history(bot, w.channel).is_ok());
-        w.platform.set_runtime_policy(crate::enforcer::RuntimePolicy::Enforced);
+        w.platform
+            .set_runtime_policy(crate::enforcer::RuntimePolicy::Enforced);
         // Enforced: the bot is cut off despite being administrator…
         let err = w.platform.read_history(bot, w.channel).unwrap_err();
         assert!(matches!(err, PlatformError::MissingPermission { .. }));
@@ -1811,7 +2335,10 @@ mod tests {
     #[test]
     fn effective_permissions_wrapper() {
         let w = world();
-        let p = w.platform.effective_permissions(w.alice, w.channel).unwrap();
+        let p = w
+            .platform
+            .effective_permissions(w.alice, w.channel)
+            .unwrap();
         assert!(p.contains(Permissions::SEND_MESSAGES));
         let (bot, _rx) = install_test_bot(&w, Permissions::ADMINISTRATOR);
         assert_eq!(

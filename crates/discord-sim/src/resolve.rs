@@ -111,8 +111,13 @@ mod tests {
         let mod_role = RoleId(Snowflake(11));
         let channel = ChannelId(Snowflake(20));
 
-        let mut guild =
-            Guild::new(GuildId(Snowflake(100)), "fixture", owner, everyone, GuildVisibility::Private);
+        let mut guild = Guild::new(
+            GuildId(Snowflake(100)),
+            "fixture",
+            owner,
+            everyone,
+            GuildVisibility::Private,
+        );
         guild.roles.insert(
             mod_role,
             Role {
@@ -122,17 +127,42 @@ mod tests {
                 permissions: Permissions::KICK_MEMBERS | Permissions::MANAGE_MESSAGES,
             },
         );
-        guild.members.insert(alice, Member { user: alice, roles: Vec::new(), nickname: None });
-        guild.members.insert(bot, Member { user: bot, roles: Vec::new(), nickname: None });
-        guild.channels.insert(channel, Channel::text(channel, "general"));
-        Fixture { guild, channel, alice, bot, mod_role }
+        guild.members.insert(
+            alice,
+            Member {
+                user: alice,
+                roles: Vec::new(),
+                nickname: None,
+            },
+        );
+        guild.members.insert(
+            bot,
+            Member {
+                user: bot,
+                roles: Vec::new(),
+                nickname: None,
+            },
+        );
+        guild
+            .channels
+            .insert(channel, Channel::text(channel, "general"));
+        Fixture {
+            guild,
+            channel,
+            alice,
+            bot,
+            mod_role,
+        }
     }
 
     #[test]
     fn owner_has_everything() {
         let f = fixture();
         let owner = f.guild.owner;
-        assert_eq!(guild_permissions(&f.guild, owner).unwrap(), Permissions::ALL_KNOWN);
+        assert_eq!(
+            guild_permissions(&f.guild, owner).unwrap(),
+            Permissions::ALL_KNOWN
+        );
         assert_eq!(
             channel_permissions(&f.guild, f.channel, owner).unwrap(),
             Permissions::ALL_KNOWN
@@ -172,11 +202,16 @@ mod tests {
         f.guild.member_mut(f.bot).unwrap().roles.push(admin_role);
         // Deny VIEW_CHANNEL to everyone in the channel.
         let everyone = f.guild.everyone_role;
-        f.guild.channels.get_mut(&f.channel).unwrap().overwrites.push(Overwrite {
-            target: OverwriteTarget::Role(everyone),
-            allow: Permissions::NONE,
-            deny: Permissions::VIEW_CHANNEL | Permissions::SEND_MESSAGES,
-        });
+        f.guild
+            .channels
+            .get_mut(&f.channel)
+            .unwrap()
+            .overwrites
+            .push(Overwrite {
+                target: OverwriteTarget::Role(everyone),
+                allow: Permissions::NONE,
+                deny: Permissions::VIEW_CHANNEL | Permissions::SEND_MESSAGES,
+            });
         // Alice is locked out…
         let alice_perms = channel_permissions(&f.guild, f.channel, f.alice).unwrap();
         assert!(!alice_perms.contains(Permissions::VIEW_CHANNEL));
@@ -220,7 +255,12 @@ mod tests {
         let muted = RoleId(Snowflake(13));
         f.guild.roles.insert(
             muted,
-            Role { id: muted, name: "Muted".into(), position: 1, permissions: Permissions::NONE },
+            Role {
+                id: muted,
+                name: "Muted".into(),
+                position: 1,
+                permissions: Permissions::NONE,
+            },
         );
         let member = f.guild.member_mut(f.alice).unwrap();
         member.roles.push(f.mod_role);
@@ -244,8 +284,14 @@ mod tests {
     #[test]
     fn has_channel_permission_helper() {
         let f = fixture();
-        assert!(has_channel_permission(&f.guild, f.channel, f.alice, Permissions::SEND_MESSAGES).unwrap());
-        assert!(!has_channel_permission(&f.guild, f.channel, f.alice, Permissions::BAN_MEMBERS).unwrap());
+        assert!(
+            has_channel_permission(&f.guild, f.channel, f.alice, Permissions::SEND_MESSAGES)
+                .unwrap()
+        );
+        assert!(
+            !has_channel_permission(&f.guild, f.channel, f.alice, Permissions::BAN_MEMBERS)
+                .unwrap()
+        );
         assert!(channel_permissions(&f.guild, f.channel, UserId(Snowflake(99))).is_err());
     }
 }

@@ -52,6 +52,8 @@ mod tests {
         let ping = SlashCommand::public("ping", "pong");
         assert!(ping.default_member_permissions.is_empty());
         let kick = SlashCommand::gated("kick", "remove a member", Permissions::KICK_MEMBERS);
-        assert!(kick.default_member_permissions.contains(Permissions::KICK_MEMBERS));
+        assert!(kick
+            .default_member_permissions
+            .contains(Permissions::KICK_MEMBERS));
     }
 }

@@ -51,7 +51,12 @@ pub struct SnowflakeGen {
 impl SnowflakeGen {
     /// A generator for `worker` (0–31) on the shared clock.
     pub fn new(clock: VirtualClock, worker: u64) -> SnowflakeGen {
-        SnowflakeGen { clock, worker: worker & 0x1f, last_ms: 0, sequence: 0 }
+        SnowflakeGen {
+            clock,
+            worker: worker & 0x1f,
+            last_ms: 0,
+            sequence: 0,
+        }
     }
 
     /// Mint the next ID. Within one virtual millisecond the 17-bit sequence

@@ -39,7 +39,10 @@ impl Service for OAuthWebGate {
         let invite = match InviteUrl::parse(&req.url) {
             Ok(invite) => invite,
             Err(e) => {
-                return Response { status: Status::BadRequest, ..Response::ok(e.to_string()) };
+                return Response {
+                    status: Status::BadRequest,
+                    ..Response::ok(e.to_string())
+                };
             }
         };
         match self.platform.application(invite.client_id) {
@@ -68,7 +71,9 @@ mod tests {
         let net = Network::with_clock(1, clock.clone());
         let platform = Platform::new(clock);
         let owner = platform.register_user("dev", "d@x.y");
-        let _guild = platform.create_guild(owner, "g", GuildVisibility::Public).unwrap();
+        let _guild = platform
+            .create_guild(owner, "g", GuildVisibility::Public)
+            .unwrap();
         let app = platform.register_bot_application(owner, "RealBot").unwrap();
         OAuthWebGate::new(platform.clone()).mount(&net);
         (net, platform, app.client_id)

@@ -14,16 +14,39 @@ fn fixture(actor_pos: u32, target_pos: u32, actor_perms: Permissions) -> (Guild,
     let everyone = RoleId(Snowflake(10));
     let actor_role = RoleId(Snowflake(11));
     let target_role = RoleId(Snowflake(12));
-    let mut guild = Guild::new(GuildId(Snowflake(9)), "p", owner, everyone, GuildVisibility::Private);
+    let mut guild = Guild::new(
+        GuildId(Snowflake(9)),
+        "p",
+        owner,
+        everyone,
+        GuildVisibility::Private,
+    );
     guild.roles.insert(
         actor_role,
-        Role { id: actor_role, name: "actor".into(), position: actor_pos, permissions: actor_perms },
+        Role {
+            id: actor_role,
+            name: "actor".into(),
+            position: actor_pos,
+            permissions: actor_perms,
+        },
     );
     guild.roles.insert(
         target_role,
-        Role { id: target_role, name: "target".into(), position: target_pos, permissions: Permissions::NONE },
+        Role {
+            id: target_role,
+            name: "target".into(),
+            position: target_pos,
+            permissions: Permissions::NONE,
+        },
     );
-    guild.members.insert(actor, Member { user: actor, roles: vec![actor_role], nickname: None });
+    guild.members.insert(
+        actor,
+        Member {
+            user: actor,
+            roles: vec![actor_role],
+            nickname: None,
+        },
+    );
     (guild, actor, target_role)
 }
 

@@ -20,6 +20,7 @@ use netsim::Network;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -74,7 +75,7 @@ pub struct BotUnderTest {
 }
 
 /// One attributed detection.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Detection {
     /// The bot whose guild's tokens fired.
     pub bot_name: String,
@@ -88,7 +89,7 @@ pub struct Detection {
 }
 
 /// Campaign outcome.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct CampaignReport {
     /// Guilds created (one per bot).
     pub guilds_created: usize,
@@ -180,7 +181,13 @@ impl Campaign {
     pub fn guild_tag(bot_name: &str) -> String {
         let slug: String = bot_name
             .chars()
-            .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '-' })
+            .map(|c| {
+                if c.is_ascii_alphanumeric() {
+                    c.to_ascii_lowercase()
+                } else {
+                    '-'
+                }
+            })
             .collect();
         format!("guild-{slug}")
     }
@@ -227,7 +234,11 @@ impl Campaign {
                             None
                         }
                     };
-                    jobs.push(GuildJob { bot_name: but.name, guild, bot });
+                    jobs.push(GuildJob {
+                        bot_name: but.name,
+                        guild,
+                        bot,
+                    });
                 }
                 Err(_) => report.install_failures += 1,
             }
@@ -247,8 +258,11 @@ impl Campaign {
                 .map(|(idx, job)| self.run_guild(idx, job, &pool))
                 .collect()
         } else {
-            let jobs: Vec<Mutex<Option<(usize, GuildJob)>>> =
-                jobs.into_iter().enumerate().map(|j| Mutex::new(Some(j))).collect();
+            let jobs: Vec<Mutex<Option<(usize, GuildJob)>>> = jobs
+                .into_iter()
+                .enumerate()
+                .map(|j| Mutex::new(Some(j)))
+                .collect();
             let slots: Vec<Mutex<Option<GuildOutcome>>> =
                 (0..jobs.len()).map(|_| Mutex::new(None)).collect();
             let next = AtomicUsize::new(0);
@@ -267,7 +281,10 @@ impl Campaign {
                 }
             })
             .expect("campaign scope");
-            slots.into_iter().map(|s| s.into_inner().expect("every guild populated")).collect()
+            slots
+                .into_iter()
+                .map(|s| s.into_inner().expect("every guild populated"))
+                .collect()
         };
         for outcome in outcomes {
             report.messages_posted += outcome.messages_posted;
@@ -329,19 +346,24 @@ impl Campaign {
         let tag = Self::guild_tag(&but.name);
         // "we create new private guilds … We name each guild after the
         // corresponding chatbots for easy identification."
-        let guild = self.platform.create_guild(self.researcher, &tag, GuildVisibility::Private)?;
+        let guild = self
+            .platform
+            .create_guild(self.researcher, &tag, GuildVisibility::Private)?;
         report.guilds_created += 1;
         let code = self.platform.create_invite(self.researcher, guild)?;
         pool.join_all(guild, Some(&code))?;
         // "To add a chatbot to the guild, we need to solve a Google
         // reCAPTCHA … we used the captcha-solving service 2Captcha."
         let captcha_solved = self.solver.solve("21 + 21").is_ok();
-        self.platform.install_bot(self.researcher, guild, &but.invite, captcha_solved)?;
+        self.platform
+            .install_bot(self.researcher, guild, &but.invite, captcha_solved)?;
         if self.config.plant_webhook_canaries {
             // Extension: a webhook whose secret doubles as a canary. Any
             // backend request carrying the token betrays credential theft.
             let channel = self.platform.default_channel(guild)?;
-            let hook = self.platform.create_webhook(self.researcher, channel, "ci-updates")?;
+            let hook = self
+                .platform
+                .create_webhook(self.researcher, channel, "ci-updates")?;
             let token = self.mint.mint(TokenKind::WebhookToken, &tag);
             registry_insert_webhook(&mut self.webhook_canaries, &hook.token, &token.id);
             _registry.insert(token.id.clone(), (token, but.name.clone()));
@@ -380,8 +402,11 @@ impl Campaign {
         let tag = Self::guild_tag(bot_name);
         let channel = self.platform.default_channel(guild)?;
         let clock = self.net.clock();
-        let mut outcome =
-            GuildOutcome { registry_entries: Vec::new(), messages_posted: 0, tokens_planted: 0 };
+        let mut outcome = GuildOutcome {
+            registry_entries: Vec::new(),
+            messages_posted: 0,
+            tokens_planted: 0,
+        };
 
         let tokens = mint.mint_guild_set(&tag);
         let feed = generate_feed(rng, pool.len(), self.config.feed_messages);
@@ -393,7 +418,8 @@ impl Campaign {
         let mut token_iter = tokens.into_iter();
         for (i, line) in feed.iter().enumerate() {
             let author = pool.by_index(line.persona);
-            self.platform.send_message(author, channel, &line.text, vec![])?;
+            self.platform
+                .send_message(author, channel, &line.text, vec![])?;
             outcome.messages_posted += 1;
             clock.sleep(SimDuration::from_secs(30)); // believable pacing
             if drop_points.contains(&i) {
@@ -439,8 +465,15 @@ impl Campaign {
                 )?;
             }
             TokenKind::WordDoc | TokenKind::Pdf => {
-                let att = token.as_attachment(SINK_HOST).expect("doc kinds have attachments");
-                self.platform.send_message(author, channel, "notes from the meeting attached", vec![att])?;
+                let att = token
+                    .as_attachment(SINK_HOST)
+                    .expect("doc kinds have attachments");
+                self.platform.send_message(
+                    author,
+                    channel,
+                    "notes from the meeting attached",
+                    vec![att],
+                )?;
             }
             TokenKind::WebhookToken => {
                 // Planted during guild set-up, not posted as a message.
@@ -460,7 +493,9 @@ impl Campaign {
         let mut per_bot: BTreeMap<String, (Vec<TokenKind>, Vec<String>, netsim::SimInstant)> =
             BTreeMap::new();
         for trigger in triggers.iter().cloned() {
-            let Some((token, bot_name)) = registry.get(&trigger.token_id) else { continue };
+            let Some((token, bot_name)) = registry.get(&trigger.token_id) else {
+                continue;
+            };
             let entry = per_bot
                 .entry(bot_name.clone())
                 .or_insert_with(|| (Vec::new(), Vec::new(), trigger.at));
@@ -486,13 +521,22 @@ impl Campaign {
                             .iter()
                             .filter(|m| {
                                 m.at >= first_at
-                                    && self.platform.user(m.author).map(|u| u.is_bot()).unwrap_or(false)
+                                    && self
+                                        .platform
+                                        .user(m.author)
+                                        .map(|u| u.is_bot())
+                                        .unwrap_or(false)
                             })
                             .map(|m| m.content.clone())
                             .collect()
                     })
                     .unwrap_or_default();
-                Detection { bot_name, token_kinds: kinds, requesters, followup_messages }
+                Detection {
+                    bot_name,
+                    token_kinds: kinds,
+                    requesters,
+                    followup_messages,
+                }
             })
             .collect()
     }
@@ -544,8 +588,20 @@ mod tests {
         let (platform, net, dev) = world();
         let mut campaign = Campaign::new(platform.clone(), net, CampaignConfig::default());
         let bots = vec![
-            make_bot(&platform, dev, "CleanBot", full_perms(), Box::new(BenignBehavior::new("fun"))),
-            make_bot(&platform, dev, "NiceBot", full_perms(), Box::new(BenignBehavior::new("music"))),
+            make_bot(
+                &platform,
+                dev,
+                "CleanBot",
+                full_perms(),
+                Box::new(BenignBehavior::new("fun")),
+            ),
+            make_bot(
+                &platform,
+                dev,
+                "NiceBot",
+                full_perms(),
+                Box::new(BenignBehavior::new("music")),
+            ),
         ];
         let report = campaign.run(bots);
         assert_eq!(report.bots_tested, 2);
@@ -555,7 +611,10 @@ mod tests {
         assert!(report.triggers.is_empty());
         assert!(report.detections.is_empty());
         assert_eq!(report.captchas_solved, 2, "one install captcha per bot");
-        assert_eq!(report.backend_bytes_sent, 0, "benign backends send nothing out");
+        assert_eq!(
+            report.backend_bytes_sent, 0,
+            "benign backends send nothing out"
+        );
     }
 
     #[test]
@@ -563,8 +622,20 @@ mod tests {
         let (platform, net, dev) = world();
         let mut campaign = Campaign::new(platform.clone(), net, CampaignConfig::default());
         let bots = vec![
-            make_bot(&platform, dev, "CleanBot", full_perms(), Box::new(BenignBehavior::new("fun"))),
-            make_bot(&platform, dev, "Melonian", full_perms(), Box::new(SnooperBehavior::new(10))),
+            make_bot(
+                &platform,
+                dev,
+                "CleanBot",
+                full_perms(),
+                Box::new(BenignBehavior::new("fun")),
+            ),
+            make_bot(
+                &platform,
+                dev,
+                "Melonian",
+                full_perms(),
+                Box::new(SnooperBehavior::new(10)),
+            ),
         ];
         let report = campaign.run(bots);
         assert_eq!(report.detections.len(), 1, "exactly one bot detected");
@@ -594,8 +665,19 @@ mod tests {
         let report = campaign.run(bots);
         assert_eq!(report.detections.len(), 1);
         let det = &report.detections[0];
-        assert_eq!(det.token_kinds, vec![TokenKind::Email, TokenKind::Url, TokenKind::WordDoc, TokenKind::Pdf]);
-        assert!(report.backend_bytes_sent > 0, "the harvester's traffic is measurable");
+        assert_eq!(
+            det.token_kinds,
+            vec![
+                TokenKind::Email,
+                TokenKind::Url,
+                TokenKind::WordDoc,
+                TokenKind::Pdf
+            ]
+        );
+        assert!(
+            report.backend_bytes_sent > 0,
+            "the harvester's traffic is measurable"
+        );
     }
 
     #[test]
@@ -603,8 +685,20 @@ mod tests {
         let (platform, net, dev) = world();
         let mut campaign = Campaign::new(platform.clone(), net, CampaignConfig::default());
         let bots = vec![
-            make_bot(&platform, dev, "Spy", full_perms(), Box::new(SnooperBehavior::new(5))),
-            make_bot(&platform, dev, "Saint", full_perms(), Box::new(BenignBehavior::new("fun"))),
+            make_bot(
+                &platform,
+                dev,
+                "Spy",
+                full_perms(),
+                Box::new(SnooperBehavior::new(5)),
+            ),
+            make_bot(
+                &platform,
+                dev,
+                "Saint",
+                full_perms(),
+                Box::new(BenignBehavior::new("fun")),
+            ),
         ];
         let report = campaign.run(bots);
         assert_eq!(report.detections.len(), 1);
@@ -621,7 +715,13 @@ mod tests {
         let (platform, net, dev) = world();
         let mut campaign = Campaign::new(platform.clone(), net, CampaignConfig::default());
         let bots = vec![
-            make_bot(&platform, dev, "CleanBot", full_perms(), Box::new(BenignBehavior::new("fun"))),
+            make_bot(
+                &platform,
+                dev,
+                "CleanBot",
+                full_perms(),
+                Box::new(BenignBehavior::new("fun")),
+            ),
             make_bot(
                 &platform,
                 dev,
@@ -645,7 +745,10 @@ mod tests {
         let mut campaign = Campaign::new(
             platform.clone(),
             net,
-            CampaignConfig { plant_webhook_canaries: false, ..CampaignConfig::default() },
+            CampaignConfig {
+                plant_webhook_canaries: false,
+                ..CampaignConfig::default()
+            },
         );
         let bots = vec![make_bot(
             &platform,
@@ -668,11 +771,26 @@ mod tests {
             let mut campaign = Campaign::new(
                 platform.clone(),
                 net,
-                CampaignConfig { workers, ..CampaignConfig::default() },
+                CampaignConfig {
+                    workers,
+                    ..CampaignConfig::default()
+                },
             );
             let bots = vec![
-                make_bot(&platform, dev, "CleanBot", full_perms(), Box::new(BenignBehavior::new("fun"))),
-                make_bot(&platform, dev, "Melonian", full_perms(), Box::new(SnooperBehavior::new(10))),
+                make_bot(
+                    &platform,
+                    dev,
+                    "CleanBot",
+                    full_perms(),
+                    Box::new(BenignBehavior::new("fun")),
+                ),
+                make_bot(
+                    &platform,
+                    dev,
+                    "Melonian",
+                    full_perms(),
+                    Box::new(SnooperBehavior::new(10)),
+                ),
                 make_bot(
                     &platform,
                     dev,
@@ -722,7 +840,11 @@ mod tests {
             )];
             let report = campaign.run(bots);
             (
-                report.detections.iter().map(|d| (d.bot_name.clone(), d.token_kinds.clone())).collect::<Vec<_>>(),
+                report
+                    .detections
+                    .iter()
+                    .map(|d| (d.bot_name.clone(), d.token_kinds.clone()))
+                    .collect::<Vec<_>>(),
                 report.messages_posted,
                 report.tokens_planted,
             )

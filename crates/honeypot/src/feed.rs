@@ -16,27 +16,58 @@ use rand::Rng;
 
 /// Slot fillers harvested from the sort of chatter the paper describes.
 const TOPICS: &[&str] = &[
-    "the new season", "that boss fight", "the patch notes", "the meetup on friday",
-    "the project deadline", "the playlist", "yesterday's match", "the group buy",
-    "the new keyboard", "that meme", "the stream last night", "the assignment",
+    "the new season",
+    "that boss fight",
+    "the patch notes",
+    "the meetup on friday",
+    "the project deadline",
+    "the playlist",
+    "yesterday's match",
+    "the group buy",
+    "the new keyboard",
+    "that meme",
+    "the stream last night",
+    "the assignment",
 ];
 
 const OPENERS: &[&str] = &[
-    "lol did you see {t}", "ok but {t} was wild", "anyone else think {t} is overrated",
-    "can't stop thinking about {t}", "hot take: {t} is actually fine", "yo {t} tho",
-    "who's ready for {t}", "real talk, {t} saved my week", "ngl {t} kinda slaps",
+    "lol did you see {t}",
+    "ok but {t} was wild",
+    "anyone else think {t} is overrated",
+    "can't stop thinking about {t}",
+    "hot take: {t} is actually fine",
+    "yo {t} tho",
+    "who's ready for {t}",
+    "real talk, {t} saved my week",
+    "ngl {t} kinda slaps",
 ];
 
 const REPLIES: &[&str] = &[
-    "fr fr", "lmaooo", "no way", "this ^", "brooo", "so true", "idk about that",
-    "wait what", "hard agree", "nah you're wrong lol", "ok that's fair",
-    "someone clip that", "brb gotta see this", "same tbh", "💀",
+    "fr fr",
+    "lmaooo",
+    "no way",
+    "this ^",
+    "brooo",
+    "so true",
+    "idk about that",
+    "wait what",
+    "hard agree",
+    "nah you're wrong lol",
+    "ok that's fair",
+    "someone clip that",
+    "brb gotta see this",
+    "same tbh",
+    "💀",
 ];
 
 const FOLLOWUPS: &[&str] = &[
-    "also we still on for tonight?", "did anyone save the link from before?",
-    "who has the notes from last time", "ping me when you're online",
-    "gonna grab food, back in 10", "my wifi is dying again", "ok actually gotta go",
+    "also we still on for tonight?",
+    "did anyone save the link from before?",
+    "who has the notes from last time",
+    "ping me when you're online",
+    "gonna grab food, back in 10",
+    "my wifi is dying again",
+    "ok actually gotta go",
 ];
 
 /// A tiny order-1 Markov chain over words, trained on the seed corpus.
@@ -70,10 +101,16 @@ impl MarkovChat {
             }
             starts.push(words[0].to_string());
             for pair in words.windows(2) {
-                transitions.entry(pair[0].to_string()).or_default().push(pair[1].to_string());
+                transitions
+                    .entry(pair[0].to_string())
+                    .or_default()
+                    .push(pair[1].to_string());
             }
         }
-        MarkovChat { transitions, starts }
+        MarkovChat {
+            transitions,
+            starts,
+        }
     }
 
     /// Generate one line of at most `max_words` words.
@@ -84,7 +121,9 @@ impl MarkovChat {
         let mut word = self.starts[rng.gen_range(0..self.starts.len())].clone();
         let mut out = vec![word.clone()];
         for _ in 1..max_words.max(1) {
-            let Some(nexts) = self.transitions.get(&word) else { break };
+            let Some(nexts) = self.transitions.get(&word) else {
+                break;
+            };
             word = nexts[rng.gen_range(0..nexts.len())].clone();
             out.push(word.clone());
         }
@@ -107,7 +146,10 @@ pub struct FeedLine {
 /// so that interactions resemble legitimate conversations between actual
 /// users" (§4.2): consecutive lines never come from the same persona.
 pub fn generate_feed<R: Rng + ?Sized>(rng: &mut R, personas: usize, count: usize) -> Vec<FeedLine> {
-    assert!(personas >= 2, "a conversation needs at least two participants");
+    assert!(
+        personas >= 2,
+        "a conversation needs at least two participants"
+    );
     let markov = MarkovChat::seeded(&[]);
     let mut out = Vec::with_capacity(count);
     let mut last_persona = usize::MAX;
@@ -157,7 +199,10 @@ mod tests {
         assert!(feed.iter().all(|l| l.persona < 3));
         // All personas participate in a long enough feed.
         for p in 0..3 {
-            assert!(feed.iter().any(|l| l.persona == p), "persona {p} never spoke");
+            assert!(
+                feed.iter().any(|l| l.persona == p),
+                "persona {p} never spoke"
+            );
         }
     }
 
@@ -165,9 +210,15 @@ mod tests {
     fn register_is_short_and_informal() {
         let mut rng = StdRng::seed_from_u64(3);
         let feed = generate_feed(&mut rng, 2, 100);
-        let avg_words: f64 = feed.iter().map(|l| l.text.split_whitespace().count() as f64).sum::<f64>()
+        let avg_words: f64 = feed
+            .iter()
+            .map(|l| l.text.split_whitespace().count() as f64)
+            .sum::<f64>()
             / feed.len() as f64;
-        assert!(avg_words < 10.0, "OSN register, not email: avg {avg_words} words");
+        assert!(
+            avg_words < 10.0,
+            "OSN register, not email: avg {avg_words} words"
+        );
         assert!(feed.iter().all(|l| !l.text.is_empty()));
     }
 
@@ -192,10 +243,12 @@ mod tests {
     #[test]
     fn markov_is_deterministic_per_seed() {
         let chain = MarkovChat::seeded(&[]);
-        let a: Vec<String> =
-            (0..20).map(|_| chain.line(&mut StdRng::seed_from_u64(1), 8)).collect();
-        let b: Vec<String> =
-            (0..20).map(|_| chain.line(&mut StdRng::seed_from_u64(1), 8)).collect();
+        let a: Vec<String> = (0..20)
+            .map(|_| chain.line(&mut StdRng::seed_from_u64(1), 8))
+            .collect();
+        let b: Vec<String> = (0..20)
+            .map(|_| chain.line(&mut StdRng::seed_from_u64(1), 8))
+            .collect();
         assert_eq!(a, b);
     }
 

@@ -45,7 +45,12 @@ impl PersonaPool {
                 platform.verify_mobile(p).expect("freshly registered");
             }
         }
-        PersonaPool { platform, personas, auto_verify, manual_verifications: 0 }
+        PersonaPool {
+            platform,
+            personas,
+            auto_verify,
+            manual_verifications: 0,
+        }
     }
 
     /// The persona accounts.
@@ -111,7 +116,10 @@ mod tests {
         for (g, code) in &guilds {
             pool.join_all(*g, Some(code)).unwrap();
         }
-        assert!(pool.manual_verifications >= 5, "each persona was flagged once");
+        assert!(
+            pool.manual_verifications >= 5,
+            "each persona was flagged once"
+        );
         // All personas ended up in every guild.
         for (g, _) in &guilds {
             let guild = platform.guild(*g).unwrap();
@@ -133,7 +141,10 @@ mod tests {
                 .unwrap();
             pool.join_all(g, None).unwrap();
         }
-        assert_eq!(pool.manual_verifications, 0, "automation removed the manual step");
+        assert_eq!(
+            pool.manual_verifications, 0,
+            "automation removed the manual step"
+        );
     }
 
     #[test]

@@ -10,6 +10,7 @@ use netsim::clock::SimInstant;
 use netsim::http::{Request, Response, Status};
 use netsim::{Network, Service, ServiceCtx};
 use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// Beacon host for URL/document tokens.
@@ -18,7 +19,7 @@ pub const SINK_HOST: &str = "canary-sink.sim";
 pub const MAIL_HOST: &str = "canary-mail.sim";
 
 /// One recorded signal.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Trigger {
     /// Token ID (or email local part) that fired.
     pub token_id: String,
@@ -116,9 +117,14 @@ mod tests {
         sink.mount(&net);
         let mut client = HttpClient::new(
             net.clone(),
-            ClientConfig { user_agent: "bot-backend/shady".into(), ..ClientConfig::default() },
+            ClientConfig {
+                user_agent: "bot-backend/shady".into(),
+                ..ClientConfig::default()
+            },
         );
-        client.get(Url::https(SINK_HOST, "/t/guild-x-url-000001")).unwrap();
+        client
+            .get(Url::https(SINK_HOST, "/t/guild-x-url-000001"))
+            .unwrap();
         let triggers = sink.triggers();
         assert_eq!(triggers.len(), 1);
         assert_eq!(triggers[0].token_id, "guild-x-url-000001");
@@ -132,7 +138,9 @@ mod tests {
         let sink = CanarySink::new();
         sink.mount(&net);
         let mut client = HttpClient::new(net, ClientConfig::impolite("spammer"));
-        client.get(Url::https(MAIL_HOST, "/mail/guild-y-email-000002")).unwrap();
+        client
+            .get(Url::https(MAIL_HOST, "/mail/guild-y-email-000002"))
+            .unwrap();
         let t = sink.triggers();
         assert_eq!(t.len(), 1);
         assert!(t[0].via_mail);
@@ -144,8 +152,12 @@ mod tests {
         let sink = CanarySink::new();
         sink.mount(&net);
         let mut client = HttpClient::new(net, ClientConfig::impolite("x"));
-        client.get(Url::https(SINK_HOST, "/t/guild-melonian-url-1")).unwrap();
-        client.get(Url::https(SINK_HOST, "/t/guild-other-url-2")).unwrap();
+        client
+            .get(Url::https(SINK_HOST, "/t/guild-melonian-url-1"))
+            .unwrap();
+        client
+            .get(Url::https(SINK_HOST, "/t/guild-other-url-2"))
+            .unwrap();
         assert_eq!(sink.triggers_for_tag("guild-melonian").len(), 1);
         assert_eq!(sink.triggers_for_tag("guild-other").len(), 1);
         assert_eq!(sink.triggers_for_tag("guild-nobody").len(), 0);

@@ -31,7 +31,12 @@ pub enum TokenKind {
 
 impl TokenKind {
     /// The paper's four kinds (what [`TokenMint::mint_guild_set`] plants).
-    pub const ALL: [TokenKind; 4] = [TokenKind::Email, TokenKind::Url, TokenKind::WordDoc, TokenKind::Pdf];
+    pub const ALL: [TokenKind; 4] = [
+        TokenKind::Email,
+        TokenKind::Url,
+        TokenKind::WordDoc,
+        TokenKind::Pdf,
+    ];
 }
 
 impl fmt::Display for TokenKind {
@@ -123,7 +128,11 @@ pub struct TokenMint {
 impl TokenMint {
     /// A mint for the given hosts.
     pub fn new(sink_host: &str, mail_host: &str) -> TokenMint {
-        TokenMint { sink_host: sink_host.to_string(), mail_host: mail_host.to_string(), counter: 0 }
+        TokenMint {
+            sink_host: sink_host.to_string(),
+            mail_host: mail_host.to_string(),
+            counter: 0,
+        }
     }
 
     /// Mint one token for a guild.
@@ -140,7 +149,10 @@ impl TokenMint {
     /// populated with a canary URL, email address, pdf and word document
     /// tokens").
     pub fn mint_guild_set(&mut self, guild_tag: &str) -> Vec<CanaryToken> {
-        TokenKind::ALL.iter().map(|k| self.mint(*k, guild_tag)).collect()
+        TokenKind::ALL
+            .iter()
+            .map(|k| self.mint(*k, guild_tag))
+            .collect()
     }
 }
 
@@ -187,10 +199,22 @@ mod tests {
     #[test]
     fn attachments_only_for_doc_kinds() {
         let mut mint = TokenMint::new("sink.sim", "mail.sim");
-        assert!(mint.mint(TokenKind::WordDoc, "g").as_attachment("sink.sim").is_some());
-        assert!(mint.mint(TokenKind::Pdf, "g").as_attachment("sink.sim").is_some());
-        assert!(mint.mint(TokenKind::Url, "g").as_attachment("sink.sim").is_none());
-        assert!(mint.mint(TokenKind::Email, "g").as_attachment("sink.sim").is_none());
+        assert!(mint
+            .mint(TokenKind::WordDoc, "g")
+            .as_attachment("sink.sim")
+            .is_some());
+        assert!(mint
+            .mint(TokenKind::Pdf, "g")
+            .as_attachment("sink.sim")
+            .is_some());
+        assert!(mint
+            .mint(TokenKind::Url, "g")
+            .as_attachment("sink.sim")
+            .is_none());
+        assert!(mint
+            .mint(TokenKind::Email, "g")
+            .as_attachment("sink.sim")
+            .is_none());
     }
 
     #[test]

@@ -24,14 +24,67 @@ use std::sync::Arc;
 /// Covers every name the simulated sites emit on their hot paths; anything
 /// else falls through to the interner.
 static WELL_KNOWN: &[&str] = &[
-    "a", "alt", "article", "b", "body", "br", "button", "class", "code",
-    "content", "data-app-id", "data-bot-id", "data-challenge-id",
-    "data-guilds", "data-i", "data-kind", "data-owner", "data-slug",
-    "data-votes", "data-x", "disabled", "div", "em", "footer", "form", "h1",
-    "h2", "h3", "head", "header", "hr", "href", "html", "i", "id", "img",
-    "input", "li", "link", "meta", "name", "nav", "p", "pre", "rel",
-    "script", "section", "span", "src", "strong", "style", "table", "tbody",
-    "td", "th", "title", "tr", "type", "u", "ul", "value",
+    "a",
+    "alt",
+    "article",
+    "b",
+    "body",
+    "br",
+    "button",
+    "class",
+    "code",
+    "content",
+    "data-app-id",
+    "data-bot-id",
+    "data-challenge-id",
+    "data-guilds",
+    "data-i",
+    "data-kind",
+    "data-owner",
+    "data-slug",
+    "data-votes",
+    "data-x",
+    "disabled",
+    "div",
+    "em",
+    "footer",
+    "form",
+    "h1",
+    "h2",
+    "h3",
+    "head",
+    "header",
+    "hr",
+    "href",
+    "html",
+    "i",
+    "id",
+    "img",
+    "input",
+    "li",
+    "link",
+    "meta",
+    "name",
+    "nav",
+    "p",
+    "pre",
+    "rel",
+    "script",
+    "section",
+    "span",
+    "src",
+    "strong",
+    "style",
+    "table",
+    "tbody",
+    "td",
+    "th",
+    "title",
+    "tr",
+    "type",
+    "u",
+    "ul",
+    "value",
 ];
 
 #[derive(Clone)]
@@ -163,7 +216,8 @@ impl AtomInterner {
     pub fn atom(&mut self, raw: &str) -> Atom {
         let name: &str = if raw.bytes().any(|b| b.is_ascii_uppercase()) {
             self.scratch.clear();
-            self.scratch.extend(raw.chars().map(|c| c.to_ascii_lowercase()));
+            self.scratch
+                .extend(raw.chars().map(|c| c.to_ascii_lowercase()));
             &self.scratch
         } else {
             raw
@@ -210,7 +264,10 @@ mod tests {
         assert_eq!(a, b);
         let mut sorted = [Atom::new("div"), Atom::new("a"), Atom::new("zeta")];
         sorted.sort();
-        assert_eq!(sorted.iter().map(Atom::as_str).collect::<Vec<_>>(), vec!["a", "div", "zeta"]);
+        assert_eq!(
+            sorted.iter().map(Atom::as_str).collect::<Vec<_>>(),
+            vec!["a", "div", "zeta"]
+        );
     }
 
     #[test]
@@ -231,6 +288,10 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(interner.unknown_names(), 1);
         interner.atom("div");
-        assert_eq!(interner.unknown_names(), 1, "well-known names never hit the interner");
+        assert_eq!(
+            interner.unknown_names(),
+            1,
+            "well-known names never hit the interner"
+        );
     }
 }

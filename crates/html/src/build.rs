@@ -25,7 +25,11 @@ pub struct ElementBuilder {
 
 /// Start building an element with the given tag.
 pub fn el(tag: &str) -> ElementBuilder {
-    ElementBuilder { tag: Atom::new(tag), attrs: BTreeMap::new(), children: Vec::new() }
+    ElementBuilder {
+        tag: Atom::new(tag),
+        attrs: BTreeMap::new(),
+        children: Vec::new(),
+    }
 }
 
 impl ElementBuilder {
@@ -72,13 +76,18 @@ impl ElementBuilder {
 
     /// Append children from an iterator of builders.
     pub fn children(mut self, iter: impl IntoIterator<Item = ElementBuilder>) -> Self {
-        self.children.extend(iter.into_iter().map(ElementBuilder::build));
+        self.children
+            .extend(iter.into_iter().map(ElementBuilder::build));
         self
     }
 
     /// Finish building.
     pub fn build(self) -> Node {
-        Node::Element { tag: self.tag, attrs: self.attrs, children: self.children }
+        Node::Element {
+            tag: self.tag,
+            attrs: self.attrs,
+            children: self.children,
+        }
     }
 }
 

@@ -116,8 +116,9 @@ impl CssStep {
 }
 
 fn parse_css(selector: &str) -> Result<Vec<CssStep>, LocateError> {
-    let invalid =
-        |reason: String| LocateError::InvalidLocator { reason: format!("{reason} in {selector:?}") };
+    let invalid = |reason: String| LocateError::InvalidLocator {
+        reason: format!("{reason} in {selector:?}"),
+    };
     let mut steps: Vec<CssStep> = Vec::new();
     for token in selector.split_whitespace() {
         if token == ">" {
@@ -169,7 +170,9 @@ fn parse_compound(token: &str) -> Result<CssStep, String> {
             b'.' => {
                 i += 1;
                 let start = i;
-                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'-' || bytes[i] == b'_') {
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'-' || bytes[i] == b'_')
+                {
                     i += 1;
                 }
                 if i == start {
@@ -180,7 +183,9 @@ fn parse_compound(token: &str) -> Result<CssStep, String> {
             b'#' => {
                 i += 1;
                 let start = i;
-                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'-' || bytes[i] == b'_') {
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'-' || bytes[i] == b'_')
+                {
                     i += 1;
                 }
                 if i == start {
@@ -192,9 +197,10 @@ fn parse_compound(token: &str) -> Result<CssStep, String> {
                 let close = token[i..].find(']').ok_or("unclosed '['")? + i;
                 let body = &token[i + 1..close];
                 match body.split_once('=') {
-                    Some((k, v)) => step
-                        .attrs
-                        .push((k.to_ascii_lowercase(), Some(v.trim_matches('"').to_string()))),
+                    Some((k, v)) => step.attrs.push((
+                        k.to_ascii_lowercase(),
+                        Some(v.trim_matches('"').to_string()),
+                    )),
                     None => step.attrs.push((body.to_ascii_lowercase(), None)),
                 }
                 i = close + 1;
@@ -235,17 +241,15 @@ impl Locator {
                     n.tag().is_some_and(|tag| tag.eq_ignore_ascii_case(t))
                 }))
             }
-            Locator::Attr { name, value } => {
-                Ok(filter_elements(doc, |n| n.attr(name) == Some(value.as_str())))
-            }
-            Locator::LinkText(text) => {
-                Ok(filter_elements(doc, |n| n.tag() == Some("a") && n.text_content() == *text))
-            }
-            Locator::PartialLinkText(text) => {
-                Ok(filter_elements(doc, |n| {
-                    n.tag() == Some("a") && n.text_content().contains(text.as_str())
-                }))
-            }
+            Locator::Attr { name, value } => Ok(filter_elements(doc, |n| {
+                n.attr(name) == Some(value.as_str())
+            })),
+            Locator::LinkText(text) => Ok(filter_elements(doc, |n| {
+                n.tag() == Some("a") && n.text_content() == *text
+            })),
+            Locator::PartialLinkText(text) => Ok(filter_elements(doc, |n| {
+                n.tag() == Some("a") && n.text_content().contains(text.as_str())
+            })),
             Locator::Css(selector) => {
                 let steps = parse_css(selector)?;
                 let mut out: Vec<&'a Node> = Vec::new();
@@ -260,7 +264,9 @@ impl Locator {
         self.find_all(doc)?
             .into_iter()
             .next()
-            .ok_or_else(|| LocateError::NoSuchElement { locator: self.to_string() })
+            .ok_or_else(|| LocateError::NoSuchElement {
+                locator: self.to_string(),
+            })
     }
 }
 
@@ -282,7 +288,9 @@ fn select<'a>(node: &'a Node, steps: &[CssStep], out: &mut Vec<&'a Node>) {
 
 /// Try to match `steps` with `node` as the first step's element.
 fn match_from<'a>(node: &'a Node, steps: &[CssStep], out: &mut Vec<&'a Node>) {
-    let Some((first, rest)) = steps.split_first() else { return };
+    let Some((first, rest)) = steps.split_first() else {
+        return;
+    };
     if !first.matches(node) {
         return;
     }
@@ -367,9 +375,12 @@ mod tests {
     #[test]
     fn by_attr() {
         let doc = sample();
-        let n = Locator::Attr { name: "data-bot-id".into(), value: "2".into() }
-            .find(&doc)
-            .unwrap();
+        let n = Locator::Attr {
+            name: "data-bot-id".into(),
+            value: "2".into(),
+        }
+        .find(&doc)
+        .unwrap();
         assert!(n.has_class("promoted"));
     }
 
@@ -378,7 +389,9 @@ mod tests {
         let doc = sample();
         let n = Locator::LinkText("FunBot".into()).find(&doc).unwrap();
         assert_eq!(n.attr("href"), Some("/bot/1"));
-        let n = Locator::PartialLinkText("Deluxe".into()).find(&doc).unwrap();
+        let n = Locator::PartialLinkText("Deluxe".into())
+            .find(&doc)
+            .unwrap();
         assert_eq!(n.attr("href"), Some("/bot/2"));
         assert!(Locator::LinkText("funbot".into()).find(&doc).is_err());
     }
@@ -386,7 +399,9 @@ mod tests {
     #[test]
     fn css_compound() {
         let doc = sample();
-        let hits = Locator::css("div.bot-card.promoted").find_all(&doc).unwrap();
+        let hits = Locator::css("div.bot-card.promoted")
+            .find_all(&doc)
+            .unwrap();
         assert_eq!(hits.len(), 1);
         let hits = Locator::css("div#list").find_all(&doc).unwrap();
         assert_eq!(hits.len(), 1);
@@ -406,7 +421,9 @@ mod tests {
         let hits = Locator::css("body>div").find_all(&doc).unwrap();
         assert_eq!(hits.len(), 1, "inline '>' form");
         // span.votes is not a direct child of #list
-        let hits = Locator::css("div#list > span.votes").find_all(&doc).unwrap();
+        let hits = Locator::css("div#list > span.votes")
+            .find_all(&doc)
+            .unwrap();
         assert!(hits.is_empty());
         let hits = Locator::css("div#list span.votes").find_all(&doc).unwrap();
         assert_eq!(hits.len(), 2);

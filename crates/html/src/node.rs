@@ -23,7 +23,11 @@ pub enum Node {
 impl Node {
     /// Create a bare element.
     pub fn element(tag: &str) -> Node {
-        Node::Element { tag: Atom::new(tag), attrs: BTreeMap::new(), children: Vec::new() }
+        Node::Element {
+            tag: Atom::new(tag),
+            attrs: BTreeMap::new(),
+            children: Vec::new(),
+        }
     }
 
     /// Create a text node.
@@ -43,9 +47,13 @@ impl Node {
     /// Zero-allocation for already-lowercase keys — the common case — via
     /// the atom map's `Borrow<str>` lookup.
     pub fn attr(&self, key: &str) -> Option<&str> {
-        let Node::Element { attrs, .. } = self else { return None };
+        let Node::Element { attrs, .. } = self else {
+            return None;
+        };
         if key.bytes().any(|b| b.is_ascii_uppercase()) {
-            attrs.get(key.to_ascii_lowercase().as_str()).map(String::as_str)
+            attrs
+                .get(key.to_ascii_lowercase().as_str())
+                .map(String::as_str)
         } else {
             attrs.get(key).map(String::as_str)
         }
@@ -58,7 +66,9 @@ impl Node {
 
     /// Whitespace-separated class list.
     pub fn classes(&self) -> Vec<&str> {
-        self.attr("class").map(|c| c.split_whitespace().collect()).unwrap_or_default()
+        self.attr("class")
+            .map(|c| c.split_whitespace().collect())
+            .unwrap_or_default()
     }
 
     /// Whether the element carries class `name`.
@@ -152,7 +162,10 @@ mod tests {
 
     #[test]
     fn attr_and_classes() {
-        let n = el("div").attr("ID", "main").attr("class", "row  wide").build();
+        let n = el("div")
+            .attr("ID", "main")
+            .attr("class", "row  wide")
+            .build();
         assert_eq!(n.id(), Some("main"));
         assert_eq!(n.classes(), vec!["row", "wide"]);
         assert!(n.has_class("wide"));
@@ -172,7 +185,9 @@ mod tests {
 
     #[test]
     fn walk_counts_elements() {
-        let n = el("div").child(el("ul").child(el("li")).child(el("li"))).build();
+        let n = el("div")
+            .child(el("ul").child(el("li")).child(el("li")))
+            .build();
         assert_eq!(n.element_count(), 4);
     }
 
@@ -193,7 +208,11 @@ mod tests {
     fn elements_in_document_order() {
         let doc = Document::new(
             el("html")
-                .child(el("body").child(el("a").attr("id", "first")).child(el("a").attr("id", "second")))
+                .child(
+                    el("body")
+                        .child(el("a").attr("id", "first"))
+                        .child(el("a").attr("id", "second")),
+                )
                 .build(),
         );
         let ids: Vec<_> = doc.elements().iter().filter_map(|e| e.id()).collect();

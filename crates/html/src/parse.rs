@@ -34,10 +34,11 @@ const VOID_TAGS: &[&str] = &["br", "hr", "img", "input", "link", "meta"];
 /// multiple top-level nodes they are wrapped in a synthetic `<html>` root.
 pub fn parse_document(input: &str) -> Result<Document, ParseError> {
     let nodes = parse_fragment(input)?;
-    let mut elements: Vec<Node> =
-        nodes.into_iter().filter(|n| !is_blank_text(n)).collect();
+    let mut elements: Vec<Node> = nodes.into_iter().filter(|n| !is_blank_text(n)).collect();
     if !elements.iter().any(|n| n.tag().is_some()) {
-        return Err(ParseError { reason: "no elements in input".into() });
+        return Err(ParseError {
+            reason: "no elements in input".into(),
+        });
     }
     let root = if elements.len() == 1 && elements[0].tag().is_some() {
         elements.remove(0)
@@ -104,7 +105,10 @@ pub fn parse_fragment(input: &str) -> Result<Vec<Node>, ParseError> {
             push_text(&mut stack, &input[pos..]);
             break;
         }
-        let next_lt = input[pos..].find('<').map(|i| pos + i).unwrap_or(input.len());
+        let next_lt = input[pos..]
+            .find('<')
+            .map(|i| pos + i)
+            .unwrap_or(input.len());
         push_text(&mut stack, &input[pos..next_lt]);
         pos = next_lt;
     }
@@ -112,7 +116,11 @@ pub fn parse_fragment(input: &str) -> Result<Vec<Node>, ParseError> {
     // Close anything left open.
     while stack.len() > 1 {
         let (tag, attrs, children) = stack.pop().expect("len > 1");
-        let node = Node::Element { tag, attrs, children };
+        let node = Node::Element {
+            tag,
+            attrs,
+            children,
+        };
         stack.last_mut().expect("sentinel").2.push(node);
     }
     Ok(stack.pop().expect("sentinel").2)
@@ -147,7 +155,11 @@ fn open_tag(stack: &mut Vec<Frame>, names: &mut AtomInterner, inner: &str) {
     let tag = names.atom(name);
     let attrs = parse_attrs(names, rest);
     if self_closing || VOID_TAGS.contains(&tag.as_str()) {
-        let node = Node::Element { tag, attrs, children: Vec::new() };
+        let node = Node::Element {
+            tag,
+            attrs,
+            children: Vec::new(),
+        };
         stack.last_mut().expect("stack non-empty").2.push(node);
     } else {
         stack.push((tag, attrs, Vec::new()));
@@ -157,7 +169,9 @@ fn open_tag(stack: &mut Vec<Frame>, names: &mut AtomInterner, inner: &str) {
 fn close_tag(stack: &mut Vec<Frame>, name: &str) {
     // Stored tags are lowercase, so a case-insensitive compare against the
     // raw close name avoids allocating a lowercased copy.
-    let Some(open_idx) = stack.iter().rposition(|(tag, _, _)| tag.eq_ignore_ascii_case(name))
+    let Some(open_idx) = stack
+        .iter()
+        .rposition(|(tag, _, _)| tag.eq_ignore_ascii_case(name))
     else {
         return; // unmatched close: ignore
     };
@@ -167,7 +181,11 @@ fn close_tag(stack: &mut Vec<Frame>, name: &str) {
     // Implicitly close anything opened after it (mis-nesting tolerance).
     while stack.len() > open_idx {
         let (tag, attrs, children) = stack.pop().expect("len > open_idx");
-        let node = Node::Element { tag, attrs, children };
+        let node = Node::Element {
+            tag,
+            attrs,
+            children,
+        };
         stack.last_mut().expect("parent").2.push(node);
     }
 }
@@ -240,7 +258,11 @@ mod tests {
         )
         .unwrap();
         assert_eq!(doc.root.tag(), Some("html"));
-        let p = doc.elements().into_iter().find(|e| e.tag() == Some("p")).unwrap();
+        let p = doc
+            .elements()
+            .into_iter()
+            .find(|e| e.tag() == Some("p"))
+            .unwrap();
         assert_eq!(p.id(), Some("x"));
         assert_eq!(p.classes(), vec!["a", "b"]);
         assert_eq!(p.text_content(), "hi there");
@@ -332,7 +354,8 @@ mod tests {
 
     #[test]
     fn entities_unescape_in_text_and_attrs() {
-        let doc = parse_document(r#"<a title="x &quot;y&quot;">1 &lt; 2 &amp; 3 &gt; 2</a>"#).unwrap();
+        let doc =
+            parse_document(r#"<a title="x &quot;y&quot;">1 &lt; 2 &amp; 3 &gt; 2</a>"#).unwrap();
         assert_eq!(doc.root.attr("title"), Some("x \"y\""));
         assert_eq!(doc.root.text_content(), "1 < 2 & 3 > 2");
     }
@@ -342,6 +365,9 @@ mod tests {
         let doc = parse_document("<div><br><span>after</span></div>").unwrap();
         // <span> must be a sibling of <br>, not its child
         assert_eq!(doc.root.children().len(), 2);
-        assert_eq!(render_to_string(&doc.root), "<div><br><span>after</span></div>");
+        assert_eq!(
+            render_to_string(&doc.root),
+            "<div><br><span>after</span></div>"
+        );
     }
 }

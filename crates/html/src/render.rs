@@ -16,7 +16,11 @@ pub fn render_document(doc: &Document) -> String {
 pub fn render_node(node: &Node, out: &mut String) {
     match node {
         Node::Text(t) => out.push_str(&escape_text(t)),
-        Node::Element { tag, attrs, children } => {
+        Node::Element {
+            tag,
+            attrs,
+            children,
+        } => {
             out.push('<');
             out.push_str(tag);
             for (k, v) in attrs {
@@ -92,7 +96,9 @@ mod tests {
     #[test]
     fn renders_simple_page() {
         let doc = Document::new(
-            el("html").child(el("body").child(el("p").id("x").text("hi"))).build(),
+            el("html")
+                .child(el("body").child(el("p").id("x").text("hi")))
+                .build(),
         );
         assert_eq!(
             render_document(&doc),
@@ -102,7 +108,10 @@ mod tests {
 
     #[test]
     fn escapes_text_and_attrs() {
-        let n = el("a").attr("title", "a \"b\" <c>").text("x < y & z").build();
+        let n = el("a")
+            .attr("title", "a \"b\" <c>")
+            .text("x < y & z")
+            .build();
         let html = render_to_string(&n);
         assert!(html.contains("a &quot;b&quot; &lt;c&gt;"));
         assert!(html.contains("x &lt; y &amp; z"));
@@ -110,7 +119,10 @@ mod tests {
 
     #[test]
     fn void_tags_have_no_close() {
-        let n = el("div").child(el("br")).child(el("img").attr("src", "/x.png")).build();
+        let n = el("div")
+            .child(el("br"))
+            .child(el("img").attr("src", "/x.png"))
+            .build();
         let html = render_to_string(&n);
         assert!(html.contains("<br>"));
         assert!(!html.contains("</br>"));

@@ -136,7 +136,13 @@ impl AhoCorasick {
         I: IntoIterator<Item = P>,
         P: AsRef<str>,
     {
-        let fold = |b: u8| if case_insensitive { b.to_ascii_lowercase() } else { b };
+        let fold = |b: u8| {
+            if case_insensitive {
+                b.to_ascii_lowercase()
+            } else {
+                b
+            }
+        };
 
         // Step 1: trie. `delta` doubles as the sparse goto function during
         // construction (NO_STATE = no edge).
@@ -160,7 +166,10 @@ impl AhoCorasick {
                 }
                 state = delta[cell] as usize;
             }
-            outputs[state].push(Hit { pattern: idx as u32, len: bytes.len() as u32 });
+            outputs[state].push(Hit {
+                pattern: idx as u32,
+                len: bytes.len() as u32,
+            });
         }
 
         // Steps 2 + 3: failure links and in-place DFA completion, in one
@@ -293,7 +302,11 @@ impl AhoCorasick {
             self.mode == MatchMode::Substring,
             "StreamMatcher requires MatchMode::Substring"
         );
-        StreamMatcher { automaton: self, state: 0, consumed: 0 }
+        StreamMatcher {
+            automaton: self,
+            state: 0,
+            consumed: 0,
+        }
     }
 }
 
@@ -330,7 +343,11 @@ impl FindIter<'_, '_> {
         {
             return None;
         }
-        Some(Match { pattern: hit.pattern as usize, start, end })
+        Some(Match {
+            pattern: hit.pattern as usize,
+            start,
+            end,
+        })
     }
 }
 
@@ -422,9 +439,21 @@ mod tests {
         assert_eq!(
             ms,
             vec![
-                Match { pattern: 0, start: 0, end: 2 },
-                Match { pattern: 0, start: 3, end: 5 },
-                Match { pattern: 0, start: 5, end: 7 },
+                Match {
+                    pattern: 0,
+                    start: 0,
+                    end: 2
+                },
+                Match {
+                    pattern: 0,
+                    start: 3,
+                    end: 5
+                },
+                Match {
+                    pattern: 0,
+                    start: 5,
+                    end: 7
+                },
             ]
         );
     }
@@ -433,8 +462,10 @@ mod tests {
     fn overlapping_needles_all_reported() {
         // "he" ends inside "she"; "hers" extends past it.
         let aut = AhoCorasick::new(["he", "she", "his", "hers"]);
-        let ms: Vec<(usize, usize)> =
-            aut.find_iter("ushers").map(|m| (m.pattern, m.start)).collect();
+        let ms: Vec<(usize, usize)> = aut
+            .find_iter("ushers")
+            .map(|m| (m.pattern, m.start))
+            .collect();
         // Both "he" and "she" end at offset 4; ties are ordered by pattern
         // index.
         assert_eq!(ms, vec![(0, 2), (1, 1), (3, 2)]);
@@ -455,25 +486,37 @@ mod tests {
 
     #[test]
     fn case_folding() {
-        let aut = AhoCorasickBuilder::new().ascii_case_insensitive(true).build(["collect"]);
+        let aut = AhoCorasickBuilder::new()
+            .ascii_case_insensitive(true)
+            .build(["collect"]);
         assert!(aut.contains_any("WE COLLECT EVERYTHING"));
         assert!(aut.contains_any("Collecting"));
         assert!(!aut.contains_any("COLLET"));
         // Non-ASCII bytes are not folded.
-        let aut = AhoCorasickBuilder::new().ascii_case_insensitive(true).build(["é"]);
+        let aut = AhoCorasickBuilder::new()
+            .ascii_case_insensitive(true)
+            .build(["é"]);
         assert!(aut.contains_any("café"));
         assert!(!aut.contains_any("cafÉ"), "non-ASCII is never case-folded");
     }
 
     #[test]
     fn word_prefix_boundary_at_text_start_and_end() {
-        let aut = AhoCorasickBuilder::new().match_mode(MatchMode::WordPrefix).build(["use"]);
+        let aut = AhoCorasickBuilder::new()
+            .match_mode(MatchMode::WordPrefix)
+            .build(["use"]);
         assert!(aut.contains_any("use"), "match at text start");
-        assert!(aut.contains_any("reuse misuse; use"), "boundary after space");
+        assert!(
+            aut.contains_any("reuse misuse; use"),
+            "boundary after space"
+        );
         assert!(aut.contains_any("we use"), "plain interior");
         assert!(aut.contains_any("data-use"), "punctuation boundary");
         assert!(!aut.contains_any("misuse"), "no left boundary");
-        assert!(!aut.contains_any("reuse"), "no left boundary at end of text");
+        assert!(
+            !aut.contains_any("reuse"),
+            "no left boundary at end of text"
+        );
         assert!(aut.contains_any("used"), "right side is open (stemming)");
     }
 
@@ -516,7 +559,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "Substring")]
     fn stream_matcher_rejects_word_prefix_mode() {
-        let aut = AhoCorasickBuilder::new().match_mode(MatchMode::WordPrefix).build(["x"]);
+        let aut = AhoCorasickBuilder::new()
+            .match_mode(MatchMode::WordPrefix)
+            .build(["x"]);
         let _ = aut.stream_matcher();
     }
 

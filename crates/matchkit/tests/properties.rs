@@ -55,12 +55,25 @@ impl Rng {
 
 /// Naive reference: every (start, pattern) occurrence, ordered by end then
 /// pattern index — the same order `find_iter` promises.
-fn naive_matches(patterns: &[String], text: &str, ci: bool, mode: MatchMode) -> Vec<(usize, usize, usize)> {
-    let hay = if ci { text.to_ascii_lowercase() } else { text.to_string() };
+fn naive_matches(
+    patterns: &[String],
+    text: &str,
+    ci: bool,
+    mode: MatchMode,
+) -> Vec<(usize, usize, usize)> {
+    let hay = if ci {
+        text.to_ascii_lowercase()
+    } else {
+        text.to_string()
+    };
     let mut out = Vec::new();
     for end in 1..=hay.len() {
         for (idx, p) in patterns.iter().enumerate() {
-            let needle = if ci { p.to_ascii_lowercase() } else { p.clone() };
+            let needle = if ci {
+                p.to_ascii_lowercase()
+            } else {
+                p.clone()
+            };
             if needle.is_empty() || needle.len() > end {
                 continue;
             }
@@ -85,7 +98,11 @@ fn automaton_agrees_with_naive_scan() {
     let mut rng = Rng::new(0x2022);
     for case in 0..600 {
         let ci = case % 2 == 0;
-        let mode = if case % 4 < 2 { MatchMode::Substring } else { MatchMode::WordPrefix };
+        let mode = if case % 4 < 2 {
+            MatchMode::Substring
+        } else {
+            MatchMode::WordPrefix
+        };
         let n_patterns = 1 + rng.below(5);
         let patterns: Vec<String> = (0..n_patterns).map(|_| rng.pattern()).collect();
         let text = rng.text(40);
@@ -93,8 +110,10 @@ fn automaton_agrees_with_naive_scan() {
             .ascii_case_insensitive(ci)
             .match_mode(mode)
             .build(&patterns);
-        let got: Vec<(usize, usize, usize)> =
-            aut.find_iter(&text).map(|m| (m.pattern, m.start, m.end)).collect();
+        let got: Vec<(usize, usize, usize)> = aut
+            .find_iter(&text)
+            .map(|m| (m.pattern, m.start, m.end))
+            .collect();
         let want = naive_matches(&patterns, &text, ci, mode);
         assert_eq!(
             got, want,
@@ -127,8 +146,13 @@ fn contains_any_agrees_with_find_iter() {
     for _ in 0..300 {
         let patterns: Vec<String> = (0..1 + rng.below(4)).map(|_| rng.pattern()).collect();
         let text = rng.text(30);
-        let aut = AhoCorasickBuilder::new().ascii_case_insensitive(true).build(&patterns);
-        assert_eq!(aut.contains_any(&text), aut.find_iter(&text).next().is_some());
+        let aut = AhoCorasickBuilder::new()
+            .ascii_case_insensitive(true)
+            .build(&patterns);
+        assert_eq!(
+            aut.contains_any(&text),
+            aut.find_iter(&text).next().is_some()
+        );
     }
 }
 
@@ -155,9 +179,15 @@ fn stream_matcher_agrees_with_batch() {
 fn word_prefix_boundaries_at_text_edges() {
     // Directed edge cases on top of the fuzzing: boundary exactly at
     // offset 0 and a match ending exactly at text end.
-    let aut = AhoCorasickBuilder::new().match_mode(MatchMode::WordPrefix).build(["ab"]);
+    let aut = AhoCorasickBuilder::new()
+        .match_mode(MatchMode::WordPrefix)
+        .build(["ab"]);
     assert_eq!(aut.find_iter("ab").count(), 1, "whole text is the match");
-    assert_eq!(aut.find_iter("ab cab").count(), 1, "cab has no left boundary");
+    assert_eq!(
+        aut.find_iter("ab cab").count(),
+        1,
+        "cab has no left boundary"
+    );
     assert_eq!(aut.find_iter("c ab").count(), 1, "match flush at text end");
     assert_eq!(aut.find_iter("cab").count(), 0);
     assert_eq!(aut.find_iter("").count(), 0, "empty text");

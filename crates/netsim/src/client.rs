@@ -99,7 +99,12 @@ pub struct HttpClient {
 impl HttpClient {
     /// Create a client on `net` with the given policy.
     pub fn new(net: Network, config: ClientConfig) -> HttpClient {
-        HttpClient { net, config, buckets: BTreeMap::new(), stats: ClientStats::default() }
+        HttpClient {
+            net,
+            config,
+            buckets: BTreeMap::new(),
+            stats: ClientStats::default(),
+        }
     }
 
     /// The client's accumulated behaviour statistics.
@@ -123,7 +128,9 @@ impl HttpClient {
     }
 
     fn politeness_wait(&mut self, host: &str, now: SimInstant) -> SimDuration {
-        let Some((burst, rate)) = self.config.politeness else { return SimDuration::ZERO };
+        let Some((burst, rate)) = self.config.politeness else {
+            return SimDuration::ZERO;
+        };
         let bucket = self
             .buckets
             .entry(host.to_string())
@@ -164,7 +171,8 @@ impl HttpClient {
 
                 self.stats.dispatches += 1;
                 let result =
-                    self.net.dispatch(&self.config.user_agent, &current, self.config.timeout);
+                    self.net
+                        .dispatch(&self.config.user_agent, &current, self.config.timeout);
 
                 match result {
                     Ok(resp) if resp.status == Status::TooManyRequests => {
@@ -184,11 +192,16 @@ impl HttpClient {
                     Ok(resp) => break resp,
                     Err(err) if err.is_transient() && attempt < self.config.max_attempts => {
                         self.stats.retries += 1;
-                        let backoff = self.config.backoff.saturating_mul(1 << (attempt - 1).min(8));
+                        let backoff = self
+                            .config
+                            .backoff
+                            .saturating_mul(1 << (attempt - 1).min(8));
                         clock.sleep(backoff);
                         self.stats.time_waiting += backoff;
                     }
-                    Err(err) if attempt >= self.config.max_attempts && self.config.max_attempts > 1 => {
+                    Err(err)
+                        if attempt >= self.config.max_attempts && self.config.max_attempts > 1 =>
+                    {
                         return Err(NetError::RetriesExhausted {
                             attempts: attempt,
                             last: err.to_string(),
@@ -205,10 +218,13 @@ impl HttpClient {
                 }
                 let location = response
                     .header("location")
-                    .ok_or_else(|| NetError::Malformed { reason: "redirect without location".into() })?;
+                    .ok_or_else(|| NetError::Malformed {
+                        reason: "redirect without location".into(),
+                    })?;
                 let next = current.url.join(location)?;
                 self.stats.redirects_followed += 1;
-                current = Request::get(next).with_header("user-agent", &self.config.user_agent.clone());
+                current =
+                    Request::get(next).with_header("user-agent", &self.config.user_agent.clone());
                 continue;
             }
 
@@ -242,20 +258,24 @@ mod tests {
     #[test]
     fn follows_redirect_chain() {
         let net = Network::new(7);
-        net.mount("site.example", |req: &Request, _ctx: &mut ServiceCtx<'_>| {
-            match req.url.path.as_str() {
+        net.mount(
+            "site.example",
+            |req: &Request, _ctx: &mut ServiceCtx<'_>| match req.url.path.as_str() {
                 "/a" => Response::redirect("/b"),
                 "/b" => Response::redirect("https://other.example/c"),
                 _ => Response::status(Status::NotFound),
-            }
-        });
-        net.mount("other.example", |req: &Request, _ctx: &mut ServiceCtx<'_>| {
-            if req.url.path == "/c" {
-                Response::ok("end")
-            } else {
-                Response::status(Status::NotFound)
-            }
-        });
+            },
+        );
+        net.mount(
+            "other.example",
+            |req: &Request, _ctx: &mut ServiceCtx<'_>| {
+                if req.url.path == "/c" {
+                    Response::ok("end")
+                } else {
+                    Response::status(Status::NotFound)
+                }
+            },
+        );
         let mut client = HttpClient::new(net, ClientConfig::default());
         let resp = client.get(Url::https("site.example", "/a")).unwrap();
         assert_eq!(resp.text(), "end");
@@ -265,14 +285,20 @@ mod tests {
     #[test]
     fn redirect_loop_is_bounded() {
         let net = Network::new(7);
-        net.mount("loop.example", |_req: &Request, _ctx: &mut ServiceCtx<'_>| {
-            Response::redirect("/again")
-        });
+        net.mount(
+            "loop.example",
+            |_req: &Request, _ctx: &mut ServiceCtx<'_>| Response::redirect("/again"),
+        );
         let mut client = HttpClient::new(
             net,
-            ClientConfig { max_redirects: 3, ..ClientConfig::default() },
+            ClientConfig {
+                max_redirects: 3,
+                ..ClientConfig::default()
+            },
         );
-        let err = client.get(Url::https("loop.example", "/start")).unwrap_err();
+        let err = client
+            .get(Url::https("loop.example", "/start"))
+            .unwrap_err();
         assert_eq!(err, NetError::TooManyRedirects { hops: 4 });
     }
 
@@ -280,14 +306,17 @@ mod tests {
     fn retries_transient_then_succeeds() {
         let net = Network::new(7);
         let mut failures_left = 2;
-        net.mount("flaky.example", move |_req: &Request, _ctx: &mut ServiceCtx<'_>| {
-            if failures_left > 0 {
-                failures_left -= 1;
-                Response::rate_limited(100)
-            } else {
-                Response::ok("finally")
-            }
-        });
+        net.mount(
+            "flaky.example",
+            move |_req: &Request, _ctx: &mut ServiceCtx<'_>| {
+                if failures_left > 0 {
+                    failures_left -= 1;
+                    Response::rate_limited(100)
+                } else {
+                    Response::ok("finally")
+                }
+            },
+        );
         let mut client = HttpClient::new(net, ClientConfig::default());
         let resp = client.get(Url::https("flaky.example", "/")).unwrap();
         assert_eq!(resp.text(), "finally");
@@ -299,11 +328,17 @@ mod tests {
     #[test]
     fn rate_limit_exhaustion_errors() {
         let net = Network::new(7);
-        net.mount("wall.example", |_req: &Request, _ctx: &mut ServiceCtx<'_>| {
-            Response::rate_limited(50)
-        });
-        let mut client =
-            HttpClient::new(net, ClientConfig { max_attempts: 2, ..ClientConfig::default() });
+        net.mount(
+            "wall.example",
+            |_req: &Request, _ctx: &mut ServiceCtx<'_>| Response::rate_limited(50),
+        );
+        let mut client = HttpClient::new(
+            net,
+            ClientConfig {
+                max_attempts: 2,
+                ..ClientConfig::default()
+            },
+        );
         let err = client.get(Url::https("wall.example", "/")).unwrap_err();
         assert!(matches!(err, NetError::RateLimited { .. }));
     }
@@ -325,14 +360,23 @@ mod tests {
             "hole.example",
             ok_service(),
             LatencyModel::Fixed { ms: 1 },
-            FaultPlan { black_hole: 1.0, ..FaultPlan::default() },
+            FaultPlan {
+                black_hole: 1.0,
+                ..FaultPlan::default()
+            },
         );
         let mut client = HttpClient::new(
             net,
-            ClientConfig { max_attempts: 3, ..ClientConfig::default() },
+            ClientConfig {
+                max_attempts: 3,
+                ..ClientConfig::default()
+            },
         );
         let err = client.get(Url::https("hole.example", "/")).unwrap_err();
-        assert!(matches!(err, NetError::RetriesExhausted { attempts: 3, .. }));
+        assert!(matches!(
+            err,
+            NetError::RetriesExhausted { attempts: 3, .. }
+        ));
         assert_eq!(client.stats().retries, 2);
     }
 
@@ -348,7 +392,10 @@ mod tests {
         let clock = net.clock();
         let mut client = HttpClient::new(
             net,
-            ClientConfig { politeness: Some((1, 1.0)), ..ClientConfig::default() },
+            ClientConfig {
+                politeness: Some((1, 1.0)),
+                ..ClientConfig::default()
+            },
         );
         for _ in 0..4 {
             client.get(Url::https("site.example", "/")).unwrap();
@@ -365,7 +412,12 @@ mod tests {
     #[test]
     fn impolite_client_does_not_wait() {
         let net = Network::new(7);
-        net.mount_with("site.example", ok_service(), LatencyModel::Fixed { ms: 0 }, FaultPlan::none());
+        net.mount_with(
+            "site.example",
+            ok_service(),
+            LatencyModel::Fixed { ms: 0 },
+            FaultPlan::none(),
+        );
         let clock = net.clock();
         let mut client = HttpClient::new(net, ClientConfig::impolite("rude"));
         for _ in 0..10 {

@@ -15,7 +15,9 @@ use std::sync::Arc;
 ///
 /// Milliseconds are plenty for a crawling/honeypot simulation whose real
 /// counterpart operated on second-scale politeness delays.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimDuration {
@@ -79,7 +81,13 @@ impl std::ops::AddAssign for SimDuration {
 impl fmt::Display for SimDuration {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.0 >= 60_000 {
-            write!(f, "{}m{:02}.{:03}s", self.0 / 60_000, (self.0 % 60_000) / 1000, self.0 % 1000)
+            write!(
+                f,
+                "{}m{:02}.{:03}s",
+                self.0 / 60_000,
+                (self.0 % 60_000) / 1000,
+                self.0 % 1000
+            )
         } else if self.0 >= 1000 {
             write!(f, "{}.{:03}s", self.0 / 1000, self.0 % 1000)
         } else {
@@ -89,7 +97,9 @@ impl fmt::Display for SimDuration {
 }
 
 /// A point in virtual time, measured from the start of the simulation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimInstant(u64);
 
 impl SimInstant {

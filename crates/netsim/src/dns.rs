@@ -32,7 +32,8 @@ impl Resolver {
     /// Register `alias` → `canonical`. Chains are followed at resolve time
     /// (up to a small bound to defuse accidental cycles).
     pub fn alias(&mut self, alias: &str, canonical: &str) {
-        self.aliases.insert(alias.to_ascii_lowercase(), canonical.to_ascii_lowercase());
+        self.aliases
+            .insert(alias.to_ascii_lowercase(), canonical.to_ascii_lowercase());
     }
 
     /// Resolve a name against the set of mounted hosts.
@@ -59,7 +60,10 @@ mod tests {
     fn direct_resolution() {
         let r = Resolver::new();
         let mounted = |h: &str| h == "top.gg";
-        assert_eq!(r.resolve("TOP.GG", mounted), Resolution::Canonical("top.gg".into()));
+        assert_eq!(
+            r.resolve("TOP.GG", mounted),
+            Resolution::Canonical("top.gg".into())
+        );
         assert_eq!(r.resolve("gone.example", mounted), Resolution::NxDomain);
     }
 
@@ -69,7 +73,10 @@ mod tests {
         r.alias("old.example", "mid.example");
         r.alias("mid.example", "new.example");
         let mounted = |h: &str| h == "new.example";
-        assert_eq!(r.resolve("old.example", mounted), Resolution::Canonical("new.example".into()));
+        assert_eq!(
+            r.resolve("old.example", mounted),
+            Resolution::Canonical("new.example".into())
+        );
     }
 
     #[test]

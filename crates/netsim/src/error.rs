@@ -59,7 +59,9 @@ impl NetError {
     pub fn is_transient(&self) -> bool {
         matches!(
             self,
-            NetError::Timeout { .. } | NetError::RateLimited { .. } | NetError::ConnectionRefused { .. }
+            NetError::Timeout { .. }
+                | NetError::RateLimited { .. }
+                | NetError::ConnectionRefused { .. }
         )
     }
 }
@@ -92,19 +94,33 @@ mod tests {
 
     #[test]
     fn transience_classification() {
-        assert!(NetError::Timeout { waited: SimDuration::from_secs(5) }.is_transient());
-        assert!(NetError::RateLimited { retry_after: SimDuration::from_secs(1) }.is_transient());
+        assert!(NetError::Timeout {
+            waited: SimDuration::from_secs(5)
+        }
+        .is_transient());
+        assert!(NetError::RateLimited {
+            retry_after: SimDuration::from_secs(1)
+        }
+        .is_transient());
         assert!(NetError::ConnectionRefused { host: "x".into() }.is_transient());
         assert!(!NetError::DnsFailure { host: "x".into() }.is_transient());
-        assert!(!NetError::Malformed { reason: "bad".into() }.is_transient());
+        assert!(!NetError::Malformed {
+            reason: "bad".into()
+        }
+        .is_transient());
         assert!(!NetError::TooManyRedirects { hops: 10 }.is_transient());
     }
 
     #[test]
     fn display_is_informative() {
-        let e = NetError::DnsFailure { host: "top.gg.invalid".into() };
+        let e = NetError::DnsFailure {
+            host: "top.gg.invalid".into(),
+        };
         assert!(e.to_string().contains("top.gg.invalid"));
-        let e = NetError::RetriesExhausted { attempts: 3, last: "timeout".into() };
+        let e = NetError::RetriesExhausted {
+            attempts: 3,
+            last: "timeout".into(),
+        };
         assert!(e.to_string().contains('3'));
     }
 }

@@ -109,7 +109,11 @@ impl Network {
     ) {
         self.inner.lock().hosts.insert(
             host.to_ascii_lowercase(),
-            Arc::new(Mutex::new(HostEntry { service: Box::new(service), latency, faults })),
+            Arc::new(Mutex::new(HostEntry {
+                service: Box::new(service),
+                latency,
+                faults,
+            })),
         );
     }
 
@@ -120,7 +124,11 @@ impl Network {
 
     /// Remove a host entirely (it will NXDOMAIN afterwards).
     pub fn unmount(&self, host: &str) -> bool {
-        self.inner.lock().hosts.remove(&host.to_ascii_lowercase()).is_some()
+        self.inner
+            .lock()
+            .hosts
+            .remove(&host.to_ascii_lowercase())
+            .is_some()
     }
 
     /// Register a DNS-style alias.
@@ -132,7 +140,10 @@ impl Network {
     pub fn is_reachable(&self, host: &str) -> bool {
         let inner = self.inner.lock();
         let mounted = |h: &str| inner.hosts.contains_key(h);
-        matches!(inner.resolver.resolve(host, mounted), Resolution::Canonical(_))
+        matches!(
+            inner.resolver.resolve(host, mounted),
+            Resolution::Canonical(_)
+        )
     }
 
     /// Dispatch a single request with a wait budget of `timeout`.
@@ -161,7 +172,9 @@ impl Network {
             let mut inner = self.inner.lock();
             let inner = &mut *inner;
             let hosts = &inner.hosts;
-            let resolution = inner.resolver.resolve(&req.url.host, |h| hosts.contains_key(h));
+            let resolution = inner
+                .resolver
+                .resolve(&req.url.host, |h| hosts.contains_key(h));
             let canonical = match resolution {
                 Resolution::Canonical(c) => c,
                 Resolution::NxDomain => {
@@ -175,12 +188,24 @@ impl Network {
                         latency: inner.dns_latency,
                         request_bytes,
                     });
-                    return Err(NetError::DnsFailure { host: req.url.host.clone() });
+                    return Err(NetError::DnsFailure {
+                        host: req.url.host.clone(),
+                    });
                 }
             };
-            let entry = Arc::clone(inner.hosts.get(&canonical).expect("resolved host is mounted"));
+            let entry = Arc::clone(
+                inner
+                    .hosts
+                    .get(&canonical)
+                    .expect("resolved host is mounted"),
+            );
             let seed = inner.rng.next_u64();
-            (entry, inner.clock.clone(), canonical, StdRng::seed_from_u64(seed))
+            (
+                entry,
+                inner.clock.clone(),
+                canonical,
+                StdRng::seed_from_u64(seed),
+            )
         };
 
         // Phase 2 (host lock): fault roll, latency, service invocation.
@@ -188,20 +213,29 @@ impl Network {
             let mut entry = entry.lock();
 
             // Fault roll decides whether the real handler ever runs.
-            let outcome =
-                if entry.faults.is_none() { FaultOutcome::Deliver } else { entry.faults.roll(&mut rng) };
+            let outcome = if entry.faults.is_none() {
+                FaultOutcome::Deliver
+            } else {
+                entry.faults.roll(&mut rng)
+            };
 
             match outcome {
                 FaultOutcome::Refuse => {
                     let lat = SimDuration::from_millis(5);
                     clock.advance(lat);
-                    (Err(NetError::ConnectionRefused { host: canonical }), None, lat)
+                    (
+                        Err(NetError::ConnectionRefused { host: canonical }),
+                        None,
+                        lat,
+                    )
                 }
                 FaultOutcome::BlackHole => {
                     clock.advance(timeout);
                     (Err(NetError::Timeout { waited: timeout }), None, timeout)
                 }
-                FaultOutcome::NotFound | FaultOutcome::ServerError | FaultOutcome::ExtraRedirect => {
+                FaultOutcome::NotFound
+                | FaultOutcome::ServerError
+                | FaultOutcome::ExtraRedirect => {
                     let latency = entry.latency.sample(&mut rng);
                     if latency > timeout {
                         clock.advance(timeout);
@@ -230,7 +264,11 @@ impl Network {
                     } else {
                         clock.advance(latency);
                         let now = clock.now();
-                        let mut ctx = ServiceCtx { now, rng: &mut rng, requester };
+                        let mut ctx = ServiceCtx {
+                            now,
+                            rng: &mut rng,
+                            requester,
+                        };
                         let resp = entry.service.handle(req, &mut ctx);
                         let status = resp.status;
                         (Ok(resp), Some(status), latency)
@@ -269,7 +307,9 @@ mod tests {
     use crate::http::{Method, Url};
 
     fn echo_service() -> impl Service {
-        |req: &Request, _ctx: &mut ServiceCtx<'_>| Response::ok(format!("{} {}", req.method, req.url.path))
+        |req: &Request, _ctx: &mut ServiceCtx<'_>| {
+            Response::ok(format!("{} {}", req.method, req.url.path))
+        }
     }
 
     #[test]
@@ -277,17 +317,28 @@ mod tests {
         let net = Network::new(1);
         net.mount("example.com", echo_service());
         let resp = net
-            .dispatch("t", &Request::get(Url::https("example.com", "/hello")), SimDuration::from_secs(10))
+            .dispatch(
+                "t",
+                &Request::get(Url::https("example.com", "/hello")),
+                SimDuration::from_secs(10),
+            )
             .unwrap();
         assert_eq!(resp.text(), "GET /hello");
-        assert!(net.clock().now() > SimInstant::EPOCH, "latency advanced the clock");
+        assert!(
+            net.clock().now() > SimInstant::EPOCH,
+            "latency advanced the clock"
+        );
     }
 
     #[test]
     fn unknown_host_is_dns_failure() {
         let net = Network::new(1);
         let err = net
-            .dispatch("t", &Request::get(Url::https("nope.example", "/")), SimDuration::from_secs(10))
+            .dispatch(
+                "t",
+                &Request::get(Url::https("nope.example", "/")),
+                SimDuration::from_secs(10),
+            )
             .unwrap_err();
         assert!(matches!(err, NetError::DnsFailure { .. }));
     }
@@ -299,7 +350,11 @@ mod tests {
         net.alias("old.example", "new.example");
         assert!(net.is_reachable("old.example"));
         let resp = net
-            .dispatch("t", &Request::get(Url::https("old.example", "/x")), SimDuration::from_secs(10))
+            .dispatch(
+                "t",
+                &Request::get(Url::https("old.example", "/x")),
+                SimDuration::from_secs(10),
+            )
             .unwrap();
         assert!(resp.status.is_success());
     }
@@ -311,13 +366,25 @@ mod tests {
             "hole.example",
             echo_service(),
             LatencyModel::Fixed { ms: 10 },
-            FaultPlan { black_hole: 1.0, ..FaultPlan::default() },
+            FaultPlan {
+                black_hole: 1.0,
+                ..FaultPlan::default()
+            },
         );
         let before = net.clock().now();
         let err = net
-            .dispatch("t", &Request::get(Url::https("hole.example", "/")), SimDuration::from_secs(5))
+            .dispatch(
+                "t",
+                &Request::get(Url::https("hole.example", "/")),
+                SimDuration::from_secs(5),
+            )
             .unwrap_err();
-        assert_eq!(err, NetError::Timeout { waited: SimDuration::from_secs(5) });
+        assert_eq!(
+            err,
+            NetError::Timeout {
+                waited: SimDuration::from_secs(5)
+            }
+        );
         assert_eq!(net.clock().now().duration_since(before).as_millis(), 5000);
     }
 
@@ -331,7 +398,11 @@ mod tests {
             FaultPlan::none(),
         );
         let err = net
-            .dispatch("t", &Request::get(Url::https("slow.example", "/")), SimDuration::from_secs(5))
+            .dispatch(
+                "t",
+                &Request::get(Url::https("slow.example", "/")),
+                SimDuration::from_secs(5),
+            )
             .unwrap_err();
         assert!(matches!(err, NetError::Timeout { .. }));
     }
@@ -343,10 +414,17 @@ mod tests {
             "bad.example",
             echo_service(),
             LatencyModel::Fixed { ms: 1 },
-            FaultPlan { not_found: 1.0, ..FaultPlan::default() },
+            FaultPlan {
+                not_found: 1.0,
+                ..FaultPlan::default()
+            },
         );
         let resp = net
-            .dispatch("t", &Request::get(Url::https("bad.example", "/")), SimDuration::from_secs(5))
+            .dispatch(
+                "t",
+                &Request::get(Url::https("bad.example", "/")),
+                SimDuration::from_secs(5),
+            )
             .unwrap();
         assert_eq!(resp.status, Status::NotFound);
     }
@@ -358,10 +436,15 @@ mod tests {
             "loop.example",
             echo_service(),
             LatencyModel::Fixed { ms: 1 },
-            FaultPlan { extra_redirect: 1.0, ..FaultPlan::default() },
+            FaultPlan {
+                extra_redirect: 1.0,
+                ..FaultPlan::default()
+            },
         );
         let url = Url::https("loop.example", "/page");
-        let resp = net.dispatch("t", &Request::get(url.clone()), SimDuration::from_secs(5)).unwrap();
+        let resp = net
+            .dispatch("t", &Request::get(url.clone()), SimDuration::from_secs(5))
+            .unwrap();
         assert!(resp.status.is_redirect());
         assert_eq!(resp.header("location"), Some(url.to_string().as_str()));
     }
@@ -377,7 +460,11 @@ mod tests {
                 SimDuration::from_secs(5),
             );
         }
-        let _ = net.dispatch("crawler", &Request::get(Url::https("gone", "/")), SimDuration::from_secs(5));
+        let _ = net.dispatch(
+            "crawler",
+            &Request::get(Url::https("gone", "/")),
+            SimDuration::from_secs(5),
+        );
         assert_eq!(net.request_count(), 4);
         net.with_trace(|t| {
             assert_eq!(t.by_requester("crawler").len(), 4);
@@ -404,12 +491,18 @@ mod tests {
                 "r.example",
                 echo_service(),
                 LatencyModel::healthy(),
-                FaultPlan { not_found: 0.3, ..FaultPlan::default() },
+                FaultPlan {
+                    not_found: 0.3,
+                    ..FaultPlan::default()
+                },
             );
             let mut outcomes = Vec::new();
             for _ in 0..20 {
-                let r =
-                    net.dispatch("t", &Request::get(Url::https("r.example", "/")), SimDuration::from_secs(5));
+                let r = net.dispatch(
+                    "t",
+                    &Request::get(Url::https("r.example", "/")),
+                    SimDuration::from_secs(5),
+                );
                 outcomes.push(r.map(|r| r.status.code()).map_err(|e| e.to_string()));
             }
             (outcomes, net.clock().now())
@@ -424,7 +517,10 @@ mod tests {
         let resp = net
             .dispatch(
                 "t",
-                &Request { method: Method::Head, ..Request::get(Url::https("example.com", "/h")) },
+                &Request {
+                    method: Method::Head,
+                    ..Request::get(Url::https("example.com", "/h"))
+                },
                 SimDuration::from_secs(5),
             )
             .unwrap();

@@ -5,9 +5,19 @@
 //! 26% "invalid permissions" bucket is composed of exactly these failure
 //! modes (invalid invite links, removed bots, slow-redirect timeouts), so the
 //! synthetic ecosystem assigns fault plans to hosts to recreate that mix.
+//!
+//! The same machinery covers the *storage* side of a long-running audit: a
+//! [`StorageFaultPlan`] perturbs the durable store's backend the way a
+//! crash-prone machine does — torn (short) appends, flipped bits, short
+//! reads — and [`FaultyBackend`] wraps any [`store::Backend`] with it, so
+//! the journal's recovery paths are exercised by tests instead of assumed.
 
-use rand::Rng;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::io;
+use std::sync::Arc;
 
 /// What the fabric decided to do to a request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,13 +61,25 @@ impl FaultPlan {
     /// A host with light background noise (sub-percent errors) — what a
     /// healthy production site looks like from outside.
     pub fn background_noise() -> FaultPlan {
-        FaultPlan { black_hole: 0.002, not_found: 0.0, server_error: 0.005, extra_redirect: 0.0, refuse: 0.001 }
+        FaultPlan {
+            black_hole: 0.002,
+            not_found: 0.0,
+            server_error: 0.005,
+            extra_redirect: 0.0,
+            refuse: 0.001,
+        }
     }
 
     /// A decaying host typical of abandoned bot websites: frequent dead
     /// responses and redirect loops.
     pub fn decaying() -> FaultPlan {
-        FaultPlan { black_hole: 0.25, not_found: 0.30, server_error: 0.10, extra_redirect: 0.20, refuse: 0.05 }
+        FaultPlan {
+            black_hole: 0.25,
+            not_found: 0.30,
+            server_error: 0.10,
+            extra_redirect: 0.20,
+            refuse: 0.05,
+        }
     }
 
     /// Roll the dice for one request.
@@ -90,6 +112,152 @@ impl FaultPlan {
     }
 }
 
+/// What the plan decided to do to one storage operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageFaultOutcome {
+    /// Perform the operation faithfully.
+    Commit,
+    /// Write only a prefix of the bytes (a torn append: power loss between
+    /// the first and last sector of a multi-sector write).
+    TornWrite,
+    /// Flip one bit of the bytes before writing (firmware/medium error).
+    BitFlip,
+    /// Return only a prefix of the bytes on read (short read).
+    ShortRead,
+}
+
+/// Per-store fault probabilities, evaluated like [`FaultPlan`]: in declared
+/// order, first hit wins. Write faults and read faults are rolled
+/// independently by the operations they apply to.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct StorageFaultPlan {
+    /// Probability an append is torn (short-written).
+    pub torn_write: f64,
+    /// Probability an append has one bit flipped.
+    pub bit_flip: f64,
+    /// Probability a read returns a short prefix.
+    pub short_read: f64,
+}
+
+impl StorageFaultPlan {
+    /// Storage that never misbehaves.
+    pub fn none() -> StorageFaultPlan {
+        StorageFaultPlan::default()
+    }
+
+    /// A crash-prone machine: appends frequently torn, the occasional
+    /// flipped bit — the workload the journal's recovery is built for.
+    pub fn crashy() -> StorageFaultPlan {
+        StorageFaultPlan {
+            torn_write: 0.15,
+            bit_flip: 0.02,
+            short_read: 0.0,
+        }
+    }
+
+    /// Roll the dice for one write operation.
+    pub fn roll_write<R: Rng + ?Sized>(&self, rng: &mut R) -> StorageFaultOutcome {
+        let p: f64 = rng.gen();
+        let mut acc = 0.0;
+        for (prob, outcome) in [
+            (self.torn_write, StorageFaultOutcome::TornWrite),
+            (self.bit_flip, StorageFaultOutcome::BitFlip),
+        ] {
+            acc += prob.clamp(0.0, 1.0);
+            if p < acc {
+                return outcome;
+            }
+        }
+        StorageFaultOutcome::Commit
+    }
+
+    /// Roll the dice for one read operation.
+    pub fn roll_read<R: Rng + ?Sized>(&self, rng: &mut R) -> StorageFaultOutcome {
+        if rng.gen::<f64>() < self.short_read.clamp(0.0, 1.0) {
+            StorageFaultOutcome::ShortRead
+        } else {
+            StorageFaultOutcome::Commit
+        }
+    }
+
+    /// True when all probabilities are zero.
+    pub fn is_none(&self) -> bool {
+        self.torn_write == 0.0 && self.bit_flip == 0.0 && self.short_read == 0.0
+    }
+}
+
+/// A [`store::Backend`] decorator that damages bytes according to a
+/// [`StorageFaultPlan`] with a deterministic, seeded RNG — the storage
+/// counterpart of mounting a host behind a noisy [`FaultPlan`].
+///
+/// Only `append` and `read` are perturbed. `write_atomic` is left faithful
+/// on purpose: it models the rename-based replace whose atomicity is the
+/// filesystem's contract, while appends model the multi-sector writes that
+/// really do tear.
+pub struct FaultyBackend {
+    inner: Arc<dyn store::Backend>,
+    plan: StorageFaultPlan,
+    rng: Mutex<StdRng>,
+}
+
+impl FaultyBackend {
+    /// Wrap `inner`, damaging operations per `plan`, deterministically from
+    /// `seed`.
+    pub fn new(inner: Arc<dyn store::Backend>, plan: StorageFaultPlan, seed: u64) -> FaultyBackend {
+        FaultyBackend {
+            inner,
+            plan,
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+        }
+    }
+}
+
+impl store::Backend for FaultyBackend {
+    fn read(&self, name: &str) -> io::Result<Option<Vec<u8>>> {
+        let bytes = self.inner.read(name)?;
+        if self.plan.is_none() {
+            return Ok(bytes);
+        }
+        Ok(bytes.map(|mut b| {
+            let mut rng = self.rng.lock();
+            if self.plan.roll_read(&mut *rng) == StorageFaultOutcome::ShortRead && !b.is_empty() {
+                let keep = rng.gen_range(0..b.len());
+                b.truncate(keep);
+            }
+            b
+        }))
+    }
+
+    fn write_atomic(&self, name: &str, bytes: &[u8]) -> io::Result<()> {
+        self.inner.write_atomic(name, bytes)
+    }
+
+    fn append(&self, name: &str, bytes: &[u8]) -> io::Result<()> {
+        if self.plan.is_none() || bytes.is_empty() {
+            return self.inner.append(name, bytes);
+        }
+        let mut rng = self.rng.lock();
+        match self.plan.roll_write(&mut *rng) {
+            StorageFaultOutcome::TornWrite => {
+                let keep = rng.gen_range(0..bytes.len());
+                self.inner.append(name, &bytes[..keep])
+            }
+            StorageFaultOutcome::BitFlip => {
+                let mut damaged = bytes.to_vec();
+                let byte = rng.gen_range(0..damaged.len());
+                let bit = rng.gen_range(0..8u32);
+                damaged[byte] ^= 1 << bit;
+                self.inner.append(name, &damaged)
+            }
+            _ => self.inner.append(name, bytes),
+        }
+    }
+
+    fn remove(&self, name: &str) -> io::Result<()> {
+        self.inner.remove(name)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -109,7 +277,10 @@ mod tests {
     #[test]
     fn certain_fault_always_fires() {
         let mut rng = StdRng::seed_from_u64(2);
-        let plan = FaultPlan { not_found: 1.0, ..FaultPlan::default() };
+        let plan = FaultPlan {
+            not_found: 1.0,
+            ..FaultPlan::default()
+        };
         for _ in 0..50 {
             assert_eq!(plan.roll(&mut rng), FaultOutcome::NotFound);
         }
@@ -118,7 +289,11 @@ mod tests {
     #[test]
     fn mixture_roughly_matches_probabilities() {
         let mut rng = StdRng::seed_from_u64(3);
-        let plan = FaultPlan { black_hole: 0.2, not_found: 0.3, ..FaultPlan::default() };
+        let plan = FaultPlan {
+            black_hole: 0.2,
+            not_found: 0.3,
+            ..FaultPlan::default()
+        };
         let mut holes = 0;
         let mut nf = 0;
         let mut ok = 0;
@@ -132,7 +307,11 @@ mod tests {
             }
         }
         let frac = |n: usize| n as f64 / N as f64;
-        assert!((frac(holes) - 0.2).abs() < 0.02, "black holes {}", frac(holes));
+        assert!(
+            (frac(holes) - 0.2).abs() < 0.02,
+            "black holes {}",
+            frac(holes)
+        );
         assert!((frac(nf) - 0.3).abs() < 0.02, "not found {}", frac(nf));
         assert!((frac(ok) - 0.5).abs() < 0.02, "ok {}", frac(ok));
     }
@@ -142,5 +321,101 @@ mod tests {
         assert!(FaultPlan::background_noise().black_hole < 0.01);
         let d = FaultPlan::decaying();
         assert!(d.black_hole + d.not_found + d.server_error + d.extra_redirect + d.refuse < 1.0);
+    }
+
+    #[test]
+    fn storage_plan_none_commits() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let plan = StorageFaultPlan::none();
+        assert!(plan.is_none());
+        for _ in 0..50 {
+            assert_eq!(plan.roll_write(&mut rng), StorageFaultOutcome::Commit);
+            assert_eq!(plan.roll_read(&mut rng), StorageFaultOutcome::Commit);
+        }
+    }
+
+    #[test]
+    fn certain_torn_write_always_tears() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let plan = StorageFaultPlan {
+            torn_write: 1.0,
+            ..StorageFaultPlan::default()
+        };
+        for _ in 0..50 {
+            assert_eq!(plan.roll_write(&mut rng), StorageFaultOutcome::TornWrite);
+        }
+    }
+
+    #[test]
+    fn faulty_backend_tears_appends_deterministically() {
+        use store::Backend;
+        let run = |seed: u64| {
+            let inner = Arc::new(store::MemBackend::new());
+            let faulty = FaultyBackend::new(
+                inner.clone(),
+                StorageFaultPlan {
+                    torn_write: 0.5,
+                    ..StorageFaultPlan::default()
+                },
+                seed,
+            );
+            for _ in 0..20 {
+                faulty.append("f", b"0123456789").unwrap();
+            }
+            inner.read("f").unwrap().unwrap()
+        };
+        let a = run(11);
+        assert_eq!(a, run(11), "same seed, same damage");
+        assert!(a.len() < 200, "half the appends should be torn short");
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn faulty_backend_flips_exactly_one_bit() {
+        use store::Backend;
+        let inner = Arc::new(store::MemBackend::new());
+        let faulty = FaultyBackend::new(
+            inner.clone(),
+            StorageFaultPlan {
+                bit_flip: 1.0,
+                ..StorageFaultPlan::default()
+            },
+            3,
+        );
+        let payload = vec![0u8; 64];
+        faulty.append("f", &payload).unwrap();
+        let stored = inner.read("f").unwrap().unwrap();
+        assert_eq!(stored.len(), 64);
+        let flipped: u32 = stored.iter().map(|b| b.count_ones()).sum();
+        assert_eq!(flipped, 1, "exactly one bit flipped");
+    }
+
+    #[test]
+    fn faulty_backend_short_reads_but_never_errors() {
+        use store::Backend;
+        let inner = Arc::new(store::MemBackend::new());
+        inner.append("f", &[7u8; 100]).unwrap();
+        let faulty = FaultyBackend::new(
+            inner,
+            StorageFaultPlan {
+                short_read: 1.0,
+                ..StorageFaultPlan::default()
+            },
+            9,
+        );
+        let got = faulty.read("f").unwrap().unwrap();
+        assert!(got.len() < 100);
+        assert_eq!(faulty.read("missing").unwrap(), None);
+    }
+
+    #[test]
+    fn faulty_backend_leaves_atomic_writes_alone() {
+        use store::Backend;
+        let inner = Arc::new(store::MemBackend::new());
+        let faulty = FaultyBackend::new(inner, StorageFaultPlan::crashy(), 1);
+        for _ in 0..20 {
+            faulty.write_atomic("f", b"pristine").unwrap();
+            assert_eq!(faulty.read("f").unwrap().as_deref(), Some(&b"pristine"[..]));
+        }
     }
 }

@@ -112,11 +112,17 @@ pub struct Url {
 impl Url {
     /// Parse a URL string. Accepts `scheme://host[/path][?query][#fragment]`.
     pub fn parse(input: &str) -> Result<Url, NetError> {
-        let malformed = |reason: &str| NetError::Malformed { reason: format!("{reason}: {input:?}") };
+        let malformed = |reason: &str| NetError::Malformed {
+            reason: format!("{reason}: {input:?}"),
+        };
         let (scheme, rest) = input
             .split_once("://")
             .ok_or_else(|| malformed("missing scheme"))?;
-        if scheme.is_empty() || !scheme.chars().all(|c| c.is_ascii_alphanumeric() || c == '+') {
+        if scheme.is_empty()
+            || !scheme
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '+')
+        {
             return Err(malformed("bad scheme"));
         }
         let (rest, fragment) = match rest.split_once('#') {
@@ -160,7 +166,11 @@ impl Url {
 
     /// Build a simple `https` URL from host and path.
     pub fn https(host: &str, path: &str) -> Url {
-        let path = if path.starts_with('/') { path.to_string() } else { format!("/{path}") };
+        let path = if path.starts_with('/') {
+            path.to_string()
+        } else {
+            format!("/{path}")
+        };
         Url {
             scheme: "https".into(),
             host: host.to_ascii_lowercase(),
@@ -209,7 +219,9 @@ impl Url {
             u.fragment = None;
             Ok(u)
         } else {
-            Err(NetError::Malformed { reason: format!("relative redirect {location:?} unsupported") })
+            Err(NetError::Malformed {
+                reason: format!("relative redirect {location:?} unsupported"),
+            })
         }
     }
 }
@@ -306,29 +318,47 @@ pub struct Request {
 impl Request {
     /// A GET request for `url`.
     pub fn get(url: Url) -> Request {
-        Request { method: Method::Get, url, headers: BTreeMap::new(), body: Vec::new() }
+        Request {
+            method: Method::Get,
+            url,
+            headers: BTreeMap::new(),
+            body: Vec::new(),
+        }
     }
 
     /// A POST request with a body.
     pub fn post(url: Url, body: impl Into<Vec<u8>>) -> Request {
-        Request { method: Method::Post, url, headers: BTreeMap::new(), body: body.into() }
+        Request {
+            method: Method::Post,
+            url,
+            headers: BTreeMap::new(),
+            body: body.into(),
+        }
     }
 
     /// A HEAD request for `url`.
     pub fn head(url: Url) -> Request {
-        Request { method: Method::Head, url, headers: BTreeMap::new(), body: Vec::new() }
+        Request {
+            method: Method::Head,
+            url,
+            headers: BTreeMap::new(),
+            body: Vec::new(),
+        }
     }
 
     /// Set a header, lowercasing the key; returns self for chaining.
     pub fn with_header(mut self, key: &str, value: &str) -> Request {
-        self.headers.insert(key.to_ascii_lowercase(), value.to_string());
+        self.headers
+            .insert(key.to_ascii_lowercase(), value.to_string());
         self
     }
 
     /// Read a header (key lookup is case-insensitive because keys are stored
     /// lowercased).
     pub fn header(&self, key: &str) -> Option<&str> {
-        self.headers.get(&key.to_ascii_lowercase()).map(String::as_str)
+        self.headers
+            .get(&key.to_ascii_lowercase())
+            .map(String::as_str)
     }
 }
 
@@ -346,12 +376,20 @@ pub struct Response {
 impl Response {
     /// 200 response with a text body.
     pub fn ok(body: impl Into<Vec<u8>>) -> Response {
-        Response { status: Status::Ok, headers: BTreeMap::new(), body: body.into() }
+        Response {
+            status: Status::Ok,
+            headers: BTreeMap::new(),
+            body: body.into(),
+        }
     }
 
     /// Empty response with the given status.
     pub fn status(status: Status) -> Response {
-        Response { status, headers: BTreeMap::new(), body: Vec::new() }
+        Response {
+            status,
+            headers: BTreeMap::new(),
+            body: Vec::new(),
+        }
     }
 
     /// 302 redirect to `location`.
@@ -364,19 +402,23 @@ impl Response {
     /// 429 with a `retry-after` header in milliseconds.
     pub fn rate_limited(retry_after_ms: u64) -> Response {
         let mut r = Response::status(Status::TooManyRequests);
-        r.headers.insert("retry-after-ms".into(), retry_after_ms.to_string());
+        r.headers
+            .insert("retry-after-ms".into(), retry_after_ms.to_string());
         r
     }
 
     /// Set a header; returns self for chaining.
     pub fn with_header(mut self, key: &str, value: &str) -> Response {
-        self.headers.insert(key.to_ascii_lowercase(), value.to_string());
+        self.headers
+            .insert(key.to_ascii_lowercase(), value.to_string());
         self
     }
 
     /// Read a header.
     pub fn header(&self, key: &str) -> Option<&str> {
-        self.headers.get(&key.to_ascii_lowercase()).map(String::as_str)
+        self.headers
+            .get(&key.to_ascii_lowercase())
+            .map(String::as_str)
     }
 
     /// Body as UTF-8 text (lossy).

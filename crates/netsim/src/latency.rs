@@ -39,13 +39,20 @@ pub enum LatencyModel {
 impl LatencyModel {
     /// A sensible default for a healthy site: 40–120 ms.
     pub fn healthy() -> LatencyModel {
-        LatencyModel::Uniform { lo_ms: 40, hi_ms: 120 }
+        LatencyModel::Uniform {
+            lo_ms: 40,
+            hi_ms: 120,
+        }
     }
 
     /// A slow, flaky host: 300 ms base with a 15% chance of 20× tail —
     /// guaranteed to trip a multi-second client timeout occasionally.
     pub fn flaky() -> LatencyModel {
-        LatencyModel::HeavyTail { base_ms: 300, tail_prob: 0.15, tail_factor: 20 }
+        LatencyModel::HeavyTail {
+            base_ms: 300,
+            tail_prob: 0.15,
+            tail_factor: 20,
+        }
     }
 
     /// Sample one round-trip time.
@@ -59,7 +66,11 @@ impl LatencyModel {
                     rng.gen_range(lo_ms..=hi_ms)
                 }
             }
-            LatencyModel::HeavyTail { base_ms, tail_prob, tail_factor } => {
+            LatencyModel::HeavyTail {
+                base_ms,
+                tail_prob,
+                tail_factor,
+            } => {
                 let jittered = base_ms + rng.gen_range(0..=base_ms / 4 + 1);
                 if rng.gen_bool(tail_prob.clamp(0.0, 1.0)) {
                     jittered.saturating_mul(tail_factor.max(1))
@@ -106,7 +117,10 @@ mod tests {
     #[test]
     fn uniform_stays_in_bounds() {
         let mut rng = StdRng::seed_from_u64(2);
-        let m = LatencyModel::Uniform { lo_ms: 10, hi_ms: 20 };
+        let m = LatencyModel::Uniform {
+            lo_ms: 10,
+            hi_ms: 20,
+        };
         for _ in 0..200 {
             let s = m.sample(&mut rng).as_millis();
             assert!((10..=20).contains(&s), "sample {s} out of bounds");
@@ -116,17 +130,27 @@ mod tests {
     #[test]
     fn uniform_degenerate_bounds() {
         let mut rng = StdRng::seed_from_u64(3);
-        let m = LatencyModel::Uniform { lo_ms: 50, hi_ms: 50 };
+        let m = LatencyModel::Uniform {
+            lo_ms: 50,
+            hi_ms: 50,
+        };
         assert_eq!(m.sample(&mut rng).as_millis(), 50);
         // inverted bounds fall back to lo rather than panicking
-        let m = LatencyModel::Uniform { lo_ms: 60, hi_ms: 10 };
+        let m = LatencyModel::Uniform {
+            lo_ms: 60,
+            hi_ms: 10,
+        };
         assert_eq!(m.sample(&mut rng).as_millis(), 60);
     }
 
     #[test]
     fn heavy_tail_produces_tail_events() {
         let mut rng = StdRng::seed_from_u64(4);
-        let m = LatencyModel::HeavyTail { base_ms: 100, tail_prob: 0.5, tail_factor: 50 };
+        let m = LatencyModel::HeavyTail {
+            base_ms: 100,
+            tail_prob: 0.5,
+            tail_factor: 50,
+        };
         let samples: Vec<u64> = (0..100).map(|_| m.sample(&mut rng).as_millis()).collect();
         let slow = samples.iter().filter(|&&s| s >= 100 * 50).count();
         let fast = samples.iter().filter(|&&s| s < 200).count();

@@ -26,8 +26,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-pub mod clock;
 pub mod client;
+pub mod clock;
 pub mod dns;
 pub mod error;
 pub mod fabric;
@@ -38,10 +38,11 @@ pub mod ratelimit;
 pub mod seed;
 pub mod trace;
 
-pub use clock::{SimDuration, SimInstant, VirtualClock};
 pub use client::{ClientConfig, HttpClient};
+pub use clock::{SimDuration, SimInstant, VirtualClock};
 pub use error::NetError;
 pub use fabric::{Network, Service, ServiceCtx};
+pub use fault::{FaultPlan, FaultyBackend, StorageFaultOutcome, StorageFaultPlan};
 pub use http::{Method, Request, Response, Status, Url};
 pub use seed::{splitmix, splitmix64};
 

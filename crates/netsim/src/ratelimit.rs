@@ -40,8 +40,7 @@ impl TokenBucket {
     fn refill(&mut self, now: SimInstant) {
         let elapsed = now.duration_since(self.last_refill);
         if elapsed > SimDuration::ZERO {
-            self.tokens = (self.tokens
-                + elapsed.as_millis() as f64 / 1000.0 * self.refill_per_sec)
+            self.tokens = (self.tokens + elapsed.as_millis() as f64 / 1000.0 * self.refill_per_sec)
                 .min(self.capacity);
             self.last_refill = now;
         }

@@ -38,7 +38,10 @@ mod tests {
         let mut seen = std::collections::BTreeSet::new();
         for seed in [0u64, 1, 7, 2022, u64::MAX] {
             for stream in 0..64u64 {
-                assert!(seen.insert(splitmix(seed, stream)), "collision at {seed}/{stream}");
+                assert!(
+                    seen.insert(splitmix(seed, stream)),
+                    "collision at {seed}/{stream}"
+                );
             }
         }
     }

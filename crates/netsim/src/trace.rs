@@ -53,12 +53,18 @@ impl TraceLog {
 
     /// Entries whose URL contains `needle`.
     pub fn matching_url(&self, needle: &str) -> Vec<&TraceEntry> {
-        self.entries.iter().filter(|e| e.url.contains(needle)).collect()
+        self.entries
+            .iter()
+            .filter(|e| e.url.contains(needle))
+            .collect()
     }
 
     /// Entries made by a given requester.
     pub fn by_requester(&self, requester: &str) -> Vec<&TraceEntry> {
-        self.entries.iter().filter(|e| e.requester == requester).collect()
+        self.entries
+            .iter()
+            .filter(|e| e.requester == requester)
+            .collect()
     }
 
     /// Number of recorded requests.

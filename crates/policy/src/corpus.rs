@@ -13,11 +13,29 @@ fn pick<'a, R: Rng + ?Sized>(rng: &mut R, options: &[&'a str]) -> &'a str {
     options[rng.gen_range(0..options.len())]
 }
 
-fn practice_sentence<R: Rng + ?Sized>(rng: &mut R, practice: DataPractice, tailored: bool) -> String {
+fn practice_sentence<R: Rng + ?Sized>(
+    rng: &mut R,
+    practice: DataPractice,
+    tailored: bool,
+) -> String {
     let subject = if tailored {
-        pick(rng, &["messages you send in your guild", "your server membership and channel activity", "commands you invoke"])
+        pick(
+            rng,
+            &[
+                "messages you send in your guild",
+                "your server membership and channel activity",
+                "commands you invoke",
+            ],
+        )
     } else {
-        pick(rng, &["personal information", "usage data", "information you provide"])
+        pick(
+            rng,
+            &[
+                "personal information",
+                "usage data",
+                "information you provide",
+            ],
+        )
     };
     match practice {
         DataPractice::Collect => format!(
@@ -27,24 +45,45 @@ fn practice_sentence<R: Rng + ?Sized>(rng: &mut R, practice: DataPractice, tailo
         DataPractice::Use => format!(
             "We {} this information to {}.",
             pick(rng, &["use", "process", "analyze"]),
-            pick(rng, &["provide functionality", "improve our service", "moderate content"])
+            pick(
+                rng,
+                &[
+                    "provide functionality",
+                    "improve our service",
+                    "moderate content"
+                ]
+            )
         ),
         DataPractice::Retain => format!(
             "Data is {} {}.",
             pick(rng, &["stored", "retained", "kept", "saved"]),
-            pick(rng, &["for up to 90 days", "only as long as necessary", "in our database"])
+            pick(
+                rng,
+                &[
+                    "for up to 90 days",
+                    "only as long as necessary",
+                    "in our database"
+                ]
+            )
         ),
         DataPractice::Disclose => format!(
             "We {} information {} third parties{}.",
             pick(rng, &["do not share", "never sell", "may disclose"]),
             pick(rng, &["with", "to"]),
-            pick(rng, &[" except as required by law", "", " without your consent"])
+            pick(
+                rng,
+                &[" except as required by law", "", " without your consent"]
+            )
         ),
     }
 }
 
 /// A policy covering all four practices.
-pub fn complete_policy<R: Rng + ?Sized>(rng: &mut R, bot_name: &str, tailored: bool) -> PrivacyPolicy {
+pub fn complete_policy<R: Rng + ?Sized>(
+    rng: &mut R,
+    bot_name: &str,
+    tailored: bool,
+) -> PrivacyPolicy {
     let sections = DataPractice::ALL
         .iter()
         .map(|p| practice_sentence(rng, *p, tailored))
@@ -59,12 +98,12 @@ pub fn partial_policy<R: Rng + ?Sized>(
     practices: &[DataPractice],
     tailored: bool,
 ) -> PrivacyPolicy {
-    let mut sections: Vec<String> =
-        practices.iter().map(|p| practice_sentence(rng, *p, tailored)).collect();
-    sections.push(
-        "If you have questions about this policy please contact the developer."
-            .to_string(),
-    );
+    let mut sections: Vec<String> = practices
+        .iter()
+        .map(|p| practice_sentence(rng, *p, tailored))
+        .collect();
+    sections
+        .push("If you have questions about this policy please contact the developer.".to_string());
     PrivacyPolicy::new(&format!("{bot_name} Privacy Policy"), sections, tailored)
 }
 
@@ -144,7 +183,11 @@ mod tests {
     fn vacuous_policy_mentions_nothing() {
         let o = KeywordOntology::standard();
         let p = vacuous_policy();
-        assert!(o.practices_in(&p.full_text()).is_empty(), "{:?}", o.practices_in(&p.full_text()));
+        assert!(
+            o.practices_in(&p.full_text()).is_empty(),
+            "{:?}",
+            o.practices_in(&p.full_text())
+        );
         assert!(p.is_substantive(), "long enough to be a page, says nothing");
     }
 

@@ -18,7 +18,11 @@ pub struct PrivacyPolicy {
 impl PrivacyPolicy {
     /// Build a policy from sections.
     pub fn new(title: &str, sections: Vec<String>, tailored: bool) -> PrivacyPolicy {
-        PrivacyPolicy { title: title.to_string(), sections, tailored }
+        PrivacyPolicy {
+            title: title.to_string(),
+            sections,
+            tailored,
+        }
     }
 
     /// The full text (sections joined), what the analyzer scans.
@@ -61,7 +65,10 @@ mod tests {
         assert!(!junk.is_substantive());
         let real = PrivacyPolicy::new(
             "Privacy",
-            vec!["We collect the messages you send in order to provide bot functionality to you.".into()],
+            vec![
+                "We collect the messages you send in order to provide bot functionality to you."
+                    .into(),
+            ],
             true,
         );
         assert!(real.is_substantive());

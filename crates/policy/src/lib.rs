@@ -24,9 +24,9 @@
 #![forbid(unsafe_code)]
 
 pub mod corpus;
+pub mod document;
 pub mod memo;
 pub mod ml;
-pub mod document;
 pub mod ontology;
 pub mod traceability;
 

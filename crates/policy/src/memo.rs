@@ -43,13 +43,11 @@ impl AnalysisMemo {
     /// permission names, with `0xff` separators no permission name or
     /// section text contains.
     fn key(policy: &PrivacyPolicy, requested_permissions: &[&str]) -> u64 {
-        let bytes = policy
-            .full_text()
-            .into_bytes()
-            .into_iter()
-            .chain(requested_permissions.iter().flat_map(|p| {
-                std::iter::once(0xffu8).chain(p.bytes())
-            }));
+        let bytes = policy.full_text().into_bytes().into_iter().chain(
+            requested_permissions
+                .iter()
+                .flat_map(|p| std::iter::once(0xffu8).chain(p.bytes())),
+        );
         fnv1a(bytes)
     }
 

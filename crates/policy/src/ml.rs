@@ -137,9 +137,17 @@ mod tests {
         let mut out = Vec::new();
         for i in 0..n {
             out.push(match i % 4 {
-                0 => (corpus::complete_policy(&mut rng, "B", i % 8 == 0), Traceability::Complete),
+                0 => (
+                    corpus::complete_policy(&mut rng, "B", i % 8 == 0),
+                    Traceability::Complete,
+                ),
                 1 => (
-                    corpus::partial_policy(&mut rng, "B", &[DataPractice::Collect, DataPractice::Use], true),
+                    corpus::partial_policy(
+                        &mut rng,
+                        "B",
+                        &[DataPractice::Collect, DataPractice::Use],
+                        true,
+                    ),
                     Traceability::Partial,
                 ),
                 2 => (corpus::generic_boilerplate(), Traceability::Partial),

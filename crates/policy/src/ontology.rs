@@ -13,8 +13,8 @@
 //! per keyword.
 
 use matchkit::{AhoCorasick, AhoCorasickBuilder, MatchMode, ScanStats};
-use serde::{Deserialize, Serialize};
 use serde::value::Value;
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::OnceLock;
@@ -34,13 +34,29 @@ pub enum DataPractice {
 
 impl DataPractice {
     /// All four practices.
-    pub const ALL: [DataPractice; 4] =
-        [DataPractice::Collect, DataPractice::Use, DataPractice::Retain, DataPractice::Disclose];
+    pub const ALL: [DataPractice; 4] = [
+        DataPractice::Collect,
+        DataPractice::Use,
+        DataPractice::Retain,
+        DataPractice::Disclose,
+    ];
 }
 
 impl serde::SerializeMapKey for DataPractice {
     fn as_key(&self) -> String {
         self.to_string()
+    }
+}
+
+impl serde::DeserializeMapKey for DataPractice {
+    fn from_key(key: &str) -> Result<DataPractice, serde::DeError> {
+        match key {
+            "collect" => Ok(DataPractice::Collect),
+            "use" => Ok(DataPractice::Use),
+            "retain" => Ok(DataPractice::Retain),
+            "disclose" => Ok(DataPractice::Disclose),
+            other => Err(serde::de_error(format!("unknown data practice `{other}`"))),
+        }
     }
 }
 
@@ -88,7 +104,10 @@ pub struct KeywordOntology {
 
 impl KeywordOntology {
     fn from_sets(sets: BTreeMap<DataPractice, Vec<String>>) -> KeywordOntology {
-        KeywordOntology { sets, compiled: OnceLock::new() }
+        KeywordOntology {
+            sets,
+            compiled: OnceLock::new(),
+        }
     }
 
     /// The ontology used in the measurement: base verbs, synonyms, and
@@ -98,29 +117,61 @@ impl KeywordOntology {
         sets.insert(
             DataPractice::Collect,
             words(&[
-                "collect", "gather", "acquire", "obtain", "receive", "record",
-                "log", "capture", "harvest", "request your", "we ask for",
+                "collect",
+                "gather",
+                "acquire",
+                "obtain",
+                "receive",
+                "record",
+                "log",
+                "capture",
+                "harvest",
+                "request your",
+                "we ask for",
             ]),
         );
         sets.insert(
             DataPractice::Use,
             words(&[
-                "use", "process", "analyze", "analyse", "utilize", "utilise",
-                "improve our", "personalize", "moderate", "provide functionality",
+                "use",
+                "process",
+                "analyze",
+                "analyse",
+                "utilize",
+                "utilise",
+                "improve our",
+                "personalize",
+                "moderate",
+                "provide functionality",
             ]),
         );
         sets.insert(
             DataPractice::Retain,
             words(&[
-                "retain", "store", "keep", "kept", "save", "remember", "persist",
-                "database", "archiv", "retention",
+                "retain",
+                "store",
+                "keep",
+                "kept",
+                "save",
+                "remember",
+                "persist",
+                "database",
+                "archiv",
+                "retention",
             ]),
         );
         sets.insert(
             DataPractice::Disclose,
             words(&[
-                "disclose", "share", "transfer", "sell", "third party",
-                "third-party", "third parties", "provide to", "partners",
+                "disclose",
+                "share",
+                "transfer",
+                "sell",
+                "third party",
+                "third-party",
+                "third parties",
+                "provide to",
+                "partners",
             ]),
         );
         KeywordOntology::from_sets(sets)
@@ -145,7 +196,10 @@ impl KeywordOntology {
     /// Add a keyword to a practice set (lowercased). Invalidates the
     /// compiled automaton; it is rebuilt on the next query.
     pub fn add_keyword(&mut self, practice: DataPractice, keyword: &str) {
-        self.sets.entry(practice).or_default().push(keyword.to_ascii_lowercase());
+        self.sets
+            .entry(practice)
+            .or_default()
+            .push(keyword.to_ascii_lowercase());
         self.compiled = OnceLock::new();
     }
 
@@ -163,7 +217,10 @@ impl KeywordOntology {
                 .ascii_case_insensitive(true)
                 .match_mode(MatchMode::WordPrefix)
                 .build(patterns);
-            Compiled { automaton, pattern_practice }
+            Compiled {
+                automaton,
+                pattern_practice,
+            }
         })
     }
 
@@ -173,7 +230,9 @@ impl KeywordOntology {
     /// on the first keyword of the practice.
     pub fn mentions(&self, practice: DataPractice, text: &str) -> bool {
         let c = self.compiled();
-        c.automaton.find_iter(text).any(|m| c.pattern_practice[m.pattern] == practice)
+        c.automaton
+            .find_iter(text)
+            .any(|m| c.pattern_practice[m.pattern] == practice)
     }
 
     /// Every practice the text describes, in [`DataPractice::ALL`] order.
@@ -188,14 +247,21 @@ impl KeywordOntology {
                 break;
             }
         }
-        DataPractice::ALL.iter().copied().filter(|p| seen[*p as usize]).collect()
+        DataPractice::ALL
+            .iter()
+            .copied()
+            .filter(|p| seen[*p as usize])
+            .collect()
     }
 
     /// Kernel counters for this instance (compiles the automaton if no
     /// query has run yet).
     pub fn kernel_stats(&self) -> OntologyKernelStats {
         let c = self.compiled();
-        let ScanStats { scans, bytes_scanned } = c.automaton.stats();
+        let ScanStats {
+            scans,
+            bytes_scanned,
+        } = c.automaton.stats();
         OntologyKernelStats {
             automaton_states: c.automaton.state_count() as u64,
             scans,
@@ -217,7 +283,9 @@ impl Clone for KeywordOntology {
 
 impl fmt::Debug for KeywordOntology {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("KeywordOntology").field("sets", &self.sets).finish()
+        f.debug_struct("KeywordOntology")
+            .field("sets", &self.sets)
+            .finish()
     }
 }
 
@@ -234,7 +302,15 @@ impl Serialize for KeywordOntology {
     }
 }
 
-impl Deserialize for KeywordOntology {}
+impl Deserialize for KeywordOntology {
+    fn from_json_value(value: &Value) -> Result<KeywordOntology, serde::DeError> {
+        Ok(KeywordOntology::from_sets(serde::de_field(
+            value,
+            "KeywordOntology",
+            "sets",
+        )?))
+    }
+}
 
 /// `needle` must appear with a non-alphanumeric character (or string start)
 /// immediately before it — a cheap stemming-friendly word boundary. This is
@@ -245,8 +321,7 @@ pub fn contains_word_prefix(haystack: &str, needle: &str) -> bool {
     let mut from = 0;
     while let Some(pos) = haystack[from..].find(needle) {
         let abs = from + pos;
-        let boundary_ok = abs == 0
-            || !haystack.as_bytes()[abs - 1].is_ascii_alphanumeric();
+        let boundary_ok = abs == 0 || !haystack.as_bytes()[abs - 1].is_ascii_alphanumeric();
         if boundary_ok {
             return true;
         }
@@ -269,7 +344,10 @@ mod tests {
         assert!(o.mentions(DataPractice::Collect, "We collect your username."));
         assert!(o.mentions(DataPractice::Collect, "Data is collected when you chat."));
         assert!(o.mentions(DataPractice::Retain, "Messages are stored for 30 days."));
-        assert!(o.mentions(DataPractice::Disclose, "We never share data with third parties."));
+        assert!(o.mentions(
+            DataPractice::Disclose,
+            "We never share data with third parties."
+        ));
     }
 
     #[test]
@@ -294,8 +372,14 @@ mod tests {
         let full = KeywordOntology::standard();
         let base = KeywordOntology::base_verbs_only();
         let text = "Your data is gathered and kept in our database.";
-        assert!(full.mentions(DataPractice::Collect, text), "synonym 'gather'");
-        assert!(full.mentions(DataPractice::Retain, text), "synonym 'kept'/'database'");
+        assert!(
+            full.mentions(DataPractice::Collect, text),
+            "synonym 'gather'"
+        );
+        assert!(
+            full.mentions(DataPractice::Retain, text),
+            "synonym 'kept'/'database'"
+        );
         assert!(!base.mentions(DataPractice::Collect, text));
         assert!(!base.mentions(DataPractice::Retain, text));
     }

@@ -65,7 +65,11 @@ impl TraceabilityReport {
         if self.permission_disclosures.is_empty() {
             return 0.0;
         }
-        let disclosed = self.permission_disclosures.iter().filter(|d| d.disclosed).count();
+        let disclosed = self
+            .permission_disclosures
+            .iter()
+            .filter(|d| d.disclosed)
+            .count();
         disclosed as f64 / self.permission_disclosures.len() as f64
     }
 }
@@ -73,8 +77,18 @@ impl TraceabilityReport {
 /// The distinct data nouns [`permission_data_noun`] can return, in trigger
 /// priority order. The last entry is the generic fallback.
 const NOUNS: [&str; 12] = [
-    "all data", "message", "member", "role", "channel", "webhook", "audit log",
-    "voice", "emoji", "invite", "server", "data",
+    "all data",
+    "message",
+    "member",
+    "role",
+    "channel",
+    "webhook",
+    "audit log",
+    "voice",
+    "emoji",
+    "invite",
+    "server",
+    "data",
 ];
 
 /// Trigger word → index into [`NOUNS`]. Order is priority: when a
@@ -137,7 +151,9 @@ fn trigger_automaton() -> &'static AhoCorasick {
 fn noun_automaton() -> &'static AhoCorasick {
     static AUTOMATON: OnceLock<AhoCorasick> = OnceLock::new();
     AUTOMATON.get_or_init(|| {
-        AhoCorasickBuilder::new().ascii_case_insensitive(true).build(NOUNS)
+        AhoCorasickBuilder::new()
+            .ascii_case_insensitive(true)
+            .build(NOUNS)
     })
 }
 
@@ -159,7 +175,10 @@ pub fn permission_data_noun_explicit(permission: &str) -> Option<&'static str> {
 }
 
 fn explicit_noun_index(permission: &str) -> Option<usize> {
-    trigger_automaton().find_iter(permission).map(|m| NOUN_TRIGGERS[m.pattern].1).min()
+    trigger_automaton()
+        .find_iter(permission)
+        .map(|m| NOUN_TRIGGERS[m.pattern].1)
+        .min()
 }
 
 /// Analyze one chatbot's disclosure.
@@ -210,7 +229,12 @@ pub fn analyze(
             }
         })
         .collect();
-    TraceabilityReport { classification, practices_found, permission_disclosures, junk_policy: false }
+    TraceabilityReport {
+        classification,
+        practices_found,
+        permission_disclosures,
+        junk_policy: false,
+    }
 }
 
 #[cfg(test)]
@@ -252,7 +276,12 @@ mod tests {
     #[test]
     fn partial_policy_classifies_partial() {
         let mut rng = StdRng::seed_from_u64(4);
-        let p = corpus::partial_policy(&mut rng, "B", &[DataPractice::Collect, DataPractice::Use], true);
+        let p = corpus::partial_policy(
+            &mut rng,
+            "B",
+            &[DataPractice::Collect, DataPractice::Use],
+            true,
+        );
         let r = analyze(Some(&p), &[], &ontology());
         assert_eq!(r.classification, Traceability::Partial);
     }
@@ -272,10 +301,22 @@ mod tests {
             vec!["We collect and store the message content you post to provide moderation.".into()],
             true,
         );
-        let r = analyze(Some(&p), &["read message history", "kick members"], &ontology());
-        let msg = r.permission_disclosures.iter().find(|d| d.permission.contains("message")).unwrap();
+        let r = analyze(
+            Some(&p),
+            &["read message history", "kick members"],
+            &ontology(),
+        );
+        let msg = r
+            .permission_disclosures
+            .iter()
+            .find(|d| d.permission.contains("message"))
+            .unwrap();
         assert!(msg.disclosed);
-        let kick = r.permission_disclosures.iter().find(|d| d.permission.contains("kick")).unwrap();
+        let kick = r
+            .permission_disclosures
+            .iter()
+            .find(|d| d.permission.contains("kick"))
+            .unwrap();
         assert!(!kick.disclosed, "policy never mentions members");
         assert!((r.disclosure_ratio() - 0.5).abs() < 1e-9);
     }

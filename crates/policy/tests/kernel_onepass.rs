@@ -19,7 +19,11 @@ fn practices_in_scans_the_text_exactly_once() {
     let before = ontology.kernel_stats();
     assert!(ontology.practices_in(&text).is_empty());
     let after = ontology.kernel_stats();
-    assert_eq!(after.scans - before.scans, 1, "one scan pass, not one per practice");
+    assert_eq!(
+        after.scans - before.scans,
+        1,
+        "one scan pass, not one per practice"
+    );
     assert_eq!(
         after.bytes_scanned - before.bytes_scanned,
         text.len() as u64,

@@ -1,0 +1,251 @@
+//! Length-prefixed, checksummed journal frames.
+//!
+//! Wire layout of one frame:
+//!
+//! ```text
+//! ┌───────┬─────────┬──────┬───────┬──────────────┬───────┐
+//! │ magic │ len u32 │ kind │ key   │ payload      │ crc32 │
+//! │ 4 B   │ LE      │ u16  │ u64   │ `len` bytes  │ LE    │
+//! └───────┴─────────┴──────┴───────┴──────────────┴───────┘
+//! ```
+//!
+//! The CRC covers kind + key + payload, so a torn write (short tail), a
+//! bit flip anywhere in the record, or garbage after a crash all fail
+//! verification. Decoding never panics: it walks the buffer frame by frame
+//! and stops at the first record that is incomplete or fails its checksum —
+//! the *longest valid prefix* is exactly what a write-ahead log can promise
+//! after a crash, and the byte offset of that prefix is where recovery
+//! truncates before appending again.
+
+use crate::checksum::Crc32;
+
+/// Per-frame magic: guards against interpreting arbitrary garbage (or a
+/// mid-frame offset) as a length field.
+pub const FRAME_MAGIC: [u8; 4] = *b"audj";
+
+/// Fixed bytes before the payload: magic + len + kind + key.
+pub const FRAME_HEADER_LEN: usize = 4 + 4 + 2 + 8;
+
+/// Fixed bytes after the payload: the checksum.
+pub const FRAME_TRAILER_LEN: usize = 4;
+
+/// Payloads above this are rejected as corruption rather than attempted —
+/// a flipped bit in the length field must not make replay try to allocate
+/// gigabytes.
+pub const MAX_PAYLOAD: usize = 1 << 28;
+
+/// One journal record: a kind tag, a caller-defined key (unit index,
+/// content-hash prefix, …), and an opaque payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// What kind of pipeline unit this frame records.
+    pub kind: u16,
+    /// Caller-defined key, unique per (kind, unit).
+    pub key: u64,
+    /// Opaque payload bytes (the caller owns serialization).
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// A frame with the given tag, key, and payload.
+    pub fn new(kind: u16, key: u64, payload: Vec<u8>) -> Frame {
+        Frame { kind, key, payload }
+    }
+
+    /// Total encoded size.
+    pub fn encoded_len(&self) -> usize {
+        FRAME_HEADER_LEN + self.payload.len() + FRAME_TRAILER_LEN
+    }
+
+    /// Encode into a fresh buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        out.extend_from_slice(&FRAME_MAGIC);
+        out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.kind.to_le_bytes());
+        out.extend_from_slice(&self.key.to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        let mut crc = Crc32::new();
+        crc.update(&self.kind.to_le_bytes());
+        crc.update(&self.key.to_le_bytes());
+        crc.update(&self.payload);
+        out.extend_from_slice(&crc.finish().to_le_bytes());
+        out
+    }
+}
+
+/// Why decoding stopped before the end of the buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The buffer ended exactly on a frame boundary.
+    CleanEnd,
+    /// Trailing bytes were too short to hold a full frame (torn write).
+    Truncated,
+    /// A complete-looking record failed its magic, bounds, or checksum.
+    Corrupt,
+}
+
+/// The result of decoding a journal buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Decoded {
+    /// Every frame of the longest valid prefix, in write order.
+    pub frames: Vec<Frame>,
+    /// Byte length of that prefix — where recovery truncates to.
+    pub valid_bytes: usize,
+    /// Why the walk stopped.
+    pub stop: StopReason,
+}
+
+/// Decode the longest valid prefix of `buf`. Never panics; tolerates any
+/// byte sequence.
+pub fn decode_all(buf: &[u8]) -> Decoded {
+    let mut frames = Vec::new();
+    let mut off = 0usize;
+    loop {
+        let rest = &buf[off..];
+        if rest.is_empty() {
+            return Decoded {
+                frames,
+                valid_bytes: off,
+                stop: StopReason::CleanEnd,
+            };
+        }
+        if rest.len() < FRAME_HEADER_LEN {
+            return Decoded {
+                frames,
+                valid_bytes: off,
+                stop: StopReason::Truncated,
+            };
+        }
+        if rest[..4] != FRAME_MAGIC {
+            return Decoded {
+                frames,
+                valid_bytes: off,
+                stop: StopReason::Corrupt,
+            };
+        }
+        let len = u32::from_le_bytes(rest[4..8].try_into().expect("four bytes")) as usize;
+        if len > MAX_PAYLOAD {
+            return Decoded {
+                frames,
+                valid_bytes: off,
+                stop: StopReason::Corrupt,
+            };
+        }
+        let total = FRAME_HEADER_LEN + len + FRAME_TRAILER_LEN;
+        if rest.len() < total {
+            return Decoded {
+                frames,
+                valid_bytes: off,
+                stop: StopReason::Truncated,
+            };
+        }
+        let kind = u16::from_le_bytes(rest[8..10].try_into().expect("two bytes"));
+        let key = u64::from_le_bytes(rest[10..18].try_into().expect("eight bytes"));
+        let payload = &rest[FRAME_HEADER_LEN..FRAME_HEADER_LEN + len];
+        let stored = u32::from_le_bytes(rest[total - 4..total].try_into().expect("four bytes"));
+        let mut crc = Crc32::new();
+        crc.update(&rest[8..10]);
+        crc.update(&rest[10..18]);
+        crc.update(payload);
+        if crc.finish() != stored {
+            return Decoded {
+                frames,
+                valid_bytes: off,
+                stop: StopReason::Corrupt,
+            };
+        }
+        frames.push(Frame {
+            kind,
+            key,
+            payload: payload.to_vec(),
+        });
+        off += total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Frame> {
+        vec![
+            Frame::new(1, 0, b"header".to_vec()),
+            Frame::new(3, 42, vec![]),
+            Frame::new(4, 7, vec![0xff; 300]),
+        ]
+    }
+
+    fn encode_all(frames: &[Frame]) -> Vec<u8> {
+        frames.iter().flat_map(|f| f.encode()).collect()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let frames = sample();
+        let buf = encode_all(&frames);
+        let decoded = decode_all(&buf);
+        assert_eq!(decoded.frames, frames);
+        assert_eq!(decoded.valid_bytes, buf.len());
+        assert_eq!(decoded.stop, StopReason::CleanEnd);
+    }
+
+    #[test]
+    fn empty_buffer_is_clean() {
+        let d = decode_all(&[]);
+        assert!(d.frames.is_empty());
+        assert_eq!(d.stop, StopReason::CleanEnd);
+    }
+
+    #[test]
+    fn torn_tail_recovers_prefix() {
+        let frames = sample();
+        let buf = encode_all(&frames);
+        let second_end = frames[0].encoded_len() + frames[1].encoded_len();
+        for cut in second_end + 1..buf.len() {
+            let d = decode_all(&buf[..cut]);
+            assert_eq!(d.frames.len(), 2, "cut at {cut}");
+            assert_eq!(d.valid_bytes, second_end);
+            assert_eq!(d.stop, StopReason::Truncated);
+        }
+    }
+
+    #[test]
+    fn bit_flip_detected() {
+        let frames = sample();
+        let buf = encode_all(&frames);
+        let first_len = frames[0].encoded_len();
+        // Flip every bit of the middle frame: decode must stop after the
+        // first frame (never panic, never mis-accept).
+        let second_len = frames[1].encoded_len();
+        for i in first_len..first_len + second_len {
+            let mut broken = buf.clone();
+            broken[i] ^= 0x40;
+            let d = decode_all(&broken);
+            assert_eq!(d.frames.first(), frames.first(), "flip at {i}");
+            assert!(
+                d.frames.len() <= 1,
+                "flip at {i} yielded {} frames",
+                d.frames.len()
+            );
+            assert_eq!(d.valid_bytes, first_len, "flip at {i}");
+        }
+    }
+
+    #[test]
+    fn absurd_length_is_corruption_not_allocation() {
+        let mut frame = Frame::new(1, 1, b"x".to_vec()).encode();
+        frame[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+        let d = decode_all(&frame);
+        assert!(d.frames.is_empty());
+        assert_eq!(d.stop, StopReason::Corrupt);
+    }
+
+    #[test]
+    fn garbage_is_rejected_at_zero() {
+        let d = decode_all(b"not a journal at all, just bytes......");
+        assert!(d.frames.is_empty());
+        assert_eq!(d.valid_bytes, 0);
+        assert_eq!(d.stop, StopReason::Corrupt);
+    }
+}

@@ -1,0 +1,149 @@
+//! Content hashing for the artifact cache and run fingerprints.
+//!
+//! Artifacts are addressed by a 128-bit hash of their canonical input
+//! bytes: two FNV-1a-64 lanes with distinct offset bases, each finished
+//! with a splitmix-style avalanche so short inputs still diffuse into the
+//! high bits. 128 bits keeps accidental collisions out of reach at any
+//! population scale this pipeline will see, without pulling in a crypto
+//! dependency the simulation does not need (the store trusts its own
+//! disk — the checksum layer, not the address, defends integrity).
+
+use std::fmt;
+
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+const OFFSET_A: u64 = 0xcbf2_9ce4_8422_2325;
+// Second lane: FNV offset basis XOR a splitmix constant, so the lanes
+// disagree from the first byte.
+const OFFSET_B: u64 = OFFSET_A ^ 0x9e37_79b9_7f4a_7c15;
+
+fn avalanche(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// FNV-1a-64 over one byte slice with the standard offset basis.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = OFFSET_A;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// A 128-bit content address.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ContentHash(pub [u8; 16]);
+
+impl ContentHash {
+    /// Hash a sequence of byte parts. Each part is prefixed with its length
+    /// so `["ab", "c"]` and `["a", "bc"]` address different artifacts.
+    pub fn of_parts(parts: &[&[u8]]) -> ContentHash {
+        let mut a = OFFSET_A;
+        let mut b = OFFSET_B;
+        let mut step = |byte: u8| {
+            a ^= byte as u64;
+            a = a.wrapping_mul(FNV_PRIME);
+            b ^= byte as u64;
+            b = b.wrapping_mul(FNV_PRIME);
+        };
+        for part in parts {
+            for byte in (part.len() as u64).to_le_bytes() {
+                step(byte);
+            }
+            for &byte in *part {
+                step(byte);
+            }
+        }
+        let (a, b) = (avalanche(a), avalanche(b));
+        let mut out = [0u8; 16];
+        out[..8].copy_from_slice(&a.to_le_bytes());
+        out[8..].copy_from_slice(&b.to_le_bytes());
+        ContentHash(out)
+    }
+
+    /// Hash one byte slice.
+    pub fn of(bytes: &[u8]) -> ContentHash {
+        ContentHash::of_parts(&[bytes])
+    }
+
+    /// The first eight bytes as a little-endian integer — used as the frame
+    /// key when an artifact rides in a frame, and cheap to index on.
+    pub fn short(&self) -> u64 {
+        u64::from_le_bytes(self.0[..8].try_into().expect("eight bytes"))
+    }
+
+    /// Parse back from the wire form produced by writing out `self.0`.
+    pub fn from_bytes(bytes: &[u8]) -> Option<ContentHash> {
+        bytes.try_into().ok().map(ContentHash)
+    }
+}
+
+impl fmt::Debug for ContentHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in self.0 {
+            write!(f, "{b:02x}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for ContentHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A 64-bit fingerprint over labelled byte parts — the journal's "same
+/// seed + same config" run identity.
+pub fn fingerprint(parts: &[&[u8]]) -> u64 {
+    ContentHash::of_parts(parts).short()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_distinct() {
+        let a = ContentHash::of(b"hello");
+        assert_eq!(a, ContentHash::of(b"hello"));
+        assert_ne!(a, ContentHash::of(b"hellp"));
+        assert_ne!(a, ContentHash::of(b"hell"));
+    }
+
+    #[test]
+    fn part_boundaries_matter() {
+        let ab_c = ContentHash::of_parts(&[b"ab", b"c"]);
+        let a_bc = ContentHash::of_parts(&[b"a", b"bc"]);
+        let abc = ContentHash::of(b"abc");
+        assert_ne!(ab_c, a_bc);
+        assert_ne!(ab_c, abc);
+    }
+
+    #[test]
+    fn short_key_and_roundtrip() {
+        let h = ContentHash::of(b"artifact");
+        assert_eq!(ContentHash::from_bytes(&h.0), Some(h));
+        assert_eq!(ContentHash::from_bytes(&h.0[..15]), None);
+        assert_ne!(h.short(), 0);
+    }
+
+    #[test]
+    fn hex_rendering() {
+        let h = ContentHash([0xab; 16]);
+        assert_eq!(format!("{h}"), "ab".repeat(16));
+        assert_eq!(format!("{h:?}"), format!("{h}"));
+    }
+
+    #[test]
+    fn fingerprint_sensitive_to_every_part() {
+        let base = fingerprint(&[b"seed", b"config"]);
+        assert_eq!(base, fingerprint(&[b"seed", b"config"]));
+        assert_ne!(base, fingerprint(&[b"seed", b"confih"]));
+        assert_ne!(base, fingerprint(&[b"seee", b"config"]));
+    }
+}

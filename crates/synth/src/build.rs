@@ -51,7 +51,16 @@ const NAME_PARTS_B: &[&str] = &[
     "Mod", "Bot", "Tunes", "Guard", "Helper", "Games", "Stats", "Quotes", "Polls", "Welcome",
     "Rank", "Econ", "Trivia", "Clips", "Alerts", "Logs", "Vibes", "Pets", "Duels", "News",
 ];
-const TAGS: &[&str] = &["gaming", "fun", "social", "music", "meme", "moderation", "utility", "economy"];
+const TAGS: &[&str] = &[
+    "gaming",
+    "fun",
+    "social",
+    "music",
+    "meme",
+    "moderation",
+    "utility",
+    "economy",
+];
 
 fn bot_name(rng: &mut StdRng, idx: usize, behavior: BehaviorClass) -> String {
     if behavior == BehaviorClass::Snooper && idx == 0 {
@@ -88,13 +97,16 @@ pub fn build_ecosystem(config: &EcosystemConfig) -> Ecosystem {
     let app_owner = platform.register_user("umbrella-dev#0000", "apps@devs.example");
     // Apps need an existing owner; also seed one public guild so the world
     // is never empty.
-    platform.create_guild(app_owner, "seed-guild", GuildVisibility::Public).expect("owner exists");
+    platform
+        .create_guild(app_owner, "seed-guild", GuildVisibility::Public)
+        .expect("owner exists");
 
     let mut rng = StdRng::seed_from_u64(config.seed);
     let developers = assign_developers(&mut rng, config.num_bots);
     // (primary developer, github class) → the link their first bot of that
     // class published; later bots of the same developer reuse it.
-    let mut shared_links: std::collections::BTreeMap<String, String> = std::collections::BTreeMap::new();
+    let mut shared_links: std::collections::BTreeMap<String, String> =
+        std::collections::BTreeMap::new();
 
     // Decide which listing indices carry planted malicious backends: the
     // snoopers/exfiltrators hide among the most-voted (= lowest indices),
@@ -105,14 +117,20 @@ pub fn build_ecosystem(config: &EcosystemConfig) -> Ecosystem {
         behavior_classes[slot * 7 % config.num_bots.max(1)] = BehaviorClass::Snooper;
         planted += 1;
     }
-    for slot in 0..config.num_exfiltrators.min(config.num_bots.saturating_sub(planted)) {
+    for slot in 0..config
+        .num_exfiltrators
+        .min(config.num_bots.saturating_sub(planted))
+    {
         let idx = (3 + slot * 11) % config.num_bots.max(1);
         if behavior_classes[idx] == BehaviorClass::Benign {
             behavior_classes[idx] = BehaviorClass::Exfiltrator;
             planted += 1;
         }
     }
-    for slot in 0..config.num_webhook_thieves.min(config.num_bots.saturating_sub(planted)) {
+    for slot in 0..config
+        .num_webhook_thieves
+        .min(config.num_bots.saturating_sub(planted))
+    {
         let idx = (5 + slot * 13) % config.num_bots.max(1);
         if behavior_classes[idx] == BehaviorClass::Benign {
             behavior_classes[idx] = BehaviorClass::WebhookThief;
@@ -169,7 +187,9 @@ pub fn build_ecosystem(config: &EcosystemConfig) -> Ecosystem {
                     let target = oauth.clone();
                     net.mount_with(
                         &host,
-                        move |_req: &Request, _ctx: &mut ServiceCtx<'_>| Response::redirect(&target),
+                        move |_req: &Request, _ctx: &mut ServiceCtx<'_>| {
+                            Response::redirect(&target)
+                        },
                         LatencyModel::Fixed { ms: 120_000 },
                         FaultPlan::none(),
                     );
@@ -181,19 +201,25 @@ pub fn build_ecosystem(config: &EcosystemConfig) -> Ecosystem {
             }
             InviteClass::Removed => {
                 let ghost_id = 9_000_000_000 + idx as u64;
-                (0, InviteUrl::bot(ghost_id, sample_permissions(&mut rng)).to_url().to_string(), None)
+                (
+                    0,
+                    InviteUrl::bot(ghost_id, sample_permissions(&mut rng))
+                        .to_url()
+                        .to_string(),
+                    None,
+                )
             }
             InviteClass::Malformed => {
                 let link = match idx % 3 {
                     0 => "https://discord.sim/oauth2/authorize?scope=bot".to_string(),
-                    1 => format!("https://discord.sim/oauth2/authorize?client_id={idx}&scope=identify"),
+                    1 => format!(
+                        "https://discord.sim/oauth2/authorize?client_id={idx}&scope=identify"
+                    ),
                     _ => "join my server!!".to_string(),
                 };
                 (0, link, None)
             }
-            InviteClass::DeadRedirect => {
-                (0, format!("https://redir-{idx}.dead.sim/inv"), None)
-            }
+            InviteClass::DeadRedirect => (0, format!("https://redir-{idx}.dead.sim/inv"), None),
         };
 
         // ---- website & policy --------------------------------------------
@@ -244,8 +270,12 @@ pub fn build_ecosystem(config: &EcosystemConfig) -> Ecosystem {
             GithubClass::None
         } else if rng.gen_bool(config.github_valid_repo_fraction) {
             match roll_split(&mut rng, &config.repo_class_split) {
-                0 => GithubClass::JsRepo { checks: rng.gen_bool(config.js_checks_fraction) },
-                1 => GithubClass::PyRepo { checks: rng.gen_bool(config.py_checks_fraction) },
+                0 => GithubClass::JsRepo {
+                    checks: rng.gen_bool(config.js_checks_fraction),
+                },
+                1 => GithubClass::PyRepo {
+                    checks: rng.gen_bool(config.py_checks_fraction),
+                },
                 2 => GithubClass::OtherLanguageRepo,
                 3 => GithubClass::ReadmeOnly,
                 _ => GithubClass::LicenseOnly,
@@ -261,7 +291,10 @@ pub fn build_ecosystem(config: &EcosystemConfig) -> Ecosystem {
         // class links the same URL from all their bots (template bots
         // republished under several listings — the paper's boilerplate-reuse
         // observation, and what makes cross-bot link memoization pay off).
-        let share_key = format!("{}|{github_class:?}", developers[idx].first().map(String::as_str).unwrap_or(""));
+        let share_key = format!(
+            "{}|{github_class:?}",
+            developers[idx].first().map(String::as_str).unwrap_or("")
+        );
         let github_link = match github_class {
             GithubClass::None => None,
             GithubClass::DeadLink => Some(format!("https://{GITHUB_HOST}/ghost-{idx}/missing")),
@@ -311,21 +344,29 @@ pub fn build_ecosystem(config: &EcosystemConfig) -> Ecosystem {
         };
 
         let n_tags = rng.gen_range(1..=3);
-        let tags: Vec<String> =
-            (0..n_tags).map(|_| TAGS[rng.gen_range(0..TAGS.len())].to_string()).collect();
+        let tags: Vec<String> = (0..n_tags)
+            .map(|_| TAGS[rng.gen_range(0..TAGS.len())].to_string())
+            .collect();
 
         // Sample commands advertised on the listing: prefix + a few verbs
         // matching the bot's tags.
         let prefix = ["!", "?", "$"][rng.gen_range(0usize..3)];
-        let verbs = ["help", "info", "play", "skip", "kick", "ban", "rank", "meme", "poll", "daily"];
+        let verbs = [
+            "help", "info", "play", "skip", "kick", "ban", "rank", "meme", "poll", "daily",
+        ];
         let n_cmds = rng.gen_range(2..=5);
-        let mut commands: Vec<String> =
-            (0..n_cmds).map(|_| format!("{prefix}{}", verbs[rng.gen_range(0..verbs.len())])).collect();
+        let mut commands: Vec<String> = (0..n_cmds)
+            .map(|_| format!("{prefix}{}", verbs[rng.gen_range(0..verbs.len())]))
+            .collect();
         commands.sort();
         commands.dedup();
 
         listings.push(BotListing {
-            id: if client_id != 0 { client_id } else { 8_000_000_000 + idx as u64 },
+            id: if client_id != 0 {
+                client_id
+            } else {
+                8_000_000_000 + idx as u64
+            },
             name: name.clone(),
             tags: tags.clone(),
             description: format!("{name} — {}.", tags.join(" / ")),
@@ -361,7 +402,14 @@ pub fn build_ecosystem(config: &EcosystemConfig) -> Ecosystem {
     let site = BotListSite::new(listings, site_config);
     site.mount(&net);
 
-    Ecosystem { platform, net, site, github, truth, app_owner }
+    Ecosystem {
+        platform,
+        net,
+        site,
+        github,
+        truth,
+        app_owner,
+    }
 }
 
 impl Ecosystem {
@@ -387,10 +435,18 @@ impl Ecosystem {
     ) -> Vec<(BotTruth, InviteUrl, discord_sim::UserId, Box<dyn Behavior>)> {
         let mut out = Vec::new();
         let mut sorted: Vec<&BotTruth> = self.truth.valid_bots().collect();
-        sorted.sort_by(|a, b| b.vote_count.cmp(&a.vote_count).then(a.client_id.cmp(&b.client_id)));
+        sorted.sort_by(|a, b| {
+            b.vote_count
+                .cmp(&a.vote_count)
+                .then(a.client_id.cmp(&b.client_id))
+        });
         for bot in sorted.into_iter().take(count) {
-            let Ok(app) = self.platform.application(bot.client_id) else { continue };
-            let Some(perms) = bot.permissions else { continue };
+            let Ok(app) = self.platform.application(bot.client_id) else {
+                continue;
+            };
+            let Some(perms) = bot.permissions else {
+                continue;
+            };
             out.push((
                 bot.clone(),
                 InviteUrl::bot(bot.client_id, perms),
@@ -418,7 +474,10 @@ mod tests {
         assert!((valid - 0.74).abs() < 0.05, "valid fraction {valid}");
 
         let admin_rate = eco.truth.permission_rate(Permissions::ADMINISTRATOR);
-        assert!((admin_rate - 0.5486).abs() < 0.05, "admin rate {admin_rate}");
+        assert!(
+            (admin_rate - 0.5486).abs() < 0.05,
+            "admin rate {admin_rate}"
+        );
         let send_rate = eco.truth.permission_rate(Permissions::SEND_MESSAGES);
         assert!((send_rate - 0.5918).abs() < 0.05, "send rate {send_rate}");
     }
@@ -427,15 +486,23 @@ mod tests {
     fn valid_bots_are_registered_on_the_platform() {
         let eco = build_ecosystem(&EcosystemConfig::test_scale(200, 12));
         for bot in eco.truth.valid_bots() {
-            assert!(eco.platform.application(bot.client_id).is_ok(), "{}", bot.name);
+            assert!(
+                eco.platform.application(bot.client_id).is_ok(),
+                "{}",
+                bot.name
+            );
         }
     }
 
     #[test]
     fn snooper_is_planted_with_valid_invite_and_name() {
         let eco = build_ecosystem(&EcosystemConfig::test_scale(300, 13));
-        let snoopers: Vec<_> =
-            eco.truth.bots.iter().filter(|b| b.behavior == BehaviorClass::Snooper).collect();
+        let snoopers: Vec<_> = eco
+            .truth
+            .bots
+            .iter()
+            .filter(|b| b.behavior == BehaviorClass::Snooper)
+            .collect();
         assert_eq!(snoopers.len(), 1);
         assert_eq!(snoopers[0].name, "Melonian");
         assert_eq!(snoopers[0].invite_class, InviteClass::Valid);
@@ -452,9 +519,15 @@ mod tests {
         }
         // Every invite installs for real.
         let owner = eco.platform.register_user("tester", "t@x.y");
-        let guild = eco.platform.create_guild(owner, "probe", GuildVisibility::Private).unwrap();
+        let guild = eco
+            .platform
+            .create_guild(owner, "probe", GuildVisibility::Private)
+            .unwrap();
         for (truth, invite, bot_user, _behavior) in &testable {
-            let installed = eco.platform.install_bot(owner, guild, invite, true).unwrap();
+            let installed = eco
+                .platform
+                .install_bot(owner, guild, invite, true)
+                .unwrap();
             assert_eq!(installed, *bot_user, "{}", truth.name);
         }
     }
@@ -464,10 +537,24 @@ mod tests {
         let eco = build_ecosystem(&EcosystemConfig::test_scale(3000, 15));
         let valid: Vec<_> = eco.truth.valid_bots().collect();
         let n = valid.len() as f64;
-        let with_site = valid.iter().filter(|b| b.policy_class != PolicyClass::NoWebsite).count() as f64;
-        assert!((with_site / n - 0.3727).abs() < 0.04, "website fraction {}", with_site / n);
-        let with_gh = valid.iter().filter(|b| b.github_class != GithubClass::None).count() as f64;
-        assert!((with_gh / n - 0.2386).abs() < 0.04, "github fraction {}", with_gh / n);
+        let with_site = valid
+            .iter()
+            .filter(|b| b.policy_class != PolicyClass::NoWebsite)
+            .count() as f64;
+        assert!(
+            (with_site / n - 0.3727).abs() < 0.04,
+            "website fraction {}",
+            with_site / n
+        );
+        let with_gh = valid
+            .iter()
+            .filter(|b| b.github_class != GithubClass::None)
+            .count() as f64;
+        assert!(
+            (with_gh / n - 0.2386).abs() < 0.04,
+            "github fraction {}",
+            with_gh / n
+        );
     }
 
     #[test]
@@ -484,7 +571,10 @@ mod tests {
             "least-voted bots sit in 0 guilds"
         );
         let top: Vec<_> = by_votes.iter().take(30).collect();
-        assert!(top.iter().all(|b| b.guild_count >= 25), "most-voted are in real use");
+        assert!(
+            top.iter().all(|b| b.guild_count >= 25),
+            "most-voted are in real use"
+        );
         // Vote range spans orders of magnitude (paper: 876K → 6; the floor
         // of 6 binds only at paper scale, so assert the spread shape here).
         assert!(by_votes[0].vote_count > 100_000);

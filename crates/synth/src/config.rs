@@ -146,7 +146,10 @@ impl Default for EcosystemConfig {
 impl EcosystemConfig {
     /// The full paper-scale population.
     pub fn paper_scale() -> EcosystemConfig {
-        EcosystemConfig { num_bots: 20_915, ..EcosystemConfig::default() }
+        EcosystemConfig {
+            num_bots: 20_915,
+            ..EcosystemConfig::default()
+        }
     }
 
     /// A small, defense-free configuration for fast unit tests.
@@ -169,9 +172,15 @@ mod tests {
     #[test]
     fn figure3_covers_25_permissions_with_exact_anchors() {
         assert_eq!(FIGURE3_PERMISSION_RATES.len(), 25);
-        let send = FIGURE3_PERMISSION_RATES.iter().find(|(n, _)| *n == "send messages").unwrap();
+        let send = FIGURE3_PERMISSION_RATES
+            .iter()
+            .find(|(n, _)| *n == "send messages")
+            .unwrap();
         assert!((send.1 - 59.18).abs() < 1e-9);
-        let admin = FIGURE3_PERMISSION_RATES.iter().find(|(n, _)| *n == "administrator").unwrap();
+        let admin = FIGURE3_PERMISSION_RATES
+            .iter()
+            .find(|(n, _)| *n == "administrator")
+            .unwrap();
         assert!((admin.1 - 54.86).abs() < 1e-9);
         // Every name resolves to a real permission bit.
         for (name, rate) in FIGURE3_PERMISSION_RATES {
@@ -184,8 +193,10 @@ mod tests {
     fn table1_totals_match_the_paper() {
         let developers: u32 = TABLE1_DEVELOPER_DISTRIBUTION.iter().map(|(_, d)| d).sum();
         assert_eq!(developers, 12_427, "paper: 12,427 developers");
-        let attributed_bots: u32 =
-            TABLE1_DEVELOPER_DISTRIBUTION.iter().map(|(k, d)| k * d).sum();
+        let attributed_bots: u32 = TABLE1_DEVELOPER_DISTRIBUTION
+            .iter()
+            .map(|(k, d)| k * d)
+            .sum();
         // Bots with attributed developers; the remainder of the 20,915 are
         // built on third-party platforms (botghost etc.) per §4.2.
         assert_eq!(attributed_bots, 14_201);

@@ -10,7 +10,8 @@ use crate::config::TABLE1_DEVELOPER_DISTRIBUTION;
 use rand::Rng;
 
 /// The development platforms §4.2 names.
-pub const THIRD_PARTY_PLATFORMS: &[&str] = &["botghost.com", "autocode.com", "discordbotstudio.org"];
+pub const THIRD_PARTY_PLATFORMS: &[&str] =
+    &["botghost.com", "autocode.com", "discordbotstudio.org"];
 
 /// Assign a developer handle to each of `num_bots` bots.
 ///
@@ -107,7 +108,10 @@ mod tests {
         let editid: u32 = a.iter().filter(|d| d[0] == "editid#6714").count() as u32;
         assert_eq!(editid, 12);
         // And third-party platforms fill the unattributed remainder.
-        let platform_bots = a.iter().filter(|d| d[0].contains(".com/") || d[0].contains(".org/")).count();
+        let platform_bots = a
+            .iter()
+            .filter(|d| d[0].contains(".com/") || d[0].contains(".org/"))
+            .count();
         assert_eq!(platform_bots, 20_915 - 14_201);
     }
 

@@ -44,7 +44,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(42);
         const N: usize = 20_000;
         let samples: Vec<Permissions> = (0..N).map(|_| sample_permissions(&mut rng)).collect();
-        for (name, rate) in [("send messages", 59.18), ("administrator", 54.86), ("send tts messages", 5.0)] {
+        for (name, rate) in [
+            ("send messages", 59.18),
+            ("administrator", 54.86),
+            ("send tts messages", 5.0),
+        ] {
             let perm = Permissions::by_name(name).unwrap();
             let got = samples.iter().filter(|s| s.contains(perm)).count() as f64 / N as f64 * 100.0;
             assert!(
@@ -79,7 +83,11 @@ mod tests {
     #[test]
     fn redundancy_predicate() {
         assert!(!is_redundant_admin_request(Permissions::ADMINISTRATOR));
-        assert!(is_redundant_admin_request(Permissions::ADMINISTRATOR | Permissions::SPEAK));
-        assert!(!is_redundant_admin_request(Permissions::SPEAK | Permissions::CONNECT));
+        assert!(is_redundant_admin_request(
+            Permissions::ADMINISTRATOR | Permissions::SPEAK
+        ));
+        assert!(!is_redundant_admin_request(
+            Permissions::SPEAK | Permissions::CONNECT
+        ));
     }
 }

@@ -79,7 +79,9 @@ impl GithubClass {
     pub fn has_source(self) -> bool {
         matches!(
             self,
-            GithubClass::JsRepo { .. } | GithubClass::PyRepo { .. } | GithubClass::OtherLanguageRepo
+            GithubClass::JsRepo { .. }
+                | GithubClass::PyRepo { .. }
+                | GithubClass::OtherLanguageRepo
         )
     }
 }
@@ -133,7 +135,9 @@ pub struct GroundTruth {
 impl GroundTruth {
     /// Bots with valid invite links.
     pub fn valid_bots(&self) -> impl Iterator<Item = &BotTruth> {
-        self.bots.iter().filter(|b| b.invite_class == InviteClass::Valid)
+        self.bots
+            .iter()
+            .filter(|b| b.invite_class == InviteClass::Valid)
     }
 
     /// Fraction of valid bots whose planted permissions include `perm`.
@@ -203,8 +207,18 @@ mod tests {
     #[test]
     fn permission_rate_over_valid_only() {
         let t = truth_with(vec![
-            bot("a", InviteClass::Valid, Some(Permissions::ADMINISTRATOR), &["d1"]),
-            bot("b", InviteClass::Valid, Some(Permissions::SEND_MESSAGES), &["d1"]),
+            bot(
+                "a",
+                InviteClass::Valid,
+                Some(Permissions::ADMINISTRATOR),
+                &["d1"],
+            ),
+            bot(
+                "b",
+                InviteClass::Valid,
+                Some(Permissions::SEND_MESSAGES),
+                &["d1"],
+            ),
             bot("c", InviteClass::Malformed, None, &["d2"]),
         ]);
         assert!((t.permission_rate(Permissions::ADMINISTRATOR) - 0.5).abs() < 1e-9);

@@ -31,12 +31,30 @@ fn main() {
 
     let mut bots = Vec::new();
     for (name, extra_perms, behavior) in [
-        ("GoodBot", Permissions::NONE, Box::new(BenignBehavior::new("fun")) as Box<dyn botsdk::Behavior>),
-        ("Melonian", Permissions::NONE, Box::new(SnooperBehavior::new(12))),
-        ("Harvester", Permissions::NONE, Box::new(ExfiltratorBehavior::new(Some("drop.zone.sim")).spamming())),
-        ("HookSnatcher", Permissions::MANAGE_WEBHOOKS, Box::new(WebhookThiefBehavior::new("drop.zone.sim"))),
+        (
+            "GoodBot",
+            Permissions::NONE,
+            Box::new(BenignBehavior::new("fun")) as Box<dyn botsdk::Behavior>,
+        ),
+        (
+            "Melonian",
+            Permissions::NONE,
+            Box::new(SnooperBehavior::new(12)),
+        ),
+        (
+            "Harvester",
+            Permissions::NONE,
+            Box::new(ExfiltratorBehavior::new(Some("drop.zone.sim")).spamming()),
+        ),
+        (
+            "HookSnatcher",
+            Permissions::MANAGE_WEBHOOKS,
+            Box::new(WebhookThiefBehavior::new("drop.zone.sim")),
+        ),
     ] {
-        let app = platform.register_bot_application(dev, name).expect("dev exists");
+        let app = platform
+            .register_bot_application(dev, name)
+            .expect("dev exists");
         bots.push(BotUnderTest {
             name: name.to_string(),
             client_id: app.client_id,
@@ -67,7 +85,11 @@ fn main() {
             t.at,
             t.token_id,
             t.requester,
-            if t.via_mail { "(mail delivery)" } else { "(url fetch)" }
+            if t.via_mail {
+                "(mail delivery)"
+            } else {
+                "(url fetch)"
+            }
         );
     }
 

@@ -15,8 +15,11 @@ use synth::{build_ecosystem, EcosystemConfig};
 fn main() {
     // ---- Figure 2: what the user consents to --------------------------
     println!("=== The installation consent screen (Figure 2) ===\n");
-    let invite = InviteUrl::bot(424242, Permissions::ADMINISTRATOR | Permissions::SEND_MESSAGES)
-        .with_scope(OAuthScope::Email);
+    let invite = InviteUrl::bot(
+        424242,
+        Permissions::ADMINISTRATOR | Permissions::SEND_MESSAGES,
+    )
+    .with_scope(OAuthScope::Email);
     println!("{}", invite.consent_screen("MegaMod"));
     println!("invite URL: {}\n", invite.to_url());
 
@@ -29,7 +32,11 @@ fn main() {
     );
 
     // ---- Crawl a world and analyze what bots actually request ----------
-    let eco = build_ecosystem(&EcosystemConfig { num_bots: 2_000, seed: 99, ..EcosystemConfig::default() });
+    let eco = build_ecosystem(&EcosystemConfig {
+        num_bots: 2_000,
+        seed: 99,
+        ..EcosystemConfig::default()
+    });
     let pipeline = AuditPipeline::new(AuditConfig::default());
     let (bots, _) = pipeline.run_static_stages(&eco.net);
 
@@ -41,7 +48,10 @@ fn main() {
         })
         .collect();
 
-    let admin = valid.iter().filter(|p| p.contains(Permissions::ADMINISTRATOR)).count();
+    let admin = valid
+        .iter()
+        .filter(|p| p.contains(Permissions::ADMINISTRATOR))
+        .count();
     let redundant = valid
         .iter()
         .filter(|p| p.contains(Permissions::ADMINISTRATOR) && p.count() > 1)
@@ -62,13 +72,20 @@ fn main() {
 
     println!("Top 10 requested permissions:");
     for row in figure3_distribution(&bots, 10) {
-        println!("  {:28} {:6.2}%  ({} bots)", row.permission, row.percent, row.count);
+        println!(
+            "  {:28} {:6.2}%  ({} bots)",
+            row.permission, row.percent, row.count
+        );
     }
 
     // ---- Decode a few scraped invite links -----------------------------
     println!("\nSample decoded invite links:");
     for bot in bots.iter().take(40) {
-        if let InviteStatus::Valid { permissions, scopes } = &bot.crawled.invite_status {
+        if let InviteStatus::Valid {
+            permissions,
+            scopes,
+        } = &bot.crawled.invite_status
+        {
             if permissions.contains(Permissions::ADMINISTRATOR) {
                 println!(
                     "  {:18} scopes={:?} permissions=[{}]",

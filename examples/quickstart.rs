@@ -15,12 +15,19 @@ use synth::{build_ecosystem, EcosystemConfig};
 fn main() {
     println!("=== chatbot-audit quickstart ===\n");
     println!("Stage 0  build a synthetic ecosystem (1,000 listings, paper-calibrated)");
-    let eco = build_ecosystem(&EcosystemConfig { num_bots: 1_000, seed: 7, ..EcosystemConfig::default() });
+    let eco = build_ecosystem(&EcosystemConfig {
+        num_bots: 1_000,
+        seed: 7,
+        ..EcosystemConfig::default()
+    });
 
     println!("Stage 1  data collection: crawl the listing site (captchas, rate limits and all)");
     println!("Stage 2  traceability: compare privacy policies against requested permissions");
     println!("Stage 3  code analysis: resolve GitHub links, scan for permission checks");
-    let pipeline = AuditPipeline::new(AuditConfig { honeypot_sample: 40, ..AuditConfig::default() });
+    let pipeline = AuditPipeline::new(AuditConfig {
+        honeypot_sample: 40,
+        ..AuditConfig::default()
+    });
     let (bots, stats) = pipeline.run_static_stages(&eco.net);
     println!(
         "         crawled {} bots over {} pages; {} captchas solved (${:.2}); {} of virtual time\n",
@@ -46,13 +53,22 @@ fn main() {
     }
 
     println!("\nPer-bot risk flags (first 10 flagged bots):");
-    let detected: Vec<&str> = campaign.detections.iter().map(|d| d.bot_name.as_str()).collect();
+    let detected: Vec<&str> = campaign
+        .detections
+        .iter()
+        .map(|d| d.bot_name.as_str())
+        .collect();
     let mut shown = 0;
     for bot in &bots {
         let hit = detected.contains(&bot.crawled.scraped.name.as_str());
         let report = risk_report(bot, hit);
         if report.flags.iter().any(|f| {
-            matches!(f, RiskFlag::HoneypotDetection | RiskFlag::RedundantAdminRequest | RiskFlag::NoInvokerChecks)
+            matches!(
+                f,
+                RiskFlag::HoneypotDetection
+                    | RiskFlag::RedundantAdminRequest
+                    | RiskFlag::NoInvokerChecks
+            )
         }) && shown < 10
         {
             println!("  {:20} {:?}", report.name, report.flags);

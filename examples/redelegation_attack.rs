@@ -24,49 +24,104 @@ fn main() {
     let owner = platform.register_user("owner#1", "o@x.y");
     let victim = platform.register_user("victim#2", "v@x.y");
     let mallory = platform.register_user("mallory#3", "m@x.y");
-    let guild = platform.create_guild(owner, "community", GuildVisibility::Public).expect("owner exists");
-    platform.join_guild(victim, guild, None).expect("public guild");
-    platform.join_guild(mallory, guild, None).expect("public guild");
+    let guild = platform
+        .create_guild(owner, "community", GuildVisibility::Public)
+        .expect("owner exists");
+    platform
+        .join_guild(victim, guild, None)
+        .expect("public guild");
+    platform
+        .join_guild(mallory, guild, None)
+        .expect("public guild");
     let channel = platform.default_channel(guild).expect("guild has #general");
 
     println!("=== Permission re-delegation attack ===\n");
-    println!("mallory's effective permissions: [{}]", platform.effective_permissions(mallory, channel).expect("member"));
+    println!(
+        "mallory's effective permissions: [{}]",
+        platform
+            .effective_permissions(mallory, channel)
+            .expect("member")
+    );
     println!("→ mallory cannot kick anyone directly:");
-    println!("  platform says: {}\n", platform.kick(mallory, guild, victim).unwrap_err());
+    println!(
+        "  platform says: {}\n",
+        platform.kick(mallory, guild, victim).unwrap_err()
+    );
 
-    for (label, checks_invoker) in [("UNSAFE bot (no invoker check)", false), ("SAFE bot (checks invoker)", true)] {
+    for (label, checks_invoker) in [
+        ("UNSAFE bot (no invoker check)", false),
+        ("SAFE bot (checks invoker)", true),
+    ] {
         println!("--- {label} ---");
-        let app = platform.register_bot_application(owner, &format!("ModBot-{checks_invoker}")).expect("owner");
+        let app = platform
+            .register_bot_application(owner, &format!("ModBot-{checks_invoker}"))
+            .expect("owner");
         let behavior = CommandBot::new(vec![CommandSpec::moderation(
             "kick",
             Permissions::KICK_MEMBERS,
             checks_invoker,
             CommandAction::KickArg,
         )]);
-        let bot = Bot::connect(platform.clone(), net.clone(), app.bot_user, "modbot", Box::new(behavior))
-            .expect("bot account");
+        let bot = Bot::connect(
+            platform.clone(),
+            net.clone(),
+            app.bot_user,
+            "modbot",
+            Box::new(behavior),
+        )
+        .expect("bot account");
         let mut runner = BotRunner::new();
         runner.add(bot);
         // The bot is installed with KICK_MEMBERS — it CAN kick.
         platform
-            .install_bot(owner, guild, &InviteUrl::bot(app.client_id, Permissions::KICK_MEMBERS | Permissions::SEND_MESSAGES), true)
+            .install_bot(
+                owner,
+                guild,
+                &InviteUrl::bot(
+                    app.client_id,
+                    Permissions::KICK_MEMBERS | Permissions::SEND_MESSAGES,
+                ),
+                true,
+            )
             .expect("owner has MANAGE_GUILD");
 
         // Mallory asks the bot to kick the victim.
         platform
-            .send_message(mallory, channel, &format!("!kick {}", victim.0.raw()), vec![])
+            .send_message(
+                mallory,
+                channel,
+                &format!("!kick {}", victim.0.raw()),
+                vec![],
+            )
             .expect("mallory can chat");
         runner.run_until_idle();
 
-        let kicked = platform.guild(guild).expect("guild").member(victim).is_err();
-        let last = platform.read_history(owner, channel).expect("owner reads").pop().expect("bot replied");
+        let kicked = platform
+            .guild(guild)
+            .expect("guild")
+            .member(victim)
+            .is_err();
+        let last = platform
+            .read_history(owner, channel)
+            .expect("owner reads")
+            .pop()
+            .expect("bot replied");
         println!("  mallory: !kick {}", victim.0.raw());
         println!("  bot:     {}", last.content);
-        println!("  victim kicked? {}\n", if kicked { "YES — privilege re-delegated!" } else { "no" });
+        println!(
+            "  victim kicked? {}\n",
+            if kicked {
+                "YES — privilege re-delegated!"
+            } else {
+                "no"
+            }
+        );
 
         // Put the victim back for the next round.
         if kicked {
-            platform.join_guild(victim, guild, None).expect("public guild");
+            platform
+                .join_guild(victim, guild, None)
+                .expect("public guild");
         }
     }
 
@@ -75,37 +130,75 @@ fn main() {
 
     // --- The structural fix: slash commands with platform enforcement ---
     println!("--- Slash commands (platform-enforced default_member_permissions) ---");
-    let app = platform.register_bot_application(owner, "SlashMod").expect("owner");
+    let app = platform
+        .register_bot_application(owner, "SlashMod")
+        .expect("owner");
     let behavior = CommandBot::new(vec![CommandSpec::moderation(
         "kick",
         Permissions::KICK_MEMBERS,
         false, // developer STILL doesn't check — and it no longer matters
         CommandAction::KickArg,
     )]);
-    let bot = Bot::connect(platform.clone(), net, app.bot_user, "slashmod", Box::new(behavior))
-        .expect("bot account");
+    let bot = Bot::connect(
+        platform.clone(),
+        net,
+        app.bot_user,
+        "slashmod",
+        Box::new(behavior),
+    )
+    .expect("bot account");
     let mut runner = BotRunner::new();
     runner.add(bot);
     platform
-        .install_bot(owner, guild, &InviteUrl::bot(app.client_id, Permissions::KICK_MEMBERS | Permissions::SEND_MESSAGES), true)
+        .install_bot(
+            owner,
+            guild,
+            &InviteUrl::bot(
+                app.client_id,
+                Permissions::KICK_MEMBERS | Permissions::SEND_MESSAGES,
+            ),
+            true,
+        )
         .expect("install");
     platform
         .register_slash_commands(
             owner,
             app.client_id,
-            vec![discord_sim::SlashCommand::gated("kick", "remove a member", Permissions::KICK_MEMBERS)],
+            vec![discord_sim::SlashCommand::gated(
+                "kick",
+                "remove a member",
+                Permissions::KICK_MEMBERS,
+            )],
         )
         .expect("owner registers");
 
-    match platform.invoke_slash(mallory, channel, app.client_id, "kick", &victim.0.raw().to_string()) {
-        Err(e) => println!("  mallory: /kick → PLATFORM refuses before the bot hears anything:\n           {e}"),
+    match platform.invoke_slash(
+        mallory,
+        channel,
+        app.client_id,
+        "kick",
+        &victim.0.raw().to_string(),
+    ) {
+        Err(e) => println!(
+            "  mallory: /kick → PLATFORM refuses before the bot hears anything:\n           {e}"
+        ),
         Ok(()) => unreachable!("mallory must be rejected"),
     }
     platform
-        .invoke_slash(owner, channel, app.client_id, "kick", &victim.0.raw().to_string())
+        .invoke_slash(
+            owner,
+            channel,
+            app.client_id,
+            "kick",
+            &victim.0.raw().to_string(),
+        )
         .expect("owner holds KICK_MEMBERS");
     runner.run_until_idle();
-    let kicked = platform.guild(guild).expect("guild").member(victim).is_err();
+    let kicked = platform
+        .guild(guild)
+        .expect("guild")
+        .member(victim)
+        .is_err();
     println!("  owner:   /kick → interaction delivered, victim kicked? {kicked}");
     println!("\nWith application commands the invoker check moves into the platform —");
     println!("re-delegation is closed structurally, not by developer diligence.");

@@ -10,11 +10,19 @@ use policy::{analyze, corpus, DataPractice, KeywordOntology, PrivacyPolicy};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn show(name: &str, policy: Option<&PrivacyPolicy>, permissions: &[&str], ontology: &KeywordOntology) {
+fn show(
+    name: &str,
+    policy: Option<&PrivacyPolicy>,
+    permissions: &[&str],
+    ontology: &KeywordOntology,
+) {
     let report = analyze(policy, permissions, ontology);
     println!("--- {name} ---");
     if let Some(p) = policy {
-        println!("  text: {:?}…", p.full_text().chars().take(90).collect::<String>());
+        println!(
+            "  text: {:?}…",
+            p.full_text().chars().take(90).collect::<String>()
+        );
     } else {
         println!("  text: (no policy found)");
     }
@@ -27,10 +35,17 @@ fn show(name: &str, policy: Option<&PrivacyPolicy>, permissions: &[&str], ontolo
                 "    {:24} noun {:10} → {}",
                 d.permission,
                 format!("{:?}", d.matched_noun),
-                if d.disclosed { "disclosed" } else { "NOT disclosed" }
+                if d.disclosed {
+                    "disclosed"
+                } else {
+                    "NOT disclosed"
+                }
             );
         }
-        println!("  disclosure ratio    : {:.0}%", report.disclosure_ratio() * 100.0);
+        println!(
+            "  disclosure ratio    : {:.0}%",
+            report.disclosure_ratio() * 100.0
+        );
     }
     println!();
 }
@@ -47,24 +62,52 @@ fn main() {
     );
 
     let complete = corpus::complete_policy(&mut rng, "CarefulBot", true);
-    show("a complete, tailored policy", Some(&complete), &perms, &ontology);
+    show(
+        "a complete, tailored policy",
+        Some(&complete),
+        &perms,
+        &ontology,
+    );
 
     let partial = corpus::partial_policy(&mut rng, "HalfBot", &[DataPractice::Collect], true);
-    show("a partial policy (collection only)", Some(&partial), &perms, &ontology);
+    show(
+        "a partial policy (collection only)",
+        Some(&partial),
+        &perms,
+        &ontology,
+    );
 
     let generic = corpus::generic_boilerplate();
-    show("generic boilerplate (reused verbatim across bots)", Some(&generic), &perms, &ontology);
+    show(
+        "generic boilerplate (reused verbatim across bots)",
+        Some(&generic),
+        &perms,
+        &ontology,
+    );
 
     let vacuous = corpus::vacuous_policy();
-    show("a policy page that says nothing", Some(&vacuous), &perms, &ontology);
+    show(
+        "a policy page that says nothing",
+        Some(&vacuous),
+        &perms,
+        &ontology,
+    );
 
-    show("no policy at all (the 95.67% case)", None, &perms, &ontology);
+    show(
+        "no policy at all (the 95.67% case)",
+        None,
+        &perms,
+        &ontology,
+    );
 
     println!("=== Ontology ablation ===");
     let base = KeywordOntology::base_verbs_only();
     let synonym_heavy = PrivacyPolicy::new(
         "P",
-        vec!["Usage data is gathered, analyzed, kept in our database, and never sold to anyone.".into()],
+        vec![
+            "Usage data is gathered, analyzed, kept in our database, and never sold to anyone."
+                .into(),
+        ],
         false,
     );
     let full_result = analyze(Some(&synonym_heavy), &[], &ontology);

@@ -20,7 +20,10 @@ fn seed_2022_world_fingerprint() {
     let pipeline = AuditPipeline::new(AuditConfig::default());
     let (bots, _) = pipeline.run_static_stages(&eco.net);
 
-    let valid = bots.iter().filter(|b| b.crawled.invite_status.is_valid()).count();
+    let valid = bots
+        .iter()
+        .filter(|b| b.crawled.invite_status.is_valid())
+        .count();
     let t2 = table2_traceability(&bots);
     let t3 = table3_code_analysis(&bots);
 
@@ -40,16 +43,37 @@ fn invite_breakdown_matches_planted_classes_exactly() {
     let pipeline = AuditPipeline::new(AuditConfig::default());
     let (bots, _) = pipeline.run_static_stages(&eco.net);
 
-    let planted = |class: InviteClass| eco.truth.bots.iter().filter(|b| b.invite_class == class).count();
+    let planted = |class: InviteClass| {
+        eco.truth
+            .bots
+            .iter()
+            .filter(|b| b.invite_class == class)
+            .count()
+    };
     let measured = |f: &dyn Fn(&InviteStatus) -> bool| {
         bots.iter().filter(|b| f(&b.crawled.invite_status)).count()
     };
 
     // Every planted failure mode is recovered as the matching measurement
     // class — the full confusion matrix is diagonal.
-    assert_eq!(measured(&|s| matches!(s, InviteStatus::Valid { .. })), planted(InviteClass::Valid));
-    assert_eq!(measured(&|s| *s == InviteStatus::Removed), planted(InviteClass::Removed));
-    assert_eq!(measured(&|s| *s == InviteStatus::MalformedLink), planted(InviteClass::Malformed));
-    assert_eq!(measured(&|s| *s == InviteStatus::DeadLink), planted(InviteClass::DeadRedirect));
-    assert_eq!(measured(&|s| *s == InviteStatus::TimedOut), planted(InviteClass::SlowRedirect));
+    assert_eq!(
+        measured(&|s| matches!(s, InviteStatus::Valid { .. })),
+        planted(InviteClass::Valid)
+    );
+    assert_eq!(
+        measured(&|s| *s == InviteStatus::Removed),
+        planted(InviteClass::Removed)
+    );
+    assert_eq!(
+        measured(&|s| *s == InviteStatus::MalformedLink),
+        planted(InviteClass::Malformed)
+    );
+    assert_eq!(
+        measured(&|s| *s == InviteStatus::DeadLink),
+        planted(InviteClass::DeadRedirect)
+    );
+    assert_eq!(
+        measured(&|s| *s == InviteStatus::TimedOut),
+        planted(InviteClass::SlowRedirect)
+    );
 }

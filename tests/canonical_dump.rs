@@ -11,8 +11,10 @@ fn dump_canonical_reports() {
     let dir = std::env::var("CANON_OUT").expect("set CANON_OUT to an output directory");
     for seed in [2022u64, 7] {
         let eco = build_ecosystem(&EcosystemConfig::test_scale(300, seed));
-        let pipeline =
-            AuditPipeline::new(AuditConfig { honeypot_sample: 15, ..AuditConfig::default() });
+        let pipeline = AuditPipeline::new(AuditConfig {
+            honeypot_sample: 15,
+            ..AuditConfig::default()
+        });
         let json = pipeline.run_full(&eco).canonical_json();
         std::fs::write(format!("{dir}/canon_{seed}.json"), json).expect("write canonical dump");
     }

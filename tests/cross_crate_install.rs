@@ -20,16 +20,27 @@ fn listed_bot_can_be_discovered_and_installed() {
         .iter()
         .find(|b| b.invite_status.is_valid())
         .expect("some bot has a valid invite");
-    let InviteStatus::Valid { permissions, .. } = &target.invite_status else { unreachable!() };
+    let InviteStatus::Valid { permissions, .. } = &target.invite_status else {
+        unreachable!()
+    };
 
     // A user who read the listing installs the bot into their own guild.
     let user = eco.platform.register_user("enduser#1", "e@x.y");
-    let guild = eco.platform.create_guild(user, "my-server", GuildVisibility::Private).expect("user exists");
+    let guild = eco
+        .platform
+        .create_guild(user, "my-server", GuildVisibility::Private)
+        .expect("user exists");
     let invite_url = Url::parse(&target.scraped.invite_link).expect("valid link parses");
     let invite = InviteUrl::parse(&invite_url).expect("valid oauth link");
-    assert_eq!(&invite.permissions, permissions, "crawler decoded what the page requests");
+    assert_eq!(
+        &invite.permissions, permissions,
+        "crawler decoded what the page requests"
+    );
 
-    let bot_user = eco.platform.install_bot(user, guild, &invite, true).expect("install succeeds");
+    let bot_user = eco
+        .platform
+        .install_bot(user, guild, &invite, true)
+        .expect("install succeeds");
 
     // The managed role carries exactly the requested permissions.
     let g = eco.platform.guild(guild).expect("guild");
@@ -50,9 +61,14 @@ fn listed_bot_can_be_discovered_and_installed() {
     runner.add(bot);
 
     let channel = eco.platform.default_channel(guild).expect("has #general");
-    eco.platform.send_message(user, channel, "!ping", vec![]).expect("user can chat");
+    eco.platform
+        .send_message(user, channel, "!ping", vec![])
+        .expect("user can chat");
     runner.run_until_idle();
-    let history = eco.platform.read_history(user, channel).expect("user reads");
+    let history = eco
+        .platform
+        .read_history(user, channel)
+        .expect("user reads");
     assert_eq!(history.last().expect("bot replied").content, "pong");
 }
 
@@ -61,8 +77,14 @@ fn consent_screen_matches_scraped_permissions() {
     let eco = build_ecosystem(&EcosystemConfig::test_scale(60, 22));
     let (crawled, _) = crawl_listing(&eco.net, &CrawlConfig::default());
 
-    for bot in crawled.iter().filter(|b| b.invite_status.is_valid()).take(10) {
-        let InviteStatus::Valid { permissions, .. } = &bot.invite_status else { unreachable!() };
+    for bot in crawled
+        .iter()
+        .filter(|b| b.invite_status.is_valid())
+        .take(10)
+    {
+        let InviteStatus::Valid { permissions, .. } = &bot.invite_status else {
+            unreachable!()
+        };
         // Fetch the consent screen the way a human would.
         let mut client = netsim::HttpClient::new(
             eco.net.clone(),
@@ -71,7 +93,11 @@ fn consent_screen_matches_scraped_permissions() {
         let url = Url::parse(&bot.scraped.invite_link).expect("parses");
         let page = client.get(url).expect("reachable").text();
         for name in permissions.names() {
-            assert!(page.contains(name), "consent screen for {} missing {name}", bot.scraped.name);
+            assert!(
+                page.contains(name),
+                "consent screen for {} missing {name}",
+                bot.scraped.name
+            );
         }
     }
 }
@@ -84,18 +110,28 @@ fn admin_bot_reads_channels_users_cannot() {
     let admin_listing = eco
         .truth
         .valid_bots()
-        .find(|b| b.permissions.map(|p| p.contains(Permissions::ADMINISTRATOR)).unwrap_or(false))
+        .find(|b| {
+            b.permissions
+                .map(|p| p.contains(Permissions::ADMINISTRATOR))
+                .unwrap_or(false)
+        })
         .expect("calibration plants many admin bots");
 
     let user = eco.platform.register_user("owner#9", "o@x.y");
-    let guild = eco.platform.create_guild(user, "locked", GuildVisibility::Private).expect("user");
+    let guild = eco
+        .platform
+        .create_guild(user, "locked", GuildVisibility::Private)
+        .expect("user");
     let channel = eco.platform.default_channel(guild).expect("channel");
     let bot_user = eco
         .platform
         .install_bot(
             user,
             guild,
-            &InviteUrl::bot(admin_listing.client_id, admin_listing.permissions.expect("valid")),
+            &InviteUrl::bot(
+                admin_listing.client_id,
+                admin_listing.permissions.expect("valid"),
+            ),
             true,
         )
         .expect("install");
@@ -103,11 +139,15 @@ fn admin_bot_reads_channels_users_cannot() {
     // Lock the channel for @everyone.
     let everyone = eco.platform.guild(guild).expect("g").everyone_role;
     let stripped = Permissions::NONE;
-    eco.platform.edit_role(user, guild, everyone, stripped).expect("owner edits");
+    eco.platform
+        .edit_role(user, guild, everyone, stripped)
+        .expect("owner edits");
 
     let alice = eco.platform.register_user("alice#7", "a@x.y");
     let code = eco.platform.create_invite(user, guild).expect("owner");
-    eco.platform.join_guild(alice, guild, Some(&code)).expect("invited");
+    eco.platform
+        .join_guild(alice, guild, Some(&code))
+        .expect("invited");
 
     // Alice cannot read; the admin bot can.
     assert!(eco.platform.read_history(alice, channel).is_err());

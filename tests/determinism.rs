@@ -11,7 +11,10 @@ use synth::{build_ecosystem, EcosystemConfig};
 /// canonical JSON report.
 fn canonical_run(seed: u64, workers: usize) -> String {
     let eco = build_ecosystem(&EcosystemConfig::test_scale(300, seed));
-    let mut config = AuditConfig { honeypot_sample: 15, ..AuditConfig::default() };
+    let mut config = AuditConfig {
+        honeypot_sample: 15,
+        ..AuditConfig::default()
+    };
     config.workers = workers;
     config.crawl.workers = workers;
     config.honeypot.workers = workers;
@@ -21,7 +24,10 @@ fn canonical_run(seed: u64, workers: usize) -> String {
 
 fn full_run(seed: u64) -> (String, usize, usize) {
     let eco = build_ecosystem(&EcosystemConfig::test_scale(300, seed));
-    let pipeline = AuditPipeline::new(AuditConfig { honeypot_sample: 15, ..AuditConfig::default() });
+    let pipeline = AuditPipeline::new(AuditConfig {
+        honeypot_sample: 15,
+        ..AuditConfig::default()
+    });
     let (bots, stats) = pipeline.run_static_stages(&eco.net);
     let campaign = pipeline.run_honeypot(&eco);
 
@@ -32,7 +38,11 @@ fn full_run(seed: u64) -> (String, usize, usize) {
         "{fig3}|{t2:?}|{t3:?}|{}|{}|{:?}",
         stats.pages,
         stats.captchas_solved,
-        campaign.detections.iter().map(|d| (&d.bot_name, &d.token_kinds)).collect::<Vec<_>>()
+        campaign
+            .detections
+            .iter()
+            .map(|d| (&d.bot_name, &d.token_kinds))
+            .collect::<Vec<_>>()
     );
     (digest, bots.len(), campaign.triggers.len())
 }
@@ -61,7 +71,10 @@ fn parallel_workers_match_serial_byte_for_byte() {
     for seed in [2022u64, 424242] {
         let serial = canonical_run(seed, 1);
         let parallel = canonical_run(seed, 4);
-        assert_eq!(serial, parallel, "seed {seed}: workers=4 diverged from workers=1");
+        assert_eq!(
+            serial, parallel,
+            "seed {seed}: workers=4 diverged from workers=1"
+        );
     }
 }
 

@@ -8,7 +8,11 @@ use chatbot_audit::{
 use synth::{build_ecosystem, EcosystemConfig};
 
 fn world(n: usize, seed: u64) -> (synth::Ecosystem, Vec<chatbot_audit::AuditedBot>) {
-    let eco = build_ecosystem(&EcosystemConfig { num_bots: n, seed, ..EcosystemConfig::default() });
+    let eco = build_ecosystem(&EcosystemConfig {
+        num_bots: n,
+        seed,
+        ..EcosystemConfig::default()
+    });
     let pipeline = AuditPipeline::new(AuditConfig::default());
     let (bots, _) = pipeline.run_static_stages(&eco.net);
     (eco, bots)
@@ -19,14 +23,27 @@ fn paper_headline_findings_hold() {
     let (_eco, bots) = world(2_500, 1);
 
     // ~74% valid invites.
-    let valid = bots.iter().filter(|b| b.crawled.invite_status.is_valid()).count();
+    let valid = bots
+        .iter()
+        .filter(|b| b.crawled.invite_status.is_valid())
+        .count();
     let valid_pct = valid as f64 / bots.len() as f64 * 100.0;
-    assert!((valid_pct - 74.0).abs() < 4.0, "valid invite rate {valid_pct:.1}%");
+    assert!(
+        (valid_pct - 74.0).abs() < 4.0,
+        "valid invite rate {valid_pct:.1}%"
+    );
 
     // "55% of chatbots … request the administrator permission".
     let rows = figure3_distribution(&bots, 25);
-    let admin = rows.iter().find(|r| r.permission == "administrator").expect("admin bar present");
-    assert!((admin.percent - 54.86).abs() < 4.0, "admin {:.1}%", admin.percent);
+    let admin = rows
+        .iter()
+        .find(|r| r.permission == "administrator")
+        .expect("admin bar present");
+    assert!(
+        (admin.percent - 54.86).abs() < 4.0,
+        "admin {:.1}%",
+        admin.percent
+    );
 
     // send messages is the most-requested permission.
     assert_eq!(rows[0].permission, "send messages");
@@ -35,23 +52,44 @@ fn paper_headline_findings_hold() {
     // policy" and none are complete.
     let t2 = table2_traceability(&bots);
     let policy_pct = t2.pct(t2.policy_link);
-    assert!((policy_pct - 4.35).abs() < 1.5, "policy link rate {policy_pct:.2}%");
+    assert!(
+        (policy_pct - 4.35).abs() < 1.5,
+        "policy link rate {policy_pct:.2}%"
+    );
     assert_eq!(t2.complete, 0, "no complete traceability, as in the paper");
     assert!(t2.pct(t2.broken) > 90.0, "broken dominates");
 
     // Code analysis shape: JS bots check, Python bots almost never do.
     let t3 = table3_code_analysis(&bots);
-    assert!(t3.js_checking_pct() > 60.0, "JS checking {:.1}%", t3.js_checking_pct());
-    assert!(t3.py_checking_pct() < 12.0, "Py checking {:.1}%", t3.py_checking_pct());
-    assert!(t3.js_checking_pct() > t3.py_checking_pct() * 4.0, "who wins must hold");
+    assert!(
+        t3.js_checking_pct() > 60.0,
+        "JS checking {:.1}%",
+        t3.js_checking_pct()
+    );
+    assert!(
+        t3.py_checking_pct() < 12.0,
+        "Py checking {:.1}%",
+        t3.py_checking_pct()
+    );
+    assert!(
+        t3.js_checking_pct() > t3.py_checking_pct() * 4.0,
+        "who wins must hold"
+    );
 }
 
 #[test]
 fn table1_long_tail_present() {
     let (_eco, bots) = world(2_500, 2);
     let rows = table1_histogram(&bots);
-    let one = rows.iter().find(|r| r.bots_per_developer == 1).expect("1-bot devs exist");
-    assert!(one.percent > 80.0, "single-bot developers dominate: {:.1}%", one.percent);
+    let one = rows
+        .iter()
+        .find(|r| r.bots_per_developer == 1)
+        .expect("1-bot devs exist");
+    assert!(
+        one.percent > 80.0,
+        "single-bot developers dominate: {:.1}%",
+        one.percent
+    );
     assert!(
         rows.iter().any(|r| r.bots_per_developer >= 11),
         "a prolific developer exists (editid analogue)"
@@ -71,13 +109,21 @@ fn honeypot_catches_exactly_the_planted_misbehavers() {
         email_wall_after_page: None,
         ..EcosystemConfig::default()
     });
-    let pipeline = AuditPipeline::new(AuditConfig { honeypot_sample: 60, ..AuditConfig::default() });
+    let pipeline = AuditPipeline::new(AuditConfig {
+        honeypot_sample: 60,
+        ..AuditConfig::default()
+    });
     let (bots, _) = pipeline.run_static_stages(&eco.net);
     let campaign = pipeline.run_honeypot(&eco);
 
     // All four planted misbehavers (2 snoopers, 1 exfiltrator, 1 webhook
     // thief) sit among the most-voted 60 and every one is caught.
-    assert_eq!(campaign.detections.len(), 4, "detections: {:?}", campaign.detections);
+    assert_eq!(
+        campaign.detections.len(),
+        4,
+        "detections: {:?}",
+        campaign.detections
+    );
     assert!(campaign
         .detections
         .iter()

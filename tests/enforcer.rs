@@ -4,9 +4,9 @@
 //! the access they abused, while legitimate command bots keep working.
 
 use botsdk::{Bot, BotRunner, CommandAction, CommandBot, CommandSpec};
-use discord_sim::oauth::InviteUrl;
-use discord_sim::{GuildVisibility, PlatformProfile, Permissions, RuntimePolicy};
 use chatbot_audit::{AuditConfig, AuditPipeline};
+use discord_sim::oauth::InviteUrl;
+use discord_sim::{GuildVisibility, Permissions, PlatformProfile, RuntimePolicy};
 use synth::{build_ecosystem, EcosystemConfig};
 
 fn eco_with_misbehavers(seed: u64) -> synth::Ecosystem {
@@ -26,20 +26,35 @@ fn eco_with_misbehavers(seed: u64) -> synth::Ecosystem {
 fn discord_model_detects_misbehavers() {
     let eco = eco_with_misbehavers(61);
     assert_eq!(eco.platform.runtime_policy(), RuntimePolicy::Unenforced);
-    let pipeline = AuditPipeline::new(AuditConfig { honeypot_sample: 30, ..AuditConfig::default() });
+    let pipeline = AuditPipeline::new(AuditConfig {
+        honeypot_sample: 30,
+        ..AuditConfig::default()
+    });
     let report = pipeline.run_honeypot(&eco);
-    assert_eq!(report.detections.len(), 2, "snooper + exfiltrator caught: {:?}", report.detections);
+    assert_eq!(
+        report.detections.len(),
+        2,
+        "snooper + exfiltrator caught: {:?}",
+        report.detections
+    );
 }
 
 #[test]
 fn enforced_model_starves_the_same_misbehavers() {
     let eco = eco_with_misbehavers(61);
     eco.platform.set_runtime_policy(RuntimePolicy::Enforced);
-    let pipeline = AuditPipeline::new(AuditConfig { honeypot_sample: 30, ..AuditConfig::default() });
+    let pipeline = AuditPipeline::new(AuditConfig {
+        honeypot_sample: 30,
+        ..AuditConfig::default()
+    });
     let report = pipeline.run_honeypot(&eco);
     // Identical world, identical bots, identical campaign — zero triggers:
     // the backends never *see* the canaries.
-    assert!(report.triggers.is_empty(), "triggers: {:?}", report.triggers);
+    assert!(
+        report.triggers.is_empty(),
+        "triggers: {:?}",
+        report.triggers
+    );
     assert!(report.detections.is_empty());
     // The campaign itself still ran at full size.
     assert_eq!(report.bots_tested, 30);
@@ -55,8 +70,10 @@ fn cross_platform_comparison() {
     for profile in PlatformProfile::ALL {
         let eco = eco_with_misbehavers(63);
         eco.platform.set_runtime_policy(profile.runtime_policy());
-        let pipeline =
-            AuditPipeline::new(AuditConfig { honeypot_sample: 30, ..AuditConfig::default() });
+        let pipeline = AuditPipeline::new(AuditConfig {
+            honeypot_sample: 30,
+            ..AuditConfig::default()
+        });
         let report = pipeline.run_honeypot(&eco);
         results.push((profile, report.detections.len(), report.backend_bytes_sent));
     }
@@ -84,37 +101,60 @@ fn enforcement_preserves_legitimate_command_flow() {
 
     let owner = platform.register_user("owner#1", "o@x.y");
     let alice = platform.register_user("alice#2", "a@x.y");
-    let guild = platform.create_guild(owner, "g", GuildVisibility::Public).expect("owner");
+    let guild = platform
+        .create_guild(owner, "g", GuildVisibility::Public)
+        .expect("owner");
     platform.join_guild(alice, guild, None).expect("public");
     let channel = platform.default_channel(guild).expect("channel");
 
-    let app = platform.register_bot_application(owner, "ModBot").expect("owner");
+    let app = platform
+        .register_bot_application(owner, "ModBot")
+        .expect("owner");
     let behavior = CommandBot::new(vec![CommandSpec::moderation(
         "kick",
         Permissions::KICK_MEMBERS,
         true,
         CommandAction::KickArg,
     )]);
-    let bot = Bot::connect(platform.clone(), net, app.bot_user, "modbot", Box::new(behavior)).expect("gateway");
+    let bot = Bot::connect(
+        platform.clone(),
+        net,
+        app.bot_user,
+        "modbot",
+        Box::new(behavior),
+    )
+    .expect("gateway");
     let mut runner = BotRunner::new();
     runner.add(bot);
     platform
         .install_bot(
             owner,
             guild,
-            &InviteUrl::bot(app.client_id, Permissions::KICK_MEMBERS | Permissions::SEND_MESSAGES),
+            &InviteUrl::bot(
+                app.client_id,
+                Permissions::KICK_MEMBERS | Permissions::SEND_MESSAGES,
+            ),
             true,
         )
         .expect("install");
 
     // Unaddressed chatter: nothing happens.
-    platform.send_message(alice, channel, "nobody is talking to you, bot", vec![]).expect("chat");
-    assert_eq!(runner.run_until_idle(), 1, "only the install-time member event");
+    platform
+        .send_message(alice, channel, "nobody is talking to you, bot", vec![])
+        .expect("chat");
+    assert_eq!(
+        runner.run_until_idle(),
+        1,
+        "only the install-time member event"
+    );
 
     // The owner issues a kick; the bot acts.
     platform
         .send_message(owner, channel, &format!("!kick {}", alice.0.raw()), vec![])
         .expect("chat");
     runner.run_until_idle();
-    assert!(platform.guild(guild).expect("g").member(alice).is_err(), "alice kicked via command");
+    assert!(
+        platform.guild(guild).expect("g").member(alice).is_err(),
+        "alice kicked via command"
+    );
 }

@@ -13,7 +13,10 @@ use policy::{permission_data_noun, permission_data_noun_explicit};
 
 /// An install page requesting the full 41-bit field.
 fn all_permissions_invite() -> InviteStatus {
-    InviteStatus::Valid { permissions: Permissions::ALL_KNOWN, scopes: vec!["bot".into()] }
+    InviteStatus::Valid {
+        permissions: Permissions::ALL_KNOWN,
+        scopes: vec!["bot".into()],
+    }
 }
 
 #[test]

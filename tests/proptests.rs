@@ -23,7 +23,11 @@ fn url_host() -> impl Strategy<Value = String> {
 
 fn url_path() -> impl Strategy<Value = String> {
     prop::collection::vec("[a-zA-Z0-9_.-]{1,8}", 0..4).prop_map(|segs| {
-        if segs.is_empty() { "/".to_string() } else { format!("/{}", segs.join("/")) }
+        if segs.is_empty() {
+            "/".to_string()
+        } else {
+            format!("/{}", segs.join("/"))
+        }
     })
 }
 
@@ -164,7 +168,11 @@ fn arb_tree() -> impl Strategy<Value = Node> {
         "[a-z]{1,8}".prop_map(|t| el(&t).build()),
     ];
     leaf.prop_recursive(3, 24, 4, |inner| {
-        ("[a-z]{1,8}", prop::collection::vec(inner, 0..4), prop::collection::vec(("[a-z]{1,6}", "[ -~&&[^\"]]{0,10}"), 0..3))
+        (
+            "[a-z]{1,8}",
+            prop::collection::vec(inner, 0..4),
+            prop::collection::vec(("[a-z]{1,6}", "[ -~&&[^\"]]{0,10}"), 0..3),
+        )
             .prop_map(|(tag, children, attrs)| {
                 let mut b = el(&tag);
                 for (k, v) in attrs {
@@ -183,7 +191,11 @@ fn arb_tree() -> impl Strategy<Value = Node> {
 fn normalize(node: &Node) -> Node {
     match node {
         Node::Text(t) => Node::text(t.clone()),
-        Node::Element { tag, attrs, children } => {
+        Node::Element {
+            tag,
+            attrs,
+            children,
+        } => {
             let mut out: Vec<Node> = Vec::new();
             for c in children {
                 let c = normalize(c);
@@ -193,7 +205,11 @@ fn normalize(node: &Node) -> Node {
                     _ => out.push(c),
                 }
             }
-            Node::Element { tag: tag.clone(), attrs: attrs.clone(), children: out }
+            Node::Element {
+                tag: tag.clone(),
+                attrs: attrs.clone(),
+                children: out,
+            }
         }
     }
 }
@@ -205,7 +221,8 @@ fn contains_void(node: &Node) -> bool {
     match node {
         Node::Text(_) => false,
         Node::Element { tag, children, .. } => {
-            (VOID.contains(&tag.as_str()) && !children.is_empty()) || children.iter().any(contains_void)
+            (VOID.contains(&tag.as_str()) && !children.is_empty())
+                || children.iter().any(contains_void)
         }
     }
 }

@@ -14,11 +14,15 @@ pub struct Bytes {
 
 impl Bytes {
     pub fn new() -> Self {
-        Bytes { data: Arc::from(&[][..]) }
+        Bytes {
+            data: Arc::from(&[][..]),
+        }
     }
 
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes { data: Arc::from(data) }
+        Bytes {
+            data: Arc::from(data),
+        }
     }
 
     pub fn len(&self) -> usize {

@@ -32,11 +32,15 @@ pub struct BenchmarkId {
 
 impl BenchmarkId {
     pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
-        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
     }
 
     pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -88,8 +92,16 @@ fn format_duration(d: Duration) -> String {
     }
 }
 
-fn run_one(id: &str, iterations: usize, throughput: Option<Throughput>, f: &mut dyn FnMut(&mut Bencher)) {
-    let mut bencher = Bencher { samples: Vec::new(), iterations };
+fn run_one(
+    id: &str,
+    iterations: usize,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        iterations,
+    };
     f(&mut bencher);
     if bencher.samples.is_empty() {
         println!("{id:<50} (no samples)");
@@ -127,7 +139,10 @@ impl Default for Criterion {
         // `cargo bench` invokes bench binaries with `--bench`; anything
         // else (notably `cargo test`) gets single-iteration smoke runs.
         let full_run = std::env::args().any(|a| a == "--bench");
-        Criterion { sample_size: 20, full_run }
+        Criterion {
+            sample_size: 20,
+            full_run,
+        }
     }
 }
 
@@ -188,7 +203,11 @@ impl<'a> BenchmarkGroup<'a> {
         }
     }
 
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: BenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
         let full_id = format!("{}/{}", self.name, id.id);
         run_one(&full_id, self.iterations(), self.throughput, &mut f);
         self
@@ -199,7 +218,9 @@ impl<'a> BenchmarkGroup<'a> {
         F: FnMut(&mut Bencher, &I),
     {
         let full_id = format!("{}/{}", self.name, id.id);
-        run_one(&full_id, self.iterations(), self.throughput, &mut |b| f(b, input));
+        run_one(&full_id, self.iterations(), self.throughput, &mut |b| {
+            f(b, input)
+        });
         self
     }
 
@@ -237,7 +258,10 @@ mod tests {
 
     #[test]
     fn bench_function_runs() {
-        let mut c = Criterion { sample_size: 3, full_run: true };
+        let mut c = Criterion {
+            sample_size: 3,
+            full_run: true,
+        };
         let mut count = 0;
         c.bench_function("t", |b| b.iter(|| count += 1));
         // warm-up + 3 samples
@@ -246,7 +270,10 @@ mod tests {
 
     #[test]
     fn group_runs_with_input() {
-        let mut c = Criterion { sample_size: 2, full_run: true };
+        let mut c = Criterion {
+            sample_size: 2,
+            full_run: true,
+        };
         let mut group = c.benchmark_group("g");
         group.throughput(Throughput::Elements(10));
         group.bench_with_input(BenchmarkId::from_parameter(5), &5, |b, &n| {

@@ -18,7 +18,9 @@ pub struct Mutex<T: ?Sized> {
 
 impl<T> Mutex<T> {
     pub fn new(value: T) -> Self {
-        Mutex { inner: StdMutex::new(value) }
+        Mutex {
+            inner: StdMutex::new(value),
+        }
     }
 
     pub fn into_inner(self) -> T {
@@ -65,7 +67,9 @@ pub struct RwLock<T: ?Sized> {
 
 impl<T> RwLock<T> {
     pub fn new(value: T) -> Self {
-        RwLock { inner: StdRwLock::new(value) }
+        RwLock {
+            inner: StdRwLock::new(value),
+        }
     }
 
     pub fn into_inner(self) -> T {

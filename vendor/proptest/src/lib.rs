@@ -25,7 +25,9 @@ pub mod prelude {
     pub use crate::prop;
     pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Strategy, Union};
     pub use crate::test_runner::{ProptestConfig, TestCaseError};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 #[macro_export]
@@ -122,12 +124,7 @@ macro_rules! prop_assert_eq {
 macro_rules! prop_assert_ne {
     ($left:expr, $right:expr $(,)?) => {{
         let (__l, __r) = (&$left, &$right);
-        $crate::prop_assert!(
-            *__l != *__r,
-            "assertion failed: `{:?}` == `{:?}`",
-            __l,
-            __r
-        );
+        $crate::prop_assert!(*__l != *__r, "assertion failed: `{:?}` == `{:?}`", __l, __r);
     }};
 }
 

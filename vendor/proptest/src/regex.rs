@@ -44,7 +44,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn new(pattern: &'a str) -> Self {
-        Parser { chars: pattern.chars().peekable(), pattern }
+        Parser {
+            chars: pattern.chars().peekable(),
+            pattern,
+        }
     }
 
     fn fail(&self, what: &str) -> ! {
@@ -223,7 +226,9 @@ impl<'a> Parser<'a> {
                         if max_digits.is_empty() {
                             min + 8
                         } else {
-                            max_digits.parse().unwrap_or_else(|_| self.fail("bad {m,n}"))
+                            max_digits
+                                .parse()
+                                .unwrap_or_else(|_| self.fail("bad {m,n}"))
                         }
                     }
                     _ => self.fail("unterminated quantifier"),
@@ -274,7 +279,10 @@ fn gen_class(segments: &[ClassSegment], rng: &mut StdRng, pattern: &str) -> char
             .filter(|&c| segments.iter().all(|s| s.contains(c)))
             .collect()
     };
-    assert!(!candidates.is_empty(), "proptest regex stub: empty class in {pattern:?}");
+    assert!(
+        !candidates.is_empty(),
+        "proptest regex stub: empty class in {pattern:?}"
+    );
     candidates[rng.gen_range(0..candidates.len())]
 }
 
@@ -342,7 +350,8 @@ mod tests {
         for seed in 0..300 {
             let s = sample("[ -~&&[^#&=%+]]{0,12}", seed);
             assert!(
-                s.chars().all(|c| (' '..='~').contains(&c) && !"#&=%+".contains(c)),
+                s.chars()
+                    .all(|c| (' '..='~').contains(&c) && !"#&=%+".contains(c)),
                 "{s:?}"
             );
         }
@@ -370,7 +379,8 @@ mod tests {
         for seed in 0..100 {
             let s = sample("[a-zA-Z0-9_.-]{1,8}", seed);
             assert!(
-                s.chars().all(|c| c.is_ascii_alphanumeric() || "_.-".contains(c)),
+                s.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || "_.-".contains(c)),
                 "{s:?}"
             );
         }

@@ -59,13 +59,17 @@ pub struct BoxedStrategy<T> {
 
 impl<T> BoxedStrategy<T> {
     pub fn new<S: Strategy<Value = T> + 'static>(strategy: S) -> Self {
-        BoxedStrategy { inner: Rc::new(strategy) }
+        BoxedStrategy {
+            inner: Rc::new(strategy),
+        }
     }
 }
 
 impl<T> Clone for BoxedStrategy<T> {
     fn clone(&self) -> Self {
-        BoxedStrategy { inner: Rc::clone(&self.inner) }
+        BoxedStrategy {
+            inner: Rc::clone(&self.inner),
+        }
     }
 }
 
@@ -199,7 +203,9 @@ impl<T: Arbitrary> Strategy for Any<T> {
 }
 
 pub fn any<T: Arbitrary>() -> Any<T> {
-    Any { _marker: std::marker::PhantomData }
+    Any {
+        _marker: std::marker::PhantomData,
+    }
 }
 
 // ---- regex string strategies -------------------------------------------
@@ -280,14 +286,14 @@ mod tests {
         fn depth(t: &Tree) -> usize {
             match t {
                 Tree::Leaf => 0,
-                Tree::Node(children) => {
-                    1 + children.iter().map(depth).max().unwrap_or(0)
-                }
+                Tree::Node(children) => 1 + children.iter().map(depth).max().unwrap_or(0),
             }
         }
-        let strat = (0u64..1).prop_map(|_| Tree::Leaf).prop_recursive(3, 8, 2, |inner| {
-            crate::collection::vec(inner, 0..3).prop_map(Tree::Node)
-        });
+        let strat = (0u64..1)
+            .prop_map(|_| Tree::Leaf)
+            .prop_recursive(3, 8, 2, |inner| {
+                crate::collection::vec(inner, 0..3).prop_map(Tree::Node)
+            });
         let mut rng = StdRng::seed_from_u64(3);
         for _ in 0..50 {
             assert!(depth(&strat.generate(&mut rng)) <= 3);

@@ -8,6 +8,10 @@
 //! structs → objects, newtype structs → their inner value, tuple structs →
 //! arrays, unit enum variants → strings, data-carrying variants →
 //! single-key objects.
+//!
+//! Deserialization is the mirror image: [`Deserialize`] reads a type back
+//! out of a [`value::Value`] tree (parsed from text by `serde_json`), with
+//! the same data conventions, so every `Serialize`d value round-trips.
 
 #![forbid(unsafe_code)]
 
@@ -15,6 +19,7 @@ pub use serde_derive::{Deserialize, Serialize};
 
 pub mod value;
 
+use std::fmt;
 use value::{Number, Value};
 
 /// A type serializable to a JSON value tree.
@@ -22,11 +27,53 @@ pub trait Serialize {
     fn to_json_value(&self) -> Value;
 }
 
-/// Marker for types the real serde could deserialize. The workspace never
-/// deserializes (no `from_str`/`from_value` call sites), so this carries
-/// no behavior; the derive emits an empty impl to keep
-/// `#[derive(Deserialize)]` lines compiling.
-pub trait Deserialize {}
+/// Deserialization failure: a human-readable path + reason.
+#[derive(Debug, Clone)]
+pub struct DeError(pub String);
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Build a [`DeError`] (used by generated derive code).
+pub fn de_error(msg: impl Into<String>) -> DeError {
+    DeError(msg.into())
+}
+
+/// A type readable back out of a JSON value tree.
+pub trait Deserialize: Sized {
+    fn from_json_value(value: &Value) -> Result<Self, DeError>;
+}
+
+/// Look up `field` of an object and deserialize it. A missing key is
+/// treated as `null` (so `Option` fields tolerate elision) and reported as
+/// an error for everything else.
+pub fn de_field<T: Deserialize>(value: &Value, ty: &str, field: &str) -> Result<T, DeError> {
+    let Value::Object(entries) = value else {
+        return Err(de_error(format!("{ty}: expected an object, found {value}")));
+    };
+    match entries.iter().find(|(k, _)| k == field) {
+        Some((_, v)) => T::from_json_value(v).map_err(|e| DeError(format!("{ty}.{field}: {e}"))),
+        None => T::from_json_value(&Value::Null)
+            .map_err(|_| de_error(format!("{ty}: missing field `{field}`"))),
+    }
+}
+
+/// Index into an array value and deserialize the element (tuple structs and
+/// tuple enum variants).
+pub fn de_index<T: Deserialize>(value: &Value, ty: &str, idx: usize) -> Result<T, DeError> {
+    let Value::Array(items) = value else {
+        return Err(de_error(format!("{ty}: expected an array, found {value}")));
+    };
+    match items.get(idx) {
+        Some(v) => T::from_json_value(v).map_err(|e| DeError(format!("{ty}[{idx}]: {e}"))),
+        None => Err(de_error(format!("{ty}: missing element {idx}"))),
+    }
+}
 
 // ---- primitive impls ----------------------------------------------------
 
@@ -37,7 +84,23 @@ macro_rules! ser_uint {
                 Value::Number(Number::U(*self as u64))
             }
         }
-        impl Deserialize for $t {}
+        impl Deserialize for $t {
+            fn from_json_value(value: &Value) -> Result<$t, DeError> {
+                let wide = match value {
+                    Value::Number(Number::U(v)) => *v,
+                    Value::Number(Number::I(v)) if *v >= 0 => *v as u64,
+                    other => {
+                        return Err(de_error(format!(
+                            concat!("expected ", stringify!($t), ", found {}"),
+                            other
+                        )))
+                    }
+                };
+                <$t>::try_from(wide).map_err(|_| {
+                    de_error(format!(concat!(stringify!($t), " out of range: {}"), wide))
+                })
+            }
+        }
     )*};
 }
 
@@ -48,7 +111,23 @@ macro_rules! ser_int {
                 Value::Number(Number::I(*self as i64))
             }
         }
-        impl Deserialize for $t {}
+        impl Deserialize for $t {
+            fn from_json_value(value: &Value) -> Result<$t, DeError> {
+                let wide = match value {
+                    Value::Number(Number::I(v)) => *v,
+                    Value::Number(Number::U(v)) if *v <= i64::MAX as u64 => *v as i64,
+                    other => {
+                        return Err(de_error(format!(
+                            concat!("expected ", stringify!($t), ", found {}"),
+                            other
+                        )))
+                    }
+                };
+                <$t>::try_from(wide).map_err(|_| {
+                    de_error(format!(concat!(stringify!($t), " out of range: {}"), wide))
+                })
+            }
+        }
     )*};
 }
 
@@ -60,28 +139,57 @@ impl Serialize for f64 {
         Value::Number(Number::F(*self))
     }
 }
-impl Deserialize for f64 {}
+impl Deserialize for f64 {
+    fn from_json_value(value: &Value) -> Result<f64, DeError> {
+        match value {
+            Value::Number(Number::F(v)) => Ok(*v),
+            Value::Number(Number::U(v)) => Ok(*v as f64),
+            Value::Number(Number::I(v)) => Ok(*v as f64),
+            // The writer renders non-finite floats as null.
+            Value::Null => Ok(f64::NAN),
+            other => Err(de_error(format!("expected f64, found {other}"))),
+        }
+    }
+}
 
 impl Serialize for f32 {
     fn to_json_value(&self) -> Value {
         Value::Number(Number::F(*self as f64))
     }
 }
-impl Deserialize for f32 {}
+impl Deserialize for f32 {
+    fn from_json_value(value: &Value) -> Result<f32, DeError> {
+        f64::from_json_value(value).map(|v| v as f32)
+    }
+}
 
 impl Serialize for bool {
     fn to_json_value(&self) -> Value {
         Value::Bool(*self)
     }
 }
-impl Deserialize for bool {}
+impl Deserialize for bool {
+    fn from_json_value(value: &Value) -> Result<bool, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(de_error(format!("expected bool, found {other}"))),
+        }
+    }
+}
 
 impl Serialize for String {
     fn to_json_value(&self) -> Value {
         Value::String(self.clone())
     }
 }
-impl Deserialize for String {}
+impl Deserialize for String {
+    fn from_json_value(value: &Value) -> Result<String, DeError> {
+        match value {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(de_error(format!("expected string, found {other}"))),
+        }
+    }
+}
 
 impl Serialize for str {
     fn to_json_value(&self) -> Value {
@@ -94,7 +202,16 @@ impl Serialize for char {
         Value::String(self.to_string())
     }
 }
-impl Deserialize for char {}
+impl Deserialize for char {
+    fn from_json_value(value: &Value) -> Result<char, DeError> {
+        match value {
+            Value::String(s) if s.chars().count() == 1 => Ok(s.chars().next().expect("one char")),
+            other => Err(de_error(format!(
+                "expected single-char string, found {other}"
+            ))),
+        }
+    }
+}
 
 // ---- composite impls ----------------------------------------------------
 
@@ -110,6 +227,12 @@ impl<T: Serialize + ?Sized> Serialize for Box<T> {
     }
 }
 
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_json_value(value: &Value) -> Result<Box<T>, DeError> {
+        T::from_json_value(value).map(Box::new)
+    }
+}
+
 impl<T: Serialize> Serialize for Option<T> {
     fn to_json_value(&self) -> Value {
         match self {
@@ -118,14 +241,28 @@ impl<T: Serialize> Serialize for Option<T> {
         }
     }
 }
-impl<T: Deserialize> Deserialize for Option<T> {}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json_value(value: &Value) -> Result<Option<T>, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_json_value(other).map(Some),
+        }
+    }
+}
 
 impl<T: Serialize> Serialize for Vec<T> {
     fn to_json_value(&self) -> Value {
         Value::Array(self.iter().map(Serialize::to_json_value).collect())
     }
 }
-impl<T: Deserialize> Deserialize for Vec<T> {}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json_value(value: &Value) -> Result<Vec<T>, DeError> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_json_value).collect(),
+            other => Err(de_error(format!("expected array, found {other}"))),
+        }
+    }
+}
 
 impl<T: Serialize> Serialize for [T] {
     fn to_json_value(&self) -> Value {
@@ -138,7 +275,15 @@ impl<T: Serialize, const N: usize> Serialize for [T; N] {
         Value::Array(self.iter().map(Serialize::to_json_value).collect())
     }
 }
-impl<T: Deserialize, const N: usize> Deserialize for [T; N] {}
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_json_value(value: &Value) -> Result<[T; N], DeError> {
+        let items = Vec::<T>::from_json_value(value)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| de_error(format!("expected array of {N}, found {len}")))
+    }
+}
 
 macro_rules! ser_tuple {
     ($(($($name:ident : $idx:tt),+))*) => {$(
@@ -147,7 +292,11 @@ macro_rules! ser_tuple {
                 Value::Array(vec![$(self.$idx.to_json_value()),+])
             }
         }
-        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {}
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_json_value(value: &Value) -> Result<($($name,)+), DeError> {
+                Ok(($(de_index::<$name>(value, "tuple", $idx)?,)+))
+            }
+        }
     )*};
 }
 
@@ -163,9 +312,20 @@ pub trait SerializeMapKey {
     fn as_key(&self) -> String;
 }
 
+/// The way back: parse a map key out of its string rendering.
+pub trait DeserializeMapKey: Sized {
+    fn from_key(key: &str) -> Result<Self, DeError>;
+}
+
 impl SerializeMapKey for String {
     fn as_key(&self) -> String {
         self.clone()
+    }
+}
+
+impl DeserializeMapKey for String {
+    fn from_key(key: &str) -> Result<String, DeError> {
+        Ok(key.to_string())
     }
 }
 
@@ -182,6 +342,13 @@ macro_rules! key_display {
                 self.to_string()
             }
         }
+        impl DeserializeMapKey for $t {
+            fn from_key(key: &str) -> Result<$t, DeError> {
+                key.parse::<$t>().map_err(|_| {
+                    de_error(format!(concat!("bad ", stringify!($t), " map key: `{}`"), key))
+                })
+            }
+        }
     )*};
 }
 
@@ -189,35 +356,76 @@ key_display!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, char);
 
 impl<K: SerializeMapKey, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
     fn to_json_value(&self) -> Value {
-        Value::Object(self.iter().map(|(k, v)| (k.as_key(), v.to_json_value())).collect())
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.as_key(), v.to_json_value()))
+                .collect(),
+        )
     }
 }
-impl<K, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {}
+impl<K: DeserializeMapKey + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn from_json_value(value: &Value) -> Result<Self, DeError> {
+        let Value::Object(entries) = value else {
+            return Err(de_error(format!("expected object, found {value}")));
+        };
+        entries
+            .iter()
+            .map(|(k, v)| Ok((K::from_key(k)?, V::from_json_value(v)?)))
+            .collect()
+    }
+}
 
 impl<K: SerializeMapKey, V: Serialize> Serialize for std::collections::HashMap<K, V> {
     fn to_json_value(&self) -> Value {
         // Deterministic output: sort keys.
-        let mut entries: Vec<(String, Value)> =
-            self.iter().map(|(k, v)| (k.as_key(), v.to_json_value())).collect();
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.as_key(), v.to_json_value()))
+            .collect();
         entries.sort_by(|a, b| a.0.cmp(&b.0));
         Value::Object(entries)
     }
 }
-impl<K, V: Deserialize> Deserialize for std::collections::HashMap<K, V> {}
+impl<K, V> Deserialize for std::collections::HashMap<K, V>
+where
+    K: DeserializeMapKey + std::hash::Hash + Eq,
+    V: Deserialize,
+{
+    fn from_json_value(value: &Value) -> Result<Self, DeError> {
+        let Value::Object(entries) = value else {
+            return Err(de_error(format!("expected object, found {value}")));
+        };
+        entries
+            .iter()
+            .map(|(k, v)| Ok((K::from_key(k)?, V::from_json_value(v)?)))
+            .collect()
+    }
+}
 
 impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
     fn to_json_value(&self) -> Value {
         Value::Array(self.iter().map(Serialize::to_json_value).collect())
     }
 }
-impl<T> Deserialize for std::collections::BTreeSet<T> {}
+impl<T: Deserialize + Ord> Deserialize for std::collections::BTreeSet<T> {
+    fn from_json_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_json_value).collect(),
+            other => Err(de_error(format!("expected array, found {other}"))),
+        }
+    }
+}
 
 impl Serialize for Value {
     fn to_json_value(&self) -> Value {
         self.clone()
     }
 }
-impl Deserialize for Value {}
+impl Deserialize for Value {
+    fn from_json_value(value: &Value) -> Result<Value, DeError> {
+        Ok(value.clone())
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -238,5 +446,48 @@ mod tests {
         assert_eq!(None::<u64>.to_json_value().render_compact(), "null");
         assert_eq!(Some(5u64).to_json_value().render_compact(), "5");
         assert_eq!((1u64, "a").to_json_value().render_compact(), "[1,\"a\"]");
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        let v = 42u64.to_json_value();
+        assert_eq!(u64::from_json_value(&v).unwrap(), 42);
+        assert_eq!(u8::from_json_value(&v).unwrap(), 42);
+        assert!(u8::from_json_value(&300u64.to_json_value()).is_err());
+        assert_eq!(i64::from_json_value(&(-7i64).to_json_value()).unwrap(), -7);
+        assert_eq!(f64::from_json_value(&2.5f64.to_json_value()).unwrap(), 2.5);
+        assert_eq!(bool::from_json_value(&Value::Bool(true)).unwrap(), true);
+        assert_eq!(String::from_json_value(&Value::from("hi")).unwrap(), "hi");
+        assert_eq!(char::from_json_value(&'x'.to_json_value()).unwrap(), 'x');
+    }
+
+    #[test]
+    fn composites_round_trip() {
+        let v = vec![1u64, 2, 3].to_json_value();
+        assert_eq!(Vec::<u64>::from_json_value(&v).unwrap(), vec![1, 2, 3]);
+        assert_eq!(Option::<u64>::from_json_value(&Value::Null).unwrap(), None);
+        assert_eq!(
+            Option::<u64>::from_json_value(&Value::from(9u64)).unwrap(),
+            Some(9)
+        );
+        let t = (1u64, "a".to_string(), true).to_json_value();
+        assert_eq!(
+            <(u64, String, bool)>::from_json_value(&t).unwrap(),
+            (1, "a".to_string(), true)
+        );
+        let mut map = std::collections::BTreeMap::new();
+        map.insert("k".to_string(), 5u64);
+        let m = map.to_json_value();
+        assert_eq!(
+            std::collections::BTreeMap::<String, u64>::from_json_value(&m).unwrap(),
+            map
+        );
+    }
+
+    #[test]
+    fn type_mismatches_error() {
+        assert!(u64::from_json_value(&Value::Bool(true)).is_err());
+        assert!(Vec::<u64>::from_json_value(&Value::from("nope")).is_err());
+        assert!(String::from_json_value(&Value::Null).is_err());
     }
 }

@@ -202,7 +202,10 @@ mod tests {
     fn pretty_matches_serde_json_conventions() {
         let v = Value::Object(vec![
             ("a".into(), Value::from(1u64)),
-            ("b".into(), Value::Array(vec![Value::from(true), Value::Null])),
+            (
+                "b".into(),
+                Value::Array(vec![Value::from(true), Value::Null]),
+            ),
         ]);
         assert_eq!(
             v.render_pretty(),
@@ -218,6 +221,9 @@ mod tests {
 
     #[test]
     fn strings_escape() {
-        assert_eq!(Value::from("a\"b\\c\nd").render_compact(), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(
+            Value::from("a\"b\\c\nd").render_compact(),
+            "\"a\\\"b\\\\c\\nd\""
+        );
     }
 }

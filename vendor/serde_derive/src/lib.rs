@@ -62,14 +62,20 @@ fn parse_input(input: TokenStream) -> Input {
                 Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
                 other => panic!("serde_derive: unexpected struct body {other:?}"),
             };
-            Input { name, kind: Kind::Struct(fields) }
+            Input {
+                name,
+                kind: Kind::Struct(fields),
+            }
         }
         "enum" => {
             let body = match tokens.get(i) {
                 Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
                 other => panic!("serde_derive: expected enum body, found {other:?}"),
             };
-            Input { name, kind: Kind::Enum(parse_variants(body)) }
+            Input {
+                name,
+                kind: Kind::Enum(parse_variants(body)),
+            }
         }
         other => panic!("serde_derive: expected struct or enum, found `{other}`"),
     }
@@ -136,7 +142,10 @@ fn parse_named_fields(stream: TokenStream) -> Vec<String> {
 }
 
 fn count_tuple_fields(stream: TokenStream) -> usize {
-    split_top_level(stream).into_iter().filter(|seg| !seg.is_empty()).count()
+    split_top_level(stream)
+        .into_iter()
+        .filter(|seg| !seg.is_empty())
+        .count()
 }
 
 fn parse_variants(stream: TokenStream) -> Vec<(String, Fields)> {
@@ -174,16 +183,15 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             let entries: Vec<String> = fields
                 .iter()
                 .map(|f| {
-                    format!(
-                        "(\"{f}\".to_string(), ::serde::Serialize::to_json_value(&self.{f}))"
-                    )
+                    format!("(\"{f}\".to_string(), ::serde::Serialize::to_json_value(&self.{f}))")
                 })
                 .collect();
-            format!("::serde::value::Value::Object(vec![{}])", entries.join(", "))
+            format!(
+                "::serde::value::Value::Object(vec![{}])",
+                entries.join(", ")
+            )
         }
-        Kind::Struct(Fields::Tuple(1)) => {
-            "::serde::Serialize::to_json_value(&self.0)".to_string()
-        }
+        Kind::Struct(Fields::Tuple(1)) => "::serde::Serialize::to_json_value(&self.0)".to_string(),
         Kind::Struct(Fields::Tuple(n)) => {
             let items: Vec<String> = (0..*n)
                 .map(|i| format!("::serde::Serialize::to_json_value(&self.{i})"))
@@ -195,9 +203,9 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             let arms: Vec<String> = variants
                 .iter()
                 .map(|(v, fields)| match fields {
-                    Fields::Unit => format!(
-                        "{name}::{v} => ::serde::value::Value::String(\"{v}\".to_string())"
-                    ),
+                    Fields::Unit => {
+                        format!("{name}::{v} => ::serde::value::Value::String(\"{v}\".to_string())")
+                    }
                     Fields::Named(fs) => {
                         let binds = fs.join(", ");
                         let entries: Vec<String> = fs
@@ -247,7 +255,91 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let parsed = parse_input(input);
-    format!("impl ::serde::Deserialize for {} {{}}", parsed.name)
-        .parse()
-        .expect("serde_derive: generated impl parses")
+    let name = &parsed.name;
+    let body = match &parsed.kind {
+        Kind::Struct(Fields::Named(fields)) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::de_field(value, \"{name}\", \"{f}\")?"))
+                .collect();
+            format!("Ok({name} {{ {} }})", inits.join(", "))
+        }
+        Kind::Struct(Fields::Tuple(1)) => {
+            format!("Ok({name}(::serde::Deserialize::from_json_value(value)?))")
+        }
+        Kind::Struct(Fields::Tuple(n)) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::de_index(value, \"{name}\", {i})?"))
+                .collect();
+            format!("Ok({name}({}))", inits.join(", "))
+        }
+        Kind::Struct(Fields::Unit) => format!(
+            "match value {{\n\
+             ::serde::value::Value::Null => Ok({name}),\n\
+             other => Err(::serde::de_error(format!(\"expected null for {name}, found {{other}}\"))),\n\
+             }}"
+        ),
+        Kind::Enum(variants) => {
+            // Unit variants arrive as strings, data variants as single-key
+            // objects — the shapes the Serialize derive emits.
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, fields)| matches!(fields, Fields::Unit))
+                .map(|(v, _)| format!("\"{v}\" => Ok({name}::{v})"))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|(v, fields)| match fields {
+                    Fields::Unit => None,
+                    Fields::Named(fs) => {
+                        let inits: Vec<String> = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::de_field(inner, \"{name}::{v}\", \"{f}\")?"
+                                )
+                            })
+                            .collect();
+                        Some(format!("\"{v}\" => Ok({name}::{v} {{ {} }})", inits.join(", ")))
+                    }
+                    Fields::Tuple(1) => Some(format!(
+                        "\"{v}\" => Ok({name}::{v}(::serde::Deserialize::from_json_value(inner)?))"
+                    )),
+                    Fields::Tuple(n) => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!("::serde::de_index(inner, \"{name}::{v}\", {i})?")
+                            })
+                            .collect();
+                        Some(format!("\"{v}\" => Ok({name}::{v}({}))", inits.join(", ")))
+                    }
+                })
+                .collect();
+            format!(
+                "match value {{\n\
+                 ::serde::value::Value::String(s) => match s.as_str() {{\n\
+                 {unit_arms}\n\
+                 other => Err(::serde::de_error(format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                 }},\n\
+                 ::serde::value::Value::Object(entries) if entries.len() == 1 => {{\n\
+                 let (key, inner) = &entries[0];\n\
+                 let _ = inner;\n\
+                 match key.as_str() {{\n\
+                 {data_arms}\n\
+                 other => Err(::serde::de_error(format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                 }}\n\
+                 }},\n\
+                 other => Err(::serde::de_error(format!(\"expected {name}, found {{other}}\"))),\n\
+                 }}",
+                unit_arms = unit_arms.iter().map(|a| format!("{a},")).collect::<String>(),
+                data_arms = data_arms.iter().map(|a| format!("{a},")).collect::<String>(),
+            )
+        }
+    };
+    let out = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_json_value(value: &::serde::value::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    );
+    out.parse().expect("serde_derive: generated impl parses")
 }

@@ -1,13 +1,15 @@
 //! Offline-compatible subset of `serde_json`: `Value`, `Map`,
-//! `to_value`, `to_string`, `to_string_pretty`. Serialization only — the
-//! workspace has no deserialization call sites.
+//! `to_value` / `to_string` / `to_string_pretty` / `to_vec` on the way out,
+//! and a recursive-descent text parser behind `from_str` / `from_slice` /
+//! `from_value` on the way back, so everything the workspace serializes
+//! round-trips.
 
 #![forbid(unsafe_code)]
 
 use std::fmt;
 
 pub use serde::value::{Number, Value};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// Serialization error. The value-tree serializer is total, so this is
 /// never actually produced; it exists for API compatibility.
@@ -88,6 +90,263 @@ pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String> {
     Ok(value.to_json_value().render_pretty())
 }
 
+pub fn to_vec<T: Serialize>(value: &T) -> Result<Vec<u8>> {
+    Ok(value.to_json_value().render_compact().into_bytes())
+}
+
+pub fn from_value<T: Deserialize>(value: Value) -> Result<T> {
+    T::from_json_value(&value).map_err(|e| Error(e.to_string()))
+}
+
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T> {
+    let value = parse_value(text)?;
+    T::from_json_value(&value).map_err(|e| Error(e.to_string()))
+}
+
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T> {
+    let text = std::str::from_utf8(bytes).map_err(|e| Error(format!("invalid UTF-8: {e}")))?;
+    from_str(text)
+}
+
+/// Parse a JSON document into a [`Value`] tree.
+pub fn parse_value(text: &str) -> Result<Value> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let value = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error(format!("trailing characters at byte {}", parser.pos)));
+    }
+    Ok(value)
+}
+
+/// Recursive-descent JSON reader. Accepts exactly the grammar of RFC 8259
+/// (no comments, no trailing commas); numbers become `U`/`I`/`F` by shape,
+/// mirroring what the writer emits.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| Error("unexpected end of input".to_string()))
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<()> {
+        if self.peek()? == byte {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected `{}` at byte {}",
+                byte as char, self.pos
+            )))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(Error(format!("bad literal at byte {}", self.pos)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        match self.peek()? {
+            b'n' => self.literal("null", Value::Null),
+            b't' => self.literal("true", Value::Bool(true)),
+            b'f' => self.literal("false", Value::Bool(false)),
+            b'"' => self.string().map(Value::String),
+            b'[' => self.array(),
+            b'{' => self.object(),
+            b'-' | b'0'..=b'9' => self.number(),
+            other => Err(Error(format!(
+                "unexpected `{}` at byte {}",
+                other as char, self.pos
+            ))),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                other => {
+                    return Err(Error(format!(
+                        "expected `,` or `]`, found `{}` at byte {}",
+                        other as char, self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            entries.push((key, self.value()?));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                other => {
+                    return Err(Error(format!(
+                        "expected `,` or `}}`, found `{}` at byte {}",
+                        other as char, self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast-forward over the unescaped run.
+            while !matches!(self.bytes.get(self.pos), None | Some(b'"' | b'\\')) {
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|e| Error(format!("invalid UTF-8 in string: {e}")))?,
+            );
+            match self.bytes.get(self.pos) {
+                None => return Err(Error("unterminated string".to_string())),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| Error("unterminated escape".to_string()))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let unit = self.hex4()?;
+                            let c = if (0xd800..0xdc00).contains(&unit) {
+                                // High surrogate: a \uXXXX low half must follow.
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let low = self.hex4()?;
+                                    let combined = 0x10000
+                                        + ((unit - 0xd800) << 10)
+                                        + low.checked_sub(0xdc00).ok_or_else(|| {
+                                            Error("bad low surrogate".to_string())
+                                        })?;
+                                    char::from_u32(combined)
+                                } else {
+                                    None
+                                }
+                            } else {
+                                char::from_u32(unit)
+                            };
+                            out.push(
+                                c.ok_or_else(|| Error(format!("bad \\u escape {unit:#06x}")))?,
+                            );
+                        }
+                        other => return Err(Error(format!("bad escape `\\{}`", other as char))),
+                    }
+                }
+                Some(_) => unreachable!("loop stops only at quote, backslash, or end"),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32> {
+        let digits = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| Error("truncated \\u escape".to_string()))?;
+        let text = std::str::from_utf8(digits).map_err(|_| Error("bad \\u escape".to_string()))?;
+        let unit =
+            u32::from_str_radix(text, 16).map_err(|_| Error(format!("bad \\u escape {text}")))?;
+        self.pos += 4;
+        Ok(unit)
+    }
+
+    fn number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        if float {
+            text.parse::<f64>()
+                .map(|v| Value::Number(Number::F(v)))
+                .map_err(|_| Error(format!("bad number `{text}`")))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(|v| Value::Number(Number::I(v)))
+                .map_err(|_| Error(format!("bad number `{text}`")))
+        } else {
+            text.parse::<u64>()
+                .map(|v| Value::Number(Number::U(v)))
+                .map_err(|_| Error(format!("bad number `{text}`")))
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -107,5 +366,75 @@ mod tests {
         let mut m = Map::new();
         m.insert("k".into(), Value::from("v"));
         assert_eq!(to_string_pretty(&m).unwrap(), "{\n  \"k\": \"v\"\n}");
+    }
+
+    #[test]
+    fn parser_round_trips_every_shape() {
+        let v = Value::Object(vec![
+            ("nil".into(), Value::Null),
+            ("flag".into(), Value::Bool(true)),
+            ("n".into(), Value::Number(Number::U(42))),
+            ("neg".into(), Value::Number(Number::I(-9))),
+            ("pi".into(), Value::Number(Number::F(3.25))),
+            ("text".into(), Value::String("a\"b\\c\nd\u{0007}é".into())),
+            (
+                "list".into(),
+                Value::Array(vec![Value::Null, Value::Bool(false)]),
+            ),
+            ("empty_list".into(), Value::Array(vec![])),
+            ("empty_obj".into(), Value::Object(vec![])),
+        ]);
+        assert_eq!(parse_value(&v.render_compact()).unwrap(), v);
+        assert_eq!(parse_value(&v.render_pretty()).unwrap(), v);
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_surrogates() {
+        assert_eq!(
+            parse_value(r#""A\n\t\/é""#).unwrap(),
+            Value::String("A\n\t/é".into())
+        );
+        // Astral plane as raw UTF-8 and via a \u surrogate pair.
+        assert_eq!(parse_value("\"😀\"").unwrap(), Value::String("😀".into()));
+        assert_eq!(
+            parse_value("\"\\ud83d\\ude00\"").unwrap(),
+            Value::String("😀".into())
+        );
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "tru",
+            "\"unterminated",
+            "{\"a\" 1}",
+            "1 2",
+            "nul",
+        ] {
+            assert!(parse_value(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn number_extremes_round_trip() {
+        for v in [
+            Value::Number(Number::U(u64::MAX)),
+            Value::Number(Number::I(i64::MIN)),
+        ] {
+            assert_eq!(parse_value(&v.render_compact()).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn typed_from_str() {
+        let n: u64 = from_str("42").unwrap();
+        assert_eq!(n, 42);
+        let v: Vec<Option<bool>> = from_slice(b"[true,null]").unwrap();
+        assert_eq!(v, vec![Some(true), None]);
+        let s: String = from_value(Value::from("hello")).unwrap();
+        assert_eq!(s, "hello");
     }
 }
