@@ -6,6 +6,7 @@ cargo fmt --all --check
 cargo build --release
 cargo test -q --workspace
 cargo test -q --test resume_determinism
+cargo test -q --test trace_determinism
 cargo clippy --all-targets -- -D warnings
 cargo bench --no-run
-cargo doc --no-deps -q
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q

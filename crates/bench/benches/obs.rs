@@ -1,0 +1,106 @@
+//! Observability-layer microbenchmarks: what the obs handles cost on the
+//! hot paths they instrument.
+//!
+//! Three groups:
+//!
+//! * **span lifecycle** — open + record + drop-close with the
+//!   `NullRecorder` (tracing disabled: the instrumented-but-off default
+//!   every production path runs) vs the `JsonRecorder` (full capture);
+//! * **metrics** — counter add / histogram observe, the always-live
+//!   relaxed-atomic registry updates;
+//! * **end-to-end** — a small full audit (crawl + analysis + honeypot)
+//!   under each recorder, the number `BENCH_obs.json` tracks at scale.
+
+use chatbot_audit::{AuditConfig, AuditPipeline};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use obs::{JsonRecorder, ManualClock, Obs};
+use std::hint::black_box;
+use std::sync::Arc;
+use synth::{build_ecosystem, EcosystemConfig};
+
+fn bench_span_lifecycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_span");
+
+    let disabled = Obs::disabled();
+    group.bench_function(
+        BenchmarkId::from_parameter("open_record_close/null_recorder"),
+        |b| {
+            b.iter(|| {
+                let span = disabled.span_keyed(black_box("bench"), black_box(7));
+                span.record("field", 42);
+            })
+        },
+    );
+
+    let recorder = Arc::new(JsonRecorder::new());
+    let traced = Obs::with_recorder(recorder, Arc::new(ManualClock::new()));
+    group.bench_function(
+        BenchmarkId::from_parameter("open_record_close/json_recorder"),
+        |b| {
+            b.iter(|| {
+                let span = traced.span_keyed(black_box("bench"), black_box(7));
+                span.record("field", 42);
+            })
+        },
+    );
+
+    group.finish();
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_metrics");
+    let obs = Obs::disabled();
+
+    let counter = obs.counter("bench.counter");
+    group.bench_function(BenchmarkId::from_parameter("counter_add"), |b| {
+        b.iter(|| counter.add(black_box(1)));
+    });
+
+    let histogram = obs.histogram("bench.histogram");
+    group.bench_function(BenchmarkId::from_parameter("histogram_record"), |b| {
+        b.iter(|| histogram.record(black_box(173)));
+    });
+
+    group.finish();
+}
+
+/// A small but complete audit (every stage, both roots) under each
+/// recorder. The wall-clock ratio between the two bars is the tracing tax;
+/// the NullRecorder bar IS the production path.
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_end_to_end");
+    group.sample_size(10);
+
+    let config = || AuditConfig {
+        honeypot_sample: 10,
+        ..AuditConfig::default()
+    };
+
+    group.bench_function(BenchmarkId::from_parameter("audit/null_recorder"), |b| {
+        b.iter(|| {
+            let eco = build_ecosystem(&EcosystemConfig::test_scale(60, 2022));
+            let pipeline = AuditPipeline::new(config());
+            black_box(pipeline.run_full(&eco));
+        })
+    });
+
+    group.bench_function(BenchmarkId::from_parameter("audit/json_recorder"), |b| {
+        b.iter(|| {
+            let eco = build_ecosystem(&EcosystemConfig::test_scale(60, 2022));
+            let recorder = Arc::new(JsonRecorder::new());
+            let obs = Obs::with_recorder(recorder, Arc::new(eco.net.clock().clone()));
+            let pipeline = AuditPipeline::with_obs(config(), obs);
+            black_box(pipeline.run_full(&eco));
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_span_lifecycle,
+    bench_metrics,
+    bench_end_to_end
+);
+criterion_main!(benches);

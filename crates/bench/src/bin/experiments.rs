@@ -5,7 +5,7 @@
 //!             [--markdown PATH] [--only fig3|table1|table2|table3|honeypot]
 //!             [--enforced] [--workers N] [--bench-json PATH]
 //!             [--store-dir DIR] [--resume] [--kill-after-frames N]
-//!             [--store-bench-json PATH]
+//!             [--store-bench-json PATH] [--obs-bench-json PATH]
 //! ```
 //!
 //! Defaults run the full paper-scale population (20,915 listings, 500
@@ -24,6 +24,8 @@ use chatbot_audit::{
     table1_histogram, table2_traceability, table3_code_analysis, validate_against_truth,
     AuditConfig, AuditPipeline, ResumableOutcome, ResumeError, StoreConfig,
 };
+use obs::{JsonRecorder, MetricValue, Obs};
+use std::sync::Arc;
 use synth::{build_ecosystem, EcosystemConfig};
 
 struct Args {
@@ -40,6 +42,7 @@ struct Args {
     resume: bool,
     kill_after_frames: Option<u64>,
     store_bench_json: Option<String>,
+    obs_bench_json: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -57,6 +60,7 @@ fn parse_args() -> Args {
         resume: false,
         kill_after_frames: None,
         store_bench_json: None,
+        obs_bench_json: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -126,6 +130,10 @@ fn parse_args() -> Args {
                 args.store_bench_json = argv.get(i + 1).cloned();
                 i += 2;
             }
+            "--obs-bench-json" => {
+                args.obs_bench_json = argv.get(i + 1).cloned();
+                i += 2;
+            }
             other => {
                 eprintln!("unknown argument {other:?}");
                 std::process::exit(2);
@@ -152,6 +160,58 @@ fn audit_config(honeypot_sample: usize, workers: usize) -> AuditConfig {
     config
 }
 
+/// The `caches:` line, now a view over the pipeline's obs registry
+/// instead of hand-threaded stage counters.
+fn caches_line(obs: &Obs) -> String {
+    let c = |p: &str| obs.counter_value(p);
+    format!(
+        "caches: link cache {} hits / {} misses | policy memo {} hits / {} misses | \
+         kernels: policy automaton {} states, {} passes, {} bytes | \
+         code automaton {} states, {} passes, {} bytes | \
+         journal {} written / {} replayed | artifact pack {} hits / {} misses",
+        c("analysis.link_cache.hits"),
+        c("analysis.link_cache.misses"),
+        c("analysis.policy_memo.hits"),
+        c("analysis.policy_memo.misses"),
+        obs.gauge_value("policy.automaton_states"),
+        c("policy.scan_passes"),
+        c("policy.bytes_scanned"),
+        obs.gauge_value("code.automaton_states"),
+        c("code.scan_passes"),
+        c("code.bytes_scanned"),
+        c("store.journal.frames_written"),
+        c("store.journal.replayed"),
+        c("store.artifacts.hits"),
+        c("store.artifacts.misses"),
+    )
+}
+
+/// The whole obs registry as JSON: counters and gauges flatten to numbers,
+/// histograms to `{count, sum, min, max, mean}` summaries.
+fn registry_json(obs: &Obs) -> serde_json::Value {
+    let mut m = serde_json::Map::new();
+    for (path, value) in obs.metrics_snapshot() {
+        let v = match value {
+            MetricValue::Counter(n) => n.into(),
+            MetricValue::Gauge(n) => n.into(),
+            MetricValue::Histogram(h) => {
+                let mut s = serde_json::Map::new();
+                s.insert("count".into(), h.count.into());
+                s.insert("sum".into(), h.sum.into());
+                s.insert("min".into(), h.min.into());
+                s.insert("max".into(), h.max.into());
+                s.insert(
+                    "mean".into(),
+                    serde_json::to_value(h.mean()).expect("serializable"),
+                );
+                s.into()
+            }
+        };
+        m.insert(path, v);
+    }
+    m.into()
+}
+
 /// Run the full pipeline (crawl + static analysis + honeypot) at each
 /// worker count, recording wall time and speedup over the serial run.
 /// World construction happens outside the timer — the engine under test
@@ -175,26 +235,27 @@ fn parallel_bench(args: &Args, path: &str) {
         });
         let pipeline = AuditPipeline::new(audit_config(args.honeypot_sample, workers));
         let t0 = std::time::Instant::now();
-        let (bots, _, caches) = pipeline.run_static_stages_detailed(&eco.net);
+        let (bots, _) = pipeline.run_static_stages(&eco.net);
         let campaign = pipeline.run_honeypot(&eco);
         let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
         if workers == 1 {
             serial_ms = wall_ms;
         }
         let speedup = serial_ms / wall_ms;
+        let obs = pipeline.obs();
         println!(
             "workers {workers}: {wall_ms:7.1} ms wall | speedup {speedup:.2}x | \
              link cache {}/{} hit/miss | policy memo {}/{} hit/miss | \
              policy kernel {} passes/{} bytes | code kernel {} passes/{} bytes | \
              {} bots | {} detections",
-            caches.link_cache_hits,
-            caches.link_cache_misses,
-            caches.policy_memo_hits,
-            caches.policy_memo_misses,
-            caches.policy_scan_passes,
-            caches.policy_bytes_scanned,
-            caches.code_scan_passes,
-            caches.code_bytes_scanned,
+            obs.counter_value("analysis.link_cache.hits"),
+            obs.counter_value("analysis.link_cache.misses"),
+            obs.counter_value("analysis.policy_memo.hits"),
+            obs.counter_value("analysis.policy_memo.misses"),
+            obs.counter_value("policy.scan_passes"),
+            obs.counter_value("policy.bytes_scanned"),
+            obs.counter_value("code.scan_passes"),
+            obs.counter_value("code.bytes_scanned"),
             bots.len(),
             campaign.detections.len(),
         );
@@ -219,10 +280,7 @@ fn parallel_bench(args: &Args, path: &str) {
             "detections".into(),
             serde_json::to_value(campaign.detections.len()).expect("serializable"),
         );
-        run.insert(
-            "caches".into(),
-            serde_json::to_value(caches).expect("serializable"),
-        );
+        run.insert("metrics".into(), registry_json(obs));
         runs.push(run.into());
     }
     let mut out = serde_json::Map::new();
@@ -297,18 +355,15 @@ fn store_bench(args: &Args, path: &str) {
                     serde_json::to_value(s).expect("serializable"),
                 );
             }
-            m.insert(
-                "frames_written".into(),
-                o.stages.journal_frames_written.into(),
-            );
+            m.insert("frames_written".into(), o.store_stats.frames_written.into());
             m.insert(
                 "frames_replayed".into(),
-                o.stages.journal_frames_replayed.into(),
+                o.store_stats.frames_replayed.into(),
             );
-            m.insert("artifact_hits".into(), o.stages.artifact_cache_hits.into());
+            m.insert("artifact_hits".into(), o.store_stats.artifact_hits.into());
             m.insert(
                 "artifact_misses".into(),
-                o.stages.artifact_cache_misses.into(),
+                o.store_stats.artifact_misses.into(),
             );
             m.into()
         };
@@ -322,7 +377,7 @@ fn store_bench(args: &Args, path: &str) {
     let (warm_ms, warm) = run(false, None);
     let warm = warm.expect("warm run completes");
     assert_eq!(
-        warm.stages.artifact_cache_misses, 0,
+        warm.store_stats.artifact_misses, 0,
         "warm pack must serve every analysis"
     );
     assert_eq!(warm.report.canonical_json(), reference);
@@ -333,7 +388,7 @@ fn store_bench(args: &Args, path: &str) {
     assert_eq!(replay.report.canonical_json(), reference);
 
     // Crash drill: fresh journal killed half-way, then resumed to the end.
-    let kill_at = cold.stages.journal_frames_written / 2;
+    let kill_at = cold.store_stats.frames_written / 2;
     let (killed_ms, killed) = run(false, Some(kill_at));
     let durable = killed.expect_err("kill switch fires mid-run");
     let (resume_ms, resumed) = run(true, None);
@@ -388,6 +443,142 @@ fn store_bench(args: &Args, path: &str) {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Measure the observability tax on the end-to-end audit path (crawl +
+/// analysis + honeypot): interleaved rounds with the `NullRecorder`
+/// (tracing disabled — the default) and the `JsonRecorder` (full span
+/// capture), plus a microbench of the exact operations the disabled path
+/// adds over no instrumentation at all, scaled by a real run's span count.
+fn obs_bench(args: &Args, path: &str) {
+    const ROUNDS: usize = 5;
+    eprintln!(
+        "observability bench: {} listings, {ROUNDS} interleaved rounds per recorder …",
+        args.scale
+    );
+
+    let run = |mk_obs: &dyn Fn(&synth::Ecosystem) -> Obs| -> f64 {
+        let eco = build_ecosystem(&EcosystemConfig {
+            num_bots: args.scale,
+            seed: args.seed,
+            ..EcosystemConfig::default()
+        });
+        let obs = mk_obs(&eco);
+        let pipeline =
+            AuditPipeline::with_obs(audit_config(args.honeypot_sample, args.workers), obs);
+        let t0 = std::time::Instant::now();
+        let (bots, _) = pipeline.run_static_stages(&eco.net);
+        let campaign = pipeline.run_honeypot(&eco);
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(bots.len(), args.scale);
+        assert_eq!(campaign.bots_tested, args.honeypot_sample);
+        wall_ms
+    };
+    let median = |xs: &[f64]| -> f64 {
+        let mut s = xs.to_vec();
+        s.sort_by(f64::total_cmp);
+        s[s.len() / 2]
+    };
+
+    // Interleave the two recorders so machine drift hits both equally.
+    let mut null_ms = Vec::new();
+    let mut json_ms = Vec::new();
+    let mut spans_per_run = 0usize;
+    let mut trace_bytes = 0usize;
+    for _ in 0..ROUNDS {
+        null_ms.push(run(&|_| Obs::disabled()));
+        let recorder = Arc::new(JsonRecorder::new());
+        let rec = recorder.clone();
+        json_ms.push(run(&move |eco: &synth::Ecosystem| {
+            Obs::with_recorder(rec.clone(), Arc::new(eco.net.clock().clone()))
+        }));
+        spans_per_run = recorder.span_count();
+        trace_bytes = recorder.canonical_trace().len();
+    }
+    let (null_median, json_median) = (median(&null_ms), median(&json_ms));
+    let json_overhead_pct = (json_median - null_median) / null_median * 100.0;
+
+    // What the NullRecorder path adds over no instrumentation at all: a
+    // tracing check that returns a disabled span (plus a field record that
+    // hits the `None` arm) and relaxed-atomic registry updates. Time those
+    // directly and scale by the span count a traced run actually opens.
+    let disabled = Obs::disabled();
+    let iters = 1_000_000u64;
+    let t0 = std::time::Instant::now();
+    for i in 0..iters {
+        let span = disabled.span_keyed("bench", i);
+        span.record("x", i);
+    }
+    let span_ns = t0.elapsed().as_secs_f64() * 1e9 / iters as f64;
+    let counter = disabled.counter("bench.counter");
+    let t0 = std::time::Instant::now();
+    for _ in 0..iters {
+        counter.add(1);
+    }
+    let counter_ns = t0.elapsed().as_secs_f64() * 1e9 / iters as f64;
+    // Generous op budget: every span a traced run opens, plus as many
+    // metric updates again.
+    let assumed_ops = (spans_per_run * 2) as f64;
+    let estimated_pct = assumed_ops * (span_ns + counter_ns) / 1e6 / null_median * 100.0;
+
+    println!(
+        "obs bench: null {null_median:.1} ms | json {json_median:.1} ms \
+         ({json_overhead_pct:+.2}% tracing) | disabled span {span_ns:.1} ns, counter add \
+         {counter_ns:.1} ns → NullRecorder ≈{estimated_pct:.3}% of the audit path \
+         ({spans_per_run} spans/run, trace {trace_bytes} bytes)"
+    );
+
+    let mut out = serde_json::Map::new();
+    out.insert("scale".into(), args.scale.into());
+    out.insert("seed".into(), args.seed.into());
+    out.insert("honeypot_sample".into(), args.honeypot_sample.into());
+    out.insert("workers".into(), args.workers.into());
+    out.insert("rounds_each".into(), ROUNDS.into());
+    let side = |runs: &[f64], med: f64| -> serde_json::Map {
+        let mut m = serde_json::Map::new();
+        m.insert(
+            "runs_ms".into(),
+            serde_json::to_value(runs).expect("serializable"),
+        );
+        m.insert(
+            "median_ms".into(),
+            serde_json::to_value(med).expect("serializable"),
+        );
+        m
+    };
+    out.insert("null_recorder".into(), side(&null_ms, null_median).into());
+    let mut json_side = side(&json_ms, json_median);
+    json_side.insert("spans_per_run".into(), spans_per_run.into());
+    json_side.insert("trace_bytes".into(), trace_bytes.into());
+    out.insert("json_recorder".into(), json_side.into());
+    out.insert(
+        "json_tracing_overhead_pct".into(),
+        serde_json::to_value(json_overhead_pct).expect("serializable"),
+    );
+    let mut null_overhead = serde_json::Map::new();
+    null_overhead.insert(
+        "disabled_span_open_record_close_ns".into(),
+        serde_json::to_value(span_ns).expect("serializable"),
+    );
+    null_overhead.insert(
+        "counter_add_ns".into(),
+        serde_json::to_value(counter_ns).expect("serializable"),
+    );
+    null_overhead.insert(
+        "assumed_ops_per_run".into(),
+        serde_json::to_value(assumed_ops).expect("serializable"),
+    );
+    null_overhead.insert(
+        "estimated_overhead_pct".into(),
+        serde_json::to_value(estimated_pct).expect("serializable"),
+    );
+    out.insert("null_recorder_overhead".into(), null_overhead.into());
+    std::fs::write(
+        path,
+        serde_json::to_string_pretty(&out).expect("serializable"),
+    )
+    .expect("write obs bench json");
+    eprintln!("wrote {path}");
+}
+
 fn main() {
     let args = parse_args();
     let scale_factor = args.scale as f64 / 20_915.0;
@@ -413,7 +604,7 @@ fn main() {
         if args.workers == 1 { "" } else { "s" }
     );
     let pipeline = AuditPipeline::new(audit_config(args.honeypot_sample, args.workers));
-    let (bots, stats, caches, stored_campaign) = if let Some(dir) = &args.store_dir {
+    let (bots, stats, stored_campaign) = if let Some(dir) = &args.store_dir {
         if args.enforced {
             eprintln!(
                 "note: --enforced is not part of the store fingerprint; \
@@ -426,7 +617,6 @@ fn main() {
         match pipeline.run_resumable(&eco, &store, args.seed) {
             Ok(ResumableOutcome {
                 report,
-                stages,
                 store_stats,
             }) => {
                 eprintln!(
@@ -436,7 +626,7 @@ fn main() {
                     store_stats.artifact_hits,
                     store_stats.artifact_misses,
                 );
-                (report.bots, report.crawl_stats, stages, report.honeypot)
+                (report.bots, report.crawl_stats, report.honeypot)
             }
             Err(ResumeError::Interrupted { frames_written }) => {
                 eprintln!(
@@ -455,8 +645,8 @@ fn main() {
             eprintln!("--resume / --kill-after-frames require --store-dir");
             std::process::exit(2);
         }
-        let (bots, stats, caches) = pipeline.run_static_stages_detailed(&eco.net);
-        (bots, stats, caches, None)
+        let (bots, stats) = pipeline.run_static_stages(&eco.net);
+        (bots, stats, None)
     };
 
     let mut json = serde_json::Map::new();
@@ -473,30 +663,7 @@ fn main() {
         stats.email_verifications,
         stats.duration
     );
-    println!(
-        "caches: link cache {} hits / {} misses | policy memo {} hits / {} misses | \
-         kernels: policy automaton {} states, {} passes, {} bytes | \
-         code automaton {} states, {} passes, {} bytes | \
-         journal {} written / {} replayed | artifact pack {} hits / {} misses",
-        caches.link_cache_hits,
-        caches.link_cache_misses,
-        caches.policy_memo_hits,
-        caches.policy_memo_misses,
-        caches.policy_automaton_states,
-        caches.policy_scan_passes,
-        caches.policy_bytes_scanned,
-        caches.code_automaton_states,
-        caches.code_scan_passes,
-        caches.code_bytes_scanned,
-        caches.journal_frames_written,
-        caches.journal_frames_replayed,
-        caches.artifact_cache_hits,
-        caches.artifact_cache_misses,
-    );
-    json.insert(
-        "stage_caches".into(),
-        serde_json::to_value(caches).expect("serializable"),
-    );
+    println!("{}", caches_line(pipeline.obs()));
 
     // ---- Figure 3 + in-text permission numbers -------------------------
     if want(&args, "fig3") {
@@ -719,6 +886,9 @@ fn main() {
         eprintln!("wrote {path}");
     }
 
+    // The full registry view, captured after every stage has reported.
+    json.insert("metrics".into(), registry_json(pipeline.obs()));
+
     if let Some(path) = &args.json {
         std::fs::write(
             path,
@@ -734,5 +904,9 @@ fn main() {
 
     if let Some(path) = &args.store_bench_json {
         store_bench(&args, path);
+    }
+
+    if let Some(path) = &args.obs_bench_json {
+        obs_bench(&args, path);
     }
 }

@@ -1,0 +1,408 @@
+//! The one-stop audit facade.
+//!
+//! Driving a full measurement used to mean assembling seven config structs
+//! from five crates ([`AuditConfig`], [`CrawlConfig`](crawler::crawl::CrawlConfig),
+//! `CampaignConfig`, `SiteConfig`, [`StoreConfig`], `ClientConfig`,
+//! [`EcosystemConfig`]) and
+//! wiring them together by hand. [`Audit::builder`] collapses that into one
+//! typed builder: every commonly-tuned knob has a setter, [`AuditBuilder::build`]
+//! validates the combination up front, and [`Audit::run`] /
+//! [`Audit::run_resumable`] return the canonical report behind the single
+//! [`AuditError`] surface.
+//!
+//! The old structs remain available (hidden from docs) so existing code and
+//! tests keep compiling; new code should not need them.
+
+use crate::error::AuditError;
+use crate::pipeline::{AuditConfig, AuditPipeline};
+use crate::report::CanonicalReport;
+use crate::resume::StoreConfig;
+use obs::Obs;
+use policy::KeywordOntology;
+use synth::{build_ecosystem, Ecosystem, EcosystemConfig};
+
+/// A fully-configured audit, ready to run against its synthetic world.
+///
+/// Construct with [`Audit::builder`]. Each [`run`](Audit::run) builds the
+/// world from scratch, so repeated runs of one `Audit` are independent and
+/// deterministic: the same seed yields the same canonical report.
+///
+/// ```
+/// use chatbot_audit::Audit;
+///
+/// let audit = Audit::builder()
+///     .scale(40)
+///     .seed(2022)
+///     .workers(2)
+///     .honeypot_sample(5)
+///     .build()
+///     .expect("valid configuration");
+/// let report = audit.run().expect("audit completes");
+/// assert_eq!(report.bots.len(), 40);
+/// ```
+pub struct Audit {
+    config: AuditConfig,
+    eco: EcosystemConfig,
+    store: Option<StoreConfig>,
+    obs: Obs,
+}
+
+impl std::fmt::Debug for Audit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Audit")
+            .field("config", &self.config)
+            .field("eco", &self.eco)
+            .field("store", &self.store)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Audit {
+    /// Start building an audit. All knobs default to the paper-shaped
+    /// 500-bot world with listing-site defenses on and one worker.
+    pub fn builder() -> AuditBuilder {
+        AuditBuilder::default()
+    }
+
+    /// The observability handle every run reports through — read metrics
+    /// (`crawl.*`, `analysis.*`, `honeypot.*`, `store.*`) after a run, or
+    /// install a recorder at build time with [`AuditBuilder::obs`].
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// The resolved pipeline configuration (read-only).
+    pub fn config(&self) -> &AuditConfig {
+        &self.config
+    }
+
+    /// The resolved world configuration (read-only).
+    pub fn ecosystem_config(&self) -> &EcosystemConfig {
+        &self.eco
+    }
+
+    fn world(&self) -> Ecosystem {
+        build_ecosystem(&self.eco)
+    }
+
+    fn pipeline(&self) -> AuditPipeline {
+        AuditPipeline::with_obs(self.config.clone(), self.obs.clone())
+    }
+
+    /// Build the world and run every stage (crawl → traceability → code →
+    /// honeypot), returning the canonical, worker-count-independent report.
+    pub fn run(&self) -> Result<CanonicalReport, AuditError> {
+        let eco = self.world();
+        Ok(self.pipeline().run_full(&eco).canonical())
+    }
+
+    /// Like [`Self::run`], but journaled through the crash-safe store set
+    /// with [`AuditBuilder::store`] (an in-memory store when unset): a run
+    /// interrupted at any frame surfaces [`AuditError::Interrupted`] and
+    /// resumes — against the same backend, with
+    /// [`StoreConfig::resuming`] — into a byte-identical report.
+    pub fn run_resumable(&self) -> Result<CanonicalReport, AuditError> {
+        let eco = self.world();
+        let store = match &self.store {
+            Some(cfg) => cfg.clone(),
+            None => StoreConfig::in_memory(),
+        };
+        let outcome = self.pipeline().run_resumable(&eco, &store, self.eco.seed)?;
+        Ok(outcome.report.canonical())
+    }
+}
+
+/// Typed, validated builder for [`Audit`]. See the crate-level and
+/// [`Audit`] docs for a runnable example.
+///
+/// Setters are grouped by the config struct they replace: world shape
+/// (`EcosystemConfig`), crawl (`CrawlConfig`), analysis (`AuditConfig`),
+/// honeypot (`CampaignConfig`), persistence (`StoreConfig`), and
+/// observability ([`Obs`]).
+#[derive(Default)]
+pub struct AuditBuilder {
+    config: AuditConfig,
+    eco: EcosystemConfig,
+    store: Option<StoreConfig>,
+    obs: Option<Obs>,
+}
+
+impl AuditBuilder {
+    // ---- world shape ---------------------------------------------------
+
+    /// Number of bot listings in the synthetic world (paper: 20,915).
+    pub fn scale(mut self, num_bots: usize) -> Self {
+        self.eco.num_bots = num_bots;
+        self
+    }
+
+    /// Master world seed. Also seeds the crawl and honeypot RNG streams
+    /// unless [`Self::crawl_seed`] / [`Self::honeypot_seed`] override them.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.eco.seed = seed;
+        self.config.crawl.seed = seed;
+        self.config.honeypot.seed = seed;
+        self
+    }
+
+    /// Bots per listing page (paper: 25/page).
+    pub fn page_size(mut self, bots_per_page: usize) -> Self {
+        self.eco.page_size = bots_per_page;
+        self
+    }
+
+    /// Toggle all three listing-site defenses (captcha interstitials, rate
+    /// limiting, the email wall) at once. They default on, matching the
+    /// obstacles §4.2 reports.
+    pub fn site_defenses(mut self, enabled: bool) -> Self {
+        if enabled {
+            let d = EcosystemConfig::default();
+            self.eco.captcha_every = d.captcha_every;
+            self.eco.rate_limit = d.rate_limit;
+            self.eco.email_wall_after_page = d.email_wall_after_page;
+        } else {
+            self.eco.captcha_every = None;
+            self.eco.rate_limit = None;
+            self.eco.email_wall_after_page = None;
+        }
+        self
+    }
+
+    // ---- crawl ---------------------------------------------------------
+
+    /// Stop the listing traversal after this many pages.
+    pub fn max_pages(mut self, pages: usize) -> Self {
+        self.config.crawl.max_pages = Some(pages);
+        self
+    }
+
+    /// Use the polite (rate-limited, jittered) crawl session. Defaults on;
+    /// the ablation turns it off.
+    pub fn polite(mut self, polite: bool) -> Self {
+        self.config.crawl.polite = polite;
+        self
+    }
+
+    /// Whether to validate invite links (network-heavy). Defaults on.
+    pub fn validate_invites(mut self, validate: bool) -> Self {
+        self.config.crawl.validate_invites = validate;
+        self
+    }
+
+    /// Whether to visit websites and fetch privacy policies. Defaults on.
+    pub fn fetch_policies(mut self, fetch: bool) -> Self {
+        self.config.crawl.fetch_policies = fetch;
+        self
+    }
+
+    /// Crawl-session RNG seed, independent of the world seed.
+    pub fn crawl_seed(mut self, seed: u64) -> Self {
+        self.config.crawl.seed = seed;
+        self
+    }
+
+    // ---- analysis ------------------------------------------------------
+
+    /// Worker count for every parallel stage (crawl shards, the analysis
+    /// pool, honeypot campaigns): 1 = serial, N = a pool of N, 0 = one per
+    /// core. Output is byte-identical regardless.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
+        self.config.crawl.workers = workers;
+        self.config.honeypot.workers = workers;
+        self
+    }
+
+    /// Keyword ontology for the traceability stage (defaults to the
+    /// paper's standard ontology).
+    pub fn ontology(mut self, ontology: KeywordOntology) -> Self {
+        self.config.ontology = ontology;
+        self
+    }
+
+    // ---- honeypot ------------------------------------------------------
+
+    /// How many most-voted bots the honeypot tests (paper: 500).
+    pub fn honeypot_sample(mut self, bots: usize) -> Self {
+        self.config.honeypot_sample = bots;
+        self
+    }
+
+    /// Personas per honeypot guild (paper: 5).
+    pub fn personas_per_guild(mut self, personas: usize) -> Self {
+        self.config.honeypot.personas_per_guild = personas;
+        self
+    }
+
+    /// Decoy conversation messages per guild (paper: 25).
+    pub fn feed_messages(mut self, messages: usize) -> Self {
+        self.config.honeypot.feed_messages = messages;
+        self
+    }
+
+    /// Campaign RNG seed, independent of the world seed.
+    pub fn honeypot_seed(mut self, seed: u64) -> Self {
+        self.config.honeypot.seed = seed;
+        self
+    }
+
+    /// Provision personas with automated verification (the paper's stated
+    /// future work; defaults off to match the paper's manual step).
+    pub fn auto_verify_personas(mut self, auto: bool) -> Self {
+        self.config.honeypot.auto_verify_personas = auto;
+        self
+    }
+
+    /// Plant a webhook-credential canary per guild (extension; defaults
+    /// on).
+    pub fn webhook_canaries(mut self, plant: bool) -> Self {
+        self.config.honeypot.plant_webhook_canaries = plant;
+        self
+    }
+
+    // ---- persistence & observability -----------------------------------
+
+    /// Journal through this crash-safe store; [`Audit::run_resumable`]
+    /// uses a throwaway in-memory store when unset.
+    pub fn store(mut self, store: StoreConfig) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// Report through this observability handle (attach a
+    /// [`obs::JsonRecorder`] to capture the deterministic trace). Defaults
+    /// to [`Obs::disabled`]: metrics stay live, spans cost a null check.
+    pub fn obs(mut self, obs: Obs) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
+    /// Validate the combination and produce the runnable [`Audit`].
+    ///
+    /// # Errors
+    ///
+    /// [`AuditError::Config`] when the knobs are inconsistent: an empty
+    /// world, a zero page size, a crawl capped at zero pages, a honeypot
+    /// sample larger than the world, or a guild with no personas.
+    pub fn build(self) -> Result<Audit, AuditError> {
+        if self.eco.num_bots == 0 {
+            return Err(AuditError::config("scale must be at least 1 bot"));
+        }
+        if self.eco.page_size == 0 {
+            return Err(AuditError::config("page_size must be at least 1"));
+        }
+        if self.config.crawl.max_pages == Some(0) {
+            return Err(AuditError::config(
+                "max_pages(0) would crawl nothing; omit it to crawl all pages",
+            ));
+        }
+        if self.config.honeypot_sample > self.eco.num_bots {
+            return Err(AuditError::config(format!(
+                "honeypot_sample ({}) exceeds the world population ({})",
+                self.config.honeypot_sample, self.eco.num_bots
+            )));
+        }
+        if self.config.honeypot.personas_per_guild == 0 {
+            return Err(AuditError::config("personas_per_guild must be at least 1"));
+        }
+        Ok(Audit {
+            config: self.config,
+            eco: self.eco,
+            store: self.store,
+            obs: self.obs.unwrap_or_else(Obs::disabled),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::ErrorKind;
+    use std::sync::Arc;
+    use store::MemBackend;
+
+    fn small() -> AuditBuilder {
+        Audit::builder()
+            .scale(40)
+            .seed(77)
+            .honeypot_sample(5)
+            .site_defenses(false)
+    }
+
+    #[test]
+    fn builder_rejects_inconsistent_knobs() {
+        let empty = Audit::builder().scale(0).build().unwrap_err();
+        assert_eq!(empty.kind(), ErrorKind::Config);
+
+        let oversampled = Audit::builder()
+            .scale(10)
+            .honeypot_sample(11)
+            .build()
+            .unwrap_err();
+        assert_eq!(oversampled.kind(), ErrorKind::Config);
+
+        assert_eq!(
+            small().max_pages(0).build().unwrap_err().kind(),
+            ErrorKind::Config
+        );
+        assert_eq!(
+            small().page_size(0).build().unwrap_err().kind(),
+            ErrorKind::Config
+        );
+        assert_eq!(
+            small().personas_per_guild(0).build().unwrap_err().kind(),
+            ErrorKind::Config
+        );
+    }
+
+    #[test]
+    fn facade_run_matches_hand_wired_pipeline() {
+        let facade = small().build().unwrap().run().unwrap();
+
+        let eco = build_ecosystem(&EcosystemConfig::test_scale(40, 77));
+        let mut config = AuditConfig {
+            honeypot_sample: 5,
+            ..AuditConfig::default()
+        };
+        config.crawl.seed = 77;
+        config.honeypot.seed = 77;
+        let by_hand = AuditPipeline::new(config).run_full(&eco).canonical();
+        assert_eq!(facade, by_hand);
+    }
+
+    #[test]
+    fn facade_resumable_crashes_and_resumes() {
+        let backend = Arc::new(MemBackend::new());
+        let crash = small()
+            .store(StoreConfig {
+                backend: backend.clone(),
+                resume: false,
+                kill_after_frames: Some(5),
+            })
+            .build()
+            .unwrap();
+        let err = crash.run_resumable().unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Interrupted);
+
+        let resume = small()
+            .store(StoreConfig {
+                backend,
+                resume: true,
+                kill_after_frames: None,
+            })
+            .build()
+            .unwrap();
+        let resumed = resume.run_resumable().unwrap();
+        let uninterrupted = small().build().unwrap().run_resumable().unwrap();
+        assert_eq!(resumed, uninterrupted);
+        assert!(resume.obs().counter_value("store.journal.replayed") >= 5);
+    }
+
+    #[test]
+    fn workers_knob_fans_out_to_every_stage() {
+        let audit = small().workers(4).build().unwrap();
+        assert_eq!(audit.config().workers, 4);
+        assert_eq!(audit.config().crawl.workers, 4);
+        assert_eq!(audit.config().honeypot.workers, 4);
+    }
+}

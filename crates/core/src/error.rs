@@ -1,0 +1,200 @@
+//! The unified error surface for the audit facade.
+//!
+//! The pipeline crosses five crates that each grew their own error enum —
+//! [`PlatformError`] (discord-sim), [`NetError`] (netsim), [`StoreError`]
+//! (store), [`ResumeError`] (this crate), [`LocateError`] (htmlsim). Code
+//! driving a whole audit should not have to name all five: everything
+//! converges on [`AuditError`] via `From`, and callers that only need to
+//! branch coarsely (retry? resume? give up?) match on the stable
+//! [`AuditError::kind`] instead of the carried payloads.
+
+use crate::resume::ResumeError;
+use discord_sim::PlatformError;
+use htmlsim::LocateError;
+use netsim::NetError;
+use std::fmt;
+use store::StoreError;
+
+/// Any failure an audit run can surface, from any layer.
+///
+/// Every constituent error converts in with `?` / `From`; the original
+/// payload is preserved in the variant. [`Self::kind`] gives a stable,
+/// payload-free discriminant for coarse handling and logging.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum AuditError {
+    /// The builder rejected its inputs before anything ran.
+    Config {
+        /// What was wrong.
+        reason: String,
+    },
+    /// The simulated platform refused an action (permissions, hierarchy,
+    /// missing entity, ...).
+    Platform(PlatformError),
+    /// The network fabric failed a request (timeout, DNS, rate limit, ...).
+    Net(NetError),
+    /// The crash-safe store's backend failed.
+    Store(StoreError),
+    /// An HTML locator failed during extraction.
+    Locate(LocateError),
+    /// The armed kill switch fired mid-run (the simulated crash). Every
+    /// frame written before the crash is durable and will replay.
+    Interrupted {
+        /// Journal frames durably written before the simulated crash.
+        frames_written: u64,
+    },
+}
+
+/// Payload-free discriminant of an [`AuditError`], stable across releases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum ErrorKind {
+    /// Invalid builder configuration.
+    Config,
+    /// Platform (discord-sim) refusal.
+    Platform,
+    /// Network fabric failure.
+    Net,
+    /// Storage backend failure.
+    Store,
+    /// HTML locator failure.
+    Locate,
+    /// Simulated crash: resume to continue.
+    Interrupted,
+}
+
+impl AuditError {
+    /// The stable discriminant for coarse matching.
+    pub fn kind(&self) -> ErrorKind {
+        match self {
+            AuditError::Config { .. } => ErrorKind::Config,
+            AuditError::Platform(_) => ErrorKind::Platform,
+            AuditError::Net(_) => ErrorKind::Net,
+            AuditError::Store(_) => ErrorKind::Store,
+            AuditError::Locate(_) => ErrorKind::Locate,
+            AuditError::Interrupted { .. } => ErrorKind::Interrupted,
+        }
+    }
+
+    /// Shorthand for a [`AuditError::Config`] with a formatted reason.
+    pub(crate) fn config(reason: impl Into<String>) -> AuditError {
+        AuditError::Config {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for AuditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuditError::Config { reason } => write!(f, "invalid audit configuration: {reason}"),
+            AuditError::Platform(e) => write!(f, "platform error: {e}"),
+            AuditError::Net(e) => write!(f, "network error: {e}"),
+            AuditError::Store(e) => write!(f, "store error: {e}"),
+            AuditError::Locate(e) => write!(f, "locator error: {e}"),
+            AuditError::Interrupted { frames_written } => {
+                write!(f, "run interrupted after {frames_written} durable frames")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AuditError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AuditError::Platform(e) => Some(e),
+            AuditError::Net(e) => Some(e),
+            AuditError::Store(e) => Some(e),
+            AuditError::Locate(e) => Some(e),
+            AuditError::Config { .. } | AuditError::Interrupted { .. } => None,
+        }
+    }
+}
+
+impl From<PlatformError> for AuditError {
+    fn from(e: PlatformError) -> AuditError {
+        AuditError::Platform(e)
+    }
+}
+
+impl From<NetError> for AuditError {
+    fn from(e: NetError) -> AuditError {
+        AuditError::Net(e)
+    }
+}
+
+impl From<StoreError> for AuditError {
+    fn from(e: StoreError) -> AuditError {
+        AuditError::Store(e)
+    }
+}
+
+impl From<LocateError> for AuditError {
+    fn from(e: LocateError) -> AuditError {
+        AuditError::Locate(e)
+    }
+}
+
+impl From<ResumeError> for AuditError {
+    fn from(e: ResumeError) -> AuditError {
+        match e {
+            ResumeError::Interrupted { frames_written } => {
+                AuditError::Interrupted { frames_written }
+            }
+            ResumeError::Store(e) => AuditError::Store(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_source_error_converts_and_keeps_its_kind() {
+        let cases: Vec<(AuditError, ErrorKind)> = vec![
+            (AuditError::config("bad"), ErrorKind::Config),
+            (PlatformError::NotAMember.into(), ErrorKind::Platform),
+            (
+                NetError::DnsFailure { host: "x".into() }.into(),
+                ErrorKind::Net,
+            ),
+            (StoreError::Interrupted.into(), ErrorKind::Store),
+            (
+                LocateError::InvalidLocator { reason: "y".into() }.into(),
+                ErrorKind::Locate,
+            ),
+            (
+                ResumeError::Interrupted { frames_written: 7 }.into(),
+                ErrorKind::Interrupted,
+            ),
+        ];
+        for (err, kind) in cases {
+            assert_eq!(err.kind(), kind, "{err}");
+        }
+    }
+
+    #[test]
+    fn resume_store_failures_map_to_store_kind() {
+        let err: AuditError = ResumeError::Store(StoreError::Interrupted).into();
+        assert_eq!(err.kind(), ErrorKind::Store);
+    }
+
+    #[test]
+    fn interrupted_preserves_frame_count() {
+        let err: AuditError = ResumeError::Interrupted { frames_written: 42 }.into();
+        match err {
+            AuditError::Interrupted { frames_written } => assert_eq!(frames_written, 42),
+            other => panic!("wrong variant: {other}"),
+        }
+    }
+
+    #[test]
+    fn display_is_prefixed_by_layer() {
+        assert!(AuditError::config("no bots")
+            .to_string()
+            .contains("invalid audit configuration"));
+        let net: AuditError = NetError::DnsFailure { host: "h".into() }.into();
+        assert!(net.to_string().starts_with("network error:"));
+    }
+}

@@ -11,16 +11,25 @@
 //!                                     (honeypot)
 //! ```
 //!
+//! * [`audit`] — the [`Audit::builder`] facade: one typed entry point over
+//!   the crawl/analysis/honeypot/store configuration, returning results
+//!   behind the unified [`AuditError`];
 //! * [`pipeline`] — stage orchestration over a mounted world (the `synth`
 //!   ecosystem or any compatible set of services);
 //! * [`stats`] — the aggregations behind every table and figure in §4.2;
 //! * [`report`] — per-bot risk findings and paper-style table rendering;
 //! * [`validate`] — something the paper could not do: score each analyzer
 //!   against the planted ground truth.
+//!
+//! Every stage reports through the `obs` crate: pass an [`obs::Obs`] via
+//! [`AuditBuilder::obs`] (or [`pipeline::AuditPipeline::with_obs`]) to
+//! capture deterministic span traces and registry metrics.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod audit;
+pub mod error;
 pub mod leastpriv;
 pub mod pipeline;
 pub mod report;
@@ -28,21 +37,38 @@ pub mod resume;
 pub mod stats;
 pub mod validate;
 
+pub use audit::{Audit, AuditBuilder};
+pub use error::{AuditError, ErrorKind};
 pub use leastpriv::{least_privilege_summary, privilege_gaps, LeastPrivilegeSummary, PrivilegeGap};
-pub use pipeline::{
-    AuditConfig, AuditPipeline, AuditReport, AuditedBot, CodeFinding, LinkResolution,
-};
+pub use pipeline::{AuditPipeline, AuditReport, AuditedBot, CodeFinding, LinkResolution};
 pub use report::{
     exposure_by_flag, render_figure3, render_markdown_dossier, render_table1, render_table2,
     render_table3, risk_report, CanonicalBot, CanonicalCampaign, CanonicalDetection,
     CanonicalReport, RiskFlag, RiskReport,
 };
 pub use resume::{
-    run_fingerprint, ResumableOutcome, ResumeError, StoreConfig, CRAWL_UNIT_SIZE, K_ANALYSIS,
-    K_COMPLETE, K_CRAWL_UNIT, K_HONEYPOT, K_LISTING,
+    run_fingerprint, ResumableOutcome, ResumeError, CRAWL_UNIT_SIZE, K_ANALYSIS, K_COMPLETE,
+    K_CRAWL_UNIT, K_HONEYPOT, K_LISTING,
 };
 pub use stats::{
     figure3_distribution, permission_rate_by_tag, table1_histogram, table2_traceability,
     table3_code_analysis, Figure3Row, Table1Row, Table2Summary, Table3Summary,
 };
 pub use validate::{validate_against_truth, AnalyzerScore, ValidationReport};
+
+// The pre-facade configuration structs. Superseded by [`Audit::builder`]
+// but re-exported (hidden) so existing call sites keep compiling.
+#[doc(hidden)]
+pub use botlist::SiteConfig;
+#[doc(hidden)]
+pub use crawler::crawl::CrawlConfig;
+#[doc(hidden)]
+pub use honeypot::campaign::CampaignConfig;
+#[doc(hidden)]
+pub use netsim::client::ClientConfig;
+#[doc(hidden)]
+pub use pipeline::AuditConfig;
+#[doc(hidden)]
+pub use resume::StoreConfig;
+#[doc(hidden)]
+pub use synth::EcosystemConfig;

@@ -11,13 +11,14 @@
 
 use codeanal::github::LinkOutcome;
 use codeanal::scanner::{scan_repository, ScanReport};
-use codeanal::{Language, LinkCache};
-use crawler::crawl::{crawl_listing, resolve_workers, CrawlConfig, CrawlStats, CrawledBot};
+use codeanal::{Language, LinkCache, ScannerKernelStats};
+use crawler::crawl::{crawl_listing_traced, resolve_workers, CrawlConfig, CrawlStats, CrawledBot};
 use honeypot::campaign::{BotUnderTest, Campaign, CampaignConfig, CampaignReport};
 use netsim::client::{ClientConfig, HttpClient};
 use netsim::Network;
+use obs::{Obs, Span};
 use parking_lot::Mutex;
-use policy::{AnalysisMemo, KeywordOntology, TraceabilityReport};
+use policy::{AnalysisMemo, KeywordOntology, OntologyKernelStats, TraceabilityReport};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use synth::Ecosystem;
@@ -68,6 +69,21 @@ impl AuditedBot {
     }
 }
 
+/// Record one bot's deterministic analysis outcome on its trace span. Only
+/// content-derived facts (pinned equal across worker counts by the
+/// parallel-vs-serial tests) may appear here.
+pub(crate) fn trace_audited(span: &Span, audited: &AuditedBot) {
+    if audited.crawled.policy.is_some() {
+        span.record("policy", 1);
+    }
+    if let Some(code) = &audited.code {
+        span.record("code", 1);
+        if code.resolution == LinkResolution::ValidRepo {
+            span.record("valid_repo", 1);
+        }
+    }
+}
+
 /// Pipeline configuration.
 #[derive(Debug, Clone)]
 pub struct AuditConfig {
@@ -97,39 +113,6 @@ impl Default for AuditConfig {
     }
 }
 
-/// Memoization and kernel counters from one static-stage run.
-#[derive(Debug, Clone, Copy, Default, Serialize)]
-pub struct StageStats {
-    /// GitHub link resolutions served from the shared [`LinkCache`].
-    pub link_cache_hits: u64,
-    /// GitHub link resolutions that scraped the simulated site.
-    pub link_cache_misses: u64,
-    /// Policy analyses served from the shared [`AnalysisMemo`].
-    pub policy_memo_hits: u64,
-    /// Policy analyses that ran the keyword scan.
-    pub policy_memo_misses: u64,
-    /// DFA states in the compiled keyword-ontology automaton.
-    pub policy_automaton_states: u64,
-    /// Keyword-automaton passes over policy text during this run.
-    pub policy_scan_passes: u64,
-    /// Policy-text bytes the keyword automaton consumed during this run.
-    pub policy_bytes_scanned: u64,
-    /// DFA states in the Table 3 needle automaton.
-    pub code_automaton_states: u64,
-    /// Fused strip+match passes (one per scanned source file) this run.
-    pub code_scan_passes: u64,
-    /// Stripped-code bytes fed through the needle automaton this run.
-    pub code_bytes_scanned: u64,
-    /// Journal frames durably written by this run (resumable runs only).
-    pub journal_frames_written: u64,
-    /// Journal frames replayed from a previous run (resumable runs only).
-    pub journal_frames_replayed: u64,
-    /// Analysis artifacts served from the content-addressed cache.
-    pub artifact_cache_hits: u64,
-    /// Analysis artifacts computed and stored (cache misses).
-    pub artifact_cache_misses: u64,
-}
-
 /// Full pipeline output.
 #[derive(Debug)]
 pub struct AuditReport {
@@ -144,12 +127,28 @@ pub struct AuditReport {
 /// The pipeline.
 pub struct AuditPipeline {
     pub(crate) config: AuditConfig,
+    pub(crate) obs: Obs,
 }
 
 impl AuditPipeline {
-    /// A pipeline with the given configuration.
+    /// A pipeline with the given configuration and observability disabled
+    /// (metrics stay live on the default registry; spans cost a null check).
     pub fn new(config: AuditConfig) -> AuditPipeline {
-        AuditPipeline { config }
+        AuditPipeline::with_obs(config, Obs::disabled())
+    }
+
+    /// A pipeline whose stages report into `obs`: every run opens a
+    /// `static` / `dynamic` root span and publishes `crawl.*`,
+    /// `analysis.*`, `policy.*`, `code.*`, `store.*`, and `honeypot.*`
+    /// metrics into its registry.
+    pub fn with_obs(config: AuditConfig, obs: Obs) -> AuditPipeline {
+        AuditPipeline { config, obs }
+    }
+
+    /// This pipeline's observability handle (for reading metrics after a
+    /// run, or logging alongside it).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Stage 2 + 3 for one bot: traceability against the requested
@@ -226,21 +225,22 @@ impl AuditPipeline {
 
     /// Run data collection + traceability + code analysis against a
     /// mounted world.
+    ///
+    /// Opens a `static` root span on the pipeline's [`Obs`]: the crawl
+    /// traces under it (per-page / per-detail children), and the analysis
+    /// pool adds one `worker` child per pool worker with per-bot `bot`
+    /// children keyed by listing index. Worker spans merge in the canonical
+    /// trace, so the dump is byte-identical at any worker count.
+    /// Memoization and kernel counters land in the registry under
+    /// `analysis.*`, `policy.*`, and `code.*`.
     pub fn run_static_stages(&self, net: &Network) -> (Vec<AuditedBot>, CrawlStats) {
-        let (bots, stats, _) = self.run_static_stages_detailed(net);
-        (bots, stats)
-    }
+        let root = self.obs.span("static");
 
-    /// [`Self::run_static_stages`], also reporting memoization counters.
-    pub fn run_static_stages_detailed(
-        &self,
-        net: &Network,
-    ) -> (Vec<AuditedBot>, CrawlStats, StageStats) {
         // Stage 1: data collection.
-        let (crawled, stats) = crawl_listing(net, &self.config.crawl);
+        let (crawled, stats) = crawl_listing_traced(net, &self.config.crawl, &self.obs, &root);
 
         // Kernel counters are cumulative (per ontology instance / process-
-        // wide for the scanner), so snapshot before and report deltas.
+        // wide for the scanner), so snapshot before and publish deltas.
         let policy_before = self.config.ontology.kernel_stats();
         let code_before = codeanal::scanner_kernel_stats();
 
@@ -248,12 +248,24 @@ impl AuditPipeline {
         let memo = AnalysisMemo::new();
         let workers = resolve_workers(self.config.workers);
 
+        let analysis_span = root.child("analysis");
         let bots = if workers <= 1 || crawled.len() <= 1 {
+            // The serial path still opens one `worker` span so its trace
+            // merges byte-identically with a pooled run's worker spans.
+            let worker_span = analysis_span.child("worker");
             let mut gh_client = self.analysis_client(net);
-            crawled
+            let bots: Vec<AuditedBot> = crawled
                 .into_iter()
-                .map(|bot| self.audit_one(bot, &mut gh_client, &links, &memo))
-                .collect()
+                .enumerate()
+                .map(|(idx, bot)| {
+                    let bot_span = worker_span.child_keyed("bot", idx as u64);
+                    let audited = self.audit_one(bot, &mut gh_client, &links, &memo);
+                    trace_audited(&bot_span, &audited);
+                    audited
+                })
+                .collect();
+            worker_span.record("bots", bots.len() as u64);
+            bots
         } else {
             // Claim-counter pool: each worker owns a client and repeatedly
             // claims the next unclaimed bot, so fast bots (no GitHub link,
@@ -268,7 +280,10 @@ impl AuditPipeline {
                 for _ in 0..workers.min(jobs.len()) {
                     let (jobs, slots, next) = (&jobs, &slots, &next);
                     let (links, memo) = (&links, &memo);
+                    let analysis_span = &analysis_span;
                     s.spawn(move |_| {
+                        let worker_span = analysis_span.child("worker");
+                        let mut processed = 0u64;
                         let mut gh_client = self.analysis_client(net);
                         loop {
                             let idx = next.fetch_add(1, Ordering::Relaxed);
@@ -276,9 +291,13 @@ impl AuditPipeline {
                                 break;
                             }
                             let bot = jobs[idx].lock().take().expect("job claimed once");
+                            let bot_span = worker_span.child_keyed("bot", idx as u64);
                             let audited = self.audit_one(bot, &mut gh_client, links, memo);
+                            trace_audited(&bot_span, &audited);
+                            processed += 1;
                             *slots[idx].lock() = Some(audited);
                         }
+                        worker_span.record("bots", processed);
                     });
                 }
             })
@@ -288,29 +307,54 @@ impl AuditPipeline {
                 .map(|slot| slot.into_inner().expect("every slot filled"))
                 .collect()
         };
+        drop(analysis_span);
 
+        self.publish_analysis_metrics(&links, &memo, policy_before, code_before);
+        (bots, stats)
+    }
+
+    /// Mirror the shared-cache and kernel counters from one analysis run
+    /// into the registry. Hit/miss *splits* race under a pool (two workers
+    /// may both miss a cold key) but sums are invariant — which is why
+    /// these live in metrics and never on canonical spans.
+    pub(crate) fn publish_analysis_metrics(
+        &self,
+        links: &LinkCache,
+        memo: &AnalysisMemo,
+        policy_before: OntologyKernelStats,
+        code_before: ScannerKernelStats,
+    ) {
         let policy_after = self.config.ontology.kernel_stats();
         let code_after = codeanal::scanner_kernel_stats();
-        let stage_stats = StageStats {
-            link_cache_hits: links.hits(),
-            link_cache_misses: links.misses(),
-            policy_memo_hits: memo.hits(),
-            policy_memo_misses: memo.misses(),
-            policy_automaton_states: policy_after.automaton_states,
-            policy_scan_passes: policy_after.scans - policy_before.scans,
-            policy_bytes_scanned: policy_after.bytes_scanned - policy_before.bytes_scanned,
-            code_automaton_states: code_after.automaton_states,
-            code_scan_passes: code_after.scans - code_before.scans,
-            code_bytes_scanned: code_after.bytes_scanned - code_before.bytes_scanned,
-            ..StageStats::default()
-        };
-        (bots, stats, stage_stats)
+        let obs = &self.obs;
+        obs.counter("analysis.link_cache.hits").add(links.hits());
+        obs.counter("analysis.link_cache.misses")
+            .add(links.misses());
+        obs.counter("analysis.policy_memo.hits").add(memo.hits());
+        obs.counter("analysis.policy_memo.misses")
+            .add(memo.misses());
+        obs.gauge("policy.automaton_states")
+            .set(policy_after.automaton_states as i64);
+        obs.counter("policy.scan_passes")
+            .add(policy_after.scans - policy_before.scans);
+        obs.counter("policy.bytes_scanned")
+            .add(policy_after.bytes_scanned - policy_before.bytes_scanned);
+        obs.gauge("code.automaton_states")
+            .set(code_after.automaton_states as i64);
+        obs.counter("code.scan_passes")
+            .add(code_after.scans - code_before.scans);
+        obs.counter("code.bytes_scanned")
+            .add(code_after.bytes_scanned - code_before.bytes_scanned);
     }
 
     /// Run the dynamic stage against the ecosystem's most-voted testable
     /// bots (§4.2 sampled the most-voted population because the rest were
     /// "mainly offline or not being used").
+    ///
+    /// Opens a `dynamic` root span on the pipeline's [`Obs`]; the campaign
+    /// traces under it with per-guild children and `honeypot.*` metrics.
     pub fn run_honeypot(&self, eco: &Ecosystem) -> CampaignReport {
+        let root = self.obs.span("dynamic");
         let mut campaign = Campaign::new(
             eco.platform.clone(),
             eco.net.clone(),
@@ -327,7 +371,7 @@ impl AuditPipeline {
                 behavior,
             })
             .collect();
-        campaign.run(bots)
+        campaign.run_traced(bots, &self.obs, &root)
     }
 
     /// Run everything.
@@ -411,6 +455,19 @@ mod tests {
         assert!(report.crawl_stats.pages > 0);
     }
 
+    /// The registry counters one static-stage run publishes, read back as a
+    /// comparable tuple. Each pipeline owns a fresh [`Obs`], so values are
+    /// per-run without delta bookkeeping.
+    fn cache_counters(p: &AuditPipeline) -> (u64, u64, u64, u64) {
+        let obs = p.obs();
+        (
+            obs.counter_value("analysis.link_cache.hits"),
+            obs.counter_value("analysis.link_cache.misses"),
+            obs.counter_value("analysis.policy_memo.hits"),
+            obs.counter_value("analysis.policy_memo.misses"),
+        )
+    }
+
     #[test]
     fn parallel_static_stages_match_serial() {
         let shape = |workers: usize| {
@@ -419,7 +476,7 @@ mod tests {
                 workers,
                 ..AuditConfig::default()
             });
-            let (bots, _, stages) = pipeline.run_static_stages_detailed(&eco.net);
+            let (bots, _) = pipeline.run_static_stages(&eco.net);
             let rows: Vec<_> = bots
                 .iter()
                 .map(|b| {
@@ -433,36 +490,31 @@ mod tests {
                     )
                 })
                 .collect();
-            (rows, stages)
+            (rows, pipeline)
         };
-        let (serial_rows, serial_stages) = shape(1);
+        let (serial_rows, serial) = shape(1);
+        let (lh, lm, ph, pm) = cache_counters(&serial);
         for workers in [2, 4] {
-            let (rows, stages) = shape(workers);
+            let (rows, pipeline) = shape(workers);
             assert_eq!(rows, serial_rows, "workers={workers}");
             // Racing workers may both miss the same cold key, so parallel
             // runs can trade a few hits for misses — never lose lookups.
-            assert_eq!(
-                stages.link_cache_hits + stages.link_cache_misses,
-                serial_stages.link_cache_hits + serial_stages.link_cache_misses,
-                "workers={workers}"
-            );
-            assert_eq!(
-                stages.policy_memo_hits + stages.policy_memo_misses,
-                serial_stages.policy_memo_hits + serial_stages.policy_memo_misses,
-                "workers={workers}"
-            );
+            let (wlh, wlm, wph, wpm) = cache_counters(&pipeline);
+            assert_eq!(wlh + wlm, lh + lm, "workers={workers}");
+            assert_eq!(wph + wpm, ph + pm, "workers={workers}");
         }
-        assert!(serial_stages.link_cache_misses > 0);
-        assert!(serial_stages.policy_memo_misses > 0);
+        assert!(lm > 0);
+        assert!(pm > 0);
         // Kernel counters: the keyword automaton ran, the fused scanner fed
         // stripped bytes through the needle automaton, and both automata
         // were actually compiled.
-        assert!(serial_stages.policy_automaton_states > 0);
-        assert!(serial_stages.policy_scan_passes > 0);
-        assert!(serial_stages.policy_bytes_scanned > 0);
-        assert!(serial_stages.code_automaton_states > 0);
-        assert!(serial_stages.code_scan_passes > 0);
-        assert!(serial_stages.code_bytes_scanned > 0);
+        let obs = serial.obs();
+        assert!(obs.gauge_value("policy.automaton_states") > 0);
+        assert!(obs.counter_value("policy.scan_passes") > 0);
+        assert!(obs.counter_value("policy.bytes_scanned") > 0);
+        assert!(obs.gauge_value("code.automaton_states") > 0);
+        assert!(obs.counter_value("code.scan_passes") > 0);
+        assert!(obs.counter_value("code.bytes_scanned") > 0);
     }
 
     #[test]

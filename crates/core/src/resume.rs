@@ -18,21 +18,21 @@
 //!   perturb the remainder.
 //! * **Incrementality.** A fresh (non-resumed) run against a warm artifact
 //!   pack re-crawls but performs **zero** policy or code re-analyses for
-//!   unchanged bots — the artifact counters in [`StageStats`] prove it.
+//!   unchanged bots — the artifact counters in [`store::StoreStats`] (also
+//!   mirrored into the pipeline's obs registry under `store.*`) prove it.
 //!
 //! Journal layout is worker-count independent: detail pages are journaled in
 //! fixed [`CRAWL_UNIT_SIZE`] chunks whose session seeds depend only on the
 //! crawl seed and chunk index, and analyses are journaled per listing index.
 
-use crate::pipeline::{
-    AuditConfig, AuditPipeline, AuditReport, AuditedBot, CodeFinding, StageStats,
-};
+use crate::pipeline::{AuditConfig, AuditPipeline, AuditReport, AuditedBot, CodeFinding};
 use codeanal::LinkCache;
 use crawler::crawl::{
-    crawl_detail_unit, discover_listing, resolve_workers, CrawlStats, CrawledBot, DetailUnit,
-    ListingIndex, SessionOverhead,
+    crawl_detail_unit_traced, discover_listing_traced, resolve_workers, CrawlStats, CrawledBot,
+    DetailUnit, ListingIndex, SessionOverhead,
 };
 use honeypot::campaign::CampaignReport;
+use obs::Severity;
 use parking_lot::Mutex;
 use policy::{AnalysisMemo, DataPractice, TraceabilityReport};
 use serde::{Deserialize, Serialize};
@@ -141,13 +141,16 @@ impl fmt::Display for ResumeError {
 impl std::error::Error for ResumeError {}
 
 /// A completed resumable run.
+///
+/// Memoization and kernel counters live on the pipeline's obs registry
+/// (`analysis.*`, `policy.*`, `code.*`, `store.*`) — read them through
+/// [`AuditPipeline::obs`].
 #[derive(Debug)]
 pub struct ResumableOutcome {
     /// The full report, canonical-identical to an uninterrupted run.
     pub report: AuditReport,
-    /// Stage counters, including the journal/artifact durability counters.
-    pub stages: StageStats,
-    /// Raw store counters for this handle.
+    /// Raw store counters for this handle (journal frames written/replayed,
+    /// artifact cache hits/misses).
     pub store_stats: StoreStats,
 }
 
@@ -246,12 +249,18 @@ impl AuditPipeline {
         let net = &eco.net;
         let clock = net.clock();
         let started = clock.now();
+        let root = self.obs.span("static");
 
         // --- Stage 1a: listing traversal (one journal unit).
         let listing: ListingIndex = match store.lookup_unit(K_LISTING, 0) {
-            Some(bytes) => serde_json::from_slice(&bytes).expect("listing frame decodes"),
+            Some(bytes) => {
+                self.obs
+                    .event(Severity::Info, "store.journal", "listing replayed");
+                root.child("listing").record("replayed", 1);
+                serde_json::from_slice(&bytes).expect("listing frame decodes")
+            }
             None => {
-                let listing = discover_listing(net, &self.config.crawl);
+                let listing = discover_listing_traced(net, &self.config.crawl, &self.obs, &root);
                 let bytes = serde_json::to_vec(&listing).expect("listing serializes");
                 record(store, K_LISTING, 0, bytes)?;
                 listing
@@ -262,19 +271,31 @@ impl AuditPipeline {
         // a claim-counter pool; each finished chunk journals immediately, so
         // a crash preserves every *completed* chunk regardless of order.
         let chunks: Vec<&[String]> = listing.hrefs.chunks(CRAWL_UNIT_SIZE).collect();
+        let units_span = root.child("units");
         let units = self.run_unit_pool(chunks.len(), |unit| {
             match store.lookup_unit(K_CRAWL_UNIT, unit as u64) {
                 Some(bytes) => {
+                    units_span
+                        .child_keyed("unit", unit as u64)
+                        .record("replayed", 1);
                     Ok(serde_json::from_slice(&bytes).expect("crawl unit frame decodes"))
                 }
                 None => {
-                    let out = crawl_detail_unit(net, &self.config.crawl, chunks[unit], unit as u64);
+                    let out = crawl_detail_unit_traced(
+                        net,
+                        &self.config.crawl,
+                        chunks[unit],
+                        unit as u64,
+                        &self.obs,
+                        &units_span,
+                    );
                     let bytes = serde_json::to_vec(&out).expect("crawl unit serializes");
                     record(store, K_CRAWL_UNIT, unit as u64, bytes)?;
                     Ok(out)
                 }
             }
         })?;
+        drop(units_span);
 
         let mut crawl_stats = CrawlStats {
             pages: listing.pages,
@@ -317,7 +338,10 @@ impl AuditPipeline {
         let jobs: Vec<Mutex<Option<CrawledBot>>> =
             crawled.into_iter().map(|b| Mutex::new(Some(b))).collect();
         let gh_clients: Mutex<Vec<netsim::client::HttpClient>> = Mutex::new(Vec::new());
+        let analysis_span = root.child("analysis");
+        let analysis_span_ref = &analysis_span;
         let bots = self.run_unit_pool(jobs.len(), |idx| {
+            let bot_span = analysis_span_ref.child_keyed("bot", idx as u64);
             let bot = jobs[idx].lock().take().expect("job claimed once");
             let key = match store.lookup_unit(K_ANALYSIS, idx as u64) {
                 Some(payload) => ContentHash::from_bytes(&payload)
@@ -325,7 +349,10 @@ impl AuditPipeline {
                 None => artifact_key(fingerprint, &bot),
             };
             let artifact: AnalysisArtifact = match store.artifact_get(&key) {
-                Some(blob) => serde_json::from_slice(&blob).expect("analysis artifact decodes"),
+                Some(blob) => {
+                    bot_span.record("artifact_hit", 1);
+                    serde_json::from_slice(&blob).expect("analysis artifact decodes")
+                }
                 None => {
                     // Workers keep their clients across claims (pop/push
                     // around the analysis) so politeness state persists the
@@ -348,16 +375,27 @@ impl AuditPipeline {
             if store.lookup_unit(K_ANALYSIS, idx as u64).is_none() {
                 record(store, K_ANALYSIS, idx as u64, key.0.to_vec())?;
             }
-            Ok(AuditedBot {
+            let audited = AuditedBot {
                 crawled: bot,
                 traceability: artifact.traceability,
                 code: artifact.code,
-            })
+            };
+            crate::pipeline::trace_audited(&bot_span, &audited);
+            Ok(audited)
         })?;
+        drop(analysis_span);
+
+        // Close the static root before the honeypot opens its own.
+        self.publish_analysis_metrics(&links, &memo, policy_before, code_before);
+        drop(root);
 
         // --- Stage 4: honeypot campaign (one journal unit).
         let honeypot: CampaignReport = match store.lookup_unit(K_HONEYPOT, 0) {
-            Some(bytes) => serde_json::from_slice(&bytes).expect("honeypot frame decodes"),
+            Some(bytes) => {
+                self.obs
+                    .event(Severity::Info, "store.journal", "honeypot replayed");
+                serde_json::from_slice(&bytes).expect("honeypot frame decodes")
+            }
             None => {
                 let report = self.run_honeypot(eco);
                 let bytes = serde_json::to_vec(&report).expect("campaign serializes");
@@ -370,25 +408,19 @@ impl AuditPipeline {
             record(store, K_COMPLETE, 0, Vec::new())?;
         }
 
-        let policy_after = self.config.ontology.kernel_stats();
-        let code_after = codeanal::scanner_kernel_stats();
         let store_stats = store.stats();
-        let stages = StageStats {
-            link_cache_hits: links.hits(),
-            link_cache_misses: links.misses(),
-            policy_memo_hits: memo.hits(),
-            policy_memo_misses: memo.misses(),
-            policy_automaton_states: policy_after.automaton_states,
-            policy_scan_passes: policy_after.scans - policy_before.scans,
-            policy_bytes_scanned: policy_after.bytes_scanned - policy_before.bytes_scanned,
-            code_automaton_states: code_after.automaton_states,
-            code_scan_passes: code_after.scans - code_before.scans,
-            code_bytes_scanned: code_after.bytes_scanned - code_before.bytes_scanned,
-            journal_frames_written: store_stats.frames_written,
-            journal_frames_replayed: store_stats.frames_replayed,
-            artifact_cache_hits: store_stats.artifact_hits,
-            artifact_cache_misses: store_stats.artifact_misses,
-        };
+        self.obs
+            .counter("store.journal.frames_written")
+            .add(store_stats.frames_written);
+        self.obs
+            .counter("store.journal.replayed")
+            .add(store_stats.frames_replayed);
+        self.obs
+            .counter("store.artifacts.hits")
+            .add(store_stats.artifact_hits);
+        self.obs
+            .counter("store.artifacts.misses")
+            .add(store_stats.artifact_misses);
 
         crawl_stats.duration = clock.now().duration_since(started);
         Ok(ResumableOutcome {
@@ -397,7 +429,6 @@ impl AuditPipeline {
                 crawl_stats,
                 honeypot: Some(honeypot),
             },
-            stages,
             store_stats,
         })
     }
@@ -484,10 +515,10 @@ mod tests {
             .run_resumable(&eco, &StoreConfig::in_memory(), 13)
             .unwrap();
         assert_eq!(outcome.report.canonical_json(), plain);
-        assert!(outcome.stages.journal_frames_written > 0);
-        assert_eq!(outcome.stages.journal_frames_replayed, 0);
-        assert_eq!(outcome.stages.artifact_cache_hits, 0);
-        assert_eq!(outcome.stages.artifact_cache_misses, 90);
+        assert!(outcome.store_stats.frames_written > 0);
+        assert_eq!(outcome.store_stats.frames_replayed, 0);
+        assert_eq!(outcome.store_stats.artifact_hits, 0);
+        assert_eq!(outcome.store_stats.artifact_misses, 90);
     }
 
     #[test]
@@ -528,9 +559,9 @@ mod tests {
             uninterrupted.report.canonical_json(),
             "resumed run must be byte-identical"
         );
-        assert!(resumed.stages.journal_frames_replayed >= 20);
+        assert!(resumed.store_stats.frames_replayed >= 20);
         assert!(
-            resumed.stages.artifact_cache_misses < 90,
+            resumed.store_stats.artifact_misses < 90,
             "resume must reuse analyses journaled before the crash"
         );
     }
@@ -540,18 +571,21 @@ mod tests {
         let eco = world();
         let cfg = StoreConfig::in_memory();
         let cold = pipeline().run_resumable(&eco, &cfg, 13).unwrap();
-        assert_eq!(cold.stages.artifact_cache_misses, 90);
+        assert_eq!(cold.store_stats.artifact_misses, 90);
 
         // Fresh journal, warm pack: full re-crawl, zero re-analysis.
         let eco = world();
-        let warm = pipeline().run_resumable(&eco, &cfg, 13).unwrap();
-        assert_eq!(warm.stages.artifact_cache_hits, 90);
-        assert_eq!(warm.stages.artifact_cache_misses, 0);
-        // The policy kernel counter is per-ontology-instance, so it cleanly
-        // proves no analyzer ran. (The code kernel counter is process-wide
-        // and other tests race it; the artifact counters above cover it.)
+        let warm_pipeline = pipeline();
+        let warm = warm_pipeline.run_resumable(&eco, &cfg, 13).unwrap();
+        assert_eq!(warm.store_stats.artifact_hits, 90);
+        assert_eq!(warm.store_stats.artifact_misses, 0);
+        // The policy kernel counter is per-ontology-instance (mirrored into
+        // this pipeline's obs registry), so it cleanly proves no analyzer
+        // ran. (The code kernel counter is process-wide and other tests race
+        // it; the artifact counters above cover it.)
         assert_eq!(
-            warm.stages.policy_scan_passes, 0,
+            warm_pipeline.obs().counter_value("policy.scan_passes"),
+            0,
             "no keyword scans on a warm pack"
         );
         assert_eq!(warm.report.canonical_json(), cold.report.canonical_json());

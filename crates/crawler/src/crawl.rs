@@ -15,6 +15,7 @@ use htmlsim::Locator;
 use netsim::clock::SimDuration;
 use netsim::http::Url;
 use netsim::Network;
+use obs::{Obs, Span};
 use policy::PrivacyPolicy;
 use serde::{Deserialize, Serialize};
 
@@ -126,6 +127,17 @@ fn classify_page(doc: &htmlsim::Document) -> PageOutcome {
     }
 }
 
+/// Record a page traversal outcome on its trace span. Page outcomes are
+/// session-independent (the sharded-vs-serial tests pin this down), so the
+/// fields are safe for the canonical trace.
+fn trace_page_outcome(span: &Span, outcome: &PageOutcome) {
+    match outcome {
+        PageOutcome::FetchErr => span.record("fetch_err", 1),
+        PageOutcome::ExtractErr => span.record("extract_err", 1),
+        PageOutcome::Links(links) => span.record("links", links.len() as u64),
+    }
+}
+
 /// Crawl one bot detail page: scrape, validate the invite, hunt the policy.
 fn crawl_detail(
     session: &mut ScrapeSession,
@@ -186,10 +198,30 @@ fn shard_range(len: usize, workers: usize, w: usize) -> std::ops::Range<usize> {
 /// verifications, virtual duration) legitimately varies with sharding and
 /// is reported as the sum over sessions.
 pub fn crawl_listing(net: &Network, config: &CrawlConfig) -> (Vec<CrawledBot>, CrawlStats) {
+    crawl_listing_traced(net, config, &Obs::disabled(), &Span::disabled())
+}
+
+/// [`crawl_listing`] with observability attached.
+///
+/// Opens a `crawl` span under `parent` with one `page` child per list page
+/// (keyed by page index) and one `detail` child per listing entry (keyed by
+/// listing index) — keys depend only on the crawled world, never on the
+/// worker count, so the canonical trace is sharding-invariant. Metrics go
+/// to `obs` under `crawl.*`; scheduling-dependent values (captchas, page
+/// latency) live only there, never on spans.
+pub fn crawl_listing_traced(
+    net: &Network,
+    config: &CrawlConfig,
+    obs: &Obs,
+    parent: &Span,
+) -> (Vec<CrawledBot>, CrawlStats) {
     let clock = net.clock();
     let started = clock.now();
     let workers = resolve_workers(config.workers);
     let mut session = ScrapeSession::for_worker(net.clone(), config.seed, 0, config.polite);
+
+    let span = parent.child("crawl");
+    let page_ms = obs.histogram("crawl.page_ms");
 
     let mut bots = Vec::new();
     let mut stats = CrawlStats::default();
@@ -199,6 +231,7 @@ pub fn crawl_listing(net: &Network, config: &CrawlConfig) -> (Vec<CrawledBot>, C
     {
         Ok(doc) => doc,
         Err(_) => {
+            span.record("listing_unreachable", 1);
             stats.duration = clock.now().duration_since(started);
             return (bots, stats);
         }
@@ -207,21 +240,32 @@ pub fn crawl_listing(net: &Network, config: &CrawlConfig) -> (Vec<CrawledBot>, C
     let limit = config.max_pages.map_or(total_pages, |m| m.min(total_pages));
 
     // Phase A: traverse list pages, collecting per-page outcomes.
+    let pages_span = span.child("pages");
     let mut outcomes: Vec<PageOutcome> = Vec::with_capacity(limit);
     if limit > 0 {
-        outcomes.push(classify_page(&first));
+        let first_outcome = classify_page(&first);
+        trace_page_outcome(&pages_span.child_keyed("page", 0), &first_outcome);
+        outcomes.push(first_outcome);
     }
     if workers <= 1 || limit <= 2 {
         for page in 1..limit {
-            outcomes.push(fetch_page(&mut session, page));
+            let page_span = pages_span.child_keyed("page", page as u64);
+            let t0 = clock.now();
+            let outcome = fetch_page(&mut session, page);
+            page_ms.record(clock.now().duration_since(t0).as_millis());
+            trace_page_outcome(&page_span, &outcome);
+            outcomes.push(outcome);
         }
     } else {
         let rest = limit - 1; // pages 1..limit
         let shards = workers.min(rest);
+        let pages_span_ref = &pages_span;
         let mut sharded: Vec<Vec<PageOutcome>> = crossbeam::thread::scope(|s| {
             let handles: Vec<_> = (0..shards)
                 .map(|w| {
                     let net = net.clone();
+                    let page_ms = page_ms.clone();
+                    let clock = clock.clone();
                     s.spawn(move |_| {
                         let mut sess = ScrapeSession::for_worker(
                             net,
@@ -230,8 +274,16 @@ pub fn crawl_listing(net: &Network, config: &CrawlConfig) -> (Vec<CrawledBot>, C
                             config.polite,
                         );
                         let range = shard_range(rest, shards, w);
-                        let out: Vec<PageOutcome> =
-                            range.map(|i| fetch_page(&mut sess, 1 + i)).collect();
+                        let out: Vec<PageOutcome> = range
+                            .map(|i| {
+                                let page_span = pages_span_ref.child_keyed("page", 1 + i as u64);
+                                let t0 = clock.now();
+                                let outcome = fetch_page(&mut sess, 1 + i);
+                                page_ms.record(clock.now().duration_since(t0).as_millis());
+                                trace_page_outcome(&page_span, &outcome);
+                                outcome
+                            })
+                            .collect();
                         (
                             out,
                             sess.captchas_solved,
@@ -274,21 +326,29 @@ pub fn crawl_listing(net: &Network, config: &CrawlConfig) -> (Vec<CrawledBot>, C
             }
         }
     }
+    drop(pages_span);
 
     // Phase B: detail pages, sharded in listing order.
+    let details_span = span.child("details");
     if workers <= 1 || hrefs.len() <= 1 {
-        for href in &hrefs {
+        for (i, href) in hrefs.iter().enumerate() {
+            let detail_span = details_span.child_keyed("detail", i as u64);
             match crawl_detail(&mut session, href, config) {
                 Ok(bot) => {
+                    detail_span.record("ok", 1);
                     stats.bots += 1;
                     bots.push(bot);
                 }
-                Err(()) => stats.failures += 1,
+                Err(()) => {
+                    detail_span.record("failed", 1);
+                    stats.failures += 1;
+                }
             }
         }
     } else {
         let shards = workers.min(hrefs.len());
         let hrefs_ref = &hrefs;
+        let details_span_ref = &details_span;
         let results: Vec<Vec<Result<CrawledBot, ()>>> = crossbeam::thread::scope(|s| {
             let handles: Vec<_> = (0..shards)
                 .map(|w| {
@@ -302,7 +362,14 @@ pub fn crawl_listing(net: &Network, config: &CrawlConfig) -> (Vec<CrawledBot>, C
                         );
                         let out: Vec<Result<CrawledBot, ()>> =
                             shard_range(hrefs_ref.len(), shards, w)
-                                .map(|i| crawl_detail(&mut sess, &hrefs_ref[i], config))
+                                .map(|i| {
+                                    let detail_span =
+                                        details_span_ref.child_keyed("detail", i as u64);
+                                    let result = crawl_detail(&mut sess, &hrefs_ref[i], config);
+                                    detail_span
+                                        .record(if result.is_ok() { "ok" } else { "failed" }, 1);
+                                    result
+                                })
                                 .collect();
                         (
                             out,
@@ -336,8 +403,24 @@ pub fn crawl_listing(net: &Network, config: &CrawlConfig) -> (Vec<CrawledBot>, C
         }
     }
 
+    drop(details_span);
+
     absorb_session(&mut stats, &session);
     stats.duration = clock.now().duration_since(started);
+
+    // Deterministic totals go on the span; scheduling-dependent overhead
+    // (captchas, spend, virtual duration) goes to metrics only.
+    span.record("pages", stats.pages as u64);
+    span.record("bots", stats.bots as u64);
+    span.record("failures", stats.failures as u64);
+    obs.counter("crawl.pages_fetched").add(stats.pages as u64);
+    obs.counter("crawl.bots").add(stats.bots as u64);
+    obs.counter("crawl.detail_failures")
+        .add(stats.failures as u64);
+    obs.counter("crawl.captchas_solved")
+        .add(stats.captchas_solved);
+    obs.counter("crawl.email_verifications")
+        .add(stats.email_verifications);
     (bots, stats)
 }
 
@@ -401,6 +484,20 @@ pub struct DetailUnit {
 /// [`crawl_listing`]; the resumable pipeline journals the result so a
 /// restarted run never re-walks the listing.
 pub fn discover_listing(net: &Network, config: &CrawlConfig) -> ListingIndex {
+    discover_listing_traced(net, config, &Obs::disabled(), &Span::disabled())
+}
+
+/// [`discover_listing`] with observability attached: a `listing` span with
+/// per-page children under `parent`, `crawl.*` counters on `obs`.
+pub fn discover_listing_traced(
+    net: &Network,
+    config: &CrawlConfig,
+    obs: &Obs,
+    parent: &Span,
+) -> ListingIndex {
+    let span = parent.child("listing");
+    let page_ms = obs.histogram("crawl.page_ms");
+    let clock = net.clock();
     let mut session = ScrapeSession::for_worker(net.clone(), config.seed, 0, config.polite);
     let mut index = ListingIndex {
         hrefs: Vec::new(),
@@ -421,10 +518,17 @@ pub fn discover_listing(net: &Network, config: &CrawlConfig) -> ListingIndex {
 
     let mut outcomes: Vec<PageOutcome> = Vec::with_capacity(limit);
     if limit > 0 {
-        outcomes.push(classify_page(&first));
+        let first_outcome = classify_page(&first);
+        trace_page_outcome(&span.child_keyed("page", 0), &first_outcome);
+        outcomes.push(first_outcome);
     }
     for page in 1..limit {
-        outcomes.push(fetch_page(&mut session, page));
+        let page_span = span.child_keyed("page", page as u64);
+        let t0 = clock.now();
+        let outcome = fetch_page(&mut session, page);
+        page_ms.record(clock.now().duration_since(t0).as_millis());
+        trace_page_outcome(&page_span, &outcome);
+        outcomes.push(outcome);
     }
 
     for outcome in outcomes {
@@ -442,6 +546,13 @@ pub fn discover_listing(net: &Network, config: &CrawlConfig) -> ListingIndex {
     }
 
     index.overhead = SessionOverhead::of(&session);
+    span.record("pages", index.pages as u64);
+    span.record("hrefs", index.hrefs.len() as u64);
+    obs.counter("crawl.pages_fetched").add(index.pages as u64);
+    obs.counter("crawl.captchas_solved")
+        .add(index.overhead.captchas_solved);
+    obs.counter("crawl.email_verifications")
+        .add(index.overhead.email_verifications);
     index
 }
 
@@ -458,20 +569,50 @@ pub fn crawl_detail_unit(
     hrefs: &[String],
     unit: u64,
 ) -> DetailUnit {
+    crawl_detail_unit_traced(
+        net,
+        config,
+        hrefs,
+        unit,
+        &Obs::disabled(),
+        &Span::disabled(),
+    )
+}
+
+/// [`crawl_detail_unit`] with observability attached: a `unit` span keyed by
+/// the unit index (worker-count-independent) under `parent`, `crawl.*`
+/// counters on `obs`.
+pub fn crawl_detail_unit_traced(
+    net: &Network,
+    config: &CrawlConfig,
+    hrefs: &[String],
+    unit: u64,
+    obs: &Obs,
+    parent: &Span,
+) -> DetailUnit {
+    let span = parent.child_keyed("unit", unit);
     let mut session = ScrapeSession::for_worker(
         net.clone(),
         netsim::splitmix(config.seed, 0x1000 + unit),
         1 + unit as usize,
         config.polite,
     );
-    let results = hrefs
+    let results: Vec<Option<CrawledBot>> = hrefs
         .iter()
         .map(|href| crawl_detail(&mut session, href, config).ok())
         .collect();
-    DetailUnit {
-        results,
-        overhead: SessionOverhead::of(&session),
-    }
+    let ok = results.iter().filter(|r| r.is_some()).count() as u64;
+    span.record("ok", ok);
+    span.record("failed", results.len() as u64 - ok);
+    obs.counter("crawl.bots").add(ok);
+    obs.counter("crawl.detail_failures")
+        .add(results.len() as u64 - ok);
+    let overhead = SessionOverhead::of(&session);
+    obs.counter("crawl.captchas_solved")
+        .add(overhead.captchas_solved);
+    obs.counter("crawl.email_verifications")
+        .add(overhead.email_verifications);
+    DetailUnit { results, overhead }
 }
 
 /// Visit a bot's website and hunt for its privacy policy.
@@ -709,6 +850,36 @@ mod tests {
         let serial = collect(1);
         for workers in [2, 4, 7] {
             assert_eq!(collect(workers), serial, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn traced_crawl_canonical_trace_is_sharding_invariant() {
+        let trace = |workers: usize| {
+            let net = build_world(12);
+            let recorder = std::sync::Arc::new(obs::JsonRecorder::new());
+            let obs_handle =
+                Obs::with_recorder(recorder.clone(), std::sync::Arc::new(net.clock().clone()));
+            {
+                let root = obs_handle.span("audit");
+                crawl_listing_traced(
+                    &net,
+                    &CrawlConfig {
+                        workers,
+                        ..CrawlConfig::default()
+                    },
+                    &obs_handle,
+                    &root,
+                );
+            }
+            recorder.canonical_trace()
+        };
+        let serial = trace(1);
+        assert!(serial.contains("\"name\":\"crawl\""));
+        assert!(serial.contains("\"name\":\"page\""));
+        assert!(serial.contains("\"name\":\"detail\""));
+        for workers in [2, 4] {
+            assert_eq!(trace(workers), serial, "workers={workers}");
         }
     }
 

@@ -31,8 +31,9 @@ pub mod session;
 pub mod solver;
 
 pub use crawl::{
-    crawl_detail_unit, crawl_listing, discover_listing, CrawlConfig, CrawlStats, CrawledBot,
-    DetailUnit, ListingIndex, SessionOverhead,
+    crawl_detail_unit, crawl_detail_unit_traced, crawl_listing, crawl_listing_traced,
+    discover_listing, discover_listing_traced, CrawlConfig, CrawlStats, CrawledBot, DetailUnit,
+    ListingIndex, SessionOverhead,
 };
 pub use extract::{extract_bot_detail, extract_bot_links, ScrapedBot};
 pub use invite::{validate_invite, InviteStatus};

@@ -17,6 +17,7 @@ use discord_sim::oauth::InviteUrl;
 use discord_sim::{GuildId, GuildVisibility, Platform, PlatformResult, UserId};
 use netsim::clock::SimDuration;
 use netsim::Network;
+use obs::{Obs, Severity, Span};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -194,6 +195,23 @@ impl Campaign {
 
     /// Run the whole campaign over a fleet of bots.
     pub fn run(&mut self, bots: Vec<BotUnderTest>) -> CampaignReport {
+        self.run_traced(bots, &Obs::disabled(), &Span::disabled())
+    }
+
+    /// [`Campaign::run`] with observability attached.
+    ///
+    /// Opens a `honeypot` span under `parent` with a `setup` child for the
+    /// serial phase and one `guild` child per populated guild, keyed by the
+    /// guild's position in bot-name order — the same index that selects its
+    /// RNG stream, so the canonical trace is identical at any worker count.
+    /// Metrics go to `obs` under `honeypot.*`.
+    pub fn run_traced(
+        &mut self,
+        bots: Vec<BotUnderTest>,
+        obs: &Obs,
+        parent: &Span,
+    ) -> CampaignReport {
+        let span = parent.child("honeypot");
         let clock = self.net.clock();
         let started = clock.now();
         let mut report = CampaignReport::default();
@@ -209,6 +227,7 @@ impl Campaign {
         // Phase 1 (serial): guilds, persona joins, installs, backend
         // connects. Platform mutation stays in caller order here so guild
         // and user IDs don't depend on the worker count.
+        let setup_span = span.child("setup");
         let mut jobs: Vec<GuildJob> = Vec::new();
         for but in bots {
             match self.set_up_guild(&but, &mut pool, &mut registry, &mut report) {
@@ -240,9 +259,19 @@ impl Campaign {
                         bot,
                     });
                 }
-                Err(_) => report.install_failures += 1,
+                Err(_) => {
+                    obs.event(
+                        Severity::Warn,
+                        "honeypot.setup",
+                        format!("guild set-up failed for {}", but.name),
+                    );
+                    report.install_failures += 1;
+                }
             }
         }
+        setup_span.record("guilds_created", report.guilds_created as u64);
+        setup_span.record("install_failures", report.install_failures as u64);
+        drop(setup_span);
         // Per-guild RNG streams index off bot-name order (the order the
         // serial campaign populated in), not caller order.
         jobs.sort_by(|a, b| a.bot_name.cmp(&b.bot_name));
@@ -252,10 +281,11 @@ impl Campaign {
         // so any schedule produces the same per-guild transcript; outcomes
         // merge in the (sorted) job order.
         let workers = resolve_workers(self.config.workers);
+        let guilds_span = span.child("guilds");
         let outcomes: Vec<GuildOutcome> = if workers <= 1 || jobs.len() <= 1 {
             jobs.into_iter()
                 .enumerate()
-                .map(|(idx, job)| self.run_guild(idx, job, &pool))
+                .map(|(idx, job)| self.run_guild(idx, job, &pool, &guilds_span))
                 .collect()
         } else {
             let jobs: Vec<Mutex<Option<(usize, GuildJob)>>> = jobs
@@ -269,6 +299,7 @@ impl Campaign {
             crossbeam::thread::scope(|s| {
                 for _ in 0..workers.min(jobs.len()) {
                     let (jobs, slots, next, pool) = (&jobs, &slots, &next, &pool);
+                    let guilds_span = &guilds_span;
                     let this = &*self;
                     s.spawn(move |_| loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
@@ -276,7 +307,7 @@ impl Campaign {
                             break;
                         }
                         let (idx, job) = jobs[i].lock().take().expect("guild claimed once");
-                        *slots[i].lock() = Some(this.run_guild(idx, job, pool));
+                        *slots[i].lock() = Some(this.run_guild(idx, job, pool, guilds_span));
                     });
                 }
             })
@@ -286,6 +317,7 @@ impl Campaign {
                 .map(|s| s.into_inner().expect("every guild populated"))
                 .collect()
         };
+        drop(guilds_span);
         for outcome in outcomes {
             report.messages_posted += outcome.messages_posted;
             report.tokens_planted += outcome.tokens_planted;
@@ -332,6 +364,31 @@ impl Campaign {
         report.detections = self.attribute_from(&report.triggers, &registry, &guild_of_bot);
         report.backend_bytes_sent = self.net.with_trace(|t| t.bytes_sent_by("bot-backend/"));
         report.duration = clock.now().duration_since(started);
+
+        // Deterministic totals (pinned equal at any worker count by the
+        // parallel-vs-serial tests) go on the span; scheduling-sensitive
+        // overhead stays in metrics.
+        span.record("bots_tested", report.bots_tested as u64);
+        span.record("tokens_planted", report.tokens_planted as u64);
+        span.record("messages_posted", report.messages_posted as u64);
+        span.record("triggers", report.triggers.len() as u64);
+        span.record("detections", report.detections.len() as u64);
+        obs.counter("honeypot.guilds_created")
+            .add(report.guilds_created as u64);
+        obs.counter("honeypot.bots_tested")
+            .add(report.bots_tested as u64);
+        obs.counter("honeypot.install_failures")
+            .add(report.install_failures as u64);
+        obs.counter("honeypot.tokens_planted")
+            .add(report.tokens_planted as u64);
+        obs.counter("honeypot.messages_posted")
+            .add(report.messages_posted as u64);
+        obs.counter("honeypot.captchas_solved")
+            .add(report.captchas_solved);
+        obs.counter("honeypot.triggers")
+            .add(report.triggers.len() as u64);
+        obs.counter("honeypot.detections")
+            .add(report.detections.len() as u64);
         report
     }
 
@@ -374,7 +431,16 @@ impl Campaign {
     /// Phase-2 unit of work: populate one guild and drive its backend to
     /// quiescence. `index` is the guild's position in bot-name order and
     /// selects its RNG stream.
-    fn run_guild(&self, index: usize, job: GuildJob, pool: &PersonaPool) -> GuildOutcome {
+    fn run_guild(
+        &self,
+        index: usize,
+        job: GuildJob,
+        pool: &PersonaPool,
+        parent: &Span,
+    ) -> GuildOutcome {
+        // Keyed by the bot-name-order index — the same stream selector the
+        // RNG uses — so the trace tree is worker-count-independent.
+        let span = parent.child_keyed("guild", index as u64);
         let mut rng = StdRng::seed_from_u64(netsim::splitmix(self.config.seed, index as u64));
         let mut mint = TokenMint::new(SINK_HOST, MAIL_HOST);
         let mut runner = BotRunner::new();
@@ -388,6 +454,8 @@ impl Campaign {
             Err(e) => panic!("failed to populate {}: {e}", job.bot_name),
         };
         runner.run_until_idle();
+        span.record("messages_posted", outcome.messages_posted as u64);
+        span.record("tokens_planted", outcome.tokens_planted as u64);
         outcome
     }
 
@@ -823,6 +891,58 @@ mod tests {
         assert_eq!(serial.0.len(), 3, "three of four bots are malicious");
         for workers in [2, 4] {
             assert_eq!(run(workers), serial, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn traced_campaign_canonical_trace_is_worker_invariant() {
+        let trace = |workers: usize| {
+            let (platform, net, dev) = world();
+            let mut campaign = Campaign::new(
+                platform.clone(),
+                net.clone(),
+                CampaignConfig {
+                    workers,
+                    ..CampaignConfig::default()
+                },
+            );
+            let bots = vec![
+                make_bot(
+                    &platform,
+                    dev,
+                    "CleanBot",
+                    full_perms(),
+                    Box::new(BenignBehavior::new("fun")),
+                ),
+                make_bot(
+                    &platform,
+                    dev,
+                    "Melonian",
+                    full_perms(),
+                    Box::new(SnooperBehavior::new(10)),
+                ),
+                make_bot(
+                    &platform,
+                    dev,
+                    "Harvester",
+                    full_perms(),
+                    Box::new(ExfiltratorBehavior::new(None).spamming()),
+                ),
+            ];
+            let recorder = std::sync::Arc::new(obs::JsonRecorder::new());
+            let obs_handle =
+                Obs::with_recorder(recorder.clone(), std::sync::Arc::new(net.clock().clone()));
+            {
+                let root = obs_handle.span("audit");
+                campaign.run_traced(bots, &obs_handle, &root);
+            }
+            recorder.canonical_trace()
+        };
+        let serial = trace(1);
+        assert!(serial.contains("\"name\":\"honeypot\""));
+        assert!(serial.contains("\"name\":\"guild\""));
+        for workers in [2, 4] {
+            assert_eq!(trace(workers), serial, "workers={workers}");
         }
     }
 

@@ -187,6 +187,14 @@ impl VirtualClock {
     }
 }
 
+/// The virtual clock is the workspace's [`obs::Clock`]: span timestamps and
+/// event log entries carry virtual milliseconds, so traces reproduce exactly.
+impl obs::Clock for VirtualClock {
+    fn now_millis(&self) -> u64 {
+        self.now().as_millis()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -236,6 +244,14 @@ mod tests {
         let late = SimInstant::from_millis(350);
         assert_eq!(late.duration_since(early).as_millis(), 250);
         assert_eq!(early.duration_since(late), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn virtual_clock_implements_obs_clock() {
+        let clock = VirtualClock::new();
+        clock.advance(SimDuration::from_millis(42));
+        let as_obs: &dyn obs::Clock = &clock;
+        assert_eq!(as_obs.now_millis(), 42);
     }
 
     #[test]

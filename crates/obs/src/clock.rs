@@ -1,0 +1,52 @@
+//! Time source for span timestamps and event log entries.
+//!
+//! `obs` never reads the OS clock. Whoever constructs an [`crate::Obs`]
+//! supplies a [`Clock`]; in this workspace that is netsim's `VirtualClock`
+//! (which implements the trait), so traces carry *virtual* milliseconds and
+//! stay exactly reproducible run over run.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonic millisecond clock.
+pub trait Clock: Send + Sync {
+    /// Milliseconds since the clock's epoch.
+    fn now_millis(&self) -> u64;
+}
+
+/// A hand-advanced clock: the default for tests and for metric-only
+/// observability where timestamps don't matter.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    ms: AtomicU64,
+}
+
+impl ManualClock {
+    /// A clock at the epoch.
+    pub fn new() -> ManualClock {
+        ManualClock::default()
+    }
+
+    /// Advance by `ms` milliseconds and return the new time.
+    pub fn advance(&self, ms: u64) -> u64 {
+        self.ms.fetch_add(ms, Ordering::SeqCst) + ms
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_millis(&self) -> u64 {
+        self.ms.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_advances() {
+        let c = ManualClock::new();
+        assert_eq!(c.now_millis(), 0);
+        assert_eq!(c.advance(250), 250);
+        assert_eq!(c.now_millis(), 250);
+    }
+}

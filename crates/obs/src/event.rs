@@ -1,0 +1,169 @@
+//! Severity-tagged event log backed by a bounded ring buffer.
+//!
+//! Events are the "printf channel" of the pipeline: one-off occurrences
+//! (a kill-switch firing, a captcha encountered, a journal replay) that
+//! don't fit the span tree or a metric. The buffer is bounded so a noisy
+//! stage cannot grow memory without limit — when full, the oldest events
+//! are dropped and a drop counter records how many were lost.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Mutex;
+
+/// Event severity, ordered from least to most severe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Fine-grained diagnostic detail.
+    Debug,
+    /// Normal operational milestones.
+    Info,
+    /// Something unexpected but recoverable.
+    Warn,
+    /// A failure the pipeline had to work around or abort on.
+    Error,
+}
+
+impl Severity {
+    /// Canonical lowercase label (`"debug"`, `"info"`, `"warn"`, `"error"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Debug => "debug",
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One logged event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Virtual-clock timestamp, milliseconds.
+    pub at_ms: u64,
+    /// Severity level.
+    pub severity: Severity,
+    /// Originating subsystem (dotted: `store.journal`).
+    pub target: &'static str,
+    /// Human-readable message.
+    pub message: String,
+}
+
+struct EventBuf {
+    events: VecDeque<Event>,
+    dropped: u64,
+}
+
+/// Bounded in-memory event log.
+pub struct EventLog {
+    capacity: usize,
+    buf: Mutex<EventBuf>,
+}
+
+impl EventLog {
+    /// A log holding at most `capacity` events (oldest dropped first).
+    pub fn with_capacity(capacity: usize) -> EventLog {
+        EventLog {
+            capacity,
+            buf: Mutex::new(EventBuf {
+                events: VecDeque::new(),
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// Append an event, evicting the oldest if the buffer is full.
+    pub fn push(&self, event: Event) {
+        let mut buf = self.buf.lock().expect("event log lock");
+        if self.capacity == 0 {
+            buf.dropped += 1;
+            return;
+        }
+        if buf.events.len() == self.capacity {
+            buf.events.pop_front();
+            buf.dropped += 1;
+        }
+        buf.events.push_back(event);
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn drain_snapshot(&self) -> Vec<Event> {
+        let buf = self.buf.lock().expect("event log lock");
+        buf.events.iter().cloned().collect()
+    }
+
+    /// How many events have been evicted so far.
+    pub fn dropped(&self) -> u64 {
+        self.buf.lock().expect("event log lock").dropped
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.buf.lock().expect("event log lock").events.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl fmt::Debug for EventLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EventLog")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(msg: &str) -> Event {
+        Event {
+            at_ms: 0,
+            severity: Severity::Info,
+            target: "test",
+            message: msg.to_string(),
+        }
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let log = EventLog::with_capacity(2);
+        log.push(ev("a"));
+        log.push(ev("b"));
+        log.push(ev("c"));
+        let msgs: Vec<String> = log
+            .drain_snapshot()
+            .into_iter()
+            .map(|e| e.message)
+            .collect();
+        assert_eq!(msgs, vec!["b", "c"]);
+        assert_eq!(log.dropped(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_drops_everything() {
+        let log = EventLog::with_capacity(0);
+        log.push(ev("a"));
+        assert!(log.is_empty());
+        assert_eq!(log.dropped(), 1);
+    }
+
+    #[test]
+    fn severity_orders_and_labels() {
+        assert!(Severity::Debug < Severity::Info);
+        assert!(Severity::Warn < Severity::Error);
+        assert_eq!(Severity::Warn.label(), "warn");
+        assert_eq!(Severity::Error.to_string(), "error");
+    }
+}

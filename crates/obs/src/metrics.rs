@@ -1,0 +1,367 @@
+//! Typed metrics registered under dotted paths.
+//!
+//! Three shapes, mirroring the Prometheus trinity:
+//!
+//! * [`Counter`] — a monotonically increasing `u64` (`crawl.pages_fetched`);
+//! * [`Gauge`] — a settable `i64` (`analysis.pool.workers`);
+//! * [`Histogram`] — power-of-two bucketed `u64` samples with count / sum /
+//!   min / max (`crawl.page_ms`).
+//!
+//! Handles are `Arc`-backed and cheap to clone; increments are single
+//! atomic operations, so the registry stays live even when tracing is
+//! disabled — the `caches:` line of the `experiments` binary is a plain
+//! view over [`Registry::snapshot`].
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of histogram buckets: one for zero plus one per power of two.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A monotonically increasing counter.
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// A detached counter (not registered anywhere).
+    pub fn detached() -> Counter {
+        Counter::default()
+    }
+
+    /// Add `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increment by one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable signed gauge.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge {
+    cell: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// A detached gauge (not registered anywhere).
+    pub fn detached() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Set the gauge to `v`.
+    pub fn set(&self, v: i64) {
+        self.cell.store(v, Ordering::Relaxed);
+    }
+
+    /// Add `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.cell.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> i64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCells {
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for HistogramCells {
+    fn default() -> Self {
+        HistogramCells {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// Power-of-two bucketed histogram of `u64` samples.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram {
+    cells: Arc<HistogramCells>,
+}
+
+/// Bucket index for a sample: bucket 0 holds exactly zero, bucket `i ≥ 1`
+/// holds `[2^(i-1), 2^i)`.
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+impl Histogram {
+    /// A detached histogram (not registered anywhere).
+    pub fn detached() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&self, v: u64) {
+        let c = &*self.cells;
+        c.count.fetch_add(1, Ordering::Relaxed);
+        c.sum.fetch_add(v, Ordering::Relaxed);
+        c.min.fetch_min(v, Ordering::Relaxed);
+        c.max.fetch_max(v, Ordering::Relaxed);
+        c.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Point-in-time summary.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let c = &*self.cells;
+        let count = c.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            sum: c.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                c.min.load(Ordering::Relaxed)
+            },
+            max: c.max.load(Ordering::Relaxed),
+            buckets: std::array::from_fn(|i| c.buckets[i].load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// A point-in-time histogram summary.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Per-bucket counts (see [`bucket_index`]).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// A snapshot of one registered metric.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(i64),
+    /// Histogram summary (boxed: the bucket array is large).
+    Histogram(Box<HistogramSnapshot>),
+}
+
+impl fmt::Display for MetricValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetricValue::Counter(v) => write!(f, "{v}"),
+            MetricValue::Gauge(v) => write!(f, "{v}"),
+            MetricValue::Histogram(h) => {
+                write!(f, "n={} sum={} min={} max={}", h.count, h.sum, h.min, h.max)
+            }
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// Metric registry: dotted path → typed metric.
+///
+/// Registering the same path twice returns the same underlying cells;
+/// registering a path under two different types is a programming error and
+/// panics with the offending path.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The counter registered at `path` (registered on first use).
+    pub fn counter(&self, path: &str) -> Counter {
+        let mut map = self.metrics.lock().expect("registry lock");
+        match map
+            .entry(path.to_string())
+            .or_insert_with(|| Metric::Counter(Counter::detached()))
+        {
+            Metric::Counter(c) => c.clone(),
+            other => panic!("metric {path:?} already registered as {other:?}, wanted a counter"),
+        }
+    }
+
+    /// The gauge registered at `path` (registered on first use).
+    pub fn gauge(&self, path: &str) -> Gauge {
+        let mut map = self.metrics.lock().expect("registry lock");
+        match map
+            .entry(path.to_string())
+            .or_insert_with(|| Metric::Gauge(Gauge::detached()))
+        {
+            Metric::Gauge(g) => g.clone(),
+            other => panic!("metric {path:?} already registered as {other:?}, wanted a gauge"),
+        }
+    }
+
+    /// The histogram registered at `path` (registered on first use).
+    pub fn histogram(&self, path: &str) -> Histogram {
+        let mut map = self.metrics.lock().expect("registry lock");
+        match map
+            .entry(path.to_string())
+            .or_insert_with(|| Metric::Histogram(Histogram::detached()))
+        {
+            Metric::Histogram(h) => h.clone(),
+            other => panic!("metric {path:?} already registered as {other:?}, wanted a histogram"),
+        }
+    }
+
+    /// Current value of the counter at `path` (0 when absent).
+    pub fn counter_value(&self, path: &str) -> u64 {
+        let map = self.metrics.lock().expect("registry lock");
+        match map.get(path) {
+            Some(Metric::Counter(c)) => c.value(),
+            _ => 0,
+        }
+    }
+
+    /// Current value of the gauge at `path` (0 when absent).
+    pub fn gauge_value(&self, path: &str) -> i64 {
+        let map = self.metrics.lock().expect("registry lock");
+        match map.get(path) {
+            Some(Metric::Gauge(g)) => g.value(),
+            _ => 0,
+        }
+    }
+
+    /// Every registered metric, sorted by path.
+    pub fn snapshot(&self) -> Vec<(String, MetricValue)> {
+        let map = self.metrics.lock().expect("registry lock");
+        map.iter()
+            .map(|(path, metric)| {
+                let value = match metric {
+                    Metric::Counter(c) => MetricValue::Counter(c.value()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.value()),
+                    Metric::Histogram(h) => MetricValue::Histogram(Box::new(h.snapshot())),
+                };
+                (path.clone(), value)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let r = Registry::new();
+        let c = r.counter("a.b");
+        c.add(3);
+        r.counter("a.b").incr();
+        assert_eq!(r.counter_value("a.b"), 4);
+        assert_eq!(r.counter_value("missing"), 0);
+    }
+
+    #[test]
+    fn gauge_sets_and_adds() {
+        let r = Registry::new();
+        let g = r.gauge("pool.workers");
+        g.set(8);
+        g.add(-3);
+        assert_eq!(r.gauge_value("pool.workers"), 5);
+    }
+
+    #[test]
+    fn histogram_bucketing_is_power_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+
+        let h = Histogram::detached();
+        for v in [0, 1, 2, 3, 4, 1024] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.sum, 1034);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 1024);
+        assert_eq!(s.buckets[0], 1, "zero bucket");
+        assert_eq!(s.buckets[1], 1, "[1,2)");
+        assert_eq!(s.buckets[2], 2, "[2,4)");
+        assert_eq!(s.buckets[3], 1, "[4,8)");
+        assert_eq!(s.buckets[11], 1, "[1024,2048)");
+        assert!((s.mean() - 1034.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_is_zeroed() {
+        let s = Histogram::detached().snapshot();
+        assert_eq!((s.count, s.sum, s.min, s.max), (0, 0, 0, 0));
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_by_path() {
+        let r = Registry::new();
+        r.counter("z.last").incr();
+        r.gauge("a.first").set(1);
+        r.histogram("m.mid").record(7);
+        let paths: Vec<String> = r.snapshot().into_iter().map(|(p, _)| p).collect();
+        assert_eq!(paths, vec!["a.first", "m.mid", "z.last"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_conflict_panics() {
+        let r = Registry::new();
+        r.counter("x");
+        r.gauge("x");
+    }
+}

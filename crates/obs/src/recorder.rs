@@ -1,0 +1,222 @@
+//! Trace sinks: where closed spans and events go.
+//!
+//! The pipeline always *instruments*; the [`Recorder`] decides whether any
+//! of it is retained. [`NullRecorder`] (the default) reports
+//! `is_tracing() == false`, which makes [`crate::Obs::span`] hand out
+//! disabled spans — the instrumented code pays a null check and nothing
+//! else. [`JsonRecorder`] retains every closed span and renders a
+//! *canonical* trace: same-identity sibling spans merged, numeric fields
+//! summed, children sorted — so the dump is byte-identical however many
+//! workers raced through the stages.
+
+use crate::event::Event;
+use crate::json;
+use crate::span::{FieldValue, SpanData};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// A sink for closed spans and events.
+pub trait Recorder: Send + Sync {
+    /// Whether span tracing is live. When `false`, [`crate::Obs::span`]
+    /// returns disabled spans and `on_span_end` is never called.
+    fn is_tracing(&self) -> bool;
+
+    /// Called exactly once per enabled span, at close (drop) time.
+    fn on_span_end(&self, span: &SpanData);
+
+    /// Called for every logged event.
+    fn on_event(&self, event: &Event);
+}
+
+/// The zero-cost recorder: retains nothing, disables tracing.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn is_tracing(&self) -> bool {
+        false
+    }
+
+    fn on_span_end(&self, _span: &SpanData) {}
+
+    fn on_event(&self, _event: &Event) {}
+}
+
+/// Retains all spans and events; renders a canonical, diffable JSON trace.
+#[derive(Debug, Default)]
+pub struct JsonRecorder {
+    spans: Mutex<Vec<SpanData>>,
+    events: Mutex<Vec<Event>>,
+}
+
+impl JsonRecorder {
+    /// An empty recorder.
+    pub fn new() -> JsonRecorder {
+        JsonRecorder::default()
+    }
+
+    /// Number of spans closed so far.
+    pub fn span_count(&self) -> usize {
+        self.spans.lock().expect("json recorder lock").len()
+    }
+
+    /// Events received so far, in arrival order.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().expect("json recorder lock").clone()
+    }
+
+    /// Canonical trace JSON.
+    ///
+    /// Canonicalisation makes the dump independent of thread scheduling:
+    ///
+    /// * sibling spans with the same `(name, key)` identity are **merged**:
+    ///   their `u64` fields are summed, string fields kept only when every
+    ///   merged span agrees, and children merged recursively. The number of
+    ///   spans folded together is *not* emitted — per-worker spans merge
+    ///   into one node, and how many there were depends on the worker
+    ///   count;
+    /// * children are **sorted** by `(name, key)`;
+    /// * **timestamps are excluded** — virtual durations depend on which
+    ///   worker's clock advanced first, so they live in metrics, not here.
+    ///
+    /// Two runs over the same seed therefore dump byte-identical traces at
+    /// any worker count, provided the instrumented code keys spans by
+    /// work-unit index and records only scheduling-independent fields.
+    pub fn canonical_trace(&self) -> String {
+        let spans = self.spans.lock().expect("json recorder lock");
+        let mut children_of: BTreeMap<Option<u64>, Vec<&SpanData>> = BTreeMap::new();
+        let known: std::collections::BTreeSet<u64> = spans.iter().map(|s| s.id).collect();
+        for span in spans.iter() {
+            // A span whose parent never closed (or was disabled) is a root.
+            let parent = span.parent.filter(|p| known.contains(p));
+            children_of.entry(parent).or_default().push(span);
+        }
+        let roots = merge_level(children_of.get(&None).map_or(&[][..], |v| v), &children_of);
+        let mut out = String::new();
+        out.push_str("{\"trace\":[");
+        for (i, node) in roots.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_node(&mut out, node);
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+impl Recorder for JsonRecorder {
+    fn is_tracing(&self) -> bool {
+        true
+    }
+
+    fn on_span_end(&self, span: &SpanData) {
+        self.spans
+            .lock()
+            .expect("json recorder lock")
+            .push(span.clone());
+    }
+
+    fn on_event(&self, event: &Event) {
+        self.events
+            .lock()
+            .expect("json recorder lock")
+            .push(event.clone());
+    }
+}
+
+/// A merged node in the canonical trace tree.
+struct MergedNode {
+    name: &'static str,
+    key: Option<u64>,
+    fields: BTreeMap<&'static str, Option<FieldValue>>,
+    children: Vec<MergedNode>,
+}
+
+fn merge_level(
+    level: &[&SpanData],
+    children_of: &BTreeMap<Option<u64>, Vec<&SpanData>>,
+) -> Vec<MergedNode> {
+    // Group siblings by identity.
+    let mut groups: BTreeMap<(&'static str, Option<u64>), Vec<&SpanData>> = BTreeMap::new();
+    for span in level {
+        groups.entry((span.name, span.key)).or_default().push(span);
+    }
+    groups
+        .into_iter()
+        .map(|((name, key), members)| {
+            // `None` marks a string field whose merged values disagreed;
+            // it is omitted from the dump rather than picking a winner.
+            let mut fields: BTreeMap<&'static str, Option<FieldValue>> = BTreeMap::new();
+            let mut child_spans: Vec<&SpanData> = Vec::new();
+            for span in &members {
+                for (fname, value) in &span.fields {
+                    match value {
+                        FieldValue::U64(v) => match fields.entry(fname).or_insert(None) {
+                            Some(FieldValue::U64(acc)) => *acc += v,
+                            slot @ None => *slot = Some(FieldValue::U64(*v)),
+                            _ => {}
+                        },
+                        FieldValue::Str(s) => match fields.get(fname) {
+                            None => {
+                                fields.insert(fname, Some(FieldValue::Str(s.clone())));
+                            }
+                            Some(Some(FieldValue::Str(prev))) if prev == s => {}
+                            _ => {
+                                fields.insert(fname, None);
+                            }
+                        },
+                    }
+                }
+                if let Some(kids) = children_of.get(&Some(span.id)) {
+                    child_spans.extend(kids.iter().copied());
+                }
+            }
+            MergedNode {
+                name,
+                key,
+                fields,
+                children: merge_level(&child_spans, children_of),
+            }
+        })
+        .collect()
+}
+
+fn write_node(out: &mut String, node: &MergedNode) {
+    out.push_str("{\"name\":");
+    json::write_str(out, node.name);
+    if let Some(key) = node.key {
+        out.push_str(&format!(",\"key\":{key}"));
+    }
+    let live: Vec<_> = node
+        .fields
+        .iter()
+        .filter_map(|(name, v)| v.as_ref().map(|v| (*name, v)))
+        .collect();
+    if !live.is_empty() {
+        out.push_str(",\"fields\":{");
+        for (i, (name, value)) in live.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_str(out, name);
+            out.push(':');
+            match value {
+                FieldValue::U64(v) => out.push_str(&v.to_string()),
+                FieldValue::Str(s) => json::write_str(out, s),
+            }
+        }
+        out.push('}');
+    }
+    if !node.children.is_empty() {
+        out.push_str(",\"children\":[");
+        for (i, child) in node.children.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_node(out, child);
+        }
+        out.push(']');
+    }
+    out.push('}');
+}

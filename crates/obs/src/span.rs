@@ -1,0 +1,153 @@
+//! Hierarchical spans with drop-guard close semantics.
+//!
+//! A [`Span`] marks one unit of pipeline work (a crawl shard, one bot's
+//! analysis, a honeypot guild). Spans nest explicitly — [`Span::child`]
+//! rather than thread-local ambient context — so worker threads can parent
+//! their spans on the stage span that spawned them. Closing happens in
+//! `Drop`, which also runs during unwinding: a panicking worker still
+//! closes its spans, a property the unit tests pin down.
+//!
+//! Determinism contract: span *identity* is `(name, key)`, not creation
+//! order. Recorders that aggregate (see `JsonRecorder::canonical_trace`)
+//! merge same-identity siblings and sort, so a trace taken at 4 workers is
+//! byte-identical to one taken serially as long as instrumented code keys
+//! spans by work-unit index (never worker id) and records only
+//! scheduling-independent fields.
+
+use crate::ObsCore;
+use std::sync::{Arc, Mutex};
+
+/// A recorded field value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FieldValue {
+    /// Unsigned integer; merged siblings sum these.
+    U64(u64),
+    /// String; merged siblings keep the value only when all agree.
+    Str(String),
+}
+
+/// A closed span, as delivered to [`crate::Recorder::on_span_end`].
+#[derive(Clone, Debug)]
+pub struct SpanData {
+    /// Process-unique span id (monotonic per [`crate::Obs`]).
+    pub id: u64,
+    /// Parent span id, `None` for roots.
+    pub parent: Option<u64>,
+    /// Static span name (dotted by convention: `crawl.pages`).
+    pub name: &'static str,
+    /// Deterministic work-unit key (listing index, chunk index, …).
+    pub key: Option<u64>,
+    /// Virtual-clock open time, milliseconds.
+    pub start_ms: u64,
+    /// Virtual-clock close time, milliseconds.
+    pub end_ms: u64,
+    /// Recorded fields, in recording order.
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+pub(crate) struct SpanInner {
+    pub(crate) core: Arc<ObsCore>,
+    pub(crate) id: u64,
+    pub(crate) parent: Option<u64>,
+    pub(crate) name: &'static str,
+    pub(crate) key: Option<u64>,
+    pub(crate) start_ms: u64,
+    pub(crate) fields: Mutex<Vec<(&'static str, FieldValue)>>,
+}
+
+/// An open span. Dropping it closes the span and hands the record to the
+/// recorder — including during a panic unwind.
+#[derive(Default)]
+pub struct Span {
+    pub(crate) inner: Option<SpanInner>,
+}
+
+impl Span {
+    /// A span that records nothing; children are also disabled. This is
+    /// what every span-taking API receives when tracing is off, so the
+    /// instrumentation cost is a null check.
+    pub fn disabled() -> Span {
+        Span { inner: None }
+    }
+
+    /// Whether this span actually records.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Open a child span.
+    pub fn child(&self, name: &'static str) -> Span {
+        self.child_inner(name, None)
+    }
+
+    /// Open a child span keyed by a deterministic work-unit index.
+    pub fn child_keyed(&self, name: &'static str, key: u64) -> Span {
+        self.child_inner(name, Some(key))
+    }
+
+    fn child_inner(&self, name: &'static str, key: Option<u64>) -> Span {
+        match &self.inner {
+            None => Span::disabled(),
+            Some(inner) => inner.core.open_span(name, key, Some(inner.id)),
+        }
+    }
+
+    /// Record an unsigned field (merged siblings sum it).
+    pub fn record(&self, field: &'static str, value: u64) {
+        if let Some(inner) = &self.inner {
+            inner
+                .fields
+                .lock()
+                .expect("span fields lock")
+                .push((field, FieldValue::U64(value)));
+        }
+    }
+
+    /// Record a string field (merged siblings keep it only when all agree).
+    pub fn record_str(&self, field: &'static str, value: &str) {
+        if let Some(inner) = &self.inner {
+            inner
+                .fields
+                .lock()
+                .expect("span fields lock")
+                .push((field, FieldValue::Str(value.to_string())));
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(inner) = self.inner.take() {
+            let end_ms = inner.core.clock.now_millis();
+            let fields = inner
+                .fields
+                .lock()
+                .map(|mut f| std::mem::take(&mut *f))
+                .unwrap_or_default();
+            let data = SpanData {
+                id: inner.id,
+                parent: inner.parent,
+                name: inner.name,
+                key: inner.key,
+                start_ms: inner.start_ms,
+                end_ms,
+                fields,
+            };
+            inner.core.recorder.on_span_end(&data);
+        }
+    }
+}
+
+impl std::fmt::Debug for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            None => f.write_str("Span(disabled)"),
+            Some(i) => f
+                .debug_struct("Span")
+                .field("id", &i.id)
+                .field("name", &i.name)
+                .field("key", &i.key)
+                .finish(),
+        }
+    }
+}

@@ -43,7 +43,7 @@ fn main() {
         .expect("uninterrupted run completes");
     println!(
         "      {} journal frames written, {} analyses computed\n",
-        reference.stages.journal_frames_written, reference.stages.artifact_cache_misses
+        reference.store_stats.frames_written, reference.store_stats.artifact_misses
     );
 
     // Crash: same run on a persistent backend, killed after 40 frames.
@@ -76,9 +76,9 @@ fn main() {
         .expect("resumed run completes");
     println!(
         "      replayed {} frames, reused {} cached analyses, computed {} fresh",
-        resumed.stages.journal_frames_replayed,
-        resumed.stages.artifact_cache_hits,
-        resumed.stages.artifact_cache_misses,
+        resumed.store_stats.frames_replayed,
+        resumed.store_stats.artifact_hits,
+        resumed.store_stats.artifact_misses,
     );
 
     let reference_json = reference.report.canonical_json();

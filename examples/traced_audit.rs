@@ -1,0 +1,67 @@
+//! Traced audit: run the full pipeline through the [`Audit`] facade with a
+//! `JsonRecorder` attached, then read back the metric registry and the
+//! deterministic span trace.
+//!
+//! ```sh
+//! cargo run --example traced_audit
+//! ```
+//!
+//! The trace printed at the end is *canonical*: re-run with any worker
+//! count (or any machine) and the bytes are identical for the same seed —
+//! the same contract `tests/trace_determinism.rs` enforces.
+
+use chatbot_audit::Audit;
+use obs::{JsonRecorder, ManualClock, MetricValue, Obs};
+use std::sync::Arc;
+
+fn main() {
+    println!("=== chatbot-audit traced run ===\n");
+
+    // One builder replaces the seven hand-wired config structs. Attach a
+    // JsonRecorder so spans are captured; the default is Obs::disabled(),
+    // where spans cost a null check and only the metric registry is live.
+    let recorder = Arc::new(JsonRecorder::new());
+    let obs = Obs::with_recorder(recorder.clone(), Arc::new(ManualClock::new()));
+    let audit = Audit::builder()
+        .scale(200)
+        .seed(2022)
+        .workers(4)
+        .honeypot_sample(20)
+        .site_defenses(false)
+        .obs(obs)
+        .build()
+        .expect("knobs are consistent");
+
+    let report = audit.run().expect("audit completes");
+    println!(
+        "audited {} bots; {} honeypot detections\n",
+        report.bots.len(),
+        report.honeypot.as_ref().map_or(0, |c| c.detections.len())
+    );
+
+    // The metric registry: typed counters/gauges/histograms under dotted
+    // paths, live regardless of recorder.
+    println!("-- metric registry --");
+    for (path, value) in audit.obs().metrics_snapshot() {
+        match value {
+            MetricValue::Counter(n) => println!("{path:<32} counter   {n}"),
+            MetricValue::Gauge(g) => println!("{path:<32} gauge     {g}"),
+            MetricValue::Histogram(h) => println!(
+                "{path:<32} histogram count={} mean={:.1} max={}",
+                h.count,
+                h.mean(),
+                h.max
+            ),
+        }
+    }
+
+    // The canonical trace: merged span tree, worker-count independent.
+    let trace = recorder.canonical_trace();
+    println!(
+        "\n-- canonical trace ({} spans recorded, {} bytes merged) --",
+        recorder.span_count(),
+        trace.len()
+    );
+    let preview: String = trace.chars().take(400).collect();
+    println!("{preview}...");
+}

@@ -189,7 +189,7 @@ fn audit_converges_to_identical_bytes_on_crash_prone_storage() {
     assert!(attempts > 1, "kill switch must fire at least once");
     assert_eq!(outcome.report.canonical_json(), baseline);
     assert!(
-        outcome.stages.journal_frames_replayed > 0,
+        outcome.store_stats.frames_replayed > 0,
         "durable progress survived the tears"
     );
 }
@@ -226,10 +226,10 @@ fn short_reads_cost_rework_never_correctness() {
 
     assert_eq!(redo.report.canonical_json(), full.report.canonical_json());
     assert!(
-        redo.stages.journal_frames_replayed < full.stages.journal_frames_written,
+        redo.store_stats.frames_replayed < full.store_stats.frames_written,
         "a short read always loses at least the completion frame ({} vs {})",
-        redo.stages.journal_frames_replayed,
-        full.stages.journal_frames_written,
+        redo.store_stats.frames_replayed,
+        full.store_stats.frames_written,
     );
 }
 
@@ -267,7 +267,7 @@ fn flaky_network_and_resume_compose() {
         second.report.canonical_json()
     );
     assert!(
-        first.stages.journal_frames_replayed >= 30,
+        first.store_stats.frames_replayed >= 30,
         "durable progress was reused"
     );
 }

@@ -138,7 +138,7 @@ fn journal_written_parallel_resumes_serial() {
         .run_resumable(&eco, &serial, 7)
         .expect("resumes");
     assert_eq!(outcome.report.canonical_json(), baseline);
-    assert!(outcome.stages.journal_frames_replayed >= 60);
+    assert!(outcome.store_stats.frames_replayed >= 60);
 }
 
 #[test]
@@ -182,8 +182,8 @@ fn warm_artifact_pack_skips_every_reanalysis() {
     let cold = AuditPipeline::new(config(1))
         .run_resumable(&eco, &store, 2022)
         .unwrap();
-    assert_eq!(cold.stages.artifact_cache_misses as usize, BOTS);
-    assert_eq!(cold.stages.artifact_cache_hits, 0);
+    assert_eq!(cold.store_stats.artifact_misses as usize, BOTS);
+    assert_eq!(cold.store_stats.artifact_hits, 0);
 
     // Second run, fresh journal, same backend: the pack is warm.
     let eco = world(2022);
@@ -191,15 +191,15 @@ fn warm_artifact_pack_skips_every_reanalysis() {
         .run_resumable(&eco, &store, 2022)
         .unwrap();
     assert_eq!(
-        warm.stages.artifact_cache_hits as usize, BOTS,
+        warm.store_stats.artifact_hits as usize, BOTS,
         "every analysis served from pack"
     );
     assert_eq!(
-        warm.stages.artifact_cache_misses, 0,
+        warm.store_stats.artifact_misses, 0,
         "zero re-analyses on a warm pack"
     );
     assert_eq!(
-        warm.stages.journal_frames_replayed, 0,
+        warm.store_stats.frames_replayed, 0,
         "non-resume run starts a fresh journal"
     );
     assert_eq!(warm.report.canonical_json(), cold.report.canonical_json());
