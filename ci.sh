@@ -7,6 +7,7 @@ cargo build --release
 cargo test -q --workspace
 cargo test -q --test resume_determinism
 cargo test -q --test trace_determinism
+cargo test -q --test sched_determinism
 cargo clippy --all-targets -- -D warnings
 cargo bench --no-run
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q

@@ -6,6 +6,7 @@
 //!             [--enforced] [--workers N] [--bench-json PATH]
 //!             [--store-dir DIR] [--resume] [--kill-after-frames N]
 //!             [--store-bench-json PATH] [--obs-bench-json PATH]
+//!             [--sched-bench-json PATH]
 //! ```
 //!
 //! Defaults run the full paper-scale population (20,915 listings, 500
@@ -43,6 +44,7 @@ struct Args {
     kill_after_frames: Option<u64>,
     store_bench_json: Option<String>,
     obs_bench_json: Option<String>,
+    sched_bench_json: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -61,6 +63,7 @@ fn parse_args() -> Args {
         kill_after_frames: None,
         store_bench_json: None,
         obs_bench_json: None,
+        sched_bench_json: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -132,6 +135,10 @@ fn parse_args() -> Args {
             }
             "--obs-bench-json" => {
                 args.obs_bench_json = argv.get(i + 1).cloned();
+                i += 2;
+            }
+            "--sched-bench-json" => {
+                args.sched_bench_json = argv.get(i + 1).cloned();
                 i += 2;
             }
             other => {
@@ -579,6 +586,183 @@ fn obs_bench(args: &Args, path: &str) {
     eprintln!("wrote {path}");
 }
 
+/// Measure the fleet scheduler: multi-tenant throughput at 1/2/4/8 workers
+/// (every worker count must produce byte-identical reports) and what the
+/// incremental re-audit path buys over a cold audit of a drifted epoch.
+fn sched_bench(args: &Args, path: &str) {
+    use chatbot_audit::{Audit, FleetConfig, FleetService};
+    use sched::JobSpec;
+
+    const TENANTS: usize = 6;
+    eprintln!(
+        "fleet scheduler bench: {TENANTS} tenants × {} listings, workers 1/2/4/8 …",
+        args.scale
+    );
+    let job = |epoch: u32| {
+        Audit::builder()
+            .scale(args.scale)
+            .seed(args.seed)
+            .honeypot_sample(args.honeypot_sample)
+            .drift(synth::DriftConfig::default())
+            .epoch(epoch)
+            .into_job()
+            .expect("valid fleet job")
+    };
+    let dump = |outcomes: &[chatbot_audit::JobOutcome]| -> String {
+        outcomes
+            .iter()
+            .map(|o| {
+                serde_json::to_string(o.report.as_ref().expect("fleet job completes"))
+                    .expect("report serializes")
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+
+    let mut runs = Vec::new();
+    let mut reference = String::new();
+    let mut serial_ms = 0.0_f64;
+    for workers in [1usize, 2, 4, 8] {
+        let service = FleetService::new(FleetConfig {
+            workers,
+            ..FleetConfig::default()
+        });
+        for t in 0..TENANTS {
+            service
+                .submit(JobSpec::new(format!("tenant-{t}")), job(0))
+                .expect("queue has room");
+        }
+        let t0 = std::time::Instant::now();
+        let outcomes = service.run();
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let this = dump(&outcomes);
+        if workers == 1 {
+            serial_ms = wall_ms;
+            reference = this;
+        } else {
+            assert_eq!(this, reference, "workers={workers} reports diverged");
+        }
+        let speedup = serial_ms / wall_ms;
+        let throughput = TENANTS as f64 / (wall_ms / 1e3);
+        println!(
+            "sched workers {workers}: {wall_ms:7.1} ms wall | {throughput:6.2} audits/s | \
+             speedup {speedup:.2}x | byte-identical"
+        );
+        let mut run = serde_json::Map::new();
+        run.insert("workers".into(), workers.into());
+        run.insert(
+            "wall_ms".into(),
+            serde_json::to_value(wall_ms).expect("serializable"),
+        );
+        run.insert(
+            "audits_per_sec".into(),
+            serde_json::to_value(throughput).expect("serializable"),
+        );
+        run.insert(
+            "speedup_vs_serial".into(),
+            serde_json::to_value(speedup).expect("serializable"),
+        );
+        runs.push(run.into());
+    }
+
+    // Incremental vs cold re-audit of a drifted epoch, single tenant.
+    // Interleaved rounds with medians, as in the obs bench, so machine
+    // drift hits both sides equally.
+    const ROUNDS: usize = 3;
+    let median = |xs: &mut Vec<f64>| -> f64 {
+        xs.sort_by(f64::total_cmp);
+        xs[xs.len() / 2]
+    };
+    let mut warm_rounds = Vec::new();
+    let mut cold_rounds = Vec::new();
+    let mut warm = None;
+    let mut cold = None;
+    for _ in 0..ROUNDS {
+        let service = FleetService::new(FleetConfig::default());
+        service
+            .submit(JobSpec::new("longitudinal"), job(0))
+            .expect("submit epoch 0");
+        service.run();
+        service
+            .submit(JobSpec::new("longitudinal"), job(1))
+            .expect("submit warm epoch 1");
+        let t0 = std::time::Instant::now();
+        warm = Some(service.run().remove(0));
+        warm_rounds.push(t0.elapsed().as_secs_f64() * 1e3);
+
+        let fresh = FleetService::new(FleetConfig::default());
+        fresh
+            .submit(JobSpec::new("cold"), job(1))
+            .expect("submit cold epoch 1");
+        let t0 = std::time::Instant::now();
+        cold = Some(fresh.run().remove(0));
+        cold_rounds.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    let (warm, cold) = (
+        warm.expect("warm rounds ran"),
+        cold.expect("cold rounds ran"),
+    );
+    let warm_ms = median(&mut warm_rounds);
+    let cold_ms = median(&mut cold_rounds);
+
+    let warm_report =
+        serde_json::to_string(warm.report.as_ref().expect("warm run completes")).unwrap();
+    let cold_report =
+        serde_json::to_string(cold.report.as_ref().expect("cold run completes")).unwrap();
+    assert_eq!(
+        warm_report, cold_report,
+        "incremental re-audit diverged from cold"
+    );
+    let speedup = cold_ms / warm_ms;
+    println!(
+        "incremental re-audit: cold epoch-1 {cold_ms:.1} ms | warm {warm_ms:.1} ms \
+         ({speedup:.2}x) | pack {} hits / {} misses | {}",
+        warm.artifact_hits,
+        warm.artifact_misses,
+        warm.delta.as_ref().map(|d| d.summary()).unwrap_or_default(),
+    );
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut out = serde_json::Map::new();
+    out.insert("scale".into(), args.scale.into());
+    out.insert("seed".into(), args.seed.into());
+    out.insert("honeypot_sample".into(), args.honeypot_sample.into());
+    out.insert("tenants".into(), TENANTS.into());
+    out.insert("available_cores".into(), cores.into());
+    out.insert("byte_identical".into(), true.into());
+    out.insert("runs".into(), serde_json::Value::Array(runs));
+    let mut inc = serde_json::Map::new();
+    inc.insert(
+        "cold_epoch1_ms".into(),
+        serde_json::to_value(cold_ms).expect("serializable"),
+    );
+    inc.insert(
+        "incremental_ms".into(),
+        serde_json::to_value(warm_ms).expect("serializable"),
+    );
+    inc.insert(
+        "speedup".into(),
+        serde_json::to_value(speedup).expect("serializable"),
+    );
+    inc.insert("artifact_hits".into(), warm.artifact_hits.into());
+    inc.insert("artifact_misses".into(), warm.artifact_misses.into());
+    if let Some(delta) = &warm.delta {
+        inc.insert(
+            "delta".into(),
+            serde_json::to_value(delta).expect("serializable"),
+        );
+    }
+    out.insert("incremental_reaudit".into(), inc.into());
+    std::fs::write(
+        path,
+        serde_json::to_string_pretty(&out).expect("serializable"),
+    )
+    .expect("write sched bench json");
+    eprintln!("wrote {path}");
+}
+
 fn main() {
     let args = parse_args();
     let scale_factor = args.scale as f64 / 20_915.0;
@@ -908,5 +1092,9 @@ fn main() {
 
     if let Some(path) = &args.obs_bench_json {
         obs_bench(&args, path);
+    }
+
+    if let Some(path) = &args.sched_bench_json {
+        sched_bench(&args, path);
     }
 }

@@ -17,9 +17,11 @@ use crate::error::AuditError;
 use crate::pipeline::{AuditConfig, AuditPipeline};
 use crate::report::CanonicalReport;
 use crate::resume::StoreConfig;
+use crate::service::AuditJob;
 use obs::Obs;
 use policy::KeywordOntology;
-use synth::{build_ecosystem, Ecosystem, EcosystemConfig};
+use store::StoreStats;
+use synth::{build_ecosystem, build_ecosystem_at, DriftConfig, Ecosystem, EcosystemConfig};
 
 /// A fully-configured audit, ready to run against its synthetic world.
 ///
@@ -45,6 +47,8 @@ pub struct Audit {
     eco: EcosystemConfig,
     store: Option<StoreConfig>,
     obs: Obs,
+    drift: Option<DriftConfig>,
+    epoch: u32,
 }
 
 impl std::fmt::Debug for Audit {
@@ -81,8 +85,18 @@ impl Audit {
         &self.eco
     }
 
+    /// Which drift epoch this audit observes (0 = the frozen snapshot).
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
     fn world(&self) -> Ecosystem {
-        build_ecosystem(&self.eco)
+        if self.epoch == 0 && self.drift.is_none() {
+            build_ecosystem(&self.eco)
+        } else {
+            let drift = self.drift.clone().unwrap_or_default();
+            build_ecosystem_at(&self.eco, &drift, self.epoch).0
+        }
     }
 
     fn pipeline(&self) -> AuditPipeline {
@@ -110,6 +124,19 @@ impl Audit {
         let outcome = self.pipeline().run_resumable(&eco, &store, self.eco.seed)?;
         Ok(outcome.report.canonical())
     }
+
+    /// Run against an explicit store, returning the store statistics
+    /// alongside the report. The fleet service uses this to journal each
+    /// tenant's runs into that tenant's scoped slice of a shared backend
+    /// and to observe artifact-cache hit rates for incremental re-audits.
+    pub(crate) fn run_scoped(
+        &self,
+        store: &StoreConfig,
+    ) -> Result<(CanonicalReport, StoreStats), AuditError> {
+        let eco = self.world();
+        let outcome = self.pipeline().run_resumable(&eco, store, self.eco.seed)?;
+        Ok((outcome.report.canonical(), outcome.store_stats))
+    }
 }
 
 /// Typed, validated builder for [`Audit`]. See the crate-level and
@@ -125,6 +152,8 @@ pub struct AuditBuilder {
     eco: EcosystemConfig,
     store: Option<StoreConfig>,
     obs: Option<Obs>,
+    drift: Option<DriftConfig>,
+    epoch: u32,
 }
 
 impl AuditBuilder {
@@ -165,6 +194,23 @@ impl AuditBuilder {
             self.eco.rate_limit = None;
             self.eco.email_wall_after_page = None;
         }
+        self
+    }
+
+    // ---- longitudinal drift --------------------------------------------
+
+    /// Ecosystem drift model applied between epochs (defaults to
+    /// [`DriftConfig::default`]'s paper-shaped churn rates when only
+    /// [`Self::epoch`] is set).
+    pub fn drift(mut self, drift: DriftConfig) -> Self {
+        self.drift = Some(drift);
+        self
+    }
+
+    /// Observe the world after this many drift epochs (0 = the frozen
+    /// snapshot the rest of the workspace audits).
+    pub fn epoch(mut self, epoch: u32) -> Self {
+        self.epoch = epoch;
         self
     }
 
@@ -310,7 +356,19 @@ impl AuditBuilder {
             eco: self.eco,
             store: self.store,
             obs: self.obs.unwrap_or_else(Obs::disabled),
+            drift: self.drift,
+            epoch: self.epoch,
         })
+    }
+
+    /// Validate and wrap the audit as a fleet-service job, ready for
+    /// [`FleetService::submit`](crate::FleetService::submit).
+    ///
+    /// # Errors
+    ///
+    /// The same [`AuditError::Config`] cases as [`Self::build`].
+    pub fn into_job(self) -> Result<AuditJob, AuditError> {
+        Ok(AuditJob::new(self.build()?))
     }
 }
 

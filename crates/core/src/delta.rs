@@ -1,0 +1,234 @@
+//! Longitudinal deltas between two audits of the same tenant's world.
+//!
+//! A fleet tenant re-auditing epoch N+1 cares less about the full
+//! [`CanonicalReport`] (which it already has for epoch N) than about what
+//! *moved*: which bots drifted at all, whose traceability classification
+//! flipped, who quietly gained permissions, and which bots the honeypot
+//! newly caught. [`DeltaReport::between`] computes exactly that, purely
+//! from two canonical reports — it is therefore as deterministic as the
+//! reports themselves.
+
+use crate::report::{CanonicalBot, CanonicalReport};
+use crawler::invite::InviteStatus;
+use policy::Traceability;
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// One bot whose traceability classification changed between epochs.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TraceabilityTransition {
+    /// Client id (stable across epochs for installable bots).
+    pub id: u64,
+    /// Bot name (the cross-epoch join key).
+    pub name: String,
+    /// Classification in the earlier report.
+    pub from: Traceability,
+    /// Classification in the later report.
+    pub to: Traceability,
+}
+
+/// One bot whose requested permission set changed between epochs.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PermissionChange {
+    /// Bot name.
+    pub name: String,
+    /// Permissions present now but not before — permission creep.
+    pub added: Vec<String>,
+    /// Permissions present before but not now.
+    pub removed: Vec<String>,
+}
+
+/// What changed between two audits of the same world.
+///
+/// Produced by the fleet service alongside every re-audit (epoch ≥ 1);
+/// also constructible directly from any two [`CanonicalReport`]s.
+#[derive(Debug, Clone, PartialEq, Serialize, Default)]
+pub struct DeltaReport {
+    /// Bots whose canonical record changed in any observable way.
+    pub drifted: Vec<String>,
+    /// Bots whose canonical record is identical in both reports.
+    pub unchanged: usize,
+    /// Bots present only in the later report.
+    pub appeared: Vec<String>,
+    /// Bots present only in the earlier report.
+    pub disappeared: Vec<String>,
+    /// Traceability flips (complete → partial → broken and back).
+    pub traceability_transitions: Vec<TraceabilityTransition>,
+    /// Permission-set changes among installable bots.
+    pub permission_changes: Vec<PermissionChange>,
+    /// Honeypot detections present only in the later report — bots that
+    /// started leaking.
+    pub new_detections: Vec<String>,
+    /// Honeypot detections present only in the earlier report.
+    pub resolved_detections: Vec<String>,
+}
+
+fn permission_names(status: &InviteStatus) -> Vec<String> {
+    match status {
+        InviteStatus::Valid { permissions, .. } => {
+            permissions.names().iter().map(|s| s.to_string()).collect()
+        }
+        _ => Vec::new(),
+    }
+}
+
+impl DeltaReport {
+    /// Diff `next` against `prev`, joining bots by name (listing names are
+    /// stable across drift epochs; client ids only exist for installable
+    /// bots). Output vectors follow `next`'s listing order, so the delta
+    /// is byte-identical whenever the two input reports are.
+    pub fn between(prev: &CanonicalReport, next: &CanonicalReport) -> DeltaReport {
+        let before: BTreeMap<&str, &CanonicalBot> =
+            prev.bots.iter().map(|b| (b.name.as_str(), b)).collect();
+        let after: BTreeMap<&str, &CanonicalBot> =
+            next.bots.iter().map(|b| (b.name.as_str(), b)).collect();
+
+        let mut delta = DeltaReport::default();
+
+        for bot in &next.bots {
+            let Some(old) = before.get(bot.name.as_str()) else {
+                delta.appeared.push(bot.name.clone());
+                continue;
+            };
+            if *old == bot {
+                delta.unchanged += 1;
+                continue;
+            }
+            delta.drifted.push(bot.name.clone());
+
+            let from = old.traceability.classification;
+            let to = bot.traceability.classification;
+            if from != to {
+                delta.traceability_transitions.push(TraceabilityTransition {
+                    id: bot.id,
+                    name: bot.name.clone(),
+                    from,
+                    to,
+                });
+            }
+
+            let old_perms = permission_names(&old.invite_status);
+            let new_perms = permission_names(&bot.invite_status);
+            let added: Vec<String> = new_perms
+                .iter()
+                .filter(|p| !old_perms.contains(p))
+                .cloned()
+                .collect();
+            let removed: Vec<String> = old_perms
+                .iter()
+                .filter(|p| !new_perms.contains(p))
+                .cloned()
+                .collect();
+            if !added.is_empty() || !removed.is_empty() {
+                delta.permission_changes.push(PermissionChange {
+                    name: bot.name.clone(),
+                    added,
+                    removed,
+                });
+            }
+        }
+        for bot in &prev.bots {
+            if !after.contains_key(bot.name.as_str()) {
+                delta.disappeared.push(bot.name.clone());
+            }
+        }
+
+        let detected = |r: &CanonicalReport| -> Vec<String> {
+            r.honeypot
+                .as_ref()
+                .map(|c| c.detections.iter().map(|d| d.bot_name.clone()).collect())
+                .unwrap_or_default()
+        };
+        let prev_det = detected(prev);
+        let next_det = detected(next);
+        delta.new_detections = next_det
+            .iter()
+            .filter(|n| !prev_det.contains(n))
+            .cloned()
+            .collect();
+        delta.resolved_detections = prev_det
+            .iter()
+            .filter(|n| !next_det.contains(n))
+            .cloned()
+            .collect();
+
+        delta
+    }
+
+    /// Whether the two reports were observably identical.
+    pub fn is_empty(&self) -> bool {
+        self.drifted.is_empty()
+            && self.appeared.is_empty()
+            && self.disappeared.is_empty()
+            && self.new_detections.is_empty()
+            && self.resolved_detections.is_empty()
+    }
+
+    /// One-line human summary for logs and examples.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} drifted / {} unchanged; {} traceability flips; {} permission changes; +{}/-{} detections",
+            self.drifted.len(),
+            self.unchanged,
+            self.traceability_transitions.len(),
+            self.permission_changes.len(),
+            self.new_detections.len(),
+            self.resolved_detections.len(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audit::Audit;
+    use synth::DriftConfig;
+
+    fn report(epoch: u32) -> CanonicalReport {
+        Audit::builder()
+            .scale(40)
+            .seed(2022)
+            .honeypot_sample(5)
+            .site_defenses(false)
+            .drift(DriftConfig::default())
+            .epoch(epoch)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap()
+    }
+
+    #[test]
+    fn identical_reports_have_an_empty_delta() {
+        let r = report(0);
+        let d = DeltaReport::between(&r, &r);
+        assert!(d.is_empty());
+        assert_eq!(d.unchanged, r.bots.len());
+    }
+
+    #[test]
+    fn drifted_epoch_produces_a_nonempty_delta() {
+        let r0 = report(0);
+        let r1 = report(1);
+        let d = DeltaReport::between(&r0, &r1);
+        assert!(!d.is_empty(), "default drift rates must move something");
+        assert_eq!(d.drifted.len() + d.unchanged, r1.bots.len());
+        assert!(d.appeared.is_empty() && d.disappeared.is_empty());
+        // Permission creep only ever adds bits.
+        for change in &d.permission_changes {
+            assert!(change.removed.is_empty(), "{change:?}");
+        }
+    }
+
+    #[test]
+    fn delta_is_deterministic() {
+        let r0 = report(0);
+        let r1 = report(1);
+        let a = DeltaReport::between(&r0, &r1);
+        let b = DeltaReport::between(&r0, &r1);
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+    }
+}

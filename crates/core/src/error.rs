@@ -43,6 +43,10 @@ pub enum AuditError {
         /// Journal frames durably written before the simulated crash.
         frames_written: u64,
     },
+    /// The fleet scheduler refused the submission (queue full or tenant
+    /// over its rate). Deterministic: the same submission sequence at the
+    /// same virtual times is refused identically on every run.
+    Saturated(sched::Rejection),
 }
 
 /// Payload-free discriminant of an [`AuditError`], stable across releases.
@@ -61,6 +65,33 @@ pub enum ErrorKind {
     Locate,
     /// Simulated crash: resume to continue.
     Interrupted,
+    /// Scheduler admission control refused the job.
+    Saturated,
+}
+
+impl ErrorKind {
+    /// The pinned wire/log name of this kind. These strings are a stable
+    /// contract (tests pin every one): `"config"`, `"platform"`, `"net"`,
+    /// `"store"`, `"locate"`, `"interrupted"`, `"saturated"`. New variants
+    /// may appear (the enum is `#[non_exhaustive]`) but existing names
+    /// never change.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorKind::Config => "config",
+            ErrorKind::Platform => "platform",
+            ErrorKind::Net => "net",
+            ErrorKind::Store => "store",
+            ErrorKind::Locate => "locate",
+            ErrorKind::Interrupted => "interrupted",
+            ErrorKind::Saturated => "saturated",
+        }
+    }
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
 }
 
 impl AuditError {
@@ -73,6 +104,7 @@ impl AuditError {
             AuditError::Store(_) => ErrorKind::Store,
             AuditError::Locate(_) => ErrorKind::Locate,
             AuditError::Interrupted { .. } => ErrorKind::Interrupted,
+            AuditError::Saturated(_) => ErrorKind::Saturated,
         }
     }
 
@@ -95,6 +127,7 @@ impl fmt::Display for AuditError {
             AuditError::Interrupted { frames_written } => {
                 write!(f, "run interrupted after {frames_written} durable frames")
             }
+            AuditError::Saturated(r) => write!(f, "scheduler saturated: {r}"),
         }
     }
 }
@@ -106,8 +139,15 @@ impl std::error::Error for AuditError {
             AuditError::Net(e) => Some(e),
             AuditError::Store(e) => Some(e),
             AuditError::Locate(e) => Some(e),
+            AuditError::Saturated(e) => Some(e),
             AuditError::Config { .. } | AuditError::Interrupted { .. } => None,
         }
+    }
+}
+
+impl From<sched::Rejection> for AuditError {
+    fn from(e: sched::Rejection) -> AuditError {
+        AuditError::Saturated(e)
     }
 }
 
@@ -167,6 +207,10 @@ mod tests {
             (
                 ResumeError::Interrupted { frames_written: 7 }.into(),
                 ErrorKind::Interrupted,
+            ),
+            (
+                sched::Rejection::QueueFull { capacity: 4 }.into(),
+                ErrorKind::Saturated,
             ),
         ];
         for (err, kind) in cases {

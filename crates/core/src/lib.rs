@@ -14,6 +14,9 @@
 //! * [`audit`] — the [`Audit::builder`] facade: one typed entry point over
 //!   the crawl/analysis/honeypot/store configuration, returning results
 //!   behind the unified [`AuditError`];
+//! * [`service`] — the fleet layer: [`FleetService`] schedules many
+//!   tenants' audits over one deterministic worker pool, re-audits
+//!   drifted worlds incrementally, and emits [`DeltaReport`]s;
 //! * [`pipeline`] — stage orchestration over a mounted world (the `synth`
 //!   ecosystem or any compatible set of services);
 //! * [`stats`] — the aggregations behind every table and figure in §4.2;
@@ -29,15 +32,18 @@
 #![forbid(unsafe_code)]
 
 pub mod audit;
+pub mod delta;
 pub mod error;
 pub mod leastpriv;
 pub mod pipeline;
 pub mod report;
 pub mod resume;
+pub mod service;
 pub mod stats;
 pub mod validate;
 
 pub use audit::{Audit, AuditBuilder};
+pub use delta::{DeltaReport, PermissionChange, TraceabilityTransition};
 pub use error::{AuditError, ErrorKind};
 pub use leastpriv::{least_privilege_summary, privilege_gaps, LeastPrivilegeSummary, PrivilegeGap};
 pub use pipeline::{AuditPipeline, AuditReport, AuditedBot, CodeFinding, LinkResolution};
@@ -50,6 +56,7 @@ pub use resume::{
     run_fingerprint, ResumableOutcome, ResumeError, CRAWL_UNIT_SIZE, K_ANALYSIS, K_COMPLETE,
     K_CRAWL_UNIT, K_HONEYPOT, K_LISTING,
 };
+pub use service::{AuditJob, FleetConfig, FleetService, JobOutcome};
 pub use stats::{
     figure3_distribution, permission_rate_by_tag, table1_histogram, table2_traceability,
     table3_code_analysis, Figure3Row, Table1Row, Table2Summary, Table3Summary,

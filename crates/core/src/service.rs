@@ -1,0 +1,338 @@
+//! The fleet service: audits as a long-running, multi-tenant operation.
+//!
+//! The paper's measurement was one batch crawl. Run as a *service* —
+//! several teams re-auditing their bot populations on their own cadences —
+//! the same pipeline needs an admission-controlled queue, fair scheduling
+//! across tenants, and an incremental path so that re-auditing a world in
+//! which 4% of bots drifted does not redo 100% of the analysis.
+//!
+//! [`FleetService`] composes those pieces:
+//!
+//! * a [`sched::Scheduler`] provides lanes, deadlines, bounded admission
+//!   and per-tenant rate limits, all on the shared virtual clock;
+//! * every tenant gets its own journal + artifact pack, namespaced inside
+//!   one root [`Backend`] via [`ScopedBackend`] — so a tenant's epoch-N+1
+//!   audit re-analyzes only bots whose content hash changed since epoch N
+//!   (the warm pack serves the rest);
+//! * each completed job carries the full [`CanonicalReport`] *and* a
+//!   [`DeltaReport`] against the tenant's previous run — traceability
+//!   flips, permission creep, newly leaking honeypot bots.
+//!
+//! Everything observable (reports, deltas, hit counters, `sched.*`
+//! metrics and spans) is byte-identical at any worker count; the
+//! `sched_determinism` integration suite pins this.
+
+use crate::audit::Audit;
+use crate::delta::DeltaReport;
+use crate::error::AuditError;
+use crate::report::CanonicalReport;
+use crate::resume::StoreConfig;
+use netsim::VirtualClock;
+use obs::Obs;
+use sched::{CompletedJob, JobId, JobSpec, Scheduler, SchedulerConfig, TenantRate};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use store::{Backend, MemBackend, ScopedBackend};
+
+/// Fleet-level configuration (the scheduler knobs, re-exported shape).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetConfig {
+    /// Maximum jobs queued between [`FleetService::run`] calls.
+    pub queue_capacity: usize,
+    /// Worker threads multiplexed across in-flight audits. Reports are
+    /// byte-identical at any value.
+    pub workers: usize,
+    /// Optional per-tenant submission rate limit on the virtual clock.
+    pub tenant_rate: Option<TenantRate>,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            queue_capacity: 64,
+            workers: 1,
+            tenant_rate: None,
+        }
+    }
+}
+
+/// A validated audit wrapped for fleet submission. Obtained from
+/// [`AuditBuilder::into_job`](crate::AuditBuilder::into_job).
+pub struct AuditJob {
+    audit: Audit,
+}
+
+impl std::fmt::Debug for AuditJob {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AuditJob")
+            .field("audit", &self.audit)
+            .finish()
+    }
+}
+
+impl AuditJob {
+    pub(crate) fn new(audit: Audit) -> AuditJob {
+        AuditJob { audit }
+    }
+
+    /// The wrapped audit's drift epoch.
+    pub fn epoch(&self) -> u32 {
+        self.audit.epoch()
+    }
+}
+
+/// What the service returns for one completed audit job.
+pub struct JobOutcome {
+    /// Scheduler job id.
+    pub id: JobId,
+    /// Owning tenant.
+    pub tenant: String,
+    /// Drift epoch the audit observed.
+    pub epoch: u32,
+    /// Virtual milliseconds the job waited in the queue.
+    pub wait_ms: u64,
+    /// The full canonical report (byte-identical at any worker count).
+    pub report: Result<CanonicalReport, AuditError>,
+    /// Delta against this tenant's previous successful report, when one
+    /// exists.
+    pub delta: Option<DeltaReport>,
+    /// Analysis artifacts served from the tenant's warm pack — for an
+    /// incremental re-audit this counts the bots that did *not* drift.
+    pub artifact_hits: u64,
+    /// Analysis artifacts recomputed — the drifted bots (plus everything,
+    /// on a tenant's first audit).
+    pub artifact_misses: u64,
+}
+
+struct TenantState {
+    backend: Arc<dyn Backend>,
+    last_report: Option<CanonicalReport>,
+}
+
+/// Long-running multi-tenant audit service over one shared worker pool.
+pub struct FleetService {
+    scheduler: Scheduler<AuditJob>,
+    clock: VirtualClock,
+    obs: Obs,
+    root: Arc<dyn Backend>,
+    tenants: Mutex<BTreeMap<String, Arc<TenantState>>>,
+}
+
+impl FleetService {
+    /// A service journaling every tenant into a private in-memory store.
+    pub fn new(config: FleetConfig) -> FleetService {
+        FleetService::with_backend(config, Arc::new(MemBackend::new()))
+    }
+
+    /// A service with an explicit root backend (e.g. a
+    /// [`store::DiskBackend`] to persist tenant journals and artifact
+    /// packs across process restarts). Each tenant's store is scoped
+    /// under `<tenant>/` inside the root.
+    pub fn with_backend(config: FleetConfig, root: Arc<dyn Backend>) -> FleetService {
+        let clock = VirtualClock::new();
+        let obs = Obs::disabled();
+        FleetService::assemble(config, root, clock, obs)
+    }
+
+    /// Full control: supply the virtual clock and observability handle
+    /// (attach a tracing recorder to capture the deterministic `sched.*`
+    /// span tree).
+    pub fn with_obs(
+        config: FleetConfig,
+        root: Arc<dyn Backend>,
+        clock: VirtualClock,
+        obs: Obs,
+    ) -> FleetService {
+        FleetService::assemble(config, root, clock, obs)
+    }
+
+    fn assemble(
+        config: FleetConfig,
+        root: Arc<dyn Backend>,
+        clock: VirtualClock,
+        obs: Obs,
+    ) -> FleetService {
+        let scheduler = Scheduler::new(
+            SchedulerConfig {
+                queue_capacity: config.queue_capacity,
+                workers: config.workers,
+                tenant_rate: config.tenant_rate,
+            },
+            Arc::new(clock.clone()),
+            obs.clone(),
+        );
+        FleetService {
+            scheduler,
+            clock,
+            obs,
+            root,
+            tenants: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The virtual clock the service (and its rate limiter) runs on.
+    /// Advancing it is the driver's job, exactly as in the simulator.
+    pub fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+
+    /// The observability handle (`sched.*`, `store.*`, stage metrics).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Jobs currently queued.
+    pub fn queued(&self) -> usize {
+        self.scheduler.len()
+    }
+
+    /// Submit a job for `spec.tenant`. Fails with
+    /// [`AuditError::Saturated`] when the queue is full or the tenant is
+    /// over its rate — deterministically, given the same submission
+    /// sequence at the same virtual times.
+    pub fn submit(&self, spec: JobSpec, job: AuditJob) -> Result<JobId, AuditError> {
+        self.scheduler.submit(spec, job).map_err(AuditError::from)
+    }
+
+    fn tenant_state(&self, tenant: &str) -> Arc<TenantState> {
+        let mut tenants = self.tenants.lock().expect("tenant map poisoned");
+        Arc::clone(tenants.entry(tenant.to_string()).or_insert_with(|| {
+            Arc::new(TenantState {
+                backend: Arc::new(ScopedBackend::new(Arc::clone(&self.root), tenant)),
+                last_report: None,
+            })
+        }))
+    }
+
+    /// Drain the queue: run every admitted job across the worker pool and
+    /// return outcomes in dispatch order. Jobs of one tenant run
+    /// sequentially against that tenant's scoped store (so a re-audit
+    /// finds the warm artifact pack its predecessor wrote); different
+    /// tenants run concurrently.
+    pub fn run(&self) -> Vec<JobOutcome> {
+        let completed = self.scheduler.drain(|id, spec, job: AuditJob| {
+            let state = self.tenant_state(&spec.tenant);
+            let store = StoreConfig {
+                backend: Arc::clone(&state.backend),
+                resume: false,
+                kill_after_frames: None,
+            };
+            let epoch = job.epoch();
+            (id, epoch, job.audit.run_scoped(&store))
+        });
+
+        completed
+            .into_iter()
+            .map(|done: CompletedJob<_>| {
+                let (id, epoch, result) = done.output;
+                let (report, delta, hits, misses) = match result {
+                    Ok((report, stats)) => {
+                        let mut tenants = self.tenants.lock().expect("tenant map poisoned");
+                        let state = tenants
+                            .get_mut(&done.tenant)
+                            .expect("tenant state exists after run");
+                        let delta = state
+                            .last_report
+                            .as_ref()
+                            .map(|prev| DeltaReport::between(prev, &report));
+                        // Arc::make_mut would clone the backend; rebuild
+                        // the state instead so the backend Arc is shared.
+                        *state = Arc::new(TenantState {
+                            backend: Arc::clone(&state.backend),
+                            last_report: Some(report.clone()),
+                        });
+                        (
+                            Ok(report),
+                            delta,
+                            stats.artifact_hits,
+                            stats.artifact_misses,
+                        )
+                    }
+                    Err(e) => (Err(e), None, 0, 0),
+                };
+                JobOutcome {
+                    id,
+                    tenant: done.tenant,
+                    epoch,
+                    wait_ms: done.wait_ms,
+                    report,
+                    delta,
+                    artifact_hits: hits,
+                    artifact_misses: misses,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audit::Audit;
+    use crate::error::ErrorKind;
+    use sched::Lane;
+
+    fn job(seed: u64, epoch: u32) -> AuditJob {
+        Audit::builder()
+            .scale(30)
+            .seed(seed)
+            .honeypot_sample(4)
+            .site_defenses(false)
+            .drift(synth::DriftConfig::default())
+            .epoch(epoch)
+            .into_job()
+            .unwrap()
+    }
+
+    #[test]
+    fn single_tenant_roundtrip_produces_report_and_delta() {
+        let service = FleetService::new(FleetConfig::default());
+        service.submit(JobSpec::new("acme"), job(2022, 0)).unwrap();
+        let first = service.run();
+        assert_eq!(first.len(), 1);
+        assert!(first[0].report.is_ok());
+        assert!(first[0].delta.is_none(), "no previous report to diff");
+        assert!(first[0].artifact_misses > 0, "cold run analyzes everything");
+        assert_eq!(first[0].artifact_hits, 0);
+
+        service
+            .submit(JobSpec::new("acme").lane(Lane::Interactive), job(2022, 1))
+            .unwrap();
+        let second = service.run();
+        let outcome = &second[0];
+        assert!(outcome.report.is_ok());
+        let delta = outcome.delta.as_ref().expect("second run diffs the first");
+        assert!(!delta.is_empty());
+        assert!(
+            outcome.artifact_hits > 0,
+            "undrifted bots must come from the warm pack"
+        );
+    }
+
+    #[test]
+    fn saturation_surfaces_as_typed_audit_error() {
+        let service = FleetService::new(FleetConfig {
+            queue_capacity: 1,
+            ..FleetConfig::default()
+        });
+        service.submit(JobSpec::new("a"), job(7, 0)).unwrap();
+        let err = service.submit(JobSpec::new("b"), job(7, 0)).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Saturated);
+        assert_eq!(err.kind().as_str(), "saturated");
+    }
+
+    #[test]
+    fn tenants_do_not_share_artifact_packs() {
+        let service = FleetService::new(FleetConfig {
+            workers: 2,
+            ..FleetConfig::default()
+        });
+        service.submit(JobSpec::new("a"), job(5, 0)).unwrap();
+        service.submit(JobSpec::new("b"), job(5, 0)).unwrap();
+        let outcomes = service.run();
+        // Same world, but tenant b's cold run cannot hit tenant a's pack.
+        for o in &outcomes {
+            assert_eq!(o.artifact_hits, 0, "tenant {} leaked a pack", o.tenant);
+        }
+    }
+}

@@ -81,7 +81,7 @@ pub struct ValidationReport {
 fn truth_has_valid_policy(t: &BotTruth) -> bool {
     matches!(
         t.policy_class,
-        PolicyClass::GenericPolicy | PolicyClass::PartialPolicy
+        PolicyClass::GenericPolicy | PolicyClass::PartialPolicy | PolicyClass::CompletePolicy
     )
 }
 
@@ -90,6 +90,9 @@ fn truth_traceability(t: &BotTruth) -> Traceability {
         // Generic boilerplate and tailored-partial policies both disclose
         // some but not all practices.
         PolicyClass::GenericPolicy | PolicyClass::PartialPolicy => Traceability::Partial,
+        // Only drifted worlds plant complete policies (the paper's
+        // snapshot had none).
+        PolicyClass::CompletePolicy => Traceability::Complete,
         _ => Traceability::Broken,
     }
 }

@@ -187,6 +187,12 @@ impl VirtualClock {
     }
 }
 
+/// The workspace's one clock abstraction, re-exported from `obs` so that
+/// consumers reading time through netsim (the scheduler, the observability
+/// layer, the honeypot driver) all name the same trait instead of growing
+/// parallel clock interfaces.
+pub use obs::Clock;
+
 /// The virtual clock is the workspace's [`obs::Clock`]: span timestamps and
 /// event log entries carry virtual milliseconds, so traces reproduce exactly.
 impl obs::Clock for VirtualClock {

@@ -39,7 +39,7 @@ pub mod seed;
 pub mod trace;
 
 pub use client::{ClientConfig, HttpClient};
-pub use clock::{SimDuration, SimInstant, VirtualClock};
+pub use clock::{Clock, SimDuration, SimInstant, VirtualClock};
 pub use error::NetError;
 pub use fabric::{Network, Service, ServiceCtx};
 pub use fault::{FaultPlan, FaultyBackend, StorageFaultOutcome, StorageFaultPlan};

@@ -1,0 +1,48 @@
+//! # sched — the deterministic multi-tenant job scheduler
+//!
+//! The measurement pipeline started life as a batch program: one world, one
+//! audit, one report. A production audit *service* faces a different shape
+//! of problem — many tenants submitting audit requests concurrently, each
+//! with its own urgency, against a bounded worker pool. This crate supplies
+//! that layer while preserving the workspace's core contract: **the whole
+//! service is deterministic and byte-identical at any worker count**.
+//!
+//! * [`Scheduler`] — a bounded priority queue of tenant jobs with
+//!   admission control ([`Rejection`] carries *why* a submit bounced);
+//! * [`Lane`] — three priority lanes (interactive / standard / batch) with
+//!   optional per-job deadlines for intra-lane ordering;
+//! * [`TenantRate`] — per-tenant token-bucket rate limiting driven by the
+//!   virtual [`Clock`] (the same clock trait the rest of the workspace
+//!   uses — re-exported here and from `netsim::clock`, never a third
+//!   abstraction);
+//! * a claim-counter worker pool that multiplexes in-flight jobs across
+//!   OS threads while keeping every observable output scheduling-free.
+//!
+//! ## Determinism model
+//!
+//! Dispatch order is a pure function of the submitted jobs: jobs sort by
+//! `(lane, deadline, submission sequence)` and jobs of one tenant form a
+//! *chain* that executes sequentially (tenants share mutable state — a
+//! warm artifact store — so intra-tenant order must be program order).
+//! Chains are distributed over workers with a claim counter, results land
+//! in per-chain slots, and the drained output is re-sorted into dispatch
+//! order. Timestamps come from the virtual clock, which only the driver
+//! advances — so wait times, rate-limit decisions, and the `sched.*`
+//! metrics and span tree are identical whether the pool has 1 worker or 8.
+//!
+//! Like `obs` and `store`, this crate is dependency-free (its only
+//! workspace dependency *is* `obs`): `std::sync` primitives and scoped
+//! threads are all it needs.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod job;
+mod pool;
+mod queue;
+mod ratelimit;
+
+pub use job::{JobId, JobSpec, Lane};
+pub use obs::Clock;
+pub use queue::{CompletedJob, Rejection, Scheduler, SchedulerConfig};
+pub use ratelimit::TenantRate;

@@ -1,0 +1,78 @@
+//! Claim-counter worker pool over per-tenant chains.
+//!
+//! The same pattern the core pipeline uses for its work-stealing stages,
+//! restated on `std::thread::scope` so this crate stays dependency-free:
+//! workers claim *chain* indices from a shared atomic counter, run every
+//! item of the claimed chain in order, and park results in pre-sized
+//! slots. The output is therefore a pure function of the chain list —
+//! worker count only changes wall-clock time.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Run `chains` across up to `workers` threads. Items within a chain are
+/// processed strictly in order by a single worker; distinct chains run
+/// concurrently. Returns one output vector per chain, in chain order.
+pub(crate) fn run_chains<I, T, F>(chains: Vec<Vec<I>>, workers: usize, exec: F) -> Vec<Vec<T>>
+where
+    I: Send,
+    T: Send,
+    F: Fn(I) -> T + Sync,
+{
+    let workers = workers.clamp(1, chains.len().max(1));
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Vec<T>>>> = chains.iter().map(|_| Mutex::new(None)).collect();
+    let chains: Vec<Mutex<Option<Vec<I>>>> =
+        chains.into_iter().map(|c| Mutex::new(Some(c))).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                if idx >= chains.len() {
+                    break;
+                }
+                let chain = chains[idx]
+                    .lock()
+                    .expect("chain slot poisoned")
+                    .take()
+                    .expect("chain claimed twice");
+                let outputs: Vec<T> = chain.into_iter().map(&exec).collect();
+                *slots[idx].lock().expect("result slot poisoned") = Some(outputs);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker exited without storing its chain")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outputs_line_up_with_chains_at_any_worker_count() {
+        let chains: Vec<Vec<u64>> = (0..7).map(|c| (0..=c).collect()).collect();
+        let expected: Vec<Vec<u64>> = chains
+            .iter()
+            .map(|c| c.iter().map(|x| x * 10).collect())
+            .collect();
+        for workers in [1, 2, 4, 16] {
+            let got = run_chains(chains.clone(), workers, |x| x * 10);
+            assert_eq!(got, expected, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn empty_chain_list_is_fine() {
+        let got = run_chains(Vec::<Vec<u8>>::new(), 4, |x| x);
+        assert!(got.is_empty());
+    }
+}

@@ -1,0 +1,396 @@
+//! The bounded, rate-limited, deterministic job queue.
+
+use crate::job::{JobId, JobSpec, Lane};
+use crate::pool::run_chains;
+use crate::ratelimit::{TenantRate, TokenBucket};
+use obs::{Clock, Obs};
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// Knobs for one [`Scheduler`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchedulerConfig {
+    /// Maximum number of queued (not yet drained) jobs. Submissions past
+    /// this bound are rejected with [`Rejection::QueueFull`].
+    pub queue_capacity: usize,
+    /// Worker threads used by [`Scheduler::drain`]. Any value produces
+    /// byte-identical outputs; this knob only trades wall-clock time.
+    pub workers: usize,
+    /// Optional per-tenant submission rate limit.
+    pub tenant_rate: Option<TenantRate>,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            queue_capacity: 64,
+            workers: 1,
+            tenant_rate: None,
+        }
+    }
+}
+
+/// Why a submission was refused. Refusals are part of the deterministic
+/// surface: the same submission sequence at the same virtual times is
+/// rejected identically on every run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Rejection {
+    /// The queue already holds `capacity` jobs.
+    QueueFull {
+        /// The configured [`SchedulerConfig::queue_capacity`].
+        capacity: usize,
+    },
+    /// The tenant exhausted its token bucket.
+    RateLimited {
+        /// Tenant that was throttled.
+        tenant: String,
+        /// Virtual milliseconds until a token will be available
+        /// (`u64::MAX` when the refill rate is zero).
+        retry_after_ms: u64,
+    },
+}
+
+impl fmt::Display for Rejection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rejection::QueueFull { capacity } => {
+                write!(f, "queue full (capacity {capacity})")
+            }
+            Rejection::RateLimited {
+                tenant,
+                retry_after_ms,
+            } => write!(
+                f,
+                "tenant {tenant} rate limited (retry in {retry_after_ms} ms)"
+            ),
+        }
+    }
+}
+
+impl Error for Rejection {}
+
+/// One finished job, as returned by [`Scheduler::drain`], in dispatch
+/// order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompletedJob<T> {
+    /// Submission id.
+    pub id: JobId,
+    /// Owning tenant.
+    pub tenant: String,
+    /// Lane the job dispatched from.
+    pub lane: Lane,
+    /// Virtual-clock submission time, milliseconds.
+    pub submitted_ms: u64,
+    /// Virtual milliseconds spent queued (drain start minus submission).
+    pub wait_ms: u64,
+    /// Whatever the executor returned.
+    pub output: T,
+}
+
+struct Queued<P> {
+    id: JobId,
+    spec: JobSpec,
+    submitted_ms: u64,
+    payload: P,
+}
+
+struct Inner<P> {
+    queue: Vec<Queued<P>>,
+    buckets: BTreeMap<String, TokenBucket>,
+    next_id: u64,
+}
+
+/// Deterministic multi-tenant job scheduler.
+///
+/// Submissions are admission-controlled (bounded queue, optional
+/// per-tenant rate limit); [`Scheduler::drain`] dispatches everything
+/// queued across a worker pool. Jobs sort by `(lane, deadline, id)` and
+/// same-tenant jobs execute sequentially in that order, so every output —
+/// results, metrics, spans — is independent of worker count.
+pub struct Scheduler<P> {
+    config: SchedulerConfig,
+    clock: Arc<dyn Clock>,
+    obs: Obs,
+    inner: Mutex<Inner<P>>,
+}
+
+impl<P: Send> Scheduler<P> {
+    /// A scheduler reading time from `clock` and reporting through `obs`.
+    pub fn new(config: SchedulerConfig, clock: Arc<dyn Clock>, obs: Obs) -> Self {
+        Scheduler {
+            config,
+            clock,
+            obs,
+            inner: Mutex::new(Inner {
+                queue: Vec::new(),
+                buckets: BTreeMap::new(),
+                next_id: 0,
+            }),
+        }
+    }
+
+    /// The configuration this scheduler was built with.
+    pub fn config(&self) -> &SchedulerConfig {
+        &self.config
+    }
+
+    /// The virtual clock driving admission timestamps.
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
+    /// Jobs currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("scheduler poisoned").queue.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Submit a job. Returns its [`JobId`], or a [`Rejection`] when the
+    /// queue is at capacity or the tenant is over its rate.
+    pub fn submit(&self, spec: JobSpec, payload: P) -> Result<JobId, Rejection> {
+        let now_ms = self.clock.now_millis();
+        let mut inner = self.inner.lock().expect("scheduler poisoned");
+
+        if inner.queue.len() >= self.config.queue_capacity {
+            self.obs.counter("sched.rejected.queue_full").incr();
+            return Err(Rejection::QueueFull {
+                capacity: self.config.queue_capacity,
+            });
+        }
+        if let Some(rate) = self.config.tenant_rate {
+            let bucket = inner
+                .buckets
+                .entry(spec.tenant.clone())
+                .or_insert_with(|| TokenBucket::new(rate, now_ms));
+            if let Err(retry_after_ms) = bucket.try_acquire(now_ms) {
+                self.obs.counter("sched.rejected.rate_limited").incr();
+                return Err(Rejection::RateLimited {
+                    tenant: spec.tenant.clone(),
+                    retry_after_ms,
+                });
+            }
+        }
+
+        let id = JobId(inner.next_id);
+        inner.next_id += 1;
+        inner.queue.push(Queued {
+            id,
+            spec,
+            submitted_ms: now_ms,
+            payload,
+        });
+        self.obs.counter("sched.submitted").incr();
+        self.obs
+            .gauge("sched.queue_depth")
+            .set(inner.queue.len() as i64);
+        Ok(id)
+    }
+
+    /// Dispatch every queued job and return the results in dispatch order.
+    ///
+    /// Dispatch order is `(lane, deadline, submission id)`. Jobs of one
+    /// tenant form a chain executed sequentially by a single worker (they
+    /// may share mutable per-tenant state); distinct tenants run
+    /// concurrently on up to [`SchedulerConfig::workers`] threads. The
+    /// virtual clock is read **once**, at drain start, so recorded wait
+    /// times cannot depend on execution interleaving.
+    pub fn drain<T, F>(&self, exec: F) -> Vec<CompletedJob<T>>
+    where
+        T: Send,
+        F: Fn(JobId, &JobSpec, P) -> T + Sync,
+    {
+        let drained: Vec<Queued<P>> = {
+            let mut inner = self.inner.lock().expect("scheduler poisoned");
+            self.obs.gauge("sched.queue_depth").set(0);
+            std::mem::take(&mut inner.queue)
+        };
+        let now_ms = self.clock.now_millis();
+
+        let mut jobs = drained;
+        jobs.sort_by_key(|j| (j.spec.lane, j.spec.deadline_ms.unwrap_or(u64::MAX), j.id));
+
+        // Group into per-tenant chains, chains ordered by each tenant's
+        // first appearance in dispatch order.
+        let mut chain_of: BTreeMap<String, usize> = BTreeMap::new();
+        let mut chains: Vec<Vec<(usize, Queued<P>)>> = Vec::new();
+        for (order, job) in jobs.into_iter().enumerate() {
+            let idx = *chain_of.entry(job.spec.tenant.clone()).or_insert_with(|| {
+                chains.push(Vec::new());
+                chains.len() - 1
+            });
+            chains[idx].push((order, job));
+        }
+
+        let root = self.obs.span("sched.drain");
+        root.record("jobs", chains.iter().map(Vec::len).sum::<usize>() as u64);
+        root.record("chains", chains.len() as u64);
+
+        let completed = run_chains(chains, self.config.workers, |(order, job)| {
+            let wait_ms = now_ms.saturating_sub(job.submitted_ms);
+            let span = root.child_keyed("sched.job", job.id.0);
+            span.record("lane", job.spec.lane.rank());
+            span.record("wait_ms", wait_ms);
+            self.obs.counter("sched.dispatched").incr();
+            self.obs.histogram("sched.wait_ms").record(wait_ms);
+            let output = exec(job.id, &job.spec, job.payload);
+            self.obs.counter("sched.completed").incr();
+            (
+                order,
+                CompletedJob {
+                    id: job.id,
+                    tenant: job.spec.tenant,
+                    lane: job.spec.lane,
+                    submitted_ms: job.submitted_ms,
+                    wait_ms,
+                    output,
+                },
+            )
+        });
+
+        let mut flat: Vec<(usize, CompletedJob<T>)> = completed.into_iter().flatten().collect();
+        flat.sort_by_key(|(order, _)| *order);
+        flat.into_iter().map(|(_, job)| job).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obs::ManualClock;
+
+    fn sched(config: SchedulerConfig) -> (Scheduler<u64>, Arc<ManualClock>) {
+        let clock = Arc::new(ManualClock::new());
+        let s = Scheduler::new(config, clock.clone(), Obs::disabled());
+        (s, clock)
+    }
+
+    #[test]
+    fn dispatch_order_is_lane_deadline_id() {
+        let (s, _) = sched(SchedulerConfig::default());
+        s.submit(JobSpec::new("a").lane(Lane::Batch), 0).unwrap();
+        s.submit(JobSpec::new("b").lane(Lane::Interactive).deadline_ms(9), 1)
+            .unwrap();
+        s.submit(JobSpec::new("c").lane(Lane::Interactive).deadline_ms(3), 2)
+            .unwrap();
+        s.submit(JobSpec::new("d"), 3).unwrap();
+        let done = s.drain(|_, _, p| p);
+        let order: Vec<u64> = done.iter().map(|j| j.output).collect();
+        assert_eq!(order, vec![2, 1, 3, 0]);
+    }
+
+    #[test]
+    fn queue_full_rejects_with_capacity() {
+        let (s, _) = sched(SchedulerConfig {
+            queue_capacity: 2,
+            ..SchedulerConfig::default()
+        });
+        s.submit(JobSpec::new("a"), 0).unwrap();
+        s.submit(JobSpec::new("a"), 1).unwrap();
+        let err = s.submit(JobSpec::new("b"), 2).unwrap_err();
+        assert_eq!(err, Rejection::QueueFull { capacity: 2 });
+        // Draining frees capacity again.
+        s.drain(|_, _, p| p);
+        assert!(s.submit(JobSpec::new("b"), 2).is_ok());
+    }
+
+    #[test]
+    fn rate_limit_throttles_per_tenant() {
+        let (s, clock) = sched(SchedulerConfig {
+            tenant_rate: Some(TenantRate::new(1, 1.0)),
+            ..SchedulerConfig::default()
+        });
+        s.submit(JobSpec::new("a"), 0).unwrap();
+        let err = s.submit(JobSpec::new("a"), 1).unwrap_err();
+        assert_eq!(
+            err,
+            Rejection::RateLimited {
+                tenant: "a".into(),
+                retry_after_ms: 1_000,
+            }
+        );
+        // An unrelated tenant has its own bucket.
+        s.submit(JobSpec::new("b"), 2).unwrap();
+        // After the advertised wait, the tenant is admitted again.
+        clock.advance(1_000);
+        assert!(s.submit(JobSpec::new("a"), 3).is_ok());
+    }
+
+    #[test]
+    fn same_tenant_runs_in_order_across_worker_counts() {
+        for workers in [1, 2, 8] {
+            let (s, _) = sched(SchedulerConfig {
+                workers,
+                queue_capacity: 256,
+                ..SchedulerConfig::default()
+            });
+            let log: Mutex<Vec<(String, u64)>> = Mutex::new(Vec::new());
+            for i in 0..12u64 {
+                let tenant = ["x", "y", "z"][(i % 3) as usize];
+                s.submit(JobSpec::new(tenant), i).unwrap();
+            }
+            let done = s.drain(|_, spec, p| {
+                log.lock().unwrap().push((spec.tenant.clone(), p));
+                p
+            });
+            assert_eq!(done.len(), 12);
+            // Dispatch order in the returned vec is worker-independent.
+            let outs: Vec<u64> = done.iter().map(|j| j.output).collect();
+            assert_eq!(outs, (0..12).collect::<Vec<_>>(), "workers={workers}");
+            // And each tenant's own jobs executed in submission order.
+            let log = log.into_inner().unwrap();
+            for tenant in ["x", "y", "z"] {
+                let seq: Vec<u64> = log
+                    .iter()
+                    .filter(|(t, _)| t == tenant)
+                    .map(|(_, p)| *p)
+                    .collect();
+                let mut sorted = seq.clone();
+                sorted.sort_unstable();
+                assert_eq!(seq, sorted, "tenant {tenant} ran out of order");
+            }
+        }
+    }
+
+    #[test]
+    fn wait_times_come_from_the_virtual_clock() {
+        let (s, clock) = sched(SchedulerConfig::default());
+        s.submit(JobSpec::new("a"), 0).unwrap();
+        clock.advance(250);
+        s.submit(JobSpec::new("a"), 1).unwrap();
+        clock.advance(50);
+        let done = s.drain(|_, _, p| p);
+        assert_eq!(done[0].wait_ms, 300);
+        assert_eq!(done[1].wait_ms, 50);
+        assert_eq!(done[0].submitted_ms, 0);
+        assert_eq!(done[1].submitted_ms, 250);
+    }
+
+    #[test]
+    fn metrics_account_for_every_submission() {
+        let obs = Obs::disabled();
+        let clock = Arc::new(ManualClock::new());
+        let s = Scheduler::new(
+            SchedulerConfig {
+                queue_capacity: 3,
+                ..SchedulerConfig::default()
+            },
+            clock,
+            obs.clone(),
+        );
+        for i in 0..5u64 {
+            let _ = s.submit(JobSpec::new("a"), i);
+        }
+        assert_eq!(obs.counter_value("sched.submitted"), 3);
+        assert_eq!(obs.counter_value("sched.rejected.queue_full"), 2);
+        s.drain(|_, _, p| p);
+        assert_eq!(obs.counter_value("sched.dispatched"), 3);
+        assert_eq!(obs.counter_value("sched.completed"), 3);
+        assert_eq!(obs.gauge_value("sched.queue_depth"), 0);
+    }
+}

@@ -164,6 +164,50 @@ impl Backend for DiskBackend {
     }
 }
 
+/// A view of another backend under a name prefix.
+///
+/// The fleet service gives every tenant its own journal and artifact pack
+/// inside one shared root backend by scoping each tenant's store to
+/// `<tenant>/`. Scoping is pure name translation — reads and writes pass
+/// straight through — so the crash-safety guarantees of the inner backend
+/// are untouched.
+pub struct ScopedBackend {
+    inner: std::sync::Arc<dyn Backend>,
+    prefix: String,
+}
+
+impl ScopedBackend {
+    /// Scope `inner` under `prefix` (a `/` separator is inserted).
+    pub fn new(inner: std::sync::Arc<dyn Backend>, prefix: impl Into<String>) -> ScopedBackend {
+        ScopedBackend {
+            inner,
+            prefix: prefix.into(),
+        }
+    }
+
+    fn scoped(&self, name: &str) -> String {
+        format!("{}/{name}", self.prefix)
+    }
+}
+
+impl Backend for ScopedBackend {
+    fn read(&self, name: &str) -> io::Result<Option<Vec<u8>>> {
+        self.inner.read(&self.scoped(name))
+    }
+
+    fn write_atomic(&self, name: &str, bytes: &[u8]) -> io::Result<()> {
+        self.inner.write_atomic(&self.scoped(name), bytes)
+    }
+
+    fn append(&self, name: &str, bytes: &[u8]) -> io::Result<()> {
+        self.inner.append(&self.scoped(name), bytes)
+    }
+
+    fn remove(&self, name: &str) -> io::Result<()> {
+        self.inner.remove(&self.scoped(name))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -203,6 +247,22 @@ mod tests {
             .collect();
         assert!(leftovers.is_empty());
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn scoped_backends_are_disjoint_views() {
+        let root = std::sync::Arc::new(MemBackend::new());
+        let a = ScopedBackend::new(root.clone(), "tenant-a");
+        let b = ScopedBackend::new(root.clone(), "tenant-b");
+        exercise(&a);
+        a.write_atomic("j", b"alpha").unwrap();
+        b.write_atomic("j", b"beta").unwrap();
+        assert_eq!(a.read("j").unwrap().as_deref(), Some(&b"alpha"[..]));
+        assert_eq!(b.read("j").unwrap().as_deref(), Some(&b"beta"[..]));
+        assert_eq!(
+            root.names(),
+            vec!["tenant-a/j".to_string(), "tenant-b/j".to_string()]
+        );
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub mod hash;
 pub mod journal;
 pub mod store;
 
-pub use backend::{Backend, DiskBackend, MemBackend};
+pub use backend::{Backend, DiskBackend, MemBackend, ScopedBackend};
 pub use cache::{ArtifactCache, CacheSnapshot};
 pub use checksum::crc32;
 pub use frame::{decode_all, Decoded, Frame, StopReason};

@@ -1,20 +1,25 @@
-//! Ecosystem assembly.
+//! Ecosystem assembly (the mount phase).
 //!
 //! [`build_ecosystem`] wires everything the measurement pipeline needs into
 //! one deterministic world: the platform with registered bot applications,
 //! the listing site, per-bot websites, the GitHub site, redirector hosts
 //! for the broken-invite population, the captcha solver, and the OAuth
 //! install endpoint — all against one virtual clock.
+//!
+//! Assembly is two-phase: [`crate::plan::plan_world`] makes every random
+//! draw and captures the outcome as data, then [`mount_world`] (below)
+//! materialises the plan without consuming any randomness. The split
+//! exists for the longitudinal drift model — [`crate::drift`] rewrites the
+//! plan between epochs and re-mounts, keeping undrifted bots byte-identical
+//! so the incremental re-audit path can reuse their cached analyses.
 
 use crate::config::EcosystemConfig;
-use crate::developers::assign_developers;
-use crate::permissions::sample_permissions;
-use crate::truth::{BehaviorClass, BotTruth, GithubClass, GroundTruth, InviteClass, PolicyClass};
+use crate::plan::{GithubPublish, WorldPlan};
+use crate::truth::{BehaviorClass, BotTruth, GroundTruth, InviteClass, PolicyClass};
 use botlist::website::{BotWebsite, PolicyHosting};
 use botlist::{BotListSite, BotListing, SiteConfig};
 use botsdk::{Behavior, BenignBehavior, ExfiltratorBehavior, SnooperBehavior};
-use codeanal::genrepo;
-use codeanal::github::{GitHubSite, GITHUB_HOST};
+use codeanal::github::GitHubSite;
 use crawler::solver::CaptchaSolverService;
 use discord_sim::oauth::InviteUrl;
 use discord_sim::webgate::OAuthWebGate;
@@ -24,8 +29,6 @@ use netsim::fault::FaultPlan;
 use netsim::http::{Request, Response};
 use netsim::latency::LatencyModel;
 use netsim::{Network, ServiceCtx};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// The assembled world.
 pub struct Ecosystem {
@@ -43,49 +46,16 @@ pub struct Ecosystem {
     pub app_owner: UserId,
 }
 
-const NAME_PARTS_A: &[&str] = &[
-    "Mega", "Ultra", "Hyper", "Turbo", "Pixel", "Nova", "Astro", "Crypto", "Chill", "Melo",
-    "Rhythm", "Meme", "Quant", "Robo", "Zen", "Echo", "Frost", "Ember", "Lunar", "Solar",
-];
-const NAME_PARTS_B: &[&str] = &[
-    "Mod", "Bot", "Tunes", "Guard", "Helper", "Games", "Stats", "Quotes", "Polls", "Welcome",
-    "Rank", "Econ", "Trivia", "Clips", "Alerts", "Logs", "Vibes", "Pets", "Duels", "News",
-];
-const TAGS: &[&str] = &[
-    "gaming",
-    "fun",
-    "social",
-    "music",
-    "meme",
-    "moderation",
-    "utility",
-    "economy",
-];
-
-fn bot_name(rng: &mut StdRng, idx: usize, behavior: BehaviorClass) -> String {
-    if behavior == BehaviorClass::Snooper && idx == 0 {
-        // The paper's detected snooper, by name.
-        return "Melonian".to_string();
-    }
-    let a = NAME_PARTS_A[rng.gen_range(0..NAME_PARTS_A.len())];
-    let b = NAME_PARTS_B[rng.gen_range(0..NAME_PARTS_B.len())];
-    format!("{a}{b}{idx}")
-}
-
-fn roll_split<R: Rng + ?Sized>(rng: &mut R, split: &[f64]) -> usize {
-    let total: f64 = split.iter().sum();
-    let mut p: f64 = rng.gen::<f64>() * total;
-    for (i, w) in split.iter().enumerate() {
-        p -= w;
-        if p <= 0.0 {
-            return i;
-        }
-    }
-    split.len() - 1
-}
-
 /// Build the world.
 pub fn build_ecosystem(config: &EcosystemConfig) -> Ecosystem {
+    mount_world(&crate::plan::plan_world(config), config)
+}
+
+/// Materialise a (possibly drifted) plan into a mounted world. Consumes no
+/// randomness: two mounts of the same plan are byte-identical, and bots the
+/// drift layer left alone serve exactly the same crawl bytes in every
+/// epoch.
+pub(crate) fn mount_world(plan: &WorldPlan, config: &EcosystemConfig) -> Ecosystem {
     let clock = VirtualClock::new();
     let net = Network::with_clock(config.seed ^ 0x6e65_7473_696d, clock.clone());
     let platform = Platform::new(clock);
@@ -101,88 +71,22 @@ pub fn build_ecosystem(config: &EcosystemConfig) -> Ecosystem {
         .create_guild(app_owner, "seed-guild", GuildVisibility::Public)
         .expect("owner exists");
 
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    let developers = assign_developers(&mut rng, config.num_bots);
-    // (primary developer, github class) → the link their first bot of that
-    // class published; later bots of the same developer reuse it.
-    let mut shared_links: std::collections::BTreeMap<String, String> =
-        std::collections::BTreeMap::new();
-
-    // Decide which listing indices carry planted malicious backends: the
-    // snoopers/exfiltrators hide among the most-voted (= lowest indices),
-    // because that is the population the honeypot samples.
-    let mut behavior_classes = vec![BehaviorClass::Benign; config.num_bots];
-    let mut planted = 0usize;
-    for slot in 0..config.num_snoopers.min(config.num_bots) {
-        behavior_classes[slot * 7 % config.num_bots.max(1)] = BehaviorClass::Snooper;
-        planted += 1;
-    }
-    for slot in 0..config
-        .num_exfiltrators
-        .min(config.num_bots.saturating_sub(planted))
-    {
-        let idx = (3 + slot * 11) % config.num_bots.max(1);
-        if behavior_classes[idx] == BehaviorClass::Benign {
-            behavior_classes[idx] = BehaviorClass::Exfiltrator;
-            planted += 1;
-        }
-    }
-    for slot in 0..config
-        .num_webhook_thieves
-        .min(config.num_bots.saturating_sub(planted))
-    {
-        let idx = (5 + slot * 13) % config.num_bots.max(1);
-        if behavior_classes[idx] == BehaviorClass::Benign {
-            behavior_classes[idx] = BehaviorClass::WebhookThief;
-        }
-    }
-
-    let mut listings = Vec::with_capacity(config.num_bots);
+    let mut listings = Vec::with_capacity(plan.bots.len());
     let mut truth = GroundTruth::default();
 
-    for idx in 0..config.num_bots {
-        let behavior = behavior_classes[idx];
-        let name = bot_name(&mut rng, idx, behavior);
-
-        // Popularity: a long-tailed rank curve spanning the paper's ranges
-        // (votes 876K → 6; guilds 3M → 25 for the tested sample, 0 at the
-        // bottom of the list).
-        let rank = idx as f64 + 1.0;
-        let vote_count = ((876_000.0 / rank.powf(1.35)) as u64).max(6);
-        let guild_count = if idx + 50 >= config.num_bots {
-            0 // "the middle and least voted … were mainly offline or not
-              // being used (i.e., in 0 guilds)"
-        } else {
-            ((3_000_000.0 / rank.powf(1.45)) as u64).max(25)
-        };
-
-        // ---- invite link -------------------------------------------------
-        let malicious = behavior != BehaviorClass::Benign;
-        // Planted malicious bots always have valid invites (they must be
-        // installable by the honeypot).
-        let invite_class = if malicious || rng.gen_bool(config.valid_invite_fraction) {
-            InviteClass::Valid
-        } else {
-            match roll_split(&mut rng, &config.invalid_split) {
-                0 => InviteClass::Removed,
-                1 => InviteClass::Malformed,
-                2 => InviteClass::DeadRedirect,
-                _ => InviteClass::SlowRedirect,
-            }
-        };
-
-        let (client_id, invite_link, permissions) = match invite_class {
+    for bot in &plan.bots {
+        let idx = bot.idx;
+        let (client_id, invite_link) = match bot.invite_class {
             InviteClass::Valid | InviteClass::SlowRedirect => {
+                // Registration order is plan order, so client ids are
+                // stable across epochs — drift never changes *which* bots
+                // register, only what they serve.
                 let app = platform
-                    .register_bot_application(app_owner, &name)
+                    .register_bot_application(app_owner, &bot.name)
                     .expect("owner exists");
-                let mut perms = sample_permissions(&mut rng);
-                if behavior == BehaviorClass::WebhookThief {
-                    // The thief's trick requires the webhook permission.
-                    perms |= discord_sim::Permissions::MANAGE_WEBHOOKS;
-                }
+                let perms = bot.permissions.expect("valid bots carry permissions");
                 let oauth = InviteUrl::bot(app.client_id, perms).to_url().to_string();
-                let link = if invite_class == InviteClass::SlowRedirect {
+                let link = if bot.invite_class == InviteClass::SlowRedirect {
                     let host = format!("slow-redir-{idx}.sim");
                     let target = oauth.clone();
                     net.mount_with(
@@ -197,17 +101,14 @@ pub fn build_ecosystem(config: &EcosystemConfig) -> Ecosystem {
                 } else {
                     oauth
                 };
-                (app.client_id, link, Some(perms))
+                (app.client_id, link)
             }
             InviteClass::Removed => {
                 let ghost_id = 9_000_000_000 + idx as u64;
-                (
-                    0,
-                    InviteUrl::bot(ghost_id, sample_permissions(&mut rng))
-                        .to_url()
-                        .to_string(),
-                    None,
-                )
+                let perms = bot
+                    .ghost_permissions
+                    .expect("removed bots carry ghost perms");
+                (0, InviteUrl::bot(ghost_id, perms).to_url().to_string())
             }
             InviteClass::Malformed => {
                 let link = match idx % 3 {
@@ -217,149 +118,36 @@ pub fn build_ecosystem(config: &EcosystemConfig) -> Ecosystem {
                     ),
                     _ => "join my server!!".to_string(),
                 };
-                (0, link, None)
+                (0, link)
             }
-            InviteClass::DeadRedirect => (0, format!("https://redir-{idx}.dead.sim/inv"), None),
+            InviteClass::DeadRedirect => (0, format!("https://redir-{idx}.dead.sim/inv")),
         };
 
-        // ---- website & policy --------------------------------------------
-        let policy_class = if !rng.gen_bool(config.website_fraction) {
-            PolicyClass::NoWebsite
-        } else if !rng.gen_bool((config.policy_link_fraction / config.website_fraction).min(1.0)) {
-            PolicyClass::NoPolicy
-        } else if !rng.gen_bool(config.policy_link_valid_fraction) {
-            PolicyClass::DeadPolicyLink
-        } else if rng.gen_bool(config.generic_policy_fraction) {
-            PolicyClass::GenericPolicy
-        } else {
-            PolicyClass::PartialPolicy
-        };
-        let website = match policy_class {
+        let website = match bot.policy_class {
             PolicyClass::NoWebsite => None,
             _ => {
                 let host = format!("bot-{idx}.site.sim");
-                let hosting = match policy_class {
+                let hosting = match bot.policy_class {
                     PolicyClass::NoPolicy => PolicyHosting::None,
                     PolicyClass::DeadPolicyLink => PolicyHosting::DeadLink,
-                    PolicyClass::GenericPolicy => {
-                        PolicyHosting::Linked(policy::corpus::generic_boilerplate())
-                    }
-                    PolicyClass::PartialPolicy => {
-                        let practices = [
-                            policy::DataPractice::Collect,
-                            policy::DataPractice::Use,
-                            policy::DataPractice::Retain,
-                        ];
-                        let n = rng.gen_range(1usize..=3);
-                        PolicyHosting::Linked(policy::corpus::partial_policy(
-                            &mut rng,
-                            &name,
-                            &practices[..n],
-                            true,
-                        ))
-                    }
+                    PolicyClass::GenericPolicy
+                    | PolicyClass::PartialPolicy
+                    | PolicyClass::CompletePolicy => PolicyHosting::Linked(
+                        bot.policy.clone().expect("linked classes carry a policy"),
+                    ),
                     PolicyClass::NoWebsite => unreachable!(),
                 };
-                BotWebsite::new(&name, hosting).mount(&net, &host);
+                BotWebsite::new(&bot.name, hosting).mount(&net, &host);
                 Some(format!("https://{host}/"))
             }
         };
 
-        // ---- github -------------------------------------------------------
-        let github_class = if !rng.gen_bool(config.github_link_fraction) {
-            GithubClass::None
-        } else if rng.gen_bool(config.github_valid_repo_fraction) {
-            match roll_split(&mut rng, &config.repo_class_split) {
-                0 => GithubClass::JsRepo {
-                    checks: rng.gen_bool(config.js_checks_fraction),
-                },
-                1 => GithubClass::PyRepo {
-                    checks: rng.gen_bool(config.py_checks_fraction),
-                },
-                2 => GithubClass::OtherLanguageRepo,
-                3 => GithubClass::ReadmeOnly,
-                _ => GithubClass::LicenseOnly,
+        for publish in &bot.publishes {
+            match publish {
+                GithubPublish::Repo(repo) => github.publish(repo.clone()),
+                GithubPublish::EmptyProfile(owner) => github.publish_empty_profile(owner),
             }
-        } else {
-            match idx % 3 {
-                0 => GithubClass::Profile,
-                1 => GithubClass::EmptyProfile,
-                _ => GithubClass::DeadLink,
-            }
-        };
-        // A developer who already published a repo/profile of this exact
-        // class links the same URL from all their bots (template bots
-        // republished under several listings — the paper's boilerplate-reuse
-        // observation, and what makes cross-bot link memoization pay off).
-        let share_key = format!(
-            "{}|{github_class:?}",
-            developers[idx].first().map(String::as_str).unwrap_or("")
-        );
-        let github_link = match github_class {
-            GithubClass::None => None,
-            GithubClass::DeadLink => Some(format!("https://{GITHUB_HOST}/ghost-{idx}/missing")),
-            _ if shared_links.contains_key(&share_key) => shared_links.get(&share_key).cloned(),
-            _ => {
-                let link = match github_class {
-                    GithubClass::Profile => {
-                        let owner = format!("prof-{idx}");
-                        github.publish(genrepo::readme_only_repo(&format!("{owner}/misc")));
-                        format!("https://{GITHUB_HOST}/{owner}")
-                    }
-                    GithubClass::EmptyProfile => {
-                        let owner = format!("empty-{idx}");
-                        github.publish_empty_profile(&owner);
-                        format!("https://{GITHUB_HOST}/{owner}")
-                    }
-                    GithubClass::JsRepo { checks } => {
-                        let slug = format!("dev{idx}/{}", name.to_lowercase());
-                        github.publish(genrepo::js_bot_repo(&mut rng, &slug, checks));
-                        format!("https://{GITHUB_HOST}/{slug}")
-                    }
-                    GithubClass::PyRepo { checks } => {
-                        let slug = format!("dev{idx}/{}", name.to_lowercase());
-                        github.publish(genrepo::py_bot_repo(&mut rng, &slug, checks));
-                        format!("https://{GITHUB_HOST}/{slug}")
-                    }
-                    GithubClass::OtherLanguageRepo => {
-                        let slug = format!("dev{idx}/{}", name.to_lowercase());
-                        github.publish(genrepo::other_language_repo(&mut rng, &slug));
-                        format!("https://{GITHUB_HOST}/{slug}")
-                    }
-                    GithubClass::ReadmeOnly => {
-                        let slug = format!("dev{idx}/{}-docs", name.to_lowercase());
-                        github.publish(genrepo::readme_only_repo(&slug));
-                        format!("https://{GITHUB_HOST}/{slug}")
-                    }
-                    GithubClass::LicenseOnly => {
-                        let slug = format!("dev{idx}/{}-meta", name.to_lowercase());
-                        github.publish(genrepo::license_only_repo(&slug));
-                        format!("https://{GITHUB_HOST}/{slug}")
-                    }
-                    GithubClass::None | GithubClass::DeadLink => unreachable!(),
-                };
-                shared_links.insert(share_key, link.clone());
-                Some(link)
-            }
-        };
-
-        let n_tags = rng.gen_range(1..=3);
-        let tags: Vec<String> = (0..n_tags)
-            .map(|_| TAGS[rng.gen_range(0..TAGS.len())].to_string())
-            .collect();
-
-        // Sample commands advertised on the listing: prefix + a few verbs
-        // matching the bot's tags.
-        let prefix = ["!", "?", "$"][rng.gen_range(0usize..3)];
-        let verbs = [
-            "help", "info", "play", "skip", "kick", "ban", "rank", "meme", "poll", "daily",
-        ];
-        let n_cmds = rng.gen_range(2..=5);
-        let mut commands: Vec<String> = (0..n_cmds)
-            .map(|_| format!("{prefix}{}", verbs[rng.gen_range(0..verbs.len())]))
-            .collect();
-        commands.sort();
-        commands.dedup();
+        }
 
         listings.push(BotListing {
             id: if client_id != 0 {
@@ -367,29 +155,29 @@ pub fn build_ecosystem(config: &EcosystemConfig) -> Ecosystem {
             } else {
                 8_000_000_000 + idx as u64
             },
-            name: name.clone(),
-            tags: tags.clone(),
-            description: format!("{name} — {}.", tags.join(" / ")),
+            name: bot.name.clone(),
+            tags: bot.tags.clone(),
+            description: format!("{} — {}.", bot.name, bot.tags.join(" / ")),
             invite_link: invite_link.clone(),
-            guild_count,
-            vote_count,
+            guild_count: bot.guild_count,
+            vote_count: bot.vote_count,
             website: website.clone(),
-            github: github_link.clone(),
-            developers: developers[idx].clone(),
-            commands,
+            github: bot.github_link.clone(),
+            developers: bot.developers.clone(),
+            commands: bot.commands.clone(),
         });
 
         truth.bots.push(BotTruth {
             client_id,
-            name,
-            developers: developers[idx].clone(),
-            invite_class,
-            permissions,
-            policy_class,
-            github_class,
-            behavior,
-            guild_count,
-            vote_count,
+            name: bot.name.clone(),
+            developers: bot.developers.clone(),
+            invite_class: bot.invite_class,
+            permissions: bot.permissions,
+            policy_class: bot.policy_class,
+            github_class: bot.github_class,
+            behavior: bot.behavior,
+            guild_count: bot.guild_count,
+            vote_count: bot.vote_count,
         });
     }
 
@@ -461,6 +249,7 @@ impl Ecosystem {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::truth::GithubClass;
     use discord_sim::Permissions;
 
     #[test]

@@ -14,7 +14,10 @@
 //! * [`developers`] — the Table 1 developer→bot allocation;
 //! * [`permissions`] — Figure 3 permission sampling;
 //! * [`build`] — assembly: platform, listing site, websites, GitHub,
-//!   redirectors, the lot;
+//!   redirectors, the lot (the randomness lives in the internal plan
+//!   phase; mounting is draw-free);
+//! * [`drift`] — longitudinal epochs: seeded per-bot mutations on top of
+//!   the frozen snapshot, for incremental re-audit experiments;
 //! * [`truth`] — per-bot ground-truth labels.
 
 #![warn(missing_docs)]
@@ -23,9 +26,12 @@
 pub mod build;
 pub mod config;
 pub mod developers;
+pub mod drift;
 pub mod permissions;
+mod plan;
 pub mod truth;
 
 pub use build::{build_ecosystem, Ecosystem};
 pub use config::EcosystemConfig;
+pub use drift::{build_ecosystem_at, DriftConfig, DriftEvent, DriftKind, EpochDrift};
 pub use truth::{BotTruth, GithubClass, GroundTruth, InviteClass, PolicyClass};

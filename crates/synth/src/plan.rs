@@ -1,0 +1,355 @@
+//! The plan phase of world assembly.
+//!
+//! [`plan_world`] performs every random draw [`crate::build::build_ecosystem`]
+//! used to make inline, in exactly the same sequential order, but captures
+//! the outcome as pure data ([`WorldPlan`]) instead of mounting services as
+//! it goes. Splitting planning from mounting is what makes longitudinal
+//! drift possible: [`crate::drift`] mutates the plan between epochs, and the
+//! mount phase (which consumes no randomness) materialises whichever epoch
+//! of the ecosystem is being audited.
+//!
+//! **Determinism contract:** for a given [`EcosystemConfig`] the plan's RNG
+//! draw sequence is frozen — the epoch-0 world must stay byte-identical to
+//! what the one-pass builder produced, or every golden report in the
+//! workspace breaks. Any new randomness must draw from a *separate* stream
+//! (the drift layer does exactly that).
+
+use crate::config::EcosystemConfig;
+use crate::developers::assign_developers;
+use crate::permissions::sample_permissions;
+use crate::truth::{BehaviorClass, GithubClass, InviteClass, PolicyClass};
+use codeanal::genrepo;
+use codeanal::github::GITHUB_HOST;
+use codeanal::Repository;
+use discord_sim::Permissions;
+use policy::PrivacyPolicy;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub(crate) const NAME_PARTS_A: &[&str] = &[
+    "Mega", "Ultra", "Hyper", "Turbo", "Pixel", "Nova", "Astro", "Crypto", "Chill", "Melo",
+    "Rhythm", "Meme", "Quant", "Robo", "Zen", "Echo", "Frost", "Ember", "Lunar", "Solar",
+];
+pub(crate) const NAME_PARTS_B: &[&str] = &[
+    "Mod", "Bot", "Tunes", "Guard", "Helper", "Games", "Stats", "Quotes", "Polls", "Welcome",
+    "Rank", "Econ", "Trivia", "Clips", "Alerts", "Logs", "Vibes", "Pets", "Duels", "News",
+];
+const TAGS: &[&str] = &[
+    "gaming",
+    "fun",
+    "social",
+    "music",
+    "meme",
+    "moderation",
+    "utility",
+    "economy",
+];
+
+/// Something the plan wants published on the GitHub site. Publishes are
+/// kept even when drift later removes the *link* — other bots of the same
+/// developer may still point at the shared URL.
+#[derive(Debug, Clone)]
+pub(crate) enum GithubPublish {
+    /// A full repository.
+    Repo(Repository),
+    /// A profile page with no public repositories.
+    EmptyProfile(String),
+}
+
+/// Everything decided about one bot before anything is mounted.
+#[derive(Debug, Clone)]
+pub(crate) struct BotPlan {
+    pub idx: usize,
+    pub name: String,
+    pub developers: Vec<String>,
+    pub behavior: BehaviorClass,
+    pub invite_class: InviteClass,
+    /// Permissions encoded in a live invite (Valid / SlowRedirect bots).
+    pub permissions: Option<Permissions>,
+    /// Permissions encoded in a Removed bot's ghost invite URL.
+    pub ghost_permissions: Option<Permissions>,
+    pub vote_count: u64,
+    pub guild_count: u64,
+    pub policy_class: PolicyClass,
+    /// The hosted policy document (Generic / Partial / Complete classes).
+    pub policy: Option<PrivacyPolicy>,
+    pub github_class: GithubClass,
+    pub github_link: Option<String>,
+    pub publishes: Vec<GithubPublish>,
+    pub tags: Vec<String>,
+    pub commands: Vec<String>,
+}
+
+/// The full planned population, ready to mount (possibly after drift).
+#[derive(Debug, Clone)]
+pub(crate) struct WorldPlan {
+    pub bots: Vec<BotPlan>,
+}
+
+fn bot_name(rng: &mut StdRng, idx: usize, behavior: BehaviorClass) -> String {
+    if behavior == BehaviorClass::Snooper && idx == 0 {
+        // The paper's detected snooper, by name.
+        return "Melonian".to_string();
+    }
+    let a = NAME_PARTS_A[rng.gen_range(0..NAME_PARTS_A.len())];
+    let b = NAME_PARTS_B[rng.gen_range(0..NAME_PARTS_B.len())];
+    format!("{a}{b}{idx}")
+}
+
+pub(crate) fn roll_split<R: Rng + ?Sized>(rng: &mut R, split: &[f64]) -> usize {
+    let total: f64 = split.iter().sum();
+    let mut p: f64 = rng.gen::<f64>() * total;
+    for (i, w) in split.iter().enumerate() {
+        p -= w;
+        if p <= 0.0 {
+            return i;
+        }
+    }
+    split.len() - 1
+}
+
+/// Which listing indices carry planted malicious backends: the snoopers /
+/// exfiltrators hide among the most-voted (= lowest indices), because that
+/// is the population the honeypot samples.
+fn plant_behaviors(config: &EcosystemConfig) -> Vec<BehaviorClass> {
+    let mut behavior_classes = vec![BehaviorClass::Benign; config.num_bots];
+    let mut planted = 0usize;
+    for slot in 0..config.num_snoopers.min(config.num_bots) {
+        behavior_classes[slot * 7 % config.num_bots.max(1)] = BehaviorClass::Snooper;
+        planted += 1;
+    }
+    for slot in 0..config
+        .num_exfiltrators
+        .min(config.num_bots.saturating_sub(planted))
+    {
+        let idx = (3 + slot * 11) % config.num_bots.max(1);
+        if behavior_classes[idx] == BehaviorClass::Benign {
+            behavior_classes[idx] = BehaviorClass::Exfiltrator;
+            planted += 1;
+        }
+    }
+    for slot in 0..config
+        .num_webhook_thieves
+        .min(config.num_bots.saturating_sub(planted))
+    {
+        let idx = (5 + slot * 13) % config.num_bots.max(1);
+        if behavior_classes[idx] == BehaviorClass::Benign {
+            behavior_classes[idx] = BehaviorClass::WebhookThief;
+        }
+    }
+    behavior_classes
+}
+
+/// Run the frozen epoch-0 draw sequence and capture the outcome as data.
+pub(crate) fn plan_world(config: &EcosystemConfig) -> WorldPlan {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let developers = assign_developers(&mut rng, config.num_bots);
+    // (primary developer, github class) → the link their first bot of that
+    // class published; later bots of the same developer reuse it.
+    let mut shared_links: std::collections::BTreeMap<String, String> =
+        std::collections::BTreeMap::new();
+    let behavior_classes = plant_behaviors(config);
+
+    let mut bots = Vec::with_capacity(config.num_bots);
+    for idx in 0..config.num_bots {
+        let behavior = behavior_classes[idx];
+        let name = bot_name(&mut rng, idx, behavior);
+
+        // Popularity: a long-tailed rank curve spanning the paper's ranges
+        // (votes 876K → 6; guilds 3M → 25 for the tested sample, 0 at the
+        // bottom of the list).
+        let rank = idx as f64 + 1.0;
+        let vote_count = ((876_000.0 / rank.powf(1.35)) as u64).max(6);
+        let guild_count = if idx + 50 >= config.num_bots {
+            0 // "the middle and least voted … were mainly offline or not
+              // being used (i.e., in 0 guilds)"
+        } else {
+            ((3_000_000.0 / rank.powf(1.45)) as u64).max(25)
+        };
+
+        // ---- invite link -------------------------------------------------
+        let malicious = behavior != BehaviorClass::Benign;
+        // Planted malicious bots always have valid invites (they must be
+        // installable by the honeypot).
+        let invite_class = if malicious || rng.gen_bool(config.valid_invite_fraction) {
+            InviteClass::Valid
+        } else {
+            match roll_split(&mut rng, &config.invalid_split) {
+                0 => InviteClass::Removed,
+                1 => InviteClass::Malformed,
+                2 => InviteClass::DeadRedirect,
+                _ => InviteClass::SlowRedirect,
+            }
+        };
+
+        let (permissions, ghost_permissions) = match invite_class {
+            InviteClass::Valid | InviteClass::SlowRedirect => {
+                let mut perms = sample_permissions(&mut rng);
+                if behavior == BehaviorClass::WebhookThief {
+                    // The thief's trick requires the webhook permission.
+                    perms |= Permissions::MANAGE_WEBHOOKS;
+                }
+                (Some(perms), None)
+            }
+            InviteClass::Removed => (None, Some(sample_permissions(&mut rng))),
+            InviteClass::Malformed | InviteClass::DeadRedirect => (None, None),
+        };
+
+        // ---- website & policy --------------------------------------------
+        let policy_class = if !rng.gen_bool(config.website_fraction) {
+            PolicyClass::NoWebsite
+        } else if !rng.gen_bool((config.policy_link_fraction / config.website_fraction).min(1.0)) {
+            PolicyClass::NoPolicy
+        } else if !rng.gen_bool(config.policy_link_valid_fraction) {
+            PolicyClass::DeadPolicyLink
+        } else if rng.gen_bool(config.generic_policy_fraction) {
+            PolicyClass::GenericPolicy
+        } else {
+            PolicyClass::PartialPolicy
+        };
+        let policy = match policy_class {
+            PolicyClass::GenericPolicy => Some(policy::corpus::generic_boilerplate()),
+            PolicyClass::PartialPolicy => {
+                let practices = [
+                    policy::DataPractice::Collect,
+                    policy::DataPractice::Use,
+                    policy::DataPractice::Retain,
+                ];
+                let n = rng.gen_range(1usize..=3);
+                Some(policy::corpus::partial_policy(
+                    &mut rng,
+                    &name,
+                    &practices[..n],
+                    true,
+                ))
+            }
+            _ => None,
+        };
+
+        // ---- github -------------------------------------------------------
+        let github_class = if !rng.gen_bool(config.github_link_fraction) {
+            GithubClass::None
+        } else if rng.gen_bool(config.github_valid_repo_fraction) {
+            match roll_split(&mut rng, &config.repo_class_split) {
+                0 => GithubClass::JsRepo {
+                    checks: rng.gen_bool(config.js_checks_fraction),
+                },
+                1 => GithubClass::PyRepo {
+                    checks: rng.gen_bool(config.py_checks_fraction),
+                },
+                2 => GithubClass::OtherLanguageRepo,
+                3 => GithubClass::ReadmeOnly,
+                _ => GithubClass::LicenseOnly,
+            }
+        } else {
+            match idx % 3 {
+                0 => GithubClass::Profile,
+                1 => GithubClass::EmptyProfile,
+                _ => GithubClass::DeadLink,
+            }
+        };
+        // A developer who already published a repo/profile of this exact
+        // class links the same URL from all their bots (template bots
+        // republished under several listings — the paper's boilerplate-reuse
+        // observation, and what makes cross-bot link memoization pay off).
+        let share_key = format!(
+            "{}|{github_class:?}",
+            developers[idx].first().map(String::as_str).unwrap_or("")
+        );
+        let mut publishes = Vec::new();
+        let github_link = match github_class {
+            GithubClass::None => None,
+            GithubClass::DeadLink => Some(format!("https://{GITHUB_HOST}/ghost-{idx}/missing")),
+            _ if shared_links.contains_key(&share_key) => shared_links.get(&share_key).cloned(),
+            _ => {
+                let link = match github_class {
+                    GithubClass::Profile => {
+                        let owner = format!("prof-{idx}");
+                        publishes.push(GithubPublish::Repo(genrepo::readme_only_repo(&format!(
+                            "{owner}/misc"
+                        ))));
+                        format!("https://{GITHUB_HOST}/{owner}")
+                    }
+                    GithubClass::EmptyProfile => {
+                        let owner = format!("empty-{idx}");
+                        publishes.push(GithubPublish::EmptyProfile(owner.clone()));
+                        format!("https://{GITHUB_HOST}/{owner}")
+                    }
+                    GithubClass::JsRepo { checks } => {
+                        let slug = format!("dev{idx}/{}", name.to_lowercase());
+                        publishes.push(GithubPublish::Repo(genrepo::js_bot_repo(
+                            &mut rng, &slug, checks,
+                        )));
+                        format!("https://{GITHUB_HOST}/{slug}")
+                    }
+                    GithubClass::PyRepo { checks } => {
+                        let slug = format!("dev{idx}/{}", name.to_lowercase());
+                        publishes.push(GithubPublish::Repo(genrepo::py_bot_repo(
+                            &mut rng, &slug, checks,
+                        )));
+                        format!("https://{GITHUB_HOST}/{slug}")
+                    }
+                    GithubClass::OtherLanguageRepo => {
+                        let slug = format!("dev{idx}/{}", name.to_lowercase());
+                        publishes.push(GithubPublish::Repo(genrepo::other_language_repo(
+                            &mut rng, &slug,
+                        )));
+                        format!("https://{GITHUB_HOST}/{slug}")
+                    }
+                    GithubClass::ReadmeOnly => {
+                        let slug = format!("dev{idx}/{}-docs", name.to_lowercase());
+                        publishes.push(GithubPublish::Repo(genrepo::readme_only_repo(&slug)));
+                        format!("https://{GITHUB_HOST}/{slug}")
+                    }
+                    GithubClass::LicenseOnly => {
+                        let slug = format!("dev{idx}/{}-meta", name.to_lowercase());
+                        publishes.push(GithubPublish::Repo(genrepo::license_only_repo(&slug)));
+                        format!("https://{GITHUB_HOST}/{slug}")
+                    }
+                    GithubClass::None | GithubClass::DeadLink => unreachable!(),
+                };
+                shared_links.insert(share_key, link.clone());
+                Some(link)
+            }
+        };
+
+        let n_tags = rng.gen_range(1..=3);
+        let tags: Vec<String> = (0..n_tags)
+            .map(|_| TAGS[rng.gen_range(0..TAGS.len())].to_string())
+            .collect();
+
+        // Sample commands advertised on the listing: prefix + a few verbs
+        // matching the bot's tags.
+        let prefix = ["!", "?", "$"][rng.gen_range(0usize..3)];
+        let verbs = [
+            "help", "info", "play", "skip", "kick", "ban", "rank", "meme", "poll", "daily",
+        ];
+        let n_cmds = rng.gen_range(2..=5);
+        let mut commands: Vec<String> = (0..n_cmds)
+            .map(|_| format!("{prefix}{}", verbs[rng.gen_range(0..verbs.len())]))
+            .collect();
+        commands.sort();
+        commands.dedup();
+
+        bots.push(BotPlan {
+            idx,
+            name,
+            developers: developers[idx].clone(),
+            behavior,
+            invite_class,
+            permissions,
+            ghost_permissions,
+            vote_count,
+            guild_count,
+            policy_class,
+            policy,
+            github_class,
+            github_link,
+            publishes,
+            tags,
+            commands,
+        });
+    }
+
+    WorldPlan { bots }
+}

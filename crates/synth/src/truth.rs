@@ -31,6 +31,11 @@ pub enum PolicyClass {
     GenericPolicy,
     /// A tailored but incomplete policy (partial traceability).
     PartialPolicy,
+    /// A tailored policy describing all four data practices (complete
+    /// traceability). The paper found none in its snapshot; this class only
+    /// appears when the drift model upgrades a bot's policy in a later
+    /// epoch.
+    CompletePolicy,
 }
 
 /// What the listing's GitHub link leads to.

@@ -1,0 +1,123 @@
+//! Fleet scheduling: three tenants re-auditing a drifting ecosystem.
+//!
+//! ```sh
+//! cargo run --example fleet_audit
+//! ```
+//!
+//! Each tenant owns a world (different seed), submits an epoch-0 baseline
+//! audit, then a month later re-audits epoch 1 of the same world. The
+//! fleet service runs every job over one shared worker pool, journals each
+//! tenant into a private scoped store, and diffs every re-audit against
+//! the tenant's previous report. The interesting outputs are the
+//! [`DeltaReport`]s — who drifted, whose traceability flipped, who gained
+//! permissions — and the artifact-pack hit counters showing the re-audit
+//! only re-analyzed the drifted bots.
+
+use chatbot_audit::{Audit, AuditJob, DeltaReport, FleetConfig, FleetService};
+use netsim::SimDuration;
+use sched::{JobSpec, Lane};
+use synth::DriftConfig;
+
+const SCALE: usize = 150;
+
+/// Elevated churn so a small world reliably shows a traceability flip.
+fn drift() -> DriftConfig {
+    DriftConfig {
+        policy_churn: 0.25,
+        github_churn: 0.15,
+        ..DriftConfig::default()
+    }
+}
+
+fn job(seed: u64, epoch: u32) -> AuditJob {
+    Audit::builder()
+        .scale(SCALE)
+        .seed(seed)
+        .honeypot_sample(15)
+        .site_defenses(false)
+        .drift(drift())
+        .epoch(epoch)
+        .into_job()
+        .expect("valid audit config")
+}
+
+fn main() {
+    let tenants: [(&str, u64, Lane); 3] = [
+        ("acme-trust", 2022, Lane::Interactive),
+        ("beta-labs", 7, Lane::Standard),
+        ("cyber-sec", 41, Lane::Batch),
+    ];
+
+    let service = FleetService::new(FleetConfig {
+        workers: 4,
+        ..FleetConfig::default()
+    });
+
+    println!("=== fleet audit: 3 tenants x 2 epochs ===\n");
+
+    // Epoch 0: every tenant's baseline audit (cold stores, no deltas).
+    println!("[epoch 0] baseline audits");
+    for (tenant, seed, lane) in tenants {
+        service
+            .submit(JobSpec::new(tenant).lane(lane), job(seed, 0))
+            .expect("queue has room");
+        service.clock().advance(SimDuration::from_millis(10));
+    }
+    for outcome in service.run() {
+        let report = outcome.report.as_ref().expect("audit completes");
+        println!(
+            "  {:<10} {:>4} bots audited, {} analyses computed cold",
+            outcome.tenant,
+            report.bots.len(),
+            outcome.artifact_misses,
+        );
+    }
+
+    // Epoch 1: the ecosystem drifted; every tenant re-audits.
+    println!("\n[epoch 1] incremental re-audits against each tenant's warm pack");
+    for (tenant, seed, lane) in tenants {
+        service
+            .submit(JobSpec::new(tenant).lane(lane), job(seed, 1))
+            .expect("queue has room");
+        service.clock().advance(SimDuration::from_millis(10));
+    }
+
+    let mut flips = 0usize;
+    for outcome in service.run() {
+        outcome.report.as_ref().expect("re-audit completes");
+        let delta: &DeltaReport = outcome.delta.as_ref().expect("epoch 1 diffs epoch 0");
+        println!(
+            "  {:<10} pack served {}/{} analyses; recomputed only the {} drifted",
+            outcome.tenant,
+            outcome.artifact_hits,
+            outcome.artifact_hits + outcome.artifact_misses,
+            outcome.artifact_misses,
+        );
+        println!("             delta: {}", delta.summary());
+        for t in &delta.traceability_transitions {
+            println!(
+                "             traceability flip: {} {:?} -> {:?}",
+                t.name, t.from, t.to
+            );
+        }
+        for p in delta.permission_changes.iter().take(2) {
+            println!(
+                "             permission creep: {} gained {:?}",
+                p.name, p.added
+            );
+        }
+        for d in &delta.new_detections {
+            println!("             honeypot: {d} started leaking");
+        }
+        flips += delta.traceability_transitions.len();
+    }
+
+    if flips == 0 {
+        println!("\nVERDICT: no traceability flip surfaced — drift model regressed");
+        std::process::exit(1);
+    }
+    println!(
+        "\nVERDICT: {flips} traceability flips surfaced across the fleet; every \
+         re-audit was incremental (warm pack hits above)"
+    );
+}

@@ -1,0 +1,95 @@
+//! Contract tests for the audit facade's error surface.
+//!
+//! Two things external callers depend on:
+//!
+//! 1. [`Audit::builder`] rejects every inconsistent knob combination at
+//!    build time with [`ErrorKind::Config`] — never at run time.
+//! 2. [`ErrorKind::as_str`] is a pinned, documented set of strings: coarse
+//!    handlers and log pipelines match on them, so they may grow but never
+//!    change.
+
+use chatbot_audit::{Audit, AuditError, ErrorKind};
+
+#[test]
+fn builder_rejects_every_invalid_knob_with_a_config_error() {
+    let cases: Vec<(&str, Result<Audit, AuditError>)> = vec![
+        ("zero bots", Audit::builder().scale(0).build()),
+        (
+            "zero page size",
+            Audit::builder().scale(10).page_size(0).build(),
+        ),
+        (
+            "zero max pages",
+            Audit::builder().scale(10).max_pages(0).build(),
+        ),
+        (
+            "oversampled honeypot",
+            Audit::builder().scale(10).honeypot_sample(11).build(),
+        ),
+        (
+            "empty guilds",
+            Audit::builder().scale(10).personas_per_guild(0).build(),
+        ),
+    ];
+    for (label, result) in cases {
+        let err = result.err().unwrap_or_else(|| panic!("{label}: accepted"));
+        assert_eq!(err.kind(), ErrorKind::Config, "{label}");
+        assert_eq!(err.kind().as_str(), "config", "{label}");
+        assert!(
+            err.to_string().starts_with("invalid audit configuration:"),
+            "{label}: {err}"
+        );
+    }
+}
+
+#[test]
+fn into_job_applies_the_same_validation_as_build() {
+    let err = Audit::builder().scale(0).into_job().unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::Config);
+    assert!(Audit::builder()
+        .scale(10)
+        .honeypot_sample(2)
+        .into_job()
+        .is_ok());
+}
+
+#[test]
+fn error_kind_strings_are_pinned() {
+    // This table IS the contract (documented on `ErrorKind::as_str`). A
+    // failure here means a breaking change for everyone matching on kind
+    // strings — don't rename, add.
+    let pinned = [
+        (ErrorKind::Config, "config"),
+        (ErrorKind::Platform, "platform"),
+        (ErrorKind::Net, "net"),
+        (ErrorKind::Store, "store"),
+        (ErrorKind::Locate, "locate"),
+        (ErrorKind::Interrupted, "interrupted"),
+        (ErrorKind::Saturated, "saturated"),
+    ];
+    for (kind, name) in pinned {
+        assert_eq!(kind.as_str(), name);
+        assert_eq!(kind.to_string(), name, "Display must match as_str");
+    }
+}
+
+#[test]
+fn every_error_variant_maps_to_a_distinct_stable_kind() {
+    use sched::Rejection;
+    let saturated: AuditError = Rejection::QueueFull { capacity: 1 }.into();
+    assert_eq!(saturated.kind(), ErrorKind::Saturated);
+    let rate: AuditError = Rejection::RateLimited {
+        tenant: "t".into(),
+        retry_after_ms: 9,
+    }
+    .into();
+    assert_eq!(rate.kind(), ErrorKind::Saturated);
+    // The rejection payload survives the conversion for callers that need
+    // retry_after_ms.
+    match rate {
+        AuditError::Saturated(Rejection::RateLimited { retry_after_ms, .. }) => {
+            assert_eq!(retry_after_ms, 9)
+        }
+        other => panic!("wrong variant: {other}"),
+    }
+}
