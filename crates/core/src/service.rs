@@ -187,11 +187,35 @@ impl FleetService {
     }
 
     /// Submit a job for `spec.tenant`. Fails with
-    /// [`AuditError::Saturated`] when the queue is full or the tenant is
-    /// over its rate — deterministically, given the same submission
-    /// sequence at the same virtual times.
+    /// [`AuditError::Config`] when the tenant id is path-shaped (see
+    /// [`Self::validate_tenant`]) and with [`AuditError::Saturated`] when
+    /// the queue is full or the tenant is over its rate —
+    /// deterministically, given the same submission sequence at the same
+    /// virtual times.
     pub fn submit(&self, spec: JobSpec, job: AuditJob) -> Result<JobId, AuditError> {
+        Self::validate_tenant(&spec.tenant)?;
         self.scheduler.submit(spec, job).map_err(AuditError::from)
+    }
+
+    /// Tenant ids become backend name prefixes (`<tenant>/...` inside the
+    /// shared root), so anything that alters path structure — separators,
+    /// `.`/`..` components, empty names — could collide with or escape
+    /// another tenant's namespace once the root is a
+    /// [`store::DiskBackend`]. Such ids are refused at submission with a
+    /// `config`-kind error before anything is queued.
+    fn validate_tenant(tenant: &str) -> Result<(), AuditError> {
+        let path_shaped = tenant.is_empty()
+            || tenant == "."
+            || tenant == ".."
+            || tenant.contains('/')
+            || tenant.contains('\\');
+        if path_shaped {
+            return Err(AuditError::config(format!(
+                "invalid tenant id {tenant:?}: must be non-empty and \
+                 contain no path separators or dot components"
+            )));
+        }
+        Ok(())
     }
 
     fn tenant_state(&self, tenant: &str) -> Arc<TenantState> {
@@ -319,6 +343,46 @@ mod tests {
         let err = service.submit(JobSpec::new("b"), job(7, 0)).unwrap_err();
         assert_eq!(err.kind(), ErrorKind::Saturated);
         assert_eq!(err.kind().as_str(), "saturated");
+    }
+
+    #[test]
+    fn path_shaped_tenant_ids_are_rejected_before_queueing() {
+        let service = FleetService::new(FleetConfig::default());
+        for bad in ["", ".", "..", "a/b", "a\\b", "../escape"] {
+            let err = service.submit(JobSpec::new(bad), job(7, 0)).unwrap_err();
+            assert_eq!(err.kind(), ErrorKind::Config, "tenant {bad:?}");
+        }
+        assert_eq!(service.queued(), 0, "rejected jobs must not be queued");
+    }
+
+    #[test]
+    fn disk_backend_persists_tenant_packs_across_service_restarts() {
+        let dir = std::env::temp_dir().join(format!("fleet-disk-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let service = FleetService::with_backend(
+            FleetConfig::default(),
+            Arc::new(store::DiskBackend::open(&dir).unwrap()),
+        );
+        service.submit(JobSpec::new("acme"), job(2022, 0)).unwrap();
+        let first = service.run();
+        assert!(first[0].report.is_ok(), "disk-backed audit must complete");
+        assert!(first[0].artifact_misses > 0);
+        drop(service);
+
+        // A fresh service over the same root finds the warm pack.
+        let revived = FleetService::with_backend(
+            FleetConfig::default(),
+            Arc::new(store::DiskBackend::open(&dir).unwrap()),
+        );
+        revived.submit(JobSpec::new("acme"), job(2022, 1)).unwrap();
+        let second = revived.run();
+        assert!(second[0].report.is_ok());
+        assert!(
+            second[0].artifact_hits > 0,
+            "undrifted bots must come from the persisted pack"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

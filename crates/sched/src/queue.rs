@@ -106,8 +106,9 @@ struct Inner<P> {
 ///
 /// Submissions are admission-controlled (bounded queue, optional
 /// per-tenant rate limit); [`Scheduler::drain`] dispatches everything
-/// queued across a worker pool. Jobs sort by `(lane, deadline, id)` and
-/// same-tenant jobs execute sequentially in that order, so every output —
+/// queued across a worker pool. Jobs sort by `(lane, deadline, id)`,
+/// except that same-tenant jobs always execute sequentially in
+/// submission order — [`JobSpec::tenant`]'s contract — so every output —
 /// results, metrics, spans — is independent of worker count.
 pub struct Scheduler<P> {
     config: SchedulerConfig,
@@ -194,12 +195,15 @@ impl<P: Send> Scheduler<P> {
 
     /// Dispatch every queued job and return the results in dispatch order.
     ///
-    /// Dispatch order is `(lane, deadline, submission id)`. Jobs of one
-    /// tenant form a chain executed sequentially by a single worker (they
-    /// may share mutable per-tenant state); distinct tenants run
-    /// concurrently on up to [`SchedulerConfig::workers`] threads. The
-    /// virtual clock is read **once**, at drain start, so recorded wait
-    /// times cannot depend on execution interleaving.
+    /// Dispatch order is `(lane, deadline, submission id)`, with one
+    /// carve-out: jobs of one tenant always execute in submission order
+    /// ([`JobSpec::tenant`]'s contract — they share per-tenant state such
+    /// as a warm artifact pack), filling the dispatch slots their
+    /// lane/deadline sort earned as a group. Each tenant's chain runs
+    /// sequentially on a single worker; distinct tenants run concurrently
+    /// on up to [`SchedulerConfig::workers`] threads. The virtual clock
+    /// is read **once**, at drain start, so recorded wait times cannot
+    /// depend on execution interleaving.
     pub fn drain<T, F>(&self, exec: F) -> Vec<CompletedJob<T>>
     where
         T: Send,
@@ -225,6 +229,22 @@ impl<P: Send> Scheduler<P> {
                 chains.len() - 1
             });
             chains[idx].push((order, job));
+        }
+
+        // JobSpec's contract: one tenant's jobs run in submission order
+        // even when a later submission sorted into an earlier lane or
+        // deadline slot (an epoch-N+1 re-audit must never run before the
+        // epoch-N audit it diffs against). The chain keeps the dispatch
+        // slots its jobs earned; the jobs fill those slots by ascending
+        // submission id.
+        for chain in &mut chains {
+            if chain.len() > 1 {
+                let slots: Vec<usize> = chain.iter().map(|(slot, _)| *slot).collect();
+                let mut tenant_jobs: Vec<Queued<P>> =
+                    std::mem::take(chain).into_iter().map(|(_, j)| j).collect();
+                tenant_jobs.sort_by_key(|j| j.id);
+                *chain = slots.into_iter().zip(tenant_jobs).collect();
+            }
         }
 
         let root = self.obs.span("sched.drain");
@@ -354,6 +374,40 @@ mod tests {
                 sorted.sort_unstable();
                 assert_eq!(seq, sorted, "tenant {tenant} ran out of order");
             }
+        }
+    }
+
+    #[test]
+    fn lane_inversion_never_reorders_one_tenants_jobs() {
+        for workers in [1, 4] {
+            let (s, _) = sched(SchedulerConfig {
+                workers,
+                ..SchedulerConfig::default()
+            });
+            // Tenant t submits Standard (id 0) then Interactive (id 1):
+            // the interactive job earns the earlier dispatch slot, but
+            // t's jobs must still execute 0 before 1.
+            s.submit(JobSpec::new("t"), 0).unwrap();
+            s.submit(JobSpec::new("t").lane(Lane::Interactive), 1)
+                .unwrap();
+            s.submit(JobSpec::new("u").lane(Lane::Batch), 2).unwrap();
+            let log: Mutex<Vec<(String, u64)>> = Mutex::new(Vec::new());
+            let done = s.drain(|_, spec, p| {
+                log.lock().unwrap().push((spec.tenant.clone(), p));
+                p
+            });
+            // The chain fills its earned slots by submission id, so the
+            // returned order is also 0, 1, 2.
+            let outs: Vec<u64> = done.iter().map(|j| j.output).collect();
+            assert_eq!(outs, vec![0, 1, 2], "workers={workers}");
+            let t_seq: Vec<u64> = log
+                .into_inner()
+                .unwrap()
+                .into_iter()
+                .filter(|(tenant, _)| tenant == "t")
+                .map(|(_, p)| p)
+                .collect();
+            assert_eq!(t_seq, vec![0, 1], "workers={workers}");
         }
     }
 

@@ -125,6 +125,16 @@ impl DiskBackend {
     fn path(&self, name: &str) -> PathBuf {
         self.root.join(name)
     }
+
+    /// Scoped backends produce names like `<tenant>/journal`; the write
+    /// paths must materialize those intermediate directories or every
+    /// scoped operation fails with `NotFound`.
+    fn ensure_parent(&self, path: &std::path::Path) -> io::Result<()> {
+        match path.parent() {
+            Some(parent) if parent != self.root => std::fs::create_dir_all(parent),
+            _ => Ok(()),
+        }
+    }
 }
 
 impl Backend for DiskBackend {
@@ -140,6 +150,7 @@ impl Backend for DiskBackend {
     fn write_atomic(&self, name: &str, bytes: &[u8]) -> io::Result<()> {
         let _io = self.io_lock.lock().expect("disk backend lock");
         let tmp = self.path(&format!("{name}.tmp"));
+        self.ensure_parent(&tmp)?;
         std::fs::write(&tmp, bytes)?;
         std::fs::rename(&tmp, self.path(name))
     }
@@ -147,10 +158,12 @@ impl Backend for DiskBackend {
     fn append(&self, name: &str, bytes: &[u8]) -> io::Result<()> {
         use std::io::Write;
         let _io = self.io_lock.lock().expect("disk backend lock");
+        let path = self.path(name);
+        self.ensure_parent(&path)?;
         let mut file = std::fs::OpenOptions::new()
             .create(true)
             .append(true)
-            .open(self.path(name))?;
+            .open(path)?;
         file.write_all(bytes)
     }
 
@@ -263,6 +276,29 @@ mod tests {
             root.names(),
             vec!["tenant-a/j".to_string(), "tenant-b/j".to_string()]
         );
+    }
+
+    #[test]
+    fn scoped_over_disk_backend_creates_tenant_directories() {
+        let dir =
+            std::env::temp_dir().join(format!("store-scoped-disk-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let root: std::sync::Arc<dyn Backend> =
+            std::sync::Arc::new(DiskBackend::open(&dir).unwrap());
+        let a = ScopedBackend::new(root.clone(), "tenant-a");
+        let b = ScopedBackend::new(root.clone(), "tenant-b");
+        // Appends and atomic writes must work on the very first operation,
+        // before any tenant directory exists.
+        exercise(&a);
+        a.append("wal", b"frame").unwrap();
+        a.write_atomic("pack", b"artifacts").unwrap();
+        b.write_atomic("pack", b"other").unwrap();
+        assert_eq!(a.read("wal").unwrap().as_deref(), Some(&b"frame"[..]));
+        assert_eq!(a.read("pack").unwrap().as_deref(), Some(&b"artifacts"[..]));
+        assert_eq!(b.read("pack").unwrap().as_deref(), Some(&b"other"[..]));
+        assert!(dir.join("tenant-a").join("wal").is_file());
+        assert!(dir.join("tenant-b").join("pack").is_file());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
