@@ -668,6 +668,23 @@ fn sched_bench(args: &Args, path: &str) {
     // Incremental vs cold re-audit of a drifted epoch, single tenant.
     // Interleaved rounds with medians, as in the obs bench, so machine
     // drift hits both sides equally.
+    //
+    // Drift cadence: the multi-tenant runs above drift at the default
+    // month-scale rates. A fleet on a weekly re-audit cadence sees about
+    // a quarter of that churn per pass, so the incremental scenario
+    // divides the default rates by 4 (the exact rates land in the JSON —
+    // the speedup is only meaningful relative to them, since every
+    // changed bot costs a full fetch no matter how good the cache is).
+    const CADENCE_DIV: f64 = 4.0;
+    let reaudit_drift = {
+        let d = synth::DriftConfig::default();
+        synth::DriftConfig {
+            permission_creep: d.permission_creep / CADENCE_DIV,
+            policy_churn: d.policy_churn / CADENCE_DIV,
+            github_churn: d.github_churn / CADENCE_DIV,
+            behavior_churn: d.behavior_churn / CADENCE_DIV,
+        }
+    };
     const ROUNDS: usize = 3;
     let median = |xs: &mut Vec<f64>| -> f64 {
         xs.sort_by(f64::total_cmp);
@@ -677,22 +694,62 @@ fn sched_bench(args: &Args, path: &str) {
     let mut cold_rounds = Vec::new();
     let mut warm = None;
     let mut cold = None;
+    // Crawl-side counters for the warm epoch-1 run alone (epoch 0's cold
+    // crawl is subtracted out): 304 round-trips, full fetches, bytes the
+    // validators kept off the wire.
+    let mut validations = 0u64;
+    let mut full_fetches = 0u64;
+    let mut bytes_saved = 0u64;
+    let mut guilds_reused = 0u64;
+    let inc_job = |epoch: u32| {
+        Audit::builder()
+            .scale(args.scale)
+            .seed(args.seed)
+            .honeypot_sample(args.honeypot_sample)
+            .drift(reaudit_drift.clone())
+            .epoch(epoch)
+            .into_job()
+            .expect("valid fleet job")
+    };
+    let instrumented_job = |epoch: u32, obs: &obs::Obs| {
+        Audit::builder()
+            .scale(args.scale)
+            .seed(args.seed)
+            .honeypot_sample(args.honeypot_sample)
+            .drift(reaudit_drift.clone())
+            .epoch(epoch)
+            .obs(obs.clone())
+            .into_job()
+            .expect("valid fleet job")
+    };
     for _ in 0..ROUNDS {
+        let obs = obs::Obs::disabled();
         let service = FleetService::new(FleetConfig::default());
         service
-            .submit(JobSpec::new("longitudinal"), job(0))
+            .submit(JobSpec::new("longitudinal"), inc_job(0))
             .expect("submit epoch 0");
         service.run();
+        let at_epoch0 = |path: &str| obs.counter_value(path);
+        let base = [
+            at_epoch0("crawl.validated"),
+            at_epoch0("crawl.fetched_full"),
+            at_epoch0("crawl.bytes_saved"),
+            at_epoch0("honeypot.guilds_reused"),
+        ];
         service
-            .submit(JobSpec::new("longitudinal"), job(1))
+            .submit(JobSpec::new("longitudinal"), instrumented_job(1, &obs))
             .expect("submit warm epoch 1");
         let t0 = std::time::Instant::now();
         warm = Some(service.run().remove(0));
         warm_rounds.push(t0.elapsed().as_secs_f64() * 1e3);
+        validations = obs.counter_value("crawl.validated") - base[0];
+        full_fetches = obs.counter_value("crawl.fetched_full") - base[1];
+        bytes_saved = obs.counter_value("crawl.bytes_saved") - base[2];
+        guilds_reused = obs.counter_value("honeypot.guilds_reused") - base[3];
 
         let fresh = FleetService::new(FleetConfig::default());
         fresh
-            .submit(JobSpec::new("cold"), job(1))
+            .submit(JobSpec::new("cold"), inc_job(1))
             .expect("submit cold epoch 1");
         let t0 = std::time::Instant::now();
         cold = Some(fresh.run().remove(0));
@@ -721,6 +778,10 @@ fn sched_bench(args: &Args, path: &str) {
         warm.artifact_misses,
         warm.delta.as_ref().map(|d| d.summary()).unwrap_or_default(),
     );
+    println!(
+        "  warm crawl: {validations} pages 304'd | {full_fetches} full fetches | \
+         {bytes_saved} bytes saved | {guilds_reused} honeypot guilds replayed"
+    );
 
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -748,6 +809,28 @@ fn sched_bench(args: &Args, path: &str) {
     );
     inc.insert("artifact_hits".into(), warm.artifact_hits.into());
     inc.insert("artifact_misses".into(), warm.artifact_misses.into());
+    inc.insert("validation_roundtrips".into(), validations.into());
+    inc.insert("full_fetches".into(), full_fetches.into());
+    inc.insert("bytes_saved".into(), bytes_saved.into());
+    inc.insert("honeypot_guilds_reused".into(), guilds_reused.into());
+    let mut drift = serde_json::Map::new();
+    drift.insert(
+        "permission_creep".into(),
+        serde_json::to_value(reaudit_drift.permission_creep).expect("serializable"),
+    );
+    drift.insert(
+        "policy_churn".into(),
+        serde_json::to_value(reaudit_drift.policy_churn).expect("serializable"),
+    );
+    drift.insert(
+        "github_churn".into(),
+        serde_json::to_value(reaudit_drift.github_churn).expect("serializable"),
+    );
+    drift.insert(
+        "behavior_churn".into(),
+        serde_json::to_value(reaudit_drift.behavior_churn).expect("serializable"),
+    );
+    inc.insert("drift".into(), drift.into());
     if let Some(delta) = &warm.delta {
         inc.insert(
             "delta".into(),

@@ -31,6 +31,10 @@ pub struct SiteConfig {
     pub rate_limit: Option<(u32, f64)>,
     /// List pages beyond this index require email verification.
     pub email_wall_after_page: Option<usize>,
+    /// Fault injection: the detail route answers 304 to *any*
+    /// `if-none-match`, even when the content drifted underneath — a
+    /// misbehaving origin whose validators cannot be trusted.
+    pub stale_validators: bool,
 }
 
 impl Default for SiteConfig {
@@ -40,6 +44,7 @@ impl Default for SiteConfig {
             captcha_every: Some(40),
             rate_limit: Some((10, 5.0)),
             email_wall_after_page: Some(200),
+            stale_validators: false,
         }
     }
 }
@@ -52,8 +57,25 @@ impl SiteConfig {
             captcha_every: None,
             rate_limit: None,
             email_wall_after_page: None,
+            stale_validators: false,
         }
     }
+}
+
+/// FNV-1a over the content fields that feed a render, with a separator
+/// between parts. Computed *before* rendering, so a validator match skips
+/// the render (the expensive half of serving a page) entirely.
+pub(crate) fn content_etag(parts: &[&[u8]]) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for part in parts {
+        for &b in *part {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h ^= 0xff;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("v1-{h:016x}")
 }
 
 struct ClientState {
@@ -70,6 +92,11 @@ struct SiteInner {
     clients: BTreeMap<String, ClientState>,
     /// Consumed pass tokens (single-use).
     used_passes: BTreeMap<String, bool>,
+    /// The epoch this mounted world serves (0 = frozen snapshot).
+    change_epoch: u32,
+    /// Crawl-visible change ledger: epoch step → listing ids whose crawl
+    /// bytes changed in that step. Feeds the `/changed` endpoint.
+    change_log: BTreeMap<u32, Vec<u64>>,
 }
 
 /// The listing site. Clone-and-mount.
@@ -96,6 +123,8 @@ impl BotListSite {
                 captcha: CaptchaBank::new(),
                 clients: BTreeMap::new(),
                 used_passes: BTreeMap::new(),
+                change_epoch: 0,
+                change_log: BTreeMap::new(),
             })),
         }
     }
@@ -114,6 +143,44 @@ impl BotListSite {
     /// Number of listings.
     pub fn listing_count(&self) -> usize {
         self.inner.lock().listings.len()
+    }
+
+    /// Install the crawl-visible change ledger served by `/changed`:
+    /// `log[e]` holds the listing ids whose crawl bytes changed in epoch
+    /// step `e`, and `epoch` is the epoch this mounted world serves. A
+    /// site without a ledger reports every epoch as unchanged — exactly
+    /// right for the frozen epoch-0 world.
+    pub fn set_change_log(&self, epoch: u32, log: BTreeMap<u32, Vec<u64>>) {
+        let mut inner = self.inner.lock();
+        inner.change_epoch = epoch;
+        inner.change_log = log;
+    }
+
+    fn list_etag(inner: &SiteInner, page: usize) -> String {
+        let start = page.saturating_mul(inner.config.page_size);
+        let total_pages = inner.listings.len().div_ceil(inner.config.page_size).max(1);
+        let mut parts: Vec<Vec<u8>> = vec![
+            page.to_le_bytes().to_vec(),
+            total_pages.to_le_bytes().to_vec(),
+        ];
+        for l in inner
+            .listings
+            .iter()
+            .skip(start)
+            .take(inner.config.page_size)
+        {
+            parts.push(l.id.to_le_bytes().to_vec());
+            parts.push(l.name.clone().into_bytes());
+            parts.push(l.vote_count.to_le_bytes().to_vec());
+        }
+        let refs: Vec<&[u8]> = parts.iter().map(|p| p.as_slice()).collect();
+        content_etag(&refs)
+    }
+
+    fn detail_etag(listing: &BotListing) -> String {
+        // Every listing field feeds the detail render, so the debug
+        // projection (deterministic, field-complete) is the validator.
+        content_etag(&[format!("{listing:?}").as_bytes()])
     }
 
     fn render_list_page(inner: &SiteInner, page: usize) -> String {
@@ -178,6 +245,98 @@ impl BotListSite {
         render_document(&doc)
     }
 
+    /// The community rail every detail page drags along: reviews, a vote
+    /// sparkline, and a related-bots strip. Real listing sites bury the
+    /// handful of fields an auditor extracts (§3) under exactly this kind
+    /// of markup, and the crawler never parses any of it — which is what
+    /// a conditional fetch exploits: a 304 skips bytes the cold path must
+    /// download and tokenize. Content is derived from the listing fields
+    /// alone, so it drifts if and only if the listing drifts and the
+    /// page's validator stays honest.
+    fn render_community_rail(listing: &BotListing) -> ElementBuilder {
+        const ADJ: [&str; 8] = [
+            "reliable",
+            "laggy",
+            "helpful",
+            "spammy",
+            "clean",
+            "clunky",
+            "snappy",
+            "essential",
+        ];
+        const VERB: [&str; 8] = [
+            "moderates",
+            "responds",
+            "crashes",
+            "integrates",
+            "logs",
+            "pings",
+            "automates",
+            "translates",
+        ];
+        let mut reviews = el("div").class("reviews");
+        let n_reviews = 8 + (listing.id % 5) as usize;
+        for i in 0..n_reviews {
+            let r = netsim::splitmix(listing.id, 0x9e37 + i as u64);
+            let stars = 1 + (r % 5);
+            let body = format!(
+                "{name} is {a0} and {verb} {a1} guilds without fuss; after {days} days \
+                 running {cmd} across {guilds} servers it still feels {a2}. {tail}",
+                name = listing.name,
+                a0 = ADJ[(r >> 3) as usize % ADJ.len()],
+                verb = VERB[(r >> 7) as usize % VERB.len()],
+                a1 = ADJ[(r >> 11) as usize % ADJ.len()],
+                days = 3 + (r >> 15) % 900,
+                cmd = listing
+                    .commands
+                    .get((r >> 5) as usize % listing.commands.len().max(1))
+                    .map(String::as_str)
+                    .unwrap_or("!help"),
+                guilds = 1 + (r >> 23) % 40,
+                a2 = ADJ[(r >> 27) as usize % ADJ.len()],
+                tail = if stars >= 4 {
+                    "Would recommend to any server owner looking for an upgrade."
+                } else {
+                    "Support never answered my ticket, so weigh that before installing."
+                },
+            );
+            reviews = reviews.child(
+                el("article")
+                    .class("review")
+                    .attr("data-stars", &stars.to_string())
+                    .child(
+                        el("span")
+                            .class("reviewer")
+                            .text(format!("user{}", r % 100_000)),
+                    )
+                    .child(el("p").class("review-body").text(body)),
+            );
+        }
+        let votes = el("ul").class("vote-history").children((0..30u64).map(|w| {
+            let v = netsim::splitmix(listing.id ^ listing.vote_count, w);
+            el("li")
+                .attr("data-week", &w.to_string())
+                .text((listing.vote_count.saturating_sub(v % 97)).to_string())
+        }));
+        let related = el("ul").class("related-bots").children((0..12u64).map(|k| {
+            let r = netsim::splitmix(listing.id, 0xbeef + k);
+            el("li").child(
+                el("a")
+                    .attr("href", &format!("/bot/{}", 1 + r % 4096))
+                    .text(format!(
+                        "{}Bot{}",
+                        ADJ[(r >> 9) as usize % ADJ.len()],
+                        r % 997
+                    )),
+            )
+        }));
+        el("aside")
+            .class("community-rail")
+            .child(reviews)
+            .child(votes)
+            .child(related)
+    }
+
     fn render_detail_page(listing: &BotListing) -> String {
         // Detail pages also come in two structure variants (§3: "some of
         // the repositories have varying page structures"). Variant choice
@@ -239,7 +398,11 @@ impl BotListSite {
         let doc = Document::new(
             el("html")
                 .child(el("head").child(el("title").text(listing.name.clone())))
-                .child(el("body").child(bot))
+                .child(
+                    el("body")
+                        .child(bot)
+                        .child(Self::render_community_rail(listing)),
+                )
                 .build(),
         );
         render_document(&doc)
@@ -309,7 +472,11 @@ impl BotListSite {
         let doc = Document::new(
             el("html")
                 .child(el("head").child(el("title").text(listing.name.clone())))
-                .child(el("body").child(card))
+                .child(
+                    el("body")
+                        .child(card)
+                        .child(Self::render_community_rail(listing)),
+                )
                 .build(),
         );
         render_document(&doc)
@@ -389,6 +556,42 @@ impl Service for BotListSite {
                 state.email_verified = true;
                 return Response::ok("verified");
             }
+            // Changed-since ledger: a lightweight API view (no captcha
+            // spend) listing the bots whose crawl bytes changed after the
+            // requested epoch, one `/bot/{id}` href per line, paginated.
+            (Method::Get, "/changed") => {
+                let since: u32 = req
+                    .url
+                    .query_param("since")
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(0);
+                let page: usize = req
+                    .url
+                    .query_param("page")
+                    .and_then(|p| p.parse().ok())
+                    .unwrap_or(0);
+                let mut ids: Vec<u64> = inner
+                    .change_log
+                    .iter()
+                    .filter(|(e, _)| **e > since)
+                    .flat_map(|(_, ids)| ids.iter().copied())
+                    .collect();
+                ids.sort_unstable();
+                ids.dedup();
+                let page_size = config.page_size;
+                let total_pages = ids.len().div_ceil(page_size).max(1);
+                let body = ids
+                    .iter()
+                    .skip(page.saturating_mul(page_size))
+                    .take(page_size)
+                    .map(|id| format!("/bot/{id}"))
+                    .collect::<Vec<_>>()
+                    .join("\n");
+                return Response::ok(body)
+                    .with_header("content-type", "text/plain")
+                    .with_header("x-total-pages", &total_pages.to_string())
+                    .with_header("x-changed-epoch", &inner.change_epoch.to_string());
+            }
             _ => {}
         }
 
@@ -424,12 +627,30 @@ impl Service for BotListSite {
                         return Response::status(Status::Unauthorized);
                     }
                 }
+                // Validator check runs after the defenses (a cached copy
+                // does not excuse you from the gauntlet) but before the
+                // render — the saving a 304 buys.
+                let etag = Self::list_etag(inner, page);
+                if req.header("if-none-match") == Some(etag.as_str()) {
+                    return Response::not_modified(&etag);
+                }
                 Response::ok(Self::render_list_page(inner, page))
                     .with_header("content-type", "text/html")
+                    .with_header("etag", &etag)
             }
             ["bot", id] => match id.parse::<u64>().ok().and_then(|id| inner.by_id.get(&id)) {
-                Some(&idx) => Response::ok(Self::render_detail_page(&inner.listings[idx]))
-                    .with_header("content-type", "text/html"),
+                Some(&idx) => {
+                    let listing = &inner.listings[idx];
+                    let etag = Self::detail_etag(listing);
+                    if let Some(tag) = req.header("if-none-match") {
+                        if config.stale_validators || tag == etag {
+                            return Response::not_modified(&etag);
+                        }
+                    }
+                    Response::ok(Self::render_detail_page(listing))
+                        .with_header("content-type", "text/html")
+                        .with_header("etag", &etag)
+                }
                 None => Response::status(Status::NotFound),
             },
             _ => Response::status(Status::NotFound),

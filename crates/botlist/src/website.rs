@@ -6,6 +6,7 @@
 //! a small homepage that may or may not link a `/privacy` page, and that
 //! page may itself be a valid document or a dead link.
 
+use crate::site::content_etag;
 use htmlsim::build::el;
 use htmlsim::render::render_document;
 use htmlsim::Document;
@@ -72,6 +73,20 @@ impl BotWebsite {
         render_document(&doc)
     }
 
+    /// Homepage validator: name + whether a policy link is shown — the
+    /// only two inputs the homepage render consumes.
+    fn homepage_etag(&self) -> String {
+        let linked = !matches!(self.hosting, PolicyHosting::None);
+        content_etag(&[self.bot_name.as_bytes(), &[linked as u8]])
+    }
+
+    /// Privacy-page validator over the document's full content.
+    fn privacy_etag(policy: &PrivacyPolicy) -> String {
+        let mut parts: Vec<&[u8]> = vec![policy.title.as_bytes()];
+        parts.extend(policy.sections.iter().map(|s| s.as_bytes()));
+        content_etag(&parts)
+    }
+
     fn privacy_page(policy: &PrivacyPolicy) -> String {
         let doc = Document::new(
             el("html")
@@ -95,10 +110,25 @@ impl BotWebsite {
 impl Service for BotWebsite {
     fn handle(&mut self, req: &Request, _ctx: &mut ServiceCtx<'_>) -> Response {
         match req.url.path.as_str() {
-            "/" => Response::ok(self.homepage()).with_header("content-type", "text/html"),
+            "/" => {
+                let etag = self.homepage_etag();
+                if req.header("if-none-match") == Some(etag.as_str()) {
+                    return Response::not_modified(&etag);
+                }
+                Response::ok(self.homepage())
+                    .with_header("content-type", "text/html")
+                    .with_header("etag", &etag)
+            }
             "/privacy" => match &self.hosting {
-                PolicyHosting::Linked(policy) => Response::ok(Self::privacy_page(policy))
-                    .with_header("content-type", "text/html"),
+                PolicyHosting::Linked(policy) => {
+                    let etag = Self::privacy_etag(policy);
+                    if req.header("if-none-match") == Some(etag.as_str()) {
+                        return Response::not_modified(&etag);
+                    }
+                    Response::ok(Self::privacy_page(policy))
+                        .with_header("content-type", "text/html")
+                        .with_header("etag", &etag)
+                }
                 PolicyHosting::DeadLink => Response::status(Status::NotFound),
                 PolicyHosting::None => Response::status(Status::NotFound),
             },

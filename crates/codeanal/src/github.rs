@@ -86,6 +86,39 @@ impl GitHubSite {
         Url::https(GITHUB_HOST, &format!("/{owner}"))
     }
 
+    /// FNV-1a content validator over the inputs that feed a view's render,
+    /// computed before rendering so a 304 skips the render entirely.
+    fn view_etag(parts: &[&[u8]]) -> String {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for part in parts {
+            for &b in *part {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            h ^= 0xff;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        format!("v1-{h:016x}")
+    }
+
+    fn repo_etag(repo: &Repository) -> String {
+        let mut parts: Vec<&[u8]> = vec![repo.slug.as_bytes(), repo.description.as_bytes()];
+        for f in &repo.files {
+            parts.push(f.path.as_bytes());
+            parts.push(f.content.as_bytes());
+        }
+        Self::view_etag(&parts)
+    }
+
+    /// Conditional-GET aware wrapper: 304 on a validator match, otherwise
+    /// the rendered body stamped with its validator.
+    fn serve(req: &Request, etag: String, render: impl FnOnce() -> Response) -> Response {
+        if req.header("if-none-match") == Some(etag.as_str()) {
+            return Response::not_modified(&etag);
+        }
+        render().with_header("etag", &etag)
+    }
+
     fn render_repo(repo: &Repository) -> String {
         let lang_badge = repo
             .main_language()
@@ -149,15 +182,23 @@ impl Service for GitHubSite {
         let segments = req.url.segments();
         match segments.as_slice() {
             [owner] => match inner.profiles.get(*owner) {
-                Some(slugs) => Response::ok(Self::render_profile(owner, slugs))
-                    .with_header("content-type", "text/html"),
+                Some(slugs) => {
+                    let mut parts: Vec<&[u8]> = vec![owner.as_bytes()];
+                    parts.extend(slugs.iter().map(|s| s.as_bytes()));
+                    Self::serve(req, Self::view_etag(&parts), || {
+                        Response::ok(Self::render_profile(owner, slugs))
+                            .with_header("content-type", "text/html")
+                    })
+                }
                 None => Response::status(Status::NotFound),
             },
             [owner, name] => {
                 let slug = format!("{owner}/{name}");
                 match inner.repos.get(&slug) {
-                    Some(repo) => Response::ok(Self::render_repo(repo))
-                        .with_header("content-type", "text/html"),
+                    Some(repo) => Self::serve(req, Self::repo_etag(repo), || {
+                        Response::ok(Self::render_repo(repo))
+                            .with_header("content-type", "text/html")
+                    }),
                     None => Response::status(Status::NotFound),
                 }
             }
@@ -169,7 +210,11 @@ impl Service for GitHubSite {
                     .get(&slug)
                     .and_then(|r| r.files.iter().find(|f| f.path == path))
                 {
-                    Some(file) => Response::ok(file.content.clone()),
+                    Some(file) => {
+                        Self::serve(req, Self::view_etag(&[file.content.as_bytes()]), || {
+                            Response::ok(file.content.clone())
+                        })
+                    }
                     None => Response::status(Status::NotFound),
                 }
             }

@@ -129,12 +129,20 @@ impl Audit {
     /// alongside the report. The fleet service uses this to journal each
     /// tenant's runs into that tenant's scoped slice of a shared backend
     /// and to observe artifact-cache hit rates for incremental re-audits.
+    ///
+    /// This is the conditional-fetch path: the tenant's validator cache
+    /// (journaled next to the artifact pack) plus the site's change ledger
+    /// turn an epoch-N+1 re-audit into 304 probes for everything the
+    /// ledger left alone, full fetches only for the drifted bots, and
+    /// replayed guild transcripts for every undrifted honeypot sample.
     pub(crate) fn run_scoped(
         &self,
         store: &StoreConfig,
     ) -> Result<(CanonicalReport, StoreStats), AuditError> {
         let eco = self.world();
-        let outcome = self.pipeline().run_resumable(&eco, store, self.eco.seed)?;
+        let outcome = self
+            .pipeline()
+            .run_incremental(&eco, store, self.eco.seed, self.epoch)?;
         Ok((outcome.report.canonical(), outcome.store_stats))
     }
 }
@@ -194,6 +202,15 @@ impl AuditBuilder {
             self.eco.rate_limit = None;
             self.eco.email_wall_after_page = None;
         }
+        self
+    }
+
+    /// Fault injection: the listing site's validators lie — conditional
+    /// fetches answer 304 even for pages whose content drifted. The
+    /// incremental crawl must never trust a validator for a page the
+    /// change ledger names, so audits stay byte-identical regardless.
+    pub fn stale_validators(mut self, stale: bool) -> Self {
+        self.eco.stale_validators = stale;
         self
     }
 

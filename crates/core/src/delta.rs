@@ -155,6 +155,40 @@ impl DeltaReport {
         delta
     }
 
+    /// Bots whose *crawled* record moved — the drift an incremental
+    /// crawler can see from listing pages alone. Every entry of
+    /// [`Self::drifted`] qualifies: a [`CanonicalBot`] only holds fields
+    /// derived from the bot's pages (and the static/policy analyses of
+    /// them), so any change here was crawl-visible. These are exactly the
+    /// pages a warm re-audit pays a full fetch for.
+    pub fn crawl_visible(&self) -> &[String] {
+        &self.drifted
+    }
+
+    /// Bots that moved only in *dynamic analysis* — honeypot detections
+    /// appeared or resolved while every crawled byte stayed identical
+    /// (e.g. a behavior flip: the listing page never mentions what the
+    /// bot does with a token). A warm re-audit still catches these
+    /// because honeypot guilds are keyed by behavior class, not by page
+    /// content alone; the crawl layer contributes nothing to them.
+    pub fn analysis_only(&self) -> Vec<String> {
+        let moved = |name: &String| {
+            !self.drifted.contains(name)
+                && !self.appeared.contains(name)
+                && !self.disappeared.contains(name)
+        };
+        let mut names: Vec<String> = self
+            .new_detections
+            .iter()
+            .chain(self.resolved_detections.iter())
+            .filter(|n| moved(n))
+            .cloned()
+            .collect();
+        names.sort_unstable();
+        names.dedup();
+        names
+    }
+
     /// Whether the two reports were observably identical.
     pub fn is_empty(&self) -> bool {
         self.drifted.is_empty()
@@ -217,6 +251,54 @@ mod tests {
         // Permission creep only ever adds bits.
         for change in &d.permission_changes {
             assert!(change.removed.is_empty(), "{change:?}");
+        }
+    }
+
+    #[test]
+    fn crawl_visible_and_analysis_only_partition_the_drift() {
+        // Behavior flips only: no crawled byte moves, but honeypot
+        // detections can appear or resolve — pure analysis-only drift.
+        let job = |epoch: u32| {
+            Audit::builder()
+                .scale(40)
+                .seed(2022)
+                .honeypot_sample(10)
+                .site_defenses(false)
+                .drift(synth::DriftConfig {
+                    permission_creep: 0.0,
+                    policy_churn: 0.0,
+                    github_churn: 0.0,
+                    behavior_churn: 0.5,
+                })
+                .epoch(epoch)
+                .build()
+                .unwrap()
+                .run()
+                .unwrap()
+        };
+        let d = DeltaReport::between(&job(0), &job(1));
+        assert!(
+            d.drifted.is_empty(),
+            "behavior flips must not touch crawled records: {:?}",
+            d.drifted
+        );
+        assert_eq!(d.crawl_visible(), &[] as &[String]);
+        let analysis = d.analysis_only();
+        assert!(
+            !analysis.is_empty(),
+            "a 50% flip rate over 10 sampled bots must move a detection"
+        );
+        for name in &analysis {
+            assert!(!d.crawl_visible().contains(name));
+        }
+
+        // Mixed drift: the two views stay disjoint.
+        let r0 = report(0);
+        let r1 = report(1);
+        let mixed = DeltaReport::between(&r0, &r1);
+        assert_eq!(mixed.crawl_visible(), mixed.drifted.as_slice());
+        for name in mixed.analysis_only() {
+            assert!(!mixed.crawl_visible().contains(&name), "{name} in both");
         }
     }
 

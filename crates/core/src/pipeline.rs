@@ -13,7 +13,7 @@ use codeanal::github::LinkOutcome;
 use codeanal::scanner::{scan_repository, ScanReport};
 use codeanal::{Language, LinkCache, ScannerKernelStats};
 use crawler::crawl::{crawl_listing_traced, resolve_workers, CrawlConfig, CrawlStats, CrawledBot};
-use honeypot::campaign::{BotUnderTest, Campaign, CampaignConfig, CampaignReport};
+use honeypot::campaign::{BotUnderTest, Campaign, CampaignConfig, CampaignReport, GuildSnapshot};
 use netsim::client::{ClientConfig, HttpClient};
 use netsim::Network;
 use obs::{Obs, Span};
@@ -354,24 +354,55 @@ impl AuditPipeline {
     /// Opens a `dynamic` root span on the pipeline's [`Obs`]; the campaign
     /// traces under it with per-guild children and `honeypot.*` metrics.
     pub fn run_honeypot(&self, eco: &Ecosystem) -> CampaignReport {
+        self.run_honeypot_with_reuse(eco, &std::collections::BTreeMap::new())
+            .0
+    }
+
+    /// The honeypot sample, each bot paired with its behaviour-class name.
+    /// The class name joins the bot's name and rendered invite URL as the
+    /// identity a cached guild transcript is keyed on — together they are
+    /// exactly the inputs that shape the guild's phase-2 transcript, so any
+    /// drift that could change the campaign's observation (a behaviour
+    /// flip, a permission-creeped invite) moves the key.
+    pub(crate) fn honeypot_sample(&self, eco: &Ecosystem) -> Vec<(BotUnderTest, String)> {
+        eco.most_voted_testable(self.config.honeypot_sample)
+            .into_iter()
+            .map(|(truth, invite, bot_user, behavior)| {
+                let class = format!("{:?}", truth.behavior);
+                (
+                    BotUnderTest {
+                        name: truth.name,
+                        client_id: truth.client_id,
+                        bot_user,
+                        invite,
+                        behavior,
+                    },
+                    class,
+                )
+            })
+            .collect()
+    }
+
+    /// [`Self::run_honeypot`] with prior-run guild transcripts attached:
+    /// bots named in `reuse` are set up but never re-driven, and the
+    /// returned snapshots (one per tested bot) feed the next re-audit.
+    pub fn run_honeypot_with_reuse(
+        &self,
+        eco: &Ecosystem,
+        reuse: &std::collections::BTreeMap<String, GuildSnapshot>,
+    ) -> (CampaignReport, Vec<GuildSnapshot>) {
         let root = self.obs.span("dynamic");
         let mut campaign = Campaign::new(
             eco.platform.clone(),
             eco.net.clone(),
             self.config.honeypot.clone(),
         );
-        let bots: Vec<BotUnderTest> = eco
-            .most_voted_testable(self.config.honeypot_sample)
+        let bots: Vec<BotUnderTest> = self
+            .honeypot_sample(eco)
             .into_iter()
-            .map(|(truth, invite, bot_user, behavior)| BotUnderTest {
-                name: truth.name,
-                client_id: truth.client_id,
-                bot_user,
-                invite,
-                behavior,
-            })
+            .map(|(but, _)| but)
             .collect();
-        campaign.run_traced(bots, &self.obs, &root)
+        campaign.run_traced_with_reuse(bots, &self.obs, &root, reuse)
     }
 
     /// Run everything.

@@ -31,15 +31,22 @@ use crawler::crawl::{
     crawl_detail_unit_traced, discover_listing_traced, resolve_workers, CrawlStats, CrawledBot,
     DetailUnit, ListingIndex, SessionOverhead,
 };
-use honeypot::campaign::CampaignReport;
+use crawler::incremental::{
+    crawl_detail_unit_validated, discover_listing_validated, fetch_changed_hrefs, ValidatorStore,
+};
+use honeypot::campaign::{CampaignReport, GuildSnapshot};
 use obs::Severity;
 use parking_lot::Mutex;
 use policy::{AnalysisMemo, DataPractice, TraceabilityReport};
 use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
-use store::{AuditStore, Backend, ContentHash, DiskBackend, MemBackend, StoreError, StoreStats};
+use store::{
+    AuditStore, Backend, ContentHash, DiskBackend, MemBackend, StoreError, StoreStats,
+    ValidatorCache,
+};
 use synth::Ecosystem;
 
 /// Journal frame kind: the merged listing index (phase A). Key 0.
@@ -203,7 +210,65 @@ pub fn run_fingerprint(config: &AuditConfig, world_seed: u64) -> u64 {
 /// invite outcome) or to the analyzers' configuration moves the address.
 fn artifact_key(fingerprint: u64, bot: &CrawledBot) -> ContentHash {
     let bytes = serde_json::to_vec(bot).expect("crawled bot serializes");
-    ContentHash::of_parts(&[b"analysis-v1", &fingerprint.to_le_bytes(), &bytes])
+    artifact_key_raw(fingerprint, &bytes)
+}
+
+/// [`artifact_key`] over an existing `serde_json::to_vec` encoding of the
+/// bot. The warm crawl hands these bytes back (cached or freshly written),
+/// so keying from them skips a per-bot re-serialization while producing
+/// the identical hash a cold run computes from the struct.
+fn artifact_key_raw(fingerprint: u64, bot_json: &[u8]) -> ContentHash {
+    ContentHash::of_parts(&[b"analysis-v1", &fingerprint.to_le_bytes(), bot_json])
+}
+
+/// Everything the warm crawl path carries: the tenant's journaled
+/// validator cache, the set of detail hrefs the site's change ledger names
+/// since the cache's committed epoch, and the epoch to commit once the
+/// crawl completes. Absent (`None` at the call sites) the pipeline crawls
+/// cold — incrementality is a performance overlay, never a correctness
+/// dependency.
+pub(crate) struct IncrementalContext {
+    cache: Arc<ValidatorCache>,
+    changed: BTreeSet<String>,
+    epoch: u32,
+}
+
+/// [`ValidatorStore`] over the journaled [`ValidatorCache`]. Write failures
+/// are swallowed: validators are performance state — a lost entry costs an
+/// extra full fetch on the next run, never a wrong crawl.
+struct CacheStore(Arc<ValidatorCache>);
+
+impl ValidatorStore for CacheStore {
+    fn get(&self, key: &str) -> Option<Vec<u8>> {
+        self.0.get(key)
+    }
+
+    fn put(&self, key: &str, value: &[u8]) {
+        let _ = self.0.put(key, value);
+    }
+}
+
+/// The content address of one honeypot guild's cached transcript. Keyed on
+/// everything that shapes the guild's phase-2 run: the run fingerprint
+/// (campaign config, seeds), the bot's RNG-stream index in bot-name order,
+/// and the bot's identity — name, rendered invite URL, behaviour class. A
+/// behaviour flip or permission-creeped invite moves the address, so a
+/// drifted bot can never replay a stale transcript.
+fn guild_snapshot_key(
+    fingerprint: u64,
+    index: usize,
+    name: &str,
+    invite: &str,
+    behavior_class: &str,
+) -> ContentHash {
+    ContentHash::of_parts(&[
+        b"honeypot-guild-v1",
+        &fingerprint.to_le_bytes(),
+        &(index as u64).to_le_bytes(),
+        name.as_bytes(),
+        invite.as_bytes(),
+        behavior_class.as_bytes(),
+    ])
 }
 
 fn record(store: &AuditStore, kind: u16, key: u64, payload: Vec<u8>) -> Result<(), ResumeError> {
@@ -238,6 +303,49 @@ impl AuditPipeline {
         self.run_with_store(eco, &store, fingerprint)
     }
 
+    /// [`Self::run_resumable`] with the conditional-fetch warm path armed.
+    ///
+    /// Opens the tenant's validator cache next to the artifact pack, asks
+    /// the listing site which bots changed since the cache's committed
+    /// epoch, and routes the crawl through the validated variants: an
+    /// unchanged page costs one bodyless 304 round-trip, a ledger-named
+    /// page is always re-fetched in full. If the change feed is
+    /// unreachable or the cache cannot open, the run silently degrades to
+    /// the cold path — the report is byte-identical either way.
+    pub fn run_incremental(
+        &self,
+        eco: &Ecosystem,
+        store_cfg: &StoreConfig,
+        world_seed: u64,
+        epoch: u32,
+    ) -> Result<ResumableOutcome, ResumeError> {
+        let fingerprint = run_fingerprint(&self.config, world_seed);
+        let store = AuditStore::open(store_cfg.backend.clone(), fingerprint, store_cfg.resume)
+            .map_err(ResumeError::Store)?;
+        if let Some(frames) = store_cfg.kill_after_frames {
+            store.set_kill_after(frames);
+        }
+        let inc = ValidatorCache::open(store_cfg.backend.clone(), fingerprint)
+            .ok()
+            .map(Arc::new)
+            .and_then(|cache| {
+                let changed = fetch_changed_hrefs(&eco.net, cache.epoch(), &self.obs)?;
+                Some(IncrementalContext {
+                    cache,
+                    changed,
+                    epoch,
+                })
+            });
+        if inc.is_none() {
+            self.obs.event(
+                Severity::Warn,
+                "crawl.incremental",
+                "change feed unavailable — crawling cold",
+            );
+        }
+        self.run_with_store_inner(eco, &store, fingerprint, inc.as_ref())
+    }
+
     /// [`Self::run_resumable`] against an already-open store handle. Tests
     /// use this to crash and resume on one in-memory backend.
     pub fn run_with_store(
@@ -245,6 +353,16 @@ impl AuditPipeline {
         eco: &Ecosystem,
         store: &AuditStore,
         fingerprint: u64,
+    ) -> Result<ResumableOutcome, ResumeError> {
+        self.run_with_store_inner(eco, store, fingerprint, None)
+    }
+
+    fn run_with_store_inner(
+        &self,
+        eco: &Ecosystem,
+        store: &AuditStore,
+        fingerprint: u64,
+        inc: Option<&IncrementalContext>,
     ) -> Result<ResumableOutcome, ResumeError> {
         let net = &eco.net;
         let clock = net.clock();
@@ -260,10 +378,27 @@ impl AuditPipeline {
                 serde_json::from_slice(&bytes).expect("listing frame decodes")
             }
             None => {
-                let listing = discover_listing_traced(net, &self.config.crawl, &self.obs, &root);
-                let bytes = serde_json::to_vec(&listing).expect("listing serializes");
-                record(store, K_LISTING, 0, bytes)?;
-                listing
+                // With the validator cache armed, the cache itself is the
+                // crash-safe carrier for crawl state: a resumed run replays
+                // validators and 304s its way back in less time than the
+                // journal frame costs to serialize, so the crawl stages
+                // journal nothing.
+                match inc {
+                    Some(ctx) => discover_listing_validated(
+                        net,
+                        &self.config.crawl,
+                        &CacheStore(ctx.cache.clone()),
+                        &self.obs,
+                        &root,
+                    ),
+                    None => {
+                        let listing =
+                            discover_listing_traced(net, &self.config.crawl, &self.obs, &root);
+                        let bytes = serde_json::to_vec(&listing).expect("listing serializes");
+                        record(store, K_LISTING, 0, bytes)?;
+                        listing
+                    }
+                }
             }
         };
 
@@ -278,19 +413,36 @@ impl AuditPipeline {
                     units_span
                         .child_keyed("unit", unit as u64)
                         .record("replayed", 1);
-                    Ok(serde_json::from_slice(&bytes).expect("crawl unit frame decodes"))
+                    let decoded: DetailUnit =
+                        serde_json::from_slice(&bytes).expect("crawl unit frame decodes");
+                    Ok((decoded, Vec::new()))
                 }
                 None => {
-                    let out = crawl_detail_unit_traced(
-                        net,
-                        &self.config.crawl,
-                        chunks[unit],
-                        unit as u64,
-                        &self.obs,
-                        &units_span,
-                    );
-                    let bytes = serde_json::to_vec(&out).expect("crawl unit serializes");
-                    record(store, K_CRAWL_UNIT, unit as u64, bytes)?;
+                    let out = match inc {
+                        Some(ctx) => crawl_detail_unit_validated(
+                            net,
+                            &self.config.crawl,
+                            chunks[unit],
+                            unit as u64,
+                            &CacheStore(ctx.cache.clone()),
+                            &ctx.changed,
+                            &self.obs,
+                            &units_span,
+                        ),
+                        None => {
+                            let out = crawl_detail_unit_traced(
+                                net,
+                                &self.config.crawl,
+                                chunks[unit],
+                                unit as u64,
+                                &self.obs,
+                                &units_span,
+                            );
+                            let bytes = serde_json::to_vec(&out).expect("crawl unit serializes");
+                            record(store, K_CRAWL_UNIT, unit as u64, bytes)?;
+                            (out, Vec::new())
+                        }
+                    };
                     Ok(out)
                 }
             }
@@ -304,17 +456,29 @@ impl AuditPipeline {
         };
         let mut overhead = listing.overhead;
         let mut crawled: Vec<CrawledBot> = Vec::with_capacity(listing.hrefs.len());
-        for DetailUnit {
-            results,
-            overhead: unit_overhead,
-        } in units
+        // Raw serialized bytes per crawled bot, aligned with `crawled`. The
+        // validated crawl hands these back (cache bodies for 304'd bots,
+        // fresh serializations for fetched ones) so the analysis stage can
+        // hash artifact keys without re-serializing every bot; the plain and
+        // replayed paths return no bytes and fall back to serializing.
+        let mut raws: Vec<Option<Vec<u8>>> = Vec::with_capacity(listing.hrefs.len());
+        for (
+            DetailUnit {
+                results,
+                overhead: unit_overhead,
+            },
+            raw,
+        ) in units
         {
             overhead.absorb(&unit_overhead);
+            let mut raw = raw.into_iter().chain(std::iter::repeat_with(|| None));
             for result in results {
+                let bytes = raw.next().expect("padded iterator never ends");
                 match result {
                     Some(bot) => {
                         crawl_stats.bots += 1;
                         crawled.push(bot);
+                        raws.push(bytes);
                     }
                     None => crawl_stats.failures += 1,
                 }
@@ -329,6 +493,31 @@ impl AuditPipeline {
         crawl_stats.captcha_spend_dollars = captcha_spend_dollars;
         crawl_stats.email_verifications = email_verifications;
 
+        // The crawl is complete: every validator entry now reflects this
+        // epoch's content, so advance the cache's committed epoch. A crash
+        // before this line leaves the older epoch on disk — the next run's
+        // changed set is then a superset of the truth, which costs extra
+        // fetches but can never reuse stale bytes.
+        if let Some(ctx) = inc {
+            if let Err(e) = ctx.cache.commit_epoch(ctx.epoch) {
+                self.obs.event(
+                    Severity::Warn,
+                    "store.validators",
+                    format!("epoch commit failed: {e}"),
+                );
+            }
+            let vstats = ctx.cache.stats();
+            self.obs
+                .counter("store.validators.entries")
+                .add(vstats.entries);
+            self.obs
+                .counter("store.validators.replayed")
+                .add(vstats.replayed);
+            if vstats.reset {
+                self.obs.counter("store.validators.reset").incr();
+            }
+        }
+
         // --- Stages 2/3: per-bot analysis through the artifact cache.
         let policy_before = self.config.ontology.kernel_stats();
         let code_before = codeanal::scanner_kernel_stats();
@@ -340,13 +529,17 @@ impl AuditPipeline {
         let gh_clients: Mutex<Vec<netsim::client::HttpClient>> = Mutex::new(Vec::new());
         let analysis_span = root.child("analysis");
         let analysis_span_ref = &analysis_span;
+        let raws_ref = &raws;
         let bots = self.run_unit_pool(jobs.len(), |idx| {
             let bot_span = analysis_span_ref.child_keyed("bot", idx as u64);
             let bot = jobs[idx].lock().take().expect("job claimed once");
             let key = match store.lookup_unit(K_ANALYSIS, idx as u64) {
                 Some(payload) => ContentHash::from_bytes(&payload)
                     .expect("analysis frame payload is a content hash"),
-                None => artifact_key(fingerprint, &bot),
+                None => match raws_ref[idx].as_deref() {
+                    Some(bytes) => artifact_key_raw(fingerprint, bytes),
+                    None => artifact_key(fingerprint, &bot),
+                },
             };
             let artifact: AnalysisArtifact = match store.artifact_get(&key) {
                 Some(blob) => {
@@ -397,7 +590,10 @@ impl AuditPipeline {
                 serde_json::from_slice(&bytes).expect("honeypot frame decodes")
             }
             None => {
-                let report = self.run_honeypot(eco);
+                let report = match inc {
+                    Some(_) => self.run_honeypot_reusing(eco, store, fingerprint),
+                    None => self.run_honeypot(eco),
+                };
                 let bytes = serde_json::to_vec(&report).expect("campaign serializes");
                 record(store, K_HONEYPOT, 0, bytes)?;
                 report
@@ -431,6 +627,66 @@ impl AuditPipeline {
             },
             store_stats,
         })
+    }
+
+    /// Drift-aware honeypot stage: guild transcripts live in the artifact
+    /// pack under [`guild_snapshot_key`] addresses, so a re-audit re-drives
+    /// only the guilds whose bot identity (name, invite, behaviour class)
+    /// moved — every other guild's transcript is replayed from the pack.
+    /// Snapshot lookups use [`AuditStore::artifact_peek`] and report on
+    /// `honeypot.guilds_reused`, keeping the artifact hit/miss counters an
+    /// exact census of per-bot analyses.
+    fn run_honeypot_reusing(
+        &self,
+        eco: &Ecosystem,
+        store: &AuditStore,
+        fingerprint: u64,
+    ) -> CampaignReport {
+        let sample = self.honeypot_sample(eco);
+        // The RNG-stream selector is the bot's position in bot-name order —
+        // the same index the campaign assigns after sorting its jobs.
+        let mut names: Vec<&str> = sample.iter().map(|(but, _)| but.name.as_str()).collect();
+        names.sort_unstable();
+        let keyed: Vec<(String, ContentHash)> = sample
+            .iter()
+            .map(|(but, class)| {
+                let index = names
+                    .binary_search(&but.name.as_str())
+                    .expect("sampled bot is in its own name list");
+                let invite = but.invite.to_url().to_string();
+                (
+                    but.name.clone(),
+                    guild_snapshot_key(fingerprint, index, &but.name, &invite, class),
+                )
+            })
+            .collect();
+        let mut reuse: BTreeMap<String, GuildSnapshot> = BTreeMap::new();
+        for (name, key) in &keyed {
+            if let Some(snap) = store
+                .artifact_peek(key)
+                .and_then(|blob| serde_json::from_slice::<GuildSnapshot>(&blob).ok())
+            {
+                reuse.insert(name.clone(), snap);
+            }
+        }
+        self.obs
+            .counter("honeypot.guilds_reused")
+            .add(reuse.len() as u64);
+
+        let (report, snapshots) = self.run_honeypot_with_reuse(eco, &reuse);
+
+        // Persist this epoch's transcripts for the next re-audit. Failures
+        // are swallowed — snapshots are performance state.
+        let key_of: BTreeMap<&String, &ContentHash> =
+            keyed.iter().map(|(name, key)| (name, key)).collect();
+        for snap in &snapshots {
+            if let Some(key) = key_of.get(&snap.bot_name) {
+                if let Ok(blob) = serde_json::to_vec(snap) {
+                    let _ = store.artifact_put(**key, &blob);
+                }
+            }
+        }
+        report
     }
 
     /// Claim-counter pool over `count` indexed units. Results land in their

@@ -8,12 +8,13 @@
 use crate::extract::{
     extract_bot_detail, extract_bot_links, extract_privacy_policy, extract_total_pages, ScrapedBot,
 };
+use crate::incremental::CachedListing;
 use crate::invite::{validate_invite, InviteStatus};
 use crate::session::ScrapeSession;
 use botlist::LIST_HOST;
 use htmlsim::Locator;
 use netsim::clock::SimDuration;
-use netsim::http::Url;
+use netsim::http::{Status, Url};
 use netsim::Network;
 use obs::{Obs, Span};
 use policy::PrivacyPolicy;
@@ -99,7 +100,7 @@ pub struct CrawlStats {
 
 /// The per-page outcome of the listing traversal, merged in page order so
 /// a sharded crawl reproduces the serial traversal exactly.
-enum PageOutcome {
+pub(crate) enum PageOutcome {
     /// The page never fetched (network failure after retries).
     FetchErr,
     /// The page fetched but its structure defeated extraction.
@@ -109,15 +110,31 @@ enum PageOutcome {
 }
 
 fn fetch_page(session: &mut ScrapeSession, page: usize) -> PageOutcome {
-    match session
-        .fetch_document(Url::https(LIST_HOST, "/list").with_query("page", &page.to_string()))
-    {
-        Err(_) => PageOutcome::FetchErr,
-        Ok(doc) => match extract_bot_links(&doc) {
-            Err(_) => PageOutcome::ExtractErr,
-            Ok(links) => PageOutcome::Links(links),
-        },
+    fetch_page_meta(session, page).0
+}
+
+/// Fetch and classify one list page, also surfacing the content validator
+/// and body size the server attached — the raw material of the validator
+/// cache.
+pub(crate) fn fetch_page_meta(
+    session: &mut ScrapeSession,
+    page: usize,
+) -> (PageOutcome, Option<String>, u64) {
+    let url = Url::https(LIST_HOST, "/list").with_query("page", &page.to_string());
+    let resp = match session.fetch(url) {
+        Ok(r) => r,
+        Err(_) => return (PageOutcome::FetchErr, None, 0),
+    };
+    if !resp.status.is_success() {
+        return (PageOutcome::FetchErr, None, 0);
     }
+    let etag = resp.header("etag").map(str::to_string);
+    let bytes = resp.body.len() as u64;
+    let doc = match htmlsim::parse_document(&resp.text()) {
+        Ok(d) => d,
+        Err(_) => return (PageOutcome::FetchErr, None, 0),
+    };
+    (classify_page(&doc), etag, bytes)
 }
 
 fn classify_page(doc: &htmlsim::Document) -> PageOutcome {
@@ -138,19 +155,76 @@ fn trace_page_outcome(span: &Span, outcome: &PageOutcome) {
     }
 }
 
+/// Everything one full detail-page crawl produced, including the content
+/// validators the servers attached — what the incremental crawl caches.
+pub(crate) struct DetailFetch {
+    /// The crawled bot itself.
+    pub bot: CrawledBot,
+    /// The detail page's validator, when the site sent one.
+    pub etag_detail: Option<String>,
+    /// `(url, etag)` of the bot's website homepage, when fetched.
+    pub home_validator: Option<(String, String)>,
+    /// `(url, etag)` of the policy page, when fetched.
+    pub policy_validator: Option<(String, String)>,
+    /// Body bytes transferred across all full fetches for this bot.
+    pub bytes: u64,
+    /// Full-body page fetches performed (detail + homepage + policy).
+    pub fetches: u64,
+}
+
+/// Outcome of a (possibly conditional) detail-page crawl.
+pub(crate) enum DetailOutcome {
+    /// Full crawl succeeded.
+    Fetched(Box<DetailFetch>),
+    /// The conditional fetch came back 304: the page matches the validator.
+    NotModified,
+    /// The detail page failed to fetch or extract (a dead listing entry).
+    Failed,
+}
+
+/// Resolve a listing href to a fetchable URL.
+pub(crate) fn detail_url(href: &str) -> Option<Url> {
+    if href.starts_with('/') {
+        Some(Url::https(LIST_HOST, href))
+    } else {
+        Url::parse(href).ok()
+    }
+}
+
 /// Crawl one bot detail page: scrape, validate the invite, hunt the policy.
-fn crawl_detail(
+/// With `etag` attached the fetch is conditional and a 304 short-circuits
+/// the whole chain (no parse, no invite validation, no website visit).
+pub(crate) fn crawl_detail_validated(
     session: &mut ScrapeSession,
     href: &str,
     config: &CrawlConfig,
-) -> Result<CrawledBot, ()> {
-    let url = if href.starts_with('/') {
-        Url::https(LIST_HOST, href)
-    } else {
-        Url::parse(href).map_err(|_| ())?
+    etag: Option<&str>,
+) -> DetailOutcome {
+    let Some(url) = detail_url(href) else {
+        return DetailOutcome::Failed;
     };
-    let doc = session.fetch_document(url).map_err(|_| ())?;
-    let scraped = extract_bot_detail(&doc).map_err(|_| ())?;
+    let resp = match etag {
+        Some(tag) => session.fetch_conditional(url, tag),
+        None => session.fetch(url),
+    };
+    let Ok(resp) = resp else {
+        return DetailOutcome::Failed;
+    };
+    if resp.status == Status::NotModified {
+        return DetailOutcome::NotModified;
+    }
+    if !resp.status.is_success() {
+        return DetailOutcome::Failed;
+    }
+    let etag_detail = resp.header("etag").map(str::to_string);
+    let mut bytes = resp.body.len() as u64;
+    let mut fetches = 1u64;
+    let Ok(doc) = htmlsim::parse_document(&resp.text()) else {
+        return DetailOutcome::Failed;
+    };
+    let Ok(scraped) = extract_bot_detail(&doc) else {
+        return DetailOutcome::Failed;
+    };
 
     let invite_status = if config.validate_invites {
         validate_invite(session.http(), &scraped.invite_link)
@@ -158,19 +232,48 @@ fn crawl_detail(
         InviteStatus::MalformedLink
     };
 
-    let (website_reachable, policy_link_present, policy) = if config.fetch_policies {
-        fetch_policy(session, scraped.website.as_deref())
-    } else {
-        (false, false, None)
-    };
+    let (website_reachable, policy_link_present, policy, home_validator, policy_validator) =
+        if config.fetch_policies {
+            let pf = fetch_policy_meta(session, scraped.website.as_deref());
+            bytes += pf.bytes;
+            fetches += pf.fetches;
+            (
+                pf.reachable,
+                pf.link_present,
+                pf.policy,
+                pf.home_validator,
+                pf.policy_validator,
+            )
+        } else {
+            (false, false, None, None, None)
+        };
 
-    Ok(CrawledBot {
-        scraped,
-        invite_status,
-        website_reachable,
-        policy_link_present,
-        policy,
-    })
+    DetailOutcome::Fetched(Box::new(DetailFetch {
+        bot: CrawledBot {
+            scraped,
+            invite_status,
+            website_reachable,
+            policy_link_present,
+            policy,
+        },
+        etag_detail,
+        home_validator,
+        policy_validator,
+        bytes,
+        fetches,
+    }))
+}
+
+/// [`crawl_detail_validated`] without a validator, for the cold paths.
+fn crawl_detail(
+    session: &mut ScrapeSession,
+    href: &str,
+    config: &CrawlConfig,
+) -> Result<CrawledBot, ()> {
+    match crawl_detail_validated(session, href, config, None) {
+        DetailOutcome::Fetched(fetch) => Ok(fetch.bot),
+        _ => Err(()),
+    }
 }
 
 /// Fold one worker session's overhead counters into the crawl statistics.
@@ -438,7 +541,7 @@ pub struct SessionOverhead {
 }
 
 impl SessionOverhead {
-    fn of(session: &ScrapeSession) -> SessionOverhead {
+    pub(crate) fn of(session: &ScrapeSession) -> SessionOverhead {
         SessionOverhead {
             captchas_solved: session.captchas_solved,
             captcha_spend_dollars: session.captcha_spend_dollars(),
@@ -495,6 +598,20 @@ pub fn discover_listing_traced(
     obs: &Obs,
     parent: &Span,
 ) -> ListingIndex {
+    discover_listing_capturing(net, config, obs, parent).0
+}
+
+/// The listing traversal, additionally capturing the per-page content
+/// validators so the next run can revalidate instead of re-walk. The
+/// captured [`CachedListing`] is `Some` only for a *clean* traversal —
+/// every page fetched, extracted, non-empty, and validator-tagged — since
+/// anything less would make the cached index diverge from a re-crawl.
+pub(crate) fn discover_listing_capturing(
+    net: &Network,
+    config: &CrawlConfig,
+    obs: &Obs,
+    parent: &Span,
+) -> (ListingIndex, Option<CachedListing>) {
     let span = parent.child("listing");
     let page_ms = obs.histogram("crawl.page_ms");
     let clock = net.clock();
@@ -505,42 +622,69 @@ pub fn discover_listing_traced(
         overhead: SessionOverhead::default(),
     };
 
-    let first = match session.fetch_document(Url::https(LIST_HOST, "/list").with_query("page", "0"))
-    {
-        Ok(doc) => doc,
-        Err(_) => {
+    let url0 = Url::https(LIST_HOST, "/list").with_query("page", "0");
+    let (first, first_etag, first_bytes) = match session.fetch(url0) {
+        Ok(resp) if resp.status.is_success() => {
+            let etag = resp.header("etag").map(str::to_string);
+            let bytes = resp.body.len() as u64;
+            match htmlsim::parse_document(&resp.text()) {
+                Ok(doc) => (doc, etag, bytes),
+                Err(_) => {
+                    index.overhead = SessionOverhead::of(&session);
+                    return (index, None);
+                }
+            }
+        }
+        _ => {
             index.overhead = SessionOverhead::of(&session);
-            return index;
+            return (index, None);
         }
     };
     let total_pages = extract_total_pages(&first).unwrap_or(1);
     let limit = config.max_pages.map_or(total_pages, |m| m.min(total_pages));
 
-    let mut outcomes: Vec<PageOutcome> = Vec::with_capacity(limit);
+    let mut outcomes: Vec<(PageOutcome, Option<String>, u64)> = Vec::with_capacity(limit);
     if limit > 0 {
         let first_outcome = classify_page(&first);
         trace_page_outcome(&span.child_keyed("page", 0), &first_outcome);
-        outcomes.push(first_outcome);
+        outcomes.push((first_outcome, first_etag, first_bytes));
     }
     for page in 1..limit {
         let page_span = span.child_keyed("page", page as u64);
         let t0 = clock.now();
-        let outcome = fetch_page(&mut session, page);
+        let (outcome, etag, bytes) = fetch_page_meta(&mut session, page);
         page_ms.record(clock.now().duration_since(t0).as_millis());
         trace_page_outcome(&page_span, &outcome);
-        outcomes.push(outcome);
+        outcomes.push((outcome, etag, bytes));
     }
 
-    for outcome in outcomes {
+    let mut etags: Vec<String> = Vec::new();
+    let mut body_bytes = 0u64;
+    let mut clean = true;
+    for (outcome, etag, bytes) in outcomes {
         match outcome {
-            PageOutcome::FetchErr => continue,
-            PageOutcome::ExtractErr => index.pages += 1,
+            PageOutcome::FetchErr => {
+                clean = false;
+                continue;
+            }
+            PageOutcome::ExtractErr => {
+                clean = false;
+                index.pages += 1;
+            }
             PageOutcome::Links(links) => {
                 index.pages += 1;
                 if links.is_empty() {
+                    clean = false;
                     break; // past the end
                 }
                 index.hrefs.extend(links);
+                match etag {
+                    Some(tag) => {
+                        etags.push(tag);
+                        body_bytes += bytes;
+                    }
+                    None => clean = false,
+                }
             }
         }
     }
@@ -549,11 +693,18 @@ pub fn discover_listing_traced(
     span.record("pages", index.pages as u64);
     span.record("hrefs", index.hrefs.len() as u64);
     obs.counter("crawl.pages_fetched").add(index.pages as u64);
+    obs.counter("crawl.fetched_full").add(index.pages as u64);
     obs.counter("crawl.captchas_solved")
         .add(index.overhead.captchas_solved);
     obs.counter("crawl.email_verifications")
         .add(index.overhead.email_verifications);
-    index
+    let cached = (clean && !etags.is_empty()).then(|| CachedListing {
+        etags,
+        hrefs: index.hrefs.clone(),
+        pages: index.pages,
+        bytes: body_bytes,
+    });
+    (index, cached)
 }
 
 /// Crawl one contiguous chunk of detail hrefs with a dedicated session.
@@ -615,45 +766,84 @@ pub fn crawl_detail_unit_traced(
     DetailUnit { results, overhead }
 }
 
-/// Visit a bot's website and hunt for its privacy policy.
-fn fetch_policy(
-    session: &mut ScrapeSession,
-    website: Option<&str>,
-) -> (bool, bool, Option<PrivacyPolicy>) {
+/// What one website visit produced, validators and transfer cost included.
+pub(crate) struct PolicyFetch {
+    /// The homepage answered.
+    pub reachable: bool,
+    /// The homepage shows a privacy-policy link.
+    pub link_present: bool,
+    /// The policy document, when the link worked.
+    pub policy: Option<PrivacyPolicy>,
+    /// `(url, etag)` of the homepage, when it answered with a validator.
+    pub home_validator: Option<(String, String)>,
+    /// `(url, etag)` of the policy page, when it answered with a validator.
+    pub policy_validator: Option<(String, String)>,
+    /// Body bytes transferred.
+    pub bytes: u64,
+    /// Full-body fetches performed.
+    pub fetches: u64,
+}
+
+/// Visit a bot's website and hunt for its privacy policy, recording the
+/// validators each page served so the visit can later be revalidated with
+/// 304s instead of repeated.
+pub(crate) fn fetch_policy_meta(session: &mut ScrapeSession, website: Option<&str>) -> PolicyFetch {
+    let mut out = PolicyFetch {
+        reachable: false,
+        link_present: false,
+        policy: None,
+        home_validator: None,
+        policy_validator: None,
+        bytes: 0,
+        fetches: 0,
+    };
     let Some(site) = website else {
-        return (false, false, None);
+        return out;
     };
     let Ok(home_url) = Url::parse(site) else {
-        return (false, false, None);
+        return out;
     };
     let Ok(resp) = session.http().get(home_url.clone()) else {
-        return (false, false, None);
+        return out;
     };
     if !resp.status.is_success() {
-        return (false, false, None);
+        return out;
     }
+    out.reachable = true;
+    out.bytes += resp.body.len() as u64;
+    out.fetches += 1;
+    out.home_validator = resp
+        .header("etag")
+        .map(|t| (home_url.to_string(), t.to_string()));
     let Ok(doc) = htmlsim::parse_document(&resp.text()) else {
-        return (true, false, None);
+        return out;
     };
     let Ok(link) = Locator::id("privacy-link").find(&doc) else {
-        return (true, false, None);
+        return out;
     };
     let Some(href) = link.attr("href") else {
-        return (true, false, None);
+        return out;
     };
+    out.link_present = true;
     let Ok(policy_url) = home_url.join(href) else {
-        return (true, true, None);
+        return out;
     };
-    let Ok(presp) = session.http().get(policy_url) else {
-        return (true, true, None);
+    let Ok(presp) = session.http().get(policy_url.clone()) else {
+        return out;
     };
     if !presp.status.is_success() {
-        return (true, true, None);
+        return out;
     }
+    out.bytes += presp.body.len() as u64;
+    out.fetches += 1;
+    out.policy_validator = presp
+        .header("etag")
+        .map(|t| (policy_url.to_string(), t.to_string()));
     let Ok(pdoc) = htmlsim::parse_document(&presp.text()) else {
-        return (true, true, None);
+        return out;
     };
-    (true, true, extract_privacy_policy(&pdoc))
+    out.policy = extract_privacy_policy(&pdoc);
+    out
 }
 
 #[cfg(test)]
@@ -738,6 +928,7 @@ mod tests {
                 captcha_every: Some(10),
                 rate_limit: None,
                 email_wall_after_page: None,
+                ..SiteConfig::open()
             },
         )
         .mount(&net);

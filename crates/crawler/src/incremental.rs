@@ -1,0 +1,742 @@
+//! Conditional-fetch incremental crawling.
+//!
+//! A re-audit of a mostly-unchanged ecosystem should not pay for a full
+//! re-crawl. This module teaches the crawl to remember, per page, the
+//! content validator (ETag) the server attached and the parsed result the
+//! body produced, and to *revalidate* instead of re-fetch on the next run:
+//! an unchanged page costs one bodyless 304 round-trip — no transfer, no
+//! parse, no invite validation, no website visit.
+//!
+//! Correctness never rests on validators alone. The listing site publishes
+//! a `changed-since` ledger (`/changed?since=EPOCH`), and any bot the
+//! ledger names is **always re-fetched in full** — its cached validators
+//! are only probed to *detect* servers that hand out stale 304s (the
+//! `stale_validators` fault), never trusted. A bot the ledger says is
+//! unchanged is reused after its detail-page validator answers 304: the
+//! ledger names every bot whose crawl bytes moved anywhere (detail page,
+//! website policy, GitHub view), so one round-trip per unchanged bot is
+//! exactly the price floor. Either way the merged crawl output is
+//! byte-identical to a cold crawl of the same world; the cache can only
+//! change what the crawl *costs*.
+//!
+//! Persistence is the caller's business: the crawl sees a [`ValidatorStore`]
+//! — a string-keyed byte map — and `crates/store` provides the journaled,
+//! crash-safe implementation (`ValidatorCache`) that lives next to the
+//! artifact pack.
+//!
+//! Cost accounting lands on `crawl.*` counters:
+//!
+//! * `crawl.validated` — 304 round-trips served from validators;
+//! * `crawl.fetched_full` — full-body page fetches;
+//! * `crawl.validator_hits` — logical pages reused from the cache (one per
+//!   list page, one per unchanged bot);
+//! * `crawl.validator_stale` — ledger-contradicting 304s (a server lied);
+//! * `crawl.bytes_saved` — body bytes the 304s avoided transferring.
+
+use crate::crawl::{
+    crawl_detail_validated, detail_url, discover_listing_capturing, CrawlConfig, CrawledBot,
+    DetailFetch, DetailOutcome, DetailUnit, ListingIndex, SessionOverhead,
+};
+use crate::session::ScrapeSession;
+use botlist::LIST_HOST;
+use netsim::client::{ClientConfig, HttpClient};
+use netsim::http::{Status, Url};
+use netsim::Network;
+use obs::{Counter, Obs, Span};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Mutex;
+
+/// Where the crawl keeps validators between runs. Implementations must be
+/// shareable across crawl workers; `crates/store`'s `ValidatorCache` is the
+/// durable one. The store is *performance state*: losing or corrupting an
+/// entry costs an extra full fetch, never a wrong crawl.
+pub trait ValidatorStore: Send + Sync {
+    /// The cached bytes for `key`, if any.
+    fn get(&self, key: &str) -> Option<Vec<u8>>;
+    /// Record (or replace) an entry. Failures may be swallowed.
+    fn put(&self, key: &str, value: &[u8]);
+}
+
+/// An in-memory [`ValidatorStore`] for tests and single-process warm runs.
+#[derive(Default)]
+pub struct MemValidatorStore {
+    map: Mutex<BTreeMap<String, Vec<u8>>>,
+}
+
+impl MemValidatorStore {
+    /// An empty store.
+    pub fn new() -> MemValidatorStore {
+        MemValidatorStore::default()
+    }
+
+    /// Number of entries held.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("store lock").len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl ValidatorStore for MemValidatorStore {
+    fn get(&self, key: &str) -> Option<Vec<u8>> {
+        self.map.lock().expect("store lock").get(key).cloned()
+    }
+
+    fn put(&self, key: &str, value: &[u8]) {
+        self.map
+            .lock()
+            .expect("store lock")
+            .insert(key.to_string(), value.to_vec());
+    }
+}
+
+/// Store key of the listing-traversal entry.
+pub const LISTING_KEY: &str = "listing";
+
+/// Store key of one bot's detail entry.
+pub fn detail_key(href: &str) -> String {
+    format!("detail:{href}")
+}
+
+/// Store key of one bot's cached crawl result (raw `CrawledBot` JSON).
+/// Kept separate from [`detail_key`]'s validator record so the warm path
+/// parses a tiny metadata object per bot and touches the body only after
+/// the validator answers 304 — and so callers can hash the exact bytes
+/// instead of re-serializing the parsed struct.
+pub fn detail_body_key(href: &str) -> String {
+    format!("detailbody:{href}")
+}
+
+/// The cached listing traversal: per-page validators plus the merged index
+/// they covered. Reused only when *every* page revalidates.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CachedListing {
+    /// Per-page ETags, in page order (page 0 first).
+    pub etags: Vec<String>,
+    /// Bot detail hrefs, in listing order.
+    pub hrefs: Vec<String>,
+    /// List pages the traversal counted.
+    pub pages: usize,
+    /// Body bytes the traversal transferred (what a revalidation saves).
+    pub bytes: u64,
+}
+
+/// Every validator one bot's cached crawl result depends on. The result
+/// itself lives under [`detail_body_key`] as raw JSON; this record stays
+/// small so the warm path's per-bot bookkeeping costs microseconds.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CachedDetail {
+    /// The detail page's validator.
+    pub etag_detail: String,
+    /// `(url, etag)` of the website homepage, when the crawl fetched it.
+    pub home_validator: Option<(String, String)>,
+    /// `(url, etag)` of the policy page, when the crawl fetched it.
+    pub policy_validator: Option<(String, String)>,
+    /// Body bytes the full crawl transferred (what a revalidation saves).
+    pub bytes: u64,
+}
+
+/// Ask the listing site which bots' crawl bytes changed after `since`,
+/// walking the paginated `/changed` feed. Returns `None` when the feed is
+/// unreachable or malformed — the caller must then treat *everything* as
+/// changed (i.e. crawl cold), because reuse without the ledger's blessing
+/// could trust a validator the site no longer honours.
+pub fn fetch_changed_hrefs(net: &Network, since: u32, obs: &Obs) -> Option<BTreeSet<String>> {
+    let mut client = HttpClient::new(
+        net.clone(),
+        ClientConfig::crawler("measurement-crawler/1.0 (change-probe)"),
+    );
+    let mut out = BTreeSet::new();
+    let mut page = 0usize;
+    loop {
+        let url = Url::https(LIST_HOST, "/changed")
+            .with_query("since", &since.to_string())
+            .with_query("page", &page.to_string());
+        let resp = client.get(url).ok()?;
+        if !resp.status.is_success() {
+            return None;
+        }
+        obs.counter("crawl.changed_pages").incr();
+        for line in resp.text().lines() {
+            if !line.is_empty() {
+                out.insert(line.to_string());
+            }
+        }
+        let total: usize = resp
+            .header("x-total-pages")
+            .and_then(|t| t.parse().ok())
+            .unwrap_or(1);
+        page += 1;
+        if page >= total {
+            return Some(out);
+        }
+    }
+}
+
+/// The listing traversal, warm path first: when the store holds a cached
+/// traversal and every page answers 304 against its validator, the cached
+/// index is reused outright. Any non-match falls back to the cold
+/// traversal, which re-captures validators into the store.
+pub fn discover_listing_validated(
+    net: &Network,
+    config: &CrawlConfig,
+    store: &dyn ValidatorStore,
+    obs: &Obs,
+    parent: &Span,
+) -> ListingIndex {
+    if let Some(cached) = store
+        .get(LISTING_KEY)
+        .and_then(|bytes| serde_json::from_slice::<CachedListing>(&bytes).ok())
+    {
+        if let Some(index) = revalidate_listing(net, config, &cached, obs, parent) {
+            return index;
+        }
+    }
+    let (index, capture) = discover_listing_capturing(net, config, obs, parent);
+    if let Some(capture) = capture {
+        if let Ok(bytes) = serde_json::to_vec(&capture) {
+            store.put(LISTING_KEY, &bytes);
+        }
+    }
+    index
+}
+
+fn revalidate_listing(
+    net: &Network,
+    config: &CrawlConfig,
+    cached: &CachedListing,
+    obs: &Obs,
+    parent: &Span,
+) -> Option<ListingIndex> {
+    // A traversal cached under a wider page budget cannot be reused
+    // wholesale (the cache is fingerprint-scoped, so this is belt and
+    // braces).
+    if config.max_pages.is_some_and(|m| cached.etags.len() > m) {
+        return None;
+    }
+    let span = parent.child("listing_revalidate");
+    let mut session = ScrapeSession::for_worker(net.clone(), config.seed, 0, config.polite);
+    for (page, etag) in cached.etags.iter().enumerate() {
+        let url = Url::https(LIST_HOST, "/list").with_query("page", &page.to_string());
+        match session.fetch_conditional(url, etag) {
+            Ok(resp) if resp.status == Status::NotModified => {}
+            _ => {
+                span.record("miss_at_page", page as u64);
+                return None;
+            }
+        }
+    }
+    span.record("pages", cached.pages as u64);
+    obs.counter("crawl.validated")
+        .add(cached.etags.len() as u64);
+    obs.counter("crawl.validator_hits").add(cached.pages as u64);
+    obs.counter("crawl.bytes_saved").add(cached.bytes);
+    obs.counter("crawl.captchas_solved")
+        .add(session.captchas_solved);
+    obs.counter("crawl.email_verifications")
+        .add(session.email_verifications);
+    Some(ListingIndex {
+        hrefs: cached.hrefs.clone(),
+        pages: cached.pages,
+        overhead: SessionOverhead::of(&session),
+    })
+}
+
+/// [`crate::crawl::crawl_detail_unit_traced`] with the validator cache and
+/// change ledger attached. Per href:
+///
+/// * **cached, not in `changed`** — one conditional round-trip against the
+///   detail validator; a 304 reuses the cached bot, anything else falls
+///   back to a full fetch;
+/// * **cached, in `changed`** — the ledger overrules the validators: probe
+///   conditionally (a 304 here means the server's validators are stale and
+///   is counted, never trusted), then fetch in full;
+/// * **uncached** — full fetch, populating the store.
+///
+/// The first return is element-for-element identical to the cold unit
+/// crawl of the same world. The second carries, per successful bot, the
+/// exact `serde_json::to_vec` encoding of that bot — cached bytes for
+/// reused entries, the freshly written cache body for fetched ones — so
+/// callers can content-address downstream work by hashing bytes that
+/// already exist instead of re-serializing every bot.
+#[allow(clippy::too_many_arguments)]
+pub fn crawl_detail_unit_validated(
+    net: &Network,
+    config: &CrawlConfig,
+    hrefs: &[String],
+    unit: u64,
+    store: &dyn ValidatorStore,
+    changed: &BTreeSet<String>,
+    obs: &Obs,
+    parent: &Span,
+) -> (DetailUnit, Vec<Option<Vec<u8>>>) {
+    let span = parent.child_keyed("unit", unit);
+    let mut session = ScrapeSession::for_worker(
+        net.clone(),
+        netsim::splitmix(config.seed, 0x1000 + unit),
+        1 + unit as usize,
+        config.polite,
+    );
+    let validated = obs.counter("crawl.validated");
+    let fetched_full = obs.counter("crawl.fetched_full");
+    let hits = obs.counter("crawl.validator_hits");
+    let stale = obs.counter("crawl.validator_stale");
+    let bytes_saved = obs.counter("crawl.bytes_saved");
+
+    let mut results: Vec<Option<CrawledBot>> = Vec::with_capacity(hrefs.len());
+    let mut raw: Vec<Option<Vec<u8>>> = Vec::with_capacity(hrefs.len());
+    for href in hrefs {
+        let key = detail_key(href);
+        let cached: Option<CachedDetail> = store
+            .get(&key)
+            .and_then(|bytes| serde_json::from_slice(&bytes).ok());
+        let (result, body) = match cached {
+            Some(entry) if !changed.contains(href.as_str()) => {
+                let reused = revalidate_detail(&mut session, href, &entry, &validated)
+                    .then(|| store.get(&detail_body_key(href)))
+                    .flatten()
+                    .and_then(|body| {
+                        let bot: CrawledBot = serde_json::from_slice(&body).ok()?;
+                        Some((bot, body))
+                    });
+                match reused {
+                    Some((bot, body)) => {
+                        hits.incr();
+                        bytes_saved.add(entry.bytes);
+                        (Some(bot), Some(body))
+                    }
+                    None => fetch_and_cache(&mut session, href, config, store, &fetched_full),
+                }
+            }
+            Some(entry) => {
+                // The ledger says this bot's bytes changed: a validator
+                // match would be a lie, so the conditional fetch is a stale-
+                // validator detector and the real bytes always come from a
+                // full fetch.
+                match crawl_detail_validated(&mut session, href, config, Some(&entry.etag_detail)) {
+                    DetailOutcome::NotModified => {
+                        validated.incr();
+                        stale.incr();
+                        fetch_and_cache(&mut session, href, config, store, &fetched_full)
+                    }
+                    DetailOutcome::Fetched(fetch) => {
+                        fetched_full.add(fetch.fetches);
+                        let body = cache_detail(store, href, &fetch);
+                        (Some(fetch.bot), body)
+                    }
+                    DetailOutcome::Failed => (None, None),
+                }
+            }
+            None => fetch_and_cache(&mut session, href, config, store, &fetched_full),
+        };
+        results.push(result);
+        raw.push(body);
+    }
+
+    let ok = results.iter().filter(|r| r.is_some()).count() as u64;
+    span.record("ok", ok);
+    span.record("failed", results.len() as u64 - ok);
+    obs.counter("crawl.bots").add(ok);
+    obs.counter("crawl.detail_failures")
+        .add(results.len() as u64 - ok);
+    let overhead = SessionOverhead::of(&session);
+    obs.counter("crawl.captchas_solved")
+        .add(overhead.captchas_solved);
+    obs.counter("crawl.email_verifications")
+        .add(overhead.email_verifications);
+    (DetailUnit { results, overhead }, raw)
+}
+
+/// Revalidate a cached bot the change ledger left alone: one conditional
+/// round-trip against the detail page's validator. The ledger names every
+/// bot whose crawl bytes moved — detail page, website policy, or GitHub
+/// view — so for an unlisted bot the subresource validators recorded in
+/// [`CachedDetail`] are already vouched for; probing them again would turn
+/// the one cheap 304 the warm path is built around into three. A detail
+/// mismatch (cache older than the ledger's horizon, or a server that
+/// stopped honouring validators) still falls back to the full fetch.
+fn revalidate_detail(
+    session: &mut ScrapeSession,
+    href: &str,
+    entry: &CachedDetail,
+    validated: &Counter,
+) -> bool {
+    let Some(url) = detail_url(href) else {
+        return false;
+    };
+    match session.fetch_conditional(url, &entry.etag_detail) {
+        Ok(resp) if resp.status == Status::NotModified => {
+            validated.incr();
+            true
+        }
+        _ => false,
+    }
+}
+
+fn fetch_and_cache(
+    session: &mut ScrapeSession,
+    href: &str,
+    config: &CrawlConfig,
+    store: &dyn ValidatorStore,
+    fetched_full: &Counter,
+) -> (Option<CrawledBot>, Option<Vec<u8>>) {
+    match crawl_detail_validated(session, href, config, None) {
+        DetailOutcome::Fetched(fetch) => {
+            fetched_full.add(fetch.fetches);
+            let body = cache_detail(store, href, &fetch);
+            (Some(fetch.bot), body)
+        }
+        _ => (None, None),
+    }
+}
+
+/// Record a freshly fetched bot: validator metadata under [`detail_key`],
+/// the serialized crawl result under [`detail_body_key`]. Returns the body
+/// bytes either way — they are exactly `serde_json::to_vec(&fetch.bot)`,
+/// which callers hash for content addressing without re-serializing.
+fn cache_detail(store: &dyn ValidatorStore, href: &str, fetch: &DetailFetch) -> Option<Vec<u8>> {
+    let body = serde_json::to_vec(&fetch.bot).ok()?;
+    // No validator on the detail page → nothing to revalidate against
+    // later; leave the entry out so the bot always crawls cold.
+    if let Some(etag_detail) = fetch.etag_detail.clone() {
+        let entry = CachedDetail {
+            etag_detail,
+            home_validator: fetch.home_validator.clone(),
+            policy_validator: fetch.policy_validator.clone(),
+            bytes: fetch.bytes,
+        };
+        if let Ok(bytes) = serde_json::to_vec(&entry) {
+            store.put(&detail_key(href), &bytes);
+            store.put(&detail_body_key(href), &body);
+        }
+    }
+    Some(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crawl::{crawl_detail_unit_traced, discover_listing_traced};
+    use crate::solver::CaptchaSolverService;
+    use botlist::website::{BotWebsite, PolicyHosting};
+    use botlist::{BotListSite, BotListing, SiteConfig};
+    use netsim::clock::VirtualClock;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn listings(n: u64, policy_seed: u64, net: &Network) -> Vec<BotListing> {
+        let mut rng = StdRng::seed_from_u64(policy_seed);
+        (0..n)
+            .map(|i| {
+                let website = if i % 2 == 0 {
+                    let host = format!("ibot{i}.site.sim");
+                    let hosting = if i % 4 == 0 {
+                        PolicyHosting::Linked(policy::corpus::complete_policy(
+                            &mut rng,
+                            &format!("IBot{i}"),
+                            true,
+                        ))
+                    } else {
+                        PolicyHosting::None
+                    };
+                    BotWebsite::new(&format!("IBot{i}"), hosting).mount(net, &host);
+                    Some(format!("https://{host}/"))
+                } else {
+                    None
+                };
+                BotListing {
+                    id: i + 1,
+                    name: format!("IBot{i}"),
+                    tags: vec!["fun".into()],
+                    description: format!("Incremental bot {i}"),
+                    invite_link: "totally-broken".to_string(),
+                    guild_count: 10 * i,
+                    vote_count: 500 - i,
+                    website,
+                    github: None,
+                    developers: vec![format!("dev{}", i % 3)],
+                    commands: vec![format!("!cmd{i}")],
+                }
+            })
+            .collect()
+    }
+
+    fn world(n: u64, policy_seed: u64) -> Network {
+        let clock = VirtualClock::new();
+        let net = Network::with_clock(99, clock);
+        CaptchaSolverService::mount(&net);
+        let listings = listings(n, policy_seed, &net);
+        BotListSite::new(
+            listings,
+            SiteConfig {
+                page_size: 4,
+                captcha_every: None,
+                rate_limit: None,
+                email_wall_after_page: None,
+                ..SiteConfig::open()
+            },
+        )
+        .mount(&net);
+        net
+    }
+
+    fn config() -> CrawlConfig {
+        CrawlConfig {
+            validate_invites: false,
+            ..CrawlConfig::default()
+        }
+    }
+
+    fn shape(unit: &DetailUnit) -> Vec<Option<(u64, String, bool, bool)>> {
+        unit.results
+            .iter()
+            .map(|r| {
+                r.as_ref().map(|b| {
+                    (
+                        b.scraped.id,
+                        b.scraped.name.clone(),
+                        b.website_reachable,
+                        b.policy.is_some(),
+                    )
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn warm_crawl_reuses_everything_when_nothing_changed() {
+        let net = world(8, 3);
+        let store = MemValidatorStore::new();
+        let obs = Obs::disabled();
+        let span = Span::disabled();
+        let cfg = config();
+
+        let cold_index = discover_listing_validated(&net, &cfg, &store, &obs, &span);
+        let cold_unit = crawl_detail_unit_validated(
+            &net,
+            &cfg,
+            &cold_index.hrefs,
+            0,
+            &store,
+            &BTreeSet::new(),
+            &obs,
+            &span,
+        )
+        .0;
+        assert_eq!(
+            obs.counter_value("crawl.validator_hits"),
+            0,
+            "cold run reuses nothing"
+        );
+        assert!(store.len() > 1, "listing + details cached");
+
+        let warm_obs = Obs::disabled();
+        let warm_index = discover_listing_validated(&net, &cfg, &store, &warm_obs, &span);
+        assert_eq!(warm_index.hrefs, cold_index.hrefs);
+        assert_eq!(warm_index.pages, cold_index.pages);
+        let warm_unit = crawl_detail_unit_validated(
+            &net,
+            &cfg,
+            &warm_index.hrefs,
+            0,
+            &store,
+            &BTreeSet::new(),
+            &warm_obs,
+            &span,
+        )
+        .0;
+        assert_eq!(shape(&warm_unit), shape(&cold_unit));
+        // 2 list pages + 8 bots, all reused.
+        assert_eq!(warm_obs.counter_value("crawl.validator_hits"), 2 + 8);
+        assert_eq!(warm_obs.counter_value("crawl.fetched_full"), 0);
+        assert!(warm_obs.counter_value("crawl.bytes_saved") > 0);
+        assert_eq!(warm_obs.counter_value("crawl.validator_stale"), 0);
+    }
+
+    #[test]
+    fn changed_bots_are_refetched_in_full() {
+        let net = world(8, 3);
+        let store = MemValidatorStore::new();
+        let obs = Obs::disabled();
+        let span = Span::disabled();
+        let cfg = config();
+        let index = discover_listing_validated(&net, &cfg, &store, &obs, &span);
+        crawl_detail_unit_validated(
+            &net,
+            &cfg,
+            &index.hrefs,
+            0,
+            &store,
+            &BTreeSet::new(),
+            &obs,
+            &span,
+        );
+
+        let changed: BTreeSet<String> = ["/bot/3".to_string(), "/bot/5".to_string()].into();
+        let warm_obs = Obs::disabled();
+        let warm = crawl_detail_unit_validated(
+            &net,
+            &cfg,
+            &index.hrefs,
+            0,
+            &store,
+            &changed,
+            &warm_obs,
+            &span,
+        )
+        .0;
+        assert_eq!(warm.results.iter().filter(|r| r.is_some()).count(), 8);
+        assert_eq!(warm_obs.counter_value("crawl.validator_hits"), 8 - 2);
+        assert!(warm_obs.counter_value("crawl.fetched_full") >= 2);
+        // Honest validators + unchanged content → the probes 304 and are
+        // counted stale (the ledger said changed, the validator disagreed).
+        assert_eq!(warm_obs.counter_value("crawl.validator_stale"), 2);
+    }
+
+    #[test]
+    fn validated_paths_match_plain_paths_bot_for_bot() {
+        let cfg = config();
+        let span = Span::disabled();
+        let obs = Obs::disabled();
+
+        let net_a = world(10, 5);
+        let plain_index = discover_listing_traced(&net_a, &cfg, &obs, &span);
+        let plain_unit = crawl_detail_unit_traced(&net_a, &cfg, &plain_index.hrefs, 0, &obs, &span);
+
+        let net_b = world(10, 5);
+        let store = MemValidatorStore::new();
+        let cold_index = discover_listing_validated(&net_b, &cfg, &store, &obs, &span);
+        let cold_unit = crawl_detail_unit_validated(
+            &net_b,
+            &cfg,
+            &cold_index.hrefs,
+            0,
+            &store,
+            &BTreeSet::new(),
+            &obs,
+            &span,
+        )
+        .0;
+        assert_eq!(plain_index.hrefs, cold_index.hrefs);
+        assert_eq!(plain_index.pages, cold_index.pages);
+        assert_eq!(shape(&plain_unit), shape(&cold_unit));
+
+        // And the warm pass over the same world still matches.
+        let warm_unit = crawl_detail_unit_validated(
+            &net_b,
+            &cfg,
+            &cold_index.hrefs,
+            0,
+            &store,
+            &BTreeSet::new(),
+            &obs,
+            &span,
+        )
+        .0;
+        assert_eq!(shape(&plain_unit), shape(&warm_unit));
+    }
+
+    #[test]
+    fn changed_feed_pagination_round_trips() {
+        // Install a ledger: epoch 1 changed bots 2 and 4, epoch 2 changed 1.
+        let site_log: BTreeMap<u32, Vec<u64>> =
+            [(1u32, vec![2, 4]), (2u32, vec![1])].into_iter().collect();
+        let clock = VirtualClock::new();
+        let net2 = Network::with_clock(7, clock);
+        let listings = listings(4, 1, &net2);
+        let site = BotListSite::new(
+            listings,
+            SiteConfig {
+                page_size: 2,
+                captcha_every: None,
+                rate_limit: None,
+                email_wall_after_page: None,
+                ..SiteConfig::open()
+            },
+        );
+        site.set_change_log(2, site_log);
+        site.mount(&net2);
+
+        let obs = Obs::disabled();
+        let all = fetch_changed_hrefs(&net2, 0, &obs).unwrap();
+        assert_eq!(
+            all,
+            ["/bot/1", "/bot/2", "/bot/4"]
+                .into_iter()
+                .map(String::from)
+                .collect()
+        );
+        let since_1 = fetch_changed_hrefs(&net2, 1, &obs).unwrap();
+        assert_eq!(since_1, ["/bot/1".to_string()].into());
+        let since_2 = fetch_changed_hrefs(&net2, 2, &obs).unwrap();
+        assert!(since_2.is_empty());
+    }
+
+    #[test]
+    fn stale_validator_fault_is_detected_not_trusted() {
+        let build = |stale: bool| {
+            let clock = VirtualClock::new();
+            let net = Network::with_clock(99, clock);
+            CaptchaSolverService::mount(&net);
+            let listings = listings(6, 9, &net);
+            BotListSite::new(
+                listings,
+                SiteConfig {
+                    page_size: 4,
+                    captcha_every: None,
+                    rate_limit: None,
+                    email_wall_after_page: None,
+                    stale_validators: stale,
+                    ..SiteConfig::open()
+                },
+            )
+            .mount(&net);
+            net
+        };
+        let cfg = config();
+        let span = Span::disabled();
+        let obs = Obs::disabled();
+
+        let net = build(true);
+        let store = MemValidatorStore::new();
+        let index = discover_listing_validated(&net, &cfg, &store, &obs, &span);
+        crawl_detail_unit_validated(
+            &net,
+            &cfg,
+            &index.hrefs,
+            0,
+            &store,
+            &BTreeSet::new(),
+            &obs,
+            &span,
+        );
+
+        // Every bot is declared changed; the faulty site 304s the probes
+        // anyway. The crawl must refuse the lie: full refetches, stale
+        // count, and output identical to a cold crawl.
+        let changed: BTreeSet<String> = index.hrefs.iter().cloned().collect();
+        let warm_obs = Obs::disabled();
+        let warm = crawl_detail_unit_validated(
+            &net,
+            &cfg,
+            &index.hrefs,
+            0,
+            &store,
+            &changed,
+            &warm_obs,
+            &span,
+        )
+        .0;
+        assert_eq!(warm_obs.counter_value("crawl.validator_stale"), 6);
+        assert_eq!(warm_obs.counter_value("crawl.validator_hits"), 0);
+
+        let net_cold = build(false);
+        let cold_index = discover_listing_traced(&net_cold, &cfg, &obs, &span);
+        let cold = crawl_detail_unit_traced(&net_cold, &cfg, &cold_index.hrefs, 0, &obs, &span);
+        assert_eq!(shape(&warm), shape(&cold));
+    }
+}

@@ -19,13 +19,17 @@
 //!
 //! [`crawl::crawl_listing`] runs the whole stage and yields one
 //! [`crawl::CrawledBot`] per listing, the input to the traceability and
-//! code-analysis stages.
+//! code-analysis stages. [`incremental`] adds the conditional-fetch warm
+//! path: validators cached in a [`incremental::ValidatorStore`] plus the
+//! site's `changed-since` ledger turn an unchanged page into one cheap
+//! 304 round-trip on re-audit.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod crawl;
 pub mod extract;
+pub mod incremental;
 pub mod invite;
 pub mod session;
 pub mod solver;
@@ -36,6 +40,10 @@ pub use crawl::{
     ListingIndex, SessionOverhead,
 };
 pub use extract::{extract_bot_detail, extract_bot_links, ScrapedBot};
+pub use incremental::{
+    crawl_detail_unit_validated, detail_key, discover_listing_validated, fetch_changed_hrefs,
+    CachedDetail, CachedListing, MemValidatorStore, ValidatorStore, LISTING_KEY,
+};
 pub use invite::{validate_invite, InviteStatus};
 pub use session::ScrapeSession;
 pub use solver::{CaptchaSolverClient, CaptchaSolverService, SOLVER_HOST};

@@ -10,7 +10,7 @@ use crate::solver::CaptchaSolverClient;
 use htmlsim::{parse_document, Document, Locator};
 use netsim::client::{ClientConfig, HttpClient};
 use netsim::clock::SimDuration;
-use netsim::http::{Response, Status, Url};
+use netsim::http::{Request, Response, Status, Url};
 use netsim::{NetError, Network};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -120,10 +120,28 @@ impl ScrapeSession {
     /// Fetch a URL, solving captchas and the email wall as they appear.
     /// Returns the final successful response, or the last error.
     pub fn fetch(&mut self, url: Url) -> Result<Response, NetError> {
+        self.fetch_inner(url, None)
+    }
+
+    /// Conditional fetch: attach an `if-none-match` validator so an
+    /// unchanged page costs one cheap 304 round-trip instead of a body.
+    /// The anti-scraping gauntlet still applies — a cached copy does not
+    /// excuse the crawler from captchas or the email wall. A
+    /// [`Status::NotModified`] answer comes back through the normal
+    /// return path for the caller to act on.
+    pub fn fetch_conditional(&mut self, url: Url, etag: &str) -> Result<Response, NetError> {
+        self.fetch_inner(url, Some(etag))
+    }
+
+    fn fetch_inner(&mut self, url: Url, etag: Option<&str>) -> Result<Response, NetError> {
         self.think();
         let mut current = url.clone();
         for _round in 0..4 {
-            let resp = self.http.get(current.clone())?;
+            let mut req = Request::get(current.clone());
+            if let Some(tag) = etag {
+                req = req.with_header("if-none-match", tag);
+            }
+            let resp = self.http.fetch(req)?;
             match resp.status {
                 Status::Forbidden => {
                     // Captcha interstitial: extract, solve, redeem, retry.
@@ -214,6 +232,7 @@ mod tests {
                 rate_limit: None,
                 email_wall_after_page: None,
                 page_size: 5,
+                ..SiteConfig::open()
             },
         );
         site.mount(&net);
@@ -241,6 +260,7 @@ mod tests {
                 rate_limit: None,
                 email_wall_after_page: Some(0),
                 page_size: 10,
+                ..SiteConfig::open()
             },
         );
         site.mount(&net);
@@ -277,6 +297,7 @@ mod tests {
                 captcha_every: None,
                 email_wall_after_page: None,
                 page_size: 5,
+                ..SiteConfig::open()
             },
         );
         site.mount(&net);

@@ -123,6 +123,27 @@ fn registry_insert_webhook(map: &mut BTreeMap<String, String>, token: &str, toke
     map.insert(token.to_string(), token_id.to_string());
 }
 
+/// One guild's complete phase-2 transcript, distilled to what the campaign
+/// report needs. Per-guild transcripts are schedule-independent (each guild
+/// owns its RNG stream, token mint, and runner), so a snapshot captured in
+/// one run stands in for re-running the guild in a later run of the *same*
+/// bot — same name, invite, and backend behaviour — and the merged report
+/// is byte-identical either way.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GuildSnapshot {
+    /// The bot this guild tested.
+    pub bot_name: String,
+    /// Feed messages the guild posted.
+    pub messages_posted: usize,
+    /// Canary tokens the guild planted.
+    pub tokens_planted: usize,
+    /// Canonical trigger tuples `(token_id, requester, via_mail)` this
+    /// guild's tokens produced.
+    pub triggers: Vec<(String, String, bool)>,
+    /// The attributed detection, when the bot was caught.
+    pub detection: Option<Detection>,
+}
+
 /// One guild through set-up and ready for population.
 struct GuildJob {
     bot_name: String,
@@ -211,6 +232,31 @@ impl Campaign {
         obs: &Obs,
         parent: &Span,
     ) -> CampaignReport {
+        self.run_traced_with_reuse(bots, obs, parent, &BTreeMap::new())
+            .0
+    }
+
+    /// [`Campaign::run_traced`] with prior-run guild transcripts attached.
+    ///
+    /// Phase 1 (guild creation, persona joins, installs, backend connects)
+    /// always runs for every bot, so platform state — guild IDs, user IDs,
+    /// webhook token order — is identical whether or not anything is
+    /// reused. Phase 2 is skipped for every bot whose name appears in
+    /// `reuse`: its backend is never driven, and the snapshot's transcript
+    /// is merged into the report instead. Live guilds keep the RNG-stream
+    /// index they'd have in a full run, so the merged report is
+    /// byte-identical (canonically) to running every guild.
+    ///
+    /// Returns the report plus one [`GuildSnapshot`] per tested bot
+    /// (reused ones pass through), sorted by bot name — the caller's cache
+    /// fodder for the next re-audit.
+    pub fn run_traced_with_reuse(
+        &mut self,
+        bots: Vec<BotUnderTest>,
+        obs: &Obs,
+        parent: &Span,
+        reuse: &BTreeMap<String, GuildSnapshot>,
+    ) -> (CampaignReport, Vec<GuildSnapshot>) {
         let span = parent.child("honeypot");
         let clock = self.net.clock();
         let started = clock.now();
@@ -276,38 +322,54 @@ impl Campaign {
         // serial campaign populated in), not caller order.
         jobs.sort_by(|a, b| a.bot_name.cmp(&b.bot_name));
 
-        // Phase 2: populate every guild with feed + tokens and drive its
-        // backend. Each guild owns its RNG stream, token mint, and runner,
-        // so any schedule produces the same per-guild transcript; outcomes
-        // merge in the (sorted) job order.
+        // Split into live work and snapshot reuse. A reused guild went
+        // through phase 1 like every other (platform state is identical to
+        // a full run), but its backend is never driven again — the prior
+        // transcript stands in for phase 2. Live guilds keep the index
+        // they'd have in the full sorted list, so their RNG streams and
+        // trace keys match a run with nothing reused.
+        let mut live: Vec<(usize, GuildJob)> = Vec::new();
+        let mut reused: Vec<GuildSnapshot> = Vec::new();
+        for (idx, job) in jobs.into_iter().enumerate() {
+            match reuse.get(&job.bot_name) {
+                Some(snap) => reused.push(snap.clone()),
+                None => live.push((idx, job)),
+            }
+        }
+
+        // Phase 2: populate every live guild with feed + tokens and drive
+        // its backend. Each guild owns its RNG stream, token mint, and
+        // runner, so any schedule produces the same per-guild transcript;
+        // outcomes merge in the (sorted) job order.
         let workers = resolve_workers(self.config.workers);
         let guilds_span = span.child("guilds");
-        let outcomes: Vec<GuildOutcome> = if workers <= 1 || jobs.len() <= 1 {
-            jobs.into_iter()
-                .enumerate()
-                .map(|(idx, job)| self.run_guild(idx, job, &pool, &guilds_span))
+        let outcomes: Vec<(String, GuildOutcome)> = if workers <= 1 || live.len() <= 1 {
+            live.into_iter()
+                .map(|(idx, job)| {
+                    let name = job.bot_name.clone();
+                    (name, self.run_guild(idx, job, &pool, &guilds_span))
+                })
                 .collect()
         } else {
-            let jobs: Vec<Mutex<Option<(usize, GuildJob)>>> = jobs
-                .into_iter()
-                .enumerate()
-                .map(|j| Mutex::new(Some(j)))
-                .collect();
-            let slots: Vec<Mutex<Option<GuildOutcome>>> =
-                (0..jobs.len()).map(|_| Mutex::new(None)).collect();
+            let live: Vec<Mutex<Option<(usize, GuildJob)>>> =
+                live.into_iter().map(|j| Mutex::new(Some(j))).collect();
+            let slots: Vec<Mutex<Option<(String, GuildOutcome)>>> =
+                (0..live.len()).map(|_| Mutex::new(None)).collect();
             let next = AtomicUsize::new(0);
             crossbeam::thread::scope(|s| {
-                for _ in 0..workers.min(jobs.len()) {
-                    let (jobs, slots, next, pool) = (&jobs, &slots, &next, &pool);
+                for _ in 0..workers.min(live.len()) {
+                    let (live, slots, next, pool) = (&live, &slots, &next, &pool);
                     let guilds_span = &guilds_span;
                     let this = &*self;
                     s.spawn(move |_| loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= jobs.len() {
+                        if i >= live.len() {
                             break;
                         }
-                        let (idx, job) = jobs[i].lock().take().expect("guild claimed once");
-                        *slots[i].lock() = Some(this.run_guild(idx, job, pool, guilds_span));
+                        let (idx, job) = live[i].lock().take().expect("guild claimed once");
+                        let name = job.bot_name.clone();
+                        *slots[i].lock() =
+                            Some((name, this.run_guild(idx, job, pool, guilds_span)));
                     });
                 }
             })
@@ -318,9 +380,11 @@ impl Campaign {
                 .collect()
         };
         drop(guilds_span);
-        for outcome in outcomes {
+        let mut live_stats: Vec<(String, usize, usize)> = Vec::new();
+        for (name, outcome) in outcomes {
             report.messages_posted += outcome.messages_posted;
             report.tokens_planted += outcome.tokens_planted;
+            live_stats.push((name, outcome.messages_posted, outcome.tokens_planted));
             for (token, bot_name) in outcome.registry_entries {
                 registry.insert(token.id.clone(), (token, bot_name));
             }
@@ -362,6 +426,61 @@ impl Campaign {
             (&a.token_id, &a.requester, a.via_mail).cmp(&(&b.token_id, &b.requester, b.via_mail))
         });
         report.detections = self.attribute_from(&report.triggers, &registry, &guild_of_bot);
+
+        // Distill every live guild into a snapshot (triggers and detections
+        // so far are live-only: reused backends were never driven), then
+        // merge the reused transcripts in and restore canonical order.
+        let mut snapshots: Vec<GuildSnapshot> = live_stats
+            .into_iter()
+            .map(|(name, messages_posted, tokens_planted)| GuildSnapshot {
+                triggers: report
+                    .triggers
+                    .iter()
+                    .filter(|t| {
+                        registry
+                            .get(&t.token_id)
+                            .is_some_and(|(_, bot)| *bot == name)
+                    })
+                    .map(|t| (t.token_id.clone(), t.requester.clone(), t.via_mail))
+                    .collect(),
+                detection: report
+                    .detections
+                    .iter()
+                    .find(|d| d.bot_name == name)
+                    .cloned(),
+                bot_name: name,
+                messages_posted,
+                tokens_planted,
+            })
+            .collect();
+        for snap in reused {
+            report.messages_posted += snap.messages_posted;
+            report.tokens_planted += snap.tokens_planted;
+            report
+                .triggers
+                .extend(
+                    snap.triggers
+                        .iter()
+                        .map(|(token_id, requester, via_mail)| Trigger {
+                            token_id: token_id.clone(),
+                            requester: requester.clone(),
+                            at: started,
+                            via_mail: *via_mail,
+                        }),
+                );
+            if let Some(det) = &snap.detection {
+                report.detections.push(det.clone());
+            }
+            snapshots.push(snap);
+        }
+        report.triggers.sort_by(|a, b| {
+            (&a.token_id, &a.requester, a.via_mail).cmp(&(&b.token_id, &b.requester, b.via_mail))
+        });
+        report
+            .detections
+            .sort_by(|a, b| a.bot_name.cmp(&b.bot_name));
+        snapshots.sort_by(|a, b| a.bot_name.cmp(&b.bot_name));
+
         report.backend_bytes_sent = self.net.with_trace(|t| t.bytes_sent_by("bot-backend/"));
         report.duration = clock.now().duration_since(started);
 
@@ -389,7 +508,7 @@ impl Campaign {
             .add(report.triggers.len() as u64);
         obs.counter("honeypot.detections")
             .add(report.detections.len() as u64);
-        report
+        (report, snapshots)
     }
 
     fn set_up_guild(
@@ -970,6 +1089,93 @@ mod tests {
             )
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn reused_snapshots_reproduce_the_full_report() {
+        use botsdk::WebhookThiefBehavior;
+        let fleet = |platform: &Platform, dev: UserId| {
+            vec![
+                make_bot(
+                    platform,
+                    dev,
+                    "CleanBot",
+                    full_perms(),
+                    Box::new(BenignBehavior::new("fun")),
+                ),
+                make_bot(
+                    platform,
+                    dev,
+                    "Melonian",
+                    full_perms(),
+                    Box::new(SnooperBehavior::new(10)),
+                ),
+                make_bot(
+                    platform,
+                    dev,
+                    "HookSnatcher",
+                    full_perms() | Permissions::MANAGE_WEBHOOKS,
+                    Box::new(WebhookThiefBehavior::new("drop.zone.sim")),
+                ),
+            ]
+        };
+        let canonical = |r: &CampaignReport| {
+            (
+                r.detections.clone(),
+                r.triggers
+                    .iter()
+                    .map(|t| (t.token_id.clone(), t.requester.clone(), t.via_mail))
+                    .collect::<Vec<_>>(),
+                r.messages_posted,
+                r.tokens_planted,
+                r.bots_tested,
+                r.guilds_created,
+            )
+        };
+
+        // Full run: every guild populated, snapshots captured.
+        let (platform, net, dev) = world();
+        let mut campaign = Campaign::new(platform.clone(), net, CampaignConfig::default());
+        let (full, snapshots) = campaign.run_traced_with_reuse(
+            fleet(&platform, dev),
+            &Obs::disabled(),
+            &Span::disabled(),
+            &BTreeMap::new(),
+        );
+        assert_eq!(snapshots.len(), 3);
+        assert!(snapshots.windows(2).all(|w| w[0].bot_name < w[1].bot_name));
+
+        // Reuse run on a fresh world: two of three guilds come from
+        // snapshots, only Melonian is re-driven. The merged report must be
+        // canonically identical and the snapshots must round-trip.
+        let reuse: BTreeMap<String, GuildSnapshot> = snapshots
+            .iter()
+            .filter(|s| s.bot_name != "Melonian")
+            .map(|s| (s.bot_name.clone(), s.clone()))
+            .collect();
+        let (platform, net, dev) = world();
+        let mut campaign = Campaign::new(platform.clone(), net, CampaignConfig::default());
+        let (merged, merged_snapshots) = campaign.run_traced_with_reuse(
+            fleet(&platform, dev),
+            &Obs::disabled(),
+            &Span::disabled(),
+            &reuse,
+        );
+        assert_eq!(canonical(&merged), canonical(&full));
+        let shape = |s: &[GuildSnapshot]| {
+            s.iter()
+                .map(|g| {
+                    (
+                        g.bot_name.clone(),
+                        g.messages_posted,
+                        g.tokens_planted,
+                        g.triggers.clone(),
+                        g.detection.clone(),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(shape(&merged_snapshots), shape(&snapshots));
     }
 
     #[test]

@@ -32,6 +32,6 @@ pub mod persona;
 pub mod sink;
 pub mod token;
 
-pub use campaign::{Campaign, CampaignConfig, CampaignReport, Detection};
+pub use campaign::{Campaign, CampaignConfig, CampaignReport, Detection, GuildSnapshot};
 pub use sink::{CanarySink, Trigger, SINK_HOST};
 pub use token::{CanaryToken, TokenKind, TokenMint};

@@ -38,6 +38,8 @@ pub enum Status {
     Ok,
     /// 302 — redirect to the `Location` header.
     Found,
+    /// 304 — the cached representation is still fresh (conditional GET).
+    NotModified,
     /// 400 — the server rejected the request shape.
     BadRequest,
     /// 401 — authentication required (email-verification wall).
@@ -62,6 +64,7 @@ impl Status {
         match self {
             Status::Ok => 200,
             Status::Found => 302,
+            Status::NotModified => 304,
             Status::BadRequest => 400,
             Status::Unauthorized => 401,
             Status::Forbidden => 403,
@@ -399,6 +402,12 @@ impl Response {
         r
     }
 
+    /// 304 carrying the validator that matched (body stays empty: the
+    /// whole point is that no content crosses the wire).
+    pub fn not_modified(etag: &str) -> Response {
+        Response::status(Status::NotModified).with_header("etag", etag)
+    }
+
     /// 429 with a `retry-after` header in milliseconds.
     pub fn rate_limited(retry_after_ms: u64) -> Response {
         let mut r = Response::status(Status::TooManyRequests);
@@ -511,5 +520,15 @@ mod tests {
         assert!(!Status::NotFound.is_success());
         assert_eq!(Status::Gone.code(), 410);
         assert_eq!(Status::Unavailable.code(), 503);
+    }
+
+    #[test]
+    fn not_modified_is_bodyless_and_neither_success_nor_redirect() {
+        let r = Response::not_modified("v1-abc");
+        assert_eq!(r.status.code(), 304);
+        assert!(!r.status.is_success());
+        assert!(!r.status.is_redirect());
+        assert!(r.body.is_empty());
+        assert_eq!(r.header("etag"), Some("v1-abc"));
     }
 }

@@ -87,6 +87,18 @@ impl ArtifactCache {
         found
     }
 
+    /// Look up the blob at `hash` without touching the hit/miss counters.
+    /// For side caches (e.g. honeypot guild snapshots) whose reuse is
+    /// reported on its own counter, so the artifact counters stay an exact
+    /// census of per-bot analyses.
+    pub fn peek(&self, hash: &ContentHash) -> Option<Vec<u8>> {
+        self.index
+            .lock()
+            .expect("cache index lock")
+            .get(hash)
+            .cloned()
+    }
+
     /// Store `blob` at `hash`. Idempotent: re-putting an existing address
     /// is a no-op (content-addressed blobs cannot conflict).
     pub fn put(&self, hash: ContentHash, blob: &[u8]) -> io::Result<()> {

@@ -17,7 +17,11 @@
 //!   RAM and every production run against a directory;
 //! * [`store`] — the [`AuditStore`] facade the pipeline holds: journal +
 //!   pack scoped to a seed/config fingerprint, plus the kill-switch used
-//!   to simulate crashes at exact frame boundaries.
+//!   to simulate crashes at exact frame boundaries;
+//! * [`validators`] — the journaled HTTP-validator cache behind the
+//!   conditional-fetch incremental crawl: URL → (ETag, cached body)
+//!   entries that let a warm re-audit validate unchanged pages for one
+//!   cheap round-trip instead of a full fetch + parse.
 //!
 //! Like `matchkit`, the crate is intentionally dependency-free: payloads
 //! are opaque bytes (serialization stays with the caller), hashing and
@@ -34,6 +38,7 @@ pub mod frame;
 pub mod hash;
 pub mod journal;
 pub mod store;
+pub mod validators;
 
 pub use backend::{Backend, DiskBackend, MemBackend, ScopedBackend};
 pub use cache::{ArtifactCache, CacheSnapshot};
@@ -42,3 +47,4 @@ pub use frame::{decode_all, Decoded, Frame, StopReason};
 pub use hash::{fingerprint, fnv64, ContentHash};
 pub use journal::{Journal, Replay};
 pub use store::{AuditStore, StoreError, StoreStats, JOURNAL_FILE, K_RUN_HEADER, PACK_FILE};
+pub use validators::{ValidatorCache, ValidatorCacheStats, VALIDATOR_FILE};

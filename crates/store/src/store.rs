@@ -174,6 +174,14 @@ impl AuditStore {
         self.artifacts.get(hash)
     }
 
+    /// Look up an artifact without counting a hit or miss — for side caches
+    /// whose reuse is reported on a dedicated counter, keeping
+    /// [`StoreStats::artifact_hits`]/[`StoreStats::artifact_misses`] an
+    /// exact census of per-bot analyses.
+    pub fn artifact_peek(&self, hash: &ContentHash) -> Option<Vec<u8>> {
+        self.artifacts.peek(hash)
+    }
+
     /// Store an analysis artifact (idempotent, not subject to the kill
     /// switch — artifacts are pure content, the journal is the commit
     /// point).

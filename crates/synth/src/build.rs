@@ -186,6 +186,7 @@ pub(crate) fn mount_world(plan: &WorldPlan, config: &EcosystemConfig) -> Ecosyst
         captcha_every: config.captcha_every,
         rate_limit: config.rate_limit,
         email_wall_after_page: config.email_wall_after_page,
+        stale_validators: config.stale_validators,
     };
     let site = BotListSite::new(listings, site_config);
     site.mount(&net);
@@ -201,6 +202,18 @@ pub(crate) fn mount_world(plan: &WorldPlan, config: &EcosystemConfig) -> Ecosyst
 }
 
 impl Ecosystem {
+    /// The listing-site id of the bot at plan index `idx` (client id for
+    /// registered bots, the synthetic `8e9 + idx` id otherwise) — the same
+    /// rule the mount phase uses, so drift ledgers can name listing pages.
+    pub fn listing_id(&self, idx: usize) -> u64 {
+        let t = &self.truth.bots[idx];
+        if t.client_id != 0 {
+            t.client_id
+        } else {
+            8_000_000_000 + idx as u64
+        }
+    }
+
     /// Build the behaviour box for a planted behaviour class.
     pub fn behavior_for(class: BehaviorClass) -> Box<dyn Behavior> {
         match class {

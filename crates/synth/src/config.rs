@@ -114,6 +114,9 @@ pub struct EcosystemConfig {
     pub rate_limit: Option<(u32, f64)>,
     /// Email wall beyond this page.
     pub email_wall_after_page: Option<usize>,
+    /// Fault injection: the listing site's detail-page validators lie
+    /// (any conditional fetch gets 304 even after drift).
+    pub stale_validators: bool,
 }
 
 impl Default for EcosystemConfig {
@@ -139,6 +142,7 @@ impl Default for EcosystemConfig {
             captcha_every: Some(200),
             rate_limit: Some((20, 10.0)),
             email_wall_after_page: Some(400),
+            stale_validators: false,
         }
     }
 }

@@ -38,7 +38,7 @@ use discord_sim::Permissions;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Per-epoch mutation probabilities. Each is the chance that one bot
 /// experiences that mutation kind in one epoch step.
@@ -167,7 +167,22 @@ pub fn build_ecosystem_at(
     for step in 1..=epoch {
         log.push(drift_epoch(&mut plan, config, drift, step));
     }
-    (mount_world(&plan, config), log)
+    let eco = mount_world(&plan, config);
+    // Publish the crawl-visible ledger through the listing site's
+    // `/changed` endpoint, so conditional-fetch crawlers can cross-check
+    // their validators against what actually moved.
+    let mut change: BTreeMap<u32, Vec<u64>> = BTreeMap::new();
+    for step in &log {
+        change.insert(
+            step.epoch,
+            step.content_drifted()
+                .iter()
+                .map(|&idx| eco.listing_id(idx))
+                .collect(),
+        );
+    }
+    eco.site.set_change_log(epoch, change);
+    (eco, log)
 }
 
 /// The drift RNG stream for one epoch: decoupled from the plan stream and

@@ -94,6 +94,11 @@ fn main() {
             outcome.artifact_misses,
         );
         println!("             delta: {}", delta.summary());
+        println!(
+            "             drift split: {} crawl-visible (full page refetches), {} analysis-only (pages 304'd, honeypot re-run)",
+            delta.crawl_visible().len(),
+            delta.analysis_only().len(),
+        );
         for t in &delta.traceability_transitions {
             println!(
                 "             traceability flip: {} {:?} -> {:?}",
