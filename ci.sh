@@ -9,6 +9,7 @@ cargo test -q --test resume_determinism
 cargo test -q --test trace_determinism
 cargo test -q --test sched_determinism
 cargo test -q --test incremental_determinism
+cargo test -q --test platform_determinism
 cargo clippy --all-targets -- -D warnings
 cargo bench --no-run
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q

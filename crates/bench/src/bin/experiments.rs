@@ -590,7 +590,7 @@ fn obs_bench(args: &Args, path: &str) {
 /// (every worker count must produce byte-identical reports) and what the
 /// incremental re-audit path buys over a cold audit of a drifted epoch.
 fn sched_bench(args: &Args, path: &str) {
-    use chatbot_audit::{Audit, FleetConfig, FleetService};
+    use chatbot_audit::{platform_breakdown, Audit, FleetConfig, FleetService, PlatformKind};
     use sched::JobSpec;
 
     const TENANTS: usize = 6;
@@ -783,6 +783,72 @@ fn sched_bench(args: &Args, path: &str) {
          {bytes_saved} bytes saved | {guilds_reused} honeypot guilds replayed"
     );
 
+    // Heterogeneous fleet: alternate Discord and Telegram tenants through
+    // the same service. The scheduler must not care which substrate a job
+    // mounts — reports stay byte-identical at any worker count and the
+    // per-platform breakdown accounts for every tenant.
+    eprintln!("mixed-platform fleet: {TENANTS} tenants (alternating discord/telegram) …");
+    let mixed_job = |kind: PlatformKind| {
+        Audit::builder()
+            .platform(kind)
+            .scale(args.scale)
+            .seed(args.seed)
+            .honeypot_sample(args.honeypot_sample)
+            .into_job()
+            .expect("valid mixed fleet job")
+    };
+    let mut mixed_runs = Vec::new();
+    let mut mixed_reference = String::new();
+    let mut mixed_serial_ms = 0.0_f64;
+    let mut breakdown_json = serde_json::Value::Null;
+    for workers in [1usize, 4] {
+        let service = FleetService::new(FleetConfig {
+            workers,
+            ..FleetConfig::default()
+        });
+        for t in 0..TENANTS {
+            let kind = if t % 2 == 0 {
+                PlatformKind::Discord
+            } else {
+                PlatformKind::Telegram
+            };
+            service
+                .submit(JobSpec::new(format!("mixed-{t}")), mixed_job(kind))
+                .expect("queue has room");
+        }
+        let t0 = std::time::Instant::now();
+        let outcomes = service.run();
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let this = dump(&outcomes);
+        if workers == 1 {
+            mixed_serial_ms = wall_ms;
+            mixed_reference = this;
+            breakdown_json =
+                serde_json::to_value(platform_breakdown(&outcomes)).expect("serializable");
+        } else {
+            assert_eq!(
+                this, mixed_reference,
+                "mixed fleet workers={workers} reports diverged"
+            );
+        }
+        println!(
+            "mixed fleet workers {workers}: {wall_ms:7.1} ms wall | \
+             speedup {:.2}x | byte-identical",
+            mixed_serial_ms / wall_ms
+        );
+        let mut run = serde_json::Map::new();
+        run.insert("workers".into(), workers.into());
+        run.insert(
+            "wall_ms".into(),
+            serde_json::to_value(wall_ms).expect("serializable"),
+        );
+        run.insert(
+            "speedup_vs_serial".into(),
+            serde_json::to_value(mixed_serial_ms / wall_ms).expect("serializable"),
+        );
+        mixed_runs.push(run.into());
+    }
+
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -838,6 +904,16 @@ fn sched_bench(args: &Args, path: &str) {
         );
     }
     out.insert("incremental_reaudit".into(), inc.into());
+    let mut mixed = serde_json::Map::new();
+    mixed.insert("tenants".into(), TENANTS.into());
+    mixed.insert(
+        "platforms".into(),
+        serde_json::Value::Array(vec!["discord".into(), "telegram".into()]),
+    );
+    mixed.insert("byte_identical".into(), true.into());
+    mixed.insert("runs".into(), serde_json::Value::Array(mixed_runs));
+    mixed.insert("platform_breakdown".into(), breakdown_json);
+    out.insert("mixed_platform_fleet".into(), mixed.into());
     std::fs::write(
         path,
         serde_json::to_string_pretty(&out).expect("serializable"),

@@ -131,7 +131,14 @@ impl BotListSite {
 
     /// Mount at [`LIST_HOST`].
     pub fn mount(&self, net: &Network) {
-        net.mount(LIST_HOST, self.clone());
+        self.mount_at(net, LIST_HOST);
+    }
+
+    /// Mount at an arbitrary host — each platform's directory lives on its
+    /// own domain (`top.gg.sim` for Discord, `tdirectory.sim` for the
+    /// Telegram substrate), all running this same site machinery.
+    pub fn mount_at(&self, net: &Network, host: &str) {
+        net.mount(host, self.clone());
     }
 
     /// Total number of list pages.

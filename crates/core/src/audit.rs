@@ -19,9 +19,18 @@ use crate::report::CanonicalReport;
 use crate::resume::StoreConfig;
 use crate::service::AuditJob;
 use obs::Obs;
+use platform::{PlatformKind, TELEGRAM_LIST_HOST};
 use policy::KeywordOntology;
 use store::StoreStats;
 use synth::{build_ecosystem, build_ecosystem_at, DriftConfig, Ecosystem, EcosystemConfig};
+
+/// The listing host a platform's directory canonically mounts on.
+fn canonical_list_host(kind: PlatformKind) -> &'static str {
+    match kind {
+        PlatformKind::Discord => botlist::LIST_HOST,
+        PlatformKind::Telegram => TELEGRAM_LIST_HOST,
+    }
+}
 
 /// A fully-configured audit, ready to run against its synthetic world.
 ///
@@ -162,6 +171,7 @@ pub struct AuditBuilder {
     obs: Option<Obs>,
     drift: Option<DriftConfig>,
     epoch: u32,
+    bad_platform: Option<String>,
 }
 
 impl AuditBuilder {
@@ -170,6 +180,49 @@ impl AuditBuilder {
     /// Number of bot listings in the synthetic world (paper: 20,915).
     pub fn scale(mut self, num_bots: usize) -> Self {
         self.eco.num_bots = num_bots;
+        self
+    }
+
+    /// Which messaging substrate the world mounts on (defaults to
+    /// Discord). Retargets the crawl — counters namespace under
+    /// `crawl.<platform>.*` and the listing host moves to the platform's
+    /// canonical directory — and the honeypot, which installs via deep
+    /// links instead of OAuth on Telegram.
+    pub fn platform(mut self, kind: PlatformKind) -> Self {
+        self.eco.platform = kind;
+        self.config.crawl.platform = kind;
+        self.config.crawl.list_host = canonical_list_host(kind).to_string();
+        self
+    }
+
+    /// [`Self::platform`] from a string tag (`"discord"` / `"telegram"`),
+    /// as a fleet manifest or CLI flag would supply it. An unknown tag is
+    /// remembered and surfaces as [`AuditError::Config`] from
+    /// [`Self::build`] — before any world is built or crawled.
+    pub fn platform_named(self, name: &str) -> Self {
+        match PlatformKind::parse(name) {
+            Some(kind) => self.platform(kind),
+            None => {
+                let mut this = self;
+                this.bad_platform = Some(name.to_string());
+                this
+            }
+        }
+    }
+
+    /// Discord only: enable the per-message least-privilege delivery
+    /// mitigation — bot backends receive only messages that mention them
+    /// or match a registered command, so a snooper has nothing to skim.
+    pub fn least_privilege(mut self, enabled: bool) -> Self {
+        self.eco.least_privilege_delivery = enabled;
+        self
+    }
+
+    /// Crawl a non-canonical listing host (a mirror). The host must not be
+    /// the *other* platform's directory — [`Self::build`] rejects that
+    /// cross-platform mismatch.
+    pub fn list_host(mut self, host: &str) -> Self {
+        self.config.crawl.list_host = host.to_string();
         self
     }
 
@@ -346,8 +399,36 @@ impl AuditBuilder {
     ///
     /// [`AuditError::Config`] when the knobs are inconsistent: an empty
     /// world, a zero page size, a crawl capped at zero pages, a honeypot
-    /// sample larger than the world, or a guild with no personas.
+    /// sample larger than the world, a guild with no personas, an unknown
+    /// platform tag, a crawl pointed at the wrong platform's directory, or
+    /// a Discord-only mitigation requested on Telegram.
     pub fn build(self) -> Result<Audit, AuditError> {
+        if let Some(name) = &self.bad_platform {
+            return Err(AuditError::config(format!(
+                "unknown platform {name:?}; expected one of: discord, telegram"
+            )));
+        }
+        if self.config.crawl.platform != self.eco.platform {
+            return Err(AuditError::config(format!(
+                "crawl targets {} but the world mounts on {}",
+                self.config.crawl.platform, self.eco.platform
+            )));
+        }
+        for kind in PlatformKind::ALL {
+            if kind != self.eco.platform && self.config.crawl.list_host == canonical_list_host(kind)
+            {
+                return Err(AuditError::config(format!(
+                    "list_host {:?} is the {} directory, but the world mounts on {}",
+                    self.config.crawl.list_host, kind, self.eco.platform
+                )));
+            }
+        }
+        if self.eco.least_privilege_delivery && self.eco.platform != PlatformKind::Discord {
+            return Err(AuditError::config(
+                "least_privilege delivery is a Discord mitigation; \
+                 Telegram's privacy mode already plays that role",
+            ));
+        }
         if self.eco.num_bots == 0 {
             return Err(AuditError::config("scale must be at least 1 bot"));
         }

@@ -44,6 +44,8 @@ pub struct PermissionChange {
 /// also constructible directly from any two [`CanonicalReport`]s.
 #[derive(Debug, Clone, PartialEq, Serialize, Default)]
 pub struct DeltaReport {
+    /// The substrate both compared reports were measured on.
+    pub platform: platform::PlatformKind,
     /// Bots whose canonical record changed in any observable way.
     pub drifted: Vec<String>,
     /// Bots whose canonical record is identical in both reports.
@@ -83,7 +85,10 @@ impl DeltaReport {
         let after: BTreeMap<&str, &CanonicalBot> =
             next.bots.iter().map(|b| (b.name.as_str(), b)).collect();
 
-        let mut delta = DeltaReport::default();
+        let mut delta = DeltaReport {
+            platform: next.platform,
+            ..DeltaReport::default()
+        };
 
         for bot in &next.bots {
             let Some(old) = before.get(bot.name.as_str()) else {

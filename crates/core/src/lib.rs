@@ -56,12 +56,18 @@ pub use resume::{
     run_fingerprint, ResumableOutcome, ResumeError, CRAWL_UNIT_SIZE, K_ANALYSIS, K_COMPLETE,
     K_CRAWL_UNIT, K_HONEYPOT, K_LISTING,
 };
-pub use service::{AuditJob, FleetConfig, FleetService, JobOutcome};
+pub use service::{
+    platform_breakdown, AuditJob, FleetConfig, FleetService, JobOutcome, PlatformBreakdown,
+};
 pub use stats::{
     figure3_distribution, permission_rate_by_tag, table1_histogram, table2_traceability,
     table3_code_analysis, Figure3Row, Table1Row, Table2Summary, Table3Summary,
 };
 pub use validate::{validate_against_truth, AnalyzerScore, ValidationReport};
+
+/// Platform identity, re-exported so facade users name substrates without
+/// depending on the `platform` crate directly.
+pub use platform::PlatformKind;
 
 // The pre-facade configuration structs. Superseded by [`Audit::builder`]
 // but re-exported (hidden) so existing call sites keep compiling.

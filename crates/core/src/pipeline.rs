@@ -14,14 +14,17 @@ use codeanal::scanner::{scan_repository, ScanReport};
 use codeanal::{Language, LinkCache, ScannerKernelStats};
 use crawler::crawl::{crawl_listing_traced, resolve_workers, CrawlConfig, CrawlStats, CrawledBot};
 use honeypot::campaign::{BotUnderTest, Campaign, CampaignConfig, CampaignReport, GuildSnapshot};
+use honeypot::DiscordSubstrate;
 use netsim::client::{ClientConfig, HttpClient};
 use netsim::Network;
 use obs::{Obs, Span};
 use parking_lot::Mutex;
+use platform::PlatformKind;
 use policy::{AnalysisMemo, KeywordOntology, OntologyKernelStats, TraceabilityReport};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use synth::Ecosystem;
+use telegram_sim::TelegramSubstrate;
 
 /// How a scraped GitHub link resolved.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -116,6 +119,8 @@ impl Default for AuditConfig {
 /// Full pipeline output.
 #[derive(Debug)]
 pub struct AuditReport {
+    /// The substrate the audited world was mounted on.
+    pub platform: PlatformKind,
     /// Every bot that made it through data collection.
     pub bots: Vec<AuditedBot>,
     /// Crawl statistics.
@@ -364,7 +369,10 @@ impl AuditPipeline {
     /// exactly the inputs that shape the guild's phase-2 transcript, so any
     /// drift that could change the campaign's observation (a behaviour
     /// flip, a permission-creeped invite) moves the key.
-    pub(crate) fn honeypot_sample(&self, eco: &Ecosystem) -> Vec<(BotUnderTest, String)> {
+    pub(crate) fn honeypot_sample(
+        &self,
+        eco: &Ecosystem,
+    ) -> Vec<(BotUnderTest<DiscordSubstrate>, String)> {
         eco.most_voted_testable(self.config.honeypot_sample)
             .into_iter()
             .map(|(truth, invite, bot_user, behavior)| {
@@ -373,8 +381,8 @@ impl AuditPipeline {
                     BotUnderTest {
                         name: truth.name,
                         client_id: truth.client_id,
-                        bot_user,
-                        invite,
+                        bot_user: bot_user.0.raw(),
+                        invite: invite.to_url().to_string(),
                         behavior,
                     },
                     class,
@@ -383,26 +391,87 @@ impl AuditPipeline {
             .collect()
     }
 
+    /// The Telegram twin of [`Self::honeypot_sample`]: same most-voted
+    /// ordering, deep links instead of OAuth URLs, `TgBehavior` backends.
+    pub(crate) fn honeypot_sample_telegram(
+        &self,
+        eco: &Ecosystem,
+    ) -> Vec<(BotUnderTest<TelegramSubstrate>, String)> {
+        eco.most_voted_testable_telegram(self.config.honeypot_sample)
+            .into_iter()
+            .map(|(truth, link, actor, behavior)| {
+                let class = format!("{:?}", truth.behavior);
+                (
+                    BotUnderTest {
+                        name: truth.name,
+                        client_id: truth.client_id,
+                        bot_user: actor,
+                        invite: link,
+                        behavior,
+                    },
+                    class,
+                )
+            })
+            .collect()
+    }
+
+    /// The `(name, invite, class)` identity triple of every sampled bot, in
+    /// sample order, regardless of substrate. This is what guild-transcript
+    /// cache keys are built from — the resume layer never needs the
+    /// substrate-specific behaviour boxes, only the identities.
+    pub(crate) fn honeypot_identities(&self, eco: &Ecosystem) -> Vec<(String, String, String)> {
+        match eco.kind {
+            PlatformKind::Discord => self
+                .honeypot_sample(eco)
+                .into_iter()
+                .map(|(but, class)| (but.name, but.invite, class))
+                .collect(),
+            PlatformKind::Telegram => self
+                .honeypot_sample_telegram(eco)
+                .into_iter()
+                .map(|(but, class)| (but.name, but.invite, class))
+                .collect(),
+        }
+    }
+
     /// [`Self::run_honeypot`] with prior-run guild transcripts attached:
     /// bots named in `reuse` are set up but never re-driven, and the
     /// returned snapshots (one per tested bot) feed the next re-audit.
+    /// Dispatches on the ecosystem's substrate: the same generic campaign
+    /// drives Discord OAuth installs or Telegram deep links.
     pub fn run_honeypot_with_reuse(
         &self,
         eco: &Ecosystem,
         reuse: &std::collections::BTreeMap<String, GuildSnapshot>,
     ) -> (CampaignReport, Vec<GuildSnapshot>) {
         let root = self.obs.span("dynamic");
-        let mut campaign = Campaign::new(
-            eco.platform.clone(),
-            eco.net.clone(),
-            self.config.honeypot.clone(),
-        );
-        let bots: Vec<BotUnderTest> = self
-            .honeypot_sample(eco)
-            .into_iter()
-            .map(|(but, _)| but)
-            .collect();
-        campaign.run_traced_with_reuse(bots, &self.obs, &root, reuse)
+        match eco.kind {
+            PlatformKind::Discord => {
+                let substrate = DiscordSubstrate::new(eco.platform.clone(), eco.net.clone());
+                let mut campaign = Campaign::new(substrate, self.config.honeypot.clone());
+                let bots: Vec<BotUnderTest<DiscordSubstrate>> = self
+                    .honeypot_sample(eco)
+                    .into_iter()
+                    .map(|(but, _)| but)
+                    .collect();
+                campaign.run_traced_with_reuse(bots, &self.obs, &root, reuse)
+            }
+            PlatformKind::Telegram => {
+                let tg = eco
+                    .telegram
+                    .as_ref()
+                    .expect("a Telegram world carries its substrate")
+                    .clone();
+                let substrate = TelegramSubstrate::new(tg, eco.net.clone());
+                let mut campaign = Campaign::new(substrate, self.config.honeypot.clone());
+                let bots: Vec<BotUnderTest<TelegramSubstrate>> = self
+                    .honeypot_sample_telegram(eco)
+                    .into_iter()
+                    .map(|(but, _)| but)
+                    .collect();
+                campaign.run_traced_with_reuse(bots, &self.obs, &root, reuse)
+            }
+        }
     }
 
     /// Run everything.
@@ -410,6 +479,7 @@ impl AuditPipeline {
         let (bots, crawl_stats) = self.run_static_stages(&eco.net);
         let honeypot = Some(self.run_honeypot(eco));
         AuditReport {
+            platform: eco.kind,
             bots,
             crawl_stats,
             honeypot,
@@ -471,6 +541,43 @@ mod tests {
         // most-voted).
         assert_eq!(report.detections.len(), 1);
         assert_eq!(report.detections[0].bot_name, "Melonian");
+    }
+
+    #[test]
+    fn least_privilege_delivery_starves_the_snooper() {
+        // Baseline: the planted snooper sees the decoy feed, triggers, and
+        // is attributed (the paper's Melonian case).
+        let eco = small_world();
+        let pipeline = AuditPipeline::new(AuditConfig {
+            honeypot_sample: 25,
+            ..AuditConfig::default()
+        });
+        let baseline = pipeline.run_honeypot(&eco);
+        assert_eq!(baseline.detections.len(), 1);
+
+        // Mitigated world: same seed, but bot backends only receive
+        // messages that mention them or match a registered command. The
+        // decoy feed never reaches the snooper, its trigger count never
+        // fills, and the threat surface disappears.
+        let eco = build_ecosystem(&EcosystemConfig {
+            least_privilege_delivery: true,
+            ..EcosystemConfig::test_scale(120, 77)
+        });
+        assert!(eco.platform.least_privilege_delivery());
+        let pipeline = AuditPipeline::new(AuditConfig {
+            honeypot_sample: 25,
+            ..AuditConfig::default()
+        });
+        let mitigated = pipeline.run_honeypot(&eco);
+        assert_eq!(mitigated.bots_tested, 25, "campaign still runs end to end");
+        assert!(
+            mitigated.detections.is_empty(),
+            "per-message least privilege must starve the history snooper"
+        );
+        assert!(
+            mitigated.triggers.is_empty(),
+            "no canary should fire when bots cannot see the feed"
+        );
     }
 
     #[test]

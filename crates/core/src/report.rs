@@ -50,6 +50,8 @@ pub struct RiskReport {
 /// for the same seed — the property `tests/determinism.rs` pins.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct CanonicalReport {
+    /// The substrate the audited world was mounted on.
+    pub platform: platform::PlatformKind,
     /// Per-bot static findings, in listing order.
     pub bots: Vec<CanonicalBot>,
     /// List pages traversed.
@@ -121,6 +123,7 @@ impl AuditReport {
     /// form.
     pub fn canonical(&self) -> CanonicalReport {
         CanonicalReport {
+            platform: self.platform,
             bots: self
                 .bots
                 .iter()

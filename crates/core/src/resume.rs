@@ -182,14 +182,16 @@ pub fn run_fingerprint(config: &AuditConfig, world_seed: u64) -> u64 {
         .map(|p| format!("{p:?}={}", config.ontology.keywords(*p).join(",")))
         .collect();
     let text = format!(
-        "crawl(max_pages={:?},validate={},policies={},seed={},polite={})|\
+        "platform={}|crawl(max_pages={:?},validate={},policies={},seed={},polite={},host={})|\
          honeypot(personas={},feed={},seed={},auto_verify={},webhooks={})|\
          sample={}|ontology[{}]",
+        c.platform,
         c.max_pages,
         c.validate_invites,
         c.fetch_policies,
         c.seed,
         c.polite,
+        c.list_host,
         h.personas_per_guild,
         h.feed_messages,
         h.seed,
@@ -329,7 +331,12 @@ impl AuditPipeline {
             .ok()
             .map(Arc::new)
             .and_then(|cache| {
-                let changed = fetch_changed_hrefs(&eco.net, cache.epoch(), &self.obs)?;
+                let changed = fetch_changed_hrefs(
+                    &eco.net,
+                    &self.config.crawl.list_host,
+                    cache.epoch(),
+                    &self.obs,
+                )?;
                 Some(IncrementalContext {
                     cache,
                     changed,
@@ -621,6 +628,7 @@ impl AuditPipeline {
         crawl_stats.duration = clock.now().duration_since(started);
         Ok(ResumableOutcome {
             report: AuditReport {
+                platform: eco.kind,
                 bots,
                 crawl_stats,
                 honeypot: Some(honeypot),
@@ -642,21 +650,20 @@ impl AuditPipeline {
         store: &AuditStore,
         fingerprint: u64,
     ) -> CampaignReport {
-        let sample = self.honeypot_sample(eco);
+        let sample = self.honeypot_identities(eco);
         // The RNG-stream selector is the bot's position in bot-name order —
         // the same index the campaign assigns after sorting its jobs.
-        let mut names: Vec<&str> = sample.iter().map(|(but, _)| but.name.as_str()).collect();
+        let mut names: Vec<&str> = sample.iter().map(|(name, _, _)| name.as_str()).collect();
         names.sort_unstable();
         let keyed: Vec<(String, ContentHash)> = sample
             .iter()
-            .map(|(but, class)| {
+            .map(|(name, invite, class)| {
                 let index = names
-                    .binary_search(&but.name.as_str())
+                    .binary_search(&name.as_str())
                     .expect("sampled bot is in its own name list");
-                let invite = but.invite.to_url().to_string();
                 (
-                    but.name.clone(),
-                    guild_snapshot_key(fingerprint, index, &but.name, &invite, class),
+                    name.clone(),
+                    guild_snapshot_key(fingerprint, index, name, invite, class),
                 )
             })
             .collect();

@@ -87,6 +87,9 @@ pub struct JobOutcome {
     pub id: JobId,
     /// Owning tenant.
     pub tenant: String,
+    /// Which substrate the tenant's world mounts on — a heterogeneous
+    /// fleet mixes Discord and Telegram tenants in one queue.
+    pub platform: platform::PlatformKind,
     /// Drift epoch the audit observed.
     pub epoch: u32,
     /// Virtual milliseconds the job waited in the queue.
@@ -102,6 +105,71 @@ pub struct JobOutcome {
     /// Analysis artifacts recomputed — the drifted bots (plus everything,
     /// on a tenant's first audit).
     pub artifact_misses: u64,
+}
+
+/// One substrate's slice of a drained heterogeneous fleet: the same
+/// methodology measured on both platforms, side by side — the paper's §6
+/// cross-ecosystem comparison as a first-class output.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct PlatformBreakdown {
+    /// The substrate this row aggregates.
+    pub platform: platform::PlatformKind,
+    /// Successful audits on this substrate.
+    pub audits: u64,
+    /// Bots crawled across those audits.
+    pub bots: u64,
+    /// Bots whose policy traces every requested permission.
+    pub complete_traceability: u64,
+    /// Bots with no usable policy at all.
+    pub broken_traceability: u64,
+    /// Honeypot detections attributed across those audits.
+    pub detections: u64,
+    /// Analysis artifacts served warm across those audits.
+    pub artifact_hits: u64,
+    /// Analysis artifacts recomputed across those audits.
+    pub artifact_misses: u64,
+}
+
+/// Roll a drained fleet up per substrate, in canonical platform order.
+/// Rows only appear for platforms that completed at least one audit; the
+/// aggregation is a pure fold over [`JobOutcome`]s, so it is byte-identical
+/// whenever the outcomes are.
+pub fn platform_breakdown(outcomes: &[JobOutcome]) -> Vec<PlatformBreakdown> {
+    platform::PlatformKind::ALL
+        .iter()
+        .filter_map(|&kind| {
+            let mut row = PlatformBreakdown {
+                platform: kind,
+                audits: 0,
+                bots: 0,
+                complete_traceability: 0,
+                broken_traceability: 0,
+                detections: 0,
+                artifact_hits: 0,
+                artifact_misses: 0,
+            };
+            for outcome in outcomes.iter().filter(|o| o.platform == kind) {
+                let Ok(report) = &outcome.report else {
+                    continue;
+                };
+                row.audits += 1;
+                row.bots += report.bots.len() as u64;
+                for bot in &report.bots {
+                    match bot.traceability.classification {
+                        policy::Traceability::Complete => row.complete_traceability += 1,
+                        policy::Traceability::Broken => row.broken_traceability += 1,
+                        policy::Traceability::Partial => {}
+                    }
+                }
+                if let Some(hp) = &report.honeypot {
+                    row.detections += hp.detections.len() as u64;
+                }
+                row.artifact_hits += outcome.artifact_hits;
+                row.artifact_misses += outcome.artifact_misses;
+            }
+            (row.audits > 0).then_some(row)
+        })
+        .collect()
 }
 
 struct TenantState {
@@ -242,13 +310,14 @@ impl FleetService {
                 kill_after_frames: None,
             };
             let epoch = job.epoch();
-            (id, epoch, job.audit.run_scoped(&store))
+            let platform = job.audit.ecosystem_config().platform;
+            (id, epoch, platform, job.audit.run_scoped(&store))
         });
 
         completed
             .into_iter()
             .map(|done: CompletedJob<_>| {
-                let (id, epoch, result) = done.output;
+                let (id, epoch, platform, result) = done.output;
                 let (report, delta, hits, misses) = match result {
                     Ok((report, stats)) => {
                         let mut tenants = self.tenants.lock().expect("tenant map poisoned");
@@ -277,6 +346,7 @@ impl FleetService {
                 JobOutcome {
                     id,
                     tenant: done.tenant,
+                    platform,
                     epoch,
                     wait_ms: done.wait_ms,
                     report,

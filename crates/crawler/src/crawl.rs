@@ -38,6 +38,16 @@ pub struct CrawlConfig {
     /// to N sessions, 0 = one per available core. Output is byte-identical
     /// to the serial crawl regardless of the setting.
     pub workers: usize,
+    /// The listing site's host. Each platform's directory lives on its own
+    /// domain (`top.gg.sim` for Discord, `tdirectory.sim` for Telegram);
+    /// relative detail hrefs resolve against this host.
+    pub list_host: String,
+    /// Which substrate this crawl measures. Every aggregate `crawl.*`
+    /// counter publish is mirrored into `crawl.<platform>.*`
+    /// (`crawl.discord.bots`, `crawl.telegram.validator_hits`, …) so a
+    /// mixed-platform fleet sharing one registry can split crawl totals by
+    /// substrate.
+    pub platform: platform::PlatformKind,
 }
 
 impl Default for CrawlConfig {
@@ -49,7 +59,33 @@ impl Default for CrawlConfig {
             seed: 7,
             polite: true,
             workers: 1,
+            list_host: LIST_HOST.to_string(),
+            platform: platform::PlatformKind::Discord,
         }
+    }
+}
+
+/// A legacy `crawl.<name>` counter paired with its per-platform mirror
+/// (`crawl.<platform>.<name>`); every bump lands on both, keeping the
+/// unprefixed totals stable for existing readers while giving
+/// mixed-platform fleets a per-substrate split.
+pub(crate) struct ScopedCounter(obs::Counter, obs::Counter);
+
+impl ScopedCounter {
+    pub(crate) fn new(obs: &Obs, config: &CrawlConfig, name: &str) -> ScopedCounter {
+        ScopedCounter(
+            obs.counter(&format!("crawl.{name}")),
+            obs.counter(&format!("crawl.{}.{name}", config.platform.as_str())),
+        )
+    }
+
+    pub(crate) fn add(&self, n: u64) {
+        self.0.add(n);
+        self.1.add(n);
+    }
+
+    pub(crate) fn incr(&self) {
+        self.add(1);
     }
 }
 
@@ -109,8 +145,8 @@ pub(crate) enum PageOutcome {
     Links(Vec<String>),
 }
 
-fn fetch_page(session: &mut ScrapeSession, page: usize) -> PageOutcome {
-    fetch_page_meta(session, page).0
+fn fetch_page(session: &mut ScrapeSession, host: &str, page: usize) -> PageOutcome {
+    fetch_page_meta(session, host, page).0
 }
 
 /// Fetch and classify one list page, also surfacing the content validator
@@ -118,9 +154,10 @@ fn fetch_page(session: &mut ScrapeSession, page: usize) -> PageOutcome {
 /// cache.
 pub(crate) fn fetch_page_meta(
     session: &mut ScrapeSession,
+    host: &str,
     page: usize,
 ) -> (PageOutcome, Option<String>, u64) {
-    let url = Url::https(LIST_HOST, "/list").with_query("page", &page.to_string());
+    let url = Url::https(host, "/list").with_query("page", &page.to_string());
     let resp = match session.fetch(url) {
         Ok(r) => r,
         Err(_) => return (PageOutcome::FetchErr, None, 0),
@@ -182,10 +219,10 @@ pub(crate) enum DetailOutcome {
     Failed,
 }
 
-/// Resolve a listing href to a fetchable URL.
-pub(crate) fn detail_url(href: &str) -> Option<Url> {
+/// Resolve a listing href to a fetchable URL against the listing host.
+pub(crate) fn detail_url(host: &str, href: &str) -> Option<Url> {
     if href.starts_with('/') {
-        Some(Url::https(LIST_HOST, href))
+        Some(Url::https(host, href))
     } else {
         Url::parse(href).ok()
     }
@@ -200,7 +237,7 @@ pub(crate) fn crawl_detail_validated(
     config: &CrawlConfig,
     etag: Option<&str>,
 ) -> DetailOutcome {
-    let Some(url) = detail_url(href) else {
+    let Some(url) = detail_url(&config.list_host, href) else {
         return DetailOutcome::Failed;
     };
     let resp = match etag {
@@ -330,7 +367,8 @@ pub fn crawl_listing_traced(
     let mut stats = CrawlStats::default();
 
     // Discover page count from page 0 (always the primary session).
-    let first = match session.fetch_document(Url::https(LIST_HOST, "/list").with_query("page", "0"))
+    let first = match session
+        .fetch_document(Url::https(&config.list_host, "/list").with_query("page", "0"))
     {
         Ok(doc) => doc,
         Err(_) => {
@@ -354,7 +392,7 @@ pub fn crawl_listing_traced(
         for page in 1..limit {
             let page_span = pages_span.child_keyed("page", page as u64);
             let t0 = clock.now();
-            let outcome = fetch_page(&mut session, page);
+            let outcome = fetch_page(&mut session, &config.list_host, page);
             page_ms.record(clock.now().duration_since(t0).as_millis());
             trace_page_outcome(&page_span, &outcome);
             outcomes.push(outcome);
@@ -381,7 +419,7 @@ pub fn crawl_listing_traced(
                             .map(|i| {
                                 let page_span = pages_span_ref.child_keyed("page", 1 + i as u64);
                                 let t0 = clock.now();
-                                let outcome = fetch_page(&mut sess, 1 + i);
+                                let outcome = fetch_page(&mut sess, &config.list_host, 1 + i);
                                 page_ms.record(clock.now().duration_since(t0).as_millis());
                                 trace_page_outcome(&page_span, &outcome);
                                 outcome
@@ -516,14 +554,11 @@ pub fn crawl_listing_traced(
     span.record("pages", stats.pages as u64);
     span.record("bots", stats.bots as u64);
     span.record("failures", stats.failures as u64);
-    obs.counter("crawl.pages_fetched").add(stats.pages as u64);
-    obs.counter("crawl.bots").add(stats.bots as u64);
-    obs.counter("crawl.detail_failures")
-        .add(stats.failures as u64);
-    obs.counter("crawl.captchas_solved")
-        .add(stats.captchas_solved);
-    obs.counter("crawl.email_verifications")
-        .add(stats.email_verifications);
+    ScopedCounter::new(obs, config, "pages_fetched").add(stats.pages as u64);
+    ScopedCounter::new(obs, config, "bots").add(stats.bots as u64);
+    ScopedCounter::new(obs, config, "detail_failures").add(stats.failures as u64);
+    ScopedCounter::new(obs, config, "captchas_solved").add(stats.captchas_solved);
+    ScopedCounter::new(obs, config, "email_verifications").add(stats.email_verifications);
     (bots, stats)
 }
 
@@ -622,7 +657,7 @@ pub(crate) fn discover_listing_capturing(
         overhead: SessionOverhead::default(),
     };
 
-    let url0 = Url::https(LIST_HOST, "/list").with_query("page", "0");
+    let url0 = Url::https(&config.list_host, "/list").with_query("page", "0");
     let (first, first_etag, first_bytes) = match session.fetch(url0) {
         Ok(resp) if resp.status.is_success() => {
             let etag = resp.header("etag").map(str::to_string);
@@ -652,7 +687,7 @@ pub(crate) fn discover_listing_capturing(
     for page in 1..limit {
         let page_span = span.child_keyed("page", page as u64);
         let t0 = clock.now();
-        let (outcome, etag, bytes) = fetch_page_meta(&mut session, page);
+        let (outcome, etag, bytes) = fetch_page_meta(&mut session, &config.list_host, page);
         page_ms.record(clock.now().duration_since(t0).as_millis());
         trace_page_outcome(&page_span, &outcome);
         outcomes.push((outcome, etag, bytes));
@@ -692,12 +727,10 @@ pub(crate) fn discover_listing_capturing(
     index.overhead = SessionOverhead::of(&session);
     span.record("pages", index.pages as u64);
     span.record("hrefs", index.hrefs.len() as u64);
-    obs.counter("crawl.pages_fetched").add(index.pages as u64);
-    obs.counter("crawl.fetched_full").add(index.pages as u64);
-    obs.counter("crawl.captchas_solved")
-        .add(index.overhead.captchas_solved);
-    obs.counter("crawl.email_verifications")
-        .add(index.overhead.email_verifications);
+    ScopedCounter::new(obs, config, "pages_fetched").add(index.pages as u64);
+    ScopedCounter::new(obs, config, "fetched_full").add(index.pages as u64);
+    ScopedCounter::new(obs, config, "captchas_solved").add(index.overhead.captchas_solved);
+    ScopedCounter::new(obs, config, "email_verifications").add(index.overhead.email_verifications);
     let cached = (clean && !etags.is_empty()).then(|| CachedListing {
         etags,
         hrefs: index.hrefs.clone(),
@@ -755,14 +788,11 @@ pub fn crawl_detail_unit_traced(
     let ok = results.iter().filter(|r| r.is_some()).count() as u64;
     span.record("ok", ok);
     span.record("failed", results.len() as u64 - ok);
-    obs.counter("crawl.bots").add(ok);
-    obs.counter("crawl.detail_failures")
-        .add(results.len() as u64 - ok);
+    ScopedCounter::new(obs, config, "bots").add(ok);
+    ScopedCounter::new(obs, config, "detail_failures").add(results.len() as u64 - ok);
     let overhead = SessionOverhead::of(&session);
-    obs.counter("crawl.captchas_solved")
-        .add(overhead.captchas_solved);
-    obs.counter("crawl.email_verifications")
-        .add(overhead.email_verifications);
+    ScopedCounter::new(obs, config, "captchas_solved").add(overhead.captchas_solved);
+    ScopedCounter::new(obs, config, "email_verifications").add(overhead.email_verifications);
     DetailUnit { results, overhead }
 }
 
@@ -1087,5 +1117,38 @@ mod tests {
             )
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn counters_mirror_into_the_platform_namespace() {
+        for kind in platform::PlatformKind::ALL {
+            let net = build_world(8);
+            let obs_handle = Obs::disabled();
+            let config = CrawlConfig {
+                platform: kind,
+                ..CrawlConfig::default()
+            };
+            crawl_listing_traced(&net, &config, &obs_handle, &Span::disabled());
+            let scoped =
+                |name: &str| obs_handle.counter_value(&format!("crawl.{}.{name}", kind.as_str()));
+            for name in ["pages_fetched", "bots", "detail_failures"] {
+                assert_eq!(
+                    obs_handle.counter_value(&format!("crawl.{name}")),
+                    scoped(name),
+                    "crawl.{name} vs crawl.{}.{name}",
+                    kind.as_str()
+                );
+            }
+            assert_eq!(scoped("bots"), 8);
+            // The other platform's namespace stays untouched.
+            let other = platform::PlatformKind::ALL
+                .iter()
+                .find(|k| **k != kind)
+                .unwrap();
+            assert_eq!(
+                obs_handle.counter_value(&format!("crawl.{}.bots", other.as_str())),
+                0
+            );
+        }
     }
 }

@@ -35,14 +35,13 @@
 
 use crate::crawl::{
     crawl_detail_validated, detail_url, discover_listing_capturing, CrawlConfig, CrawledBot,
-    DetailFetch, DetailOutcome, DetailUnit, ListingIndex, SessionOverhead,
+    DetailFetch, DetailOutcome, DetailUnit, ListingIndex, ScopedCounter, SessionOverhead,
 };
 use crate::session::ScrapeSession;
-use botlist::LIST_HOST;
 use netsim::client::{ClientConfig, HttpClient};
 use netsim::http::{Status, Url};
 use netsim::Network;
-use obs::{Counter, Obs, Span};
+use obs::{Obs, Span};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Mutex;
@@ -145,7 +144,12 @@ pub struct CachedDetail {
 /// unreachable or malformed — the caller must then treat *everything* as
 /// changed (i.e. crawl cold), because reuse without the ledger's blessing
 /// could trust a validator the site no longer honours.
-pub fn fetch_changed_hrefs(net: &Network, since: u32, obs: &Obs) -> Option<BTreeSet<String>> {
+pub fn fetch_changed_hrefs(
+    net: &Network,
+    host: &str,
+    since: u32,
+    obs: &Obs,
+) -> Option<BTreeSet<String>> {
     let mut client = HttpClient::new(
         net.clone(),
         ClientConfig::crawler("measurement-crawler/1.0 (change-probe)"),
@@ -153,7 +157,7 @@ pub fn fetch_changed_hrefs(net: &Network, since: u32, obs: &Obs) -> Option<BTree
     let mut out = BTreeSet::new();
     let mut page = 0usize;
     loop {
-        let url = Url::https(LIST_HOST, "/changed")
+        let url = Url::https(host, "/changed")
             .with_query("since", &since.to_string())
             .with_query("page", &page.to_string());
         let resp = client.get(url).ok()?;
@@ -221,7 +225,7 @@ fn revalidate_listing(
     let span = parent.child("listing_revalidate");
     let mut session = ScrapeSession::for_worker(net.clone(), config.seed, 0, config.polite);
     for (page, etag) in cached.etags.iter().enumerate() {
-        let url = Url::https(LIST_HOST, "/list").with_query("page", &page.to_string());
+        let url = Url::https(&config.list_host, "/list").with_query("page", &page.to_string());
         match session.fetch_conditional(url, etag) {
             Ok(resp) if resp.status == Status::NotModified => {}
             _ => {
@@ -231,14 +235,11 @@ fn revalidate_listing(
         }
     }
     span.record("pages", cached.pages as u64);
-    obs.counter("crawl.validated")
-        .add(cached.etags.len() as u64);
-    obs.counter("crawl.validator_hits").add(cached.pages as u64);
-    obs.counter("crawl.bytes_saved").add(cached.bytes);
-    obs.counter("crawl.captchas_solved")
-        .add(session.captchas_solved);
-    obs.counter("crawl.email_verifications")
-        .add(session.email_verifications);
+    ScopedCounter::new(obs, config, "validated").add(cached.etags.len() as u64);
+    ScopedCounter::new(obs, config, "validator_hits").add(cached.pages as u64);
+    ScopedCounter::new(obs, config, "bytes_saved").add(cached.bytes);
+    ScopedCounter::new(obs, config, "captchas_solved").add(session.captchas_solved);
+    ScopedCounter::new(obs, config, "email_verifications").add(session.email_verifications);
     Some(ListingIndex {
         hrefs: cached.hrefs.clone(),
         pages: cached.pages,
@@ -281,11 +282,11 @@ pub fn crawl_detail_unit_validated(
         1 + unit as usize,
         config.polite,
     );
-    let validated = obs.counter("crawl.validated");
-    let fetched_full = obs.counter("crawl.fetched_full");
-    let hits = obs.counter("crawl.validator_hits");
-    let stale = obs.counter("crawl.validator_stale");
-    let bytes_saved = obs.counter("crawl.bytes_saved");
+    let validated = ScopedCounter::new(obs, config, "validated");
+    let fetched_full = ScopedCounter::new(obs, config, "fetched_full");
+    let hits = ScopedCounter::new(obs, config, "validator_hits");
+    let stale = ScopedCounter::new(obs, config, "validator_stale");
+    let bytes_saved = ScopedCounter::new(obs, config, "bytes_saved");
 
     let mut results: Vec<Option<CrawledBot>> = Vec::with_capacity(hrefs.len());
     let mut raw: Vec<Option<Vec<u8>>> = Vec::with_capacity(hrefs.len());
@@ -296,7 +297,7 @@ pub fn crawl_detail_unit_validated(
             .and_then(|bytes| serde_json::from_slice(&bytes).ok());
         let (result, body) = match cached {
             Some(entry) if !changed.contains(href.as_str()) => {
-                let reused = revalidate_detail(&mut session, href, &entry, &validated)
+                let reused = revalidate_detail(&mut session, config, href, &entry, &validated)
                     .then(|| store.get(&detail_body_key(href)))
                     .flatten()
                     .and_then(|body| {
@@ -340,14 +341,11 @@ pub fn crawl_detail_unit_validated(
     let ok = results.iter().filter(|r| r.is_some()).count() as u64;
     span.record("ok", ok);
     span.record("failed", results.len() as u64 - ok);
-    obs.counter("crawl.bots").add(ok);
-    obs.counter("crawl.detail_failures")
-        .add(results.len() as u64 - ok);
+    ScopedCounter::new(obs, config, "bots").add(ok);
+    ScopedCounter::new(obs, config, "detail_failures").add(results.len() as u64 - ok);
     let overhead = SessionOverhead::of(&session);
-    obs.counter("crawl.captchas_solved")
-        .add(overhead.captchas_solved);
-    obs.counter("crawl.email_verifications")
-        .add(overhead.email_verifications);
+    ScopedCounter::new(obs, config, "captchas_solved").add(overhead.captchas_solved);
+    ScopedCounter::new(obs, config, "email_verifications").add(overhead.email_verifications);
     (DetailUnit { results, overhead }, raw)
 }
 
@@ -361,11 +359,12 @@ pub fn crawl_detail_unit_validated(
 /// stopped honouring validators) still falls back to the full fetch.
 fn revalidate_detail(
     session: &mut ScrapeSession,
+    config: &CrawlConfig,
     href: &str,
     entry: &CachedDetail,
-    validated: &Counter,
+    validated: &ScopedCounter,
 ) -> bool {
-    let Some(url) = detail_url(href) else {
+    let Some(url) = detail_url(&config.list_host, href) else {
         return false;
     };
     match session.fetch_conditional(url, &entry.etag_detail) {
@@ -382,7 +381,7 @@ fn fetch_and_cache(
     href: &str,
     config: &CrawlConfig,
     store: &dyn ValidatorStore,
-    fetched_full: &Counter,
+    fetched_full: &ScopedCounter,
 ) -> (Option<CrawledBot>, Option<Vec<u8>>) {
     match crawl_detail_validated(session, href, config, None) {
         DetailOutcome::Fetched(fetch) => {
@@ -423,7 +422,7 @@ mod tests {
     use crate::crawl::{crawl_detail_unit_traced, discover_listing_traced};
     use crate::solver::CaptchaSolverService;
     use botlist::website::{BotWebsite, PolicyHosting};
-    use botlist::{BotListSite, BotListing, SiteConfig};
+    use botlist::{BotListSite, BotListing, SiteConfig, LIST_HOST};
     use netsim::clock::VirtualClock;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -662,7 +661,7 @@ mod tests {
         site.mount(&net2);
 
         let obs = Obs::disabled();
-        let all = fetch_changed_hrefs(&net2, 0, &obs).unwrap();
+        let all = fetch_changed_hrefs(&net2, LIST_HOST, 0, &obs).unwrap();
         assert_eq!(
             all,
             ["/bot/1", "/bot/2", "/bot/4"]
@@ -670,9 +669,9 @@ mod tests {
                 .map(String::from)
                 .collect()
         );
-        let since_1 = fetch_changed_hrefs(&net2, 1, &obs).unwrap();
+        let since_1 = fetch_changed_hrefs(&net2, LIST_HOST, 1, &obs).unwrap();
         assert_eq!(since_1, ["/bot/1".to_string()].into());
-        let since_2 = fetch_changed_hrefs(&net2, 2, &obs).unwrap();
+        let since_2 = fetch_changed_hrefs(&net2, LIST_HOST, 2, &obs).unwrap();
         assert!(since_2.is_empty());
     }
 

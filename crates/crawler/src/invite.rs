@@ -11,6 +11,7 @@ use discord_sim::oauth::{InviteUrl, OAUTH_HOST};
 use discord_sim::Permissions;
 use netsim::http::{Status, Url};
 use netsim::{HttpClient, NetError};
+use platform::{TgRights, PRIVACY_OFF_NAME};
 use serde::{Deserialize, Serialize};
 
 /// The outcome of validating one invite link.
@@ -22,6 +23,16 @@ pub enum InviteStatus {
         permissions: Permissions,
         /// Requested scope wire-names.
         scopes: Vec<String>,
+    },
+    /// The link reaches a live Telegram deep-link page; admin rights and
+    /// privacy mode decoded from the gate's echo headers.
+    ValidTelegram {
+        /// The admin rights the deep link requests on install.
+        rights: TgRights,
+        /// Whether the bot runs with group privacy mode on. Off means the
+        /// bot will receive every group message — the coarse Telegram
+        /// analogue of `READ_MESSAGE_HISTORY`.
+        privacy_mode: bool,
     },
     /// The URL cannot be parsed or is not an OAuth authorize link.
     MalformedLink,
@@ -37,14 +48,30 @@ impl InviteStatus {
     /// The paper's headline split: does this bot count as having "valid
     /// permissions on the installation page"?
     pub fn is_valid(&self) -> bool {
-        matches!(self, InviteStatus::Valid { .. })
+        matches!(
+            self,
+            InviteStatus::Valid { .. } | InviteStatus::ValidTelegram { .. }
+        )
     }
 
     /// Canonical names of the permissions requested on the install page;
-    /// empty for every non-valid outcome.
+    /// empty for every non-valid outcome. Telegram links contribute their
+    /// admin-right names plus [`PRIVACY_OFF_NAME`] when privacy mode is off,
+    /// so the traceability classifier sees the full requested grant on
+    /// either platform.
     pub fn permission_names(&self) -> Vec<&'static str> {
         match self {
             InviteStatus::Valid { permissions, .. } => permissions.names(),
+            InviteStatus::ValidTelegram {
+                rights,
+                privacy_mode,
+            } => {
+                let mut names = rights.names();
+                if !privacy_mode {
+                    names.push(PRIVACY_OFF_NAME);
+                }
+                names
+            }
             _ => Vec::new(),
         }
     }
@@ -60,6 +87,17 @@ pub fn validate_invite(client: &mut HttpClient, raw_link: &str) -> InviteStatus 
     match client.get(url) {
         Ok(resp) => match resp.status {
             Status::Ok => {
+                // A Telegram deep-link gate echoes the requested admin
+                // rights directly; no OAuth URL to decode.
+                if let Some(field) = resp.header("x-tg-rights") {
+                    return match TgRights::from_deeplink_field(field) {
+                        Some(rights) => InviteStatus::ValidTelegram {
+                            rights,
+                            privacy_mode: resp.header("x-tg-privacy") != Some("off"),
+                        },
+                        None => InviteStatus::MalformedLink,
+                    };
+                }
                 // Landed on a live consent page. The install page echoes its
                 // canonical OAuth URL, which covers links that arrived via a
                 // redirector; a direct OAuth link is authoritative by itself.
@@ -239,6 +277,66 @@ mod tests {
                 InviteStatus::DeadLink | InviteStatus::TimedOut
             ),
             "got {via_redirect:?}"
+        );
+    }
+
+    fn telegram_setup() -> (Network, telegram_sim::TgPlatform) {
+        let clock = VirtualClock::new();
+        let net = Network::with_clock(13, clock.clone());
+        let p = telegram_sim::TgPlatform::new(clock);
+        telegram_sim::DeepLinkGate::new(p.clone()).mount(&net);
+        (net, p)
+    }
+
+    #[test]
+    fn telegram_deep_link_decodes_rights_and_privacy() {
+        let (net, p) = telegram_setup();
+        p.register_bot(
+            "modbot",
+            TgRights::DELETE_MESSAGES | TgRights::BAN_USERS,
+            false,
+        )
+        .unwrap();
+        let mut c = client(&net);
+        let link = telegram_sim::deep_link("modbot", TgRights::DELETE_MESSAGES);
+        let status = validate_invite(&mut c, &link);
+        match &status {
+            InviteStatus::ValidTelegram {
+                rights,
+                privacy_mode,
+            } => {
+                assert!(rights.contains(TgRights::DELETE_MESSAGES | TgRights::BAN_USERS));
+                assert!(!privacy_mode);
+            }
+            other => panic!("expected valid telegram, got {other:?}"),
+        }
+        assert!(status.is_valid());
+        let names = status.permission_names();
+        assert!(names.contains(&"delete messages"));
+        assert!(names.contains(&PRIVACY_OFF_NAME));
+    }
+
+    #[test]
+    fn telegram_privacy_on_omits_read_all_name() {
+        let (net, p) = telegram_setup();
+        p.register_bot("quietbot", TgRights::NONE, true).unwrap();
+        let mut c = client(&net);
+        let status = validate_invite(&mut c, &telegram_sim::deep_link("quietbot", TgRights::NONE));
+        assert!(status.is_valid());
+        assert!(status.permission_names().is_empty());
+    }
+
+    #[test]
+    fn telegram_deleted_bot_is_removed_and_bad_link_malformed() {
+        let (net, _p) = telegram_setup();
+        let mut c = client(&net);
+        assert_eq!(
+            validate_invite(&mut c, &telegram_sim::deep_link("ghostbot", TgRights::NONE)),
+            InviteStatus::Removed
+        );
+        assert_eq!(
+            validate_invite(&mut c, "https://t.sim/"),
+            InviteStatus::MalformedLink
         );
     }
 }

@@ -94,6 +94,27 @@ fn addressed_by_prefix(content: &str) -> bool {
         .unwrap_or(false)
 }
 
+/// The "Bots can Snoop" per-message least-privilege delivery check: a bot
+/// receives a message event only when the message @-mentions it or its
+/// first token matches one of the bot's *registered* commands. Unlike
+/// [`RuntimePolicy::Enforced`] this is per-bot — `!kick` reaches the bot
+/// that registered `!kick` and nobody else — and it mediates delivery only:
+/// history reads and attachments on delivered events stay untouched, so the
+/// mitigation can be measured in isolation.
+pub fn least_privilege_delivers(
+    message: &Message,
+    bot_name_slug: &str,
+    commands: &[String],
+) -> bool {
+    if mentions(&message.content, bot_name_slug) {
+        return true;
+    }
+    let Some(first) = message.content.split_whitespace().next() else {
+        return false;
+    };
+    commands.iter().any(|c| c.eq_ignore_ascii_case(first))
+}
+
 fn mentions(content: &str, bot_name_slug: &str) -> bool {
     let lower = content.to_ascii_lowercase();
     lower.split_whitespace().any(|w| {
@@ -201,6 +222,45 @@ mod tests {
         assert!(!p.delivers_attachments());
         assert!(!p.allows_bot_history_read());
         assert!(p.sanitize(msg("!open", 3)).attachments.is_empty());
+    }
+
+    #[test]
+    fn least_privilege_matches_mentions_and_own_commands_only() {
+        let cmds = vec!["!kick".to_string(), "!warn".to_string()];
+        assert!(least_privilege_delivers(
+            &msg("!kick @bob", 0),
+            "modbot",
+            &cmds
+        ));
+        assert!(least_privilege_delivers(
+            &msg("!WARN spam", 0),
+            "modbot",
+            &cmds
+        ));
+        assert!(least_privilege_delivers(
+            &msg("hey @modbot look", 0),
+            "modbot",
+            &cmds
+        ));
+        // Another bot's command prefix is not enough.
+        assert!(!least_privilege_delivers(
+            &msg("!play song", 0),
+            "modbot",
+            &cmds
+        ));
+        assert!(!least_privilege_delivers(
+            &msg("ordinary gossip", 0),
+            "modbot",
+            &cmds
+        ));
+        assert!(!least_privilege_delivers(&msg("", 0), "modbot", &cmds));
+        // No registered commands → mentions only.
+        assert!(!least_privilege_delivers(&msg("!kick x", 0), "modbot", &[]));
+        assert!(least_privilege_delivers(
+            &msg("@modbot hi", 0),
+            "modbot",
+            &[]
+        ));
     }
 
     #[test]

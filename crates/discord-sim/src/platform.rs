@@ -87,6 +87,8 @@ struct Inner {
     gateways: BTreeMap<UserId, Sender<GatewayEvent>>,
     audit: AuditLog,
     policy: RuntimePolicy,
+    least_privilege: bool,
+    bot_commands: BTreeMap<UserId, Vec<String>>,
     reactions: BTreeMap<MessageId, Vec<(UserId, Emoji)>>,
     pins: BTreeMap<ChannelId, Vec<MessageId>>,
     webhooks: BTreeMap<Snowflake, Webhook>,
@@ -116,6 +118,8 @@ impl Platform {
                 gateways: BTreeMap::new(),
                 audit: AuditLog::new(),
                 policy: RuntimePolicy::default(),
+                least_privilege: false,
+                bot_commands: BTreeMap::new(),
                 reactions: BTreeMap::new(),
                 pins: BTreeMap::new(),
                 webhooks: BTreeMap::new(),
@@ -1534,6 +1538,39 @@ impl Platform {
     pub fn runtime_policy(&self) -> RuntimePolicy {
         self.inner.lock().policy
     }
+
+    /// Toggle "Bots can Snoop"-style per-message least-privilege delivery:
+    /// when on, a bot's gateway receives a message event only if the
+    /// message @-mentions the bot or its first token matches one of the
+    /// bot's [registered commands](Self::register_bot_commands). History
+    /// reads and attachment delivery are untouched — this mediates message
+    /// fan-out only, so its effect on honeypot detections can be measured
+    /// separately from the full runtime enforcer.
+    pub fn set_least_privilege_delivery(&self, on: bool) {
+        self.inner.lock().least_privilege = on;
+    }
+
+    /// Whether least-privilege delivery is on.
+    pub fn least_privilege_delivery(&self) -> bool {
+        self.inner.lock().least_privilege
+    }
+
+    /// Declare the command words a bot answers to (e.g. `!kick`). Under
+    /// least-privilege delivery these are the only non-mention messages the
+    /// bot receives; with the toggle off they are advisory metadata.
+    pub fn register_bot_commands(&self, bot: UserId, commands: Vec<String>) {
+        self.inner.lock().bot_commands.insert(bot, commands);
+    }
+
+    /// The registered command words of a bot.
+    pub fn registered_commands(&self, bot: UserId) -> Vec<String> {
+        self.inner
+            .lock()
+            .bot_commands
+            .get(&bot)
+            .cloned()
+            .unwrap_or_default()
+    }
 }
 
 /// Check a guild-level permission for `actor`, honouring admin/owner.
@@ -1576,18 +1613,29 @@ fn dispatch_except(inner: &mut Inner, guild: GuildId, event: GatewayEvent, excep
         if let Some(user) = inner.users.get(uid) {
             if user.is_bot() {
                 if let Some(tx) = inner.gateways.get(uid) {
-                    if policy.applies_to(true) {
-                        if let GatewayEvent::MessageCreate {
-                            guild: g_id,
-                            message,
-                        } = &event
-                        {
-                            let slug = user
-                                .name
-                                .split('#')
-                                .next()
-                                .unwrap_or(&user.name)
-                                .to_ascii_lowercase();
+                    if let GatewayEvent::MessageCreate {
+                        guild: g_id,
+                        message,
+                    } = &event
+                    {
+                        let slug = user
+                            .name
+                            .split('#')
+                            .next()
+                            .unwrap_or(&user.name)
+                            .to_ascii_lowercase();
+                        if inner.least_privilege {
+                            let commands = inner
+                                .bot_commands
+                                .get(uid)
+                                .map(Vec::as_slice)
+                                .unwrap_or(&[]);
+                            if !crate::enforcer::least_privilege_delivers(message, &slug, commands)
+                            {
+                                continue;
+                            }
+                        }
+                        if policy.applies_to(true) {
                             if !policy.delivers_message(message, &slug) {
                                 continue;
                             }
@@ -2290,6 +2338,46 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         let _ = bot;
+    }
+
+    #[test]
+    fn least_privilege_delivery_filters_by_mention_and_registered_commands() {
+        let w = world();
+        let (bot, rx) = install_test_bot(&w, Permissions::SEND_MESSAGES);
+        let _ = rx.try_recv(); // GuildCreate
+        w.platform.register_bot_commands(bot, vec!["!kick".into()]);
+        w.platform.set_least_privilege_delivery(true);
+        assert!(w.platform.least_privilege_delivery());
+        assert_eq!(w.platform.registered_commands(bot), vec!["!kick"]);
+
+        // Unaddressed chatter and other bots' commands are withheld…
+        w.platform
+            .send_message(w.alice, w.channel, "gossip about the weekend", vec![])
+            .unwrap();
+        w.platform
+            .send_message(w.alice, w.channel, "!play a song", vec![])
+            .unwrap();
+        assert!(rx.try_recv().is_err());
+        // …the bot's own command and mentions arrive, attachments intact.
+        let att = Attachment::new("doc.pdf", "application/pdf", vec![9u8]);
+        w.platform
+            .send_message(w.alice, w.channel, "!kick @bob", vec![att])
+            .unwrap();
+        match rx.try_recv().unwrap() {
+            GatewayEvent::MessageCreate { message, .. } => {
+                assert_eq!(message.content, "!kick @bob");
+                assert_eq!(message.attachments.len(), 1, "attachments untouched");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // History reads stay legal — the toggle mediates fan-out only.
+        assert!(w.platform.read_history(bot, w.channel).is_ok());
+        // Toggle off restores full delivery.
+        w.platform.set_least_privilege_delivery(false);
+        w.platform
+            .send_message(w.alice, w.channel, "plain chatter again", vec![])
+            .unwrap();
+        assert!(rx.try_recv().is_ok());
     }
 
     #[test]

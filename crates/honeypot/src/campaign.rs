@@ -1,24 +1,28 @@
 //! Campaign orchestration.
 //!
 //! §4.2, "Discord Chatbots Honeypots": for every bot under test, create an
-//! isolated private guild named after the bot, populate it with personas
+//! isolated private room named after the bot, populate it with personas
 //! and a realistic feed, plant the four canary tokens, install the bot
-//! (solving the install captcha), let the fleet run, and attribute any
-//! sink signals back to bots via the guild tag in the token ID.
+//! (solving the install captcha where the platform demands one), let the
+//! fleet run, and attribute any sink signals back to bots via the room tag
+//! in the token ID.
+//!
+//! The orchestration is generic over [`ChatSubstrate`]: the same campaign
+//! runs against the Discord-style world (via
+//! [`crate::substrate::DiscordSubstrate`]) and the Telegram-style one
+//! (`telegram_sim::TelegramSubstrate`). Platform differences — captcha
+//! walls, webhook existence, persona-verification friction — surface as
+//! report fields, not code forks.
 
 use crate::feed::generate_feed;
-use crate::persona::PersonaPool;
 use crate::sink::{CanarySink, Trigger, MAIL_HOST, SINK_HOST};
 use crate::token::{CanaryToken, TokenKind, TokenMint};
-use botsdk::{Behavior, Bot, BotRunner};
 use crawler::crawl::resolve_workers;
 use crawler::solver::CaptchaSolverClient;
-use discord_sim::oauth::InviteUrl;
-use discord_sim::{GuildId, GuildVisibility, Platform, PlatformResult, UserId};
 use netsim::clock::SimDuration;
-use netsim::Network;
 use obs::{Obs, Severity, Span};
 use parking_lot::Mutex;
+use platform::{ActorId, ChatSubstrate, PersonaRoster, RoomId, SubstrateResult};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -39,7 +43,8 @@ pub struct CampaignConfig {
     /// paper's manual mobile step (its stated future work).
     pub auto_verify_personas: bool,
     /// Also plant a webhook-credential canary per guild (extension; see
-    /// [`crate::token::TokenKind::WebhookToken`]).
+    /// [`crate::token::TokenKind::WebhookToken`]). Ignored on substrates
+    /// without webhooks — the threat class does not exist there.
     pub plant_webhook_canaries: bool,
     /// Guild-population workers: 1 = serial, N = a bounded pool of N
     /// concurrent campaigns, 0 = one per available core. Detections merge
@@ -62,17 +67,18 @@ impl Default for CampaignConfig {
 
 /// One bot to test: its platform identity plus its (unknown to the
 /// researcher) backend behaviour.
-pub struct BotUnderTest {
+pub struct BotUnderTest<S: ChatSubstrate> {
     /// Listing name.
     pub name: String,
-    /// OAuth client ID.
+    /// Listing / application client ID.
     pub client_id: u64,
     /// Bot account.
-    pub bot_user: UserId,
-    /// The invite to install with.
-    pub invite: InviteUrl,
+    pub bot_user: ActorId,
+    /// The scraped invite string to install with (an OAuth URL on Discord,
+    /// a deep link on Telegram).
+    pub invite: String,
     /// The developer-controlled backend.
-    pub behavior: Box<dyn Behavior>,
+    pub behavior: Box<S::Behavior>,
 }
 
 /// One attributed detection.
@@ -102,7 +108,7 @@ pub struct CampaignReport {
     pub tokens_planted: usize,
     /// Conversational messages posted.
     pub messages_posted: usize,
-    /// Install captchas solved.
+    /// Install captchas solved (zero on captcha-free platforms).
     pub captchas_solved: u64,
     /// 2Captcha spend in dollars.
     pub captcha_spend_dollars: f64,
@@ -125,7 +131,7 @@ fn registry_insert_webhook(map: &mut BTreeMap<String, String>, token: &str, toke
 
 /// One guild's complete phase-2 transcript, distilled to what the campaign
 /// report needs. Per-guild transcripts are schedule-independent (each guild
-/// owns its RNG stream, token mint, and runner), so a snapshot captured in
+/// owns its RNG stream, token mint, and backend), so a snapshot captured in
 /// one run stands in for re-running the guild in a later run of the *same*
 /// bot — same name, invite, and backend behaviour — and the merged report
 /// is byte-identical either way.
@@ -145,14 +151,18 @@ pub struct GuildSnapshot {
 }
 
 /// One guild through set-up and ready for population.
-struct GuildJob {
+struct GuildJob<S: ChatSubstrate> {
     bot_name: String,
-    guild: GuildId,
+    guild: RoomId,
     /// The connected backend; `None` when the gateway connect failed (the
     /// guild is still populated, matching a real campaign where the
     /// researcher can't see that a backend is down).
-    bot: Option<Bot>,
+    bot: Option<S::Backend>,
 }
+
+/// A claimable slot in the parallel campaign: each indexed guild job sits
+/// in its own mutex so exactly one worker can steal it.
+type JobSlot<S> = Mutex<Option<(usize, GuildJob<S>)>>;
 
 /// What one guild's population produced; merged into the report and token
 /// registry in deterministic bot order.
@@ -162,29 +172,29 @@ struct GuildOutcome {
     tokens_planted: usize,
 }
 
-/// The orchestrator.
-pub struct Campaign {
-    platform: Platform,
-    net: Network,
+/// The orchestrator, generic over the messaging substrate under audit.
+pub struct Campaign<S: ChatSubstrate> {
+    substrate: S,
     config: CampaignConfig,
     sink: CanarySink,
     mint: TokenMint,
     solver: CaptchaSolverClient,
-    researcher: UserId,
+    researcher: ActorId,
     /// webhook token string → canary token id (for the network-tap scan).
     webhook_canaries: BTreeMap<String, String>,
 }
 
-impl Campaign {
+impl<S: ChatSubstrate> Campaign<S> {
     /// Set up a campaign: mounts the sink, registers the researcher
-    /// account. The 2Captcha service must already be mounted.
-    pub fn new(platform: Platform, net: Network, config: CampaignConfig) -> Campaign {
+    /// account. On captcha-walled substrates the 2Captcha service must
+    /// already be mounted.
+    pub fn new(substrate: S, config: CampaignConfig) -> Campaign<S> {
+        let net = substrate.network().clone();
         let sink = CanarySink::new();
         sink.mount(&net);
-        let researcher = platform.register_user("researcher#0001", "research@lab.example");
+        let researcher = substrate.register_operator("researcher#0001", "research@lab.example");
         Campaign {
-            platform,
-            net: net.clone(),
+            substrate,
             config,
             sink,
             mint: TokenMint::new(SINK_HOST, MAIL_HOST),
@@ -197,6 +207,11 @@ impl Campaign {
     /// The sink (for external inspection).
     pub fn sink(&self) -> &CanarySink {
         &self.sink
+    }
+
+    /// The substrate under audit.
+    pub fn substrate(&self) -> &S {
+        &self.substrate
     }
 
     /// Sanitized guild tag for a bot name.
@@ -215,7 +230,7 @@ impl Campaign {
     }
 
     /// Run the whole campaign over a fleet of bots.
-    pub fn run(&mut self, bots: Vec<BotUnderTest>) -> CampaignReport {
+    pub fn run(&mut self, bots: Vec<BotUnderTest<S>>) -> CampaignReport {
         self.run_traced(bots, &Obs::disabled(), &Span::disabled())
     }
 
@@ -228,7 +243,7 @@ impl Campaign {
     /// Metrics go to `obs` under `honeypot.*`.
     pub fn run_traced(
         &mut self,
-        bots: Vec<BotUnderTest>,
+        bots: Vec<BotUnderTest<S>>,
         obs: &Obs,
         parent: &Span,
     ) -> CampaignReport {
@@ -252,40 +267,38 @@ impl Campaign {
     /// fodder for the next re-audit.
     pub fn run_traced_with_reuse(
         &mut self,
-        bots: Vec<BotUnderTest>,
+        bots: Vec<BotUnderTest<S>>,
         obs: &Obs,
         parent: &Span,
         reuse: &BTreeMap<String, GuildSnapshot>,
     ) -> (CampaignReport, Vec<GuildSnapshot>) {
         let span = parent.child("honeypot");
-        let clock = self.net.clock();
+        let net = self.substrate.network().clone();
+        let clock = net.clock();
         let started = clock.now();
         let mut report = CampaignReport::default();
-        let mut pool = PersonaPool::with_mode(
-            self.platform.clone(),
+        let mut pool = self.substrate.provision_personas(
             self.config.personas_per_guild,
             self.config.auto_verify_personas,
         );
         // token id → (token, bot name)
         let mut registry: BTreeMap<String, (CanaryToken, String)> = BTreeMap::new();
-        let mut guild_of_bot: BTreeMap<String, GuildId> = BTreeMap::new();
+        let mut guild_of_bot: BTreeMap<String, RoomId> = BTreeMap::new();
 
         // Phase 1 (serial): guilds, persona joins, installs, backend
         // connects. Platform mutation stays in caller order here so guild
         // and user IDs don't depend on the worker count.
         let setup_span = span.child("setup");
-        let mut jobs: Vec<GuildJob> = Vec::new();
+        let mut jobs: Vec<GuildJob<S>> = Vec::new();
         for but in bots {
-            match self.set_up_guild(&but, &mut pool, &mut registry, &mut report) {
+            match self.set_up_guild(&but, pool.as_mut(), &mut registry, &mut report) {
                 Ok(guild) => {
                     guild_of_bot.insert(but.name.clone(), guild);
                     // Connect the backend (gateway first, then install has
                     // already happened inside set_up_guild — the bot missed
-                    // GuildCreate but sees every later message, which is
-                    // what matters for the honeypot).
-                    let bot = match Bot::connect(
-                        self.platform.clone(),
-                        self.net.clone(),
+                    // the room-create event but sees every later message,
+                    // which is what matters for the honeypot).
+                    let bot = match self.substrate.connect_backend(
                         but.bot_user,
                         &format!("backend-{}", Self::guild_tag(&but.name)),
                         but.behavior,
@@ -328,7 +341,7 @@ impl Campaign {
         // transcript stands in for phase 2. Live guilds keep the index
         // they'd have in the full sorted list, so their RNG streams and
         // trace keys match a run with nothing reused.
-        let mut live: Vec<(usize, GuildJob)> = Vec::new();
+        let mut live: Vec<(usize, GuildJob<S>)> = Vec::new();
         let mut reused: Vec<GuildSnapshot> = Vec::new();
         for (idx, job) in jobs.into_iter().enumerate() {
             match reuse.get(&job.bot_name) {
@@ -339,7 +352,7 @@ impl Campaign {
 
         // Phase 2: populate every live guild with feed + tokens and drive
         // its backend. Each guild owns its RNG stream, token mint, and
-        // runner, so any schedule produces the same per-guild transcript;
+        // backend, so any schedule produces the same per-guild transcript;
         // outcomes merge in the (sorted) job order.
         let workers = resolve_workers(self.config.workers);
         let guilds_span = span.child("guilds");
@@ -347,18 +360,18 @@ impl Campaign {
             live.into_iter()
                 .map(|(idx, job)| {
                     let name = job.bot_name.clone();
-                    (name, self.run_guild(idx, job, &pool, &guilds_span))
+                    (name, self.run_guild(idx, job, pool.as_ref(), &guilds_span))
                 })
                 .collect()
         } else {
-            let live: Vec<Mutex<Option<(usize, GuildJob)>>> =
-                live.into_iter().map(|j| Mutex::new(Some(j))).collect();
+            let live: Vec<JobSlot<S>> = live.into_iter().map(|j| Mutex::new(Some(j))).collect();
             let slots: Vec<Mutex<Option<(String, GuildOutcome)>>> =
                 (0..live.len()).map(|_| Mutex::new(None)).collect();
             let next = AtomicUsize::new(0);
+            let pool_ref: &dyn PersonaRoster = pool.as_ref();
             crossbeam::thread::scope(|s| {
                 for _ in 0..workers.min(live.len()) {
-                    let (live, slots, next, pool) = (&live, &slots, &next, &pool);
+                    let (live, slots, next) = (&live, &slots, &next);
                     let guilds_span = &guilds_span;
                     let this = &*self;
                     s.spawn(move |_| loop {
@@ -369,7 +382,7 @@ impl Campaign {
                         let (idx, job) = live[i].lock().take().expect("guild claimed once");
                         let name = job.bot_name.clone();
                         *slots[i].lock() =
-                            Some((name, this.run_guild(idx, job, pool, guilds_span)));
+                            Some((name, this.run_guild(idx, job, pool_ref, guilds_span)));
                     });
                 }
             })
@@ -392,12 +405,12 @@ impl Campaign {
 
         report.captchas_solved = self.solver.solves;
         report.captcha_spend_dollars = self.solver.spend_dollars();
-        report.manual_verifications = pool.manual_verifications;
+        report.manual_verifications = pool.manual_verifications();
         report.triggers = self.sink.triggers();
         // Network-tap scan for stolen webhook credentials: any
         // backend-originated request whose URL carries a planted token.
         if !self.webhook_canaries.is_empty() {
-            let extra: Vec<Trigger> = self.net.with_trace(|trace| {
+            let extra: Vec<Trigger> = net.with_trace(|trace| {
                 trace
                     .entries()
                     .iter()
@@ -481,7 +494,7 @@ impl Campaign {
             .sort_by(|a, b| a.bot_name.cmp(&b.bot_name));
         snapshots.sort_by(|a, b| a.bot_name.cmp(&b.bot_name));
 
-        report.backend_bytes_sent = self.net.with_trace(|t| t.bytes_sent_by("bot-backend/"));
+        report.backend_bytes_sent = net.with_trace(|t| t.bytes_sent_by("bot-backend/"));
         report.duration = clock.now().duration_since(started);
 
         // Deterministic totals (pinned equal at any worker count by the
@@ -513,36 +526,38 @@ impl Campaign {
 
     fn set_up_guild(
         &mut self,
-        but: &BotUnderTest,
-        pool: &mut PersonaPool,
-        _registry: &mut BTreeMap<String, (CanaryToken, String)>,
+        but: &BotUnderTest<S>,
+        pool: &mut dyn PersonaRoster,
+        registry: &mut BTreeMap<String, (CanaryToken, String)>,
         report: &mut CampaignReport,
-    ) -> PlatformResult<GuildId> {
-        // (registry parameter is used for the webhook canary below)
+    ) -> SubstrateResult<RoomId> {
         let tag = Self::guild_tag(&but.name);
         // "we create new private guilds … We name each guild after the
         // corresponding chatbots for easy identification."
-        let guild = self
-            .platform
-            .create_guild(self.researcher, &tag, GuildVisibility::Private)?;
+        let guild = self.substrate.create_room(self.researcher, &tag)?;
         report.guilds_created += 1;
-        let code = self.platform.create_invite(self.researcher, guild)?;
+        let code = self.substrate.room_invite(self.researcher, guild)?;
         pool.join_all(guild, Some(&code))?;
         // "To add a chatbot to the guild, we need to solve a Google
         // reCAPTCHA … we used the captcha-solving service 2Captcha."
-        let captcha_solved = self.solver.solve("21 + 21").is_ok();
-        self.platform
+        // Telegram's add-to-group flow has no such wall: the solver is
+        // never consulted and the campaign's captcha spend stays zero.
+        let captcha_solved =
+            self.substrate.install_requires_captcha() && self.solver.solve("21 + 21").is_ok();
+        self.substrate
             .install_bot(self.researcher, guild, &but.invite, captcha_solved)?;
         if self.config.plant_webhook_canaries {
             // Extension: a webhook whose secret doubles as a canary. Any
             // backend request carrying the token betrays credential theft.
-            let channel = self.platform.default_channel(guild)?;
-            let hook = self
-                .platform
-                .create_webhook(self.researcher, channel, "ci-updates")?;
-            let token = self.mint.mint(TokenKind::WebhookToken, &tag);
-            registry_insert_webhook(&mut self.webhook_canaries, &hook.token, &token.id);
-            _registry.insert(token.id.clone(), (token, but.name.clone()));
+            // Substrates without webhooks return `None` and plant nothing.
+            if let Some(hook_token) =
+                self.substrate
+                    .plant_webhook(self.researcher, guild, "ci-updates")?
+            {
+                let token = self.mint.mint(TokenKind::WebhookToken, &tag);
+                registry_insert_webhook(&mut self.webhook_canaries, &hook_token, &token.id);
+                registry.insert(token.id.clone(), (token, but.name.clone()));
+            }
         }
         Ok(guild)
     }
@@ -553,8 +568,8 @@ impl Campaign {
     fn run_guild(
         &self,
         index: usize,
-        job: GuildJob,
-        pool: &PersonaPool,
+        job: GuildJob<S>,
+        pool: &dyn PersonaRoster,
         parent: &Span,
     ) -> GuildOutcome {
         // Keyed by the bot-name-order index — the same stream selector the
@@ -562,17 +577,15 @@ impl Campaign {
         let span = parent.child_keyed("guild", index as u64);
         let mut rng = StdRng::seed_from_u64(netsim::splitmix(self.config.seed, index as u64));
         let mut mint = TokenMint::new(SINK_HOST, MAIL_HOST);
-        let mut runner = BotRunner::new();
-        if let Some(bot) = job.bot {
-            runner.add(bot);
-        }
         let outcome = match self.populate_guild(job.guild, &job.bot_name, pool, &mut rng, &mut mint)
         {
             Ok(outcome) => outcome,
             // Population failures are campaign bugs, not measurements.
             Err(e) => panic!("failed to populate {}: {e}", job.bot_name),
         };
-        runner.run_until_idle();
+        if let Some(mut backend) = job.bot {
+            self.substrate.drive_to_idle(&mut backend);
+        }
         span.record("messages_posted", outcome.messages_posted as u64);
         span.record("tokens_planted", outcome.tokens_planted as u64);
         outcome
@@ -580,15 +593,15 @@ impl Campaign {
 
     fn populate_guild(
         &self,
-        guild: GuildId,
+        guild: RoomId,
         bot_name: &str,
-        pool: &PersonaPool,
+        pool: &dyn PersonaRoster,
         rng: &mut StdRng,
         mint: &mut TokenMint,
-    ) -> PlatformResult<GuildOutcome> {
+    ) -> SubstrateResult<GuildOutcome> {
         let tag = Self::guild_tag(bot_name);
-        let channel = self.platform.default_channel(guild)?;
-        let clock = self.net.clock();
+        let channel = self.substrate.default_channel(guild)?;
+        let clock = self.substrate.network().clock();
         let mut outcome = GuildOutcome {
             registry_entries: Vec::new(),
             messages_posted: 0,
@@ -605,7 +618,7 @@ impl Campaign {
         let mut token_iter = tokens.into_iter();
         for (i, line) in feed.iter().enumerate() {
             let author = pool.by_index(line.persona);
-            self.platform
+            self.substrate
                 .send_message(author, channel, &line.text, vec![])?;
             outcome.messages_posted += 1;
             clock.sleep(SimDuration::from_secs(30)); // believable pacing
@@ -629,14 +642,14 @@ impl Campaign {
     fn plant_token(
         &self,
         token: &CanaryToken,
-        channel: discord_sim::ChannelId,
-        pool: &PersonaPool,
+        channel: platform::ChannelId,
+        pool: &dyn PersonaRoster,
         idx: usize,
-    ) -> PlatformResult<()> {
+    ) -> SubstrateResult<()> {
         let author = pool.by_index(idx + 1);
         match token.kind {
             TokenKind::Url => {
-                self.platform.send_message(
+                self.substrate.send_message(
                     author,
                     channel,
                     &format!("shared the doc here {}", token.beacon_url(SINK_HOST)),
@@ -644,7 +657,7 @@ impl Campaign {
                 )?;
             }
             TokenKind::Email => {
-                self.platform.send_message(
+                self.substrate.send_message(
                     author,
                     channel,
                     &format!("email me the files at {}", token.email_address(MAIL_HOST)),
@@ -655,7 +668,7 @@ impl Campaign {
                 let att = token
                     .as_attachment(SINK_HOST)
                     .expect("doc kinds have attachments");
-                self.platform.send_message(
+                self.substrate.send_message(
                     author,
                     channel,
                     "notes from the meeting attached",
@@ -675,7 +688,7 @@ impl Campaign {
         &self,
         triggers: &[Trigger],
         registry: &BTreeMap<String, (CanaryToken, String)>,
-        guild_of_bot: &BTreeMap<String, GuildId>,
+        guild_of_bot: &BTreeMap<String, RoomId>,
     ) -> Vec<Detection> {
         let mut per_bot: BTreeMap<String, (Vec<TokenKind>, Vec<String>, netsim::SimInstant)> =
             BTreeMap::new();
@@ -701,19 +714,12 @@ impl Campaign {
                 requesters.sort();
                 let followup_messages = guild_of_bot
                     .get(&bot_name)
-                    .and_then(|g| self.platform.default_channel(*g).ok())
-                    .and_then(|ch| self.platform.read_history(self.researcher, ch).ok())
+                    .and_then(|g| self.substrate.default_channel(*g).ok())
+                    .and_then(|ch| self.substrate.read_history(self.researcher, ch).ok())
                     .map(|history| {
                         history
                             .iter()
-                            .filter(|m| {
-                                m.at >= first_at
-                                    && self
-                                        .platform
-                                        .user(m.author)
-                                        .map(|u| u.is_bot())
-                                        .unwrap_or(false)
-                            })
+                            .filter(|m| m.at >= first_at && m.author_is_bot)
                             .map(|m| m.content.clone())
                             .collect()
                     })
@@ -732,10 +738,13 @@ impl Campaign {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use botsdk::{BenignBehavior, ExfiltratorBehavior, SnooperBehavior};
+    use crate::substrate::DiscordSubstrate;
+    use botsdk::{Behavior, BenignBehavior, ExfiltratorBehavior, SnooperBehavior};
     use crawler::solver::CaptchaSolverService;
-    use discord_sim::Permissions;
+    use discord_sim::oauth::InviteUrl;
+    use discord_sim::{Permissions, Platform, UserId};
     use netsim::clock::VirtualClock;
+    use netsim::Network;
 
     fn world() -> (Platform, Network, UserId) {
         let clock = VirtualClock::new();
@@ -746,19 +755,23 @@ mod tests {
         (platform, net, dev)
     }
 
+    fn discord(platform: &Platform, net: &Network) -> DiscordSubstrate {
+        DiscordSubstrate::new(platform.clone(), net.clone())
+    }
+
     fn make_bot(
         platform: &Platform,
         dev: UserId,
         name: &str,
         perms: Permissions,
         behavior: Box<dyn Behavior>,
-    ) -> BotUnderTest {
+    ) -> BotUnderTest<DiscordSubstrate> {
         let app = platform.register_bot_application(dev, name).unwrap();
         BotUnderTest {
             name: name.to_string(),
             client_id: app.client_id,
-            bot_user: app.bot_user,
-            invite: InviteUrl::bot(app.client_id, perms),
+            bot_user: app.bot_user.0.raw(),
+            invite: InviteUrl::bot(app.client_id, perms).to_url().to_string(),
             behavior,
         }
     }
@@ -773,7 +786,7 @@ mod tests {
     #[test]
     fn benign_fleet_produces_zero_triggers() {
         let (platform, net, dev) = world();
-        let mut campaign = Campaign::new(platform.clone(), net, CampaignConfig::default());
+        let mut campaign = Campaign::new(discord(&platform, &net), CampaignConfig::default());
         let bots = vec![
             make_bot(
                 &platform,
@@ -807,7 +820,7 @@ mod tests {
     #[test]
     fn snooper_is_caught_and_attributed() {
         let (platform, net, dev) = world();
-        let mut campaign = Campaign::new(platform.clone(), net, CampaignConfig::default());
+        let mut campaign = Campaign::new(discord(&platform, &net), CampaignConfig::default());
         let bots = vec![
             make_bot(
                 &platform,
@@ -841,7 +854,7 @@ mod tests {
     #[test]
     fn exfiltrator_trips_email_token_too() {
         let (platform, net, dev) = world();
-        let mut campaign = Campaign::new(platform.clone(), net, CampaignConfig::default());
+        let mut campaign = Campaign::new(discord(&platform, &net), CampaignConfig::default());
         let bots = vec![make_bot(
             &platform,
             dev,
@@ -870,7 +883,7 @@ mod tests {
     #[test]
     fn guild_isolation_no_cross_guild_attribution() {
         let (platform, net, dev) = world();
-        let mut campaign = Campaign::new(platform.clone(), net, CampaignConfig::default());
+        let mut campaign = Campaign::new(discord(&platform, &net), CampaignConfig::default());
         let bots = vec![
             make_bot(
                 &platform,
@@ -900,7 +913,7 @@ mod tests {
     fn webhook_thief_caught_via_network_tap() {
         use botsdk::WebhookThiefBehavior;
         let (platform, net, dev) = world();
-        let mut campaign = Campaign::new(platform.clone(), net, CampaignConfig::default());
+        let mut campaign = Campaign::new(discord(&platform, &net), CampaignConfig::default());
         let bots = vec![
             make_bot(
                 &platform,
@@ -930,8 +943,7 @@ mod tests {
         use botsdk::WebhookThiefBehavior;
         let (platform, net, dev) = world();
         let mut campaign = Campaign::new(
-            platform.clone(),
-            net,
+            discord(&platform, &net),
             CampaignConfig {
                 plant_webhook_canaries: false,
                 ..CampaignConfig::default()
@@ -956,8 +968,7 @@ mod tests {
         let run = |workers: usize| {
             let (platform, net, dev) = world();
             let mut campaign = Campaign::new(
-                platform.clone(),
-                net,
+                discord(&platform, &net),
                 CampaignConfig {
                     workers,
                     ..CampaignConfig::default()
@@ -1018,8 +1029,7 @@ mod tests {
         let trace = |workers: usize| {
             let (platform, net, dev) = world();
             let mut campaign = Campaign::new(
-                platform.clone(),
-                net.clone(),
+                discord(&platform, &net),
                 CampaignConfig {
                     workers,
                     ..CampaignConfig::default()
@@ -1069,7 +1079,7 @@ mod tests {
     fn campaign_is_deterministic() {
         let run = || {
             let (platform, net, dev) = world();
-            let mut campaign = Campaign::new(platform.clone(), net, CampaignConfig::default());
+            let mut campaign = Campaign::new(discord(&platform, &net), CampaignConfig::default());
             let bots = vec![make_bot(
                 &platform,
                 dev,
@@ -1135,7 +1145,7 @@ mod tests {
 
         // Full run: every guild populated, snapshots captured.
         let (platform, net, dev) = world();
-        let mut campaign = Campaign::new(platform.clone(), net, CampaignConfig::default());
+        let mut campaign = Campaign::new(discord(&platform, &net), CampaignConfig::default());
         let (full, snapshots) = campaign.run_traced_with_reuse(
             fleet(&platform, dev),
             &Obs::disabled(),
@@ -1154,7 +1164,7 @@ mod tests {
             .map(|s| (s.bot_name.clone(), s.clone()))
             .collect();
         let (platform, net, dev) = world();
-        let mut campaign = Campaign::new(platform.clone(), net, CampaignConfig::default());
+        let mut campaign = Campaign::new(discord(&platform, &net), CampaignConfig::default());
         let (merged, merged_snapshots) = campaign.run_traced_with_reuse(
             fleet(&platform, dev),
             &Obs::disabled(),
@@ -1179,8 +1189,104 @@ mod tests {
     }
 
     #[test]
+    fn telegram_campaign_runs_the_same_orchestration() {
+        use telegram_sim::{deep_link, TelegramSubstrate, TgBenignBehavior, TgPlatform};
+        use telegram_sim::{TgBehavior, TgSnooperBehavior};
+
+        let clock = VirtualClock::new();
+        let net = Network::with_clock(37, clock.clone());
+        let tg = TgPlatform::new(clock);
+        let substrate = TelegramSubstrate::new(tg.clone(), net);
+
+        let make = |name: &str,
+                    username: &str,
+                    privacy: bool,
+                    behavior: Box<dyn TgBehavior>|
+         -> BotUnderTest<TelegramSubstrate> {
+            let bot = tg
+                .register_bot(username, platform::TgRights::NONE, privacy)
+                .unwrap();
+            BotUnderTest {
+                name: name.to_string(),
+                client_id: bot,
+                bot_user: bot,
+                invite: deep_link(username, platform::TgRights::NONE),
+                behavior,
+            }
+        };
+        let bots = vec![
+            make(
+                "CleanBot",
+                "cleanbot",
+                true,
+                Box::new(TgBenignBehavior::new("fun")),
+            ),
+            // Privacy mode off: the snooper's backend receives the whole
+            // feed — including the planted canaries — without any command.
+            make(
+                "Melonian",
+                "melonian",
+                false,
+                Box::new(TgSnooperBehavior::new(10)),
+            ),
+        ];
+        let mut campaign = Campaign::new(substrate, CampaignConfig::default());
+        let report = campaign.run(bots);
+        assert_eq!(report.bots_tested, 2);
+        assert_eq!(report.guilds_created, 2);
+        assert_eq!(report.tokens_planted, 8, "four paper tokens per room");
+        assert_eq!(report.messages_posted, 50);
+        assert_eq!(
+            report.captchas_solved, 0,
+            "no captcha wall on the Telegram install flow"
+        );
+        assert_eq!(
+            report.manual_verifications, 0,
+            "no mobile-verification friction for Telegram personas"
+        );
+        assert_eq!(report.detections.len(), 1);
+        let det = &report.detections[0];
+        assert_eq!(det.bot_name, "Melonian");
+        assert!(det.token_kinds.contains(&TokenKind::Url));
+        assert!(det.requesters.iter().all(|r| r.contains("melonian")));
+        assert!(det.followup_messages.iter().any(|m| m == "wtf is this bro"));
+    }
+
+    #[test]
+    fn telegram_privacy_mode_shields_the_feed() {
+        use telegram_sim::{deep_link, TelegramSubstrate, TgPlatform, TgSnooperBehavior};
+
+        let clock = VirtualClock::new();
+        let net = Network::with_clock(41, clock.clone());
+        let tg = TgPlatform::new(clock);
+        let substrate = TelegramSubstrate::new(tg.clone(), net);
+        // Same snooper backend, but privacy mode ON and no admin rights:
+        // the enforced delivery policy never hands it the feed, so the
+        // snoop is structurally impossible — the platform contrast the
+        // paper draws in §6.
+        let bot = tg
+            .register_bot("quietspy", platform::TgRights::NONE, true)
+            .unwrap();
+        let bots = vec![BotUnderTest::<TelegramSubstrate> {
+            name: "QuietSpy".to_string(),
+            client_id: bot,
+            bot_user: bot,
+            invite: deep_link("quietspy", platform::TgRights::NONE),
+            behavior: Box::new(TgSnooperBehavior::new(10)),
+        }];
+        let mut campaign = Campaign::new(substrate, CampaignConfig::default());
+        let report = campaign.run(bots);
+        assert_eq!(report.bots_tested, 1);
+        assert!(
+            report.detections.is_empty(),
+            "privacy mode withholds the canaries from the backend"
+        );
+    }
+
+    #[test]
     fn guild_tag_sanitizes_names() {
-        assert_eq!(Campaign::guild_tag("Melonian"), "guild-melonian");
-        assert_eq!(Campaign::guild_tag("Fun Bot 3000!"), "guild-fun-bot-3000-");
+        type C = Campaign<DiscordSubstrate>;
+        assert_eq!(C::guild_tag("Melonian"), "guild-melonian");
+        assert_eq!(C::guild_tag("Fun Bot 3000!"), "guild-fun-bot-3000-");
     }
 }

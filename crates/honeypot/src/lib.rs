@@ -21,7 +21,11 @@
 //!   guilds.
 //! * [`campaign`] — orchestration: one isolated private guild per bot under
 //!   test, named after the bot for attribution; personas, feed, tokens; run
-//!   the fleet; attribute triggers.
+//!   the fleet; attribute triggers. The orchestrator is generic over
+//!   [`platform::ChatSubstrate`], so the same campaign audits the Discord
+//!   world (via [`substrate::DiscordSubstrate`]) and the Telegram one
+//!   (`telegram_sim::TelegramSubstrate`).
+//! * [`substrate`] — the Discord-world [`platform::ChatSubstrate`] adapter.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -30,8 +34,12 @@ pub mod campaign;
 pub mod feed;
 pub mod persona;
 pub mod sink;
+pub mod substrate;
 pub mod token;
 
-pub use campaign::{Campaign, CampaignConfig, CampaignReport, Detection, GuildSnapshot};
+pub use campaign::{
+    BotUnderTest, Campaign, CampaignConfig, CampaignReport, Detection, GuildSnapshot,
+};
 pub use sink::{CanarySink, Trigger, SINK_HOST};
+pub use substrate::DiscordSubstrate;
 pub use token::{CanaryToken, TokenKind, TokenMint};

@@ -1,0 +1,301 @@
+//! [`ChatSubstrate`] implementation for the Discord-style world — the
+//! adapter that lets the (now platform-generic) campaign orchestrate the
+//! original §4.2 measurement unchanged.
+//!
+//! Everything Discord-specific about the honeypot lives here: snowflake
+//! IDs, the OAuth invite URL shape, the install captcha, webhook canaries,
+//! and the mobile-verification friction the persona pool absorbs.
+
+use crate::persona::PersonaPool;
+use botsdk::{Behavior, Bot};
+use discord_sim::oauth::InviteUrl;
+use discord_sim::{ChannelId as DChannelId, GuildId, GuildVisibility, Platform, UserId};
+use netsim::http::Url;
+use netsim::Network;
+use platform::{
+    ActorId, ChannelId, ChatAttachment, ChatMessage, ChatSubstrate, PersonaRoster, PlatformKind,
+    RoomId, SubstrateError, SubstrateResult,
+};
+
+fn map_err(e: impl std::fmt::Display) -> SubstrateError {
+    SubstrateError(e.to_string())
+}
+
+fn user(raw: ActorId) -> UserId {
+    UserId(discord_sim::Snowflake(raw))
+}
+
+fn guild(raw: RoomId) -> GuildId {
+    GuildId(discord_sim::Snowflake(raw))
+}
+
+fn channel(raw: ChannelId) -> DChannelId {
+    DChannelId(discord_sim::Snowflake(raw))
+}
+
+/// The campaign's persona pool on the Discord substrate: wraps
+/// [`PersonaPool`] (which performs the "manual" mobile verification dance
+/// whenever the platform flags a fresh account).
+struct DiscordPersonaRoster {
+    pool: PersonaPool,
+}
+
+impl PersonaRoster for DiscordPersonaRoster {
+    fn join_all(&mut self, room: RoomId, invite_code: Option<&str>) -> SubstrateResult<()> {
+        self.pool
+            .join_all(guild(room), invite_code)
+            .map_err(map_err)
+    }
+
+    fn by_index(&self, idx: usize) -> ActorId {
+        self.pool.by_index(idx).0.raw()
+    }
+
+    fn len(&self) -> usize {
+        self.pool.len()
+    }
+
+    fn manual_verifications(&self) -> u64 {
+        self.pool.manual_verifications
+    }
+}
+
+/// The Discord-style world as a [`ChatSubstrate`].
+#[derive(Clone)]
+pub struct DiscordSubstrate {
+    platform: Platform,
+    net: Network,
+}
+
+impl DiscordSubstrate {
+    /// Wrap a platform + network pair.
+    pub fn new(platform: Platform, net: Network) -> DiscordSubstrate {
+        DiscordSubstrate { platform, net }
+    }
+
+    /// The underlying platform handle.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+}
+
+impl ChatSubstrate for DiscordSubstrate {
+    type Behavior = dyn Behavior;
+    type Backend = Bot;
+
+    fn kind(&self) -> PlatformKind {
+        PlatformKind::Discord
+    }
+
+    fn network(&self) -> &Network {
+        &self.net
+    }
+
+    fn register_operator(&self, handle: &str, email: &str) -> ActorId {
+        self.platform.register_user(handle, email).0.raw()
+    }
+
+    fn provision_personas(&self, count: usize, auto_verify: bool) -> Box<dyn PersonaRoster> {
+        Box::new(DiscordPersonaRoster {
+            pool: PersonaPool::with_mode(self.platform.clone(), count, auto_verify),
+        })
+    }
+
+    fn create_room(&self, owner: ActorId, name: &str) -> SubstrateResult<RoomId> {
+        self.platform
+            .create_guild(user(owner), name, GuildVisibility::Private)
+            .map(|g| g.0.raw())
+            .map_err(map_err)
+    }
+
+    fn room_invite(&self, owner: ActorId, room: RoomId) -> SubstrateResult<String> {
+        self.platform
+            .create_invite(user(owner), guild(room))
+            .map_err(map_err)
+    }
+
+    fn install_requires_captcha(&self) -> bool {
+        // "To add a chatbot to the guild, we need to solve a Google
+        // reCAPTCHA" (§4.2).
+        true
+    }
+
+    fn install_bot(
+        &self,
+        installer: ActorId,
+        room: RoomId,
+        invite: &str,
+        captcha_solved: bool,
+    ) -> SubstrateResult<ActorId> {
+        let url = Url::parse(invite).map_err(map_err)?;
+        let parsed = InviteUrl::parse(&url).map_err(map_err)?;
+        self.platform
+            .install_bot(user(installer), guild(room), &parsed, captcha_solved)
+            .map(|u| u.0.raw())
+            .map_err(map_err)
+    }
+
+    fn plant_webhook(
+        &self,
+        owner: ActorId,
+        room: RoomId,
+        name: &str,
+    ) -> SubstrateResult<Option<String>> {
+        let ch = self
+            .platform
+            .default_channel(guild(room))
+            .map_err(map_err)?;
+        self.platform
+            .create_webhook(user(owner), ch, name)
+            .map(|hook| Some(hook.token))
+            .map_err(map_err)
+    }
+
+    fn connect_backend(
+        &self,
+        bot: ActorId,
+        label: &str,
+        behavior: Box<Self::Behavior>,
+    ) -> SubstrateResult<Self::Backend> {
+        Bot::connect(
+            self.platform.clone(),
+            self.net.clone(),
+            user(bot),
+            label,
+            behavior,
+        )
+        .map_err(map_err)
+    }
+
+    fn drive_to_idle(&self, backend: &mut Self::Backend) -> usize {
+        // Same rounds-until-quiescent discipline as `BotRunner`, scoped to
+        // the one backend a guild owns (the round cap defuses reply loops).
+        let mut total = 0;
+        for _ in 0..1_000 {
+            let n = backend.poll();
+            if n == 0 {
+                break;
+            }
+            total += n;
+        }
+        total
+    }
+
+    fn default_channel(&self, room: RoomId) -> SubstrateResult<ChannelId> {
+        self.platform
+            .default_channel(guild(room))
+            .map(|c| c.0.raw())
+            .map_err(map_err)
+    }
+
+    fn send_message(
+        &self,
+        author: ActorId,
+        ch: ChannelId,
+        content: &str,
+        attachments: Vec<ChatAttachment>,
+    ) -> SubstrateResult<u64> {
+        let attachments = attachments
+            .into_iter()
+            .map(|a| discord_sim::message::Attachment::new(&a.filename, &a.content_type, a.bytes))
+            .collect();
+        self.platform
+            .send_message(user(author), channel(ch), content, attachments)
+            .map(|id| id.0.raw())
+            .map_err(map_err)
+    }
+
+    fn read_history(&self, reader: ActorId, ch: ChannelId) -> SubstrateResult<Vec<ChatMessage>> {
+        let messages = self
+            .platform
+            .read_history(user(reader), channel(ch))
+            .map_err(map_err)?;
+        Ok(messages
+            .into_iter()
+            .map(|m| ChatMessage {
+                id: m.id.0.raw(),
+                author: m.author.0.raw(),
+                author_is_bot: self
+                    .platform
+                    .user(m.author)
+                    .map(|u| u.is_bot())
+                    .unwrap_or(false),
+                content: m.content,
+                at: m.at,
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use botsdk::BenignBehavior;
+    use discord_sim::Permissions;
+    use netsim::clock::VirtualClock;
+
+    fn substrate() -> DiscordSubstrate {
+        let clock = VirtualClock::new();
+        let net = Network::with_clock(3, clock.clone());
+        DiscordSubstrate::new(Platform::new(clock), net)
+    }
+
+    #[test]
+    fn full_room_lifecycle_via_trait() {
+        let s = substrate();
+        let op = s.register_operator("researcher#0001", "research@lab.example");
+        let room = s.create_room(op, "honeypot-a").unwrap();
+        let invite = s.room_invite(op, room).unwrap();
+        let mut roster = s.provision_personas(3, true);
+        roster.join_all(room, Some(&invite)).unwrap();
+        assert_eq!(roster.len(), 3);
+
+        let dev = s.platform().register_user("dev", "d@x.y");
+        let app = s
+            .platform()
+            .register_bot_application(dev, "HelpBot")
+            .unwrap();
+        let link = InviteUrl::bot(
+            app.client_id,
+            Permissions::SEND_MESSAGES | Permissions::VIEW_CHANNEL,
+        )
+        .to_url()
+        .to_string();
+        assert!(s.install_requires_captcha());
+        let bot = s.install_bot(op, room, &link, true).unwrap();
+        assert_eq!(bot, app.bot_user.0.raw());
+        let mut backend = s
+            .connect_backend(bot, "helpbot", Box::new(BenignBehavior::new("fun")))
+            .unwrap();
+
+        let ch = s.default_channel(room).unwrap();
+        s.send_message(roster.by_index(0), ch, "!ping", vec![])
+            .unwrap();
+        assert!(s.drive_to_idle(&mut backend) >= 1);
+
+        let history = s.read_history(op, ch).unwrap();
+        let last = history.last().unwrap();
+        assert_eq!(last.content, "pong");
+        assert!(last.author_is_bot);
+    }
+
+    #[test]
+    fn webhooks_exist_here() {
+        let s = substrate();
+        let op = s.register_operator("r#1", "r@lab.example");
+        let room = s.create_room(op, "h").unwrap();
+        let token = s.plant_webhook(op, room, "ci-updates").unwrap();
+        assert!(token.is_some(), "Discord has webhook credentials to plant");
+    }
+
+    #[test]
+    fn install_rejects_foreign_and_garbage_links() {
+        let s = substrate();
+        let op = s.register_operator("r#2", "r@lab.example");
+        let room = s.create_room(op, "h2").unwrap();
+        assert!(s
+            .install_bot(op, room, "https://t.sim/somebot?startgroup=true", true)
+            .is_err());
+        assert!(s.install_bot(op, room, "not a link at all", true).is_err());
+    }
+}

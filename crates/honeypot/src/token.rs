@@ -6,7 +6,7 @@
 //! used (§4.2): email address, URL, Word document, and PDF.
 
 use bytes::Bytes;
-use discord_sim::message::Attachment;
+use platform::ChatAttachment;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -97,15 +97,16 @@ impl CanaryToken {
         Bytes::from(body)
     }
 
-    /// Render this token as a message attachment (doc kinds only).
-    pub fn as_attachment(&self, sink_host: &str) -> Option<Attachment> {
+    /// Render this token as a platform-neutral message attachment (doc
+    /// kinds only).
+    pub fn as_attachment(&self, sink_host: &str) -> Option<ChatAttachment> {
         match self.kind {
-            TokenKind::WordDoc => Some(Attachment::new(
+            TokenKind::WordDoc => Some(ChatAttachment::new(
                 &format!("{}-notes.docx", self.guild_tag),
                 "application/vnd.openxmlformats-officedocument.wordprocessingml.document",
                 self.word_doc_bytes(sink_host),
             )),
-            TokenKind::Pdf => Some(Attachment::new(
+            TokenKind::Pdf => Some(ChatAttachment::new(
                 &format!("{}-report.pdf", self.guild_tag),
                 "application/pdf",
                 self.pdf_bytes(sink_host),

@@ -1,0 +1,82 @@
+//! Platform identity: which messaging ecosystem a world, report, or fleet
+//! tenant belongs to.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Host the Telegram-style bot directory is mounted on (the `top.gg.sim`
+/// analogue for the second substrate).
+pub const TELEGRAM_LIST_HOST: &str = "tdirectory.sim";
+
+/// Host Telegram-style install deep links point at (`t.me` analogue). The
+/// substrate mounts an echo gate here so the crawler can validate invites
+/// without installing anything.
+pub const TELEGRAM_DEEPLINK_HOST: &str = "t.sim";
+
+/// The messaging ecosystems the pipeline can audit.
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum PlatformKind {
+    /// The Discord-like substrate (`discord-sim`): fine-grained 41-bit
+    /// permission model, OAuth installs, webhooks, per-channel overwrites.
+    #[default]
+    Discord,
+    /// The Telegram-like substrate (`telegram-sim`): coarse admin-rights
+    /// set, group privacy mode, deep-link installs, no webhooks.
+    Telegram,
+}
+
+impl PlatformKind {
+    /// Stable lowercase tag used in reports, metric paths, and fingerprints.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PlatformKind::Discord => "discord",
+            PlatformKind::Telegram => "telegram",
+        }
+    }
+
+    /// Parse a platform tag; `None` for unknown names.
+    pub fn parse(s: &str) -> Option<PlatformKind> {
+        match s {
+            "discord" => Some(PlatformKind::Discord),
+            "telegram" => Some(PlatformKind::Telegram),
+            _ => None,
+        }
+    }
+
+    /// All supported kinds, in canonical order.
+    pub const ALL: [PlatformKind; 2] = [PlatformKind::Discord, PlatformKind::Telegram];
+}
+
+impl fmt::Display for PlatformKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_roundtrip() {
+        for kind in PlatformKind::ALL {
+            assert_eq!(PlatformKind::parse(kind.as_str()), Some(kind));
+        }
+        assert_eq!(PlatformKind::parse("slack"), None);
+        assert_eq!(PlatformKind::parse("Discord"), None, "tags are lowercase");
+    }
+
+    #[test]
+    fn default_is_discord() {
+        assert_eq!(PlatformKind::default(), PlatformKind::Discord);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let json = serde_json::to_string(&PlatformKind::Telegram).unwrap();
+        let back: PlatformKind = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, PlatformKind::Telegram);
+    }
+}

@@ -1,0 +1,30 @@
+//! Messaging-platform abstraction.
+//!
+//! The source paper measures chatbot risks *across* messaging services;
+//! this crate captures what the audit pipeline actually assumes about a
+//! platform so a second substrate is a new implementation, not a fork:
+//!
+//! * [`PlatformKind`] — which ecosystem a world/report belongs to, plus the
+//!   per-platform listing host the crawler targets.
+//! * [`TgRights`] — the coarse Telegram-style permission model (a small
+//!   admin-rights set plus a group-privacy-mode flag; no per-channel
+//!   overwrites), with stable wire names feeding the same traceability
+//!   classifier Discord's 41 permission names go through.
+//! * [`ChatSubstrate`] — the honeypot's view of a platform: provision
+//!   personas, create an isolated room, install a bot from its scraped
+//!   invite string, connect and drive its backend, post feed messages and
+//!   canary tokens, read the transcript back.
+//!
+//! Everything here is deterministic-by-construction: no clocks, no RNG —
+//! the substrate implementations own those.
+
+pub mod kind;
+pub mod rights;
+pub mod substrate;
+
+pub use kind::{PlatformKind, TELEGRAM_DEEPLINK_HOST, TELEGRAM_LIST_HOST};
+pub use rights::{TgRights, PRIVACY_OFF_NAME};
+pub use substrate::{
+    ActorId, ChannelId, ChatAttachment, ChatMessage, ChatSubstrate, PersonaRoster, RoomId,
+    SubstrateError, SubstrateResult,
+};

@@ -1,0 +1,188 @@
+//! The Telegram-style coarse permission model.
+//!
+//! Where Discord's invite links encode a 41-bit field with per-channel
+//! overwrite semantics, a Telegram-style bot carries just two things: a
+//! small set of group **admin rights** and a boolean **privacy mode**. With
+//! privacy mode *off* (or any admin right held) the bot receives every
+//! group message — the "Bots can Snoop" over-receipt risk in its purest
+//! form. There are no per-channel overwrites to soften any of it.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A set of Telegram-style admin rights, stored as a bitfield.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct TgRights(pub u32);
+
+macro_rules! tg_rights {
+    ($(($const_name:ident, $bit:expr, $pretty:expr, $wire:expr);)*) => {
+        impl TgRights {
+            $(
+                #[doc = concat!("`", $pretty, "` (bit ", stringify!($bit), ").")]
+                pub const $const_name: TgRights = TgRights(1 << $bit);
+            )*
+
+            /// All known rights.
+            pub const ALL_KNOWN: TgRights = TgRights($((1u32 << $bit))|*);
+
+            /// `(bit value, canonical lowercase name, deep-link slug)` for
+            /// every known right, in bit order.
+            pub const NAMES: &'static [(u32, &'static str, &'static str)] = &[
+                $((1 << $bit, $pretty, $wire),)*
+            ];
+        }
+    };
+}
+
+tg_rights! {
+    (CHANGE_INFO, 0, "change chat info", "change_info");
+    (DELETE_MESSAGES, 1, "delete messages", "delete_messages");
+    (BAN_USERS, 2, "ban users", "ban_users");
+    (INVITE_USERS, 3, "invite users", "invite_users");
+    (PIN_MESSAGES, 4, "pin messages", "pin_messages");
+    (MANAGE_VIDEO_CHATS, 5, "manage video chats", "manage_video_chats");
+    (PROMOTE_MEMBERS, 6, "add new admins", "promote_members");
+    (POST_MESSAGES, 7, "post messages", "post_messages");
+}
+
+/// The pseudo-permission a disabled privacy mode amounts to: the bot is
+/// delivered every group message, addressed to it or not. Reported next to
+/// the admin-right names so traceability classification sees it.
+pub const PRIVACY_OFF_NAME: &str = "read all group messages";
+
+impl TgRights {
+    /// No rights — an ordinary (non-admin) bot.
+    pub const NONE: TgRights = TgRights(0);
+
+    /// Does this set contain *all* bits of `other`?
+    pub fn contains(self, other: TgRights) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Any overlap?
+    pub fn intersects(self, other: TgRights) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of set rights.
+    pub fn count(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Canonical names of the set rights, in bit order.
+    pub fn names(self) -> Vec<&'static str> {
+        Self::NAMES
+            .iter()
+            .filter(|(bit, _, _)| self.0 & bit != 0)
+            .map(|(_, name, _)| *name)
+            .collect()
+    }
+
+    /// Look up a single right by canonical name.
+    pub fn by_name(name: &str) -> Option<TgRights> {
+        Self::NAMES
+            .iter()
+            .find(|(_, n, _)| *n == name)
+            .map(|(bit, _, _)| TgRights(*bit))
+    }
+
+    /// Encode for a deep-link query: `+`-joined slugs in bit order.
+    pub fn to_deeplink_field(self) -> String {
+        Self::NAMES
+            .iter()
+            .filter(|(bit, _, _)| self.0 & bit != 0)
+            .map(|(_, _, wire)| *wire)
+            .collect::<Vec<_>>()
+            .join("+")
+    }
+
+    /// Decode a deep-link query field; `None` when any slug is unknown.
+    pub fn from_deeplink_field(s: &str) -> Option<TgRights> {
+        let mut rights = TgRights::NONE;
+        for part in s.split(['+', ' ']).filter(|p| !p.is_empty()) {
+            let (bit, _, _) = Self::NAMES.iter().find(|(_, _, wire)| *wire == part)?;
+            rights |= TgRights(*bit);
+        }
+        Some(rights)
+    }
+}
+
+impl std::ops::BitOr for TgRights {
+    type Output = TgRights;
+    fn bitor(self, rhs: TgRights) -> TgRights {
+        TgRights(self.0 | rhs.0)
+    }
+}
+
+impl std::ops::BitOrAssign for TgRights {
+    fn bitor_assign(&mut self, rhs: TgRights) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl std::ops::BitAnd for TgRights {
+    type Output = TgRights;
+    fn bitand(self, rhs: TgRights) -> TgRights {
+        TgRights(self.0 & rhs.0)
+    }
+}
+
+impl fmt::Display for TgRights {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return f.write_str("(none)");
+        }
+        write!(f, "{}", self.names().join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_known_rights() {
+        assert_eq!(TgRights::ALL_KNOWN.count(), 8);
+        assert_eq!(TgRights::NAMES.len(), 8);
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for (bit, name, _) in TgRights::NAMES {
+            assert_eq!(TgRights::by_name(name).unwrap().0, *bit, "{name}");
+        }
+        assert!(TgRights::by_name("administrator").is_none());
+    }
+
+    #[test]
+    fn deeplink_field_roundtrip() {
+        let r = TgRights::DELETE_MESSAGES | TgRights::BAN_USERS | TgRights::PIN_MESSAGES;
+        let field = r.to_deeplink_field();
+        assert_eq!(field, "delete_messages+ban_users+pin_messages");
+        assert_eq!(TgRights::from_deeplink_field(&field), Some(r));
+        assert_eq!(TgRights::from_deeplink_field(""), Some(TgRights::NONE));
+        assert_eq!(TgRights::from_deeplink_field("fly_the_chat"), None);
+    }
+
+    #[test]
+    fn set_operations() {
+        let a = TgRights::DELETE_MESSAGES | TgRights::INVITE_USERS;
+        assert!(a.contains(TgRights::DELETE_MESSAGES));
+        assert!(!a.contains(TgRights::BAN_USERS));
+        assert!(a.intersects(TgRights::INVITE_USERS | TgRights::PROMOTE_MEMBERS));
+        assert!(TgRights::NONE.is_empty());
+    }
+
+    #[test]
+    fn display_lists_names() {
+        let s = (TgRights::CHANGE_INFO | TgRights::BAN_USERS).to_string();
+        assert!(s.contains("change chat info"));
+        assert!(s.contains("ban users"));
+        assert_eq!(TgRights::NONE.to_string(), "(none)");
+    }
+}

@@ -1,0 +1,214 @@
+//! The chat-substrate trait: everything the honeypot campaign assumes a
+//! messaging platform can do.
+//!
+//! The trait is the distillation of the campaign's original Discord
+//! coupling — provision personas, create an isolated room per bot, install
+//! the bot from its *scraped invite string*, connect the developer-side
+//! backend, post the conversational feed and canary tokens, drive the
+//! backend to quiescence, and read the transcript back for attribution.
+//! A substrate that implements this runs the whole §4.2 honeypot design
+//! unchanged; the platform differences (captcha walls, webhook support,
+//! persona verification friction, message-delivery policy) surface as data
+//! in the campaign report instead of as forks of the orchestration code.
+
+use bytes::Bytes;
+use netsim::clock::SimInstant;
+use netsim::Network;
+use std::fmt;
+
+use crate::kind::PlatformKind;
+
+/// A user/bot account identifier, platform-neutral (raw snowflake on the
+/// Discord substrate, dense counter on the Telegram one).
+pub type ActorId = u64;
+/// An isolated room (guild / group) identifier.
+pub type RoomId = u64;
+/// A text-channel identifier (Telegram groups are their own only channel).
+pub type ChannelId = u64;
+
+/// Substrate operation failure. Campaigns treat these as measurements
+/// (install failures, dead backends), not bugs, so a message is enough.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubstrateError(pub String);
+
+impl fmt::Display for SubstrateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for SubstrateError {}
+
+/// Result alias for substrate operations.
+pub type SubstrateResult<T> = Result<T, SubstrateError>;
+
+/// A platform-neutral message attachment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChatAttachment {
+    /// Filename shown in the channel.
+    pub filename: String,
+    /// MIME type.
+    pub content_type: String,
+    /// Raw bytes (canary documents embed beacon URLs here).
+    pub bytes: Bytes,
+}
+
+impl ChatAttachment {
+    /// Build an attachment.
+    pub fn new(filename: &str, content_type: &str, bytes: impl Into<Bytes>) -> ChatAttachment {
+        ChatAttachment {
+            filename: filename.to_string(),
+            content_type: content_type.to_string(),
+            bytes: bytes.into(),
+        }
+    }
+}
+
+/// A transcript entry as read back from a room, with authorship already
+/// resolved (the campaign only needs "was this posted by the bot?").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChatMessage {
+    /// Message identifier.
+    pub id: u64,
+    /// Author account.
+    pub author: ActorId,
+    /// Whether the author is a bot account.
+    pub author_is_bot: bool,
+    /// Message text.
+    pub content: String,
+    /// Virtual-clock timestamp.
+    pub at: SimInstant,
+}
+
+/// The campaign's persona pool for one substrate: registered virtual users
+/// that can be joined into each honeypot room, tracking how much manual
+/// verification friction the platform imposed.
+pub trait PersonaRoster: Send + Sync {
+    /// Join every persona into a room (performing whatever verification the
+    /// platform demands along the way).
+    fn join_all(&mut self, room: RoomId, invite_code: Option<&str>) -> SubstrateResult<()>;
+
+    /// Persona for a feed-line index (wraps around the pool).
+    fn by_index(&self, idx: usize) -> ActorId;
+
+    /// Number of personas.
+    fn len(&self) -> usize;
+
+    /// True when the roster is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Manual verification steps the platform required so far.
+    fn manual_verifications(&self) -> u64;
+}
+
+/// What the audit pipeline assumes a messaging platform can do.
+///
+/// Implementations are cheap handles (`Clone` shares the underlying world)
+/// and must be deterministic: identical call sequences produce identical
+/// IDs, transcripts, and network traffic.
+pub trait ChatSubstrate: Clone + Send + Sync {
+    /// The developer-side backend logic type for this substrate's bots
+    /// (`dyn botsdk::Behavior` on Discord, `dyn TgBehavior` on Telegram).
+    type Behavior: ?Sized + Send;
+    /// A connected backend: account + event queue + behaviour.
+    type Backend: Send;
+
+    /// Which ecosystem this is.
+    fn kind(&self) -> PlatformKind;
+
+    /// The shared network fabric this substrate's world runs on (canary
+    /// sink, network tap, and virtual clock all hang off it).
+    fn network(&self) -> &Network;
+
+    /// Register the researcher account that orchestrates the campaign.
+    fn register_operator(&self, handle: &str, email: &str) -> ActorId;
+
+    /// Register `count` personas; `auto_verify` pre-verifies them (the
+    /// paper's future-work automation) where the platform has such a step.
+    fn provision_personas(&self, count: usize, auto_verify: bool) -> Box<dyn PersonaRoster>;
+
+    /// Create an isolated private room owned by `owner`.
+    fn create_room(&self, owner: ActorId, name: &str) -> SubstrateResult<RoomId>;
+
+    /// Mint an invite code personas can join the room with.
+    fn room_invite(&self, owner: ActorId, room: RoomId) -> SubstrateResult<String>;
+
+    /// Whether installing a bot is gated by a captcha on this platform
+    /// (Discord's install flow is; Telegram's add-to-group is not).
+    fn install_requires_captcha(&self) -> bool;
+
+    /// Install a bot into a room from its scraped invite string (an OAuth
+    /// URL or deep link). Returns the bot's account.
+    fn install_bot(
+        &self,
+        installer: ActorId,
+        room: RoomId,
+        invite: &str,
+        captcha_solved: bool,
+    ) -> SubstrateResult<ActorId>;
+
+    /// Plant a webhook-style credential in the room's default channel and
+    /// return its secret token — `Ok(None)` on platforms without webhooks
+    /// (the canary is simply not planted there; that threat class does not
+    /// exist on such substrates).
+    fn plant_webhook(
+        &self,
+        owner: ActorId,
+        room: RoomId,
+        name: &str,
+    ) -> SubstrateResult<Option<String>>;
+
+    /// Connect a bot account's event stream and attach its backend.
+    /// `label` names the backend in network traces (`bot-backend/{label}`),
+    /// which is how the honeypot attributes canary triggers.
+    fn connect_backend(
+        &self,
+        bot: ActorId,
+        label: &str,
+        behavior: Box<Self::Behavior>,
+    ) -> SubstrateResult<Self::Backend>;
+
+    /// Drive one backend until its queue stays empty; returns events
+    /// processed.
+    fn drive_to_idle(&self, backend: &mut Self::Backend) -> usize;
+
+    /// The room's default text channel.
+    fn default_channel(&self, room: RoomId) -> SubstrateResult<ChannelId>;
+
+    /// Post a message (with optional attachments) as `author`.
+    fn send_message(
+        &self,
+        author: ActorId,
+        channel: ChannelId,
+        content: &str,
+        attachments: Vec<ChatAttachment>,
+    ) -> SubstrateResult<u64>;
+
+    /// Read a channel's transcript as `reader` (a human account — bot API
+    /// limits do not apply to the researcher).
+    fn read_history(
+        &self,
+        reader: ActorId,
+        channel: ChannelId,
+    ) -> SubstrateResult<Vec<ChatMessage>>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attachment_builder() {
+        let att = ChatAttachment::new("a.pdf", "application/pdf", b"x".to_vec());
+        assert_eq!(att.filename, "a.pdf");
+        assert_eq!(att.bytes.as_ref(), b"x");
+    }
+
+    #[test]
+    fn substrate_error_displays_message() {
+        let e = SubstrateError("install failed".into());
+        assert_eq!(e.to_string(), "install failed");
+    }
+}

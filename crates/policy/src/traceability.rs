@@ -123,6 +123,12 @@ const NOUN_TRIGGERS: &[(&str, usize)] = &[
     ("server", 10),
     ("guild", 10),
     ("insight", 10),
+    // Telegram vocabulary: admin-right names say "users" where Discord says
+    // "members", "chat" where Discord says "channel", and "admins" for role
+    // grants ("administrator" still wins its own noun by priority).
+    ("user", 2),
+    ("chat", 4),
+    ("admin", 3),
     // generic-data permissions (noun 11 == the fallback noun)
     ("link", 11),
     ("file", 11),
@@ -364,6 +370,27 @@ mod tests {
         // Genuinely unknown vocabulary still falls through.
         assert_eq!(permission_data_noun_explicit("teleport"), None);
         assert_eq!(permission_data_noun("teleport"), "data");
+    }
+
+    #[test]
+    fn telegram_right_names_classify() {
+        for (perm, noun) in [
+            ("change chat info", "channel"),
+            ("delete messages", "message"),
+            ("ban users", "member"),
+            ("invite users", "member"),
+            ("pin messages", "message"),
+            ("manage video chats", "channel"),
+            ("add new admins", "role"),
+            ("post messages", "message"),
+            ("read all group messages", "message"),
+        ] {
+            assert_eq!(permission_data_noun(perm), noun, "{perm}");
+            assert!(permission_data_noun_explicit(perm).is_some(), "{perm}");
+        }
+        // "administrator" keeps its all-data noun despite the new "admin"
+        // trigger — priority picks the lower noun index.
+        assert_eq!(permission_data_noun("administrator"), "all data");
     }
 
     #[test]

@@ -57,6 +57,16 @@ pub struct EcosystemConfig {
     pub seed: u64,
     /// Total listings to generate (the paper crawled 20,915).
     pub num_bots: usize,
+    /// Which messaging substrate the mount phase materialises the plan on.
+    /// The *plan* is platform-neutral (same draws, same names, same
+    /// permission intents); only the mount differs — OAuth invites, webhook
+    /// support, and the 41-bit permission field on Discord vs. deep links,
+    /// admin rights, and privacy mode on Telegram.
+    pub platform: platform::PlatformKind,
+    /// Discord only: enable the "Bots can Snoop" per-message
+    /// least-privilege delivery mitigation — a bot backend receives only
+    /// messages that mention it or match one of its registered commands.
+    pub least_privilege_delivery: bool,
 
     // ---- §4.2 "Permissions Measurement" -------------------------------
     /// Fraction of listings with *valid* invite links (paper: 0.74).
@@ -124,6 +134,8 @@ impl Default for EcosystemConfig {
         EcosystemConfig {
             seed: 2022,
             num_bots: 500,
+            platform: platform::PlatformKind::Discord,
+            least_privilege_delivery: false,
             valid_invite_fraction: 0.74,
             invalid_split: [0.40, 0.25, 0.20, 0.15],
             website_fraction: 0.3727,

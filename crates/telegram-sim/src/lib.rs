@@ -1,0 +1,40 @@
+//! # telegram-sim — a deterministic Telegram-style messaging substrate
+//!
+//! The second platform the audit pipeline runs against, modeled on the
+//! parts of Telegram's bot ecosystem the paper's risk analysis cares
+//! about — and deliberately *different* from `discord-sim` where the real
+//! platforms differ:
+//!
+//! * **Coarse permissions.** A bot carries a small set of group admin
+//!   rights ([`platform::TgRights`], 8 bits) plus a boolean **privacy
+//!   mode**, instead of Discord's 41-bit field with per-channel
+//!   overwrites. With privacy mode off (or any admin right held) the bot
+//!   is delivered *every* group message — the "Bots can Snoop" over-receipt
+//!   risk in its purest form.
+//! * **Deep-link installs.** Bots are added to groups from
+//!   `https://t.sim/<username>?startgroup=…` links; there is no OAuth
+//!   consent screen and no captcha wall, so honeypot installs are free.
+//! * **No webhooks.** The webhook-token theft class does not exist here;
+//!   the campaign simply cannot plant that canary.
+//! * **No bot history reads.** The Bot API has no "fetch past messages"
+//!   endpoint: a snooping developer only ever sees what delivery policy
+//!   handed the bot live. Privacy mode is therefore a real mitigation, and
+//!   its effect shows up in honeypot detection counts.
+//!
+//! Determinism matches the rest of the workspace: dense counter IDs, all
+//! time from the shared [`netsim::clock::VirtualClock`], no RNG anywhere.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod behavior;
+pub mod gate;
+pub mod substrate;
+pub mod tg;
+
+pub use behavior::{
+    urls_in_bytes, TgApi, TgBehavior, TgBenignBehavior, TgExfiltratorBehavior, TgSnooperBehavior,
+};
+pub use gate::{deep_link, DeepLinkGate};
+pub use substrate::{TelegramSubstrate, TgBot};
+pub use tg::{TgError, TgMessage, TgPlatform, TgResult, TgUpdate};

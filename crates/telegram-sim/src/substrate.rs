@@ -1,0 +1,330 @@
+//! [`ChatSubstrate`] implementation: the honeypot campaign's view of the
+//! Telegram-style world.
+
+use crate::behavior::{TgApi, TgBehavior};
+use crate::tg::{TgPlatform, TgResult};
+use netsim::Network;
+use platform::{
+    ActorId, ChannelId, ChatAttachment, ChatMessage, ChatSubstrate, PersonaRoster, PlatformKind,
+    RoomId, SubstrateError, SubstrateResult, TELEGRAM_DEEPLINK_HOST,
+};
+
+fn map_err(e: impl std::fmt::Display) -> SubstrateError {
+    SubstrateError(e.to_string())
+}
+
+/// A connected bot backend: account + update queue + behaviour.
+pub struct TgBot {
+    bot: ActorId,
+    behavior: Box<dyn TgBehavior>,
+    api: TgApi,
+    platform: TgPlatform,
+}
+
+impl TgBot {
+    /// Open the bot's update stream and attach its backend behaviour.
+    pub fn connect(
+        platform: TgPlatform,
+        net: Network,
+        bot: ActorId,
+        label: &str,
+        behavior: Box<dyn TgBehavior>,
+    ) -> TgResult<TgBot> {
+        platform.connect_gateway(bot)?;
+        let api = TgApi::new(platform.clone(), net, bot, label);
+        Ok(TgBot {
+            bot,
+            behavior,
+            api,
+            platform,
+        })
+    }
+
+    /// The backing bot account.
+    pub fn bot_id(&self) -> ActorId {
+        self.bot
+    }
+
+    /// Drain pending updates through the behaviour; returns how many were
+    /// processed.
+    pub fn poll(&mut self) -> usize {
+        let updates = self.platform.drain_updates(self.bot);
+        for update in &updates {
+            self.behavior.on_update(update, &mut self.api);
+        }
+        updates.len()
+    }
+}
+
+/// The campaign's persona pool on the Telegram substrate. Joining a group
+/// by invite link has no verification wall, so `manual_verifications`
+/// stays zero — a per-platform cost difference the report surfaces.
+struct TgPersonaPool {
+    platform: TgPlatform,
+    personas: Vec<ActorId>,
+}
+
+impl PersonaRoster for TgPersonaPool {
+    fn join_all(&mut self, room: RoomId, invite_code: Option<&str>) -> SubstrateResult<()> {
+        for persona in &self.personas {
+            self.platform
+                .join_group(*persona, room, invite_code)
+                .map_err(map_err)?;
+        }
+        Ok(())
+    }
+
+    fn by_index(&self, idx: usize) -> ActorId {
+        self.personas[idx % self.personas.len()]
+    }
+
+    fn len(&self) -> usize {
+        self.personas.len()
+    }
+
+    fn manual_verifications(&self) -> u64 {
+        0
+    }
+}
+
+/// The Telegram-style world as a [`ChatSubstrate`].
+#[derive(Clone)]
+pub struct TelegramSubstrate {
+    platform: TgPlatform,
+    net: Network,
+}
+
+impl TelegramSubstrate {
+    /// Wrap a platform + network pair.
+    pub fn new(platform: TgPlatform, net: Network) -> TelegramSubstrate {
+        TelegramSubstrate { platform, net }
+    }
+
+    /// The underlying platform handle.
+    pub fn platform(&self) -> &TgPlatform {
+        &self.platform
+    }
+
+    /// Parse a deep link into the bot username it names.
+    fn username_of(invite: &str) -> SubstrateResult<String> {
+        let url = netsim::http::Url::parse(invite)
+            .map_err(|e| SubstrateError(format!("malformed deep link: {e}")))?;
+        if url.host != TELEGRAM_DEEPLINK_HOST {
+            return Err(SubstrateError(format!(
+                "not a {TELEGRAM_DEEPLINK_HOST} deep link: {}",
+                url.host
+            )));
+        }
+        url.segments()
+            .first()
+            .filter(|s| !s.is_empty())
+            .map(|s| s.to_string())
+            .ok_or_else(|| SubstrateError("deep link names no bot".into()))
+    }
+}
+
+impl ChatSubstrate for TelegramSubstrate {
+    type Behavior = dyn TgBehavior;
+    type Backend = TgBot;
+
+    fn kind(&self) -> PlatformKind {
+        PlatformKind::Telegram
+    }
+
+    fn network(&self) -> &Network {
+        &self.net
+    }
+
+    fn register_operator(&self, handle: &str, email: &str) -> ActorId {
+        self.platform.register_user(handle, email)
+    }
+
+    fn provision_personas(&self, count: usize, _auto_verify: bool) -> Box<dyn PersonaRoster> {
+        let personas = (0..count)
+            .map(|i| {
+                self.platform.register_user(
+                    &format!("persona-{i:03}"),
+                    &format!("persona{i}@lab.example"),
+                )
+            })
+            .collect();
+        Box::new(TgPersonaPool {
+            platform: self.platform.clone(),
+            personas,
+        })
+    }
+
+    fn create_room(&self, owner: ActorId, name: &str) -> SubstrateResult<RoomId> {
+        self.platform.create_group(owner, name).map_err(map_err)
+    }
+
+    fn room_invite(&self, owner: ActorId, room: RoomId) -> SubstrateResult<String> {
+        self.platform.invite_link(owner, room).map_err(map_err)
+    }
+
+    fn install_requires_captcha(&self) -> bool {
+        false
+    }
+
+    fn install_bot(
+        &self,
+        installer: ActorId,
+        room: RoomId,
+        invite: &str,
+        _captcha_solved: bool,
+    ) -> SubstrateResult<ActorId> {
+        let username = Self::username_of(invite)?;
+        let bot = self
+            .platform
+            .bot_by_username(&username)
+            .ok_or_else(|| SubstrateError(format!("no bot registered as @{username}")))?;
+        self.platform
+            .add_bot_to_group(installer, room, bot)
+            .map_err(map_err)
+    }
+
+    fn plant_webhook(
+        &self,
+        _owner: ActorId,
+        _room: RoomId,
+        _name: &str,
+    ) -> SubstrateResult<Option<String>> {
+        // No webhooks on this platform: the token-theft canary class does
+        // not exist here.
+        Ok(None)
+    }
+
+    fn connect_backend(
+        &self,
+        bot: ActorId,
+        label: &str,
+        behavior: Box<Self::Behavior>,
+    ) -> SubstrateResult<Self::Backend> {
+        TgBot::connect(
+            self.platform.clone(),
+            self.net.clone(),
+            bot,
+            label,
+            behavior,
+        )
+        .map_err(map_err)
+    }
+
+    fn drive_to_idle(&self, backend: &mut Self::Backend) -> usize {
+        let mut total = 0;
+        for _ in 0..1_000 {
+            let n = backend.poll();
+            if n == 0 {
+                break;
+            }
+            total += n;
+        }
+        total
+    }
+
+    fn default_channel(&self, room: RoomId) -> SubstrateResult<ChannelId> {
+        // A Telegram group is its own single channel.
+        Ok(room)
+    }
+
+    fn send_message(
+        &self,
+        author: ActorId,
+        channel: ChannelId,
+        content: &str,
+        attachments: Vec<ChatAttachment>,
+    ) -> SubstrateResult<u64> {
+        self.platform
+            .send_message(author, channel, content, attachments)
+            .map_err(map_err)
+    }
+
+    fn read_history(
+        &self,
+        reader: ActorId,
+        channel: ChannelId,
+    ) -> SubstrateResult<Vec<ChatMessage>> {
+        let messages = self
+            .platform
+            .read_history(reader, channel)
+            .map_err(map_err)?;
+        Ok(messages
+            .into_iter()
+            .map(|m| ChatMessage {
+                id: m.id,
+                author: m.author,
+                author_is_bot: self.platform.is_bot(m.author),
+                content: m.content,
+                at: m.at,
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavior::TgBenignBehavior;
+    use crate::gate::deep_link;
+    use netsim::clock::VirtualClock;
+    use platform::TgRights;
+
+    fn substrate() -> TelegramSubstrate {
+        let clock = VirtualClock::new();
+        let net = Network::with_clock(1, clock.clone());
+        TelegramSubstrate::new(TgPlatform::new(clock), net)
+    }
+
+    #[test]
+    fn full_room_lifecycle_via_trait() {
+        let s = substrate();
+        let op = s.register_operator("researcher", "research@lab.example");
+        let room = s.create_room(op, "honeypot-a").unwrap();
+        let invite = s.room_invite(op, room).unwrap();
+        let mut roster = s.provision_personas(3, false);
+        roster.join_all(room, Some(&invite)).unwrap();
+        assert_eq!(roster.len(), 3);
+        assert_eq!(roster.manual_verifications(), 0);
+
+        s.platform()
+            .register_bot("helpbot", TgRights::NONE, true)
+            .unwrap();
+        let link = deep_link("helpbot", TgRights::NONE);
+        let bot = s.install_bot(op, room, &link, false).unwrap();
+        let mut backend = s
+            .connect_backend(bot, "helpbot", Box::new(TgBenignBehavior::new("fun")))
+            .unwrap();
+
+        let ch = s.default_channel(room).unwrap();
+        s.send_message(roster.by_index(0), ch, "/ping", vec![])
+            .unwrap();
+        assert_eq!(s.drive_to_idle(&mut backend), 1);
+
+        let history = s.read_history(op, ch).unwrap();
+        let last = history.last().unwrap();
+        assert_eq!(last.content, "pong");
+        assert!(last.author_is_bot);
+    }
+
+    #[test]
+    fn install_rejects_foreign_and_unknown_links() {
+        let s = substrate();
+        let op = s.register_operator("researcher", "r@lab.example");
+        let room = s.create_room(op, "honeypot-b").unwrap();
+        assert!(s
+            .install_bot(op, room, "https://discord.sim/oauth2/authorize?x=1", false)
+            .is_err());
+        assert!(s
+            .install_bot(op, room, &deep_link("ghostbot", TgRights::NONE), false)
+            .is_err());
+        assert!(s.install_bot(op, room, "not a link at all", false).is_err());
+    }
+
+    #[test]
+    fn webhooks_do_not_exist_here() {
+        let s = substrate();
+        let op = s.register_operator("r", "r@lab.example");
+        let room = s.create_room(op, "h").unwrap();
+        assert_eq!(s.plant_webhook(op, room, "ci").unwrap(), None);
+    }
+}

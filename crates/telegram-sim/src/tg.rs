@@ -1,0 +1,639 @@
+//! The Telegram-style platform state machine: actors, bots, groups,
+//! messages, and the privacy-mode delivery policy.
+
+use netsim::clock::{SimInstant, VirtualClock};
+use parking_lot::Mutex;
+use platform::{ActorId, ChatAttachment, RoomId, TgRights};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+use std::sync::Arc;
+
+/// Platform operation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TgError {
+    /// The actor ID is not registered.
+    UnknownActor,
+    /// The group ID does not exist.
+    UnknownGroup,
+    /// No bot is registered under this username.
+    UnknownBot(String),
+    /// A bot username was registered twice.
+    UsernameTaken(String),
+    /// The caller is not a member of the group.
+    NotMember,
+    /// Only the group owner may do this.
+    NotOwner,
+    /// Joining a private group requires its invite link.
+    InviteRequired,
+    /// The supplied invite code does not match the group's.
+    BadInvite,
+    /// The account is not a bot / not a connected bot.
+    NotABot,
+    /// The Bot API has no history endpoint: bots only see live delivery.
+    BotsCannotReadHistory,
+}
+
+impl fmt::Display for TgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TgError::UnknownActor => f.write_str("unknown actor"),
+            TgError::UnknownGroup => f.write_str("unknown group"),
+            TgError::UnknownBot(u) => write!(f, "no bot registered as @{u}"),
+            TgError::UsernameTaken(u) => write!(f, "bot username @{u} already taken"),
+            TgError::NotMember => f.write_str("not a member of this group"),
+            TgError::NotOwner => f.write_str("only the group owner may do this"),
+            TgError::InviteRequired => f.write_str("private group: invite link required"),
+            TgError::BadInvite => f.write_str("invite link does not match this group"),
+            TgError::NotABot => f.write_str("account is not a (connected) bot"),
+            TgError::BotsCannotReadHistory => f.write_str("the Bot API has no history endpoint"),
+        }
+    }
+}
+
+impl std::error::Error for TgError {}
+
+/// Result alias for platform operations.
+pub type TgResult<T> = Result<T, TgError>;
+
+/// A message in a group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TgMessage {
+    /// Monotonic identifier.
+    pub id: u64,
+    /// Group it was posted in.
+    pub group: RoomId,
+    /// Author account (human or bot).
+    pub author: ActorId,
+    /// Text content.
+    pub content: String,
+    /// Attached files.
+    pub attachments: Vec<ChatAttachment>,
+    /// Virtual post time.
+    pub at: SimInstant,
+}
+
+impl TgMessage {
+    /// URLs mentioned in the content (scheme `http`/`https`).
+    pub fn urls(&self) -> Vec<&str> {
+        self.content
+            .split_whitespace()
+            .filter(|w| w.starts_with("http://") || w.starts_with("https://"))
+            .collect()
+    }
+
+    /// Email addresses mentioned in the content (lightweight heuristic:
+    /// `local@domain.tld` tokens).
+    pub fn emails(&self) -> Vec<&str> {
+        self.content
+            .split_whitespace()
+            .map(|w| {
+                w.trim_matches(|c: char| {
+                    !c.is_ascii_alphanumeric()
+                        && c != '@'
+                        && c != '.'
+                        && c != '-'
+                        && c != '_'
+                        && c != '+'
+                })
+            })
+            .filter(|w| {
+                let Some((local, domain)) = w.split_once('@') else {
+                    return false;
+                };
+                !local.is_empty()
+                    && domain.contains('.')
+                    && !domain.starts_with('.')
+                    && !domain.ends_with('.')
+            })
+            .collect()
+    }
+
+    /// Whether the content invokes `/cmd` (optionally `/cmd@username`).
+    /// Returns the bare command without the slash.
+    pub fn slash_command(&self) -> Option<(&str, Option<&str>)> {
+        let first = self.content.split_whitespace().next()?;
+        let rest = first.strip_prefix('/')?;
+        if rest.is_empty() {
+            return None;
+        }
+        match rest.split_once('@') {
+            Some((cmd, bot)) if !cmd.is_empty() => Some((cmd, Some(bot))),
+            Some(_) => None,
+            None => Some((rest, None)),
+        }
+    }
+}
+
+/// An update delivered to a connected bot backend (the `getUpdates`
+/// analogue).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TgUpdate {
+    /// A group message the delivery policy let this bot see.
+    Message {
+        /// Group it was posted in.
+        group: RoomId,
+        /// The message itself.
+        message: TgMessage,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct ActorRec {
+    name: String,
+    #[allow(dead_code)]
+    email: String,
+    is_bot: bool,
+}
+
+#[derive(Debug, Clone)]
+struct BotReg {
+    username: String,
+    rights: TgRights,
+    privacy_mode: bool,
+    commands: Vec<String>,
+}
+
+#[derive(Debug, Clone)]
+struct Group {
+    #[allow(dead_code)]
+    title: String,
+    owner: ActorId,
+    members: BTreeSet<ActorId>,
+    /// Admin members and their granted rights (bots land here when their
+    /// registered rights are non-empty).
+    admins: BTreeMap<ActorId, TgRights>,
+    invite_code: Option<String>,
+    messages: Vec<TgMessage>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    next_id: u64,
+    actors: BTreeMap<ActorId, ActorRec>,
+    by_username: BTreeMap<String, ActorId>,
+    bots: BTreeMap<ActorId, BotReg>,
+    groups: BTreeMap<RoomId, Group>,
+    /// Pending update queues for connected bots.
+    queues: BTreeMap<ActorId, VecDeque<TgUpdate>>,
+}
+
+/// A cheap cloneable handle to one Telegram-style world.
+#[derive(Clone)]
+pub struct TgPlatform {
+    clock: VirtualClock,
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl TgPlatform {
+    /// A fresh, empty world on the given clock.
+    pub fn new(clock: VirtualClock) -> TgPlatform {
+        TgPlatform {
+            clock,
+            inner: Arc::new(Mutex::new(Inner {
+                next_id: 1_000,
+                actors: BTreeMap::new(),
+                by_username: BTreeMap::new(),
+                bots: BTreeMap::new(),
+                groups: BTreeMap::new(),
+                queues: BTreeMap::new(),
+            })),
+        }
+    }
+
+    /// The world's clock.
+    pub fn clock(&self) -> VirtualClock {
+        self.clock.clone()
+    }
+
+    /// Register a human account. IDs are dense counters, assigned in
+    /// registration order — determinism by construction.
+    pub fn register_user(&self, name: &str, email: &str) -> ActorId {
+        let mut inner = self.inner.lock();
+        let id = inner.next_id;
+        inner.next_id += 1;
+        inner.actors.insert(
+            id,
+            ActorRec {
+                name: name.to_string(),
+                email: email.to_string(),
+                is_bot: false,
+            },
+        );
+        id
+    }
+
+    /// Register a bot under a unique `@username` with the admin rights its
+    /// deep link will request and its privacy-mode setting.
+    pub fn register_bot(
+        &self,
+        username: &str,
+        rights: TgRights,
+        privacy_mode: bool,
+    ) -> TgResult<ActorId> {
+        let mut inner = self.inner.lock();
+        if inner.by_username.contains_key(username) {
+            return Err(TgError::UsernameTaken(username.to_string()));
+        }
+        let id = inner.next_id;
+        inner.next_id += 1;
+        inner.actors.insert(
+            id,
+            ActorRec {
+                name: username.to_string(),
+                email: String::new(),
+                is_bot: true,
+            },
+        );
+        inner.by_username.insert(username.to_string(), id);
+        inner.bots.insert(
+            id,
+            BotReg {
+                username: username.to_string(),
+                rights,
+                privacy_mode,
+                commands: Vec::new(),
+            },
+        );
+        Ok(id)
+    }
+
+    /// Advertise the bot's slash commands (`setMyCommands`).
+    pub fn set_commands(&self, bot: ActorId, commands: Vec<String>) -> TgResult<()> {
+        let mut inner = self.inner.lock();
+        let reg = inner.bots.get_mut(&bot).ok_or(TgError::NotABot)?;
+        reg.commands = commands;
+        Ok(())
+    }
+
+    /// Look up a bot account by username.
+    pub fn bot_by_username(&self, username: &str) -> Option<ActorId> {
+        self.inner.lock().by_username.get(username).copied()
+    }
+
+    /// `(username, rights, privacy_mode)` for a registered bot.
+    pub fn bot_info(&self, bot: ActorId) -> Option<(String, TgRights, bool)> {
+        self.inner
+            .lock()
+            .bots
+            .get(&bot)
+            .map(|r| (r.username.clone(), r.rights, r.privacy_mode))
+    }
+
+    /// Whether the account is a bot.
+    pub fn is_bot(&self, actor: ActorId) -> bool {
+        self.inner
+            .lock()
+            .actors
+            .get(&actor)
+            .map(|a| a.is_bot)
+            .unwrap_or(false)
+    }
+
+    /// An account's display name.
+    pub fn actor_name(&self, actor: ActorId) -> Option<String> {
+        self.inner.lock().actors.get(&actor).map(|a| a.name.clone())
+    }
+
+    /// Create a private group owned by `owner`.
+    pub fn create_group(&self, owner: ActorId, title: &str) -> TgResult<RoomId> {
+        let mut inner = self.inner.lock();
+        if !inner.actors.contains_key(&owner) {
+            return Err(TgError::UnknownActor);
+        }
+        let id = inner.next_id;
+        inner.next_id += 1;
+        let mut members = BTreeSet::new();
+        members.insert(owner);
+        inner.groups.insert(
+            id,
+            Group {
+                title: title.to_string(),
+                owner,
+                members,
+                admins: BTreeMap::new(),
+                invite_code: None,
+                messages: Vec::new(),
+            },
+        );
+        Ok(id)
+    }
+
+    /// Mint (or return the existing) invite link code for a group. Owner
+    /// only.
+    pub fn invite_link(&self, caller: ActorId, group: RoomId) -> TgResult<String> {
+        let mut inner = self.inner.lock();
+        let g = inner.groups.get_mut(&group).ok_or(TgError::UnknownGroup)?;
+        if g.owner != caller {
+            return Err(TgError::NotOwner);
+        }
+        Ok(g.invite_code
+            .get_or_insert_with(|| format!("tg-join-{group}"))
+            .clone())
+    }
+
+    /// Join a private group with its invite code.
+    pub fn join_group(&self, actor: ActorId, group: RoomId, invite: Option<&str>) -> TgResult<()> {
+        let mut inner = self.inner.lock();
+        if !inner.actors.contains_key(&actor) {
+            return Err(TgError::UnknownActor);
+        }
+        let g = inner.groups.get_mut(&group).ok_or(TgError::UnknownGroup)?;
+        if g.members.contains(&actor) {
+            return Ok(());
+        }
+        match (&g.invite_code, invite) {
+            (Some(code), Some(given)) if code == given => {}
+            (Some(_), Some(_)) => return Err(TgError::BadInvite),
+            (_, None) | (None, Some(_)) => return Err(TgError::InviteRequired),
+        }
+        g.members.insert(actor);
+        Ok(())
+    }
+
+    /// Add a registered bot to a group (the deep-link install). The
+    /// installer must own the group; the bot is granted exactly its
+    /// registered admin rights (admin status iff the set is non-empty).
+    pub fn add_bot_to_group(
+        &self,
+        installer: ActorId,
+        group: RoomId,
+        bot: ActorId,
+    ) -> TgResult<ActorId> {
+        let mut inner = self.inner.lock();
+        let rights = inner.bots.get(&bot).ok_or(TgError::NotABot)?.rights;
+        let g = inner.groups.get_mut(&group).ok_or(TgError::UnknownGroup)?;
+        if g.owner != installer {
+            return Err(TgError::NotOwner);
+        }
+        g.members.insert(bot);
+        if !rights.is_empty() {
+            g.admins.insert(bot, rights);
+        }
+        Ok(bot)
+    }
+
+    /// The bot's admin rights in a group (empty set when not an admin).
+    pub fn admin_rights(&self, group: RoomId, actor: ActorId) -> TgResult<TgRights> {
+        let inner = self.inner.lock();
+        let g = inner.groups.get(&group).ok_or(TgError::UnknownGroup)?;
+        Ok(g.admins.get(&actor).copied().unwrap_or(TgRights::NONE))
+    }
+
+    /// Members of a group.
+    pub fn members(&self, group: RoomId) -> TgResult<Vec<ActorId>> {
+        let inner = self.inner.lock();
+        let g = inner.groups.get(&group).ok_or(TgError::UnknownGroup)?;
+        Ok(g.members.iter().copied().collect())
+    }
+
+    /// Open a bot's update queue (`getUpdates` long-poll session).
+    pub fn connect_gateway(&self, bot: ActorId) -> TgResult<()> {
+        let mut inner = self.inner.lock();
+        if !inner.bots.contains_key(&bot) {
+            return Err(TgError::NotABot);
+        }
+        inner.queues.entry(bot).or_default();
+        Ok(())
+    }
+
+    /// Drain a connected bot's pending updates.
+    pub fn drain_updates(&self, bot: ActorId) -> Vec<TgUpdate> {
+        let mut inner = self.inner.lock();
+        inner
+            .queues
+            .get_mut(&bot)
+            .map(|q| q.drain(..).collect())
+            .unwrap_or_default()
+    }
+
+    /// The delivery policy — the platform difference this whole substrate
+    /// exists to measure. A connected bot is handed a group message iff:
+    ///
+    /// * it holds any admin right in that group (admins see everything), or
+    /// * its privacy mode is **off** (the "read all group messages" grant), or
+    /// * the message is a `/command` — and, when written `/cmd@username`,
+    ///   the suffix names this bot — or @mentions the bot.
+    fn bot_sees(reg: &BotReg, is_admin: bool, message: &TgMessage) -> bool {
+        if is_admin || !reg.privacy_mode {
+            return true;
+        }
+        if let Some((_cmd, target)) = message.slash_command() {
+            return match target {
+                Some(bot) => bot == reg.username,
+                None => true,
+            };
+        }
+        message.content.contains(&format!("@{}", reg.username))
+    }
+
+    /// Post a message to a group; appends to the transcript and fans out
+    /// updates to connected member bots per the delivery policy.
+    pub fn send_message(
+        &self,
+        author: ActorId,
+        group: RoomId,
+        content: &str,
+        attachments: Vec<ChatAttachment>,
+    ) -> TgResult<u64> {
+        let now = self.clock.now();
+        let mut inner = self.inner.lock();
+        let id = inner.next_id;
+        inner.next_id += 1;
+        let inner = &mut *inner;
+        let g = inner.groups.get_mut(&group).ok_or(TgError::UnknownGroup)?;
+        if !g.members.contains(&author) {
+            return Err(TgError::NotMember);
+        }
+        let message = TgMessage {
+            id,
+            group,
+            author,
+            content: content.to_string(),
+            attachments,
+            at: now,
+        };
+        g.messages.push(message.clone());
+        // Fan out to connected member bots (never back to the author).
+        for member in g.members.iter().copied().filter(|m| *m != author) {
+            let Some(reg) = inner.bots.get(&member) else {
+                continue;
+            };
+            let is_admin = g.admins.contains_key(&member);
+            if !Self::bot_sees(reg, is_admin, &message) {
+                continue;
+            }
+            if let Some(q) = inner.queues.get_mut(&member) {
+                q.push_back(TgUpdate::Message {
+                    group,
+                    message: message.clone(),
+                });
+            }
+        }
+        Ok(id)
+    }
+
+    /// Read a group's transcript. Human members only: the Bot API has no
+    /// history endpoint, which is exactly why privacy mode is a real
+    /// mitigation on this platform.
+    pub fn read_history(&self, reader: ActorId, group: RoomId) -> TgResult<Vec<TgMessage>> {
+        let inner = self.inner.lock();
+        if inner
+            .actors
+            .get(&reader)
+            .ok_or(TgError::UnknownActor)?
+            .is_bot
+        {
+            return Err(TgError::BotsCannotReadHistory);
+        }
+        let g = inner.groups.get(&group).ok_or(TgError::UnknownGroup)?;
+        if !g.members.contains(&reader) {
+            return Err(TgError::NotMember);
+        }
+        Ok(g.messages.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world() -> (TgPlatform, ActorId, ActorId, RoomId) {
+        let p = TgPlatform::new(VirtualClock::new());
+        let owner = p.register_user("owner", "o@x.y");
+        let alice = p.register_user("alice", "a@x.y");
+        let group = p.create_group(owner, "honeypot").unwrap();
+        let code = p.invite_link(owner, group).unwrap();
+        p.join_group(alice, group, Some(&code)).unwrap();
+        (p, owner, alice, group)
+    }
+
+    #[test]
+    fn ids_are_dense_and_deterministic() {
+        let (_p, owner, alice, group) = world();
+        assert_eq!((owner, alice, group), (1_000, 1_001, 1_002));
+        let (_q, o, a, g) = world();
+        assert_eq!((o, a, g), (owner, alice, group));
+    }
+
+    #[test]
+    fn join_requires_matching_invite() {
+        let (p, _owner, _alice, group) = world();
+        let bob = p.register_user("bob", "b@x.y");
+        assert_eq!(p.join_group(bob, group, None), Err(TgError::InviteRequired));
+        assert_eq!(
+            p.join_group(bob, group, Some("wrong")),
+            Err(TgError::BadInvite)
+        );
+        p.join_group(bob, group, Some(&format!("tg-join-{group}")))
+            .unwrap();
+    }
+
+    #[test]
+    fn privacy_mode_on_delivers_only_addressed_messages() {
+        let (p, owner, alice, group) = world();
+        let bot = p.register_bot("quietbot", TgRights::NONE, true).unwrap();
+        p.add_bot_to_group(owner, group, bot).unwrap();
+        p.connect_gateway(bot).unwrap();
+
+        p.send_message(alice, group, "secret plans here", vec![])
+            .unwrap();
+        p.send_message(alice, group, "/help", vec![]).unwrap();
+        p.send_message(alice, group, "/start@quietbot", vec![])
+            .unwrap();
+        p.send_message(alice, group, "/start@otherbot", vec![])
+            .unwrap();
+        p.send_message(alice, group, "hey @quietbot look", vec![])
+            .unwrap();
+
+        let updates = p.drain_updates(bot);
+        let contents: Vec<&str> = updates
+            .iter()
+            .map(|TgUpdate::Message { message, .. }| message.content.as_str())
+            .collect();
+        assert_eq!(
+            contents,
+            vec!["/help", "/start@quietbot", "hey @quietbot look"],
+            "plain chatter and other bots' commands are withheld"
+        );
+    }
+
+    #[test]
+    fn privacy_mode_off_delivers_everything() {
+        let (p, owner, alice, group) = world();
+        let bot = p.register_bot("snoopybot", TgRights::NONE, false).unwrap();
+        p.add_bot_to_group(owner, group, bot).unwrap();
+        p.connect_gateway(bot).unwrap();
+        p.send_message(alice, group, "secret plans here", vec![])
+            .unwrap();
+        assert_eq!(p.drain_updates(bot).len(), 1);
+    }
+
+    #[test]
+    fn admin_rights_override_privacy_mode() {
+        let (p, owner, alice, group) = world();
+        let bot = p
+            .register_bot("modbot", TgRights::DELETE_MESSAGES, true)
+            .unwrap();
+        p.add_bot_to_group(owner, group, bot).unwrap();
+        p.connect_gateway(bot).unwrap();
+        assert_eq!(
+            p.admin_rights(group, bot).unwrap(),
+            TgRights::DELETE_MESSAGES
+        );
+        p.send_message(alice, group, "not addressed to anyone", vec![])
+            .unwrap();
+        assert_eq!(p.drain_updates(bot).len(), 1, "admins see everything");
+    }
+
+    #[test]
+    fn bots_cannot_read_history() {
+        let (p, owner, _alice, group) = world();
+        let bot = p.register_bot("histbot", TgRights::NONE, false).unwrap();
+        p.add_bot_to_group(owner, group, bot).unwrap();
+        assert_eq!(
+            p.read_history(bot, group),
+            Err(TgError::BotsCannotReadHistory)
+        );
+        assert!(p.read_history(owner, group).is_ok());
+    }
+
+    #[test]
+    fn author_never_receives_own_message() {
+        let (p, owner, _alice, group) = world();
+        let bot = p.register_bot("echobot", TgRights::NONE, false).unwrap();
+        p.add_bot_to_group(owner, group, bot).unwrap();
+        p.connect_gateway(bot).unwrap();
+        p.send_message(bot, group, "I talk to myself", vec![])
+            .unwrap();
+        assert!(p.drain_updates(bot).is_empty());
+    }
+
+    #[test]
+    fn slash_command_parsing() {
+        let m = |c: &str| TgMessage {
+            id: 1,
+            group: 1,
+            author: 1,
+            content: c.to_string(),
+            attachments: vec![],
+            at: SimInstant::EPOCH,
+        };
+        assert_eq!(m("/help").slash_command(), Some(("help", None)));
+        assert_eq!(
+            m("/start@mybot now").slash_command(),
+            Some(("start", Some("mybot")))
+        );
+        assert_eq!(m("hello /help").slash_command(), None);
+        assert_eq!(m("/").slash_command(), None);
+    }
+
+    #[test]
+    fn username_collisions_rejected() {
+        let p = TgPlatform::new(VirtualClock::new());
+        p.register_bot("dup", TgRights::NONE, true).unwrap();
+        assert_eq!(
+            p.register_bot("dup", TgRights::NONE, true),
+            Err(TgError::UsernameTaken("dup".into()))
+        );
+    }
+}

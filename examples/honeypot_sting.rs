@@ -12,6 +12,7 @@ use crawler::solver::CaptchaSolverService;
 use discord_sim::oauth::InviteUrl;
 use discord_sim::{Permissions, Platform};
 use honeypot::campaign::{BotUnderTest, Campaign, CampaignConfig};
+use honeypot::DiscordSubstrate;
 use netsim::clock::VirtualClock;
 use netsim::Network;
 
@@ -58,14 +59,17 @@ fn main() {
         bots.push(BotUnderTest {
             name: name.to_string(),
             client_id: app.client_id,
-            bot_user: app.bot_user,
-            invite: InviteUrl::bot(app.client_id, perms | extra_perms),
+            bot_user: app.bot_user.0.raw(),
+            invite: InviteUrl::bot(app.client_id, perms | extra_perms)
+                .to_url()
+                .to_string(),
             behavior,
         });
     }
 
     println!("=== Honeypot sting: 4 bots, isolated guilds, 4+1 canary tokens each ===\n");
-    let mut campaign = Campaign::new(platform.clone(), net.clone(), CampaignConfig::default());
+    let substrate = DiscordSubstrate::new(platform.clone(), net.clone());
+    let mut campaign = Campaign::new(substrate, CampaignConfig::default());
     let report = campaign.run(bots);
 
     println!(

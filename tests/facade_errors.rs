@@ -30,6 +30,26 @@ fn builder_rejects_every_invalid_knob_with_a_config_error() {
             "empty guilds",
             Audit::builder().scale(10).personas_per_guild(0).build(),
         ),
+        (
+            "unknown platform tag",
+            Audit::builder().scale(10).platform_named("slack").build(),
+        ),
+        (
+            "crawl pointed at the other platform's directory",
+            Audit::builder()
+                .scale(10)
+                .platform(chatbot_audit::PlatformKind::Telegram)
+                .list_host("top.gg.sim")
+                .build(),
+        ),
+        (
+            "least-privilege delivery on telegram",
+            Audit::builder()
+                .scale(10)
+                .platform(chatbot_audit::PlatformKind::Telegram)
+                .least_privilege(true)
+                .build(),
+        ),
     ];
     for (label, result) in cases {
         let err = result.err().unwrap_or_else(|| panic!("{label}: accepted"));
@@ -40,6 +60,42 @@ fn builder_rejects_every_invalid_knob_with_a_config_error() {
             "{label}: {err}"
         );
     }
+}
+
+#[test]
+fn platform_validation_is_fail_fast_and_lenient_where_it_should_be() {
+    // Known tags parse and retarget the crawl before any network exists.
+    for (tag, kind) in [
+        ("discord", chatbot_audit::PlatformKind::Discord),
+        ("telegram", chatbot_audit::PlatformKind::Telegram),
+    ] {
+        let audit = Audit::builder()
+            .scale(10)
+            .honeypot_sample(2)
+            .platform_named(tag)
+            .build()
+            .unwrap_or_else(|e| panic!("{tag}: {e}"));
+        assert_eq!(audit.ecosystem_config().platform, kind);
+        assert_eq!(audit.config().crawl.platform, kind);
+    }
+    // A custom mirror host is fine — only the *other* platform's canonical
+    // directory is a mismatch.
+    assert!(Audit::builder()
+        .scale(10)
+        .honeypot_sample(2)
+        .platform(chatbot_audit::PlatformKind::Telegram)
+        .list_host("mirror.tdirectory.sim")
+        .build()
+        .is_ok());
+    // The unknown-tag error names the offending tag and the valid set.
+    let err = Audit::builder()
+        .scale(10)
+        .platform_named("slack")
+        .build()
+        .unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("slack"), "{msg}");
+    assert!(msg.contains("discord") && msg.contains("telegram"), "{msg}");
 }
 
 #[test]
