@@ -8,8 +8,13 @@ cargo test -q --workspace
 cargo test -q --test resume_determinism
 cargo test -q --test trace_determinism
 cargo test -q --test sched_determinism
+cargo test -q --test daemon_determinism
 cargo test -q --test incremental_determinism
 cargo test -q --test platform_determinism
 cargo clippy --all-targets -- -D warnings
 cargo bench --no-run
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
+# The deprecated batch drain() must keep steering callers at the
+# always-on daemon loop in its rendered deprecation note.
+grep -q 'superseded by the always-on loop' target/doc/sched/struct.Scheduler.html
+grep -q 'run_until' target/doc/sched/struct.Scheduler.html

@@ -849,6 +849,186 @@ fn sched_bench(args: &Args, path: &str) {
         mixed_runs.push(run.into());
     }
 
+    // Adversarial load: the always-on daemon under a hostile arrival
+    // plan — a flooding batch tenant, two equal-weight steady tenants,
+    // interactive preemption pokes, and just-missable deadlines riding
+    // the flooder's own backlog. This section proves the daemon's three
+    // claims with numbers: the deficit-round-robin service gap stays
+    // within quantum × weight, every missed deadline surfaces as a typed
+    // DeadlineExpired outcome whose count matches the `sched.expired`
+    // counter, and cooperative preemption keeps interactive latency at
+    // tick granularity while the flooder's sliced batch jobs wait out
+    // their own backlog. Everything runs on the virtual clock and must
+    // be byte-identical at 1 vs 4 workers.
+    use chatbot_audit::{ErrorKind, FleetDaemon, FleetDaemonConfig};
+    use netsim::VirtualClock;
+    use std::sync::Arc;
+
+    const ADV_SCALE: usize = 40;
+    const ADV_QUANTUM: u32 = 1;
+    const ADV_SLICE_FRAMES: u64 = 6;
+    const ADV_TICK_MS: u64 = 10;
+    let plan_config = synth::ArrivalConfig::default();
+    let plan = synth::adversarial_arrivals(&plan_config);
+    eprintln!(
+        "adversarial load: {} arrivals over {} virtual ms \
+         (flood burst {}, {} steady tenants, {} ms deadline slack) …",
+        plan.len(),
+        u64::from(plan_config.rounds) * plan_config.round_ms,
+        plan_config.flood_burst,
+        plan_config.steady_tenants,
+        plan_config.deadline_slack_ms,
+    );
+    let adv_job = |epoch: u32| {
+        Audit::builder()
+            .scale(ADV_SCALE)
+            .seed(args.seed)
+            .honeypot_sample(5)
+            .site_defenses(false)
+            .drift(synth::DriftConfig::default())
+            .epoch(epoch)
+            .into_job()
+            .expect("valid adversarial job")
+    };
+    struct AdvRun {
+        dump: String,
+        wall_ms: f64,
+        completed: u64,
+        expired: u64,
+        expired_counter: u64,
+        parked: u64,
+        max_gap: u64,
+        interactive_waits: Vec<u64>,
+        flood_waits: Vec<u64>,
+        horizon_ms: u64,
+    }
+    let adv_run = |workers: usize| -> AdvRun {
+        let daemon = FleetDaemon::with_obs(
+            FleetDaemonConfig {
+                workers,
+                quantum: ADV_QUANTUM,
+                batch_slice_frames: Some(ADV_SLICE_FRAMES),
+                tick_ms: ADV_TICK_MS,
+                ..FleetDaemonConfig::default()
+            },
+            Arc::new(store::MemBackend::new()),
+            VirtualClock::new(),
+            obs::Obs::disabled(),
+        );
+        let t0 = std::time::Instant::now();
+        for arrival in &plan {
+            daemon.run_until(arrival.at_ms);
+            let mut spec = JobSpec::builder(arrival.tenant.as_str())
+                .lane_named(arrival.lane)
+                .weight(arrival.weight);
+            if let Some(deadline) = arrival.deadline_ms {
+                spec = spec.deadline_ms(deadline);
+            }
+            daemon
+                .submit(
+                    spec.build().expect("plan specs validate"),
+                    adv_job(arrival.epoch),
+                )
+                .expect("plan fits the queue");
+        }
+        let horizon_ms = plan.last().expect("plan is non-empty").at_ms + 8_000;
+        daemon.run_until(horizon_ms);
+        assert_eq!(daemon.queued(), 0, "adversarial backlog must drain");
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let mut run = AdvRun {
+            dump: String::new(),
+            wall_ms,
+            completed: 0,
+            expired: 0,
+            expired_counter: daemon.obs().counter_value("sched.expired"),
+            parked: daemon.obs().counter_value("sched.parked"),
+            max_gap: daemon.fairness_gap(),
+            interactive_waits: Vec::new(),
+            flood_waits: Vec::new(),
+            horizon_ms,
+        };
+        for outcome in daemon.poll_outcomes() {
+            run.dump.push_str(&format!(
+                "id={} tenant={} epoch={} wait={} ",
+                outcome.id, outcome.tenant, outcome.epoch, outcome.wait_ms,
+            ));
+            match &outcome.report {
+                Ok(report) => {
+                    run.completed += 1;
+                    if outcome.tenant == "oncall" {
+                        run.interactive_waits.push(outcome.wait_ms);
+                    } else if outcome.tenant == "flood" {
+                        run.flood_waits.push(outcome.wait_ms);
+                    }
+                    run.dump
+                        .push_str(&serde_json::to_string(report).expect("report serializes"));
+                }
+                Err(e) => {
+                    if e.kind() == ErrorKind::Expired {
+                        run.expired += 1;
+                    }
+                    run.dump.push_str(&format!("error[{}]: {e}", e.kind()));
+                }
+            }
+            run.dump.push('\n');
+        }
+        run
+    };
+    let adv_serial = adv_run(1);
+    let adv_quad = adv_run(4);
+    assert_eq!(
+        adv_quad.dump, adv_serial.dump,
+        "adversarial outcomes diverged at workers=4"
+    );
+    assert!(
+        adv_serial.expired >= 1,
+        "the plan's just-missable deadlines must expire behind the flood"
+    );
+    assert_eq!(
+        adv_serial.expired, adv_serial.expired_counter,
+        "typed DeadlineExpired outcomes must match the sched.expired counter"
+    );
+    assert!(
+        adv_serial.parked >= 1,
+        "the flooder's sliced batch audits must park at least once"
+    );
+    // Every plan tenant carries weight 1, so the bound is the quantum.
+    let drr_bound = u64::from(ADV_QUANTUM);
+    assert!(
+        adv_serial.max_gap <= drr_bound,
+        "equal-weight service gap {} broke the DRR bound {drr_bound}",
+        adv_serial.max_gap
+    );
+    let mean = |xs: &[u64]| {
+        if xs.is_empty() {
+            0.0
+        } else {
+            xs.iter().sum::<u64>() as f64 / xs.len() as f64
+        }
+    };
+    println!(
+        "adversarial load: {} jobs | {} completed, {} expired (== sched.expired) | \
+         {} preemptions | DRR gap {} <= bound {drr_bound} | byte-identical 1 vs 4 workers",
+        plan.len(),
+        adv_serial.completed,
+        adv_serial.expired,
+        adv_serial.parked,
+        adv_serial.max_gap,
+    );
+    println!(
+        "  preemption latency (virtual ms): interactive max {} / mean {:.1} vs \
+         flooded batch mean {:.1}",
+        adv_serial
+            .interactive_waits
+            .iter()
+            .max()
+            .copied()
+            .unwrap_or(0),
+        mean(&adv_serial.interactive_waits),
+        mean(&adv_serial.flood_waits),
+    );
+
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -914,6 +1094,75 @@ fn sched_bench(args: &Args, path: &str) {
     mixed.insert("runs".into(), serde_json::Value::Array(mixed_runs));
     mixed.insert("platform_breakdown".into(), breakdown_json);
     out.insert("mixed_platform_fleet".into(), mixed.into());
+    let mut adv = serde_json::Map::new();
+    adv.insert("scale".into(), ADV_SCALE.into());
+    adv.insert("seed".into(), args.seed.into());
+    let mut adv_plan = serde_json::Map::new();
+    adv_plan.insert("rounds".into(), plan_config.rounds.into());
+    adv_plan.insert("round_ms".into(), plan_config.round_ms.into());
+    adv_plan.insert("flood_burst".into(), plan_config.flood_burst.into());
+    adv_plan.insert("steady_tenants".into(), plan_config.steady_tenants.into());
+    adv_plan.insert(
+        "deadline_slack_ms".into(),
+        plan_config.deadline_slack_ms.into(),
+    );
+    adv_plan.insert("jobs_submitted".into(), plan.len().into());
+    adv.insert("plan".into(), adv_plan.into());
+    adv.insert("quantum".into(), ADV_QUANTUM.into());
+    adv.insert("batch_slice_frames".into(), ADV_SLICE_FRAMES.into());
+    adv.insert("tick_ms".into(), ADV_TICK_MS.into());
+    adv.insert("virtual_horizon_ms".into(), adv_serial.horizon_ms.into());
+    adv.insert("completed".into(), adv_serial.completed.into());
+    adv.insert("expired_typed_outcomes".into(), adv_serial.expired.into());
+    adv.insert(
+        "sched_expired_counter".into(),
+        adv_serial.expired_counter.into(),
+    );
+    adv.insert("preemptions_sched_parked".into(), adv_serial.parked.into());
+    let mut drr = serde_json::Map::new();
+    drr.insert("bound_quantum_x_weight".into(), drr_bound.into());
+    drr.insert("max_service_gap".into(), adv_serial.max_gap.into());
+    drr.insert("within_bound".into(), true.into());
+    adv.insert("drr".into(), drr.into());
+    let mut lat = serde_json::Map::new();
+    lat.insert(
+        "interactive_max_wait_virtual_ms".into(),
+        adv_serial
+            .interactive_waits
+            .iter()
+            .max()
+            .copied()
+            .unwrap_or(0)
+            .into(),
+    );
+    lat.insert(
+        "interactive_mean_wait_virtual_ms".into(),
+        serde_json::to_value(mean(&adv_serial.interactive_waits)).expect("serializable"),
+    );
+    lat.insert(
+        "flood_batch_mean_wait_virtual_ms".into(),
+        serde_json::to_value(mean(&adv_serial.flood_waits)).expect("serializable"),
+    );
+    adv.insert("preemption_latency".into(), lat.into());
+    adv.insert("byte_identical_workers_1_vs_4".into(), true.into());
+    adv.insert(
+        "runs".into(),
+        serde_json::Value::Array(
+            [(1usize, adv_serial.wall_ms), (4, adv_quad.wall_ms)]
+                .iter()
+                .map(|(workers, wall_ms)| {
+                    let mut run = serde_json::Map::new();
+                    run.insert("workers".into(), (*workers).into());
+                    run.insert(
+                        "wall_ms".into(),
+                        serde_json::to_value(wall_ms).expect("serializable"),
+                    );
+                    run.into()
+                })
+                .collect(),
+        ),
+    );
+    out.insert("adversarial_load".into(), adv.into());
     std::fs::write(
         path,
         serde_json::to_string_pretty(&out).expect("serializable"),

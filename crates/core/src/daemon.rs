@@ -1,0 +1,654 @@
+//! The always-on fleet daemon: the audit service as a long-lived loop.
+//!
+//! [`FleetService`](crate::FleetService) runs the fleet the way the paper
+//! ran its crawl — submit a batch, drain it, read the reports. A real
+//! audit service never drains: tenants submit forever, an interactive
+//! request must not sit behind a 300-bot backfill, and a job whose
+//! deadline has passed is worthless to run. [`FleetDaemon`] is the
+//! redesigned service API for that shape:
+//!
+//! * [`FleetDaemon::submit`] validates the spec up front (path-shaped
+//!   tenant ids, zero weights, deadlines already in the past all fail
+//!   fast with a `config`-kind error) and returns a typed [`JobHandle`];
+//! * [`FleetDaemon::tick`] runs one scheduler round at the current
+//!   virtual time: overdue queued jobs expire with a typed
+//!   [`AuditError::Expired`] outcome, deficit-round-robin grants each
+//!   backlogged tenant `quantum × weight` dispatch slots, and a running
+//!   `Batch` audit cooperatively parks at a journal-frame boundary when
+//!   its slice budget runs out — resuming byte-identically on a later
+//!   tick via the crash-safe journal replay path;
+//! * [`FleetDaemon::run_until`] drives tick-then-advance on the virtual
+//!   clock until a target time — the daemon loop in one call;
+//! * [`FleetDaemon::poll_outcomes`] / [`FleetDaemon::resolve`] deliver
+//!   settled [`JobOutcome`]s, in settle order or by handle;
+//! * [`FleetDaemon::shutdown`] ends the service with a typed
+//!   [`ShutdownMode`]: `Drain` finishes everything queued (including
+//!   parked audits), `Abandon` returns what was still waiting.
+//!
+//! Everything observable — outcomes, deltas, expiry decisions, the
+//! `sched.tick` span tree and `sched.*` counters — is a pure function of
+//! the submission sequence and clock advances, byte-identical at any
+//! worker count. The `daemon_determinism` integration suite pins this
+//! under adversarial load.
+
+use crate::delta::DeltaReport;
+use crate::error::AuditError;
+use crate::report::CanonicalReport;
+use crate::resume::StoreConfig;
+use crate::service::{AuditJob, JobOutcome};
+use netsim::{SimDuration, VirtualClock};
+use obs::{Clock, Obs};
+use sched::{
+    CompletedJob, Daemon, DaemonConfig, ExecCtx, JobEvent, JobId, JobSpec, StepResult, TenantRate,
+};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use store::{Backend, MemBackend, ScopedBackend, StoreStats};
+
+/// Knobs for the always-on daemon. The scheduler trio
+/// (`queue_capacity` / `workers` / `tenant_rate`) matches
+/// [`FleetConfig`](crate::FleetConfig); the rest configure the loop
+/// itself.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetDaemonConfig {
+    /// Maximum jobs queued awaiting dispatch.
+    pub queue_capacity: usize,
+    /// Worker threads multiplexed across in-flight audits. Outcomes are
+    /// byte-identical at any value.
+    pub workers: usize,
+    /// Optional per-tenant submission rate limit on the virtual clock.
+    pub tenant_rate: Option<TenantRate>,
+    /// Deficit-round-robin quantum: each tick every backlogged tenant
+    /// earns `quantum × weight` dispatch slots, which bounds the service
+    /// gap between equal-weight tenants. `0` disables fairness bounding
+    /// (every tick drains everything, the legacy behavior).
+    pub quantum: u32,
+    /// Cooperative preemption slice for `Batch`-lane audits, in journal
+    /// frames. A batch audit that appends this many fresh frames in one
+    /// tick parks at the frame boundary and resumes on a later tick via
+    /// journal replay; `None` disables slicing.
+    pub batch_slice_frames: Option<u64>,
+    /// Virtual milliseconds [`FleetDaemon::run_until`] advances the clock
+    /// between ticks.
+    pub tick_ms: u64,
+}
+
+impl Default for FleetDaemonConfig {
+    fn default() -> Self {
+        FleetDaemonConfig {
+            queue_capacity: 64,
+            workers: 1,
+            tenant_rate: None,
+            quantum: 1,
+            batch_slice_frames: Some(8),
+            tick_ms: 10,
+        }
+    }
+}
+
+/// Typed receipt for a submitted job: proof the spec validated and a key
+/// for claiming the job's [`JobOutcome`] via [`FleetDaemon::resolve`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobHandle {
+    id: JobId,
+}
+
+impl JobHandle {
+    /// The scheduler id this handle resolves.
+    pub fn id(self) -> JobId {
+        self.id
+    }
+}
+
+impl std::fmt::Display for JobHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.id.fmt(f)
+    }
+}
+
+/// How [`FleetDaemon::shutdown`] disposes of work still queued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShutdownMode {
+    /// Finish everything: run every queued job (parked audits resume
+    /// first) and deliver their outcomes before stopping.
+    Drain,
+    /// Stop now: queued jobs are returned un-run as
+    /// [`ShutdownReport::abandoned`].
+    Abandon,
+}
+
+/// A queued audit [`ShutdownMode::Abandon`] returned without running.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AbandonedAudit {
+    /// Scheduler id the job held while queued.
+    pub id: JobId,
+    /// Owning tenant.
+    pub tenant: String,
+    /// Drift epoch the audit would have observed.
+    pub epoch: u32,
+}
+
+/// What [`FleetDaemon::shutdown`] hands back.
+pub struct ShutdownReport {
+    /// Every settled outcome not yet claimed via
+    /// [`FleetDaemon::poll_outcomes`] / [`FleetDaemon::resolve`],
+    /// including (under [`ShutdownMode::Drain`]) the final drain's.
+    pub outcomes: Vec<JobOutcome>,
+    /// Jobs still queued at shutdown, un-run. Empty under
+    /// [`ShutdownMode::Drain`].
+    pub abandoned: Vec<AbandonedAudit>,
+}
+
+/// Per-tenant service state: the scoped store every audit of the tenant
+/// runs against, plus the last successful report for delta computation.
+pub(crate) struct TenantState {
+    pub(crate) backend: Arc<dyn Backend>,
+    pub(crate) last_report: Option<CanonicalReport>,
+}
+
+/// What the executor hands back per completed dispatch.
+type ExecOutput = (
+    u32,
+    platform::PlatformKind,
+    Result<(CanonicalReport, StoreStats), AuditError>,
+);
+
+/// Always-on multi-tenant audit daemon over one shared worker pool.
+///
+/// The driver owns the loop: advance the virtual clock (or let
+/// [`Self::run_until`] do it) and call [`Self::tick`]; collect settled
+/// outcomes with [`Self::poll_outcomes`] or [`Self::resolve`]. See the
+/// [module docs](self) for the full contract.
+pub struct FleetDaemon {
+    config: FleetDaemonConfig,
+    daemon: Daemon<AuditJob>,
+    clock: VirtualClock,
+    obs: Obs,
+    root: Arc<dyn Backend>,
+    tenants: Mutex<BTreeMap<String, Arc<TenantState>>>,
+    settled: Mutex<Vec<JobOutcome>>,
+}
+
+impl FleetDaemon {
+    /// A daemon journaling every tenant into a private in-memory store.
+    pub fn new(config: FleetDaemonConfig) -> FleetDaemon {
+        FleetDaemon::with_backend(config, Arc::new(MemBackend::new()))
+    }
+
+    /// A daemon with an explicit root backend (e.g. a
+    /// [`store::DiskBackend`] to persist tenant journals and artifact
+    /// packs across restarts). Each tenant's store is scoped under
+    /// `<tenant>/` inside the root.
+    pub fn with_backend(config: FleetDaemonConfig, root: Arc<dyn Backend>) -> FleetDaemon {
+        FleetDaemon::with_obs(config, root, VirtualClock::new(), Obs::disabled())
+    }
+
+    /// Full control: supply the virtual clock and observability handle
+    /// (attach a tracing recorder to capture the deterministic
+    /// `sched.tick` span tree).
+    pub fn with_obs(
+        config: FleetDaemonConfig,
+        root: Arc<dyn Backend>,
+        clock: VirtualClock,
+        obs: Obs,
+    ) -> FleetDaemon {
+        let daemon = Daemon::new(
+            DaemonConfig {
+                queue_capacity: config.queue_capacity,
+                workers: config.workers,
+                tenant_rate: config.tenant_rate,
+                quantum: config.quantum,
+                batch_slice_frames: config.batch_slice_frames,
+            },
+            Arc::new(clock.clone()),
+            obs.clone(),
+        );
+        FleetDaemon {
+            config,
+            daemon,
+            clock,
+            obs,
+            root,
+            tenants: Mutex::new(BTreeMap::new()),
+            settled: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The daemon's configuration.
+    pub fn config(&self) -> &FleetDaemonConfig {
+        &self.config
+    }
+
+    /// The virtual clock the daemon runs on. [`Self::run_until`] advances
+    /// it; between calls the driver may advance it directly.
+    pub fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+
+    /// The observability handle (`sched.*`, `store.*`, stage metrics).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Jobs currently queued (including parked audits awaiting resume).
+    pub fn queued(&self) -> usize {
+        self.daemon.len()
+    }
+
+    /// The deficit-round-robin fairness watermark: the maximum service
+    /// gap observed so far between equal-weight backlogged tenants. The
+    /// scheduler bounds this by `quantum × weight`.
+    pub fn fairness_gap(&self) -> u64 {
+        self.daemon.fairness_gap()
+    }
+
+    /// Submit an audit for `spec.tenant`.
+    ///
+    /// Fails fast — before anything is queued — with a `config`-kind
+    /// error on a path-shaped tenant id, a zero weight, or a deadline
+    /// already behind the virtual clock; and with a `saturated`-kind
+    /// error when the queue is full or the tenant is over its rate. All
+    /// of it deterministic given the same submission sequence at the same
+    /// virtual times.
+    pub fn submit(&self, spec: JobSpec, job: AuditJob) -> Result<JobHandle, AuditError> {
+        self.admit(spec, job, true)
+    }
+
+    /// Shared admission path. The legacy batch facade skips the
+    /// past-deadline check (it never expires jobs, so a stale deadline is
+    /// merely an ordering hint there).
+    pub(crate) fn admit(
+        &self,
+        spec: JobSpec,
+        job: AuditJob,
+        enforce_deadlines: bool,
+    ) -> Result<JobHandle, AuditError> {
+        validate_tenant(&spec.tenant)?;
+        if spec.weight == 0 {
+            return Err(sched::SpecError::ZeroWeight {
+                tenant: spec.tenant,
+            }
+            .into());
+        }
+        if enforce_deadlines {
+            if let Some(deadline) = spec.deadline_ms {
+                let now = self.clock.now_millis();
+                if deadline < now {
+                    return Err(AuditError::config(format!(
+                        "deadline {deadline} ms is already {} ms in the past \
+                         (virtual now: {now} ms); it would expire before dispatch",
+                        now - deadline
+                    )));
+                }
+            }
+        }
+        let id = self.daemon.submit(spec, job)?;
+        Ok(JobHandle { id })
+    }
+
+    /// Run one scheduler round at the current virtual time: expire
+    /// overdue queued jobs, dispatch this round's deficit-round-robin
+    /// selection, park any batch audit that exhausts its frame slice.
+    /// Returns a handle per job that settled (completed or expired) this
+    /// tick; claim the outcomes via [`Self::poll_outcomes`] or
+    /// [`Self::resolve`].
+    pub fn tick(&self) -> Vec<JobHandle> {
+        let events = self
+            .daemon
+            .tick(|_id, spec, job: &mut AuditJob, ctx| self.execute(spec, job, ctx));
+        self.settle(events)
+    }
+
+    /// Drive the daemon loop until the virtual clock reaches `clock_ms`:
+    /// tick, advance by [`FleetDaemonConfig::tick_ms`] (capped at the
+    /// target), repeat — ending with a tick at `clock_ms` itself. Returns
+    /// every handle that settled along the way.
+    pub fn run_until(&self, clock_ms: u64) -> Vec<JobHandle> {
+        let step = self.config.tick_ms.max(1);
+        let mut handles = self.tick();
+        loop {
+            let now = self.clock.now_millis();
+            if now >= clock_ms {
+                break;
+            }
+            self.clock
+                .advance(SimDuration::from_millis(step.min(clock_ms - now)));
+            handles.extend(self.tick());
+        }
+        handles
+    }
+
+    /// Take every settled outcome not yet claimed, in settle order
+    /// (expiries of a tick before its completions, ticks in time order).
+    pub fn poll_outcomes(&self) -> Vec<JobOutcome> {
+        std::mem::take(&mut *self.settled.lock().expect("outcome buffer poisoned"))
+    }
+
+    /// Claim one settled outcome by handle. Returns `None` while the job
+    /// is still queued, running, or parked — and after the outcome was
+    /// already claimed (here or via [`Self::poll_outcomes`]).
+    pub fn resolve(&self, handle: JobHandle) -> Option<JobOutcome> {
+        let mut settled = self.settled.lock().expect("outcome buffer poisoned");
+        let at = settled.iter().position(|o| o.id == handle.id)?;
+        Some(settled.remove(at))
+    }
+
+    /// Stop the service. [`ShutdownMode::Drain`] finishes everything
+    /// still queued (parked audits resume and run to completion, with no
+    /// slice limit); [`ShutdownMode::Abandon`] returns queued jobs un-run.
+    pub fn shutdown(self, mode: ShutdownMode) -> ShutdownReport {
+        let abandoned = match mode {
+            ShutdownMode::Drain => {
+                self.drain_queue();
+                Vec::new()
+            }
+            ShutdownMode::Abandon => self
+                .daemon
+                .abandon()
+                .into_iter()
+                .map(|a| AbandonedAudit {
+                    id: a.id,
+                    tenant: a.spec.tenant,
+                    epoch: a.payload.epoch(),
+                })
+                .collect(),
+        };
+        ShutdownReport {
+            outcomes: self.poll_outcomes(),
+            abandoned,
+        }
+    }
+
+    /// Drain the queue with legacy batch semantics (no expiry, no
+    /// fairness bound, no slicing) and settle every completion. The
+    /// legacy facade's `run` is exactly this plus a
+    /// [`Self::poll_outcomes`].
+    pub(crate) fn drain_queue(&self) -> Vec<JobHandle> {
+        let completed = self
+            .daemon
+            .drain_all(|_id, spec, job: &mut AuditJob, ctx| self.execute(spec, job, ctx));
+        self.settle(completed.into_iter().map(JobEvent::Completed).collect())
+    }
+
+    /// Run one dispatch slice of `job` against its tenant's scoped store.
+    /// Called from worker threads; everything it touches is behind the
+    /// tenant map lock or owned by the job.
+    fn execute(&self, spec: &JobSpec, job: &AuditJob, ctx: ExecCtx) -> StepResult<ExecOutput> {
+        let state = self.tenant_state(&spec.tenant);
+        let store = StoreConfig {
+            backend: Arc::clone(&state.backend),
+            resume: ctx.resuming,
+            kill_after_frames: ctx.slice_frames,
+        };
+        let result = job.audit().run_scoped(&store);
+        if ctx.slice_frames.is_some() && matches!(result, Err(AuditError::Interrupted { .. })) {
+            // The slice lever fired at a frame boundary: every frame
+            // written is durable, so park and resume on a later tick.
+            return StepResult::Parked;
+        }
+        StepResult::Done((job.epoch(), job.audit().ecosystem_config().platform, result))
+    }
+
+    /// Turn this tick's scheduler events into [`JobOutcome`]s,
+    /// sequentially in event order (so delta chaining is deterministic),
+    /// and buffer them for [`Self::poll_outcomes`] / [`Self::resolve`].
+    fn settle(&self, events: Vec<JobEvent<ExecOutput, AuditJob>>) -> Vec<JobHandle> {
+        let mut handles = Vec::with_capacity(events.len());
+        let mut settled = self.settled.lock().expect("outcome buffer poisoned");
+        for event in events {
+            let outcome = match event {
+                JobEvent::Expired(ex) => JobOutcome {
+                    id: ex.id,
+                    tenant: ex.tenant.clone(),
+                    platform: ex.payload.audit().ecosystem_config().platform,
+                    epoch: ex.payload.epoch(),
+                    wait_ms: ex.expired_at_ms - ex.submitted_ms,
+                    report: Err(ex.rejection().into()),
+                    delta: None,
+                    artifact_hits: 0,
+                    artifact_misses: 0,
+                },
+                JobEvent::Completed(done) => self.settle_completed(done),
+            };
+            handles.push(JobHandle { id: outcome.id });
+            settled.push(outcome);
+        }
+        handles
+    }
+
+    fn settle_completed(&self, done: CompletedJob<ExecOutput>) -> JobOutcome {
+        let (epoch, platform, result) = done.output;
+        let (report, delta, hits, misses) = match result {
+            Ok((report, stats)) => {
+                let mut tenants = self.tenants.lock().expect("tenant map poisoned");
+                let state = tenants
+                    .get_mut(&done.tenant)
+                    .expect("tenant state exists after run");
+                let delta = state
+                    .last_report
+                    .as_ref()
+                    .map(|prev| DeltaReport::between(prev, &report));
+                // Arc::make_mut would clone the backend; rebuild the
+                // state instead so the backend Arc is shared.
+                *state = Arc::new(TenantState {
+                    backend: Arc::clone(&state.backend),
+                    last_report: Some(report.clone()),
+                });
+                (
+                    Ok(report),
+                    delta,
+                    stats.artifact_hits,
+                    stats.artifact_misses,
+                )
+            }
+            Err(e) => (Err(e), None, 0, 0),
+        };
+        JobOutcome {
+            id: done.id,
+            tenant: done.tenant,
+            platform,
+            epoch,
+            wait_ms: done.wait_ms,
+            report,
+            delta,
+            artifact_hits: hits,
+            artifact_misses: misses,
+        }
+    }
+
+    fn tenant_state(&self, tenant: &str) -> Arc<TenantState> {
+        let mut tenants = self.tenants.lock().expect("tenant map poisoned");
+        Arc::clone(tenants.entry(tenant.to_string()).or_insert_with(|| {
+            Arc::new(TenantState {
+                backend: Arc::new(ScopedBackend::new(Arc::clone(&self.root), tenant)),
+                last_report: None,
+            })
+        }))
+    }
+}
+
+/// Tenant ids become backend name prefixes (`<tenant>/...` inside the
+/// shared root), so anything that alters path structure — separators,
+/// `.`/`..` components, empty names — could collide with or escape
+/// another tenant's namespace once the root is a [`store::DiskBackend`].
+/// Such ids are refused at submission with a `config`-kind error before
+/// anything is queued.
+pub(crate) fn validate_tenant(tenant: &str) -> Result<(), AuditError> {
+    let path_shaped = tenant.is_empty()
+        || tenant == "."
+        || tenant == ".."
+        || tenant.contains('/')
+        || tenant.contains('\\');
+    if path_shaped {
+        return Err(AuditError::config(format!(
+            "invalid tenant id {tenant:?}: must be non-empty and \
+             contain no path separators or dot components"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audit::Audit;
+    use crate::error::ErrorKind;
+    use sched::Lane;
+
+    fn job(seed: u64, epoch: u32) -> AuditJob {
+        Audit::builder()
+            .scale(30)
+            .seed(seed)
+            .honeypot_sample(4)
+            .site_defenses(false)
+            .drift(synth::DriftConfig::default())
+            .epoch(epoch)
+            .into_job()
+            .unwrap()
+    }
+
+    #[test]
+    fn daemon_roundtrip_settles_outcomes_behind_handles() {
+        let daemon = FleetDaemon::new(FleetDaemonConfig::default());
+        let handle = daemon.submit(JobSpec::new("acme"), job(2022, 0)).unwrap();
+        assert!(
+            daemon.resolve(handle).is_none(),
+            "not settled before a tick"
+        );
+        let settled = daemon.run_until(50);
+        assert_eq!(settled, vec![handle]);
+        let outcome = daemon.resolve(handle).expect("settled after the loop");
+        assert!(outcome.report.is_ok());
+        assert!(
+            daemon.resolve(handle).is_none(),
+            "resolve takes the outcome"
+        );
+    }
+
+    #[test]
+    fn invalid_specs_fail_fast_with_config_errors() {
+        let daemon = FleetDaemon::new(FleetDaemonConfig::default());
+        daemon.clock().advance(SimDuration::from_millis(100));
+
+        let weightless = JobSpec::new("acme").weight(0);
+        let err = daemon.submit(weightless, job(7, 0)).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Config);
+        assert!(err.to_string().contains("weight 0"), "{err}");
+
+        let stale = JobSpec::new("acme").deadline_ms(40);
+        let err = daemon.submit(stale, job(7, 0)).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Config);
+        assert!(
+            err.to_string().contains("already 60 ms in the past"),
+            "{err}"
+        );
+
+        let err = daemon.submit(JobSpec::new("a/b"), job(7, 0)).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Config);
+
+        assert_eq!(daemon.queued(), 0, "rejected jobs must not be queued");
+    }
+
+    #[test]
+    fn queued_jobs_expire_into_typed_outcomes() {
+        let daemon = FleetDaemon::new(FleetDaemonConfig {
+            // Tiny quantum keeps the flooder's later jobs queued long
+            // enough to expire.
+            quantum: 1,
+            ..FleetDaemonConfig::default()
+        });
+        // One tenant floods; a deadline close behind the clock expires
+        // before the backlog reaches it.
+        for _ in 0..3 {
+            daemon.submit(JobSpec::new("flood"), job(7, 0)).unwrap();
+        }
+        let doomed = daemon
+            .submit(JobSpec::new("flood").deadline_ms(5), job(7, 1))
+            .unwrap();
+        let settled = daemon.run_until(400);
+        assert!(settled.contains(&doomed));
+        let outcome = daemon.resolve(doomed).expect("expired jobs still settle");
+        let err = outcome.report.unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Expired);
+        match err {
+            AuditError::Expired { deadline_ms, .. } => assert_eq!(deadline_ms, 5),
+            other => panic!("wrong variant: {other}"),
+        }
+        assert!(outcome.delta.is_none());
+    }
+
+    #[test]
+    fn shutdown_drain_finishes_everything() {
+        let daemon = FleetDaemon::new(FleetDaemonConfig::default());
+        let a = daemon.submit(JobSpec::new("a"), job(5, 0)).unwrap();
+        let b = daemon.submit(JobSpec::new("b"), job(5, 0)).unwrap();
+        let report = daemon.shutdown(ShutdownMode::Drain);
+        assert!(report.abandoned.is_empty());
+        let ids: Vec<JobId> = report.outcomes.iter().map(|o| o.id).collect();
+        assert_eq!(ids, vec![a.id(), b.id()]);
+        assert!(report.outcomes.iter().all(|o| o.report.is_ok()));
+    }
+
+    #[test]
+    fn shutdown_abandon_returns_queued_jobs_unrun() {
+        let daemon = FleetDaemon::new(FleetDaemonConfig::default());
+        let done = daemon.submit(JobSpec::new("a"), job(5, 0)).unwrap();
+        daemon.run_until(20);
+        let waiting = daemon
+            .submit(JobSpec::new("b").lane(Lane::Batch), job(5, 1))
+            .unwrap();
+        let report = daemon.shutdown(ShutdownMode::Abandon);
+        assert_eq!(report.outcomes.len(), 1);
+        assert_eq!(report.outcomes[0].id, done.id());
+        assert_eq!(
+            report.abandoned,
+            vec![AbandonedAudit {
+                id: waiting.id(),
+                tenant: "b".into(),
+                epoch: 1,
+            }]
+        );
+    }
+
+    #[test]
+    fn preempted_batch_audit_resumes_to_an_identical_report() {
+        // Reference: the same audit, never sliced.
+        let unsliced = FleetDaemon::new(FleetDaemonConfig {
+            batch_slice_frames: None,
+            ..FleetDaemonConfig::default()
+        });
+        let h = unsliced
+            .submit(JobSpec::new("acme").lane(Lane::Batch), job(2022, 0))
+            .unwrap();
+        unsliced.run_until(50);
+        let reference = unsliced.resolve(h).unwrap().report.unwrap();
+
+        // Sliced: the batch audit parks repeatedly and resumes from its
+        // journal each tick.
+        let sliced = FleetDaemon::new(FleetDaemonConfig {
+            batch_slice_frames: Some(4),
+            ..FleetDaemonConfig::default()
+        });
+        let h = sliced
+            .submit(JobSpec::new("acme").lane(Lane::Batch), job(2022, 0))
+            .unwrap();
+        let settled = sliced.run_until(600);
+        assert_eq!(settled, vec![h], "sliced audit must finish within the loop");
+        let report = sliced.resolve(h).unwrap().report.unwrap();
+        assert_eq!(
+            serde_json::to_string(&report).unwrap(),
+            serde_json::to_string(&reference).unwrap(),
+            "a parked-and-resumed audit must reproduce the unsliced report"
+        );
+        let parked = sliced
+            .obs()
+            .metrics_snapshot()
+            .into_iter()
+            .find_map(|(name, v)| match (name.as_str(), v) {
+                ("sched.parked", obs::MetricValue::Counter(n)) => Some(n),
+                _ => None,
+            })
+            .unwrap_or(0);
+        assert!(parked >= 1, "the slice lever must actually have fired");
+    }
+}

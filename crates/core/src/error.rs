@@ -47,6 +47,16 @@ pub enum AuditError {
     /// over its rate). Deterministic: the same submission sequence at the
     /// same virtual times is refused identically on every run.
     Saturated(sched::Rejection),
+    /// The job was still queued when its deadline passed, so the daemon
+    /// dropped it without running it. Deterministic: expiry is decided on
+    /// the virtual clock at tick boundaries, never by wall time.
+    Expired {
+        /// The virtual-clock deadline that passed, in milliseconds.
+        deadline_ms: u64,
+        /// How far past the deadline the expiring tick ran, in
+        /// milliseconds.
+        late_by_ms: u64,
+    },
 }
 
 /// Payload-free discriminant of an [`AuditError`], stable across releases.
@@ -67,12 +77,15 @@ pub enum ErrorKind {
     Interrupted,
     /// Scheduler admission control refused the job.
     Saturated,
+    /// The job's deadline passed while it was still queued.
+    Expired,
 }
 
 impl ErrorKind {
     /// The pinned wire/log name of this kind. These strings are a stable
     /// contract (tests pin every one): `"config"`, `"platform"`, `"net"`,
-    /// `"store"`, `"locate"`, `"interrupted"`, `"saturated"`. New variants
+    /// `"store"`, `"locate"`, `"interrupted"`, `"saturated"`,
+    /// `"expired"`. New variants
     /// may appear (the enum is `#[non_exhaustive]`) but existing names
     /// never change.
     pub fn as_str(self) -> &'static str {
@@ -84,6 +97,7 @@ impl ErrorKind {
             ErrorKind::Locate => "locate",
             ErrorKind::Interrupted => "interrupted",
             ErrorKind::Saturated => "saturated",
+            ErrorKind::Expired => "expired",
         }
     }
 }
@@ -105,6 +119,7 @@ impl AuditError {
             AuditError::Locate(_) => ErrorKind::Locate,
             AuditError::Interrupted { .. } => ErrorKind::Interrupted,
             AuditError::Saturated(_) => ErrorKind::Saturated,
+            AuditError::Expired { .. } => ErrorKind::Expired,
         }
     }
 
@@ -128,6 +143,13 @@ impl fmt::Display for AuditError {
                 write!(f, "run interrupted after {frames_written} durable frames")
             }
             AuditError::Saturated(r) => write!(f, "scheduler saturated: {r}"),
+            AuditError::Expired {
+                deadline_ms,
+                late_by_ms,
+            } => write!(
+                f,
+                "deadline {deadline_ms} ms expired in queue ({late_by_ms} ms late)"
+            ),
         }
     }
 }
@@ -140,14 +162,31 @@ impl std::error::Error for AuditError {
             AuditError::Store(e) => Some(e),
             AuditError::Locate(e) => Some(e),
             AuditError::Saturated(e) => Some(e),
-            AuditError::Config { .. } | AuditError::Interrupted { .. } => None,
+            AuditError::Config { .. }
+            | AuditError::Interrupted { .. }
+            | AuditError::Expired { .. } => None,
         }
     }
 }
 
 impl From<sched::Rejection> for AuditError {
     fn from(e: sched::Rejection) -> AuditError {
-        AuditError::Saturated(e)
+        match e {
+            sched::Rejection::DeadlineExpired {
+                deadline_ms,
+                late_by_ms,
+            } => AuditError::Expired {
+                deadline_ms,
+                late_by_ms,
+            },
+            other => AuditError::Saturated(other),
+        }
+    }
+}
+
+impl From<sched::SpecError> for AuditError {
+    fn from(e: sched::SpecError) -> AuditError {
+        AuditError::config(e.to_string())
     }
 }
 
@@ -212,6 +251,18 @@ mod tests {
                 sched::Rejection::QueueFull { capacity: 4 }.into(),
                 ErrorKind::Saturated,
             ),
+            (
+                sched::Rejection::DeadlineExpired {
+                    deadline_ms: 100,
+                    late_by_ms: 7,
+                }
+                .into(),
+                ErrorKind::Expired,
+            ),
+            (
+                sched::SpecError::ZeroWeight { tenant: "t".into() }.into(),
+                ErrorKind::Config,
+            ),
         ];
         for (err, kind) in cases {
             assert_eq!(err.kind(), kind, "{err}");
@@ -231,6 +282,30 @@ mod tests {
             AuditError::Interrupted { frames_written } => assert_eq!(frames_written, 42),
             other => panic!("wrong variant: {other}"),
         }
+    }
+
+    #[test]
+    fn expired_rejections_become_typed_expired_errors() {
+        let err: AuditError = sched::Rejection::DeadlineExpired {
+            deadline_ms: 400,
+            late_by_ms: 50,
+        }
+        .into();
+        match &err {
+            AuditError::Expired {
+                deadline_ms,
+                late_by_ms,
+            } => {
+                assert_eq!(*deadline_ms, 400);
+                assert_eq!(*late_by_ms, 50);
+            }
+            other => panic!("wrong variant: {other}"),
+        }
+        assert_eq!(err.kind().as_str(), "expired");
+        assert_eq!(
+            err.to_string(),
+            "deadline 400 ms expired in queue (50 ms late)"
+        );
     }
 
     #[test]

@@ -14,9 +14,13 @@
 //! * [`audit`] — the [`Audit::builder`] facade: one typed entry point over
 //!   the crawl/analysis/honeypot/store configuration, returning results
 //!   behind the unified [`AuditError`];
-//! * [`service`] — the fleet layer: [`FleetService`] schedules many
-//!   tenants' audits over one deterministic worker pool, re-audits
-//!   drifted worlds incrementally, and emits [`DeltaReport`]s;
+//! * [`daemon`] — the always-on fleet layer: [`FleetDaemon`] runs many
+//!   tenants' audits as a long-lived loop on the virtual clock, with
+//!   deficit-round-robin fairness, typed deadline expiry, and
+//!   cooperative preemption of batch audits at journal-frame boundaries;
+//! * [`service`] — the legacy batch facade over the daemon:
+//!   [`FleetService`] submits and drains, re-audits drifted worlds
+//!   incrementally, and emits [`DeltaReport`]s;
 //! * [`pipeline`] — stage orchestration over a mounted world (the `synth`
 //!   ecosystem or any compatible set of services);
 //! * [`stats`] — the aggregations behind every table and figure in §4.2;
@@ -32,6 +36,7 @@
 #![forbid(unsafe_code)]
 
 pub mod audit;
+pub mod daemon;
 pub mod delta;
 pub mod error;
 pub mod leastpriv;
@@ -43,6 +48,9 @@ pub mod stats;
 pub mod validate;
 
 pub use audit::{Audit, AuditBuilder};
+pub use daemon::{
+    AbandonedAudit, FleetDaemon, FleetDaemonConfig, JobHandle, ShutdownMode, ShutdownReport,
+};
 pub use delta::{DeltaReport, PermissionChange, TraceabilityTransition};
 pub use error::{AuditError, ErrorKind};
 pub use leastpriv::{least_privilege_summary, privilege_gaps, LeastPrivilegeSummary, PrivilegeGap};

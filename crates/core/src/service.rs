@@ -21,18 +21,23 @@
 //! Everything observable (reports, deltas, hit counters, `sched.*`
 //! metrics and spans) is byte-identical at any worker count; the
 //! `sched_determinism` integration suite pins this.
+//!
+//! Since the service API redesign, [`FleetService`] is a thin facade
+//! over the always-on [`FleetDaemon`](crate::FleetDaemon) pinned to
+//! legacy batch semantics (no fairness quantum, no deadline expiry, no
+//! preemption slicing): `submit` + `run` keep working byte-for-byte,
+//! while new callers drive the daemon loop directly.
 
 use crate::audit::Audit;
+use crate::daemon::{FleetDaemon, FleetDaemonConfig};
 use crate::delta::DeltaReport;
 use crate::error::AuditError;
 use crate::report::CanonicalReport;
-use crate::resume::StoreConfig;
 use netsim::VirtualClock;
 use obs::Obs;
-use sched::{CompletedJob, JobId, JobSpec, Scheduler, SchedulerConfig, TenantRate};
-use std::collections::BTreeMap;
-use std::sync::{Arc, Mutex};
-use store::{Backend, MemBackend, ScopedBackend};
+use sched::{JobId, JobSpec, TenantRate};
+use std::sync::Arc;
+use store::{Backend, MemBackend};
 
 /// Fleet-level configuration (the scheduler knobs, re-exported shape).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -73,6 +78,10 @@ impl std::fmt::Debug for AuditJob {
 impl AuditJob {
     pub(crate) fn new(audit: Audit) -> AuditJob {
         AuditJob { audit }
+    }
+
+    pub(crate) fn audit(&self) -> &Audit {
+        &self.audit
     }
 
     /// The wrapped audit's drift epoch.
@@ -172,18 +181,10 @@ pub fn platform_breakdown(outcomes: &[JobOutcome]) -> Vec<PlatformBreakdown> {
         .collect()
 }
 
-struct TenantState {
-    backend: Arc<dyn Backend>,
-    last_report: Option<CanonicalReport>,
-}
-
-/// Long-running multi-tenant audit service over one shared worker pool.
+/// Batch-style multi-tenant audit service over one shared worker pool —
+/// the legacy facade over [`FleetDaemon`](crate::FleetDaemon).
 pub struct FleetService {
-    scheduler: Scheduler<AuditJob>,
-    clock: VirtualClock,
-    obs: Obs,
-    root: Arc<dyn Backend>,
-    tenants: Mutex<BTreeMap<String, Arc<TenantState>>>,
+    daemon: FleetDaemon,
 }
 
 impl FleetService {
@@ -220,80 +221,54 @@ impl FleetService {
         clock: VirtualClock,
         obs: Obs,
     ) -> FleetService {
-        let scheduler = Scheduler::new(
-            SchedulerConfig {
+        // Legacy batch semantics: quantum 0 (every drain runs the whole
+        // queue in one global (lane, deadline, id) sort), no expiry, no
+        // preemption slicing.
+        let daemon = FleetDaemon::with_obs(
+            FleetDaemonConfig {
                 queue_capacity: config.queue_capacity,
                 workers: config.workers,
                 tenant_rate: config.tenant_rate,
+                quantum: 0,
+                batch_slice_frames: None,
+                tick_ms: FleetDaemonConfig::default().tick_ms,
             },
-            Arc::new(clock.clone()),
-            obs.clone(),
-        );
-        FleetService {
-            scheduler,
+            root,
             clock,
             obs,
-            root,
-            tenants: Mutex::new(BTreeMap::new()),
-        }
+        );
+        FleetService { daemon }
     }
 
     /// The virtual clock the service (and its rate limiter) runs on.
     /// Advancing it is the driver's job, exactly as in the simulator.
     pub fn clock(&self) -> &VirtualClock {
-        &self.clock
+        self.daemon.clock()
     }
 
     /// The observability handle (`sched.*`, `store.*`, stage metrics).
     pub fn obs(&self) -> &Obs {
-        &self.obs
+        self.daemon.obs()
     }
 
     /// Jobs currently queued.
     pub fn queued(&self) -> usize {
-        self.scheduler.len()
+        self.daemon.queued()
     }
 
-    /// Submit a job for `spec.tenant`. Fails with
-    /// [`AuditError::Config`] when the tenant id is path-shaped (see
-    /// [`Self::validate_tenant`]) and with [`AuditError::Saturated`] when
-    /// the queue is full or the tenant is over its rate —
-    /// deterministically, given the same submission sequence at the same
-    /// virtual times.
+    /// Submit a job for `spec.tenant`. Fails with [`AuditError::Config`]
+    /// when the tenant id is path-shaped (it would escape the tenant's
+    /// store namespace) and with [`AuditError::Saturated`] when the
+    /// queue is full or the tenant is over its rate — deterministically,
+    /// given the same submission sequence at the same virtual times.
+    ///
+    /// Unlike [`FleetDaemon::submit`](crate::FleetDaemon::submit), a
+    /// deadline already in the past is accepted: this facade never
+    /// expires jobs, so a stale deadline is merely an ordering hint.
     pub fn submit(&self, spec: JobSpec, job: AuditJob) -> Result<JobId, AuditError> {
-        Self::validate_tenant(&spec.tenant)?;
-        self.scheduler.submit(spec, job).map_err(AuditError::from)
-    }
-
-    /// Tenant ids become backend name prefixes (`<tenant>/...` inside the
-    /// shared root), so anything that alters path structure — separators,
-    /// `.`/`..` components, empty names — could collide with or escape
-    /// another tenant's namespace once the root is a
-    /// [`store::DiskBackend`]. Such ids are refused at submission with a
-    /// `config`-kind error before anything is queued.
-    fn validate_tenant(tenant: &str) -> Result<(), AuditError> {
-        let path_shaped = tenant.is_empty()
-            || tenant == "."
-            || tenant == ".."
-            || tenant.contains('/')
-            || tenant.contains('\\');
-        if path_shaped {
-            return Err(AuditError::config(format!(
-                "invalid tenant id {tenant:?}: must be non-empty and \
-                 contain no path separators or dot components"
-            )));
-        }
-        Ok(())
-    }
-
-    fn tenant_state(&self, tenant: &str) -> Arc<TenantState> {
-        let mut tenants = self.tenants.lock().expect("tenant map poisoned");
-        Arc::clone(tenants.entry(tenant.to_string()).or_insert_with(|| {
-            Arc::new(TenantState {
-                backend: Arc::new(ScopedBackend::new(Arc::clone(&self.root), tenant)),
-                last_report: None,
-            })
-        }))
+        self.daemon
+            .admit(spec, job, false)
+            .map(|handle| handle.id())
     }
 
     /// Drain the queue: run every admitted job across the worker pool and
@@ -302,60 +277,8 @@ impl FleetService {
     /// finds the warm artifact pack its predecessor wrote); different
     /// tenants run concurrently.
     pub fn run(&self) -> Vec<JobOutcome> {
-        let completed = self.scheduler.drain(|id, spec, job: AuditJob| {
-            let state = self.tenant_state(&spec.tenant);
-            let store = StoreConfig {
-                backend: Arc::clone(&state.backend),
-                resume: false,
-                kill_after_frames: None,
-            };
-            let epoch = job.epoch();
-            let platform = job.audit.ecosystem_config().platform;
-            (id, epoch, platform, job.audit.run_scoped(&store))
-        });
-
-        completed
-            .into_iter()
-            .map(|done: CompletedJob<_>| {
-                let (id, epoch, platform, result) = done.output;
-                let (report, delta, hits, misses) = match result {
-                    Ok((report, stats)) => {
-                        let mut tenants = self.tenants.lock().expect("tenant map poisoned");
-                        let state = tenants
-                            .get_mut(&done.tenant)
-                            .expect("tenant state exists after run");
-                        let delta = state
-                            .last_report
-                            .as_ref()
-                            .map(|prev| DeltaReport::between(prev, &report));
-                        // Arc::make_mut would clone the backend; rebuild
-                        // the state instead so the backend Arc is shared.
-                        *state = Arc::new(TenantState {
-                            backend: Arc::clone(&state.backend),
-                            last_report: Some(report.clone()),
-                        });
-                        (
-                            Ok(report),
-                            delta,
-                            stats.artifact_hits,
-                            stats.artifact_misses,
-                        )
-                    }
-                    Err(e) => (Err(e), None, 0, 0),
-                };
-                JobOutcome {
-                    id,
-                    tenant: done.tenant,
-                    platform,
-                    epoch,
-                    wait_ms: done.wait_ms,
-                    report,
-                    delta,
-                    artifact_hits: hits,
-                    artifact_misses: misses,
-                }
-            })
-            .collect()
+        self.daemon.drain_queue();
+        self.daemon.poll_outcomes()
     }
 }
 

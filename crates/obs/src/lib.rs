@@ -178,6 +178,24 @@ impl Obs {
         self.core.registry.snapshot()
     }
 
+    /// A canonical one-line-per-metric rendering of every metric whose
+    /// path starts with `prefix` (`""` for all), sorted by path:
+    /// `path=value\n`. Because registry contents are a pure function of
+    /// the instrumented program's execution, two runs of a deterministic
+    /// program produce byte-identical canonical metrics — the
+    /// determinism suites diff this string directly (e.g. the `sched.`
+    /// slice at 1 worker vs 4).
+    pub fn canonical_metrics(&self, prefix: &str) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (path, value) in self.metrics_snapshot() {
+            if path.starts_with(prefix) {
+                writeln!(out, "{path}={value}").expect("string write cannot fail");
+            }
+        }
+        out
+    }
+
     /// Log an event (ring buffer + recorder).
     pub fn event(&self, severity: Severity, target: &'static str, message: impl Into<String>) {
         let event = Event {
@@ -242,6 +260,22 @@ mod tests {
         let obs = Obs::disabled();
         obs.counter("crawl.pages_fetched").add(5);
         assert_eq!(obs.counter_value("crawl.pages_fetched"), 5);
+    }
+
+    #[test]
+    fn canonical_metrics_filters_by_prefix_and_sorts() {
+        let obs = Obs::disabled();
+        obs.counter("sched.submitted").add(3);
+        obs.gauge("sched.queue_depth").set(-1);
+        obs.histogram("sched.wait_ms").record(40);
+        obs.counter("crawl.pages_fetched").incr();
+        assert_eq!(
+            obs.canonical_metrics("sched."),
+            "sched.queue_depth=-1\nsched.submitted=3\nsched.wait_ms=n=1 sum=40 min=40 max=40\n"
+        );
+        assert!(obs
+            .canonical_metrics("")
+            .starts_with("crawl.pages_fetched=1\n"));
     }
 
     #[test]

@@ -16,6 +16,9 @@ pub enum Lane {
 }
 
 impl Lane {
+    /// Every lane, most urgent first.
+    pub const ALL: [Lane; 3] = [Lane::Interactive, Lane::Standard, Lane::Batch];
+
     /// Stable lowercase name, used in traces and reports.
     pub fn as_str(self) -> &'static str {
         match self {
@@ -23,6 +26,12 @@ impl Lane {
             Lane::Standard => "standard",
             Lane::Batch => "batch",
         }
+    }
+
+    /// Parse a stable lane tag (`"interactive"` / `"standard"` /
+    /// `"batch"`), as a fleet manifest or CLI flag would supply it.
+    pub fn parse(tag: &str) -> Option<Lane> {
+        Lane::ALL.into_iter().find(|l| l.as_str() == tag)
     }
 
     /// Numeric rank used when recording the lane in a span (0 is the most
@@ -42,13 +51,12 @@ impl fmt::Display for Lane {
     }
 }
 
-/// Opaque handle for a submitted job, unique within one [`Scheduler`].
+/// Opaque handle for a submitted job, unique within one scheduler or
+/// daemon.
 ///
 /// Ids are handed out in submission order, which makes them the final
 /// tie-breaker in the dispatch sort: two jobs in the same lane with the
 /// same deadline dispatch in the order they were submitted.
-///
-/// [`Scheduler`]: crate::Scheduler
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct JobId(pub u64);
 
@@ -59,6 +67,33 @@ impl fmt::Display for JobId {
 }
 
 /// What a tenant asks for when submitting work.
+///
+/// # The dispatch-order contract
+///
+/// Dispatch order is a pure function of the submitted specs — never of
+/// worker count or wall-clock time — and is decided by, in order:
+///
+/// 1. **lane** — [`Lane::Interactive`] before [`Lane::Standard`] before
+///    [`Lane::Batch`], strictly;
+/// 2. **deadline** — within a lane, earlier [`deadline_ms`] first; jobs
+///    without a deadline sort after all deadlined jobs in their lane;
+/// 3. **id** — within a lane and deadline, submission order;
+/// 4. **same-tenant submission order** — one tenant's jobs always
+///    *execute* in ascending submission id, even when a later submission
+///    earned an earlier lane/deadline slot (the chain fills the dispatch
+///    slots its jobs earned as a group, by ascending id). Tenants share
+///    mutable state — a warm artifact pack — so an epoch-N+1 re-audit
+///    must never run before the epoch-N audit it diffs against. This
+///    holds across cooperative preemption: a parked `Batch` job still
+///    blocks the same tenant's later submissions until it completes.
+///
+/// Under the daemon loop, deficit-round-robin fairness bounds how many
+/// jobs one tenant may *select* per round (weighted by [`weight`]), but
+/// within every round the selected set dispatches by exactly the order
+/// above.
+///
+/// [`deadline_ms`]: JobSpec::deadline_ms
+/// [`weight`]: JobSpec::weight
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JobSpec {
     /// Tenant identity. Jobs of one tenant always execute in submission
@@ -69,17 +104,41 @@ pub struct JobSpec {
     pub lane: Lane,
     /// Optional deadline on the virtual clock, in milliseconds. Within a
     /// lane, earlier deadlines dispatch first; jobs without a deadline
-    /// sort after all deadlined jobs in their lane.
+    /// sort after all deadlined jobs in their lane. Under the daemon
+    /// loop, a job still queued when its deadline passes is dropped with
+    /// [`Rejection::DeadlineExpired`](crate::Rejection::DeadlineExpired).
     pub deadline_ms: Option<u64>,
+    /// Deficit-round-robin weight for this tenant (default 1). Each
+    /// daemon round grants every backlogged tenant `quantum × weight`
+    /// dispatch slots, so a weight-2 tenant gets twice the service of a
+    /// weight-1 tenant under contention. The tenant's weight is the one
+    /// carried by its most recent submission. Zero is invalid: the
+    /// validated [`JobSpec::builder`] refuses it, and the fleet layer
+    /// fails fast with a config error.
+    pub weight: u32,
 }
 
 impl JobSpec {
-    /// A standard-lane spec with no deadline.
+    /// A standard-lane, weight-1 spec with no deadline.
     pub fn new(tenant: impl Into<String>) -> Self {
         JobSpec {
             tenant: tenant.into(),
             lane: Lane::Standard,
             deadline_ms: None,
+            weight: 1,
+        }
+    }
+
+    /// The validated construction path: every field checked up front,
+    /// invalid combinations refused with a typed [`SpecError`] before
+    /// anything touches a queue.
+    pub fn builder(tenant: impl Into<String>) -> JobSpecBuilder {
+        JobSpecBuilder {
+            tenant: tenant.into(),
+            lane: Lane::Standard,
+            deadline_ms: None,
+            weight: 1,
+            bad_lane: None,
         }
     }
 
@@ -93,6 +152,121 @@ impl JobSpec {
     pub fn deadline_ms(mut self, deadline: u64) -> Self {
         self.deadline_ms = Some(deadline);
         self
+    }
+
+    /// Set the tenant's deficit-round-robin weight.
+    pub fn weight(mut self, weight: u32) -> Self {
+        self.weight = weight;
+        self
+    }
+}
+
+/// Why [`JobSpecBuilder::build`] refused a spec. The fleet layer maps
+/// every variant onto its config-kind error, so an invalid spec fails
+/// fast at construction — never after queueing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// The tenant id was empty.
+    EmptyTenant,
+    /// The weight was zero — a zero-weight tenant would never be granted
+    /// a dispatch slot by the deficit-round-robin scheduler.
+    ZeroWeight {
+        /// The offending tenant.
+        tenant: String,
+    },
+    /// [`JobSpecBuilder::lane_named`] was given a tag that names no lane.
+    UnknownLane {
+        /// The unrecognised tag.
+        tag: String,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::EmptyTenant => write!(f, "job spec needs a non-empty tenant id"),
+            SpecError::ZeroWeight { tenant } => write!(
+                f,
+                "tenant {tenant:?} has weight 0: a zero-weight tenant is never scheduled"
+            ),
+            SpecError::UnknownLane { tag } => write!(
+                f,
+                "unknown lane {tag:?}; expected one of: interactive, standard, batch"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Validated builder for [`JobSpec`] — the one construction path for
+/// hand-built and facade-built jobs alike. See the [`JobSpec`] docs for
+/// the dispatch-order contract the built spec participates in.
+#[derive(Debug, Clone)]
+pub struct JobSpecBuilder {
+    tenant: String,
+    lane: Lane,
+    deadline_ms: Option<u64>,
+    weight: u32,
+    bad_lane: Option<String>,
+}
+
+impl JobSpecBuilder {
+    /// Set the priority lane.
+    pub fn lane(mut self, lane: Lane) -> Self {
+        self.lane = lane;
+        self
+    }
+
+    /// [`Self::lane`] from a stable string tag (`"interactive"` /
+    /// `"standard"` / `"batch"`). An unknown tag is remembered and
+    /// surfaces as [`SpecError::UnknownLane`] from [`Self::build`].
+    pub fn lane_named(mut self, tag: &str) -> Self {
+        match Lane::parse(tag) {
+            Some(lane) => {
+                self.lane = lane;
+                self
+            }
+            None => {
+                self.bad_lane = Some(tag.to_string());
+                self
+            }
+        }
+    }
+
+    /// Set a virtual-clock deadline in milliseconds. Whether the deadline
+    /// is still ahead of the clock is checked at submission (the builder
+    /// has no clock); a deadline already in the past fails fast there.
+    pub fn deadline_ms(mut self, deadline: u64) -> Self {
+        self.deadline_ms = Some(deadline);
+        self
+    }
+
+    /// Set the tenant's deficit-round-robin weight (must be ≥ 1).
+    pub fn weight(mut self, weight: u32) -> Self {
+        self.weight = weight;
+        self
+    }
+
+    /// Validate and produce the spec.
+    pub fn build(self) -> Result<JobSpec, SpecError> {
+        if let Some(tag) = self.bad_lane {
+            return Err(SpecError::UnknownLane { tag });
+        }
+        if self.tenant.is_empty() {
+            return Err(SpecError::EmptyTenant);
+        }
+        if self.weight == 0 {
+            return Err(SpecError::ZeroWeight {
+                tenant: self.tenant,
+            });
+        }
+        Ok(JobSpec {
+            tenant: self.tenant,
+            lane: self.lane,
+            deadline_ms: self.deadline_ms,
+            weight: self.weight,
+        })
     }
 }
 
@@ -109,10 +283,54 @@ mod tests {
     }
 
     #[test]
+    fn lane_tags_round_trip() {
+        for lane in Lane::ALL {
+            assert_eq!(Lane::parse(lane.as_str()), Some(lane));
+        }
+        assert_eq!(Lane::parse("bulk"), None);
+    }
+
+    #[test]
     fn spec_builder_sets_fields() {
         let spec = JobSpec::new("acme").lane(Lane::Batch).deadline_ms(5_000);
         assert_eq!(spec.tenant, "acme");
         assert_eq!(spec.lane, Lane::Batch);
         assert_eq!(spec.deadline_ms, Some(5_000));
+        assert_eq!(spec.weight, 1);
+    }
+
+    #[test]
+    fn validated_builder_accepts_a_full_spec() {
+        let spec = JobSpec::builder("acme")
+            .lane_named("batch")
+            .deadline_ms(9_000)
+            .weight(3)
+            .build()
+            .unwrap();
+        assert_eq!(spec.tenant, "acme");
+        assert_eq!(spec.lane, Lane::Batch);
+        assert_eq!(spec.deadline_ms, Some(9_000));
+        assert_eq!(spec.weight, 3);
+    }
+
+    #[test]
+    fn validated_builder_fails_fast() {
+        assert_eq!(
+            JobSpec::builder("").build().unwrap_err(),
+            SpecError::EmptyTenant
+        );
+        assert_eq!(
+            JobSpec::builder("acme").weight(0).build().unwrap_err(),
+            SpecError::ZeroWeight {
+                tenant: "acme".into()
+            }
+        );
+        assert_eq!(
+            JobSpec::builder("acme")
+                .lane_named("bulk")
+                .build()
+                .unwrap_err(),
+            SpecError::UnknownLane { tag: "bulk".into() }
+        );
     }
 }

@@ -2,33 +2,47 @@
 //!
 //! The measurement pipeline started life as a batch program: one world, one
 //! audit, one report. A production audit *service* faces a different shape
-//! of problem — many tenants submitting audit requests concurrently, each
-//! with its own urgency, against a bounded worker pool. This crate supplies
-//! that layer while preserving the workspace's core contract: **the whole
-//! service is deterministic and byte-identical at any worker count**.
+//! of problem — many tenants submitting audit requests forever, each with
+//! its own urgency and weight, against a bounded worker pool. This crate
+//! supplies that layer while preserving the workspace's core contract:
+//! **the whole service is deterministic and byte-identical at any worker
+//! count**.
 //!
-//! * [`Scheduler`] — a bounded priority queue of tenant jobs with
-//!   admission control ([`Rejection`] carries *why* a submit bounced);
+//! * [`Daemon`] — the always-on loop: the driver advances the virtual
+//!   clock and calls [`Daemon::tick`]; every tick expires overdue queued
+//!   jobs with a typed reason ([`JobEvent::Expired`], `sched.expired`),
+//!   selects work by **deficit round-robin** so no tenant can starve
+//!   another (`sched.drr.*`, [`Daemon::fairness_gap`]), and supports
+//!   **cooperative preemption** — an executor may park a `Batch` job at a
+//!   journal-frame boundary ([`StepResult::Parked`], `sched.parked`) and
+//!   resume it on a later tick;
+//! * [`Scheduler`] — the legacy batch facade over the daemon, kept so
+//!   existing callers compile (its `drain` is deprecated in favor of the
+//!   daemon loop);
+//! * [`JobSpec::builder`] — the validated construction path for jobs,
+//!   with the dispatch-order contract documented on [`JobSpec`] itself;
 //! * [`Lane`] — three priority lanes (interactive / standard / batch) with
 //!   optional per-job deadlines for intra-lane ordering;
 //! * [`TenantRate`] — per-tenant token-bucket rate limiting driven by the
 //!   virtual [`Clock`] (the same clock trait the rest of the workspace
 //!   uses — re-exported here and from `netsim::clock`, never a third
 //!   abstraction);
-//! * a claim-counter worker pool that multiplexes in-flight jobs across
+//! * a claim-counter worker pool that multiplexes in-flight chains across
 //!   OS threads while keeping every observable output scheduling-free.
 //!
 //! ## Determinism model
 //!
-//! Dispatch order is a pure function of the submitted jobs: jobs sort by
-//! `(lane, deadline, submission sequence)` and jobs of one tenant form a
-//! *chain* that executes sequentially (tenants share mutable state — a
-//! warm artifact store — so intra-tenant order must be program order).
+//! Dispatch order is a pure function of the submitted jobs and tick
+//! times: each tick's selected jobs sort by `(lane, deadline, submission
+//! sequence)` and jobs of one tenant form a *chain* that executes
+//! sequentially (tenants share mutable state — a warm artifact store — so
+//! intra-tenant order must be program order, even across preemption).
 //! Chains are distributed over workers with a claim counter, results land
-//! in per-chain slots, and the drained output is re-sorted into dispatch
+//! in per-chain slots, and each tick's events are re-sorted into dispatch
 //! order. Timestamps come from the virtual clock, which only the driver
-//! advances — so wait times, rate-limit decisions, and the `sched.*`
-//! metrics and span tree are identical whether the pool has 1 worker or 8.
+//! advances — so wait times, expiry and rate-limit decisions, and the
+//! `sched.*` metrics and span tree are identical whether the pool has 1
+//! worker or 8.
 //!
 //! Like `obs` and `store`, this crate is dependency-free (its only
 //! workspace dependency *is* `obs`): `std::sync` primitives and scoped
@@ -37,12 +51,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod daemon;
 mod job;
 mod pool;
 mod queue;
 mod ratelimit;
 
-pub use job::{JobId, JobSpec, Lane};
+pub use daemon::{AbandonedJob, Daemon, DaemonConfig, ExecCtx, ExpiredJob, JobEvent, StepResult};
+pub use job::{JobId, JobSpec, JobSpecBuilder, Lane, SpecError};
 pub use obs::Clock;
 pub use queue::{CompletedJob, Rejection, Scheduler, SchedulerConfig};
 pub use ratelimit::TenantRate;

@@ -2,28 +2,29 @@
 //!
 //! The same pattern the core pipeline uses for its work-stealing stages,
 //! restated on `std::thread::scope` so this crate stays dependency-free:
-//! workers claim *chain* indices from a shared atomic counter, run every
-//! item of the claimed chain in order, and park results in pre-sized
-//! slots. The output is therefore a pure function of the chain list —
-//! worker count only changes wall-clock time.
+//! workers claim *chain* indices from a shared atomic counter, run the
+//! claimed chain to whatever end its runner decides (completion, or a
+//! cooperative park partway through), and deposit the result in a
+//! pre-sized slot. The output is therefore a pure function of the chain
+//! list — worker count only changes wall-clock time.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// Run `chains` across up to `workers` threads. Items within a chain are
-/// processed strictly in order by a single worker; distinct chains run
-/// concurrently. Returns one output vector per chain, in chain order.
-pub(crate) fn run_chains<I, T, F>(chains: Vec<Vec<I>>, workers: usize, exec: F) -> Vec<Vec<T>>
+/// Run one function per chain across up to `workers` threads. Each chain
+/// is claimed by exactly one worker and `run` decides how far into the
+/// chain to go — the daemon uses this to stop a chain at a parked job and
+/// hand the remainder back. Returns one result per chain, in chain order.
+pub(crate) fn run_chain_fns<C, R, F>(chains: Vec<C>, workers: usize, run: F) -> Vec<R>
 where
-    I: Send,
-    T: Send,
-    F: Fn(I) -> T + Sync,
+    C: Send,
+    R: Send,
+    F: Fn(C) -> R + Sync,
 {
     let workers = workers.clamp(1, chains.len().max(1));
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<Vec<T>>>> = chains.iter().map(|_| Mutex::new(None)).collect();
-    let chains: Vec<Mutex<Option<Vec<I>>>> =
-        chains.into_iter().map(|c| Mutex::new(Some(c))).collect();
+    let slots: Vec<Mutex<Option<R>>> = chains.iter().map(|_| Mutex::new(None)).collect();
+    let chains: Vec<Mutex<Option<C>>> = chains.into_iter().map(|c| Mutex::new(Some(c))).collect();
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -37,8 +38,7 @@ where
                     .expect("chain slot poisoned")
                     .take()
                     .expect("chain claimed twice");
-                let outputs: Vec<T> = chain.into_iter().map(&exec).collect();
-                *slots[idx].lock().expect("result slot poisoned") = Some(outputs);
+                *slots[idx].lock().expect("result slot poisoned") = Some(run(chain));
             });
         }
     });
@@ -57,6 +57,18 @@ where
 mod tests {
     use super::*;
 
+    /// Item-by-item runner restated over [`run_chain_fns`] — the shape
+    /// the daemon uses when no job parks.
+    fn run_chains<I: Send, T: Send>(
+        chains: Vec<Vec<I>>,
+        workers: usize,
+        exec: impl Fn(I) -> T + Sync,
+    ) -> Vec<Vec<T>> {
+        run_chain_fns(chains, workers, |chain| {
+            chain.into_iter().map(&exec).collect()
+        })
+    }
+
     #[test]
     fn outputs_line_up_with_chains_at_any_worker_count() {
         let chains: Vec<Vec<u64>> = (0..7).map(|c| (0..=c).collect()).collect();
@@ -74,5 +86,38 @@ mod tests {
     fn empty_chain_list_is_fine() {
         let got = run_chains(Vec::<Vec<u8>>::new(), 4, |x| x);
         assert!(got.is_empty());
+    }
+
+    #[test]
+    fn chain_runner_may_stop_early_and_return_leftovers() {
+        // A runner that processes items until it hits a multiple of 5,
+        // returning processed outputs plus the untouched remainder —
+        // the same shape the daemon uses for cooperative parking.
+        let chains: Vec<Vec<u64>> = vec![vec![1, 2, 5, 7], vec![3, 4], vec![5]];
+        for workers in [1, 3] {
+            let got = run_chain_fns(chains.clone(), workers, |chain| {
+                let mut done = Vec::new();
+                let mut rest = Vec::new();
+                let mut iter = chain.into_iter();
+                for item in iter.by_ref() {
+                    if item % 5 == 0 {
+                        rest.push(item);
+                        break;
+                    }
+                    done.push(item * 2);
+                }
+                rest.extend(iter);
+                (done, rest)
+            });
+            assert_eq!(
+                got,
+                vec![
+                    (vec![2, 4], vec![5, 7]),
+                    (vec![6, 8], vec![]),
+                    (vec![], vec![5]),
+                ],
+                "workers={workers}"
+            );
+        }
     }
 }

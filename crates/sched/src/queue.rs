@@ -1,13 +1,19 @@
-//! The bounded, rate-limited, deterministic job queue.
+//! The legacy batch-shaped scheduler facade and its shared job types.
+//!
+//! [`Scheduler`] predates the always-on [`Daemon`](crate::Daemon) and is
+//! kept as a thin compatibility wrapper: `submit` feeds the daemon's
+//! queue and the deprecated [`Scheduler::drain`] runs one legacy-mode
+//! pass (everything queued, no fairness quantum, no expiry, no slicing).
+//! New code drives a [`Daemon`](crate::Daemon) — or, at the fleet layer,
+//! `FleetDaemon::run_until` — instead.
 
+use crate::daemon::{Daemon, DaemonConfig, StepResult};
 use crate::job::{JobId, JobSpec, Lane};
-use crate::pool::run_chains;
-use crate::ratelimit::{TenantRate, TokenBucket};
+use crate::ratelimit::TenantRate;
 use obs::{Clock, Obs};
-use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// Knobs for one [`Scheduler`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -32,9 +38,9 @@ impl Default for SchedulerConfig {
     }
 }
 
-/// Why a submission was refused. Refusals are part of the deterministic
-/// surface: the same submission sequence at the same virtual times is
-/// rejected identically on every run.
+/// Why a submission was refused or a queued job dropped. Refusals are
+/// part of the deterministic surface: the same submission sequence at the
+/// same virtual times is rejected identically on every run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Rejection {
     /// The queue already holds `capacity` jobs.
@@ -49,6 +55,16 @@ pub enum Rejection {
         /// Virtual milliseconds until a token will be available
         /// (`u64::MAX` when the refill rate is zero).
         retry_after_ms: u64,
+    },
+    /// The job sat queued past its deadline and the daemon dropped it
+    /// un-run (counted under `sched.expired`). Only the always-on loop
+    /// expires jobs; the legacy [`Scheduler::drain`] never does.
+    DeadlineExpired {
+        /// The deadline that passed, virtual milliseconds.
+        deadline_ms: u64,
+        /// How far past the deadline the clock was when the drop was
+        /// observed.
+        late_by_ms: u64,
     },
 }
 
@@ -65,14 +81,20 @@ impl fmt::Display for Rejection {
                 f,
                 "tenant {tenant} rate limited (retry in {retry_after_ms} ms)"
             ),
+            Rejection::DeadlineExpired {
+                deadline_ms,
+                late_by_ms,
+            } => write!(
+                f,
+                "deadline {deadline_ms} ms expired ({late_by_ms} ms late)"
+            ),
         }
     }
 }
 
 impl Error for Rejection {}
 
-/// One finished job, as returned by [`Scheduler::drain`], in dispatch
-/// order.
+/// One finished job, in dispatch order.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CompletedJob<T> {
     /// Submission id.
@@ -83,52 +105,41 @@ pub struct CompletedJob<T> {
     pub lane: Lane,
     /// Virtual-clock submission time, milliseconds.
     pub submitted_ms: u64,
-    /// Virtual milliseconds spent queued (drain start minus submission).
+    /// Virtual milliseconds spent queued before the first dispatch
+    /// (preemption slices never grow it).
     pub wait_ms: u64,
     /// Whatever the executor returned.
     pub output: T,
 }
 
-struct Queued<P> {
-    id: JobId,
-    spec: JobSpec,
-    submitted_ms: u64,
-    payload: P,
-}
-
-struct Inner<P> {
-    queue: Vec<Queued<P>>,
-    buckets: BTreeMap<String, TokenBucket>,
-    next_id: u64,
-}
-
-/// Deterministic multi-tenant job scheduler.
+/// Deterministic multi-tenant job scheduler — the batch-shaped facade
+/// over [`Daemon`](crate::Daemon).
 ///
 /// Submissions are admission-controlled (bounded queue, optional
-/// per-tenant rate limit); [`Scheduler::drain`] dispatches everything
-/// queued across a worker pool. Jobs sort by `(lane, deadline, id)`,
-/// except that same-tenant jobs always execute sequentially in
+/// per-tenant rate limit); the deprecated [`Scheduler::drain`] dispatches
+/// everything queued across a worker pool. Jobs sort by `(lane, deadline,
+/// id)`, except that same-tenant jobs always execute sequentially in
 /// submission order — [`JobSpec::tenant`]'s contract — so every output —
 /// results, metrics, spans — is independent of worker count.
 pub struct Scheduler<P> {
     config: SchedulerConfig,
-    clock: Arc<dyn Clock>,
-    obs: Obs,
-    inner: Mutex<Inner<P>>,
+    daemon: Daemon<Option<P>>,
 }
 
 impl<P: Send> Scheduler<P> {
     /// A scheduler reading time from `clock` and reporting through `obs`.
     pub fn new(config: SchedulerConfig, clock: Arc<dyn Clock>, obs: Obs) -> Self {
+        let daemon_config = DaemonConfig {
+            queue_capacity: config.queue_capacity,
+            workers: config.workers,
+            tenant_rate: config.tenant_rate,
+            // Legacy semantics: no fairness bounding, no batch slicing.
+            quantum: 0,
+            batch_slice_frames: None,
+        };
         Scheduler {
             config,
-            clock,
-            obs,
-            inner: Mutex::new(Inner {
-                queue: Vec::new(),
-                buckets: BTreeMap::new(),
-                next_id: 0,
-            }),
+            daemon: Daemon::new(daemon_config, clock, obs),
         }
     }
 
@@ -139,58 +150,23 @@ impl<P: Send> Scheduler<P> {
 
     /// The virtual clock driving admission timestamps.
     pub fn clock(&self) -> &Arc<dyn Clock> {
-        &self.clock
+        self.daemon.clock()
     }
 
     /// Jobs currently queued.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("scheduler poisoned").queue.len()
+        self.daemon.len()
     }
 
     /// Whether the queue is empty.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.daemon.is_empty()
     }
 
     /// Submit a job. Returns its [`JobId`], or a [`Rejection`] when the
     /// queue is at capacity or the tenant is over its rate.
     pub fn submit(&self, spec: JobSpec, payload: P) -> Result<JobId, Rejection> {
-        let now_ms = self.clock.now_millis();
-        let mut inner = self.inner.lock().expect("scheduler poisoned");
-
-        if inner.queue.len() >= self.config.queue_capacity {
-            self.obs.counter("sched.rejected.queue_full").incr();
-            return Err(Rejection::QueueFull {
-                capacity: self.config.queue_capacity,
-            });
-        }
-        if let Some(rate) = self.config.tenant_rate {
-            let bucket = inner
-                .buckets
-                .entry(spec.tenant.clone())
-                .or_insert_with(|| TokenBucket::new(rate, now_ms));
-            if let Err(retry_after_ms) = bucket.try_acquire(now_ms) {
-                self.obs.counter("sched.rejected.rate_limited").incr();
-                return Err(Rejection::RateLimited {
-                    tenant: spec.tenant.clone(),
-                    retry_after_ms,
-                });
-            }
-        }
-
-        let id = JobId(inner.next_id);
-        inner.next_id += 1;
-        inner.queue.push(Queued {
-            id,
-            spec,
-            submitted_ms: now_ms,
-            payload,
-        });
-        self.obs.counter("sched.submitted").incr();
-        self.obs
-            .gauge("sched.queue_depth")
-            .set(inner.queue.len() as i64);
-        Ok(id)
+        self.daemon.submit(spec, Some(payload))
     }
 
     /// Dispatch every queued job and return the results in dispatch order.
@@ -204,85 +180,34 @@ impl<P: Send> Scheduler<P> {
     /// on up to [`SchedulerConfig::workers`] threads. The virtual clock
     /// is read **once**, at drain start, so recorded wait times cannot
     /// depend on execution interleaving.
+    #[deprecated(
+        since = "0.2.0",
+        note = "batch drain is superseded by the always-on loop: step a \
+                `sched::Daemon` with `tick`, or drive the fleet layer \
+                through `FleetDaemon::run_until`"
+    )]
     pub fn drain<T, F>(&self, exec: F) -> Vec<CompletedJob<T>>
     where
         T: Send,
         F: Fn(JobId, &JobSpec, P) -> T + Sync,
     {
-        let drained: Vec<Queued<P>> = {
-            let mut inner = self.inner.lock().expect("scheduler poisoned");
-            self.obs.gauge("sched.queue_depth").set(0);
-            std::mem::take(&mut inner.queue)
-        };
-        let now_ms = self.clock.now_millis();
-
-        let mut jobs = drained;
-        jobs.sort_by_key(|j| (j.spec.lane, j.spec.deadline_ms.unwrap_or(u64::MAX), j.id));
-
-        // Group into per-tenant chains, chains ordered by each tenant's
-        // first appearance in dispatch order.
-        let mut chain_of: BTreeMap<String, usize> = BTreeMap::new();
-        let mut chains: Vec<Vec<(usize, Queued<P>)>> = Vec::new();
-        for (order, job) in jobs.into_iter().enumerate() {
-            let idx = *chain_of.entry(job.spec.tenant.clone()).or_insert_with(|| {
-                chains.push(Vec::new());
-                chains.len() - 1
-            });
-            chains[idx].push((order, job));
-        }
-
-        // JobSpec's contract: one tenant's jobs run in submission order
-        // even when a later submission sorted into an earlier lane or
-        // deadline slot (an epoch-N+1 re-audit must never run before the
-        // epoch-N audit it diffs against). The chain keeps the dispatch
-        // slots its jobs earned; the jobs fill those slots by ascending
-        // submission id.
-        for chain in &mut chains {
-            if chain.len() > 1 {
-                let slots: Vec<usize> = chain.iter().map(|(slot, _)| *slot).collect();
-                let mut tenant_jobs: Vec<Queued<P>> =
-                    std::mem::take(chain).into_iter().map(|(_, j)| j).collect();
-                tenant_jobs.sort_by_key(|j| j.id);
-                *chain = slots.into_iter().zip(tenant_jobs).collect();
-            }
-        }
-
-        let root = self.obs.span("sched.drain");
-        root.record("jobs", chains.iter().map(Vec::len).sum::<usize>() as u64);
-        root.record("chains", chains.len() as u64);
-
-        let completed = run_chains(chains, self.config.workers, |(order, job)| {
-            let wait_ms = now_ms.saturating_sub(job.submitted_ms);
-            let span = root.child_keyed("sched.job", job.id.0);
-            span.record("lane", job.spec.lane.rank());
-            span.record("wait_ms", wait_ms);
-            self.obs.counter("sched.dispatched").incr();
-            self.obs.histogram("sched.wait_ms").record(wait_ms);
-            let output = exec(job.id, &job.spec, job.payload);
-            self.obs.counter("sched.completed").incr();
-            (
-                order,
-                CompletedJob {
-                    id: job.id,
-                    tenant: job.spec.tenant,
-                    lane: job.spec.lane,
-                    submitted_ms: job.submitted_ms,
-                    wait_ms,
-                    output,
-                },
-            )
-        });
-
-        let mut flat: Vec<(usize, CompletedJob<T>)> = completed.into_iter().flatten().collect();
-        flat.sort_by_key(|(order, _)| *order);
-        flat.into_iter().map(|(_, job)| job).collect()
+        self.daemon
+            .drain_all(|id, spec, slot: &mut Option<P>, _ctx| {
+                StepResult::Done(exec(
+                    id,
+                    spec,
+                    slot.take().expect("drain dispatched a job twice"),
+                ))
+            })
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use obs::ManualClock;
+    use std::sync::Mutex;
 
     fn sched(config: SchedulerConfig) -> (Scheduler<u64>, Arc<ManualClock>) {
         let clock = Arc::new(ManualClock::new());
@@ -423,6 +348,17 @@ mod tests {
         assert_eq!(done[1].wait_ms, 50);
         assert_eq!(done[0].submitted_ms, 0);
         assert_eq!(done[1].submitted_ms, 250);
+    }
+
+    #[test]
+    fn drain_never_expires_overdue_jobs() {
+        // Legacy semantics: a deadline behind the clock still dispatches.
+        let (s, clock) = sched(SchedulerConfig::default());
+        s.submit(JobSpec::new("a").deadline_ms(10), 0).unwrap();
+        clock.advance(500);
+        let done = s.drain(|_, _, p| p);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].wait_ms, 500);
     }
 
     #[test]

@@ -1,0 +1,249 @@
+//! Adversarial fleet arrival plans.
+//!
+//! The fleet daemon's claims — deficit-round-robin bounds the service gap,
+//! deadlines expire with typed reasons, an interactive arrival preempts a
+//! running batch audit — only mean something under load that *tries* to
+//! break them. This module synthesises that load the same way the rest of
+//! the crate synthesises the ecosystem: as a seeded, deterministic plan
+//! the determinism suites can replay byte-for-byte at any worker count.
+//!
+//! One plan interleaves four tenant behaviours:
+//!
+//! * a **flooder** that dumps a burst of batch jobs every round, trying to
+//!   monopolise the queue;
+//! * several equal-weight **steady** tenants submitting one standard job
+//!   per round — the pair the fairness bound is asserted over;
+//! * a rare **interactive** poke, timed to land while a flooder batch
+//!   audit is mid-run, forcing a cooperative preemption;
+//! * per-round **just-missable deadlines** riding the flooder's own
+//!   queue — deficit round-robin guarantees every *tenant* prompt
+//!   service, so the only place a deadline can die is behind its own
+//!   tenant's backlog; the slack is generous for an idle queue and fatal
+//!   behind a flooded one.
+//!
+//! The plan speaks strings and milliseconds, not scheduler types: lanes
+//! are the stable tags `sched::Lane::parse` accepts (fed through
+//! `JobSpec::builder(..).lane_named(..)` at submission), so `synth` keeps
+//! its dependency surface unchanged.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Shape of one adversarial arrival plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrivalConfig {
+    /// Seed for the jitter stream (and recorded into every arrival).
+    pub seed: u64,
+    /// Submission rounds to generate.
+    pub rounds: u32,
+    /// Virtual milliseconds between rounds.
+    pub round_ms: u64,
+    /// Batch jobs the flooder tenant submits per round.
+    pub flood_burst: u32,
+    /// Equal-weight standard-lane tenants (`steady-0`, `steady-1`, ...).
+    pub steady_tenants: u32,
+    /// An interactive poke lands every this-many rounds (0 disables).
+    pub interactive_every: u32,
+    /// Deadline slack for the flooder's per-round deadlined job: it must
+    /// dispatch within this many virtual milliseconds of submission or
+    /// expire behind the flooder's own backlog.
+    pub deadline_slack_ms: u64,
+}
+
+impl Default for ArrivalConfig {
+    fn default() -> Self {
+        ArrivalConfig {
+            seed: 2022,
+            rounds: 6,
+            round_ms: 40,
+            flood_burst: 3,
+            steady_tenants: 2,
+            interactive_every: 2,
+            deadline_slack_ms: 15,
+        }
+    }
+}
+
+/// One planned submission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Arrival {
+    /// Virtual-clock submission time, milliseconds.
+    pub at_ms: u64,
+    /// Tenant to submit as.
+    pub tenant: String,
+    /// Stable lane tag (`"interactive"` / `"standard"` / `"batch"`).
+    pub lane: &'static str,
+    /// Absolute virtual-clock deadline, when the job carries one.
+    pub deadline_ms: Option<u64>,
+    /// Deficit-round-robin weight for the tenant.
+    pub weight: u32,
+    /// Drift epoch the submitted audit should observe — each tenant's
+    /// n-th submission is its epoch-n re-audit.
+    pub epoch: u32,
+}
+
+/// Generate the plan for `config`: a pure function of the config (the
+/// jitter stream is seeded from [`ArrivalConfig::seed`]), sorted by
+/// submission time with planning order as the tiebreak.
+pub fn adversarial_arrivals(config: &ArrivalConfig) -> Vec<Arrival> {
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0xF1EE7);
+    let mut arrivals: Vec<Arrival> = Vec::new();
+    let plan = |arrivals: &mut Vec<Arrival>,
+                at_ms: u64,
+                tenant: String,
+                lane: &'static str,
+                deadline_ms: Option<u64>| {
+        arrivals.push(Arrival {
+            at_ms,
+            tenant,
+            lane,
+            deadline_ms,
+            weight: 1,
+            epoch: 0, // assigned below, once submission order is final
+        });
+    };
+
+    for round in 0..config.rounds {
+        let base = u64::from(round) * config.round_ms;
+        // The flooder's burst lands first thing in the round, with a
+        // little jitter so bursts are not metronomic.
+        for _ in 0..config.flood_burst {
+            let jitter = rng.gen_range(0..config.round_ms.max(2) / 2);
+            plan(
+                &mut arrivals,
+                base + jitter,
+                "flood".to_string(),
+                "batch",
+                None,
+            );
+        }
+        // Steady tenants each submit one standard job per round.
+        for t in 0..config.steady_tenants {
+            plan(
+                &mut arrivals,
+                base + 1 + u64::from(t),
+                format!("steady-{t}"),
+                "standard",
+                None,
+            );
+        }
+        // The interactive poke lands mid-round — after the flooder's
+        // burst has had a tick to start running, so it arrives while a
+        // batch audit is in flight and must preempt it.
+        if config.interactive_every > 0 && round % config.interactive_every == 1 {
+            plan(
+                &mut arrivals,
+                base + config.round_ms / 2,
+                "oncall".to_string(),
+                "interactive",
+                None,
+            );
+        }
+        // Just-missable deadline on the flooder's own queue: behind this
+        // round's burst it cannot dispatch within the slack and expires;
+        // on an idle queue it would have made it comfortably.
+        let at = base + config.round_ms.max(2) / 2;
+        plan(
+            &mut arrivals,
+            at,
+            "flood".to_string(),
+            "batch",
+            Some(at + config.deadline_slack_ms),
+        );
+    }
+
+    // Stable sort: planning order breaks timestamp ties. Epochs number
+    // each tenant's submissions in final submission order — a tenant's
+    // n-th submission is its epoch-n re-audit.
+    arrivals.sort_by_key(|a| a.at_ms);
+    let mut epochs: std::collections::BTreeMap<String, u32> = std::collections::BTreeMap::new();
+    for arrival in &mut arrivals {
+        let epoch = epochs.entry(arrival.tenant.clone()).or_insert(0);
+        arrival.epoch = *epoch;
+        *epoch += 1;
+    }
+    arrivals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_deterministic_and_time_sorted() {
+        let config = ArrivalConfig::default();
+        let a = adversarial_arrivals(&config);
+        let b = adversarial_arrivals(&config);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0].at_ms <= w[1].at_ms));
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn plan_exercises_every_adversarial_ingredient() {
+        let plan = adversarial_arrivals(&ArrivalConfig::default());
+        assert!(plan
+            .iter()
+            .any(|a| a.tenant == "flood" && a.lane == "batch"));
+        assert!(plan.iter().any(|a| a.lane == "interactive"));
+        assert_eq!(
+            plan.iter()
+                .filter(|a| a.tenant.starts_with("steady-"))
+                .map(|a| a.tenant.clone())
+                .collect::<std::collections::BTreeSet<_>>()
+                .len(),
+            2,
+            "two equal-weight steady tenants for the fairness bound"
+        );
+        let deadlined: Vec<&Arrival> = plan.iter().filter(|a| a.deadline_ms.is_some()).collect();
+        assert_eq!(
+            deadlined.len(),
+            6,
+            "one just-missable deadline per round, riding the flooder"
+        );
+        for arrival in deadlined {
+            assert_eq!(
+                arrival.tenant, "flood",
+                "deadlines ride the flooder's backlog"
+            );
+            assert_eq!(
+                arrival.deadline_ms,
+                Some(arrival.at_ms + 15),
+                "deadlines stay just-missable"
+            );
+        }
+    }
+
+    #[test]
+    fn epochs_count_per_tenant_submissions() {
+        let plan = adversarial_arrivals(&ArrivalConfig::default());
+        let flood_epochs: Vec<u32> = plan
+            .iter()
+            .filter(|a| a.tenant == "flood")
+            .map(|a| a.epoch)
+            .collect();
+        let expected: Vec<u32> = (0..flood_epochs.len() as u32).collect();
+        assert_eq!(flood_epochs, expected);
+    }
+
+    #[test]
+    fn stable_sort_keeps_planning_order_within_a_timestamp() {
+        // Two steady tenants submitting at distinct offsets never collide,
+        // but the flooder's jittered burst can; planning order must break
+        // the tie so the plan is reproducible.
+        let config = ArrivalConfig {
+            rounds: 12,
+            ..ArrivalConfig::default()
+        };
+        let plan = adversarial_arrivals(&config);
+        let flood_epochs: Vec<u32> = plan
+            .iter()
+            .filter(|a| a.tenant == "flood")
+            .map(|a| a.epoch)
+            .collect();
+        assert!(
+            flood_epochs.windows(2).all(|w| w[0] < w[1]),
+            "flooder submissions must stay in epoch order after the sort"
+        );
+    }
+}

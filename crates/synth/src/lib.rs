@@ -18,11 +18,14 @@
 //!   phase; mounting is draw-free);
 //! * [`drift`] — longitudinal epochs: seeded per-bot mutations on top of
 //!   the frozen snapshot, for incremental re-audit experiments;
+//! * [`arrivals`] — seeded adversarial fleet arrival plans (flooding,
+//!   preemption pokes, just-missable deadlines) for daemon stress tests;
 //! * [`truth`] — per-bot ground-truth labels.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod arrivals;
 pub mod build;
 pub mod config;
 pub mod developers;
@@ -31,6 +34,7 @@ pub mod permissions;
 mod plan;
 pub mod truth;
 
+pub use arrivals::{adversarial_arrivals, Arrival, ArrivalConfig};
 pub use build::{build_ecosystem, Ecosystem};
 pub use config::EcosystemConfig;
 pub use drift::{build_ecosystem_at, DriftConfig, DriftEvent, DriftKind, EpochDrift};

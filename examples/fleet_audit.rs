@@ -6,16 +6,27 @@
 //!
 //! Each tenant owns a world (different seed), submits an epoch-0 baseline
 //! audit, then a month later re-audits epoch 1 of the same world. The
-//! fleet service runs every job over one shared worker pool, journals each
-//! tenant into a private scoped store, and diffs every re-audit against
-//! the tenant's previous report. The interesting outputs are the
-//! [`DeltaReport`]s — who drifted, whose traceability flipped, who gained
-//! permissions — and the artifact-pack hit counters showing the re-audit
-//! only re-analyzed the drifted bots.
+//! always-on fleet daemon runs every job over one shared worker pool,
+//! journals each tenant into a private scoped store, and diffs every
+//! re-audit against the tenant's previous report. The interesting outputs
+//! are the [`DeltaReport`]s — who drifted, whose traceability flipped,
+//! who gained permissions — and the artifact-pack hit counters showing
+//! the re-audit only re-analyzed the drifted bots.
+//!
+//! This example drives the redesigned service API end to end: validated
+//! submission via [`JobSpec::builder`] returning typed [`JobHandle`]s,
+//! the [`FleetDaemon::run_until`] tick loop on the virtual clock,
+//! outcome claiming via [`FleetDaemon::resolve`], and a clean
+//! [`ShutdownMode::Drain`] at the end.
+//!
+//! [`JobHandle`]: chatbot_audit::JobHandle
+//! [`FleetDaemon::run_until`]: chatbot_audit::FleetDaemon::run_until
+//! [`FleetDaemon::resolve`]: chatbot_audit::FleetDaemon::resolve
+//! [`ShutdownMode::Drain`]: chatbot_audit::ShutdownMode::Drain
 
-use chatbot_audit::{Audit, AuditJob, DeltaReport, FleetConfig, FleetService};
-use netsim::SimDuration;
-use sched::{JobSpec, Lane};
+use chatbot_audit::{Audit, AuditJob, DeltaReport, FleetDaemon, FleetDaemonConfig, ShutdownMode};
+use netsim::Clock;
+use sched::JobSpec;
 use synth::DriftConfig;
 
 const SCALE: usize = 150;
@@ -42,28 +53,35 @@ fn job(seed: u64, epoch: u32) -> AuditJob {
 }
 
 fn main() {
-    let tenants: [(&str, u64, Lane); 3] = [
-        ("acme-trust", 2022, Lane::Interactive),
-        ("beta-labs", 7, Lane::Standard),
-        ("cyber-sec", 41, Lane::Batch),
+    let tenants: [(&str, u64, &str); 3] = [
+        ("acme-trust", 2022, "interactive"),
+        ("beta-labs", 7, "standard"),
+        ("cyber-sec", 41, "batch"),
     ];
 
-    let service = FleetService::new(FleetConfig {
+    let daemon = FleetDaemon::new(FleetDaemonConfig {
         workers: 4,
-        ..FleetConfig::default()
+        ..FleetDaemonConfig::default()
     });
 
     println!("=== fleet audit: 3 tenants x 2 epochs ===\n");
 
     // Epoch 0: every tenant's baseline audit (cold stores, no deltas).
     println!("[epoch 0] baseline audits");
+    let mut handles = Vec::new();
     for (tenant, seed, lane) in tenants {
-        service
-            .submit(JobSpec::new(tenant).lane(lane), job(seed, 0))
-            .expect("queue has room");
-        service.clock().advance(SimDuration::from_millis(10));
+        let spec = JobSpec::builder(tenant)
+            .lane_named(lane)
+            .build()
+            .expect("valid spec");
+        handles.push(daemon.submit(spec, job(seed, 0)).expect("queue has room"));
     }
-    for outcome in service.run() {
+    // Generous horizon: the batch tenant's audit is sliced into 8-frame
+    // chunks (cooperative preemption), so it needs a few dozen ticks.
+    let horizon = daemon.clock().now_millis() + 400;
+    daemon.run_until(horizon);
+    for handle in handles.drain(..) {
+        let outcome = daemon.resolve(handle).expect("baseline settled");
         let report = outcome.report.as_ref().expect("audit completes");
         println!(
             "  {:<10} {:>4} bots audited, {} analyses computed cold",
@@ -76,18 +94,24 @@ fn main() {
     // Epoch 1: the ecosystem drifted; every tenant re-audits.
     println!("\n[epoch 1] incremental re-audits against each tenant's warm pack");
     for (tenant, seed, lane) in tenants {
-        service
-            .submit(JobSpec::new(tenant).lane(lane), job(seed, 1))
-            .expect("queue has room");
-        service.clock().advance(SimDuration::from_millis(10));
+        let spec = JobSpec::builder(tenant)
+            .lane_named(lane)
+            .build()
+            .expect("valid spec");
+        handles.push(daemon.submit(spec, job(seed, 1)).expect("queue has room"));
     }
+    let horizon = daemon.clock().now_millis() + 400;
+    daemon.run_until(horizon);
 
     let mut flips = 0usize;
-    for outcome in service.run() {
+    for handle in handles.drain(..) {
+        let outcome = daemon.resolve(handle).expect("re-audit settled");
         outcome.report.as_ref().expect("re-audit completes");
         let delta: &DeltaReport = outcome.delta.as_ref().expect("epoch 1 diffs epoch 0");
+        // For a sliced batch audit the counters describe the final
+        // slice, which replays earlier slices' work as warm hits.
         println!(
-            "  {:<10} pack served {}/{} analyses; recomputed only the {} drifted",
+            "  {:<10} warm pack/journal served {}/{} analyses; {} recomputed",
             outcome.tenant,
             outcome.artifact_hits,
             outcome.artifact_hits + outcome.artifact_misses,
@@ -116,6 +140,10 @@ fn main() {
         }
         flips += delta.traceability_transitions.len();
     }
+
+    let report = daemon.shutdown(ShutdownMode::Drain);
+    assert!(report.outcomes.is_empty(), "every outcome already claimed");
+    assert!(report.abandoned.is_empty(), "nothing left queued");
 
     if flips == 0 {
         println!("\nVERDICT: no traceability flip surfaced — drift model regressed");
