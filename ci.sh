@@ -11,6 +11,8 @@ cargo test -q --test sched_determinism
 cargo test -q --test daemon_determinism
 cargo test -q --test incremental_determinism
 cargo test -q --test platform_determinism
+cargo test -q --test oplog_determinism
+cargo test -q -p oplog
 cargo clippy --all-targets -- -D warnings
 cargo bench --no-run
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q

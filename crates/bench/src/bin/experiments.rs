@@ -6,7 +6,7 @@
 //!             [--enforced] [--workers N] [--bench-json PATH]
 //!             [--store-dir DIR] [--resume] [--kill-after-frames N]
 //!             [--store-bench-json PATH] [--obs-bench-json PATH]
-//!             [--sched-bench-json PATH]
+//!             [--sched-bench-json PATH] [--oplog-bench-json PATH]
 //! ```
 //!
 //! Defaults run the full paper-scale population (20,915 listings, 500
@@ -45,6 +45,7 @@ struct Args {
     store_bench_json: Option<String>,
     obs_bench_json: Option<String>,
     sched_bench_json: Option<String>,
+    oplog_bench_json: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -64,6 +65,7 @@ fn parse_args() -> Args {
         store_bench_json: None,
         obs_bench_json: None,
         sched_bench_json: None,
+        oplog_bench_json: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -139,6 +141,10 @@ fn parse_args() -> Args {
             }
             "--sched-bench-json" => {
                 args.sched_bench_json = argv.get(i + 1).cloned();
+                i += 2;
+            }
+            "--oplog-bench-json" => {
+                args.oplog_bench_json = argv.get(i + 1).cloned();
                 i += 2;
             }
             other => {
@@ -1171,6 +1177,195 @@ fn sched_bench(args: &Args, path: &str) {
     eprintln!("wrote {path}");
 }
 
+/// Measure the longitudinal oplog: what a materialized trend query costs
+/// versus replaying the fleet's audits, how many bytes generational pack
+/// compaction reclaims, and that resumes stay byte-identical across a
+/// compaction.
+fn oplog_bench(args: &Args, path: &str) {
+    use chatbot_audit::{Audit, FleetDaemon, FleetDaemonConfig, PlatformKind};
+    use netsim::VirtualClock;
+    use sched::JobSpec;
+    use std::sync::Arc;
+
+    const EPOCHS: u32 = 5;
+    const KEEP_LAST: usize = 2;
+    let tenants: [(&str, PlatformKind); 3] = [
+        ("acme", PlatformKind::Discord),
+        ("globex", PlatformKind::Discord),
+        ("initech", PlatformKind::Telegram),
+    ];
+    eprintln!(
+        "longitudinal oplog bench: {} tenants × {EPOCHS} epochs × {} listings …",
+        tenants.len(),
+        args.scale
+    );
+    let job = |seed: u64, kind: PlatformKind, epoch: u32| {
+        Audit::builder()
+            .scale(args.scale)
+            .seed(seed)
+            .platform(kind)
+            .honeypot_sample(args.honeypot_sample)
+            .site_defenses(false)
+            .drift(synth::DriftConfig::default())
+            .epoch(epoch)
+            .into_job()
+            .expect("valid oplog bench job")
+    };
+    let run_fleet = || -> FleetDaemon {
+        let daemon = FleetDaemon::with_obs(
+            FleetDaemonConfig {
+                workers: args.workers,
+                ..FleetDaemonConfig::default()
+            },
+            Arc::new(store::MemBackend::new()),
+            VirtualClock::new(),
+            obs::Obs::disabled(),
+        );
+        let mut horizon = 0;
+        for epoch in 0..EPOCHS {
+            for (i, (tenant, kind)) in tenants.iter().enumerate() {
+                daemon
+                    .submit(
+                        JobSpec::new(*tenant),
+                        job(args.seed + i as u64, *kind, epoch),
+                    )
+                    .expect("queue has room");
+            }
+            horizon += 1_000_000;
+            daemon.run_until(horizon);
+        }
+        assert_eq!(daemon.queued(), 0, "oplog bench fleet must drain");
+        daemon
+    };
+    let trend_dump = |daemon: &FleetDaemon| -> String {
+        let mut out = String::new();
+        for (tenant, _) in tenants {
+            out.push_str(&daemon.trends(tenant).expect("chain").canonical_json());
+            out.push('\n');
+        }
+        out.push_str(
+            &serde_json::to_string(&daemon.fleet_trends().expect("fleet")).expect("serializable"),
+        );
+        out
+    };
+
+    // The replay baseline: without the oplog, answering "how did the
+    // fleet drift?" means re-running every audit. With it, the same
+    // answers come from the persisted chains.
+    let t0 = std::time::Instant::now();
+    let daemon = run_fleet();
+    let replay_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t0 = std::time::Instant::now();
+    let views = trend_dump(&daemon);
+    let query_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let speedup = replay_ms / query_ms;
+    println!(
+        "trend queries: materialized views {query_ms:.2} ms vs full replay \
+         {replay_ms:.1} ms ({speedup:.0}x) over {} chain records",
+        tenants.len() * EPOCHS as usize,
+    );
+
+    // Generational compaction: drop every artifact generation not
+    // referenced by the last KEEP_LAST epochs of each tenant.
+    let mut per_tenant = Vec::new();
+    for (tenant, _) in tenants {
+        let outcome = daemon.compact_tenant(tenant, KEEP_LAST).expect("compacts");
+        assert!(
+            outcome.reclaimed_bytes() > 0,
+            "{tenant}: dropping {} of {EPOCHS} generations must reclaim bytes",
+            EPOCHS as usize - KEEP_LAST,
+        );
+        let mut row = serde_json::Map::new();
+        row.insert("tenant".into(), tenant.into());
+        row.insert("reclaimed_bytes".into(), outcome.reclaimed_bytes().into());
+        row.insert("dropped_blobs".into(), outcome.dropped_blobs.into());
+        row.insert("live_blobs".into(), outcome.live_blobs.into());
+        row.insert("pack_bytes_before".into(), outcome.pack_bytes_before.into());
+        row.insert("pack_bytes_after".into(), outcome.pack_bytes_after.into());
+        per_tenant.push(row.into());
+    }
+    let reclaimed = daemon
+        .obs()
+        .counter_value("store.compaction.reclaimed_bytes");
+    assert!(reclaimed > 0, "compaction counter must record reclamation");
+    assert_eq!(
+        trend_dump(&daemon),
+        views,
+        "compaction must not change a trend answer"
+    );
+    println!(
+        "compaction (keep last {KEEP_LAST} epochs): {reclaimed} bytes reclaimed \
+         across {} tenants; trend views byte-identical",
+        tenants.len(),
+    );
+
+    // Resume across compaction: epoch {EPOCHS} lands byte-identically on
+    // the compacted fleet and on a never-compacted control.
+    let control = run_fleet();
+    let mut dumps = Vec::new();
+    for d in [&daemon, &control] {
+        for (i, (tenant, kind)) in tenants.iter().enumerate() {
+            d.submit(
+                JobSpec::new(*tenant),
+                job(args.seed + i as u64, *kind, EPOCHS),
+            )
+            .expect("queue has room");
+        }
+        d.run_until(10_000_000);
+        dumps.push(trend_dump(d));
+    }
+    assert_eq!(
+        dumps[0], dumps[1],
+        "post-compaction epoch {EPOCHS} diverged from the uncompacted control"
+    );
+    println!(
+        "resume across compaction: epoch {EPOCHS} trend views byte-identical \
+         to the uncompacted control"
+    );
+
+    let mut out = serde_json::Map::new();
+    out.insert("scale".into(), args.scale.into());
+    out.insert("seed".into(), args.seed.into());
+    out.insert("honeypot_sample".into(), args.honeypot_sample.into());
+    out.insert("workers".into(), args.workers.into());
+    out.insert("tenants".into(), tenants.len().into());
+    out.insert("epochs".into(), EPOCHS.into());
+    let mut trend = serde_json::Map::new();
+    trend.insert(
+        "replay_all_audits_ms".into(),
+        serde_json::to_value(replay_ms).expect("serializable"),
+    );
+    trend.insert(
+        "materialized_query_ms".into(),
+        serde_json::to_value(query_ms).expect("serializable"),
+    );
+    trend.insert(
+        "speedup_vs_replay".into(),
+        serde_json::to_value(speedup).expect("serializable"),
+    );
+    trend.insert(
+        "chain_records".into(),
+        (tenants.len() * EPOCHS as usize).into(),
+    );
+    out.insert("trend_query".into(), trend.into());
+    let mut compaction = serde_json::Map::new();
+    compaction.insert("keep_last_epochs".into(), KEEP_LAST.into());
+    compaction.insert("reclaimed_bytes".into(), reclaimed.into());
+    compaction.insert("per_tenant".into(), serde_json::Value::Array(per_tenant));
+    compaction.insert("trend_views_byte_identical".into(), true.into());
+    out.insert("store.compaction".into(), compaction.into());
+    let mut resume = serde_json::Map::new();
+    resume.insert("next_epoch".into(), EPOCHS.into());
+    resume.insert("byte_identical_vs_uncompacted".into(), true.into());
+    out.insert("resume_across_compaction".into(), resume.into());
+    std::fs::write(
+        path,
+        serde_json::to_string_pretty(&out).expect("serializable"),
+    )
+    .expect("write oplog bench json");
+    eprintln!("wrote {path}");
+}
+
 fn main() {
     let args = parse_args();
     let scale_factor = args.scale as f64 / 20_915.0;
@@ -1210,6 +1405,7 @@ fn main() {
             Ok(ResumableOutcome {
                 report,
                 store_stats,
+                ..
             }) => {
                 eprintln!(
                     "store: {} frames replayed, {} written; pack {} hits / {} misses",
@@ -1504,5 +1700,9 @@ fn main() {
 
     if let Some(path) = &args.sched_bench_json {
         sched_bench(&args, path);
+    }
+
+    if let Some(path) = &args.oplog_bench_json {
+        oplog_bench(&args, path);
     }
 }

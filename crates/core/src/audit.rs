@@ -147,12 +147,16 @@ impl Audit {
     pub(crate) fn run_scoped(
         &self,
         store: &StoreConfig,
-    ) -> Result<(CanonicalReport, StoreStats), AuditError> {
+    ) -> Result<(CanonicalReport, StoreStats, Vec<store::ContentHash>), AuditError> {
         let eco = self.world();
         let outcome = self
             .pipeline()
             .run_incremental(&eco, store, self.eco.seed, self.epoch)?;
-        Ok((outcome.report.canonical(), outcome.store_stats))
+        Ok((
+            outcome.report.canonical(),
+            outcome.store_stats,
+            outcome.referenced_keys,
+        ))
     }
 }
 

@@ -38,12 +38,16 @@ use crate::resume::StoreConfig;
 use crate::service::{AuditJob, JobOutcome};
 use netsim::{SimDuration, VirtualClock};
 use obs::{Clock, Obs};
+use oplog::{CompactionOutcome, EpochChain, EpochRecord, PlatformDrift, TrendQuery};
 use sched::{
     CompletedJob, Daemon, DaemonConfig, ExecCtx, JobEvent, JobId, JobSpec, StepResult, TenantRate,
 };
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+use std::io;
 use std::sync::{Arc, Mutex};
-use store::{Backend, MemBackend, ScopedBackend, StoreStats};
+use store::{
+    ArtifactCache, Backend, ContentHash, MemBackend, ScopedBackend, StoreStats, PACK_FILE,
+};
 
 /// Knobs for the always-on daemon. The scheduler trio
 /// (`queue_capacity` / `workers` / `tenant_rate`) matches
@@ -140,17 +144,32 @@ pub struct ShutdownReport {
 }
 
 /// Per-tenant service state: the scoped store every audit of the tenant
-/// runs against, plus the last successful report for delta computation.
+/// runs against, plus the last successful report (and its epoch) for
+/// delta computation. On first touch the baseline is restored from the
+/// tenant's persisted epoch chain, so a daemon restarted over a
+/// [`store::DiskBackend`] resumes delta chaining where it left off.
 pub(crate) struct TenantState {
     pub(crate) backend: Arc<dyn Backend>,
     pub(crate) last_report: Option<CanonicalReport>,
+    pub(crate) last_epoch: Option<u32>,
+}
+
+/// The epochs a tenant has used, split by lifecycle. Seeded from the
+/// tenant's persisted epoch chain on first touch, so duplicate rejection
+/// survives daemon restarts.
+#[derive(Default)]
+struct EpochLedger {
+    /// Epochs submitted through the strict path and not yet settled.
+    inflight: BTreeSet<u32>,
+    /// Epochs with a successfully settled audit (persisted or this run's).
+    committed: BTreeSet<u32>,
 }
 
 /// What the executor hands back per completed dispatch.
 type ExecOutput = (
     u32,
     platform::PlatformKind,
-    Result<(CanonicalReport, StoreStats), AuditError>,
+    Result<(CanonicalReport, StoreStats, Vec<ContentHash>), AuditError>,
 );
 
 /// Always-on multi-tenant audit daemon over one shared worker pool.
@@ -166,6 +185,7 @@ pub struct FleetDaemon {
     obs: Obs,
     root: Arc<dyn Backend>,
     tenants: Mutex<BTreeMap<String, Arc<TenantState>>>,
+    epochs: Mutex<BTreeMap<String, EpochLedger>>,
     settled: Mutex<Vec<JobOutcome>>,
 }
 
@@ -210,6 +230,7 @@ impl FleetDaemon {
             obs,
             root,
             tenants: Mutex::new(BTreeMap::new()),
+            epochs: Mutex::new(BTreeMap::new()),
             settled: Mutex::new(Vec::new()),
         }
     }
@@ -245,23 +266,27 @@ impl FleetDaemon {
     /// Submit an audit for `spec.tenant`.
     ///
     /// Fails fast — before anything is queued — with a `config`-kind
-    /// error on a path-shaped tenant id, a zero weight, or a deadline
-    /// already behind the virtual clock; and with a `saturated`-kind
-    /// error when the queue is full or the tenant is over its rate. All
-    /// of it deterministic given the same submission sequence at the same
-    /// virtual times.
+    /// error on a path-shaped tenant id, a zero weight, a deadline
+    /// already behind the virtual clock, or a `(tenant, epoch)` pair the
+    /// tenant has already run or has in flight (re-running an epoch would
+    /// silently overwrite the tenant's delta baseline and fork its epoch
+    /// chain); and with a `saturated`-kind error when the queue is full
+    /// or the tenant is over its rate. All of it deterministic given the
+    /// same submission sequence at the same virtual times.
     pub fn submit(&self, spec: JobSpec, job: AuditJob) -> Result<JobHandle, AuditError> {
         self.admit(spec, job, true)
     }
 
-    /// Shared admission path. The legacy batch facade skips the
-    /// past-deadline check (it never expires jobs, so a stale deadline is
-    /// merely an ordering hint there).
+    /// Shared admission path. The legacy batch facade skips the strict
+    /// checks — past-deadline rejection (it never expires jobs, so a
+    /// stale deadline is merely an ordering hint there) and duplicate
+    /// `(tenant, epoch)` rejection (its callers replay whole submission
+    /// plans, deliberate duplicates included).
     pub(crate) fn admit(
         &self,
         spec: JobSpec,
         job: AuditJob,
-        enforce_deadlines: bool,
+        strict: bool,
     ) -> Result<JobHandle, AuditError> {
         validate_tenant(&spec.tenant)?;
         if spec.weight == 0 {
@@ -270,20 +295,77 @@ impl FleetDaemon {
             }
             .into());
         }
-        if enforce_deadlines {
-            if let Some(deadline) = spec.deadline_ms {
-                let now = self.clock.now_millis();
-                if deadline < now {
-                    return Err(AuditError::config(format!(
-                        "deadline {deadline} ms is already {} ms in the past \
-                         (virtual now: {now} ms); it would expire before dispatch",
-                        now - deadline
-                    )));
-                }
+        if !strict {
+            let id = self.daemon.submit(spec, job)?;
+            return Ok(JobHandle { id });
+        }
+        if let Some(deadline) = spec.deadline_ms {
+            let now = self.clock.now_millis();
+            if deadline < now {
+                return Err(AuditError::config(format!(
+                    "deadline {deadline} ms is already {} ms in the past \
+                     (virtual now: {now} ms); it would expire before dispatch",
+                    now - deadline
+                )));
             }
         }
+        let tenant = spec.tenant.clone();
+        let epoch = job.epoch();
+        let mut ledgers = self.epochs.lock().expect("epoch ledger poisoned");
+        let ledger = self.ledger_entry(&mut ledgers, &tenant);
+        if ledger.committed.contains(&epoch) || ledger.inflight.contains(&epoch) {
+            let state = if ledger.inflight.contains(&epoch) {
+                "is already in flight"
+            } else {
+                "has already run"
+            };
+            return Err(AuditError::config(format!(
+                "tenant {tenant:?} epoch {epoch} {state}: re-running an epoch \
+                 would overwrite the tenant's delta baseline; submit the next \
+                 epoch (or clone the tenant for a what-if re-audit) instead"
+            )));
+        }
         let id = self.daemon.submit(spec, job)?;
+        self.ledger_entry(&mut ledgers, &tenant)
+            .inflight
+            .insert(epoch);
         Ok(JobHandle { id })
+    }
+
+    /// The ledger for `tenant`, created on first touch with `committed`
+    /// seeded from the tenant's persisted epoch chain.
+    fn ledger_entry<'a>(
+        &self,
+        ledgers: &'a mut BTreeMap<String, EpochLedger>,
+        tenant: &str,
+    ) -> &'a mut EpochLedger {
+        if !ledgers.contains_key(tenant) {
+            let scoped: Arc<dyn Backend> =
+                Arc::new(ScopedBackend::new(Arc::clone(&self.root), tenant));
+            let committed = match EpochChain::open(scoped) {
+                Ok(chain) => chain.epochs().into_iter().collect(),
+                Err(_) => BTreeSet::new(),
+            };
+            ledgers.insert(
+                tenant.to_string(),
+                EpochLedger {
+                    inflight: BTreeSet::new(),
+                    committed,
+                },
+            );
+        }
+        ledgers.get_mut(tenant).expect("just inserted")
+    }
+
+    /// Record `epoch` settling for `tenant`: successful runs commit, the
+    /// rest merely release the in-flight reservation.
+    fn settle_epoch(&self, tenant: &str, epoch: u32, committed: bool) {
+        let mut ledgers = self.epochs.lock().expect("epoch ledger poisoned");
+        let ledger = self.ledger_entry(&mut ledgers, tenant);
+        ledger.inflight.remove(&epoch);
+        if committed {
+            ledger.committed.insert(epoch);
+        }
     }
 
     /// Run one scheduler round at the current virtual time: expire
@@ -397,17 +479,20 @@ impl FleetDaemon {
         let mut settled = self.settled.lock().expect("outcome buffer poisoned");
         for event in events {
             let outcome = match event {
-                JobEvent::Expired(ex) => JobOutcome {
-                    id: ex.id,
-                    tenant: ex.tenant.clone(),
-                    platform: ex.payload.audit().ecosystem_config().platform,
-                    epoch: ex.payload.epoch(),
-                    wait_ms: ex.expired_at_ms - ex.submitted_ms,
-                    report: Err(ex.rejection().into()),
-                    delta: None,
-                    artifact_hits: 0,
-                    artifact_misses: 0,
-                },
+                JobEvent::Expired(ex) => {
+                    self.settle_epoch(&ex.tenant, ex.payload.epoch(), false);
+                    JobOutcome {
+                        id: ex.id,
+                        tenant: ex.tenant.clone(),
+                        platform: ex.payload.audit().ecosystem_config().platform,
+                        epoch: ex.payload.epoch(),
+                        wait_ms: ex.expired_at_ms - ex.submitted_ms,
+                        report: Err(ex.rejection().into()),
+                        delta: None,
+                        artifact_hits: 0,
+                        artifact_misses: 0,
+                    }
+                }
                 JobEvent::Completed(done) => self.settle_completed(done),
             };
             handles.push(JobHandle { id: outcome.id });
@@ -419,21 +504,24 @@ impl FleetDaemon {
     fn settle_completed(&self, done: CompletedJob<ExecOutput>) -> JobOutcome {
         let (epoch, platform, result) = done.output;
         let (report, delta, hits, misses) = match result {
-            Ok((report, stats)) => {
+            Ok((report, stats, referenced)) => {
                 let mut tenants = self.tenants.lock().expect("tenant map poisoned");
                 let state = tenants
                     .get_mut(&done.tenant)
                     .expect("tenant state exists after run");
-                let delta = state
-                    .last_report
-                    .as_ref()
-                    .map(|prev| DeltaReport::between(prev, &report));
+                let delta = state.last_report.as_ref().map(|prev| {
+                    DeltaReport::between_at(prev, &report, state.last_epoch.unwrap_or(0), epoch)
+                });
+                self.append_epoch(&state.backend, epoch, &report, delta.as_ref(), &referenced);
                 // Arc::make_mut would clone the backend; rebuild the
                 // state instead so the backend Arc is shared.
                 *state = Arc::new(TenantState {
                     backend: Arc::clone(&state.backend),
                     last_report: Some(report.clone()),
+                    last_epoch: Some(epoch),
                 });
+                drop(tenants);
+                self.settle_epoch(&done.tenant, epoch, true);
                 (
                     Ok(report),
                     delta,
@@ -441,7 +529,10 @@ impl FleetDaemon {
                     stats.artifact_misses,
                 )
             }
-            Err(e) => (Err(e), None, 0, 0),
+            Err(e) => {
+                self.settle_epoch(&done.tenant, epoch, false);
+                (Err(e), None, 0, 0)
+            }
         };
         JobOutcome {
             id: done.id,
@@ -456,14 +547,228 @@ impl FleetDaemon {
         }
     }
 
+    /// Commit one settled epoch to the tenant's chain: journal the report
+    /// and delta as content-addressed pack blobs, then append the linked
+    /// epoch record. Best-effort by design — the chain is history, the
+    /// outcome already stands — so failures only move `oplog.*` counters.
+    /// An epoch at or below the persisted head (the legacy facade's
+    /// deliberate resubmissions) is skipped, never forked.
+    fn append_epoch(
+        &self,
+        backend: &Arc<dyn Backend>,
+        epoch: u32,
+        report: &CanonicalReport,
+        delta: Option<&DeltaReport>,
+        referenced: &[ContentHash],
+    ) {
+        let appended = (|| -> io::Result<bool> {
+            let mut chain = EpochChain::open(Arc::clone(backend))?;
+            if chain.is_sealed() || chain.head().map(|h| epoch <= h.epoch).unwrap_or(false) {
+                return Ok(false);
+            }
+            let cache = ArtifactCache::open(Arc::clone(backend), PACK_FILE)?;
+            let report_json = serde_json::to_vec(report).expect("reports always serialize");
+            let report_key = oplog::report_blob_key(&report_json);
+            cache.put(report_key, &report_json)?;
+            let delta_key = match delta {
+                Some(delta) => {
+                    let delta_json = serde_json::to_vec(delta).expect("deltas always serialize");
+                    let key = oplog::delta_blob_key(&delta_json);
+                    cache.put(key, &delta_json)?;
+                    Some(oplog::to_hex(&key))
+                }
+                None => None,
+            };
+            chain.append(EpochRecord {
+                epoch,
+                prev_epoch: None, // linkage is filled in by the chain
+                platform: report.platform,
+                parent: oplog::to_hex(&oplog::ZERO_HASH),
+                report_key: oplog::to_hex(&report_key),
+                delta_key,
+                artifact_keys: referenced.iter().map(oplog::to_hex).collect(),
+                bots: report.bots.len() as u32,
+                trend: trend_of(delta),
+            })?;
+            Ok(true)
+        })();
+        let counter = match appended {
+            Ok(true) => "oplog.appended",
+            Ok(false) => "oplog.append_skipped",
+            Err(_) => "oplog.append_failed",
+        };
+        self.obs.counter(counter).incr();
+    }
+
     fn tenant_state(&self, tenant: &str) -> Arc<TenantState> {
         let mut tenants = self.tenants.lock().expect("tenant map poisoned");
-        Arc::clone(tenants.entry(tenant.to_string()).or_insert_with(|| {
-            Arc::new(TenantState {
-                backend: Arc::new(ScopedBackend::new(Arc::clone(&self.root), tenant)),
-                last_report: None,
+        if !tenants.contains_key(tenant) {
+            let backend: Arc<dyn Backend> =
+                Arc::new(ScopedBackend::new(Arc::clone(&self.root), tenant));
+            let (last_report, last_epoch) = self.restore_baseline(&backend);
+            tenants.insert(
+                tenant.to_string(),
+                Arc::new(TenantState {
+                    backend,
+                    last_report,
+                    last_epoch,
+                }),
+            );
+        }
+        Arc::clone(tenants.get(tenant).expect("just inserted"))
+    }
+
+    /// Rehydrate a tenant's delta baseline from its persisted chain: the
+    /// head record names the report blob by content key, so no audit is
+    /// replayed. Any damage degrades to a cold baseline, never an error.
+    fn restore_baseline(
+        &self,
+        backend: &Arc<dyn Backend>,
+    ) -> (Option<CanonicalReport>, Option<u32>) {
+        let head = match EpochChain::open(Arc::clone(backend)) {
+            Ok(chain) => match chain.head() {
+                Some(head) => head.clone(),
+                None => return (None, None),
+            },
+            Err(_) => return (None, None),
+        };
+        let report = oplog::parse_hex(&head.report_key)
+            .and_then(|key| {
+                ArtifactCache::open(Arc::clone(backend), PACK_FILE)
+                    .ok()?
+                    .peek(&key)
             })
-        }))
+            .and_then(|blob| serde_json::from_slice::<CanonicalReport>(&blob).ok());
+        if report.is_some() {
+            self.obs.counter("oplog.restored").incr();
+        }
+        (report, Some(head.epoch))
+    }
+
+    /// The committed epoch records of `tenant`, genesis first. Answered
+    /// from the persisted chain — no audit is replayed. Unknown tenants
+    /// (valid id, nothing persisted) have empty histories.
+    pub fn history(&self, tenant: &str) -> Result<Vec<EpochRecord>, AuditError> {
+        validate_tenant(tenant)?;
+        let state = self.tenant_state(tenant);
+        let chain = EpochChain::open(Arc::clone(&state.backend))
+            .map_err(|e| AuditError::Store(e.into()))?;
+        Ok(chain.records().to_vec())
+    }
+
+    /// Materialized trend views over `tenant`'s chain: traceability
+    /// flips, cumulative permission creep, drift curve. Computed from the
+    /// chain's pre-digested trend facts with zero audit replays.
+    pub fn trends(&self, tenant: &str) -> Result<TrendQuery, AuditError> {
+        Ok(TrendQuery::from_records(&self.history(tenant)?))
+    }
+
+    /// Fleet-wide drift curves: per-platform, per-epoch drift counters
+    /// summed across every tenant this daemon has touched.
+    pub fn fleet_trends(&self) -> Result<Vec<PlatformDrift>, AuditError> {
+        let names: Vec<String> = {
+            let tenants = self.tenants.lock().expect("tenant map poisoned");
+            tenants.keys().cloned().collect()
+        };
+        let mut histories = Vec::with_capacity(names.len());
+        for name in names {
+            let records = self.history(&name)?;
+            histories.push((name, records));
+        }
+        Ok(oplog::fleet_drift_curves(&histories))
+    }
+
+    /// Snapshot tenant `src`'s workspace (artifact pack, validator cache,
+    /// head epoch — no history) into fresh tenant `dst` for a cheap
+    /// what-if re-audit. Returns the clone's genesis record. Fails with a
+    /// `config`-kind error when `src` has no committed epochs or `dst`
+    /// already exists. Call between ticks — never while an audit of `src`
+    /// is in flight.
+    pub fn clone_tenant(&self, src: &str, dst: &str) -> Result<EpochRecord, AuditError> {
+        validate_tenant(src)?;
+        validate_tenant(dst)?;
+        if self
+            .tenants
+            .lock()
+            .expect("tenant map poisoned")
+            .contains_key(dst)
+        {
+            return Err(AuditError::config(format!(
+                "tenant {dst:?} already exists; clones only materialize into \
+                 fresh workspaces"
+            )));
+        }
+        let src_backend = Arc::clone(&self.tenant_state(src).backend);
+        let dst_backend: Arc<dyn Backend> =
+            Arc::new(ScopedBackend::new(Arc::clone(&self.root), dst));
+        let genesis =
+            oplog::clone_workspace(&src_backend, &dst_backend).map_err(|e| match e.kind() {
+                io::ErrorKind::InvalidInput | io::ErrorKind::AlreadyExists => {
+                    AuditError::config(e.to_string())
+                }
+                _ => AuditError::Store(e.into()),
+            })?;
+        self.obs.counter("oplog.clones").incr();
+        Ok(genesis)
+    }
+
+    /// Generational pack compaction for `tenant`: drop every artifact
+    /// blob not referenced by the last `keep_last` committed epochs (the
+    /// head generation is always kept). Emits `store.compaction.*`
+    /// counters. Call between ticks — never while an audit of the tenant
+    /// is in flight, since blobs of an uncommitted epoch are not yet in
+    /// the chain's keep-set.
+    pub fn compact_tenant(
+        &self,
+        tenant: &str,
+        keep_last: usize,
+    ) -> Result<CompactionOutcome, AuditError> {
+        validate_tenant(tenant)?;
+        let state = self.tenant_state(tenant);
+        let chain = EpochChain::open(Arc::clone(&state.backend))
+            .map_err(|e| AuditError::Store(e.into()))?;
+        if chain.is_empty() {
+            return Err(AuditError::config(format!(
+                "tenant {tenant:?} has no committed epochs; nothing pins the \
+                 pack, so compaction would drop live artifacts"
+            )));
+        }
+        oplog::compact_generations(&state.backend, &chain, keep_last, &self.obs)
+            .map_err(|e| AuditError::Store(e.into()))
+    }
+}
+
+/// Digest a delta into the chain's pre-materialized trend facts. A
+/// genesis epoch (no delta) digests to the all-zero trend.
+fn trend_of(delta: Option<&DeltaReport>) -> oplog::EpochTrend {
+    let Some(delta) = delta else {
+        return oplog::EpochTrend::default();
+    };
+    oplog::EpochTrend {
+        drifted: delta.drifted.len() as u32,
+        unchanged: delta.unchanged as u32,
+        appeared: delta.appeared.len() as u32,
+        disappeared: delta.disappeared.len() as u32,
+        flips: delta
+            .traceability_transitions
+            .iter()
+            .map(|t| oplog::TraceFlip {
+                bot: t.name.clone(),
+                from: format!("{:?}", t.from).to_lowercase(),
+                to: format!("{:?}", t.to).to_lowercase(),
+            })
+            .collect(),
+        permissions: delta
+            .permission_changes
+            .iter()
+            .map(|p| oplog::PermCreep {
+                bot: p.name.clone(),
+                added: p.added.len() as u32,
+                removed: p.removed.len() as u32,
+            })
+            .collect(),
+        new_detections: delta.new_detections.len() as u32,
+        resolved_detections: delta.resolved_detections.len() as u32,
     }
 }
 
@@ -557,13 +862,13 @@ mod tests {
             quantum: 1,
             ..FleetDaemonConfig::default()
         });
-        // One tenant floods; a deadline close behind the clock expires
-        // before the backlog reaches it.
-        for _ in 0..3 {
-            daemon.submit(JobSpec::new("flood"), job(7, 0)).unwrap();
+        // One tenant floods distinct epochs; a deadline close behind the
+        // clock expires before the backlog reaches it.
+        for epoch in 0..3 {
+            daemon.submit(JobSpec::new("flood"), job(7, epoch)).unwrap();
         }
         let doomed = daemon
-            .submit(JobSpec::new("flood").deadline_ms(5), job(7, 1))
+            .submit(JobSpec::new("flood").deadline_ms(5), job(7, 3))
             .unwrap();
         let settled = daemon.run_until(400);
         assert!(settled.contains(&doomed));
@@ -575,6 +880,117 @@ mod tests {
             other => panic!("wrong variant: {other}"),
         }
         assert!(outcome.delta.is_none());
+    }
+
+    #[test]
+    fn duplicate_epochs_are_rejected_in_flight_committed_and_across_restarts() {
+        let root: Arc<dyn Backend> = Arc::new(MemBackend::new());
+        let daemon = FleetDaemon::with_backend(FleetDaemonConfig::default(), Arc::clone(&root));
+        daemon.submit(JobSpec::new("acme"), job(7, 0)).unwrap();
+
+        // Queued but not yet settled: the epoch is in flight.
+        let err = daemon.submit(JobSpec::new("acme"), job(7, 0)).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Config);
+        assert!(err.to_string().contains("is already in flight"), "{err}");
+
+        // Same epoch elsewhere is fine — the ledger is per tenant.
+        daemon.submit(JobSpec::new("globex"), job(7, 0)).unwrap();
+
+        daemon.run_until(100);
+
+        // Settled: the epoch is committed to the tenant's chain.
+        let err = daemon.submit(JobSpec::new("acme"), job(7, 0)).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Config);
+        assert!(err.to_string().contains("has already run"), "{err}");
+
+        // The rejection is durable: a fresh daemon over the same root
+        // seeds its ledger from the persisted chain, so the restart
+        // cannot be tricked into forking history.
+        drop(daemon);
+        let daemon = FleetDaemon::with_backend(FleetDaemonConfig::default(), root);
+        let err = daemon.submit(JobSpec::new("acme"), job(7, 0)).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Config);
+        assert!(err.to_string().contains("has already run"), "{err}");
+        // ...while the next epoch is admitted normally.
+        daemon.submit(JobSpec::new("acme"), job(7, 1)).unwrap();
+    }
+
+    #[test]
+    fn expired_epochs_release_their_ledger_slot() {
+        let daemon = FleetDaemon::new(FleetDaemonConfig {
+            quantum: 1,
+            ..FleetDaemonConfig::default()
+        });
+        for epoch in 0..3 {
+            daemon.submit(JobSpec::new("flood"), job(7, epoch)).unwrap();
+        }
+        let doomed = daemon
+            .submit(JobSpec::new("flood").deadline_ms(5), job(7, 3))
+            .unwrap();
+        daemon.run_until(400);
+        assert!(daemon.resolve(doomed).unwrap().report.is_err());
+        // The expired epoch never committed, so resubmitting it is legal.
+        let retry = daemon
+            .submit(JobSpec::new("flood").deadline_ms(10_000), job(7, 3))
+            .unwrap();
+        daemon.run_until(2_000);
+        assert!(daemon.resolve(retry).unwrap().report.is_ok());
+    }
+
+    #[test]
+    fn epoch_chains_answer_history_trends_and_clones_without_replay() {
+        let root: Arc<dyn Backend> = Arc::new(MemBackend::new());
+        let daemon = FleetDaemon::with_backend(FleetDaemonConfig::default(), Arc::clone(&root));
+        for epoch in 0..3 {
+            daemon
+                .submit(JobSpec::new("acme"), job(2022, epoch))
+                .unwrap();
+        }
+        daemon.run_until(400);
+
+        let history = daemon.history("acme").unwrap();
+        assert_eq!(
+            history.iter().map(|r| r.epoch).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        assert_eq!(history[0].prev_epoch, None);
+        assert_eq!(history[2].prev_epoch, Some(1));
+        assert!(history[0].delta_key.is_none(), "genesis has no delta");
+        assert!(history[1].delta_key.is_some());
+        assert!(!history[2].artifact_keys.is_empty());
+
+        let trends = daemon.trends("acme").unwrap();
+        assert_eq!(trends.drift_curve().len(), 3);
+        let fleet = daemon.fleet_trends().unwrap();
+        assert_eq!(fleet.len(), 1, "one platform in play");
+        assert_eq!(fleet[0].tenants, 1);
+
+        // Restart: the baseline is restored from the chain (no replay), so
+        // the next epoch still yields a delta against epoch 2.
+        drop(daemon);
+        let daemon = FleetDaemon::with_backend(FleetDaemonConfig::default(), Arc::clone(&root));
+        let h = daemon.submit(JobSpec::new("acme"), job(2022, 3)).unwrap();
+        daemon.run_until(600);
+        let outcome = daemon.resolve(h).unwrap();
+        let delta = outcome.delta.expect("restored baseline yields a delta");
+        assert_eq!((delta.prev_epoch, delta.epoch), (2, 3));
+        assert_eq!(daemon.history("acme").unwrap().len(), 4);
+
+        // Clone: point-in-time snapshot, no history.
+        let genesis = daemon.clone_tenant("acme", "fork").unwrap();
+        assert_eq!(genesis.epoch, 3);
+        let fork_history = daemon.history("fork").unwrap();
+        assert_eq!(fork_history.len(), 1);
+        let err = daemon.clone_tenant("acme", "fork").unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Config);
+
+        // Compaction: dropping generations before the last two reclaims
+        // bytes while every surviving epoch's blobs stay resolvable.
+        let outcome = daemon.compact_tenant("acme", 2).unwrap();
+        assert!(outcome.reclaimed_bytes() > 0, "{outcome:?}");
+        assert_eq!(outcome.kept_epochs, 2);
+        let err = daemon.compact_tenant("empty", 2).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Config);
     }
 
     #[test]

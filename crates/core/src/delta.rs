@@ -11,11 +11,11 @@
 use crate::report::{CanonicalBot, CanonicalReport};
 use crawler::invite::InviteStatus;
 use policy::Traceability;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// One bot whose traceability classification changed between epochs.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TraceabilityTransition {
     /// Client id (stable across epochs for installable bots).
     pub id: u64,
@@ -28,7 +28,7 @@ pub struct TraceabilityTransition {
 }
 
 /// One bot whose requested permission set changed between epochs.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PermissionChange {
     /// Bot name.
     pub name: String,
@@ -42,10 +42,16 @@ pub struct PermissionChange {
 ///
 /// Produced by the fleet service alongside every re-audit (epoch ≥ 1);
 /// also constructible directly from any two [`CanonicalReport`]s.
-#[derive(Debug, Clone, PartialEq, Serialize, Default)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub struct DeltaReport {
     /// The substrate both compared reports were measured on.
     pub platform: platform::PlatformKind,
+    /// The epoch of the earlier report (0 when the caller did not stamp
+    /// provenance — [`Self::between`] leaves both fields at their
+    /// defaults, [`Self::between_at`] fills them in).
+    pub prev_epoch: u32,
+    /// The epoch of the later report.
+    pub epoch: u32,
     /// Bots whose canonical record changed in any observable way.
     pub drifted: Vec<String>,
     /// Bots whose canonical record is identical in both reports.
@@ -158,6 +164,22 @@ impl DeltaReport {
             .collect();
 
         delta
+    }
+
+    /// [`Self::between`], with epoch provenance stamped in — the form the
+    /// fleet layer commits to epoch chains, where frames must be
+    /// self-describing rather than relying on submission order.
+    pub fn between_at(
+        prev: &CanonicalReport,
+        next: &CanonicalReport,
+        prev_epoch: u32,
+        epoch: u32,
+    ) -> DeltaReport {
+        DeltaReport {
+            prev_epoch,
+            epoch,
+            ..DeltaReport::between(prev, next)
+        }
     }
 
     /// Bots whose *crawled* record moved — the drift an incremental
@@ -305,6 +327,25 @@ mod tests {
         for name in mixed.analysis_only() {
             assert!(!mixed.crawl_visible().contains(&name), "{name} in both");
         }
+    }
+
+    #[test]
+    fn between_at_stamps_epoch_provenance() {
+        let r0 = report(0);
+        let r1 = report(1);
+        let plain = DeltaReport::between(&r0, &r1);
+        assert_eq!((plain.prev_epoch, plain.epoch), (0, 0));
+        let stamped = DeltaReport::between_at(&r0, &r1, 3, 5);
+        assert_eq!((stamped.prev_epoch, stamped.epoch), (3, 5));
+        // Provenance is the only difference.
+        let mut unstamped = stamped.clone();
+        unstamped.prev_epoch = 0;
+        unstamped.epoch = 0;
+        assert_eq!(unstamped, plain);
+        // And it survives a serde roundtrip (chain frames are JSON).
+        let back: DeltaReport =
+            serde_json::from_str(&serde_json::to_string(&stamped).unwrap()).unwrap();
+        assert_eq!(back, stamped);
     }
 
     #[test]

@@ -77,6 +77,14 @@ pub use validate::{validate_against_truth, AnalyzerScore, ValidationReport};
 /// depending on the `platform` crate directly.
 pub use platform::PlatformKind;
 
+/// The longitudinal oplog vocabulary, re-exported so fleet callers can
+/// consume [`FleetDaemon::history`]/[`FleetDaemon::trends`] results
+/// without depending on the `oplog` crate directly.
+pub use oplog::{
+    fleet_drift_curves, BotFlips, CompactionOutcome, CreepEntry, DriftPoint, EpochRecord,
+    EpochTrend, PermissionCreep, PlatformDrift, TrendQuery,
+};
+
 // The pre-facade configuration structs. Superseded by [`Audit::builder`]
 // but re-exported (hidden) so existing call sites keep compiling.
 #[doc(hidden)]

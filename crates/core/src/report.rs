@@ -48,7 +48,7 @@ pub struct RiskReport {
 /// the crawl/campaign spend counters whose exact values depend on worker
 /// interleaving. Serializing this is byte-identical across worker counts
 /// for the same seed — the property `tests/determinism.rs` pins.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CanonicalReport {
     /// The substrate the audited world was mounted on.
     pub platform: platform::PlatformKind,
@@ -65,7 +65,7 @@ pub struct CanonicalReport {
 }
 
 /// One bot's static findings, stripped to scheduling-independent fields.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CanonicalBot {
     /// Client ID.
     pub id: u64,
@@ -86,7 +86,7 @@ pub struct CanonicalBot {
 }
 
 /// Honeypot campaign outcome, minus timestamps and captcha spend.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CanonicalCampaign {
     /// Guilds created.
     pub guilds_created: usize,
@@ -106,7 +106,7 @@ pub struct CanonicalCampaign {
 }
 
 /// One attributed detection.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CanonicalDetection {
     /// Offending bot.
     pub bot_name: String,

@@ -159,6 +159,10 @@ pub struct ResumableOutcome {
     /// Raw store counters for this handle (journal frames written/replayed,
     /// artifact cache hits/misses).
     pub store_stats: StoreStats,
+    /// Every artifact-pack address the completing handle referenced,
+    /// sorted and deduplicated — what the fleet's epoch chain records so
+    /// generational compaction keeps this run's blobs live.
+    pub referenced_keys: Vec<store::ContentHash>,
 }
 
 /// The journaled analysis output for one bot: everything [`AuditedBot`]
@@ -634,6 +638,7 @@ impl AuditPipeline {
                 honeypot: Some(honeypot),
             },
             store_stats,
+            referenced_keys: store.referenced_keys(),
         })
     }
 

@@ -280,6 +280,45 @@ impl FleetService {
         self.daemon.drain_queue();
         self.daemon.poll_outcomes()
     }
+
+    /// A tenant's committed epoch records, genesis first — the persisted
+    /// oplog chain, answered without replaying any audit. See
+    /// [`FleetDaemon::history`](crate::FleetDaemon::history).
+    pub fn history(&self, tenant: &str) -> Result<Vec<oplog::EpochRecord>, AuditError> {
+        self.daemon.history(tenant)
+    }
+
+    /// Materialized trend views over a tenant's chain. See
+    /// [`FleetDaemon::trends`](crate::FleetDaemon::trends).
+    pub fn trends(&self, tenant: &str) -> Result<oplog::TrendQuery, AuditError> {
+        self.daemon.trends(tenant)
+    }
+
+    /// Fleet-wide per-platform drift curves. See
+    /// [`FleetDaemon::fleet_trends`](crate::FleetDaemon::fleet_trends).
+    pub fn fleet_trends(&self) -> Result<Vec<oplog::PlatformDrift>, AuditError> {
+        self.daemon.fleet_trends()
+    }
+
+    /// Snapshot tenant `src` into fresh tenant `dst` for a what-if
+    /// re-audit. See
+    /// [`FleetDaemon::clone_tenant`](crate::FleetDaemon::clone_tenant).
+    pub fn clone_tenant(&self, src: &str, dst: &str) -> Result<oplog::EpochRecord, AuditError> {
+        self.daemon.clone_tenant(src, dst)
+    }
+
+    /// Generational pack compaction for one tenant. Call between [`run`]
+    /// drains only. See
+    /// [`FleetDaemon::compact_tenant`](crate::FleetDaemon::compact_tenant).
+    ///
+    /// [`run`]: Self::run
+    pub fn compact_tenant(
+        &self,
+        tenant: &str,
+        keep_last: usize,
+    ) -> Result<oplog::CompactionOutcome, AuditError> {
+        self.daemon.compact_tenant(tenant, keep_last)
+    }
 }
 
 #[cfg(test)]
@@ -324,6 +363,22 @@ mod tests {
             outcome.artifact_hits > 0,
             "undrifted bots must come from the warm pack"
         );
+    }
+
+    #[test]
+    fn facade_accepts_epoch_resubmission_without_forking_the_chain() {
+        let service = FleetService::new(FleetConfig::default());
+        service.submit(JobSpec::new("acme"), job(2022, 0)).unwrap();
+        assert!(service.run()[0].report.is_ok());
+        // Legacy batch semantics admit a deliberate re-run of epoch 0
+        // (the strict daemon path would reject it)...
+        service.submit(JobSpec::new("acme"), job(2022, 0)).unwrap();
+        assert!(service.run()[0].report.is_ok());
+        // ...but the persisted chain never forks: epoch 0 stays a single
+        // committed record.
+        let history = service.history("acme").unwrap();
+        assert_eq!(history.iter().map(|r| r.epoch).collect::<Vec<_>>(), [0]);
+        assert_eq!(service.obs().counter_value("oplog.append_skipped"), 1);
     }
 
     #[test]

@@ -1,0 +1,58 @@
+//! Hex rendering of [`ContentHash`] for serialized epoch records.
+//!
+//! `store` is intentionally dependency-free, so [`ContentHash`] has no
+//! serde impls. Epoch records carry hashes as 32-char lowercase hex
+//! strings instead; these two helpers are the only conversion points, so
+//! the wire format is pinned in one place.
+
+use store::ContentHash;
+
+/// Render a hash as 32 lowercase hex characters (the `Display` form).
+pub fn to_hex(hash: &ContentHash) -> String {
+    format!("{hash}")
+}
+
+/// Parse the 32-char lowercase hex form back into a hash.
+///
+/// Returns `None` for any other length, uppercase digits, or non-hex
+/// characters — a chain record that fails to parse is treated as damage,
+/// never guessed at.
+pub fn parse_hex(text: &str) -> Option<ContentHash> {
+    if text.len() != 32 || !text.bytes().all(|b| matches!(b, b'0'..=b'9' | b'a'..=b'f')) {
+        return None;
+    }
+    let mut bytes = [0u8; 16];
+    for (i, chunk) in text.as_bytes().chunks(2).enumerate() {
+        let pair = std::str::from_utf8(chunk).ok()?;
+        bytes[i] = u8::from_str_radix(pair, 16).ok()?;
+    }
+    Some(ContentHash(bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_every_byte_pattern() {
+        for seed in [0u8, 1, 0x7f, 0xa5, 0xff] {
+            let mut bytes = [0u8; 16];
+            for (i, b) in bytes.iter_mut().enumerate() {
+                *b = seed.wrapping_add(i as u8).wrapping_mul(31);
+            }
+            let hash = ContentHash(bytes);
+            let hex = to_hex(&hash);
+            assert_eq!(hex.len(), 32);
+            assert_eq!(parse_hex(&hex), Some(hash));
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_text() {
+        assert_eq!(parse_hex(""), None);
+        assert_eq!(parse_hex("00112233445566778899aabbccddeef"), None); // 31 chars
+        assert_eq!(parse_hex("00112233445566778899aabbccddeeff0"), None); // 33 chars
+        assert_eq!(parse_hex("00112233445566778899AABBCCDDEEFF"), None); // uppercase
+        assert_eq!(parse_hex("zz112233445566778899aabbccddeeff"), None); // non-hex
+    }
+}

@@ -1,0 +1,56 @@
+//! # oplog — per-tenant longitudinal history for the fleet
+//!
+//! The paper's core finding is that chatbot ecosystems *drift*: permissions
+//! creep release over release, privacy policies churn, bots flip between
+//! traceable and untraceable (§5–§6). The fleet layer in `chatbot-audit`
+//! retained only each tenant's last report, so every longitudinal question
+//! ("which bots flipped traceability twice?", "how much permission creep
+//! since epoch 0?") required replaying audits. This crate is the missing
+//! history layer:
+//!
+//! * [`record`] — the [`EpochRecord`] committed per completed epoch: the
+//!   content-hash keys of the epoch's canonical report, its delta against
+//!   the previous epoch, and every artifact-pack blob the run referenced,
+//!   plus a pre-digested [`EpochTrend`] so trend queries never touch the
+//!   report blobs;
+//! * [`chain`] — the [`EpochChain`]: an append-only, hash-linked sequence
+//!   of epoch records persisted through the same CRC-framed journal
+//!   machinery as the rest of `store`. Each frame carries the hash of its
+//!   parent frame, so a damaged or forked chain is detected on open and
+//!   truncated to its longest valid prefix;
+//! * [`views`] — materialized trend views over a chain ([`TrendQuery`])
+//!   and across a fleet ([`fleet_drift_curves`]): traceability flips,
+//!   cumulative permission creep, and drift curves per platform, all
+//!   answered from the chain alone with zero audit replays;
+//! * [`compact`] — generational pack compaction: drop every artifact blob
+//!   not referenced by the last K epochs, atomically, with the same
+//!   crash-safety contract as the rest of the store (a crash mid-compaction
+//!   leaves either the old or the new generation fully intact);
+//! * [`clone`] — workspace templates: a point-in-time snapshot of a
+//!   tenant's pack + validator cache + head epoch, with no history, for
+//!   cheap what-if re-audits.
+//!
+//! Hashes cross the serialization boundary as 32-char lowercase hex
+//! strings (see [`hexhash`]) so `store` itself stays dependency-free.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod chain;
+pub mod clone;
+pub mod compact;
+pub mod hexhash;
+pub mod record;
+pub mod views;
+
+pub use chain::{EpochChain, K_EPOCH, OPLOG_FILE};
+pub use clone::clone_workspace;
+pub use compact::{compact_generations, CompactionOutcome};
+pub use hexhash::{parse_hex, to_hex};
+pub use record::{
+    delta_blob_key, report_blob_key, EpochRecord, EpochTrend, PermCreep, TraceFlip, ZERO_HASH,
+};
+pub use views::{
+    fleet_drift_curves, BotFlips, CreepEntry, DriftPoint, PermissionCreep, PlatformDrift,
+    TrendQuery,
+};

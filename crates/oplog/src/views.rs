@@ -1,0 +1,369 @@
+//! Materialized trend views over epoch chains.
+//!
+//! Every view here is computed from [`EpochRecord`]s alone — the small
+//! JSON frames the chain replays on open — so longitudinal questions are
+//! answered with **zero audit replays** and zero report-blob reads. The
+//! root `oplog_determinism` test pins that property by asserting the
+//! pipeline's `analysis.*` counters stay flat across trend queries.
+
+use std::collections::BTreeMap;
+
+use serde::Serialize;
+
+use crate::record::EpochRecord;
+
+/// One bot's accumulated traceability flips across a chain.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct BotFlips {
+    /// The bot's listing name.
+    pub bot: String,
+    /// How many epochs changed its verdict.
+    pub flips: u32,
+    /// The verdict path, e.g. `["traceable", "untraceable", "traceable"]`.
+    pub path: Vec<String>,
+}
+
+/// One bot's cumulative permission churn since epoch 0.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct CreepEntry {
+    /// The bot's listing name.
+    pub bot: String,
+    /// Total permissions gained across the chain.
+    pub added: u64,
+    /// Total permissions dropped across the chain.
+    pub removed: u64,
+}
+
+/// Fleet- or tenant-level cumulative permission creep.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize)]
+pub struct PermissionCreep {
+    /// Permissions gained, summed over every bot and epoch.
+    pub total_added: u64,
+    /// Permissions dropped, summed over every bot and epoch.
+    pub total_removed: u64,
+    /// Per-bot breakdown, sorted by bot name.
+    pub by_bot: Vec<CreepEntry>,
+}
+
+/// One epoch's drift counters — a point on a drift curve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct DriftPoint {
+    /// The epoch number.
+    pub epoch: u32,
+    /// Bots whose canonical form changed vs the previous epoch.
+    pub drifted: u32,
+    /// Bots byte-identical to the previous epoch.
+    pub unchanged: u32,
+    /// Bots new this epoch.
+    pub appeared: u32,
+    /// Bots gone this epoch.
+    pub disappeared: u32,
+    /// Detections that appeared this epoch.
+    pub new_detections: u32,
+    /// Detections that disappeared this epoch.
+    pub resolved_detections: u32,
+}
+
+/// One platform's aggregated drift curve across a fleet of tenants.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct PlatformDrift {
+    /// The platform's pinned lowercase name.
+    pub platform: String,
+    /// Tenants contributing to the curve.
+    pub tenants: u32,
+    /// Per-epoch counters summed across those tenants.
+    pub points: Vec<DriftPoint>,
+}
+
+#[derive(Serialize)]
+struct TrendDump {
+    epochs: Vec<u32>,
+    flipped_twice: Vec<BotFlips>,
+    creep: PermissionCreep,
+    curve: Vec<DriftPoint>,
+}
+
+/// Materialized trend views over one tenant's chain.
+///
+/// Holds a copy of the records; all queries are pure functions of them.
+#[derive(Debug, Clone)]
+pub struct TrendQuery {
+    records: Vec<EpochRecord>,
+}
+
+impl TrendQuery {
+    /// Build views over `records` (genesis first, as
+    /// [`EpochChain::records`](crate::chain::EpochChain::records) yields).
+    pub fn from_records(records: &[EpochRecord]) -> TrendQuery {
+        TrendQuery {
+            records: records.to_vec(),
+        }
+    }
+
+    /// The epochs covered, genesis first.
+    pub fn epochs(&self) -> Vec<u32> {
+        self.records.iter().map(|r| r.epoch).collect()
+    }
+
+    /// Bots whose traceability verdict changed in at least `min_flips`
+    /// epochs, sorted by bot name. `flipped_at_least(2)` is the paper's
+    /// "bots that flipped traceability ≥ 2×" question.
+    pub fn flipped_at_least(&self, min_flips: u32) -> Vec<BotFlips> {
+        let mut by_bot: BTreeMap<&str, BotFlips> = BTreeMap::new();
+        for record in &self.records {
+            for flip in &record.trend.flips {
+                let entry = by_bot.entry(&flip.bot).or_insert_with(|| BotFlips {
+                    bot: flip.bot.clone(),
+                    flips: 0,
+                    path: vec![flip.from.clone()],
+                });
+                entry.flips += 1;
+                entry.path.push(flip.to.clone());
+            }
+        }
+        by_bot
+            .into_values()
+            .filter(|b| b.flips >= min_flips)
+            .collect()
+    }
+
+    /// Cumulative permission creep since epoch 0, per bot and in total.
+    pub fn permission_creep(&self) -> PermissionCreep {
+        let mut by_bot: BTreeMap<&str, (u64, u64)> = BTreeMap::new();
+        for record in &self.records {
+            for creep in &record.trend.permissions {
+                let entry = by_bot.entry(&creep.bot).or_insert((0, 0));
+                entry.0 += creep.added as u64;
+                entry.1 += creep.removed as u64;
+            }
+        }
+        let mut out = PermissionCreep::default();
+        for (bot, (added, removed)) in by_bot {
+            out.total_added += added;
+            out.total_removed += removed;
+            out.by_bot.push(CreepEntry {
+                bot: bot.to_string(),
+                added,
+                removed,
+            });
+        }
+        out
+    }
+
+    /// The tenant's drift curve: one point per committed epoch.
+    pub fn drift_curve(&self) -> Vec<DriftPoint> {
+        self.records
+            .iter()
+            .map(|r| DriftPoint {
+                epoch: r.epoch,
+                drifted: r.trend.drifted,
+                unchanged: r.trend.unchanged,
+                appeared: r.trend.appeared,
+                disappeared: r.trend.disappeared,
+                new_detections: r.trend.new_detections,
+                resolved_detections: r.trend.resolved_detections,
+            })
+            .collect()
+    }
+
+    /// A canonical, pretty-printed dump of every view — the byte-stable
+    /// form the determinism tests compare across worker counts and across
+    /// compaction (compaction rewrites the pack, never the chain, so this
+    /// dump must not move by a single byte).
+    pub fn canonical_json(&self) -> String {
+        serde_json::to_string_pretty(&TrendDump {
+            epochs: self.epochs(),
+            flipped_twice: self.flipped_at_least(2),
+            creep: self.permission_creep(),
+            curve: self.drift_curve(),
+        })
+        .expect("trend dumps always serialize")
+    }
+}
+
+/// Fleet-wide drift curves: per-platform, per-epoch counters summed across
+/// tenants. Input is `(tenant, records)` pairs; ordering of the output is
+/// pinned (platforms sorted by name, epochs ascending) so dumps are
+/// byte-stable regardless of tenant iteration order.
+pub fn fleet_drift_curves(tenants: &[(String, Vec<EpochRecord>)]) -> Vec<PlatformDrift> {
+    let mut tenants_per_platform: BTreeMap<String, u32> = BTreeMap::new();
+    let mut points: BTreeMap<String, BTreeMap<u32, DriftPoint>> = BTreeMap::new();
+    for (_tenant, records) in tenants {
+        let mut platforms_seen: std::collections::BTreeSet<String> =
+            std::collections::BTreeSet::new();
+        for record in records {
+            let platform = record.platform.to_string();
+            platforms_seen.insert(platform.clone());
+            let point = points
+                .entry(platform)
+                .or_default()
+                .entry(record.epoch)
+                .or_insert(DriftPoint {
+                    epoch: record.epoch,
+                    drifted: 0,
+                    unchanged: 0,
+                    appeared: 0,
+                    disappeared: 0,
+                    new_detections: 0,
+                    resolved_detections: 0,
+                });
+            point.drifted += record.trend.drifted;
+            point.unchanged += record.trend.unchanged;
+            point.appeared += record.trend.appeared;
+            point.disappeared += record.trend.disappeared;
+            point.new_detections += record.trend.new_detections;
+            point.resolved_detections += record.trend.resolved_detections;
+        }
+        for platform in platforms_seen {
+            *tenants_per_platform.entry(platform).or_insert(0) += 1;
+        }
+    }
+    points
+        .into_iter()
+        .map(|(platform, by_epoch)| PlatformDrift {
+            tenants: tenants_per_platform.get(&platform).copied().unwrap_or(0),
+            platform,
+            points: by_epoch.into_values().collect(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{EpochTrend, PermCreep, TraceFlip, ZERO_HASH};
+    use crate::{hexhash, record::EpochRecord};
+    use platform::PlatformKind;
+
+    fn record(epoch: u32, platform: PlatformKind, trend: EpochTrend) -> EpochRecord {
+        EpochRecord {
+            epoch,
+            prev_epoch: epoch.checked_sub(1),
+            platform,
+            parent: hexhash::to_hex(&ZERO_HASH),
+            report_key: hexhash::to_hex(&ZERO_HASH),
+            delta_key: None,
+            artifact_keys: Vec::new(),
+            bots: 10,
+            trend,
+        }
+    }
+
+    fn flip(bot: &str, from: &str, to: &str) -> TraceFlip {
+        TraceFlip {
+            bot: bot.into(),
+            from: from.into(),
+            to: to.into(),
+        }
+    }
+
+    fn chain_with_flips() -> Vec<EpochRecord> {
+        vec![
+            record(0, PlatformKind::Discord, EpochTrend::default()),
+            record(
+                1,
+                PlatformKind::Discord,
+                EpochTrend {
+                    drifted: 3,
+                    unchanged: 7,
+                    flips: vec![
+                        flip("WobbleBot", "traceable", "untraceable"),
+                        flip("OnceBot", "traceable", "untraceable"),
+                    ],
+                    permissions: vec![PermCreep {
+                        bot: "WobbleBot".into(),
+                        added: 3,
+                        removed: 1,
+                    }],
+                    ..EpochTrend::default()
+                },
+            ),
+            record(
+                2,
+                PlatformKind::Discord,
+                EpochTrend {
+                    drifted: 1,
+                    unchanged: 9,
+                    flips: vec![flip("WobbleBot", "untraceable", "traceable")],
+                    permissions: vec![PermCreep {
+                        bot: "WobbleBot".into(),
+                        added: 2,
+                        removed: 0,
+                    }],
+                    new_detections: 2,
+                    ..EpochTrend::default()
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn flip_counts_and_paths_accumulate_per_bot() {
+        let query = TrendQuery::from_records(&chain_with_flips());
+        let twice = query.flipped_at_least(2);
+        assert_eq!(twice.len(), 1);
+        assert_eq!(twice[0].bot, "WobbleBot");
+        assert_eq!(twice[0].flips, 2);
+        assert_eq!(twice[0].path, vec!["traceable", "untraceable", "traceable"]);
+        let once = query.flipped_at_least(1);
+        assert_eq!(once.len(), 2);
+        assert_eq!(once[0].bot, "OnceBot"); // sorted by name
+    }
+
+    #[test]
+    fn permission_creep_sums_since_epoch_zero() {
+        let creep = TrendQuery::from_records(&chain_with_flips()).permission_creep();
+        assert_eq!(creep.total_added, 5);
+        assert_eq!(creep.total_removed, 1);
+        assert_eq!(creep.by_bot.len(), 1);
+        assert_eq!(creep.by_bot[0].added, 5);
+    }
+
+    #[test]
+    fn drift_curve_has_one_point_per_epoch() {
+        let curve = TrendQuery::from_records(&chain_with_flips()).drift_curve();
+        assert_eq!(curve.len(), 3);
+        assert_eq!(curve[1].drifted, 3);
+        assert_eq!(curve[2].new_detections, 2);
+    }
+
+    #[test]
+    fn fleet_curves_aggregate_per_platform_sorted() {
+        let discord = chain_with_flips();
+        let telegram = vec![record(
+            0,
+            PlatformKind::Telegram,
+            EpochTrend {
+                appeared: 4,
+                ..EpochTrend::default()
+            },
+        )];
+        // Tenant order must not matter.
+        let forward = fleet_drift_curves(&[
+            ("a".into(), discord.clone()),
+            ("b".into(), discord.clone()),
+            ("t".into(), telegram.clone()),
+        ]);
+        let backward = fleet_drift_curves(&[
+            ("t".into(), telegram),
+            ("b".into(), discord.clone()),
+            ("a".into(), discord),
+        ]);
+        assert_eq!(forward, backward);
+        assert_eq!(forward.len(), 2);
+        assert_eq!(forward[0].platform, "discord");
+        assert_eq!(forward[0].tenants, 2);
+        assert_eq!(forward[0].points[1].drifted, 6); // 3 + 3 across tenants
+        assert_eq!(forward[1].platform, "telegram");
+        assert_eq!(forward[1].points[0].appeared, 4);
+    }
+
+    #[test]
+    fn canonical_dump_is_stable() {
+        let query = TrendQuery::from_records(&chain_with_flips());
+        let dump = query.canonical_json();
+        assert_eq!(dump, query.canonical_json());
+        assert!(dump.contains("WobbleBot"));
+        assert!(dump.contains("flipped_twice"));
+    }
+}

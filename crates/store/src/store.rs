@@ -18,7 +18,7 @@ use crate::cache::{ArtifactCache, CacheSnapshot};
 use crate::frame::Frame;
 use crate::hash::ContentHash;
 use crate::journal::Journal;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -79,6 +79,9 @@ pub struct AuditStore {
     /// Units recovered at open, keyed by (kind, key). Later frames win so a
     /// unit re-recorded after partial corruption replays its newest copy.
     replayed: Mutex<BTreeMap<(u16, u64), Vec<u8>>>,
+    /// Every artifact address this handle touched (get, peek, or put) —
+    /// the liveness census longitudinal compaction keeps per epoch.
+    touched: Mutex<BTreeSet<ContentHash>>,
     /// Appends allowed before [`StoreError::Interrupted`]; `u64::MAX` = off.
     kill_after: AtomicU64,
 }
@@ -127,6 +130,7 @@ impl AuditStore {
             artifacts,
             fingerprint,
             replayed: Mutex::new(replayed),
+            touched: Mutex::new(BTreeSet::new()),
             kill_after: AtomicU64::new(u64::MAX),
         };
         // A fresh journal gets its header frame immediately, so even a run
@@ -171,6 +175,7 @@ impl AuditStore {
 
     /// Look up an analysis artifact by content address.
     pub fn artifact_get(&self, hash: &ContentHash) -> Option<Vec<u8>> {
+        self.touch(hash);
         self.artifacts.get(hash)
     }
 
@@ -179,6 +184,7 @@ impl AuditStore {
     /// [`StoreStats::artifact_hits`]/[`StoreStats::artifact_misses`] an
     /// exact census of per-bot analyses.
     pub fn artifact_peek(&self, hash: &ContentHash) -> Option<Vec<u8>> {
+        self.touch(hash);
         self.artifacts.peek(hash)
     }
 
@@ -186,7 +192,25 @@ impl AuditStore {
     /// switch — artifacts are pure content, the journal is the commit
     /// point).
     pub fn artifact_put(&self, hash: ContentHash, blob: &[u8]) -> Result<(), StoreError> {
+        self.touch(&hash);
         Ok(self.artifacts.put(hash, blob)?)
+    }
+
+    fn touch(&self, hash: &ContentHash) {
+        self.touched.lock().expect("touched set lock").insert(*hash);
+    }
+
+    /// Every artifact address this handle referenced, sorted and
+    /// deduplicated. A run that completes through one handle therefore
+    /// reports the full set of pack keys it depends on — what the epoch
+    /// chain records so generational compaction never drops a live blob.
+    pub fn referenced_keys(&self) -> Vec<ContentHash> {
+        self.touched
+            .lock()
+            .expect("touched set lock")
+            .iter()
+            .copied()
+            .collect()
     }
 
     /// Compact the artifact pack down to `live` addresses.
@@ -308,6 +332,29 @@ mod tests {
             Some(&b"analysis blob"[..])
         );
         assert_eq!(store.stats().artifact_hits, 1);
+    }
+
+    #[test]
+    fn referenced_keys_census_every_touched_address() {
+        let backend = mem();
+        let store = AuditStore::open(backend, 7, false).unwrap();
+        let put = ContentHash::of(b"computed");
+        let hit = ContentHash::of(b"warm");
+        let peeked = ContentHash::of(b"side-cache");
+        let missed = ContentHash::of(b"absent");
+        store.artifact_put(hit, b"warm blob").unwrap();
+        store.artifact_put(put, b"fresh blob").unwrap();
+        assert!(store.artifact_get(&hit).is_some());
+        assert!(store.artifact_peek(&peeked).is_none());
+        assert!(store.artifact_get(&missed).is_none());
+        // Gets, peeks, and puts all count — even ones that missed, since a
+        // miss that is then computed + put resolves to the same address —
+        // and repeats deduplicate.
+        assert!(store.artifact_get(&hit).is_some());
+        let keys = store.referenced_keys();
+        let mut expected = vec![put, hit, peeked, missed];
+        expected.sort();
+        assert_eq!(keys, expected);
     }
 
     #[test]

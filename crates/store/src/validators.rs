@@ -270,6 +270,31 @@ mod tests {
     }
 
     #[test]
+    fn uncommitted_crash_replays_a_conservative_superset_at_the_old_epoch() {
+        let backend = mem();
+        let cache = ValidatorCache::open(backend.clone(), 11).unwrap();
+        cache.put("https://a/x", b"etag-1").unwrap();
+        cache.commit_epoch(1).unwrap();
+        // Epoch 2's crawl gets partway — new and updated validators are
+        // journaled — and then the process dies before commit_epoch(2).
+        cache.put("https://a/x", b"etag-2").unwrap();
+        cache.put("https://a/z", b"etag-new").unwrap();
+        drop(cache);
+
+        let cache = ValidatorCache::open(backend, 11).unwrap();
+        // Conservative: the epoch stays at the last committed crawl, so
+        // the next run re-checks everything changed after epoch 1...
+        assert_eq!(cache.epoch(), 1);
+        // ...while every entry written before the crash is retained — a
+        // superset of epoch 1's map, never a partial rollback. Stale
+        // entries only cost an extra conditional fetch, never a wrong
+        // report.
+        assert_eq!(cache.stats().entries, 2);
+        assert_eq!(cache.get("https://a/x").as_deref(), Some(&b"etag-2"[..]));
+        assert_eq!(cache.get("https://a/z").as_deref(), Some(&b"etag-new"[..]));
+    }
+
+    #[test]
     fn damaged_header_resets_rather_than_lies() {
         let backend = mem();
         let cache = ValidatorCache::open(backend.clone(), 9).unwrap();

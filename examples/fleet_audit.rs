@@ -141,6 +141,104 @@ fn main() {
         flips += delta.traceability_transitions.len();
     }
 
+    // Epochs 2 and 3: keep the fleet drifting so the longitudinal views
+    // below have a real time series to answer from.
+    println!("\n[epochs 2-3] the fleet keeps re-auditing on its cadence");
+    for epoch in 2..4u32 {
+        for (tenant, seed, lane) in tenants {
+            let spec = JobSpec::builder(tenant)
+                .lane_named(lane)
+                .build()
+                .expect("valid spec");
+            handles.push(daemon.submit(spec, job(seed, epoch)).expect("room"));
+        }
+        let horizon = daemon.clock().now_millis() + 400;
+        daemon.run_until(horizon);
+    }
+    for handle in handles.drain(..) {
+        let outcome = daemon.resolve(handle).expect("settled");
+        outcome.report.as_ref().expect("re-audit completes");
+    }
+
+    // The longitudinal oplog: every question below is answered from each
+    // tenant's persisted epoch chain — zero audits are replayed.
+    println!("\n=== longitudinal oplog: 4 committed epochs per tenant ===");
+    for (tenant, _, _) in tenants {
+        let trends = daemon.trends(tenant).expect("chain");
+        println!("  {tenant:<10} epochs {:?}", trends.epochs());
+        for flipper in trends.flipped_at_least(2) {
+            println!(
+                "             {} flipped traceability {}x: {}",
+                flipper.bot,
+                flipper.flips,
+                flipper.path.join(" -> ")
+            );
+        }
+        let creep = trends.permission_creep();
+        println!(
+            "             cumulative permission creep since epoch 0: +{} / -{} across {} bots",
+            creep.total_added,
+            creep.total_removed,
+            creep.by_bot.len()
+        );
+    }
+    println!("  fleet-wide drift curves (per platform, per epoch):");
+    for curve in daemon.fleet_trends().expect("fleet") {
+        let drifted: Vec<u32> = curve.points.iter().map(|p| p.drifted).collect();
+        println!(
+            "             {:<10} {} tenant(s), drifted by epoch: {drifted:?}",
+            curve.platform, curve.tenants
+        );
+    }
+
+    // Generational compaction: artifacts referenced only by epochs older
+    // than the last two generations are dropped; the views above keep
+    // answering identically from the surviving chain.
+    println!("\n=== generational pack compaction (keep last 2 epochs) ===");
+    let reference = daemon.trends("acme-trust").expect("chain").canonical_json();
+    for (tenant, _, _) in tenants {
+        let outcome = daemon.compact_tenant(tenant, 2).expect("compaction");
+        println!(
+            "  {tenant:<10} reclaimed {} bytes ({} blobs dropped, {} live)",
+            outcome.reclaimed_bytes(),
+            outcome.dropped_blobs,
+            outcome.live_blobs,
+        );
+    }
+    assert_eq!(
+        daemon.trends("acme-trust").expect("chain").canonical_json(),
+        reference,
+        "compaction must never change a trend answer"
+    );
+
+    // What-if clone: snapshot acme-trust at its head epoch (state, not
+    // history) and re-audit the next epoch in the fork — the original
+    // tenant's chain never notices.
+    println!("\n=== what-if clone of acme-trust ===");
+    let genesis = daemon
+        .clone_tenant("acme-trust", "acme-whatif")
+        .expect("fresh fork");
+    println!("  forked at epoch {} (chain length 1)", genesis.epoch);
+    let spec = JobSpec::builder("acme-whatif")
+        .lane_named("interactive")
+        .build()
+        .expect("valid spec");
+    let handle = daemon.submit(spec, job(2022, 4)).expect("room");
+    let horizon = daemon.clock().now_millis() + 400;
+    daemon.run_until(horizon);
+    let outcome = daemon.resolve(handle).expect("what-if settled");
+    let delta = outcome.delta.as_ref().expect("fork point is the baseline");
+    println!(
+        "  what-if epoch 4: {} warm hits, delta vs fork point: {}",
+        outcome.artifact_hits,
+        delta.summary()
+    );
+    assert_eq!(
+        daemon.history("acme-trust").expect("chain").len(),
+        4,
+        "the source chain is untouched by the fork"
+    );
+
     let report = daemon.shutdown(ShutdownMode::Drain);
     assert!(report.outcomes.is_empty(), "every outcome already claimed");
     assert!(report.abandoned.is_empty(), "nothing left queued");
